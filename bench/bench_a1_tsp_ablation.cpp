@@ -1,0 +1,99 @@
+// A1 — TSP effort ablation (google-benchmark).
+//
+// How much each tour-improvement stage buys on the collector tour, and
+// what it costs: NN only vs NN+2-opt vs the full pipeline vs the 1-tree
+// lower bound. Runtime is reported by google-benchmark; quality is
+// attached via counters.
+#include <benchmark/benchmark.h>
+
+#include "core/greedy_cover_planner.h"
+#include "net/sensor_network.h"
+#include "tsp/construct.h"
+#include "tsp/improve.h"
+#include "tsp/lower_bound.h"
+#include "tsp/solve.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mdg;
+
+std::vector<geom::Point> tour_stops(std::size_t n_sensors,
+                                    std::uint64_t seed) {
+  // Realistic stop sets: the polling points a planner actually selects.
+  Rng rng(seed);
+  const net::SensorNetwork network =
+      net::make_uniform_network(n_sensors, 200.0, 30.0, rng);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution =
+      core::GreedyCoverPlanner().plan(instance);
+  std::vector<geom::Point> pts{instance.sink()};
+  pts.insert(pts.end(), solution.polling_points.begin(),
+             solution.polling_points.end());
+  return pts;
+}
+
+void BM_TspEffort(benchmark::State& state, tsp::TspEffort effort) {
+  const auto pts =
+      tour_stops(static_cast<std::size_t>(state.range(0)), 2008);
+  // Quality metrics, measured once outside the timing loop.
+  const double length = tsp::solve_tsp(pts, effort).length;
+  const double lower_bound = tsp::one_tree_lower_bound(pts);
+  state.counters["stops"] = static_cast<double>(pts.size());
+  state.counters["tour_m"] = length;
+  state.counters["lb_m"] = lower_bound;
+  state.counters["gap_pct"] = (length / lower_bound - 1.0) * 100.0;
+
+  for (auto _ : state) {
+    tsp::TspResult result = tsp::solve_tsp(pts, effort);
+    benchmark::DoNotOptimize(result.length);
+  }
+}
+
+}  // namespace
+
+namespace {
+
+// Direct-visit scale: the neighbour-list 2-opt against full 2-opt on
+// tours over ALL sensor positions (not just polling points).
+void BM_DirectVisitTwoOpt(benchmark::State& state, bool neighbor_list) {
+  Rng rng(2008);
+  const net::SensorNetwork network = net::make_uniform_network(
+      static_cast<std::size_t>(state.range(0)), 200.0, 30.0, rng);
+  std::vector<geom::Point> pts{network.sink()};
+  pts.insert(pts.end(), network.positions().begin(),
+             network.positions().end());
+  {
+    tsp::Tour probe = tsp::nearest_neighbor(pts);
+    if (neighbor_list) {
+      tsp::two_opt_neighbors(probe, pts, 10);
+    } else {
+      tsp::two_opt(probe, pts);
+    }
+    state.counters["tour_m"] = probe.length(pts);
+  }
+  for (auto _ : state) {
+    tsp::Tour tour = tsp::nearest_neighbor(pts);
+    if (neighbor_list) {
+      tsp::two_opt_neighbors(tour, pts, 10);
+    } else {
+      tsp::two_opt(tour, pts);
+    }
+    benchmark::DoNotOptimize(tour);
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_TspEffort, nn, tsp::TspEffort::kConstructionOnly)
+    ->Arg(100)->Arg(300)->Arg(500)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_TspEffort, nn_2opt, tsp::TspEffort::kTwoOpt)
+    ->Arg(100)->Arg(300)->Arg(500)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_TspEffort, full, tsp::TspEffort::kFull)
+    ->Arg(100)->Arg(300)->Arg(500)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_DirectVisitTwoOpt, full_2opt, false)
+    ->Arg(200)->Arg(500)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_DirectVisitTwoOpt, neighbor_2opt, true)
+    ->Arg(200)->Arg(500)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// A2 — combine/skip/substitute ablation of the spanning-tour planner
+// (reconstruction of the design-choice analysis DESIGN.md calls out).
+//
+// Each pipeline stage is toggled independently; the table shows what
+// each contributes to the final tour length and polling-point count.
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/spanning_tour_planner.h"
+
+int main(int argc, char** argv) {
+  using namespace mdg;
+  Flags flags(argc, argv);
+  bench::BenchConfig config = bench::parse_common(flags);
+  const auto n = static_cast<std::size_t>(flags.get_int("sensors", 200));
+  const double side = flags.get_double("side", 200.0);
+  const double rs = flags.get_double("range", 30.0);
+  flags.finish();
+
+  struct Variant {
+    std::string name;
+    bool combine;
+    bool skip;
+    bool substitute;
+  };
+  const std::vector<Variant> variants{
+      {"none (per-sensor stops)", false, false, false},
+      {"combine only", true, false, false},
+      {"combine + skip", true, true, false},
+      {"combine + substitute", true, false, true},
+      {"full (combine+skip+substitute)", true, true, true},
+  };
+
+  std::vector<double> mean_length;
+  std::vector<double> mean_pps;
+  for (const Variant& variant : variants) {
+    enum Metric { kLen, kPps, kCount };
+    const auto stats = bench::monte_carlo_multi(
+        config, kCount, [&](Rng& rng, std::size_t, std::vector<double>& row) {
+          const net::SensorNetwork network =
+              net::make_uniform_network(n, side, rs, rng);
+          const core::ShdgpInstance instance(network);
+          core::SpanningTourPlannerOptions options;
+          options.combine = variant.combine;
+          options.skip = variant.skip;
+          options.substitute = variant.substitute;
+          const core::ShdgpSolution solution =
+              core::SpanningTourPlanner(options).plan(instance);
+          row[kLen] = solution.tour_length;
+          row[kPps] = static_cast<double>(solution.polling_points.size());
+        });
+    mean_length.push_back(stats[kLen].mean());
+    mean_pps.push_back(stats[kPps].mean());
+  }
+
+  Table table("A2: spanning-tour stage ablation — N=" + std::to_string(n) +
+                  ", L=" + std::to_string(static_cast<int>(side)) + " m, Rs=" +
+                  std::to_string(static_cast<int>(rs)) + " m, " +
+                  std::to_string(config.trials) + " trials",
+              1);
+  table.set_header({"pipeline", "tour length (m)", "#PPs", "vs full (%)"});
+  const double full_mean = mean_length.back();
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    table.add_row({variants[i].name, mean_length[i], mean_pps[i],
+                   (mean_length[i] / full_mean - 1.0) * 100.0});
+  }
+  bench::emit(table, config);
+  return 0;
+}

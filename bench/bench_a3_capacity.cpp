@@ -1,0 +1,54 @@
+// A3 — polling-point capacity ablation (extension experiment).
+//
+// The papers justify bounding per-PP affiliation with buffer pressure /
+// per-stop dwell time; this bench quantifies the price: tour length and
+// stop count vs the per-stop load bound. Expected shape: a smooth
+// continuum from the unbounded polling tour down to the direct-visit
+// tour as the bound tightens to 1.
+#include <string>
+
+#include "bench_common.h"
+#include "core/greedy_cover_planner.h"
+
+int main(int argc, char** argv) {
+  using namespace mdg;
+  Flags flags(argc, argv);
+  bench::BenchConfig config = bench::parse_common(flags);
+  const auto n = static_cast<std::size_t>(flags.get_int("sensors", 200));
+  const double side = flags.get_double("side", 200.0);
+  const double rs = flags.get_double("range", 30.0);
+  flags.finish();
+
+  Table table("A3: tour vs per-stop load bound — N=" + std::to_string(n) +
+                  ", L=" + std::to_string(static_cast<int>(side)) + " m, Rs=" +
+                  std::to_string(static_cast<int>(rs)) + " m, " +
+                  std::to_string(config.trials) + " trials",
+              1);
+  table.set_header({"load bound", "tour length (m)", "#PPs", "max load",
+                    "mean upload dist (m)"});
+
+  const std::vector<std::size_t> bounds{0, 40, 20, 10, 5, 2, 1};
+  for (std::size_t bound : bounds) {
+    enum Metric { kLen, kPps, kLoad, kUpload, kCount };
+    const auto stats = bench::monte_carlo_multi(
+        config, kCount, [&](Rng& rng, std::size_t, std::vector<double>& row) {
+          const net::SensorNetwork network =
+              net::make_uniform_network(n, side, rs, rng);
+          const core::ShdgpInstance instance(network);
+          core::GreedyCoverPlannerOptions options;
+          options.max_pp_load = bound;
+          const core::ShdgpSolution solution =
+              core::GreedyCoverPlanner(options).plan(instance);
+          row[kLen] = solution.tour_length;
+          row[kPps] = static_cast<double>(solution.polling_points.size());
+          row[kLoad] = static_cast<double>(solution.max_pp_load());
+          row[kUpload] = solution.mean_upload_distance(instance);
+        });
+    table.add_row({bound == 0 ? std::string("unbounded")
+                              : std::to_string(bound),
+                   stats[kLen].mean(), stats[kPps].mean(),
+                   stats[kLoad].mean(), stats[kUpload].mean()});
+  }
+  bench::emit(table, config);
+  return 0;
+}

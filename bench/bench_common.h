@@ -1,0 +1,92 @@
+// Shared Monte-Carlo harness for the reproduction benches.
+//
+// Each bench binary regenerates one table/figure of the paper (see
+// DESIGN.md §4): it sweeps the paper's parameter axis, averages each data
+// point over `--trials` independent topologies (paper: 500; default here
+// is smaller so the whole suite runs in minutes on a laptop), and prints
+// the series as a table. Pass --trials and --csv to any bench.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/sensor_network.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace mdg::bench {
+
+struct BenchConfig {
+  std::size_t trials = 30;
+  std::uint64_t seed = 2008;  ///< base seed (IPDPS 2008 vintage)
+  bool csv = false;           ///< also dump CSV after the table
+};
+
+/// Parses the common bench flags; callers may read more flags from the
+/// returned Flags before calling flags.finish().
+inline BenchConfig parse_common(Flags& flags) {
+  BenchConfig config;
+  config.trials =
+      static_cast<std::size_t>(flags.get_int("trials", 30));
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2008));
+  config.csv = flags.get_bool("csv", false);
+  return config;
+}
+
+/// Runs `trials` independent evaluations in parallel; fn receives a
+/// deterministic per-trial Rng and returns one sample. Aggregation is
+/// schedule-independent.
+inline RunningStats monte_carlo(
+    const BenchConfig& config,
+    const std::function<double(Rng&, std::size_t)>& fn) {
+  const Rng base(config.seed);
+  std::vector<double> samples(config.trials, 0.0);
+  parallel_for(config.trials, [&](std::size_t t) {
+    Rng trial_rng = base.fork(t);
+    samples[t] = fn(trial_rng, t);
+  });
+  RunningStats stats;
+  for (double s : samples) {
+    stats.add(s);
+  }
+  return stats;
+}
+
+/// Multi-metric variant: fn fills a fixed-width sample row per trial.
+inline std::vector<RunningStats> monte_carlo_multi(
+    const BenchConfig& config, std::size_t metrics,
+    const std::function<void(Rng&, std::size_t, std::vector<double>&)>& fn) {
+  const Rng base(config.seed);
+  std::vector<std::vector<double>> rows(config.trials,
+                                        std::vector<double>(metrics, 0.0));
+  parallel_for(config.trials, [&](std::size_t t) {
+    Rng trial_rng = base.fork(t);
+    fn(trial_rng, t, rows[t]);
+  });
+  std::vector<RunningStats> stats(metrics);
+  for (const auto& row : rows) {
+    for (std::size_t m = 0; m < metrics; ++m) {
+      stats[m].add(row[m]);
+    }
+  }
+  return stats;
+}
+
+/// Prints the table and, when requested, its CSV form.
+inline void emit(const Table& table, const BenchConfig& config) {
+  table.print(std::cout);
+  if (config.csv) {
+    std::cout << "\n";
+    table.write_csv(std::cout);
+  }
+  std::cout << std::endl;
+}
+
+}  // namespace mdg::bench

@@ -1,0 +1,72 @@
+// E1 — distributed vs centralized polling-point selection
+// (extension experiment; see DESIGN.md §4).
+//
+// The election protocol trades tour quality for locality: it needs no
+// global topology knowledge and only O(1) broadcasts per sensor beyond
+// the BFS flood. This bench reproduces the standard comparison: tour
+// length and polling-point count vs the centralized planners, plus the
+// protocol's measured round and message complexity.
+#include <string>
+
+#include "bench_common.h"
+#include "core/greedy_cover_planner.h"
+#include "core/spanning_tour_planner.h"
+#include "dist/election_planner.h"
+
+int main(int argc, char** argv) {
+  using namespace mdg;
+  Flags flags(argc, argv);
+  bench::BenchConfig config = bench::parse_common(flags);
+  const double side = flags.get_double("side", 200.0);
+  const double rs = flags.get_double("range", 30.0);
+  flags.finish();
+
+  Table table("E1: distributed election vs centralized planners — L=" +
+                  std::to_string(static_cast<int>(side)) + " m, Rs=" +
+                  std::to_string(static_cast<int>(rs)) + " m, " +
+                  std::to_string(config.trials) + " trials/point",
+              1);
+  table.set_header({"N", "election tour (m)", "spanning tour (m)",
+                    "overhead (%)", "election #PPs", "spanning #PPs",
+                    "protocol rounds", "msgs/node"});
+
+  for (std::size_t n : {100u, 200u, 300u, 400u}) {
+    enum Metric {
+      kElectLen,
+      kSpanLen,
+      kElectPps,
+      kSpanPps,
+      kRounds,
+      kMsgs,
+      kCount,
+    };
+    const auto stats = bench::monte_carlo_multi(
+        config, kCount, [&](Rng& rng, std::size_t, std::vector<double>& row) {
+          const net::SensorNetwork network =
+              net::make_uniform_network(n, side, rs, rng);
+          const core::ShdgpInstance instance(network);
+
+          const dist::ElectionPlanner election;
+          const core::ShdgpSolution elected = election.plan(instance);
+          row[kElectLen] = elected.tour_length;
+          row[kElectPps] =
+              static_cast<double>(elected.polling_points.size());
+          row[kRounds] = static_cast<double>(election.last_stats().rounds);
+          row[kMsgs] = election.last_stats().transmissions_per_node;
+
+          const core::ShdgpSolution spanning =
+              core::SpanningTourPlanner().plan(instance);
+          row[kSpanLen] = spanning.tour_length;
+          row[kSpanPps] =
+              static_cast<double>(spanning.polling_points.size());
+        });
+    table.add_row(
+        {static_cast<long long>(n), stats[kElectLen].mean(),
+         stats[kSpanLen].mean(),
+         (stats[kElectLen].mean() / stats[kSpanLen].mean() - 1.0) * 100.0,
+         stats[kElectPps].mean(), stats[kSpanPps].mean(),
+         stats[kRounds].mean(), stats[kMsgs].mean()});
+  }
+  bench::emit(table, config);
+  return 0;
+}

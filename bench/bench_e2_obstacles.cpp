@@ -1,0 +1,109 @@
+// E2 — obstacle-aware routing (extension experiment).
+//
+// Tour inflation vs obstacle density: random non-overlapping square
+// obstacles are added to the field, sensors are deployed around them,
+// and the drivable tour (visibility routing + detour-metric TSP) is
+// compared against the straight-leg Euclidean tour over the same
+// polling points. Expected shape: modest inflation at low blockage,
+// super-linear growth as corridors narrow.
+#include <string>
+
+#include "bench_common.h"
+#include "core/spanning_tour_planner.h"
+#include "net/deployment.h"
+#include "route/obstacle_tour.h"
+
+namespace {
+
+// `count` random non-overlapping square obstacles of side `box` inside
+// the field, kept away from the sink.
+mdg::route::ObstacleMap random_obstacles(const mdg::geom::Aabb& field,
+                                         std::size_t count, double box,
+                                         mdg::geom::Point sink,
+                                         mdg::Rng& rng) {
+  std::vector<mdg::geom::Aabb> boxes;
+  std::size_t attempts = 0;
+  while (boxes.size() < count && attempts < 1000) {
+    ++attempts;
+    const double x = rng.uniform(field.lo.x, field.hi.x - box);
+    const double y = rng.uniform(field.lo.y, field.hi.y - box);
+    const mdg::geom::Aabb candidate{{x, y}, {x + box, y + box}};
+    if (candidate.contains(sink)) {
+      continue;
+    }
+    bool overlaps = false;
+    for (const auto& other : boxes) {
+      if (candidate.lo.x < other.hi.x + 2.0 &&
+          candidate.hi.x > other.lo.x - 2.0 &&
+          candidate.lo.y < other.hi.y + 2.0 &&
+          candidate.hi.y > other.lo.y - 2.0) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) {
+      boxes.push_back(candidate);
+    }
+  }
+  return mdg::route::ObstacleMap(std::move(boxes));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mdg;
+  Flags flags(argc, argv);
+  bench::BenchConfig config = bench::parse_common(flags);
+  const auto n = static_cast<std::size_t>(flags.get_int("sensors", 200));
+  const double side = flags.get_double("side", 200.0);
+  const double rs = flags.get_double("range", 30.0);
+  const double box = flags.get_double("box", 25.0);
+  flags.finish();
+
+  Table table("E2: drivable tour vs obstacle count — N=" + std::to_string(n) +
+                  ", L=" + std::to_string(static_cast<int>(side)) +
+                  " m, box=" + std::to_string(static_cast<int>(box)) + " m",
+              2);
+  table.set_header({"obstacles", "blocked area (%)", "euclidean tour (m)",
+                    "drivable tour (m)", "inflation (%)",
+                    "unroutable (%)"});
+
+  for (std::size_t obstacles : {0u, 2u, 4u, 8u, 12u, 16u}) {
+    enum Metric { kEuclid, kDriven, kInflate, kFail, kCount };
+    const auto stats = bench::monte_carlo_multi(
+        config, kCount, [&](Rng& rng, std::size_t, std::vector<double>& row) {
+          const auto field = geom::Aabb::square(side);
+          const route::ObstacleMap map =
+              random_obstacles(field, obstacles, box, field.center(), rng);
+          auto positions = route::remove_covered_positions(
+              net::deploy_uniform(n, field, rng), map);
+          const net::SensorNetwork network(std::move(positions),
+                                           field.center(), field, rs);
+          const core::ShdgpInstance instance(network);
+          const core::ShdgpSolution plan =
+              core::SpanningTourPlanner().plan(instance);
+
+          const route::ObstacleRouter router(map, 1.0);
+          const auto driven =
+              route::plan_obstacle_tour(instance, plan, router);
+          if (!driven) {
+            row[kFail] = 100.0;
+            row[kEuclid] = plan.tour_length;
+            row[kDriven] = plan.tour_length;
+            row[kInflate] = 0.0;
+            return;
+          }
+          row[kEuclid] = driven->euclidean_length;
+          row[kDriven] = driven->length;
+          row[kInflate] =
+              (driven->length / driven->euclidean_length - 1.0) * 100.0;
+        });
+    const double blocked = static_cast<double>(obstacles) * box * box /
+                           (side * side) * 100.0;
+    table.add_row({static_cast<long long>(obstacles), blocked,
+                   stats[kEuclid].mean(), stats[kDriven].mean(),
+                   stats[kInflate].mean(), stats[kFail].mean()});
+  }
+  bench::emit(table, config);
+  return 0;
+}

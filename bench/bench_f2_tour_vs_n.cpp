@@ -1,0 +1,63 @@
+// F2 — tour length vs number of sensors N (reconstruction).
+//
+// L = 200 m, Rs = 30 m, N in 100..500. Series: SHDG planners, the
+// direct-visit tour, the grid-stop variant (candidates on a 20 m grid),
+// and the CME fixed-track path. Expected shape: SHDG flattens out as N
+// grows (denser networks don't need more polling points), direct-visit
+// keeps climbing, CME is constant.
+#include <string>
+
+#include "baselines/cme_tracks.h"
+#include "baselines/direct_visit.h"
+#include "bench_common.h"
+#include "core/greedy_cover_planner.h"
+#include "core/spanning_tour_planner.h"
+#include "core/tree_dominator_planner.h"
+
+int main(int argc, char** argv) {
+  using namespace mdg;
+  Flags flags(argc, argv);
+  bench::BenchConfig config = bench::parse_common(flags);
+  const double side = flags.get_double("side", 200.0);
+  const double rs = flags.get_double("range", 30.0);
+  const double grid_spacing = flags.get_double("grid-spacing", 20.0);
+  flags.finish();
+
+  Table table("F2: tour length (m) vs N — L=" +
+                  std::to_string(static_cast<int>(side)) + " m, Rs=" +
+                  std::to_string(static_cast<int>(rs)) + " m, " +
+                  std::to_string(config.trials) + " trials/point",
+              1);
+  table.set_header({"N", "spanning-tour", "greedy-cover", "tree-dominator",
+                    "grid-stop", "direct-visit", "CME tracks"});
+
+  for (std::size_t n : {100u, 200u, 300u, 400u, 500u}) {
+    enum Metric { kSpan, kGreedy, kTree, kGrid, kDirect, kCme, kCount };
+    const auto stats = bench::monte_carlo_multi(
+        config, kCount, [&](Rng& rng, std::size_t, std::vector<double>& row) {
+          const net::SensorNetwork network =
+              net::make_uniform_network(n, side, rs, rng);
+          const core::ShdgpInstance sites(network);
+          row[kSpan] = core::SpanningTourPlanner().plan(sites).tour_length;
+          row[kGreedy] = core::GreedyCoverPlanner().plan(sites).tour_length;
+          row[kTree] =
+              core::TreeDominatorPlanner().plan(sites).tour_length;
+          row[kDirect] =
+              baselines::DirectVisitPlanner().plan(sites).tour_length;
+
+          cover::CandidateOptions grid_options;
+          grid_options.policy = cover::CandidatePolicy::kGrid;
+          grid_options.grid_spacing = grid_spacing;
+          const core::ShdgpInstance grid(network, grid_options);
+          row[kGrid] = core::GreedyCoverPlanner().plan(grid).tour_length;
+
+          row[kCme] = baselines::CmeScheme().run(network).tour_length;
+        });
+    table.add_row({static_cast<long long>(n), stats[kSpan].mean(),
+                   stats[kGreedy].mean(), stats[kTree].mean(),
+                   stats[kGrid].mean(), stats[kDirect].mean(),
+                   stats[kCme].mean()});
+  }
+  bench::emit(table, config);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// F3 — tour length and polling-point count vs transmission range Rs
+// (reconstruction).
+//
+// N = 200, L = 200 m, Rs in 20..50 m. Larger range lets one polling
+// point absorb more sensors: both the polling-point count and the tour
+// shrink monotonically.
+#include <string>
+
+#include "bench_common.h"
+#include "core/greedy_cover_planner.h"
+#include "core/spanning_tour_planner.h"
+
+int main(int argc, char** argv) {
+  using namespace mdg;
+  Flags flags(argc, argv);
+  bench::BenchConfig config = bench::parse_common(flags);
+  const auto n = static_cast<std::size_t>(flags.get_int("sensors", 200));
+  const double side = flags.get_double("side", 200.0);
+  flags.finish();
+
+  Table table("F3: tour length & #PPs vs Rs — N=" + std::to_string(n) +
+                  ", L=" + std::to_string(static_cast<int>(side)) + " m, " +
+                  std::to_string(config.trials) + " trials/point",
+              1);
+  table.set_header({"Rs (m)", "spanning tour (m)", "greedy tour (m)",
+                    "spanning #PPs", "greedy #PPs",
+                    "mean upload dist (m)"});
+
+  for (double rs : {20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0}) {
+    enum Metric { kSpanLen, kGreedyLen, kSpanPps, kGreedyPps, kUpload, kCount };
+    const auto stats = bench::monte_carlo_multi(
+        config, kCount, [&](Rng& rng, std::size_t, std::vector<double>& row) {
+          const net::SensorNetwork network =
+              net::make_uniform_network(n, side, rs, rng);
+          const core::ShdgpInstance instance(network);
+          const core::ShdgpSolution spanning =
+              core::SpanningTourPlanner().plan(instance);
+          const core::ShdgpSolution greedy =
+              core::GreedyCoverPlanner().plan(instance);
+          row[kSpanLen] = spanning.tour_length;
+          row[kGreedyLen] = greedy.tour_length;
+          row[kSpanPps] =
+              static_cast<double>(spanning.polling_points.size());
+          row[kGreedyPps] = static_cast<double>(greedy.polling_points.size());
+          row[kUpload] = spanning.mean_upload_distance(instance);
+        });
+    table.add_row({rs, stats[kSpanLen].mean(), stats[kGreedyLen].mean(),
+                   stats[kSpanPps].mean(), stats[kGreedyPps].mean(),
+                   stats[kUpload].mean()});
+  }
+  bench::emit(table, config);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// F5 — number of polling points vs N, plus the candidate-set ablation
+// (reconstruction).
+//
+// Left half: #PPs vs N for both planners against the scattering lower
+// bound. Right half: what richer candidate sets (grid, intersections) buy
+// on a fixed configuration.
+#include <string>
+
+#include "bench_common.h"
+#include "core/greedy_cover_planner.h"
+#include "core/spanning_tour_planner.h"
+#include "cover/set_cover.h"
+
+int main(int argc, char** argv) {
+  using namespace mdg;
+  Flags flags(argc, argv);
+  bench::BenchConfig config = bench::parse_common(flags);
+  const double side = flags.get_double("side", 200.0);
+  const double rs = flags.get_double("range", 30.0);
+  flags.finish();
+
+  Table by_n("F5a: polling points vs N — L=" +
+                 std::to_string(static_cast<int>(side)) + " m, Rs=" +
+                 std::to_string(static_cast<int>(rs)) + " m",
+             1);
+  by_n.set_header({"N", "spanning #PPs", "greedy #PPs", "scatter LB",
+                   "max PP load (spanning)"});
+  for (std::size_t n : {100u, 200u, 300u, 400u, 500u}) {
+    enum Metric { kSpan, kGreedy, kLb, kLoad, kCount };
+    const auto stats = bench::monte_carlo_multi(
+        config, kCount, [&](Rng& rng, std::size_t, std::vector<double>& row) {
+          const net::SensorNetwork network =
+              net::make_uniform_network(n, side, rs, rng);
+          const core::ShdgpInstance instance(network);
+          const core::ShdgpSolution spanning =
+              core::SpanningTourPlanner().plan(instance);
+          row[kSpan] = static_cast<double>(spanning.polling_points.size());
+          row[kGreedy] = static_cast<double>(
+              core::GreedyCoverPlanner().plan(instance).polling_points.size());
+          row[kLb] =
+              static_cast<double>(cover::scattering_lower_bound(network));
+          row[kLoad] = static_cast<double>(spanning.max_pp_load());
+        });
+    by_n.add_row({static_cast<long long>(n), stats[kSpan].mean(),
+                  stats[kGreedy].mean(), stats[kLb].mean(),
+                  stats[kLoad].mean()});
+  }
+  bench::emit(by_n, config);
+
+  Table ablation("F5b: candidate-set ablation — N=200, greedy-cover", 1);
+  ablation.set_header({"candidate policy", "#candidates", "#PPs",
+                       "tour length (m)"});
+  const std::vector<cover::CandidatePolicy> policies{
+      cover::CandidatePolicy::kSensorSites,
+      cover::CandidatePolicy::kGrid,
+      cover::CandidatePolicy::kSensorSitesAndGrid,
+      cover::CandidatePolicy::kSensorSitesAndIntersections,
+  };
+  for (const auto policy : policies) {
+    enum Metric { kCands, kPps, kLen, kCount };
+    const auto stats = bench::monte_carlo_multi(
+        config, kCount, [&](Rng& rng, std::size_t, std::vector<double>& row) {
+          const net::SensorNetwork network =
+              net::make_uniform_network(200, side, rs, rng);
+          cover::CandidateOptions options;
+          options.policy = policy;
+          options.grid_spacing = 20.0;
+          const core::ShdgpInstance instance(network, options);
+          row[kCands] =
+              static_cast<double>(instance.coverage().candidate_count());
+          const core::ShdgpSolution solution =
+              core::GreedyCoverPlanner().plan(instance);
+          row[kPps] = static_cast<double>(solution.polling_points.size());
+          row[kLen] = solution.tour_length;
+        });
+    ablation.add_row({std::string(cover::to_string(policy)),
+                      stats[kCands].mean(), stats[kPps].mean(),
+                      stats[kLen].mean()});
+  }
+  bench::emit(ablation, config);
+  return 0;
+}

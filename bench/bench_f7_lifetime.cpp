@@ -1,0 +1,79 @@
+// F7 — network lifetime (reconstruction).
+//
+// Rounds until first sensor death / until 10% of sensors died, SHDG
+// mobile collection vs static multihop relay, N in 100..400. Expected
+// shape: SHDG lifetime is flat in N (every round costs one bounded
+// upload) and several times the multihop lifetime, whose sink-adjacent
+// hotspot collapses first.
+#include <string>
+
+#include "baselines/multihop_routing.h"
+#include "bench_common.h"
+#include "core/spanning_tour_planner.h"
+#include "sim/mobile_sim.h"
+#include "sim/multihop_sim.h"
+
+int main(int argc, char** argv) {
+  using namespace mdg;
+  Flags flags(argc, argv);
+  bench::BenchConfig config = bench::parse_common(flags);
+  const double side = flags.get_double("side", 200.0);
+  const double rs = flags.get_double("range", 30.0);
+  const double battery = flags.get_double("battery", 0.1);
+  flags.finish();
+
+  Table table("F7: network lifetime (rounds) — battery " +
+                  std::to_string(battery) + " J, L=" +
+                  std::to_string(static_cast<int>(side)) + " m, Rs=" +
+                  std::to_string(static_cast<int>(rs)) + " m",
+              1);
+  table.set_header({"N", "SHDG first death", "SHDG 10% dead",
+                    "multihop first death", "multihop 10% dead",
+                    "lifetime gain", "multihop delivery ratio"});
+
+  for (std::size_t n : {100u, 200u, 300u, 400u}) {
+    enum Metric {
+      kMobileFirst,
+      kMobileTen,
+      kHopFirst,
+      kHopTen,
+      kRatio,
+      kCount,
+    };
+    const auto stats = bench::monte_carlo_multi(
+        config, kCount, [&](Rng& rng, std::size_t, std::vector<double>& row) {
+          const net::SensorNetwork network =
+              net::make_uniform_network(n, side, rs, rng);
+
+          const core::ShdgpInstance instance(network);
+          const core::ShdgpSolution plan =
+              core::SpanningTourPlanner().plan(instance);
+          sim::MobileSimConfig mobile_config;
+          mobile_config.initial_battery_j = battery;
+          sim::MobileCollectionSim mobile(instance, plan, mobile_config);
+          const sim::MobileLifetimeReport mobile_life =
+              mobile.run_lifetime();
+          row[kMobileFirst] =
+              static_cast<double>(mobile_life.rounds_first_death);
+          row[kMobileTen] =
+              static_cast<double>(mobile_life.rounds_10pct_death);
+
+          sim::MultihopSimConfig hop_config;
+          hop_config.initial_battery_j = battery;
+          sim::MultihopSim multihop(network, hop_config);
+          const sim::MultihopLifetimeReport hop_life =
+              multihop.run_lifetime();
+          row[kHopFirst] = static_cast<double>(hop_life.rounds_first_death);
+          row[kHopTen] = static_cast<double>(hop_life.rounds_10pct_death);
+          row[kRatio] = hop_life.delivery_ratio;
+        });
+    table.add_row(
+        {static_cast<long long>(n), stats[kMobileFirst].mean(),
+         stats[kMobileTen].mean(), stats[kHopFirst].mean(),
+         stats[kHopTen].mean(),
+         stats[kMobileFirst].mean() / stats[kHopFirst].mean(),
+         stats[kRatio].mean()});
+  }
+  bench::emit(table, config);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// F8 — data-gathering latency (reconstruction).
+//
+// (a) Round duration vs collector speed (0.1–2 m/s, the practical range
+//     for 2008-era mobile platforms) for SHDG and direct-visit;
+// (b) round duration vs N at 1 m/s, with multihop relay latency for
+//     contrast — the tradeoff the paper opens with: mobility saves
+//     energy but costs orders of magnitude in latency.
+#include <string>
+
+#include "baselines/direct_visit.h"
+#include "bench_common.h"
+#include "core/spanning_tour_planner.h"
+#include "sim/mobile_sim.h"
+#include "sim/multihop_sim.h"
+
+int main(int argc, char** argv) {
+  using namespace mdg;
+  Flags flags(argc, argv);
+  bench::BenchConfig config = bench::parse_common(flags);
+  const double side = flags.get_double("side", 200.0);
+  const double rs = flags.get_double("range", 30.0);
+  flags.finish();
+
+  // --- (a) latency vs speed, N = 200 ---
+  Table by_speed("F8a: gathering round duration (min) vs collector speed — "
+                 "N=200, L=" + std::to_string(static_cast<int>(side)) + " m",
+                 2);
+  by_speed.set_header(
+      {"speed (m/s)", "SHDG round", "direct-visit round", "speedup"});
+  for (double speed : {0.1, 0.25, 0.5, 1.0, 1.5, 2.0}) {
+    enum Metric { kShdg, kDirect, kCount };
+    const auto stats = bench::monte_carlo_multi(
+        config, kCount, [&](Rng& rng, std::size_t, std::vector<double>& row) {
+          const net::SensorNetwork network =
+              net::make_uniform_network(200, side, rs, rng);
+          const core::ShdgpInstance instance(network);
+          sim::MobileSimConfig sim_config;
+          sim_config.speed_m_per_s = speed;
+
+          const core::ShdgpSolution shdg =
+              core::SpanningTourPlanner().plan(instance);
+          sim::MobileCollectionSim shdg_sim(instance, shdg, sim_config);
+          sim::EnergyLedger l1(network.size(), 0.5);
+          row[kShdg] = shdg_sim.run_round(l1).duration_s / 60.0;
+
+          const core::ShdgpSolution direct =
+              baselines::DirectVisitPlanner().plan(instance);
+          sim::MobileCollectionSim direct_sim(instance, direct, sim_config);
+          sim::EnergyLedger l2(network.size(), 0.5);
+          row[kDirect] = direct_sim.run_round(l2).duration_s / 60.0;
+        });
+    by_speed.add_row({speed, stats[kShdg].mean(), stats[kDirect].mean(),
+                      stats[kDirect].mean() / stats[kShdg].mean()});
+  }
+  bench::emit(by_speed, config);
+
+  // --- (b) latency vs N at 1 m/s, vs multihop relay latency ---
+  Table by_n("F8b: latency vs N at 1 m/s (SHDG round vs multihop relay)", 3);
+  by_n.set_header({"N", "SHDG round (min)", "direct-visit round (min)",
+                   "multihop per-packet (s)"});
+  for (std::size_t n : {100u, 200u, 300u, 400u}) {
+    enum Metric { kShdg, kDirect, kHop, kCount };
+    const auto stats = bench::monte_carlo_multi(
+        config, kCount, [&](Rng& rng, std::size_t, std::vector<double>& row) {
+          const net::SensorNetwork network =
+              net::make_uniform_network(n, side, rs, rng);
+          const core::ShdgpInstance instance(network);
+
+          const core::ShdgpSolution shdg =
+              core::SpanningTourPlanner().plan(instance);
+          sim::MobileCollectionSim shdg_sim(instance, shdg);
+          sim::EnergyLedger l1(network.size(), 0.5);
+          row[kShdg] = shdg_sim.run_round(l1).duration_s / 60.0;
+
+          const core::ShdgpSolution direct =
+              baselines::DirectVisitPlanner().plan(instance);
+          sim::MobileCollectionSim direct_sim(instance, direct);
+          sim::EnergyLedger l2(network.size(), 0.5);
+          row[kDirect] = direct_sim.run_round(l2).duration_s / 60.0;
+
+          sim::MultihopSim hop_sim(network);
+          sim::EnergyLedger l3(network.size(), 0.5);
+          row[kHop] = hop_sim.run_round(l3).mean_latency_s;
+        });
+    by_n.add_row({static_cast<long long>(n), stats[kShdg].mean(),
+                  stats[kDirect].mean(), stats[kHop].mean()});
+  }
+  bench::emit(by_n, config);
+  return 0;
+}

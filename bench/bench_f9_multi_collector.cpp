@@ -1,0 +1,74 @@
+// F9 — multiple M-collectors (reconstruction).
+//
+// (a) max subtour length vs number of collectors k (1..6) on a fixed
+//     network: near-1/k decay until the out-and-back distance to the
+//     farthest polling point dominates;
+// (b) number of collectors needed to meet a gathering deadline.
+#include <string>
+
+#include "bench_common.h"
+#include "core/multi_collector.h"
+#include "core/spanning_tour_planner.h"
+
+int main(int argc, char** argv) {
+  using namespace mdg;
+  Flags flags(argc, argv);
+  bench::BenchConfig config = bench::parse_common(flags);
+  const auto n = static_cast<std::size_t>(flags.get_int("sensors", 400));
+  const double side = flags.get_double("side", 300.0);
+  const double rs = flags.get_double("range", 30.0);
+  flags.finish();
+
+  Table by_k("F9a: subtour lengths vs collector count k — N=" +
+                 std::to_string(n) + ", L=" +
+                 std::to_string(static_cast<int>(side)) + " m",
+             1);
+  by_k.set_header({"k", "max subtour (m)", "total length (m)",
+                   "max round @1 m/s (min)", "vs k=1"});
+
+  double k1_mean = 0.0;
+  for (std::size_t k : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    enum Metric { kMax, kTotal, kCount };
+    const auto stats = bench::monte_carlo_multi(
+        config, kCount, [&](Rng& rng, std::size_t, std::vector<double>& row) {
+          const net::SensorNetwork network =
+              net::make_uniform_network(n, side, rs, rng);
+          const core::ShdgpInstance instance(network);
+          const core::ShdgpSolution plan =
+              core::SpanningTourPlanner().plan(instance);
+          const core::MultiTourPlan multi =
+              core::MultiCollectorPlanner().split(instance, plan, k);
+          row[kMax] = multi.max_length;
+          row[kTotal] = multi.total_length;
+        });
+    if (k == 1) {
+      k1_mean = stats[kMax].mean();
+    }
+    by_k.add_row({static_cast<long long>(k), stats[kMax].mean(),
+                  stats[kTotal].mean(), stats[kMax].mean() / 60.0,
+                  stats[kMax].mean() / k1_mean});
+  }
+  bench::emit(by_k, config);
+
+  Table by_deadline("F9b: collectors needed vs gathering deadline "
+                    "(speed 1 m/s, 2 s service per stop)",
+                    1);
+  by_deadline.set_header({"deadline (min)", "collectors needed (mean)"});
+  for (double deadline_min : {10.0, 15.0, 20.0, 30.0, 45.0, 60.0}) {
+    const RunningStats stats = bench::monte_carlo(
+        config, [&](Rng& rng, std::size_t) {
+          const net::SensorNetwork network =
+              net::make_uniform_network(n, side, rs, rng);
+          const core::ShdgpInstance instance(network);
+          const core::ShdgpSolution plan =
+              core::SpanningTourPlanner().plan(instance);
+          const std::size_t needed =
+              core::MultiCollectorPlanner().collectors_for_deadline(
+                  instance, plan, deadline_min * 60.0, 1.0, 2.0);
+          return static_cast<double>(needed);
+        });
+    by_deadline.add_row({deadline_min, stats.mean()});
+  }
+  bench::emit(by_deadline, config);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// T1 — heuristics vs the optimal solution on small networks
+// (reconstruction of the paper's CPLEX comparison; the in-tree
+// branch-and-bound + Held–Karp ExactPlanner substitutes CPLEX).
+//
+// Small networks (N = 15..30, 70 m x 70 m, Rs = 20 m): optimal tour
+// length, heuristic gaps, polling-point counts and planner runtimes.
+#include <string>
+
+#include "baselines/direct_visit.h"
+#include "bench_common.h"
+#include "core/exact_planner.h"
+#include "core/greedy_cover_planner.h"
+#include "core/spanning_tour_planner.h"
+#include "util/stopwatch.h"
+
+int main(int argc, char** argv) {
+  using namespace mdg;
+  Flags flags(argc, argv);
+  bench::BenchConfig config = bench::parse_common(flags);
+  const double side = flags.get_double("side", 70.0);
+  const double rs = flags.get_double("range", 20.0);
+  flags.finish();
+
+  Table table("T1: heuristics vs optimal — L=" +
+                  std::to_string(static_cast<int>(side)) + " m, Rs=" +
+                  std::to_string(static_cast<int>(rs)) + " m, " +
+                  std::to_string(config.trials) + " trials/row",
+              2);
+  table.set_header({"N", "optimal tour (m)", "optimal #PPs",
+                    "spanning gap (%)", "greedy gap (%)",
+                    "direct-visit gap (%)", "opt solved (%)",
+                    "exact time (ms)", "heuristic time (ms)"});
+
+  for (std::size_t n : {15u, 20u, 25u, 30u}) {
+    enum Metric {
+      kOpt,
+      kOptPps,
+      kSpanGap,
+      kGreedyGap,
+      kDirectGap,
+      kSolved,
+      kExactMs,
+      kHeurMs,
+      kCount,
+    };
+    const auto stats = bench::monte_carlo_multi(
+        config, kCount, [&](Rng& rng, std::size_t, std::vector<double>& row) {
+          const net::SensorNetwork network =
+              net::make_uniform_network(n, side, rs, rng);
+          const core::ShdgpInstance instance(network);
+
+          core::ShdgpSolution exact;
+          row[kExactMs] = Stopwatch::time_ms([&] {
+            exact = core::ExactPlanner().plan(instance);
+          });
+          core::ShdgpSolution spanning;
+          core::ShdgpSolution greedy;
+          row[kHeurMs] = Stopwatch::time_ms([&] {
+            spanning = core::SpanningTourPlanner().plan(instance);
+            greedy = core::GreedyCoverPlanner().plan(instance);
+          });
+          const core::ShdgpSolution direct =
+              baselines::DirectVisitPlanner().plan(instance);
+
+          row[kOpt] = exact.tour_length;
+          row[kOptPps] = static_cast<double>(exact.polling_points.size());
+          const double base =
+              exact.tour_length > 0.0 ? exact.tour_length : 1.0;
+          row[kSpanGap] = (spanning.tour_length / base - 1.0) * 100.0;
+          row[kGreedyGap] = (greedy.tour_length / base - 1.0) * 100.0;
+          row[kDirectGap] = (direct.tour_length / base - 1.0) * 100.0;
+          row[kSolved] = exact.provably_optimal ? 100.0 : 0.0;
+        });
+    table.add_row({static_cast<long long>(n), stats[kOpt].mean(),
+                   stats[kOptPps].mean(), stats[kSpanGap].mean(),
+                   stats[kGreedyGap].mean(), stats[kDirectGap].mean(),
+                   stats[kSolved].mean(), stats[kExactMs].mean(),
+                   stats[kHeurMs].mean()});
+  }
+  bench::emit(table, config);
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Campus monitoring: the workload the mobile-collector line of papers
+// motivates with — sensor clusters around buildings, dead zones between
+// them, a data mule driving the rounds.
+//
+// Multihop relay cannot serve this deployment (the clusters are mutually
+// disconnected and most cannot reach the sink), while a mobile collector
+// covers 100% of it. This example plans the tour, shows the polling
+// points per cluster, and simulates a day of periodic gathering rounds.
+//
+//   example_campus_monitoring [--sensors 240] [--clusters 6]
+//                             [--side 400] [--range 25] [--seed 7]
+//                             [--rate 0.002] [--speed 1.0]
+#include <iostream>
+
+#include "mdg.h"
+
+int main(int argc, char** argv) {
+  mdg::Flags flags(argc, argv);
+  const auto sensors = static_cast<std::size_t>(flags.get_int("sensors", 240));
+  const auto clusters = static_cast<std::size_t>(flags.get_int("clusters", 6));
+  const double side = flags.get_double("side", 400.0);
+  const double range = flags.get_double("range", 25.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const double rate = flags.get_double("rate", 0.002);  // pkt/s per sensor
+  const double speed = flags.get_double("speed", 1.0);
+  flags.finish();
+
+  // Buildings = Gaussian clusters; the sink is the campus operations
+  // centre in the middle of the field.
+  mdg::Rng rng(seed);
+  const auto field = mdg::geom::Aabb::square(side);
+  auto positions =
+      mdg::net::deploy_gaussian_clusters(sensors, field, clusters, 18.0, rng);
+  const mdg::net::SensorNetwork network(std::move(positions), field.center(),
+                                        field, range);
+
+  std::cout << "Campus: " << network.size() << " sensors in " << clusters
+            << " building clusters, " << network.components().count
+            << " connected components\n";
+
+  // Why multihop fails here.
+  const mdg::baselines::MultihopResult multihop =
+      mdg::baselines::MultihopRouting(network).analyze();
+  std::cout << "Static multihop relay would reach only "
+            << multihop.coverage * 100.0 << "% of sensors.\n\n";
+
+  // Plan the collector tour.
+  const mdg::core::ShdgpInstance instance(network);
+  const mdg::core::ShdgpSolution plan =
+      mdg::core::SpanningTourPlanner().plan(instance);
+  plan.validate(instance);
+  std::cout << "Mobile collector plan: " << plan.polling_points.size()
+            << " polling stops, " << plan.tour_length << " m tour, covers "
+            << plan.assignment.size() << "/" << network.size()
+            << " sensors in a single hop each.\n";
+
+  // Stops per component (roughly: per building).
+  std::vector<std::size_t> stops_per_component(network.components().count, 0);
+  for (std::size_t slot = 0; slot < plan.polling_points.size(); ++slot) {
+    // A polling point is a sensor site under the default policy; find the
+    // component of any sensor assigned to it.
+    for (std::size_t s = 0; s < plan.assignment.size(); ++s) {
+      if (plan.assignment[s] == slot) {
+        ++stops_per_component[network.components().label[s]];
+        break;
+      }
+    }
+  }
+  mdg::Table table("Polling stops by cluster", 0);
+  table.set_header({"component", "sensors", "polling stops"});
+  for (std::size_t c = 0; c < network.components().count; ++c) {
+    table.add_row({static_cast<long long>(c),
+                   static_cast<long long>(network.components().members(c).size()),
+                   static_cast<long long>(stops_per_component[c])});
+  }
+  table.print(std::cout);
+
+  // Simulate a day of rounds with continuous data generation.
+  mdg::sim::MobileSimConfig sim_config;
+  sim_config.speed_m_per_s = speed;
+  sim_config.data_rate_pkt_per_s = rate;
+  sim_config.buffer_capacity = 256;
+  sim_config.initial_battery_j = 50.0;  // a day is not battery-limited
+  mdg::sim::MobileCollectionSim sim(instance, plan, sim_config);
+  mdg::sim::EnergyLedger ledger(network.size(), sim_config.initial_battery_j);
+
+  double clock = 0.0;
+  std::size_t delivered = 0;
+  std::size_t dropped = 0;
+  std::size_t rounds = 0;
+  std::size_t worst_buffer = 0;
+  while (clock < 24.0 * 3600.0) {
+    const mdg::sim::MobileRoundReport r = sim.run_round(ledger, clock);
+    clock += r.duration_s;
+    delivered += r.delivered;
+    dropped += r.dropped;
+    worst_buffer = std::max(worst_buffer, r.max_buffer);
+    ++rounds;
+  }
+  std::cout << "\n24 h of operation: " << rounds << " gathering rounds ("
+            << 24.0 * 60.0 / static_cast<double>(rounds)
+            << " min/round), " << delivered << " packets delivered, "
+            << dropped << " dropped, worst buffer occupancy " << worst_buffer
+            << " packets.\n";
+  std::cout << "Sustainable per-sensor rate at this tour: "
+            << sim.sustainable_rate() << " pkt/s (offered: " << rate
+            << ").\n";
+  return 0;
+}

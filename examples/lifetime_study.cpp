@@ -1,0 +1,73 @@
+// Lifetime study: how long the same network survives under (a) static
+// multihop relay to the sink versus (b) SHDG mobile collection — the
+// paper's energy argument, end to end on one concrete network.
+//
+//   example_lifetime_study [--sensors 200] [--side 200] [--range 30]
+//                          [--battery 0.1] [--seed 5]
+#include <iostream>
+
+#include "mdg.h"
+
+int main(int argc, char** argv) {
+  mdg::Flags flags(argc, argv);
+  const auto sensors = static_cast<std::size_t>(flags.get_int("sensors", 200));
+  const double side = flags.get_double("side", 200.0);
+  const double range = flags.get_double("range", 30.0);
+  const double battery = flags.get_double("battery", 0.1);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 5));
+  flags.finish();
+
+  mdg::Rng rng(seed);
+  const mdg::net::SensorNetwork network =
+      mdg::net::make_uniform_network(sensors, side, range, rng);
+
+  // --- Static multihop relay ---
+  const mdg::baselines::MultihopResult relay =
+      mdg::baselines::MultihopRouting(network).analyze();
+  const mdg::Summary relay_energy = mdg::summarize(relay.round_energy);
+  std::cout << "Multihop relay: " << relay.average_hops
+            << " hops/packet on average, per-round energy mean "
+            << relay_energy.mean * 1e3 << " mJ, p95 "
+            << relay_energy.p95 * 1e3 << " mJ, max "
+            << relay_energy.max * 1e3 << " mJ (Jain fairness "
+            << mdg::jain_fairness(relay.round_energy) << ")\n";
+
+  mdg::sim::MultihopSimConfig hop_config;
+  hop_config.initial_battery_j = battery;
+  mdg::sim::MultihopSim hop_sim(network, hop_config);
+  const mdg::sim::MultihopLifetimeReport hop_life = hop_sim.run_lifetime();
+  std::cout << "  lifetime: first death after " << hop_life.rounds_first_death
+            << " rounds, 10% dead after " << hop_life.rounds_10pct_death
+            << " rounds, overall delivery ratio " << hop_life.delivery_ratio
+            << "\n\n";
+
+  // --- SHDG mobile collection ---
+  const mdg::core::ShdgpInstance instance(network);
+  const mdg::core::ShdgpSolution plan =
+      mdg::core::SpanningTourPlanner().plan(instance);
+  mdg::sim::MobileCollectionSim mobile_sim(instance, plan);
+  mdg::sim::EnergyLedger probe(network.size(), battery);
+  const mdg::sim::MobileRoundReport round = mobile_sim.run_round(probe);
+  const mdg::Summary mobile_energy = mdg::summarize(round.round_energy);
+  std::cout << "SHDG mobile collection: " << plan.polling_points.size()
+            << " polling points, tour " << plan.tour_length
+            << " m; per-round energy mean " << mobile_energy.mean * 1e3
+            << " mJ, max " << mobile_energy.max * 1e3
+            << " mJ (Jain fairness " << mdg::jain_fairness(round.round_energy)
+            << ")\n";
+
+  mdg::sim::MobileSimConfig mobile_config;
+  mobile_config.initial_battery_j = battery;
+  mdg::sim::MobileCollectionSim life_sim(instance, plan, mobile_config);
+  const mdg::sim::MobileLifetimeReport mobile_life = life_sim.run_lifetime();
+  std::cout << "  lifetime: first death after "
+            << mobile_life.rounds_first_death << " rounds, 10% dead after "
+            << mobile_life.rounds_10pct_death << " rounds\n\n";
+
+  const double gain = static_cast<double>(mobile_life.rounds_first_death) /
+                      static_cast<double>(hop_life.rounds_first_death);
+  std::cout << "=> Mobile collection extends time-to-first-death by "
+            << gain << "x on this network (at the cost of "
+            << plan.tour_length << " m of driving per round).\n";
+  return 0;
+}

@@ -1,0 +1,205 @@
+// mdg_cli — a small driver around the library for file-based workflows:
+//
+//   example_mdg_cli generate --sensors 200 --side 200 --range 30
+//                            --seed 1 --out net.txt
+//   example_mdg_cli plan     --net net.txt [--planner spanning|greedy|
+//                            direct|election] [--max-load K] --out sol.txt
+//   example_mdg_cli inspect  --net net.txt [--sol sol.txt]
+//   example_mdg_cli render   --net net.txt [--sol sol.txt] --out plan.svg
+//   example_mdg_cli simulate --net net.txt --sol sol.txt [--rounds 10]
+//                            [--speed 1.0] [--battery 0.5]
+//   example_mdg_cli fleet    --net net.txt --sol sol.txt --k 3
+#include <iostream>
+#include <memory>
+
+#include "mdg.h"
+
+namespace {
+
+using namespace mdg;
+
+std::unique_ptr<core::Planner> make_planner(const std::string& name,
+                                            long long max_load) {
+  if (name == "spanning") {
+    return std::make_unique<core::SpanningTourPlanner>();
+  }
+  if (name == "greedy") {
+    core::GreedyCoverPlannerOptions options;
+    if (max_load > 0) {
+      options.max_pp_load = static_cast<std::size_t>(max_load);
+    }
+    return std::make_unique<core::GreedyCoverPlanner>(options);
+  }
+  if (name == "direct") {
+    return std::make_unique<baselines::DirectVisitPlanner>();
+  }
+  if (name == "election") {
+    return std::make_unique<dist::ElectionPlanner>();
+  }
+  MDG_REQUIRE(false, "unknown planner '" + name +
+                         "' (spanning|greedy|direct|election)");
+  return nullptr;
+}
+
+int cmd_generate(Flags& flags) {
+  const auto sensors = static_cast<std::size_t>(flags.get_int("sensors", 200));
+  const double side = flags.get_double("side", 200.0);
+  const double range = flags.get_double("range", 30.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string out = flags.get_string("out", "net.txt");
+  flags.finish();
+  Rng rng(seed);
+  const net::SensorNetwork network =
+      net::make_uniform_network(sensors, side, range, rng);
+  io::save_network(out, network);
+  std::cout << "Wrote " << out << " (" << network.size() << " sensors, "
+            << network.components().count << " components)\n";
+  return 0;
+}
+
+int cmd_plan(Flags& flags) {
+  const std::string net_path = flags.get_string("net", "net.txt");
+  const std::string planner_name = flags.get_string("planner", "spanning");
+  const long long max_load = flags.get_int("max-load", 0);
+  const std::string out = flags.get_string("out", "sol.txt");
+  flags.finish();
+  const net::SensorNetwork network = io::load_network(net_path);
+  const core::ShdgpInstance instance(network);
+  const auto planner = make_planner(planner_name, max_load);
+  const core::ShdgpSolution solution = planner->plan(instance);
+  solution.validate(instance);
+  io::save_solution(out, solution);
+  std::cout << "Planned with " << solution.planner << ": "
+            << solution.polling_points.size() << " polling points, tour "
+            << solution.tour_length << " m -> " << out << "\n";
+  return 0;
+}
+
+int cmd_inspect(Flags& flags) {
+  const std::string net_path = flags.get_string("net", "net.txt");
+  const std::string sol_path = flags.get_string("sol", "");
+  flags.finish();
+  const net::SensorNetwork network = io::load_network(net_path);
+  std::cout << "Network: " << network.size() << " sensors over "
+            << network.field().width() << " x " << network.field().height()
+            << " m, Rs = " << network.range() << " m\n"
+            << "  avg degree " << network.connectivity().average_degree()
+            << ", components " << network.components().count
+            << ", sink neighbours " << network.sink_neighbors().size()
+            << "\n";
+  const baselines::MultihopResult hops =
+      baselines::MultihopRouting(network).analyze();
+  std::cout << "  multihop: avg " << hops.average_hops << " hops, coverage "
+            << hops.coverage * 100.0 << "%\n";
+  if (!sol_path.empty()) {
+    const core::ShdgpSolution solution = io::load_solution(sol_path);
+    const core::ShdgpInstance instance(network);
+    solution.validate(instance);
+    std::cout << "Solution (" << solution.planner << "): "
+              << solution.polling_points.size() << " polling points, tour "
+              << solution.tour_length << " m, max load "
+              << solution.max_pp_load() << ", mean upload distance "
+              << solution.mean_upload_distance(instance) << " m"
+              << (solution.provably_optimal ? " [provably optimal]" : "")
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_render(Flags& flags) {
+  const std::string net_path = flags.get_string("net", "net.txt");
+  const std::string sol_path = flags.get_string("sol", "");
+  const std::string out = flags.get_string("out", "plan.svg");
+  flags.finish();
+  const net::SensorNetwork network = io::load_network(net_path);
+  io::SvgCanvas canvas(network.field());
+  canvas.draw_network(network);
+  if (!sol_path.empty()) {
+    const core::ShdgpInstance instance(network);
+    const core::ShdgpSolution solution = io::load_solution(sol_path);
+    solution.validate(instance);
+    canvas.draw_solution(instance, solution);
+  }
+  canvas.save(out);
+  std::cout << "Wrote " << out << "\n";
+  return 0;
+}
+
+int cmd_simulate(Flags& flags) {
+  const std::string net_path = flags.get_string("net", "net.txt");
+  const std::string sol_path = flags.get_string("sol", "sol.txt");
+  const auto rounds = static_cast<std::size_t>(flags.get_int("rounds", 10));
+  const double speed = flags.get_double("speed", 1.0);
+  const double battery = flags.get_double("battery", 0.5);
+  flags.finish();
+  const net::SensorNetwork network = io::load_network(net_path);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution = io::load_solution(sol_path);
+
+  sim::MobileSimConfig config;
+  config.speed_m_per_s = speed;
+  config.initial_battery_j = battery;
+  sim::MobileCollectionSim sim(instance, solution, config);
+  sim::EnergyLedger ledger(network.size(), battery);
+  double clock = 0.0;
+  std::size_t delivered = 0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const sim::MobileRoundReport report = sim.run_round(ledger, clock);
+    clock += report.duration_s;
+    delivered += report.delivered;
+  }
+  std::cout << rounds << " rounds in " << clock / 60.0 << " min, "
+            << delivered << " packets delivered, " << ledger.alive_count()
+            << "/" << network.size() << " sensors alive\n";
+  return 0;
+}
+
+int cmd_fleet(Flags& flags) {
+  const std::string net_path = flags.get_string("net", "net.txt");
+  const std::string sol_path = flags.get_string("sol", "sol.txt");
+  const auto k = static_cast<std::size_t>(flags.get_int("k", 2));
+  flags.finish();
+  const net::SensorNetwork network = io::load_network(net_path);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution = io::load_solution(sol_path);
+  solution.validate(instance);
+  const core::MultiTourPlan plan =
+      core::MultiCollectorPlanner().split(instance, solution, k);
+  Table table("Fleet of " + std::to_string(k), 2);
+  table.set_header({"collector", "stops", "length (m)"});
+  for (std::size_t c = 0; c < plan.subtours.size(); ++c) {
+    table.add_row({static_cast<long long>(c + 1),
+                   static_cast<long long>(plan.subtours[c].stops.size()),
+                   plan.subtours[c].length});
+  }
+  table.print(std::cout);
+  std::cout << "max " << plan.max_length << " m, total " << plan.total_length
+            << " m\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    mdg::Flags flags(argc, argv);
+    if (flags.positional().size() != 1) {
+      std::cerr << "usage: " << flags.program_name()
+                << " <generate|plan|inspect|render|simulate|fleet> "
+                   "[--flags]\n";
+      return 2;
+    }
+    const std::string& command = flags.positional()[0];
+    if (command == "generate") return cmd_generate(flags);
+    if (command == "plan") return cmd_plan(flags);
+    if (command == "inspect") return cmd_inspect(flags);
+    if (command == "render") return cmd_render(flags);
+    if (command == "simulate") return cmd_simulate(flags);
+    if (command == "fleet") return cmd_fleet(flags);
+    std::cerr << "unknown command '" << command << "'\n";
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,71 @@
+// Obstacle-aware data mule: plan polling points from radio coverage,
+// then drive the tour around buildings with visibility routing. Exports
+// an SVG of the deployment, the plan and the drivable path.
+//
+//   example_obstacle_field [--sensors 150] [--side 200] [--range 30]
+//                          [--seed 21] [--svg obstacle_tour.svg]
+#include <iostream>
+
+#include "mdg.h"
+
+int main(int argc, char** argv) {
+  mdg::Flags flags(argc, argv);
+  const auto sensors = static_cast<std::size_t>(flags.get_int("sensors", 150));
+  const double side = flags.get_double("side", 200.0);
+  const double range = flags.get_double("range", 30.0);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 21));
+  const std::string svg_path = flags.get_string("svg", "obstacle_tour.svg");
+  flags.finish();
+
+  // A small campus: three buildings the collector must drive around.
+  const mdg::route::ObstacleMap obstacles({
+      mdg::geom::Aabb{{0.25 * side, 0.20 * side}, {0.45 * side, 0.40 * side}},
+      mdg::geom::Aabb{{0.60 * side, 0.15 * side}, {0.75 * side, 0.50 * side}},
+      mdg::geom::Aabb{{0.30 * side, 0.60 * side}, {0.70 * side, 0.75 * side}},
+  });
+
+  // Deploy around the buildings (no sensor inside a footprint).
+  mdg::Rng rng(seed);
+  const auto field = mdg::geom::Aabb::square(side);
+  auto positions = mdg::route::remove_covered_positions(
+      mdg::net::deploy_uniform(sensors, field, rng), obstacles);
+  const mdg::net::SensorNetwork network(std::move(positions), field.center(),
+                                        field, range);
+  std::cout << "Deployed " << network.size() << " sensors around "
+            << obstacles.size() << " buildings\n";
+
+  // Radio-coverage planning is obstacle-agnostic...
+  const mdg::core::ShdgpInstance instance(network);
+  const mdg::core::ShdgpSolution plan =
+      mdg::core::SpanningTourPlanner().plan(instance);
+  plan.validate(instance);
+  std::cout << "Planned " << plan.polling_points.size()
+            << " polling points; Euclidean tour " << plan.tour_length
+            << " m\n";
+
+  // ...the driving is not.
+  const mdg::route::ObstacleRouter router(obstacles, 1.0);
+  const auto driven = mdg::route::plan_obstacle_tour(instance, plan, router);
+  if (!driven) {
+    std::cout << "Some polling point is unreachable around the obstacles.\n";
+    return 1;
+  }
+  std::cout << "Drivable tour: " << driven->length << " m ("
+            << (driven->length / driven->euclidean_length - 1.0) * 100.0
+            << "% detour over straight legs, " << driven->polyline.size()
+            << " waypoints)\n";
+
+  // Render the scene.
+  mdg::io::SvgOptions svg_options;
+  svg_options.draw_affiliations = true;
+  mdg::io::SvgCanvas canvas(field, svg_options);
+  canvas.draw_obstacles(obstacles);
+  canvas.draw_network(network);
+  for (const mdg::geom::Point& pp : plan.polling_points) {
+    canvas.add_circle(pp, 1.2, "#1f77b4");
+  }
+  canvas.draw_path(driven->polyline);
+  canvas.save(svg_path);
+  std::cout << "Wrote " << svg_path << "\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "baselines/cme_tracks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/bfs.h"
+#include "util/assert.h"
+
+namespace mdg::baselines {
+
+CmeScheme::CmeScheme(CmeOptions options) : options_(options) {
+  MDG_REQUIRE(options.track_count >= 1, "CME needs at least one track");
+}
+
+CmeResult CmeScheme::run(const net::SensorNetwork& network) const {
+  const geom::Aabb& field = network.field();
+  const std::size_t tracks = options_.track_count;
+  CmeResult result;
+
+  // Track y-coordinates: outermost tracks on the border (single track
+  // through the middle).
+  std::vector<double> ys;
+  if (tracks == 1) {
+    ys.push_back(field.center().y);
+  } else {
+    const double pitch =
+        field.height() / static_cast<double>(tracks - 1);
+    for (std::size_t t = 0; t < tracks; ++t) {
+      ys.push_back(field.lo.y + pitch * static_cast<double>(t));
+    }
+  }
+
+  // Boustrophedon path: start at the sink, run each track alternately
+  // left-to-right / right-to-left, return to the sink.
+  result.path.push_back(network.sink());
+  bool left_to_right = true;
+  for (double y : ys) {
+    const geom::Point a{left_to_right ? field.lo.x : field.hi.x, y};
+    const geom::Point b{left_to_right ? field.hi.x : field.lo.x, y};
+    result.path.push_back(a);
+    result.path.push_back(b);
+    left_to_right = !left_to_right;
+  }
+  result.path.push_back(network.sink());
+  result.tour_length = geom::polyline_length(result.path);
+
+  // Gateways: sensors within one hop of some track line (vertical
+  // distance to the track <= Rs — the collector passes through the whole
+  // horizontal extent).
+  std::vector<std::size_t> gateways;
+  for (std::size_t s = 0; s < network.size(); ++s) {
+    const double y = network.position(s).y;
+    for (double ty : ys) {
+      if (std::abs(y - ty) <= network.range() * (1.0 + 1e-12)) {
+        gateways.push_back(s);
+        break;
+      }
+    }
+  }
+
+  result.upload_hops.assign(network.size(),
+                            std::numeric_limits<std::size_t>::max());
+  if (!gateways.empty()) {
+    const graph::BfsResult bfs =
+        graph::bfs_multi(network.connectivity(), gateways);
+    for (std::size_t s = 0; s < network.size(); ++s) {
+      if (bfs.reachable(s)) {
+        // hops-to-gateway relays plus the final single-hop upload.
+        result.upload_hops[s] = bfs.hops[s] + 1;
+      }
+    }
+  }
+
+  double hop_sum = 0.0;
+  std::size_t reachable = 0;
+  for (std::size_t h : result.upload_hops) {
+    if (h != std::numeric_limits<std::size_t>::max()) {
+      hop_sum += static_cast<double>(h);
+      ++reachable;
+    }
+  }
+  result.average_hops =
+      reachable == 0 ? 0.0 : hop_sum / static_cast<double>(reachable);
+  result.coverage = network.size() == 0
+                        ? 1.0
+                        : static_cast<double>(reachable) /
+                              static_cast<double>(network.size());
+  return result;
+}
+
+}  // namespace mdg::baselines

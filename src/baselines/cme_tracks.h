@@ -1,0 +1,43 @@
+// CME baseline: Controlled Mobile Element with fixed parallel tracks.
+//
+// The collector sweeps the field along `track_count` equally spaced
+// horizontal tracks (outermost tracks on the field border), switching
+// tracks along the field edge — a boustrophedon path. Sensors within one
+// hop of a track upload directly when the collector passes; everyone else
+// relays multihop (no hop bound) toward the nearest track-covered sensor.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+#include "net/sensor_network.h"
+
+namespace mdg::baselines {
+
+struct CmeOptions {
+  std::size_t track_count = 5;
+};
+
+struct CmeResult {
+  double tour_length = 0.0;  ///< boustrophedon path incl. return to sink
+  /// Per sensor: hops from the sensor to the collector (1 = direct upload
+  /// to the passing collector; 2 = one relay; ...). SIZE_MAX when the
+  /// sensor cannot reach any track-covered sensor.
+  std::vector<std::size_t> upload_hops;
+  double average_hops = 0.0;   ///< over reachable sensors
+  double coverage = 0.0;       ///< fraction of sensors that can deliver data
+  std::vector<geom::Point> path;  ///< the collector's polyline (closed)
+};
+
+class CmeScheme {
+ public:
+  explicit CmeScheme(CmeOptions options = {});
+
+  [[nodiscard]] CmeResult run(const net::SensorNetwork& network) const;
+
+ private:
+  CmeOptions options_;
+};
+
+}  // namespace mdg::baselines

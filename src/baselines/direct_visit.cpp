@@ -1,0 +1,51 @@
+#include "baselines/direct_visit.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "cover/set_cover.h"
+#include "util/assert.h"
+
+namespace mdg::baselines {
+
+core::ShdgpSolution DirectVisitPlanner::plan(
+    const core::ShdgpInstance& instance) const {
+  const auto& network = instance.network();
+  const auto& matrix = instance.coverage();
+
+  core::ShdgpSolution solution;
+  solution.planner = name();
+
+  // Per sensor, its nearest covering candidate (its own site when the
+  // candidate set contains sensor sites).
+  std::vector<std::size_t> chosen;
+  chosen.reserve(network.size());
+  for (std::size_t s = 0; s < network.size(); ++s) {
+    const auto& pool = matrix.covering(s);
+    MDG_ASSERT(!pool.empty(), "coverage matrix guarantees feasibility");
+    std::size_t best = pool.front();
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (std::size_t c : pool) {
+      const double d2 =
+          geom::distance_sq(matrix.candidate(c), network.position(s));
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = c;
+      }
+    }
+    chosen.push_back(best);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+
+  solution.polling_candidates = chosen;
+  for (std::size_t c : chosen) {
+    solution.polling_points.push_back(matrix.candidate(c));
+  }
+  solution.assignment =
+      cover::assign_nearest(matrix, network, solution.polling_candidates);
+  core::route_collector(instance, solution, effort_);
+  return solution;
+}
+
+}  // namespace mdg::baselines

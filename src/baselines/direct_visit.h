@@ -1,0 +1,28 @@
+// Direct-visit baseline: the collector visits every sensor individually
+// (one polling point per sensor) — the maximum-energy-saving, maximum-
+// latency extreme the paper starts from.
+#pragma once
+
+#include "core/planner.h"
+#include "tsp/solve.h"
+
+namespace mdg::baselines {
+
+class DirectVisitPlanner final : public core::Planner {
+ public:
+  explicit DirectVisitPlanner(tsp::TspEffort effort = tsp::TspEffort::kFull)
+      : effort_(effort) {}
+
+  [[nodiscard]] std::string name() const override { return "direct-visit"; }
+
+  /// Each sensor is assigned the covering candidate nearest to it (its
+  /// own site under the sensor-sites policy), so the tour spans all N
+  /// sensors.
+  [[nodiscard]] core::ShdgpSolution plan(
+      const core::ShdgpInstance& instance) const override;
+
+ private:
+  tsp::TspEffort effort_;
+};
+
+}  // namespace mdg::baselines

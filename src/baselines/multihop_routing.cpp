@@ -1,0 +1,94 @@
+#include "baselines/multihop_routing.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/bfs.h"
+#include "util/assert.h"
+
+namespace mdg::baselines {
+
+namespace {
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+MultihopRouting::MultihopRouting(const net::SensorNetwork& network)
+    : network_(&network) {
+  const std::size_t n = network.size();
+  hops_.assign(n, kNone);
+  parent_.assign(n, kNone);
+  if (n == 0 || network.sink_neighbors().empty()) {
+    return;
+  }
+  // Multi-source BFS from the sink's one-hop neighbours: a gateway has
+  // hop count 1 (its own upload), everyone else gateway-hops + 1.
+  const graph::BfsResult bfs =
+      graph::bfs_multi(network.connectivity(), network.sink_neighbors());
+  for (std::size_t s = 0; s < n; ++s) {
+    if (bfs.reachable(s)) {
+      hops_[s] = bfs.hops[s] + 1;
+      parent_[s] = bfs.parent[s];  // kUnreachable == kNone for gateways
+    }
+  }
+}
+
+std::size_t MultihopRouting::hops_to_sink(std::size_t s) const {
+  MDG_REQUIRE(s < hops_.size(), "sensor index out of range");
+  return hops_[s];
+}
+
+std::size_t MultihopRouting::next_hop(std::size_t s) const {
+  MDG_REQUIRE(s < parent_.size(), "sensor index out of range");
+  return parent_[s];
+}
+
+MultihopResult MultihopRouting::analyze() const {
+  const auto& network = *network_;
+  const std::size_t n = network.size();
+  const auto& radio = network.radio();
+
+  MultihopResult result;
+  result.round_energy.assign(n, 0.0);
+  result.tx_load.assign(n, 0);
+
+  double hop_sum = 0.0;
+  std::size_t reachable = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (hops_[s] != kNone) {
+      hop_sum += static_cast<double>(hops_[s]);
+      result.max_hops = std::max(result.max_hops, hops_[s]);
+      ++reachable;
+    }
+  }
+  result.average_hops =
+      reachable == 0 ? 0.0 : hop_sum / static_cast<double>(reachable);
+  result.coverage =
+      n == 0 ? 1.0 : static_cast<double>(reachable) / static_cast<double>(n);
+
+  // Route one packet per reachable sensor down the tree, charging tx to
+  // every node on the path and rx to every intermediate relay.
+  for (std::size_t s = 0; s < n; ++s) {
+    if (hops_[s] == kNone) {
+      continue;
+    }
+    std::size_t v = s;
+    std::size_t steps = 0;
+    for (;;) {
+      const std::size_t nh = parent_[v];
+      const geom::Point from = network.position(v);
+      const geom::Point to =
+          nh == kNone ? network.sink() : network.position(nh);
+      result.round_energy[v] += radio.tx_packet(geom::distance(from, to));
+      ++result.tx_load[v];
+      if (nh == kNone) {
+        break;  // delivered to the sink
+      }
+      result.round_energy[nh] += radio.rx_packet();
+      v = nh;
+      MDG_ASSERT(++steps <= n, "routing loop detected");
+    }
+  }
+  return result;
+}
+
+}  // namespace mdg::baselines

@@ -1,0 +1,52 @@
+// Static multihop relay routing to the sink — the no-mobility baseline
+// the paper motivates against.
+//
+// Every sensor forwards along its minimum-hop shortest-path tree toward
+// the static sink. Per-round accounting: each sensor originates one
+// packet; a node relays the packets of its whole SPT subtree.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/spt.h"
+#include "net/sensor_network.h"
+
+namespace mdg::baselines {
+
+struct MultihopResult {
+  double average_hops = 0.0;  ///< mean sink distance of reachable sensors
+  std::size_t max_hops = 0;
+  double coverage = 0.0;      ///< fraction of sensors that can reach the sink
+  /// Per-node energy spent in one round (every sensor originates one
+  /// packet; relays pay rx+tx per forwarded packet). Unreachable sensors
+  /// spend their own tx only.
+  std::vector<double> round_energy;
+  /// Per-node packets transmitted in one round (own + relayed).
+  std::vector<std::size_t> tx_load;
+};
+
+class MultihopRouting {
+ public:
+  /// Builds the SPT over the network using a virtual sink vertex
+  /// connected to all of the sink's one-hop neighbours.
+  explicit MultihopRouting(const net::SensorNetwork& network);
+
+  [[nodiscard]] MultihopResult analyze() const;
+
+  /// Hop count of sensor s to the sink (its upload to the sink's
+  /// neighbour counts; reaching the sink itself is the final hop).
+  /// SIZE_MAX when unreachable.
+  [[nodiscard]] std::size_t hops_to_sink(std::size_t s) const;
+
+  /// Next hop of s toward the sink; SIZE_MAX when s uploads directly to
+  /// the sink or is unreachable.
+  [[nodiscard]] std::size_t next_hop(std::size_t s) const;
+
+ private:
+  const net::SensorNetwork* network_;
+  std::vector<std::size_t> hops_;    // to sink, SIZE_MAX unreachable
+  std::vector<std::size_t> parent_;  // next hop, SIZE_MAX none
+};
+
+}  // namespace mdg::baselines

@@ -1,0 +1,200 @@
+#include "core/exact_planner.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#include "core/greedy_cover_planner.h"
+#include "core/spanning_tour_planner.h"
+#include "cover/set_cover.h"
+#include "tsp/exact.h"
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace mdg::core {
+namespace {
+
+struct SearchState {
+  const ShdgpInstance* instance = nullptr;
+  std::vector<std::uint64_t> cover_mask;  // per candidate
+  std::uint64_t full_mask = 0;
+  std::size_t node_limit = 0;
+  std::size_t max_pps = 0;
+
+  std::size_t nodes = 0;
+  bool exhausted = false;  // node limit hit
+
+  double best_length = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> best_selection;
+
+  std::vector<std::size_t> chosen;
+  std::vector<geom::Point> chosen_points;  // sink + chosen, kept in sync
+};
+
+/// Optimal tour length over the points chosen so far (sink included) —
+/// a valid lower bound for every completion of this subset.
+double partial_bound(const SearchState& state) {
+  if (state.chosen_points.size() <= 2) {
+    // Sink alone or sink+1: the "tour" is 0 or an out-and-back; both are
+    // handled exactly by held_karp_length as well, but short-circuit the
+    // trivial case.
+    if (state.chosen_points.size() < 2) {
+      return 0.0;
+    }
+  }
+  return tsp::held_karp_length(state.chosen_points);
+}
+
+void search(SearchState& state, std::uint64_t covered) {
+  if (state.nodes >= state.node_limit) {
+    state.exhausted = true;
+    return;
+  }
+  ++state.nodes;
+  if (state.nodes % 100'000 == 0) {
+    MDG_LOG(kDebug) << "exact search: " << state.nodes
+                    << " nodes, incumbent " << state.best_length << " m with "
+                    << state.best_selection.size() << " polling points";
+  }
+
+  const double bound = partial_bound(state);
+  if (bound >= state.best_length - 1e-9) {
+    return;  // even the already-chosen points route no better
+  }
+  if (covered == state.full_mask) {
+    // Feasible: `bound` IS the optimal tour length for this selection.
+    state.best_length = bound;
+    state.best_selection = state.chosen;
+    return;
+  }
+  if (state.chosen.size() >= state.max_pps) {
+    return;
+  }
+
+  const auto& matrix = state.instance->coverage();
+  // Branch on the uncovered sensor with the fewest covering candidates.
+  const std::size_t n = state.instance->sensor_count();
+  std::size_t branch_sensor = n;
+  std::size_t branch_width = std::numeric_limits<std::size_t>::max();
+  for (std::size_t s = 0; s < n; ++s) {
+    if (covered & (std::uint64_t{1} << s)) {
+      continue;
+    }
+    const std::size_t width = matrix.covering(s).size();
+    if (width < branch_width) {
+      branch_width = width;
+      branch_sensor = s;
+    }
+  }
+  MDG_ASSERT(branch_sensor != n, "no uncovered sensor despite covered != full");
+
+  // Order children by how many *new* sensors they cover (most first).
+  std::vector<std::pair<std::size_t, std::size_t>> children;  // (-gain, c)
+  for (std::size_t c : matrix.covering(branch_sensor)) {
+    const std::uint64_t gained = state.cover_mask[c] & ~covered;
+    if (gained == 0) {
+      continue;  // covers nothing new; adding it can only lengthen the tour
+    }
+    children.push_back({static_cast<std::size_t>(
+                            std::popcount(gained)),
+                        c});
+  }
+  std::sort(children.begin(), children.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  for (const auto& [gain, c] : children) {
+    state.chosen.push_back(c);
+    state.chosen_points.push_back(matrix.candidate(c));
+    search(state, covered | state.cover_mask[c]);
+    state.chosen.pop_back();
+    state.chosen_points.pop_back();
+    if (state.exhausted) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+ShdgpSolution ExactPlanner::plan(const ShdgpInstance& instance) const {
+  const auto& network = instance.network();
+  const auto& matrix = instance.coverage();
+  MDG_REQUIRE(network.size() <= 64,
+              "ExactPlanner handles at most 64 sensors");
+  MDG_REQUIRE(options_.max_polling_points + 1 <= tsp::kMaxExactTsp,
+              "max_polling_points exceeds the exact TSP limit");
+
+  ShdgpSolution solution;
+  solution.planner = name();
+  if (network.size() == 0) {
+    route_collector(instance, solution, tsp::TspEffort::kExactIfSmall);
+    solution.provably_optimal = true;
+    return solution;
+  }
+
+  SearchState state;
+  state.instance = &instance;
+  state.node_limit = options_.node_limit;
+  state.max_pps = options_.max_polling_points;
+  state.full_mask = network.size() == 64
+                        ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << network.size()) - 1;
+  state.cover_mask.resize(matrix.candidate_count(), 0);
+  for (std::size_t c = 0; c < matrix.candidate_count(); ++c) {
+    for (std::size_t s : matrix.covered_by(c)) {
+      state.cover_mask[c] |= std::uint64_t{1} << s;
+    }
+  }
+  state.chosen_points.push_back(instance.sink());
+
+  // Seed the incumbent with the better of the two heuristics so pruning
+  // bites from the start.
+  {
+    const GreedyCoverPlanner greedy;
+    const SpanningTourPlanner spanning;
+    for (const ShdgpSolution& seed :
+         {greedy.plan(instance), spanning.plan(instance)}) {
+      if (seed.polling_points.size() <= options_.max_polling_points &&
+          seed.tour_length < state.best_length) {
+        // Re-route exactly so the incumbent is consistent with leaf costs.
+        std::vector<geom::Point> pts;
+        pts.push_back(instance.sink());
+        pts.insert(pts.end(), seed.polling_points.begin(),
+                   seed.polling_points.end());
+        if (pts.size() <= tsp::kMaxExactTsp) {
+          const double exact_len = tsp::held_karp_length(pts);
+          if (exact_len < state.best_length) {
+            state.best_length = exact_len;
+            state.best_selection = seed.polling_candidates;
+          }
+        }
+      }
+    }
+  }
+
+  search(state, 0);
+  MDG_LOG(kInfo) << "exact planner: " << state.nodes << " nodes, "
+                 << (state.exhausted ? "node limit hit" : "proved optimal")
+                 << ", tour " << state.best_length << " m";
+
+  if (state.best_selection.empty()) {
+    // No feasible selection within max_polling_points (very sparse
+    // network): fall back to the greedy heuristic, not provably optimal.
+    ShdgpSolution fallback = GreedyCoverPlanner().plan(instance);
+    fallback.planner = name();
+    fallback.provably_optimal = false;
+    return fallback;
+  }
+  solution.polling_candidates = state.best_selection;
+  for (std::size_t c : solution.polling_candidates) {
+    solution.polling_points.push_back(matrix.candidate(c));
+  }
+  solution.assignment =
+      cover::assign_nearest(matrix, network, solution.polling_candidates);
+  route_collector(instance, solution, tsp::TspEffort::kExactIfSmall);
+  solution.provably_optimal = !state.exhausted;
+  return solution;
+}
+
+}  // namespace mdg::core

@@ -1,0 +1,45 @@
+// Exact SHDGP solver by branch-and-bound — the in-tree substitute for the
+// CPLEX runs 2008-era papers used on small networks.
+//
+// Search space: subsets of candidate polling positions. Branching picks
+// the uncovered sensor with the fewest covering candidates and tries each
+// of them. Bounding uses the fact that an optimal tour over a point
+// superset is never shorter than the optimal tour over the subset
+// (triangle inequality), so the Held–Karp optimum over the already-chosen
+// points + sink prunes whole subtrees against the incumbent.
+//
+// Practical only for small instances (the same regime as CPLEX in the
+// paper): sensors <= 64, a handful of polling points in the optimum.
+#pragma once
+
+#include <cstddef>
+
+#include "core/planner.h"
+
+namespace mdg::core {
+
+struct ExactPlannerOptions {
+  /// Abort guarantee: after this many search nodes the best incumbent is
+  /// returned with provably_optimal = false.
+  std::size_t node_limit = 5'000'000;
+  /// Hard cap on the polling points in any explored subset (chosen sets
+  /// beyond kMaxExactTsp-1 stops cannot be routed exactly anyway).
+  std::size_t max_polling_points = 12;
+};
+
+class ExactPlanner final : public Planner {
+ public:
+  explicit ExactPlanner(ExactPlannerOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "exact-bnb"; }
+
+  /// Requires instance.sensor_count() <= 64.
+  [[nodiscard]] ShdgpSolution plan(
+      const ShdgpInstance& instance) const override;
+
+ private:
+  ExactPlannerOptions options_;
+};
+
+}  // namespace mdg::core

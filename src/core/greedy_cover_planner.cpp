@@ -1,0 +1,33 @@
+#include "core/greedy_cover_planner.h"
+
+#include "cover/set_cover.h"
+
+namespace mdg::core {
+
+ShdgpSolution GreedyCoverPlanner::plan(const ShdgpInstance& instance) const {
+  cover::GreedyOptions greedy;
+  greedy.tie_break_toward_anchor = options_.tie_break_toward_sink;
+  greedy.anchor = instance.sink();
+  const cover::SetCoverResult cover_result = cover::greedy_set_cover(
+      instance.coverage(), instance.network(), greedy);
+
+  ShdgpSolution solution;
+  solution.planner = name();
+  solution.polling_candidates = cover_result.selected;
+  solution.assignment = cover_result.assignment;
+  if (options_.max_pp_load > 0) {
+    cover::CapacitatedCoverResult capped = cover::enforce_capacity(
+        instance.coverage(), instance.network(), cover_result.selected,
+        options_.max_pp_load);
+    solution.polling_candidates = std::move(capped.selected);
+    solution.assignment = std::move(capped.assignment);
+  }
+  solution.polling_points.reserve(solution.polling_candidates.size());
+  for (std::size_t c : solution.polling_candidates) {
+    solution.polling_points.push_back(instance.coverage().candidate(c));
+  }
+  route_collector(instance, solution, options_.tsp_effort);
+  return solution;
+}
+
+}  // namespace mdg::core

@@ -1,0 +1,35 @@
+// Greedy-cover SHDGP planner: select polling points by greedy maximum
+// coverage (tie-broken toward the sink), then route the collector with a
+// TSP heuristic. The classic two-phase decomposition of SHDGP.
+#pragma once
+
+#include "core/planner.h"
+#include "tsp/solve.h"
+
+namespace mdg::core {
+
+struct GreedyCoverPlannerOptions {
+  tsp::TspEffort tsp_effort = tsp::TspEffort::kFull;
+  /// Prefer candidates closer to the sink among equal-coverage ones;
+  /// pulls the tour inward.
+  bool tie_break_toward_sink = true;
+  /// Upper bound on sensors affiliated with one polling point (0 = no
+  /// bound). Models bounded collector dwell time / bounded per-stop
+  /// contention; extra polling points are added when the bound binds.
+  std::size_t max_pp_load = 0;
+};
+
+class GreedyCoverPlanner final : public Planner {
+ public:
+  explicit GreedyCoverPlanner(GreedyCoverPlannerOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "greedy-cover"; }
+  [[nodiscard]] ShdgpSolution plan(
+      const ShdgpInstance& instance) const override;
+
+ private:
+  GreedyCoverPlannerOptions options_;
+};
+
+}  // namespace mdg::core

@@ -1,0 +1,11 @@
+#include "core/instance.h"
+
+namespace mdg::core {
+
+ShdgpInstance::ShdgpInstance(const net::SensorNetwork& network,
+                             cover::CandidateOptions candidates)
+    : network_(&network),
+      candidate_options_(candidates),
+      coverage_(network, candidates) {}
+
+}  // namespace mdg::core

@@ -1,0 +1,39 @@
+// SHDGP instance: the Single-Hop Data Gathering Problem.
+//
+// Given a sensor network, a static data sink and a candidate-position
+// policy, choose polling points such that every sensor can upload to a
+// paused collector in one hop, and the closed collector tour
+// sink -> polling points -> sink is as short as possible.
+#pragma once
+
+#include <cstddef>
+
+#include "cover/coverage.h"
+#include "net/sensor_network.h"
+
+namespace mdg::core {
+
+class ShdgpInstance {
+ public:
+  /// Binds to `network` (which must outlive the instance) and builds the
+  /// candidate coverage relation.
+  explicit ShdgpInstance(const net::SensorNetwork& network,
+                         cover::CandidateOptions candidates = {});
+
+  [[nodiscard]] const net::SensorNetwork& network() const { return *network_; }
+  [[nodiscard]] const cover::CoverageMatrix& coverage() const {
+    return coverage_;
+  }
+  [[nodiscard]] const cover::CandidateOptions& candidate_options() const {
+    return candidate_options_;
+  }
+  [[nodiscard]] geom::Point sink() const { return network_->sink(); }
+  [[nodiscard]] std::size_t sensor_count() const { return network_->size(); }
+
+ private:
+  const net::SensorNetwork* network_;
+  cover::CandidateOptions candidate_options_;
+  cover::CoverageMatrix coverage_;
+};
+
+}  // namespace mdg::core

@@ -1,0 +1,214 @@
+#include "core/multi_collector.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace mdg::core {
+
+double subtour_length(geom::Point sink, std::span<const geom::Point> stops) {
+  if (stops.empty()) {
+    return 0.0;
+  }
+  double len = geom::distance(sink, stops.front());
+  for (std::size_t i = 1; i < stops.size(); ++i) {
+    len += geom::distance(stops[i - 1], stops[i]);
+  }
+  len += geom::distance(stops.back(), sink);
+  return len;
+}
+
+namespace {
+
+void refresh_lengths(geom::Point sink, MultiTourPlan& plan) {
+  plan.max_length = 0.0;
+  plan.total_length = 0.0;
+  for (Subtour& st : plan.subtours) {
+    st.length = subtour_length(sink, st.stops);
+    plan.max_length = std::max(plan.max_length, st.length);
+    plan.total_length += st.length;
+  }
+}
+
+void reoptimize(geom::Point sink, Subtour& st, tsp::TspEffort effort) {
+  if (st.stops.size() < 2) {
+    return;
+  }
+  std::vector<geom::Point> pts;
+  pts.reserve(st.stops.size() + 1);
+  pts.push_back(sink);
+  pts.insert(pts.end(), st.stops.begin(), st.stops.end());
+  const tsp::TspResult routed = tsp::solve_tsp(pts, effort);
+  std::vector<geom::Point> ordered;
+  ordered.reserve(st.stops.size());
+  for (std::size_t pos = 1; pos < routed.tour.size(); ++pos) {
+    ordered.push_back(pts[routed.tour.at(pos)]);
+  }
+  st.stops = std::move(ordered);
+}
+
+/// Moves boundary stops between adjacent subtours while the max length
+/// shrinks.
+void rebalance(geom::Point sink, MultiTourPlan& plan, std::size_t passes) {
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    bool moved = false;
+    for (std::size_t i = 0; i + 1 < plan.subtours.size(); ++i) {
+      Subtour& a = plan.subtours[i];
+      Subtour& b = plan.subtours[i + 1];
+      // Try shifting a's last stop to the front of b, and vice versa;
+      // accept whichever reduces max(len_a, len_b) the most.
+      const double current = std::max(a.length, b.length);
+      double best = current;
+      int best_move = 0;  // +1: a->b, -1: b->a
+      if (!a.stops.empty()) {
+        std::vector<geom::Point> a2(a.stops.begin(), a.stops.end() - 1);
+        std::vector<geom::Point> b2;
+        b2.push_back(a.stops.back());
+        b2.insert(b2.end(), b.stops.begin(), b.stops.end());
+        const double cand = std::max(subtour_length(sink, a2),
+                                     subtour_length(sink, b2));
+        if (cand + 1e-9 < best) {
+          best = cand;
+          best_move = 1;
+        }
+      }
+      if (!b.stops.empty()) {
+        std::vector<geom::Point> b2(b.stops.begin() + 1, b.stops.end());
+        std::vector<geom::Point> a2(a.stops.begin(), a.stops.end());
+        a2.push_back(b.stops.front());
+        const double cand = std::max(subtour_length(sink, a2),
+                                     subtour_length(sink, b2));
+        if (cand + 1e-9 < best) {
+          best = cand;
+          best_move = -1;
+        }
+      }
+      if (best_move == 1) {
+        b.stops.insert(b.stops.begin(), a.stops.back());
+        a.stops.pop_back();
+        moved = true;
+      } else if (best_move == -1) {
+        a.stops.push_back(b.stops.front());
+        b.stops.erase(b.stops.begin());
+        moved = true;
+      }
+      a.length = subtour_length(sink, a.stops);
+      b.length = subtour_length(sink, b.stops);
+    }
+    if (!moved) {
+      break;
+    }
+  }
+  refresh_lengths(sink, plan);
+}
+
+}  // namespace
+
+MultiTourPlan MultiCollectorPlanner::split(const ShdgpInstance& instance,
+                                           const ShdgpSolution& solution,
+                                           std::size_t k) const {
+  MDG_REQUIRE(k >= 1, "need at least one collector");
+  const geom::Point sink = instance.sink();
+
+  // Polling points in single-tour visiting order (sink dropped).
+  std::vector<geom::Point> route;
+  route.reserve(solution.polling_points.size());
+  {
+    std::vector<geom::Point> all;
+    all.push_back(sink);
+    all.insert(all.end(), solution.polling_points.begin(),
+               solution.polling_points.end());
+    for (std::size_t pos = 1; pos < solution.tour.size(); ++pos) {
+      route.push_back(all[solution.tour.at(pos)]);
+    }
+  }
+
+  MultiTourPlan plan;
+  plan.subtours.resize(k);
+  if (route.empty()) {
+    refresh_lengths(sink, plan);
+    return plan;
+  }
+  if (k == 1) {
+    plan.subtours[0].stops = route;
+    refresh_lengths(sink, plan);
+    return plan;
+  }
+
+  // k-SPLITOUR: cut the single tour at points chosen so each collector
+  // gets roughly (L - 2*c_max)/k of the interior, where c_max is the
+  // farthest stop from the sink.
+  const double total = subtour_length(sink, route);
+  double c_max = 0.0;
+  for (geom::Point p : route) {
+    c_max = std::max(c_max, geom::distance(sink, p));
+  }
+  // Cumulative tour position of each stop (distance travelled from the
+  // sink when arriving at stop j along the single tour).
+  std::vector<double> arrive(route.size());
+  arrive[0] = geom::distance(sink, route[0]);
+  for (std::size_t j = 1; j < route.size(); ++j) {
+    arrive[j] = arrive[j - 1] + geom::distance(route[j - 1], route[j]);
+  }
+
+  std::size_t begin = 0;
+  for (std::size_t j = 1; j < k; ++j) {
+    // Last stop within the j-th length quota.
+    const double quota =
+        static_cast<double>(j) / static_cast<double>(k) * (total - 2.0 * c_max) +
+        c_max;
+    std::size_t end = begin;
+    while (end < route.size() && arrive[end] <= quota) {
+      ++end;
+    }
+    // Give every collector at least its boundary progress; allow empty
+    // slices when quotas collapse (tiny tours).
+    plan.subtours[j - 1].stops.assign(
+        route.begin() + static_cast<std::ptrdiff_t>(begin),
+        route.begin() + static_cast<std::ptrdiff_t>(end));
+    begin = end;
+  }
+  plan.subtours[k - 1].stops.assign(
+      route.begin() + static_cast<std::ptrdiff_t>(begin), route.end());
+
+  refresh_lengths(sink, plan);
+  if (options_.rebalance_passes > 0) {
+    rebalance(sink, plan, options_.rebalance_passes);
+  }
+  if (options_.reoptimize_subtours) {
+    for (Subtour& st : plan.subtours) {
+      reoptimize(sink, st, options_.subtour_tsp_effort);
+    }
+    refresh_lengths(sink, plan);
+  }
+  return plan;
+}
+
+std::size_t MultiCollectorPlanner::collectors_for_deadline(
+    const ShdgpInstance& instance, const ShdgpSolution& solution,
+    double deadline_seconds, double speed_m_per_s,
+    double service_time_s_per_stop) const {
+  MDG_REQUIRE(deadline_seconds > 0.0, "deadline must be positive");
+  MDG_REQUIRE(speed_m_per_s > 0.0, "collector speed must be positive");
+  MDG_REQUIRE(service_time_s_per_stop >= 0.0,
+              "service time cannot be negative");
+  const std::size_t max_k = std::max<std::size_t>(
+      1, solution.polling_points.size());
+  for (std::size_t k = 1; k <= max_k; ++k) {
+    const MultiTourPlan plan = split(instance, solution, k);
+    double worst = 0.0;
+    for (const Subtour& st : plan.subtours) {
+      const double round_time =
+          st.length / speed_m_per_s +
+          static_cast<double>(st.stops.size()) * service_time_s_per_stop;
+      worst = std::max(worst, round_time);
+    }
+    if (worst <= deadline_seconds) {
+      return k;
+    }
+  }
+  return 0;  // infeasible even with one collector per polling point
+}
+
+}  // namespace mdg::core

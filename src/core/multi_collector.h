@@ -1,0 +1,72 @@
+// Multiple-collector extension: split a single gathering tour into k
+// balanced subtours, one per M-collector, all anchored at the data sink.
+//
+// Splitting follows Frederickson–Hecht–Kim's k-SPLITOUR (the classic
+// (e + 1 - 1/k)-approximation for min-max k-tours given an e-approximate
+// tour), followed by a boundary-shift rebalancing pass and per-subtour
+// re-optimisation. The deadline sizing answers the paper's operational
+// question: how many collectors must be fielded so a full gathering round
+// completes within a latency budget.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/solution.h"
+#include "geom/point.h"
+#include "tsp/solve.h"
+
+namespace mdg::core {
+
+/// One collector's route: sink -> stops... -> sink.
+struct Subtour {
+  std::vector<geom::Point> stops;  ///< polling points only (sink excluded)
+  double length = 0.0;             ///< closed length including the sink legs
+};
+
+struct MultiTourPlan {
+  std::vector<Subtour> subtours;
+  double max_length = 0.0;
+  double total_length = 0.0;
+
+  [[nodiscard]] std::size_t collector_count() const { return subtours.size(); }
+};
+
+struct MultiCollectorOptions {
+  /// Re-run local search on each subtour after splitting.
+  bool reoptimize_subtours = true;
+  /// Boundary rebalancing sweeps (0 disables).
+  std::size_t rebalance_passes = 8;
+  tsp::TspEffort subtour_tsp_effort = tsp::TspEffort::kFull;
+};
+
+class MultiCollectorPlanner {
+ public:
+  explicit MultiCollectorPlanner(MultiCollectorOptions options = {})
+      : options_(options) {}
+
+  /// Splits `solution`'s tour into k >= 1 subtours anchored at the sink.
+  /// Empty subtours are possible when k exceeds the number of polling
+  /// points (those collectors simply stay home).
+  [[nodiscard]] MultiTourPlan split(const ShdgpInstance& instance,
+                                    const ShdgpSolution& solution,
+                                    std::size_t k) const;
+
+  /// Minimum number of collectors so that the slowest round
+  ///   max_subtour_length / speed + stops_on_it * service_time
+  /// fits within `deadline_seconds`. Returns 0 when even one collector
+  /// per polling point cannot meet the deadline.
+  [[nodiscard]] std::size_t collectors_for_deadline(
+      const ShdgpInstance& instance, const ShdgpSolution& solution,
+      double deadline_seconds, double speed_m_per_s,
+      double service_time_s_per_stop) const;
+
+ private:
+  MultiCollectorOptions options_;
+};
+
+/// Closed length sink -> stops -> sink.
+[[nodiscard]] double subtour_length(geom::Point sink,
+                                    std::span<const geom::Point> stops);
+
+}  // namespace mdg::core

@@ -1,0 +1,26 @@
+// Planner interface: every SHDGP algorithm maps an instance to a
+// validated solution.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/instance.h"
+#include "core/solution.h"
+
+namespace mdg::core {
+
+class Planner {
+ public:
+  virtual ~Planner() = default;
+
+  /// Human-readable algorithm name (used in tables).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Produces a feasible SHDGP solution. Implementations must return a
+  /// solution that passes ShdgpSolution::validate.
+  [[nodiscard]] virtual ShdgpSolution plan(
+      const ShdgpInstance& instance) const = 0;
+};
+
+}  // namespace mdg::core

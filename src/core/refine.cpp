@@ -1,0 +1,121 @@
+#include "core/refine.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace mdg::core {
+namespace {
+
+/// Closest point to p on the segment ab.
+geom::Point project_onto_segment(geom::Point p, geom::Point a,
+                                 geom::Point b) {
+  const geom::Point ab = b - a;
+  const double len2 = geom::dot(ab, ab);
+  if (len2 == 0.0) {
+    return a;
+  }
+  const double t = std::clamp(geom::dot(p - a, ab) / len2, 0.0, 1.0);
+  return a + ab * t;
+}
+
+}  // namespace
+
+std::size_t refine_polling_positions(const ShdgpInstance& instance,
+                                     ShdgpSolution& solution,
+                                     const RefineOptions& options) {
+  MDG_REQUIRE(options.passes >= 1, "need at least one pass");
+  MDG_REQUIRE(options.tolerance > 0.0 && options.tolerance < 1.0,
+              "tolerance must be in (0, 1)");
+  solution.validate(instance);
+  const auto& network = instance.network();
+  const double rs = network.range();
+
+  // Sensors per polling-point slot.
+  std::vector<std::vector<std::size_t>> assigned(
+      solution.polling_points.size());
+  for (std::size_t s = 0; s < solution.assignment.size(); ++s) {
+    assigned[solution.assignment[s]].push_back(s);
+  }
+  const auto covers_all = [&](geom::Point p, std::size_t slot) {
+    for (std::size_t s : assigned[slot]) {
+      if (!geom::within_range(network.position(s), p, rs)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Stop coordinates in tour order: index 0 is the sink.
+  std::vector<geom::Point> coords{instance.sink()};
+  coords.insert(coords.end(), solution.polling_points.begin(),
+                solution.polling_points.end());
+
+  std::size_t moves = 0;
+  for (std::size_t pass = 0; pass < options.passes; ++pass) {
+    bool changed = false;
+    for (std::size_t pos = 0; pos < solution.tour.size(); ++pos) {
+      const std::size_t idx = solution.tour.at(pos);
+      if (idx == 0) {
+        continue;  // the sink is immovable
+      }
+      const std::size_t slot = idx - 1;
+      const geom::Point prev =
+          coords[solution.tour.at((pos + solution.tour.size() - 1) %
+                                  solution.tour.size())];
+      const geom::Point next = coords[solution.tour.at(
+          solution.tour.next_pos(pos))];
+      const geom::Point current = coords[idx];
+      // The detour-optimal position for fixed neighbours is the
+      // projection of the current point onto the chord prev-next. The
+      // feasibility region (disk intersection) is convex and contains
+      // `current`, so the feasible part of the segment
+      // current -> target is a prefix: binary search the farthest
+      // feasible step.
+      const geom::Point target = project_onto_segment(current, prev, next);
+      if (geom::distance_sq(target, current) < 1e-12) {
+        continue;
+      }
+      double lo = 0.0;  // feasible
+      double hi = 1.0;
+      if (covers_all(target, slot)) {
+        lo = 1.0;
+      } else {
+        while (hi - lo > options.tolerance) {
+          const double mid = (lo + hi) / 2.0;
+          if (covers_all(geom::lerp(current, target, mid), slot)) {
+            lo = mid;
+          } else {
+            hi = mid;
+          }
+        }
+      }
+      if (lo <= 0.0) {
+        continue;
+      }
+      const geom::Point moved = geom::lerp(current, target, lo);
+      const double before = geom::distance(prev, current) +
+                            geom::distance(current, next);
+      const double after =
+          geom::distance(prev, moved) + geom::distance(moved, next);
+      if (after + 1e-9 < before) {
+        coords[idx] = moved;
+        solution.polling_points[slot] = moved;
+        solution.polling_candidates[slot] =
+            ShdgpSolution::kFreeformCandidate;
+        ++moves;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+
+  solution.tour_length = solution.tour.length(coords);
+  solution.validate(instance);
+  return moves;
+}
+
+}  // namespace mdg::core

@@ -1,0 +1,37 @@
+// Continuous polling-position refinement (the "storage node" upgrade).
+//
+// The baseline planners restrict polling points to discrete candidates
+// (sensor sites, grid cells). When the collector may pause *anywhere* —
+// the special-device scenario the literature discusses — each polling
+// point can slide inside its feasibility region (the intersection of the
+// Rs-disks around its affiliated sensors, a convex set) toward the
+// chord between its tour neighbours, shortening the tour without
+// touching coverage or the visiting order.
+#pragma once
+
+#include <cstddef>
+
+#include "core/instance.h"
+#include "core/solution.h"
+
+namespace mdg::core {
+
+struct RefineOptions {
+  /// Sweeps over the tour (each sweep revisits every polling point with
+  /// its neighbours' updated positions).
+  std::size_t passes = 4;
+  /// Binary-search resolution along the slide direction (fraction of
+  /// the full step).
+  double tolerance = 1e-3;
+};
+
+/// Slides each polling point toward the straight line between its tour
+/// predecessor and successor as far as coverage of its assigned sensors
+/// allows. Keeps the visiting order; updates positions, marks moved
+/// points as kFreeformCandidate, and refreshes tour_length. Never
+/// lengthens the tour. Returns the number of position updates applied.
+std::size_t refine_polling_positions(const ShdgpInstance& instance,
+                                     ShdgpSolution& solution,
+                                     const RefineOptions& options = {});
+
+}  // namespace mdg::core

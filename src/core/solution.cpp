@@ -1,0 +1,105 @@
+#include "core/solution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace mdg::core {
+
+std::vector<geom::Point> ShdgpSolution::tour_coordinates(
+    const ShdgpInstance& instance) const {
+  std::vector<geom::Point> all;
+  all.reserve(polling_points.size() + 1);
+  all.push_back(instance.sink());
+  all.insert(all.end(), polling_points.begin(), polling_points.end());
+  return tour.to_points(all);
+}
+
+std::vector<std::size_t> ShdgpSolution::pp_loads() const {
+  std::vector<std::size_t> loads(polling_points.size(), 0);
+  for (std::size_t slot : assignment) {
+    MDG_REQUIRE(slot < loads.size(), "assignment references a missing PP");
+    ++loads[slot];
+  }
+  return loads;
+}
+
+std::size_t ShdgpSolution::max_pp_load() const {
+  const auto loads = pp_loads();
+  return loads.empty() ? 0 : *std::max_element(loads.begin(), loads.end());
+}
+
+double ShdgpSolution::avg_pp_load() const {
+  if (polling_points.empty()) {
+    return 0.0;
+  }
+  return static_cast<double>(assignment.size()) /
+         static_cast<double>(polling_points.size());
+}
+
+double ShdgpSolution::mean_upload_distance(
+    const ShdgpInstance& instance) const {
+  if (assignment.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (std::size_t s = 0; s < assignment.size(); ++s) {
+    sum += geom::distance(instance.network().position(s),
+                          polling_points[assignment[s]]);
+  }
+  return sum / static_cast<double>(assignment.size());
+}
+
+void ShdgpSolution::validate(const ShdgpInstance& instance) const {
+  const auto& network = instance.network();
+  const auto& matrix = instance.coverage();
+
+  MDG_ASSERT(polling_candidates.size() == polling_points.size(),
+             "candidate ids and positions must be parallel");
+  for (std::size_t i = 0; i < polling_candidates.size(); ++i) {
+    const std::size_t c = polling_candidates[i];
+    if (c == kFreeformCandidate) {
+      continue;  // free position: range feasibility is checked below
+    }
+    MDG_ASSERT(c < matrix.candidate_count(), "unknown candidate id");
+    MDG_ASSERT(matrix.candidate(c) == polling_points[i],
+               "polling point position does not match its candidate");
+  }
+
+  MDG_ASSERT(assignment.size() == network.size(),
+             "every sensor needs an assignment");
+  for (std::size_t s = 0; s < assignment.size(); ++s) {
+    MDG_ASSERT(assignment[s] < polling_points.size(),
+               "assignment out of range");
+    MDG_ASSERT(geom::within_range(network.position(s),
+                                  polling_points[assignment[s]],
+                                  network.range()),
+               "sensor cannot reach its polling point in one hop");
+  }
+
+  // Tour over sink + PPs with the sink at position 0.
+  MDG_ASSERT(tour.size() == polling_points.size() + 1,
+             "tour must visit the sink and every PP exactly once");
+  MDG_ASSERT(tour.at(0) == 0, "tour must start at the sink");
+  std::vector<geom::Point> all;
+  all.push_back(instance.sink());
+  all.insert(all.end(), polling_points.begin(), polling_points.end());
+  const double measured = tour.length(all);
+  MDG_ASSERT(std::abs(measured - tour_length) <= 1e-6 * (1.0 + measured),
+             "recorded tour length is stale");
+}
+
+void route_collector(const ShdgpInstance& instance, ShdgpSolution& solution,
+                     tsp::TspEffort effort) {
+  std::vector<geom::Point> all;
+  all.reserve(solution.polling_points.size() + 1);
+  all.push_back(instance.sink());
+  all.insert(all.end(), solution.polling_points.begin(),
+             solution.polling_points.end());
+  tsp::TspResult routed = tsp::solve_tsp(all, effort);
+  solution.tour = std::move(routed.tour);
+  solution.tour_length = routed.length;
+}
+
+}  // namespace mdg::core

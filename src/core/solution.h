@@ -1,0 +1,66 @@
+// SHDGP solution: selected polling points, sensor affiliation, and the
+// collector tour.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "geom/point.h"
+#include "tsp/solve.h"
+#include "tsp/tour.h"
+
+namespace mdg::core {
+
+struct ShdgpSolution {
+  /// Candidate id marking a polling point at a free (non-candidate)
+  /// position — produced by refine_polling_positions when the collector
+  /// may pause anywhere (the "storage node" flexibility the literature
+  /// discusses). Such entries skip the candidate-consistency checks.
+  static constexpr std::size_t kFreeformCandidate =
+      static_cast<std::size_t>(-1);
+
+  std::string planner;  ///< which algorithm produced this
+
+  /// Candidate ids (into the instance's CoverageMatrix) selected as
+  /// polling points, and their positions (parallel arrays).
+  std::vector<std::size_t> polling_candidates;
+  std::vector<geom::Point> polling_points;
+
+  /// assignment[s] = index into polling_points of sensor s's PP.
+  std::vector<std::size_t> assignment;
+
+  /// Visiting order over {sink} ∪ polling_points: index 0 is the sink,
+  /// index i >= 1 is polling_points[i-1]. Depot pinned at position 0.
+  tsp::Tour tour;
+  double tour_length = 0.0;
+
+  bool provably_optimal = false;  ///< set only by the exact planner
+
+  /// The tour as actual coordinates (sink first).
+  [[nodiscard]] std::vector<geom::Point> tour_coordinates(
+      const ShdgpInstance& instance) const;
+
+  /// Number of sensors affiliated with each polling point.
+  [[nodiscard]] std::vector<std::size_t> pp_loads() const;
+  [[nodiscard]] std::size_t max_pp_load() const;
+  [[nodiscard]] double avg_pp_load() const;
+
+  /// Mean single-hop upload distance sensor -> its polling point.
+  [[nodiscard]] double mean_upload_distance(
+      const ShdgpInstance& instance) const;
+
+  /// Checks every SHDGP invariant: ids valid, positions consistent,
+  /// every sensor assigned to a PP within range, tour a permutation over
+  /// sink+PPs with the sink at position 0, recorded length correct.
+  /// Throws InvariantError with a description when violated.
+  void validate(const ShdgpInstance& instance) const;
+};
+
+/// Builds the tour over sink ∪ `polling_points` with the requested
+/// effort, fills tour/tour_length of `solution`.
+void route_collector(const ShdgpInstance& instance, ShdgpSolution& solution,
+                     tsp::TspEffort effort);
+
+}  // namespace mdg::core

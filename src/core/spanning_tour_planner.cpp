@@ -1,0 +1,245 @@
+#include "core/spanning_tour_planner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "cover/set_cover.h"
+#include "util/assert.h"
+
+namespace mdg::core {
+namespace {
+
+/// Sorted-vector intersection.
+std::vector<std::size_t> intersect(const std::vector<std::size_t>& a,
+                                   const std::vector<std::size_t>& b) {
+  std::vector<std::size_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// Candidate from `pool` nearest to `target`.
+std::size_t nearest_candidate(const cover::CoverageMatrix& matrix,
+                              const std::vector<std::size_t>& pool,
+                              geom::Point target) {
+  MDG_ASSERT(!pool.empty(), "cannot pick from an empty candidate pool");
+  std::size_t best = pool.front();
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t c : pool) {
+    const double d2 = geom::distance_sq(matrix.candidate(c), target);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+ShdgpSolution SpanningTourPlanner::plan(const ShdgpInstance& instance) const {
+  const auto& network = instance.network();
+  const auto& matrix = instance.coverage();
+  const std::size_t n = network.size();
+
+  ShdgpSolution solution;
+  solution.planner = name();
+  if (n == 0) {
+    solution.assignment.clear();
+    route_collector(instance, solution, options_.final_tsp_effort);
+    return solution;
+  }
+
+  // --- Step 1: visiting order over all sensors (sink as depot). ---
+  std::vector<geom::Point> all_points;
+  all_points.reserve(n + 1);
+  all_points.push_back(instance.sink());
+  all_points.insert(all_points.end(), network.positions().begin(),
+                    network.positions().end());
+  const tsp::TspResult initial =
+      tsp::solve_tsp(all_points, options_.initial_tsp_effort);
+  // Sensor visit sequence (tour indices shifted by the sink slot).
+  std::vector<std::size_t> sequence;
+  sequence.reserve(n);
+  for (std::size_t pos = 0; pos < initial.tour.size(); ++pos) {
+    const std::size_t idx = initial.tour.at(pos);
+    if (idx != 0) {
+      sequence.push_back(idx - 1);
+    }
+  }
+
+  // --- Step 2: COMBINE consecutive sensors while a single candidate can
+  // cover the whole group. ---
+  std::vector<std::size_t> selected;  // candidate ids, possibly duplicated
+  std::vector<std::size_t> group;     // sensors of the open group
+  std::vector<std::size_t> pool;      // candidates covering the open group
+  const auto close_group = [&] {
+    if (group.empty()) {
+      return;
+    }
+    std::vector<geom::Point> members;
+    members.reserve(group.size());
+    for (std::size_t s : group) {
+      members.push_back(network.position(s));
+    }
+    selected.push_back(
+        nearest_candidate(matrix, pool, geom::centroid(members)));
+    group.clear();
+    pool.clear();
+  };
+  for (std::size_t s : sequence) {
+    if (group.empty()) {
+      group.push_back(s);
+      pool = matrix.covering(s);
+      continue;
+    }
+    if (options_.combine) {
+      std::vector<std::size_t> narrowed = intersect(pool, matrix.covering(s));
+      if (!narrowed.empty()) {
+        group.push_back(s);
+        pool = std::move(narrowed);
+        continue;
+      }
+    }
+    close_group();
+    group.push_back(s);
+    pool = matrix.covering(s);
+  }
+  close_group();
+
+  // Deduplicate selections (two groups may agree on one candidate).
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()),
+                 selected.end());
+
+  // cnt[s] = number of selected candidates covering sensor s.
+  std::vector<std::size_t> cnt(n, 0);
+  const auto recount = [&] {
+    std::fill(cnt.begin(), cnt.end(), 0);
+    for (std::size_t c : selected) {
+      for (std::size_t s : matrix.covered_by(c)) {
+        ++cnt[s];
+      }
+    }
+  };
+  recount();
+
+  // --- Step 3: SKIP redundant polling points. ---
+  if (options_.skip) {
+    bool removed = true;
+    while (removed) {
+      removed = false;
+      // Try the least-loaded points first: they are the cheapest to lose.
+      std::vector<std::size_t> order(selected.size());
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+      }
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return matrix.covered_by(selected[a]).size() <
+               matrix.covered_by(selected[b]).size();
+      });
+      for (std::size_t slot : order) {
+        const std::size_t c = selected[slot];
+        const auto& covered = matrix.covered_by(c);
+        const bool removable =
+            std::all_of(covered.begin(), covered.end(),
+                        [&](std::size_t s) { return cnt[s] >= 2; });
+        if (removable) {
+          for (std::size_t s : covered) {
+            --cnt[s];
+          }
+          selected.erase(selected.begin() +
+                         static_cast<std::ptrdiff_t>(slot));
+          removed = true;
+          break;  // indices shifted; restart the sweep
+        }
+      }
+    }
+  }
+
+  // --- Step 4: SUBSTITUTE points to shorten the local detour. ---
+  if (options_.substitute && !selected.empty()) {
+    for (std::size_t pass = 0; pass < options_.substitute_passes; ++pass) {
+      // Route over the current selection to know each point's neighbours.
+      std::vector<geom::Point> stops;
+      stops.reserve(selected.size() + 1);
+      stops.push_back(instance.sink());
+      for (std::size_t c : selected) {
+        stops.push_back(matrix.candidate(c));
+      }
+      const tsp::TspResult routed =
+          tsp::solve_tsp(stops, tsp::TspEffort::kTwoOpt);
+
+      bool changed = false;
+      for (std::size_t pos = 0; pos < routed.tour.size(); ++pos) {
+        const std::size_t stop_idx = routed.tour.at(pos);
+        if (stop_idx == 0) {
+          continue;  // the sink is immovable
+        }
+        const std::size_t slot = stop_idx - 1;
+        const std::size_t current = selected[slot];
+        // Private sensors: only `current` covers them among selected.
+        std::vector<std::size_t> privates;
+        for (std::size_t s : matrix.covered_by(current)) {
+          if (cnt[s] == 1) {
+            privates.push_back(s);
+          }
+        }
+        // Replacement pool: candidates covering all private sensors.
+        std::vector<std::size_t> pool2;
+        if (privates.empty()) {
+          continue;  // skip pass already decides these
+        }
+        pool2 = matrix.covering(privates.front());
+        for (std::size_t i = 1; i < privates.size() && !pool2.empty(); ++i) {
+          pool2 = intersect(pool2, matrix.covering(privates[i]));
+        }
+        if (pool2.size() <= 1) {
+          continue;
+        }
+        const geom::Point prev =
+            stops[routed.tour.at((pos + routed.tour.size() - 1) %
+                                 routed.tour.size())];
+        const geom::Point next = stops[routed.tour.at(routed.tour.next_pos(pos))];
+        const auto detour = [&](geom::Point p) {
+          return geom::distance(prev, p) + geom::distance(p, next);
+        };
+        std::size_t best = current;
+        double best_detour = detour(matrix.candidate(current)) - 1e-12;
+        for (std::size_t c : pool2) {
+          if (c == current) {
+            continue;
+          }
+          const double d = detour(matrix.candidate(c));
+          if (d < best_detour) {
+            best_detour = d;
+            best = c;
+          }
+        }
+        if (best != current &&
+            std::find(selected.begin(), selected.end(), best) ==
+                selected.end()) {
+          selected[slot] = best;
+          recount();
+          changed = true;
+        }
+      }
+      if (!changed) {
+        break;
+      }
+    }
+  }
+
+  // --- Step 5: final routing + nearest assignment. ---
+  solution.polling_candidates = selected;
+  solution.polling_points.reserve(selected.size());
+  for (std::size_t c : selected) {
+    solution.polling_points.push_back(matrix.candidate(c));
+  }
+  solution.assignment =
+      cover::assign_nearest(matrix, network, solution.polling_candidates);
+  route_collector(instance, solution, options_.final_tsp_effort);
+  return solution;
+}
+
+}  // namespace mdg::core

@@ -1,0 +1,47 @@
+// Spanning-tour SHDGP planner (combine / skip / substitute).
+//
+// Tour-first reconstruction of the paper's heuristic family:
+//   1. Build a tour over *all* sensor sites (the direct-visit tour).
+//   2. COMBINE consecutive sensors along the tour into groups while one
+//      candidate position can still cover the whole group; each group
+//      yields one polling point.
+//   3. SKIP polling points whose sensors are all covered by other
+//      selected points.
+//   4. SUBSTITUTE each polling point by the candidate that still covers
+//      its private sensors while minimising the local tour detour.
+//   5. Re-route the collector over the surviving polling points.
+// Steps 2-4 are individually toggleable for the A2 ablation bench.
+#pragma once
+
+#include "core/planner.h"
+#include "tsp/solve.h"
+
+namespace mdg::core {
+
+struct SpanningTourPlannerOptions {
+  bool combine = true;
+  bool skip = true;
+  bool substitute = true;
+  /// Effort for the initial all-sensors tour (kept cheap by default: the
+  /// tour only seeds grouping).
+  tsp::TspEffort initial_tsp_effort = tsp::TspEffort::kTwoOpt;
+  /// Effort for the final collector tour.
+  tsp::TspEffort final_tsp_effort = tsp::TspEffort::kFull;
+  /// Maximum substitute sweeps.
+  std::size_t substitute_passes = 3;
+};
+
+class SpanningTourPlanner final : public Planner {
+ public:
+  explicit SpanningTourPlanner(SpanningTourPlannerOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "spanning-tour"; }
+  [[nodiscard]] ShdgpSolution plan(
+      const ShdgpInstance& instance) const override;
+
+ private:
+  SpanningTourPlannerOptions options_;
+};
+
+}  // namespace mdg::core

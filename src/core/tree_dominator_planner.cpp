@@ -1,0 +1,112 @@
+#include "core/tree_dominator_planner.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "cover/set_cover.h"
+#include "graph/bfs.h"
+#include "util/assert.h"
+
+namespace mdg::core {
+
+ShdgpSolution TreeDominatorPlanner::plan(const ShdgpInstance& instance) const {
+  const auto& network = instance.network();
+  const auto& matrix = instance.coverage();
+  const std::size_t n = network.size();
+
+  ShdgpSolution solution;
+  solution.planner = name();
+  if (n == 0) {
+    route_collector(instance, solution, options_.tsp_effort);
+    return solution;
+  }
+
+  // Sensor -> own-site candidate (required: dominators are sensors).
+  std::vector<std::size_t> own_site(n, matrix.candidate_count());
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t c : matrix.covering(s)) {
+      if (matrix.candidate(c) == network.position(s)) {
+        own_site[s] = c;
+        break;
+      }
+    }
+    MDG_REQUIRE(own_site[s] != matrix.candidate_count(),
+                "TreeDominatorPlanner needs sensor-site candidates");
+  }
+
+  // One BFS tree per component, rooted at the component's sink-nearest
+  // sensor.
+  const auto& components = network.components();
+  std::vector<std::size_t> roots(components.count, n);
+  std::vector<double> root_d2(components.count,
+                              std::numeric_limits<double>::infinity());
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t comp = components.label[s];
+    const double d2 = geom::distance_sq(network.position(s), network.sink());
+    if (d2 < root_d2[comp]) {
+      root_d2[comp] = d2;
+      roots[comp] = s;
+    }
+  }
+  const graph::BfsResult forest =
+      graph::bfs_multi(network.connectivity(), roots);
+
+  // Deepest-first sweep: process sensors by decreasing tree depth; an
+  // unresolved sensor promotes its parent (or itself at the root) to
+  // dominator, which also resolves every graph neighbour of the new
+  // dominator.
+  std::vector<std::size_t> order(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    order[s] = s;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (forest.hops[a] != forest.hops[b]) {
+      return forest.hops[a] > forest.hops[b];
+    }
+    return a < b;
+  });
+
+  std::vector<bool> resolved(n, false);
+  std::vector<bool> dominator(n, false);
+  const auto promote = [&](std::size_t v) {
+    if (dominator[v]) {
+      return;
+    }
+    dominator[v] = true;
+    resolved[v] = true;
+    for (const graph::Arc& arc : network.connectivity().neighbors(v)) {
+      resolved[arc.to] = true;
+    }
+  };
+  for (std::size_t s : order) {
+    if (resolved[s]) {
+      continue;
+    }
+    const std::size_t parent = forest.parent[s];
+    promote(parent == graph::kUnreachable ? s : parent);
+    // The leaf itself is adjacent to its parent, hence resolved; an
+    // isolated sensor promotes itself.
+    MDG_ASSERT(resolved[s], "promotion must resolve the triggering sensor");
+  }
+
+  std::vector<std::size_t> selected;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (dominator[s]) {
+      selected.push_back(own_site[s]);
+    }
+  }
+  std::sort(selected.begin(), selected.end());
+
+  solution.polling_candidates = selected;
+  solution.polling_points.reserve(selected.size());
+  for (std::size_t c : selected) {
+    solution.polling_points.push_back(matrix.candidate(c));
+  }
+  solution.assignment =
+      cover::assign_nearest(matrix, network, solution.polling_candidates);
+  route_collector(instance, solution, options_.tsp_effort);
+  return solution;
+}
+
+}  // namespace mdg::core

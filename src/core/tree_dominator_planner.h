@@ -1,0 +1,42 @@
+// Tree-dominator SHDGP planner.
+//
+// With sensor-site candidates, a feasible polling set is exactly a
+// dominating set of the connectivity graph (every sensor is a polling
+// point or adjacent to one). This planner runs the classic greedy
+// dominating-set rule on breadth-first trees rooted near the sink:
+// repeatedly take a deepest unresolved leaf and select its tree parent —
+// the parent dominates the leaf, its other children and itself, and
+// sits one hop closer to the sink, so the selection drifts inward.
+// Disconnected deployments are handled with one tree per component
+// (rooted at the component's sink-nearest sensor).
+//
+// Complements the coverage-greedy and tour-first planners with the
+// routing-structure-driven selection style of the SPT-based heuristics
+// in this literature.
+#pragma once
+
+#include "core/planner.h"
+#include "tsp/solve.h"
+
+namespace mdg::core {
+
+struct TreeDominatorPlannerOptions {
+  tsp::TspEffort tsp_effort = tsp::TspEffort::kFull;
+};
+
+class TreeDominatorPlanner final : public Planner {
+ public:
+  explicit TreeDominatorPlanner(TreeDominatorPlannerOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "tree-dominator"; }
+
+  /// Requires sensor-site candidates (the dominators are sensors).
+  [[nodiscard]] ShdgpSolution plan(
+      const ShdgpInstance& instance) const override;
+
+ private:
+  TreeDominatorPlannerOptions options_;
+};
+
+}  // namespace mdg::core

@@ -1,0 +1,111 @@
+#include "core/visit_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace mdg::core {
+namespace {
+
+double leg_time(double distance, const ScheduleConfig& config) {
+  const double v = config.speed_m_per_s;
+  const double a = config.accel_m_per_s2;
+  if (a == 0.0) {
+    return distance / v;
+  }
+  const double ramp = v * v / a;
+  return distance >= ramp ? distance / v + v / a
+                          : 2.0 * std::sqrt(distance / a);
+}
+
+}  // namespace
+
+VisitSchedule::VisitSchedule(const ShdgpInstance& instance,
+                             const ShdgpSolution& solution,
+                             ScheduleConfig config)
+    : config_(config) {
+  MDG_REQUIRE(config.speed_m_per_s > 0.0, "collector speed must be positive");
+  MDG_REQUIRE(config.accel_m_per_s2 >= 0.0,
+              "acceleration cannot be negative");
+  MDG_REQUIRE(config.packet_upload_s >= 0.0, "upload time cannot be negative");
+  MDG_REQUIRE(config.guard_s >= 0.0, "guard cannot be negative");
+  solution.validate(instance);
+
+  const std::size_t n = instance.sensor_count();
+  wake_.assign(n, 0.0);
+  sleep_.assign(n, 0.0);
+
+  // Affiliations per polling-point slot, deterministic upload order.
+  std::vector<std::vector<std::size_t>> by_slot(
+      solution.polling_points.size());
+  for (std::size_t s = 0; s < n; ++s) {
+    by_slot[solution.assignment[s]].push_back(s);
+  }
+
+  std::vector<geom::Point> all{instance.sink()};
+  all.insert(all.end(), solution.polling_points.begin(),
+             solution.polling_points.end());
+
+  double clock = 0.0;
+  geom::Point where = instance.sink();
+  for (std::size_t pos = 1; pos < solution.tour.size(); ++pos) {
+    const std::size_t idx = solution.tour.at(pos);
+    StopVisit visit;
+    visit.position = all[idx];
+    visit.sensors = by_slot[idx - 1];
+    clock += leg_time(geom::distance(where, visit.position), config_);
+    visit.arrival_s = clock;
+    // Upload slots in order: sensor i's slot ends at arrival + (i+1)*t.
+    for (std::size_t i = 0; i < visit.sensors.size(); ++i) {
+      const std::size_t s = visit.sensors[i];
+      wake_[s] = std::max(0.0, visit.arrival_s - config_.guard_s);
+      sleep_[s] = visit.arrival_s +
+                  static_cast<double>(i + 1) * config_.packet_upload_s +
+                  config_.guard_s;
+    }
+    clock += static_cast<double>(visit.sensors.size()) *
+             config_.packet_upload_s;
+    visit.departure_s = clock;
+    where = visit.position;
+    stops_.push_back(std::move(visit));
+  }
+  clock += leg_time(geom::distance(where, instance.sink()), config_);
+  round_duration_ = clock;
+
+  // Clamp listen windows into the round.
+  for (std::size_t s = 0; s < n; ++s) {
+    sleep_[s] = std::min(sleep_[s], round_duration_);
+  }
+}
+
+double VisitSchedule::wake_time(std::size_t sensor) const {
+  MDG_REQUIRE(sensor < wake_.size(), "sensor index out of range");
+  return wake_[sensor];
+}
+
+double VisitSchedule::sleep_time(std::size_t sensor) const {
+  MDG_REQUIRE(sensor < sleep_.size(), "sensor index out of range");
+  return sleep_[sensor];
+}
+
+double VisitSchedule::duty_cycle(std::size_t sensor) const {
+  MDG_REQUIRE(sensor < wake_.size(), "sensor index out of range");
+  if (round_duration_ <= 0.0) {
+    return 1.0;
+  }
+  return (sleep_[sensor] - wake_[sensor]) / round_duration_;
+}
+
+double VisitSchedule::average_duty_cycle() const {
+  if (wake_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (std::size_t s = 0; s < wake_.size(); ++s) {
+    sum += duty_cycle(s);
+  }
+  return sum / static_cast<double>(wake_.size());
+}
+
+}  // namespace mdg::core

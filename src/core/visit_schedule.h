@@ -1,0 +1,66 @@
+// Visit schedule and duty cycling.
+//
+// The collector's tour is deterministic, so every sensor can be told in
+// advance *when* its polling point will be served and sleep the rest of
+// the round — the radio listens only inside a guard window around the
+// visit. Static multihop networks cannot do this: relays must listen
+// continuously for unpredictable forwarded traffic. This module computes
+// the per-stop timetable and the resulting per-sensor duty cycles; the
+// duty-cycled lifetime comparison is experiment E5.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/solution.h"
+
+namespace mdg::core {
+
+struct ScheduleConfig {
+  double speed_m_per_s = 1.0;
+  /// Trapezoidal profile (0 = ideal cruise; see sim::MobileSimConfig).
+  double accel_m_per_s2 = 0.0;
+  double packet_upload_s = 0.05;  ///< airtime per packet upload
+  /// Sensors wake this long before the collector's nominal arrival (and
+  /// keep listening this long after their upload slot) to absorb jitter.
+  double guard_s = 5.0;
+};
+
+struct StopVisit {
+  geom::Point position;      ///< the polling point
+  double arrival_s = 0.0;    ///< nominal arrival (from round start)
+  double departure_s = 0.0;  ///< arrival + service for all uploads
+  std::vector<std::size_t> sensors;  ///< affiliated, in upload order
+};
+
+class VisitSchedule {
+ public:
+  /// Builds the timetable for one gathering round of `solution`.
+  VisitSchedule(const ShdgpInstance& instance, const ShdgpSolution& solution,
+                ScheduleConfig config = {});
+
+  [[nodiscard]] const std::vector<StopVisit>& stops() const { return stops_; }
+  /// Full round duration (return to the sink included).
+  [[nodiscard]] double round_duration_s() const { return round_duration_; }
+
+  /// Sensor's listen window [wake, sleep] within the round: guard before
+  /// its stop's arrival until its upload slot ends plus guard.
+  [[nodiscard]] double wake_time(std::size_t sensor) const;
+  [[nodiscard]] double sleep_time(std::size_t sensor) const;
+
+  /// Fraction of the round the sensor's radio is awake, in (0, 1].
+  [[nodiscard]] double duty_cycle(std::size_t sensor) const;
+
+  /// Mean duty cycle across all sensors (0 when the network is empty).
+  [[nodiscard]] double average_duty_cycle() const;
+
+ private:
+  ScheduleConfig config_;
+  std::vector<StopVisit> stops_;
+  double round_duration_ = 0.0;
+  std::vector<double> wake_;
+  std::vector<double> sleep_;
+};
+
+}  // namespace mdg::core

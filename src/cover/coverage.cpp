@@ -1,0 +1,126 @@
+#include "cover/coverage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/disk.h"
+#include "util/assert.h"
+
+namespace mdg::cover {
+
+const char* to_string(CandidatePolicy policy) {
+  switch (policy) {
+    case CandidatePolicy::kSensorSites:
+      return "sensor-sites";
+    case CandidatePolicy::kGrid:
+      return "grid";
+    case CandidatePolicy::kSensorSitesAndGrid:
+      return "sites+grid";
+    case CandidatePolicy::kSensorSitesAndIntersections:
+      return "sites+intersections";
+  }
+  return "unknown";
+}
+
+void CoverageMatrix::index_candidate(const net::SensorNetwork& network,
+                                     geom::Point p) {
+  std::vector<std::size_t> covered = network.coverable_from(p);
+  if (covered.empty()) {
+    return;  // a stop nobody can upload to is useless
+  }
+  std::sort(covered.begin(), covered.end());
+  const std::size_t id = candidates_.size();
+  candidates_.push_back(p);
+  for (std::size_t s : covered) {
+    covering_[s].push_back(id);
+  }
+  cover_sets_.push_back(std::move(covered));
+}
+
+CoverageMatrix::CoverageMatrix(const net::SensorNetwork& network,
+                               const CandidateOptions& options)
+    : covering_(network.size()) {
+  MDG_REQUIRE(options.grid_spacing > 0.0, "grid spacing must be positive");
+  const auto policy = options.policy;
+  const bool want_sites = policy != CandidatePolicy::kGrid;
+  const bool want_grid = policy == CandidatePolicy::kGrid ||
+                         policy == CandidatePolicy::kSensorSitesAndGrid;
+  const bool want_intersections =
+      policy == CandidatePolicy::kSensorSitesAndIntersections;
+
+  if (want_sites) {
+    for (geom::Point p : network.positions()) {
+      index_candidate(network, p);
+    }
+  }
+  if (want_grid) {
+    const geom::Aabb& field = network.field();
+    for (double y = field.lo.y + options.grid_spacing / 2.0; y < field.hi.y;
+         y += options.grid_spacing) {
+      for (double x = field.lo.x + options.grid_spacing / 2.0; x < field.hi.x;
+           x += options.grid_spacing) {
+        index_candidate(network, {x, y});
+      }
+    }
+  }
+  if (want_intersections) {
+    // Positions covering two sensors at once: the intersection points of
+    // their Rs-disks (only pairs within 2*Rs intersect).
+    const double rs = network.range();
+    for (std::size_t u = 0; u < network.size(); ++u) {
+      network.spatial_index().for_each_in_radius(
+          network.position(u), 2.0 * rs, [&](std::size_t v) {
+            if (v <= u) {
+              return;
+            }
+            const geom::Circle cu{network.position(u), rs};
+            const geom::Circle cv{network.position(v), rs};
+            for (geom::Point p : geom::circle_intersections(cu, cv)) {
+              if (network.field().contains(p)) {
+                index_candidate(network, p);
+              }
+            }
+          });
+    }
+  }
+
+  // Feasibility fallback: any sensor no candidate covers gets its own
+  // site (relevant for coarse grid-only policies).
+  for (std::size_t s = 0; s < network.size(); ++s) {
+    if (covering_[s].empty()) {
+      index_candidate(network, network.position(s));
+    }
+    MDG_ASSERT(!covering_[s].empty(),
+               "a sensor's own position must cover it");
+  }
+}
+
+geom::Point CoverageMatrix::candidate(std::size_t c) const {
+  MDG_REQUIRE(c < candidates_.size(), "candidate index out of range");
+  return candidates_[c];
+}
+
+const std::vector<std::size_t>& CoverageMatrix::covered_by(
+    std::size_t c) const {
+  MDG_REQUIRE(c < cover_sets_.size(), "candidate index out of range");
+  return cover_sets_[c];
+}
+
+const std::vector<std::size_t>& CoverageMatrix::covering(std::size_t s) const {
+  MDG_REQUIRE(s < covering_.size(), "sensor index out of range");
+  return covering_[s];
+}
+
+bool CoverageMatrix::is_cover(const std::vector<std::size_t>& selected) const {
+  std::vector<bool> covered(covering_.size(), false);
+  for (std::size_t c : selected) {
+    MDG_REQUIRE(c < cover_sets_.size(), "candidate index out of range");
+    for (std::size_t s : cover_sets_[c]) {
+      covered[s] = true;
+    }
+  }
+  return std::all_of(covered.begin(), covered.end(),
+                     [](bool b) { return b; });
+}
+
+}  // namespace mdg::cover

@@ -1,0 +1,80 @@
+// Candidate polling positions and the sensor-coverage relation.
+//
+// A candidate position covers a sensor when the sensor lies within the
+// transmission range Rs of that position — pausing there, the mobile
+// collector can receive that sensor's upload in a single hop. The
+// CoverageMatrix stores the bipartite relation both ways; every planner
+// operates on it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+#include "net/sensor_network.h"
+
+namespace mdg::cover {
+
+/// Where candidate polling positions come from.
+enum class CandidatePolicy {
+  /// Positions of the sensors themselves (a collector stops right at a
+  /// sensor). Always yields a feasible cover: a sensor covers itself.
+  kSensorSites,
+  /// A uniform grid of predefined stop positions over the field — the
+  /// configuration the SHDG comparisons in follow-up papers describe
+  /// ("stops at some selected points out of a set of predefined
+  /// positions"). Sensors left uncovered by the grid (possible when the
+  /// spacing exceeds Rs*sqrt(2)) fall back to their own site.
+  kGrid,
+  /// Union of sensor sites and grid positions.
+  kSensorSitesAndGrid,
+  /// Sensor sites plus pairwise disk-intersection points: positions from
+  /// which two sensors at distance <= 2*Rs are simultaneously coverable.
+  /// Densest candidate set; noticeably slower on big instances.
+  kSensorSitesAndIntersections,
+};
+
+[[nodiscard]] const char* to_string(CandidatePolicy policy);
+
+struct CandidateOptions {
+  CandidatePolicy policy = CandidatePolicy::kSensorSites;
+  /// Grid pitch for the grid policies (metres).
+  double grid_spacing = 20.0;
+};
+
+class CoverageMatrix {
+ public:
+  /// Builds candidates per `options` and computes the coverage relation
+  /// against `network`. Guarantees every sensor is covered by at least
+  /// one candidate (falling back to the sensor's own site if needed).
+  CoverageMatrix(const net::SensorNetwork& network,
+                 const CandidateOptions& options);
+
+  [[nodiscard]] std::size_t candidate_count() const {
+    return candidates_.size();
+  }
+  [[nodiscard]] std::size_t sensor_count() const { return covering_.size(); }
+  [[nodiscard]] const std::vector<geom::Point>& candidates() const {
+    return candidates_;
+  }
+  [[nodiscard]] geom::Point candidate(std::size_t c) const;
+
+  /// Sensors covered by candidate c (sorted ascending).
+  [[nodiscard]] const std::vector<std::size_t>& covered_by(
+      std::size_t c) const;
+
+  /// Candidates covering sensor s (sorted ascending); never empty.
+  [[nodiscard]] const std::vector<std::size_t>& covering(std::size_t s) const;
+
+  /// True when `selected` candidate ids jointly cover every sensor.
+  [[nodiscard]] bool is_cover(const std::vector<std::size_t>& selected) const;
+
+ private:
+  void index_candidate(const net::SensorNetwork& network, geom::Point p);
+
+  std::vector<geom::Point> candidates_;
+  std::vector<std::vector<std::size_t>> cover_sets_;  // candidate -> sensors
+  std::vector<std::vector<std::size_t>> covering_;    // sensor -> candidates
+};
+
+}  // namespace mdg::cover

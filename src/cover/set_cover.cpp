@@ -1,0 +1,352 @@
+#include "cover/set_cover.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace mdg::cover {
+
+SetCoverResult greedy_set_cover(const CoverageMatrix& matrix,
+                                const net::SensorNetwork& network,
+                                const GreedyOptions& options) {
+  const std::size_t n_sensors = matrix.sensor_count();
+  const std::size_t n_candidates = matrix.candidate_count();
+  MDG_REQUIRE(n_sensors == network.size(),
+              "coverage matrix does not match the network");
+
+  SetCoverResult result;
+  std::vector<bool> covered(n_sensors, false);
+  std::size_t uncovered = n_sensors;
+  // gain[c] = count of still-uncovered sensors candidate c covers. Lazy
+  // re-evaluation keeps the loop near-linear in practice.
+  std::vector<std::size_t> gain(n_candidates);
+  for (std::size_t c = 0; c < n_candidates; ++c) {
+    gain[c] = matrix.covered_by(c).size();
+  }
+  std::vector<bool> selected_mask(n_candidates, false);
+
+  while (uncovered > 0) {
+    // Find the candidate with maximum *current* gain, recomputing gains
+    // that are stale.
+    std::size_t best = n_candidates;
+    std::size_t best_gain = 0;
+    double best_anchor_d2 = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < n_candidates; ++c) {
+      if (selected_mask[c] || gain[c] == 0) {
+        continue;
+      }
+      if (gain[c] < best_gain) {
+        continue;  // even the optimistic stale gain loses
+      }
+      // Refresh the gain (it only ever decreases).
+      std::size_t fresh = 0;
+      for (std::size_t s : matrix.covered_by(c)) {
+        if (!covered[s]) {
+          ++fresh;
+        }
+      }
+      gain[c] = fresh;
+      if (fresh == 0) {
+        continue;
+      }
+      const double anchor_d2 =
+          options.tie_break_toward_anchor
+              ? geom::distance_sq(matrix.candidate(c), options.anchor)
+              : 0.0;
+      if (fresh > best_gain ||
+          (fresh == best_gain && anchor_d2 < best_anchor_d2)) {
+        best = c;
+        best_gain = fresh;
+        best_anchor_d2 = anchor_d2;
+      }
+    }
+    MDG_ASSERT(best != n_candidates,
+               "greedy cover stalled with sensors uncovered");
+    selected_mask[best] = true;
+    result.selected.push_back(best);
+    for (std::size_t s : matrix.covered_by(best)) {
+      if (!covered[s]) {
+        covered[s] = true;
+        --uncovered;
+      }
+    }
+  }
+
+  result.assignment = assign_nearest(matrix, network, result.selected);
+  return result;
+}
+
+std::vector<std::size_t> assign_nearest(
+    const CoverageMatrix& matrix, const net::SensorNetwork& network,
+    const std::vector<std::size_t>& selected) {
+  MDG_REQUIRE(matrix.is_cover(selected), "selected set is not a cover");
+  // Map candidate id -> slot in `selected`.
+  std::vector<std::size_t> slot(matrix.candidate_count(),
+                                static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    slot[selected[i]] = i;
+  }
+  std::vector<std::size_t> assignment(matrix.sensor_count());
+  for (std::size_t s = 0; s < matrix.sensor_count(); ++s) {
+    double best_d2 = std::numeric_limits<double>::infinity();
+    std::size_t best_slot = static_cast<std::size_t>(-1);
+    for (std::size_t c : matrix.covering(s)) {
+      if (slot[c] == static_cast<std::size_t>(-1)) {
+        continue;
+      }
+      const double d2 =
+          geom::distance_sq(network.position(s), matrix.candidate(c));
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best_slot = slot[c];
+      }
+    }
+    MDG_ASSERT(best_slot != static_cast<std::size_t>(-1),
+               "cover invariant violated during assignment");
+    assignment[s] = best_slot;
+  }
+  return assignment;
+}
+
+namespace {
+
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+/// Capacitated assignment engine: greedy nearest placement, completed by
+/// Kuhn-style augmenting paths (a sensor that finds every coverer full
+/// tries to relocate one of the occupants). Finds a feasible placement
+/// whenever one exists for the given selected set.
+class CapacitatedAssigner {
+ public:
+  CapacitatedAssigner(const CoverageMatrix& matrix,
+                      const net::SensorNetwork& network,
+                      const std::vector<std::size_t>& selected,
+                      std::size_t capacity)
+      : matrix_(matrix),
+        network_(network),
+        selected_(selected),
+        capacity_(capacity),
+        slot_of_(matrix.candidate_count(), kNoSlot),
+        assignment_(matrix.sensor_count(), kNoSlot),
+        occupants_(selected.size()) {
+    for (std::size_t i = 0; i < selected_.size(); ++i) {
+      slot_of_[selected_[i]] = i;
+    }
+  }
+
+  /// Returns the sensors that could not be placed.
+  std::vector<std::size_t> run() {
+    // Scarcest-first greedy placement toward the nearest free PP.
+    const std::size_t n = matrix_.sensor_count();
+    std::vector<std::size_t> order(n);
+    std::vector<std::size_t> options(n, 0);
+    for (std::size_t s = 0; s < n; ++s) {
+      order[s] = s;
+      for (std::size_t c : matrix_.covering(s)) {
+        if (slot_of_[c] != kNoSlot) {
+          ++options[s];
+        }
+      }
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (options[a] != options[b]) {
+                  return options[a] < options[b];
+                }
+                return a < b;
+              });
+
+    std::vector<std::size_t> unplaced;
+    for (std::size_t s : order) {
+      if (!place_nearest(s)) {
+        // Try an augmenting path before giving up on s.
+        std::vector<bool> visited(selected_.size(), false);
+        if (!augment(s, visited)) {
+          unplaced.push_back(s);
+        }
+      }
+    }
+    return unplaced;
+  }
+
+  [[nodiscard]] const std::vector<std::size_t>& assignment() const {
+    return assignment_;
+  }
+
+ private:
+  bool place_nearest(std::size_t s) {
+    double best_d2 = std::numeric_limits<double>::infinity();
+    std::size_t best_slot = kNoSlot;
+    for (std::size_t c : matrix_.covering(s)) {
+      const std::size_t slot = slot_of_[c];
+      if (slot == kNoSlot || occupants_[slot].size() >= capacity_) {
+        continue;
+      }
+      const double d2 =
+          geom::distance_sq(network_.position(s), matrix_.candidate(c));
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best_slot = slot;
+      }
+    }
+    if (best_slot == kNoSlot) {
+      return false;
+    }
+    attach(s, best_slot);
+    return true;
+  }
+
+  /// Kuhn augmentation: try to place s by evicting an occupant of one of
+  /// its (visited-guarded) full polling points to somewhere else.
+  bool augment(std::size_t s, std::vector<bool>& visited) {
+    for (std::size_t c : matrix_.covering(s)) {
+      const std::size_t slot = slot_of_[c];
+      if (slot == kNoSlot || visited[slot]) {
+        continue;
+      }
+      visited[slot] = true;
+      if (occupants_[slot].size() < capacity_) {
+        attach(s, slot);
+        return true;
+      }
+      // Copy: relocation mutates the occupant list.
+      const std::vector<std::size_t> occupants = occupants_[slot];
+      for (std::size_t t : occupants) {
+        detach(t, slot);
+        if (augment(t, visited)) {
+          attach(s, slot);
+          return true;
+        }
+        attach(t, slot);  // undo
+      }
+    }
+    return false;
+  }
+
+  void attach(std::size_t s, std::size_t slot) {
+    assignment_[s] = slot;
+    occupants_[slot].push_back(s);
+  }
+
+  void detach(std::size_t s, std::size_t slot) {
+    auto& list = occupants_[slot];
+    list.erase(std::find(list.begin(), list.end(), s));
+    assignment_[s] = kNoSlot;
+  }
+
+  const CoverageMatrix& matrix_;
+  const net::SensorNetwork& network_;
+  const std::vector<std::size_t>& selected_;
+  std::size_t capacity_;
+  std::vector<std::size_t> slot_of_;
+  std::vector<std::size_t> assignment_;
+  std::vector<std::vector<std::size_t>> occupants_;
+};
+
+}  // namespace
+
+CapacitatedCoverResult enforce_capacity(const CoverageMatrix& matrix,
+                                        const net::SensorNetwork& network,
+                                        std::vector<std::size_t> selected,
+                                        std::size_t capacity) {
+  MDG_REQUIRE(capacity >= 1, "capacity must allow at least one sensor");
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()),
+                 selected.end());
+
+  CapacitatedCoverResult result;
+  result.selected = std::move(selected);
+  for (;;) {
+    CapacitatedAssigner assigner(matrix, network, result.selected, capacity);
+    const std::vector<std::size_t> unplaced = assigner.run();
+    if (unplaced.empty()) {
+      result.assignment = assigner.assignment();
+      // Drop polling points the capacitated assignment left empty (the
+      // collector should not stop where nobody uploads) and remap slots.
+      std::vector<std::size_t> load(result.selected.size(), 0);
+      for (std::size_t slot : result.assignment) {
+        ++load[slot];
+      }
+      std::vector<std::size_t> remap(result.selected.size(), kNoSlot);
+      std::vector<std::size_t> kept;
+      for (std::size_t i = 0; i < result.selected.size(); ++i) {
+        if (load[i] > 0) {
+          remap[i] = kept.size();
+          kept.push_back(result.selected[i]);
+        }
+      }
+      for (std::size_t& slot : result.assignment) {
+        slot = remap[slot];
+        MDG_ASSERT(slot != kNoSlot, "assigned slot cannot be empty");
+      }
+      result.selected = std::move(kept);
+      return result;
+    }
+    // Add the candidate covering the most unplaced sensors (ties toward
+    // lower id for determinism); it must not already be selected.
+    std::vector<bool> is_selected(matrix.candidate_count(), false);
+    for (std::size_t c : result.selected) {
+      is_selected[c] = true;
+    }
+    std::vector<std::size_t> gain(matrix.candidate_count(), 0);
+    for (std::size_t s : unplaced) {
+      for (std::size_t c : matrix.covering(s)) {
+        if (!is_selected[c]) {
+          ++gain[c];
+        }
+      }
+    }
+    std::size_t best = matrix.candidate_count();
+    std::size_t best_gain = 0;
+    for (std::size_t c = 0; c < matrix.candidate_count(); ++c) {
+      if (gain[c] > best_gain) {
+        best_gain = gain[c];
+        best = c;
+      }
+    }
+    if (best == matrix.candidate_count()) {
+      // Every candidate covering the unplaced sensors is already selected
+      // (and saturated beyond repair by relocation). Unblocking requires
+      // extra capacity for some *placed* sensor so a relocation chain can
+      // free a slot: add any unselected candidate, largest coverage first.
+      for (std::size_t c = 0; c < matrix.candidate_count(); ++c) {
+        if (!is_selected[c] &&
+            (best == matrix.candidate_count() ||
+             matrix.covered_by(c).size() > matrix.covered_by(best).size())) {
+          best = c;
+        }
+      }
+    }
+    MDG_ASSERT(best != matrix.candidate_count(),
+               "capacitated cover infeasible: every candidate selected yet "
+               "sensors remain unplaced (capacity too small for the "
+               "candidate set)");
+    result.selected.push_back(best);
+    std::sort(result.selected.begin(), result.selected.end());
+  }
+}
+
+std::size_t scattering_lower_bound(const net::SensorNetwork& network) {
+  // Greedily pick sensors pairwise farther than 2*Rs apart. Each needs a
+  // distinct polling point because no single disk of radius Rs contains
+  // two of them.
+  const double limit = 2.0 * network.range();
+  std::vector<std::size_t> chosen;
+  for (std::size_t s = 0; s < network.size(); ++s) {
+    bool clashes = false;
+    for (std::size_t t : chosen) {
+      if (geom::within_range(network.position(s), network.position(t),
+                             limit)) {
+        clashes = true;
+        break;
+      }
+    }
+    if (!clashes) {
+      chosen.push_back(s);
+    }
+  }
+  return chosen.size();
+}
+
+}  // namespace mdg::cover

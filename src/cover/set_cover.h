@@ -1,0 +1,71 @@
+// Set-cover selection over a CoverageMatrix.
+//
+// Greedy maximum-coverage is the workhorse of the GreedyCoverPlanner; the
+// scattering lower bound certifies how far any planner can possibly be
+// from the minimum number of polling points.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cover/coverage.h"
+#include "geom/point.h"
+
+namespace mdg::cover {
+
+struct SetCoverResult {
+  /// Selected candidate ids, in selection order.
+  std::vector<std::size_t> selected;
+  /// assignment[s] = index *into selected* of the candidate sensor s is
+  /// affiliated with (its polling point).
+  std::vector<std::size_t> assignment;
+};
+
+struct GreedyOptions {
+  /// Tie-break equal-coverage candidates by distance to this point
+  /// (typically the data sink) — pulls the polling points toward the
+  /// sink, shortening the collector tour.
+  bool tie_break_toward_anchor = true;
+  geom::Point anchor{};
+};
+
+/// Greedy maximum-coverage: repeatedly pick the candidate covering the
+/// most still-uncovered sensors (H_n-approximate for cardinality).
+/// Sensors are assigned to the selected candidate that covers them and
+/// lies nearest (so uploads use the shortest single hop).
+[[nodiscard]] SetCoverResult greedy_set_cover(
+    const CoverageMatrix& matrix, const net::SensorNetwork& network,
+    const GreedyOptions& options = {});
+
+/// Lower bound on the number of polling points of *any* feasible
+/// solution: sensors pairwise farther apart than 2*Rs can never share a
+/// polling point, so a greedy scattering of such sensors gives a valid
+/// bound.
+[[nodiscard]] std::size_t scattering_lower_bound(
+    const net::SensorNetwork& network);
+
+/// Re-derives the nearest-PP assignment for an arbitrary selected set
+/// (must be a cover). Used by planners that choose PPs by other means.
+[[nodiscard]] std::vector<std::size_t> assign_nearest(
+    const CoverageMatrix& matrix, const net::SensorNetwork& network,
+    const std::vector<std::size_t>& selected);
+
+/// Capacity-bounded polling: no polling point may serve more than
+/// `capacity` sensors (bounded buffers / bounded per-stop dwell time).
+///
+/// Starting from `selected` (any set, typically an uncapacitated cover),
+/// sensors are assigned scarcest-first to their nearest polling point
+/// with spare capacity; whenever some sensors cannot be placed, the
+/// candidate covering the most unplaced sensors is added and the
+/// assignment re-run. Always feasible for capacity >= 1 when the
+/// candidate set contains every sensor's own site.
+struct CapacitatedCoverResult {
+  std::vector<std::size_t> selected;
+  std::vector<std::size_t> assignment;  ///< index into selected
+};
+
+[[nodiscard]] CapacitatedCoverResult enforce_capacity(
+    const CoverageMatrix& matrix, const net::SensorNetwork& network,
+    std::vector<std::size_t> selected, std::size_t capacity);
+
+}  // namespace mdg::cover

@@ -1,0 +1,257 @@
+#include "dist/election_planner.h"
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "cover/set_cover.h"
+#include "dist/sync_network.h"
+#include "util/assert.h"
+
+namespace mdg::dist {
+namespace {
+
+// Message tags.
+constexpr int kTagHop = 1;       // a = hop count of the sender
+constexpr int kTagPriority = 2;  // a = degree, b = hop, c = id
+constexpr int kTagDeclare = 3;   // sender declares itself a polling point
+constexpr int kTagJoin = 4;      // a = chosen polling point id
+
+struct NodeState {
+  std::size_t hop = std::numeric_limits<std::size_t>::max();
+  bool hop_dirty = false;       // must (re)broadcast hop this round
+  bool priority_sent = false;
+  // Best (degree, -hop, -id) seen in the 1-hop neighbourhood incl. self.
+  std::size_t best_degree = 0;
+  std::size_t best_hop = 0;
+  std::size_t best_id = 0;
+  bool has_priority_view = false;
+  bool is_pp = false;
+  bool declared = false;
+  bool resolved = false;  // declared or joined
+  std::size_t joined_pp = std::numeric_limits<std::size_t>::max();
+  long long timer = -1;  // rounds until forced resolution; -1 = unset
+  std::vector<std::size_t> declaring_neighbors;
+};
+
+/// Lexicographic priority: more neighbours first, then closer to the
+/// sink, then lower id (all deterministic).
+bool better_priority(std::size_t deg_a, std::size_t hop_a, std::size_t id_a,
+                     std::size_t deg_b, std::size_t hop_b, std::size_t id_b) {
+  return std::tuple(deg_a, hop_b, id_b) > std::tuple(deg_b, hop_a, id_a);
+}
+
+}  // namespace
+
+core::ShdgpSolution ElectionPlanner::plan(
+    const core::ShdgpInstance& instance) const {
+  const auto& network = instance.network();
+  const auto& matrix = instance.coverage();
+  const std::size_t n = network.size();
+
+  core::ShdgpSolution solution;
+  solution.planner = name();
+  stats_ = ElectionStats{};
+  if (n == 0) {
+    core::route_collector(instance, solution, options_.tsp_effort);
+    return solution;
+  }
+
+  // Sensor id -> its own-site candidate id (required: elected PPs are
+  // sensors).
+  std::vector<std::size_t> own_site(n, matrix.candidate_count());
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t c : matrix.covering(s)) {
+      if (matrix.candidate(c) == network.position(s)) {
+        own_site[s] = c;
+        break;
+      }
+    }
+    MDG_REQUIRE(own_site[s] != matrix.candidate_count(),
+                "ElectionPlanner needs sensor-site candidates");
+  }
+
+  const graph::Graph& graph = network.connectivity();
+  std::vector<NodeState> state(n);
+
+  // Phase A seed: the sink's beacon reaches its one-hop neighbours.
+  for (std::size_t s : network.sink_neighbors()) {
+    state[s].hop = 1;
+    state[s].hop_dirty = true;
+  }
+  // Sensors that can never hear the sink time out with the worst hop
+  // (physically: a max back-off). Applied lazily when priorities fire.
+  const std::size_t worst_hop = n + 1;
+
+  std::size_t resolved_count = 0;
+  bool bfs_stable = false;
+  std::size_t bfs_quiet_rounds = 0;
+
+  SyncNetwork bus(graph);
+  const auto handler = [&](std::size_t v, std::span<const Message> inbox,
+                           Outbox& out) {
+    NodeState& me = state[v];
+    // --- ingest ---
+    for (const Message& msg : inbox) {
+      switch (msg.tag) {
+        case kTagHop: {
+          const std::size_t theirs = static_cast<std::size_t>(msg.a);
+          if (theirs + 1 < me.hop) {
+            me.hop = theirs + 1;
+            me.hop_dirty = true;
+          }
+          break;
+        }
+        case kTagPriority: {
+          const auto deg = static_cast<std::size_t>(msg.a);
+          const auto hop = static_cast<std::size_t>(msg.b);
+          const auto id = static_cast<std::size_t>(msg.c);
+          if (!me.has_priority_view ||
+              better_priority(deg, hop, id, me.best_degree, me.best_hop,
+                              me.best_id)) {
+            me.best_degree = deg;
+            me.best_hop = hop;
+            me.best_id = id;
+            me.has_priority_view = true;
+          }
+          break;
+        }
+        case kTagDeclare: {
+          me.declaring_neighbors.push_back(msg.sender);
+          break;
+        }
+        case kTagJoin:
+          break;  // bookkeeping for the sink; nothing local to do
+        default:
+          MDG_ASSERT(false, "unknown protocol message tag");
+      }
+    }
+
+    // --- Phase A: flood hop counts while they improve ---
+    if (me.hop_dirty) {
+      out.broadcast(kTagHop, me.hop);
+      me.hop_dirty = false;
+      return;  // keep phases cleanly separated per node
+    }
+    if (!bfs_stable) {
+      return;  // wait for the flood to settle before electing
+    }
+
+    // --- Phase B: announce priority once ---
+    if (!me.priority_sent) {
+      if (me.hop == std::numeric_limits<std::size_t>::max()) {
+        me.hop = worst_hop;  // never heard the sink
+      }
+      const std::size_t degree = graph.degree(v);
+      // Start the local view with my own priority.
+      if (!me.has_priority_view ||
+          better_priority(degree, me.hop, v, me.best_degree, me.best_hop,
+                          me.best_id)) {
+        me.best_degree = degree;
+        me.best_hop = me.hop;
+        me.best_id = v;
+        me.has_priority_view = true;
+      }
+      out.broadcast(kTagPriority, degree, me.hop, v);
+      me.priority_sent = true;
+      // Back-off: local maxima fire immediately next round; others wait
+      // proportionally to their sink distance (closer sensors declare
+      // earlier, pulling polling points toward the sink).
+      me.timer = static_cast<long long>(me.hop);
+      return;
+    }
+    if (me.resolved) {
+      return;
+    }
+
+    // --- Phase C: declare or join ---
+    const bool i_am_local_max = me.best_id == v;
+    if (i_am_local_max && !me.declared) {
+      me.is_pp = true;
+      me.declared = true;
+      me.resolved = true;
+      ++resolved_count;
+      out.broadcast(kTagDeclare);
+      return;
+    }
+    if (me.timer > 0) {
+      --me.timer;
+      return;
+    }
+    // Timer expired: join the nearest declaring neighbour, or give up
+    // waiting and declare myself.
+    if (!me.declaring_neighbors.empty()) {
+      std::size_t best = me.declaring_neighbors.front();
+      double best_d2 = std::numeric_limits<double>::infinity();
+      for (std::size_t pp : me.declaring_neighbors) {
+        const double d2 =
+            geom::distance_sq(network.position(v), network.position(pp));
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = pp;
+        }
+      }
+      me.joined_pp = best;
+      me.resolved = true;
+      ++resolved_count;
+      out.unicast(best, kTagJoin, best);
+      return;
+    }
+    me.is_pp = true;
+    me.declared = true;
+    me.resolved = true;
+    ++resolved_count;
+    out.broadcast(kTagDeclare);
+  };
+
+  // Drive rounds: first until the BFS flood stabilises (two quiet
+  // rounds), then until every node resolved.
+  std::size_t round_guard = 0;
+  while (resolved_count < n && round_guard < options_.max_rounds) {
+    const RoundStats rs = bus.run_round(handler);
+    ++round_guard;
+    if (!bfs_stable) {
+      if (rs.transmissions == 0) {
+        ++bfs_quiet_rounds;
+        if (bfs_quiet_rounds >= 1) {
+          bfs_stable = true;
+        }
+      } else {
+        bfs_quiet_rounds = 0;
+      }
+    }
+  }
+  MDG_ASSERT(resolved_count == n, "election protocol did not terminate");
+
+  stats_.rounds = bus.rounds_executed();
+  stats_.transmissions = bus.total_transmissions();
+  stats_.transmissions_per_node =
+      static_cast<double>(stats_.transmissions) / static_cast<double>(n);
+
+  // Harvest the elected polling points.
+  std::vector<std::size_t> elected;  // candidate ids
+  for (std::size_t v = 0; v < n; ++v) {
+    if (state[v].is_pp) {
+      elected.push_back(own_site[v]);
+    }
+  }
+  std::sort(elected.begin(), elected.end());
+  elected.erase(std::unique(elected.begin(), elected.end()), elected.end());
+
+  solution.polling_candidates = elected;
+  solution.polling_points.reserve(elected.size());
+  for (std::size_t c : elected) {
+    solution.polling_points.push_back(matrix.candidate(c));
+  }
+  // The join choices are exactly a nearest-PP assignment restricted to
+  // neighbours; reuse the generic nearest assignment for the final
+  // solution object (identical for elected sets, and it also handles
+  // sensors adjacent to several PPs deterministically).
+  solution.assignment =
+      cover::assign_nearest(matrix, network, solution.polling_candidates);
+  core::route_collector(instance, solution, options_.tsp_effort);
+  return solution;
+}
+
+}  // namespace mdg::dist

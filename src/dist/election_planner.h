@@ -1,0 +1,72 @@
+// Distributed polling-point election (priority-based, PB-PSA style).
+//
+// The centralized planners assume the sink knows the whole topology. In
+// the field, polling points must be elected by the sensors themselves
+// with local communication only. This planner runs that protocol on the
+// synchronous message-passing substrate:
+//
+//   Phase A  distributed BFS flood from the sink's one-hop neighbours
+//            gives every sensor its hop distance to the sink;
+//   Phase B  every sensor broadcasts its priority (neighbour count,
+//            hop count, id) and computes the best priority in its one-hop
+//            neighbourhood;
+//   Phase C  local-maximum sensors declare themselves polling points
+//            immediately; everyone else starts a back-off timer
+//            proportional to its hop count, joins the nearest declaring
+//            neighbour when the timer fires, or declares itself if no
+//            neighbour declared (guaranteeing coverage, including on
+//            disconnected deployments).
+//
+// The elected set is exactly a coverage: every sensor is a polling point
+// or adjacent to one, so uploads stay single-hop. The sink then computes
+// the collector tour over the elected points (it learns them from the
+// join/declare traffic). The protocol's message cost is reported so the
+// distributed-vs-centralized bench can reproduce the communication-
+// complexity comparison.
+#pragma once
+
+#include <cstddef>
+
+#include "core/planner.h"
+#include "tsp/solve.h"
+
+namespace mdg::dist {
+
+struct ElectionStats {
+  std::size_t rounds = 0;
+  std::size_t transmissions = 0;
+  double transmissions_per_node = 0.0;
+};
+
+struct ElectionPlannerOptions {
+  tsp::TspEffort tsp_effort = tsp::TspEffort::kFull;
+  /// Safety cap on protocol rounds (>= network diameter + max back-off).
+  std::size_t max_rounds = 10'000;
+};
+
+class ElectionPlanner final : public core::Planner {
+ public:
+  explicit ElectionPlanner(ElectionPlannerOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "distributed-election";
+  }
+
+  /// Requires an instance whose candidate set contains the sensor sites
+  /// (the elected polling points *are* sensors).
+  [[nodiscard]] core::ShdgpSolution plan(
+      const core::ShdgpInstance& instance) const override;
+
+  /// Protocol statistics of the most recent plan() call. Because plan()
+  /// updates these, an ElectionPlanner instance is NOT safe to share
+  /// across threads — use one instance per thread (the other planners
+  /// are stateless and freely shareable).
+  [[nodiscard]] const ElectionStats& last_stats() const { return stats_; }
+
+ private:
+  ElectionPlannerOptions options_;
+  mutable ElectionStats stats_;
+};
+
+}  // namespace mdg::dist

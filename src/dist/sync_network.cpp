@@ -1,0 +1,74 @@
+#include "dist/sync_network.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace mdg::dist {
+
+void Outbox::broadcast(int tag, std::uint64_t a, std::uint64_t b,
+                       std::uint64_t c) {
+  pending_.push_back({true, 0, Message{0, tag, a, b, c}});
+}
+
+void Outbox::unicast(std::size_t to, int tag, std::uint64_t a,
+                     std::uint64_t b, std::uint64_t c) {
+  pending_.push_back({false, to, Message{0, tag, a, b, c}});
+}
+
+SyncNetwork::SyncNetwork(const graph::Graph& graph)
+    : graph_(&graph), inboxes_(graph.vertex_count()) {}
+
+RoundStats SyncNetwork::run_round(const Handler& handler) {
+  MDG_REQUIRE(handler != nullptr, "protocol handler required");
+  const std::size_t n = graph_->vertex_count();
+  RoundStats stats;
+  stats.round = rounds_;
+
+  std::vector<std::vector<Message>> next(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    Outbox outbox;
+    handler(v, inboxes_[v], outbox);
+    for (Outbox::Pending& p : outbox.pending_) {
+      p.msg.sender = v;
+      if (p.broadcast) {
+        ++stats.transmissions;
+        for (const graph::Arc& arc : graph_->neighbors(v)) {
+          next[arc.to].push_back(p.msg);
+          ++stats.deliveries;
+        }
+      } else {
+        MDG_REQUIRE(p.to < n, "unicast target out of range");
+        const auto nbrs = graph_->neighbors(v);
+        const bool adjacent =
+            std::any_of(nbrs.begin(), nbrs.end(), [&](const graph::Arc& arc) {
+              return arc.to == p.to;
+            });
+        MDG_REQUIRE(adjacent, "unicast target is not a neighbour");
+        ++stats.transmissions;
+        next[p.to].push_back(p.msg);
+        ++stats.deliveries;
+      }
+    }
+  }
+  inboxes_ = std::move(next);
+  total_transmissions_ += stats.transmissions;
+  ++rounds_;
+  return stats;
+}
+
+std::vector<RoundStats> SyncNetwork::run(const Handler& handler,
+                                         const std::function<bool()>& quiescent,
+                                         std::size_t max_rounds) {
+  MDG_REQUIRE(quiescent != nullptr, "quiescence predicate required");
+  std::vector<RoundStats> history;
+  for (std::size_t r = 0; r < max_rounds; ++r) {
+    history.push_back(run_round(handler));
+    if (quiescent()) {
+      break;
+    }
+  }
+  return history;
+}
+
+}  // namespace mdg::dist

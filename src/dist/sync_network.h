@@ -1,0 +1,93 @@
+// Synchronous message-passing substrate for distributed protocols.
+//
+// Models the standard synchronous-rounds abstraction used to analyse
+// distributed WSN algorithms: in every round each node reads the messages
+// its neighbours sent in the previous round and may send new ones
+// (unicast to a neighbour or local broadcast). The engine counts message
+// transmissions so protocols can report their communication complexity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mdg::dist {
+
+/// One protocol message. `tag` discriminates message kinds; the three
+/// payload words cover every protocol in this library (ids, hop counts,
+/// scaled distances) without heap traffic.
+struct Message {
+  std::size_t sender = 0;
+  int tag = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+
+/// Per-node outbox handed to the handler each round.
+class Outbox {
+ public:
+  /// Sends to every neighbour (one radio transmission in WSN terms).
+  void broadcast(int tag, std::uint64_t a = 0, std::uint64_t b = 0,
+                 std::uint64_t c = 0);
+  /// Sends to one neighbour (`to` must be adjacent; checked by the
+  /// engine at delivery).
+  void unicast(std::size_t to, int tag, std::uint64_t a = 0,
+               std::uint64_t b = 0, std::uint64_t c = 0);
+
+ private:
+  friend class SyncNetwork;
+  struct Pending {
+    bool broadcast = false;
+    std::size_t to = 0;
+    Message msg;
+  };
+  std::vector<Pending> pending_;
+};
+
+struct RoundStats {
+  std::size_t round = 0;
+  std::size_t transmissions = 0;  ///< radio sends (broadcast counts once)
+  std::size_t deliveries = 0;     ///< messages landed in inboxes
+};
+
+class SyncNetwork {
+ public:
+  /// Binds to a connectivity graph (must outlive the network).
+  explicit SyncNetwork(const graph::Graph& graph);
+
+  /// handler(node, inbox, outbox): called once per node per round with
+  /// the messages sent to it in the *previous* round.
+  using Handler =
+      std::function<void(std::size_t, std::span<const Message>, Outbox&)>;
+
+  /// Executes one synchronous round; returns its statistics.
+  RoundStats run_round(const Handler& handler);
+
+  /// Runs rounds until `quiescent` returns true after a round or
+  /// `max_rounds` is hit. Returns per-round statistics.
+  std::vector<RoundStats> run(const Handler& handler,
+                              const std::function<bool()>& quiescent,
+                              std::size_t max_rounds);
+
+  [[nodiscard]] std::size_t node_count() const {
+    return graph_->vertex_count();
+  }
+  [[nodiscard]] std::size_t total_transmissions() const {
+    return total_transmissions_;
+  }
+  [[nodiscard]] std::size_t rounds_executed() const { return rounds_; }
+
+ private:
+  const graph::Graph* graph_;
+  /// inboxes_[v] = messages delivered to v at the start of this round.
+  std::vector<std::vector<Message>> inboxes_;
+  std::size_t total_transmissions_ = 0;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace mdg::dist

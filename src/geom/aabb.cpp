@@ -1,0 +1,25 @@
+#include "geom/aabb.h"
+
+#include <algorithm>
+
+namespace mdg::geom {
+
+Point Aabb::clamp(Point p) const {
+  return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y)};
+}
+
+Aabb Aabb::bounding(std::span<const Point> points) {
+  if (points.empty()) {
+    return {};
+  }
+  Aabb box{points[0], points[0]};
+  for (Point p : points.subspan(1)) {
+    box.lo.x = std::min(box.lo.x, p.x);
+    box.lo.y = std::min(box.lo.y, p.y);
+    box.hi.x = std::max(box.hi.x, p.x);
+    box.hi.y = std::max(box.hi.y, p.y);
+  }
+  return box;
+}
+
+}  // namespace mdg::geom

@@ -1,0 +1,37 @@
+// Axis-aligned bounding box for deployment fields.
+#pragma once
+
+#include <span>
+
+#include "geom/point.h"
+
+namespace mdg::geom {
+
+struct Aabb {
+  Point lo{0.0, 0.0};
+  Point hi{0.0, 0.0};
+
+  /// Box [0, side] x [0, side] — the paper's L x L square field.
+  [[nodiscard]] static constexpr Aabb square(double side) {
+    return {{0.0, 0.0}, {side, side}};
+  }
+
+  [[nodiscard]] constexpr double width() const { return hi.x - lo.x; }
+  [[nodiscard]] constexpr double height() const { return hi.y - lo.y; }
+  [[nodiscard]] constexpr double area() const { return width() * height(); }
+  [[nodiscard]] constexpr Point center() const {
+    return {(lo.x + hi.x) * 0.5, (lo.y + hi.y) * 0.5};
+  }
+
+  [[nodiscard]] constexpr bool contains(Point p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  /// Clamps p into the box.
+  [[nodiscard]] Point clamp(Point p) const;
+
+  /// Smallest box containing all points ({0,0}-degenerate if empty).
+  [[nodiscard]] static Aabb bounding(std::span<const Point> points);
+};
+
+}  // namespace mdg::geom

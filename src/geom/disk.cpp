@@ -1,0 +1,115 @@
+#include "geom/disk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::geom {
+
+std::vector<Point> circle_intersections(const Circle& a, const Circle& b) {
+  const double d = distance(a.center, b.center);
+  if (d == 0.0) {
+    return {};  // concentric: none or infinitely many — treat as none
+  }
+  if (d > a.radius + b.radius || d < std::abs(a.radius - b.radius)) {
+    return {};
+  }
+  // Standard two-circle intersection: `h` is the half-chord length at the
+  // foot point along the centre line.
+  const double along =
+      (d * d + a.radius * a.radius - b.radius * b.radius) / (2.0 * d);
+  const double h_sq = a.radius * a.radius - along * along;
+  const double h = h_sq > 0.0 ? std::sqrt(h_sq) : 0.0;
+  const Point dir = (b.center - a.center) / d;
+  const Point foot = a.center + dir * along;
+  const Point perp{-dir.y, dir.x};
+  return {foot + perp * h, foot - perp * h};
+}
+
+std::optional<Circle> circumcircle(Point a, Point b, Point c) {
+  const double denom = 2.0 * cross(b - a, c - a);
+  const double scale =
+      std::max({norm(b - a), norm(c - a), norm(c - b), 1.0});
+  if (std::abs(denom) < 1e-12 * scale * scale) {
+    return std::nullopt;
+  }
+  const double a2 = dot(a, a);
+  const double b2 = dot(b, b);
+  const double c2 = dot(c, c);
+  const Point center{
+      (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / denom,
+      (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / denom};
+  return Circle{center, distance(center, a)};
+}
+
+namespace {
+
+Circle circle_from_two(Point a, Point b) {
+  return {midpoint(a, b), distance(a, b) * 0.5};
+}
+
+bool in_circle(const Circle& c, Point p) {
+  // Slightly looser epsilon than Circle::contains; Welzl needs the
+  // support points themselves to test inside.
+  return distance(c.center, p) <= c.radius * (1.0 + 1e-9) + 1e-12;
+}
+
+Circle welzl_two_support(std::span<const Point> pts, Point p, Point q) {
+  Circle c = circle_from_two(p, q);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (!in_circle(c, pts[i])) {
+      if (const auto cc = circumcircle(p, q, pts[i])) {
+        c = *cc;
+      }
+    }
+  }
+  return c;
+}
+
+Circle welzl_one_support(std::span<const Point> pts, Point p) {
+  Circle c{p, 0.0};
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (!in_circle(c, pts[i])) {
+      if (c.radius == 0.0) {
+        c = circle_from_two(p, pts[i]);
+      } else {
+        c = welzl_two_support(pts.first(i), p, pts[i]);
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+std::optional<Circle> smallest_enclosing_circle(std::span<const Point> points) {
+  if (points.empty()) {
+    return std::nullopt;
+  }
+  // Deterministic shuffle gives Welzl's expected-linear behaviour without
+  // nondeterminism across runs.
+  std::vector<Point> pts(points.begin(), points.end());
+  Rng rng(0xC0FFEEULL ^ (points.size() * 0x9e3779b97f4a7c15ULL));
+  rng.shuffle(pts);
+
+  Circle c{pts[0], 0.0};
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (!in_circle(c, pts[i])) {
+      c = welzl_one_support(std::span<const Point>(pts).first(i), pts[i]);
+    }
+  }
+  return c;
+}
+
+bool one_disk_coverable(std::span<const Point> points, double radius) {
+  MDG_REQUIRE(radius >= 0.0, "radius must be non-negative");
+  if (points.empty()) {
+    return true;
+  }
+  const auto circle = smallest_enclosing_circle(points);
+  return circle->radius <= radius * (1.0 + 1e-9);
+}
+
+}  // namespace mdg::geom

@@ -1,0 +1,49 @@
+// Disk (circle) primitives used for coverage reasoning.
+//
+// A polling point "covers" a sensor when the sensor lies inside the disk
+// of radius Rs centred at the point. Candidate-generation uses
+// circle-circle intersections (positions that cover two sensors at once)
+// and Welzl's smallest-enclosing-circle (the best single position for a
+// whole group, the "substitute" step of the spanning-tour planner).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace mdg::geom {
+
+struct Circle {
+  Point center{};
+  double radius = 0.0;
+
+  /// Inclusive containment with the library-wide boundary epsilon.
+  [[nodiscard]] bool contains(Point p) const {
+    return within_range(center, p, radius);
+  }
+};
+
+/// Intersection points of two circles. Empty when the circles are
+/// disjoint or one contains the other; one point (twice) when tangent.
+[[nodiscard]] std::vector<Point> circle_intersections(const Circle& a,
+                                                      const Circle& b);
+
+/// Smallest circle enclosing every point (Welzl, expected linear time
+/// after an internal deterministic shuffle). Returns radius 0 circle at
+/// the single point for size-1 input; nullopt for empty input.
+[[nodiscard]] std::optional<Circle> smallest_enclosing_circle(
+    std::span<const Point> points);
+
+/// True when one disk of radius `radius` can cover all points, i.e. the
+/// smallest enclosing circle has radius <= `radius` (with epsilon).
+/// Vacuously true for empty input.
+[[nodiscard]] bool one_disk_coverable(std::span<const Point> points,
+                                      double radius);
+
+/// Circle through three points; nullopt when (nearly) collinear.
+[[nodiscard]] std::optional<Circle> circumcircle(Point a, Point b, Point c);
+
+}  // namespace mdg::geom

@@ -1,0 +1,38 @@
+#include "geom/point.h"
+
+namespace mdg::geom {
+
+Point centroid(std::span<const Point> points) {
+  if (points.empty()) {
+    return {};
+  }
+  Point sum{};
+  for (Point p : points) {
+    sum = sum + p;
+  }
+  return sum / static_cast<double>(points.size());
+}
+
+double polyline_length(std::span<const Point> points) {
+  double total = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    total += distance(points[i - 1], points[i]);
+  }
+  return total;
+}
+
+double closed_tour_length(std::span<const Point> points) {
+  if (points.size() < 2) {
+    return 0.0;
+  }
+  return polyline_length(points) + distance(points.back(), points.front());
+}
+
+bool within_range(Point a, Point b, double range) {
+  // Relative epsilon keeps boundary nodes connected despite rounding in
+  // coordinate generation.
+  const double r = range * (1.0 + 1e-12);
+  return distance_sq(a, b) <= r * r;
+}
+
+}  // namespace mdg::geom

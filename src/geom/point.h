@@ -1,0 +1,83 @@
+// 2-D point/vector primitives for the planar deployment field.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace mdg::geom {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Point operator+(Point a, Point b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Point operator-(Point a, Point b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Point operator*(Point a, double s) {
+    return {a.x * s, a.y * s};
+  }
+  friend constexpr Point operator*(double s, Point a) { return a * s; }
+  friend constexpr Point operator/(Point a, double s) {
+    return {a.x / s, a.y / s};
+  }
+  friend constexpr bool operator==(Point a, Point b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Squared Euclidean distance (cheap; use for comparisons).
+[[nodiscard]] constexpr double distance_sq(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance.
+[[nodiscard]] inline double distance(Point a, Point b) {
+  return std::sqrt(distance_sq(a, b));
+}
+
+/// Euclidean norm of the vector.
+[[nodiscard]] inline double norm(Point p) {
+  return std::sqrt(p.x * p.x + p.y * p.y);
+}
+
+/// Dot product.
+[[nodiscard]] constexpr double dot(Point a, Point b) {
+  return a.x * b.x + a.y * b.y;
+}
+
+/// z-component of the 2-D cross product (signed parallelogram area).
+[[nodiscard]] constexpr double cross(Point a, Point b) {
+  return a.x * b.y - a.y * b.x;
+}
+
+/// Linear interpolation: a at t=0, b at t=1.
+[[nodiscard]] constexpr Point lerp(Point a, Point b, double t) {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+/// Midpoint of the segment ab.
+[[nodiscard]] constexpr Point midpoint(Point a, Point b) {
+  return {(a.x + b.x) * 0.5, (a.y + b.y) * 0.5};
+}
+
+/// Centroid of a non-empty point set; {0,0} if empty.
+[[nodiscard]] Point centroid(std::span<const Point> points);
+
+/// Total length of the open polyline p0→p1→…→pk.
+[[nodiscard]] double polyline_length(std::span<const Point> points);
+
+/// Total length of the closed polygonal tour p0→p1→…→pk→p0.
+[[nodiscard]] double closed_tour_length(std::span<const Point> points);
+
+/// True when the two points are within `range` of each other (inclusive,
+/// with a tiny epsilon so sensors exactly at the range boundary count as
+/// connected, matching unit-disk-graph conventions).
+[[nodiscard]] bool within_range(Point a, Point b, double range);
+
+}  // namespace mdg::geom

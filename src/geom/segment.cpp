@@ -1,0 +1,50 @@
+#include "geom/segment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mdg::geom {
+
+int orientation(Point a, Point b, Point c) {
+  const double value = cross(b - a, c - a);
+  const double scale =
+      std::max({std::abs(b.x - a.x), std::abs(b.y - a.y),
+                std::abs(c.x - a.x), std::abs(c.y - a.y), 1.0});
+  if (std::abs(value) <= 1e-12 * scale * scale) {
+    return 0;
+  }
+  return value > 0.0 ? 1 : -1;
+}
+
+bool on_segment(Point p, Point q, Point r) {
+  return q.x <= std::max(p.x, r.x) + 1e-12 &&
+         q.x >= std::min(p.x, r.x) - 1e-12 &&
+         q.y <= std::max(p.y, r.y) + 1e-12 &&
+         q.y >= std::min(p.y, r.y) - 1e-12;
+}
+
+bool segments_intersect(Point a, Point b, Point c, Point d) {
+  const int o1 = orientation(a, b, c);
+  const int o2 = orientation(a, b, d);
+  const int o3 = orientation(c, d, a);
+  const int o4 = orientation(c, d, b);
+  if (o1 != o2 && o3 != o4) {
+    return true;
+  }
+  if (o1 == 0 && on_segment(a, c, b)) return true;
+  if (o2 == 0 && on_segment(a, d, b)) return true;
+  if (o3 == 0 && on_segment(c, a, d)) return true;
+  if (o4 == 0 && on_segment(c, b, d)) return true;
+  return false;
+}
+
+bool segments_properly_intersect(Point a, Point b, Point c, Point d) {
+  const int o1 = orientation(a, b, c);
+  const int o2 = orientation(a, b, d);
+  const int o3 = orientation(c, d, a);
+  const int o4 = orientation(c, d, b);
+  // Strict straddling on both segments: interiors cross.
+  return o1 * o2 < 0 && o3 * o4 < 0;
+}
+
+}  // namespace mdg::geom

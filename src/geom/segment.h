@@ -1,0 +1,25 @@
+// Segment predicates for obstacle-aware collector routing.
+#pragma once
+
+#include "geom/point.h"
+
+namespace mdg::geom {
+
+/// Orientation of the triple (a, b, c): > 0 counter-clockwise, < 0
+/// clockwise, 0 collinear (within a relative epsilon).
+[[nodiscard]] int orientation(Point a, Point b, Point c);
+
+/// True when q lies on the closed segment pr (assumes collinearity).
+[[nodiscard]] bool on_segment(Point p, Point q, Point r);
+
+/// True when closed segments ab and cd share at least one point.
+[[nodiscard]] bool segments_intersect(Point a, Point b, Point c, Point d);
+
+/// True when the *open* interior of segment ab crosses the open interior
+/// of cd (shared endpoints and touching at endpoints do not count).
+/// This is the predicate visibility graphs need: grazing an obstacle
+/// corner is allowed, cutting through an edge is not.
+[[nodiscard]] bool segments_properly_intersect(Point a, Point b, Point c,
+                                               Point d);
+
+}  // namespace mdg::geom

@@ -1,0 +1,102 @@
+#include "geom/spatial_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace mdg::geom {
+
+SpatialGrid::SpatialGrid(std::span<const Point> points, double cell_size)
+    : points_(points.begin(), points.end()), cell_size_(cell_size) {
+  MDG_REQUIRE(cell_size > 0.0, "cell size must be positive");
+  bounds_ = Aabb::bounding(points_);
+  if (points_.empty()) {
+    cell_start_.assign(1, 0);
+    return;
+  }
+  cells_x_ =
+      static_cast<long long>(std::floor(bounds_.width() / cell_size_)) + 1;
+  cells_y_ =
+      static_cast<long long>(std::floor(bounds_.height() / cell_size_)) + 1;
+
+  const std::size_t total =
+      static_cast<std::size_t>(cells_x_) * static_cast<std::size_t>(cells_y_);
+  // Counting sort of points into cells (CSR layout).
+  std::vector<std::size_t> counts(total, 0);
+  std::vector<std::size_t> slots(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const auto [cx, cy] = cell_of(points_[i]);
+    const std::size_t slot = cell_slot(cx, cy);
+    MDG_ASSERT(slot != kNoCell, "point outside its own bounding box");
+    slots[i] = slot;
+    ++counts[slot];
+  }
+  cell_start_.assign(total + 1, 0);
+  for (std::size_t s = 0; s < total; ++s) {
+    cell_start_[s + 1] = cell_start_[s] + counts[s];
+  }
+  cell_points_.resize(points_.size());
+  std::vector<std::size_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    cell_points_[cursor[slots[i]]++] = i;
+  }
+}
+
+std::pair<long long, long long> SpatialGrid::cell_of(Point p) const {
+  return {static_cast<long long>(std::floor((p.x - bounds_.lo.x) / cell_size_)),
+          static_cast<long long>(
+              std::floor((p.y - bounds_.lo.y) / cell_size_))};
+}
+
+std::size_t SpatialGrid::cell_slot(long long cx, long long cy) const {
+  if (cx < 0 || cy < 0 || cx >= cells_x_ || cy >= cells_y_) {
+    return kNoCell;
+  }
+  return static_cast<std::size_t>(cy) * static_cast<std::size_t>(cells_x_) +
+         static_cast<std::size_t>(cx);
+}
+
+std::vector<std::size_t> SpatialGrid::query(Point center, double radius) const {
+  std::vector<std::size_t> hits;
+  for_each_in_radius(center, radius,
+                     [&hits](std::size_t idx) { hits.push_back(idx); });
+  return hits;
+}
+
+std::size_t SpatialGrid::nearest(Point center) const {
+  if (points_.empty()) {
+    return npos;
+  }
+  // Expanding search: grow the radius until a hit is confirmed nearest
+  // (a closer point can hide in an unscanned cell only while the scan
+  // radius is below its distance) or the scan provably covered every
+  // indexed point.
+  const double reach =
+      std::sqrt(std::max({distance_sq(center, bounds_.lo),
+                          distance_sq(center, bounds_.hi),
+                          distance_sq(center, {bounds_.lo.x, bounds_.hi.y}),
+                          distance_sq(center, {bounds_.hi.x, bounds_.lo.y})}));
+  double radius = cell_size_;
+  for (;;) {
+    std::size_t best = npos;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for_each_in_radius(center, radius, [&](std::size_t idx) {
+      const double d2 = distance_sq(points_[idx], center);
+      if (d2 < best_d2 || (d2 == best_d2 && idx < best)) {
+        best_d2 = d2;
+        best = idx;
+      }
+    });
+    if (best != npos && std::sqrt(best_d2) <= radius) {
+      return best;
+    }
+    if (radius >= reach) {
+      return best;  // the scan covered the whole indexed set
+    }
+    radius *= 2.0;
+  }
+}
+
+}  // namespace mdg::geom

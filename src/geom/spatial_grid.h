@@ -1,0 +1,79 @@
+// Uniform spatial hash grid for O(1)-expected radius queries.
+//
+// Unit-disk connectivity, candidate-coverage computation and the
+// nearest-polling-point lookups all reduce to "which points lie within r of
+// p"; the grid makes those queries linear in the local density instead of
+// O(N) per query.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "geom/point.h"
+
+namespace mdg::geom {
+
+class SpatialGrid {
+ public:
+  /// Indexes `points` with cells of size `cell_size` (> 0). The point span
+  /// is copied; the grid is immutable afterwards. A cell size equal to the
+  /// query radius is the classic sweet spot.
+  SpatialGrid(std::span<const Point> points, double cell_size);
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+
+  /// Indices of all points within `radius` of `center` (inclusive, with
+  /// the same boundary epsilon as within_range). Order unspecified.
+  [[nodiscard]] std::vector<std::size_t> query(Point center,
+                                               double radius) const;
+
+  /// Calls visit(index) for each point within `radius` of `center`;
+  /// avoids allocating when the caller only needs to scan.
+  template <typename Visitor>
+  void for_each_in_radius(Point center, double radius, Visitor&& visit) const {
+    const auto [cx_lo, cy_lo] = cell_of({center.x - radius, center.y - radius});
+    const auto [cx_hi, cy_hi] = cell_of({center.x + radius, center.y + radius});
+    for (long long cy = cy_lo; cy <= cy_hi; ++cy) {
+      for (long long cx = cx_lo; cx <= cx_hi; ++cx) {
+        const auto slot = cell_slot(cx, cy);
+        if (slot == kNoCell) {
+          continue;
+        }
+        for (std::size_t i = cell_start_[slot]; i < cell_start_[slot + 1];
+             ++i) {
+          const std::size_t idx = cell_points_[i];
+          if (within_range(points_[idx], center, radius)) {
+            visit(idx);
+          }
+        }
+      }
+    }
+  }
+
+  /// Index of the nearest point to `center`, or npos when the grid is
+  /// empty. Ties broken by lower index.
+  [[nodiscard]] std::size_t nearest(Point center) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  static constexpr std::size_t kNoCell = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::pair<long long, long long> cell_of(Point p) const;
+  /// Dense slot of cell (cx, cy), or kNoCell when outside the grid.
+  [[nodiscard]] std::size_t cell_slot(long long cx, long long cy) const;
+
+  std::vector<Point> points_;
+  double cell_size_;
+  Aabb bounds_;
+  long long cells_x_ = 0;
+  long long cells_y_ = 0;
+  // CSR layout: cell_start_[slot]..cell_start_[slot+1] indexes into
+  // cell_points_.
+  std::vector<std::size_t> cell_start_;
+  std::vector<std::size_t> cell_points_;
+};
+
+}  // namespace mdg::geom

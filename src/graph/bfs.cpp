@@ -1,0 +1,68 @@
+#include "graph/bfs.h"
+
+#include <deque>
+
+#include "util/assert.h"
+
+namespace mdg::graph {
+
+BfsResult bfs_multi(const Graph& g, std::span<const std::size_t> sources) {
+  MDG_REQUIRE(!sources.empty(), "BFS needs at least one source");
+  BfsResult result;
+  result.hops.assign(g.vertex_count(), kUnreachable);
+  result.parent.assign(g.vertex_count(), kUnreachable);
+
+  std::deque<std::size_t> frontier;
+  for (std::size_t s : sources) {
+    MDG_REQUIRE(s < g.vertex_count(), "BFS source out of range");
+    if (result.hops[s] == kUnreachable) {
+      result.hops[s] = 0;
+      frontier.push_back(s);
+    }
+  }
+  while (!frontier.empty()) {
+    const std::size_t v = frontier.front();
+    frontier.pop_front();
+    for (const Arc& arc : g.neighbors(v)) {
+      if (result.hops[arc.to] == kUnreachable) {
+        result.hops[arc.to] = result.hops[v] + 1;
+        result.parent[arc.to] = v;
+        frontier.push_back(arc.to);
+      }
+    }
+  }
+  return result;
+}
+
+BfsResult bfs(const Graph& g, std::size_t source) {
+  const std::size_t sources[] = {source};
+  return bfs_multi(g, sources);
+}
+
+std::vector<std::size_t> k_hop_neighborhood(const Graph& g, std::size_t source,
+                                            std::size_t max_hops) {
+  MDG_REQUIRE(source < g.vertex_count(), "source out of range");
+  std::vector<std::size_t> hops(g.vertex_count(), kUnreachable);
+  std::vector<std::size_t> order;
+  std::deque<std::size_t> frontier;
+  hops[source] = 0;
+  frontier.push_back(source);
+  order.push_back(source);
+  while (!frontier.empty()) {
+    const std::size_t v = frontier.front();
+    frontier.pop_front();
+    if (hops[v] == max_hops) {
+      continue;
+    }
+    for (const Arc& arc : g.neighbors(v)) {
+      if (hops[arc.to] == kUnreachable) {
+        hops[arc.to] = hops[v] + 1;
+        frontier.push_back(arc.to);
+        order.push_back(arc.to);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace mdg::graph

@@ -1,0 +1,44 @@
+// Breadth-first search utilities: hop distances and parents.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mdg::graph {
+
+/// Marker for vertices unreachable from the BFS source(s).
+inline constexpr std::size_t kUnreachable =
+    std::numeric_limits<std::size_t>::max();
+
+struct BfsResult {
+  /// hops[v] = minimum hop count from the nearest source; kUnreachable if
+  /// disconnected from all sources.
+  std::vector<std::size_t> hops;
+  /// parent[v] = predecessor on one shortest hop path; kUnreachable for
+  /// sources and unreachable vertices.
+  std::vector<std::size_t> parent;
+
+  [[nodiscard]] bool reachable(std::size_t v) const {
+    return hops[v] != kUnreachable;
+  }
+};
+
+/// Single-source BFS.
+[[nodiscard]] BfsResult bfs(const Graph& g, std::size_t source);
+
+/// Multi-source BFS: hop distance to the nearest source. Sources must be
+/// non-empty and in range.
+[[nodiscard]] BfsResult bfs_multi(const Graph& g,
+                                  std::span<const std::size_t> sources);
+
+/// All vertices within `max_hops` of `source` (including the source, hop
+/// 0), in ascending hop order.
+[[nodiscard]] std::vector<std::size_t> k_hop_neighborhood(const Graph& g,
+                                                          std::size_t source,
+                                                          std::size_t max_hops);
+
+}  // namespace mdg::graph

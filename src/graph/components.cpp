@@ -1,0 +1,58 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/assert.h"
+
+namespace mdg::graph {
+
+Components connected_components(const Graph& g) {
+  constexpr std::size_t kUnlabeled = static_cast<std::size_t>(-1);
+  Components result;
+  result.label.assign(g.vertex_count(), kUnlabeled);
+  for (std::size_t start = 0; start < g.vertex_count(); ++start) {
+    if (result.label[start] != kUnlabeled) {
+      continue;
+    }
+    const std::size_t label = result.count++;
+    std::deque<std::size_t> frontier{start};
+    result.label[start] = label;
+    while (!frontier.empty()) {
+      const std::size_t v = frontier.front();
+      frontier.pop_front();
+      for (const Arc& arc : g.neighbors(v)) {
+        if (result.label[arc.to] == kUnlabeled) {
+          result.label[arc.to] = label;
+          frontier.push_back(arc.to);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::size_t> Components::members(std::size_t c) const {
+  MDG_REQUIRE(c < count, "component index out of range");
+  std::vector<std::size_t> verts;
+  for (std::size_t v = 0; v < label.size(); ++v) {
+    if (label[v] == c) {
+      verts.push_back(v);
+    }
+  }
+  return verts;
+}
+
+std::size_t Components::largest_size() const {
+  std::vector<std::size_t> sizes(count, 0);
+  for (std::size_t l : label) {
+    ++sizes[l];
+  }
+  return sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+}
+
+bool is_connected(const Graph& g) {
+  return connected_components(g).count <= 1;
+}
+
+}  // namespace mdg::graph

@@ -1,0 +1,32 @@
+// Connected-component labelling.
+//
+// Mobile collection works on disconnected deployments (the collector just
+// drives between islands); the multihop baseline does not. Component
+// labels let the harness report both fairly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mdg::graph {
+
+struct Components {
+  /// label[v] in [0, count), assigned in discovery order from vertex 0.
+  std::vector<std::size_t> label;
+  std::size_t count = 0;
+
+  /// Vertices of component c.
+  [[nodiscard]] std::vector<std::size_t> members(std::size_t c) const;
+  /// Size of the largest component (0 for the empty graph).
+  [[nodiscard]] std::size_t largest_size() const;
+};
+
+[[nodiscard]] Components connected_components(const Graph& g);
+
+/// True when the graph has one component containing every vertex (the
+/// empty graph counts as connected).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+}  // namespace mdg::graph

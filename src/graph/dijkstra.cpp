@@ -1,0 +1,66 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/bfs.h"
+#include "util/assert.h"
+
+namespace mdg::graph {
+
+DijkstraResult dijkstra_multi(const Graph& g,
+                              std::span<const std::size_t> sources) {
+  MDG_REQUIRE(!sources.empty(), "Dijkstra needs at least one source");
+  DijkstraResult result;
+  result.dist.assign(g.vertex_count(),
+                     std::numeric_limits<double>::infinity());
+  result.parent.assign(g.vertex_count(), kUnreachable);
+
+  using Entry = std::pair<double, std::size_t>;  // (dist, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t s : sources) {
+    MDG_REQUIRE(s < g.vertex_count(), "Dijkstra source out of range");
+    if (result.dist[s] != 0.0) {
+      result.dist[s] = 0.0;
+      heap.emplace(0.0, s);
+    }
+  }
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > result.dist[v]) {
+      continue;  // stale entry
+    }
+    for (const Arc& arc : g.neighbors(v)) {
+      const double nd = d + arc.weight;
+      if (nd < result.dist[arc.to]) {
+        result.dist[arc.to] = nd;
+        result.parent[arc.to] = v;
+        heap.emplace(nd, arc.to);
+      }
+    }
+  }
+  return result;
+}
+
+DijkstraResult dijkstra(const Graph& g, std::size_t source) {
+  const std::size_t sources[] = {source};
+  return dijkstra_multi(g, sources);
+}
+
+std::vector<std::size_t> extract_path(const DijkstraResult& result,
+                                      std::size_t target) {
+  MDG_REQUIRE(target < result.dist.size(), "target out of range");
+  if (!result.reachable(target)) {
+    return {};
+  }
+  std::vector<std::size_t> path{target};
+  while (result.parent[path.back()] != kUnreachable) {
+    path.push_back(result.parent[path.back()]);
+    MDG_ASSERT(path.size() <= result.dist.size(), "parent cycle detected");
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace mdg::graph

@@ -1,0 +1,38 @@
+// Dijkstra shortest paths over weighted connectivity graphs.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mdg::graph {
+
+struct DijkstraResult {
+  /// dist[v] = weighted distance from the nearest source; +inf when
+  /// unreachable.
+  std::vector<double> dist;
+  /// parent[v] on one shortest path; kUnreachable (see bfs.h) for sources
+  /// and unreachable vertices.
+  std::vector<std::size_t> parent;
+
+  [[nodiscard]] bool reachable(std::size_t v) const {
+    return dist[v] != std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Single-source Dijkstra.
+[[nodiscard]] DijkstraResult dijkstra(const Graph& g, std::size_t source);
+
+/// Multi-source Dijkstra (distance to the nearest source).
+[[nodiscard]] DijkstraResult dijkstra_multi(
+    const Graph& g, std::span<const std::size_t> sources);
+
+/// Reconstructs the path source→…→target from a result; empty when
+/// unreachable.
+[[nodiscard]] std::vector<std::size_t> extract_path(
+    const DijkstraResult& result, std::size_t target);
+
+}  // namespace mdg::graph

@@ -1,0 +1,50 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace mdg::graph {
+
+Graph::Graph(std::size_t vertex_count, std::span<const Edge> edges) {
+  edges_.reserve(edges.size());
+  for (const Edge& e : edges) {
+    MDG_REQUIRE(e.u < vertex_count && e.v < vertex_count,
+                "edge endpoint out of range");
+    MDG_REQUIRE(e.u != e.v, "self-loops are not allowed");
+    MDG_REQUIRE(e.weight >= 0.0, "edge weights must be non-negative");
+    edges_.push_back(
+        e.u < e.v ? e : Edge{e.v, e.u, e.weight});
+  }
+
+  std::vector<std::size_t> degree(vertex_count, 0);
+  for (const Edge& e : edges_) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  offsets_.assign(vertex_count + 1, 0);
+  for (std::size_t v = 0; v < vertex_count; ++v) {
+    offsets_[v + 1] = offsets_[v] + degree[v];
+  }
+  arcs_.resize(offsets_.back());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edges_) {
+    arcs_[cursor[e.u]++] = {e.v, e.weight};
+    arcs_[cursor[e.v]++] = {e.u, e.weight};
+  }
+}
+
+std::span<const Arc> Graph::neighbors(std::size_t v) const {
+  MDG_REQUIRE(v < vertex_count(), "vertex out of range");
+  return {arcs_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+}
+
+double Graph::average_degree() const {
+  if (vertex_count() == 0) {
+    return 0.0;
+  }
+  return 2.0 * static_cast<double>(edge_count()) /
+         static_cast<double>(vertex_count());
+}
+
+}  // namespace mdg::graph

@@ -1,0 +1,56 @@
+// Immutable undirected graph in CSR (compressed sparse row) form.
+//
+// The WSN connectivity graph is built once per topology and then queried
+// heavily (BFS layers, shortest-path trees, component checks), so a
+// cache-friendly CSR layout beats adjacency lists of vectors.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mdg::graph {
+
+/// One endpoint record: neighbour id plus edge weight (Euclidean length
+/// for WSN graphs).
+struct Arc {
+  std::size_t to = 0;
+  double weight = 0.0;
+};
+
+struct Edge {
+  std::size_t u = 0;
+  std::size_t v = 0;
+  double weight = 0.0;
+};
+
+class Graph {
+ public:
+  /// Builds from an undirected edge list over vertices [0, n). Self-loops
+  /// and negative weights are rejected; parallel edges are allowed but
+  /// the WSN builders never produce them.
+  Graph(std::size_t vertex_count, std::span<const Edge> edges);
+
+  [[nodiscard]] std::size_t vertex_count() const { return offsets_.size() - 1; }
+  [[nodiscard]] std::size_t edge_count() const { return arcs_.size() / 2; }
+
+  /// Neighbours of v with weights, as a contiguous span.
+  [[nodiscard]] std::span<const Arc> neighbors(std::size_t v) const;
+
+  [[nodiscard]] std::size_t degree(std::size_t v) const {
+    return neighbors(v).size();
+  }
+
+  /// Mean vertex degree; 0 for the empty graph.
+  [[nodiscard]] double average_degree() const;
+
+  /// The original edge list (u < v normalized).
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+ private:
+  std::vector<std::size_t> offsets_;  // size n+1
+  std::vector<Arc> arcs_;             // both directions
+  std::vector<Edge> edges_;           // normalized originals
+};
+
+}  // namespace mdg::graph

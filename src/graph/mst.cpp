@@ -1,0 +1,97 @@
+#include "graph/mst.h"
+
+#include <limits>
+#include <queue>
+
+#include "util/assert.h"
+
+namespace mdg::graph {
+
+MstResult minimum_spanning_forest(const Graph& g) {
+  MstResult result;
+  const std::size_t n = g.vertex_count();
+  std::vector<bool> in_tree(n, false);
+  using Entry = std::pair<double, std::pair<std::size_t, std::size_t>>;
+  for (std::size_t root = 0; root < n; ++root) {
+    if (in_tree[root]) {
+      continue;
+    }
+    // Prim from this component's root.
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    in_tree[root] = true;
+    for (const Arc& arc : g.neighbors(root)) {
+      heap.push({arc.weight, {root, arc.to}});
+    }
+    while (!heap.empty()) {
+      const auto [w, uv] = heap.top();
+      heap.pop();
+      const auto [u, v] = uv;
+      if (in_tree[v]) {
+        continue;
+      }
+      in_tree[v] = true;
+      result.edges.push_back({u, v, w});
+      result.total_weight += w;
+      for (const Arc& arc : g.neighbors(v)) {
+        if (!in_tree[arc.to]) {
+          heap.push({arc.weight, {v, arc.to}});
+        }
+      }
+    }
+  }
+  return result;
+}
+
+MstResult euclidean_mst(std::span<const geom::Point> points) {
+  MstResult result;
+  const std::size_t n = points.size();
+  if (n <= 1) {
+    return result;
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best(n, kInf);   // squared distance to the tree
+  std::vector<std::size_t> link(n, 0);  // closest tree vertex
+  std::vector<bool> in_tree(n, false);
+
+  std::size_t current = 0;
+  in_tree[0] = true;
+  for (std::size_t step = 1; step < n; ++step) {
+    std::size_t next = static_cast<std::size_t>(-1);
+    double next_d = kInf;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (in_tree[v]) {
+        continue;
+      }
+      const double d = geom::distance_sq(points[current], points[v]);
+      if (d < best[v]) {
+        best[v] = d;
+        link[v] = current;
+      }
+      if (best[v] < next_d) {
+        next_d = best[v];
+        next = v;
+      }
+    }
+    MDG_ASSERT(next != static_cast<std::size_t>(-1), "dense Prim stalled");
+    in_tree[next] = true;
+    const double w = std::sqrt(next_d);
+    result.edges.push_back({link[next], next, w});
+    result.total_weight += w;
+    current = next;
+  }
+  return result;
+}
+
+std::vector<std::vector<std::size_t>> tree_adjacency(
+    std::size_t vertex_count, std::span<const Edge> edges) {
+  std::vector<std::vector<std::size_t>> adj(vertex_count);
+  for (const Edge& e : edges) {
+    MDG_REQUIRE(e.u < vertex_count && e.v < vertex_count,
+                "tree edge endpoint out of range");
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+  return adj;
+}
+
+}  // namespace mdg::graph

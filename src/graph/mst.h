@@ -1,0 +1,35 @@
+// Minimum spanning trees.
+//
+// Two variants are needed: sparse Prim over a connectivity Graph (TSP
+// 2-approximation inside the tour library works on the complete geometric
+// graph, so a dense O(n^2) Prim over points is provided too — it beats a
+// heap-based Prim on complete graphs).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+#include "graph/graph.h"
+
+namespace mdg::graph {
+
+struct MstResult {
+  std::vector<Edge> edges;  ///< n-1 edges per connected component tree
+  double total_weight = 0.0;
+};
+
+/// Prim over a sparse graph; spans every component (a spanning forest
+/// when disconnected).
+[[nodiscard]] MstResult minimum_spanning_forest(const Graph& g);
+
+/// Dense Prim over the complete Euclidean graph of `points` (O(n^2) time,
+/// O(n) memory). Returns n-1 edges for n >= 1 points.
+[[nodiscard]] MstResult euclidean_mst(std::span<const geom::Point> points);
+
+/// Adjacency lists of a tree/forest given by `edges` over n vertices.
+[[nodiscard]] std::vector<std::vector<std::size_t>> tree_adjacency(
+    std::size_t vertex_count, std::span<const Edge> edges);
+
+}  // namespace mdg::graph

@@ -1,0 +1,69 @@
+#include "graph/spt.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace mdg::graph {
+
+ShortestPathTree::ShortestPathTree(const Graph& g, std::size_t sink)
+    : sink_(sink), bfs_(bfs(g, sink)) {}
+
+std::vector<std::size_t> ShortestPathTree::disconnected() const {
+  std::vector<std::size_t> result;
+  for (std::size_t v = 0; v < bfs_.hops.size(); ++v) {
+    if (!bfs_.reachable(v)) {
+      result.push_back(v);
+    }
+  }
+  return result;
+}
+
+double ShortestPathTree::average_hops() const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t v = 0; v < bfs_.hops.size(); ++v) {
+    if (v != sink_ && bfs_.reachable(v)) {
+      sum += static_cast<double>(bfs_.hops[v]);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+std::size_t ShortestPathTree::depth() const {
+  std::size_t deepest = 0;
+  for (std::size_t v = 0; v < bfs_.hops.size(); ++v) {
+    if (bfs_.reachable(v)) {
+      deepest = std::max(deepest, bfs_.hops[v]);
+    }
+  }
+  return deepest;
+}
+
+std::vector<std::size_t> ShortestPathTree::subtree_sizes() const {
+  const std::size_t n = bfs_.hops.size();
+  std::vector<std::size_t> sizes(n, 0);
+  // Process vertices from deepest to shallowest so children accumulate
+  // into parents in one pass.
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (bfs_.reachable(v)) {
+      order.push_back(v);
+      sizes[v] = 1;
+    }
+  }
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return bfs_.hops[a] > bfs_.hops[b];
+  });
+  for (std::size_t v : order) {
+    const std::size_t p = bfs_.parent[v];
+    if (p != kUnreachable) {
+      sizes[p] += sizes[v];
+    }
+  }
+  return sizes;
+}
+
+}  // namespace mdg::graph

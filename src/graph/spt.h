@@ -1,0 +1,53 @@
+// Shortest-path tree toward the static data sink — the substrate of the
+// multihop relay-routing baseline the paper motivates against.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/bfs.h"
+#include "graph/graph.h"
+
+namespace mdg::graph {
+
+/// Minimum-hop shortest-path tree rooted at `sink` over graph g.
+class ShortestPathTree {
+ public:
+  ShortestPathTree(const Graph& g, std::size_t sink);
+
+  [[nodiscard]] std::size_t sink() const { return sink_; }
+
+  /// Hop count of v to the sink; kUnreachable when disconnected.
+  [[nodiscard]] std::size_t hops(std::size_t v) const { return bfs_.hops[v]; }
+
+  /// Next hop of v toward the sink; kUnreachable for the sink itself and
+  /// for disconnected vertices.
+  [[nodiscard]] std::size_t next_hop(std::size_t v) const {
+    return bfs_.parent[v];
+  }
+
+  [[nodiscard]] bool reachable(std::size_t v) const {
+    return bfs_.reachable(v);
+  }
+
+  /// Vertices that cannot reach the sink.
+  [[nodiscard]] std::vector<std::size_t> disconnected() const;
+
+  /// Mean hop count over all *reachable* vertices excluding the sink
+  /// (the paper's "5.3 hops on average" style metric). 0 when none.
+  [[nodiscard]] double average_hops() const;
+
+  /// Maximum hop count among reachable vertices (the tree depth).
+  [[nodiscard]] std::size_t depth() const;
+
+  /// descendants[v] = number of tree vertices whose sink path passes
+  /// through v, v included. The sink's count equals the number of
+  /// reachable vertices. Relay load is proportional to this.
+  [[nodiscard]] std::vector<std::size_t> subtree_sizes() const;
+
+ private:
+  std::size_t sink_;
+  BfsResult bfs_;
+};
+
+}  // namespace mdg::graph

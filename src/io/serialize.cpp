@@ -1,0 +1,195 @@
+#include "io/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace mdg::io {
+namespace {
+
+void expect_token(std::istream& in, const std::string& expected) {
+  std::string token;
+  in >> token;
+  MDG_REQUIRE(!in.fail() && token == expected,
+              "malformed input: expected '" + expected + "', got '" + token +
+                  "'");
+}
+
+template <typename T>
+T read_value(std::istream& in, const char* what) {
+  T value{};
+  in >> value;
+  MDG_REQUIRE(!in.fail(), std::string("malformed input: bad ") + what);
+  return value;
+}
+
+std::ostream& full_precision(std::ostream& out) {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  return out;
+}
+
+}  // namespace
+
+void write_network(std::ostream& out, const net::SensorNetwork& network) {
+  full_precision(out);
+  out << "mdg-network 2\n";
+  const geom::Aabb& f = network.field();
+  out << "field " << f.lo.x << ' ' << f.lo.y << ' ' << f.hi.x << ' ' << f.hi.y
+      << '\n';
+  out << "sink " << network.sink().x << ' ' << network.sink().y << '\n';
+  out << "range " << network.range() << '\n';
+  const net::RadioModel& r = network.radio();
+  out << "radio " << r.e_elec << ' ' << r.eps_amp << ' ' << r.eps_mp << ' '
+      << r.packet_bits << '\n';
+  out << "sensors " << network.size() << '\n';
+  for (const geom::Point& p : network.positions()) {
+    out << p.x << ' ' << p.y << '\n';
+  }
+}
+
+net::SensorNetwork read_network(std::istream& in) {
+  expect_token(in, "mdg-network");
+  const int version = read_value<int>(in, "version");
+  MDG_REQUIRE(version == 1 || version == 2,
+              "unsupported mdg-network version");
+
+  expect_token(in, "field");
+  geom::Aabb field;
+  field.lo.x = read_value<double>(in, "field");
+  field.lo.y = read_value<double>(in, "field");
+  field.hi.x = read_value<double>(in, "field");
+  field.hi.y = read_value<double>(in, "field");
+
+  expect_token(in, "sink");
+  geom::Point sink;
+  sink.x = read_value<double>(in, "sink");
+  sink.y = read_value<double>(in, "sink");
+
+  expect_token(in, "range");
+  const double range = read_value<double>(in, "range");
+
+  expect_token(in, "radio");
+  net::RadioModel radio;
+  radio.e_elec = read_value<double>(in, "radio");
+  radio.eps_amp = read_value<double>(in, "radio");
+  if (version >= 2) {
+    radio.eps_mp = read_value<double>(in, "radio");
+  }
+  radio.packet_bits = read_value<std::size_t>(in, "radio");
+
+  expect_token(in, "sensors");
+  const auto count = read_value<std::size_t>(in, "sensor count");
+  std::vector<geom::Point> positions;
+  positions.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    geom::Point p;
+    p.x = read_value<double>(in, "sensor position");
+    p.y = read_value<double>(in, "sensor position");
+    positions.push_back(p);
+  }
+  return net::SensorNetwork(std::move(positions), sink, field, range, radio);
+}
+
+void write_solution(std::ostream& out, const core::ShdgpSolution& solution) {
+  full_precision(out);
+  out << "mdg-solution 1\n";
+  out << "planner " << (solution.planner.empty() ? "-" : solution.planner)
+      << '\n';
+  out << "tour-length " << solution.tour_length << '\n';
+  out << "optimal " << (solution.provably_optimal ? 1 : 0) << '\n';
+  out << "polling " << solution.polling_points.size() << '\n';
+  for (std::size_t i = 0; i < solution.polling_points.size(); ++i) {
+    out << solution.polling_candidates[i] << ' '
+        << solution.polling_points[i].x << ' ' << solution.polling_points[i].y
+        << '\n';
+  }
+  out << "assignment " << solution.assignment.size() << '\n';
+  for (std::size_t slot : solution.assignment) {
+    out << slot << '\n';
+  }
+  out << "tour " << solution.tour.size() << '\n';
+  for (std::size_t pos = 0; pos < solution.tour.size(); ++pos) {
+    out << solution.tour.at(pos) << '\n';
+  }
+}
+
+core::ShdgpSolution read_solution(std::istream& in) {
+  expect_token(in, "mdg-solution");
+  const int version = read_value<int>(in, "version");
+  MDG_REQUIRE(version == 1, "unsupported mdg-solution version");
+
+  core::ShdgpSolution solution;
+  expect_token(in, "planner");
+  in >> solution.planner;
+  if (solution.planner == "-") {
+    solution.planner.clear();
+  }
+  expect_token(in, "tour-length");
+  solution.tour_length = read_value<double>(in, "tour length");
+  expect_token(in, "optimal");
+  solution.provably_optimal = read_value<int>(in, "optimal flag") != 0;
+
+  expect_token(in, "polling");
+  const auto pps = read_value<std::size_t>(in, "polling count");
+  solution.polling_candidates.reserve(pps);
+  solution.polling_points.reserve(pps);
+  for (std::size_t i = 0; i < pps; ++i) {
+    solution.polling_candidates.push_back(
+        read_value<std::size_t>(in, "candidate id"));
+    geom::Point p;
+    p.x = read_value<double>(in, "polling point");
+    p.y = read_value<double>(in, "polling point");
+    solution.polling_points.push_back(p);
+  }
+
+  expect_token(in, "assignment");
+  const auto sensors = read_value<std::size_t>(in, "assignment count");
+  solution.assignment.reserve(sensors);
+  for (std::size_t i = 0; i < sensors; ++i) {
+    solution.assignment.push_back(read_value<std::size_t>(in, "assignment"));
+  }
+
+  expect_token(in, "tour");
+  const auto stops = read_value<std::size_t>(in, "tour size");
+  std::vector<std::size_t> order;
+  order.reserve(stops);
+  for (std::size_t i = 0; i < stops; ++i) {
+    order.push_back(read_value<std::size_t>(in, "tour index"));
+  }
+  solution.tour = tsp::Tour(std::move(order));
+  return solution;
+}
+
+void save_network(const std::string& path, const net::SensorNetwork& network) {
+  std::ofstream out(path);
+  MDG_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  write_network(out, network);
+  MDG_REQUIRE(out.good(), "failed writing '" + path + "'");
+}
+
+net::SensorNetwork load_network(const std::string& path) {
+  std::ifstream in(path);
+  MDG_REQUIRE(in.good(), "cannot open '" + path + "' for reading");
+  return read_network(in);
+}
+
+void save_solution(const std::string& path,
+                   const core::ShdgpSolution& solution) {
+  std::ofstream out(path);
+  MDG_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  write_solution(out, solution);
+  MDG_REQUIRE(out.good(), "failed writing '" + path + "'");
+}
+
+core::ShdgpSolution load_solution(const std::string& path) {
+  std::ifstream in(path);
+  MDG_REQUIRE(in.good(), "cannot open '" + path + "' for reading");
+  return read_solution(in);
+}
+
+}  // namespace mdg::io

@@ -1,0 +1,53 @@
+// Plain-text persistence for networks and solutions.
+//
+// A line-oriented, versioned, human-diffable format so experiment
+// topologies can be pinned in files, shared between runs, and attached to
+// bug reports. Floating-point values round-trip exactly (max_digits10).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/solution.h"
+#include "net/sensor_network.h"
+
+namespace mdg::io {
+
+/// Writes a network as:
+///   mdg-network 2
+///   field <lo.x> <lo.y> <hi.x> <hi.y>
+///   sink <x> <y>
+///   range <Rs>
+///   radio <e_elec> <eps_amp> <eps_mp> <packet_bits>
+///   sensors <N>
+///   <x> <y>          (N lines)
+/// Version 1 files (radio line without eps_mp) are still readable.
+void write_network(std::ostream& out, const net::SensorNetwork& network);
+
+/// Parses the write_network format. Throws PreconditionError on
+/// malformed input.
+[[nodiscard]] net::SensorNetwork read_network(std::istream& in);
+
+/// Writes a solution (references the instance only for the sink):
+///   mdg-solution 1
+///   planner <name>
+///   tour-length <L>
+///   polling <P>
+///   <candidate-id> <x> <y>    (P lines)
+///   assignment <N>
+///   <slot>                    (N lines)
+///   tour <P+1>
+///   <index>                   (P+1 lines)
+void write_solution(std::ostream& out, const core::ShdgpSolution& solution);
+
+/// Parses the write_solution format.
+[[nodiscard]] core::ShdgpSolution read_solution(std::istream& in);
+
+/// File helpers (throw on I/O failure).
+void save_network(const std::string& path, const net::SensorNetwork& network);
+[[nodiscard]] net::SensorNetwork load_network(const std::string& path);
+void save_solution(const std::string& path,
+                   const core::ShdgpSolution& solution);
+[[nodiscard]] core::ShdgpSolution load_solution(const std::string& path);
+
+}  // namespace mdg::io

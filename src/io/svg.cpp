@@ -1,0 +1,193 @@
+#include "io/svg.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace mdg::io {
+namespace {
+
+// Colour cycle for multi-collector subtours.
+const char* kTourColors[] = {"#d62728", "#1f77b4", "#2ca02c",
+                             "#9467bd", "#ff7f0e", "#8c564b"};
+
+std::string fmt(double v) {
+  std::ostringstream out;
+  out.precision(2);
+  out << std::fixed << v;
+  return out.str();
+}
+
+}  // namespace
+
+SvgCanvas::SvgCanvas(const geom::Aabb& field, SvgOptions options)
+    : field_(field), options_(options) {
+  MDG_REQUIRE(options.pixels_per_meter > 0.0, "scale must be positive");
+}
+
+double SvgCanvas::x(double meters_x) const {
+  return options_.padding_px +
+         (meters_x - field_.lo.x) * options_.pixels_per_meter;
+}
+
+double SvgCanvas::y(double meters_y) const {
+  return options_.padding_px +
+         (field_.hi.y - meters_y) * options_.pixels_per_meter;
+}
+
+void SvgCanvas::add_circle(geom::Point center, double radius_m,
+                           const std::string& fill, const std::string& stroke,
+                           double opacity) {
+  std::ostringstream el;
+  el << "<circle cx=\"" << fmt(x(center.x)) << "\" cy=\"" << fmt(y(center.y))
+     << "\" r=\"" << fmt(radius_m * options_.pixels_per_meter)
+     << "\" fill=\"" << fill << "\" stroke=\"" << stroke << "\" opacity=\""
+     << fmt(opacity) << "\"/>";
+  elements_.push_back(el.str());
+}
+
+void SvgCanvas::add_line(geom::Point a, geom::Point b,
+                         const std::string& stroke, double width_px,
+                         double opacity) {
+  std::ostringstream el;
+  el << "<line x1=\"" << fmt(x(a.x)) << "\" y1=\"" << fmt(y(a.y))
+     << "\" x2=\"" << fmt(x(b.x)) << "\" y2=\"" << fmt(y(b.y))
+     << "\" stroke=\"" << stroke << "\" stroke-width=\"" << fmt(width_px)
+     << "\" opacity=\"" << fmt(opacity) << "\"/>";
+  elements_.push_back(el.str());
+}
+
+void SvgCanvas::add_polyline(const std::vector<geom::Point>& points,
+                             const std::string& stroke, double width_px) {
+  if (points.size() < 2) {
+    return;
+  }
+  std::ostringstream el;
+  el << "<polyline fill=\"none\" stroke=\"" << stroke
+     << "\" stroke-width=\"" << fmt(width_px) << "\" points=\"";
+  for (const geom::Point& p : points) {
+    el << fmt(x(p.x)) << ',' << fmt(y(p.y)) << ' ';
+  }
+  el << "\"/>";
+  elements_.push_back(el.str());
+}
+
+void SvgCanvas::add_rect(const geom::Aabb& box, const std::string& fill,
+                         double opacity) {
+  std::ostringstream el;
+  el << "<rect x=\"" << fmt(x(box.lo.x)) << "\" y=\"" << fmt(y(box.hi.y))
+     << "\" width=\"" << fmt(box.width() * options_.pixels_per_meter)
+     << "\" height=\"" << fmt(box.height() * options_.pixels_per_meter)
+     << "\" fill=\"" << fill << "\" opacity=\"" << fmt(opacity) << "\"/>";
+  elements_.push_back(el.str());
+}
+
+void SvgCanvas::add_label(geom::Point at, const std::string& text,
+                          int font_px) {
+  std::ostringstream el;
+  el << "<text x=\"" << fmt(x(at.x)) << "\" y=\"" << fmt(y(at.y))
+     << "\" font-size=\"" << font_px << "\" font-family=\"sans-serif\">"
+     << text << "</text>";
+  elements_.push_back(el.str());
+}
+
+void SvgCanvas::draw_network(const net::SensorNetwork& network) {
+  if (options_.draw_connectivity) {
+    for (const graph::Edge& e : network.connectivity().edges()) {
+      add_line(network.position(e.u), network.position(e.v), "#cccccc", 0.5,
+               0.6);
+    }
+  }
+  for (const geom::Point& p : network.positions()) {
+    add_circle(p, 1.2 / options_.pixels_per_meter, "#555555");
+  }
+  // The sink: a distinctive square-ish mark (drawn as concentric rings).
+  add_circle(network.sink(), 3.0 / options_.pixels_per_meter, "#000000");
+  add_circle(network.sink(), 5.0 / options_.pixels_per_meter, "none",
+             "#000000");
+}
+
+void SvgCanvas::draw_solution(const core::ShdgpInstance& instance,
+                              const core::ShdgpSolution& solution) {
+  const auto& network = instance.network();
+  if (options_.draw_affiliations) {
+    for (std::size_t s = 0; s < solution.assignment.size(); ++s) {
+      add_line(network.position(s),
+               solution.polling_points[solution.assignment[s]], "#2ca02c",
+               0.6, 0.5);
+    }
+  }
+  if (options_.draw_range_disks) {
+    for (const geom::Point& pp : solution.polling_points) {
+      add_circle(pp, network.range(), "#1f77b4", "none", 0.08);
+    }
+  }
+  for (const geom::Point& pp : solution.polling_points) {
+    add_circle(pp, 2.2 / options_.pixels_per_meter, "#1f77b4");
+  }
+  add_polyline(solution.tour_coordinates(instance), "#d62728", 1.5);
+  // Close the loop visually.
+  const auto coords = solution.tour_coordinates(instance);
+  if (coords.size() >= 2) {
+    add_line(coords.back(), coords.front(), "#d62728", 1.5);
+  }
+}
+
+void SvgCanvas::draw_multi_tour(const core::ShdgpInstance& instance,
+                                const core::MultiTourPlan& plan) {
+  for (std::size_t c = 0; c < plan.subtours.size(); ++c) {
+    const auto& st = plan.subtours[c];
+    if (st.stops.empty()) {
+      continue;
+    }
+    std::vector<geom::Point> loop{instance.sink()};
+    loop.insert(loop.end(), st.stops.begin(), st.stops.end());
+    loop.push_back(instance.sink());
+    add_polyline(loop,
+                 kTourColors[c % (sizeof(kTourColors) / sizeof(char*))],
+                 1.5);
+  }
+}
+
+void SvgCanvas::draw_obstacles(const route::ObstacleMap& map) {
+  for (const geom::Aabb& box : map.obstacles()) {
+    add_rect(box, "#444444", 0.45);
+  }
+}
+
+void SvgCanvas::draw_path(const std::vector<geom::Point>& polyline,
+                          const std::string& stroke) {
+  add_polyline(polyline, stroke, 1.5);
+}
+
+void SvgCanvas::write(std::ostream& out) const {
+  const double w = field_.width() * options_.pixels_per_meter +
+                   2.0 * options_.padding_px;
+  const double h = field_.height() * options_.pixels_per_meter +
+                   2.0 * options_.padding_px;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << fmt(w)
+      << "\" height=\"" << fmt(h) << "\">\n";
+  out << "<rect x=\"0\" y=\"0\" width=\"" << fmt(w) << "\" height=\""
+      << fmt(h) << "\" fill=\"#ffffff\"/>\n";
+  for (const std::string& el : elements_) {
+    out << el << '\n';
+  }
+  out << "</svg>\n";
+}
+
+std::string SvgCanvas::to_string() const {
+  std::ostringstream out;
+  write(out);
+  return out.str();
+}
+
+void SvgCanvas::save(const std::string& path) const {
+  std::ofstream out(path);
+  MDG_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  write(out);
+  MDG_REQUIRE(out.good(), "failed writing '" + path + "'");
+}
+
+}  // namespace mdg::io

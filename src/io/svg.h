@@ -1,0 +1,67 @@
+// SVG rendering of deployments, plans and collector tours — the
+// reproduction's counterpart of the paper's topology figures
+// (Fig-1-style network/tour plots).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/multi_collector.h"
+#include "core/solution.h"
+#include "route/obstacle_map.h"
+
+namespace mdg::io {
+
+struct SvgOptions {
+  double pixels_per_meter = 2.0;
+  double padding_px = 20.0;
+  bool draw_connectivity = false;   ///< unit-disk edges (dense!)
+  bool draw_affiliations = true;    ///< sensor -> polling point spokes
+  bool draw_range_disks = false;    ///< Rs disk around each polling point
+};
+
+class SvgCanvas {
+ public:
+  SvgCanvas(const geom::Aabb& field, SvgOptions options = {});
+
+  /// Primitive layer (all coordinates in field metres).
+  void add_circle(geom::Point center, double radius_m,
+                  const std::string& fill, const std::string& stroke = "none",
+                  double opacity = 1.0);
+  void add_line(geom::Point a, geom::Point b, const std::string& stroke,
+                double width_px = 1.0, double opacity = 1.0);
+  void add_polyline(const std::vector<geom::Point>& points,
+                    const std::string& stroke, double width_px = 2.0);
+  void add_rect(const geom::Aabb& box, const std::string& fill,
+                double opacity = 1.0);
+  void add_label(geom::Point at, const std::string& text, int font_px = 10);
+
+  /// Scene layer.
+  void draw_network(const net::SensorNetwork& network);
+  void draw_solution(const core::ShdgpInstance& instance,
+                     const core::ShdgpSolution& solution);
+  void draw_multi_tour(const core::ShdgpInstance& instance,
+                       const core::MultiTourPlan& plan);
+  void draw_obstacles(const route::ObstacleMap& map);
+  void draw_path(const std::vector<geom::Point>& polyline,
+                 const std::string& stroke = "#d62728");
+
+  /// Serialises the document.
+  void write(std::ostream& out) const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Convenience: write to a file path; throws on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  [[nodiscard]] double x(double meters_x) const;
+  [[nodiscard]] double y(double meters_y) const;  // SVG y grows downward
+
+  geom::Aabb field_;
+  SvgOptions options_;
+  std::vector<std::string> elements_;
+};
+
+}  // namespace mdg::io

@@ -1,0 +1,84 @@
+#include "net/deployment.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace mdg::net {
+
+std::vector<geom::Point> deploy_uniform(std::size_t count,
+                                        const geom::Aabb& field, Rng& rng) {
+  MDG_REQUIRE(field.width() > 0.0 && field.height() > 0.0,
+              "field must have positive area");
+  std::vector<geom::Point> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    points.push_back(
+        {rng.uniform(field.lo.x, field.hi.x), rng.uniform(field.lo.y, field.hi.y)});
+  }
+  return points;
+}
+
+std::vector<geom::Point> deploy_grid_jitter(std::size_t count,
+                                            const geom::Aabb& field,
+                                            double jitter, Rng& rng) {
+  MDG_REQUIRE(jitter >= 0.0 && jitter <= 0.5, "jitter must be in [0, 0.5]");
+  if (count == 0) {
+    return {};
+  }
+  const auto side =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(count))));
+  const double pitch_x = field.width() / static_cast<double>(side);
+  const double pitch_y = field.height() / static_cast<double>(side);
+  std::vector<geom::Point> points;
+  points.reserve(count);
+  for (std::size_t row = 0; row < side && points.size() < count; ++row) {
+    for (std::size_t col = 0; col < side && points.size() < count; ++col) {
+      geom::Point p{
+          field.lo.x + (static_cast<double>(col) + 0.5) * pitch_x,
+          field.lo.y + (static_cast<double>(row) + 0.5) * pitch_y};
+      if (jitter > 0.0) {
+        p.x += rng.uniform(-jitter, jitter) * pitch_x;
+        p.y += rng.uniform(-jitter, jitter) * pitch_y;
+      }
+      points.push_back(field.clamp(p));
+    }
+  }
+  return points;
+}
+
+std::vector<geom::Point> deploy_gaussian_clusters(std::size_t count,
+                                                  const geom::Aabb& field,
+                                                  std::size_t clusters,
+                                                  double stddev, Rng& rng) {
+  MDG_REQUIRE(clusters > 0, "need at least one cluster");
+  MDG_REQUIRE(stddev >= 0.0, "stddev must be non-negative");
+  std::vector<geom::Point> centers = deploy_uniform(clusters, field, rng);
+  std::vector<geom::Point> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const geom::Point c = centers[i % clusters];
+    points.push_back(field.clamp(
+        {rng.normal(c.x, stddev), rng.normal(c.y, stddev)}));
+  }
+  return points;
+}
+
+std::vector<geom::Point> deploy_two_islands(std::size_t count,
+                                            const geom::Aabb& field,
+                                            double gap_fraction, Rng& rng) {
+  MDG_REQUIRE(gap_fraction > 0.0 && gap_fraction < 1.0,
+              "gap fraction must be in (0, 1)");
+  const double island_width = field.width() * (1.0 - gap_fraction) / 2.0;
+  const geom::Aabb left{{field.lo.x, field.lo.y},
+                        {field.lo.x + island_width, field.hi.y}};
+  const geom::Aabb right{{field.hi.x - island_width, field.lo.y},
+                         {field.hi.x, field.hi.y}};
+  std::vector<geom::Point> points = deploy_uniform(count / 2, left, rng);
+  const std::vector<geom::Point> other =
+      deploy_uniform(count - count / 2, right, rng);
+  points.insert(points.end(), other.begin(), other.end());
+  return points;
+}
+
+}  // namespace mdg::net

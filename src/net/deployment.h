@@ -1,0 +1,41 @@
+// Sensor deployment generators.
+//
+// The paper's evaluation uses N sensors uniformly random over an L x L
+// field with the sink at the centre; the extra generators (grid-with-
+// jitter, Gaussian clusters, two-island) exercise the planners on the
+// non-uniform and *disconnected* topologies that motivate mobile
+// collection in the first place.
+#pragma once
+
+#include <vector>
+
+#include "geom/aabb.h"
+#include "geom/point.h"
+#include "util/rng.h"
+
+namespace mdg::net {
+
+/// N points i.i.d. uniform over the field.
+[[nodiscard]] std::vector<geom::Point> deploy_uniform(std::size_t count,
+                                                      const geom::Aabb& field,
+                                                      Rng& rng);
+
+/// Near-regular grid: points on a ceil(sqrt(N))-grid, jittered by
+/// `jitter` (as a fraction of the grid pitch, in [0, 0.5]), truncated to
+/// exactly `count` points inside the field.
+[[nodiscard]] std::vector<geom::Point> deploy_grid_jitter(
+    std::size_t count, const geom::Aabb& field, double jitter, Rng& rng);
+
+/// `clusters` Gaussian blobs with the given standard deviation; centres
+/// uniform over the field, samples clamped into the field.
+[[nodiscard]] std::vector<geom::Point> deploy_gaussian_clusters(
+    std::size_t count, const geom::Aabb& field, std::size_t clusters,
+    double stddev, Rng& rng);
+
+/// Two equally-sized uniform islands in opposite field corners separated
+/// by an empty gap of width `gap_fraction` * field width — guaranteed
+/// disconnected for transmission ranges below the gap.
+[[nodiscard]] std::vector<geom::Point> deploy_two_islands(
+    std::size_t count, const geom::Aabb& field, double gap_fraction, Rng& rng);
+
+}  // namespace mdg::net

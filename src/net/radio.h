@@ -1,0 +1,61 @@
+// First-order radio energy model (Heinzelman et al.), the standard WSN
+// energy accounting of the paper's era, with the optional two-ray
+// extension:
+//
+//   E_tx(b, d) = E_elec * b + eps_amp * b * d^2          (d <  d0)
+//   E_tx(b, d) = E_elec * b + eps_mp  * b * d^4          (d >= d0)
+//   E_rx(b)    = E_elec * b
+//
+// d0 = sqrt(eps_amp / eps_mp) is the crossover where the two amplifier
+// laws meet; eps_mp = 0 disables the multipath term (the plain
+// free-space model). All energies in joules, payload b in bits,
+// distance d in metres.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace mdg::net {
+
+struct RadioModel {
+  double e_elec = 50e-9;    ///< J/bit electronics energy
+  double eps_amp = 100e-12; ///< J/bit/m^2 free-space amplifier energy
+  double eps_mp = 0.0;      ///< J/bit/m^4 multipath amplifier (0 = off)
+  std::size_t packet_bits = 4000;  ///< payload of one data packet
+
+  /// Distance where the multipath law takes over; +inf when disabled.
+  [[nodiscard]] double crossover_distance() const {
+    return eps_mp > 0.0 ? std::sqrt(eps_amp / eps_mp)
+                        : std::numeric_limits<double>::infinity();
+  }
+
+  /// Energy to transmit `bits` over distance `d` metres.
+  [[nodiscard]] double tx_energy(std::size_t bits, double d) const {
+    const double b = static_cast<double>(bits);
+    if (eps_mp > 0.0 && d >= crossover_distance()) {
+      return e_elec * b + eps_mp * b * d * d * d * d;
+    }
+    return e_elec * b + eps_amp * b * d * d;
+  }
+
+  /// Energy to receive `bits`.
+  [[nodiscard]] double rx_energy(std::size_t bits) const {
+    return e_elec * static_cast<double>(bits);
+  }
+
+  /// Energy for one packet transmission over distance d.
+  [[nodiscard]] double tx_packet(double d) const {
+    return tx_energy(packet_bits, d);
+  }
+
+  /// Energy for one packet reception.
+  [[nodiscard]] double rx_packet() const { return rx_energy(packet_bits); }
+
+  /// Energy a relay spends moving one packet one hop onward (rx + tx).
+  [[nodiscard]] double relay_packet(double d) const {
+    return rx_packet() + tx_packet(d);
+  }
+};
+
+}  // namespace mdg::net

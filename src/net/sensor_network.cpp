@@ -1,0 +1,87 @@
+#include "net/sensor_network.h"
+
+#include <algorithm>
+
+#include "net/deployment.h"
+#include "util/assert.h"
+
+namespace mdg::net {
+namespace {
+
+graph::Graph build_unit_disk_graph(const std::vector<geom::Point>& positions,
+                                   const geom::SpatialGrid& grid,
+                                   double range) {
+  std::vector<graph::Edge> edges;
+  for (std::size_t u = 0; u < positions.size(); ++u) {
+    grid.for_each_in_radius(positions[u], range, [&](std::size_t v) {
+      if (v > u) {  // each undirected pair once; also drops self
+        edges.push_back({u, v, geom::distance(positions[u], positions[v])});
+      }
+    });
+  }
+  return graph::Graph(positions.size(), edges);
+}
+
+}  // namespace
+
+SensorNetwork::SensorNetwork(std::vector<geom::Point> positions,
+                             geom::Point sink, geom::Aabb field, double range,
+                             RadioModel radio)
+    : positions_(std::move(positions)),
+      sink_(sink),
+      field_(field),
+      range_(range),
+      radio_(radio),
+      grid_(positions_, range > 0.0 ? range : 1.0),
+      graph_(build_unit_disk_graph(positions_, grid_, range_)),
+      components_(graph::connected_components(graph_)) {
+  MDG_REQUIRE(range > 0.0, "transmission range must be positive");
+  for (const geom::Point& p : positions_) {
+    MDG_REQUIRE(field_.contains(p), "sensor outside the deployment field");
+  }
+  sink_neighbors_ = sensors_within(sink_, range_);
+  std::sort(sink_neighbors_.begin(), sink_neighbors_.end());
+}
+
+geom::Point SensorNetwork::position(std::size_t v) const {
+  MDG_REQUIRE(v < positions_.size(), "sensor index out of range");
+  return positions_[v];
+}
+
+std::vector<std::size_t> SensorNetwork::sensors_within(geom::Point center,
+                                                       double radius) const {
+  return grid_.query(center, radius);
+}
+
+std::optional<std::size_t> SensorNetwork::nearest_to_sink() const {
+  const std::size_t idx = grid_.nearest(sink_);
+  if (idx == geom::SpatialGrid::npos) {
+    return std::nullopt;
+  }
+  return idx;
+}
+
+bool SensorNetwork::sink_reachable_by_all() const {
+  if (positions_.empty()) {
+    return true;
+  }
+  if (sink_neighbors_.empty()) {
+    return false;
+  }
+  // Every component must contain at least one sink neighbour.
+  std::vector<bool> has_gateway(components_.count, false);
+  for (std::size_t v : sink_neighbors_) {
+    has_gateway[components_.label[v]] = true;
+  }
+  return std::all_of(has_gateway.begin(), has_gateway.end(),
+                     [](bool ok) { return ok; });
+}
+
+SensorNetwork make_uniform_network(std::size_t count, double side,
+                                   double range, Rng& rng, RadioModel radio) {
+  const geom::Aabb field = geom::Aabb::square(side);
+  return SensorNetwork(deploy_uniform(count, field, rng), field.center(),
+                       field, range, radio);
+}
+
+}  // namespace mdg::net

@@ -1,0 +1,102 @@
+// The wireless sensor network model: sensor positions, a static data
+// sink, a common transmission range, and the induced unit-disk
+// connectivity graph.
+//
+// This is the object every planner, baseline and simulator consumes. The
+// sink participates in *uploads* (a collector tour starts and ends there,
+// and the multihop baseline routes to it) but is not a sensor: the
+// connectivity graph is over sensors only, with sink adjacency exposed
+// separately, matching the papers' node-count conventions.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "geom/point.h"
+#include "geom/spatial_grid.h"
+#include "graph/components.h"
+#include "graph/graph.h"
+#include "net/radio.h"
+#include "util/rng.h"
+
+namespace mdg::net {
+
+class SensorNetwork {
+ public:
+  /// Builds the network and its unit-disk graph. `range` (Rs) must be
+  /// positive; `positions` must all lie inside `field`.
+  SensorNetwork(std::vector<geom::Point> positions, geom::Point sink,
+                geom::Aabb field, double range,
+                RadioModel radio = RadioModel{});
+
+  [[nodiscard]] std::size_t size() const { return positions_.size(); }
+  [[nodiscard]] const std::vector<geom::Point>& positions() const {
+    return positions_;
+  }
+  [[nodiscard]] geom::Point position(std::size_t v) const;
+  [[nodiscard]] geom::Point sink() const { return sink_; }
+  [[nodiscard]] const geom::Aabb& field() const { return field_; }
+  [[nodiscard]] double range() const { return range_; }
+  [[nodiscard]] const RadioModel& radio() const { return radio_; }
+
+  /// Unit-disk connectivity among sensors (edge weight = distance).
+  [[nodiscard]] const graph::Graph& connectivity() const { return graph_; }
+
+  /// Sensors within transmission range of the sink (they can upload to a
+  /// static sink in one hop).
+  [[nodiscard]] const std::vector<std::size_t>& sink_neighbors() const {
+    return sink_neighbors_;
+  }
+
+  /// Sensors within `radius` of an arbitrary query point.
+  [[nodiscard]] std::vector<std::size_t> sensors_within(geom::Point center,
+                                                        double radius) const;
+
+  /// Sensors within the transmission range of `center` — the set a
+  /// collector pausing at `center` can poll in a single hop.
+  [[nodiscard]] std::vector<std::size_t> coverable_from(
+      geom::Point center) const {
+    return sensors_within(center, range_);
+  }
+
+  /// Sensor nearest to the sink (the natural SPT root); nullopt when the
+  /// network is empty.
+  [[nodiscard]] std::optional<std::size_t> nearest_to_sink() const;
+
+  /// Connected components of the sensor connectivity graph.
+  [[nodiscard]] const graph::Components& components() const {
+    return components_;
+  }
+
+  /// True when every sensor can reach the sink by multihop relay (i.e.
+  /// one component containing a sink neighbour covers everything).
+  [[nodiscard]] bool sink_reachable_by_all() const;
+
+  /// Spatial index over sensor positions (cell size = Rs).
+  [[nodiscard]] const geom::SpatialGrid& spatial_index() const {
+    return grid_;
+  }
+
+ private:
+  std::vector<geom::Point> positions_;
+  geom::Point sink_;
+  geom::Aabb field_;
+  double range_;
+  RadioModel radio_;
+  geom::SpatialGrid grid_;
+  graph::Graph graph_;
+  graph::Components components_;
+  std::vector<std::size_t> sink_neighbors_;
+};
+
+/// Convenience builder matching the papers' standard setup: N uniform
+/// sensors over an L x L square with the sink at the centre.
+[[nodiscard]] SensorNetwork make_uniform_network(std::size_t count,
+                                                 double side, double range,
+                                                 Rng& rng,
+                                                 RadioModel radio = RadioModel{});
+
+}  // namespace mdg::net

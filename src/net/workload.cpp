@@ -1,0 +1,67 @@
+#include "net/workload.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace mdg::net {
+
+WorkloadGenerator::WorkloadGenerator(const net::SensorNetwork& network,
+                                     WorkloadConfig config,
+                                     std::uint64_t seed)
+    : network_(&network), config_(config), rng_(seed) {
+  MDG_REQUIRE(config.base_rate >= 0.0, "base rate cannot be negative");
+  MDG_REQUIRE(config.events_per_round >= 0.0,
+              "event rate cannot be negative");
+  MDG_REQUIRE(config.event_radius > 0.0, "event radius must be positive");
+  MDG_REQUIRE(config.event_intensity >= 0.0,
+              "event intensity cannot be negative");
+  MDG_REQUIRE(config.event_duration_rounds >= 1,
+              "events must last at least one round");
+}
+
+std::vector<std::size_t> WorkloadGenerator::next_round() {
+  const auto& network = *network_;
+  std::vector<std::size_t> packets(network.size(), 0);
+
+  // Background traffic.
+  if (config_.base_rate > 0.0) {
+    for (std::size_t s = 0; s < network.size(); ++s) {
+      packets[s] += rng_.poisson(config_.base_rate);
+    }
+  }
+
+  // Ignite new events.
+  const std::size_t births = rng_.poisson(config_.events_per_round);
+  for (std::size_t b = 0; b < births; ++b) {
+    const geom::Aabb& field = network.field();
+    events_.push_back({{rng_.uniform(field.lo.x, field.hi.x),
+                        rng_.uniform(field.lo.y, field.hi.y)},
+                       config_.event_duration_rounds});
+  }
+
+  // Burning events excite their neighbourhoods.
+  for (Event& event : events_) {
+    network.spatial_index().for_each_in_radius(
+        event.center, config_.event_radius, [&](std::size_t s) {
+          const double d =
+              geom::distance(network.position(s), event.center);
+          const double kernel =
+              std::max(0.0, 1.0 - d / config_.event_radius);
+          packets[s] += rng_.poisson(config_.event_intensity * kernel);
+        });
+    --event.rounds_left;
+  }
+  events_.erase(std::remove_if(events_.begin(), events_.end(),
+                               [](const Event& e) {
+                                 return e.rounds_left == 0;
+                               }),
+                events_.end());
+
+  for (std::size_t count : packets) {
+    total_ += count;
+  }
+  return packets;
+}
+
+}  // namespace mdg::net

@@ -1,0 +1,117 @@
+#include "route/obstacle_map.h"
+
+#include <algorithm>
+
+#include "geom/segment.h"
+#include "util/assert.h"
+
+namespace mdg::route {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// True when the open segment ab passes through the interior of `box`.
+bool segment_crosses_interior(geom::Point a, geom::Point b,
+                              const geom::Aabb& box) {
+  // Quick reject: segment bounding box vs obstacle.
+  if (std::max(a.x, b.x) <= box.lo.x + kEps ||
+      std::min(a.x, b.x) >= box.hi.x - kEps ||
+      std::max(a.y, b.y) <= box.lo.y + kEps ||
+      std::min(a.y, b.y) >= box.hi.y - kEps) {
+    return false;
+  }
+  // Clip the segment to the box (Liang–Barsky); the segment crosses the
+  // interior iff a positive-length piece survives clipping to the open
+  // box.
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  double t0 = 0.0;
+  double t1 = 1.0;
+  const auto clip = [&](double denom, double numer) {
+    if (std::abs(denom) < kEps) {
+      // Parallel to this boundary: survives iff already in its halfplane.
+      return numer >= -kEps;
+    }
+    const double t = numer / denom;
+    if (denom < 0.0) {
+      t0 = std::max(t0, t);
+    } else {
+      t1 = std::min(t1, t);
+    }
+    return t0 < t1;
+  };
+  // -dx * t <= a.x - lo.x  etc. (standard Liang–Barsky inequalities).
+  if (!clip(-dx, -(box.lo.x - a.x))) return false;
+  if (!clip(dx, box.hi.x - a.x)) return false;
+  if (!clip(-dy, -(box.lo.y - a.y))) return false;
+  if (!clip(dy, box.hi.y - a.y)) return false;
+  // Surviving span [t0, t1]: require a non-degenerate interior piece.
+  if (t1 - t0 <= kEps) {
+    return false;
+  }
+  // The clipped midpoint must be strictly inside (rules out sliding
+  // along an edge).
+  const geom::Point mid = geom::lerp(a, b, (t0 + t1) * 0.5);
+  return mid.x > box.lo.x + kEps && mid.x < box.hi.x - kEps &&
+         mid.y > box.lo.y + kEps && mid.y < box.hi.y - kEps;
+}
+
+}  // namespace
+
+ObstacleMap::ObstacleMap(std::vector<geom::Aabb> obstacles)
+    : obstacles_(std::move(obstacles)) {
+  for (const geom::Aabb& box : obstacles_) {
+    MDG_REQUIRE(box.width() > 0.0 && box.height() > 0.0,
+                "obstacles must have positive area");
+  }
+}
+
+bool ObstacleMap::inside_obstacle(geom::Point p) const {
+  return std::any_of(obstacles_.begin(), obstacles_.end(),
+                     [&](const geom::Aabb& box) {
+                       return p.x > box.lo.x + kEps && p.x < box.hi.x - kEps &&
+                              p.y > box.lo.y + kEps && p.y < box.hi.y - kEps;
+                     });
+}
+
+bool ObstacleMap::blocks(geom::Point a, geom::Point b) const {
+  return std::any_of(obstacles_.begin(), obstacles_.end(),
+                     [&](const geom::Aabb& box) {
+                       return segment_crosses_interior(a, b, box);
+                     });
+}
+
+std::vector<geom::Point> ObstacleMap::waypoints(double margin) const {
+  MDG_REQUIRE(margin >= 0.0, "margin cannot be negative");
+  std::vector<geom::Point> corners;
+  corners.reserve(obstacles_.size() * 4);
+  for (const geom::Aabb& box : obstacles_) {
+    corners.push_back({box.lo.x - margin, box.lo.y - margin});
+    corners.push_back({box.hi.x + margin, box.lo.y - margin});
+    corners.push_back({box.hi.x + margin, box.hi.y + margin});
+    corners.push_back({box.lo.x - margin, box.hi.y + margin});
+  }
+  // Corners pushed into a *different* overlapping obstacle are unusable.
+  std::vector<geom::Point> usable;
+  usable.reserve(corners.size());
+  for (const geom::Point& p : corners) {
+    if (!inside_obstacle(p)) {
+      usable.push_back(p);
+    }
+  }
+  return usable;
+}
+
+std::vector<geom::Point> remove_covered_positions(
+    std::span<const geom::Point> positions, const ObstacleMap& map) {
+  std::vector<geom::Point> kept;
+  kept.reserve(positions.size());
+  for (const geom::Point& p : positions) {
+    if (!map.inside_obstacle(p)) {
+      kept.push_back(p);
+    }
+  }
+  return kept;
+}
+
+}  // namespace mdg::route

@@ -1,0 +1,53 @@
+// Obstacle model for collector routing: axis-aligned rectangular no-go
+// zones (buildings, ponds, fenced plots).
+//
+// The planners select polling points from radio coverage alone; the
+// *driving* between them must detour around obstacles. ObstacleMap
+// answers the two geometric questions routing needs: is a point inside
+// an obstacle, and does a straight leg cross one.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "geom/point.h"
+
+namespace mdg::route {
+
+class ObstacleMap {
+ public:
+  ObstacleMap() = default;
+
+  /// Obstacles may overlap each other; each must have positive area.
+  explicit ObstacleMap(std::vector<geom::Aabb> obstacles);
+
+  [[nodiscard]] std::size_t size() const { return obstacles_.size(); }
+  [[nodiscard]] bool empty() const { return obstacles_.empty(); }
+  [[nodiscard]] const std::vector<geom::Aabb>& obstacles() const {
+    return obstacles_;
+  }
+
+  /// True when p lies strictly inside some obstacle (boundary is
+  /// drivable).
+  [[nodiscard]] bool inside_obstacle(geom::Point p) const;
+
+  /// True when the open segment ab crosses the interior of any obstacle.
+  /// Touching a boundary or sliding along an edge is allowed.
+  [[nodiscard]] bool blocks(geom::Point a, geom::Point b) const;
+
+  /// Corner points of all obstacles, pushed outward by `margin` — the
+  /// waypoint set for visibility routing (margin keeps waypoints off the
+  /// boundary so floating-point grazing cannot flip blocks()).
+  [[nodiscard]] std::vector<geom::Point> waypoints(double margin) const;
+
+ private:
+  std::vector<geom::Aabb> obstacles_;
+};
+
+/// Drops deployment positions that fall inside obstacles (sensors cannot
+/// be installed inside a building footprint).
+[[nodiscard]] std::vector<geom::Point> remove_covered_positions(
+    std::span<const geom::Point> positions, const ObstacleMap& map);
+
+}  // namespace mdg::route

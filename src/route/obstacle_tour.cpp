@@ -1,0 +1,54 @@
+#include "route/obstacle_tour.h"
+
+#include <cmath>
+#include <limits>
+
+#include "tsp/matrix.h"
+#include "util/assert.h"
+
+namespace mdg::route {
+
+std::optional<ObstacleTour> plan_obstacle_tour(
+    const core::ShdgpInstance& instance, const core::ShdgpSolution& solution,
+    const ObstacleRouter& router) {
+  std::vector<geom::Point> stops{instance.sink()};
+  stops.insert(stops.end(), solution.polling_points.begin(),
+               solution.polling_points.end());
+  const std::size_t n = stops.size();
+
+  tsp::DistanceMatrix matrix(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = router.distance(stops[i], stops[j]);
+      if (d == std::numeric_limits<double>::infinity()) {
+        return std::nullopt;  // a stop is unreachable
+      }
+      matrix.set(i, j, d);
+    }
+  }
+
+  ObstacleTour result;
+  result.order = n > 0 ? tsp::solve_tsp_matrix(matrix) : tsp::Tour{};
+  result.length = matrix.tour_length(result.order);
+  result.euclidean_length = result.order.length(stops);
+
+  // Expand into the drivable polyline.
+  if (n >= 1) {
+    std::vector<geom::Point> sequence;
+    sequence.reserve(n + 1);
+    for (std::size_t pos = 0; pos < result.order.size(); ++pos) {
+      sequence.push_back(stops[result.order.at(pos)]);
+    }
+    sequence.push_back(stops[result.order.at(0)]);  // close the loop
+    const auto path = router.route_sequence(sequence);
+    MDG_ASSERT(path.has_value(),
+               "legs were routable pairwise; the sequence must be too");
+    result.polyline = path->waypoints;
+    MDG_ASSERT(std::abs(path->length - result.length) <=
+                   1e-6 * (1.0 + result.length),
+               "polyline length must match the matrix tour length");
+  }
+  return result;
+}
+
+}  // namespace mdg::route

@@ -1,0 +1,38 @@
+// Obstacle-aware collector tour: re-routes a planned SHDGP solution
+// through a field with no-go zones.
+//
+// Pipeline: pairwise detour distances between sink and polling points
+// (visibility routing) -> matrix TSP over the detour metric -> expansion
+// of every leg into drivable waypoints. The result is what the
+// M-collector actually drives; its length is the honest latency input
+// when the field is not empty.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/solution.h"
+#include "route/visibility.h"
+
+namespace mdg::route {
+
+struct ObstacleTour {
+  /// Visiting order over {sink} ∪ polling points (index 0 = sink),
+  /// optimised under the detour metric.
+  tsp::Tour order;
+  /// The full drivable polyline (closed: starts and ends at the sink).
+  std::vector<geom::Point> polyline;
+  double length = 0.0;           ///< drivable length
+  double euclidean_length = 0.0; ///< same visiting order, straight legs
+};
+
+/// Plans the drivable tour for `solution` around `map`. Returns nullopt
+/// when some polling point is unreachable (sealed in by obstacles).
+/// Requires that neither the sink nor any polling point lies inside an
+/// obstacle.
+[[nodiscard]] std::optional<ObstacleTour> plan_obstacle_tour(
+    const core::ShdgpInstance& instance, const core::ShdgpSolution& solution,
+    const ObstacleRouter& router);
+
+}  // namespace mdg::route

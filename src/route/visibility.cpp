@@ -1,0 +1,139 @@
+#include "route/visibility.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/assert.h"
+
+namespace mdg::route {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+ObstacleRouter::ObstacleRouter(const ObstacleMap& map, double corner_margin)
+    : map_(&map), corners_(map.waypoints(corner_margin)) {
+  const std::size_t n = corners_.size();
+  corner_visible_.assign(n * n, false);
+  corner_distance_.assign(n * n, kInf);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!map.blocks(corners_[i], corners_[j])) {
+        const double d = geom::distance(corners_[i], corners_[j]);
+        corner_visible_[i * n + j] = true;
+        corner_visible_[j * n + i] = true;
+        corner_distance_[i * n + j] = d;
+        corner_distance_[j * n + i] = d;
+      }
+    }
+  }
+}
+
+std::optional<RoutedPath> ObstacleRouter::route(geom::Point a,
+                                                geom::Point b) const {
+  if (map_->inside_obstacle(a) || map_->inside_obstacle(b)) {
+    return std::nullopt;
+  }
+  if (!map_->blocks(a, b)) {
+    return RoutedPath{{a, b}, geom::distance(a, b)};
+  }
+
+  // Dijkstra over {a} ∪ corners ∪ {b}: node 0 = a, 1..n = corners,
+  // n+1 = b.
+  const std::size_t n = corners_.size();
+  const std::size_t total = n + 2;
+  const std::size_t src = 0;
+  const std::size_t dst = n + 1;
+  const auto point_of = [&](std::size_t v) -> geom::Point {
+    if (v == src) return a;
+    if (v == dst) return b;
+    return corners_[v - 1];
+  };
+
+  // Endpoint-to-corner visibility computed on demand for this query.
+  std::vector<double> dist(total, kInf);
+  std::vector<std::size_t> parent(total, total);
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[src] = 0.0;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) {
+      continue;
+    }
+    if (v == dst) {
+      break;
+    }
+    const geom::Point pv = point_of(v);
+    for (std::size_t w = 0; w < total; ++w) {
+      if (w == v || w == src) {
+        continue;
+      }
+      double leg;
+      if (v >= 1 && v <= n && w >= 1 && w <= n) {
+        if (!corner_visible_[(v - 1) * n + (w - 1)]) {
+          continue;
+        }
+        leg = corner_distance_[(v - 1) * n + (w - 1)];
+      } else {
+        const geom::Point pw = point_of(w);
+        if (map_->blocks(pv, pw)) {
+          continue;
+        }
+        leg = geom::distance(pv, pw);
+      }
+      if (dist[v] + leg < dist[w]) {
+        dist[w] = dist[v] + leg;
+        parent[w] = v;
+        heap.emplace(dist[w], w);
+      }
+    }
+  }
+  if (dist[dst] == kInf) {
+    return std::nullopt;
+  }
+  RoutedPath path;
+  path.length = dist[dst];
+  std::vector<geom::Point> reversed;
+  for (std::size_t v = dst; v != total; v = parent[v]) {
+    reversed.push_back(point_of(v));
+    if (v == src) {
+      break;
+    }
+    MDG_ASSERT(reversed.size() <= total, "routing parent cycle");
+  }
+  path.waypoints.assign(reversed.rbegin(), reversed.rend());
+  return path;
+}
+
+double ObstacleRouter::distance(geom::Point a, geom::Point b) const {
+  const auto path = route(a, b);
+  return path ? path->length : kInf;
+}
+
+std::optional<RoutedPath> ObstacleRouter::route_sequence(
+    std::span<const geom::Point> stops) const {
+  RoutedPath combined;
+  if (stops.size() < 2) {
+    combined.waypoints.assign(stops.begin(), stops.end());
+    return combined;
+  }
+  for (std::size_t i = 0; i + 1 < stops.size(); ++i) {
+    const auto leg = route(stops[i], stops[i + 1]);
+    if (!leg) {
+      return std::nullopt;
+    }
+    combined.length += leg->length;
+    const std::size_t skip = combined.waypoints.empty() ? 0 : 1;
+    combined.waypoints.insert(
+        combined.waypoints.end(),
+        leg->waypoints.begin() + static_cast<std::ptrdiff_t>(skip),
+        leg->waypoints.end());
+  }
+  return combined;
+}
+
+}  // namespace mdg::route

@@ -1,0 +1,56 @@
+// Visibility-graph routing around obstacles.
+//
+// The shortest obstacle-avoiding path between two points in a field of
+// axis-aligned obstacles bends only at (slightly inflated) obstacle
+// corners; Dijkstra over the visibility graph of
+// {endpoints ∪ corners} yields it exactly. ObstacleRouter precomputes
+// the corner-corner visibility once and answers point-to-point queries.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geom/point.h"
+#include "route/obstacle_map.h"
+
+namespace mdg::route {
+
+struct RoutedPath {
+  /// Waypoints from source to target inclusive (straight drivable legs).
+  std::vector<geom::Point> waypoints;
+  double length = 0.0;
+};
+
+class ObstacleRouter {
+ public:
+  /// Binds to `map` (must outlive the router). `corner_margin` inflates
+  /// obstacle corners so paths keep a physical clearance.
+  explicit ObstacleRouter(const ObstacleMap& map, double corner_margin = 0.5);
+
+  /// Shortest drivable path a -> b. nullopt when no path exists (one of
+  /// the endpoints is sealed in by overlapping obstacles) or an endpoint
+  /// lies inside an obstacle.
+  [[nodiscard]] std::optional<RoutedPath> route(geom::Point a,
+                                                geom::Point b) const;
+
+  /// Length of route(a, b); +inf when unroutable.
+  [[nodiscard]] double distance(geom::Point a, geom::Point b) const;
+
+  /// Routes a whole stop sequence (consecutive legs concatenated,
+  /// duplicate joint points removed). nullopt when any leg is unroutable.
+  [[nodiscard]] std::optional<RoutedPath> route_sequence(
+      std::span<const geom::Point> stops) const;
+
+  [[nodiscard]] const ObstacleMap& map() const { return *map_; }
+  [[nodiscard]] std::size_t waypoint_count() const { return corners_.size(); }
+
+ private:
+  const ObstacleMap* map_;
+  std::vector<geom::Point> corners_;
+  /// corner_visible_[i * n + j]: straight leg corner i -> corner j is
+  /// drivable.
+  std::vector<bool> corner_visible_;
+  std::vector<double> corner_distance_;
+};
+
+}  // namespace mdg::route

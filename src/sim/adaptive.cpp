@@ -1,0 +1,116 @@
+#include "sim/adaptive.h"
+
+#include <cmath>
+
+#include "core/instance.h"
+#include "util/assert.h"
+
+namespace mdg::sim {
+namespace {
+
+/// One plan epoch: the alive subnetwork, its plan, and the per-original-
+/// sensor upload cost and stop mapping derived from it.
+struct Epoch {
+  double travel_time = 0.0;
+  /// upload_cost[original sensor] — 0 when the sensor is not part of
+  /// this epoch's plan (was dead at planning time).
+  std::vector<double> upload_cost;
+  std::size_t planned_sensors = 0;
+};
+
+Epoch build_epoch(const net::SensorNetwork& network,
+                  const core::Planner& planner, const AdaptiveConfig& config,
+                  const std::vector<bool>& alive) {
+  // Alive subnetwork with an index map back to original ids.
+  std::vector<geom::Point> positions;
+  std::vector<std::size_t> original;
+  for (std::size_t s = 0; s < network.size(); ++s) {
+    if (alive[s]) {
+      positions.push_back(network.position(s));
+      original.push_back(s);
+    }
+  }
+  Epoch epoch;
+  epoch.upload_cost.assign(network.size(), 0.0);
+  epoch.planned_sensors = positions.size();
+  if (positions.empty()) {
+    return epoch;
+  }
+  const net::SensorNetwork sub(std::move(positions), network.sink(),
+                               network.field(), network.range(),
+                               network.radio());
+  const core::ShdgpInstance instance(sub);
+  const core::ShdgpSolution plan = planner.plan(instance);
+  plan.validate(instance);
+
+  // Travel time under the kinematic model, over the planned tour.
+  const MobileCollectionSim probe(instance, plan, config.mobile);
+  epoch.travel_time = probe.tour_travel_time();
+
+  for (std::size_t i = 0; i < sub.size(); ++i) {
+    const double hop = geom::distance(
+        sub.position(i), plan.polling_points[plan.assignment[i]]);
+    epoch.upload_cost[original[i]] = network.radio().tx_packet(hop);
+  }
+  return epoch;
+}
+
+}  // namespace
+
+AdaptiveReport run_adaptive_lifetime(const net::SensorNetwork& network,
+                                     const core::Planner& planner,
+                                     const AdaptiveConfig& config,
+                                     double stop_fraction,
+                                     std::size_t max_rounds) {
+  MDG_REQUIRE(stop_fraction >= 0.0 && stop_fraction < 1.0,
+              "stop fraction must be in [0, 1)");
+  const std::size_t n = network.size();
+  AdaptiveReport report;
+  if (n == 0) {
+    return report;
+  }
+  EnergyLedger ledger(n, config.mobile.initial_battery_j);
+  std::vector<bool> alive(n, true);
+  const auto floor_count = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(n) * stop_fraction));
+
+  Epoch epoch = build_epoch(network, planner, config, alive);
+  ++report.replans;
+
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    // Periodic re-plan (never at round 0: the initial plan is fresh).
+    if (config.replan_every_rounds > 0 && round > 0 &&
+        round % config.replan_every_rounds == 0) {
+      for (std::size_t s = 0; s < n; ++s) {
+        alive[s] = ledger.alive(s);
+      }
+      epoch = build_epoch(network, planner, config, alive);
+      ++report.replans;
+    }
+
+    // One round: planned, still-alive sensors upload once.
+    std::size_t delivered = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (epoch.upload_cost[s] > 0.0 && ledger.alive(s)) {
+        ledger.consume(s, epoch.upload_cost[s]);
+        ++delivered;
+      }
+    }
+    report.delivered_total += delivered;
+    ++report.rounds;
+    report.round_duration_s.push_back(
+        epoch.travel_time +
+        static_cast<double>(delivered) * config.mobile.packet_upload_s);
+    report.alive_after_round.push_back(ledger.alive_count());
+
+    if (report.rounds_first_death == 0 && ledger.alive_count() < n) {
+      report.rounds_first_death = round + 1;
+    }
+    if (ledger.alive_count() < floor_count || delivered == 0) {
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace mdg::sim

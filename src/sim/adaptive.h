@@ -1,0 +1,47 @@
+// Adaptive re-planning over the network's lifetime.
+//
+// A static collector tour keeps stopping at polling points whose
+// affiliated sensors have died; re-planning on the surviving sensors
+// keeps rounds short as the network decays. This module runs the whole
+// battery lifetime under either policy and records the decay of round
+// duration and delivery — the graceful-degradation property mobile
+// collection has and static multihop lacks.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/planner.h"
+#include "net/sensor_network.h"
+#include "sim/mobile_sim.h"
+
+namespace mdg::sim {
+
+struct AdaptiveConfig {
+  MobileSimConfig mobile;
+  /// Re-plan on the alive sensors every this many rounds (0 = never:
+  /// the static policy; the initial plan is used for the whole run).
+  std::size_t replan_every_rounds = 0;
+};
+
+struct AdaptiveReport {
+  std::size_t rounds = 0;            ///< rounds completed
+  std::size_t replans = 0;           ///< plans computed (incl. initial)
+  std::size_t delivered_total = 0;
+  std::size_t rounds_first_death = 0;
+  /// Round duration sampled every round (seconds).
+  std::vector<double> round_duration_s;
+  /// Alive sensors after each round.
+  std::vector<std::size_t> alive_after_round;
+};
+
+/// Runs gathering rounds until fewer than `stop_fraction` of the sensors
+/// survive (or max_rounds). `planner` is invoked on the alive
+/// subnetwork at every re-plan.
+[[nodiscard]] AdaptiveReport run_adaptive_lifetime(
+    const net::SensorNetwork& network, const core::Planner& planner,
+    const AdaptiveConfig& config, double stop_fraction = 0.5,
+    std::size_t max_rounds = 1'000'000);
+
+}  // namespace mdg::sim

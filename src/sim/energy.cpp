@@ -1,0 +1,51 @@
+#include "sim/energy.h"
+
+#include "util/assert.h"
+
+namespace mdg::sim {
+
+EnergyLedger::EnergyLedger(std::size_t nodes, double initial_joules)
+    : initial_(initial_joules), remaining_(nodes, initial_joules),
+      alive_(nodes) {
+  MDG_REQUIRE(initial_joules > 0.0, "batteries must start charged");
+}
+
+double EnergyLedger::remaining(std::size_t node) const {
+  MDG_REQUIRE(node < remaining_.size(), "node out of range");
+  return remaining_[node] > 0.0 ? remaining_[node] : 0.0;
+}
+
+double EnergyLedger::consumed(std::size_t node) const {
+  return initial_ - remaining(node);
+}
+
+bool EnergyLedger::alive(std::size_t node) const {
+  MDG_REQUIRE(node < remaining_.size(), "node out of range");
+  return remaining_[node] > 0.0;
+}
+
+std::size_t EnergyLedger::alive_count() const { return alive_; }
+
+bool EnergyLedger::consume(std::size_t node, double joules) {
+  MDG_REQUIRE(node < remaining_.size(), "node out of range");
+  MDG_REQUIRE(joules >= 0.0, "cannot consume negative energy");
+  if (remaining_[node] <= 0.0) {
+    return false;
+  }
+  remaining_[node] -= joules;
+  if (remaining_[node] <= 0.0) {
+    --alive_;
+    return false;
+  }
+  return true;
+}
+
+std::vector<double> EnergyLedger::consumed_all() const {
+  std::vector<double> out(remaining_.size());
+  for (std::size_t v = 0; v < remaining_.size(); ++v) {
+    out[v] = consumed(v);
+  }
+  return out;
+}
+
+}  // namespace mdg::sim

@@ -1,0 +1,36 @@
+// Per-node battery accounting shared by both simulators.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mdg::sim {
+
+class EnergyLedger {
+ public:
+  /// All nodes start with `initial_joules` in the battery.
+  EnergyLedger(std::size_t nodes, double initial_joules);
+
+  [[nodiscard]] std::size_t size() const { return remaining_.size(); }
+  [[nodiscard]] double initial() const { return initial_; }
+  [[nodiscard]] double remaining(std::size_t node) const;
+  [[nodiscard]] double consumed(std::size_t node) const;
+  [[nodiscard]] bool alive(std::size_t node) const;
+  [[nodiscard]] std::size_t alive_count() const;
+
+  /// Draws `joules` from the node. A node whose battery reaches zero (or
+  /// below) is dead; draws on a dead node are ignored (it cannot act).
+  /// Returns whether the node is still alive afterwards.
+  bool consume(std::size_t node, double joules);
+
+  /// Consumed energy across all nodes.
+  [[nodiscard]] std::vector<double> consumed_all() const;
+
+ private:
+  double initial_;
+  std::vector<double> remaining_;
+  std::size_t alive_ = 0;
+};
+
+}  // namespace mdg::sim

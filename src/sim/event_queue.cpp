@@ -1,0 +1,43 @@
+#include "sim/event_queue.h"
+
+#include "util/assert.h"
+
+namespace mdg::sim {
+
+void EventQueue::schedule(double when, Callback fn) {
+  MDG_REQUIRE(fn != nullptr, "cannot schedule an empty callback");
+  MDG_REQUIRE(when >= now_, "cannot schedule into the past");
+  heap_.push(Entry{when, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(double delay, Callback fn) {
+  MDG_REQUIRE(delay >= 0.0, "delay must be non-negative");
+  schedule(now_ + delay, std::move(fn));
+}
+
+double EventQueue::run() {
+  while (!heap_.empty()) {
+    // Copy out before pop: the callback may push new entries.
+    Entry entry = heap_.top();
+    heap_.pop();
+    now_ = entry.when;
+    entry.fn();
+  }
+  return now_;
+}
+
+double EventQueue::run_until(double deadline) {
+  MDG_REQUIRE(deadline >= now_, "deadline is in the past");
+  while (!heap_.empty() && heap_.top().when <= deadline) {
+    Entry entry = heap_.top();
+    heap_.pop();
+    now_ = entry.when;
+    entry.fn();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return now_;
+}
+
+}  // namespace mdg::sim

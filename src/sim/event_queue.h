@@ -1,0 +1,57 @@
+// Minimal discrete-event scheduler.
+//
+// Events are (time, callback) pairs; ties are broken by insertion order
+// so simulations are deterministic. Callbacks may schedule further
+// events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mdg::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `when` (must not be before now()).
+  void schedule(double when, Callback fn);
+
+  /// Schedules `fn` `delay` seconds from now (delay >= 0).
+  void schedule_in(double delay, Callback fn);
+
+  /// Runs events in time order until the queue drains. Returns the time
+  /// of the last event (now() if the queue was empty).
+  double run();
+
+  /// Runs events with time <= `deadline`; later events stay queued.
+  /// Advances now() to min(deadline, last event time).
+  double run_until(double deadline);
+
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    double when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace mdg::sim

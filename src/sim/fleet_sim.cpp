@@ -1,0 +1,104 @@
+#include "sim/fleet_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/assert.h"
+
+namespace mdg::sim {
+
+FleetSim::FleetSim(const core::ShdgpInstance& instance,
+                   const core::ShdgpSolution& solution,
+                   const core::MultiTourPlan& plan, MobileSimConfig config)
+    : instance_(&instance), config_(config) {
+  MDG_REQUIRE(config.speed_m_per_s > 0.0, "collector speed must be positive");
+  MDG_REQUIRE(config.accel_m_per_s2 >= 0.0,
+              "acceleration cannot be negative");
+  solution.validate(instance);
+
+  // Polling-point position -> its affiliated sensors.
+  const auto key = [](geom::Point p) { return std::pair(p.x, p.y); };
+  std::map<std::pair<double, double>, std::vector<std::size_t>> affiliated;
+  for (std::size_t s = 0; s < solution.assignment.size(); ++s) {
+    affiliated[key(solution.polling_points[solution.assignment[s]])]
+        .push_back(s);
+  }
+
+  std::size_t stops_seen = 0;
+  for (const core::Subtour& st : plan.subtours) {
+    Route route;
+    geom::Point cursor = instance.sink();
+    for (const geom::Point& stop : st.stops) {
+      const auto it = affiliated.find(key(stop));
+      MDG_REQUIRE(it != affiliated.end(),
+                  "subtour stop is not a polling point of the solution");
+      route.stops.push_back(stop);
+      route.stop_sensors.push_back(it->second);
+      route.travel_time += leg_time(geom::distance(cursor, stop));
+      cursor = stop;
+      ++stops_seen;
+    }
+    if (!st.stops.empty()) {
+      route.travel_time += leg_time(geom::distance(cursor, instance.sink()));
+    }
+    routes_.push_back(std::move(route));
+  }
+  MDG_REQUIRE(stops_seen == solution.polling_points.size(),
+              "the split must cover every polling point exactly once");
+}
+
+double FleetSim::leg_time(double distance) const {
+  const double v = config_.speed_m_per_s;
+  const double a = config_.accel_m_per_s2;
+  if (a == 0.0) {
+    return distance / v;
+  }
+  const double ramp = v * v / a;
+  return distance >= ramp ? distance / v + v / a
+                          : 2.0 * std::sqrt(distance / a);
+}
+
+double FleetSim::collector_round_time(std::size_t c) const {
+  MDG_REQUIRE(c < routes_.size(), "collector index out of range");
+  std::size_t sensors = 0;
+  for (const auto& group : routes_[c].stop_sensors) {
+    sensors += group.size();
+  }
+  return routes_[c].travel_time +
+         static_cast<double>(sensors) * config_.packet_upload_s;
+}
+
+FleetRoundReport FleetSim::run_round(EnergyLedger& ledger) const {
+  const auto& network = instance_->network();
+  MDG_REQUIRE(ledger.size() == network.size(),
+              "ledger does not match the network");
+
+  FleetRoundReport report;
+  report.round_energy.assign(network.size(), 0.0);
+  report.collector_duration_s.assign(routes_.size(), 0.0);
+
+  const auto& radio = network.radio();
+  for (std::size_t c = 0; c < routes_.size(); ++c) {
+    const Route& route = routes_[c];
+    double duration = route.travel_time;
+    for (std::size_t i = 0; i < route.stops.size(); ++i) {
+      for (std::size_t s : route.stop_sensors[i]) {
+        if (!ledger.alive(s)) {
+          continue;
+        }
+        const double joules = radio.tx_packet(
+            geom::distance(network.position(s), route.stops[i]));
+        report.round_energy[s] += joules;
+        ledger.consume(s, joules);
+        ++report.delivered;
+        duration += config_.packet_upload_s;
+      }
+    }
+    report.collector_duration_s[c] = duration;
+    report.duration_s = std::max(report.duration_s, duration);
+  }
+  return report;
+}
+
+}  // namespace mdg::sim

@@ -1,0 +1,61 @@
+// Concurrent simulation of a multi-collector fleet.
+//
+// Every collector drives its own subtour (from MultiCollectorPlanner)
+// simultaneously; a gathering round ends when the slowest collector is
+// home. Sensor energy is identical to the single-collector case (uploads
+// do not change), so the fleet buys latency, not lifetime — this
+// simulator quantifies exactly that.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/multi_collector.h"
+#include "core/solution.h"
+#include "sim/energy.h"
+#include "sim/mobile_sim.h"
+
+namespace mdg::sim {
+
+struct FleetRoundReport {
+  double duration_s = 0.0;  ///< slowest collector's departure-to-return
+  std::vector<double> collector_duration_s;  ///< per collector
+  std::size_t delivered = 0;
+  std::vector<double> round_energy;  ///< per sensor
+};
+
+class FleetSim {
+ public:
+  /// Binds to a validated solution and a split of its polling points.
+  /// Every subtour stop must be one of the solution's polling points and
+  /// each polling point must appear on exactly one subtour.
+  FleetSim(const core::ShdgpInstance& instance,
+           const core::ShdgpSolution& solution,
+           const core::MultiTourPlan& plan, MobileSimConfig config = {});
+
+  [[nodiscard]] std::size_t collector_count() const {
+    return routes_.size();
+  }
+
+  /// One synchronized gathering round (one packet per live sensor).
+  [[nodiscard]] FleetRoundReport run_round(EnergyLedger& ledger) const;
+
+  /// Driving + service time of collector c's round (ignoring deaths).
+  [[nodiscard]] double collector_round_time(std::size_t c) const;
+
+ private:
+  struct Route {
+    std::vector<geom::Point> stops;
+    std::vector<std::vector<std::size_t>> stop_sensors;
+    double travel_time = 0.0;
+  };
+
+  [[nodiscard]] double leg_time(double distance) const;
+
+  const core::ShdgpInstance* instance_;
+  MobileSimConfig config_;
+  std::vector<Route> routes_;
+};
+
+}  // namespace mdg::sim

@@ -1,0 +1,262 @@
+#include "sim/mobile_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/event_queue.h"
+#include "util/assert.h"
+
+namespace mdg::sim {
+
+MobileCollectionSim::MobileCollectionSim(const core::ShdgpInstance& instance,
+                                         const core::ShdgpSolution& solution,
+                                         MobileSimConfig config)
+    : instance_(&instance),
+      solution_(&solution),
+      config_(config),
+      loss_rng_(config.loss_seed) {
+  MDG_REQUIRE(config.speed_m_per_s > 0.0, "collector speed must be positive");
+  MDG_REQUIRE(config.accel_m_per_s2 >= 0.0,
+              "acceleration cannot be negative");
+  MDG_REQUIRE(config.packet_upload_s >= 0.0, "upload time cannot be negative");
+  MDG_REQUIRE(config.upload_loss_prob >= 0.0 && config.upload_loss_prob < 1.0,
+              "loss probability must be in [0, 1)");
+  MDG_REQUIRE(config.max_upload_attempts >= 1,
+              "need at least one upload attempt");
+  MDG_REQUIRE(config.data_rate_pkt_per_s >= 0.0, "rate cannot be negative");
+  MDG_REQUIRE(config.buffer_capacity >= 1, "buffers must hold one packet");
+  solution.validate(instance);
+
+  // Stops in visiting order with their affiliated sensors.
+  std::vector<geom::Point> all;
+  all.push_back(instance.sink());
+  all.insert(all.end(), solution.polling_points.begin(),
+             solution.polling_points.end());
+  std::vector<std::vector<std::size_t>> by_slot(
+      solution.polling_points.size());
+  for (std::size_t s = 0; s < solution.assignment.size(); ++s) {
+    by_slot[solution.assignment[s]].push_back(s);
+  }
+  for (std::size_t pos = 1; pos < solution.tour.size(); ++pos) {
+    const std::size_t slot = solution.tour.at(pos) - 1;
+    stop_positions_.push_back(all[solution.tour.at(pos)]);
+    stop_sensors_.push_back(by_slot[slot]);
+  }
+  tour_length_ = solution.tour_length;
+  buffer_.assign(instance.sensor_count(), 0);
+  residual_.assign(instance.sensor_count(), 0.0);
+
+  geom::Point cursor = instance.sink();
+  for (const geom::Point& stop : stop_positions_) {
+    travel_time_ += leg_travel_time(geom::distance(cursor, stop));
+    cursor = stop;
+  }
+  travel_time_ += leg_travel_time(geom::distance(cursor, instance.sink()));
+}
+
+double MobileCollectionSim::leg_travel_time(double distance) const {
+  MDG_REQUIRE(distance >= 0.0, "distance cannot be negative");
+  const double v = config_.speed_m_per_s;
+  const double a = config_.accel_m_per_s2;
+  if (a == 0.0) {
+    return distance / v;  // ideal vehicle: cruise the whole leg
+  }
+  // Trapezoidal profile with a full stop at both ends: accelerate at a,
+  // cruise at v, decelerate at a. Short legs never reach cruise speed
+  // (triangular profile).
+  const double ramp_distance = v * v / a;  // accel + decel combined
+  if (distance >= ramp_distance) {
+    return distance / v + v / a;
+  }
+  return 2.0 * std::sqrt(distance / a);
+}
+
+MobileRoundReport MobileCollectionSim::run_round(EnergyLedger& ledger,
+                                                 double start_time) {
+  const auto& network = instance_->network();
+  MDG_REQUIRE(ledger.size() == network.size(),
+              "ledger does not match the network");
+
+  MobileRoundReport report;
+  report.round_energy.assign(network.size(), 0.0);
+
+  EventQueue queue;
+  // One-packet-per-round mode: generation happens at departure.
+  if (config_.auto_generate && config_.data_rate_pkt_per_s == 0.0) {
+    queue.schedule(start_time, [this, &ledger, &report] {
+      for (std::size_t s = 0; s < buffer_.size(); ++s) {
+        if (!ledger.alive(s)) {
+          continue;
+        }
+        if (buffer_[s] < config_.buffer_capacity) {
+          ++buffer_[s];
+        } else {
+          ++report.dropped;
+        }
+      }
+    });
+  }
+
+  const geom::Point sink = instance_->sink();
+  double clock = start_time;  // event scheduling cursor
+  geom::Point where = sink;
+  for (std::size_t i = 0; i < stop_positions_.size(); ++i) {
+    const geom::Point stop = stop_positions_[i];
+    const double travel = leg_travel_time(geom::distance(where, stop));
+    report.travel_s += travel;
+    clock += travel;
+    // Arrival at stop i: catch up generation, then serve uploads.
+    double service = 0.0;
+    queue.schedule(clock, [this, i, stop, &ledger, &report, &service] {
+      const auto& net = instance_->network();
+      const auto& rad = net.radio();
+      for (std::size_t s : stop_sensors_[i]) {
+        if (!ledger.alive(s)) {
+          continue;
+        }
+        const double hop = geom::distance(net.position(s), stop);
+        const double joules = rad.tx_packet(hop);
+        bool sensor_died = false;
+        while (buffer_[s] > 0 && !sensor_died) {
+          // One packet: attempt until acknowledged, the retry budget is
+          // spent, or the battery dies mid-burst.
+          bool acked = false;
+          std::size_t attempts = 0;
+          while (attempts < config_.max_upload_attempts) {
+            ++attempts;
+            report.round_energy[s] += joules;
+            service += config_.packet_upload_s;
+            const bool alive = ledger.consume(s, joules);
+            const bool lost_attempt =
+                config_.upload_loss_prob > 0.0 &&
+                loss_rng_.chance(config_.upload_loss_prob);
+            if (!lost_attempt) {
+              acked = true;
+            }
+            if (!alive) {
+              sensor_died = true;  // stop after this packet
+            }
+            if (acked || sensor_died) {
+              break;
+            }
+          }
+          report.retransmissions += attempts - 1;
+          --buffer_[s];
+          if (acked) {
+            ++report.delivered;
+          } else {
+            ++report.lost;
+          }
+        }
+      }
+    });
+    queue.run();
+    report.service_s += service;
+    clock += service;
+    where = stop;
+  }
+  // Return leg.
+  const double home = leg_travel_time(geom::distance(where, sink));
+  report.travel_s += home;
+  clock += home;
+  queue.run();
+
+  report.duration_s = clock - start_time;
+
+  // Rate-driven generation: deposit the packets produced during this
+  // round (they will be collected next round), tracked per sensor.
+  if (config_.auto_generate && config_.data_rate_pkt_per_s > 0.0) {
+    for (std::size_t s = 0; s < buffer_.size(); ++s) {
+      if (!ledger.alive(s)) {
+        continue;
+      }
+      residual_[s] += config_.data_rate_pkt_per_s * report.duration_s;
+      const double whole = std::floor(residual_[s]);
+      residual_[s] -= whole;
+      const auto packets = static_cast<std::size_t>(whole);
+      const std::size_t space = config_.buffer_capacity - buffer_[s];
+      const std::size_t stored = std::min(packets, space);
+      buffer_[s] += stored;
+      report.dropped += packets - stored;
+    }
+  }
+  for (std::size_t b : buffer_) {
+    report.max_buffer = std::max(report.max_buffer, b);
+  }
+  last_generation_time_ = clock;
+  return report;
+}
+
+std::size_t MobileCollectionSim::add_packets(std::size_t sensor,
+                                             std::size_t count) {
+  MDG_REQUIRE(sensor < buffer_.size(), "sensor index out of range");
+  const std::size_t space = config_.buffer_capacity - buffer_[sensor];
+  const std::size_t stored = std::min(count, space);
+  buffer_[sensor] += stored;
+  return count - stored;
+}
+
+std::size_t MobileCollectionSim::buffered(std::size_t sensor) const {
+  MDG_REQUIRE(sensor < buffer_.size(), "sensor index out of range");
+  return buffer_[sensor];
+}
+
+MobileLifetimeReport MobileCollectionSim::run_lifetime(std::size_t max_rounds) {
+  const std::size_t n = instance_->sensor_count();
+  MobileLifetimeReport report;
+  if (n == 0) {
+    return report;
+  }
+  EnergyLedger ledger(n, config_.initial_battery_j);
+  const auto death_floor =
+      static_cast<std::size_t>(std::ceil(static_cast<double>(n) * 0.9));
+  double clock = 0.0;
+  bool first_death_seen = false;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    const MobileRoundReport r = run_round(ledger, clock);
+    clock += r.duration_s;
+    report.delivered_total += r.delivered;
+    if (!first_death_seen && ledger.alive_count() < n) {
+      report.rounds_first_death = round + 1;
+      report.time_first_death_s = clock;
+      first_death_seen = true;
+    }
+    if (ledger.alive_count() < death_floor) {
+      report.rounds_10pct_death = round + 1;
+      break;
+    }
+  }
+  if (!first_death_seen) {
+    report.rounds_first_death = max_rounds;
+    report.time_first_death_s = clock;
+  }
+  if (report.rounds_10pct_death == 0) {
+    report.rounds_10pct_death = report.rounds_first_death;
+  }
+  return report;
+}
+
+double MobileCollectionSim::steady_state_round_duration() const {
+  const double travel = travel_time_;
+  const auto n = static_cast<double>(instance_->sensor_count());
+  if (config_.data_rate_pkt_per_s == 0.0) {
+    return travel + n * config_.packet_upload_s;
+  }
+  const double load =
+      n * config_.data_rate_pkt_per_s * config_.packet_upload_s;
+  if (load >= 1.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return travel / (1.0 - load);
+}
+
+double MobileCollectionSim::sustainable_rate() const {
+  const auto n = static_cast<double>(instance_->sensor_count());
+  if (n == 0.0 || config_.packet_upload_s == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 1.0 / (n * config_.packet_upload_s);
+}
+
+}  // namespace mdg::sim

@@ -1,0 +1,126 @@
+// Discrete-event simulation of polling-based mobile data collection.
+//
+// One gathering round: the M-collector leaves the sink, drives the
+// planned tour at constant speed, pauses at every polling point while the
+// affiliated sensors upload their buffered packets one at a time
+// (single-hop, sensor -> collector), and finally returns to the sink.
+// Sensors generate data at a constant rate between rounds and buffer it
+// until their polling point is served.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/solution.h"
+#include "sim/energy.h"
+#include "util/rng.h"
+
+namespace mdg::sim {
+
+struct MobileSimConfig {
+  double speed_m_per_s = 1.0;       ///< collector cruise speed
+  /// Acceleration/deceleration magnitude for the trapezoidal speed
+  /// profile (the collector stops at every polling point). 0 models an
+  /// ideal vehicle that is instantly at cruise speed.
+  double accel_m_per_s2 = 0.0;
+  double packet_upload_s = 0.05;    ///< airtime per packet upload
+  double data_rate_pkt_per_s = 0.0; ///< per-sensor generation rate; 0 means
+                                    ///< exactly one packet per round
+  /// When false, the simulator generates no traffic of its own; the
+  /// caller injects packets with add_packets() (external workloads such
+  /// as net::WorkloadGenerator).
+  bool auto_generate = true;
+  std::size_t buffer_capacity = 64; ///< per-sensor packet buffer
+  double initial_battery_j = 0.5;   ///< per-sensor battery
+  /// Probability that one upload attempt is lost (collector NACKs and
+  /// the sensor retransmits, paying energy and airtime again).
+  double upload_loss_prob = 0.0;
+  /// Retransmission cap per packet; a packet still unacknowledged after
+  /// this many attempts is dropped (counted in MobileRoundReport).
+  std::size_t max_upload_attempts = 8;
+  /// Seed for the loss process (deterministic per simulator instance).
+  std::uint64_t loss_seed = 0x10552008;
+};
+
+struct MobileRoundReport {
+  double duration_s = 0.0;       ///< departure to return
+  double travel_s = 0.0;         ///< time in motion
+  double service_s = 0.0;        ///< time paused for uploads
+  std::size_t delivered = 0;     ///< packets handed to the collector
+  std::size_t dropped = 0;       ///< packets lost to buffer overflow
+  std::size_t retransmissions = 0;  ///< extra attempts due to link loss
+  std::size_t lost = 0;          ///< packets dropped after max attempts
+  std::size_t max_buffer = 0;    ///< worst per-sensor buffer occupancy seen
+  std::vector<double> round_energy;  ///< per-sensor energy spent this round
+};
+
+struct MobileLifetimeReport {
+  std::size_t rounds_first_death = 0;   ///< completed before a sensor died
+  std::size_t rounds_10pct_death = 0;   ///< before 10% of sensors died
+  double time_first_death_s = 0.0;
+  std::size_t delivered_total = 0;
+};
+
+class MobileCollectionSim {
+ public:
+  /// Binds to a planned solution; instance and solution must outlive the
+  /// simulator. The solution must pass validate().
+  MobileCollectionSim(const core::ShdgpInstance& instance,
+                      const core::ShdgpSolution& solution,
+                      MobileSimConfig config = {});
+
+  /// Simulates one gathering round starting at `start_time`; consumes
+  /// battery from `ledger` (dead sensors neither generate nor upload).
+  [[nodiscard]] MobileRoundReport run_round(EnergyLedger& ledger,
+                                            double start_time = 0.0);
+
+  /// Deposits externally-generated packets into a sensor's buffer
+  /// (clamped at capacity). Returns how many were dropped.
+  std::size_t add_packets(std::size_t sensor, std::size_t count);
+
+  /// Current buffer occupancy of a sensor.
+  [[nodiscard]] std::size_t buffered(std::size_t sensor) const;
+
+  /// Runs rounds back-to-back until the first sensor dies (or
+  /// `max_rounds` as a safety stop).
+  [[nodiscard]] MobileLifetimeReport run_lifetime(
+      std::size_t max_rounds = 2'000'000);
+
+  /// Steady-state round duration ignoring energy: solves the fixed point
+  /// duration = travel + uploads(rate * duration). Returns +inf when the
+  /// offered load saturates the collector (rate too high).
+  [[nodiscard]] double steady_state_round_duration() const;
+
+  /// Largest per-sensor data rate the collector can sustain.
+  [[nodiscard]] double sustainable_rate() const;
+
+  /// Time to drive a stop-to-stop leg of `distance` metres under the
+  /// trapezoidal profile (cruise-only when accel is 0).
+  [[nodiscard]] double leg_travel_time(double distance) const;
+
+  /// Driving time for the whole tour (all legs, no uploads).
+  [[nodiscard]] double tour_travel_time() const { return travel_time_; }
+
+  [[nodiscard]] const MobileSimConfig& config() const { return config_; }
+
+ private:
+  const core::ShdgpInstance* instance_;
+  const core::ShdgpSolution* solution_;
+  MobileSimConfig config_;
+  /// Tour stops in visiting order: coordinates + the sensors affiliated
+  /// with each stop.
+  std::vector<geom::Point> stop_positions_;
+  std::vector<std::vector<std::size_t>> stop_sensors_;
+  double tour_length_ = 0.0;
+  double travel_time_ = 0.0;  ///< full-tour driving time under kinematics
+  /// Per-sensor buffered packets (persists across rounds).
+  std::vector<std::size_t> buffer_;
+  /// Fractional packet accumulation for rate-driven generation.
+  std::vector<double> residual_;
+  double last_generation_time_ = 0.0;
+  Rng loss_rng_;
+  std::uint64_t round_counter_ = 0;
+};
+
+}  // namespace mdg::sim

@@ -1,0 +1,162 @@
+#include "sim/multihop_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace mdg::sim {
+
+namespace {
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+MultihopSim::MultihopSim(const net::SensorNetwork& network,
+                         MultihopSimConfig config)
+    : network_(&network), config_(config) {
+  MDG_REQUIRE(config.per_hop_delay_s >= 0.0, "delay cannot be negative");
+  hops_.assign(network.size(), kNone);
+  parent_.assign(network.size(), kNone);
+}
+
+void MultihopSim::rebuild_routes(const EnergyLedger& ledger) {
+  const auto& network = *network_;
+  std::fill(hops_.begin(), hops_.end(), kNone);
+  std::fill(parent_.begin(), parent_.end(), kNone);
+
+  // Multi-source BFS from live sink neighbours over live nodes only.
+  std::deque<std::size_t> frontier;
+  for (std::size_t s : network.sink_neighbors()) {
+    if (ledger.alive(s)) {
+      hops_[s] = 1;  // the gateway's own upload
+      frontier.push_back(s);
+    }
+  }
+  while (!frontier.empty()) {
+    const std::size_t v = frontier.front();
+    frontier.pop_front();
+    for (const graph::Arc& arc : network.connectivity().neighbors(v)) {
+      if (hops_[arc.to] == kNone && ledger.alive(arc.to)) {
+        hops_[arc.to] = hops_[v] + 1;
+        parent_[arc.to] = v;
+        frontier.push_back(arc.to);
+      }
+    }
+  }
+  routes_alive_count_ = ledger.alive_count();
+}
+
+MultihopRoundReport MultihopSim::run_round(EnergyLedger& ledger) {
+  const auto& network = *network_;
+  const auto& radio = network.radio();
+  const std::size_t n = network.size();
+  MDG_REQUIRE(ledger.size() == n, "ledger does not match the network");
+
+  if (routes_alive_count_ != ledger.alive_count() ||
+      (n > 0 && hops_.size() != n)) {
+    rebuild_routes(ledger);
+  }
+
+  MultihopRoundReport report;
+  report.round_energy.assign(n, 0.0);
+  double latency_sum = 0.0;
+
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!ledger.alive(s)) {
+      continue;
+    }
+    if (hops_[s] == kNone) {
+      ++report.stranded;
+      continue;
+    }
+    // Walk the packet toward the sink; a relay dying en route drops it.
+    std::size_t v = s;
+    bool delivered = false;
+    std::size_t steps = 0;
+    for (;;) {
+      if (!ledger.alive(v)) {
+        break;  // the relay chain broke this round
+      }
+      const std::size_t nh = parent_[v];
+      const geom::Point from = network.position(v);
+      const geom::Point to =
+          nh == kNone ? network.sink() : network.position(nh);
+      const double tx = radio.tx_packet(geom::distance(from, to));
+      report.round_energy[v] += tx;
+      ledger.consume(v, tx);
+      if (nh == kNone) {
+        delivered = true;
+        break;
+      }
+      const double rx = radio.rx_packet();
+      report.round_energy[nh] += rx;
+      ledger.consume(nh, rx);
+      v = nh;
+      MDG_ASSERT(++steps <= n, "routing loop detected");
+    }
+    if (delivered) {
+      ++report.delivered;
+      latency_sum +=
+          static_cast<double>(hops_[s]) * config_.per_hop_delay_s;
+    }
+  }
+  report.mean_latency_s = report.delivered == 0
+                              ? 0.0
+                              : latency_sum /
+                                    static_cast<double>(report.delivered);
+  return report;
+}
+
+MultihopLifetimeReport MultihopSim::run_lifetime(std::size_t max_rounds) {
+  const std::size_t n = network_->size();
+  MultihopLifetimeReport report;
+  if (n == 0) {
+    return report;
+  }
+  EnergyLedger ledger(n, config_.initial_battery_j);
+  rebuild_routes(ledger);
+  const auto death_floor =
+      static_cast<std::size_t>(std::ceil(static_cast<double>(n) * 0.9));
+  std::size_t originated = 0;
+  bool first_death_seen = false;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    const std::size_t live_before = ledger.alive_count();
+    if (live_before == 0) {
+      break;
+    }
+    originated += live_before;
+    const MultihopRoundReport r = run_round(ledger);
+    report.delivered_total += r.delivered;
+    if (!first_death_seen && ledger.alive_count() < n) {
+      report.rounds_first_death = round + 1;
+      first_death_seen = true;
+    }
+    if (ledger.alive_count() < death_floor) {
+      report.rounds_10pct_death = round + 1;
+      break;
+    }
+    // A fully-stranded network makes no further progress.
+    if (r.delivered == 0) {
+      if (!first_death_seen) {
+        report.rounds_first_death = round + 1;
+      }
+      report.rounds_10pct_death = round + 1;
+      break;
+    }
+  }
+  if (!first_death_seen && report.rounds_first_death == 0) {
+    report.rounds_first_death = max_rounds;
+  }
+  if (report.rounds_10pct_death == 0) {
+    report.rounds_10pct_death = report.rounds_first_death;
+  }
+  report.delivery_ratio =
+      originated == 0 ? 1.0
+                      : static_cast<double>(report.delivered_total) /
+                            static_cast<double>(originated);
+  return report;
+}
+
+}  // namespace mdg::sim

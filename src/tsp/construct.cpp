@@ -1,0 +1,341 @@
+#include "tsp/construct.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "graph/mst.h"
+#include "util/assert.h"
+
+namespace mdg::tsp {
+
+Tour nearest_neighbor(std::span<const geom::Point> points, std::size_t start) {
+  const std::size_t n = points.size();
+  if (n == 0) {
+    return Tour{};
+  }
+  MDG_REQUIRE(start < n, "start index out of range");
+  std::vector<bool> visited(n, false);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::size_t current = start;
+  visited[current] = true;
+  order.push_back(current);
+  for (std::size_t step = 1; step < n; ++step) {
+    std::size_t best = n;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (std::size_t v = 0; v < n; ++v) {
+      if (visited[v]) {
+        continue;
+      }
+      const double d2 = geom::distance_sq(points[current], points[v]);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = v;
+      }
+    }
+    MDG_ASSERT(best != n, "nearest-neighbour stalled");
+    visited[best] = true;
+    order.push_back(best);
+    current = best;
+  }
+  Tour tour(std::move(order));
+  tour.rotate_to_front(start);
+  return tour;
+}
+
+Tour greedy_edge(std::span<const geom::Point> points) {
+  const std::size_t n = points.size();
+  if (n == 0) {
+    return Tour{};
+  }
+  if (n == 1) {
+    return Tour::identity(1);
+  }
+  struct Candidate {
+    double d2;
+    std::size_t u;
+    std::size_t v;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(n * (n - 1) / 2);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      candidates.push_back({geom::distance_sq(points[u], points[v]), u, v});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.d2 < b.d2; });
+
+  // Union-find over path fragments to reject premature cycles.
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&parent](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::vector<std::size_t> degree(n, 0);
+  std::vector<std::vector<std::size_t>> adj(n);
+  std::size_t accepted = 0;
+  for (const Candidate& c : candidates) {
+    if (accepted == n - 1) {
+      break;
+    }
+    if (degree[c.u] >= 2 || degree[c.v] >= 2) {
+      continue;
+    }
+    const std::size_t ru = find(c.u);
+    const std::size_t rv = find(c.v);
+    if (ru == rv) {
+      continue;  // would close a sub-cycle early
+    }
+    parent[ru] = rv;
+    ++degree[c.u];
+    ++degree[c.v];
+    adj[c.u].push_back(c.v);
+    adj[c.v].push_back(c.u);
+    ++accepted;
+  }
+  MDG_ASSERT(accepted == n - 1, "greedy edge failed to build a Hamilton path");
+
+  // Walk the resulting Hamilton path from one endpoint.
+  std::size_t start = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (degree[v] == 1) {
+      start = v;
+      break;
+    }
+  }
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::size_t current = start;
+  for (;;) {
+    visited[current] = true;
+    order.push_back(current);
+    std::size_t next = n;
+    for (std::size_t nb : adj[current]) {
+      if (!visited[nb]) {
+        next = nb;
+        break;
+      }
+    }
+    if (next == n) {
+      break;
+    }
+    current = next;
+  }
+  MDG_ASSERT(order.size() == n, "greedy edge path does not span all points");
+  Tour tour(std::move(order));
+  tour.rotate_to_front(0);
+  return tour;
+}
+
+Tour cheapest_insertion(std::span<const geom::Point> points) {
+  const std::size_t n = points.size();
+  if (n == 0) {
+    return Tour{};
+  }
+  if (n <= 2) {
+    return Tour::identity(n);
+  }
+  // Seed with the closest pair.
+  std::size_t seed_a = 0;
+  std::size_t seed_b = 1;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      const double d2 = geom::distance_sq(points[u], points[v]);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        seed_a = u;
+        seed_b = v;
+      }
+    }
+  }
+  std::vector<std::size_t> order{seed_a, seed_b};
+  std::vector<bool> on_tour(n, false);
+  on_tour[seed_a] = true;
+  on_tour[seed_b] = true;
+
+  while (order.size() < n) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t best_vertex = n;
+    std::size_t best_slot = 0;  // insert before order[best_slot+1]
+    for (std::size_t v = 0; v < n; ++v) {
+      if (on_tour[v]) {
+        continue;
+      }
+      for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        const std::size_t a = order[pos];
+        const std::size_t b = order[(pos + 1) % order.size()];
+        const double cost = geom::distance(points[a], points[v]) +
+                            geom::distance(points[v], points[b]) -
+                            geom::distance(points[a], points[b]);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_vertex = v;
+          best_slot = pos;
+        }
+      }
+    }
+    MDG_ASSERT(best_vertex != n, "cheapest insertion stalled");
+    order.insert(order.begin() + static_cast<std::ptrdiff_t>(best_slot) + 1,
+                 best_vertex);
+    on_tour[best_vertex] = true;
+  }
+  Tour tour(std::move(order));
+  tour.rotate_to_front(0);
+  return tour;
+}
+
+Tour mst_preorder(std::span<const geom::Point> points) {
+  const std::size_t n = points.size();
+  if (n == 0) {
+    return Tour{};
+  }
+  const graph::MstResult mst = graph::euclidean_mst(points);
+  const auto adj = graph::tree_adjacency(n, mst.edges);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  // Iterative DFS preorder from the depot.
+  std::vector<std::size_t> stack{0};
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    if (visited[v]) {
+      continue;
+    }
+    visited[v] = true;
+    order.push_back(v);
+    // Push children in reverse so closer-indexed children pop first
+    // (deterministic output).
+    for (auto it = adj[v].rbegin(); it != adj[v].rend(); ++it) {
+      if (!visited[*it]) {
+        stack.push_back(*it);
+      }
+    }
+  }
+  MDG_ASSERT(order.size() == n, "MST preorder missed vertices");
+  return Tour(std::move(order));
+}
+
+Tour christofides_greedy(std::span<const geom::Point> points) {
+  const std::size_t n = points.size();
+  if (n <= 3) {
+    return Tour::identity(n);
+  }
+  const graph::MstResult mst = graph::euclidean_mst(points);
+
+  // Degree parity over the MST.
+  std::vector<std::size_t> degree(n, 0);
+  for (const graph::Edge& e : mst.edges) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  std::vector<std::size_t> odd;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (degree[v] % 2 == 1) {
+      odd.push_back(v);
+    }
+  }
+  MDG_ASSERT(odd.size() % 2 == 0, "odd-degree vertices come in pairs");
+
+  // Greedy perfect matching on the odd set: repeatedly match the
+  // globally closest unmatched pair.
+  std::vector<graph::Edge> matching;
+  {
+    struct Pair {
+      double d2;
+      std::size_t u;
+      std::size_t v;
+    };
+    std::vector<Pair> pairs;
+    pairs.reserve(odd.size() * (odd.size() - 1) / 2);
+    for (std::size_t i = 0; i < odd.size(); ++i) {
+      for (std::size_t j = i + 1; j < odd.size(); ++j) {
+        pairs.push_back({geom::distance_sq(points[odd[i]], points[odd[j]]),
+                         odd[i], odd[j]});
+      }
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Pair& a, const Pair& b) { return a.d2 < b.d2; });
+    std::vector<bool> matched(n, false);
+    for (const Pair& p : pairs) {
+      if (!matched[p.u] && !matched[p.v]) {
+        matched[p.u] = true;
+        matched[p.v] = true;
+        matching.push_back({p.u, p.v, std::sqrt(p.d2)});
+      }
+    }
+  }
+
+  // Multigraph MST + matching has all-even degrees: walk an Eulerian
+  // circuit (Hierholzer) and shortcut repeated vertices.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> adj(n);
+  std::size_t edge_id = 0;
+  const auto add_edge = [&](std::size_t u, std::size_t v) {
+    adj[u].push_back({v, edge_id});
+    adj[v].push_back({u, edge_id});
+    ++edge_id;
+  };
+  for (const graph::Edge& e : mst.edges) {
+    add_edge(e.u, e.v);
+  }
+  for (const graph::Edge& e : matching) {
+    add_edge(e.u, e.v);
+  }
+  std::vector<bool> used(edge_id, false);
+  std::vector<std::size_t> cursor(n, 0);
+  std::vector<std::size_t> stack{0};
+  std::vector<std::size_t> circuit;
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    bool advanced = false;
+    while (cursor[v] < adj[v].size()) {
+      const auto [to, id] = adj[v][cursor[v]++];
+      if (!used[id]) {
+        used[id] = true;
+        stack.push_back(to);
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) {
+      circuit.push_back(v);
+      stack.pop_back();
+    }
+  }
+
+  // Shortcut: keep the first occurrence of each vertex.
+  std::vector<bool> seen(n, false);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (std::size_t v : circuit) {
+    if (!seen[v]) {
+      seen[v] = true;
+      order.push_back(v);
+    }
+  }
+  MDG_ASSERT(order.size() == n, "Euler shortcut missed vertices");
+  Tour tour(std::move(order));
+  tour.rotate_to_front(0);
+  return tour;
+}
+
+Tour random_tour(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  Tour tour(std::move(order));
+  if (n > 0) {
+    tour.rotate_to_front(0);
+  }
+  return tour;
+}
+
+}  // namespace mdg::tsp

@@ -1,0 +1,40 @@
+// Tour construction heuristics.
+//
+// The paper's harness uses nearest-neighbour (the tour heuristic the
+// follow-up literature reports for these systems); greedy-edge, cheapest
+// insertion and the MST 2-approximation are provided for the TSP ablation
+// experiment (A1) and as better starting tours for local search.
+#pragma once
+
+#include <span>
+
+#include "geom/point.h"
+#include "tsp/tour.h"
+#include "util/rng.h"
+
+namespace mdg::tsp {
+
+/// Nearest-neighbour from `start` (default 0 = the depot).
+[[nodiscard]] Tour nearest_neighbor(std::span<const geom::Point> points,
+                                    std::size_t start = 0);
+
+/// Greedy edge matching: repeatedly add the globally shortest edge that
+/// keeps degree <= 2 and forms no premature cycle. O(n^2 log n).
+[[nodiscard]] Tour greedy_edge(std::span<const geom::Point> points);
+
+/// Cheapest insertion starting from the two closest points.
+[[nodiscard]] Tour cheapest_insertion(std::span<const geom::Point> points);
+
+/// Classic 2-approximation: preorder walk of the Euclidean MST.
+[[nodiscard]] Tour mst_preorder(std::span<const geom::Point> points);
+
+/// Christofides-style construction with a greedy (not minimum) matching:
+/// MST + greedy perfect matching of the odd-degree vertices + Eulerian
+/// circuit + shortcutting. No 1.5-approximation guarantee (the matching
+/// is greedy), but in practice clearly better than the plain MST walk.
+[[nodiscard]] Tour christofides_greedy(std::span<const geom::Point> points);
+
+/// Uniformly random permutation (for tests and as a worst-case baseline).
+[[nodiscard]] Tour random_tour(std::size_t n, Rng& rng);
+
+}  // namespace mdg::tsp

@@ -1,0 +1,134 @@
+#include "tsp/exact.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace mdg::tsp {
+namespace {
+
+struct HeldKarpTable {
+  // dp[mask][last]: shortest path visiting exactly the vertices of mask
+  // (subset of 1..n-1), starting at 0 and ending at `last`.
+  std::vector<double> dp;
+  std::vector<std::uint8_t> parent;
+  std::size_t n = 0;
+
+  double& at(std::size_t mask, std::size_t last) {
+    return dp[mask * n + last];
+  }
+  std::uint8_t& parent_at(std::size_t mask, std::size_t last) {
+    return parent[mask * n + last];
+  }
+};
+
+HeldKarpTable solve_table(std::span<const geom::Point> points) {
+  const std::size_t n = points.size();
+  MDG_REQUIRE(n >= 1 && n <= kMaxExactTsp,
+              "held_karp handles 1..kMaxExactTsp points");
+  HeldKarpTable table;
+  table.n = n;
+  const std::size_t masks = std::size_t{1} << (n - 1);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  table.dp.assign(masks * n, kInf);
+  table.parent.assign(masks * n, 0);
+
+  std::vector<double> d(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      d[i * n + j] = geom::distance(points[i], points[j]);
+    }
+  }
+
+  // Vertex v (1-based within the mask) corresponds to bit v-1.
+  for (std::size_t v = 1; v < n; ++v) {
+    table.at(std::size_t{1} << (v - 1), v) = d[v];  // 0 -> v
+  }
+  for (std::size_t mask = 1; mask < masks; ++mask) {
+    for (std::size_t last = 1; last < n; ++last) {
+      if (!(mask & (std::size_t{1} << (last - 1)))) {
+        continue;
+      }
+      const double cur = table.at(mask, last);
+      if (cur == kInf) {
+        continue;
+      }
+      for (std::size_t next = 1; next < n; ++next) {
+        const std::size_t bit = std::size_t{1} << (next - 1);
+        if (mask & bit) {
+          continue;
+        }
+        const std::size_t nmask = mask | bit;
+        const double cand = cur + d[last * n + next];
+        if (cand < table.at(nmask, next)) {
+          table.at(nmask, next) = cand;
+          table.parent_at(nmask, next) = static_cast<std::uint8_t>(last);
+        }
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+double held_karp_length(std::span<const geom::Point> points) {
+  const std::size_t n = points.size();
+  if (n <= 1) {
+    return 0.0;
+  }
+  if (n == 2) {
+    return 2.0 * geom::distance(points[0], points[1]);
+  }
+  HeldKarpTable table = solve_table(points);
+  const std::size_t full = (std::size_t{1} << (n - 1)) - 1;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t last = 1; last < n; ++last) {
+    best = std::min(best, table.at(full, last) +
+                              geom::distance(points[last], points[0]));
+  }
+  return best;
+}
+
+Tour held_karp(std::span<const geom::Point> points) {
+  const std::size_t n = points.size();
+  if (n == 0) {
+    return Tour{};
+  }
+  if (n <= 3) {
+    return Tour::identity(n);  // any order is optimal for n <= 3
+  }
+  HeldKarpTable table = solve_table(points);
+  const std::size_t full = (std::size_t{1} << (n - 1)) - 1;
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_last = 1;
+  for (std::size_t last = 1; last < n; ++last) {
+    const double cand =
+        table.at(full, last) + geom::distance(points[last], points[0]);
+    if (cand < best) {
+      best = cand;
+      best_last = last;
+    }
+  }
+  // Backtrack.
+  std::vector<std::size_t> reversed;
+  std::size_t mask = full;
+  std::size_t last = best_last;
+  while (last != 0) {
+    reversed.push_back(last);
+    const std::size_t prev = table.parent_at(mask, last);
+    mask &= ~(std::size_t{1} << (last - 1));
+    last = prev;
+  }
+  std::vector<std::size_t> order{0};
+  order.insert(order.end(), reversed.rbegin(), reversed.rend());
+  Tour tour(std::move(order));
+  MDG_ASSERT(std::abs(tour.length(points) - best) <= 1e-6 * (1.0 + best),
+             "held_karp backtrack disagrees with DP value");
+  return tour;
+}
+
+}  // namespace mdg::tsp

@@ -1,0 +1,27 @@
+// Exact TSP by Held–Karp dynamic programming.
+//
+// Used by the ExactPlanner (the CPLEX substitute) to optimally route the
+// mobile collector over a candidate polling-point set. Exponential memory
+// (O(2^n * n)) limits it to kMaxExactTsp stops — exactly the regime the
+// paper's optimal-solution comparison runs in.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "geom/point.h"
+#include "tsp/tour.h"
+
+namespace mdg::tsp {
+
+/// Largest instance held_karp accepts.
+inline constexpr std::size_t kMaxExactTsp = 20;
+
+/// Optimal closed tour over `points` starting/ending at index 0.
+/// Requires points.size() <= kMaxExactTsp.
+[[nodiscard]] Tour held_karp(std::span<const geom::Point> points);
+
+/// Length of the optimal tour without materialising it (same limits).
+[[nodiscard]] double held_karp_length(std::span<const geom::Point> points);
+
+}  // namespace mdg::tsp

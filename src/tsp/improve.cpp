@@ -1,0 +1,279 @@
+#include "tsp/improve.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace mdg::tsp {
+namespace {
+
+double dist(std::span<const geom::Point> pts, std::size_t a, std::size_t b) {
+  return geom::distance(pts[a], pts[b]);
+}
+
+}  // namespace
+
+ImproveStats two_opt(Tour& tour, std::span<const geom::Point> points,
+                     std::size_t max_passes) {
+  ImproveStats stats;
+  stats.initial_length = tour.length(points);
+  stats.final_length = stats.initial_length;
+  const std::size_t n = tour.size();
+  if (n < 4) {
+    return stats;
+  }
+  // Work on a copy of the order for cheap indexing.
+  std::vector<std::size_t> order = tour.order();
+  bool improved = true;
+  while (improved && stats.passes < max_passes) {
+    improved = false;
+    ++stats.passes;
+    // Consider reversing order[i..j]; the depot at position 0 stays put.
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      const std::size_t prev = order[i - 1];
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const std::size_t next = order[(j + 1) % n];
+        // Edges (prev, order[i]) + (order[j], next) vs reconnected
+        // (prev, order[j]) + (order[i], next).
+        const double before =
+            dist(points, prev, order[i]) + dist(points, order[j], next);
+        const double after =
+            dist(points, prev, order[j]) + dist(points, order[i], next);
+        if (after + 1e-12 < before) {
+          std::reverse(order.begin() + static_cast<std::ptrdiff_t>(i),
+                       order.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+          ++stats.moves;
+          improved = true;
+        }
+      }
+    }
+  }
+  tour = Tour(std::move(order));
+  stats.final_length = tour.length(points);
+  MDG_ASSERT(stats.final_length <= stats.initial_length + 1e-9,
+             "2-opt must never lengthen the tour");
+  return stats;
+}
+
+ImproveStats two_opt_neighbors(Tour& tour, std::span<const geom::Point> points,
+                               std::size_t k, std::size_t max_passes) {
+  ImproveStats stats;
+  stats.initial_length = tour.length(points);
+  stats.final_length = stats.initial_length;
+  const std::size_t n = tour.size();
+  if (n < 4 || k == 0) {
+    return stats;
+  }
+
+  // k-nearest neighbour lists (by index into `points`).
+  const std::size_t kk = std::min(k, n - 1);
+  std::vector<std::vector<std::size_t>> nearest(n);
+  {
+    std::vector<std::pair<double, std::size_t>> scratch;
+    for (std::size_t a = 0; a < n; ++a) {
+      scratch.clear();
+      for (std::size_t b = 0; b < n; ++b) {
+        if (b != a) {
+          scratch.push_back({geom::distance_sq(points[a], points[b]), b});
+        }
+      }
+      std::partial_sort(scratch.begin(),
+                        scratch.begin() + static_cast<std::ptrdiff_t>(kk),
+                        scratch.end());
+      nearest[a].reserve(kk);
+      for (std::size_t i = 0; i < kk; ++i) {
+        nearest[a].push_back(scratch[i].second);
+      }
+    }
+  }
+
+  std::vector<std::size_t> order = tour.order();
+  std::vector<std::size_t> pos(n);  // pos[city] = position on the tour
+  const auto rebuild_pos = [&] {
+    for (std::size_t p = 0; p < n; ++p) {
+      pos[order[p]] = p;
+    }
+  };
+  rebuild_pos();
+
+  bool improved = true;
+  while (improved && stats.passes < max_passes) {
+    improved = false;
+    ++stats.passes;
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      const std::size_t a = order[i - 1];  // edge (a, b) on the tour
+      const std::size_t b = order[i];
+      const double d_ab = dist(points, a, b);
+      // A 2-opt move removes (a, b) and (c, d) — c at position j >= i,
+      // d right after it — and adds (a, c) + (b, d). An improving move
+      // needs d_ac < d_ab (first family) or d_bd < d_ab (second
+      // family); scanning both sorted neighbour lists with early break
+      // covers them.
+      bool moved = false;
+      const auto try_reversal = [&](std::size_t j) {
+        if (j <= i || j >= n) {
+          return false;
+        }
+        const std::size_t c = order[j];
+        const std::size_t d_city = order[(j + 1) % n];
+        const double before = d_ab + dist(points, c, d_city);
+        const double after =
+            dist(points, a, c) + dist(points, b, d_city);
+        if (after + 1e-12 < before) {
+          std::reverse(order.begin() + static_cast<std::ptrdiff_t>(i),
+                       order.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+          rebuild_pos();
+          ++stats.moves;
+          improved = true;
+          return true;
+        }
+        return false;
+      };
+      // Family 1: c drawn from a's neighbour list (new edge a-c).
+      for (std::size_t c : nearest[a]) {
+        if (dist(points, a, c) >= d_ab) {
+          break;
+        }
+        if (try_reversal(pos[c])) {
+          moved = true;
+          break;
+        }
+      }
+      if (moved) {
+        continue;
+      }
+      // Family 2: d drawn from b's neighbour list (new edge b-d); the
+      // removed edge is (c, d) with c right before d. No early break:
+      // the improvement condition compares d_bd against d_cd, which is
+      // not monotone along b's neighbour list.
+      for (std::size_t d_city : nearest[b]) {
+        const std::size_t pd = pos[d_city];
+        if (pd == 0) {
+          continue;  // d at the depot: its predecessor is order[n-1]
+        }
+        if (try_reversal(pd - 1)) {
+          break;
+        }
+      }
+    }
+  }
+  tour = Tour(std::move(order));
+  stats.final_length = tour.length(points);
+  MDG_ASSERT(stats.final_length <= stats.initial_length + 1e-9,
+             "neighbour 2-opt must never lengthen the tour");
+  return stats;
+}
+
+ImproveStats or_opt(Tour& tour, std::span<const geom::Point> points,
+                    std::size_t max_passes) {
+  ImproveStats stats;
+  stats.initial_length = tour.length(points);
+  stats.final_length = stats.initial_length;
+  const std::size_t n = tour.size();
+  if (n < 4) {
+    return stats;
+  }
+  std::vector<std::size_t> order = tour.order();
+  bool improved = true;
+  while (improved && stats.passes < max_passes) {
+    improved = false;
+    ++stats.passes;
+    for (std::size_t seg_len = 1; seg_len <= 3 && seg_len + 1 < n; ++seg_len) {
+      // Segment order[i .. i+seg_len-1]; depot (pos 0) never moves.
+      for (std::size_t i = 1; i + seg_len <= n; ++i) {
+        const std::size_t before_seg = order[i - 1];
+        const std::size_t seg_first = order[i];
+        const std::size_t seg_last = order[i + seg_len - 1];
+        const std::size_t after_seg = order[(i + seg_len) % n];
+        const double removal_gain =
+            dist(points, before_seg, seg_first) +
+            dist(points, seg_last, after_seg) -
+            dist(points, before_seg, after_seg);
+        if (removal_gain <= 1e-12) {
+          continue;
+        }
+        // Try inserting between every remaining consecutive pair.
+        double best_delta = -1e-12;
+        std::size_t best_pos = n;  // position p: insert between p and p+1
+        bool best_flip = false;
+        for (std::size_t p = 0; p < n; ++p) {
+          // Skip positions inside or adjacent to the segment.
+          if (p + 1 >= i && p < i + seg_len) {
+            continue;
+          }
+          const std::size_t a = order[p];
+          const std::size_t b = order[(p + 1) % n];
+          const double base = dist(points, a, b);
+          const double fwd = dist(points, a, seg_first) +
+                             dist(points, seg_last, b) - base;
+          const double rev = dist(points, a, seg_last) +
+                             dist(points, seg_first, b) - base;
+          const double delta_fwd = fwd - removal_gain;
+          const double delta_rev = rev - removal_gain;
+          if (delta_fwd < best_delta) {
+            best_delta = delta_fwd;
+            best_pos = p;
+            best_flip = false;
+          }
+          if (delta_rev < best_delta) {
+            best_delta = delta_rev;
+            best_pos = p;
+            best_flip = true;
+          }
+        }
+        if (best_pos == n) {
+          continue;
+        }
+        // Apply: extract the segment then reinsert.
+        std::vector<std::size_t> segment(
+            order.begin() + static_cast<std::ptrdiff_t>(i),
+            order.begin() + static_cast<std::ptrdiff_t>(i + seg_len));
+        if (best_flip) {
+          std::reverse(segment.begin(), segment.end());
+        }
+        order.erase(order.begin() + static_cast<std::ptrdiff_t>(i),
+                    order.begin() + static_cast<std::ptrdiff_t>(i + seg_len));
+        // Recompute insertion slot after erasure.
+        std::size_t insert_after = best_pos;
+        if (best_pos >= i + seg_len) {
+          insert_after -= seg_len;
+        }
+        order.insert(order.begin() + static_cast<std::ptrdiff_t>(insert_after) + 1,
+                     segment.begin(), segment.end());
+        ++stats.moves;
+        improved = true;
+      }
+    }
+  }
+  // The depot may have drifted if a segment was inserted at the wrap
+  // position; restore the convention.
+  Tour out(std::move(order));
+  out.rotate_to_front(tour.at(0));
+  tour = std::move(out);
+  stats.final_length = tour.length(points);
+  MDG_ASSERT(stats.final_length <= stats.initial_length + 1e-9,
+             "Or-opt must never lengthen the tour");
+  return stats;
+}
+
+ImproveStats improve(Tour& tour, std::span<const geom::Point> points,
+                     std::size_t max_rounds) {
+  ImproveStats total;
+  total.initial_length = tour.length(points);
+  total.final_length = total.initial_length;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    const ImproveStats a = two_opt(tour, points);
+    const ImproveStats b = or_opt(tour, points);
+    total.passes += a.passes + b.passes;
+    total.moves += a.moves + b.moves;
+    total.final_length = b.final_length;
+    if (a.moves + b.moves == 0) {
+      break;
+    }
+  }
+  return total;
+}
+
+}  // namespace mdg::tsp

@@ -1,0 +1,46 @@
+// Local-search tour improvement: 2-opt and Or-opt.
+//
+// Both run to a local optimum with first-improvement sweeps. For the
+// instance sizes of this paper (tours over at most a few hundred polling
+// points) the plain O(n^2) sweep per pass is faster in practice than
+// neighbour-list machinery.
+#pragma once
+
+#include <span>
+
+#include "geom/point.h"
+#include "tsp/tour.h"
+
+namespace mdg::tsp {
+
+struct ImproveStats {
+  std::size_t passes = 0;         ///< full sweeps executed
+  std::size_t moves = 0;          ///< improving moves applied
+  double initial_length = 0.0;
+  double final_length = 0.0;
+};
+
+/// 2-opt: repeatedly reverse a segment when it shortens the tour; position
+/// 0 (the depot) never moves. Stops at a local optimum or after
+/// `max_passes` sweeps.
+ImproveStats two_opt(Tour& tour, std::span<const geom::Point> points,
+                     std::size_t max_passes = 64);
+
+/// Neighbour-list 2-opt: only considers reconnections between each city
+/// and its `k` nearest neighbours — O(n·k) per pass instead of O(n^2).
+/// The workhorse for big direct-visit tours (hundreds of stops), where
+/// full 2-opt sweeps dominate planning time. Still never lengthens the
+/// tour; the local optimum is weaker than full 2-opt's.
+ImproveStats two_opt_neighbors(Tour& tour, std::span<const geom::Point> points,
+                               std::size_t k = 10,
+                               std::size_t max_passes = 64);
+
+/// Or-opt: relocate segments of 1..3 consecutive stops to a better place.
+ImproveStats or_opt(Tour& tour, std::span<const geom::Point> points,
+                    std::size_t max_passes = 64);
+
+/// 2-opt followed by Or-opt, iterated until neither improves.
+ImproveStats improve(Tour& tour, std::span<const geom::Point> points,
+                     std::size_t max_rounds = 8);
+
+}  // namespace mdg::tsp

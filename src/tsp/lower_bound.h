@@ -1,0 +1,24 @@
+// Tour-length lower bounds.
+//
+// The ExactPlanner's branch-and-bound prunes candidate polling-point
+// subsets whose *lower bound* on the tour already exceeds the incumbent;
+// the benches also report bounds to quantify heuristic gaps on instances
+// too large for Held–Karp.
+#pragma once
+
+#include <span>
+
+#include "geom/point.h"
+
+namespace mdg::tsp {
+
+/// MST weight over the points — every closed tour is at least this long.
+[[nodiscard]] double mst_lower_bound(std::span<const geom::Point> points);
+
+/// Held–Karp 1-tree bound with a short subgradient ascent (iterations
+/// capped by `iterations`). Tighter than the MST bound, still cheap.
+/// Returns 0 for fewer than 3 points... the bound is trivial there.
+[[nodiscard]] double one_tree_lower_bound(std::span<const geom::Point> points,
+                                          std::size_t iterations = 30);
+
+}  // namespace mdg::tsp

@@ -1,0 +1,112 @@
+#include "tsp/matrix.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace mdg::tsp {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+DistanceMatrix::DistanceMatrix(std::size_t n) : n_(n), data_(n * n, 0.0) {}
+
+double DistanceMatrix::at(std::size_t i, std::size_t j) const {
+  MDG_REQUIRE(i < n_ && j < n_, "matrix index out of range");
+  return data_[i * n_ + j];
+}
+
+void DistanceMatrix::set(std::size_t i, std::size_t j, double value) {
+  MDG_REQUIRE(i < n_ && j < n_, "matrix index out of range");
+  MDG_REQUIRE(value >= 0.0, "distances must be non-negative");
+  data_[i * n_ + j] = value;
+  data_[j * n_ + i] = value;
+}
+
+double DistanceMatrix::tour_length(const Tour& tour) const {
+  if (tour.size() < 2) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (std::size_t pos = 0; pos < tour.size(); ++pos) {
+    total += at(tour.at(pos), tour.at(tour.next_pos(pos)));
+  }
+  return total;
+}
+
+Tour nearest_neighbor_matrix(const DistanceMatrix& d) {
+  const std::size_t n = d.size();
+  if (n == 0) {
+    return Tour{};
+  }
+  std::vector<bool> visited(n, false);
+  std::vector<std::size_t> order{0};
+  visited[0] = true;
+  std::size_t current = 0;
+  for (std::size_t step = 1; step < n; ++step) {
+    std::size_t best = n;
+    double best_d = kInf;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!visited[v] && d.at(current, v) < best_d) {
+        best_d = d.at(current, v);
+        best = v;
+      }
+    }
+    // An unroutable frontier still needs to pick someone: take the first
+    // unvisited (its legs are +inf; the caller sees the inf tour length).
+    if (best == n) {
+      for (std::size_t v = 0; v < n; ++v) {
+        if (!visited[v]) {
+          best = v;
+          break;
+        }
+      }
+    }
+    visited[best] = true;
+    order.push_back(best);
+    current = best;
+  }
+  return Tour(std::move(order));
+}
+
+std::size_t two_opt_matrix(Tour& tour, const DistanceMatrix& d,
+                           std::size_t max_passes) {
+  const std::size_t n = tour.size();
+  std::size_t moves = 0;
+  if (n < 4) {
+    return moves;
+  }
+  std::vector<std::size_t> order = tour.order();
+  bool improved = true;
+  std::size_t passes = 0;
+  while (improved && passes < max_passes) {
+    improved = false;
+    ++passes;
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const std::size_t prev = order[i - 1];
+        const std::size_t next = order[(j + 1) % n];
+        const double before = d.at(prev, order[i]) + d.at(order[j], next);
+        const double after = d.at(prev, order[j]) + d.at(order[i], next);
+        if (after + 1e-12 < before) {
+          std::reverse(order.begin() + static_cast<std::ptrdiff_t>(i),
+                       order.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+          ++moves;
+          improved = true;
+        }
+      }
+    }
+  }
+  tour = Tour(std::move(order));
+  return moves;
+}
+
+Tour solve_tsp_matrix(const DistanceMatrix& d) {
+  Tour tour = nearest_neighbor_matrix(d);
+  two_opt_matrix(tour, d);
+  return tour;
+}
+
+}  // namespace mdg::tsp

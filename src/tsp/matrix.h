@@ -1,0 +1,46 @@
+// TSP over an explicit (symmetric, non-negative) distance matrix.
+//
+// The Euclidean solvers in solve.h assume straight-line legs; obstacle-
+// aware collector routing needs tours under the *detour* metric, which is
+// only available as pairwise distances from the ObstacleRouter. This
+// variant provides the same construction + 2-opt pipeline on a matrix.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tsp/tour.h"
+
+namespace mdg::tsp {
+
+/// Dense symmetric distance matrix with +inf allowed for unroutable
+/// pairs.
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const;
+  /// Sets d(i, j) = d(j, i) = value (value >= 0 or +inf).
+  void set(std::size_t i, std::size_t j, double value);
+
+  /// Tour length under this metric.
+  [[nodiscard]] double tour_length(const Tour& tour) const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> data_;
+};
+
+/// Nearest-neighbour construction from index 0.
+[[nodiscard]] Tour nearest_neighbor_matrix(const DistanceMatrix& d);
+
+/// First-improvement 2-opt under the matrix metric (depot pinned at
+/// position 0). Returns the number of improving moves applied.
+std::size_t two_opt_matrix(Tour& tour, const DistanceMatrix& d,
+                           std::size_t max_passes = 64);
+
+/// NN + 2-opt pipeline.
+[[nodiscard]] Tour solve_tsp_matrix(const DistanceMatrix& d);
+
+}  // namespace mdg::tsp

@@ -1,0 +1,83 @@
+#include "tsp/solve.h"
+
+#include <limits>
+
+#include "tsp/construct.h"
+#include "tsp/exact.h"
+#include "tsp/improve.h"
+#include "util/assert.h"
+
+namespace mdg::tsp {
+
+std::string to_string(TspEffort effort) {
+  switch (effort) {
+    case TspEffort::kConstructionOnly:
+      return "nn";
+    case TspEffort::kTwoOpt:
+      return "nn+2opt";
+    case TspEffort::kFull:
+      return "full";
+    case TspEffort::kExactIfSmall:
+      return "exact-if-small";
+  }
+  MDG_ASSERT(false, "unknown TspEffort");
+  return {};
+}
+
+TspResult solve_tsp(std::span<const geom::Point> points, TspEffort effort) {
+  TspResult result;
+  const std::size_t n = points.size();
+  if (n == 0) {
+    result.exact = true;  // vacuously optimal
+    return result;
+  }
+  if (n <= 3) {
+    result.tour = Tour::identity(n);
+    result.length = result.tour.length(points);
+    result.exact = true;
+    return result;
+  }
+
+  if (effort == TspEffort::kExactIfSmall && n <= kMaxExactTsp) {
+    result.tour = held_karp(points);
+    result.length = result.tour.length(points);
+    result.exact = true;
+    return result;
+  }
+
+  switch (effort) {
+    case TspEffort::kConstructionOnly: {
+      result.tour = nearest_neighbor(points);
+      break;
+    }
+    case TspEffort::kTwoOpt: {
+      result.tour = nearest_neighbor(points);
+      two_opt(result.tour, points);
+      break;
+    }
+    case TspEffort::kFull:
+    case TspEffort::kExactIfSmall: {
+      // Improve every construction and keep the best: guarantees kFull is
+      // never worse than kTwoOpt (improving the NN tour starts with the
+      // same 2-opt pass and only goes further).
+      Tour best;
+      double best_len = std::numeric_limits<double>::infinity();
+      for (Tour candidate :
+           {nearest_neighbor(points), greedy_edge(points),
+            cheapest_insertion(points), christofides_greedy(points)}) {
+        improve(candidate, points);
+        const double len = candidate.length(points);
+        if (len < best_len) {
+          best = std::move(candidate);
+          best_len = len;
+        }
+      }
+      result.tour = std::move(best);
+      break;
+    }
+  }
+  result.length = result.tour.length(points);
+  return result;
+}
+
+}  // namespace mdg::tsp

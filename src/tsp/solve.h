@@ -1,0 +1,36 @@
+// TspSolver facade: one entry point with a quality/effort knob.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "geom/point.h"
+#include "tsp/tour.h"
+
+namespace mdg::tsp {
+
+enum class TspEffort {
+  /// Nearest-neighbour only — the construction the 2008-era papers
+  /// report for their harnesses.
+  kConstructionOnly,
+  /// Nearest-neighbour + 2-opt.
+  kTwoOpt,
+  /// Best of {NN, greedy-edge, cheapest-insertion} + 2-opt + Or-opt.
+  kFull,
+  /// Held–Karp when the instance is small enough, otherwise kFull.
+  kExactIfSmall,
+};
+
+[[nodiscard]] std::string to_string(TspEffort effort);
+
+struct TspResult {
+  Tour tour;
+  double length = 0.0;
+  bool exact = false;  ///< true when Held–Karp proved optimality
+};
+
+/// Solves a closed tour over `points` with the depot pinned at index 0.
+[[nodiscard]] TspResult solve_tsp(std::span<const geom::Point> points,
+                                  TspEffort effort = TspEffort::kFull);
+
+}  // namespace mdg::tsp

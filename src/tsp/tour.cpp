@@ -1,0 +1,74 @@
+#include "tsp/tour.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.h"
+
+namespace mdg::tsp {
+
+Tour::Tour(std::vector<std::size_t> order) : order_(std::move(order)) {
+  MDG_REQUIRE(is_permutation(order_), "tour must be a permutation of [0, n)");
+}
+
+Tour Tour::identity(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  return Tour(std::move(order));
+}
+
+std::size_t Tour::at(std::size_t pos) const {
+  MDG_REQUIRE(pos < order_.size(), "tour position out of range");
+  return order_[pos];
+}
+
+double Tour::length(std::span<const geom::Point> points) const {
+  if (order_.size() < 2) {
+    return 0.0;
+  }
+  MDG_REQUIRE(
+      *std::max_element(order_.begin(), order_.end()) < points.size(),
+      "tour references a point outside the set");
+  double total = 0.0;
+  for (std::size_t pos = 0; pos < order_.size(); ++pos) {
+    total += geom::distance(points[order_[pos]],
+                            points[order_[next_pos(pos)]]);
+  }
+  return total;
+}
+
+void Tour::rotate_to_front(std::size_t index) {
+  const auto it = std::find(order_.begin(), order_.end(), index);
+  MDG_REQUIRE(it != order_.end(), "index not on the tour");
+  std::rotate(order_.begin(), it, order_.end());
+}
+
+void Tour::reverse_segment(std::size_t i, std::size_t j) {
+  MDG_REQUIRE(i <= j && j < order_.size(), "invalid segment");
+  std::reverse(order_.begin() + static_cast<std::ptrdiff_t>(i),
+               order_.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+}
+
+bool Tour::is_permutation(std::span<const std::size_t> order) {
+  std::vector<bool> seen(order.size(), false);
+  for (std::size_t idx : order) {
+    if (idx >= order.size() || seen[idx]) {
+      return false;
+    }
+    seen[idx] = true;
+  }
+  return true;
+}
+
+std::vector<geom::Point> Tour::to_points(
+    std::span<const geom::Point> points) const {
+  std::vector<geom::Point> result;
+  result.reserve(order_.size());
+  for (std::size_t idx : order_) {
+    MDG_REQUIRE(idx < points.size(), "tour references a missing point");
+    result.push_back(points[idx]);
+  }
+  return result;
+}
+
+}  // namespace mdg::tsp

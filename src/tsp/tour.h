@@ -1,0 +1,59 @@
+// Closed-tour representation over a point set.
+//
+// A Tour is a permutation of the indices [0, n) of an external point set;
+// the tour is implicitly closed (last -> first). By convention, index 0 of
+// the point set is the depot (the static data sink) and every solver in
+// this library keeps it at position 0 of the permutation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace mdg::tsp {
+
+class Tour {
+ public:
+  Tour() = default;
+
+  /// Takes a visiting order (a permutation of [0, n)). Validity is
+  /// checked: every index exactly once.
+  explicit Tour(std::vector<std::size_t> order);
+
+  /// The identity tour 0,1,...,n-1.
+  [[nodiscard]] static Tour identity(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] bool empty() const { return order_.empty(); }
+  [[nodiscard]] const std::vector<std::size_t>& order() const { return order_; }
+  [[nodiscard]] std::size_t at(std::size_t pos) const;
+
+  /// Successor position (wraps).
+  [[nodiscard]] std::size_t next_pos(std::size_t pos) const {
+    return pos + 1 == order_.size() ? 0 : pos + 1;
+  }
+
+  /// Total closed length w.r.t. `points` (points.size() must be >= n).
+  [[nodiscard]] double length(std::span<const geom::Point> points) const;
+
+  /// Rotates so that `index` sits at position 0 (the depot convention).
+  void rotate_to_front(std::size_t index);
+
+  /// Reverses the segment [i, j] of positions (inclusive) — the 2-opt
+  /// move primitive.
+  void reverse_segment(std::size_t i, std::size_t j);
+
+  /// True when the order is a permutation of [0, n).
+  [[nodiscard]] static bool is_permutation(std::span<const std::size_t> order);
+
+  /// The visited points, in order.
+  [[nodiscard]] std::vector<geom::Point> to_points(
+      std::span<const geom::Point> points) const;
+
+ private:
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace mdg::tsp

@@ -1,0 +1,50 @@
+// Lightweight contract checking for the mdg library.
+//
+// MDG_REQUIRE validates caller-supplied arguments (precondition violations
+// are programming errors on the caller's side); MDG_ASSERT checks internal
+// invariants. Both throw so that tests can exercise the failure paths, and
+// both stay enabled in Release builds: planner correctness depends on these
+// invariants and the checks are never on a hot inner loop.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mdg {
+
+/// Thrown when a function precondition is violated by the caller.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant of the library does not hold.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] void throw_precondition(const char* expr, const char* file,
+                                     int line, const std::string& msg);
+[[noreturn]] void throw_invariant(const char* expr, const char* file, int line,
+                                  const std::string& msg);
+
+}  // namespace detail
+}  // namespace mdg
+
+#define MDG_REQUIRE(expr, msg)                                            \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::mdg::detail::throw_precondition(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                     \
+  } while (false)
+
+#define MDG_ASSERT(expr, msg)                                          \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::mdg::detail::throw_invariant(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,102 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/assert.h"
+
+namespace mdg {
+
+Flags::Flags(int argc, const char* const* argv) {
+  MDG_REQUIRE(argc >= 1 && argv != nullptr, "argv must hold a program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    MDG_REQUIRE(!arg.empty(), "bare '--' is not a valid flag");
+    const auto eq = arg.find('=');
+    std::string name;
+    std::string value;
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      // --name value form, unless the next token is another flag (then the
+      // flag is a boolean switch).
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    MDG_REQUIRE(!values_.contains(name), "flag --" + name + " given twice");
+    values_[name] = value;
+    consumed_[name] = false;
+  }
+}
+
+std::optional<std::string> Flags::raw(const std::string& name) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& default_value) {
+  return raw(name).value_or(default_value);
+}
+
+long long Flags::get_int(const std::string& name, long long default_value) {
+  const auto value = raw(name);
+  if (!value) {
+    return default_value;
+  }
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value->c_str(), &end, 10);
+  MDG_REQUIRE(end != nullptr && *end == '\0' && !value->empty(),
+              "flag --" + name + " expects an integer, got '" + *value + "'");
+  return parsed;
+}
+
+double Flags::get_double(const std::string& name, double default_value) {
+  const auto value = raw(name);
+  if (!value) {
+    return default_value;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  MDG_REQUIRE(end != nullptr && *end == '\0' && !value->empty(),
+              "flag --" + name + " expects a number, got '" + *value + "'");
+  return parsed;
+}
+
+bool Flags::get_bool(const std::string& name, bool default_value) {
+  const auto value = raw(name);
+  if (!value) {
+    return default_value;
+  }
+  if (*value == "true" || *value == "1" || *value == "yes") {
+    return true;
+  }
+  if (*value == "false" || *value == "0" || *value == "no") {
+    return false;
+  }
+  MDG_REQUIRE(false, "flag --" + name + " expects a boolean, got '" + *value +
+                         "'");
+  return default_value;  // unreachable
+}
+
+void Flags::finish() const {
+  for (const auto& [name, used] : consumed_) {
+    MDG_REQUIRE(used, "unknown flag --" + name);
+  }
+}
+
+}  // namespace mdg

@@ -1,0 +1,51 @@
+// Tiny command-line flag parser for examples and bench drivers.
+//
+// Supports --name=value and --name value forms plus boolean switches
+// (--verbose / --verbose=false). Unknown flags are an error so typos in
+// experiment scripts fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mdg {
+
+class Flags {
+ public:
+  /// Parses argv. Throws PreconditionError on malformed input or on flags
+  /// not subsequently declared via the typed getters (checked by
+  /// finish()).
+  Flags(int argc, const char* const* argv);
+
+  /// Typed getters; each also *declares* the flag as known.
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& default_value);
+  [[nodiscard]] long long get_int(const std::string& name,
+                                  long long default_value);
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double default_value);
+  [[nodiscard]] bool get_bool(const std::string& name, bool default_value);
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Verifies every flag the user passed was declared by a getter. Call
+  /// after all getters.
+  void finish() const;
+
+  [[nodiscard]] const std::string& program_name() const { return program_; }
+
+ private:
+  [[nodiscard]] std::optional<std::string> raw(const std::string& name);
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mdg

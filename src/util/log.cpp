@@ -1,0 +1,76 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace mdg {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1: not yet initialised from env
+
+LogLevel init_from_env() {
+  const char* env = std::getenv("MDG_LOG_LEVEL");
+  return env == nullptr ? LogLevel::kOff : parse_log_level(env);
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  int current = g_level.load(std::memory_order_relaxed);
+  if (current < 0) {
+    const LogLevel from_env = init_from_env();
+    int expected = -1;
+    g_level.compare_exchange_strong(expected, static_cast<int>(from_env),
+                                    std::memory_order_relaxed);
+    current = g_level.load(std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(current);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warning") return LogLevel::kWarning;
+  if (name == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warning";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_level()) &&
+         log_level() != LogLevel::kOff;
+}
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& message) {
+  // Serialise whole lines; interleaved characters from worker threads
+  // would make the log useless.
+  static std::mutex mutex;
+  const std::lock_guard<std::mutex> lock(mutex);
+  std::cerr << "[mdg:" << to_string(level) << "] " << message << '\n';
+}
+
+}  // namespace detail
+}  // namespace mdg

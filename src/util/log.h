@@ -1,0 +1,72 @@
+// Minimal leveled logging for long-running solvers.
+//
+// Library code stays silent by default; the exact planner and other
+// slow paths emit progress at kDebug so operators can watch a stuck
+// solve (`MDG_LOG_LEVEL=debug ./bench_t1_optimal_gap`). Output goes to
+// stderr to keep bench tables on stdout clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mdg {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Current threshold. Initialised once from the MDG_LOG_LEVEL
+/// environment variable (debug|info|warning|error|off, default off).
+[[nodiscard]] LogLevel log_level();
+
+/// Overrides the threshold at runtime (tests, tools).
+void set_log_level(LogLevel level);
+
+/// Parses a level name; returns kOff for unknown names.
+[[nodiscard]] LogLevel parse_log_level(const std::string& name);
+
+[[nodiscard]] const char* to_string(LogLevel level);
+
+/// True when `level` would currently be emitted.
+[[nodiscard]] bool log_enabled(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+}  // namespace mdg
+
+/// Usage: MDG_LOG(kInfo) << "tour " << length << " m";
+/// The stream expression is only evaluated when the level is enabled.
+#define MDG_LOG(level_name)                                                  \
+  for (bool mdg_log_once =                                                   \
+           ::mdg::log_enabled(::mdg::LogLevel::level_name);                  \
+       mdg_log_once; mdg_log_once = false)                                   \
+  ::mdg::detail::LogLine(::mdg::LogLevel::level_name)
+
+namespace mdg::detail {
+
+/// One log statement: accumulates and emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace mdg::detail

@@ -1,0 +1,128 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace mdg {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = splitmix64(sm);
+  }
+}
+
+Rng Rng::fork(std::uint64_t stream) const {
+  // Mix the child stream id into a copy of the parent state through
+  // SplitMix64 so sibling streams are decorrelated.
+  std::uint64_t mix = state_[0] ^ (0xd1342543de82ef95ULL * (stream + 1));
+  return Rng(splitmix64(mix));
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> [0, 1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  MDG_REQUIRE(lo < hi, "uniform() needs lo < hi");
+  return lo + (hi - lo) * next_double();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  MDG_REQUIRE(lo <= hi, "uniform_int() needs lo <= hi");
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) {  // full 64-bit range
+    return next_u64();
+  }
+  // Debiased modulo (Lemire-style rejection).
+  const std::uint64_t limit = (~0ULL) - ((~0ULL) % span + 1) % span;
+  std::uint64_t draw = next_u64();
+  while (draw > limit) {
+    draw = next_u64();
+  }
+  return lo + draw % span;
+}
+
+std::size_t Rng::index(std::size_t n) {
+  MDG_REQUIRE(n > 0, "index() needs a non-empty range");
+  return static_cast<std::size_t>(uniform_int(0, n - 1));
+}
+
+double Rng::normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return u * factor;
+}
+
+double Rng::normal(double mean, double stddev) {
+  MDG_REQUIRE(stddev >= 0.0, "normal() needs stddev >= 0");
+  return mean + stddev * normal();
+}
+
+bool Rng::chance(double p) {
+  MDG_REQUIRE(p >= 0.0 && p <= 1.0, "chance() needs p in [0, 1]");
+  return next_double() < p;
+}
+
+std::size_t Rng::poisson(double lambda) {
+  MDG_REQUIRE(lambda >= 0.0, "poisson() needs lambda >= 0");
+  if (lambda == 0.0) {
+    return 0;
+  }
+  if (lambda > 30.0) {
+    // Normal approximation with continuity correction.
+    const double draw = normal(lambda, std::sqrt(lambda));
+    return draw <= 0.0 ? 0 : static_cast<std::size_t>(draw + 0.5);
+  }
+  // Knuth: multiply uniforms until the product drops below e^-lambda.
+  const double limit = std::exp(-lambda);
+  std::size_t count = 0;
+  double product = next_double();
+  while (product > limit) {
+    ++count;
+    product *= next_double();
+  }
+  return count;
+}
+
+}  // namespace mdg

@@ -1,0 +1,64 @@
+// Streaming and batch statistics used by the Monte-Carlo harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mdg {
+
+/// Welford online accumulator: numerically stable mean/variance without
+/// storing samples. Mergeable so per-thread accumulators can be combined.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean() * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number-style summary of a batch of samples.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary over the samples. Returns a zeroed Summary for an
+/// empty span.
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// Linear-interpolated percentile of *sorted* samples, q in [0, 1].
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted, double q);
+
+/// Mean of samples; 0 for an empty span.
+[[nodiscard]] double mean_of(std::span<const double> samples);
+
+/// Jain's fairness index in (0, 1]: 1 means perfectly uniform values.
+/// Used to quantify how evenly energy consumption spreads across sensors.
+/// Returns 1 for empty or all-zero input.
+[[nodiscard]] double jain_fairness(std::span<const double> values);
+
+}  // namespace mdg

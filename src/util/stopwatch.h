@@ -1,0 +1,35 @@
+// Wall-clock stopwatch for harness timing columns.
+#pragma once
+
+#include <chrono>
+
+namespace mdg {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/reset.
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+  [[nodiscard]] double elapsed_s() const { return elapsed_ms() / 1e3; }
+
+  /// Times a callable, returning milliseconds.
+  template <typename F>
+  [[nodiscard]] static double time_ms(F&& fn) {
+    const Stopwatch watch;
+    fn();
+    return watch.elapsed_ms();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mdg

@@ -1,0 +1,116 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace mdg {
+
+Table::Table(std::string title, int precision)
+    : title_(std::move(title)), precision_(precision) {
+  MDG_REQUIRE(precision >= 0 && precision <= 12, "unreasonable precision");
+}
+
+void Table::set_header(std::vector<std::string> names) {
+  MDG_REQUIRE(rows_.empty(), "set_header() must precede add_row()");
+  MDG_REQUIRE(!names.empty(), "a table needs at least one column");
+  header_ = std::move(names);
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  MDG_REQUIRE(!header_.empty(), "set_header() before add_row()");
+  MDG_REQUIRE(cells.size() == header_.size(),
+              "row width must match the header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(const Cell& cell) const {
+  if (const auto* text = std::get_if<std::string>(&cell)) {
+    return *text;
+  }
+  if (const auto* integer = std::get_if<long long>(&cell)) {
+    return std::to_string(*integer);
+  }
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision_) << std::get<double>(cell);
+  return out.str();
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  const auto rule = [&] {
+    out << '+';
+    for (std::size_t w : widths) {
+      out << std::string(w + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << std::setw(static_cast<int>(widths[c])) << cells[c] << " |";
+    }
+    out << '\n';
+  };
+
+  out << "== " << title_ << " ==\n";
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rendered) {
+    line(row);
+  }
+  rule();
+}
+
+namespace {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) {
+    return field;
+  }
+  std::string quoted = "\"";
+  for (char ch : field) {
+    if (ch == '"') {
+      quoted += '"';
+    }
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+void Table::write_csv(std::ostream& out) const {
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << (c == 0 ? "" : ",") << csv_escape(header_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : ",") << csv_escape(format_cell(row[c]));
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace mdg

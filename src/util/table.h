@@ -1,0 +1,50 @@
+// Aligned-console + CSV table output for benchmark harnesses.
+//
+// Every bench binary reproduces one table/figure of the paper; Table gives
+// them a uniform way to print the series the paper reports and optionally
+// dump machine-readable CSV next to it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mdg {
+
+/// A value in a table cell: text, integer, or real (printed with fixed
+/// precision).
+using Cell = std::variant<std::string, long long, double>;
+
+class Table {
+ public:
+  /// `title` is printed as a header line; `precision` controls how many
+  /// decimals real-valued cells get.
+  explicit Table(std::string title, int precision = 2);
+
+  /// Sets the column headers. Must be called before adding rows.
+  void set_header(std::vector<std::string> names);
+
+  /// Appends one row; the cell count must match the header.
+  void add_row(std::vector<Cell> cells);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return header_.size(); }
+
+  /// Renders an aligned, boxed table.
+  void print(std::ostream& out) const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void write_csv(std::ostream& out) const;
+
+  /// Formats a single cell with this table's precision.
+  [[nodiscard]] std::string format_cell(const Cell& cell) const;
+
+ private:
+  std::string title_;
+  int precision_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace mdg

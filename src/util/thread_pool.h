@@ -1,0 +1,62 @@
+// Minimal work-sharing thread pool plus a blocking parallel_for.
+//
+// The evaluation harness averages each data point over hundreds of
+// independent Monte-Carlo trials; those trials are embarrassingly parallel
+// and run via parallel_for with per-trial forked RNG streams so results are
+// bit-identical at any thread count (including 1).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mdg {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw; exceptions escaping a task
+  /// terminate the process (fail-fast, matching the harness's needs).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) across the pool, returning when all calls
+/// completed. Work is chunked to limit scheduling overhead. fn must be
+/// safe to invoke concurrently for distinct i.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Convenience overload using a process-wide default pool.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// The process-wide pool used by the convenience overload.
+ThreadPool& default_pool();
+
+}  // namespace mdg

@@ -1,0 +1,112 @@
+#include "baselines/cme_tracks.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::baselines {
+namespace {
+
+TEST(CmeTest, TourLengthIndependentOfSensorCount) {
+  Rng rng_a(1);
+  Rng rng_b(2);
+  const auto sparse = net::make_uniform_network(50, 200.0, 30.0, rng_a);
+  const auto dense = net::make_uniform_network(500, 200.0, 30.0, rng_b);
+  const CmeScheme cme;
+  EXPECT_DOUBLE_EQ(cme.run(sparse).tour_length,
+                   cme.run(dense).tour_length);
+}
+
+TEST(CmeTest, TourLengthGrowsWithField) {
+  Rng rng_a(3);
+  Rng rng_b(4);
+  const auto small = net::make_uniform_network(100, 100.0, 30.0, rng_a);
+  const auto large = net::make_uniform_network(100, 400.0, 30.0, rng_b);
+  const CmeScheme cme;
+  EXPECT_LT(cme.run(small).tour_length, cme.run(large).tour_length);
+}
+
+TEST(CmeTest, SingleTrackThroughMiddle) {
+  Rng rng(5);
+  const auto network = net::make_uniform_network(50, 100.0, 30.0, rng);
+  CmeOptions options;
+  options.track_count = 1;
+  const CmeResult result = CmeScheme(options).run(network);
+  // Path: sink -> (0,50) -> (100,50) -> sink: 50 + 100 + 50.
+  EXPECT_NEAR(result.tour_length, 200.0, 1e-9);
+}
+
+TEST(CmeTest, SensorsOnTrackUploadDirectly) {
+  // One sensor right on the middle track.
+  std::vector<geom::Point> pts{{30.0, 50.0}};
+  const auto field = geom::Aabb::square(100.0);
+  const net::SensorNetwork network(std::move(pts), field.center(), field,
+                                   10.0);
+  CmeOptions options;
+  options.track_count = 1;
+  const CmeResult result = CmeScheme(options).run(network);
+  EXPECT_EQ(result.upload_hops[0], 1u);
+  EXPECT_DOUBLE_EQ(result.average_hops, 1.0);
+  EXPECT_DOUBLE_EQ(result.coverage, 1.0);
+}
+
+TEST(CmeTest, FarSensorsRelayMultihop) {
+  // Chain from the track outward: 50 (on track), 62, 74 with Rs=13.
+  std::vector<geom::Point> pts{{50.0, 55.0}, {50.0, 67.0}, {50.0, 79.0}};
+  const auto field = geom::Aabb::square(100.0);
+  const net::SensorNetwork network(std::move(pts), field.center(), field,
+                                   13.0);
+  CmeOptions options;
+  options.track_count = 1;  // track at y = 50
+  const CmeResult result = CmeScheme(options).run(network);
+  EXPECT_EQ(result.upload_hops[0], 1u);  // |55-50| <= 13
+  EXPECT_EQ(result.upload_hops[1], 2u);
+  EXPECT_EQ(result.upload_hops[2], 3u);
+}
+
+TEST(CmeTest, DisconnectedSensorsUncovered) {
+  std::vector<geom::Point> pts{{50.0, 52.0}, {50.0, 95.0}};
+  const auto field = geom::Aabb::square(100.0);
+  const net::SensorNetwork network(std::move(pts), field.center(), field,
+                                   5.0);
+  CmeOptions options;
+  options.track_count = 1;
+  const CmeResult result = CmeScheme(options).run(network);
+  EXPECT_EQ(result.upload_hops[1], std::numeric_limits<std::size_t>::max());
+  EXPECT_DOUBLE_EQ(result.coverage, 0.5);
+}
+
+TEST(CmeTest, MultipleTracksImproveCoverage) {
+  Rng rng(7);
+  const auto network = net::make_uniform_network(150, 300.0, 20.0, rng);
+  CmeOptions one;
+  one.track_count = 1;
+  CmeOptions five;
+  five.track_count = 5;
+  const CmeResult r1 = CmeScheme(one).run(network);
+  const CmeResult r5 = CmeScheme(five).run(network);
+  EXPECT_GE(r5.coverage, r1.coverage);
+  EXPECT_GT(r5.tour_length, r1.tour_length);
+}
+
+TEST(CmeTest, RejectsZeroTracks) {
+  CmeOptions options;
+  options.track_count = 0;
+  EXPECT_THROW(CmeScheme{options}, mdg::PreconditionError);
+}
+
+TEST(CmeTest, PathIsClosedAtSink) {
+  Rng rng(9);
+  const auto network = net::make_uniform_network(30, 100.0, 20.0, rng);
+  const CmeResult result = CmeScheme().run(network);
+  ASSERT_GE(result.path.size(), 2u);
+  EXPECT_EQ(result.path.front(), network.sink());
+  EXPECT_EQ(result.path.back(), network.sink());
+}
+
+}  // namespace
+}  // namespace mdg::baselines

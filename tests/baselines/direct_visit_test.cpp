@@ -1,0 +1,53 @@
+#include "baselines/direct_visit.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mdg::baselines {
+namespace {
+
+TEST(DirectVisitTest, OnePollingPointPerSensor) {
+  Rng rng(1);
+  const auto network = net::make_uniform_network(80, 120.0, 25.0, rng);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution = DirectVisitPlanner().plan(instance);
+  solution.validate(instance);
+  EXPECT_EQ(solution.polling_points.size(), network.size());
+  EXPECT_EQ(solution.max_pp_load(), 1u);
+}
+
+TEST(DirectVisitTest, PollingPointsAreSensorSites) {
+  Rng rng(2);
+  const auto network = net::make_uniform_network(40, 100.0, 20.0, rng);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution = DirectVisitPlanner().plan(instance);
+  for (std::size_t s = 0; s < network.size(); ++s) {
+    const geom::Point pp = solution.polling_points[solution.assignment[s]];
+    EXPECT_EQ(pp, network.position(s));
+  }
+}
+
+TEST(DirectVisitTest, UploadDistanceIsZero) {
+  Rng rng(3);
+  const auto network = net::make_uniform_network(50, 100.0, 20.0, rng);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution = DirectVisitPlanner().plan(instance);
+  EXPECT_DOUBLE_EQ(solution.mean_upload_distance(instance), 0.0);
+}
+
+TEST(DirectVisitTest, TourEffortConfigurable) {
+  Rng rng(4);
+  const auto network = net::make_uniform_network(60, 150.0, 25.0, rng);
+  const core::ShdgpInstance instance(network);
+  const double cheap =
+      DirectVisitPlanner(tsp::TspEffort::kConstructionOnly)
+          .plan(instance)
+          .tour_length;
+  const double full =
+      DirectVisitPlanner(tsp::TspEffort::kFull).plan(instance).tour_length;
+  EXPECT_LE(full, cheap + 1e-9);
+}
+
+}  // namespace
+}  // namespace mdg::baselines

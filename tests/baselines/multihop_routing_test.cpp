@@ -1,0 +1,95 @@
+#include "baselines/multihop_routing.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mdg::baselines {
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+net::SensorNetwork chain_network() {
+  std::vector<geom::Point> pts{{45.0, 50.0}, {35.0, 50.0}, {25.0, 50.0}};
+  const auto field = geom::Aabb::square(100.0);
+  return net::SensorNetwork(std::move(pts), field.center(), field, 11.0);
+}
+
+TEST(MultihopRoutingTest, HopCountsOnChain) {
+  const auto network = chain_network();
+  const MultihopRouting routing(network);
+  EXPECT_EQ(routing.hops_to_sink(0), 1u);
+  EXPECT_EQ(routing.hops_to_sink(1), 2u);
+  EXPECT_EQ(routing.hops_to_sink(2), 3u);
+  EXPECT_EQ(routing.next_hop(0), kNone);  // uploads directly
+  EXPECT_EQ(routing.next_hop(1), 0u);
+  EXPECT_EQ(routing.next_hop(2), 1u);
+}
+
+TEST(MultihopRoutingTest, AnalyzeAveragesAndCoverage) {
+  const auto network = chain_network();
+  const MultihopResult result = MultihopRouting(network).analyze();
+  EXPECT_NEAR(result.average_hops, 2.0, 1e-12);
+  EXPECT_EQ(result.max_hops, 3u);
+  EXPECT_DOUBLE_EQ(result.coverage, 1.0);
+}
+
+TEST(MultihopRoutingTest, TxLoadIsSubtreeSize) {
+  const auto network = chain_network();
+  const MultihopResult result = MultihopRouting(network).analyze();
+  EXPECT_EQ(result.tx_load[0], 3u);  // relays everyone
+  EXPECT_EQ(result.tx_load[1], 2u);
+  EXPECT_EQ(result.tx_load[2], 1u);
+}
+
+TEST(MultihopRoutingTest, EnergyHotspotAtGateway) {
+  const auto network = chain_network();
+  const MultihopResult result = MultihopRouting(network).analyze();
+  EXPECT_GT(result.round_energy[0], result.round_energy[1]);
+  EXPECT_GT(result.round_energy[1], result.round_energy[2]);
+}
+
+TEST(MultihopRoutingTest, DisconnectedSensorsReported) {
+  std::vector<geom::Point> pts{{45.0, 50.0}, {5.0, 5.0}};
+  const auto field = geom::Aabb::square(100.0);
+  const net::SensorNetwork network(std::move(pts), field.center(), field,
+                                   11.0);
+  const MultihopRouting routing(network);
+  EXPECT_EQ(routing.hops_to_sink(1), kNone);
+  const MultihopResult result = routing.analyze();
+  EXPECT_DOUBLE_EQ(result.coverage, 0.5);
+  EXPECT_NEAR(result.average_hops, 1.0, 1e-12);
+}
+
+TEST(MultihopRoutingTest, AverageHopsMatchesPaperScaleExample) {
+  // The motivating configuration: 300 sensors, 300x300 field, sink at
+  // centre — the literature reports ~5.3 average hops at Rs = 30.
+  Rng rng(2008);
+  const auto network = net::make_uniform_network(300, 300.0, 30.0, rng);
+  const MultihopResult result = MultihopRouting(network).analyze();
+  EXPECT_GT(result.average_hops, 3.5);
+  EXPECT_LT(result.average_hops, 7.5);
+}
+
+TEST(MultihopRoutingTest, EnergyFairnessIsPoor) {
+  // Relay routing concentrates load: Jain fairness well below 1.
+  Rng rng(77);
+  const auto network = net::make_uniform_network(200, 200.0, 30.0, rng);
+  const MultihopResult result = MultihopRouting(network).analyze();
+  EXPECT_LT(jain_fairness(result.round_energy), 0.8);
+}
+
+TEST(MultihopRoutingTest, EmptyNetwork) {
+  const auto field = geom::Aabb::square(10.0);
+  const net::SensorNetwork network({}, field.center(), field, 3.0);
+  const MultihopResult result = MultihopRouting(network).analyze();
+  EXPECT_DOUBLE_EQ(result.coverage, 1.0);
+  EXPECT_DOUBLE_EQ(result.average_hops, 0.0);
+}
+
+}  // namespace
+}  // namespace mdg::baselines

@@ -1,0 +1,95 @@
+// Cross-validation of the ExactPlanner against exhaustive enumeration.
+//
+// On tiny instances we can afford the ground truth: every subset of
+// candidate polling points that covers all sensors, each routed exactly
+// with Held-Karp. The branch-and-bound must match its optimum bit for
+// bit.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "core/exact_planner.h"
+#include "tsp/exact.h"
+#include "util/rng.h"
+
+namespace mdg::core {
+namespace {
+
+/// Exhaustive SHDGP optimum: minimum over all covering subsets of the
+/// exact tour length through sink + subset.
+double brute_force_optimum(const ShdgpInstance& instance) {
+  const auto& matrix = instance.coverage();
+  const auto& network = instance.network();
+  const std::size_t m = matrix.candidate_count();
+  const std::size_t n = network.size();
+  double best = std::numeric_limits<double>::infinity();
+
+  for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << m); ++mask) {
+    // Coverage check.
+    std::vector<bool> covered(n, false);
+    std::vector<geom::Point> stops{instance.sink()};
+    for (std::size_t c = 0; c < m; ++c) {
+      if (mask & (std::uint64_t{1} << c)) {
+        stops.push_back(matrix.candidate(c));
+        for (std::size_t s : matrix.covered_by(c)) {
+          covered[s] = true;
+        }
+      }
+    }
+    bool feasible = true;
+    for (std::size_t s = 0; s < n; ++s) {
+      feasible = feasible && covered[s];
+    }
+    if (!feasible || stops.size() > tsp::kMaxExactTsp) {
+      continue;
+    }
+    best = std::min(best, tsp::held_karp_length(stops));
+  }
+  return best;
+}
+
+TEST(BruteForceCrossCheckTest, ExactPlannerMatchesEnumeration) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed);
+    const std::size_t n = 5 + seed % 4;  // 5..8 sensors
+    const net::SensorNetwork network =
+        net::make_uniform_network(n, 50.0, 18.0, rng);
+    const ShdgpInstance instance(network);
+    const ShdgpSolution exact = ExactPlanner().plan(instance);
+    ASSERT_TRUE(exact.provably_optimal) << "seed " << seed;
+    const double truth = brute_force_optimum(instance);
+    EXPECT_NEAR(exact.tour_length, truth, 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(BruteForceCrossCheckTest, DisconnectedTinyInstance) {
+  // Two sensors far apart: the optimum must visit both neighbourhoods.
+  std::vector<geom::Point> pts{{5.0, 5.0}, {45.0, 45.0}};
+  const auto field = geom::Aabb::square(50.0);
+  const net::SensorNetwork network(std::move(pts), field.center(), field,
+                                   8.0);
+  const ShdgpInstance instance(network);
+  const ShdgpSolution exact = ExactPlanner().plan(instance);
+  EXPECT_NEAR(exact.tour_length, brute_force_optimum(instance), 1e-6);
+  EXPECT_EQ(exact.polling_points.size(), 2u);
+}
+
+TEST(BruteForceCrossCheckTest, RicherCandidatesStillOptimal) {
+  Rng rng(77);
+  const net::SensorNetwork network =
+      net::make_uniform_network(5, 50.0, 12.0, rng);
+  cover::CandidateOptions options;
+  options.policy = cover::CandidatePolicy::kSensorSitesAndIntersections;
+  const ShdgpInstance instance(network, options);
+  if (instance.coverage().candidate_count() <= 22) {
+    const ShdgpSolution exact = ExactPlanner().plan(instance);
+    ASSERT_TRUE(exact.provably_optimal);
+    EXPECT_NEAR(exact.tour_length, brute_force_optimum(instance), 1e-6);
+  } else {
+    GTEST_SKIP() << "candidate set too large for enumeration";
+  }
+}
+
+}  // namespace
+}  // namespace mdg::core

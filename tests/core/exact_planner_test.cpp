@@ -1,0 +1,123 @@
+#include "core/exact_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/greedy_cover_planner.h"
+#include "core/spanning_tour_planner.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::core {
+namespace {
+
+net::SensorNetwork small_net(std::size_t n, double side, double rs,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  return net::make_uniform_network(n, side, rs, rng);
+}
+
+TEST(ExactPlannerTest, FeasibleAndValidated) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto network = small_net(20, 70.0, 20.0, seed);
+    const ShdgpInstance instance(network);
+    const ShdgpSolution solution = ExactPlanner().plan(instance);
+    EXPECT_NO_THROW(solution.validate(instance));
+    EXPECT_TRUE(solution.provably_optimal);
+  }
+}
+
+TEST(ExactPlannerTest, NeverWorseThanHeuristics) {
+  // The defining property of the optimal solution.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto network = small_net(22, 70.0, 20.0, seed);
+    const ShdgpInstance instance(network);
+    const ShdgpSolution exact = ExactPlanner().plan(instance);
+    ASSERT_TRUE(exact.provably_optimal);
+    const ShdgpSolution greedy = GreedyCoverPlanner().plan(instance);
+    const ShdgpSolution spanning = SpanningTourPlanner().plan(instance);
+    EXPECT_LE(exact.tour_length, greedy.tour_length + 1e-6) << "seed " << seed;
+    EXPECT_LE(exact.tour_length, spanning.tour_length + 1e-6)
+        << "seed " << seed;
+  }
+}
+
+TEST(ExactPlannerTest, SingleSensor) {
+  const auto network = small_net(1, 30.0, 10.0, 3);
+  const ShdgpInstance instance(network);
+  const ShdgpSolution solution = ExactPlanner().plan(instance);
+  solution.validate(instance);
+  EXPECT_EQ(solution.polling_points.size(), 1u);
+  // Tour = sink -> sensor -> sink.
+  EXPECT_NEAR(solution.tour_length,
+              2.0 * geom::distance(network.sink(), network.position(0)),
+              1e-9);
+}
+
+TEST(ExactPlannerTest, EmptyNetwork) {
+  const auto field = geom::Aabb::square(10.0);
+  const net::SensorNetwork network({}, field.center(), field, 3.0);
+  const ShdgpInstance instance(network);
+  const ShdgpSolution solution = ExactPlanner().plan(instance);
+  EXPECT_TRUE(solution.provably_optimal);
+  EXPECT_TRUE(solution.polling_points.empty());
+}
+
+TEST(ExactPlannerTest, DenseClusterOptimumIsOnePoint) {
+  std::vector<geom::Point> pts;
+  Rng rng(5);
+  for (int i = 0; i < 15; ++i) {
+    pts.push_back({20.0 + rng.uniform(-3.0, 3.0),
+                   20.0 + rng.uniform(-3.0, 3.0)});
+  }
+  const auto field = geom::Aabb::square(40.0);
+  const net::SensorNetwork network(std::move(pts), field.center(), field,
+                                   15.0);
+  const ShdgpInstance instance(network);
+  const ShdgpSolution solution = ExactPlanner().plan(instance);
+  EXPECT_EQ(solution.polling_points.size(), 1u);
+  EXPECT_TRUE(solution.provably_optimal);
+}
+
+TEST(ExactPlannerTest, RejectsOversizedNetworks) {
+  const auto network = small_net(65, 200.0, 20.0, 7);
+  const ShdgpInstance instance(network);
+  EXPECT_THROW((void)ExactPlanner().plan(instance), mdg::PreconditionError);
+}
+
+TEST(ExactPlannerTest, NodeLimitReturnsIncumbent) {
+  const auto network = small_net(25, 80.0, 18.0, 9);
+  const ShdgpInstance instance(network);
+  ExactPlannerOptions options;
+  options.node_limit = 1;  // forces early exhaustion
+  const ShdgpSolution solution = ExactPlanner(options).plan(instance);
+  EXPECT_NO_THROW(solution.validate(instance));
+  EXPECT_FALSE(solution.provably_optimal);
+}
+
+TEST(ExactPlannerTest, RichCandidateSetNeverHurts) {
+  // Adding pair-intersection candidates can only shorten (or keep) the
+  // optimal tour.
+  const auto network = small_net(14, 60.0, 18.0, 11);
+  const ShdgpInstance sites(network);
+  cover::CandidateOptions rich_options;
+  rich_options.policy =
+      cover::CandidatePolicy::kSensorSitesAndIntersections;
+  const ShdgpInstance rich(network, rich_options);
+  const double sites_len = ExactPlanner().plan(sites).tour_length;
+  const double rich_len = ExactPlanner().plan(rich).tour_length;
+  EXPECT_LE(rich_len, sites_len + 1e-6);
+}
+
+TEST(ExactPlannerTest, OptionsValidation) {
+  ExactPlannerOptions options;
+  options.max_polling_points = 30;  // > kMaxExactTsp - 1
+  const auto network = small_net(10, 50.0, 15.0, 13);
+  const ShdgpInstance instance(network);
+  EXPECT_THROW((void)ExactPlanner(options).plan(instance),
+               mdg::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdg::core

@@ -1,0 +1,50 @@
+#include "core/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mdg::core {
+namespace {
+
+TEST(ShdgpInstanceTest, WiresNetworkAndCoverage) {
+  Rng rng(3);
+  const net::SensorNetwork network =
+      net::make_uniform_network(60, 100.0, 25.0, rng);
+  const ShdgpInstance instance(network);
+  EXPECT_EQ(&instance.network(), &network);
+  EXPECT_EQ(instance.sensor_count(), 60u);
+  EXPECT_EQ(instance.sink(), network.sink());
+  EXPECT_EQ(instance.coverage().sensor_count(), 60u);
+  EXPECT_EQ(instance.coverage().candidate_count(), 60u);  // sensor sites
+}
+
+TEST(ShdgpInstanceTest, CandidateOptionsArePlumbedThrough) {
+  Rng rng(5);
+  const net::SensorNetwork network =
+      net::make_uniform_network(40, 100.0, 25.0, rng);
+  cover::CandidateOptions options;
+  options.policy = cover::CandidatePolicy::kSensorSitesAndGrid;
+  options.grid_spacing = 25.0;
+  const ShdgpInstance instance(network, options);
+  EXPECT_EQ(instance.candidate_options().policy,
+            cover::CandidatePolicy::kSensorSitesAndGrid);
+  EXPECT_GT(instance.coverage().candidate_count(), 40u);
+}
+
+TEST(ShdgpInstanceTest, MultipleInstancesShareOneNetwork) {
+  Rng rng(7);
+  const net::SensorNetwork network =
+      net::make_uniform_network(30, 80.0, 20.0, rng);
+  const ShdgpInstance sites(network);
+  cover::CandidateOptions grid;
+  grid.policy = cover::CandidatePolicy::kGrid;
+  grid.grid_spacing = 20.0;
+  const ShdgpInstance gridded(network, grid);
+  EXPECT_EQ(&sites.network(), &gridded.network());
+  EXPECT_NE(sites.coverage().candidate_count(),
+            gridded.coverage().candidate_count());
+}
+
+}  // namespace
+}  // namespace mdg::core

@@ -1,0 +1,211 @@
+#include "core/multi_collector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "core/spanning_tour_planner.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::core {
+namespace {
+
+struct Fixture {
+  net::SensorNetwork network;
+  ShdgpInstance instance;
+  ShdgpSolution solution;
+
+  explicit Fixture(std::uint64_t seed, std::size_t n = 200,
+                   double side = 250.0)
+      : network([&] {
+          Rng rng(seed);
+          return net::make_uniform_network(n, side, 30.0, rng);
+        }()),
+        instance(network),
+        solution(SpanningTourPlanner().plan(instance)) {}
+};
+
+std::multiset<std::pair<double, double>> stop_set(const MultiTourPlan& plan) {
+  std::multiset<std::pair<double, double>> stops;
+  for (const Subtour& st : plan.subtours) {
+    for (const geom::Point& p : st.stops) {
+      stops.insert({p.x, p.y});
+    }
+  }
+  return stops;
+}
+
+class SplitCountTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SplitCountTest, PartitionIsExactAndLengthsConsistent) {
+  const Fixture fx(1);
+  const MultiCollectorPlanner splitter;
+  const std::size_t k = GetParam();
+  const MultiTourPlan plan = splitter.split(fx.instance, fx.solution, k);
+  EXPECT_EQ(plan.collector_count(), k);
+
+  // Every polling point appears in exactly one subtour.
+  std::multiset<std::pair<double, double>> expected;
+  for (const geom::Point& p : fx.solution.polling_points) {
+    expected.insert({p.x, p.y});
+  }
+  EXPECT_EQ(stop_set(plan), expected);
+
+  // Lengths add up and the max is the max.
+  double total = 0.0;
+  double max_len = 0.0;
+  for (const Subtour& st : plan.subtours) {
+    EXPECT_NEAR(st.length, subtour_length(fx.instance.sink(), st.stops),
+                1e-9);
+    total += st.length;
+    max_len = std::max(max_len, st.length);
+  }
+  EXPECT_NEAR(plan.total_length, total, 1e-9);
+  EXPECT_NEAR(plan.max_length, max_len, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, SplitCountTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 10u));
+
+TEST(MultiCollectorTest, SingleCollectorMatchesOriginalTour) {
+  const Fixture fx(2);
+  MultiCollectorOptions options;
+  options.reoptimize_subtours = false;
+  options.rebalance_passes = 0;
+  const MultiTourPlan plan =
+      MultiCollectorPlanner(options).split(fx.instance, fx.solution, 1);
+  EXPECT_NEAR(plan.max_length, fx.solution.tour_length, 1e-6);
+}
+
+TEST(MultiCollectorTest, MaxSubtourShrinksWithMoreCollectors) {
+  const Fixture fx(3);
+  const MultiCollectorPlanner splitter;
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t k : {1u, 2u, 4u, 8u}) {
+    const MultiTourPlan plan = splitter.split(fx.instance, fx.solution, k);
+    EXPECT_LE(plan.max_length, prev * 1.05 + 1e-9) << "k=" << k;
+    prev = plan.max_length;
+  }
+  // And 8 collectors must be substantially better than 1.
+  const double k1 = splitter.split(fx.instance, fx.solution, 1).max_length;
+  const double k8 = splitter.split(fx.instance, fx.solution, 8).max_length;
+  EXPECT_LT(k8, k1 * 0.5);
+}
+
+TEST(MultiCollectorTest, MaxLengthLowerBoundedByFarthestStop) {
+  // Any subtour serving the farthest polling point is at least the
+  // out-and-back distance.
+  const Fixture fx(4);
+  double c_max = 0.0;
+  for (const geom::Point& p : fx.solution.polling_points) {
+    c_max = std::max(c_max, geom::distance(fx.instance.sink(), p));
+  }
+  const MultiTourPlan plan =
+      MultiCollectorPlanner().split(fx.instance, fx.solution, 5);
+  EXPECT_GE(plan.max_length, 2.0 * c_max - 1e-9);
+}
+
+TEST(MultiCollectorTest, MoreCollectorsThanStops) {
+  const Fixture fx(5, 15, 60.0);
+  const std::size_t k = fx.solution.polling_points.size() + 3;
+  const MultiTourPlan plan =
+      MultiCollectorPlanner().split(fx.instance, fx.solution, k);
+  EXPECT_EQ(plan.collector_count(), k);
+  std::size_t empty = 0;
+  for (const Subtour& st : plan.subtours) {
+    if (st.stops.empty()) {
+      ++empty;
+      EXPECT_DOUBLE_EQ(st.length, 0.0);
+    }
+  }
+  EXPECT_GE(empty, 3u);
+  EXPECT_EQ(stop_set(plan).size(), fx.solution.polling_points.size());
+}
+
+TEST(MultiCollectorTest, EmptySolutionSplits) {
+  const auto field = geom::Aabb::square(20.0);
+  const net::SensorNetwork network({}, field.center(), field, 5.0);
+  const ShdgpInstance instance(network);
+  const ShdgpSolution solution = SpanningTourPlanner().plan(instance);
+  const MultiTourPlan plan =
+      MultiCollectorPlanner().split(instance, solution, 3);
+  EXPECT_EQ(plan.collector_count(), 3u);
+  EXPECT_DOUBLE_EQ(plan.max_length, 0.0);
+}
+
+TEST(MultiCollectorTest, RejectsZeroCollectors) {
+  const Fixture fx(6, 30, 80.0);
+  EXPECT_THROW(
+      (void)MultiCollectorPlanner().split(fx.instance, fx.solution, 0),
+      mdg::PreconditionError);
+}
+
+TEST(MultiCollectorTest, RebalancingNeverIncreasesMax) {
+  const Fixture fx(7);
+  MultiCollectorOptions raw;
+  raw.rebalance_passes = 0;
+  raw.reoptimize_subtours = false;
+  MultiCollectorOptions balanced;
+  balanced.rebalance_passes = 16;
+  balanced.reoptimize_subtours = false;
+  for (std::size_t k : {2u, 3u, 5u}) {
+    const double before =
+        MultiCollectorPlanner(raw).split(fx.instance, fx.solution, k)
+            .max_length;
+    const double after =
+        MultiCollectorPlanner(balanced).split(fx.instance, fx.solution, k)
+            .max_length;
+    EXPECT_LE(after, before + 1e-9) << "k=" << k;
+  }
+}
+
+TEST(CollectorsForDeadlineTest, MonotoneInDeadline) {
+  const Fixture fx(8);
+  const MultiCollectorPlanner splitter;
+  const double speed = 1.0;
+  const double service = 2.0;
+  const std::size_t tight = splitter.collectors_for_deadline(
+      fx.instance, fx.solution, 600.0, speed, service);
+  const std::size_t loose = splitter.collectors_for_deadline(
+      fx.instance, fx.solution, 3600.0, speed, service);
+  ASSERT_GT(tight, 0u);
+  ASSERT_GT(loose, 0u);
+  EXPECT_LE(loose, tight);
+}
+
+TEST(CollectorsForDeadlineTest, GenerousDeadlineNeedsOne) {
+  const Fixture fx(9, 50, 100.0);
+  const std::size_t k = MultiCollectorPlanner().collectors_for_deadline(
+      fx.instance, fx.solution, 1e9, 1.0, 1.0);
+  EXPECT_EQ(k, 1u);
+}
+
+TEST(CollectorsForDeadlineTest, ImpossibleDeadlineReturnsZero) {
+  const Fixture fx(10, 50, 200.0);
+  const std::size_t k = MultiCollectorPlanner().collectors_for_deadline(
+      fx.instance, fx.solution, 1.0, 0.5, 10.0);
+  EXPECT_EQ(k, 0u);
+}
+
+TEST(CollectorsForDeadlineTest, ParameterValidation) {
+  const Fixture fx(11, 20, 60.0);
+  const MultiCollectorPlanner splitter;
+  EXPECT_THROW((void)splitter.collectors_for_deadline(fx.instance,
+                                                      fx.solution, 0.0, 1.0,
+                                                      1.0),
+               mdg::PreconditionError);
+  EXPECT_THROW((void)splitter.collectors_for_deadline(fx.instance,
+                                                      fx.solution, 10.0, 0.0,
+                                                      1.0),
+               mdg::PreconditionError);
+  EXPECT_THROW((void)splitter.collectors_for_deadline(
+                   fx.instance, fx.solution, 10.0, 1.0, -1.0),
+               mdg::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdg::core

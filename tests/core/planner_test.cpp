@@ -1,0 +1,200 @@
+// Cross-planner property suite: every SHDGP planner must produce feasible
+// solutions on a sweep of topologies, including disconnected ones.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/direct_visit.h"
+#include "core/greedy_cover_planner.h"
+#include "core/spanning_tour_planner.h"
+#include "core/tree_dominator_planner.h"
+#include "dist/election_planner.h"
+#include "cover/set_cover.h"
+#include "net/deployment.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mdg::core {
+namespace {
+
+struct PlannerCase {
+  std::string name;
+  std::function<std::unique_ptr<Planner>()> make;
+};
+
+class PlannerPropertyTest : public ::testing::TestWithParam<PlannerCase> {};
+
+net::SensorNetwork uniform_net(std::size_t n, double side, double rs,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  return net::make_uniform_network(n, side, rs, rng);
+}
+
+TEST_P(PlannerPropertyTest, FeasibleOnUniformNetworks) {
+  const auto planner = GetParam().make();
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto network = uniform_net(100, 150.0, 25.0, seed);
+    const ShdgpInstance instance(network);
+    const ShdgpSolution solution = planner->plan(instance);
+    EXPECT_NO_THROW(solution.validate(instance)) << "seed " << seed;
+    EXPECT_FALSE(solution.polling_points.empty());
+  }
+}
+
+TEST_P(PlannerPropertyTest, WorksOnDisconnectedDeployments) {
+  const auto planner = GetParam().make();
+  Rng rng(33);
+  const auto field = geom::Aabb::square(200.0);
+  auto pts = net::deploy_two_islands(80, field, 0.5, rng);
+  const net::SensorNetwork network(std::move(pts), field.center(), field,
+                                   20.0);
+  ASSERT_GT(network.components().count, 1u);  // genuinely disconnected
+  const ShdgpInstance instance(network);
+  const ShdgpSolution solution = planner->plan(instance);
+  EXPECT_NO_THROW(solution.validate(instance));
+}
+
+TEST_P(PlannerPropertyTest, HandlesTinyNetworks) {
+  const auto planner = GetParam().make();
+  for (std::size_t n : {1u, 2u, 3u}) {
+    const auto network = uniform_net(n, 50.0, 15.0, 7 + n);
+    const ShdgpInstance instance(network);
+    const ShdgpSolution solution = planner->plan(instance);
+    EXPECT_NO_THROW(solution.validate(instance));
+    EXPECT_GE(solution.polling_points.size(), 1u);
+    EXPECT_LE(solution.polling_points.size(), n);
+  }
+}
+
+TEST_P(PlannerPropertyTest, HandlesEmptyNetwork) {
+  const auto planner = GetParam().make();
+  const auto field = geom::Aabb::square(50.0);
+  const net::SensorNetwork network({}, field.center(), field, 10.0);
+  const ShdgpInstance instance(network);
+  const ShdgpSolution solution = planner->plan(instance);
+  EXPECT_NO_THROW(solution.validate(instance));
+  EXPECT_TRUE(solution.polling_points.empty());
+  EXPECT_DOUBLE_EQ(solution.tour_length, 0.0);
+}
+
+TEST_P(PlannerPropertyTest, TourVisitsEveryPollingPointOnce) {
+  const auto planner = GetParam().make();
+  const auto network = uniform_net(120, 180.0, 30.0, 17);
+  const ShdgpInstance instance(network);
+  const ShdgpSolution solution = planner->plan(instance);
+  EXPECT_EQ(solution.tour.size(), solution.polling_points.size() + 1);
+  EXPECT_TRUE(tsp::Tour::is_permutation(solution.tour.order()));
+}
+
+TEST_P(PlannerPropertyTest, AtLeastScatteringManyPollingPoints) {
+  const auto planner = GetParam().make();
+  const auto network = uniform_net(150, 250.0, 25.0, 23);
+  const ShdgpInstance instance(network);
+  const ShdgpSolution solution = planner->plan(instance);
+  EXPECT_GE(solution.polling_points.size(),
+            cover::scattering_lower_bound(network));
+}
+
+TEST_P(PlannerPropertyTest, DenseClusterCollapsesToOnePollingPoint) {
+  // All sensors within one disk of radius Rs around some position: one
+  // polling point must suffice (and good planners should find exactly 1).
+  std::vector<geom::Point> pts;
+  Rng rng(41);
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back({50.0 + rng.uniform(-5.0, 5.0),
+                   50.0 + rng.uniform(-5.0, 5.0)});
+  }
+  const auto field = geom::Aabb::square(100.0);
+  const net::SensorNetwork network(std::move(pts), field.center(), field,
+                                   30.0);
+  const ShdgpInstance instance(network);
+  const auto planner = GetParam().make();
+  const ShdgpSolution solution = planner->plan(instance);
+  solution.validate(instance);
+  if (GetParam().name != "direct_visit") {
+    EXPECT_EQ(solution.polling_points.size(), 1u);
+  }
+}
+
+TEST_P(PlannerPropertyTest, DeterministicAcrossRuns) {
+  const auto planner = GetParam().make();
+  const auto network = uniform_net(90, 140.0, 25.0, 51);
+  const ShdgpInstance instance(network);
+  const ShdgpSolution a = planner->plan(instance);
+  const ShdgpSolution b = planner->plan(instance);
+  EXPECT_EQ(a.polling_candidates, b.polling_candidates);
+  EXPECT_DOUBLE_EQ(a.tour_length, b.tour_length);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlanners, PlannerPropertyTest,
+    ::testing::Values(
+        PlannerCase{"greedy_cover",
+                    [] {
+                      return std::unique_ptr<Planner>(
+                          std::make_unique<GreedyCoverPlanner>());
+                    }},
+        PlannerCase{"spanning_tour",
+                    [] {
+                      return std::unique_ptr<Planner>(
+                          std::make_unique<SpanningTourPlanner>());
+                    }},
+        PlannerCase{"direct_visit",
+                    [] {
+                      return std::unique_ptr<Planner>(
+                          std::make_unique<baselines::DirectVisitPlanner>());
+                    }},
+        PlannerCase{"distributed_election",
+                    [] {
+                      return std::unique_ptr<Planner>(
+                          std::make_unique<dist::ElectionPlanner>());
+                    }},
+        PlannerCase{"tree_dominator",
+                    [] {
+                      return std::unique_ptr<Planner>(
+                          std::make_unique<TreeDominatorPlanner>());
+                    }}),
+    [](const ::testing::TestParamInfo<PlannerCase>& info) {
+      return info.param.name;
+    });
+
+TEST(PlannerComparisonTest, ShdgTourMuchShorterThanDirectVisit) {
+  // The paper's headline: single-hop polling tours are far shorter than
+  // visiting every sensor.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto network = uniform_net(200, 200.0, 30.0, seed);
+    const ShdgpInstance instance(network);
+    const double shdg = SpanningTourPlanner().plan(instance).tour_length;
+    const double direct =
+        baselines::DirectVisitPlanner().plan(instance).tour_length;
+    EXPECT_LT(shdg, direct * 0.75) << "seed " << seed;
+  }
+}
+
+TEST(PlannerComparisonTest, LargerRangeShortensTour) {
+  RunningStats small_rs;
+  RunningStats large_rs;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng_a(seed);
+    Rng rng_b(seed);
+    const auto net_small = net::make_uniform_network(150, 200.0, 20.0, rng_a);
+    const auto net_large = net::make_uniform_network(150, 200.0, 45.0, rng_b);
+    small_rs.add(
+        SpanningTourPlanner().plan(ShdgpInstance(net_small)).tour_length);
+    large_rs.add(
+        SpanningTourPlanner().plan(ShdgpInstance(net_large)).tour_length);
+  }
+  EXPECT_LT(large_rs.mean(), small_rs.mean());
+}
+
+TEST(PlannerNamesTest, StableIdentifiers) {
+  EXPECT_EQ(GreedyCoverPlanner().name(), "greedy-cover");
+  EXPECT_EQ(SpanningTourPlanner().name(), "spanning-tour");
+  EXPECT_EQ(baselines::DirectVisitPlanner().name(), "direct-visit");
+}
+
+}  // namespace
+}  // namespace mdg::core

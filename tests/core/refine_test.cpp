@@ -1,0 +1,133 @@
+#include "core/refine.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/greedy_cover_planner.h"
+#include "core/spanning_tour_planner.h"
+#include "io/serialize.h"
+#include "util/assert.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mdg::core {
+namespace {
+
+struct Fixture {
+  net::SensorNetwork network;
+  ShdgpInstance instance;
+
+  explicit Fixture(std::uint64_t seed, std::size_t n = 120)
+      : network([&] {
+          Rng rng(seed);
+          return net::make_uniform_network(n, 170.0, 28.0, rng);
+        }()),
+        instance(network) {}
+};
+
+TEST(RefineTest, NeverLengthensAndStaysValid) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Fixture fx(seed);
+    ShdgpSolution solution = SpanningTourPlanner().plan(fx.instance);
+    const double before = solution.tour_length;
+    refine_polling_positions(fx.instance, solution);
+    EXPECT_LE(solution.tour_length, before + 1e-9) << "seed " << seed;
+    EXPECT_NO_THROW(solution.validate(fx.instance));
+  }
+}
+
+TEST(RefineTest, ActuallyShortensTypicalTours) {
+  RunningStats gain;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Fixture fx(seed);
+    ShdgpSolution solution = GreedyCoverPlanner().plan(fx.instance);
+    const double before = solution.tour_length;
+    const std::size_t moves =
+        refine_polling_positions(fx.instance, solution);
+    gain.add((before - solution.tour_length) / before);
+    if (moves > 0) {
+      EXPECT_LT(solution.tour_length, before);
+    }
+  }
+  EXPECT_GT(gain.mean(), 0.01);  // at least ~1% shorter on average
+}
+
+TEST(RefineTest, MovedPointsAreFreeform) {
+  const Fixture fx(3);
+  ShdgpSolution solution = SpanningTourPlanner().plan(fx.instance);
+  const std::vector<geom::Point> original = solution.polling_points;
+  const std::size_t moves = refine_polling_positions(fx.instance, solution);
+  std::size_t freeform = 0;
+  for (std::size_t i = 0; i < solution.polling_points.size(); ++i) {
+    if (solution.polling_candidates[i] == ShdgpSolution::kFreeformCandidate) {
+      ++freeform;
+      EXPECT_NE(solution.polling_points[i], original[i]);
+    } else {
+      EXPECT_EQ(solution.polling_points[i], original[i]);
+    }
+  }
+  EXPECT_GT(moves, 0u);
+  EXPECT_GE(moves, freeform);  // a point can move in several passes
+}
+
+TEST(RefineTest, CoveragePreservedExactly) {
+  const Fixture fx(5);
+  ShdgpSolution solution = SpanningTourPlanner().plan(fx.instance);
+  const std::vector<std::size_t> assignment = solution.assignment;
+  refine_polling_positions(fx.instance, solution);
+  EXPECT_EQ(solution.assignment, assignment);  // only positions move
+  for (std::size_t s = 0; s < fx.network.size(); ++s) {
+    EXPECT_TRUE(geom::within_range(
+        fx.network.position(s),
+        solution.polling_points[solution.assignment[s]],
+        fx.network.range()));
+  }
+}
+
+TEST(RefineTest, RefinedSolutionSerializes) {
+  const Fixture fx(7, 60);
+  ShdgpSolution solution = SpanningTourPlanner().plan(fx.instance);
+  refine_polling_positions(fx.instance, solution);
+  std::stringstream buffer;
+  io::write_solution(buffer, solution);
+  const ShdgpSolution restored = io::read_solution(buffer);
+  EXPECT_NO_THROW(restored.validate(fx.instance));
+  EXPECT_DOUBLE_EQ(restored.tour_length, solution.tour_length);
+}
+
+TEST(RefineTest, SingleSensorCollapsesTowardChord) {
+  // One sensor, PP at its site; refinement slides the PP toward the
+  // sink-sink chord (degenerate: the sink itself) up to the range edge.
+  std::vector<geom::Point> pts{{80.0, 50.0}};
+  const auto field = geom::Aabb::square(100.0);
+  const net::SensorNetwork network(std::move(pts), field.center(), field,
+                                   20.0);
+  const ShdgpInstance instance(network);
+  ShdgpSolution solution = GreedyCoverPlanner().plan(instance);
+  ASSERT_EQ(solution.polling_points.size(), 1u);
+  ASSERT_NEAR(solution.tour_length, 60.0, 1e-9);  // out and back, 30 m away
+  refine_polling_positions(instance, solution);
+  // The PP slides to the range boundary: 10 m from the sink.
+  EXPECT_NEAR(solution.tour_length, 20.0, 0.2);
+  solution.validate(instance);
+}
+
+TEST(RefineTest, OptionsValidation) {
+  const Fixture fx(9, 20);
+  ShdgpSolution solution = GreedyCoverPlanner().plan(fx.instance);
+  RefineOptions zero_passes;
+  zero_passes.passes = 0;
+  EXPECT_THROW(
+      (void)refine_polling_positions(fx.instance, solution, zero_passes),
+      mdg::PreconditionError);
+  RefineOptions bad_tol;
+  bad_tol.tolerance = 0.0;
+  EXPECT_THROW(
+      (void)refine_polling_positions(fx.instance, solution, bad_tol),
+      mdg::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdg::core

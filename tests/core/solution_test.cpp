@@ -1,0 +1,108 @@
+#include "core/solution.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/greedy_cover_planner.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::core {
+namespace {
+
+struct Fixture {
+  net::SensorNetwork network;
+  ShdgpInstance instance;
+
+  explicit Fixture(std::uint64_t seed, std::size_t n = 80)
+      : network([&] {
+          Rng rng(seed);
+          return net::make_uniform_network(n, 120.0, 25.0, rng);
+        }()),
+        instance(network) {}
+};
+
+TEST(ShdgpSolutionTest, ValidSolutionPassesValidate) {
+  const Fixture fx(1);
+  const ShdgpSolution solution = GreedyCoverPlanner().plan(fx.instance);
+  EXPECT_NO_THROW(solution.validate(fx.instance));
+}
+
+TEST(ShdgpSolutionTest, ValidateCatchesBadAssignment) {
+  const Fixture fx(2);
+  ShdgpSolution solution = GreedyCoverPlanner().plan(fx.instance);
+  solution.assignment[0] = solution.polling_points.size();  // out of range
+  EXPECT_THROW(solution.validate(fx.instance), mdg::InvariantError);
+}
+
+TEST(ShdgpSolutionTest, ValidateCatchesStaleLength) {
+  const Fixture fx(3);
+  ShdgpSolution solution = GreedyCoverPlanner().plan(fx.instance);
+  solution.tour_length += 10.0;
+  EXPECT_THROW(solution.validate(fx.instance), mdg::InvariantError);
+}
+
+TEST(ShdgpSolutionTest, ValidateCatchesMismatchedParallelArrays) {
+  const Fixture fx(4);
+  ShdgpSolution solution = GreedyCoverPlanner().plan(fx.instance);
+  solution.polling_points.pop_back();
+  EXPECT_THROW(solution.validate(fx.instance), mdg::InvariantError);
+}
+
+TEST(ShdgpSolutionTest, ValidateCatchesOutOfRangeSensor) {
+  const Fixture fx(5);
+  ShdgpSolution solution = GreedyCoverPlanner().plan(fx.instance);
+  // Move a polling point far away from its sensors but keep the
+  // candidate id: position mismatch must be flagged.
+  solution.polling_points[0] = {1e6, 1e6};
+  EXPECT_THROW(solution.validate(fx.instance), mdg::InvariantError);
+}
+
+TEST(ShdgpSolutionTest, PpLoadAccounting) {
+  const Fixture fx(6);
+  const ShdgpSolution solution = GreedyCoverPlanner().plan(fx.instance);
+  const auto loads = solution.pp_loads();
+  std::size_t total = 0;
+  for (std::size_t load : loads) {
+    total += load;
+  }
+  EXPECT_EQ(total, fx.network.size());
+  EXPECT_EQ(solution.max_pp_load(),
+            *std::max_element(loads.begin(), loads.end()));
+  EXPECT_NEAR(solution.avg_pp_load(),
+              static_cast<double>(fx.network.size()) /
+                  static_cast<double>(solution.polling_points.size()),
+              1e-12);
+}
+
+TEST(ShdgpSolutionTest, MeanUploadDistanceWithinRange) {
+  const Fixture fx(7);
+  const ShdgpSolution solution = GreedyCoverPlanner().plan(fx.instance);
+  const double mean = solution.mean_upload_distance(fx.instance);
+  EXPECT_GE(mean, 0.0);
+  EXPECT_LE(mean, fx.network.range());
+}
+
+TEST(ShdgpSolutionTest, TourCoordinatesStartAtSink) {
+  const Fixture fx(8);
+  const ShdgpSolution solution = GreedyCoverPlanner().plan(fx.instance);
+  const auto coords = solution.tour_coordinates(fx.instance);
+  ASSERT_FALSE(coords.empty());
+  EXPECT_EQ(coords.front(), fx.instance.sink());
+  EXPECT_EQ(coords.size(), solution.polling_points.size() + 1);
+}
+
+TEST(RouteCollectorTest, LengthMatchesTour) {
+  const Fixture fx(9);
+  ShdgpSolution solution = GreedyCoverPlanner().plan(fx.instance);
+  route_collector(fx.instance, solution, tsp::TspEffort::kTwoOpt);
+  std::vector<geom::Point> all{fx.instance.sink()};
+  all.insert(all.end(), solution.polling_points.begin(),
+             solution.polling_points.end());
+  EXPECT_NEAR(solution.tour_length, solution.tour.length(all), 1e-9);
+}
+
+}  // namespace
+}  // namespace mdg::core

@@ -1,0 +1,112 @@
+// Targeted tests for the combine/skip/substitute machinery (the generic
+// feasibility suite lives in planner_test.cpp).
+#include "core/spanning_tour_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mdg::core {
+namespace {
+
+net::SensorNetwork uniform_net(std::size_t n, double side, double rs,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  return net::make_uniform_network(n, side, rs, rng);
+}
+
+ShdgpSolution plan_with(const ShdgpInstance& instance, bool combine,
+                        bool skip, bool substitute) {
+  SpanningTourPlannerOptions options;
+  options.combine = combine;
+  options.skip = skip;
+  options.substitute = substitute;
+  const ShdgpSolution solution =
+      SpanningTourPlanner(options).plan(instance);
+  solution.validate(instance);
+  return solution;
+}
+
+TEST(SpanningTourAblationTest, EveryToggleComboIsFeasible) {
+  const auto network = uniform_net(100, 150.0, 25.0, 3);
+  const ShdgpInstance instance(network);
+  for (bool combine : {false, true}) {
+    for (bool skip : {false, true}) {
+      for (bool substitute : {false, true}) {
+        const ShdgpSolution s =
+            plan_with(instance, combine, skip, substitute);
+        EXPECT_FALSE(s.polling_points.empty());
+      }
+    }
+  }
+}
+
+TEST(SpanningTourAblationTest, CombineOffDegeneratesToDirectVisit) {
+  // Without combining, every sensor forms its own group: polling points
+  // == one per sensor (modulo dedup of co-located candidates).
+  const auto network = uniform_net(60, 120.0, 25.0, 5);
+  const ShdgpInstance instance(network);
+  const ShdgpSolution no_combine = plan_with(instance, false, false, false);
+  EXPECT_EQ(no_combine.polling_points.size(), network.size());
+}
+
+TEST(SpanningTourAblationTest, CombineShrinksPollingSet) {
+  const auto network = uniform_net(150, 180.0, 30.0, 7);
+  const ShdgpInstance instance(network);
+  const std::size_t without =
+      plan_with(instance, false, false, false).polling_points.size();
+  const std::size_t with =
+      plan_with(instance, true, false, false).polling_points.size();
+  EXPECT_LT(with, without / 2);
+}
+
+TEST(SpanningTourAblationTest, SkipNeverIncreasesPollingPoints) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto network = uniform_net(120, 160.0, 28.0, seed);
+    const ShdgpInstance instance(network);
+    const std::size_t without =
+        plan_with(instance, true, false, false).polling_points.size();
+    const std::size_t with =
+        plan_with(instance, true, true, false).polling_points.size();
+    EXPECT_LE(with, without) << "seed " << seed;
+  }
+}
+
+TEST(SpanningTourAblationTest, FullPipelineShortensTourOnAverage) {
+  RunningStats bare;
+  RunningStats full;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto network = uniform_net(150, 200.0, 30.0, seed);
+    const ShdgpInstance instance(network);
+    bare.add(plan_with(instance, true, false, false).tour_length);
+    full.add(plan_with(instance, true, true, true).tour_length);
+  }
+  EXPECT_LE(full.mean(), bare.mean() * 1.02);
+}
+
+TEST(SpanningTourPlannerTest, GroupsAreRangeFeasibleByConstruction) {
+  // Each sensor's assigned PP must cover it — validate() checks this;
+  // here we additionally check the tour has no repeated polling point.
+  const auto network = uniform_net(130, 170.0, 26.0, 21);
+  const ShdgpInstance instance(network);
+  const ShdgpSolution s = plan_with(instance, true, true, true);
+  std::vector<std::size_t> ids = s.polling_candidates;
+  std::sort(ids.begin(), ids.end());
+  EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end());
+}
+
+TEST(SpanningTourPlannerTest, SubstitutePassesBounded) {
+  SpanningTourPlannerOptions options;
+  options.substitute_passes = 0;
+  const auto network = uniform_net(80, 140.0, 25.0, 23);
+  const ShdgpInstance instance(network);
+  const ShdgpSolution s = SpanningTourPlanner(options).plan(instance);
+  EXPECT_NO_THROW(s.validate(instance));
+}
+
+}  // namespace
+}  // namespace mdg::core

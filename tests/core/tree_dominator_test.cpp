@@ -1,0 +1,82 @@
+// Targeted tests for the tree-dominator planner (generic feasibility is
+// covered by the cross-planner suite in planner_test.cpp).
+#include "core/tree_dominator_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/exact_planner.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::core {
+namespace {
+
+TEST(TreeDominatorTest, SelectionIsADominatingSet) {
+  Rng rng(3);
+  const net::SensorNetwork network =
+      net::make_uniform_network(150, 180.0, 28.0, rng);
+  const ShdgpInstance instance(network);
+  const ShdgpSolution solution = TreeDominatorPlanner().plan(instance);
+  solution.validate(instance);
+  // Every sensor is a polling point or within range of one — and since
+  // candidates are sensor sites, "within range" means graph-adjacent.
+  for (std::size_t s = 0; s < network.size(); ++s) {
+    const geom::Point pp = solution.polling_points[solution.assignment[s]];
+    EXPECT_TRUE(geom::within_range(network.position(s), pp, network.range()));
+  }
+}
+
+TEST(TreeDominatorTest, ChainPicksInteriorVertices) {
+  // A 5-chain: deepest leaf promotes its parent, resolving 3 sensors at
+  // once; the dominating set stays small.
+  std::vector<geom::Point> pts{{10.0, 50.0}, {20.0, 50.0}, {30.0, 50.0},
+                               {40.0, 50.0}, {50.0, 50.0}};
+  const auto field = geom::Aabb::square(100.0);
+  const net::SensorNetwork network(std::move(pts), {80.0, 50.0}, field,
+                                   11.0);
+  const ShdgpInstance instance(network);
+  const ShdgpSolution solution = TreeDominatorPlanner().plan(instance);
+  solution.validate(instance);
+  EXPECT_LE(solution.polling_points.size(), 2u);
+}
+
+TEST(TreeDominatorTest, IsolatedSensorsPromoteThemselves) {
+  std::vector<geom::Point> pts{{10.0, 10.0}, {90.0, 90.0}};
+  const auto field = geom::Aabb::square(100.0);
+  const net::SensorNetwork network(std::move(pts), field.center(), field,
+                                   5.0);
+  const ShdgpInstance instance(network);
+  const ShdgpSolution solution = TreeDominatorPlanner().plan(instance);
+  solution.validate(instance);
+  EXPECT_EQ(solution.polling_points.size(), 2u);
+}
+
+TEST(TreeDominatorTest, NeverBeatsTheExactPlanner) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    const net::SensorNetwork network =
+        net::make_uniform_network(20, 70.0, 20.0, rng);
+    const ShdgpInstance instance(network);
+    const ShdgpSolution exact = ExactPlanner().plan(instance);
+    ASSERT_TRUE(exact.provably_optimal);
+    const ShdgpSolution heuristic = TreeDominatorPlanner().plan(instance);
+    EXPECT_GE(heuristic.tour_length, exact.tour_length - 1e-6);
+  }
+}
+
+TEST(TreeDominatorTest, RequiresSensorSiteCandidates) {
+  Rng rng(7);
+  const net::SensorNetwork network =
+      net::make_uniform_network(30, 100.0, 30.0, rng);
+  cover::CandidateOptions grid_only;
+  grid_only.policy = cover::CandidatePolicy::kGrid;
+  grid_only.grid_spacing = 15.0;
+  const ShdgpInstance instance(network, grid_only);
+  EXPECT_THROW((void)TreeDominatorPlanner().plan(instance),
+               mdg::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdg::core

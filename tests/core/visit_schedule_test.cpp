@@ -1,0 +1,144 @@
+#include "core/visit_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/spanning_tour_planner.h"
+#include "sim/energy.h"
+#include "sim/mobile_sim.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::core {
+namespace {
+
+struct Fixture {
+  net::SensorNetwork network;
+  ShdgpInstance instance;
+  ShdgpSolution solution;
+
+  explicit Fixture(std::uint64_t seed, std::size_t n = 100)
+      : network([&] {
+          Rng rng(seed);
+          return net::make_uniform_network(n, 160.0, 28.0, rng);
+        }()),
+        instance(network),
+        solution(SpanningTourPlanner().plan(instance)) {}
+};
+
+TEST(VisitScheduleTest, ArrivalsAreMonotoneAlongTheTour) {
+  const Fixture fx(1);
+  const VisitSchedule schedule(fx.instance, fx.solution);
+  double previous = 0.0;
+  for (const StopVisit& visit : schedule.stops()) {
+    EXPECT_GE(visit.arrival_s, previous);
+    EXPECT_GE(visit.departure_s, visit.arrival_s);
+    previous = visit.departure_s;
+  }
+  EXPECT_GT(schedule.round_duration_s(),
+            schedule.stops().back().departure_s);
+}
+
+TEST(VisitScheduleTest, RoundDurationMatchesSimulator) {
+  const Fixture fx(2);
+  ScheduleConfig config;
+  config.speed_m_per_s = 1.5;
+  config.packet_upload_s = 0.1;
+  const VisitSchedule schedule(fx.instance, fx.solution, config);
+
+  sim::MobileSimConfig sim_config;
+  sim_config.speed_m_per_s = 1.5;
+  sim_config.packet_upload_s = 0.1;
+  sim::MobileCollectionSim sim(fx.instance, fx.solution, sim_config);
+  sim::EnergyLedger ledger(fx.network.size(), 0.5);
+  const sim::MobileRoundReport round = sim.run_round(ledger);
+  EXPECT_NEAR(schedule.round_duration_s(), round.duration_s, 1e-6);
+}
+
+TEST(VisitScheduleTest, EverySensorHasAWindowCoveringItsVisit) {
+  const Fixture fx(3);
+  const VisitSchedule schedule(fx.instance, fx.solution);
+  for (const StopVisit& visit : schedule.stops()) {
+    for (std::size_t s : visit.sensors) {
+      EXPECT_LE(schedule.wake_time(s), visit.arrival_s);
+      EXPECT_GE(schedule.sleep_time(s), visit.arrival_s);
+      EXPECT_LT(schedule.wake_time(s), schedule.sleep_time(s));
+    }
+  }
+}
+
+TEST(VisitScheduleTest, DutyCycleIsTiny) {
+  // The headline: sensors listen for seconds out of a ~15 minute round.
+  const Fixture fx(4, 200);
+  const VisitSchedule schedule(fx.instance, fx.solution);
+  EXPECT_LT(schedule.average_duty_cycle(), 0.05);
+  EXPECT_GT(schedule.average_duty_cycle(), 0.0);
+  for (std::size_t s = 0; s < fx.network.size(); ++s) {
+    EXPECT_LE(schedule.duty_cycle(s), 1.0);
+    EXPECT_GT(schedule.duty_cycle(s), 0.0);
+  }
+}
+
+TEST(VisitScheduleTest, GuardWidensWindows) {
+  const Fixture fx(5);
+  ScheduleConfig tight;
+  tight.guard_s = 0.0;
+  ScheduleConfig loose;
+  loose.guard_s = 30.0;
+  const VisitSchedule a(fx.instance, fx.solution, tight);
+  const VisitSchedule b(fx.instance, fx.solution, loose);
+  EXPECT_LT(a.average_duty_cycle(), b.average_duty_cycle());
+}
+
+TEST(VisitScheduleTest, KinematicsDelayArrivals) {
+  const Fixture fx(6);
+  ScheduleConfig ideal;
+  ScheduleConfig sluggish;
+  sluggish.accel_m_per_s2 = 0.2;
+  const VisitSchedule fast(fx.instance, fx.solution, ideal);
+  const VisitSchedule slow(fx.instance, fx.solution, sluggish);
+  EXPECT_GT(slow.round_duration_s(), fast.round_duration_s());
+  EXPECT_GE(slow.stops()[0].arrival_s, fast.stops()[0].arrival_s);
+}
+
+TEST(VisitScheduleTest, UploadSlotsAreSequential) {
+  const Fixture fx(7);
+  ScheduleConfig config;
+  config.guard_s = 0.0;
+  const VisitSchedule schedule(fx.instance, fx.solution, config);
+  for (const StopVisit& visit : schedule.stops()) {
+    for (std::size_t i = 0; i < visit.sensors.size(); ++i) {
+      const std::size_t s = visit.sensors[i];
+      EXPECT_NEAR(schedule.sleep_time(s),
+                  visit.arrival_s +
+                      static_cast<double>(i + 1) * config.packet_upload_s,
+                  1e-9);
+    }
+  }
+}
+
+TEST(VisitScheduleTest, EmptyNetwork) {
+  const auto field = geom::Aabb::square(10.0);
+  const net::SensorNetwork network({}, field.center(), field, 3.0);
+  const ShdgpInstance instance(network);
+  const ShdgpSolution solution = SpanningTourPlanner().plan(instance);
+  const VisitSchedule schedule(instance, solution);
+  EXPECT_TRUE(schedule.stops().empty());
+  EXPECT_DOUBLE_EQ(schedule.average_duty_cycle(), 0.0);
+}
+
+TEST(VisitScheduleTest, ValidatesConfig) {
+  const Fixture fx(8, 20);
+  ScheduleConfig bad;
+  bad.speed_m_per_s = 0.0;
+  EXPECT_THROW(VisitSchedule(fx.instance, fx.solution, bad),
+               mdg::PreconditionError);
+  ScheduleConfig negative_guard;
+  negative_guard.guard_s = -1.0;
+  EXPECT_THROW(VisitSchedule(fx.instance, fx.solution, negative_guard),
+               mdg::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdg::core

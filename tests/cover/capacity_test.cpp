@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/greedy_cover_planner.h"
+#include "cover/set_cover.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::cover {
+namespace {
+
+net::SensorNetwork uniform_net(std::size_t n, double side, double rs,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  return net::make_uniform_network(n, side, rs, rng);
+}
+
+std::vector<std::size_t> loads(const CapacitatedCoverResult& result) {
+  std::vector<std::size_t> load(result.selected.size(), 0);
+  for (std::size_t slot : result.assignment) {
+    ++load[slot];
+  }
+  return load;
+}
+
+TEST(EnforceCapacityTest, RespectsTheBound) {
+  for (std::size_t capacity : {1u, 3u, 8u, 20u}) {
+    const auto network = uniform_net(120, 150.0, 30.0, capacity);
+    const CoverageMatrix matrix(network, {});
+    const SetCoverResult base = greedy_set_cover(matrix, network);
+    const CapacitatedCoverResult capped =
+        enforce_capacity(matrix, network, base.selected, capacity);
+    EXPECT_EQ(capped.assignment.size(), network.size());
+    for (std::size_t load : loads(capped)) {
+      EXPECT_LE(load, capacity);
+      EXPECT_GE(load, 1u);  // empty stops are pruned
+    }
+  }
+}
+
+TEST(EnforceCapacityTest, AssignmentsStayWithinRange) {
+  const auto network = uniform_net(100, 140.0, 25.0, 5);
+  const CoverageMatrix matrix(network, {});
+  const SetCoverResult base = greedy_set_cover(matrix, network);
+  const CapacitatedCoverResult capped =
+      enforce_capacity(matrix, network, base.selected, 4);
+  for (std::size_t s = 0; s < network.size(); ++s) {
+    const std::size_t c = capped.selected[capped.assignment[s]];
+    EXPECT_TRUE(geom::within_range(network.position(s), matrix.candidate(c),
+                                   network.range()));
+  }
+}
+
+TEST(EnforceCapacityTest, CapacityOneIsDirectVisitScale) {
+  const auto network = uniform_net(60, 120.0, 25.0, 7);
+  const CoverageMatrix matrix(network, {});
+  const SetCoverResult base = greedy_set_cover(matrix, network);
+  const CapacitatedCoverResult capped =
+      enforce_capacity(matrix, network, base.selected, 1);
+  EXPECT_EQ(capped.selected.size(), network.size());
+}
+
+TEST(EnforceCapacityTest, LooseCapacityOnlyPrunesEmptyStops) {
+  const auto network = uniform_net(90, 140.0, 25.0, 9);
+  const CoverageMatrix matrix(network, {});
+  const SetCoverResult base = greedy_set_cover(matrix, network);
+  const CapacitatedCoverResult capped = enforce_capacity(
+      matrix, network, base.selected, network.size());
+  // Nothing new is selected; at most zero-load stops disappear.
+  EXPECT_LE(capped.selected.size(), base.selected.size());
+  for (std::size_t c : capped.selected) {
+    EXPECT_TRUE(std::find(base.selected.begin(), base.selected.end(), c) !=
+                base.selected.end());
+  }
+  EXPECT_TRUE(matrix.is_cover(capped.selected));
+}
+
+TEST(EnforceCapacityTest, TighterCapacityNeedsMorePoints) {
+  const auto network = uniform_net(150, 150.0, 30.0, 11);
+  const CoverageMatrix matrix(network, {});
+  const SetCoverResult base = greedy_set_cover(matrix, network);
+  std::size_t previous = network.size() + 1;
+  for (std::size_t capacity : {2u, 5u, 10u, 150u}) {
+    const CapacitatedCoverResult capped =
+        enforce_capacity(matrix, network, base.selected, capacity);
+    EXPECT_LE(capped.selected.size(), previous);
+    previous = capped.selected.size();
+  }
+}
+
+TEST(EnforceCapacityTest, AugmentationBeatsPureGreedy) {
+  // A crunch case: two sensors share one site-covering PP of capacity 1;
+  // feasibility requires relocating the greedy occupant. Three collinear
+  // sensors, middle one covering both ends.
+  std::vector<geom::Point> pts{{40.0, 50.0}, {50.0, 50.0}, {60.0, 50.0}};
+  const auto field = geom::Aabb::square(100.0);
+  const net::SensorNetwork network(std::move(pts), {5.0, 5.0}, field, 11.0);
+  const CoverageMatrix matrix(network, {});
+  // Start from just the middle site (covers all three).
+  const std::vector<std::size_t> middle_only{1};
+  const CapacitatedCoverResult capped =
+      enforce_capacity(matrix, network, middle_only, 1);
+  EXPECT_EQ(capped.selected.size(), 3u);
+  const auto final_loads = loads(capped);
+  EXPECT_EQ(*std::max_element(final_loads.begin(), final_loads.end()), 1u);
+}
+
+TEST(EnforceCapacityTest, RejectsZeroCapacity) {
+  const auto network = uniform_net(10, 50.0, 15.0, 13);
+  const CoverageMatrix matrix(network, {});
+  EXPECT_THROW(
+      (void)enforce_capacity(matrix, network, {0}, 0),
+      mdg::PreconditionError);
+}
+
+TEST(CapacitatedPlannerTest, SolutionValidatesAndHonorsBound) {
+  const auto network = uniform_net(140, 160.0, 30.0, 17);
+  const core::ShdgpInstance instance(network);
+  for (std::size_t bound : {3u, 6u, 12u}) {
+    core::GreedyCoverPlannerOptions options;
+    options.max_pp_load = bound;
+    const core::ShdgpSolution solution =
+        core::GreedyCoverPlanner(options).plan(instance);
+    EXPECT_NO_THROW(solution.validate(instance));
+    EXPECT_LE(solution.max_pp_load(), bound);
+  }
+}
+
+TEST(CapacitatedPlannerTest, BoundCostsTourLength) {
+  const auto network = uniform_net(160, 170.0, 30.0, 19);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution unbounded =
+      core::GreedyCoverPlanner().plan(instance);
+  core::GreedyCoverPlannerOptions tight;
+  tight.max_pp_load = 3;
+  const core::ShdgpSolution bounded =
+      core::GreedyCoverPlanner(tight).plan(instance);
+  EXPECT_GT(bounded.polling_points.size(), unbounded.polling_points.size());
+  EXPECT_GT(bounded.tour_length, unbounded.tour_length);
+}
+
+}  // namespace
+}  // namespace mdg::cover

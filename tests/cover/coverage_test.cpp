@@ -1,0 +1,156 @@
+#include "cover/coverage.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::cover {
+namespace {
+
+net::SensorNetwork line_network(double range = 12.0) {
+  // Chain of sensors 10 m apart plus a far-away loner.
+  std::vector<geom::Point> pts{{10.0, 50.0}, {20.0, 50.0}, {30.0, 50.0},
+                               {90.0, 50.0}};
+  const auto field = geom::Aabb::square(100.0);
+  return net::SensorNetwork(std::move(pts), field.center(), field, range);
+}
+
+TEST(CoverageMatrixTest, SensorSitesAreFeasible) {
+  const auto network = line_network();
+  const CoverageMatrix matrix(network, {});
+  EXPECT_EQ(matrix.sensor_count(), 4u);
+  EXPECT_EQ(matrix.candidate_count(), 4u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_FALSE(matrix.covering(s).empty());
+  }
+}
+
+TEST(CoverageMatrixTest, CoverSetsMatchGeometry) {
+  const auto network = line_network();
+  const CoverageMatrix matrix(network, {});
+  // Candidate at sensor 1 (20,50) covers sensors 0,1,2 with Rs=12.
+  EXPECT_EQ(matrix.covered_by(1), (std::vector<std::size_t>{0, 1, 2}));
+  // The loner only covers itself.
+  EXPECT_EQ(matrix.covered_by(3), (std::vector<std::size_t>{3}));
+}
+
+TEST(CoverageMatrixTest, CoveringIsInverseOfCoveredBy) {
+  Rng rng(5);
+  const auto network = net::make_uniform_network(100, 150.0, 25.0, rng);
+  const CoverageMatrix matrix(network, {});
+  for (std::size_t c = 0; c < matrix.candidate_count(); ++c) {
+    for (std::size_t s : matrix.covered_by(c)) {
+      const auto& pool = matrix.covering(s);
+      EXPECT_TRUE(std::find(pool.begin(), pool.end(), c) != pool.end());
+    }
+  }
+  for (std::size_t s = 0; s < matrix.sensor_count(); ++s) {
+    for (std::size_t c : matrix.covering(s)) {
+      const auto& covered = matrix.covered_by(c);
+      EXPECT_TRUE(std::find(covered.begin(), covered.end(), s) !=
+                  covered.end());
+    }
+  }
+}
+
+TEST(CoverageMatrixTest, GridPolicyCoversEverySensor) {
+  Rng rng(7);
+  const auto network = net::make_uniform_network(150, 200.0, 30.0, rng);
+  CandidateOptions options;
+  options.policy = CandidatePolicy::kGrid;
+  options.grid_spacing = 20.0;
+  const CoverageMatrix matrix(network, options);
+  for (std::size_t s = 0; s < matrix.sensor_count(); ++s) {
+    EXPECT_FALSE(matrix.covering(s).empty());
+  }
+}
+
+TEST(CoverageMatrixTest, CoarseGridFallsBackToSensorSites) {
+  // Spacing far above Rs*sqrt(2): grid points cannot cover everyone, so
+  // the fallback must add sensor sites.
+  Rng rng(9);
+  const auto network = net::make_uniform_network(50, 200.0, 10.0, rng);
+  CandidateOptions options;
+  options.policy = CandidatePolicy::kGrid;
+  options.grid_spacing = 80.0;
+  const CoverageMatrix matrix(network, options);
+  for (std::size_t s = 0; s < matrix.sensor_count(); ++s) {
+    EXPECT_FALSE(matrix.covering(s).empty());
+  }
+}
+
+TEST(CoverageMatrixTest, SitesAndGridSupersetOfSites) {
+  Rng rng(11);
+  const auto network = net::make_uniform_network(80, 100.0, 20.0, rng);
+  const CoverageMatrix sites(network, {});
+  CandidateOptions both_options;
+  both_options.policy = CandidatePolicy::kSensorSitesAndGrid;
+  both_options.grid_spacing = 25.0;
+  const CoverageMatrix both(network, both_options);
+  EXPECT_GT(both.candidate_count(), sites.candidate_count());
+}
+
+TEST(CoverageMatrixTest, IntersectionCandidatesCoverPairs) {
+  // Two sensors 30 m apart with Rs = 20: the disk intersections cover
+  // both at once.
+  std::vector<geom::Point> pts{{40.0, 50.0}, {70.0, 50.0}};
+  const auto field = geom::Aabb::square(100.0);
+  const net::SensorNetwork network(std::move(pts), field.center(), field,
+                                   20.0);
+  CandidateOptions options;
+  options.policy = CandidatePolicy::kSensorSitesAndIntersections;
+  const CoverageMatrix matrix(network, options);
+  bool has_pair_candidate = false;
+  for (std::size_t c = 0; c < matrix.candidate_count(); ++c) {
+    if (matrix.covered_by(c).size() == 2) {
+      has_pair_candidate = true;
+    }
+  }
+  EXPECT_TRUE(has_pair_candidate);
+}
+
+TEST(CoverageMatrixTest, IsCoverChecks) {
+  const auto network = line_network();
+  const CoverageMatrix matrix(network, {});
+  EXPECT_TRUE(matrix.is_cover({1, 3}));   // middle covers 0-2, loner itself
+  EXPECT_FALSE(matrix.is_cover({1}));     // loner uncovered
+  EXPECT_FALSE(matrix.is_cover({}));
+  EXPECT_THROW((void)matrix.is_cover({99}), mdg::PreconditionError);
+}
+
+TEST(CoverageMatrixTest, UselessCandidatesDropped) {
+  // Grid cells far from any sensor must not become candidates.
+  std::vector<geom::Point> pts{{10.0, 10.0}};
+  const auto field = geom::Aabb::square(100.0);
+  const net::SensorNetwork network(std::move(pts), {50.0, 50.0}, field, 10.0);
+  CandidateOptions options;
+  options.policy = CandidatePolicy::kGrid;
+  options.grid_spacing = 10.0;
+  const CoverageMatrix matrix(network, options);
+  for (std::size_t c = 0; c < matrix.candidate_count(); ++c) {
+    EXPECT_FALSE(matrix.covered_by(c).empty());
+  }
+  EXPECT_LT(matrix.candidate_count(), 10u);
+}
+
+TEST(CoverageMatrixTest, PolicyNames) {
+  EXPECT_STREQ(to_string(CandidatePolicy::kSensorSites), "sensor-sites");
+  EXPECT_STREQ(to_string(CandidatePolicy::kGrid), "grid");
+  EXPECT_STREQ(to_string(CandidatePolicy::kSensorSitesAndGrid), "sites+grid");
+  EXPECT_STREQ(to_string(CandidatePolicy::kSensorSitesAndIntersections),
+               "sites+intersections");
+}
+
+TEST(CoverageMatrixTest, RejectsBadSpacing) {
+  const auto network = line_network();
+  CandidateOptions options;
+  options.grid_spacing = 0.0;
+  EXPECT_THROW(CoverageMatrix(network, options), mdg::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdg::cover

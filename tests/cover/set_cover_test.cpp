@@ -1,0 +1,152 @@
+#include "cover/set_cover.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::cover {
+namespace {
+
+net::SensorNetwork random_network(std::size_t n, double side, double rs,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  return net::make_uniform_network(n, side, rs, rng);
+}
+
+TEST(GreedySetCoverTest, ProducesAValidCover) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto network = random_network(120, 150.0, 25.0, seed);
+    const CoverageMatrix matrix(network, {});
+    const SetCoverResult result = greedy_set_cover(matrix, network);
+    EXPECT_TRUE(matrix.is_cover(result.selected));
+    EXPECT_EQ(result.assignment.size(), network.size());
+  }
+}
+
+TEST(GreedySetCoverTest, AssignmentRespectsRange) {
+  const auto network = random_network(100, 120.0, 20.0, 3);
+  const CoverageMatrix matrix(network, {});
+  const SetCoverResult result = greedy_set_cover(matrix, network);
+  for (std::size_t s = 0; s < network.size(); ++s) {
+    const std::size_t c = result.selected[result.assignment[s]];
+    EXPECT_TRUE(geom::within_range(network.position(s), matrix.candidate(c),
+                                   network.range()));
+  }
+}
+
+TEST(GreedySetCoverTest, AssignmentPicksNearestSelected) {
+  const auto network = random_network(80, 100.0, 25.0, 7);
+  const CoverageMatrix matrix(network, {});
+  const SetCoverResult result = greedy_set_cover(matrix, network);
+  for (std::size_t s = 0; s < network.size(); ++s) {
+    const double assigned = geom::distance(
+        network.position(s),
+        matrix.candidate(result.selected[result.assignment[s]]));
+    for (std::size_t slot = 0; slot < result.selected.size(); ++slot) {
+      const std::size_t c = result.selected[slot];
+      if (geom::within_range(network.position(s), matrix.candidate(c),
+                             network.range())) {
+        EXPECT_LE(assigned,
+                  geom::distance(network.position(s), matrix.candidate(c)) +
+                      1e-9);
+      }
+    }
+  }
+}
+
+TEST(GreedySetCoverTest, NoDuplicateSelections) {
+  const auto network = random_network(150, 200.0, 30.0, 11);
+  const CoverageMatrix matrix(network, {});
+  const SetCoverResult result = greedy_set_cover(matrix, network);
+  std::set<std::size_t> unique(result.selected.begin(),
+                               result.selected.end());
+  EXPECT_EQ(unique.size(), result.selected.size());
+}
+
+TEST(GreedySetCoverTest, SingletonNetwork) {
+  const auto field = geom::Aabb::square(10.0);
+  const net::SensorNetwork network({{3.0, 3.0}}, field.center(), field, 2.0);
+  const CoverageMatrix matrix(network, {});
+  const SetCoverResult result = greedy_set_cover(matrix, network);
+  EXPECT_EQ(result.selected.size(), 1u);
+  EXPECT_EQ(result.assignment, (std::vector<std::size_t>{0}));
+}
+
+TEST(GreedySetCoverTest, RespectsScatteringLowerBound) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto network = random_network(150, 250.0, 25.0, seed);
+    const CoverageMatrix matrix(network, {});
+    const SetCoverResult result = greedy_set_cover(matrix, network);
+    EXPECT_GE(result.selected.size(), scattering_lower_bound(network));
+  }
+}
+
+TEST(GreedySetCoverTest, FarFewerPointsThanSensorsWhenDense) {
+  const auto network = random_network(300, 150.0, 30.0, 13);
+  const CoverageMatrix matrix(network, {});
+  const SetCoverResult result = greedy_set_cover(matrix, network);
+  // Dense network: each polling point should absorb many sensors.
+  EXPECT_LT(result.selected.size(), network.size() / 4);
+}
+
+TEST(GreedySetCoverTest, AnchorTieBreakPullsTowardSink) {
+  // Two symmetric candidate clusters; the anchor should decide ties.
+  const auto network = random_network(100, 200.0, 25.0, 17);
+  const CoverageMatrix matrix(network, {});
+  GreedyOptions toward;
+  toward.tie_break_toward_anchor = true;
+  toward.anchor = network.sink();
+  GreedyOptions off;
+  off.tie_break_toward_anchor = false;
+  const SetCoverResult with_anchor =
+      greedy_set_cover(matrix, network, toward);
+  const SetCoverResult without = greedy_set_cover(matrix, network, off);
+  // Both are covers; the anchored version's mean PP-to-sink distance
+  // must not be larger.
+  const auto mean_sink_dist = [&](const SetCoverResult& r) {
+    double sum = 0.0;
+    for (std::size_t c : r.selected) {
+      sum += geom::distance(matrix.candidate(c), network.sink());
+    }
+    return sum / static_cast<double>(r.selected.size());
+  };
+  EXPECT_LE(mean_sink_dist(with_anchor), mean_sink_dist(without) + 1e-9);
+}
+
+TEST(AssignNearestTest, RejectsNonCover) {
+  const auto network = random_network(50, 100.0, 20.0, 19);
+  const CoverageMatrix matrix(network, {});
+  EXPECT_THROW((void)assign_nearest(matrix, network, {}),
+               mdg::PreconditionError);
+}
+
+TEST(ScatteringLowerBoundTest, KnownConfigurations) {
+  // Three sensors pairwise > 2*Rs apart need three polling points.
+  std::vector<geom::Point> pts{{0.0, 0.0}, {50.0, 0.0}, {0.0, 50.0}};
+  const auto field = geom::Aabb::square(100.0);
+  const net::SensorNetwork network(std::move(pts), field.center(), field,
+                                   10.0);
+  EXPECT_EQ(scattering_lower_bound(network), 3u);
+}
+
+TEST(ScatteringLowerBoundTest, DenseClusterNeedsOne) {
+  std::vector<geom::Point> pts{{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}};
+  const auto field = geom::Aabb::square(100.0);
+  const net::SensorNetwork network(std::move(pts), field.center(), field,
+                                   10.0);
+  EXPECT_EQ(scattering_lower_bound(network), 1u);
+}
+
+TEST(ScatteringLowerBoundTest, EmptyNetwork) {
+  const auto field = geom::Aabb::square(10.0);
+  const net::SensorNetwork network({}, field.center(), field, 2.0);
+  EXPECT_EQ(scattering_lower_bound(network), 0u);
+}
+
+}  // namespace
+}  // namespace mdg::cover

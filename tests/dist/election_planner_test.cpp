@@ -1,0 +1,150 @@
+#include "dist/election_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/greedy_cover_planner.h"
+#include "net/deployment.h"
+#include "util/assert.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mdg::dist {
+namespace {
+
+net::SensorNetwork uniform_net(std::size_t n, double side, double rs,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  return net::make_uniform_network(n, side, rs, rng);
+}
+
+TEST(ElectionPlannerTest, FeasibleOnUniformNetworks) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto network = uniform_net(100, 150.0, 25.0, seed);
+    const core::ShdgpInstance instance(network);
+    const ElectionPlanner planner;
+    const core::ShdgpSolution solution = planner.plan(instance);
+    EXPECT_NO_THROW(solution.validate(instance)) << "seed " << seed;
+    EXPECT_GT(planner.last_stats().transmissions, 0u);
+    EXPECT_GT(planner.last_stats().rounds, 0u);
+  }
+}
+
+TEST(ElectionPlannerTest, ElectedPointsAreSensors) {
+  const auto network = uniform_net(80, 120.0, 25.0, 3);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution = ElectionPlanner().plan(instance);
+  for (const geom::Point& pp : solution.polling_points) {
+    bool is_sensor = false;
+    for (std::size_t s = 0; s < network.size(); ++s) {
+      if (network.position(s) == pp) {
+        is_sensor = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(is_sensor);
+  }
+}
+
+TEST(ElectionPlannerTest, AssignmentsAreOneHopNeighbors) {
+  // Single-hop uploads with sensor polling points mean every non-PP
+  // sensor's PP is within transmission range — validate() already checks
+  // the range; here we check it is an actual graph neighbour (or self).
+  const auto network = uniform_net(90, 140.0, 25.0, 5);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution = ElectionPlanner().plan(instance);
+  for (std::size_t s = 0; s < network.size(); ++s) {
+    const geom::Point pp = solution.polling_points[solution.assignment[s]];
+    EXPECT_TRUE(geom::within_range(network.position(s), pp, network.range()));
+  }
+}
+
+TEST(ElectionPlannerTest, WorksOnDisconnectedDeployments) {
+  Rng rng(7);
+  const auto field = geom::Aabb::square(200.0);
+  auto pts = net::deploy_two_islands(60, field, 0.5, rng);
+  const net::SensorNetwork network(std::move(pts), field.center(), field,
+                                   20.0);
+  ASSERT_GT(network.components().count, 1u);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution = ElectionPlanner().plan(instance);
+  EXPECT_NO_THROW(solution.validate(instance));
+}
+
+TEST(ElectionPlannerTest, DenseClusterElectsFewPoints) {
+  std::vector<geom::Point> pts;
+  Rng rng(11);
+  for (int i = 0; i < 25; ++i) {
+    pts.push_back({50.0 + rng.uniform(-4.0, 4.0),
+                   50.0 + rng.uniform(-4.0, 4.0)});
+  }
+  const auto field = geom::Aabb::square(100.0);
+  const net::SensorNetwork network(std::move(pts), field.center(), field,
+                                   25.0);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution = ElectionPlanner().plan(instance);
+  // All sensors are mutual neighbours: exactly one local maximum exists.
+  EXPECT_EQ(solution.polling_points.size(), 1u);
+}
+
+TEST(ElectionPlannerTest, SingletonAndEmpty) {
+  const auto field = geom::Aabb::square(30.0);
+  {
+    const net::SensorNetwork network({{10.0, 10.0}}, field.center(), field,
+                                     5.0);
+    const core::ShdgpInstance instance(network);
+    const core::ShdgpSolution solution = ElectionPlanner().plan(instance);
+    solution.validate(instance);
+    EXPECT_EQ(solution.polling_points.size(), 1u);
+  }
+  {
+    const net::SensorNetwork network({}, field.center(), field, 5.0);
+    const core::ShdgpInstance instance(network);
+    const core::ShdgpSolution solution = ElectionPlanner().plan(instance);
+    EXPECT_TRUE(solution.polling_points.empty());
+  }
+}
+
+TEST(ElectionPlannerTest, MessageComplexityScalesGently) {
+  // O(1) broadcasts per node for priorities plus the BFS flood: the
+  // per-node transmission count should stay small and grow slowly.
+  const auto small = uniform_net(50, 150.0, 25.0, 13);
+  const auto large = uniform_net(200, 150.0, 25.0, 13);
+  const ElectionPlanner planner;
+  (void)planner.plan(core::ShdgpInstance(small));
+  const double per_node_small = planner.last_stats().transmissions_per_node;
+  (void)planner.plan(core::ShdgpInstance(large));
+  const double per_node_large = planner.last_stats().transmissions_per_node;
+  EXPECT_LT(per_node_small, 20.0);
+  EXPECT_LT(per_node_large, 20.0);
+}
+
+TEST(ElectionPlannerTest, DistributedCostsMoreTourThanCentralized) {
+  // The expected tradeoff (paper family: distributed ~10-30% longer
+  // tours): allow it to win occasionally but on average it should not
+  // beat the centralized greedy by much.
+  RunningStats dist_len;
+  RunningStats central_len;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto network = uniform_net(120, 170.0, 28.0, seed);
+    const core::ShdgpInstance instance(network);
+    dist_len.add(ElectionPlanner().plan(instance).tour_length);
+    central_len.add(
+        core::GreedyCoverPlanner().plan(instance).tour_length);
+  }
+  EXPECT_GT(dist_len.mean(), central_len.mean() * 0.9);
+}
+
+TEST(ElectionPlannerTest, RequiresSensorSiteCandidates) {
+  const auto network = uniform_net(40, 100.0, 30.0, 17);
+  cover::CandidateOptions grid_only;
+  grid_only.policy = cover::CandidatePolicy::kGrid;
+  grid_only.grid_spacing = 15.0;
+  const core::ShdgpInstance instance(network, grid_only);
+  EXPECT_THROW((void)ElectionPlanner().plan(instance),
+               mdg::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdg::dist

@@ -1,0 +1,134 @@
+#include "dist/sync_network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.h"
+
+namespace mdg::dist {
+namespace {
+
+graph::Graph path_graph(std::size_t n) {
+  std::vector<graph::Edge> edges;
+  for (std::size_t v = 0; v + 1 < n; ++v) {
+    edges.push_back({v, v + 1, 1.0});
+  }
+  return graph::Graph(n, edges);
+}
+
+TEST(SyncNetworkTest, BroadcastReachesAllNeighbors) {
+  const graph::Graph g = path_graph(3);
+  SyncNetwork bus(g);
+  std::vector<std::vector<std::size_t>> heard(3);
+  const auto handler = [&](std::size_t v, std::span<const Message> inbox,
+                           Outbox& out) {
+    for (const Message& m : inbox) {
+      heard[v].push_back(m.sender);
+    }
+    if (v == 1 && bus.rounds_executed() == 0) {
+      out.broadcast(7);
+    }
+  };
+  bus.run_round(handler);  // node 1 sends
+  bus.run_round(handler);  // nodes 0, 2 receive
+  EXPECT_EQ(heard[0], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(heard[2], (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(heard[1].empty());
+}
+
+TEST(SyncNetworkTest, MessagesDeliveredNextRoundNotSameRound) {
+  const graph::Graph g = path_graph(2);
+  SyncNetwork bus(g);
+  bool received_in_send_round = false;
+  const auto send_handler = [&](std::size_t v, std::span<const Message> inbox,
+                                Outbox& out) {
+    if (!inbox.empty()) {
+      received_in_send_round = true;
+    }
+    if (v == 0) {
+      out.broadcast(1);
+    }
+  };
+  bus.run_round(send_handler);
+  EXPECT_FALSE(received_in_send_round);
+}
+
+TEST(SyncNetworkTest, UnicastOnlyToNeighbors) {
+  const graph::Graph g = path_graph(3);
+  SyncNetwork bus(g);
+  const auto bad_handler = [](std::size_t v, std::span<const Message>,
+                              Outbox& out) {
+    if (v == 0) {
+      out.unicast(2, 1);  // 0 and 2 are not adjacent
+    }
+  };
+  EXPECT_THROW(bus.run_round(bad_handler), mdg::PreconditionError);
+}
+
+TEST(SyncNetworkTest, TransmissionCounting) {
+  const graph::Graph g = path_graph(3);
+  SyncNetwork bus(g);
+  const auto handler = [](std::size_t v, std::span<const Message>,
+                          Outbox& out) {
+    if (v == 1) {
+      out.broadcast(1);     // 1 transmission, 2 deliveries
+      out.unicast(0, 2);    // 1 transmission, 1 delivery
+    }
+  };
+  const RoundStats stats = bus.run_round(handler);
+  EXPECT_EQ(stats.transmissions, 2u);
+  EXPECT_EQ(stats.deliveries, 3u);
+  EXPECT_EQ(bus.total_transmissions(), 2u);
+}
+
+TEST(SyncNetworkTest, RunStopsOnQuiescence) {
+  const graph::Graph g = path_graph(4);
+  SyncNetwork bus(g);
+  int budget = 3;
+  const auto handler = [&](std::size_t v, std::span<const Message>,
+                           Outbox& out) {
+    if (v == 0 && budget > 0) {
+      out.broadcast(1);
+    }
+  };
+  const auto history = bus.run(
+      handler, [&] { --budget; return budget <= 0; }, 100);
+  EXPECT_EQ(history.size(), 3u);
+}
+
+TEST(SyncNetworkTest, RunHonorsMaxRounds) {
+  const graph::Graph g = path_graph(2);
+  SyncNetwork bus(g);
+  const auto chatty = [](std::size_t, std::span<const Message>, Outbox& out) {
+    out.broadcast(1);
+  };
+  const auto history = bus.run(chatty, [] { return false; }, 5);
+  EXPECT_EQ(history.size(), 5u);
+  EXPECT_EQ(bus.rounds_executed(), 5u);
+}
+
+TEST(SyncNetworkTest, PayloadRoundTrips) {
+  const graph::Graph g = path_graph(2);
+  SyncNetwork bus(g);
+  Message got;
+  const auto handler = [&](std::size_t v, std::span<const Message> inbox,
+                           Outbox& out) {
+    if (v == 0 && bus.rounds_executed() == 0) {
+      out.broadcast(42, 1, 2, 3);
+    }
+    if (v == 1 && !inbox.empty()) {
+      got = inbox[0];
+    }
+  };
+  bus.run_round(handler);
+  bus.run_round(handler);
+  EXPECT_EQ(got.tag, 42);
+  EXPECT_EQ(got.sender, 0u);
+  EXPECT_EQ(got.a, 1u);
+  EXPECT_EQ(got.b, 2u);
+  EXPECT_EQ(got.c, 3u);
+}
+
+}  // namespace
+}  // namespace mdg::dist

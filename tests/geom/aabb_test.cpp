@@ -1,0 +1,51 @@
+#include "geom/aabb.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mdg::geom {
+namespace {
+
+TEST(AabbTest, SquareFactory) {
+  const Aabb box = Aabb::square(200.0);
+  EXPECT_DOUBLE_EQ(box.width(), 200.0);
+  EXPECT_DOUBLE_EQ(box.height(), 200.0);
+  EXPECT_DOUBLE_EQ(box.area(), 40'000.0);
+  EXPECT_EQ(box.center(), (Point{100.0, 100.0}));
+}
+
+TEST(AabbTest, ContainsIsInclusive) {
+  const Aabb box = Aabb::square(10.0);
+  EXPECT_TRUE(box.contains({0.0, 0.0}));
+  EXPECT_TRUE(box.contains({10.0, 10.0}));
+  EXPECT_TRUE(box.contains({5.0, 5.0}));
+  EXPECT_FALSE(box.contains({10.0001, 5.0}));
+  EXPECT_FALSE(box.contains({-0.0001, 5.0}));
+}
+
+TEST(AabbTest, ClampProjectsIntoBox) {
+  const Aabb box = Aabb::square(10.0);
+  EXPECT_EQ(box.clamp({-5.0, 5.0}), (Point{0.0, 5.0}));
+  EXPECT_EQ(box.clamp({15.0, 20.0}), (Point{10.0, 10.0}));
+  EXPECT_EQ(box.clamp({3.0, 4.0}), (Point{3.0, 4.0}));
+}
+
+TEST(AabbTest, BoundingOfPoints) {
+  const std::vector<Point> pts{{1.0, 7.0}, {-2.0, 3.0}, {4.0, 5.0}};
+  const Aabb box = Aabb::bounding(pts);
+  EXPECT_EQ(box.lo, (Point{-2.0, 3.0}));
+  EXPECT_EQ(box.hi, (Point{4.0, 7.0}));
+}
+
+TEST(AabbTest, BoundingOfEmptyAndSingle) {
+  const Aabb empty = Aabb::bounding({});
+  EXPECT_DOUBLE_EQ(empty.area(), 0.0);
+  const std::vector<Point> one{{3.0, 3.0}};
+  const Aabb single = Aabb::bounding(one);
+  EXPECT_EQ(single.lo, single.hi);
+  EXPECT_TRUE(single.contains({3.0, 3.0}));
+}
+
+}  // namespace
+}  // namespace mdg::geom

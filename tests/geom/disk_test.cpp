@@ -1,0 +1,123 @@
+#include "geom/disk.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "net/deployment.h"
+#include "util/rng.h"
+
+namespace mdg::geom {
+namespace {
+
+TEST(CircleTest, ContainsIsInclusive) {
+  const Circle c{{0.0, 0.0}, 5.0};
+  EXPECT_TRUE(c.contains({3.0, 4.0}));   // exactly on the boundary
+  EXPECT_TRUE(c.contains({0.0, 0.0}));
+  EXPECT_FALSE(c.contains({3.1, 4.1}));
+}
+
+TEST(CircleIntersectionTest, TwoProperIntersections) {
+  const Circle a{{0.0, 0.0}, 5.0};
+  const Circle b{{6.0, 0.0}, 5.0};
+  const auto pts = circle_intersections(a, b);
+  ASSERT_EQ(pts.size(), 2u);
+  for (const Point& p : pts) {
+    EXPECT_NEAR(distance(p, a.center), 5.0, 1e-9);
+    EXPECT_NEAR(distance(p, b.center), 5.0, 1e-9);
+  }
+  // Symmetric about the x axis at x = 3.
+  EXPECT_NEAR(pts[0].x, 3.0, 1e-9);
+  EXPECT_NEAR(pts[1].x, 3.0, 1e-9);
+  EXPECT_NEAR(pts[0].y, -pts[1].y, 1e-9);
+}
+
+TEST(CircleIntersectionTest, DisjointAndContained) {
+  const Circle a{{0.0, 0.0}, 1.0};
+  EXPECT_TRUE(circle_intersections(a, {{10.0, 0.0}, 1.0}).empty());
+  EXPECT_TRUE(circle_intersections(a, {{0.1, 0.0}, 0.2}).empty());
+  EXPECT_TRUE(circle_intersections(a, a).empty());  // concentric
+}
+
+TEST(CircleIntersectionTest, TangentCircles) {
+  const Circle a{{0.0, 0.0}, 1.0};
+  const Circle b{{2.0, 0.0}, 1.0};
+  const auto pts = circle_intersections(a, b);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_NEAR(pts[0].x, 1.0, 1e-9);
+  EXPECT_NEAR(pts[0].y, 0.0, 1e-9);
+}
+
+TEST(CircumcircleTest, RightTriangle) {
+  // Circumcentre of a right triangle is the hypotenuse midpoint.
+  const auto c = circumcircle({0.0, 0.0}, {4.0, 0.0}, {0.0, 3.0});
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(c->center.x, 2.0, 1e-9);
+  EXPECT_NEAR(c->center.y, 1.5, 1e-9);
+  EXPECT_NEAR(c->radius, 2.5, 1e-9);
+}
+
+TEST(CircumcircleTest, CollinearReturnsNullopt) {
+  EXPECT_FALSE(circumcircle({0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}).has_value());
+}
+
+TEST(SmallestEnclosingCircleTest, Degenerates) {
+  EXPECT_FALSE(smallest_enclosing_circle({}).has_value());
+  const std::vector<Point> one{{2.0, 3.0}};
+  const auto c1 = smallest_enclosing_circle(one);
+  ASSERT_TRUE(c1.has_value());
+  EXPECT_EQ(c1->center, (Point{2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(c1->radius, 0.0);
+
+  const std::vector<Point> two{{0.0, 0.0}, {10.0, 0.0}};
+  const auto c2 = smallest_enclosing_circle(two);
+  ASSERT_TRUE(c2.has_value());
+  EXPECT_NEAR(c2->radius, 5.0, 1e-9);
+  EXPECT_NEAR(c2->center.x, 5.0, 1e-9);
+}
+
+TEST(SmallestEnclosingCircleTest, EquilateralTriangle) {
+  const double h = std::sqrt(3.0) / 2.0;
+  const std::vector<Point> pts{{0.0, 0.0}, {1.0, 0.0}, {0.5, h}};
+  const auto c = smallest_enclosing_circle(pts);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(c->radius, 1.0 / std::sqrt(3.0), 1e-9);
+}
+
+TEST(SmallestEnclosingCircleTest, EnclosesAllRandomPoints) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto pts =
+        net::deploy_uniform(3 + trial, Aabb::square(100.0), rng);
+    const auto c = smallest_enclosing_circle(pts);
+    ASSERT_TRUE(c.has_value());
+    for (const Point& p : pts) {
+      EXPECT_LE(distance(p, c->center), c->radius * (1.0 + 1e-7) + 1e-9);
+    }
+  }
+}
+
+TEST(SmallestEnclosingCircleTest, IsMinimalAgainstShrinking) {
+  // The SEC radius should not be beatable by shrinking 1%. Spot-check via
+  // the known support of a square.
+  const std::vector<Point> pts{{0.0, 0.0}, {2.0, 0.0}, {2.0, 2.0}, {0.0, 2.0}};
+  const auto c = smallest_enclosing_circle(pts);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NEAR(c->radius, std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(c->center.x, 1.0, 1e-9);
+  EXPECT_NEAR(c->center.y, 1.0, 1e-9);
+}
+
+TEST(OneDiskCoverableTest, ThresholdBehaviour) {
+  const std::vector<Point> pts{{0.0, 0.0}, {6.0, 0.0}};
+  EXPECT_TRUE(one_disk_coverable(pts, 3.0));    // SEC radius exactly 3
+  EXPECT_FALSE(one_disk_coverable(pts, 2.9));
+  EXPECT_TRUE(one_disk_coverable({}, 1.0));
+  const std::vector<Point> one{{4.0, 4.0}};
+  EXPECT_TRUE(one_disk_coverable(one, 0.0));
+}
+
+}  // namespace
+}  // namespace mdg::geom

@@ -1,0 +1,77 @@
+#include "geom/point.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mdg::geom {
+namespace {
+
+TEST(PointTest, Arithmetic) {
+  const Point a{1.0, 2.0};
+  const Point b{3.0, -4.0};
+  EXPECT_EQ(a + b, (Point{4.0, -2.0}));
+  EXPECT_EQ(a - b, (Point{-2.0, 6.0}));
+  EXPECT_EQ(a * 2.0, (Point{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Point{2.0, 4.0}));
+  EXPECT_EQ(b / 2.0, (Point{1.5, -2.0}));
+}
+
+TEST(PointTest, Distances) {
+  const Point a{0.0, 0.0};
+  const Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(distance_sq(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(norm(b), 5.0);
+}
+
+TEST(PointTest, DotAndCross) {
+  const Point a{1.0, 0.0};
+  const Point b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(cross(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(cross(b, a), -1.0);
+}
+
+TEST(PointTest, LerpAndMidpoint) {
+  const Point a{0.0, 0.0};
+  const Point b{10.0, 20.0};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), (Point{5.0, 10.0}));
+  EXPECT_EQ(midpoint(a, b), (Point{5.0, 10.0}));
+}
+
+TEST(PointTest, Centroid) {
+  const std::vector<Point> pts{{0.0, 0.0}, {2.0, 0.0}, {2.0, 2.0}, {0.0, 2.0}};
+  EXPECT_EQ(centroid(pts), (Point{1.0, 1.0}));
+  EXPECT_EQ(centroid({}), (Point{0.0, 0.0}));
+}
+
+TEST(PointTest, PolylineLength) {
+  const std::vector<Point> pts{{0.0, 0.0}, {3.0, 4.0}, {3.0, 8.0}};
+  EXPECT_DOUBLE_EQ(polyline_length(pts), 9.0);
+  EXPECT_DOUBLE_EQ(polyline_length({}), 0.0);
+  const std::vector<Point> one{{1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(polyline_length(one), 0.0);
+}
+
+TEST(PointTest, ClosedTourLength) {
+  // Unit square tour.
+  const std::vector<Point> pts{{0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}};
+  EXPECT_DOUBLE_EQ(closed_tour_length(pts), 4.0);
+  const std::vector<Point> one{{5.0, 5.0}};
+  EXPECT_DOUBLE_EQ(closed_tour_length(one), 0.0);
+}
+
+TEST(PointTest, WithinRangeInclusiveBoundary) {
+  const Point a{0.0, 0.0};
+  EXPECT_TRUE(within_range(a, {30.0, 0.0}, 30.0));   // exactly at range
+  EXPECT_TRUE(within_range(a, {29.99, 0.0}, 30.0));
+  EXPECT_FALSE(within_range(a, {30.01, 0.0}, 30.0));
+  EXPECT_TRUE(within_range(a, a, 0.0));  // zero range covers itself
+}
+
+}  // namespace
+}  // namespace mdg::geom

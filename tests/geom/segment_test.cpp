@@ -1,0 +1,53 @@
+#include "geom/segment.h"
+
+#include <gtest/gtest.h>
+
+namespace mdg::geom {
+namespace {
+
+TEST(OrientationTest, BasicTriples) {
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {1, 1}), 1);   // ccw
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {1, -1}), -1); // cw
+  EXPECT_EQ(orientation({0, 0}, {1, 1}, {2, 2}), 0);   // collinear
+}
+
+TEST(OnSegmentTest, CollinearContainment) {
+  EXPECT_TRUE(on_segment({0, 0}, {1, 1}, {2, 2}));
+  EXPECT_FALSE(on_segment({0, 0}, {3, 3}, {2, 2}));
+  EXPECT_TRUE(on_segment({0, 0}, {0, 0}, {2, 2}));  // endpoint counts
+}
+
+TEST(SegmentsIntersectTest, ProperCrossing) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+}
+
+TEST(SegmentsIntersectTest, SharedEndpointCounts) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+}
+
+TEST(SegmentsIntersectTest, CollinearOverlap) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+TEST(SegmentsIntersectTest, TTouch) {
+  // cd touches the interior of ab at (1, 0).
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 0}, {1, 0}, {1, 1}));
+}
+
+TEST(ProperIntersectTest, OnlyInteriorCrossingsCount) {
+  // Proper X crossing.
+  EXPECT_TRUE(segments_properly_intersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  // Shared endpoint: not proper.
+  EXPECT_FALSE(segments_properly_intersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+  // T-touch: not proper (endpoint of cd on the interior of ab).
+  EXPECT_FALSE(segments_properly_intersect({0, 0}, {2, 0}, {1, 0}, {1, 1}));
+  // Collinear overlap: not proper by this predicate.
+  EXPECT_FALSE(segments_properly_intersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  // Disjoint.
+  EXPECT_FALSE(segments_properly_intersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+}
+
+}  // namespace
+}  // namespace mdg::geom

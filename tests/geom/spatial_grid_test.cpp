@@ -1,0 +1,105 @@
+#include "geom/spatial_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/deployment.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::geom {
+namespace {
+
+std::vector<std::size_t> brute_force_query(const std::vector<Point>& pts,
+                                           Point center, double radius) {
+  std::vector<std::size_t> hits;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (within_range(pts[i], center, radius)) {
+      hits.push_back(i);
+    }
+  }
+  return hits;
+}
+
+TEST(SpatialGridTest, EmptyGrid) {
+  const SpatialGrid grid(std::vector<Point>{}, 10.0);
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_TRUE(grid.query({0.0, 0.0}, 100.0).empty());
+  EXPECT_EQ(grid.nearest({0.0, 0.0}), SpatialGrid::npos);
+}
+
+TEST(SpatialGridTest, RejectsNonPositiveCellSize) {
+  EXPECT_THROW(SpatialGrid(std::vector<Point>{{0.0, 0.0}}, 0.0),
+               mdg::PreconditionError);
+}
+
+TEST(SpatialGridTest, SinglePoint) {
+  const std::vector<Point> pts{{5.0, 5.0}};
+  const SpatialGrid grid(pts, 3.0);
+  EXPECT_EQ(grid.query({5.0, 5.0}, 0.1), std::vector<std::size_t>{0});
+  EXPECT_TRUE(grid.query({50.0, 50.0}, 1.0).empty());
+  EXPECT_EQ(grid.nearest({100.0, 100.0}), 0u);
+}
+
+TEST(SpatialGridTest, QueryMatchesBruteForceOnRandomSets) {
+  Rng rng(12345);
+  const auto field = Aabb::square(100.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto pts = net::deploy_uniform(200, field, rng);
+    const SpatialGrid grid(pts, 15.0);
+    for (int q = 0; q < 20; ++q) {
+      const Point center{rng.uniform(-10.0, 110.0), rng.uniform(-10.0, 110.0)};
+      const double radius = rng.uniform(1.0, 40.0);
+      auto expected = brute_force_query(pts, center, radius);
+      auto actual = grid.query(center, radius);
+      std::sort(actual.begin(), actual.end());
+      EXPECT_EQ(actual, expected) << "trial " << trial << " query " << q;
+    }
+  }
+}
+
+TEST(SpatialGridTest, NearestMatchesBruteForce) {
+  Rng rng(777);
+  const auto field = Aabb::square(50.0);
+  const auto pts = net::deploy_uniform(100, field, rng);
+  const SpatialGrid grid(pts, 5.0);
+  for (int q = 0; q < 100; ++q) {
+    const Point center{rng.uniform(-20.0, 70.0), rng.uniform(-20.0, 70.0)};
+    const std::size_t got = grid.nearest(center);
+    double best = distance_sq(pts[got], center);
+    for (const Point& p : pts) {
+      EXPECT_GE(distance_sq(p, center) + 1e-12, best);
+    }
+  }
+}
+
+TEST(SpatialGridTest, BoundaryPointsIncluded) {
+  const std::vector<Point> pts{{0.0, 0.0}, {30.0, 0.0}, {30.0001, 0.0}};
+  const SpatialGrid grid(pts, 30.0);
+  const auto hits = grid.query({0.0, 0.0}, 30.0);
+  EXPECT_EQ(hits.size(), 2u);  // exact-range point included, beyond excluded
+}
+
+TEST(SpatialGridTest, ForEachAvoidsDuplicates) {
+  Rng rng(31);
+  const auto pts = net::deploy_uniform(500, Aabb::square(100.0), rng);
+  const SpatialGrid grid(pts, 10.0);
+  std::vector<int> seen(pts.size(), 0);
+  grid.for_each_in_radius({50.0, 50.0}, 25.0,
+                          [&seen](std::size_t i) { ++seen[i]; });
+  for (int count : seen) {
+    EXPECT_LE(count, 1);
+  }
+}
+
+TEST(SpatialGridTest, TinyCellSizeStillCorrect) {
+  const std::vector<Point> pts{{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}};
+  const SpatialGrid grid(pts, 0.25);
+  const auto hits = grid.query({1.0, 1.0}, 1.5);
+  EXPECT_EQ(hits.size(), 3u);
+}
+
+}  // namespace
+}  // namespace mdg::geom

@@ -1,0 +1,91 @@
+#include "graph/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.h"
+
+namespace mdg::graph {
+namespace {
+
+// 0-1-2-3 path plus isolated 4.
+Graph path_plus_isolated() {
+  const std::vector<Edge> edges{{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}};
+  return Graph(5, edges);
+}
+
+TEST(BfsTest, HopDistancesOnPath) {
+  const Graph g = path_plus_isolated();
+  const BfsResult r = bfs(g, 0);
+  EXPECT_EQ(r.hops[0], 0u);
+  EXPECT_EQ(r.hops[1], 1u);
+  EXPECT_EQ(r.hops[2], 2u);
+  EXPECT_EQ(r.hops[3], 3u);
+  EXPECT_FALSE(r.reachable(4));
+}
+
+TEST(BfsTest, ParentsFormShortestPaths) {
+  const Graph g = path_plus_isolated();
+  const BfsResult r = bfs(g, 0);
+  EXPECT_EQ(r.parent[0], kUnreachable);
+  EXPECT_EQ(r.parent[3], 2u);
+  EXPECT_EQ(r.parent[2], 1u);
+  EXPECT_EQ(r.parent[1], 0u);
+}
+
+TEST(BfsTest, MultiSourceTakesNearest) {
+  const Graph g = path_plus_isolated();
+  const std::vector<std::size_t> sources{0, 3};
+  const BfsResult r = bfs_multi(g, sources);
+  EXPECT_EQ(r.hops[1], 1u);
+  EXPECT_EQ(r.hops[2], 1u);  // closer to source 3
+}
+
+TEST(BfsTest, DuplicateSourcesAreFine) {
+  const Graph g = path_plus_isolated();
+  const std::vector<std::size_t> sources{0, 0, 0};
+  const BfsResult r = bfs_multi(g, sources);
+  EXPECT_EQ(r.hops[2], 2u);
+}
+
+TEST(BfsTest, RequiresValidSources) {
+  const Graph g = path_plus_isolated();
+  EXPECT_THROW((void)bfs_multi(g, {}), mdg::PreconditionError);
+  const std::vector<std::size_t> bad{7};
+  EXPECT_THROW((void)bfs_multi(g, bad), mdg::PreconditionError);
+}
+
+TEST(BfsTest, ShortestOverBranches) {
+  // Diamond: 0-1, 0-2, 1-3, 2-3 — vertex 3 at 2 hops.
+  const std::vector<Edge> edges{
+      {0, 1, 1.0}, {0, 2, 1.0}, {1, 3, 1.0}, {2, 3, 1.0}};
+  const Graph g(4, edges);
+  const BfsResult r = bfs(g, 0);
+  EXPECT_EQ(r.hops[3], 2u);
+}
+
+TEST(KHopNeighborhoodTest, LayersRespectBound) {
+  const Graph g = path_plus_isolated();
+  EXPECT_EQ(k_hop_neighborhood(g, 0, 0), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(k_hop_neighborhood(g, 0, 1), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(k_hop_neighborhood(g, 0, 2),
+            (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(k_hop_neighborhood(g, 0, 10),
+            (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(KHopNeighborhoodTest, AscendingHopOrder) {
+  const std::vector<Edge> edges{
+      {0, 1, 1.0}, {0, 2, 1.0}, {1, 3, 1.0}, {2, 4, 1.0}};
+  const Graph g(5, edges);
+  const auto order = k_hop_neighborhood(g, 0, 2);
+  EXPECT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0], 0u);
+  // Hops 1 before hops 2.
+  EXPECT_TRUE((order[1] == 1 && order[2] == 2) ||
+              (order[1] == 2 && order[2] == 1));
+}
+
+}  // namespace
+}  // namespace mdg::graph

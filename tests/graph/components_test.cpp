@@ -1,0 +1,57 @@
+#include "graph/components.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.h"
+
+namespace mdg::graph {
+namespace {
+
+TEST(ComponentsTest, SingleComponent) {
+  const std::vector<Edge> edges{{0, 1, 1.0}, {1, 2, 1.0}};
+  const Graph g(3, edges);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 1u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(c.largest_size(), 3u);
+}
+
+TEST(ComponentsTest, MultipleComponents) {
+  const std::vector<Edge> edges{{0, 1, 1.0}, {2, 3, 1.0}};
+  const Graph g(6, edges);  // {0,1}, {2,3}, {4}, {5}
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 4u);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_EQ(c.largest_size(), 2u);
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_NE(c.label[0], c.label[2]);
+}
+
+TEST(ComponentsTest, MembersExtraction) {
+  const std::vector<Edge> edges{{0, 2, 1.0}};
+  const Graph g(3, edges);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.members(c.label[0]), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(c.members(c.label[1]), (std::vector<std::size_t>{1}));
+  EXPECT_THROW((void)c.members(99), mdg::PreconditionError);
+}
+
+TEST(ComponentsTest, EmptyGraphIsConnected) {
+  const Graph g(0, {});
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(connected_components(g).largest_size(), 0u);
+}
+
+TEST(ComponentsTest, LabelsAreDiscoveryOrdered) {
+  const Graph g(4, std::vector<Edge>{{2, 3, 1.0}});
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.label[0], 0u);
+  EXPECT_EQ(c.label[1], 1u);
+  EXPECT_EQ(c.label[2], 2u);
+  EXPECT_EQ(c.label[3], 2u);
+}
+
+}  // namespace
+}  // namespace mdg::graph

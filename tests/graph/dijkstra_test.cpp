@@ -1,0 +1,86 @@
+#include "graph/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/bfs.h"
+#include "util/assert.h"
+
+namespace mdg::graph {
+namespace {
+
+TEST(DijkstraTest, WeightedShortestPathsBeatHopShortest) {
+  // 0 -> 2 direct weight 10, or 0-1-2 with weight 2+3=5.
+  const std::vector<Edge> edges{{0, 2, 10.0}, {0, 1, 2.0}, {1, 2, 3.0}};
+  const Graph g(3, edges);
+  const DijkstraResult r = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(r.dist[2], 5.0);
+  EXPECT_EQ(r.parent[2], 1u);
+}
+
+TEST(DijkstraTest, UnreachableVertices) {
+  const Graph g(3, std::vector<Edge>{{0, 1, 1.0}});
+  const DijkstraResult r = dijkstra(g, 0);
+  EXPECT_TRUE(r.reachable(1));
+  EXPECT_FALSE(r.reachable(2));
+}
+
+TEST(DijkstraTest, MultiSourceMinimum) {
+  // Path 0-1-2-3-4, sources {0, 4}.
+  std::vector<Edge> edges;
+  for (std::size_t v = 0; v < 4; ++v) {
+    edges.push_back({v, v + 1, 1.0});
+  }
+  const Graph g(5, edges);
+  const std::vector<std::size_t> sources{0, 4};
+  const DijkstraResult r = dijkstra_multi(g, sources);
+  EXPECT_DOUBLE_EQ(r.dist[2], 2.0);
+  EXPECT_DOUBLE_EQ(r.dist[3], 1.0);
+}
+
+TEST(DijkstraTest, ExtractPathReconstructs) {
+  const std::vector<Edge> edges{{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}};
+  const Graph g(4, edges);
+  const DijkstraResult r = dijkstra(g, 0);
+  EXPECT_EQ(extract_path(r, 3), (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(extract_path(r, 0), (std::vector<std::size_t>{0}));
+}
+
+TEST(DijkstraTest, ExtractPathUnreachableIsEmpty) {
+  const Graph g(3, std::vector<Edge>{{0, 1, 1.0}});
+  const DijkstraResult r = dijkstra(g, 0);
+  EXPECT_TRUE(extract_path(r, 2).empty());
+}
+
+TEST(DijkstraTest, AgreesWithBfsOnUnitWeights) {
+  // Random-ish structured graph with unit weights: hop count == dist.
+  std::vector<Edge> edges;
+  const std::size_t n = 30;
+  for (std::size_t v = 0; v + 1 < n; ++v) {
+    edges.push_back({v, v + 1, 1.0});
+    if (v + 5 < n) {
+      edges.push_back({v, v + 5, 1.0});
+    }
+  }
+  const Graph g(n, edges);
+  const DijkstraResult dr = dijkstra(g, 0);
+  const BfsResult br = bfs(g, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    EXPECT_DOUBLE_EQ(dr.dist[v], static_cast<double>(br.hops[v]));
+  }
+}
+
+TEST(DijkstraTest, RequiresSources) {
+  const Graph g(2, std::vector<Edge>{{0, 1, 1.0}});
+  EXPECT_THROW((void)dijkstra_multi(g, {}), mdg::PreconditionError);
+}
+
+TEST(DijkstraTest, ExtractPathRejectsBadTarget) {
+  const Graph g(2, std::vector<Edge>{{0, 1, 1.0}});
+  const DijkstraResult r = dijkstra(g, 0);
+  EXPECT_THROW((void)extract_path(r, 5), mdg::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdg::graph

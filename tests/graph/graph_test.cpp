@@ -1,0 +1,81 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace mdg::graph {
+namespace {
+
+Graph path_graph(std::size_t n) {
+  std::vector<Edge> edges;
+  for (std::size_t v = 0; v + 1 < n; ++v) {
+    edges.push_back({v, v + 1, 1.0});
+  }
+  return Graph(n, edges);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  const Graph g(0, {});
+  EXPECT_EQ(g.vertex_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+}
+
+TEST(GraphTest, IsolatedVertices) {
+  const Graph g(5, {});
+  EXPECT_EQ(g.vertex_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  for (std::size_t v = 0; v < 5; ++v) {
+    EXPECT_TRUE(g.neighbors(v).empty());
+  }
+}
+
+TEST(GraphTest, CsrNeighborsBothDirections) {
+  const std::vector<Edge> edges{{0, 1, 2.0}, {1, 2, 3.0}};
+  const Graph g(3, edges);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.neighbors(0)[0].to, 1u);
+  EXPECT_DOUBLE_EQ(g.neighbors(0)[0].weight, 2.0);
+  // Vertex 1 sees both 0 and 2.
+  std::vector<std::size_t> nbrs;
+  for (const Arc& a : g.neighbors(1)) {
+    nbrs.push_back(a.to);
+  }
+  std::sort(nbrs.begin(), nbrs.end());
+  EXPECT_EQ(nbrs, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(GraphTest, EdgesNormalized) {
+  const std::vector<Edge> edges{{2, 0, 1.5}};
+  const Graph g(3, edges);
+  EXPECT_EQ(g.edges()[0].u, 0u);
+  EXPECT_EQ(g.edges()[0].v, 2u);
+}
+
+TEST(GraphTest, AverageDegree) {
+  const Graph g = path_graph(4);  // 3 edges, 4 vertices
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.5);
+}
+
+TEST(GraphTest, RejectsBadEdges) {
+  EXPECT_THROW(Graph(2, std::vector<Edge>{{0, 2, 1.0}}),
+               mdg::PreconditionError);
+  EXPECT_THROW(Graph(2, std::vector<Edge>{{1, 1, 1.0}}),
+               mdg::PreconditionError);
+  EXPECT_THROW(Graph(2, std::vector<Edge>{{0, 1, -1.0}}),
+               mdg::PreconditionError);
+}
+
+TEST(GraphTest, NeighborsOutOfRangeThrows) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW((void)g.neighbors(3), mdg::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdg::graph

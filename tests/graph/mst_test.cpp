@@ -1,0 +1,85 @@
+#include "graph/mst.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "graph/components.h"
+#include "net/deployment.h"
+#include "util/rng.h"
+
+namespace mdg::graph {
+namespace {
+
+TEST(SparseMstTest, KnownTriangle) {
+  // Triangle with weights 1, 2, 3: MST = {1, 2}.
+  const std::vector<Edge> edges{{0, 1, 1.0}, {1, 2, 2.0}, {0, 2, 3.0}};
+  const Graph g(3, edges);
+  const MstResult mst = minimum_spanning_forest(g);
+  EXPECT_EQ(mst.edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(mst.total_weight, 3.0);
+}
+
+TEST(SparseMstTest, SpansForestWhenDisconnected) {
+  const std::vector<Edge> edges{{0, 1, 1.0}, {2, 3, 2.0}};
+  const Graph g(5, edges);
+  const MstResult mst = minimum_spanning_forest(g);
+  EXPECT_EQ(mst.edges.size(), 2u);  // vertex 4 isolated, no edges
+  EXPECT_DOUBLE_EQ(mst.total_weight, 3.0);
+}
+
+TEST(EuclideanMstTest, Degenerates) {
+  EXPECT_TRUE(euclidean_mst({}).edges.empty());
+  const std::vector<geom::Point> one{{0.0, 0.0}};
+  EXPECT_TRUE(euclidean_mst(one).edges.empty());
+  const std::vector<geom::Point> two{{0.0, 0.0}, {3.0, 4.0}};
+  const MstResult mst = euclidean_mst(two);
+  ASSERT_EQ(mst.edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(mst.total_weight, 5.0);
+}
+
+TEST(EuclideanMstTest, CollinearPointsChainUp) {
+  const std::vector<geom::Point> pts{
+      {0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}};
+  const MstResult mst = euclidean_mst(pts);
+  EXPECT_EQ(mst.edges.size(), 3u);
+  EXPECT_DOUBLE_EQ(mst.total_weight, 3.0);
+}
+
+TEST(EuclideanMstTest, TreeIsSpanningAndAcyclic) {
+  Rng rng(5);
+  const auto pts = net::deploy_uniform(80, geom::Aabb::square(100.0), rng);
+  const MstResult mst = euclidean_mst(pts);
+  ASSERT_EQ(mst.edges.size(), pts.size() - 1);
+  // n-1 edges + connected = tree. Verify connectivity via the Graph.
+  const Graph g(pts.size(), mst.edges);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(EuclideanMstTest, MatchesSparsePrimOnCompleteGraph) {
+  Rng rng(13);
+  const auto pts = net::deploy_uniform(40, geom::Aabb::square(50.0), rng);
+  std::vector<Edge> complete;
+  for (std::size_t u = 0; u < pts.size(); ++u) {
+    for (std::size_t v = u + 1; v < pts.size(); ++v) {
+      complete.push_back({u, v, geom::distance(pts[u], pts[v])});
+    }
+  }
+  const Graph g(pts.size(), complete);
+  const double sparse_weight = minimum_spanning_forest(g).total_weight;
+  const double dense_weight = euclidean_mst(pts).total_weight;
+  EXPECT_NEAR(sparse_weight, dense_weight, 1e-9);
+}
+
+TEST(TreeAdjacencyTest, BuildsSymmetricLists) {
+  const std::vector<Edge> edges{{0, 1, 1.0}, {1, 2, 1.0}};
+  const auto adj = tree_adjacency(3, edges);
+  EXPECT_EQ(adj[0], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(adj[2], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(adj[1].size(), 2u);
+}
+
+}  // namespace
+}  // namespace mdg::graph

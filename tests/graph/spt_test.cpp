@@ -1,0 +1,68 @@
+#include "graph/spt.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mdg::graph {
+namespace {
+
+// Star: sink 0 in the middle, arms 0-1-2 and 0-3.
+Graph star_with_arms() {
+  const std::vector<Edge> edges{{0, 1, 1.0}, {1, 2, 1.0}, {0, 3, 1.0}};
+  return Graph(5, edges);  // vertex 4 disconnected
+}
+
+TEST(SptTest, HopsAndNextHops) {
+  const Graph g = star_with_arms();
+  const ShortestPathTree spt(g, 0);
+  EXPECT_EQ(spt.hops(0), 0u);
+  EXPECT_EQ(spt.hops(1), 1u);
+  EXPECT_EQ(spt.hops(2), 2u);
+  EXPECT_EQ(spt.hops(3), 1u);
+  EXPECT_FALSE(spt.reachable(4));
+  EXPECT_EQ(spt.next_hop(2), 1u);
+  EXPECT_EQ(spt.next_hop(1), 0u);
+  EXPECT_EQ(spt.next_hop(0), kUnreachable);
+}
+
+TEST(SptTest, AverageHopsExcludesSinkAndUnreachable) {
+  const Graph g = star_with_arms();
+  const ShortestPathTree spt(g, 0);
+  // Reachable non-sink: 1 (1 hop), 2 (2 hops), 3 (1 hop) -> mean 4/3.
+  EXPECT_NEAR(spt.average_hops(), 4.0 / 3.0, 1e-12);
+}
+
+TEST(SptTest, Depth) {
+  const Graph g = star_with_arms();
+  const ShortestPathTree spt(g, 0);
+  EXPECT_EQ(spt.depth(), 2u);
+}
+
+TEST(SptTest, SubtreeSizesCountRelayLoad) {
+  const Graph g = star_with_arms();
+  const ShortestPathTree spt(g, 0);
+  const auto sizes = spt.subtree_sizes();
+  EXPECT_EQ(sizes[0], 4u);  // all reachable vertices route through the sink
+  EXPECT_EQ(sizes[1], 2u);  // itself + vertex 2
+  EXPECT_EQ(sizes[2], 1u);
+  EXPECT_EQ(sizes[3], 1u);
+  EXPECT_EQ(sizes[4], 0u);  // unreachable
+}
+
+TEST(SptTest, DisconnectedListing) {
+  const Graph g = star_with_arms();
+  const ShortestPathTree spt(g, 0);
+  EXPECT_EQ(spt.disconnected(), (std::vector<std::size_t>{4}));
+}
+
+TEST(SptTest, IsolatedSink) {
+  const Graph g(3, {});
+  const ShortestPathTree spt(g, 0);
+  EXPECT_EQ(spt.average_hops(), 0.0);
+  EXPECT_EQ(spt.depth(), 0u);
+  EXPECT_EQ(spt.disconnected().size(), 2u);
+}
+
+}  // namespace
+}  // namespace mdg::graph

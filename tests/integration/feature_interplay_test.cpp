@@ -1,0 +1,88 @@
+// Interplay of the optional features: capacity bounds, continuous
+// refinement, visit schedules and fleet splitting composed on one plan.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/greedy_cover_planner.h"
+#include "core/multi_collector.h"
+#include "core/refine.h"
+#include "core/visit_schedule.h"
+#include "sim/fleet_sim.h"
+#include "util/rng.h"
+
+namespace mdg {
+namespace {
+
+struct Fixture {
+  net::SensorNetwork network;
+  core::ShdgpInstance instance;
+
+  explicit Fixture(std::uint64_t seed, std::size_t n = 140)
+      : network([&] {
+          Rng rng(seed);
+          return net::make_uniform_network(n, 180.0, 28.0, rng);
+        }()),
+        instance(network) {}
+};
+
+TEST(FeatureInterplayTest, RefineAfterCapacitatedPlanKeepsBothProperties) {
+  const Fixture fx(1);
+  core::GreedyCoverPlannerOptions options;
+  options.max_pp_load = 6;
+  core::ShdgpSolution solution =
+      core::GreedyCoverPlanner(options).plan(fx.instance);
+  const auto loads_before = solution.pp_loads();
+  const double before = solution.tour_length;
+
+  core::refine_polling_positions(fx.instance, solution);
+  solution.validate(fx.instance);
+  EXPECT_LE(solution.tour_length, before + 1e-9);
+  // Refinement moves positions, never assignments: the load bound holds.
+  EXPECT_EQ(solution.pp_loads(), loads_before);
+  EXPECT_LE(solution.max_pp_load(), 6u);
+}
+
+TEST(FeatureInterplayTest, ScheduleOnRefinedPlanStaysConsistent) {
+  const Fixture fx(2);
+  core::ShdgpSolution solution =
+      core::GreedyCoverPlanner().plan(fx.instance);
+  core::refine_polling_positions(fx.instance, solution);
+  const core::VisitSchedule schedule(fx.instance, solution);
+  EXPECT_EQ(schedule.stops().size(), solution.polling_points.size());
+  EXPECT_GT(schedule.round_duration_s(), 0.0);
+  for (std::size_t s = 0; s < fx.network.size(); ++s) {
+    EXPECT_GT(schedule.duty_cycle(s), 0.0);
+  }
+}
+
+TEST(FeatureInterplayTest, FleetOverRefinedPlanDeliversEverything) {
+  const Fixture fx(3);
+  core::ShdgpSolution solution =
+      core::GreedyCoverPlanner().plan(fx.instance);
+  core::refine_polling_positions(fx.instance, solution);
+  const core::MultiTourPlan plan =
+      core::MultiCollectorPlanner().split(fx.instance, solution, 3);
+  const sim::FleetSim fleet(fx.instance, solution, plan);
+  sim::EnergyLedger ledger(fx.network.size(), 0.5);
+  const sim::FleetRoundReport round = fleet.run_round(ledger);
+  EXPECT_EQ(round.delivered, fx.network.size());
+}
+
+TEST(FeatureInterplayTest, RefinementImprovesTheFleetToo) {
+  const Fixture fx(4, 200);
+  core::ShdgpSolution raw = core::GreedyCoverPlanner().plan(fx.instance);
+  core::ShdgpSolution refined = raw;
+  core::refine_polling_positions(fx.instance, refined);
+  const core::MultiCollectorPlanner splitter;
+  const double raw_max =
+      splitter.split(fx.instance, raw, 3).max_length;
+  const double refined_max =
+      splitter.split(fx.instance, refined, 3).max_length;
+  // Shorter stops-to-stops geometry should carry through the split;
+  // allow slack since the split heuristic is not monotone.
+  EXPECT_LE(refined_max, raw_max * 1.05);
+}
+
+}  // namespace
+}  // namespace mdg

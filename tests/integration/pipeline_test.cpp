@@ -1,0 +1,160 @@
+// End-to-end integration: deployment -> planning -> serialization ->
+// simulation, crossing every module boundary the way the bench harness
+// and a downstream user do.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "baselines/direct_visit.h"
+#include "core/greedy_cover_planner.h"
+#include "core/multi_collector.h"
+#include "core/spanning_tour_planner.h"
+#include "dist/election_planner.h"
+#include "io/serialize.h"
+#include "sim/mobile_sim.h"
+#include "sim/multihop_sim.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mdg {
+namespace {
+
+TEST(PipelineTest, PlanSerializeReloadSimulate) {
+  Rng rng(42);
+  const net::SensorNetwork network =
+      net::make_uniform_network(120, 180.0, 28.0, rng);
+
+  // Round-trip the network and the plan through text serialization.
+  std::stringstream net_buffer;
+  io::write_network(net_buffer, network);
+  const net::SensorNetwork restored_net = io::read_network(net_buffer);
+  const core::ShdgpInstance instance(restored_net);
+  const core::ShdgpSolution plan =
+      core::SpanningTourPlanner().plan(instance);
+
+  std::stringstream sol_buffer;
+  io::write_solution(sol_buffer, plan);
+  const core::ShdgpSolution restored_plan = io::read_solution(sol_buffer);
+  restored_plan.validate(instance);
+
+  // The reloaded plan must simulate identically to the fresh one.
+  sim::MobileCollectionSim fresh(instance, plan);
+  sim::MobileCollectionSim reloaded(instance, restored_plan);
+  sim::EnergyLedger l1(restored_net.size(), 0.5);
+  sim::EnergyLedger l2(restored_net.size(), 0.5);
+  const auto r1 = fresh.run_round(l1);
+  const auto r2 = reloaded.run_round(l2);
+  EXPECT_DOUBLE_EQ(r1.duration_s, r2.duration_s);
+  EXPECT_EQ(r1.delivered, r2.delivered);
+}
+
+TEST(PipelineTest, SimulatedEnergyMatchesAnalyticUploadCost) {
+  // The mobile round's per-sensor energy must equal exactly one packet
+  // transmission over the sensor->PP distance — tying planner geometry,
+  // radio model and simulator together.
+  Rng rng(7);
+  const net::SensorNetwork network =
+      net::make_uniform_network(90, 150.0, 25.0, rng);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution plan =
+      core::GreedyCoverPlanner().plan(instance);
+  sim::MobileCollectionSim sim(instance, plan);
+  sim::EnergyLedger ledger(network.size(), 0.5);
+  const auto round = sim.run_round(ledger);
+  for (std::size_t s = 0; s < network.size(); ++s) {
+    const double expected = network.radio().tx_packet(geom::distance(
+        network.position(s), plan.polling_points[plan.assignment[s]]));
+    EXPECT_NEAR(round.round_energy[s], expected, 1e-15) << "sensor " << s;
+  }
+}
+
+TEST(PipelineTest, FleetPlanRoundsMeetDeadlineInSimulation) {
+  // collectors_for_deadline promises every subtour's round fits the
+  // deadline; verify against simulated per-subtour rounds.
+  Rng rng(13);
+  const net::SensorNetwork network =
+      net::make_uniform_network(200, 250.0, 30.0, rng);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution plan =
+      core::SpanningTourPlanner().plan(instance);
+
+  const double deadline_s = 15.0 * 60.0;
+  const double speed = 1.0;
+  const double service = 2.0;
+  const core::MultiCollectorPlanner splitter;
+  const std::size_t k = splitter.collectors_for_deadline(
+      instance, plan, deadline_s, speed, service);
+  ASSERT_GT(k, 0u);
+  const core::MultiTourPlan fleet = splitter.split(instance, plan, k);
+  for (const core::Subtour& st : fleet.subtours) {
+    const double round_time =
+        st.length / speed + static_cast<double>(st.stops.size()) * service;
+    EXPECT_LE(round_time, deadline_s + 1e-6);
+  }
+}
+
+TEST(PipelineTest, EveryPlannerFeedsBothSimulators) {
+  Rng rng(19);
+  const net::SensorNetwork network =
+      net::make_uniform_network(80, 140.0, 25.0, rng);
+  const core::ShdgpInstance instance(network);
+
+  const core::GreedyCoverPlanner greedy;
+  const core::SpanningTourPlanner spanning;
+  const baselines::DirectVisitPlanner direct;
+  const dist::ElectionPlanner election;
+  const std::vector<const core::Planner*> planners{&greedy, &spanning,
+                                                   &direct, &election};
+  for (const core::Planner* planner : planners) {
+    const core::ShdgpSolution plan = planner->plan(instance);
+    sim::MobileCollectionSim sim(instance, plan);
+    sim::EnergyLedger ledger(network.size(), 0.5);
+    const auto round = sim.run_round(ledger);
+    EXPECT_EQ(round.delivered, network.size()) << planner->name();
+  }
+
+  // The multihop simulator runs on the same network object.
+  sim::MultihopSim hop(network);
+  sim::EnergyLedger hop_ledger(network.size(), 0.5);
+  const auto hop_round = hop.run_round(hop_ledger);
+  EXPECT_GT(hop_round.delivered, 0u);
+}
+
+TEST(PipelineTest, TradeoffHoldsOnAverage) {
+  // The paper's central claim, end to end: mobile collection spends far
+  // less worst-case sensor energy per round, multihop delivers far
+  // faster. Averaged over topologies to be robust.
+  RunningStats mobile_max_energy;
+  RunningStats hop_max_energy;
+  RunningStats mobile_latency;
+  RunningStats hop_latency;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    const net::SensorNetwork network =
+        net::make_uniform_network(150, 200.0, 30.0, rng);
+    const core::ShdgpInstance instance(network);
+    const core::ShdgpSolution plan =
+        core::SpanningTourPlanner().plan(instance);
+
+    sim::MobileCollectionSim mobile(instance, plan);
+    sim::EnergyLedger ml(network.size(), 0.5);
+    const auto mr = mobile.run_round(ml);
+    mobile_max_energy.add(*std::max_element(mr.round_energy.begin(),
+                                            mr.round_energy.end()));
+    mobile_latency.add(mr.duration_s);
+
+    sim::MultihopSim hop(network);
+    sim::EnergyLedger hl(network.size(), 0.5);
+    const auto hr = hop.run_round(hl);
+    hop_max_energy.add(*std::max_element(hr.round_energy.begin(),
+                                         hr.round_energy.end()));
+    hop_latency.add(hr.mean_latency_s);
+  }
+  EXPECT_LT(mobile_max_energy.mean() * 5.0, hop_max_energy.mean());
+  EXPECT_GT(mobile_latency.mean(), hop_latency.mean() * 100.0);
+}
+
+}  // namespace
+}  // namespace mdg

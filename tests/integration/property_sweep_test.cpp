@@ -1,0 +1,114 @@
+// Parameterized property sweep: SHDGP invariants across the full
+// (N, Rs, deployment) evaluation grid the benches exercise.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/spanning_tour_planner.h"
+#include "cover/set_cover.h"
+#include "net/deployment.h"
+#include "tsp/lower_bound.h"
+#include "util/rng.h"
+
+namespace mdg {
+namespace {
+
+enum class Deployment { kUniform, kGridJitter, kClusters, kIslands };
+
+std::string deployment_name(Deployment d) {
+  switch (d) {
+    case Deployment::kUniform:
+      return "uniform";
+    case Deployment::kGridJitter:
+      return "grid";
+    case Deployment::kClusters:
+      return "clusters";
+    case Deployment::kIslands:
+      return "islands";
+  }
+  return "unknown";
+}
+
+using SweepParam = std::tuple<std::size_t, double, Deployment>;
+
+class ShdgpSweepTest : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  net::SensorNetwork make_network(std::uint64_t seed) const {
+    const auto [n, rs, deployment] = GetParam();
+    Rng rng(seed);
+    const auto field = geom::Aabb::square(200.0);
+    std::vector<geom::Point> pts;
+    switch (deployment) {
+      case Deployment::kUniform:
+        pts = net::deploy_uniform(n, field, rng);
+        break;
+      case Deployment::kGridJitter:
+        pts = net::deploy_grid_jitter(n, field, 0.3, rng);
+        break;
+      case Deployment::kClusters:
+        pts = net::deploy_gaussian_clusters(n, field, 4, 22.0, rng);
+        break;
+      case Deployment::kIslands:
+        pts = net::deploy_two_islands(n, field, 0.35, rng);
+        break;
+    }
+    return net::SensorNetwork(std::move(pts), field.center(), field, rs);
+  }
+};
+
+TEST_P(ShdgpSweepTest, SolutionSatisfiesEveryInvariant) {
+  const net::SensorNetwork network = make_network(1);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution =
+      core::SpanningTourPlanner().plan(instance);
+  EXPECT_NO_THROW(solution.validate(instance));
+}
+
+TEST_P(ShdgpSweepTest, PollingPointsRespectScatteringBound) {
+  const net::SensorNetwork network = make_network(2);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution =
+      core::SpanningTourPlanner().plan(instance);
+  EXPECT_GE(solution.polling_points.size(),
+            cover::scattering_lower_bound(network));
+  EXPECT_LE(solution.polling_points.size(), network.size());
+}
+
+TEST_P(ShdgpSweepTest, TourRespectsMstLowerBound) {
+  // Any closed tour over sink + polling points is at least their MST.
+  const net::SensorNetwork network = make_network(3);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution =
+      core::SpanningTourPlanner().plan(instance);
+  std::vector<geom::Point> stops{instance.sink()};
+  stops.insert(stops.end(), solution.polling_points.begin(),
+               solution.polling_points.end());
+  EXPECT_GE(solution.tour_length, tsp::mst_lower_bound(stops) - 1e-9);
+}
+
+TEST_P(ShdgpSweepTest, UploadsAreWithinRange) {
+  const net::SensorNetwork network = make_network(4);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution =
+      core::SpanningTourPlanner().plan(instance);
+  EXPECT_LE(solution.mean_upload_distance(instance), network.range());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShdgpSweepTest,
+    ::testing::Combine(::testing::Values(std::size_t{60}, std::size_t{150},
+                                         std::size_t{300}),
+                       ::testing::Values(20.0, 35.0, 50.0),
+                       ::testing::Values(Deployment::kUniform,
+                                         Deployment::kGridJitter,
+                                         Deployment::kClusters,
+                                         Deployment::kIslands)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "N" + std::to_string(std::get<0>(info.param)) + "_Rs" +
+             std::to_string(static_cast<int>(std::get<1>(info.param))) +
+             "_" + deployment_name(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace mdg

@@ -1,0 +1,62 @@
+// Golden-instance regression tests over the pinned topologies in data/.
+//
+// Everything in this library is deterministic, so planner outputs on a
+// fixed network are exact regression anchors: any change to the RNG,
+// the geometry predicates, the TSP pipeline or a planner that shifts
+// these numbers is either a deliberate algorithm change (update the
+// anchors and say why) or a bug.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/exact_planner.h"
+#include "core/greedy_cover_planner.h"
+#include "core/spanning_tour_planner.h"
+#include "io/serialize.h"
+
+namespace mdg {
+namespace {
+
+std::string data_path(const std::string& name) {
+  return std::string(MDG_DATA_DIR) + "/" + name;
+}
+
+TEST(RegressionCorpusTest, Small30Anchors) {
+  const net::SensorNetwork network =
+      io::load_network(data_path("small30.txt"));
+  ASSERT_EQ(network.size(), 30u);
+  EXPECT_EQ(network.components().count, 2u);
+
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution greedy =
+      core::GreedyCoverPlanner().plan(instance);
+  EXPECT_NEAR(greedy.tour_length, 176.966965786, 1e-6);
+  EXPECT_EQ(greedy.polling_points.size(), 6u);
+
+  const core::ShdgpSolution spanning =
+      core::SpanningTourPlanner().plan(instance);
+  EXPECT_NEAR(spanning.tour_length, 172.016795365, 1e-6);
+
+  // On this instance the spanning-tour heuristic attains the proven
+  // optimum.
+  const core::ShdgpSolution exact = core::ExactPlanner().plan(instance);
+  ASSERT_TRUE(exact.provably_optimal);
+  EXPECT_NEAR(exact.tour_length, 172.016795365, 1e-6);
+  EXPECT_EQ(exact.polling_points.size(), 6u);
+  EXPECT_NEAR(spanning.tour_length, exact.tour_length, 1e-6);
+}
+
+TEST(RegressionCorpusTest, Uniform200Anchors) {
+  const net::SensorNetwork network =
+      io::load_network(data_path("uniform200.txt"));
+  ASSERT_EQ(network.size(), 200u);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution spanning =
+      core::SpanningTourPlanner().plan(instance);
+  EXPECT_NEAR(spanning.tour_length, 796.150494205, 1e-6);
+  EXPECT_EQ(spanning.polling_points.size(), 22u);
+  spanning.validate(instance);
+}
+
+}  // namespace
+}  // namespace mdg

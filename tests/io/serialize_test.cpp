@@ -1,0 +1,140 @@
+#include "io/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/greedy_cover_planner.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::io {
+namespace {
+
+net::SensorNetwork sample_network(std::uint64_t seed = 3) {
+  Rng rng(seed);
+  return net::make_uniform_network(50, 120.0, 25.0, rng);
+}
+
+TEST(NetworkSerializeTest, RoundTripsExactly) {
+  const net::SensorNetwork original = sample_network();
+  std::stringstream buffer;
+  write_network(buffer, original);
+  const net::SensorNetwork restored = read_network(buffer);
+
+  EXPECT_EQ(restored.size(), original.size());
+  EXPECT_EQ(restored.sink(), original.sink());
+  EXPECT_DOUBLE_EQ(restored.range(), original.range());
+  EXPECT_DOUBLE_EQ(restored.radio().e_elec, original.radio().e_elec);
+  EXPECT_EQ(restored.radio().packet_bits, original.radio().packet_bits);
+  for (std::size_t s = 0; s < original.size(); ++s) {
+    EXPECT_EQ(restored.position(s), original.position(s)) << "sensor " << s;
+  }
+  // Derived structures rebuilt identically.
+  EXPECT_EQ(restored.connectivity().edge_count(),
+            original.connectivity().edge_count());
+  EXPECT_EQ(restored.components().count, original.components().count);
+}
+
+TEST(NetworkSerializeTest, TwoRayRadioRoundTrips) {
+  Rng rng(21);
+  net::RadioModel radio;
+  radio.eps_mp = 0.0013e-12;
+  const net::SensorNetwork original =
+      net::make_uniform_network(10, 60.0, 20.0, rng, radio);
+  std::stringstream buffer;
+  write_network(buffer, original);
+  const net::SensorNetwork restored = read_network(buffer);
+  EXPECT_DOUBLE_EQ(restored.radio().eps_mp, 0.0013e-12);
+}
+
+TEST(NetworkSerializeTest, ReadsLegacyVersion1) {
+  std::stringstream v1(
+      "mdg-network 1\n"
+      "field 0 0 10 10\n"
+      "sink 5 5\n"
+      "range 3\n"
+      "radio 5e-08 1e-10 4000\n"
+      "sensors 1\n"
+      "2 2\n");
+  const net::SensorNetwork network = read_network(v1);
+  EXPECT_EQ(network.size(), 1u);
+  EXPECT_DOUBLE_EQ(network.radio().eps_mp, 0.0);
+  EXPECT_EQ(network.radio().packet_bits, 4000u);
+}
+
+TEST(NetworkSerializeTest, RejectsGarbage) {
+  std::stringstream junk("this is not a network");
+  EXPECT_THROW((void)read_network(junk), mdg::PreconditionError);
+  std::stringstream wrong_version("mdg-network 9\n");
+  EXPECT_THROW((void)read_network(wrong_version), mdg::PreconditionError);
+  std::stringstream truncated("mdg-network 1\nfield 0 0 10 10\nsink 5");
+  EXPECT_THROW((void)read_network(truncated), mdg::PreconditionError);
+}
+
+TEST(SolutionSerializeTest, RoundTripsAndRevalidates) {
+  const net::SensorNetwork network = sample_network(7);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution original =
+      core::GreedyCoverPlanner().plan(instance);
+
+  std::stringstream buffer;
+  write_solution(buffer, original);
+  const core::ShdgpSolution restored = read_solution(buffer);
+
+  EXPECT_EQ(restored.planner, original.planner);
+  EXPECT_DOUBLE_EQ(restored.tour_length, original.tour_length);
+  EXPECT_EQ(restored.polling_candidates, original.polling_candidates);
+  EXPECT_EQ(restored.assignment, original.assignment);
+  EXPECT_EQ(restored.tour.order(), original.tour.order());
+  // The restored solution still satisfies every SHDGP invariant against
+  // the original instance.
+  EXPECT_NO_THROW(restored.validate(instance));
+}
+
+TEST(SolutionSerializeTest, EmptySolutionRoundTrips) {
+  const auto field = geom::Aabb::square(10.0);
+  const net::SensorNetwork network({}, field.center(), field, 3.0);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution original =
+      core::GreedyCoverPlanner().plan(instance);
+  std::stringstream buffer;
+  write_solution(buffer, original);
+  const core::ShdgpSolution restored = read_solution(buffer);
+  EXPECT_TRUE(restored.polling_points.empty());
+  EXPECT_NO_THROW(restored.validate(instance));
+}
+
+TEST(SolutionSerializeTest, OptimalFlagPreserved) {
+  const net::SensorNetwork network = sample_network(9);
+  const core::ShdgpInstance instance(network);
+  core::ShdgpSolution solution = core::GreedyCoverPlanner().plan(instance);
+  solution.provably_optimal = true;
+  std::stringstream buffer;
+  write_solution(buffer, solution);
+  EXPECT_TRUE(read_solution(buffer).provably_optimal);
+}
+
+TEST(FileHelpersTest, SaveAndLoad) {
+  const net::SensorNetwork network = sample_network(11);
+  const std::string net_path = ::testing::TempDir() + "/mdg_net_test.txt";
+  save_network(net_path, network);
+  const net::SensorNetwork loaded = load_network(net_path);
+  EXPECT_EQ(loaded.size(), network.size());
+
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution =
+      core::GreedyCoverPlanner().plan(instance);
+  const std::string sol_path = ::testing::TempDir() + "/mdg_sol_test.txt";
+  save_solution(sol_path, solution);
+  const core::ShdgpSolution restored = load_solution(sol_path);
+  EXPECT_NO_THROW(restored.validate(instance));
+
+  EXPECT_THROW((void)load_network("/nonexistent/net.txt"),
+               mdg::PreconditionError);
+  EXPECT_THROW(save_network("/nonexistent-dir/x.txt", network),
+               mdg::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdg::io

@@ -1,0 +1,89 @@
+// Scene-level SVG coverage: obstacles, paths, range disks, connectivity.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/spanning_tour_planner.h"
+#include "io/svg.h"
+#include "route/obstacle_map.h"
+#include "util/rng.h"
+
+namespace mdg::io {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(SvgSceneTest, ObstaclesRenderAsRects) {
+  SvgCanvas canvas(geom::Aabb::square(100.0));
+  const route::ObstacleMap map({geom::Aabb{{10.0, 10.0}, {30.0, 30.0}},
+                                geom::Aabb{{50.0, 50.0}, {70.0, 90.0}}});
+  canvas.draw_obstacles(map);
+  // Background + 2 obstacles.
+  EXPECT_EQ(count_occurrences(canvas.to_string(), "<rect"), 3u);
+}
+
+TEST(SvgSceneTest, PathRendersAsPolyline) {
+  SvgCanvas canvas(geom::Aabb::square(100.0));
+  const std::vector<geom::Point> path{
+      {0.0, 0.0}, {50.0, 20.0}, {80.0, 90.0}};
+  canvas.draw_path(path, "#123456");
+  const std::string svg = canvas.to_string();
+  EXPECT_EQ(count_occurrences(svg, "<polyline"), 1u);
+  EXPECT_NE(svg.find("#123456"), std::string::npos);
+}
+
+TEST(SvgSceneTest, DegeneratePathIsSkipped) {
+  SvgCanvas canvas(geom::Aabb::square(100.0));
+  canvas.draw_path({{1.0, 1.0}});
+  EXPECT_EQ(count_occurrences(canvas.to_string(), "<polyline"), 0u);
+}
+
+TEST(SvgSceneTest, ConnectivityEdgesOptIn) {
+  Rng rng(3);
+  const net::SensorNetwork network =
+      net::make_uniform_network(30, 80.0, 25.0, rng);
+  SvgOptions with_edges;
+  with_edges.draw_connectivity = true;
+  SvgOptions without;
+  without.draw_connectivity = false;
+  SvgCanvas a(network.field(), with_edges);
+  SvgCanvas b(network.field(), without);
+  a.draw_network(network);
+  b.draw_network(network);
+  EXPECT_GT(count_occurrences(a.to_string(), "<line"),
+            count_occurrences(b.to_string(), "<line"));
+}
+
+TEST(SvgSceneTest, RangeDisksOptIn) {
+  Rng rng(5);
+  const net::SensorNetwork network =
+      net::make_uniform_network(40, 100.0, 25.0, rng);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution =
+      core::SpanningTourPlanner().plan(instance);
+  SvgOptions with_disks;
+  with_disks.draw_range_disks = true;
+  with_disks.draw_affiliations = false;
+  SvgOptions without;
+  without.draw_range_disks = false;
+  without.draw_affiliations = false;
+  SvgCanvas a(network.field(), with_disks);
+  SvgCanvas b(network.field(), without);
+  a.draw_solution(instance, solution);
+  b.draw_solution(instance, solution);
+  EXPECT_EQ(count_occurrences(a.to_string(), "<circle") -
+                count_occurrences(b.to_string(), "<circle"),
+            solution.polling_points.size());
+}
+
+}  // namespace
+}  // namespace mdg::io

@@ -1,0 +1,123 @@
+#include "io/svg.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "core/multi_collector.h"
+#include "core/spanning_tour_planner.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::io {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(SvgCanvasTest, EmptyDocumentIsWellFormed) {
+  const SvgCanvas canvas(geom::Aabb::square(100.0));
+  const std::string svg = canvas.to_string();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgCanvasTest, PrimitivesAppear) {
+  SvgCanvas canvas(geom::Aabb::square(100.0));
+  canvas.add_circle({50.0, 50.0}, 5.0, "#ff0000");
+  canvas.add_line({0.0, 0.0}, {100.0, 100.0}, "#00ff00");
+  canvas.add_rect({{10.0, 10.0}, {20.0, 20.0}}, "#0000ff");
+  canvas.add_label({5.0, 5.0}, "hello");
+  const std::string svg = canvas.to_string();
+  EXPECT_EQ(count_occurrences(svg, "<circle"), 1u);
+  EXPECT_EQ(count_occurrences(svg, "<line"), 1u);
+  // One background rect plus ours.
+  EXPECT_EQ(count_occurrences(svg, "<rect"), 2u);
+  EXPECT_NE(svg.find("hello"), std::string::npos);
+}
+
+TEST(SvgCanvasTest, CoordinateMappingFlipsY) {
+  SvgOptions options;
+  options.pixels_per_meter = 1.0;
+  options.padding_px = 0.0;
+  SvgCanvas canvas(geom::Aabb::square(100.0), options);
+  canvas.add_circle({0.0, 0.0}, 1.0, "#000000");  // bottom-left in metres
+  const std::string svg = canvas.to_string();
+  // Bottom-left maps to SVG (0, 100): y flipped.
+  EXPECT_NE(svg.find("cx=\"0.00\" cy=\"100.00\""), std::string::npos);
+}
+
+TEST(SvgCanvasTest, NetworkAndSolutionRender) {
+  Rng rng(3);
+  const net::SensorNetwork network =
+      net::make_uniform_network(40, 100.0, 25.0, rng);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution =
+      core::SpanningTourPlanner().plan(instance);
+
+  SvgOptions options;
+  options.draw_affiliations = true;
+  SvgCanvas canvas(network.field(), options);
+  canvas.draw_network(network);
+  canvas.draw_solution(instance, solution);
+  const std::string svg = canvas.to_string();
+  // 40 sensors + 2 sink rings + PP dots.
+  EXPECT_GE(count_occurrences(svg, "<circle"),
+            40u + 2u + solution.polling_points.size());
+  // Affiliation spokes: one per sensor.
+  EXPECT_GE(count_occurrences(svg, "<line"), 40u);
+  EXPECT_GE(count_occurrences(svg, "<polyline"), 1u);
+}
+
+TEST(SvgCanvasTest, MultiTourUsesDistinctColors) {
+  Rng rng(5);
+  const net::SensorNetwork network =
+      net::make_uniform_network(80, 150.0, 25.0, rng);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution =
+      core::SpanningTourPlanner().plan(instance);
+  const core::MultiTourPlan plan =
+      core::MultiCollectorPlanner().split(instance, solution, 3);
+
+  SvgCanvas canvas(network.field());
+  canvas.draw_multi_tour(instance, plan);
+  const std::string svg = canvas.to_string();
+  EXPECT_NE(svg.find("#d62728"), std::string::npos);
+  EXPECT_NE(svg.find("#1f77b4"), std::string::npos);
+  EXPECT_NE(svg.find("#2ca02c"), std::string::npos);
+}
+
+TEST(SvgCanvasTest, SaveWritesFile) {
+  SvgCanvas canvas(geom::Aabb::square(10.0));
+  canvas.add_circle({5.0, 5.0}, 1.0, "#000000");
+  const std::string path = ::testing::TempDir() + "/mdg_svg_test.svg";
+  canvas.save(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_NE(first_line.find("<svg"), std::string::npos);
+}
+
+TEST(SvgCanvasTest, SaveToBadPathThrows) {
+  const SvgCanvas canvas(geom::Aabb::square(10.0));
+  EXPECT_THROW(canvas.save("/nonexistent-dir/x.svg"), mdg::PreconditionError);
+}
+
+TEST(SvgCanvasTest, RejectsBadScale) {
+  SvgOptions options;
+  options.pixels_per_meter = 0.0;
+  EXPECT_THROW(SvgCanvas(geom::Aabb::square(10.0), options),
+               mdg::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdg::io

@@ -1,0 +1,126 @@
+#include "net/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::net {
+namespace {
+
+TEST(DeployUniformTest, CountAndContainment) {
+  Rng rng(1);
+  const auto field = geom::Aabb::square(100.0);
+  const auto pts = deploy_uniform(500, field, rng);
+  EXPECT_EQ(pts.size(), 500u);
+  for (const auto& p : pts) {
+    EXPECT_TRUE(field.contains(p));
+  }
+}
+
+TEST(DeployUniformTest, ZeroCount) {
+  Rng rng(1);
+  EXPECT_TRUE(deploy_uniform(0, geom::Aabb::square(10.0), rng).empty());
+}
+
+TEST(DeployUniformTest, CoversAllQuadrants) {
+  Rng rng(2);
+  const auto field = geom::Aabb::square(100.0);
+  const auto pts = deploy_uniform(400, field, rng);
+  int quadrant[4] = {0, 0, 0, 0};
+  for (const auto& p : pts) {
+    const int q = (p.x > 50.0 ? 1 : 0) + (p.y > 50.0 ? 2 : 0);
+    ++quadrant[q];
+  }
+  for (int count : quadrant) {
+    EXPECT_GT(count, 50);  // roughly uniform
+  }
+}
+
+TEST(DeployUniformTest, RejectsDegenerateField) {
+  Rng rng(1);
+  const geom::Aabb degenerate{{0.0, 0.0}, {0.0, 10.0}};
+  EXPECT_THROW((void)deploy_uniform(5, degenerate, rng),
+               mdg::PreconditionError);
+}
+
+TEST(DeployGridJitterTest, ExactCountNoJitter) {
+  Rng rng(3);
+  const auto field = geom::Aabb::square(100.0);
+  const auto pts = deploy_grid_jitter(25, field, 0.0, rng);
+  EXPECT_EQ(pts.size(), 25u);
+  // No jitter: first point at half pitch.
+  EXPECT_NEAR(pts[0].x, 10.0, 1e-9);
+  EXPECT_NEAR(pts[0].y, 10.0, 1e-9);
+}
+
+TEST(DeployGridJitterTest, NonSquareCountTruncates) {
+  Rng rng(3);
+  const auto pts =
+      deploy_grid_jitter(13, geom::Aabb::square(100.0), 0.25, rng);
+  EXPECT_EQ(pts.size(), 13u);
+}
+
+TEST(DeployGridJitterTest, JitterStaysInField) {
+  Rng rng(4);
+  const auto field = geom::Aabb::square(100.0);
+  const auto pts = deploy_grid_jitter(100, field, 0.5, rng);
+  for (const auto& p : pts) {
+    EXPECT_TRUE(field.contains(p));
+  }
+}
+
+TEST(DeployGridJitterTest, RejectsExcessJitter) {
+  Rng rng(4);
+  EXPECT_THROW(
+      (void)deploy_grid_jitter(10, geom::Aabb::square(10.0), 0.6, rng),
+      mdg::PreconditionError);
+}
+
+TEST(DeployGaussianClustersTest, ClusteredDeployment) {
+  Rng rng(5);
+  const auto field = geom::Aabb::square(1000.0);
+  const auto pts = deploy_gaussian_clusters(300, field, 3, 20.0, rng);
+  EXPECT_EQ(pts.size(), 300u);
+  for (const auto& p : pts) {
+    EXPECT_TRUE(field.contains(p));
+  }
+}
+
+TEST(DeployGaussianClustersTest, RejectsBadParams) {
+  Rng rng(5);
+  EXPECT_THROW(
+      (void)deploy_gaussian_clusters(10, geom::Aabb::square(10.0), 0, 1.0, rng),
+      mdg::PreconditionError);
+  EXPECT_THROW(
+      (void)deploy_gaussian_clusters(10, geom::Aabb::square(10.0), 2, -1.0,
+                                     rng),
+      mdg::PreconditionError);
+}
+
+TEST(DeployTwoIslandsTest, GapIsEmpty) {
+  Rng rng(6);
+  const auto field = geom::Aabb::square(100.0);
+  const auto pts = deploy_two_islands(200, field, 0.4, rng);
+  EXPECT_EQ(pts.size(), 200u);
+  // Islands occupy [0,30] and [70,100] in x.
+  for (const auto& p : pts) {
+    EXPECT_TRUE(p.x <= 30.0 + 1e-9 || p.x >= 70.0 - 1e-9);
+  }
+}
+
+TEST(DeployTwoIslandsTest, SplitsEvenly) {
+  Rng rng(7);
+  const auto pts =
+      deploy_two_islands(101, geom::Aabb::square(100.0), 0.5, rng);
+  const auto left = static_cast<std::size_t>(
+      std::count_if(pts.begin(), pts.end(),
+                    [](const geom::Point& p) { return p.x < 50.0; }));
+  EXPECT_EQ(left, 50u);
+  EXPECT_EQ(pts.size() - left, 51u);
+}
+
+}  // namespace
+}  // namespace mdg::net

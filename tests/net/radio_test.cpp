@@ -1,0 +1,82 @@
+#include "net/radio.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mdg::net {
+namespace {
+
+TEST(RadioModelTest, TxEnergyFormula) {
+  RadioModel radio;
+  radio.e_elec = 50e-9;
+  radio.eps_amp = 100e-12;
+  // 4000 bits over 30 m: 50n*4000 + 100p*4000*900 = 2e-4 + 3.6e-4.
+  EXPECT_NEAR(radio.tx_energy(4000, 30.0), 5.6e-4, 1e-12);
+}
+
+TEST(RadioModelTest, RxEnergyIndependentOfDistance) {
+  const RadioModel radio;
+  EXPECT_DOUBLE_EQ(radio.rx_energy(4000), radio.e_elec * 4000.0);
+}
+
+TEST(RadioModelTest, ZeroDistanceStillPaysElectronics) {
+  const RadioModel radio;
+  EXPECT_DOUBLE_EQ(radio.tx_energy(1000, 0.0), radio.e_elec * 1000.0);
+}
+
+TEST(RadioModelTest, PacketHelpersUsePacketBits) {
+  RadioModel radio;
+  radio.packet_bits = 2000;
+  EXPECT_DOUBLE_EQ(radio.tx_packet(10.0), radio.tx_energy(2000, 10.0));
+  EXPECT_DOUBLE_EQ(radio.rx_packet(), radio.rx_energy(2000));
+}
+
+TEST(RadioModelTest, RelayIsRxPlusTx) {
+  const RadioModel radio;
+  EXPECT_DOUBLE_EQ(radio.relay_packet(25.0),
+                   radio.rx_packet() + radio.tx_packet(25.0));
+}
+
+TEST(RadioModelTest, TwoRayModelSwitchesAtCrossover) {
+  RadioModel radio;
+  radio.eps_amp = 10e-12;
+  radio.eps_mp = 0.0013e-12;
+  const double d0 = radio.crossover_distance();
+  EXPECT_NEAR(d0, std::sqrt(10e-12 / 0.0013e-12), 1e-9);  // ~87.7 m
+  // Below crossover: free-space d^2 law.
+  EXPECT_NEAR(radio.tx_energy(1000, 50.0),
+              radio.e_elec * 1000 + 10e-12 * 1000 * 2500.0, 1e-18);
+  // Above crossover: multipath d^4 law.
+  const double d = 150.0;
+  EXPECT_NEAR(radio.tx_energy(1000, d),
+              radio.e_elec * 1000 + 0.0013e-12 * 1000 * d * d * d * d,
+              1e-18);
+  // The two laws agree at the crossover (continuity).
+  const double below = radio.e_elec * 1000 + 10e-12 * 1000 * d0 * d0;
+  const double above =
+      radio.e_elec * 1000 + 0.0013e-12 * 1000 * d0 * d0 * d0 * d0;
+  EXPECT_NEAR(below, above, 1e-15);
+}
+
+TEST(RadioModelTest, DefaultHasNoMultipathTerm) {
+  const RadioModel radio;
+  EXPECT_TRUE(std::isinf(radio.crossover_distance()));
+  // Huge distance still follows the quadratic law.
+  EXPECT_NEAR(radio.tx_energy(1000, 1000.0),
+              radio.e_elec * 1000 + radio.eps_amp * 1000 * 1e6, 1e-12);
+}
+
+TEST(RadioModelTest, EnergyGrowsQuadraticallyWithDistance) {
+  const RadioModel radio;
+  const double near = radio.tx_packet(10.0) - radio.rx_packet();
+  const double far = radio.tx_packet(20.0) - radio.rx_packet();
+  // Amplifier part scales 4x when distance doubles.
+  const double amp_near = radio.tx_packet(10.0) - radio.tx_packet(0.0);
+  const double amp_far = radio.tx_packet(20.0) - radio.tx_packet(0.0);
+  EXPECT_NEAR(amp_far / amp_near, 4.0, 1e-9);
+  EXPECT_GT(far, near);
+}
+
+}  // namespace
+}  // namespace mdg::net

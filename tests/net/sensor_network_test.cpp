@@ -1,0 +1,122 @@
+#include "net/sensor_network.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/deployment.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::net {
+namespace {
+
+SensorNetwork tiny_network() {
+  // Sensors on a line 10 m apart, Rs = 12 -> chain connectivity.
+  std::vector<geom::Point> pts{{10.0, 50.0}, {20.0, 50.0}, {30.0, 50.0},
+                               {90.0, 50.0}};
+  const auto field = geom::Aabb::square(100.0);
+  return SensorNetwork(std::move(pts), field.center(), field, 12.0);
+}
+
+TEST(SensorNetworkTest, BasicAccessors) {
+  const SensorNetwork net = tiny_network();
+  EXPECT_EQ(net.size(), 4u);
+  EXPECT_DOUBLE_EQ(net.range(), 12.0);
+  EXPECT_EQ(net.sink(), (geom::Point{50.0, 50.0}));
+  EXPECT_THROW((void)net.position(4), mdg::PreconditionError);
+}
+
+TEST(SensorNetworkTest, UnitDiskConnectivity) {
+  const SensorNetwork net = tiny_network();
+  const auto& g = net.connectivity();
+  EXPECT_EQ(g.edge_count(), 2u);  // 0-1, 1-2; sensor 3 isolated
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(SensorNetworkTest, ComponentsDetected) {
+  const SensorNetwork net = tiny_network();
+  EXPECT_EQ(net.components().count, 2u);
+}
+
+TEST(SensorNetworkTest, SinkNeighbors) {
+  // Sink at (50,50); nobody within 12 m in tiny_network.
+  const SensorNetwork net = tiny_network();
+  EXPECT_TRUE(net.sink_neighbors().empty());
+  EXPECT_FALSE(net.sink_reachable_by_all());
+}
+
+TEST(SensorNetworkTest, SinkReachability) {
+  std::vector<geom::Point> pts{{45.0, 50.0}, {35.0, 50.0}, {25.0, 50.0}};
+  const auto field = geom::Aabb::square(100.0);
+  const SensorNetwork net(std::move(pts), field.center(), field, 11.0);
+  EXPECT_EQ(net.sink_neighbors(), (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(net.sink_reachable_by_all());
+}
+
+TEST(SensorNetworkTest, CoverableFrom) {
+  const SensorNetwork net = tiny_network();
+  auto covered = net.coverable_from({20.0, 50.0});
+  std::sort(covered.begin(), covered.end());
+  EXPECT_EQ(covered, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_TRUE(net.coverable_from({60.0, 10.0}).empty());
+}
+
+TEST(SensorNetworkTest, NearestToSink) {
+  const SensorNetwork net = tiny_network();
+  const auto nearest = net.nearest_to_sink();
+  ASSERT_TRUE(nearest.has_value());
+  EXPECT_EQ(*nearest, 2u);  // (30,50) is closest to (50,50)
+}
+
+TEST(SensorNetworkTest, EmptyNetwork) {
+  const auto field = geom::Aabb::square(10.0);
+  const SensorNetwork net({}, field.center(), field, 2.0);
+  EXPECT_EQ(net.size(), 0u);
+  EXPECT_FALSE(net.nearest_to_sink().has_value());
+  EXPECT_TRUE(net.sink_reachable_by_all());
+}
+
+TEST(SensorNetworkTest, RejectsBadInputs) {
+  const auto field = geom::Aabb::square(10.0);
+  EXPECT_THROW(
+      SensorNetwork({{5.0, 5.0}}, field.center(), field, 0.0),
+      mdg::PreconditionError);
+  EXPECT_THROW(
+      SensorNetwork({{50.0, 5.0}}, field.center(), field, 2.0),
+      mdg::PreconditionError);
+}
+
+TEST(SensorNetworkTest, EdgeWeightsAreDistances) {
+  std::vector<geom::Point> pts{{0.0, 0.0}, {3.0, 4.0}};
+  const geom::Aabb field = geom::Aabb::square(10.0);
+  const SensorNetwork net(std::move(pts), field.center(), field, 6.0);
+  ASSERT_EQ(net.connectivity().edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(net.connectivity().edges()[0].weight, 5.0);
+}
+
+TEST(MakeUniformNetworkTest, MatchesPaperSetup) {
+  Rng rng(11);
+  const SensorNetwork net = make_uniform_network(200, 200.0, 30.0, rng);
+  EXPECT_EQ(net.size(), 200u);
+  EXPECT_EQ(net.sink(), (geom::Point{100.0, 100.0}));
+  EXPECT_DOUBLE_EQ(net.field().width(), 200.0);
+  // With N=200, L=200, Rs=30 the expected degree is about
+  // N * pi * Rs^2 / L^2 ~ 14; allow a generous band.
+  EXPECT_GT(net.connectivity().average_degree(), 8.0);
+  EXPECT_LT(net.connectivity().average_degree(), 20.0);
+}
+
+TEST(MakeUniformNetworkTest, DeterministicGivenSeed) {
+  Rng a(3);
+  Rng b(3);
+  const SensorNetwork na = make_uniform_network(50, 100.0, 20.0, a);
+  const SensorNetwork nb = make_uniform_network(50, 100.0, 20.0, b);
+  EXPECT_EQ(na.positions()[17], nb.positions()[17]);
+  EXPECT_EQ(na.connectivity().edge_count(), nb.connectivity().edge_count());
+}
+
+}  // namespace
+}  // namespace mdg::net

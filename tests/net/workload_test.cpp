@@ -1,0 +1,140 @@
+#include "net/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::net {
+namespace {
+
+SensorNetwork uniform_net(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return make_uniform_network(n, 200.0, 30.0, rng);
+}
+
+double mean_packets(std::vector<std::size_t> counts) {
+  const std::size_t sum =
+      std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+  return counts.empty()
+             ? 0.0
+             : static_cast<double>(sum) / static_cast<double>(counts.size());
+}
+
+TEST(PoissonTest, SmallLambdaMoments) {
+  Rng rng(1);
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.poisson(2.5));
+  }
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(PoissonTest, LargeLambdaUsesNormalApprox) {
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.poisson(100.0));
+  }
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(PoissonTest, Degenerates) {
+  Rng rng(3);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_THROW((void)rng.poisson(-1.0), mdg::PreconditionError);
+}
+
+TEST(WorkloadTest, BackgroundOnlyMatchesBaseRate) {
+  const auto network = uniform_net(200, 5);
+  WorkloadConfig config;
+  config.base_rate = 2.0;
+  config.events_per_round = 0.0;
+  WorkloadGenerator gen(network, config, 7);
+  double total = 0.0;
+  const int rounds = 50;
+  for (int r = 0; r < rounds; ++r) {
+    total += mean_packets(gen.next_round());
+  }
+  EXPECT_NEAR(total / rounds, 2.0, 0.1);
+  EXPECT_EQ(gen.active_events(), 0u);
+}
+
+TEST(WorkloadTest, EventsCreateSpatialBursts) {
+  const auto network = uniform_net(300, 9);
+  WorkloadConfig config;
+  config.base_rate = 0.0;          // isolate the event traffic
+  config.events_per_round = 1.0;   // roughly one event per round
+  config.event_intensity = 20.0;
+  WorkloadGenerator gen(network, config, 11);
+  std::size_t bursty_rounds = 0;
+  for (int r = 0; r < 30; ++r) {
+    const auto packets = gen.next_round();
+    const std::size_t hot =
+        static_cast<std::size_t>(std::count_if(
+            packets.begin(), packets.end(),
+            [](std::size_t c) { return c > 0; }));
+    if (hot > 0) {
+      ++bursty_rounds;
+      // Bursts are local: far fewer sensors than the whole field.
+      EXPECT_LT(hot, network.size() / 2);
+    }
+  }
+  EXPECT_GT(bursty_rounds, 10u);
+  EXPECT_GT(gen.total_generated(), 0u);
+}
+
+TEST(WorkloadTest, EventsExpireAfterDuration) {
+  const auto network = uniform_net(100, 13);
+  // Duration 1: every event fires in its birth round and dies with it.
+  WorkloadConfig one_round;
+  one_round.events_per_round = 5.0;
+  one_round.event_duration_rounds = 1;
+  WorkloadGenerator quick(network, one_round, 15);
+  for (int r = 0; r < 5; ++r) {
+    (void)quick.next_round();
+    EXPECT_EQ(quick.active_events(), 0u);
+  }
+  // Duration 3: the standing population is bounded by ~3 rounds of
+  // births (events born in the last duration-1 rounds survive).
+  WorkloadConfig steady = one_round;
+  steady.event_duration_rounds = 3;
+  WorkloadGenerator burning(network, steady, 15);
+  std::size_t peak = 0;
+  for (int r = 0; r < 20; ++r) {
+    (void)burning.next_round();
+    peak = std::max(peak, burning.active_events());
+  }
+  EXPECT_GT(peak, 0u);
+  EXPECT_LT(peak, 40u);  // 2 surviving rounds x Poisson(5) stays small
+}
+
+TEST(WorkloadTest, DeterministicGivenSeed) {
+  const auto network = uniform_net(80, 17);
+  WorkloadConfig config;
+  config.events_per_round = 0.5;
+  WorkloadGenerator a(network, config, 99);
+  WorkloadGenerator b(network, config, 99);
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_EQ(a.next_round(), b.next_round());
+  }
+}
+
+TEST(WorkloadTest, ValidatesConfig) {
+  const auto network = uniform_net(10, 19);
+  WorkloadConfig bad;
+  bad.event_radius = 0.0;
+  EXPECT_THROW(WorkloadGenerator(network, bad, 1), mdg::PreconditionError);
+  WorkloadConfig zero_duration;
+  zero_duration.event_duration_rounds = 0;
+  EXPECT_THROW(WorkloadGenerator(network, zero_duration, 1),
+               mdg::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdg::net

@@ -1,0 +1,103 @@
+#include "route/obstacle_map.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.h"
+
+namespace mdg::route {
+namespace {
+
+ObstacleMap one_box() {
+  return ObstacleMap({geom::Aabb{{10.0, 10.0}, {20.0, 20.0}}});
+}
+
+TEST(ObstacleMapTest, InsideIsStrict) {
+  const ObstacleMap map = one_box();
+  EXPECT_TRUE(map.inside_obstacle({15.0, 15.0}));
+  EXPECT_FALSE(map.inside_obstacle({10.0, 15.0}));  // boundary drivable
+  EXPECT_FALSE(map.inside_obstacle({5.0, 5.0}));
+}
+
+TEST(ObstacleMapTest, BlocksStraightCrossing) {
+  const ObstacleMap map = one_box();
+  EXPECT_TRUE(map.blocks({0.0, 15.0}, {30.0, 15.0}));   // horizontal cut
+  EXPECT_TRUE(map.blocks({15.0, 0.0}, {15.0, 30.0}));   // vertical cut
+  EXPECT_TRUE(map.blocks({0.0, 0.0}, {30.0, 30.0}));    // diagonal cut
+}
+
+TEST(ObstacleMapTest, DoesNotBlockMisses) {
+  const ObstacleMap map = one_box();
+  EXPECT_FALSE(map.blocks({0.0, 0.0}, {30.0, 0.0}));
+  EXPECT_FALSE(map.blocks({0.0, 25.0}, {30.0, 25.0}));
+  EXPECT_FALSE(map.blocks({0.0, 0.0}, {5.0, 30.0}));
+}
+
+TEST(ObstacleMapTest, EdgeSlideIsAllowed) {
+  const ObstacleMap map = one_box();
+  // Sliding exactly along the obstacle's bottom edge.
+  EXPECT_FALSE(map.blocks({0.0, 10.0}, {30.0, 10.0}));
+  // Touching a corner diagonally.
+  EXPECT_FALSE(map.blocks({0.0, 20.0}, {10.0, 30.0}));
+}
+
+TEST(ObstacleMapTest, SegmentEndingInsideBlocks) {
+  const ObstacleMap map = one_box();
+  EXPECT_TRUE(map.blocks({0.0, 15.0}, {15.0, 15.0}));
+  EXPECT_TRUE(map.blocks({12.0, 12.0}, {18.0, 18.0}));  // fully inside
+}
+
+TEST(ObstacleMapTest, ShortSegmentsOutside) {
+  const ObstacleMap map = one_box();
+  EXPECT_FALSE(map.blocks({0.0, 0.0}, {1.0, 1.0}));
+  EXPECT_FALSE(map.blocks({25.0, 25.0}, {25.0, 25.0}));  // degenerate
+}
+
+TEST(ObstacleMapTest, WaypointsAreInflatedCorners) {
+  const ObstacleMap map = one_box();
+  const auto pts = map.waypoints(1.0);
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_EQ(pts[0], (geom::Point{9.0, 9.0}));
+  EXPECT_EQ(pts[2], (geom::Point{21.0, 21.0}));
+  for (const auto& p : pts) {
+    EXPECT_FALSE(map.inside_obstacle(p));
+  }
+}
+
+TEST(ObstacleMapTest, OverlappingObstaclesDropBuriedCorners) {
+  const ObstacleMap map({geom::Aabb{{0.0, 0.0}, {10.0, 10.0}},
+                         geom::Aabb{{5.0, 5.0}, {15.0, 15.0}}});
+  const auto pts = map.waypoints(0.5);
+  // The corner of box B at (4.5, 4.5)... every corner inflated outward;
+  // the inner corners buried in the other box are dropped.
+  for (const auto& p : pts) {
+    EXPECT_FALSE(map.inside_obstacle(p));
+  }
+  EXPECT_LT(pts.size(), 8u);
+}
+
+TEST(ObstacleMapTest, EmptyMapBlocksNothing) {
+  const ObstacleMap map;
+  EXPECT_FALSE(map.blocks({0.0, 0.0}, {100.0, 100.0}));
+  EXPECT_FALSE(map.inside_obstacle({50.0, 50.0}));
+  EXPECT_TRUE(map.waypoints(1.0).empty());
+}
+
+TEST(ObstacleMapTest, RejectsDegenerateObstacles) {
+  EXPECT_THROW(ObstacleMap({geom::Aabb{{0.0, 0.0}, {0.0, 5.0}}}),
+               mdg::PreconditionError);
+}
+
+TEST(RemoveCoveredPositionsTest, FiltersInteriorPoints) {
+  const ObstacleMap map = one_box();
+  const std::vector<geom::Point> pts{
+      {15.0, 15.0}, {5.0, 5.0}, {10.0, 15.0}, {19.9, 19.9}};
+  const auto kept = remove_covered_positions(pts, map);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0], (geom::Point{5.0, 5.0}));
+  EXPECT_EQ(kept[1], (geom::Point{10.0, 15.0}));
+}
+
+}  // namespace
+}  // namespace mdg::route

@@ -1,0 +1,116 @@
+#include "route/obstacle_tour.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/spanning_tour_planner.h"
+#include "net/deployment.h"
+#include "util/rng.h"
+
+namespace mdg::route {
+namespace {
+
+struct Fixture {
+  net::SensorNetwork network;
+  core::ShdgpInstance instance;
+  core::ShdgpSolution solution;
+
+  Fixture(const ObstacleMap& map, std::uint64_t seed, std::size_t n = 120,
+          double side = 200.0)
+      : network([&] {
+          Rng rng(seed);
+          const auto field = geom::Aabb::square(side);
+          auto pts = remove_covered_positions(
+              net::deploy_uniform(n, field, rng), map);
+          return net::SensorNetwork(std::move(pts), field.center(), field,
+                                    30.0);
+        }()),
+        instance(network),
+        solution(core::SpanningTourPlanner().plan(instance)) {}
+};
+
+ObstacleMap campus_map() {
+  return ObstacleMap({
+      geom::Aabb{{40.0, 40.0}, {80.0, 70.0}},
+      geom::Aabb{{120.0, 30.0}, {150.0, 90.0}},
+      geom::Aabb{{60.0, 120.0}, {130.0, 150.0}},
+  });
+}
+
+TEST(ObstacleTourTest, EmptyMapMatchesEuclideanLength) {
+  const ObstacleMap map;
+  const ObstacleRouter router(map);
+  const Fixture fx(map, 1);
+  const auto tour = plan_obstacle_tour(fx.instance, fx.solution, router);
+  ASSERT_TRUE(tour.has_value());
+  EXPECT_NEAR(tour->length, tour->euclidean_length, 1e-9);
+  // The matrix pipeline (NN+2opt) may differ from the planner's kFull
+  // tour, but both must visit the same stop set.
+  EXPECT_EQ(tour->order.size(), fx.solution.polling_points.size() + 1);
+}
+
+TEST(ObstacleTourTest, DetoursNeverShorterThanEuclidean) {
+  const ObstacleMap map = campus_map();
+  const ObstacleRouter router(map, 0.5);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Fixture fx(map, seed);
+    const auto tour = plan_obstacle_tour(fx.instance, fx.solution, router);
+    ASSERT_TRUE(tour.has_value()) << "seed " << seed;
+    EXPECT_GE(tour->length, tour->euclidean_length - 1e-9);
+  }
+}
+
+TEST(ObstacleTourTest, PolylineIsDrivable) {
+  const ObstacleMap map = campus_map();
+  const ObstacleRouter router(map, 0.5);
+  const Fixture fx(map, 5);
+  const auto tour = plan_obstacle_tour(fx.instance, fx.solution, router);
+  ASSERT_TRUE(tour.has_value());
+  ASSERT_GE(tour->polyline.size(), 2u);
+  EXPECT_EQ(tour->polyline.front(), fx.instance.sink());
+  EXPECT_EQ(tour->polyline.back(), fx.instance.sink());
+  for (std::size_t i = 0; i + 1 < tour->polyline.size(); ++i) {
+    EXPECT_FALSE(map.blocks(tour->polyline[i], tour->polyline[i + 1]))
+        << "leg " << i;
+  }
+  EXPECT_NEAR(geom::polyline_length(tour->polyline), tour->length, 1e-6);
+}
+
+TEST(ObstacleTourTest, StartsAtSink) {
+  const ObstacleMap map = campus_map();
+  const ObstacleRouter router(map, 0.5);
+  const Fixture fx(map, 7);
+  const auto tour = plan_obstacle_tour(fx.instance, fx.solution, router);
+  ASSERT_TRUE(tour.has_value());
+  EXPECT_EQ(tour->order.at(0), 0u);
+}
+
+TEST(ObstacleTourTest, UnreachableStopReturnsNullopt) {
+  // Wall the sink into a courtyard so every polling point is unreachable.
+  const ObstacleMap map({
+      geom::Aabb{{80.0, 80.0}, {120.0, 85.0}},
+      geom::Aabb{{80.0, 115.0}, {120.0, 120.0}},
+      geom::Aabb{{80.0, 80.0}, {85.0, 120.0}},
+      geom::Aabb{{115.0, 80.0}, {120.0, 120.0}},
+  });
+  const ObstacleRouter router(map, 0.25);
+  // Deploy sensors outside the courtyard only.
+  Rng rng(9);
+  const auto field = geom::Aabb::square(200.0);
+  std::vector<geom::Point> pts;
+  for (const auto& p : net::deploy_uniform(100, field, rng)) {
+    if (p.x < 70.0 || p.x > 130.0 || p.y < 70.0 || p.y > 130.0) {
+      pts.push_back(p);
+    }
+  }
+  const net::SensorNetwork network(std::move(pts), field.center(), field,
+                                   30.0);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution =
+      core::SpanningTourPlanner().plan(instance);
+  EXPECT_FALSE(plan_obstacle_tour(instance, solution, router).has_value());
+}
+
+}  // namespace
+}  // namespace mdg::route

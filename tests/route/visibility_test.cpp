@@ -1,0 +1,189 @@
+#include "route/visibility.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "graph/dijkstra.h"
+#include "util/rng.h"
+
+namespace mdg::route {
+namespace {
+
+TEST(ObstacleRouterTest, StraightLineWhenClear) {
+  const ObstacleMap map({geom::Aabb{{10.0, 10.0}, {20.0, 20.0}}});
+  const ObstacleRouter router(map);
+  const auto path = router.route({0.0, 0.0}, {5.0, 0.0});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->waypoints.size(), 2u);
+  EXPECT_DOUBLE_EQ(path->length, 5.0);
+}
+
+TEST(ObstacleRouterTest, DetoursAroundBox) {
+  const ObstacleMap map({geom::Aabb{{10.0, 10.0}, {20.0, 20.0}}});
+  const ObstacleRouter router(map, 0.5);
+  const geom::Point a{5.0, 15.0};
+  const geom::Point b{25.0, 15.0};
+  const auto path = router.route(a, b);
+  ASSERT_TRUE(path.has_value());
+  // Longer than straight line, but bounded by going around the box.
+  EXPECT_GT(path->length, geom::distance(a, b));
+  EXPECT_LT(path->length, 40.0);
+  EXPECT_GE(path->waypoints.size(), 3u);  // at least one corner bend
+  // Every leg must be drivable.
+  for (std::size_t i = 0; i + 1 < path->waypoints.size(); ++i) {
+    EXPECT_FALSE(map.blocks(path->waypoints[i], path->waypoints[i + 1]));
+  }
+}
+
+TEST(ObstacleRouterTest, DetourLengthIsTightForCenteredBox) {
+  // Symmetric detour around a 10x10 box, endpoints on the midline 5 away
+  // from either side, margin 0: shortest path hugs two corners.
+  const ObstacleMap map({geom::Aabb{{10.0, 10.0}, {20.0, 20.0}}});
+  const ObstacleRouter router(map, 0.0);
+  const auto path = router.route({5.0, 15.0}, {25.0, 15.0});
+  ASSERT_TRUE(path.has_value());
+  const double expected = 2.0 * std::sqrt(25.0 + 25.0) + 10.0;
+  EXPECT_NEAR(path->length, expected, 1e-6);
+}
+
+TEST(ObstacleRouterTest, EndpointInsideObstacleFails) {
+  const ObstacleMap map({geom::Aabb{{10.0, 10.0}, {20.0, 20.0}}});
+  const ObstacleRouter router(map);
+  EXPECT_FALSE(router.route({15.0, 15.0}, {0.0, 0.0}).has_value());
+  EXPECT_TRUE(std::isinf(router.distance({15.0, 15.0}, {0.0, 0.0})));
+}
+
+TEST(ObstacleRouterTest, SealedTargetUnreachable) {
+  // Four boxes forming a closed courtyard around (15, 15).
+  const ObstacleMap map({
+      geom::Aabb{{10.0, 10.0}, {20.0, 12.0}},
+      geom::Aabb{{10.0, 18.0}, {20.0, 20.0}},
+      geom::Aabb{{10.0, 10.0}, {12.0, 20.0}},
+      geom::Aabb{{18.0, 10.0}, {20.0, 20.0}},
+  });
+  const ObstacleRouter router(map, 0.25);
+  const auto path = router.route({0.0, 0.0}, {15.0, 15.0});
+  EXPECT_FALSE(path.has_value());
+}
+
+TEST(ObstacleRouterTest, MultiObstacleSlalom) {
+  const ObstacleMap map({
+      geom::Aabb{{10.0, 0.0}, {12.0, 30.0}},
+      geom::Aabb{{20.0, 10.0}, {22.0, 40.0}},
+  });
+  const ObstacleRouter router(map, 0.5);
+  const geom::Point a{0.0, 20.0};
+  const geom::Point b{30.0, 20.0};
+  const auto path = router.route(a, b);
+  ASSERT_TRUE(path.has_value());
+  for (std::size_t i = 0; i + 1 < path->waypoints.size(); ++i) {
+    EXPECT_FALSE(map.blocks(path->waypoints[i], path->waypoints[i + 1]));
+  }
+  EXPECT_GT(path->length, 30.0);
+}
+
+TEST(ObstacleRouterTest, DistanceIsSymmetric) {
+  const ObstacleMap map({geom::Aabb{{10.0, 10.0}, {20.0, 20.0}},
+                         geom::Aabb{{30.0, 5.0}, {35.0, 25.0}}});
+  const ObstacleRouter router(map, 0.5);
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    geom::Point a{rng.uniform(0.0, 50.0), rng.uniform(0.0, 30.0)};
+    geom::Point b{rng.uniform(0.0, 50.0), rng.uniform(0.0, 30.0)};
+    if (map.inside_obstacle(a) || map.inside_obstacle(b)) {
+      continue;
+    }
+    EXPECT_NEAR(router.distance(a, b), router.distance(b, a), 1e-6);
+  }
+}
+
+TEST(ObstacleRouterTest, TriangleInequalityUnderDetourMetric) {
+  const ObstacleMap map({geom::Aabb{{10.0, 10.0}, {20.0, 20.0}}});
+  const ObstacleRouter router(map, 0.5);
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    geom::Point pts[3];
+    bool ok = true;
+    for (auto& p : pts) {
+      p = {rng.uniform(0.0, 30.0), rng.uniform(0.0, 30.0)};
+      ok = ok && !map.inside_obstacle(p);
+    }
+    if (!ok) {
+      continue;
+    }
+    EXPECT_LE(router.distance(pts[0], pts[2]),
+              router.distance(pts[0], pts[1]) +
+                  router.distance(pts[1], pts[2]) + 1e-6);
+  }
+}
+
+TEST(ObstacleRouterTest, RouteSequenceConcatenates) {
+  const ObstacleMap map({geom::Aabb{{10.0, 10.0}, {20.0, 20.0}}});
+  const ObstacleRouter router(map, 0.5);
+  const std::vector<geom::Point> stops{
+      {0.0, 15.0}, {25.0, 15.0}, {0.0, 15.0}};
+  const auto path = router.route_sequence(stops);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->waypoints.front(), stops.front());
+  EXPECT_EQ(path->waypoints.back(), stops.back());
+  EXPECT_NEAR(path->length,
+              2.0 * router.distance({0.0, 15.0}, {25.0, 15.0}), 1e-6);
+}
+
+TEST(ObstacleRouterTest, BeatsFineGridPaths) {
+  // The visibility path is exact for rectilinear obstacles (margin 0);
+  // an 8-connected unit-grid path is a feasible upper bound, so the
+  // router must never be longer.
+  const ObstacleMap map({geom::Aabb{{8.0, 8.0}, {16.0, 22.0}},
+                         geom::Aabb{{20.0, 0.0}, {24.0, 14.0}}});
+  const ObstacleRouter router(map, 0.0);
+  const geom::Point start{2.0, 15.0};
+  const geom::Point goal{28.0, 5.0};
+
+  // Build the grid graph over [0, 30]^2.
+  constexpr int kSide = 31;
+  const auto node = [](int x, int y) {
+    return static_cast<std::size_t>(y * kSide + x);
+  };
+  std::vector<graph::Edge> edges;
+  for (int y = 0; y < kSide; ++y) {
+    for (int x = 0; x < kSide; ++x) {
+      const geom::Point p{static_cast<double>(x), static_cast<double>(y)};
+      const int dxs[] = {1, 0, 1, 1};
+      const int dys[] = {0, 1, 1, -1};
+      for (int k = 0; k < 4; ++k) {
+        const int nx = x + dxs[k];
+        const int ny = y + dys[k];
+        if (nx < 0 || ny < 0 || nx >= kSide || ny >= kSide) {
+          continue;
+        }
+        const geom::Point q{static_cast<double>(nx),
+                            static_cast<double>(ny)};
+        if (!map.blocks(p, q) && !map.inside_obstacle(p) &&
+            !map.inside_obstacle(q)) {
+          edges.push_back({node(x, y), node(nx, ny), geom::distance(p, q)});
+        }
+      }
+    }
+  }
+  const graph::Graph grid(kSide * kSide, edges);
+  const auto result = graph::dijkstra(grid, node(2, 15));
+  const double grid_length = result.dist[node(28, 5)];
+  ASSERT_TRUE(result.reachable(node(28, 5)));
+
+  const double routed = router.distance(start, goal);
+  EXPECT_LE(routed, grid_length + 1e-9);
+  EXPECT_GE(routed, geom::distance(start, goal));  // and >= straight line
+}
+
+TEST(ObstacleRouterTest, EmptyMapIsEuclidean) {
+  const ObstacleMap map;
+  const ObstacleRouter router(map);
+  EXPECT_DOUBLE_EQ(router.distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_EQ(router.waypoint_count(), 0u);
+}
+
+}  // namespace
+}  // namespace mdg::route

@@ -1,0 +1,102 @@
+#include "sim/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "core/spanning_tour_planner.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::sim {
+namespace {
+
+net::SensorNetwork uniform_net(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return net::make_uniform_network(n, 180.0, 30.0, rng);
+}
+
+AdaptiveConfig config_with(std::size_t replan_every) {
+  AdaptiveConfig config;
+  config.mobile.initial_battery_j = 0.05;
+  config.replan_every_rounds = replan_every;
+  return config;
+}
+
+TEST(AdaptiveLifetimeTest, StaticPolicyPlansOnce) {
+  const auto network = uniform_net(80, 1);
+  const core::SpanningTourPlanner planner;
+  const AdaptiveReport report = run_adaptive_lifetime(
+      network, planner, config_with(0));
+  EXPECT_EQ(report.replans, 1u);
+  EXPECT_GT(report.rounds, 0u);
+  EXPECT_GT(report.delivered_total, 0u);
+  EXPECT_EQ(report.round_duration_s.size(), report.rounds);
+}
+
+TEST(AdaptiveLifetimeTest, AdaptivePolicyReplans) {
+  const auto network = uniform_net(80, 2);
+  const core::SpanningTourPlanner planner;
+  const AdaptiveReport report = run_adaptive_lifetime(
+      network, planner, config_with(25));
+  EXPECT_GT(report.replans, 1u);
+}
+
+TEST(AdaptiveLifetimeTest, RunsEndAtStopFraction) {
+  const auto network = uniform_net(60, 3);
+  const core::SpanningTourPlanner planner;
+  const AdaptiveReport report = run_adaptive_lifetime(
+      network, planner, config_with(0), 0.5);
+  ASSERT_FALSE(report.alive_after_round.empty());
+  EXPECT_LT(report.alive_after_round.back(), 60u * 3u / 4u);
+  // Alive counts never increase.
+  for (std::size_t r = 1; r < report.alive_after_round.size(); ++r) {
+    EXPECT_LE(report.alive_after_round[r], report.alive_after_round[r - 1]);
+  }
+}
+
+TEST(AdaptiveLifetimeTest, AdaptiveShortensLateRounds) {
+  // Once sensors start dying, the adaptive policy's round duration must
+  // drop at (or below) the static policy's, which never sheds stops.
+  const auto network = uniform_net(120, 4);
+  const core::SpanningTourPlanner planner;
+  const AdaptiveReport static_run = run_adaptive_lifetime(
+      network, planner, config_with(0), 0.6);
+  const AdaptiveReport adaptive_run = run_adaptive_lifetime(
+      network, planner, config_with(10), 0.6);
+  ASSERT_FALSE(static_run.round_duration_s.empty());
+  ASSERT_FALSE(adaptive_run.round_duration_s.empty());
+  // Compare the final rounds (deep into decay).
+  EXPECT_LE(adaptive_run.round_duration_s.back(),
+            static_run.round_duration_s.back() + 1e-9);
+  // And the adaptive run keeps delivering from re-planned sensors at
+  // least as long overall.
+  EXPECT_GE(adaptive_run.delivered_total * 2, static_run.delivered_total);
+}
+
+TEST(AdaptiveLifetimeTest, FirstDeathRecorded) {
+  const auto network = uniform_net(50, 5);
+  const core::SpanningTourPlanner planner;
+  const AdaptiveReport report = run_adaptive_lifetime(
+      network, planner, config_with(0));
+  EXPECT_GT(report.rounds_first_death, 0u);
+  EXPECT_LE(report.rounds_first_death, report.rounds);
+}
+
+TEST(AdaptiveLifetimeTest, EmptyNetwork) {
+  const auto field = geom::Aabb::square(20.0);
+  const net::SensorNetwork network({}, field.center(), field, 5.0);
+  const core::SpanningTourPlanner planner;
+  const AdaptiveReport report = run_adaptive_lifetime(
+      network, planner, config_with(0));
+  EXPECT_EQ(report.rounds, 0u);
+}
+
+TEST(AdaptiveLifetimeTest, RejectsBadStopFraction) {
+  const auto network = uniform_net(10, 7);
+  const core::SpanningTourPlanner planner;
+  EXPECT_THROW((void)run_adaptive_lifetime(network, planner, config_with(0),
+                                           1.0),
+               mdg::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdg::sim

@@ -1,0 +1,70 @@
+#include "sim/energy.h"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.h"
+
+namespace mdg::sim {
+namespace {
+
+TEST(EnergyLedgerTest, InitialState) {
+  const EnergyLedger ledger(5, 2.0);
+  EXPECT_EQ(ledger.size(), 5u);
+  EXPECT_EQ(ledger.alive_count(), 5u);
+  for (std::size_t v = 0; v < 5; ++v) {
+    EXPECT_TRUE(ledger.alive(v));
+    EXPECT_DOUBLE_EQ(ledger.remaining(v), 2.0);
+    EXPECT_DOUBLE_EQ(ledger.consumed(v), 0.0);
+  }
+}
+
+TEST(EnergyLedgerTest, ConsumeAndDie) {
+  EnergyLedger ledger(2, 1.0);
+  EXPECT_TRUE(ledger.consume(0, 0.4));
+  EXPECT_DOUBLE_EQ(ledger.remaining(0), 0.6);
+  EXPECT_TRUE(ledger.consume(0, 0.5));
+  EXPECT_FALSE(ledger.consume(0, 0.2));  // 0.1 left - 0.2 -> dead
+  EXPECT_FALSE(ledger.alive(0));
+  EXPECT_EQ(ledger.alive_count(), 1u);
+  EXPECT_DOUBLE_EQ(ledger.remaining(0), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.consumed(0), 1.0);  // clamped at capacity
+}
+
+TEST(EnergyLedgerTest, DeadNodesIgnoreFurtherDraws) {
+  EnergyLedger ledger(1, 0.5);
+  EXPECT_FALSE(ledger.consume(0, 1.0));
+  EXPECT_EQ(ledger.alive_count(), 0u);
+  EXPECT_FALSE(ledger.consume(0, 1.0));  // no double-decrement of alive_
+  EXPECT_EQ(ledger.alive_count(), 0u);
+}
+
+TEST(EnergyLedgerTest, ExactDepletionIsDeath) {
+  EnergyLedger ledger(1, 1.0);
+  EXPECT_FALSE(ledger.consume(0, 1.0));
+  EXPECT_FALSE(ledger.alive(0));
+}
+
+TEST(EnergyLedgerTest, ZeroConsumptionKeepsAlive) {
+  EnergyLedger ledger(1, 1.0);
+  EXPECT_TRUE(ledger.consume(0, 0.0));
+  EXPECT_TRUE(ledger.alive(0));
+}
+
+TEST(EnergyLedgerTest, ConsumedAllSnapshot) {
+  EnergyLedger ledger(3, 1.0);
+  ledger.consume(1, 0.25);
+  const auto all = ledger.consumed_all();
+  EXPECT_DOUBLE_EQ(all[0], 0.0);
+  EXPECT_DOUBLE_EQ(all[1], 0.25);
+  EXPECT_DOUBLE_EQ(all[2], 0.0);
+}
+
+TEST(EnergyLedgerTest, Validation) {
+  EXPECT_THROW(EnergyLedger(3, 0.0), mdg::PreconditionError);
+  EnergyLedger ledger(1, 1.0);
+  EXPECT_THROW((void)ledger.remaining(1), mdg::PreconditionError);
+  EXPECT_THROW((void)ledger.consume(0, -0.1), mdg::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdg::sim

@@ -1,0 +1,82 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.h"
+
+namespace mdg::sim {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&order] { order.push_back(3); });
+  q.schedule(1.0, [&order] { order.push_back(1); });
+  q.schedule(2.0, [&order] { order.push_back(2); });
+  const double end = q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(end, 3.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&order] { order.push_back(10); });
+  q.schedule(1.0, [&order] { order.push_back(20); });
+  q.schedule(1.0, [&order] { order.push_back(30); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(EventQueueTest, CallbacksMayScheduleMore) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule(1.0, [&] {
+    times.push_back(q.now());
+    q.schedule_in(2.0, [&] { times.push_back(q.now()); });
+  });
+  q.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(EventQueueTest, RunUntilLeavesLaterEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&fired] { ++fired; });
+  q.schedule(5.0, [&fired] { ++fired; });
+  const double t = q.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(t, 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, RejectsPastScheduling) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule(1.0, [] {}), mdg::PreconditionError);
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), mdg::PreconditionError);
+  EXPECT_THROW(q.schedule(6.0, nullptr), mdg::PreconditionError);
+}
+
+TEST(EventQueueTest, RunUntilRejectsPastDeadline) {
+  EventQueue q;
+  q.schedule(2.0, [] {});
+  q.run();
+  EXPECT_THROW((void)q.run_until(1.0), mdg::PreconditionError);
+}
+
+TEST(EventQueueTest, EmptyRunReturnsNow) {
+  EventQueue q;
+  EXPECT_DOUBLE_EQ(q.run(), 0.0);
+  EXPECT_DOUBLE_EQ(q.run_until(7.0), 7.0);
+  EXPECT_DOUBLE_EQ(q.now(), 7.0);
+}
+
+}  // namespace
+}  // namespace mdg::sim

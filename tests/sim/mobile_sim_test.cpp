@@ -1,0 +1,294 @@
+#include "sim/mobile_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/spanning_tour_planner.h"
+#include "util/assert.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace mdg::sim {
+namespace {
+
+struct Fixture {
+  net::SensorNetwork network;
+  core::ShdgpInstance instance;
+  core::ShdgpSolution solution;
+
+  explicit Fixture(std::uint64_t seed, std::size_t n = 100)
+      : network([&] {
+          Rng rng(seed);
+          return net::make_uniform_network(n, 150.0, 25.0, rng);
+        }()),
+        instance(network),
+        solution(core::SpanningTourPlanner().plan(instance)) {}
+};
+
+TEST(MobileSimTest, OneRoundDeliversEverything) {
+  Fixture fx(1);
+  MobileCollectionSim sim(fx.instance, fx.solution);
+  EnergyLedger ledger(fx.network.size(), 0.5);
+  const MobileRoundReport r = sim.run_round(ledger);
+  EXPECT_EQ(r.delivered, fx.network.size());
+  EXPECT_EQ(r.dropped, 0u);
+  EXPECT_EQ(r.max_buffer, 0u);  // all buffers drained
+}
+
+TEST(MobileSimTest, RoundDurationDecomposes) {
+  Fixture fx(2);
+  MobileSimConfig config;
+  config.speed_m_per_s = 2.0;
+  config.packet_upload_s = 0.1;
+  MobileCollectionSim sim(fx.instance, fx.solution, config);
+  EnergyLedger ledger(fx.network.size(), 0.5);
+  const MobileRoundReport r = sim.run_round(ledger);
+  EXPECT_NEAR(r.duration_s, r.travel_s + r.service_s, 1e-9);
+  EXPECT_NEAR(r.travel_s, fx.solution.tour_length / 2.0, 1e-6);
+  EXPECT_NEAR(r.service_s,
+              static_cast<double>(fx.network.size()) * 0.1, 1e-9);
+}
+
+TEST(MobileSimTest, EnergyOnlySingleHopUploads) {
+  // Every sensor pays exactly one packet tx over <= Rs; nobody pays rx.
+  Fixture fx(3);
+  MobileCollectionSim sim(fx.instance, fx.solution);
+  EnergyLedger ledger(fx.network.size(), 0.5);
+  const MobileRoundReport r = sim.run_round(ledger);
+  const auto& radio = fx.network.radio();
+  const double max_tx = radio.tx_packet(fx.network.range());
+  const double min_tx = radio.tx_packet(0.0);
+  for (std::size_t s = 0; s < fx.network.size(); ++s) {
+    EXPECT_GE(r.round_energy[s], min_tx - 1e-15);
+    EXPECT_LE(r.round_energy[s], max_tx + 1e-15);
+    EXPECT_NEAR(ledger.consumed(s), r.round_energy[s], 1e-15);
+  }
+}
+
+TEST(MobileSimTest, EnergyFarBelowMultihopHotspot) {
+  // The headline energy claim: per-round energy is bounded by one upload,
+  // independent of network size.
+  Fixture fx(4, 200);
+  MobileCollectionSim sim(fx.instance, fx.solution);
+  EnergyLedger ledger(fx.network.size(), 0.5);
+  const MobileRoundReport r = sim.run_round(ledger);
+  const double max_energy =
+      *std::max_element(r.round_energy.begin(), r.round_energy.end());
+  EXPECT_LE(max_energy, fx.network.radio().tx_packet(fx.network.range()));
+}
+
+TEST(MobileSimTest, DeadSensorsDoNotUpload) {
+  Fixture fx(5, 30);
+  MobileCollectionSim sim(fx.instance, fx.solution);
+  EnergyLedger ledger(fx.network.size(), 0.5);
+  ledger.consume(0, 1.0);  // kill sensor 0
+  const MobileRoundReport r = sim.run_round(ledger);
+  EXPECT_EQ(r.delivered, fx.network.size() - 1);
+  EXPECT_DOUBLE_EQ(r.round_energy[0], 0.0);
+}
+
+TEST(MobileSimTest, BufferAccumulatesWithDataRate) {
+  Fixture fx(6, 40);
+  MobileSimConfig config;
+  config.data_rate_pkt_per_s = 0.01;  // packets generated while touring
+  config.buffer_capacity = 1000;
+  MobileCollectionSim sim(fx.instance, fx.solution, config);
+  EnergyLedger ledger(fx.network.size(), 50.0);
+  const MobileRoundReport r1 = sim.run_round(ledger);
+  EXPECT_EQ(r1.delivered, 0u);  // nothing buffered before the first pass
+  const MobileRoundReport r2 = sim.run_round(ledger, r1.duration_s);
+  EXPECT_GT(r2.delivered, 0u);  // round-1 production collected in round 2
+}
+
+TEST(MobileSimTest, TinyBufferOverflows) {
+  Fixture fx(7, 40);
+  MobileSimConfig config;
+  config.data_rate_pkt_per_s = 1.0;  // absurd rate
+  config.buffer_capacity = 2;
+  MobileCollectionSim sim(fx.instance, fx.solution, config);
+  EnergyLedger ledger(fx.network.size(), 50.0);
+  (void)sim.run_round(ledger);
+  const MobileRoundReport r2 = sim.run_round(ledger);
+  EXPECT_GT(r2.dropped, 0u);
+}
+
+TEST(MobileSimTest, LifetimeScalesInverselyWithPerRoundEnergy) {
+  Fixture fx(8, 60);
+  MobileSimConfig config;
+  config.initial_battery_j = 0.05;
+  MobileCollectionSim sim(fx.instance, fx.solution, config);
+  const MobileLifetimeReport life = sim.run_lifetime(100'000);
+  EXPECT_GT(life.rounds_first_death, 0u);
+  EXPECT_GE(life.rounds_10pct_death, life.rounds_first_death);
+  EXPECT_GT(life.delivered_total, 0u);
+  // Sanity: first death should happen around battery / worst-upload.
+  const double worst =
+      fx.network.radio().tx_packet(fx.network.range());
+  const auto upper =
+      static_cast<std::size_t>(config.initial_battery_j /
+                               fx.network.radio().tx_packet(0.0)) + 1;
+  const auto lower = static_cast<std::size_t>(
+      config.initial_battery_j / worst);
+  EXPECT_GE(life.rounds_first_death, lower);
+  EXPECT_LE(life.rounds_first_death, upper);
+}
+
+TEST(MobileSimTest, SteadyStateDuration) {
+  Fixture fx(9, 50);
+  MobileSimConfig config;
+  config.speed_m_per_s = 1.0;
+  config.packet_upload_s = 0.05;
+  MobileCollectionSim sim(fx.instance, fx.solution, config);
+  // One-packet-per-round mode: travel + N uploads.
+  EXPECT_NEAR(sim.steady_state_round_duration(),
+              fx.solution.tour_length + 50 * 0.05, 1e-9);
+  // Saturation when the offered load exceeds service capacity.
+  MobileSimConfig hot = config;
+  hot.data_rate_pkt_per_s = 1000.0;
+  MobileCollectionSim saturated(fx.instance, fx.solution, hot);
+  EXPECT_TRUE(std::isinf(saturated.steady_state_round_duration()));
+  EXPECT_NEAR(sim.sustainable_rate(), 1.0 / (50 * 0.05), 1e-9);
+}
+
+TEST(MobileSimLossTest, ZeroLossMatchesBaseline) {
+  Fixture fx(30, 50);
+  MobileSimConfig lossless;
+  lossless.upload_loss_prob = 0.0;
+  MobileCollectionSim sim(fx.instance, fx.solution, lossless);
+  EnergyLedger ledger(fx.network.size(), 0.5);
+  const MobileRoundReport r = sim.run_round(ledger);
+  EXPECT_EQ(r.retransmissions, 0u);
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_EQ(r.delivered, fx.network.size());
+}
+
+TEST(MobileSimLossTest, LossCausesRetransmissionsAndExtraEnergy) {
+  Fixture fx(31, 80);
+  MobileSimConfig lossy;
+  lossy.upload_loss_prob = 0.3;
+  MobileCollectionSim clean_sim(fx.instance, fx.solution, MobileSimConfig{});
+  MobileCollectionSim lossy_sim(fx.instance, fx.solution, lossy);
+  EnergyLedger l1(fx.network.size(), 0.5);
+  EnergyLedger l2(fx.network.size(), 0.5);
+  const MobileRoundReport clean = clean_sim.run_round(l1);
+  const MobileRoundReport noisy = lossy_sim.run_round(l2);
+  EXPECT_GT(noisy.retransmissions, 0u);
+  EXPECT_GT(noisy.service_s, clean.service_s);
+  double clean_total = 0.0;
+  double noisy_total = 0.0;
+  for (std::size_t s = 0; s < fx.network.size(); ++s) {
+    clean_total += clean.round_energy[s];
+    noisy_total += noisy.round_energy[s];
+  }
+  // Expected inflation factor 1/(1-p) ~ 1.43; allow a wide band.
+  EXPECT_GT(noisy_total, clean_total * 1.2);
+  EXPECT_LT(noisy_total, clean_total * 1.8);
+  // With 8 attempts and p=0.3, effectively everything gets through.
+  EXPECT_EQ(noisy.delivered + noisy.lost, fx.network.size());
+  EXPECT_GT(noisy.delivered, fx.network.size() * 9 / 10);
+}
+
+TEST(MobileSimLossTest, SingleAttemptDropsLostPackets) {
+  Fixture fx(32, 100);
+  MobileSimConfig one_shot;
+  one_shot.upload_loss_prob = 0.5;
+  one_shot.max_upload_attempts = 1;
+  MobileCollectionSim sim(fx.instance, fx.solution, one_shot);
+  EnergyLedger ledger(fx.network.size(), 0.5);
+  const MobileRoundReport r = sim.run_round(ledger);
+  EXPECT_EQ(r.retransmissions, 0u);
+  EXPECT_GT(r.lost, fx.network.size() / 4);
+  EXPECT_LT(r.lost, fx.network.size() * 3 / 4);
+  EXPECT_EQ(r.delivered + r.lost, fx.network.size());
+}
+
+TEST(MobileSimLossTest, DeterministicGivenSeed) {
+  Fixture fx(33, 60);
+  MobileSimConfig lossy;
+  lossy.upload_loss_prob = 0.25;
+  MobileCollectionSim a(fx.instance, fx.solution, lossy);
+  MobileCollectionSim b(fx.instance, fx.solution, lossy);
+  EnergyLedger la(fx.network.size(), 0.5);
+  EnergyLedger lb(fx.network.size(), 0.5);
+  EXPECT_EQ(a.run_round(la).retransmissions,
+            b.run_round(lb).retransmissions);
+}
+
+TEST(MobileSimLossTest, RejectsCertainLoss) {
+  Fixture fx(34, 10);
+  MobileSimConfig bad;
+  bad.upload_loss_prob = 1.0;
+  EXPECT_THROW(MobileCollectionSim(fx.instance, fx.solution, bad),
+               mdg::PreconditionError);
+  MobileSimConfig zero_attempts;
+  zero_attempts.max_upload_attempts = 0;
+  EXPECT_THROW(MobileCollectionSim(fx.instance, fx.solution, zero_attempts),
+               mdg::PreconditionError);
+}
+
+TEST(MobileSimKinematicsTest, LegTravelTimeFormulas) {
+  Fixture fx(20, 10);
+  MobileSimConfig config;
+  config.speed_m_per_s = 2.0;
+  config.accel_m_per_s2 = 1.0;
+  MobileCollectionSim sim(fx.instance, fx.solution, config);
+  // Long leg (>= v^2/a = 4 m): d/v + v/a.
+  EXPECT_NEAR(sim.leg_travel_time(20.0), 20.0 / 2.0 + 2.0, 1e-12);
+  // Exactly the ramp distance: both formulas agree.
+  EXPECT_NEAR(sim.leg_travel_time(4.0), 4.0, 1e-12);
+  // Short leg: triangular profile 2*sqrt(d/a).
+  EXPECT_NEAR(sim.leg_travel_time(1.0), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(sim.leg_travel_time(0.0), 0.0);
+}
+
+TEST(MobileSimKinematicsTest, ZeroAccelMatchesCruiseModel) {
+  Fixture fx(21, 40);
+  MobileSimConfig config;
+  config.speed_m_per_s = 1.5;
+  MobileCollectionSim sim(fx.instance, fx.solution, config);
+  EXPECT_NEAR(sim.tour_travel_time(), fx.solution.tour_length / 1.5, 1e-6);
+}
+
+TEST(MobileSimKinematicsTest, AccelerationLengthensRounds) {
+  Fixture fx(22, 60);
+  MobileSimConfig ideal;
+  MobileSimConfig sluggish;
+  sluggish.accel_m_per_s2 = 0.2;
+  MobileCollectionSim ideal_sim(fx.instance, fx.solution, ideal);
+  MobileCollectionSim slow_sim(fx.instance, fx.solution, sluggish);
+  EXPECT_GT(slow_sim.tour_travel_time(), ideal_sim.tour_travel_time());
+
+  EnergyLedger l1(fx.network.size(), 0.5);
+  EnergyLedger l2(fx.network.size(), 0.5);
+  const double ideal_round = ideal_sim.run_round(l1).duration_s;
+  const double slow_round = slow_sim.run_round(l2).duration_s;
+  EXPECT_GT(slow_round, ideal_round);
+  // Energy is unchanged — kinematics only affects time.
+  EXPECT_DOUBLE_EQ(l1.consumed(0), l2.consumed(0));
+}
+
+TEST(MobileSimKinematicsTest, HighAccelConvergesToIdeal) {
+  Fixture fx(23, 30);
+  MobileSimConfig nearly_ideal;
+  nearly_ideal.accel_m_per_s2 = 1e6;
+  MobileCollectionSim sim(fx.instance, fx.solution, nearly_ideal);
+  EXPECT_NEAR(sim.tour_travel_time(), fx.solution.tour_length, 1e-2);
+}
+
+TEST(MobileSimTest, ValidationOfInputs) {
+  Fixture fx(10, 10);
+  MobileSimConfig bad;
+  bad.speed_m_per_s = 0.0;
+  EXPECT_THROW(MobileCollectionSim(fx.instance, fx.solution, bad),
+               mdg::PreconditionError);
+  MobileCollectionSim sim(fx.instance, fx.solution);
+  EnergyLedger wrong_size(3, 1.0);
+  EXPECT_THROW((void)sim.run_round(wrong_size), mdg::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdg::sim

@@ -1,0 +1,130 @@
+#include "sim/multihop_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::sim {
+namespace {
+
+net::SensorNetwork uniform_net(std::size_t n, double side, double rs,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  return net::make_uniform_network(n, side, rs, rng);
+}
+
+// Sensors in a line toward the sink: 45, 35, 25 (sink at 50, Rs 11).
+net::SensorNetwork chain_network() {
+  std::vector<geom::Point> pts{{45.0, 50.0}, {35.0, 50.0}, {25.0, 50.0}};
+  const auto field = geom::Aabb::square(100.0);
+  return net::SensorNetwork(std::move(pts), field.center(), field, 11.0);
+}
+
+TEST(MultihopSimTest, DeliversAllOnConnectedChain) {
+  const auto network = chain_network();
+  MultihopSim sim(network);
+  EnergyLedger ledger(network.size(), 0.5);
+  const MultihopRoundReport r = sim.run_round(ledger);
+  EXPECT_EQ(r.delivered, 3u);
+  EXPECT_EQ(r.stranded, 0u);
+}
+
+TEST(MultihopSimTest, RelayLoadConcentratesNearSink) {
+  // The gateway sensor relays everyone: its round energy dominates.
+  const auto network = chain_network();
+  MultihopSim sim(network);
+  EnergyLedger ledger(network.size(), 0.5);
+  const MultihopRoundReport r = sim.run_round(ledger);
+  EXPECT_GT(r.round_energy[0], r.round_energy[2]);
+}
+
+TEST(MultihopSimTest, LatencyProportionalToHops) {
+  const auto network = chain_network();
+  MultihopSimConfig config;
+  config.per_hop_delay_s = 0.1;
+  MultihopSim sim(network, config);
+  EnergyLedger ledger(network.size(), 0.5);
+  const MultihopRoundReport r = sim.run_round(ledger);
+  // Hops: 1, 2, 3 -> mean 2 -> 0.2 s.
+  EXPECT_NEAR(r.mean_latency_s, 0.2, 1e-12);
+}
+
+TEST(MultihopSimTest, StrandedWhenSinkUnreachable) {
+  // Sensors far from the sink with tiny range: all stranded.
+  std::vector<geom::Point> pts{{5.0, 5.0}, {10.0, 5.0}};
+  const auto field = geom::Aabb::square(100.0);
+  const net::SensorNetwork network(std::move(pts), field.center(), field,
+                                   6.0);
+  MultihopSim sim(network);
+  EnergyLedger ledger(network.size(), 0.5);
+  const MultihopRoundReport r = sim.run_round(ledger);
+  EXPECT_EQ(r.delivered, 0u);
+  EXPECT_EQ(r.stranded, 2u);
+}
+
+TEST(MultihopSimTest, GatewayDiesFirstInLifetime) {
+  const auto network = chain_network();
+  MultihopSimConfig config;
+  config.initial_battery_j = 0.01;
+  MultihopSim sim(network, config);
+  const MultihopLifetimeReport life = sim.run_lifetime();
+  EXPECT_GT(life.rounds_first_death, 0u);
+  EXPECT_LE(life.delivery_ratio, 1.0);
+  EXPECT_GT(life.delivered_total, 0u);
+}
+
+TEST(MultihopSimTest, ReroutesAroundDeadRelays) {
+  // Diamond: two parallel 2-hop paths to the sink; killing one relay must
+  // not strand the source.
+  std::vector<geom::Point> pts{
+      {40.0, 50.0},  // 0: gateway A
+      {50.0, 40.0},  // 1: gateway B
+      {38.0, 38.0},  // 2: source reaching both gateways but not the sink
+  };
+  const auto field = geom::Aabb::square(100.0);
+  const net::SensorNetwork network(std::move(pts), field.center(), field,
+                                   13.0);
+  MultihopSim sim(network);
+  EnergyLedger ledger(network.size(), 0.5);
+  ledger.consume(0, 1.0);  // kill gateway A
+  const MultihopRoundReport r = sim.run_round(ledger);
+  EXPECT_EQ(r.stranded, 0u);
+  EXPECT_EQ(r.delivered, 2u);  // gateway B + source
+}
+
+TEST(MultihopSimTest, LifetimeShorterThanMobileCollectionWouldBe) {
+  // Relays burn rx+tx for subtree packets; a mobile scheme pays one tx.
+  // Just verify the hotspot effect exists: first death well before the
+  // battery/one-upload bound.
+  const auto network = uniform_net(150, 150.0, 25.0, 5);
+  MultihopSimConfig config;
+  config.initial_battery_j = 0.05;
+  MultihopSim sim(network, config);
+  const MultihopLifetimeReport life = sim.run_lifetime();
+  const double one_upload = network.radio().tx_packet(25.0);
+  const auto upper_bound_if_single_hop =
+      static_cast<std::size_t>(config.initial_battery_j / one_upload);
+  EXPECT_LT(life.rounds_first_death, upper_bound_if_single_hop);
+}
+
+TEST(MultihopSimTest, EmptyNetworkLifetime) {
+  const auto field = geom::Aabb::square(10.0);
+  const net::SensorNetwork network({}, field.center(), field, 3.0);
+  MultihopSim sim(network);
+  const MultihopLifetimeReport life = sim.run_lifetime();
+  EXPECT_EQ(life.rounds_first_death, 0u);
+  EXPECT_EQ(life.delivered_total, 0u);
+}
+
+TEST(MultihopSimTest, LedgerSizeValidated) {
+  const auto network = chain_network();
+  MultihopSim sim(network);
+  EnergyLedger wrong(7, 1.0);
+  EXPECT_THROW((void)sim.run_round(wrong), mdg::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdg::sim

@@ -1,0 +1,129 @@
+#include "tsp/construct.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/mst.h"
+#include "net/deployment.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::tsp {
+namespace {
+
+std::vector<geom::Point> random_points(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return net::deploy_uniform(n, geom::Aabb::square(100.0), rng);
+}
+
+using Constructor = Tour (*)(std::span<const geom::Point>);
+
+struct ConstructorCase {
+  std::string name;
+  Constructor fn;
+};
+
+class ConstructorTest : public ::testing::TestWithParam<ConstructorCase> {};
+
+TEST_P(ConstructorTest, ProducesValidTourOnRandomInputs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (std::size_t n : {1u, 2u, 3u, 7u, 40u}) {
+      const auto pts = random_points(n, seed * 100 + n);
+      const Tour t = GetParam().fn(pts);
+      EXPECT_EQ(t.size(), n);
+      EXPECT_TRUE(Tour::is_permutation(t.order()));
+      if (n > 0) {
+        EXPECT_EQ(t.at(0), 0u) << "depot must stay at position 0";
+      }
+    }
+  }
+}
+
+TEST_P(ConstructorTest, EmptyInput) {
+  const Tour t = GetParam().fn({});
+  EXPECT_TRUE(t.empty());
+}
+
+TEST_P(ConstructorTest, BeatsRandomOrderOnAverage) {
+  double constructed = 0.0;
+  double random = 0.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto pts = random_points(60, seed);
+    constructed += GetParam().fn(pts).length(pts);
+    Rng rng(seed + 999);
+    random += random_tour(pts.size(), rng).length(pts);
+  }
+  EXPECT_LT(constructed, random * 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConstructors, ConstructorTest,
+    ::testing::Values(
+        ConstructorCase{"nearest_neighbor",
+                        [](std::span<const geom::Point> p) {
+                          return nearest_neighbor(p);
+                        }},
+        ConstructorCase{"greedy_edge", greedy_edge},
+        ConstructorCase{"cheapest_insertion", cheapest_insertion},
+        ConstructorCase{"mst_preorder", mst_preorder},
+        ConstructorCase{"christofides_greedy", christofides_greedy}),
+    [](const ::testing::TestParamInfo<ConstructorCase>& info) {
+      return info.param.name;
+    });
+
+TEST(NearestNeighborTest, FollowsGreedyChoice) {
+  // Points on a line: NN from 0 visits them in order.
+  const std::vector<geom::Point> pts{
+      {0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}};
+  const Tour t = nearest_neighbor(pts);
+  EXPECT_EQ(t.order(), (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(NearestNeighborTest, CustomStartStillDepotFirst) {
+  const std::vector<geom::Point> pts{
+      {0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}};
+  const Tour t = nearest_neighbor(pts, 2);
+  EXPECT_EQ(t.at(0), 2u);
+  EXPECT_THROW((void)nearest_neighbor(pts, 4), mdg::PreconditionError);
+}
+
+TEST(MstPreorderTest, Within2xOfMstBound) {
+  // Classic guarantee: preorder walk <= 2 * MST <= 2 * OPT.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto pts = random_points(50, seed);
+    const Tour t = mst_preorder(pts);
+    const double mst = graph::euclidean_mst(pts).total_weight;
+    EXPECT_LE(t.length(pts), 2.0 * mst + 1e-9);
+  }
+}
+
+TEST(ChristofidesGreedyTest, BeatsMstPreorderOnAverage) {
+  double christofides_total = 0.0;
+  double preorder_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const auto pts = random_points(70, seed);
+    christofides_total += christofides_greedy(pts).length(pts);
+    preorder_total += mst_preorder(pts).length(pts);
+  }
+  EXPECT_LT(christofides_total, preorder_total);
+}
+
+TEST(ChristofidesGreedyTest, HandlesCollinearPoints) {
+  const std::vector<geom::Point> pts{
+      {0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}, {4.0, 0.0}};
+  const Tour t = christofides_greedy(pts);
+  EXPECT_TRUE(Tour::is_permutation(t.order()));
+  EXPECT_DOUBLE_EQ(t.length(pts), 8.0);  // out and back is optimal
+}
+
+TEST(RandomTourTest, PermutationWithDepotFirst) {
+  Rng rng(17);
+  const Tour t = random_tour(20, rng);
+  EXPECT_TRUE(Tour::is_permutation(t.order()));
+  EXPECT_EQ(t.at(0), 0u);
+}
+
+}  // namespace
+}  // namespace mdg::tsp

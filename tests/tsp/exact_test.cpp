@@ -1,0 +1,82 @@
+#include "tsp/exact.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "net/deployment.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::tsp {
+namespace {
+
+double brute_force_optimum(const std::vector<geom::Point>& pts) {
+  std::vector<std::size_t> order(pts.size());
+  std::iota(order.begin(), order.end(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  // Fix position 0 (rotation symmetry).
+  std::vector<std::size_t> rest(order.begin() + 1, order.end());
+  std::sort(rest.begin(), rest.end());
+  do {
+    std::vector<std::size_t> full{0};
+    full.insert(full.end(), rest.begin(), rest.end());
+    best = std::min(best, Tour(full).length(pts));
+  } while (std::next_permutation(rest.begin(), rest.end()));
+  return best;
+}
+
+TEST(HeldKarpTest, MatchesBruteForceOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const auto pts =
+        net::deploy_uniform(4 + seed % 5, geom::Aabb::square(50.0), rng);
+    const double exact = held_karp_length(pts);
+    const double brute = brute_force_optimum(pts);
+    EXPECT_NEAR(exact, brute, 1e-9) << "seed " << seed;
+    const Tour t = held_karp(pts);
+    EXPECT_NEAR(t.length(pts), brute, 1e-9);
+    EXPECT_EQ(t.at(0), 0u);
+    EXPECT_TRUE(Tour::is_permutation(t.order()));
+  }
+}
+
+TEST(HeldKarpTest, Degenerates) {
+  EXPECT_TRUE(held_karp({}).empty());
+  const std::vector<geom::Point> one{{1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(held_karp_length(one), 0.0);
+  const std::vector<geom::Point> two{{0.0, 0.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(held_karp_length(two), 10.0);
+  const std::vector<geom::Point> three{{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}};
+  EXPECT_NEAR(held_karp_length(three), 2.0 + std::sqrt(2.0), 1e-12);
+}
+
+TEST(HeldKarpTest, SquareOptimum) {
+  const std::vector<geom::Point> square{
+      {0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}};
+  EXPECT_DOUBLE_EQ(held_karp_length(square), 4.0);
+}
+
+TEST(HeldKarpTest, RejectsOversizedInstance) {
+  Rng rng(1);
+  const auto pts =
+      net::deploy_uniform(kMaxExactTsp + 1, geom::Aabb::square(10.0), rng);
+  EXPECT_THROW((void)held_karp_length(pts), mdg::PreconditionError);
+}
+
+TEST(HeldKarpTest, OptimalityAgainstHeuristicNeverWorse) {
+  for (std::uint64_t seed = 10; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const auto pts = net::deploy_uniform(10, geom::Aabb::square(80.0), rng);
+    const double exact = held_karp_length(pts);
+    const Tour identity = Tour::identity(pts.size());
+    EXPECT_LE(exact, identity.length(pts) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mdg::tsp

@@ -1,0 +1,154 @@
+#include "tsp/improve.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/deployment.h"
+#include "tsp/construct.h"
+#include "util/rng.h"
+
+namespace mdg::tsp {
+namespace {
+
+std::vector<geom::Point> random_points(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return net::deploy_uniform(n, geom::Aabb::square(100.0), rng);
+}
+
+TEST(TwoOptTest, UncrossesKnownCrossing) {
+  // Square visited in crossing order 0,2,1,3 -> 2-opt must recover the
+  // perimeter (length 4).
+  const std::vector<geom::Point> square{
+      {0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}};
+  Tour t(std::vector<std::size_t>{0, 2, 1, 3});
+  const ImproveStats stats = two_opt(t, square);
+  EXPECT_DOUBLE_EQ(t.length(square), 4.0);
+  EXPECT_GE(stats.moves, 1u);
+  EXPECT_DOUBLE_EQ(stats.final_length, 4.0);
+}
+
+TEST(TwoOptTest, NeverLengthens) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto pts = random_points(50, seed);
+    Rng rng(seed);
+    Tour t = random_tour(pts.size(), rng);
+    const double before = t.length(pts);
+    two_opt(t, pts);
+    EXPECT_LE(t.length(pts), before + 1e-9);
+    EXPECT_TRUE(Tour::is_permutation(t.order()));
+    EXPECT_EQ(t.at(0), 0u);
+  }
+}
+
+TEST(TwoOptTest, SmallToursUntouched) {
+  const std::vector<geom::Point> pts{{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}};
+  Tour t = Tour::identity(3);
+  const ImproveStats stats = two_opt(t, pts);
+  EXPECT_EQ(stats.moves, 0u);
+}
+
+TEST(TwoOptTest, LocalOptimumHasNoCrossings) {
+  const auto pts = random_points(30, 77);
+  Tour t = nearest_neighbor(pts);
+  two_opt(t, pts);
+  // Re-running finds nothing.
+  const ImproveStats again = two_opt(t, pts);
+  EXPECT_EQ(again.moves, 0u);
+}
+
+TEST(OrOptTest, RelocatesObviousOutlier) {
+  // Points on a line but visited with 3 dragged out of order.
+  const std::vector<geom::Point> pts{
+      {0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}, {4.0, 0.0}};
+  Tour t(std::vector<std::size_t>{0, 3, 1, 2, 4});
+  or_opt(t, pts);
+  EXPECT_DOUBLE_EQ(t.length(pts), 8.0);  // optimal out-and-back
+}
+
+TEST(OrOptTest, NeverLengthensAndKeepsDepot) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto pts = random_points(40, seed);
+    Rng rng(seed + 50);
+    Tour t = random_tour(pts.size(), rng);
+    const double before = t.length(pts);
+    or_opt(t, pts);
+    EXPECT_LE(t.length(pts), before + 1e-9);
+    EXPECT_TRUE(Tour::is_permutation(t.order()));
+    EXPECT_EQ(t.at(0), 0u);
+  }
+}
+
+TEST(NeighborTwoOptTest, NeverLengthensAndKeepsDepot) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const auto pts = random_points(120, seed);
+    Rng rng(seed + 7);
+    Tour t = random_tour(pts.size(), rng);
+    const double before = t.length(pts);
+    two_opt_neighbors(t, pts, 10);
+    EXPECT_LE(t.length(pts), before + 1e-9);
+    EXPECT_TRUE(Tour::is_permutation(t.order()));
+    EXPECT_EQ(t.at(0), 0u);
+  }
+}
+
+TEST(NeighborTwoOptTest, CloseToFullTwoOptQuality) {
+  double neighbor_total = 0.0;
+  double full_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto pts = random_points(150, seed);
+    Tour a = nearest_neighbor(pts);
+    Tour b = a;
+    two_opt_neighbors(a, pts, 12);
+    two_opt(b, pts);
+    neighbor_total += a.length(pts);
+    full_total += b.length(pts);
+  }
+  // The restricted move set loses only a little quality.
+  EXPECT_LT(neighbor_total, full_total * 1.10);
+  EXPECT_GE(neighbor_total, full_total * 0.999);
+}
+
+TEST(NeighborTwoOptTest, UncrossesObviousCrossing) {
+  const std::vector<geom::Point> square{
+      {0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}};
+  Tour t(std::vector<std::size_t>{0, 2, 1, 3});
+  two_opt_neighbors(t, square, 3);
+  EXPECT_DOUBLE_EQ(t.length(square), 4.0);
+}
+
+TEST(NeighborTwoOptTest, DegenerateInputs) {
+  const auto pts = random_points(5, 3);
+  Tour t = Tour::identity(5);
+  const ImproveStats zero_k = two_opt_neighbors(t, pts, 0);
+  EXPECT_EQ(zero_k.moves, 0u);
+  Tour tiny = Tour::identity(3);
+  const auto small_pts = random_points(3, 4);
+  EXPECT_EQ(two_opt_neighbors(tiny, small_pts, 5).moves, 0u);
+}
+
+TEST(ImproveTest, CombinedNeverWorseThanTwoOptAlone) {
+  // improve() runs the same 2-opt pass first, then keeps going — so it
+  // can never lose to 2-opt alone. (No such relation holds vs Or-opt
+  // alone: starting with 2-opt changes the local-search trajectory.)
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto pts = random_points(60, seed);
+    Tour a = nearest_neighbor(pts);
+    Tour c = a;
+    two_opt(a, pts);
+    improve(c, pts);
+    EXPECT_LE(c.length(pts), a.length(pts) + 1e-9);
+  }
+}
+
+TEST(ImproveTest, StatsConsistent) {
+  const auto pts = random_points(50, 3);
+  Rng rng(3);
+  Tour t = random_tour(pts.size(), rng);
+  const ImproveStats stats = improve(t, pts);
+  EXPECT_DOUBLE_EQ(stats.final_length, t.length(pts));
+  EXPECT_LE(stats.final_length, stats.initial_length);
+}
+
+}  // namespace
+}  // namespace mdg::tsp

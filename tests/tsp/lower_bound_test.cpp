@@ -1,0 +1,66 @@
+#include "tsp/lower_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/deployment.h"
+#include "tsp/exact.h"
+#include "tsp/solve.h"
+#include "util/rng.h"
+
+namespace mdg::tsp {
+namespace {
+
+TEST(MstLowerBoundTest, BelowOptimalTour) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const auto pts = net::deploy_uniform(10, geom::Aabb::square(100.0), rng);
+    const double bound = mst_lower_bound(pts);
+    const double opt = held_karp_length(pts);
+    EXPECT_LE(bound, opt + 1e-9);
+    EXPECT_GT(bound, 0.0);
+  }
+}
+
+TEST(OneTreeBoundTest, SandwichedBetweenMstAndOptimum) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 7);
+    const auto pts = net::deploy_uniform(12, geom::Aabb::square(100.0), rng);
+    const double mst = mst_lower_bound(pts);
+    const double one_tree = one_tree_lower_bound(pts);
+    const double opt = held_karp_length(pts);
+    EXPECT_LE(one_tree, opt * (1.0 + 1e-9)) << "seed " << seed;
+    // The ascent should not be (much) worse than the MST bound.
+    EXPECT_GE(one_tree, mst * 0.95);
+  }
+}
+
+TEST(OneTreeBoundTest, TightOnSquare) {
+  const std::vector<geom::Point> square{
+      {0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}};
+  const double bound = one_tree_lower_bound(square);
+  EXPECT_NEAR(bound, 4.0, 0.05);  // optimum is 4
+}
+
+TEST(OneTreeBoundTest, Degenerates) {
+  EXPECT_DOUBLE_EQ(one_tree_lower_bound({}), 0.0);
+  const std::vector<geom::Point> one{{2.0, 2.0}};
+  EXPECT_DOUBLE_EQ(one_tree_lower_bound(one), 0.0);
+  const std::vector<geom::Point> two{{0.0, 0.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(one_tree_lower_bound(two), 10.0);
+}
+
+TEST(OneTreeBoundTest, UsefulGapOnLargerInstances) {
+  Rng rng(99);
+  const auto pts = net::deploy_uniform(80, geom::Aabb::square(200.0), rng);
+  const double bound = one_tree_lower_bound(pts);
+  const TspResult heuristic = solve_tsp(pts, TspEffort::kFull);
+  EXPECT_LE(bound, heuristic.length + 1e-9);
+  // Held-Karp ascent is typically within ~15% of optimum; the heuristic
+  // within a few percent — together the gap should be modest.
+  EXPECT_GT(bound, heuristic.length * 0.75);
+}
+
+}  // namespace
+}  // namespace mdg::tsp

@@ -1,0 +1,101 @@
+#include "tsp/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/deployment.h"
+#include "tsp/construct.h"
+#include "tsp/improve.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::tsp {
+namespace {
+
+DistanceMatrix euclidean_matrix(const std::vector<geom::Point>& pts) {
+  DistanceMatrix d(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      d.set(i, j, geom::distance(pts[i], pts[j]));
+    }
+  }
+  return d;
+}
+
+TEST(DistanceMatrixTest, SymmetricStorage) {
+  DistanceMatrix d(3);
+  d.set(0, 2, 5.0);
+  EXPECT_DOUBLE_EQ(d.at(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(d.at(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(d.at(0, 1), 0.0);
+  EXPECT_THROW((void)d.at(3, 0), mdg::PreconditionError);
+  EXPECT_THROW(d.set(0, 1, -1.0), mdg::PreconditionError);
+}
+
+TEST(DistanceMatrixTest, TourLengthMatchesEuclidean) {
+  Rng rng(3);
+  const auto pts = net::deploy_uniform(30, geom::Aabb::square(100.0), rng);
+  const DistanceMatrix d = euclidean_matrix(pts);
+  const Tour tour = Tour::identity(pts.size());
+  EXPECT_NEAR(d.tour_length(tour), tour.length(pts), 1e-9);
+}
+
+TEST(MatrixNearestNeighborTest, AgreesWithEuclideanNN) {
+  Rng rng(7);
+  const auto pts = net::deploy_uniform(40, geom::Aabb::square(100.0), rng);
+  const DistanceMatrix d = euclidean_matrix(pts);
+  const Tour matrix_tour = nearest_neighbor_matrix(d);
+  const Tour euclid_tour = nearest_neighbor(pts);
+  EXPECT_EQ(matrix_tour.order(), euclid_tour.order());
+}
+
+TEST(MatrixTwoOptTest, NeverLengthens) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const auto pts = net::deploy_uniform(35, geom::Aabb::square(100.0), rng);
+    const DistanceMatrix d = euclidean_matrix(pts);
+    Tour tour = random_tour(pts.size(), rng);
+    const double before = d.tour_length(tour);
+    two_opt_matrix(tour, d);
+    EXPECT_LE(d.tour_length(tour), before + 1e-9);
+    EXPECT_TRUE(Tour::is_permutation(tour.order()));
+    EXPECT_EQ(tour.at(0), 0u);
+  }
+}
+
+TEST(MatrixSolveTest, MatchesEuclideanPipelineOnEuclideanMetric) {
+  Rng rng(11);
+  const auto pts = net::deploy_uniform(40, geom::Aabb::square(100.0), rng);
+  const DistanceMatrix d = euclidean_matrix(pts);
+  const Tour matrix_tour = solve_tsp_matrix(d);
+  // Same algorithm, same metric: identical tours.
+  Tour euclid_tour = nearest_neighbor(pts);
+  two_opt(euclid_tour, pts);
+  EXPECT_NEAR(d.tour_length(matrix_tour), euclid_tour.length(pts), 1e-9);
+}
+
+TEST(MatrixSolveTest, NonEuclideanMetricRespected) {
+  // A 4-node metric where the "short" Euclidean edge is forbidden
+  // (infinite): the solver must route around it.
+  DistanceMatrix d(4);
+  d.set(0, 1, 1.0);
+  d.set(1, 2, 1.0);
+  d.set(2, 3, 1.0);
+  d.set(3, 0, 1.0);
+  d.set(0, 2, 100.0);
+  d.set(1, 3, 100.0);
+  const Tour tour = solve_tsp_matrix(d);
+  EXPECT_NEAR(d.tour_length(tour), 4.0, 1e-9);
+}
+
+TEST(MatrixSolveTest, Degenerates) {
+  EXPECT_TRUE(solve_tsp_matrix(DistanceMatrix(0)).empty());
+  EXPECT_EQ(solve_tsp_matrix(DistanceMatrix(1)).size(), 1u);
+  DistanceMatrix two(2);
+  two.set(0, 1, 7.0);
+  EXPECT_DOUBLE_EQ(two.tour_length(solve_tsp_matrix(two)), 14.0);
+}
+
+}  // namespace
+}  // namespace mdg::tsp

@@ -1,0 +1,101 @@
+#include "tsp/solve.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/deployment.h"
+#include "tsp/exact.h"
+#include "util/rng.h"
+
+namespace mdg::tsp {
+namespace {
+
+std::vector<geom::Point> random_points(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return net::deploy_uniform(n, geom::Aabb::square(100.0), rng);
+}
+
+class SolveEffortTest : public ::testing::TestWithParam<TspEffort> {};
+
+TEST_P(SolveEffortTest, ValidTourAllSizes) {
+  for (std::size_t n : {0u, 1u, 2u, 3u, 4u, 10u, 30u}) {
+    const auto pts = random_points(n, 42 + n);
+    const TspResult r = solve_tsp(pts, GetParam());
+    EXPECT_EQ(r.tour.size(), n);
+    EXPECT_TRUE(Tour::is_permutation(r.tour.order()));
+    EXPECT_NEAR(r.length, r.tour.length(pts), 1e-9);
+    if (n > 0) {
+      EXPECT_EQ(r.tour.at(0), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEfforts, SolveEffortTest,
+                         ::testing::Values(TspEffort::kConstructionOnly,
+                                           TspEffort::kTwoOpt,
+                                           TspEffort::kFull,
+                                           TspEffort::kExactIfSmall),
+                         [](const ::testing::TestParamInfo<TspEffort>& info) {
+                           switch (info.param) {
+                             case TspEffort::kConstructionOnly:
+                               return std::string("nn");
+                             case TspEffort::kTwoOpt:
+                               return std::string("two_opt");
+                             case TspEffort::kFull:
+                               return std::string("full");
+                             case TspEffort::kExactIfSmall:
+                               return std::string("exact");
+                           }
+                           return std::string("unknown");
+                         });
+
+TEST(SolveTest, EffortLadderMonotone) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto pts = random_points(60, seed);
+    const double nn =
+        solve_tsp(pts, TspEffort::kConstructionOnly).length;
+    const double two = solve_tsp(pts, TspEffort::kTwoOpt).length;
+    const double full = solve_tsp(pts, TspEffort::kFull).length;
+    EXPECT_LE(two, nn + 1e-9);
+    EXPECT_LE(full, two + 1e-9);
+  }
+}
+
+TEST(SolveTest, ExactFlagOnlyWhenProven) {
+  const auto small = random_points(8, 3);
+  const TspResult exact = solve_tsp(small, TspEffort::kExactIfSmall);
+  EXPECT_TRUE(exact.exact);
+  EXPECT_NEAR(exact.length, held_karp_length(small), 1e-9);
+
+  const auto big = random_points(50, 3);
+  const TspResult fallback = solve_tsp(big, TspEffort::kExactIfSmall);
+  EXPECT_FALSE(fallback.exact);
+}
+
+TEST(SolveTest, HeuristicWithinReasonOfExact) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto pts = random_points(12, seed * 3);
+    const double opt = held_karp_length(pts);
+    const double full = solve_tsp(pts, TspEffort::kFull).length;
+    EXPECT_LE(full, opt * 1.15 + 1e-9) << "seed " << seed;
+    EXPECT_GE(full, opt - 1e-9);
+  }
+}
+
+TEST(SolveTest, TinyInstancesAreExact) {
+  for (std::size_t n : {0u, 1u, 2u, 3u}) {
+    const auto pts = random_points(n, 5);
+    EXPECT_TRUE(solve_tsp(pts, TspEffort::kFull).exact || n > 3);
+  }
+}
+
+TEST(SolveTest, EffortNames) {
+  EXPECT_EQ(to_string(TspEffort::kConstructionOnly), "nn");
+  EXPECT_EQ(to_string(TspEffort::kTwoOpt), "nn+2opt");
+  EXPECT_EQ(to_string(TspEffort::kFull), "full");
+  EXPECT_EQ(to_string(TspEffort::kExactIfSmall), "exact-if-small");
+}
+
+}  // namespace
+}  // namespace mdg::tsp

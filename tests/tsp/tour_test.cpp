@@ -1,0 +1,99 @@
+#include "tsp/tour.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/assert.h"
+
+namespace mdg::tsp {
+namespace {
+
+const std::vector<geom::Point> kSquare{
+    {0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}};
+
+TEST(TourTest, IdentityTour) {
+  const Tour t = Tour::identity(4);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.at(0), 0u);
+  EXPECT_EQ(t.at(3), 3u);
+  EXPECT_DOUBLE_EQ(t.length(kSquare), 4.0);
+}
+
+TEST(TourTest, EmptyTour) {
+  const Tour t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(t.length(kSquare), 0.0);
+}
+
+TEST(TourTest, SinglePointTourHasZeroLength) {
+  const Tour t = Tour::identity(1);
+  const std::vector<geom::Point> one{{5.0, 5.0}};
+  EXPECT_DOUBLE_EQ(t.length(one), 0.0);
+}
+
+TEST(TourTest, TwoPointTourIsOutAndBack) {
+  const Tour t = Tour::identity(2);
+  const std::vector<geom::Point> pts{{0.0, 0.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(t.length(pts), 10.0);
+}
+
+TEST(TourTest, CrossingOrderIsLonger) {
+  const Tour crossing(std::vector<std::size_t>{0, 2, 1, 3});
+  EXPECT_GT(crossing.length(kSquare), 4.0);
+}
+
+TEST(TourTest, RejectsNonPermutations) {
+  EXPECT_THROW(Tour(std::vector<std::size_t>{0, 0, 1}), mdg::PreconditionError);
+  EXPECT_THROW(Tour(std::vector<std::size_t>{0, 3}), mdg::PreconditionError);
+}
+
+TEST(TourTest, RotateToFront) {
+  Tour t(std::vector<std::size_t>{2, 0, 3, 1});
+  t.rotate_to_front(0);
+  EXPECT_EQ(t.at(0), 0u);
+  EXPECT_EQ(t.order(), (std::vector<std::size_t>{0, 3, 1, 2}));
+  EXPECT_THROW(t.rotate_to_front(9), mdg::PreconditionError);
+}
+
+TEST(TourTest, RotationPreservesLength) {
+  Tour t(std::vector<std::size_t>{0, 2, 1, 3});
+  const double before = t.length(kSquare);
+  t.rotate_to_front(1);
+  EXPECT_DOUBLE_EQ(t.length(kSquare), before);
+}
+
+TEST(TourTest, ReverseSegment) {
+  Tour t = Tour::identity(5);
+  t.reverse_segment(1, 3);
+  EXPECT_EQ(t.order(), (std::vector<std::size_t>{0, 3, 2, 1, 4}));
+  EXPECT_THROW(t.reverse_segment(3, 1), mdg::PreconditionError);
+  EXPECT_THROW(t.reverse_segment(0, 5), mdg::PreconditionError);
+}
+
+TEST(TourTest, NextPosWraps) {
+  const Tour t = Tour::identity(3);
+  EXPECT_EQ(t.next_pos(0), 1u);
+  EXPECT_EQ(t.next_pos(2), 0u);
+}
+
+TEST(TourTest, ToPointsFollowsOrder) {
+  const Tour t(std::vector<std::size_t>{0, 2, 1, 3});
+  const auto pts = t.to_points(kSquare);
+  EXPECT_EQ(pts[1], kSquare[2]);
+  EXPECT_EQ(pts[3], kSquare[3]);
+}
+
+TEST(TourTest, LengthRejectsMissingPoints) {
+  const Tour t = Tour::identity(5);
+  EXPECT_THROW((void)t.length(kSquare), mdg::PreconditionError);
+}
+
+TEST(TourTest, IsPermutationHelper) {
+  EXPECT_TRUE(Tour::is_permutation(std::vector<std::size_t>{2, 0, 1}));
+  EXPECT_FALSE(Tour::is_permutation(std::vector<std::size_t>{1, 1}));
+  EXPECT_TRUE(Tour::is_permutation(std::vector<std::size_t>{}));
+}
+
+}  // namespace
+}  // namespace mdg::tsp

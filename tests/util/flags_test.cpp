@@ -1,0 +1,86 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/assert.h"
+
+namespace mdg {
+namespace {
+
+Flags make_flags(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Flags f = make_flags({"--sensors=200", "--side=150.5"});
+  EXPECT_EQ(f.get_int("sensors", 0), 200);
+  EXPECT_DOUBLE_EQ(f.get_double("side", 0.0), 150.5);
+  f.finish();
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  Flags f = make_flags({"--name", "hello", "--count", "7"});
+  EXPECT_EQ(f.get_string("name", ""), "hello");
+  EXPECT_EQ(f.get_int("count", 0), 7);
+  f.finish();
+}
+
+TEST(FlagsTest, BooleanSwitch) {
+  Flags f = make_flags({"--verbose", "--quiet=false"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_FALSE(f.get_bool("quiet", true));
+  f.finish();
+}
+
+TEST(FlagsTest, DefaultsApplyWhenAbsent) {
+  Flags f = make_flags({});
+  EXPECT_EQ(f.get_int("missing", 42), 42);
+  EXPECT_EQ(f.get_string("missing2", "d"), "d");
+  EXPECT_TRUE(f.get_bool("missing3", true));
+  f.finish();
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  Flags f = make_flags({"input.txt", "--n=1", "output.txt"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "output.txt");
+  EXPECT_EQ(f.get_int("n", 0), 1);
+  f.finish();
+}
+
+TEST(FlagsTest, UnknownFlagDetectedByFinish) {
+  Flags f = make_flags({"--typo=1"});
+  EXPECT_THROW(f.finish(), PreconditionError);
+}
+
+TEST(FlagsTest, DuplicateFlagRejected) {
+  EXPECT_THROW(make_flags({"--x=1", "--x=2"}), PreconditionError);
+}
+
+TEST(FlagsTest, MalformedNumbersRejected) {
+  Flags f = make_flags({"--n=abc", "--d=1.2.3"});
+  EXPECT_THROW((void)f.get_int("n", 0), PreconditionError);
+  EXPECT_THROW((void)f.get_double("d", 0.0), PreconditionError);
+}
+
+TEST(FlagsTest, MalformedBoolRejected) {
+  Flags f = make_flags({"--b=maybe"});
+  EXPECT_THROW((void)f.get_bool("b", false), PreconditionError);
+}
+
+TEST(FlagsTest, BareDoubleDashRejected) {
+  EXPECT_THROW(make_flags({"--"}), PreconditionError);
+}
+
+TEST(FlagsTest, ProgramNameCaptured) {
+  const Flags f = make_flags({});
+  EXPECT_EQ(f.program_name(), "prog");
+}
+
+}  // namespace
+}  // namespace mdg

@@ -1,0 +1,66 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace mdg {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kOff); }
+};
+
+TEST_F(LogTest, DefaultIsOff) {
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+}
+
+TEST_F(LogTest, ThresholdFilters) {
+  set_log_level(LogLevel::kWarning);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarning));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+}
+
+TEST_F(LogTest, ParseNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarning);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("garbage"), LogLevel::kOff);
+}
+
+TEST_F(LogTest, RoundTripNames) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo,
+                         LogLevel::kWarning, LogLevel::kError}) {
+    EXPECT_EQ(parse_log_level(to_string(level)), level);
+  }
+}
+
+TEST_F(LogTest, MacroCompilesAndIsCheap) {
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  const auto expensive = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  MDG_LOG(kDebug) << "value " << expensive();
+  EXPECT_EQ(evaluations, 0);  // stream body skipped when disabled
+
+  set_log_level(LogLevel::kDebug);
+  MDG_LOG(kDebug) << "value " << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, CapturesStderrOutput) {
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  MDG_LOG(kInfo) << "hello " << 7;
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[mdg:info] hello 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdg

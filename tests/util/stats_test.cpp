@@ -1,0 +1,142 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum sq dev = 32 -> 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng(5);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1'000; ++i) {
+    const double x = rng.normal(3.0, 7.0);
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(SummaryTest, EmptySamples) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(SummaryTest, PercentilesOfKnownData) {
+  std::vector<double> data;
+  for (int i = 1; i <= 101; ++i) {
+    data.push_back(static_cast<double>(i));  // 1..101
+  }
+  const Summary s = summarize(data);
+  EXPECT_EQ(s.count, 101u);
+  EXPECT_DOUBLE_EQ(s.median, 51.0);
+  EXPECT_DOUBLE_EQ(s.p25, 26.0);
+  EXPECT_DOUBLE_EQ(s.p75, 76.0);
+  EXPECT_DOUBLE_EQ(s.p95, 96.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 101.0);
+  EXPECT_DOUBLE_EQ(s.mean, 51.0);
+}
+
+TEST(SummaryTest, UnsortedInputHandled) {
+  const std::vector<double> data{9.0, 1.0, 5.0};
+  const Summary s = summarize(data);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenSamples) {
+  const std::vector<double> sorted{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 1.0), 10.0);
+}
+
+TEST(PercentileTest, RejectsBadQuantile) {
+  const std::vector<double> sorted{1.0};
+  EXPECT_THROW((void)percentile_sorted(sorted, -0.1), PreconditionError);
+  EXPECT_THROW((void)percentile_sorted(sorted, 1.1), PreconditionError);
+}
+
+TEST(MeanOfTest, Basics) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.0);
+}
+
+TEST(JainFairnessTest, UniformIsOne) {
+  const std::vector<double> xs{5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(xs), 1.0);
+}
+
+TEST(JainFairnessTest, SingleHotspotIsOneOverN) {
+  const std::vector<double> xs{1.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(xs), 0.25);
+}
+
+TEST(JainFairnessTest, EmptyAndZeroInputs) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_fairness(zeros), 1.0);
+}
+
+}  // namespace
+}  // namespace mdg

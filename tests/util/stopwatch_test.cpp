@@ -1,0 +1,47 @@
+#include "util/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace mdg {
+namespace {
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = watch.elapsed_ms();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_LT(ms, 2000.0);  // generous upper bound for loaded CI machines
+  EXPECT_NEAR(watch.elapsed_s(), watch.elapsed_ms() / 1e3, 1e-3);
+}
+
+TEST(StopwatchTest, ResetRestarts) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  watch.reset();
+  EXPECT_LT(watch.elapsed_ms(), 15.0);
+}
+
+TEST(StopwatchTest, TimeMsRunsTheCallable) {
+  bool ran = false;
+  const double ms = Stopwatch::time_ms([&ran] {
+    ran = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  });
+  EXPECT_TRUE(ran);
+  EXPECT_GE(ms, 5.0);
+}
+
+TEST(StopwatchTest, MonotoneNonNegative) {
+  const Stopwatch watch;
+  double previous = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const double now = watch.elapsed_ms();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+}
+
+}  // namespace
+}  // namespace mdg

@@ -1,0 +1,78 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace mdg {
+namespace {
+
+Table sample_table() {
+  Table t("demo", 2);
+  t.set_header({"name", "count", "ratio"});
+  t.add_row({std::string("alpha"), 3LL, 0.5});
+  t.add_row({std::string("beta"), 12LL, 1.25});
+  return t;
+}
+
+TEST(TableTest, TracksShape) {
+  const Table t = sample_table();
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.column_count(), 3u);
+}
+
+TEST(TableTest, FormatsCellsByType) {
+  const Table t("x", 3);
+  EXPECT_EQ(t.format_cell(std::string("hi")), "hi");
+  EXPECT_EQ(t.format_cell(42LL), "42");
+  EXPECT_EQ(t.format_cell(3.14159), "3.142");
+}
+
+TEST(TableTest, PrintContainsHeaderAndValues) {
+  std::ostringstream out;
+  sample_table().print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("1.25"), std::string::npos);
+  EXPECT_NE(text.find("count"), std::string::npos);
+}
+
+TEST(TableTest, CsvRoundtrip) {
+  std::ostringstream out;
+  sample_table().write_csv(out);
+  EXPECT_EQ(out.str(),
+            "name,count,ratio\n"
+            "alpha,3,0.50\n"
+            "beta,12,1.25\n");
+}
+
+TEST(TableTest, CsvEscapesSpecialCharacters) {
+  Table t("esc", 0);
+  t.set_header({"a"});
+  t.add_row({std::string("va,l\"ue")});
+  std::ostringstream out;
+  t.write_csv(out);
+  EXPECT_EQ(out.str(), "a\n\"va,l\"\"ue\"\n");
+}
+
+TEST(TableTest, RowWidthMustMatchHeader) {
+  Table t("bad", 1);
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({1LL}), PreconditionError);
+}
+
+TEST(TableTest, HeaderRequiredBeforeRows) {
+  Table t("bad", 1);
+  EXPECT_THROW(t.add_row({1LL}), PreconditionError);
+}
+
+TEST(TableTest, HeaderImmutableAfterRows) {
+  Table t = sample_table();
+  EXPECT_THROW(t.set_header({"x"}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdg

@@ -1,0 +1,89 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, RejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), PreconditionError);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnFreshPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(),
+               [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  parallel_for(pool, 0, [&touched](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelForTest, SingleThreadPoolDegradesToSerial) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  parallel_for(pool, 5, [&order](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ResultsIndependentOfThreadCount) {
+  // Forked RNG per index makes the parallel reduction schedule-invariant.
+  const auto run = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    const Rng base(7);
+    std::vector<double> out(64);
+    parallel_for(pool, out.size(), [&](std::size_t i) {
+      Rng trial = base.fork(i);
+      out[i] = trial.next_double();
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(ParallelForTest, DefaultPoolConvenienceOverload) {
+  std::atomic<std::size_t> sum{0};
+  parallel_for(100, [&sum](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+}  // namespace
+}  // namespace mdg
