@@ -1,0 +1,246 @@
+// P1 — hot-path microbenchmarks (perf trajectory tracking).
+//
+// Times the four kernels every SHDGP planner funnels through — coverage
+// build, greedy set cover, tour construction, tour improvement — each in
+// isolation across n ∈ {100, 500, 2000, 8000}, and reports the speedup of
+// the rebuilt kernels over the seed implementations (linear-rescan greedy
+// cover, full-sweep 2-opt) together with the tour-quality ratio. Results
+// go to stdout as a table and to a machine-readable JSON file
+// (--out, default BENCH_hotpaths.json) so CI can track the trajectory.
+//
+// With --check the bench exits non-zero when the new improvement kernel's
+// tour is more than 2% longer than the seed full 2-opt on the checked-in
+// regression instances (data/small30.txt, data/uniform200.txt) or on any
+// synthetic size — the guard the CI perf step enforces.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cover/coverage.h"
+#include "cover/set_cover.h"
+#include "io/serialize.h"
+#include "net/deployment.h"
+#include "net/sensor_network.h"
+#include "tsp/construct.h"
+#include "tsp/improve.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mdg;
+
+double quantile(std::vector<double> v, double q) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  std::sort(v.begin(), v.end());
+  const double idx = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+struct KernelResult {
+  std::string name;
+  std::size_t n = 0;
+  double median_ms = 0.0;
+  double p90_ms = 0.0;
+  double baseline_median_ms = 0.0;  ///< 0 when the kernel has no baseline
+  double speedup = 0.0;
+  double tour_ratio = 0.0;  ///< new length / seed length (improvement only)
+};
+
+void append_json(std::string& out, const KernelResult& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"kernel\": \"%s\", \"n\": %zu, \"median_ms\": %.6f, "
+                "\"p90_ms\": %.6f, \"baseline_median_ms\": %.6f, "
+                "\"speedup\": %.3f, \"tour_ratio\": %.6f}",
+                r.name.c_str(), r.n, r.median_ms, r.p90_ms,
+                r.baseline_median_ms, r.speedup, r.tour_ratio);
+  if (!out.empty()) {
+    out += ",\n";
+  }
+  out += buf;
+}
+
+/// One synthetic topology per (n, trial): constant density (the paper's
+/// regime), Rs = 30 m.
+net::SensorNetwork make_topology(std::size_t n, Rng& rng) {
+  const double side = 20.0 * std::sqrt(static_cast<double>(n));
+  return net::make_uniform_network(n, side, 30.0, rng);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::size_t trials =
+      static_cast<std::size_t>(flags.get_int("trials", 5));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 2008));
+  const std::string out_path =
+      flags.get_string("out", "BENCH_hotpaths.json");
+  const std::string data_dir = flags.get_string("data-dir", "data");
+  const bool check = flags.get_bool("check", false);
+  const std::size_t max_n =
+      static_cast<std::size_t>(flags.get_int("max-n", 8000));
+  flags.finish();
+
+  const Rng base(seed);
+  std::vector<KernelResult> results;
+  bool regressed = false;
+
+  Table table("P1: hot-path kernels — median ms over " +
+                  std::to_string(trials) + " trials (speedup vs seed kernel)",
+              2);
+  table.set_header({"n", "coverage", "set-cover", "(speedup)", "construct",
+                    "improve", "(speedup)", "len-ratio"});
+
+  for (const std::size_t n : {100u, 500u, 2000u, 8000u}) {
+    if (n > max_n) {
+      continue;
+    }
+    std::vector<double> t_coverage, t_cover, t_cover_ref, t_construct,
+        t_improve, t_improve_ref, ratios;
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng = base.fork(n * 1000 + t);
+      const net::SensorNetwork network = make_topology(n, rng);
+
+      Stopwatch watch;
+      const cover::CoverageMatrix matrix(network, {});
+      t_coverage.push_back(watch.elapsed_ms());
+
+      cover::GreedyOptions greedy;
+      greedy.anchor = network.sink();
+      watch.reset();
+      const cover::SetCoverResult lazy =
+          cover::greedy_set_cover(matrix, network, greedy);
+      t_cover.push_back(watch.elapsed_ms());
+      watch.reset();
+      const cover::SetCoverResult reference =
+          cover::greedy_set_cover_reference(matrix, network, greedy);
+      t_cover_ref.push_back(watch.elapsed_ms());
+      if (lazy.selected != reference.selected) {
+        std::cerr << "FATAL: lazy greedy diverged from the reference at n="
+                  << n << "\n";
+        return 2;
+      }
+
+      // TSP kernels run over the raw sensor field (sink at index 0) so
+      // the tour size is n+1 regardless of how many polling points the
+      // cover kept.
+      std::vector<geom::Point> pts{network.sink()};
+      pts.insert(pts.end(), network.positions().begin(),
+                 network.positions().end());
+      watch.reset();
+      const tsp::Tour nn = tsp::nearest_neighbor(pts);
+      t_construct.push_back(watch.elapsed_ms());
+
+      tsp::Tour fast = nn;
+      tsp::ImproveOptions engine;
+      engine.full_scan_below = 0;  // force the neighbour engine at all n
+      watch.reset();
+      tsp::improve(fast, pts, engine);
+      t_improve.push_back(watch.elapsed_ms());
+
+      tsp::Tour slow = nn;
+      watch.reset();
+      tsp::two_opt(slow, pts);
+      t_improve_ref.push_back(watch.elapsed_ms());
+
+      ratios.push_back(fast.length(pts) / slow.length(pts));
+    }
+
+    const auto med = [](const std::vector<double>& v) {
+      return quantile(v, 0.5);
+    };
+    KernelResult coverage{"coverage_build", n, med(t_coverage),
+                          quantile(t_coverage, 0.9), 0.0, 0.0, 0.0};
+    KernelResult cover_k{"set_cover", n, med(t_cover),
+                         quantile(t_cover, 0.9), med(t_cover_ref),
+                         med(t_cover_ref) / std::max(med(t_cover), 1e-9),
+                         0.0};
+    KernelResult construct{"construct", n, med(t_construct),
+                           quantile(t_construct, 0.9), 0.0, 0.0, 0.0};
+    KernelResult improve_k{"improve", n, med(t_improve),
+                           quantile(t_improve, 0.9), med(t_improve_ref),
+                           med(t_improve_ref) /
+                               std::max(med(t_improve), 1e-9),
+                           quantile(ratios, 0.5)};
+    results.push_back(coverage);
+    results.push_back(cover_k);
+    results.push_back(construct);
+    results.push_back(improve_k);
+    if (*std::max_element(ratios.begin(), ratios.end()) > 1.02) {
+      std::cerr << "improvement kernel regressed >2% vs full 2-opt at n="
+                << n << "\n";
+      regressed = true;
+    }
+
+    table.add_row({static_cast<long long>(n), coverage.median_ms,
+                   cover_k.median_ms, cover_k.speedup, construct.median_ms,
+                   improve_k.median_ms, improve_k.speedup,
+                   improve_k.tour_ratio});
+  }
+
+  // Checked-in regression instances: quality guard on real topologies.
+  for (const char* name : {"small30.txt", "uniform200.txt"}) {
+    const std::string path = data_dir + "/" + name;
+    std::ifstream probe(path);
+    if (!probe.good()) {
+      std::cerr << "note: " << path << " not found, skipping instance check\n";
+      if (check) {
+        regressed = true;
+      }
+      continue;
+    }
+    const net::SensorNetwork network = io::load_network(path);
+    std::vector<geom::Point> pts{network.sink()};
+    pts.insert(pts.end(), network.positions().begin(),
+               network.positions().end());
+    const tsp::Tour nn = tsp::nearest_neighbor(pts);
+    tsp::Tour fast = nn;
+    tsp::ImproveOptions engine;
+    engine.full_scan_below = 0;
+    tsp::improve(fast, pts, engine);
+    tsp::Tour slow = nn;
+    tsp::two_opt(slow, pts);
+    const double ratio = fast.length(pts) / slow.length(pts);
+    KernelResult inst{std::string("improve_") + name, network.size(), 0.0,
+                      0.0, 0.0, 0.0, ratio};
+    results.push_back(inst);
+    if (ratio > 1.02) {
+      std::cerr << "improvement kernel regressed >2% vs full 2-opt on "
+                << name << " (ratio " << ratio << ")\n";
+      regressed = true;
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << std::endl;
+
+  std::string body;
+  for (const KernelResult& r : results) {
+    append_json(body, r);
+  }
+  std::ofstream json(out_path);
+  json << "{\n  \"bench\": \"p1_hotpaths\",\n  \"trials\": " << trials
+       << ",\n  \"seed\": " << seed << ",\n  \"kernels\": [\n"
+       << body << "\n  ]\n}\n";
+  json.close();
+  std::cout << "wrote " << out_path << "\n";
+
+  if (check && regressed) {
+    return 1;
+  }
+  return 0;
+}

@@ -108,6 +108,11 @@ std::size_t refine_polling_positions(const ShdgpInstance& instance,
         changed = true;
       }
     }
+    if (changed && options.reoptimize_tour) {
+      // The slide changed the stop geometry; hand the tour back to the
+      // shared improvement kernel before the next slide pass.
+      tsp::improve(solution.tour, coords, options.improve);
+    }
     if (!changed) {
       break;
     }

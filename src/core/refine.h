@@ -13,6 +13,7 @@
 
 #include "core/instance.h"
 #include "core/solution.h"
+#include "tsp/improve.h"
 
 namespace mdg::core {
 
@@ -23,13 +24,21 @@ struct RefineOptions {
   /// Binary-search resolution along the slide direction (fraction of
   /// the full step).
   double tolerance = 1e-3;
+  /// Re-run the shared tour-improvement kernel (tsp::improve) whenever a
+  /// slide pass moved a polling point: sliding changes the geometry, so
+  /// a different visiting order may now be shorter. Disable to keep the
+  /// incoming visiting order untouched (pure position refinement).
+  bool reoptimize_tour = false;
+  /// Kernel knobs for the reoptimization passes.
+  tsp::ImproveOptions improve;
 };
 
 /// Slides each polling point toward the straight line between its tour
 /// predecessor and successor as far as coverage of its assigned sensors
-/// allows. Keeps the visiting order; updates positions, marks moved
-/// points as kFreeformCandidate, and refreshes tour_length. Never
-/// lengthens the tour. Returns the number of position updates applied.
+/// allows. Keeps the visiting order unless reoptimize_tour is set;
+/// updates positions, marks moved points as kFreeformCandidate, and
+/// refreshes tour_length. Never lengthens the tour. Returns the number
+/// of position updates applied.
 std::size_t refine_polling_positions(const ShdgpInstance& instance,
                                      ShdgpSolution& solution,
                                      const RefineOptions& options = {});

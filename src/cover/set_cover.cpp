@@ -2,14 +2,107 @@
 
 #include <algorithm>
 #include <limits>
+#include <queue>
 
 #include "util/assert.h"
 
 namespace mdg::cover {
+namespace {
+
+/// Heap key for lazy greedy. Ordered so the heap top is the candidate
+/// the linear scan would pick: maximum gain, then minimum anchor
+/// distance, then minimum id.
+struct LazyEntry {
+  std::size_t gain;
+  double anchor_d2;
+  std::size_t candidate;
+};
+
+struct LazyEntryWorse {
+  bool operator()(const LazyEntry& a, const LazyEntry& b) const {
+    if (a.gain != b.gain) {
+      return a.gain < b.gain;
+    }
+    if (a.anchor_d2 != b.anchor_d2) {
+      return a.anchor_d2 > b.anchor_d2;
+    }
+    return a.candidate > b.candidate;
+  }
+};
+
+}  // namespace
 
 SetCoverResult greedy_set_cover(const CoverageMatrix& matrix,
                                 const net::SensorNetwork& network,
                                 const GreedyOptions& options) {
+  const std::size_t n_sensors = matrix.sensor_count();
+  const std::size_t n_candidates = matrix.candidate_count();
+  MDG_REQUIRE(n_sensors == network.size(),
+              "coverage matrix does not match the network");
+
+  SetCoverResult result;
+  std::vector<bool> covered(n_sensors, false);
+  std::size_t uncovered = n_sensors;
+
+  std::priority_queue<LazyEntry, std::vector<LazyEntry>, LazyEntryWorse> heap;
+  {
+    std::vector<LazyEntry> initial;
+    initial.reserve(n_candidates);
+    for (std::size_t c = 0; c < n_candidates; ++c) {
+      const std::size_t gain = matrix.covered_by(c).size();
+      if (gain == 0) {
+        continue;
+      }
+      const double anchor_d2 =
+          options.tie_break_toward_anchor
+              ? geom::distance_sq(matrix.candidate(c), options.anchor)
+              : 0.0;
+      initial.push_back({gain, anchor_d2, c});
+    }
+    heap = std::priority_queue<LazyEntry, std::vector<LazyEntry>,
+                               LazyEntryWorse>(LazyEntryWorse{},
+                                               std::move(initial));
+  }
+
+  while (uncovered > 0) {
+    MDG_ASSERT(!heap.empty(),
+               "greedy cover stalled with sensors uncovered");
+    LazyEntry top = heap.top();
+    heap.pop();
+    // Refresh the (only ever decreasing) gain.
+    std::size_t fresh = 0;
+    for (std::size_t s : matrix.covered_by(top.candidate)) {
+      if (!covered[s]) {
+        ++fresh;
+      }
+    }
+    if (fresh == 0) {
+      continue;  // fully absorbed by earlier selections
+    }
+    if (fresh < top.gain) {
+      // Stale: re-queue with the exact gain and look again. Every other
+      // candidate's true gain is bounded by its stored key, so nothing
+      // better can be below the refreshed top.
+      top.gain = fresh;
+      heap.push(top);
+      continue;
+    }
+    result.selected.push_back(top.candidate);
+    for (std::size_t s : matrix.covered_by(top.candidate)) {
+      if (!covered[s]) {
+        covered[s] = true;
+        --uncovered;
+      }
+    }
+  }
+
+  result.assignment = assign_nearest(matrix, network, result.selected);
+  return result;
+}
+
+SetCoverResult greedy_set_cover_reference(const CoverageMatrix& matrix,
+                                          const net::SensorNetwork& network,
+                                          const GreedyOptions& options) {
   const std::size_t n_sensors = matrix.sensor_count();
   const std::size_t n_candidates = matrix.candidate_count();
   MDG_REQUIRE(n_sensors == network.size(),

@@ -33,7 +33,21 @@ struct GreedyOptions {
 /// most still-uncovered sensors (H_n-approximate for cardinality).
 /// Sensors are assigned to the selected candidate that covers them and
 /// lies nearest (so uploads use the shortest single hop).
+///
+/// Implemented as classic lazy greedy: a max-heap keyed on (gain, anchor
+/// distance, id) whose entries are refreshed only when popped — gains
+/// are monotone non-increasing, so a popped entry whose refreshed gain
+/// still tops its stored key is the true argmax. Selects exactly the
+/// same candidates, in the same order, as the linear-rescan reference.
 [[nodiscard]] SetCoverResult greedy_set_cover(
+    const CoverageMatrix& matrix, const net::SensorNetwork& network,
+    const GreedyOptions& options = {});
+
+/// The original linear-rescan greedy (one full pass over all candidates
+/// per selection). Kept as the parity oracle for greedy_set_cover and as
+/// the baseline kernel in the hot-path microbench; planners should call
+/// greedy_set_cover.
+[[nodiscard]] SetCoverResult greedy_set_cover_reference(
     const CoverageMatrix& matrix, const net::SensorNetwork& network,
     const GreedyOptions& options = {});
 

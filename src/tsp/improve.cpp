@@ -4,13 +4,336 @@
 #include <utility>
 #include <vector>
 
+#include "tsp/neighbor_lists.h"
 #include "util/assert.h"
 
 namespace mdg::tsp {
 namespace {
 
+constexpr double kGainEps = 1e-12;
+
 double dist(std::span<const geom::Point> pts, std::size_t a, std::size_t b) {
   return geom::distance(pts[a], pts[b]);
+}
+
+/// Neighbour-list local search over a free cyclic order (the depot is
+/// restored by the caller via rotate_to_front).
+///
+/// Move generation follows the Bentley / Johnson–McGeoch playbook:
+///  - a FIFO work queue doubles as the don't-look bits — a city is only
+///    re-examined after one of its tour or geometric neighbours changed;
+///  - 2-opt scans each active city's sorted neighbour list in both tour
+///    directions with an early break once the candidate edge is no
+///    shorter than the removed one (every improving 2-opt move has at
+///    least one such endpoint, so within the k-neighbour horizon no move
+///    is missed);
+///  - Or-opt relocates the 1..max_segment cities starting at the active
+///    city next to a geometric neighbour, in either orientation;
+///  - segment reversals and relocation shifts always touch the shorter
+///    side of the tour, so a single move costs O(min(len, n-len))
+///    position updates instead of O(n).
+class LocalSearchEngine {
+ public:
+  LocalSearchEngine(std::vector<std::size_t> order,
+                    std::span<const geom::Point> pts,
+                    const NeighborLists& nbrs, const ImproveOptions& opt)
+      : pts_(pts),
+        nbrs_(nbrs),
+        opt_(opt),
+        n_(order.size()),
+        order_(std::move(order)),
+        pos_(n_),
+        in_queue_(n_, 1),
+        queue_(n_),
+        seg_scratch_() {
+    for (std::size_t p = 0; p < n_; ++p) {
+      pos_[order_[p]] = p;
+      queue_[p] = order_[p];  // seed in tour order
+    }
+    count_ = n_;
+    seg_scratch_.reserve(opt_.or_opt_max_segment);
+  }
+
+  ImproveStats run() {
+    ImproveStats stats;
+    const std::size_t cap = opt_.max_passes * n_;
+    std::size_t processed = 0;
+    while (count_ > 0 && processed < cap) {
+      const std::size_t a = pop();
+      ++processed;
+      bool moved = try_two_opt(a);
+      if (!moved && opt_.use_or_opt) {
+        moved = try_or_opt(a);
+      }
+      if (moved) {
+        ++stats.moves;
+        push(a);  // revisit with its new surroundings
+      }
+    }
+    stats.passes = n_ == 0 ? 0 : (processed + n_ - 1) / n_;
+    return stats;
+  }
+
+  std::vector<std::size_t> take_order() { return std::move(order_); }
+
+ private:
+  [[nodiscard]] std::size_t succ(std::size_t p) const {
+    return p + 1 == n_ ? 0 : p + 1;
+  }
+  [[nodiscard]] std::size_t pred(std::size_t p) const {
+    return p == 0 ? n_ - 1 : p - 1;
+  }
+  [[nodiscard]] std::size_t advance(std::size_t p, std::size_t steps) const {
+    return (p + steps) % n_;
+  }
+
+  void push(std::size_t city) {
+    if (!in_queue_[city]) {
+      in_queue_[city] = 1;
+      queue_[tail_] = city;
+      tail_ = succ(tail_);
+      ++count_;
+    }
+  }
+
+  std::size_t pop() {
+    const std::size_t city = queue_[head_];
+    head_ = succ(head_);
+    --count_;
+    in_queue_[city] = 0;
+    return city;
+  }
+
+  /// Reverses the cyclic position range [i..j] (`len` entries), updating
+  /// pos_ only for the touched entries.
+  void reverse_cyclic(std::size_t i, std::size_t j, std::size_t len) {
+    for (std::size_t s = 0; s + s + 1 < len; ++s) {
+      std::swap(order_[i], order_[j]);
+      pos_[order_[i]] = i;
+      pos_[order_[j]] = j;
+      i = succ(i);
+      j = pred(j);
+    }
+  }
+
+  /// 2-opt primitive: reverse [i..j] or, when that side is longer, the
+  /// complementary range — both yield the same cyclic tour.
+  void reverse_shorter(std::size_t i, std::size_t j) {
+    const std::size_t len = (j + n_ - i) % n_ + 1;
+    if (2 * len > n_) {
+      reverse_cyclic(succ(j), pred(i), n_ - len);
+    } else {
+      reverse_cyclic(i, j, len);
+    }
+  }
+
+  bool try_two_opt(std::size_t a) {
+    const std::size_t pa = pos_[a];
+    for (int dir = 0; dir < 2; ++dir) {
+      const std::size_t pb = dir == 0 ? succ(pa) : pred(pa);
+      const std::size_t b = order_[pb];
+      const double d_ab = dist(pts_, a, b);
+      for (std::size_t c : nbrs_.of(a)) {
+        const double d_ac = dist(pts_, a, c);
+        if (d_ac >= d_ab) {
+          break;  // sorted list: no closer candidate remains
+        }
+        const std::size_t pc = pos_[c];
+        const std::size_t pd = dir == 0 ? succ(pc) : pred(pc);
+        const std::size_t d_city = order_[pd];
+        if (d_city == a) {
+          continue;  // (c, d) is the edge (c, a) itself
+        }
+        const double gain =
+            d_ab + dist(pts_, c, d_city) - d_ac - dist(pts_, b, d_city);
+        if (gain > kGainEps) {
+          // Replace (a,b) + (c,d) with (a,c) + (b,d): reverse the arc
+          // between b and c (forward) or between a and d (backward).
+          if (dir == 0) {
+            reverse_shorter(pb, pc);
+          } else {
+            reverse_shorter(pa, pd);
+          }
+          push(a);
+          push(b);
+          push(c);
+          push(d_city);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Relocates the segment of `len` cities starting at position `pa` to
+  /// sit between position `q` and its successor, optionally reversed.
+  /// Shifts whichever block between old and new location is shorter.
+  void apply_or_opt(std::size_t pa, std::size_t len, std::size_t q,
+                    bool flip) {
+    seg_scratch_.clear();
+    for (std::size_t t = 0; t < len; ++t) {
+      seg_scratch_.push_back(order_[advance(pa, t)]);
+    }
+    if (flip) {
+      std::reverse(seg_scratch_.begin(), seg_scratch_.end());
+    }
+    const std::size_t pe = advance(pa, len - 1);
+    const std::size_t gap_fwd = (q + n_ - pe) % n_;       // succ(pe)..q
+    const std::size_t gap_back = n_ - len - gap_fwd;      // succ(q)..pred(pa)
+    if (gap_fwd <= gap_back) {
+      std::size_t src = succ(pe);
+      std::size_t dst = pa;
+      for (std::size_t t = 0; t < gap_fwd; ++t) {
+        order_[dst] = order_[src];
+        pos_[order_[dst]] = dst;
+        src = succ(src);
+        dst = succ(dst);
+      }
+      for (std::size_t city : seg_scratch_) {
+        order_[dst] = city;
+        pos_[city] = dst;
+        dst = succ(dst);
+      }
+    } else {
+      std::size_t src = pred(pa);
+      std::size_t dst = pe;
+      for (std::size_t t = 0; t < gap_back; ++t) {
+        order_[dst] = order_[src];
+        pos_[order_[dst]] = dst;
+        src = pred(src);
+        dst = pred(dst);
+      }
+      for (std::size_t i = seg_scratch_.size(); i-- > 0;) {
+        order_[dst] = seg_scratch_[i];
+        pos_[seg_scratch_[i]] = dst;
+        dst = pred(dst);
+      }
+    }
+  }
+
+  bool try_or_opt(std::size_t a) {
+    const std::size_t pa = pos_[a];
+    for (std::size_t len = 1;
+         len <= opt_.or_opt_max_segment && len + 2 <= n_; ++len) {
+      const std::size_t pe = advance(pa, len - 1);
+      const std::size_t e = order_[pe];
+      const std::size_t pp = pred(pa);
+      const std::size_t p = order_[pp];
+      const std::size_t pn = succ(pe);
+      const std::size_t nx = order_[pn];
+      if (pn == pp) {
+        break;  // segment plus endpoints is the whole tour
+      }
+      const double removal_gain =
+          dist(pts_, p, a) + dist(pts_, e, nx) - dist(pts_, p, nx);
+      if (removal_gain <= kGainEps) {
+        continue;
+      }
+      const auto in_segment = [&](std::size_t qpos) {
+        return (qpos + n_ - pa) % n_ < len;
+      };
+      // Try slots where the new neighbour of the segment head `a` (or,
+      // reversed, of the tail `e`) is a geometric neighbour c. Both slot
+      // endpoints must lie outside the segment so the removal and
+      // insertion deltas stay independent.
+      const auto try_slots = [&](std::size_t anchor, std::size_t other,
+                                 std::size_t c) -> bool {
+        // `anchor` is the segment city placed next to c; `other` is the
+        // opposite end of the segment.
+        const double d_c_anchor = dist(pts_, c, anchor);
+        const std::size_t qc = pos_[c];
+        if (in_segment(qc)) {
+          return false;
+        }
+        {
+          // Slot (c, succ(c)): segment enters with `anchor` after c.
+          const std::size_t qf = succ(qc);
+          if (!in_segment(qf)) {
+            const std::size_t f = order_[qf];
+            const double delta = d_c_anchor + dist(pts_, other, f) -
+                                 dist(pts_, c, f) - removal_gain;
+            if (delta < -kGainEps) {
+              apply_or_opt(pa, len, qc, /*flip=*/anchor != a);
+              push(p);
+              push(nx);
+              push(a);
+              push(e);
+              push(c);
+              push(f);
+              return true;
+            }
+          }
+        }
+        {
+          // Slot (pred(c), c): segment enters with `anchor` before c.
+          const std::size_t qb = pred(qc);
+          if (!in_segment(qb)) {
+            const std::size_t bb = order_[qb];
+            const double delta = dist(pts_, bb, other) + d_c_anchor -
+                                 dist(pts_, bb, c) - removal_gain;
+            if (delta < -kGainEps) {
+              apply_or_opt(pa, len, qb, /*flip=*/anchor == a);
+              push(p);
+              push(nx);
+              push(a);
+              push(e);
+              push(c);
+              push(bb);
+              return true;
+            }
+          }
+        }
+        return false;
+      };
+      for (std::size_t c : nbrs_.of(a)) {
+        if (dist(pts_, a, c) >= removal_gain) {
+          break;  // the new edge (c, a) alone cancels the gain
+        }
+        if (try_slots(a, e, c)) {
+          return true;
+        }
+      }
+      if (len > 1) {
+        for (std::size_t c : nbrs_.of(e)) {
+          if (dist(pts_, e, c) >= removal_gain) {
+            break;
+          }
+          if (try_slots(e, a, c)) {
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  std::span<const geom::Point> pts_;
+  const NeighborLists& nbrs_;
+  const ImproveOptions& opt_;
+  std::size_t n_;
+  std::vector<std::size_t> order_;
+  std::vector<std::size_t> pos_;  // pos_[city] = position on the tour
+  // FIFO ring of active cities; in_queue_ doubles as the inverse of the
+  // classic don't-look bit.
+  std::vector<std::uint8_t> in_queue_;
+  std::vector<std::size_t> queue_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t count_ = 0;
+  std::vector<std::size_t> seg_scratch_;
+};
+
+/// Runs the engine on `tour` and restores the depot convention.
+ImproveStats run_engine(Tour& tour, std::span<const geom::Point> points,
+                        const NeighborLists& nbrs,
+                        const ImproveOptions& options) {
+  const std::size_t front = tour.at(0);
+  LocalSearchEngine engine(tour.order(), points, nbrs, options);
+  ImproveStats stats = engine.run();
+  Tour out(engine.take_order());
+  out.rotate_to_front(front);
+  tour = std::move(out);
+  return stats;
 }
 
 }  // namespace
@@ -66,100 +389,14 @@ ImproveStats two_opt_neighbors(Tour& tour, std::span<const geom::Point> points,
   if (n < 4 || k == 0) {
     return stats;
   }
-
-  // k-nearest neighbour lists (by index into `points`).
-  const std::size_t kk = std::min(k, n - 1);
-  std::vector<std::vector<std::size_t>> nearest(n);
-  {
-    std::vector<std::pair<double, std::size_t>> scratch;
-    for (std::size_t a = 0; a < n; ++a) {
-      scratch.clear();
-      for (std::size_t b = 0; b < n; ++b) {
-        if (b != a) {
-          scratch.push_back({geom::distance_sq(points[a], points[b]), b});
-        }
-      }
-      std::partial_sort(scratch.begin(),
-                        scratch.begin() + static_cast<std::ptrdiff_t>(kk),
-                        scratch.end());
-      nearest[a].reserve(kk);
-      for (std::size_t i = 0; i < kk; ++i) {
-        nearest[a].push_back(scratch[i].second);
-      }
-    }
-  }
-
-  std::vector<std::size_t> order = tour.order();
-  std::vector<std::size_t> pos(n);  // pos[city] = position on the tour
-  const auto rebuild_pos = [&] {
-    for (std::size_t p = 0; p < n; ++p) {
-      pos[order[p]] = p;
-    }
-  };
-  rebuild_pos();
-
-  bool improved = true;
-  while (improved && stats.passes < max_passes) {
-    improved = false;
-    ++stats.passes;
-    for (std::size_t i = 1; i + 1 < n; ++i) {
-      const std::size_t a = order[i - 1];  // edge (a, b) on the tour
-      const std::size_t b = order[i];
-      const double d_ab = dist(points, a, b);
-      // A 2-opt move removes (a, b) and (c, d) — c at position j >= i,
-      // d right after it — and adds (a, c) + (b, d). An improving move
-      // needs d_ac < d_ab (first family) or d_bd < d_ab (second
-      // family); scanning both sorted neighbour lists with early break
-      // covers them.
-      bool moved = false;
-      const auto try_reversal = [&](std::size_t j) {
-        if (j <= i || j >= n) {
-          return false;
-        }
-        const std::size_t c = order[j];
-        const std::size_t d_city = order[(j + 1) % n];
-        const double before = d_ab + dist(points, c, d_city);
-        const double after =
-            dist(points, a, c) + dist(points, b, d_city);
-        if (after + 1e-12 < before) {
-          std::reverse(order.begin() + static_cast<std::ptrdiff_t>(i),
-                       order.begin() + static_cast<std::ptrdiff_t>(j) + 1);
-          rebuild_pos();
-          ++stats.moves;
-          improved = true;
-          return true;
-        }
-        return false;
-      };
-      // Family 1: c drawn from a's neighbour list (new edge a-c).
-      for (std::size_t c : nearest[a]) {
-        if (dist(points, a, c) >= d_ab) {
-          break;
-        }
-        if (try_reversal(pos[c])) {
-          moved = true;
-          break;
-        }
-      }
-      if (moved) {
-        continue;
-      }
-      // Family 2: d drawn from b's neighbour list (new edge b-d); the
-      // removed edge is (c, d) with c right before d. No early break:
-      // the improvement condition compares d_bd against d_cd, which is
-      // not monotone along b's neighbour list.
-      for (std::size_t d_city : nearest[b]) {
-        const std::size_t pd = pos[d_city];
-        if (pd == 0) {
-          continue;  // d at the depot: its predecessor is order[n-1]
-        }
-        if (try_reversal(pd - 1)) {
-          break;
-        }
-      }
-    }
-  }
-  tour = Tour(std::move(order));
+  ImproveOptions options;
+  options.neighbors = k;
+  options.max_passes = max_passes;
+  options.use_or_opt = false;
+  const NeighborLists nbrs(points.first(n), k);
+  const ImproveStats engine_stats = run_engine(tour, points, nbrs, options);
+  stats.passes = engine_stats.passes;
+  stats.moves = engine_stats.moves;
   stats.final_length = tour.length(points);
   MDG_ASSERT(stats.final_length <= stats.initial_length + 1e-9,
              "neighbour 2-opt must never lengthen the tour");
@@ -259,20 +496,40 @@ ImproveStats or_opt(Tour& tour, std::span<const geom::Point> points,
 }
 
 ImproveStats improve(Tour& tour, std::span<const geom::Point> points,
-                     std::size_t max_rounds) {
+                     const ImproveOptions& options) {
   ImproveStats total;
   total.initial_length = tour.length(points);
   total.final_length = total.initial_length;
-  for (std::size_t round = 0; round < max_rounds; ++round) {
-    const ImproveStats a = two_opt(tour, points);
-    const ImproveStats b = or_opt(tour, points);
-    total.passes += a.passes + b.passes;
-    total.moves += a.moves + b.moves;
-    total.final_length = b.final_length;
-    if (a.moves + b.moves == 0) {
-      break;
-    }
+  const std::size_t n = tour.size();
+  if (n < 4) {
+    return total;
   }
+
+  if (n < options.full_scan_below) {
+    // Classic composition, kept byte-identical to the original
+    // reproduction so small-instance regression anchors stay exact.
+    for (std::size_t round = 0; round < 8; ++round) {
+      const ImproveStats a = two_opt(tour, points, options.max_passes);
+      const ImproveStats b = options.use_or_opt
+                                 ? or_opt(tour, points, options.max_passes)
+                                 : ImproveStats{};
+      total.passes += a.passes + b.passes;
+      total.moves += a.moves + b.moves;
+      if (a.moves + b.moves == 0) {
+        break;
+      }
+    }
+    total.final_length = tour.length(points);
+    return total;
+  }
+
+  const NeighborLists nbrs(points.first(n), options.neighbors);
+  const ImproveStats engine_stats = run_engine(tour, points, nbrs, options);
+  total.passes = engine_stats.passes;
+  total.moves = engine_stats.moves;
+  total.final_length = tour.length(points);
+  MDG_ASSERT(total.final_length <= total.initial_length + 1e-9,
+             "improve must never lengthen the tour");
   return total;
 }
 

@@ -1,9 +1,12 @@
 // Local-search tour improvement: 2-opt and Or-opt.
 //
-// Both run to a local optimum with first-improvement sweeps. For the
-// instance sizes of this paper (tours over at most a few hundred polling
-// points) the plain O(n^2) sweep per pass is faster in practice than
-// neighbour-list machinery.
+// Two regimes share one entry point. Small tours (under
+// ImproveOptions::full_scan_below cities) run the classic full-sweep
+// kernels — the O(n²) scan per pass is faster than neighbour-list setup
+// there, and the trajectory matches the original reproduction exactly.
+// Larger tours run a neighbour-list engine: k-nearest candidate moves,
+// don't-look bits so converged cities are skipped, shorter-side segment
+// reversal, and Or-opt relocation composed into a single work queue.
 #pragma once
 
 #include <span>
@@ -14,10 +17,26 @@
 namespace mdg::tsp {
 
 struct ImproveStats {
-  std::size_t passes = 0;         ///< full sweeps executed
+  std::size_t passes = 0;         ///< full sweeps (or queue-drain equivalents)
   std::size_t moves = 0;          ///< improving moves applied
   double initial_length = 0.0;
   double final_length = 0.0;
+};
+
+/// Tuning knobs for the composed improvement kernel.
+struct ImproveOptions {
+  /// Neighbour-list width for the engine (clamped to n-1).
+  std::size_t neighbors = 12;
+  /// Upper bound on work: the engine processes at most max_passes·n
+  /// cities; the sweep kernels run at most max_passes sweeps.
+  std::size_t max_passes = 64;
+  /// Compose Or-opt (segment relocation) with 2-opt.
+  bool use_or_opt = true;
+  /// Longest segment Or-opt relocates.
+  std::size_t or_opt_max_segment = 3;
+  /// Below this many cities the classic full-sweep kernels run instead
+  /// of the neighbour-list engine. Set to 0 to force the engine.
+  std::size_t full_scan_below = 96;
 };
 
 /// 2-opt: repeatedly reverse a segment when it shortens the tour; position
@@ -26,11 +45,13 @@ struct ImproveStats {
 ImproveStats two_opt(Tour& tour, std::span<const geom::Point> points,
                      std::size_t max_passes = 64);
 
-/// Neighbour-list 2-opt: only considers reconnections between each city
-/// and its `k` nearest neighbours — O(n·k) per pass instead of O(n^2).
-/// The workhorse for big direct-visit tours (hundreds of stops), where
-/// full 2-opt sweeps dominate planning time. Still never lengthens the
-/// tour; the local optimum is weaker than full 2-opt's.
+/// Neighbour-list 2-opt with don't-look bits: only considers
+/// reconnections between each city and its `k` nearest neighbours and
+/// skips cities whose neighbourhood has not changed since they last
+/// failed to improve — O(n·k) per pass with a near-O(active) inner loop.
+/// The workhorse for big direct-visit tours (hundreds of stops). Still
+/// never lengthens the tour; the local optimum is weaker than full
+/// 2-opt's.
 ImproveStats two_opt_neighbors(Tour& tour, std::span<const geom::Point> points,
                                std::size_t k = 10,
                                std::size_t max_passes = 64);
@@ -39,8 +60,10 @@ ImproveStats two_opt_neighbors(Tour& tour, std::span<const geom::Point> points,
 ImproveStats or_opt(Tour& tour, std::span<const geom::Point> points,
                     std::size_t max_passes = 64);
 
-/// 2-opt followed by Or-opt, iterated until neither improves.
+/// The shared improvement kernel behind every planner: 2-opt + Or-opt to
+/// a joint local optimum. Dispatches between the classic sweep kernels
+/// and the neighbour-list engine on tour size (see ImproveOptions).
 ImproveStats improve(Tour& tour, std::span<const geom::Point> points,
-                     std::size_t max_rounds = 8);
+                     const ImproveOptions& options = {});
 
 }  // namespace mdg::tsp

@@ -30,8 +30,9 @@ double DistanceMatrix::tour_length(const Tour& tour) const {
     return 0.0;
   }
   double total = 0.0;
-  for (std::size_t pos = 0; pos < tour.size(); ++pos) {
-    total += at(tour.at(pos), tour.at(tour.next_pos(pos)));
+  const auto& order = tour.order();
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    total += (*this)(order[pos], order[tour.next_pos(pos)]);
   }
   return total;
 }
@@ -49,8 +50,8 @@ Tour nearest_neighbor_matrix(const DistanceMatrix& d) {
     std::size_t best = n;
     double best_d = kInf;
     for (std::size_t v = 0; v < n; ++v) {
-      if (!visited[v] && d.at(current, v) < best_d) {
-        best_d = d.at(current, v);
+      if (!visited[v] && d(current, v) < best_d) {
+        best_d = d(current, v);
         best = v;
       }
     }
@@ -85,11 +86,11 @@ std::size_t two_opt_matrix(Tour& tour, const DistanceMatrix& d,
     improved = false;
     ++passes;
     for (std::size_t i = 1; i + 1 < n; ++i) {
+      const std::size_t prev = order[i - 1];
       for (std::size_t j = i + 1; j < n; ++j) {
-        const std::size_t prev = order[i - 1];
         const std::size_t next = order[(j + 1) % n];
-        const double before = d.at(prev, order[i]) + d.at(order[j], next);
-        const double after = d.at(prev, order[j]) + d.at(order[i], next);
+        const double before = d(prev, order[i]) + d(order[j], next);
+        const double after = d(prev, order[j]) + d(order[i], next);
         if (after + 1e-12 < before) {
           std::reverse(order.begin() + static_cast<std::ptrdiff_t>(i),
                        order.begin() + static_cast<std::ptrdiff_t>(j) + 1);

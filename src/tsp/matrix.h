@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "tsp/tour.h"
+#include "util/assert.h"
 
 namespace mdg::tsp {
 
@@ -21,6 +22,15 @@ class DistanceMatrix {
 
   [[nodiscard]] std::size_t size() const { return n_; }
   [[nodiscard]] double at(std::size_t i, std::size_t j) const;
+  /// Unchecked access for hot loops (bounds asserted in debug builds
+  /// only — the per-access precondition check in at() is measurable
+  /// inside the O(n²)-per-pass solvers).
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const {
+#ifndef NDEBUG
+    MDG_ASSERT(i < n_ && j < n_, "matrix index out of range");
+#endif
+    return data_[i * n_ + j];
+  }
   /// Sets d(i, j) = d(j, i) = value (value >= 0 or +inf).
   void set(std::size_t i, std::size_t j, double value);
 

@@ -1,0 +1,103 @@
+#include "tsp/neighbor_lists.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "geom/aabb.h"
+#include "geom/spatial_grid.h"
+
+namespace mdg::tsp {
+namespace {
+
+/// Below this size the brute-force partial_sort build beats grid setup.
+constexpr std::size_t kBruteForceBelow = 64;
+
+void emit_sorted_prefix(std::vector<std::pair<double, std::size_t>>& scratch,
+                        std::size_t kk, std::vector<std::size_t>& flat) {
+  std::partial_sort(scratch.begin(),
+                    scratch.begin() + static_cast<std::ptrdiff_t>(kk),
+                    scratch.end());
+  for (std::size_t i = 0; i < kk; ++i) {
+    flat.push_back(scratch[i].second);
+  }
+}
+
+}  // namespace
+
+NeighborLists::NeighborLists(std::span<const geom::Point> points,
+                             std::size_t k) {
+  const std::size_t n = points.size();
+  k_ = n == 0 ? 0 : std::min(k, n - 1);
+  offsets_.resize(n + 1);
+  for (std::size_t a = 0; a <= n; ++a) {
+    offsets_[a] = a * k_;
+  }
+  if (k_ == 0) {
+    return;
+  }
+  flat_.reserve(n * k_);
+
+  std::vector<std::pair<double, std::size_t>> scratch;
+
+  bool brute = n < kBruteForceBelow;
+  double cell = 0.0;
+  geom::Aabb bounds;
+  if (!brute) {
+    bounds = geom::Aabb::bounding(points);
+    const double area = bounds.width() * bounds.height();
+    if (area <= 0.0) {
+      brute = true;  // collinear or coincident: the grid degenerates
+    } else {
+      // ~1 point per cell in expectation.
+      cell = std::sqrt(area / static_cast<double>(n));
+    }
+  }
+
+  if (brute) {
+    for (std::size_t a = 0; a < n; ++a) {
+      scratch.clear();
+      for (std::size_t b = 0; b < n; ++b) {
+        if (b != a) {
+          scratch.push_back({geom::distance_sq(points[a], points[b]), b});
+        }
+      }
+      emit_sorted_prefix(scratch, k_, flat_);
+    }
+    return;
+  }
+
+  const geom::SpatialGrid grid(points, cell);
+  // Once the scan radius reaches the bounding-box diagonal every point
+  // has been seen, whatever the query centre.
+  const double reach = std::hypot(bounds.width(), bounds.height());
+  for (std::size_t a = 0; a < n; ++a) {
+    // Expanding ring: a point can only be missed while the scan radius is
+    // below its distance, so the k-th hit is confirmed once it lies
+    // within the scanned radius.
+    double radius = cell;
+    for (;;) {
+      scratch.clear();
+      grid.for_each_in_radius(points[a], radius, [&](std::size_t idx) {
+        if (idx != a) {
+          scratch.push_back({geom::distance_sq(points[a], points[idx]), idx});
+        }
+      });
+      if (scratch.size() >= k_) {
+        std::nth_element(scratch.begin(),
+                         scratch.begin() + static_cast<std::ptrdiff_t>(k_ - 1),
+                         scratch.end());
+        if (std::sqrt(scratch[k_ - 1].first) <= radius) {
+          break;
+        }
+      }
+      if (radius >= reach) {
+        break;  // the whole indexed set was scanned
+      }
+      radius *= 2.0;
+    }
+    emit_sorted_prefix(scratch, k_, flat_);
+  }
+}
+
+}  // namespace mdg::tsp

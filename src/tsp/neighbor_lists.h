@@ -1,0 +1,41 @@
+// k-nearest-neighbour lists over a point set, grid-accelerated.
+//
+// Local search (2-opt, Or-opt) only ever reconnects a city to one of its
+// geometric neighbours, so precomputing each city's k nearest neighbours
+// turns move enumeration into an O(k) scan of a sorted list. Construction
+// uses geom::SpatialGrid expanding-ring radius queries — O(n·k) expected
+// instead of the O(n²·log k) brute-force scan — falling back to
+// partial_sort for tiny or geometrically degenerate inputs where grid
+// setup does not pay off.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace mdg::tsp {
+
+class NeighborLists {
+ public:
+  /// Builds the k-nearest lists for `points` (k is clamped to n-1). Each
+  /// list is sorted by distance ascending; exact ties break toward the
+  /// lower index, so construction is deterministic.
+  NeighborLists(std::span<const geom::Point> points, std::size_t k);
+
+  [[nodiscard]] std::size_t size() const { return offsets_.size() - 1; }
+  [[nodiscard]] std::size_t k() const { return k_; }
+
+  /// Neighbours of city a, nearest first.
+  [[nodiscard]] std::span<const std::size_t> of(std::size_t a) const {
+    return {flat_.data() + offsets_[a], offsets_[a + 1] - offsets_[a]};
+  }
+
+ private:
+  std::size_t k_ = 0;
+  std::vector<std::size_t> offsets_;  // CSR: list of a is [offsets_[a], offsets_[a+1])
+  std::vector<std::size_t> flat_;
+};
+
+}  // namespace mdg::tsp

