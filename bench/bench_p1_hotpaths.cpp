@@ -25,6 +25,8 @@
 #include "io/serialize.h"
 #include "net/deployment.h"
 #include "net/sensor_network.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 #include "tsp/construct.h"
 #include "tsp/improve.h"
 #include "util/flags.h"
@@ -93,7 +95,13 @@ int main(int argc, char** argv) {
   const bool check = flags.get_bool("check", false);
   const std::size_t max_n =
       static_cast<std::size_t>(flags.get_int("max-n", 8000));
+  const std::string report_path = flags.get_string("report", "");
   flags.finish();
+  if (!report_path.empty()) {
+    obs::MetricsRegistry::set_enabled(true);
+    obs::MetricsRegistry::instance().reset();
+  }
+  const Stopwatch total_watch;
 
   const Rng base(seed);
   std::vector<KernelResult> results;
@@ -238,6 +246,21 @@ int main(int argc, char** argv) {
        << body << "\n  ]\n}\n";
   json.close();
   std::cout << "wrote " << out_path << "\n";
+
+  if (!report_path.empty()) {
+    obs::RunReport report;
+    report.command = "bench";
+    report.planner = "p1_hotpaths";
+    report.seed = seed;
+    report.git_describe = obs::current_git_describe();
+    report.wall_ms = total_watch.elapsed_ms();
+    report.params = {{"trials", std::to_string(trials)},
+                     {"max-n", std::to_string(max_n)},
+                     {"check", check ? "true" : "false"}};
+    report.capture_metrics(obs::MetricsRegistry::instance());
+    report.save(report_path);
+    std::cout << "wrote " << report_path << "\n";
+  }
 
   if (check && regressed) {
     return 1;

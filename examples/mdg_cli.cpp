@@ -3,11 +3,13 @@
 //   example_mdg_cli generate --sensors 200 --side 200 --range 30
 //                            --seed 1 --out net.txt
 //   example_mdg_cli plan     --net net.txt [--planner spanning|greedy|
-//                            direct|election] [--max-load K] --out sol.txt
+//                            direct|election] [--max-load K] [--refine]
+//                            [--report report.json] --out sol.txt
 //   example_mdg_cli inspect  --net net.txt [--sol sol.txt]
 //   example_mdg_cli render   --net net.txt [--sol sol.txt] --out plan.svg
 //   example_mdg_cli simulate --net net.txt --sol sol.txt [--rounds 10]
 //                            [--speed 1.0] [--battery 0.5]
+//                            [--report report.json]
 //   example_mdg_cli fleet    --net net.txt --sol sol.txt --k 3
 #include <iostream>
 #include <memory>
@@ -17,6 +19,16 @@
 namespace {
 
 using namespace mdg;
+
+/// Turns metric collection on (and clears stale state) when the user
+/// asked for a report.
+void arm_report(const std::string& report_path) {
+  if (report_path.empty()) {
+    return;
+  }
+  obs::MetricsRegistry::set_enabled(true);
+  obs::MetricsRegistry::instance().reset();
+}
 
 std::unique_ptr<core::Planner> make_planner(const std::string& name,
                                             long long max_load) {
@@ -61,17 +73,41 @@ int cmd_plan(Flags& flags) {
   const std::string net_path = flags.get_string("net", "net.txt");
   const std::string planner_name = flags.get_string("planner", "spanning");
   const long long max_load = flags.get_int("max-load", 0);
+  const bool refine = flags.get_bool("refine", false);
   const std::string out = flags.get_string("out", "sol.txt");
+  const std::string report_path = flags.get_string("report", "");
   flags.finish();
+  arm_report(report_path);
   const net::SensorNetwork network = io::load_network(net_path);
   const core::ShdgpInstance instance(network);
   const auto planner = make_planner(planner_name, max_load);
-  const core::ShdgpSolution solution = planner->plan(instance);
+  const Stopwatch watch;
+  core::ShdgpSolution solution = planner->plan(instance);
+  if (refine) {
+    core::refine_polling_positions(instance, solution, {});
+  }
+  const double wall_ms = watch.elapsed_ms();
   solution.validate(instance);
   io::save_solution(out, solution);
   std::cout << "Planned with " << solution.planner << ": "
             << solution.polling_points.size() << " polling points, tour "
             << solution.tour_length << " m -> " << out << "\n";
+  if (!report_path.empty()) {
+    obs::RunReport report;
+    report.command = "plan";
+    report.planner = solution.planner;
+    report.git_describe = obs::current_git_describe();
+    report.wall_ms = wall_ms;
+    report.set_instance(instance);
+    report.set_quality(instance, solution);
+    report.params = {{"net", net_path},
+                     {"planner", planner_name},
+                     {"max-load", std::to_string(max_load)},
+                     {"refine", refine ? "true" : "false"}};
+    report.capture_metrics(obs::MetricsRegistry::instance());
+    report.save(report_path);
+    std::cout << "Report -> " << report_path << "\n";
+  }
   return 0;
 }
 
@@ -131,7 +167,9 @@ int cmd_simulate(Flags& flags) {
   const auto rounds = static_cast<std::size_t>(flags.get_int("rounds", 10));
   const double speed = flags.get_double("speed", 1.0);
   const double battery = flags.get_double("battery", 0.5);
+  const std::string report_path = flags.get_string("report", "");
   flags.finish();
+  arm_report(report_path);
   const net::SensorNetwork network = io::load_network(net_path);
   const core::ShdgpInstance instance(network);
   const core::ShdgpSolution solution = io::load_solution(sol_path);
@@ -141,6 +179,7 @@ int cmd_simulate(Flags& flags) {
   config.initial_battery_j = battery;
   sim::MobileCollectionSim sim(instance, solution, config);
   sim::EnergyLedger ledger(network.size(), battery);
+  const Stopwatch watch;
   double clock = 0.0;
   std::size_t delivered = 0;
   for (std::size_t r = 0; r < rounds; ++r) {
@@ -151,6 +190,24 @@ int cmd_simulate(Flags& flags) {
   std::cout << rounds << " rounds in " << clock / 60.0 << " min, "
             << delivered << " packets delivered, " << ledger.alive_count()
             << "/" << network.size() << " sensors alive\n";
+  if (!report_path.empty()) {
+    obs::RunReport report;
+    report.command = "simulate";
+    report.planner = solution.planner;
+    report.seed = config.loss_seed;
+    report.git_describe = obs::current_git_describe();
+    report.wall_ms = watch.elapsed_ms();
+    report.set_instance(instance);
+    report.set_quality(instance, solution);
+    report.params = {{"net", net_path},
+                     {"sol", sol_path},
+                     {"rounds", std::to_string(rounds)},
+                     {"speed", std::to_string(speed)},
+                     {"battery", std::to_string(battery)}};
+    report.capture_metrics(obs::MetricsRegistry::instance());
+    report.save(report_path);
+    std::cout << "Report -> " << report_path << "\n";
+  }
   return 0;
 }
 

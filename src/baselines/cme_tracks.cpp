@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "graph/bfs.h"
+#include "obs/names.h"
+#include "obs/span.h"
 #include "util/assert.h"
 
 namespace mdg::baselines {
@@ -14,6 +16,7 @@ CmeScheme::CmeScheme(CmeOptions options) : options_(options) {
 }
 
 CmeResult CmeScheme::run(const net::SensorNetwork& network) const {
+  OBS_SPAN(obs::metric::kBaselineCmeRun);
   const geom::Aabb& field = network.field();
   const std::size_t tracks = options_.track_count;
   CmeResult result;

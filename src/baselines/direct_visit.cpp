@@ -4,12 +4,15 @@
 #include <limits>
 
 #include "cover/set_cover.h"
+#include "obs/names.h"
+#include "obs/span.h"
 #include "util/assert.h"
 
 namespace mdg::baselines {
 
 core::ShdgpSolution DirectVisitPlanner::plan(
     const core::ShdgpInstance& instance) const {
+  OBS_SPAN(obs::metric::kPlanDirectVisit);
   const auto& network = instance.network();
   const auto& matrix = instance.coverage();
 

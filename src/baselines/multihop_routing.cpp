@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "graph/bfs.h"
+#include "obs/names.h"
+#include "obs/span.h"
 #include "util/assert.h"
 
 namespace mdg::baselines {
@@ -43,6 +45,7 @@ std::size_t MultihopRouting::next_hop(std::size_t s) const {
 }
 
 MultihopResult MultihopRouting::analyze() const {
+  OBS_SPAN(obs::metric::kBaselineMultihopAnalyze);
   const auto& network = *network_;
   const std::size_t n = network.size();
   const auto& radio = network.radio();

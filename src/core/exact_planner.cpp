@@ -8,6 +8,8 @@
 #include "core/greedy_cover_planner.h"
 #include "core/spanning_tour_planner.h"
 #include "cover/set_cover.h"
+#include "obs/names.h"
+#include "obs/span.h"
 #include "tsp/exact.h"
 #include "util/assert.h"
 #include "util/log.h"
@@ -118,6 +120,7 @@ void search(SearchState& state, std::uint64_t covered) {
 }  // namespace
 
 ShdgpSolution ExactPlanner::plan(const ShdgpInstance& instance) const {
+  OBS_SPAN(obs::metric::kPlanExact);
   const auto& network = instance.network();
   const auto& matrix = instance.coverage();
   MDG_REQUIRE(network.size() <= 64,

@@ -1,10 +1,13 @@
 #include "core/greedy_cover_planner.h"
 
 #include "cover/set_cover.h"
+#include "obs/names.h"
+#include "obs/span.h"
 
 namespace mdg::core {
 
 ShdgpSolution GreedyCoverPlanner::plan(const ShdgpInstance& instance) const {
+  OBS_SPAN(obs::metric::kPlanGreedyCover);
   cover::GreedyOptions greedy;
   greedy.tie_break_toward_anchor = options_.tie_break_toward_sink;
   greedy.anchor = instance.sink();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/names.h"
+#include "obs/span.h"
 #include "util/assert.h"
 
 namespace mdg::core {
@@ -25,6 +27,7 @@ geom::Point project_onto_segment(geom::Point p, geom::Point a,
 std::size_t refine_polling_positions(const ShdgpInstance& instance,
                                      ShdgpSolution& solution,
                                      const RefineOptions& options) {
+  OBS_SPAN(obs::metric::kRefineSlide);
   MDG_REQUIRE(options.passes >= 1, "need at least one pass");
   MDG_REQUIRE(options.tolerance > 0.0 && options.tolerance < 1.0,
               "tolerance must be in (0, 1)");
@@ -120,6 +123,7 @@ std::size_t refine_polling_positions(const ShdgpInstance& instance,
 
   solution.tour_length = solution.tour.length(coords);
   solution.validate(instance);
+  MDG_OBS_COUNT(obs::metric::kRefineMoves, moves);
   return moves;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/names.h"
+#include "obs/span.h"
 #include "util/assert.h"
 
 namespace mdg::core {
@@ -92,6 +94,7 @@ void ShdgpSolution::validate(const ShdgpInstance& instance) const {
 
 void route_collector(const ShdgpInstance& instance, ShdgpSolution& solution,
                      tsp::TspEffort effort) {
+  OBS_SPAN(obs::metric::kRouteCollector);
   std::vector<geom::Point> all;
   all.reserve(solution.polling_points.size() + 1);
   all.push_back(instance.sink());

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "cover/set_cover.h"
+#include "obs/names.h"
+#include "obs/span.h"
 #include "util/assert.h"
 
 namespace mdg::core {
@@ -38,6 +40,7 @@ std::size_t nearest_candidate(const cover::CoverageMatrix& matrix,
 }  // namespace
 
 ShdgpSolution SpanningTourPlanner::plan(const ShdgpInstance& instance) const {
+  OBS_SPAN(obs::metric::kPlanSpanningTour);
   const auto& network = instance.network();
   const auto& matrix = instance.coverage();
   const std::size_t n = network.size();

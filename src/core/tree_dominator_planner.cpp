@@ -6,11 +6,14 @@
 
 #include "cover/set_cover.h"
 #include "graph/bfs.h"
+#include "obs/names.h"
+#include "obs/span.h"
 #include "util/assert.h"
 
 namespace mdg::core {
 
 ShdgpSolution TreeDominatorPlanner::plan(const ShdgpInstance& instance) const {
+  OBS_SPAN(obs::metric::kPlanTreeDominator);
   const auto& network = instance.network();
   const auto& matrix = instance.coverage();
   const std::size_t n = network.size();

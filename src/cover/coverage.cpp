@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "geom/disk.h"
+#include "obs/names.h"
+#include "obs/span.h"
 #include "util/assert.h"
 
 namespace mdg::cover {
@@ -40,6 +42,7 @@ void CoverageMatrix::index_candidate(const net::SensorNetwork& network,
 CoverageMatrix::CoverageMatrix(const net::SensorNetwork& network,
                                const CandidateOptions& options)
     : covering_(network.size()) {
+  OBS_SPAN(obs::metric::kCoverMatrixBuild);
   MDG_REQUIRE(options.grid_spacing > 0.0, "grid spacing must be positive");
   const auto policy = options.policy;
   const bool want_sites = policy != CandidatePolicy::kGrid;

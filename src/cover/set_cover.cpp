@@ -4,6 +4,8 @@
 #include <limits>
 #include <queue>
 
+#include "obs/names.h"
+#include "obs/span.h"
 #include "util/assert.h"
 
 namespace mdg::cover {
@@ -35,6 +37,7 @@ struct LazyEntryWorse {
 SetCoverResult greedy_set_cover(const CoverageMatrix& matrix,
                                 const net::SensorNetwork& network,
                                 const GreedyOptions& options) {
+  OBS_SPAN(obs::metric::kCoverGreedy);
   const std::size_t n_sensors = matrix.sensor_count();
   const std::size_t n_candidates = matrix.candidate_count();
   MDG_REQUIRE(n_sensors == network.size(),
@@ -43,6 +46,7 @@ SetCoverResult greedy_set_cover(const CoverageMatrix& matrix,
   SetCoverResult result;
   std::vector<bool> covered(n_sensors, false);
   std::size_t uncovered = n_sensors;
+  std::size_t lazy_refreshes = 0;
 
   std::priority_queue<LazyEntry, std::vector<LazyEntry>, LazyEntryWorse> heap;
   {
@@ -85,6 +89,7 @@ SetCoverResult greedy_set_cover(const CoverageMatrix& matrix,
       // better can be below the refreshed top.
       top.gain = fresh;
       heap.push(top);
+      ++lazy_refreshes;
       continue;
     }
     result.selected.push_back(top.candidate);
@@ -96,6 +101,8 @@ SetCoverResult greedy_set_cover(const CoverageMatrix& matrix,
     }
   }
 
+  MDG_OBS_COUNT(obs::metric::kCoverSelected, result.selected.size());
+  MDG_OBS_COUNT(obs::metric::kCoverLazyRefreshes, lazy_refreshes);
   result.assignment = assign_nearest(matrix, network, result.selected);
   return result;
 }
@@ -103,6 +110,7 @@ SetCoverResult greedy_set_cover(const CoverageMatrix& matrix,
 SetCoverResult greedy_set_cover_reference(const CoverageMatrix& matrix,
                                           const net::SensorNetwork& network,
                                           const GreedyOptions& options) {
+  OBS_SPAN(obs::metric::kCoverGreedyReference);
   const std::size_t n_sensors = matrix.sensor_count();
   const std::size_t n_candidates = matrix.candidate_count();
   MDG_REQUIRE(n_sensors == network.size(),
@@ -173,6 +181,7 @@ SetCoverResult greedy_set_cover_reference(const CoverageMatrix& matrix,
 std::vector<std::size_t> assign_nearest(
     const CoverageMatrix& matrix, const net::SensorNetwork& network,
     const std::vector<std::size_t>& selected) {
+  OBS_SPAN(obs::metric::kCoverAssign);
   MDG_REQUIRE(matrix.is_cover(selected), "selected set is not a cover");
   // Map candidate id -> slot in `selected`.
   std::vector<std::size_t> slot(matrix.candidate_count(),
@@ -343,6 +352,7 @@ CapacitatedCoverResult enforce_capacity(const CoverageMatrix& matrix,
                                         const net::SensorNetwork& network,
                                         std::vector<std::size_t> selected,
                                         std::size_t capacity) {
+  OBS_SPAN(obs::metric::kCoverCapacity);
   MDG_REQUIRE(capacity >= 1, "capacity must allow at least one sensor");
   std::sort(selected.begin(), selected.end());
   selected.erase(std::unique(selected.begin(), selected.end()),
@@ -415,6 +425,7 @@ CapacitatedCoverResult enforce_capacity(const CoverageMatrix& matrix,
                "capacitated cover infeasible: every candidate selected yet "
                "sensors remain unplaced (capacity too small for the "
                "candidate set)");
+    MDG_OBS_COUNT(obs::metric::kCoverCapacityAdded, 1);
     result.selected.push_back(best);
     std::sort(result.selected.begin(), result.selected.end());
   }

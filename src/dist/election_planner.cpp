@@ -7,6 +7,8 @@
 
 #include "cover/set_cover.h"
 #include "dist/sync_network.h"
+#include "obs/names.h"
+#include "obs/span.h"
 #include "util/assert.h"
 
 namespace mdg::dist {
@@ -46,6 +48,7 @@ bool better_priority(std::size_t deg_a, std::size_t hop_a, std::size_t id_a,
 
 core::ShdgpSolution ElectionPlanner::plan(
     const core::ShdgpInstance& instance) const {
+  OBS_SPAN(obs::metric::kPlanElection);
   const auto& network = instance.network();
   const auto& matrix = instance.coverage();
   const std::size_t n = network.size();

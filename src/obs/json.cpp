@@ -1,0 +1,487 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/assert.h"
+
+namespace mdg::obs {
+namespace {
+
+/// Formats a double exactly (round-trips through strtod); integral
+/// values inside the uint64 range print without a fraction.
+std::string format_number(double value) {
+  MDG_REQUIRE(std::isfinite(value), "JSON numbers must be finite");
+  if (value == std::floor(value) && std::fabs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+void write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue run() {
+    JsonValue value = parse_value();
+    skip_ws();
+    MDG_REQUIRE(pos_ == text_.size(), "trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    MDG_REQUIRE(pos_ < text_.size(), "unexpected end of JSON input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    MDG_REQUIRE(pos_ < text_.size() && text_[pos_] == c,
+                std::string("expected '") + c + "' in JSON input");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      return parse_object();
+    }
+    if (c == '[') {
+      return parse_array();
+    }
+    if (c == '"') {
+      return JsonValue::string(parse_string());
+    }
+    if (consume_literal("true")) {
+      return JsonValue::boolean(true);
+    }
+    if (consume_literal("false")) {
+      return JsonValue::boolean(false);
+    }
+    if (consume_literal("null")) {
+      return JsonValue{};
+    }
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue value = JsonValue::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      value.set(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return value;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue value = JsonValue::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    for (;;) {
+      value.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return value;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      MDG_REQUIRE(pos_ < text_.size(), "unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      MDG_REQUIRE(pos_ < text_.size(), "unterminated JSON escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          MDG_REQUIRE(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              MDG_REQUIRE(false, "invalid \\u escape digit");
+            }
+          }
+          MDG_REQUIRE(code < 0x80,
+                      "non-ASCII \\u escapes are not supported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          MDG_REQUIRE(false, "unknown JSON escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    MDG_REQUIRE(pos_ > start, "invalid JSON value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    MDG_REQUIRE(end != nullptr && *end == '\0' && end != token.c_str(),
+                "malformed JSON number '" + token + "'");
+    return JsonValue::number(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::boolean(bool value) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::number(double value) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::number(std::uint64_t value) {
+  return number(static_cast<double>(value));
+}
+
+JsonValue JsonValue::string(std::string value) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  MDG_REQUIRE(is_bool(), "JSON value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  MDG_REQUIRE(is_number(), "JSON value is not a number");
+  return number_;
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  MDG_REQUIRE(is_number() && number_ >= 0.0 &&
+                  number_ == std::floor(number_),
+              "JSON value is not a non-negative integer");
+  return static_cast<std::uint64_t>(number_);
+}
+
+const std::string& JsonValue::as_string() const {
+  MDG_REQUIRE(is_string(), "JSON value is not a string");
+  return string_;
+}
+
+std::size_t JsonValue::size() const {
+  MDG_REQUIRE(is_array() || is_object(), "JSON value has no size");
+  return is_array() ? array_.size() : object_.size();
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  MDG_REQUIRE(is_array(), "JSON value is not an array");
+  MDG_REQUIRE(index < array_.size(), "JSON array index out of range");
+  return array_[index];
+}
+
+void JsonValue::push_back(JsonValue value) {
+  MDG_REQUIRE(is_array(), "JSON value is not an array");
+  array_.push_back(std::move(value));
+}
+
+bool JsonValue::contains(std::string_view key) const {
+  MDG_REQUIRE(is_object(), "JSON value is not an object");
+  for (const auto& [k, v] : object_) {
+    if (k == key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  MDG_REQUIRE(is_object(), "JSON value is not an object");
+  for (const auto& [k, v] : object_) {
+    if (k == key) {
+      return v;
+    }
+  }
+  MDG_REQUIRE(false, "missing JSON key '" + std::string(key) + "'");
+  return object_.front().second;  // unreachable
+}
+
+void JsonValue::set(std::string key, JsonValue value) {
+  MDG_REQUIRE(is_object(), "JSON value is not an object");
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  MDG_REQUIRE(is_object(), "JSON value is not an object");
+  return object_;
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (type_ != other.type_) {
+    return false;
+  }
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      return number_ == other.number_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kArray:
+      return array_ == other.array_;
+    case Type::kObject: {
+      if (object_.size() != other.object_.size()) {
+        return false;
+      }
+      for (const auto& [k, v] : object_) {
+        if (!other.contains(k) || !(other.at(k) == v)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void JsonValue::write(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad =
+      pretty ? std::string(static_cast<std::size_t>(indent * (depth + 1)),
+                           ' ')
+             : std::string();
+  const std::string close_pad =
+      pretty ? std::string(static_cast<std::size_t>(indent * depth), ' ')
+             : std::string();
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      out += format_number(number_);
+      return;
+    case Type::kString:
+      write_escaped(out, string_);
+      return;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        if (pretty) {
+          out += '\n';
+          out += pad;
+        }
+        array_[i].write(out, indent, depth + 1);
+      }
+      if (pretty) {
+        out += '\n';
+        out += close_pad;
+      }
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        if (pretty) {
+          out += '\n';
+          out += pad;
+        }
+        write_escaped(out, object_[i].first);
+        out += pretty ? ": " : ":";
+        object_[i].second.write(out, indent, depth + 1);
+      }
+      if (pretty) {
+        out += '\n';
+        out += close_pad;
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+JsonValue JsonValue::parse(std::string_view text) {
+  Parser parser(text);
+  return parser.run();
+}
+
+}  // namespace mdg::obs

@@ -1,0 +1,81 @@
+// Minimal JSON document model for run reports and report tooling.
+//
+// Deliberately small: null/bool/number/string/array/object, a
+// recursive-descent parser, and a deterministic writer (objects keep
+// insertion order, doubles round-trip via max_digits10, integral values
+// print without an exponent) so two reports built from the same run are
+// byte-identical. Not a general-purpose JSON library — no \uXXXX
+// escapes beyond ASCII control characters, numbers are IEEE doubles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mdg::obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  static JsonValue boolean(bool value);
+  static JsonValue number(double value);
+  static JsonValue number(std::uint64_t value);
+  static JsonValue string(std::string value);
+  static JsonValue array();
+  static JsonValue object();
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed reads; each throws PreconditionError on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Array access.
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const JsonValue& at(std::size_t index) const;
+  void push_back(JsonValue value);
+
+  /// Object access (insertion-ordered).
+  [[nodiscard]] bool contains(std::string_view key) const;
+  /// Throws PreconditionError when the key is missing.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+  /// Inserts or overwrites.
+  void set(std::string key, JsonValue value);
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  members() const;
+
+  /// Structural equality (object member *order* is ignored).
+  [[nodiscard]] bool operator==(const JsonValue& other) const;
+
+  /// Serializes with 2-space indentation (indent < 0: single line).
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// Parses a complete JSON document; throws PreconditionError on any
+  /// syntax error or trailing garbage.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+
+  void write(std::string& out, int indent, int depth) const;
+};
+
+}  // namespace mdg::obs

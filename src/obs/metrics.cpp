@@ -1,0 +1,133 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mdg::obs {
+namespace {
+
+bool env_enabled() {
+  const char* raw = std::getenv("MDG_OBS");
+  if (raw == nullptr) {
+    return false;
+  }
+  const std::string value(raw);
+  return value == "1" || value == "true" || value == "on";
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_enabled()};
+  return flag;
+}
+
+}  // namespace
+
+const char* to_string(MetricSnapshot::Kind kind) {
+  switch (kind) {
+    case MetricSnapshot::Kind::kCounter:
+      return "counter";
+    case MetricSnapshot::Kind::kGauge:
+      return "gauge";
+    case MetricSnapshot::Kind::kTimer:
+      return "timer";
+  }
+  return "unknown";
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+bool MetricsRegistry::enabled() {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void MetricsRegistry::set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::add_counter(std::string_view name,
+                                  std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cells_.find(name);
+  if (it == cells_.end()) {
+    it = cells_.emplace(std::string(name), Cell{}).first;
+    it->second.kind = MetricSnapshot::Kind::kCounter;
+  }
+  it->second.count += delta;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cells_.find(name);
+  if (it == cells_.end()) {
+    it = cells_.emplace(std::string(name), Cell{}).first;
+    it->second.kind = MetricSnapshot::Kind::kGauge;
+  }
+  it->second.value = value;
+}
+
+void MetricsRegistry::record_timer(std::string_view name, double ms) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cells_.find(name);
+  if (it == cells_.end()) {
+    it = cells_.emplace(std::string(name), Cell{}).first;
+    it->second.kind = MetricSnapshot::Kind::kTimer;
+    it->second.min_ms = ms;
+    it->second.max_ms = ms;
+  }
+  Cell& cell = it->second;
+  cell.count += 1;
+  cell.value += ms;
+  cell.min_ms = std::min(cell.min_ms, ms);
+  cell.max_ms = std::max(cell.max_ms, ms);
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cells_.find(name);
+  return it == cells_.end() ? 0 : it->second.count;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cells_.find(name);
+  return it == cells_.end() ? 0.0 : it->second.value;
+}
+
+double MetricsRegistry::timer_total_ms(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cells_.find(name);
+  return it == cells_.end() ? 0.0 : it->second.value;
+}
+
+std::uint64_t MetricsRegistry::timer_count(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cells_.find(name);
+  return it == cells_.end() ? 0 : it->second.count;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(cells_.size());
+  for (const auto& [name, cell] : cells_) {  // std::map: sorted by name
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.kind = cell.kind;
+    snap.count = cell.count;
+    snap.value = cell.value;
+    snap.min_ms = cell.min_ms;
+    snap.max_ms = cell.max_ms;
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  cells_.clear();
+}
+
+}  // namespace mdg::obs

@@ -1,0 +1,130 @@
+// Process-wide metrics registry: counters, gauges and histogram timers.
+//
+// The observability contract (see docs/METRICS.md and CONTRIBUTING.md):
+// instrumentation *observes* and never *decides* — no planner control
+// flow, tie-break or RNG draw may depend on a metric, a span, or whether
+// observability is enabled at all. Tests assert byte-identical plans
+// with observability on and off.
+//
+// Two switches keep the cost honest:
+//   * compile time — configure with -DMDG_OBS=OFF and every MDG_OBS_*
+//     macro (and OBS_SPAN) compiles to nothing;
+//   * run time — recording is gated on one relaxed atomic flag
+//     (default off, or the MDG_OBS=1 environment variable), so an
+//     instrumented Release binary pays a single predictable branch per
+//     site when observability is idle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mdg::obs {
+
+/// One metric in a registry snapshot.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kTimer };
+
+  std::string name;
+  Kind kind = Kind::kCounter;
+  /// Counter value, or number of observations for a timer.
+  std::uint64_t count = 0;
+  /// Gauge value, or accumulated milliseconds for a timer.
+  double value = 0.0;
+  /// Timer extremes (milliseconds); zero for counters/gauges.
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+[[nodiscard]] const char* to_string(MetricSnapshot::Kind kind);
+
+/// Thread-safe registry of named metrics. One process-wide instance
+/// (`MetricsRegistry::instance()`) backs the MDG_OBS_* macros and
+/// OBS_SPAN; tests may construct private registries.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry the instrumentation macros write to.
+  [[nodiscard]] static MetricsRegistry& instance();
+
+  /// Runtime switch for the process-wide instrumentation. Cheap to
+  /// query (one relaxed atomic load); initialised from the MDG_OBS
+  /// environment variable (1|true|on), default disabled.
+  [[nodiscard]] static bool enabled();
+  static void set_enabled(bool on);
+
+  void add_counter(std::string_view name, std::uint64_t delta = 1);
+  void set_gauge(std::string_view name, double value);
+  /// Records one timer observation (histogram bucket: count/total/min/max).
+  void record_timer(std::string_view name, double ms);
+
+  /// Current counter value (0 when never incremented).
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  /// Current gauge value (0 when never set).
+  [[nodiscard]] double gauge(std::string_view name) const;
+  /// Accumulated milliseconds of a timer (0 when never recorded).
+  [[nodiscard]] double timer_total_ms(std::string_view name) const;
+  /// Number of observations of a timer.
+  [[nodiscard]] std::uint64_t timer_count(std::string_view name) const;
+
+  /// Every metric, sorted by name — the deterministic order RunReport
+  /// serializes.
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+  /// Drops every metric (start of a fresh reported run).
+  void reset();
+
+ private:
+  struct Cell {
+    MetricSnapshot::Kind kind = MetricSnapshot::Kind::kCounter;
+    std::uint64_t count = 0;
+    double value = 0.0;
+    double min_ms = 0.0;
+    double max_ms = 0.0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Cell, std::less<>> cells_;
+};
+
+}  // namespace mdg::obs
+
+// Instrumentation macros. All writes go to the process-wide registry
+// and are skipped entirely while obs is disabled at runtime; with
+// -DMDG_OBS=OFF they vanish at compile time.
+#ifndef MDG_OBS_DISABLED
+#define MDG_OBS_COUNT(name, delta)                                        \
+  do {                                                                    \
+    if (::mdg::obs::MetricsRegistry::enabled()) {                         \
+      ::mdg::obs::MetricsRegistry::instance().add_counter(                \
+          (name), static_cast<std::uint64_t>(delta));                     \
+    }                                                                     \
+  } while (false)
+#define MDG_OBS_GAUGE(name, value)                                        \
+  do {                                                                    \
+    if (::mdg::obs::MetricsRegistry::enabled()) {                         \
+      ::mdg::obs::MetricsRegistry::instance().set_gauge(                  \
+          (name), static_cast<double>(value));                            \
+    }                                                                     \
+  } while (false)
+#else
+// Compiled out: arguments are void-cast (never evaluated into code that
+// matters) so instrumentation inputs don't trip -Wunused warnings.
+#define MDG_OBS_COUNT(name, delta) \
+  do {                             \
+    (void)(name);                  \
+    (void)(delta);                 \
+  } while (false)
+#define MDG_OBS_GAUGE(name, value) \
+  do {                             \
+    (void)(name);                  \
+    (void)(value);                 \
+  } while (false)
+#endif

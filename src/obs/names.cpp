@@ -1,0 +1,75 @@
+#include "obs/names.h"
+
+#include <cstring>
+
+namespace mdg::obs {
+
+std::span<const MetricInfo> known_metrics() {
+  // Sorted by name; docs/METRICS.md mirrors this table row for row.
+  static constexpr MetricInfo kCatalog[] = {
+      {metric::kBaselineCmeRun, "timer", "ms",
+       "baselines::CmeScheme::run"},
+      {metric::kBaselineMultihopAnalyze, "timer", "ms",
+       "baselines::MultihopRouting::analyze"},
+      {metric::kCoverAssign, "timer", "ms", "cover::assign_nearest"},
+      {metric::kCoverCapacity, "timer", "ms", "cover::enforce_capacity"},
+      {metric::kCoverCapacityAdded, "counter", "count",
+       "cover::enforce_capacity"},
+      {metric::kCoverGreedy, "timer", "ms", "cover::greedy_set_cover"},
+      {metric::kCoverGreedyReference, "timer", "ms",
+       "cover::greedy_set_cover_reference"},
+      {metric::kCoverLazyRefreshes, "counter", "count",
+       "cover::greedy_set_cover"},
+      {metric::kCoverMatrixBuild, "timer", "ms",
+       "cover::CoverageMatrix::CoverageMatrix"},
+      {metric::kCoverSelected, "counter", "count",
+       "cover::greedy_set_cover"},
+      {metric::kPlanDirectVisit, "timer", "ms",
+       "baselines::DirectVisitPlanner::plan"},
+      {metric::kPlanElection, "timer", "ms", "dist::ElectionPlanner::plan"},
+      {metric::kPlanExact, "timer", "ms", "core::ExactPlanner::plan"},
+      {metric::kPlanGreedyCover, "timer", "ms",
+       "core::GreedyCoverPlanner::plan"},
+      {metric::kPlanSpanningTour, "timer", "ms",
+       "core::SpanningTourPlanner::plan"},
+      {metric::kPlanTreeDominator, "timer", "ms",
+       "core::TreeDominatorPlanner::plan"},
+      {metric::kRefineMoves, "counter", "count",
+       "core::refine_polling_positions"},
+      {metric::kRefineSlide, "timer", "ms",
+       "core::refine_polling_positions"},
+      {metric::kRouteCollector, "timer", "ms", "core::route_collector"},
+      {metric::kSimFleetRound, "timer", "ms", "sim::FleetSim::run_round"},
+      {metric::kSimMobileBufferPeak, "gauge", "packets",
+       "sim::MobileCollectionSim::run_round"},
+      {metric::kSimMobileDelivered, "counter", "count",
+       "sim::MobileCollectionSim::run_round"},
+      {metric::kSimMobileDropped, "counter", "count",
+       "sim::MobileCollectionSim::run_round"},
+      {metric::kSimMobileRound, "timer", "ms",
+       "sim::MobileCollectionSim::run_round"},
+      {metric::kSimMultihopRound, "timer", "ms",
+       "sim::MultihopSim::run_round"},
+      {metric::kTspConstruct, "timer", "ms", "tsp::solve_tsp"},
+      {metric::kTspImprove, "timer", "ms", "tsp::improve"},
+      {metric::kTspImproveGainM, "gauge", "m", "tsp::improve"},
+      {metric::kTspImprovePasses, "counter", "count", "tsp::improve"},
+      {metric::kTspNeighborsBuild, "timer", "ms",
+       "tsp::NeighborLists::NeighborLists"},
+      {metric::kTspOrOptMoves, "counter", "count", "tsp::improve"},
+      {metric::kTspSolve, "timer", "ms", "tsp::solve_tsp"},
+      {metric::kTspTwoOptMoves, "counter", "count", "tsp::improve"},
+  };
+  return kCatalog;
+}
+
+bool is_known_metric(const char* name) {
+  for (const MetricInfo& info : known_metrics()) {
+    if (std::strcmp(info.name, name) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mdg::obs

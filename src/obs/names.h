@@ -1,0 +1,75 @@
+// The single source of truth for every metric and span name the library
+// emits. Instrumentation sites use these constants (never ad-hoc string
+// literals), docs/METRICS.md documents exactly this catalog, and two
+// tests enforce the sync: the doc table must list every entry here, and
+// a fully-instrumented run may only register names from this catalog.
+//
+// Adding a metric or span? Follow the recipe in CONTRIBUTING.md: add the
+// constant + catalog row below, emit it via MDG_OBS_COUNT / MDG_OBS_GAUGE
+// / OBS_SPAN, and add the row to docs/METRICS.md.
+#pragma once
+
+#include <span>
+
+namespace mdg::obs {
+
+/// Catalog row: the name, what kind of metric carries it, its unit, and
+/// the code path that emits it (mirrored in docs/METRICS.md).
+struct MetricInfo {
+  const char* name;
+  const char* kind;  ///< "timer" | "counter" | "gauge"
+  const char* unit;  ///< "ms" | "count" | ...
+  const char* emitter;
+};
+
+/// Every registered metric/span name, sorted by name.
+[[nodiscard]] std::span<const MetricInfo> known_metrics();
+
+/// True when `name` appears in the catalog.
+[[nodiscard]] bool is_known_metric(const char* name);
+
+namespace metric {
+
+// --- spans (timers, milliseconds) ---------------------------------------
+inline constexpr const char* kBaselineCmeRun = "baseline.cme_run";
+inline constexpr const char* kBaselineMultihopAnalyze =
+    "baseline.multihop_analyze";
+inline constexpr const char* kCoverAssign = "cover.assign";
+inline constexpr const char* kCoverCapacity = "cover.capacity";
+inline constexpr const char* kCoverGreedy = "cover.greedy";
+inline constexpr const char* kCoverGreedyReference = "cover.greedy_reference";
+inline constexpr const char* kCoverMatrixBuild = "cover.matrix_build";
+inline constexpr const char* kPlanDirectVisit = "plan.direct_visit";
+inline constexpr const char* kPlanElection = "plan.election";
+inline constexpr const char* kPlanExact = "plan.exact";
+inline constexpr const char* kPlanGreedyCover = "plan.greedy_cover";
+inline constexpr const char* kPlanSpanningTour = "plan.spanning_tour";
+inline constexpr const char* kPlanTreeDominator = "plan.tree_dominator";
+inline constexpr const char* kRefineSlide = "refine.slide";
+inline constexpr const char* kRouteCollector = "route.collector";
+inline constexpr const char* kSimFleetRound = "sim.fleet_round";
+inline constexpr const char* kSimMobileRound = "sim.mobile_round";
+inline constexpr const char* kSimMultihopRound = "sim.multihop_round";
+inline constexpr const char* kTspConstruct = "tsp.construct";
+inline constexpr const char* kTspImprove = "tsp.improve";
+inline constexpr const char* kTspNeighborsBuild = "tsp.neighbors_build";
+inline constexpr const char* kTspSolve = "tsp.solve";
+
+// --- counters ------------------------------------------------------------
+inline constexpr const char* kCoverCapacityAdded = "cover.capacity_added";
+inline constexpr const char* kCoverLazyRefreshes = "cover.lazy_refreshes";
+inline constexpr const char* kCoverSelected = "cover.selected";
+inline constexpr const char* kRefineMoves = "refine.moves";
+inline constexpr const char* kSimMobileDelivered = "sim.mobile_delivered";
+inline constexpr const char* kSimMobileDropped = "sim.mobile_dropped";
+inline constexpr const char* kTspImprovePasses = "tsp.improve_passes";
+inline constexpr const char* kTspOrOptMoves = "tsp.or_opt_moves";
+inline constexpr const char* kTspTwoOptMoves = "tsp.two_opt_moves";
+
+// --- gauges --------------------------------------------------------------
+inline constexpr const char* kSimMobileBufferPeak = "sim.mobile_buffer_peak";
+inline constexpr const char* kTspImproveGainM = "tsp.improve_gain_m";
+
+}  // namespace metric
+
+}  // namespace mdg::obs

@@ -1,0 +1,207 @@
+#include "obs/report.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace mdg::obs {
+
+void RunReport::set_instance(const core::ShdgpInstance& instance) {
+  const net::SensorNetwork& network = instance.network();
+  sensors = network.size();
+  field_width = network.field().width();
+  field_height = network.field().height();
+  range = network.range();
+  components = network.components().count;
+}
+
+void RunReport::set_quality(const core::ShdgpInstance& instance,
+                            const core::ShdgpSolution& solution) {
+  planner = solution.planner;
+  tour_length = solution.tour_length;
+  polling_points = solution.polling_points.size();
+  max_pp_load = solution.max_pp_load();
+  mean_upload_distance = solution.mean_upload_distance(instance);
+  provably_optimal = solution.provably_optimal;
+}
+
+void RunReport::capture_metrics(const MetricsRegistry& registry) {
+  timings.clear();
+  counters.clear();
+  gauges.clear();
+  for (const MetricSnapshot& snap : registry.snapshot()) {
+    switch (snap.kind) {
+      case MetricSnapshot::Kind::kTimer:
+        timings.push_back({snap.name, snap.count, snap.value, snap.min_ms,
+                           snap.max_ms});
+        break;
+      case MetricSnapshot::Kind::kCounter:
+        counters.push_back({snap.name, snap.count});
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        gauges.push_back({snap.name, snap.value});
+        break;
+    }
+  }
+}
+
+JsonValue RunReport::to_json() const {
+  JsonValue root = JsonValue::object();
+  root.set("kind", JsonValue::string("mdg-run-report"));
+  root.set("schema_version",
+           JsonValue::number(static_cast<std::uint64_t>(schema_version)));
+  root.set("command", JsonValue::string(command));
+  root.set("planner", JsonValue::string(planner));
+  root.set("seed", JsonValue::number(seed));
+  root.set("git_describe", JsonValue::string(git_describe));
+  root.set("wall_ms", JsonValue::number(wall_ms));
+
+  JsonValue inst = JsonValue::object();
+  inst.set("sensors", JsonValue::number(sensors));
+  inst.set("field_width", JsonValue::number(field_width));
+  inst.set("field_height", JsonValue::number(field_height));
+  inst.set("range", JsonValue::number(range));
+  inst.set("components", JsonValue::number(components));
+  root.set("instance", std::move(inst));
+
+  JsonValue prm = JsonValue::object();
+  for (const auto& [key, value] : params) {
+    prm.set(key, JsonValue::string(value));
+  }
+  root.set("params", std::move(prm));
+
+  JsonValue quality = JsonValue::object();
+  quality.set("tour_length", JsonValue::number(tour_length));
+  quality.set("polling_points", JsonValue::number(polling_points));
+  quality.set("max_pp_load", JsonValue::number(max_pp_load));
+  quality.set("mean_upload_distance",
+              JsonValue::number(mean_upload_distance));
+  quality.set("provably_optimal", JsonValue::boolean(provably_optimal));
+  root.set("quality", std::move(quality));
+
+  JsonValue stage_array = JsonValue::array();
+  for (const StageTiming& stage : timings) {
+    JsonValue s = JsonValue::object();
+    s.set("name", JsonValue::string(stage.name));
+    s.set("count", JsonValue::number(stage.count));
+    s.set("total_ms", JsonValue::number(stage.total_ms));
+    s.set("min_ms", JsonValue::number(stage.min_ms));
+    s.set("max_ms", JsonValue::number(stage.max_ms));
+    stage_array.push_back(std::move(s));
+  }
+  root.set("timings", std::move(stage_array));
+
+  JsonValue counter_array = JsonValue::array();
+  for (const Counter& counter : counters) {
+    JsonValue c = JsonValue::object();
+    c.set("name", JsonValue::string(counter.name));
+    c.set("value", JsonValue::number(counter.value));
+    counter_array.push_back(std::move(c));
+  }
+  root.set("counters", std::move(counter_array));
+
+  JsonValue gauge_array = JsonValue::array();
+  for (const Gauge& gauge : gauges) {
+    JsonValue g = JsonValue::object();
+    g.set("name", JsonValue::string(gauge.name));
+    g.set("value", JsonValue::number(gauge.value));
+    gauge_array.push_back(std::move(g));
+  }
+  root.set("gauges", std::move(gauge_array));
+  return root;
+}
+
+RunReport RunReport::from_json(const JsonValue& json) {
+  MDG_REQUIRE(json.is_object(), "run report must be a JSON object");
+  MDG_REQUIRE(json.at("kind").as_string() == "mdg-run-report",
+              "not an mdg-run-report document");
+  RunReport report;
+  report.schema_version =
+      static_cast<int>(json.at("schema_version").as_uint());
+  report.command = json.at("command").as_string();
+  report.planner = json.at("planner").as_string();
+  report.seed = json.at("seed").as_uint();
+  report.git_describe = json.at("git_describe").as_string();
+  report.wall_ms = json.at("wall_ms").as_double();
+
+  const JsonValue& inst = json.at("instance");
+  report.sensors = inst.at("sensors").as_uint();
+  report.field_width = inst.at("field_width").as_double();
+  report.field_height = inst.at("field_height").as_double();
+  report.range = inst.at("range").as_double();
+  report.components = inst.at("components").as_uint();
+
+  for (const auto& [key, value] : json.at("params").members()) {
+    report.params.emplace_back(key, value.as_string());
+  }
+
+  const JsonValue& quality = json.at("quality");
+  report.tour_length = quality.at("tour_length").as_double();
+  report.polling_points = quality.at("polling_points").as_uint();
+  report.max_pp_load = quality.at("max_pp_load").as_uint();
+  report.mean_upload_distance =
+      quality.at("mean_upload_distance").as_double();
+  report.provably_optimal = quality.at("provably_optimal").as_bool();
+
+  const JsonValue& stage_array = json.at("timings");
+  for (std::size_t i = 0; i < stage_array.size(); ++i) {
+    const JsonValue& s = stage_array.at(i);
+    report.timings.push_back({s.at("name").as_string(),
+                              s.at("count").as_uint(),
+                              s.at("total_ms").as_double(),
+                              s.at("min_ms").as_double(),
+                              s.at("max_ms").as_double()});
+  }
+  const JsonValue& counter_array = json.at("counters");
+  for (std::size_t i = 0; i < counter_array.size(); ++i) {
+    const JsonValue& c = counter_array.at(i);
+    report.counters.push_back(
+        {c.at("name").as_string(), c.at("value").as_uint()});
+  }
+  const JsonValue& gauge_array = json.at("gauges");
+  for (std::size_t i = 0; i < gauge_array.size(); ++i) {
+    const JsonValue& g = gauge_array.at(i);
+    report.gauges.push_back(
+        {g.at("name").as_string(), g.at("value").as_double()});
+  }
+  return report;
+}
+
+std::string RunReport::to_text() const { return to_json().dump(2) + "\n"; }
+
+RunReport RunReport::parse(std::string_view text) {
+  return from_json(JsonValue::parse(text));
+}
+
+void RunReport::save(const std::string& path) const {
+  std::ofstream out(path);
+  MDG_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  out << to_text();
+  MDG_REQUIRE(out.good(), "failed writing run report to '" + path + "'");
+}
+
+RunReport RunReport::load(const std::string& path) {
+  std::ifstream in(path);
+  MDG_REQUIRE(in.good(), "cannot open run report '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+void RunReport::append_jsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::app);
+  MDG_REQUIRE(out.good(), "cannot open '" + path + "' for appending");
+  out << to_json().dump(-1) << "\n";
+  MDG_REQUIRE(out.good(), "failed appending run report to '" + path + "'");
+}
+
+std::string current_git_describe() {
+#ifdef MDG_GIT_DESCRIBE
+  return MDG_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace mdg::obs

@@ -1,0 +1,107 @@
+// Structured run reports: one machine-readable JSON document per
+// planner/simulator invocation.
+//
+// A RunReport records what ran (command, planner, RNG seed, git
+// describe), on what (instance parameters), how well (tour length,
+// polling points, load, optimality) and where the time went (every
+// timer/counter/gauge captured from the MetricsRegistry, sorted by
+// name). Serialization is deterministic — fixed key order, exact
+// float round-trip — so reports diff cleanly and the golden-file test
+// flags schema drift. tools/report_diff compares two reports;
+// tools/report_schema.json is the validation schema CI enforces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/solution.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace mdg::obs {
+
+struct RunReport {
+  static constexpr int kSchemaVersion = 1;
+
+  /// Per-stage wall-time aggregate (one span name).
+  struct StageTiming {
+    std::string name;
+    std::uint64_t count = 0;
+    double total_ms = 0.0;
+    double min_ms = 0.0;
+    double max_ms = 0.0;
+    [[nodiscard]] bool operator==(const StageTiming&) const = default;
+  };
+  struct Counter {
+    std::string name;
+    std::uint64_t value = 0;
+    [[nodiscard]] bool operator==(const Counter&) const = default;
+  };
+  struct Gauge {
+    std::string name;
+    double value = 0.0;
+    [[nodiscard]] bool operator==(const Gauge&) const = default;
+  };
+
+  int schema_version = kSchemaVersion;
+  std::string command;       ///< e.g. "plan", "simulate", "bench"
+  std::string planner;       ///< algorithm name ("" when not planning)
+  std::uint64_t seed = 0;    ///< RNG seed of the invocation (0 = unseeded)
+  std::string git_describe;  ///< build provenance (current_git_describe())
+  double wall_ms = 0.0;      ///< end-to-end wall time of the invocation
+
+  // Instance parameters.
+  std::uint64_t sensors = 0;
+  double field_width = 0.0;
+  double field_height = 0.0;
+  double range = 0.0;
+  std::uint64_t components = 0;
+
+  /// Free-form invocation parameters (flag name -> value, insertion
+  /// order preserved).
+  std::vector<std::pair<std::string, std::string>> params;
+
+  // Solution quality.
+  double tour_length = 0.0;
+  std::uint64_t polling_points = 0;
+  std::uint64_t max_pp_load = 0;
+  double mean_upload_distance = 0.0;
+  bool provably_optimal = false;
+
+  // Captured metrics, sorted by name.
+  std::vector<StageTiming> timings;
+  std::vector<Counter> counters;
+  std::vector<Gauge> gauges;
+
+  /// Copies instance parameters from a live SHDGP instance.
+  void set_instance(const core::ShdgpInstance& instance);
+  /// Copies quality stats from a planned solution.
+  void set_quality(const core::ShdgpInstance& instance,
+                   const core::ShdgpSolution& solution);
+  /// Snapshots every metric in `registry` into timings/counters/gauges.
+  void capture_metrics(const MetricsRegistry& registry);
+
+  [[nodiscard]] JsonValue to_json() const;
+  [[nodiscard]] static RunReport from_json(const JsonValue& json);
+
+  /// Pretty JSON text (newline-terminated).
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] static RunReport parse(std::string_view text);
+
+  /// Writes the report to `path` (pretty JSON, overwrites).
+  void save(const std::string& path) const;
+  [[nodiscard]] static RunReport load(const std::string& path);
+  /// Appends the report as one JSONL line to `path` (creates the file).
+  void append_jsonl(const std::string& path) const;
+
+  [[nodiscard]] bool operator==(const RunReport&) const = default;
+};
+
+/// `git describe` of the tree this library was built from (baked in at
+/// configure time; "unknown" outside a git checkout).
+[[nodiscard]] std::string current_git_describe();
+
+}  // namespace mdg::obs

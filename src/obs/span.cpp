@@ -1,0 +1,50 @@
+#include "obs/span.h"
+
+#include <vector>
+
+namespace mdg::obs {
+namespace {
+
+/// Active span names of this thread, outermost first. string_views are
+/// safe: every OBS_SPAN site passes a string literal (or a name that
+/// outlives the scope).
+thread_local std::vector<std::string_view> t_span_stack;
+
+}  // namespace
+
+SpanScope::SpanScope(std::string_view name) : name_(name) {
+  if (!MetricsRegistry::enabled()) {
+    return;
+  }
+  active_ = true;
+  t_span_stack.push_back(name_);
+  start_ = std::chrono::steady_clock::now();
+}
+
+SpanScope::~SpanScope() {
+  if (!active_) {
+    return;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const double ms =
+      std::chrono::duration<double, std::milli>(end - start_).count();
+  t_span_stack.pop_back();
+  // Recording may be disabled mid-scope; the registry accepts the
+  // observation regardless so a span is never half-counted.
+  MetricsRegistry::instance().record_timer(name_, ms);
+}
+
+std::size_t span_depth() { return t_span_stack.size(); }
+
+std::string span_path() {
+  std::string path;
+  for (std::string_view name : t_span_stack) {
+    if (!path.empty()) {
+      path += '/';
+    }
+    path += name;
+  }
+  return path;
+}
+
+}  // namespace mdg::obs

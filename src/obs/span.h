@@ -1,0 +1,54 @@
+// Lightweight span/trace scopes: OBS_SPAN("cover.greedy") times the
+// enclosing block on the monotonic clock and aggregates the wall time
+// into the process-wide MetricsRegistry as a timer metric of the same
+// name. Spans nest (a per-thread stack tracks the active chain, so
+// tools and tests can see depth and the current path), and every name
+// must be registered in obs/names.h so docs/METRICS.md stays complete.
+//
+// Same contract as the metric macros: a span observes, it never
+// decides. Disabled (runtime flag off or -DMDG_OBS=OFF) a span is one
+// relaxed atomic load / nothing at all.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace mdg::obs {
+
+/// RAII timer scope; see OBS_SPAN below. Inactive (and free of clock
+/// reads) while MetricsRegistry::enabled() is false at construction.
+class SpanScope {
+ public:
+  explicit SpanScope(std::string_view name);
+  ~SpanScope();
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  bool active_ = false;
+  std::string_view name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Nesting depth of active spans on the calling thread (0 outside any
+/// span). Observability tooling/tests only.
+[[nodiscard]] std::size_t span_depth();
+
+/// Dotted path of active span names on the calling thread, outermost
+/// first ("plan.greedy_cover/cover.greedy"); empty outside any span.
+[[nodiscard]] std::string span_path();
+
+}  // namespace mdg::obs
+
+#ifndef MDG_OBS_DISABLED
+#define MDG_OBS_CONCAT_INNER(a, b) a##b
+#define MDG_OBS_CONCAT(a, b) MDG_OBS_CONCAT_INNER(a, b)
+/// Times the enclosing scope into the timer metric `name`.
+#define OBS_SPAN(name) \
+  const ::mdg::obs::SpanScope MDG_OBS_CONCAT(mdg_obs_span_, __LINE__)(name)
+#else
+#define OBS_SPAN(name) ((void)0)
+#endif

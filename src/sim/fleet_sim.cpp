@@ -4,6 +4,8 @@
 #include <cmath>
 #include <map>
 
+#include "obs/names.h"
+#include "obs/span.h"
 #include "util/assert.h"
 
 namespace mdg::sim {
@@ -70,6 +72,7 @@ double FleetSim::collector_round_time(std::size_t c) const {
 }
 
 FleetRoundReport FleetSim::run_round(EnergyLedger& ledger) const {
+  OBS_SPAN(obs::metric::kSimFleetRound);
   const auto& network = instance_->network();
   MDG_REQUIRE(ledger.size() == network.size(),
               "ledger does not match the network");

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/span.h"
 #include "sim/event_queue.h"
 #include "util/assert.h"
 
@@ -74,6 +77,7 @@ double MobileCollectionSim::leg_travel_time(double distance) const {
 
 MobileRoundReport MobileCollectionSim::run_round(EnergyLedger& ledger,
                                                  double start_time) {
+  OBS_SPAN(obs::metric::kSimMobileRound);
   const auto& network = instance_->network();
   MDG_REQUIRE(ledger.size() == network.size(),
               "ledger does not match the network");
@@ -185,6 +189,10 @@ MobileRoundReport MobileCollectionSim::run_round(EnergyLedger& ledger,
     report.max_buffer = std::max(report.max_buffer, b);
   }
   last_generation_time_ = clock;
+  MDG_OBS_COUNT(obs::metric::kSimMobileDelivered, report.delivered);
+  MDG_OBS_COUNT(obs::metric::kSimMobileDropped, report.dropped);
+  MDG_OBS_GAUGE(obs::metric::kSimMobileBufferPeak,
+                static_cast<double>(report.max_buffer));
   return report;
 }
 

@@ -5,6 +5,8 @@
 #include <deque>
 #include <limits>
 
+#include "obs/names.h"
+#include "obs/span.h"
 #include "util/assert.h"
 
 namespace mdg::sim {
@@ -49,6 +51,7 @@ void MultihopSim::rebuild_routes(const EnergyLedger& ledger) {
 }
 
 MultihopRoundReport MultihopSim::run_round(EnergyLedger& ledger) {
+  OBS_SPAN(obs::metric::kSimMultihopRound);
   const auto& network = *network_;
   const auto& radio = network.radio();
   const std::size_t n = network.size();

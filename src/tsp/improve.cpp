@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/names.h"
+#include "obs/span.h"
 #include "tsp/neighbor_lists.h"
 #include "util/assert.h"
 
@@ -62,8 +64,13 @@ class LocalSearchEngine {
       const std::size_t a = pop();
       ++processed;
       bool moved = try_two_opt(a);
-      if (!moved && opt_.use_or_opt) {
+      if (moved) {
+        ++stats.two_opt_moves;
+      } else if (opt_.use_or_opt) {
         moved = try_or_opt(a);
+        if (moved) {
+          ++stats.or_opt_moves;
+        }
       }
       if (moved) {
         ++stats.moves;
@@ -368,6 +375,7 @@ ImproveStats two_opt(Tour& tour, std::span<const geom::Point> points,
           std::reverse(order.begin() + static_cast<std::ptrdiff_t>(i),
                        order.begin() + static_cast<std::ptrdiff_t>(j) + 1);
           ++stats.moves;
+          ++stats.two_opt_moves;
           improved = true;
         }
       }
@@ -397,6 +405,7 @@ ImproveStats two_opt_neighbors(Tour& tour, std::span<const geom::Point> points,
   const ImproveStats engine_stats = run_engine(tour, points, nbrs, options);
   stats.passes = engine_stats.passes;
   stats.moves = engine_stats.moves;
+  stats.two_opt_moves = engine_stats.two_opt_moves;
   stats.final_length = tour.length(points);
   MDG_ASSERT(stats.final_length <= stats.initial_length + 1e-9,
              "neighbour 2-opt must never lengthen the tour");
@@ -480,6 +489,7 @@ ImproveStats or_opt(Tour& tour, std::span<const geom::Point> points,
         order.insert(order.begin() + static_cast<std::ptrdiff_t>(insert_after) + 1,
                      segment.begin(), segment.end());
         ++stats.moves;
+        ++stats.or_opt_moves;
         improved = true;
       }
     }
@@ -495,8 +505,23 @@ ImproveStats or_opt(Tour& tour, std::span<const geom::Point> points,
   return stats;
 }
 
+namespace {
+
+/// Observability tail shared by both improve() regimes: never touches
+/// the tour, only reports what happened.
+void record_improve_stats(const ImproveStats& total) {
+  MDG_OBS_COUNT(obs::metric::kTspTwoOptMoves, total.two_opt_moves);
+  MDG_OBS_COUNT(obs::metric::kTspOrOptMoves, total.or_opt_moves);
+  MDG_OBS_COUNT(obs::metric::kTspImprovePasses, total.passes);
+  MDG_OBS_GAUGE(obs::metric::kTspImproveGainM,
+                total.initial_length - total.final_length);
+}
+
+}  // namespace
+
 ImproveStats improve(Tour& tour, std::span<const geom::Point> points,
                      const ImproveOptions& options) {
+  OBS_SPAN(obs::metric::kTspImprove);
   ImproveStats total;
   total.initial_length = tour.length(points);
   total.final_length = total.initial_length;
@@ -515,11 +540,14 @@ ImproveStats improve(Tour& tour, std::span<const geom::Point> points,
                                  : ImproveStats{};
       total.passes += a.passes + b.passes;
       total.moves += a.moves + b.moves;
+      total.two_opt_moves += a.two_opt_moves + b.two_opt_moves;
+      total.or_opt_moves += a.or_opt_moves + b.or_opt_moves;
       if (a.moves + b.moves == 0) {
         break;
       }
     }
     total.final_length = tour.length(points);
+    record_improve_stats(total);
     return total;
   }
 
@@ -527,9 +555,12 @@ ImproveStats improve(Tour& tour, std::span<const geom::Point> points,
   const ImproveStats engine_stats = run_engine(tour, points, nbrs, options);
   total.passes = engine_stats.passes;
   total.moves = engine_stats.moves;
+  total.two_opt_moves = engine_stats.two_opt_moves;
+  total.or_opt_moves = engine_stats.or_opt_moves;
   total.final_length = tour.length(points);
   MDG_ASSERT(total.final_length <= total.initial_length + 1e-9,
              "improve must never lengthen the tour");
+  record_improve_stats(total);
   return total;
 }
 

@@ -18,7 +18,9 @@ namespace mdg::tsp {
 
 struct ImproveStats {
   std::size_t passes = 0;         ///< full sweeps (or queue-drain equivalents)
-  std::size_t moves = 0;          ///< improving moves applied
+  std::size_t moves = 0;          ///< improving moves applied (2-opt + Or-opt)
+  std::size_t two_opt_moves = 0;  ///< segment reversals among `moves`
+  std::size_t or_opt_moves = 0;   ///< segment relocations among `moves`
   double initial_length = 0.0;
   double final_length = 0.0;
 };

@@ -6,6 +6,8 @@
 
 #include "geom/aabb.h"
 #include "geom/spatial_grid.h"
+#include "obs/names.h"
+#include "obs/span.h"
 
 namespace mdg::tsp {
 namespace {
@@ -27,6 +29,7 @@ void emit_sorted_prefix(std::vector<std::pair<double, std::size_t>>& scratch,
 
 NeighborLists::NeighborLists(std::span<const geom::Point> points,
                              std::size_t k) {
+  OBS_SPAN(obs::metric::kTspNeighborsBuild);
   const std::size_t n = points.size();
   k_ = n == 0 ? 0 : std::min(k, n - 1);
   offsets_.resize(n + 1);

@@ -1,7 +1,10 @@
 #include "tsp/solve.h"
 
 #include <limits>
+#include <vector>
 
+#include "obs/names.h"
+#include "obs/span.h"
 #include "tsp/construct.h"
 #include "tsp/exact.h"
 #include "tsp/improve.h"
@@ -25,6 +28,7 @@ std::string to_string(TspEffort effort) {
 }
 
 TspResult solve_tsp(std::span<const geom::Point> points, TspEffort effort) {
+  OBS_SPAN(obs::metric::kTspSolve);
   TspResult result;
   const std::size_t n = points.size();
   if (n == 0) {
@@ -47,11 +51,15 @@ TspResult solve_tsp(std::span<const geom::Point> points, TspEffort effort) {
 
   switch (effort) {
     case TspEffort::kConstructionOnly: {
+      OBS_SPAN(obs::metric::kTspConstruct);
       result.tour = nearest_neighbor(points);
       break;
     }
     case TspEffort::kTwoOpt: {
-      result.tour = nearest_neighbor(points);
+      {
+        OBS_SPAN(obs::metric::kTspConstruct);
+        result.tour = nearest_neighbor(points);
+      }
       two_opt(result.tour, points);
       break;
     }
@@ -62,11 +70,17 @@ TspResult solve_tsp(std::span<const geom::Point> points, TspEffort effort) {
       // than kTwoOpt (improving the NN tour starts with the same 2-opt
       // pass and only goes further); above it the engine's restricted
       // move set makes the relation statistical rather than exact.
+      std::vector<Tour> candidates;
+      {
+        OBS_SPAN(obs::metric::kTspConstruct);
+        candidates.push_back(nearest_neighbor(points));
+        candidates.push_back(greedy_edge(points));
+        candidates.push_back(cheapest_insertion(points));
+        candidates.push_back(christofides_greedy(points));
+      }
       Tour best;
       double best_len = std::numeric_limits<double>::infinity();
-      for (Tour candidate :
-           {nearest_neighbor(points), greedy_edge(points),
-            cheapest_insertion(points), christofides_greedy(points)}) {
+      for (Tour& candidate : candidates) {
         improve(candidate, points);
         const double len = candidate.length(points);
         if (len < best_len) {

@@ -1,0 +1,82 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/assert.h"
+
+namespace mdg::obs {
+namespace {
+
+TEST(JsonTest, ScalarRoundTrip) {
+  EXPECT_EQ(JsonValue::parse("null").dump(-1), "null");
+  EXPECT_EQ(JsonValue::parse("true").dump(-1), "true");
+  EXPECT_EQ(JsonValue::parse("false").dump(-1), "false");
+  EXPECT_EQ(JsonValue::parse("42").dump(-1), "42");
+  EXPECT_EQ(JsonValue::parse("-7").dump(-1), "-7");
+  EXPECT_EQ(JsonValue::parse("\"hi\"").dump(-1), "\"hi\"");
+}
+
+TEST(JsonTest, IntegralNumbersPrintWithoutFraction) {
+  EXPECT_EQ(JsonValue::number(std::uint64_t{123}).dump(-1), "123");
+  EXPECT_EQ(JsonValue::number(5.0).dump(-1), "5");
+  EXPECT_EQ(JsonValue::number(-3.0).dump(-1), "-3");
+}
+
+TEST(JsonTest, DoublesRoundTripExactly) {
+  for (const double v : {0.1, 1e-9, 176.96696578605508, 1.0 / 3.0}) {
+    const JsonValue parsed = JsonValue::parse(JsonValue::number(v).dump(-1));
+    EXPECT_EQ(parsed.as_double(), v);
+  }
+}
+
+TEST(JsonTest, ObjectsKeepInsertionOrder) {
+  JsonValue obj = JsonValue::object();
+  obj.set("zebra", JsonValue::number(std::uint64_t{1}));
+  obj.set("apple", JsonValue::number(std::uint64_t{2}));
+  EXPECT_EQ(obj.dump(-1), "{\"zebra\":1,\"apple\":2}");
+}
+
+TEST(JsonTest, EqualityIgnoresObjectMemberOrder) {
+  const JsonValue a = JsonValue::parse("{\"x\": 1, \"y\": [true, null]}");
+  const JsonValue b = JsonValue::parse("{\"y\": [true, null], \"x\": 1}");
+  const JsonValue c = JsonValue::parse("{\"x\": 1, \"y\": [null, true]}");
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);  // array order is significant
+}
+
+TEST(JsonTest, StringEscapes) {
+  const std::string text = "\"line\\nbreak \\\"quoted\\\" tab\\t\"";
+  const JsonValue v = JsonValue::parse(text);
+  EXPECT_EQ(v.as_string(), "line\nbreak \"quoted\" tab\t");
+  EXPECT_EQ(v.dump(-1), text);
+}
+
+TEST(JsonTest, NestedDocumentRoundTrip) {
+  const std::string text =
+      "{\"a\":[1,2.5,{\"b\":false}],\"c\":\"s\",\"d\":null}";
+  const JsonValue v = JsonValue::parse(text);
+  EXPECT_EQ(v.dump(-1), text);
+  EXPECT_EQ(JsonValue::parse(v.dump(2)), v);  // pretty form parses back
+}
+
+TEST(JsonTest, TypedAccessors) {
+  const JsonValue v = JsonValue::parse("{\"n\": 3, \"s\": \"x\"}");
+  EXPECT_TRUE(v.contains("n"));
+  EXPECT_FALSE(v.contains("missing"));
+  EXPECT_EQ(v.at("n").as_uint(), 3u);
+  EXPECT_EQ(v.at("s").as_string(), "x");
+  EXPECT_THROW((void)v.at("missing"), PreconditionError);
+  EXPECT_THROW((void)v.at("n").as_string(), PreconditionError);
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "tru", "1 2",
+                          "\"unterminated", "{\"a\" 1}", "nul"}) {
+    EXPECT_THROW((void)JsonValue::parse(bad), PreconditionError) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace mdg::obs

@@ -1,0 +1,116 @@
+// Keeps docs/METRICS.md and the obs/names.h catalog in lockstep: every
+// catalog entry must be documented, every documented name must exist,
+// and a fully-instrumented run may only register cataloged names.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "core/greedy_cover_planner.h"
+#include "core/refine.h"
+#include "io/serialize.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "sim/mobile_sim.h"
+#include "sim/multihop_sim.h"
+#include "util/rng.h"
+
+namespace mdg::obs {
+namespace {
+
+/// Metric names from docs/METRICS.md table rows of the form
+/// `| \`name\` | kind | unit | emitter |`.
+std::set<std::string> documented_metrics() {
+  const std::string path = std::string(MDG_DOC_DIR) + "/METRICS.md";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::set<std::string> names;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("| `", 0) != 0) {
+      continue;
+    }
+    const std::size_t start = line.find('`');
+    const std::size_t end = line.find('`', start + 1);
+    if (start == std::string::npos || end == std::string::npos) {
+      continue;
+    }
+    names.insert(line.substr(start + 1, end - start - 1));
+  }
+  return names;
+}
+
+TEST(MetricsDocTest, CatalogIsSortedAndUnique) {
+  const auto catalog = known_metrics();
+  ASSERT_FALSE(catalog.empty());
+  for (std::size_t i = 1; i < catalog.size(); ++i) {
+    EXPECT_LT(std::strcmp(catalog[i - 1].name, catalog[i].name), 0)
+        << catalog[i - 1].name << " vs " << catalog[i].name;
+  }
+}
+
+TEST(MetricsDocTest, IsKnownMetricMatchesCatalog) {
+  for (const MetricInfo& info : known_metrics()) {
+    EXPECT_TRUE(is_known_metric(info.name)) << info.name;
+  }
+  EXPECT_FALSE(is_known_metric("not.a.metric"));
+  EXPECT_FALSE(is_known_metric(""));
+}
+
+TEST(MetricsDocTest, EveryCatalogEntryIsDocumented) {
+  const std::set<std::string> documented = documented_metrics();
+  for (const MetricInfo& info : known_metrics()) {
+    EXPECT_TRUE(documented.contains(info.name))
+        << "docs/METRICS.md is missing a row for '" << info.name
+        << "' — see the recipe in CONTRIBUTING.md";
+  }
+}
+
+TEST(MetricsDocTest, EveryDocumentedNameExistsInCatalog) {
+  for (const std::string& name : documented_metrics()) {
+    EXPECT_TRUE(is_known_metric(name.c_str()))
+        << "docs/METRICS.md documents '" << name
+        << "' which obs/names.h does not register";
+  }
+}
+
+#ifndef MDG_OBS_DISABLED
+TEST(MetricsDocTest, InstrumentedRunRegistersOnlyCatalogedNames) {
+  MetricsRegistry::set_enabled(true);
+  MetricsRegistry::instance().reset();
+
+  Rng rng(11);
+  const net::SensorNetwork network =
+      net::make_uniform_network(60, 140.0, 30.0, rng);
+  const core::ShdgpInstance instance(network);
+  core::ShdgpSolution solution = core::GreedyCoverPlanner().plan(instance);
+  core::refine_polling_positions(instance, solution, {});
+
+  sim::MobileSimConfig mobile_config;
+  sim::MobileCollectionSim mobile(instance, solution, mobile_config);
+  sim::EnergyLedger mobile_ledger(network.size(),
+                                  mobile_config.initial_battery_j);
+  (void)mobile.run_round(mobile_ledger, 0.0);
+
+  sim::MultihopSim multihop(network, {});
+  sim::EnergyLedger hop_ledger(network.size(), 1.0);
+  (void)multihop.run_round(hop_ledger);
+
+  const auto snapshot = MetricsRegistry::instance().snapshot();
+  MetricsRegistry::set_enabled(false);
+  MetricsRegistry::instance().reset();
+
+  EXPECT_FALSE(snapshot.empty());
+  for (const MetricSnapshot& m : snapshot) {
+    EXPECT_TRUE(is_known_metric(m.name.c_str()))
+        << "instrumentation emitted '" << m.name
+        << "' which is not in the obs/names.h catalog";
+  }
+}
+#endif
+
+}  // namespace
+}  // namespace mdg::obs

@@ -1,0 +1,111 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mdg::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.counter("a"), 0u);
+  reg.add_counter("a");
+  reg.add_counter("a", 4);
+  EXPECT_EQ(reg.counter("a"), 5u);
+  EXPECT_EQ(reg.counter("never"), 0u);
+}
+
+TEST(MetricsRegistryTest, GaugeLastWriteWins) {
+  MetricsRegistry reg;
+  reg.set_gauge("g", 1.5);
+  reg.set_gauge("g", -2.25);
+  EXPECT_DOUBLE_EQ(reg.gauge("g"), -2.25);
+  EXPECT_DOUBLE_EQ(reg.gauge("never"), 0.0);
+}
+
+TEST(MetricsRegistryTest, TimerHistogramTracksExtremes) {
+  MetricsRegistry reg;
+  reg.record_timer("t", 3.0);
+  reg.record_timer("t", 1.0);
+  reg.record_timer("t", 2.0);
+  EXPECT_EQ(reg.timer_count("t"), 3u);
+  EXPECT_DOUBLE_EQ(reg.timer_total_ms("t"), 6.0);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].kind, MetricSnapshot::Kind::kTimer);
+  EXPECT_DOUBLE_EQ(snap[0].min_ms, 1.0);
+  EXPECT_DOUBLE_EQ(snap[0].max_ms, 3.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry reg;
+  reg.add_counter("zebra");
+  reg.set_gauge("apple", 1.0);
+  reg.record_timer("mango", 1.0);
+  std::vector<std::string> names;
+  for (const MetricSnapshot& m : reg.snapshot()) {
+    names.push_back(m.name);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"apple", "mango", "zebra"}));
+}
+
+TEST(MetricsRegistryTest, ResetDropsEverything) {
+  MetricsRegistry reg;
+  reg.add_counter("c", 7);
+  reg.set_gauge("g", 1.0);
+  reg.reset();
+  EXPECT_TRUE(reg.snapshot().empty());
+  EXPECT_EQ(reg.counter("c"), 0u);
+}
+
+TEST(MetricsRegistryTest, KindToString) {
+  EXPECT_STREQ(to_string(MetricSnapshot::Kind::kCounter), "counter");
+  EXPECT_STREQ(to_string(MetricSnapshot::Kind::kGauge), "gauge");
+  EXPECT_STREQ(to_string(MetricSnapshot::Kind::kTimer), "timer");
+}
+
+#ifndef MDG_OBS_DISABLED
+/// Restores the process-wide runtime flag so obs state never leaks into
+/// unrelated tests.
+class ScopedObs {
+ public:
+  explicit ScopedObs(bool on) : was_(MetricsRegistry::enabled()) {
+    MetricsRegistry::set_enabled(on);
+    MetricsRegistry::instance().reset();
+  }
+  ~ScopedObs() {
+    MetricsRegistry::set_enabled(was_);
+    MetricsRegistry::instance().reset();
+  }
+
+ private:
+  bool was_;
+};
+
+TEST(MetricsMacroTest, MacrosWriteWhenEnabled) {
+  const ScopedObs obs(true);
+  MDG_OBS_COUNT("macro.counter", 3);
+  MDG_OBS_GAUGE("macro.gauge", 2.5);
+  EXPECT_EQ(MetricsRegistry::instance().counter("macro.counter"), 3u);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::instance().gauge("macro.gauge"), 2.5);
+}
+
+TEST(MetricsMacroTest, MacrosAreSilentWhenDisabled) {
+  const ScopedObs obs(false);
+  MDG_OBS_COUNT("macro.counter", 3);
+  MDG_OBS_GAUGE("macro.gauge", 2.5);
+  EXPECT_TRUE(MetricsRegistry::instance().snapshot().empty());
+}
+#else
+TEST(MetricsMacroTest, MacrosCompileToNothingWhenDisabledAtBuildTime) {
+  MetricsRegistry::instance().reset();
+  MDG_OBS_COUNT("macro.counter", 3);
+  MDG_OBS_GAUGE("macro.gauge", 2.5);
+  EXPECT_TRUE(MetricsRegistry::instance().snapshot().empty());
+}
+#endif
+
+}  // namespace
+}  // namespace mdg::obs

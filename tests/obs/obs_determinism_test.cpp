@@ -1,0 +1,75 @@
+// The observability contract: instrumentation observes, it never
+// decides. These tests plan the same instances with metrics collection
+// off and on and require byte-identical serialized solutions.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/direct_visit.h"
+#include "core/greedy_cover_planner.h"
+#include "core/refine.h"
+#include "core/spanning_tour_planner.h"
+#include "io/serialize.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace mdg {
+namespace {
+
+std::string plan_and_serialize(const core::Planner& planner,
+                               const core::ShdgpInstance& instance,
+                               bool obs_on, bool refine) {
+  obs::MetricsRegistry::set_enabled(obs_on);
+  obs::MetricsRegistry::instance().reset();
+  core::ShdgpSolution solution = planner.plan(instance);
+  if (refine) {
+    core::refine_polling_positions(instance, solution, {});
+  }
+  obs::MetricsRegistry::set_enabled(false);
+  obs::MetricsRegistry::instance().reset();
+  std::ostringstream out;
+  io::write_solution(out, solution);
+  return out.str();
+}
+
+TEST(ObsDeterminismTest, PlansAreByteIdenticalWithObsOnAndOff) {
+  Rng rng(42);
+  const net::SensorNetwork network =
+      net::make_uniform_network(120, 200.0, 30.0, rng);
+  const core::ShdgpInstance instance(network);
+
+  std::vector<std::unique_ptr<core::Planner>> planners;
+  planners.push_back(std::make_unique<core::GreedyCoverPlanner>());
+  planners.push_back(std::make_unique<core::SpanningTourPlanner>());
+  planners.push_back(std::make_unique<baselines::DirectVisitPlanner>());
+
+  for (const auto& planner : planners) {
+    for (const bool refine : {false, true}) {
+      const std::string off =
+          plan_and_serialize(*planner, instance, false, refine);
+      const std::string on =
+          plan_and_serialize(*planner, instance, true, refine);
+      EXPECT_EQ(off, on) << planner->name()
+                         << (refine ? " (with refine)" : "");
+    }
+  }
+}
+
+TEST(ObsDeterminismTest, RepeatedInstrumentedRunsAreIdentical) {
+  Rng rng(7);
+  const net::SensorNetwork network =
+      net::make_uniform_network(80, 160.0, 30.0, rng);
+  const core::ShdgpInstance instance(network);
+  const core::GreedyCoverPlanner planner;
+  const std::string first =
+      plan_and_serialize(planner, instance, true, false);
+  const std::string second =
+      plan_and_serialize(planner, instance, true, false);
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace mdg

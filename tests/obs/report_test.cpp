@@ -1,0 +1,165 @@
+#include "obs/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/greedy_cover_planner.h"
+#include "io/serialize.h"
+#include "obs/metrics.h"
+
+namespace mdg::obs {
+namespace {
+
+RunReport sample_report() {
+  RunReport r;
+  r.command = "plan";
+  r.planner = "greedy-cover";
+  r.seed = 2008;
+  r.git_describe = "v1.2.3-4-gabcdef0";
+  r.wall_ms = 12.375;
+  r.sensors = 200;
+  r.field_width = 200.0;
+  r.field_height = 150.5;
+  r.range = 30.0;
+  r.components = 1;
+  r.params = {{"net", "net.txt"}, {"planner", "greedy"}};
+  r.tour_length = 1234.5678901234567;
+  r.polling_points = 17;
+  r.max_pp_load = 9;
+  r.mean_upload_distance = 10.25;
+  r.provably_optimal = true;
+  r.timings = {{"cover.greedy", 1, 0.5, 0.5, 0.5},
+               {"tsp.improve", 4, 8.25, 1.0, 3.5}};
+  r.counters = {{"cover.selected", 17}, {"tsp.two_opt_moves", 42}};
+  r.gauges = {{"tsp.improve_gain_m", 88.5}};
+  return r;
+}
+
+TEST(RunReportTest, JsonRoundTripIsFieldEqual) {
+  const RunReport original = sample_report();
+  const RunReport reparsed = RunReport::parse(original.to_text());
+  EXPECT_EQ(reparsed, original);
+}
+
+TEST(RunReportTest, SerializationIsDeterministic) {
+  EXPECT_EQ(sample_report().to_text(), sample_report().to_text());
+}
+
+TEST(RunReportTest, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "mdg_report_test.json";
+  const RunReport original = sample_report();
+  original.save(path);
+  EXPECT_EQ(RunReport::load(path), original);
+  std::remove(path.c_str());
+}
+
+TEST(RunReportTest, AppendJsonlProducesOneParsableLinePerReport) {
+  const std::string path = ::testing::TempDir() + "mdg_report_test.jsonl";
+  std::remove(path.c_str());
+  RunReport a = sample_report();
+  RunReport b = sample_report();
+  b.seed = 2009;
+  a.append_jsonl(path);
+  b.append_jsonl(path);
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    const RunReport parsed = RunReport::parse(line);
+    EXPECT_EQ(parsed.seed, lines == 0 ? 2008u : 2009u);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(RunReportTest, RejectsWrongKindTag) {
+  EXPECT_THROW((void)RunReport::parse("{\"kind\": \"other\"}"),
+               PreconditionError);
+}
+
+TEST(RunReportTest, CaptureMetricsSplitsByKindSortedByName) {
+  MetricsRegistry reg;
+  reg.record_timer("z.timer", 2.0);
+  reg.record_timer("a.timer", 1.0);
+  reg.add_counter("m.counter", 5);
+  reg.set_gauge("g.gauge", 7.5);
+  RunReport r;
+  r.capture_metrics(reg);
+  ASSERT_EQ(r.timings.size(), 2u);
+  EXPECT_EQ(r.timings[0].name, "a.timer");
+  EXPECT_EQ(r.timings[1].name, "z.timer");
+  ASSERT_EQ(r.counters.size(), 1u);
+  EXPECT_EQ(r.counters[0].name, "m.counter");
+  EXPECT_EQ(r.counters[0].value, 5u);
+  ASSERT_EQ(r.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.gauges[0].value, 7.5);
+}
+
+#ifndef MDG_OBS_DISABLED
+/// Zeroes the wall-clock fields (and build provenance) that legitimately
+/// differ between runs, keeping every structural and deterministic field:
+/// the golden file pins metric *names*, observation *counts*, counter and
+/// gauge values, instance parameters and solution quality.
+RunReport canonical(RunReport r) {
+  r.git_describe = "";
+  r.wall_ms = 0.0;
+  for (RunReport::StageTiming& t : r.timings) {
+    t.total_ms = 0.0;
+    t.min_ms = 0.0;
+    t.max_ms = 0.0;
+  }
+  return r;
+}
+
+/// The exact report the golden file pins: greedy-cover plan of the
+/// checked-in data/small30.txt instance with observability on.
+RunReport plan_small30_report() {
+  MetricsRegistry::set_enabled(true);
+  MetricsRegistry::instance().reset();
+  const net::SensorNetwork network =
+      io::load_network(std::string(MDG_DATA_DIR) + "/small30.txt");
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution =
+      core::GreedyCoverPlanner().plan(instance);
+  RunReport report;
+  report.command = "plan";
+  report.planner = solution.planner;
+  report.set_instance(instance);
+  report.set_quality(instance, solution);
+  report.params = {{"net", "data/small30.txt"}, {"planner", "greedy"}};
+  report.capture_metrics(MetricsRegistry::instance());
+  MetricsRegistry::set_enabled(false);
+  MetricsRegistry::instance().reset();
+  return report;
+}
+
+TEST(RunReportGoldenTest, Small30MatchesCheckedInGolden) {
+  const std::string golden_path =
+      std::string(MDG_DATA_DIR) + "/golden_report_small30.json";
+  const std::string text = canonical(plan_small30_report()).to_text();
+  if (std::getenv("MDG_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    out << text;
+    GTEST_SKIP() << "golden file regenerated at " << golden_path;
+  }
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing " << golden_path
+      << " — regenerate with MDG_UPDATE_GOLDEN=1 (see docs/HANDBOOK.md)";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(text, buffer.str())
+      << "run report drifted from the golden file; if the change is "
+         "intentional, regenerate with MDG_UPDATE_GOLDEN=1 "
+         "(see docs/HANDBOOK.md)";
+}
+#endif
+
+}  // namespace
+}  // namespace mdg::obs

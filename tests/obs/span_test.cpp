@@ -1,0 +1,88 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace mdg::obs {
+namespace {
+
+/// Restores the process-wide runtime flag so obs state never leaks into
+/// unrelated tests.
+class ScopedObs {
+ public:
+  explicit ScopedObs(bool on) : was_(MetricsRegistry::enabled()) {
+    MetricsRegistry::set_enabled(on);
+    MetricsRegistry::instance().reset();
+  }
+  ~ScopedObs() {
+    MetricsRegistry::set_enabled(was_);
+    MetricsRegistry::instance().reset();
+  }
+
+ private:
+  bool was_;
+};
+
+TEST(SpanTest, RecordsOneTimerObservationPerScope) {
+  const ScopedObs obs(true);
+  {
+    const SpanScope span("test.outer");
+  }
+  {
+    const SpanScope span("test.outer");
+  }
+  EXPECT_EQ(MetricsRegistry::instance().timer_count("test.outer"), 2u);
+  EXPECT_GE(MetricsRegistry::instance().timer_total_ms("test.outer"), 0.0);
+}
+
+TEST(SpanTest, NestingTracksDepthAndPath) {
+  const ScopedObs obs(true);
+  EXPECT_EQ(span_depth(), 0u);
+  EXPECT_EQ(span_path(), "");
+  {
+    const SpanScope outer("test.outer");
+    EXPECT_EQ(span_depth(), 1u);
+    EXPECT_EQ(span_path(), "test.outer");
+    {
+      const SpanScope inner("test.inner");
+      EXPECT_EQ(span_depth(), 2u);
+      EXPECT_EQ(span_path(), "test.outer/test.inner");
+    }
+    EXPECT_EQ(span_depth(), 1u);
+  }
+  EXPECT_EQ(span_depth(), 0u);
+  EXPECT_EQ(MetricsRegistry::instance().timer_count("test.inner"), 1u);
+}
+
+TEST(SpanTest, InactiveWhileRuntimeDisabled) {
+  const ScopedObs obs(false);
+  {
+    const SpanScope span("test.disabled");
+    EXPECT_EQ(span_depth(), 0u);
+  }
+  EXPECT_EQ(MetricsRegistry::instance().timer_count("test.disabled"), 0u);
+}
+
+#ifndef MDG_OBS_DISABLED
+TEST(SpanTest, MacroExpandsToAScope) {
+  const ScopedObs obs(true);
+  {
+    OBS_SPAN("test.macro");
+    EXPECT_EQ(span_depth(), 1u);
+  }
+  EXPECT_EQ(MetricsRegistry::instance().timer_count("test.macro"), 1u);
+}
+#else
+TEST(SpanTest, MacroCompilesToNothingWhenDisabledAtBuildTime) {
+  MetricsRegistry::instance().reset();
+  {
+    OBS_SPAN("test.macro");
+    EXPECT_EQ(span_depth(), 0u);
+  }
+  EXPECT_EQ(MetricsRegistry::instance().timer_count("test.macro"), 0u);
+}
+#endif
+
+}  // namespace
+}  // namespace mdg::obs

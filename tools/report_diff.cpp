@@ -1,0 +1,225 @@
+// report_diff — compare two RunReports, or validate one against the
+// checked-in schema. The regression gate of the experiment workflow
+// (docs/HANDBOOK.md):
+//
+//   report_diff old.json new.json [--time-factor 1.5]
+//               [--time-floor-ms 5.0] [--quality-factor 1.02]
+//     Flags a *time* regression when a stage (or the whole run) got
+//     slower than old * time-factor and the new time is above the noise
+//     floor, and a *quality* regression when the tour got longer than
+//     old * quality-factor or polling points increased beyond the same
+//     factor. Exit 1 when anything is flagged.
+//
+//   report_diff --schema tools/report_schema.json report.json
+//     Validates the report against a minimal JSON-Schema subset (type /
+//     required / properties / items / const). Exit 1 on violations —
+//     the CI step that keeps report consumers honest.
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/report.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mdg;
+
+obs::JsonValue load_json(const std::string& path) {
+  std::ifstream in(path);
+  MDG_REQUIRE(in.good(), "cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return obs::JsonValue::parse(buffer.str());
+}
+
+/// Minimal JSON-Schema subset validator: type, required, properties,
+/// items, const (strings). Records one message per violation.
+void validate(const obs::JsonValue& schema, const obs::JsonValue& value,
+              const std::string& path, std::vector<std::string>& errors) {
+  const std::string where = path.empty() ? "$" : path;
+  if (schema.contains("type")) {
+    const std::string& type = schema.at("type").as_string();
+    const bool ok =
+        (type == "object" && value.is_object()) ||
+        (type == "array" && value.is_array()) ||
+        (type == "string" && value.is_string()) ||
+        (type == "boolean" && value.is_bool()) ||
+        (type == "number" && value.is_number()) ||
+        (type == "integer" && value.is_number() &&
+         value.as_double() == std::floor(value.as_double()));
+    if (!ok) {
+      errors.push_back(where + ": expected " + type);
+      return;
+    }
+  }
+  if (schema.contains("const")) {
+    if (!value.is_string() ||
+        value.as_string() != schema.at("const").as_string()) {
+      errors.push_back(where + ": must equal \"" +
+                       schema.at("const").as_string() + "\"");
+    }
+  }
+  if (schema.contains("required") && value.is_object()) {
+    const obs::JsonValue& required = schema.at("required");
+    for (std::size_t i = 0; i < required.size(); ++i) {
+      const std::string& key = required.at(i).as_string();
+      if (!value.contains(key)) {
+        errors.push_back(where + ": missing required key \"" + key + "\"");
+      }
+    }
+  }
+  if (schema.contains("properties") && value.is_object()) {
+    for (const auto& [key, sub] : schema.at("properties").members()) {
+      if (value.contains(key)) {
+        validate(sub, value.at(key), where + "." + key, errors);
+      }
+    }
+  }
+  if (schema.contains("items") && value.is_array()) {
+    const obs::JsonValue& item_schema = schema.at("items");
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      validate(item_schema, value.at(i),
+               where + "[" + std::to_string(i) + "]", errors);
+    }
+  }
+}
+
+int run_validate(const std::string& schema_path,
+                 const std::string& report_path) {
+  const obs::JsonValue schema = load_json(schema_path);
+  const obs::JsonValue report = load_json(report_path);
+  std::vector<std::string> errors;
+  validate(schema, report, "", errors);
+  if (errors.empty()) {
+    // Also exercise the typed parser so schema and struct stay aligned.
+    (void)obs::RunReport::from_json(report);
+    std::cout << report_path << ": valid (schema " << schema_path << ")\n";
+    return 0;
+  }
+  std::cerr << report_path << ": " << errors.size()
+            << " schema violation(s)\n";
+  for (const std::string& error : errors) {
+    std::cerr << "  " << error << "\n";
+  }
+  return 1;
+}
+
+const obs::RunReport::StageTiming* find_stage(const obs::RunReport& report,
+                                              const std::string& name) {
+  for (const auto& stage : report.timings) {
+    if (stage.name == name) {
+      return &stage;
+    }
+  }
+  return nullptr;
+}
+
+int run_diff(const std::string& old_path, const std::string& new_path,
+             double time_factor, double time_floor_ms,
+             double quality_factor) {
+  const obs::RunReport old_report = obs::RunReport::load(old_path);
+  const obs::RunReport new_report = obs::RunReport::load(new_path);
+  bool regressed = false;
+
+  Table table("report_diff: " + old_path + " -> " + new_path, 2);
+  table.set_header({"metric", "old", "new", "ratio", "flag"});
+  const auto ratio_of = [](double old_value, double new_value) {
+    return old_value > 0.0 ? new_value / old_value : 0.0;
+  };
+
+  // Quality.
+  {
+    const double r = ratio_of(old_report.tour_length, new_report.tour_length);
+    const bool bad = old_report.tour_length > 0.0 && r > quality_factor;
+    regressed = regressed || bad;
+    table.add_row({std::string("tour_length (m)"), old_report.tour_length,
+                   new_report.tour_length, r,
+                   std::string(bad ? "QUALITY REGRESSION" : "")});
+  }
+  {
+    const double old_pp = static_cast<double>(old_report.polling_points);
+    const double new_pp = static_cast<double>(new_report.polling_points);
+    const double r = ratio_of(old_pp, new_pp);
+    const bool bad = old_pp > 0.0 && r > quality_factor;
+    regressed = regressed || bad;
+    table.add_row({std::string("polling_points"), old_pp, new_pp, r,
+                   std::string(bad ? "QUALITY REGRESSION" : "")});
+  }
+
+  // End-to-end and per-stage time.
+  const auto time_row = [&](const std::string& label, double old_ms,
+                            double new_ms) {
+    const double r = ratio_of(old_ms, new_ms);
+    const bool bad =
+        old_ms > 0.0 && new_ms >= time_floor_ms && r > time_factor;
+    regressed = regressed || bad;
+    table.add_row({label, old_ms, new_ms, r,
+                   std::string(bad ? "TIME REGRESSION" : "")});
+  };
+  time_row("wall_ms", old_report.wall_ms, new_report.wall_ms);
+  for (const auto& stage : old_report.timings) {
+    const obs::RunReport::StageTiming* fresh =
+        find_stage(new_report, stage.name);
+    if (fresh != nullptr) {
+      time_row(stage.name + " (ms)", stage.total_ms, fresh->total_ms);
+    } else {
+      table.add_row({stage.name + " (ms)", stage.total_ms, 0.0, 0.0,
+                     std::string("stage removed")});
+    }
+  }
+  for (const auto& stage : new_report.timings) {
+    if (find_stage(old_report, stage.name) == nullptr) {
+      table.add_row({stage.name + " (ms)", 0.0, stage.total_ms, 0.0,
+                     std::string("stage added")});
+    }
+  }
+
+  table.print(std::cout);
+  if (old_report.git_describe != new_report.git_describe) {
+    std::cout << "builds: " << old_report.git_describe << " -> "
+              << new_report.git_describe << "\n";
+  }
+  std::cout << (regressed ? "REGRESSED\n" : "ok\n");
+  return regressed ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    mdg::Flags flags(argc, argv);
+    const std::string schema = flags.get_string("schema", "");
+    const double time_factor = flags.get_double("time-factor", 1.5);
+    const double time_floor_ms = flags.get_double("time-floor-ms", 5.0);
+    const double quality_factor = flags.get_double("quality-factor", 1.02);
+    flags.finish();
+    const auto& args = flags.positional();
+    if (!schema.empty()) {
+      if (args.size() != 1) {
+        std::cerr << "usage: " << flags.program_name()
+                  << " --schema <schema.json> <report.json>\n";
+        return 2;
+      }
+      return run_validate(schema, args[0]);
+    }
+    if (args.size() != 2) {
+      std::cerr << "usage: " << flags.program_name()
+                << " <old.json> <new.json> [--time-factor F]"
+                   " [--time-floor-ms MS] [--quality-factor F]\n"
+                << "       " << flags.program_name()
+                << " --schema <schema.json> <report.json>\n";
+      return 2;
+    }
+    return run_diff(args[0], args[1], time_factor, time_floor_ms,
+                    quality_factor);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
