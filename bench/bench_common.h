@@ -27,16 +27,21 @@ struct BenchConfig {
   std::size_t trials = 30;
   std::uint64_t seed = 2008;  ///< base seed (IPDPS 2008 vintage)
   bool csv = false;           ///< also dump CSV after the table
+  std::size_t threads = 0;    ///< planning workers (0 = auto)
 };
 
-/// Parses the common bench flags; callers may read more flags from the
-/// returned Flags before calling flags.finish().
+/// Parses the common bench flags (--trials, --seed, --csv, --threads);
+/// callers may read more flags from the returned Flags before calling
+/// flags.finish(). --threads caps the planning pool for the whole run
+/// (results are byte-identical at any value; only wall time changes).
 inline BenchConfig parse_common(Flags& flags) {
   BenchConfig config;
   config.trials =
       static_cast<std::size_t>(flags.get_int("trials", 30));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2008));
   config.csv = flags.get_bool("csv", false);
+  config.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  set_planning_threads(config.threads);
   return config;
 }
 

@@ -5,12 +5,19 @@
 // and the CME fixed-track path. Expected shape: SHDG flattens out as N
 // grows (denser networks don't need more polling points), direct-visit
 // keeps climbing, CME is constant.
+//
+// The planner series run through core::plan_many: all trial topologies
+// for one data point are generated up front, then each planner fans the
+// batch across the planning pool. Values are identical to the serial
+// sweep — same per-trial seeds, same plans — only the wall time changes.
 #include <string>
+#include <vector>
 
 #include "baselines/cme_tracks.h"
 #include "baselines/direct_visit.h"
 #include "bench_common.h"
 #include "core/greedy_cover_planner.h"
+#include "core/plan_many.h"
 #include "core/spanning_tour_planner.h"
 #include "core/tree_dominator_planner.h"
 
@@ -31,32 +38,59 @@ int main(int argc, char** argv) {
   table.set_header({"N", "spanning-tour", "greedy-cover", "tree-dominator",
                     "grid-stop", "direct-visit", "CME tracks"});
 
+  const auto mean_length = [](const std::vector<core::ShdgpSolution>& plans) {
+    RunningStats stats;
+    for (const core::ShdgpSolution& plan : plans) {
+      stats.add(plan.tour_length);
+    }
+    return stats.mean();
+  };
+
   for (std::size_t n : {100u, 200u, 300u, 400u, 500u}) {
-    enum Metric { kSpan, kGreedy, kTree, kGrid, kDirect, kCme, kCount };
-    const auto stats = bench::monte_carlo_multi(
-        config, kCount, [&](Rng& rng, std::size_t, std::vector<double>& row) {
-          const net::SensorNetwork network =
-              net::make_uniform_network(n, side, rs, rng);
-          const core::ShdgpInstance sites(network);
-          row[kSpan] = core::SpanningTourPlanner().plan(sites).tour_length;
-          row[kGreedy] = core::GreedyCoverPlanner().plan(sites).tour_length;
-          row[kTree] =
-              core::TreeDominatorPlanner().plan(sites).tour_length;
-          row[kDirect] =
-              baselines::DirectVisitPlanner().plan(sites).tour_length;
+    // Same topology per (seed, trial) as the serial sweep. The network
+    // vector is fully populated before any instance binds to it —
+    // ShdgpInstance holds a pointer, so the vector must not reallocate.
+    const Rng base(config.seed);
+    std::vector<net::SensorNetwork> networks;
+    networks.reserve(config.trials);
+    for (std::size_t t = 0; t < config.trials; ++t) {
+      Rng trial_rng = base.fork(t);
+      networks.push_back(net::make_uniform_network(n, side, rs, trial_rng));
+    }
+    std::vector<core::ShdgpInstance> sites;
+    std::vector<core::ShdgpInstance> grids;
+    sites.reserve(config.trials);
+    grids.reserve(config.trials);
+    cover::CandidateOptions grid_options;
+    grid_options.policy = cover::CandidatePolicy::kGrid;
+    grid_options.grid_spacing = grid_spacing;
+    for (const net::SensorNetwork& network : networks) {
+      sites.emplace_back(network);
+      grids.emplace_back(network, grid_options);
+    }
 
-          cover::CandidateOptions grid_options;
-          grid_options.policy = cover::CandidatePolicy::kGrid;
-          grid_options.grid_spacing = grid_spacing;
-          const core::ShdgpInstance grid(network, grid_options);
-          row[kGrid] = core::GreedyCoverPlanner().plan(grid).tour_length;
+    const double span =
+        mean_length(core::plan_many(core::SpanningTourPlanner(), sites));
+    const double greedy =
+        mean_length(core::plan_many(core::GreedyCoverPlanner(), sites));
+    const double tree =
+        mean_length(core::plan_many(core::TreeDominatorPlanner(), sites));
+    const double grid =
+        mean_length(core::plan_many(core::GreedyCoverPlanner(), grids));
+    const double direct =
+        mean_length(core::plan_many(baselines::DirectVisitPlanner(), sites));
 
-          row[kCme] = baselines::CmeScheme().run(network).tour_length;
-        });
-    table.add_row({static_cast<long long>(n), stats[kSpan].mean(),
-                   stats[kGreedy].mean(), stats[kTree].mean(),
-                   stats[kGrid].mean(), stats[kDirect].mean(),
-                   stats[kCme].mean()});
+    RunningStats cme;
+    std::vector<double> cme_lengths(config.trials, 0.0);
+    parallel_for(config.trials, [&](std::size_t t) {
+      cme_lengths[t] = baselines::CmeScheme().run(networks[t]).tour_length;
+    });
+    for (double len : cme_lengths) {
+      cme.add(len);
+    }
+
+    table.add_row({static_cast<long long>(n), span, greedy, tree, grid,
+                   direct, cme.mean()});
   }
   bench::emit(table, config);
   return 0;

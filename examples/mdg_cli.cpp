@@ -4,6 +4,7 @@
 //                            --seed 1 --out net.txt
 //   example_mdg_cli plan     --net net.txt [--planner spanning|greedy|
 //                            direct|election] [--max-load K] [--refine]
+//                            [--threads N] [--multi-start K]
 //                            [--report report.json] --out sol.txt
 //   example_mdg_cli inspect  --net net.txt [--sol sol.txt]
 //   example_mdg_cli render   --net net.txt [--sol sol.txt] --out plan.svg
@@ -31,7 +32,8 @@ void arm_report(const std::string& report_path) {
 }
 
 std::unique_ptr<core::Planner> make_planner(const std::string& name,
-                                            long long max_load) {
+                                            long long max_load,
+                                            long long multi_start) {
   if (name == "spanning") {
     return std::make_unique<core::SpanningTourPlanner>();
   }
@@ -39,6 +41,9 @@ std::unique_ptr<core::Planner> make_planner(const std::string& name,
     core::GreedyCoverPlannerOptions options;
     if (max_load > 0) {
       options.max_pp_load = static_cast<std::size_t>(max_load);
+    }
+    if (multi_start > 1) {
+      options.tsp_multi_starts = static_cast<std::size_t>(multi_start);
     }
     return std::make_unique<core::GreedyCoverPlanner>(options);
   }
@@ -74,13 +79,17 @@ int cmd_plan(Flags& flags) {
   const std::string planner_name = flags.get_string("planner", "spanning");
   const long long max_load = flags.get_int("max-load", 0);
   const bool refine = flags.get_bool("refine", false);
+  const long long threads = flags.get_int("threads", 0);
+  const long long multi_start = flags.get_int("multi-start", 0);
   const std::string out = flags.get_string("out", "sol.txt");
   const std::string report_path = flags.get_string("report", "");
   flags.finish();
+  MDG_REQUIRE(threads >= 0, "--threads must be >= 0 (0 = auto)");
+  set_planning_threads(static_cast<std::size_t>(threads));
   arm_report(report_path);
   const net::SensorNetwork network = io::load_network(net_path);
   const core::ShdgpInstance instance(network);
-  const auto planner = make_planner(planner_name, max_load);
+  const auto planner = make_planner(planner_name, max_load, multi_start);
   const Stopwatch watch;
   core::ShdgpSolution solution = planner->plan(instance);
   if (refine) {
@@ -103,7 +112,9 @@ int cmd_plan(Flags& flags) {
     report.params = {{"net", net_path},
                      {"planner", planner_name},
                      {"max-load", std::to_string(max_load)},
-                     {"refine", refine ? "true" : "false"}};
+                     {"refine", refine ? "true" : "false"},
+                     {"threads", std::to_string(threads)},
+                     {"multi-start", std::to_string(multi_start)}};
     report.capture_metrics(obs::MetricsRegistry::instance());
     report.save(report_path);
     std::cout << "Report -> " << report_path << "\n";

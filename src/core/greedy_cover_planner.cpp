@@ -29,7 +29,10 @@ ShdgpSolution GreedyCoverPlanner::plan(const ShdgpInstance& instance) const {
   for (std::size_t c : solution.polling_candidates) {
     solution.polling_points.push_back(instance.coverage().candidate(c));
   }
-  route_collector(instance, solution, options_.tsp_effort);
+  route_collector(instance, solution,
+                  tsp::TspSolveOptions{.effort = options_.tsp_effort,
+                                       .multi_starts =
+                                           options_.tsp_multi_starts});
   return solution;
 }
 

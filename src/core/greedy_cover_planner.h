@@ -10,6 +10,9 @@ namespace mdg::core {
 
 struct GreedyCoverPlannerOptions {
   tsp::TspEffort tsp_effort = tsp::TspEffort::kFull;
+  /// Multi-start portfolio width for the routing phase (0/1 = single
+  /// start). See tsp::TspSolveOptions::multi_starts.
+  std::size_t tsp_multi_starts = 0;
   /// Prefer candidates closer to the sink among equal-coverage ones;
   /// pulls the tour inward.
   bool tie_break_toward_sink = true;

@@ -1,0 +1,39 @@
+#include "core/plan_many.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/span.h"
+#include "util/thread_pool.h"
+
+namespace mdg::core {
+
+namespace {
+
+/// Below this many instances the pool handoff costs more than it saves.
+constexpr std::size_t kParallelPlanBelow = 2;
+
+}  // namespace
+
+std::vector<ShdgpSolution> plan_many(const Planner& planner,
+                                     std::span<const ShdgpInstance> instances) {
+  OBS_SPAN(obs::metric::kPlanMany);
+  const std::size_t threads =
+      instances.size() >= kParallelPlanBelow
+          ? std::min(planning_threads(), instances.size())
+          : 1;
+  MDG_OBS_GAUGE(obs::metric::kPlanManyThreads, static_cast<double>(threads));
+  std::vector<ShdgpSolution> results(instances.size());
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      results[i] = planner.plan(instances[i]);
+    }
+  } else {
+    parallel_for(instances.size(),
+                 [&](std::size_t i) { results[i] = planner.plan(instances[i]); });
+  }
+  return results;
+}
+
+}  // namespace mdg::core

@@ -1,0 +1,26 @@
+// Batch planning: fan a set of SHDGP instances across the planning
+// thread pool.
+//
+// Bench sweeps and Monte-Carlo harnesses plan hundreds of independent
+// instances back to back; plan_many runs them concurrently while
+// keeping the output deterministic — results[i] is exactly what
+// planner.plan(instances[i]) returns serially, because every worker
+// writes only its own slot and planners are stateless by contract.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/planner.h"
+
+namespace mdg::core {
+
+/// Plans every instance with `planner`; results[i] corresponds to
+/// instances[i]. Uses up to planning_threads() workers (serial below a
+/// small batch cutoff — see ALGORITHMS.md §cutoffs). The planner must be
+/// safe to call concurrently from several threads (every in-tree planner
+/// is: plan() is const and the planners hold only configuration).
+[[nodiscard]] std::vector<ShdgpSolution> plan_many(
+    const Planner& planner, std::span<const ShdgpInstance> instances);
+
+}  // namespace mdg::core

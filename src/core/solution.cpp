@@ -94,13 +94,18 @@ void ShdgpSolution::validate(const ShdgpInstance& instance) const {
 
 void route_collector(const ShdgpInstance& instance, ShdgpSolution& solution,
                      tsp::TspEffort effort) {
+  route_collector(instance, solution, tsp::TspSolveOptions{.effort = effort});
+}
+
+void route_collector(const ShdgpInstance& instance, ShdgpSolution& solution,
+                     const tsp::TspSolveOptions& options) {
   OBS_SPAN(obs::metric::kRouteCollector);
   std::vector<geom::Point> all;
   all.reserve(solution.polling_points.size() + 1);
   all.push_back(instance.sink());
   all.insert(all.end(), solution.polling_points.begin(),
              solution.polling_points.end());
-  tsp::TspResult routed = tsp::solve_tsp(all, effort);
+  tsp::TspResult routed = tsp::solve_tsp(all, options);
   solution.tour = std::move(routed.tour);
   solution.tour_length = routed.length;
 }

@@ -63,4 +63,9 @@ struct ShdgpSolution {
 void route_collector(const ShdgpInstance& instance, ShdgpSolution& solution,
                      tsp::TspEffort effort);
 
+/// Options overload: same, but with the full TSP solve options (notably
+/// the multi-start portfolio width).
+void route_collector(const ShdgpInstance& instance, ShdgpSolution& solution,
+                     const tsp::TspSolveOptions& options);
+
 }  // namespace mdg::core

@@ -4,9 +4,11 @@
 #include <cmath>
 
 #include "geom/disk.h"
+#include "obs/metrics.h"
 #include "obs/names.h"
 #include "obs/span.h"
 #include "util/assert.h"
+#include "util/thread_pool.h"
 
 namespace mdg::cover {
 
@@ -39,6 +41,14 @@ void CoverageMatrix::index_candidate(const net::SensorNetwork& network,
   cover_sets_.push_back(std::move(covered));
 }
 
+namespace {
+
+/// Below this many candidate positions the parallel build's chunking
+/// overhead exceeds the coverage work itself (see ALGORITHMS.md §cutoffs).
+constexpr std::size_t kParallelBuildBelow = 512;
+
+}  // namespace
+
 CoverageMatrix::CoverageMatrix(const net::SensorNetwork& network,
                                const CandidateOptions& options)
     : covering_(network.size()) {
@@ -51,10 +61,12 @@ CoverageMatrix::CoverageMatrix(const net::SensorNetwork& network,
   const bool want_intersections =
       policy == CandidatePolicy::kSensorSitesAndIntersections;
 
+  // Stage 1 (serial): enumerate candidate positions in the canonical
+  // order. Cheap — just geometry, no coverage queries.
+  std::vector<geom::Point> positions;
   if (want_sites) {
-    for (geom::Point p : network.positions()) {
-      index_candidate(network, p);
-    }
+    positions.insert(positions.end(), network.positions().begin(),
+                     network.positions().end());
   }
   if (want_grid) {
     const geom::Aabb& field = network.field();
@@ -62,7 +74,7 @@ CoverageMatrix::CoverageMatrix(const net::SensorNetwork& network,
          y += options.grid_spacing) {
       for (double x = field.lo.x + options.grid_spacing / 2.0; x < field.hi.x;
            x += options.grid_spacing) {
-        index_candidate(network, {x, y});
+        positions.push_back({x, y});
       }
     }
   }
@@ -80,11 +92,45 @@ CoverageMatrix::CoverageMatrix(const net::SensorNetwork& network,
             const geom::Circle cv{network.position(v), rs};
             for (geom::Point p : geom::circle_intersections(cu, cv)) {
               if (network.field().contains(p)) {
-                index_candidate(network, p);
+                positions.push_back(p);
               }
             }
           });
     }
+  }
+
+  // Stage 2 (parallel): the expensive part — each position's cover set.
+  // Writes are slot-exclusive, so the result is independent of how work
+  // is split across threads.
+  const std::size_t threads =
+      positions.size() >= kParallelBuildBelow ? planning_threads() : 1;
+  MDG_OBS_GAUGE(obs::metric::kCoverMatrixThreads,
+                static_cast<double>(threads));
+  std::vector<std::vector<std::size_t>> covered(positions.size());
+  const auto compute = [&](std::size_t i) {
+    covered[i] = network.coverable_from(positions[i]);
+    std::sort(covered[i].begin(), covered[i].end());
+  };
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      compute(i);
+    }
+  } else {
+    parallel_for(positions.size(), compute);
+  }
+
+  // Stage 3 (serial ordered merge): assign candidate ids in enumeration
+  // order — byte-identical to the fully serial build at any thread count.
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (covered[i].empty()) {
+      continue;  // a stop nobody can upload to is useless
+    }
+    const std::size_t id = candidates_.size();
+    candidates_.push_back(positions[i]);
+    for (std::size_t s : covered[i]) {
+      covering_[s].push_back(id);
+    }
+    cover_sets_.push_back(std::move(covered[i]));
   }
 
   // Feasibility fallback: any sensor no candidate covers gets its own

@@ -32,6 +32,77 @@ struct LazyEntryWorse {
   }
 };
 
+/// Below this many candidates the linear rescan beats the lazy heap —
+/// the heap's allocation and sift costs outweigh the scan it avoids
+/// (see ALGORITHMS.md §cutoffs).
+constexpr std::size_t kLazyHeapBelow = 256;
+
+/// The linear-rescan selection loop — the greedy core both public entry
+/// points share (the heap path reproduces its picks exactly).
+std::vector<std::size_t> greedy_select_linear(const CoverageMatrix& matrix,
+                                              const GreedyOptions& options) {
+  const std::size_t n_sensors = matrix.sensor_count();
+  const std::size_t n_candidates = matrix.candidate_count();
+  std::vector<std::size_t> selected;
+  std::vector<bool> covered(n_sensors, false);
+  std::size_t uncovered = n_sensors;
+  // gain[c] = count of still-uncovered sensors candidate c covers. Lazy
+  // re-evaluation keeps the loop near-linear in practice.
+  std::vector<std::size_t> gain(n_candidates);
+  for (std::size_t c = 0; c < n_candidates; ++c) {
+    gain[c] = matrix.covered_by(c).size();
+  }
+  std::vector<bool> selected_mask(n_candidates, false);
+
+  while (uncovered > 0) {
+    // Find the candidate with maximum *current* gain, recomputing gains
+    // that are stale.
+    std::size_t best = n_candidates;
+    std::size_t best_gain = 0;
+    double best_anchor_d2 = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < n_candidates; ++c) {
+      if (selected_mask[c] || gain[c] == 0) {
+        continue;
+      }
+      if (gain[c] < best_gain) {
+        continue;  // even the optimistic stale gain loses
+      }
+      // Refresh the gain (it only ever decreases).
+      std::size_t fresh = 0;
+      for (std::size_t s : matrix.covered_by(c)) {
+        if (!covered[s]) {
+          ++fresh;
+        }
+      }
+      gain[c] = fresh;
+      if (fresh == 0) {
+        continue;
+      }
+      const double anchor_d2 =
+          options.tie_break_toward_anchor
+              ? geom::distance_sq(matrix.candidate(c), options.anchor)
+              : 0.0;
+      if (fresh > best_gain ||
+          (fresh == best_gain && anchor_d2 < best_anchor_d2)) {
+        best = c;
+        best_gain = fresh;
+        best_anchor_d2 = anchor_d2;
+      }
+    }
+    MDG_ASSERT(best != n_candidates,
+               "greedy cover stalled with sensors uncovered");
+    selected_mask[best] = true;
+    selected.push_back(best);
+    for (std::size_t s : matrix.covered_by(best)) {
+      if (!covered[s]) {
+        covered[s] = true;
+        --uncovered;
+      }
+    }
+  }
+  return selected;
+}
+
 }  // namespace
 
 SetCoverResult greedy_set_cover(const CoverageMatrix& matrix,
@@ -44,6 +115,13 @@ SetCoverResult greedy_set_cover(const CoverageMatrix& matrix,
               "coverage matrix does not match the network");
 
   SetCoverResult result;
+  if (n_candidates < kLazyHeapBelow) {
+    result.selected = greedy_select_linear(matrix, options);
+    MDG_OBS_COUNT(obs::metric::kCoverSelected, result.selected.size());
+    MDG_OBS_COUNT(obs::metric::kCoverLazyRefreshes, 0);
+    result.assignment = assign_nearest(matrix, network, result.selected);
+    return result;
+  }
   std::vector<bool> covered(n_sensors, false);
   std::size_t uncovered = n_sensors;
   std::size_t lazy_refreshes = 0;
@@ -111,69 +189,11 @@ SetCoverResult greedy_set_cover_reference(const CoverageMatrix& matrix,
                                           const net::SensorNetwork& network,
                                           const GreedyOptions& options) {
   OBS_SPAN(obs::metric::kCoverGreedyReference);
-  const std::size_t n_sensors = matrix.sensor_count();
-  const std::size_t n_candidates = matrix.candidate_count();
-  MDG_REQUIRE(n_sensors == network.size(),
+  MDG_REQUIRE(matrix.sensor_count() == network.size(),
               "coverage matrix does not match the network");
 
   SetCoverResult result;
-  std::vector<bool> covered(n_sensors, false);
-  std::size_t uncovered = n_sensors;
-  // gain[c] = count of still-uncovered sensors candidate c covers. Lazy
-  // re-evaluation keeps the loop near-linear in practice.
-  std::vector<std::size_t> gain(n_candidates);
-  for (std::size_t c = 0; c < n_candidates; ++c) {
-    gain[c] = matrix.covered_by(c).size();
-  }
-  std::vector<bool> selected_mask(n_candidates, false);
-
-  while (uncovered > 0) {
-    // Find the candidate with maximum *current* gain, recomputing gains
-    // that are stale.
-    std::size_t best = n_candidates;
-    std::size_t best_gain = 0;
-    double best_anchor_d2 = std::numeric_limits<double>::infinity();
-    for (std::size_t c = 0; c < n_candidates; ++c) {
-      if (selected_mask[c] || gain[c] == 0) {
-        continue;
-      }
-      if (gain[c] < best_gain) {
-        continue;  // even the optimistic stale gain loses
-      }
-      // Refresh the gain (it only ever decreases).
-      std::size_t fresh = 0;
-      for (std::size_t s : matrix.covered_by(c)) {
-        if (!covered[s]) {
-          ++fresh;
-        }
-      }
-      gain[c] = fresh;
-      if (fresh == 0) {
-        continue;
-      }
-      const double anchor_d2 =
-          options.tie_break_toward_anchor
-              ? geom::distance_sq(matrix.candidate(c), options.anchor)
-              : 0.0;
-      if (fresh > best_gain ||
-          (fresh == best_gain && anchor_d2 < best_anchor_d2)) {
-        best = c;
-        best_gain = fresh;
-        best_anchor_d2 = anchor_d2;
-      }
-    }
-    MDG_ASSERT(best != n_candidates,
-               "greedy cover stalled with sensors uncovered");
-    selected_mask[best] = true;
-    result.selected.push_back(best);
-    for (std::size_t s : matrix.covered_by(best)) {
-      if (!covered[s]) {
-        covered[s] = true;
-        --uncovered;
-      }
-    }
-  }
-
+  result.selected = greedy_select_linear(matrix, options);
   result.assignment = assign_nearest(matrix, network, result.selected);
   return result;
 }

@@ -1,0 +1,129 @@
+#include "geom/removal_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace mdg::geom {
+
+RemovalGrid::RemovalGrid(std::span<const Point> points, double cell_size)
+    : points_(points.begin(), points.end()), cell_size_(cell_size) {
+  MDG_REQUIRE(cell_size > 0.0, "cell size must be positive");
+  bounds_ = Aabb::bounding(points_);
+  const std::size_t n = points_.size();
+  alive_.assign(n, 1);
+  live_ = n;
+  if (n == 0) {
+    cell_start_.assign(1, 0);
+    live_end_.assign(1, 0);
+    return;
+  }
+  cells_x_ =
+      static_cast<long long>(std::floor(bounds_.width() / cell_size_)) + 1;
+  cells_y_ =
+      static_cast<long long>(std::floor(bounds_.height() / cell_size_)) + 1;
+
+  const std::size_t total =
+      static_cast<std::size_t>(cells_x_) * static_cast<std::size_t>(cells_y_);
+  std::vector<std::size_t> counts(total, 0);
+  slot_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [cx, cy] = cell_of(points_[i]);
+    const std::size_t slot = cell_slot(cx, cy);
+    MDG_ASSERT(slot != kNoCell, "point outside its own bounding box");
+    slot_[i] = slot;
+    ++counts[slot];
+  }
+  cell_start_.assign(total + 1, 0);
+  for (std::size_t s = 0; s < total; ++s) {
+    cell_start_[s + 1] = cell_start_[s] + counts[s];
+  }
+  live_end_.assign(cell_start_.begin() + 1, cell_start_.end());
+  cell_items_.resize(n);
+  position_.resize(n);
+  std::vector<std::size_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t at = cursor[slot_[i]]++;
+    cell_items_[at] = i;
+    position_[i] = at;
+  }
+}
+
+std::pair<long long, long long> RemovalGrid::cell_of(Point p) const {
+  return {static_cast<long long>(std::floor((p.x - bounds_.lo.x) / cell_size_)),
+          static_cast<long long>(
+              std::floor((p.y - bounds_.lo.y) / cell_size_))};
+}
+
+std::size_t RemovalGrid::cell_slot(long long cx, long long cy) const {
+  if (cx < 0 || cy < 0 || cx >= cells_x_ || cy >= cells_y_) {
+    return kNoCell;
+  }
+  return static_cast<std::size_t>(cy) * static_cast<std::size_t>(cells_x_) +
+         static_cast<std::size_t>(cx);
+}
+
+void RemovalGrid::remove(std::size_t idx) {
+  MDG_REQUIRE(idx < points_.size() && alive_[idx],
+              "can only remove a live indexed point");
+  const std::size_t slot = slot_[idx];
+  const std::size_t last = live_end_[slot] - 1;
+  const std::size_t at = position_[idx];
+  // Swap with the last live member of the cell and shrink the live range.
+  const std::size_t moved = cell_items_[last];
+  cell_items_[at] = moved;
+  position_[moved] = at;
+  cell_items_[last] = idx;
+  position_[idx] = last;
+  --live_end_[slot];
+  alive_[idx] = 0;
+  --live_;
+}
+
+std::size_t RemovalGrid::nearest(Point center) const {
+  if (live_ == 0) {
+    return npos;
+  }
+  // Expanding search: a live point can hide in an unscanned cell only
+  // while the scan radius is below its distance, so the best hit is
+  // confirmed once it lies within the scanned radius.
+  const double reach =
+      std::sqrt(std::max({distance_sq(center, bounds_.lo),
+                          distance_sq(center, bounds_.hi),
+                          distance_sq(center, {bounds_.lo.x, bounds_.hi.y}),
+                          distance_sq(center, {bounds_.hi.x, bounds_.lo.y})}));
+  double radius = cell_size_;
+  for (;;) {
+    std::size_t best = npos;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    const auto [cx_lo, cy_lo] = cell_of({center.x - radius, center.y - radius});
+    const auto [cx_hi, cy_hi] = cell_of({center.x + radius, center.y + radius});
+    for (long long cy = cy_lo; cy <= cy_hi; ++cy) {
+      for (long long cx = cx_lo; cx <= cx_hi; ++cx) {
+        const std::size_t slot = cell_slot(cx, cy);
+        if (slot == kNoCell) {
+          continue;
+        }
+        for (std::size_t i = cell_start_[slot]; i < live_end_[slot]; ++i) {
+          const std::size_t idx = cell_items_[i];
+          const double d2 = distance_sq(points_[idx], center);
+          if (d2 < best_d2 || (d2 == best_d2 && idx < best)) {
+            best_d2 = d2;
+            best = idx;
+          }
+        }
+      }
+    }
+    if (best != npos && best_d2 <= radius * radius) {
+      return best;
+    }
+    if (radius >= reach) {
+      return best;  // the scan covered every indexed point
+    }
+    radius *= 2.0;
+  }
+}
+
+}  // namespace mdg::geom

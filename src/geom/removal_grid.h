@@ -1,0 +1,63 @@
+// Uniform grid over a fixed point set supporting O(1) removal and
+// expected-O(1) nearest-live-point queries.
+//
+// The nearest-neighbour tour construction repeatedly asks "which
+// unvisited point is closest to here?" while the unvisited set shrinks
+// by one per step. A static index cannot answer that without filtering;
+// this grid keeps each cell's live members compacted (swap-with-last
+// removal), so the expanding-ring nearest query only ever touches
+// points that are still in play.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "geom/point.h"
+
+namespace mdg::geom {
+
+class RemovalGrid {
+ public:
+  /// Indexes `points` with cells of size `cell_size` (> 0); all points
+  /// start live. The span is copied.
+  RemovalGrid(std::span<const Point> points, double cell_size);
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] std::size_t live_count() const { return live_; }
+  [[nodiscard]] bool alive(std::size_t idx) const { return alive_[idx]; }
+
+  /// Removes a live point from the index. Requires alive(idx).
+  void remove(std::size_t idx);
+
+  /// Index of the nearest live point to `center`, or npos when none is
+  /// left. Exact ties break toward the lower index — the same rule as a
+  /// full ascending-index scan with a strict `<` comparison.
+  [[nodiscard]] std::size_t nearest(Point center) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  static constexpr std::size_t kNoCell = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::pair<long long, long long> cell_of(Point p) const;
+  [[nodiscard]] std::size_t cell_slot(long long cx, long long cy) const;
+
+  std::vector<Point> points_;
+  double cell_size_;
+  Aabb bounds_;
+  long long cells_x_ = 0;
+  long long cells_y_ = 0;
+  // CSR layout; the live members of cell s are
+  // cell_items_[cell_start_[s] .. live_end_[s]).
+  std::vector<std::size_t> cell_start_;
+  std::vector<std::size_t> live_end_;
+  std::vector<std::size_t> cell_items_;
+  std::vector<std::size_t> position_;  ///< index into cell_items_ per point
+  std::vector<std::size_t> slot_;     ///< cell slot per point
+  std::vector<char> alive_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace mdg::geom

@@ -22,6 +22,8 @@ std::span<const MetricInfo> known_metrics() {
        "cover::greedy_set_cover"},
       {metric::kCoverMatrixBuild, "timer", "ms",
        "cover::CoverageMatrix::CoverageMatrix"},
+      {metric::kCoverMatrixThreads, "gauge", "threads",
+       "cover::CoverageMatrix::CoverageMatrix"},
       {metric::kCoverSelected, "counter", "count",
        "cover::greedy_set_cover"},
       {metric::kPlanDirectVisit, "timer", "ms",
@@ -30,6 +32,8 @@ std::span<const MetricInfo> known_metrics() {
       {metric::kPlanExact, "timer", "ms", "core::ExactPlanner::plan"},
       {metric::kPlanGreedyCover, "timer", "ms",
        "core::GreedyCoverPlanner::plan"},
+      {metric::kPlanMany, "timer", "ms", "core::plan_many"},
+      {metric::kPlanManyThreads, "gauge", "threads", "core::plan_many"},
       {metric::kPlanSpanningTour, "timer", "ms",
        "core::SpanningTourPlanner::plan"},
       {metric::kPlanTreeDominator, "timer", "ms",
@@ -57,6 +61,8 @@ std::span<const MetricInfo> known_metrics() {
       {metric::kTspNeighborsBuild, "timer", "ms",
        "tsp::NeighborLists::NeighborLists"},
       {metric::kTspOrOptMoves, "counter", "count", "tsp::improve"},
+      {metric::kTspPortfolioStarts, "counter", "count", "tsp::solve_tsp"},
+      {metric::kTspPortfolioThreads, "gauge", "threads", "tsp::solve_tsp"},
       {metric::kTspSolve, "timer", "ms", "tsp::solve_tsp"},
       {metric::kTspTwoOptMoves, "counter", "count", "tsp::improve"},
   };

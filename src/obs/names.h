@@ -43,6 +43,7 @@ inline constexpr const char* kPlanDirectVisit = "plan.direct_visit";
 inline constexpr const char* kPlanElection = "plan.election";
 inline constexpr const char* kPlanExact = "plan.exact";
 inline constexpr const char* kPlanGreedyCover = "plan.greedy_cover";
+inline constexpr const char* kPlanMany = "plan.many";
 inline constexpr const char* kPlanSpanningTour = "plan.spanning_tour";
 inline constexpr const char* kPlanTreeDominator = "plan.tree_dominator";
 inline constexpr const char* kRefineSlide = "refine.slide";
@@ -64,11 +65,15 @@ inline constexpr const char* kSimMobileDelivered = "sim.mobile_delivered";
 inline constexpr const char* kSimMobileDropped = "sim.mobile_dropped";
 inline constexpr const char* kTspImprovePasses = "tsp.improve_passes";
 inline constexpr const char* kTspOrOptMoves = "tsp.or_opt_moves";
+inline constexpr const char* kTspPortfolioStarts = "tsp.portfolio_starts";
 inline constexpr const char* kTspTwoOptMoves = "tsp.two_opt_moves";
 
 // --- gauges --------------------------------------------------------------
+inline constexpr const char* kCoverMatrixThreads = "cover.matrix_threads";
+inline constexpr const char* kPlanManyThreads = "plan.many_threads";
 inline constexpr const char* kSimMobileBufferPeak = "sim.mobile_buffer_peak";
 inline constexpr const char* kTspImproveGainM = "tsp.improve_gain_m";
+inline constexpr const char* kTspPortfolioThreads = "tsp.portfolio_threads";
 
 }  // namespace metric
 

@@ -1,15 +1,233 @@
 #include "tsp/construct.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
+#include <optional>
+#include <queue>
 
+#include "geom/aabb.h"
+#include "geom/removal_grid.h"
+#include "geom/spatial_grid.h"
 #include "graph/mst.h"
 #include "util/assert.h"
 
 namespace mdg::tsp {
+namespace {
 
-Tour nearest_neighbor(std::span<const geom::Point> points, std::size_t start) {
+// Size cutoffs for the grid-accelerated construction kernels (see
+// ALGORITHMS.md §cutoffs): below these the full-scan references win on
+// setup cost; above them the accelerated kernels produce byte-identical
+// tours asymptotically faster.
+constexpr std::size_t kGridNearestBelow = 128;
+constexpr std::size_t kLazyGreedyEdgeBelow = 128;
+
+/// Cell size giving ~1 point per cell, or 0 when the bounding box is
+/// degenerate (collinear/coincident input — grids buy nothing there).
+double uniform_cell_size(std::span<const geom::Point> points) {
+  const geom::Aabb bounds = geom::Aabb::bounding(points);
+  const double area = bounds.width() * bounds.height();
+  if (area <= 0.0) {
+    return 0.0;
+  }
+  return std::sqrt(area / static_cast<double>(points.size()));
+}
+
+/// Shared greedy-edge acceptance state: union-find over path fragments,
+/// degree bounds, and the accepted adjacency. Both the reference and the
+/// lazy kernel feed edges through try_accept in the same global order,
+/// which is what makes their outputs byte-identical.
+class GreedyEdgeState {
+ public:
+  explicit GreedyEdgeState(std::size_t n)
+      : parent_(n), degree_(n, 0), adj_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  [[nodiscard]] std::size_t accepted() const { return accepted_; }
+  [[nodiscard]] std::size_t degree(std::size_t v) const { return degree_[v]; }
+
+  /// Accepts (u, v) iff both degrees < 2 and no premature cycle forms.
+  void try_accept(std::size_t u, std::size_t v) {
+    if (degree_[u] >= 2 || degree_[v] >= 2) {
+      return;
+    }
+    const std::size_t ru = find(u);
+    const std::size_t rv = find(v);
+    if (ru == rv) {
+      return;  // would close a sub-cycle early
+    }
+    parent_[ru] = rv;
+    ++degree_[u];
+    ++degree_[v];
+    adj_[u].push_back(v);
+    adj_[v].push_back(u);
+    ++accepted_;
+  }
+
+  /// Walks the completed Hamilton path from its lowest-index endpoint.
+  [[nodiscard]] Tour walk_path() const {
+    const std::size_t n = parent_.size();
+    MDG_ASSERT(accepted_ == n - 1,
+               "greedy edge failed to build a Hamilton path");
+    std::size_t start = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (degree_[v] == 1) {
+        start = v;
+        break;
+      }
+    }
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    std::vector<bool> visited(n, false);
+    std::size_t current = start;
+    for (;;) {
+      visited[current] = true;
+      order.push_back(current);
+      std::size_t next = n;
+      for (std::size_t nb : adj_[current]) {
+        if (!visited[nb]) {
+          next = nb;
+          break;
+        }
+      }
+      if (next == n) {
+        break;
+      }
+      current = next;
+    }
+    MDG_ASSERT(order.size() == n, "greedy edge path does not span all points");
+    Tour tour(std::move(order));
+    tour.rotate_to_front(0);
+    return tour;
+  }
+
+ private:
+  [[nodiscard]] std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> degree_;
+  std::vector<std::vector<std::size_t>> adj_;
+  std::size_t accepted_ = 0;
+};
+
+/// Lazily enumerates a vertex's neighbours in exact (distance, index)
+/// order via expanding-ring grid queries. Confirmed entries — those
+/// within the scanned radius — are stable across refills, so the stream
+/// never re-orders what it already yielded.
+class DistanceStream {
+ public:
+  /// Next confirmed (d2, neighbour), or nullopt when the whole indexed
+  /// set has been yielded.
+  std::optional<std::pair<double, std::size_t>> next(
+      std::size_t self, std::span<const geom::Point> points,
+      const geom::SpatialGrid& grid, double cell, double reach) {
+    for (;;) {
+      if (cursor_ < hits_.size() &&
+          (hits_[cursor_].first <= radius_ * radius_ || radius_ >= reach)) {
+        return hits_[cursor_++];
+      }
+      if (radius_ >= reach) {
+        return std::nullopt;  // exhausted
+      }
+      radius_ = radius_ == 0.0 ? cell : radius_ * 2.0;
+      hits_.clear();
+      grid.for_each_in_radius(points[self], radius_, [&](std::size_t v) {
+        if (v != self) {
+          hits_.push_back({geom::distance_sq(points[self], points[v]), v});
+        }
+      });
+      // (d2, index) pair order: exact ties break toward the lower index,
+      // keeping the confirmed prefix identical after every refill.
+      std::sort(hits_.begin(), hits_.end());
+    }
+  }
+
+ private:
+  std::vector<std::pair<double, std::size_t>> hits_;
+  std::size_t cursor_ = 0;
+  double radius_ = 0.0;
+};
+
+Tour greedy_edge_lazy(std::span<const geom::Point> points, double cell) {
+  const std::size_t n = points.size();
+  const geom::SpatialGrid grid(points, cell);
+  const geom::Aabb bounds = geom::Aabb::bounding(points);
+  const double reach = std::hypot(bounds.width(), bounds.height());
+
+  GreedyEdgeState state(n);
+  std::vector<DistanceStream> streams(n);
+
+  // k-way merge of the per-vertex streams: the heap holds at most one
+  // pending edge per live stream; popping the minimum and refilling from
+  // the owner reproduces the full (d2, u, v)-sorted edge order.
+  struct HeapEdge {
+    double d2;
+    std::size_t a, b;  ///< normalized endpoints, a < b
+    std::size_t owner;
+  };
+  struct HeapEdgeWorse {
+    bool operator()(const HeapEdge& x, const HeapEdge& y) const {
+      if (x.d2 != y.d2) {
+        return x.d2 > y.d2;
+      }
+      if (x.a != y.a) {
+        return x.a > y.a;
+      }
+      return x.b > y.b;
+    }
+  };
+  std::priority_queue<HeapEdge, std::vector<HeapEdge>, HeapEdgeWorse> heap;
+
+  const auto advance = [&](std::size_t u) {
+    if (state.degree(u) >= 2) {
+      return;  // every remaining edge of u would be rejected anyway
+    }
+    while (auto hit = streams[u].next(u, points, grid, cell, reach)) {
+      const std::size_t v = hit->second;
+      if (state.degree(v) >= 2) {
+        continue;  // dead on arrival, skip without disturbing the order
+      }
+      heap.push({hit->first, std::min(u, v), std::max(u, v), u});
+      return;
+    }
+  };
+  for (std::size_t u = 0; u < n; ++u) {
+    advance(u);
+  }
+
+  // Each surviving edge arrives once or twice (once per live endpoint
+  // stream); the two copies carry identical keys, so they pop
+  // back-to-back and the duplicate is dropped by comparing with the
+  // previously processed pair.
+  std::size_t prev_a = n;
+  std::size_t prev_b = n;
+  while (state.accepted() < n - 1) {
+    MDG_ASSERT(!heap.empty(), "greedy edge stalled before spanning");
+    const HeapEdge top = heap.top();
+    heap.pop();
+    advance(top.owner);
+    if (top.a == prev_a && top.b == prev_b) {
+      continue;
+    }
+    prev_a = top.a;
+    prev_b = top.b;
+    state.try_accept(top.a, top.b);
+  }
+  return state.walk_path();
+}
+
+}  // namespace
+
+Tour nearest_neighbor_reference(std::span<const geom::Point> points,
+                                std::size_t start) {
   const std::size_t n = points.size();
   if (n == 0) {
     return Tour{};
@@ -44,7 +262,34 @@ Tour nearest_neighbor(std::span<const geom::Point> points, std::size_t start) {
   return tour;
 }
 
-Tour greedy_edge(std::span<const geom::Point> points) {
+Tour nearest_neighbor(std::span<const geom::Point> points, std::size_t start) {
+  const std::size_t n = points.size();
+  const double cell = n >= kGridNearestBelow ? uniform_cell_size(points) : 0.0;
+  if (cell <= 0.0) {
+    return nearest_neighbor_reference(points, start);
+  }
+  MDG_REQUIRE(start < n, "start index out of range");
+  geom::RemovalGrid grid(points, cell);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::size_t current = start;
+  grid.remove(current);
+  order.push_back(current);
+  for (std::size_t step = 1; step < n; ++step) {
+    // RemovalGrid::nearest breaks distance ties toward the lower index —
+    // exactly the choice the reference's ascending strict-< scan makes.
+    const std::size_t best = grid.nearest(points[current]);
+    MDG_ASSERT(best != geom::RemovalGrid::npos, "nearest-neighbour stalled");
+    grid.remove(best);
+    order.push_back(best);
+    current = best;
+  }
+  Tour tour(std::move(order));
+  tour.rotate_to_front(start);
+  return tour;
+}
+
+Tour greedy_edge_reference(std::span<const geom::Point> points) {
   const std::size_t n = points.size();
   if (n == 0) {
     return Tour{};
@@ -64,74 +309,37 @@ Tour greedy_edge(std::span<const geom::Point> points) {
       candidates.push_back({geom::distance_sq(points[u], points[v]), u, v});
     }
   }
+  // Full (d2, u, v) order so exact distance ties are deterministic — the
+  // same order the lazy kernel's merge reproduces.
   std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) { return a.d2 < b.d2; });
+            [](const Candidate& a, const Candidate& b) {
+              if (a.d2 != b.d2) {
+                return a.d2 < b.d2;
+              }
+              if (a.u != b.u) {
+                return a.u < b.u;
+              }
+              return a.v < b.v;
+            });
 
-  // Union-find over path fragments to reject premature cycles.
-  std::vector<std::size_t> parent(n);
-  std::iota(parent.begin(), parent.end(), 0);
-  const auto find = [&parent](std::size_t x) {
-    while (parent[x] != x) {
-      parent[x] = parent[parent[x]];
-      x = parent[x];
-    }
-    return x;
-  };
-  std::vector<std::size_t> degree(n, 0);
-  std::vector<std::vector<std::size_t>> adj(n);
-  std::size_t accepted = 0;
+  GreedyEdgeState state(n);
   for (const Candidate& c : candidates) {
-    if (accepted == n - 1) {
+    if (state.accepted() == n - 1) {
       break;
     }
-    if (degree[c.u] >= 2 || degree[c.v] >= 2) {
-      continue;
-    }
-    const std::size_t ru = find(c.u);
-    const std::size_t rv = find(c.v);
-    if (ru == rv) {
-      continue;  // would close a sub-cycle early
-    }
-    parent[ru] = rv;
-    ++degree[c.u];
-    ++degree[c.v];
-    adj[c.u].push_back(c.v);
-    adj[c.v].push_back(c.u);
-    ++accepted;
+    state.try_accept(c.u, c.v);
   }
-  MDG_ASSERT(accepted == n - 1, "greedy edge failed to build a Hamilton path");
+  return state.walk_path();
+}
 
-  // Walk the resulting Hamilton path from one endpoint.
-  std::size_t start = 0;
-  for (std::size_t v = 0; v < n; ++v) {
-    if (degree[v] == 1) {
-      start = v;
-      break;
-    }
+Tour greedy_edge(std::span<const geom::Point> points) {
+  const std::size_t n = points.size();
+  const double cell =
+      n >= kLazyGreedyEdgeBelow ? uniform_cell_size(points) : 0.0;
+  if (cell <= 0.0) {
+    return greedy_edge_reference(points);
   }
-  std::vector<std::size_t> order;
-  order.reserve(n);
-  std::vector<bool> visited(n, false);
-  std::size_t current = start;
-  for (;;) {
-    visited[current] = true;
-    order.push_back(current);
-    std::size_t next = n;
-    for (std::size_t nb : adj[current]) {
-      if (!visited[nb]) {
-        next = nb;
-        break;
-      }
-    }
-    if (next == n) {
-      break;
-    }
-    current = next;
-  }
-  MDG_ASSERT(order.size() == n, "greedy edge path does not span all points");
-  Tour tour(std::move(order));
-  tour.rotate_to_front(0);
-  return tour;
+  return greedy_edge_lazy(points, cell);
 }
 
 Tour cheapest_insertion(std::span<const geom::Point> points) {

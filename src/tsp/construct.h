@@ -4,6 +4,12 @@
 // follow-up literature reports for these systems); greedy-edge, cheapest
 // insertion and the MST 2-approximation are provided for the TSP ablation
 // experiment (A1) and as better starting tours for local search.
+//
+// nearest_neighbor and greedy_edge dispatch on size: below the cutoffs
+// recorded in ALGORITHMS.md they run the classic full-scan kernels
+// (kept as *_reference), above them grid-accelerated kernels that
+// produce byte-identical tours — the references are the parity oracles,
+// the accelerated paths the production code.
 #pragma once
 
 #include <span>
@@ -14,13 +20,28 @@
 
 namespace mdg::tsp {
 
-/// Nearest-neighbour from `start` (default 0 = the depot).
+/// Nearest-neighbour from `start` (default 0 = the depot). Large inputs
+/// run an expanding-ring search over a geom::RemovalGrid; output is
+/// byte-identical to nearest_neighbor_reference at every size.
 [[nodiscard]] Tour nearest_neighbor(std::span<const geom::Point> points,
                                     std::size_t start = 0);
 
+/// The seed O(n^2) full-scan nearest-neighbour. Parity oracle for
+/// nearest_neighbor and the baseline kernel in bench_p1_hotpaths.
+[[nodiscard]] Tour nearest_neighbor_reference(
+    std::span<const geom::Point> points, std::size_t start = 0);
+
 /// Greedy edge matching: repeatedly add the globally shortest edge that
-/// keeps degree <= 2 and forms no premature cycle. O(n^2 log n).
+/// keeps degree <= 2 and forms no premature cycle. Large inputs
+/// enumerate edges lazily in globally sorted order by k-way-merging
+/// per-vertex expanding-ring distance streams — byte-identical to
+/// greedy_edge_reference (both order edges by (d2, u, v)) without ever
+/// materialising the O(n^2) edge list.
 [[nodiscard]] Tour greedy_edge(std::span<const geom::Point> points);
+
+/// The seed O(n^2 log n) sort-all-edges greedy. Parity oracle for
+/// greedy_edge.
+[[nodiscard]] Tour greedy_edge_reference(std::span<const geom::Point> points);
 
 /// Cheapest insertion starting from the two closest points.
 [[nodiscard]] Tour cheapest_insertion(std::span<const geom::Point> points);

@@ -37,8 +37,10 @@ struct ImproveOptions {
   /// Longest segment Or-opt relocates.
   std::size_t or_opt_max_segment = 3;
   /// Below this many cities the classic full-sweep kernels run instead
-  /// of the neighbour-list engine. Set to 0 to force the engine.
-  std::size_t full_scan_below = 96;
+  /// of the neighbour-list engine — measured faster there (the engine
+  /// pays neighbour-list setup before its first move; see ALGORITHMS.md
+  /// §cutoffs). Set to 0 to force the engine.
+  std::size_t full_scan_below = 128;
 };
 
 /// 2-opt: repeatedly reverse a segment when it shortens the tour; position

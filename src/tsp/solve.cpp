@@ -1,14 +1,18 @@
 #include "tsp/solve.h"
 
+#include <algorithm>
 #include <limits>
+#include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "obs/names.h"
 #include "obs/span.h"
 #include "tsp/construct.h"
 #include "tsp/exact.h"
 #include "tsp/improve.h"
 #include "util/assert.h"
+#include "util/thread_pool.h"
 
 namespace mdg::tsp {
 
@@ -27,8 +31,10 @@ std::string to_string(TspEffort effort) {
   return {};
 }
 
-TspResult solve_tsp(std::span<const geom::Point> points, TspEffort effort) {
-  OBS_SPAN(obs::metric::kTspSolve);
+namespace {
+
+/// The single-start solve — chain 0 of every portfolio.
+TspResult solve_single(std::span<const geom::Point> points, TspEffort effort) {
   TspResult result;
   const std::size_t n = points.size();
   if (n == 0) {
@@ -94,6 +100,71 @@ TspResult solve_tsp(std::span<const geom::Point> points, TspEffort effort) {
   }
   result.length = result.tour.length(points);
   return result;
+}
+
+/// One extra portfolio chain: nearest-neighbour from `start`, the
+/// effort's improvement pass, depot re-pinned at 0.
+TspResult solve_chain(std::span<const geom::Point> points, TspEffort effort,
+                      std::size_t start) {
+  TspResult result;
+  {
+    OBS_SPAN(obs::metric::kTspConstruct);
+    result.tour = nearest_neighbor(points, start);
+  }
+  switch (effort) {
+    case TspEffort::kConstructionOnly:
+      break;
+    case TspEffort::kTwoOpt:
+      two_opt(result.tour, points);
+      break;
+    case TspEffort::kFull:
+    case TspEffort::kExactIfSmall:
+      improve(result.tour, points);
+      break;
+  }
+  result.tour.rotate_to_front(0);
+  result.length = result.tour.length(points);
+  return result;
+}
+
+}  // namespace
+
+TspResult solve_tsp(std::span<const geom::Point> points, TspEffort effort) {
+  OBS_SPAN(obs::metric::kTspSolve);
+  return solve_single(points, effort);
+}
+
+TspResult solve_tsp(std::span<const geom::Point> points,
+                    const TspSolveOptions& options) {
+  OBS_SPAN(obs::metric::kTspSolve);
+  const std::size_t n = points.size();
+  if (options.multi_starts <= 1 || n <= 3) {
+    return solve_single(points, options.effort);
+  }
+  const std::size_t chains = options.multi_starts;
+  MDG_OBS_COUNT(obs::metric::kTspPortfolioStarts, chains);
+  MDG_OBS_GAUGE(obs::metric::kTspPortfolioThreads,
+                static_cast<double>(std::min(planning_threads(), chains)));
+
+  // Chains are independent; each writes only its own slot, and the
+  // final argmin breaks exact length ties toward the lower chain index
+  // — the winner does not depend on scheduling.
+  std::vector<TspResult> results(chains);
+  parallel_for(chains, [&](std::size_t k) {
+    results[k] = k == 0 ? solve_single(points, options.effort)
+                        : solve_chain(points, options.effort,
+                                      (k * n) / chains);
+  });
+  if (results[0].exact) {
+    return std::move(results[0]);  // provably optimal beats any heuristic
+  }
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < chains; ++k) {
+    if (results[k].length < results[best].length) {
+      best = k;
+    }
+  }
+  return std::move(results[best]);
 }
 
 }  // namespace mdg::tsp

@@ -29,8 +29,25 @@ struct TspResult {
   bool exact = false;  ///< true when Held–Karp proved optimality
 };
 
+struct TspSolveOptions {
+  TspEffort effort = TspEffort::kFull;
+  /// Multi-start portfolio width: total construct+improve chains to
+  /// evaluate. Chain 0 is exactly the single-start solve for `effort`;
+  /// chains 1..K-1 run nearest-neighbour from K evenly spaced start
+  /// indices followed by the effort's improvement pass. Chains run in
+  /// parallel (up to planning_threads() workers) and the winner is the
+  /// deterministic argmin by (length, chain index) — the result is
+  /// byte-identical at any thread count. 0 or 1 = single start.
+  std::size_t multi_starts = 0;
+};
+
 /// Solves a closed tour over `points` with the depot pinned at index 0.
 [[nodiscard]] TspResult solve_tsp(std::span<const geom::Point> points,
                                   TspEffort effort = TspEffort::kFull);
+
+/// Options overload: single-start when options.multi_starts <= 1,
+/// otherwise the multi-start portfolio described on TspSolveOptions.
+[[nodiscard]] TspResult solve_tsp(std::span<const geom::Point> points,
+                                  const TspSolveOptions& options);
 
 }  // namespace mdg::tsp

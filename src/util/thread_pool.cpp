@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <utility>
 
 #include "util/assert.h"
 
@@ -42,6 +46,44 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::unique_lock lock(mutex_);
+    if (queue_.empty()) {
+      return false;
+    }
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  run_task(std::move(task));
+  return true;
+}
+
+void ThreadPool::run_task(std::function<void()> task) {
+  std::exception_ptr error;
+  try {
+    task();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    std::unique_lock lock(mutex_);
+    if (error && !first_error_) {
+      first_error_ = error;
+    }
+    --in_flight_;
+    if (in_flight_ == 0) {
+      all_done_.notify_all();
+    }
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -57,16 +99,85 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
-    {
-      std::unique_lock lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) {
-        all_done_.notify_all();
-      }
-    }
+    run_task(std::move(task));
   }
 }
+
+namespace {
+
+/// Completion state one parallel_for call waits on. Chunks signal their
+/// own latch, never the pool-wide idle state, so a nested call only
+/// waits for its own iterations.
+struct ForLatch {
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t remaining = 0;
+  std::exception_ptr error;
+
+  void finish_one(std::exception_ptr chunk_error) {
+    std::unique_lock lock(mutex);
+    if (chunk_error && !error) {
+      error = chunk_error;
+    }
+    if (--remaining == 0) {
+      done.notify_all();
+    }
+  }
+};
+
+void run_parallel(ThreadPool& pool, std::size_t n, std::size_t workers,
+                  const std::function<void(std::size_t)>& fn) {
+  // Dynamic chunking: enough chunks for balance, few enough for low
+  // overhead.
+  const std::size_t chunks = std::min(n, workers * 4);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto latch = std::make_shared<ForLatch>();
+  latch->remaining = chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    pool.submit([next, latch, &fn, n, chunk_size] {
+      std::exception_ptr error;
+      try {
+        for (;;) {
+          const std::size_t begin = next->fetch_add(chunk_size);
+          if (begin >= n) {
+            break;
+          }
+          const std::size_t end = std::min(begin + chunk_size, n);
+          for (std::size_t i = begin; i < end; ++i) {
+            fn(i);
+          }
+        }
+      } catch (...) {
+        error = std::current_exception();
+        // Drain the index space so sibling chunks stop promptly.
+        next->store(n);
+      }
+      latch->finish_one(error);
+    });
+  }
+  // Help drain the queue while waiting: the tasks we pick up may belong
+  // to this loop or to a sibling one — either way the system makes
+  // progress and no worker (or caller) ever blocks on foreign work.
+  for (;;) {
+    {
+      std::unique_lock lock(latch->mutex);
+      if (latch->remaining == 0) {
+        break;
+      }
+    }
+    if (!pool.try_run_one()) {
+      std::unique_lock lock(latch->mutex);
+      latch->done.wait_for(lock, std::chrono::milliseconds(1),
+                           [&] { return latch->remaining == 0; });
+    }
+  }
+  if (latch->error) {
+    std::rethrow_exception(latch->error);
+  }
+}
+
+}  // namespace
 
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn) {
@@ -80,35 +191,73 @@ void parallel_for(ThreadPool& pool, std::size_t n,
     }
     return;
   }
-  // Dynamic chunking: enough chunks for balance, few enough for low
-  // overhead.
-  const std::size_t chunks = std::min(n, workers * 4);
-  std::atomic<std::size_t> next{0};
-  const std::size_t chunk_size = (n + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    pool.submit([&next, &fn, n, chunk_size] {
-      for (;;) {
-        const std::size_t begin = next.fetch_add(chunk_size);
-        if (begin >= n) {
-          return;
-        }
-        const std::size_t end = std::min(begin + chunk_size, n);
-        for (std::size_t i = begin; i < end; ++i) {
-          fn(i);
-        }
-      }
-    });
-  }
-  pool.wait_idle();
+  run_parallel(pool, n, workers, fn);
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
-  parallel_for(default_pool(), n, fn);
+  if (n == 0) {
+    return;
+  }
+  const std::size_t workers =
+      std::min(default_pool().thread_count(), planning_threads());
+  if (workers <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  run_parallel(default_pool(), n, workers, fn);
 }
 
 ThreadPool& default_pool() {
   static ThreadPool pool;
   return pool;
+}
+
+namespace {
+
+/// 0 = no explicit override (fall back to MDG_THREADS, then hardware).
+std::atomic<std::size_t> g_planning_override{0};
+
+std::size_t env_planning_threads() {
+  static const std::size_t cached = [] {
+    const char* env = std::getenv("MDG_THREADS");
+    if (env != nullptr) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) {
+        return static_cast<std::size_t>(parsed);
+      }
+    }
+    return std::size_t{0};
+  }();
+  return cached;
+}
+
+}  // namespace
+
+std::size_t planning_threads() {
+  const std::size_t override = g_planning_override.load();
+  if (override > 0) {
+    return override;
+  }
+  const std::size_t env = env_planning_threads();
+  if (env > 0) {
+    return env;
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void set_planning_threads(std::size_t threads) {
+  g_planning_override.store(threads);
+}
+
+ScopedPlanningThreads::ScopedPlanningThreads(std::size_t threads)
+    : saved_(g_planning_override.load()) {
+  g_planning_override.store(threads);
+}
+
+ScopedPlanningThreads::~ScopedPlanningThreads() {
+  g_planning_override.store(saved_);
 }
 
 }  // namespace mdg

@@ -1,13 +1,21 @@
-// Minimal work-sharing thread pool plus a blocking parallel_for.
+// Work-sharing thread pool plus a blocking, nestable parallel_for.
 //
 // The evaluation harness averages each data point over hundreds of
-// independent Monte-Carlo trials; those trials are embarrassingly parallel
-// and run via parallel_for with per-trial forked RNG streams so results are
+// independent Monte-Carlo trials, and the planners themselves fan out
+// coverage builds and multi-start tour portfolios; both layers funnel
+// through parallel_for with per-index forked state so results are
 // bit-identical at any thread count (including 1).
+//
+// Nesting is safe: a parallel_for issued from inside a pool task does
+// not block a worker on unrelated work — the calling thread helps drain
+// the queue until its own iterations are done. Exceptions thrown by
+// tasks are captured and rethrown to the waiting caller (wait_idle for
+// submit(), the parallel_for call itself for its iterations).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -28,15 +36,23 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
 
-  /// Enqueues a task. Tasks must not throw; exceptions escaping a task
-  /// terminate the process (fail-fast, matching the harness's needs).
+  /// Enqueues a task. If the task throws, the first exception is
+  /// captured and rethrown by the next wait_idle().
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any task raised since the previous wait_idle().
+  /// The pool stays usable after an exception (drained and reusable).
   void wait_idle();
+
+  /// Runs one queued task on the calling thread if any is pending.
+  /// Returns false when the queue was empty. Lets waiting callers help
+  /// drain the queue, which is what makes nested parallel_for safe.
+  bool try_run_one();
 
  private:
   void worker_loop();
+  void run_task(std::function<void()> task);
 
   std::mutex mutex_;
   std::condition_variable work_available_;
@@ -45,18 +61,50 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::exception_ptr first_error_;
 };
 
 /// Runs fn(i) for i in [0, n) across the pool, returning when all calls
-/// completed. Work is chunked to limit scheduling overhead. fn must be
-/// safe to invoke concurrently for distinct i.
+/// completed. Work is chunked to limit scheduling overhead; the calling
+/// thread helps execute queued work while it waits, so calls may be
+/// nested freely. fn must be safe to invoke concurrently for distinct i.
+/// The first exception thrown by any iteration is rethrown here after
+/// every iteration has settled.
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 
-/// Convenience overload using a process-wide default pool.
+/// Convenience overload on the process-wide default pool, capped at
+/// planning_threads(). With planning_threads() <= 1 the loop runs
+/// serially on the calling thread — the reference execution every
+/// parallel kernel must match bit-for-bit.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
-/// The process-wide pool used by the convenience overload.
+/// The process-wide pool used by the convenience overload. Sized to
+/// hardware concurrency; planning_threads() caps how much of it each
+/// parallel_for uses.
 ThreadPool& default_pool();
+
+/// Process-wide planning parallelism: the explicit set_planning_threads
+/// value if any, else the MDG_THREADS environment variable, else
+/// hardware concurrency. Always >= 1.
+[[nodiscard]] std::size_t planning_threads();
+
+/// Overrides planning_threads() (0 = back to auto: MDG_THREADS env or
+/// hardware concurrency). Wired to the --threads flag on the CLI and
+/// bench drivers. Affects scheduling only — planner output is
+/// byte-identical at every setting by design.
+void set_planning_threads(std::size_t threads);
+
+/// RAII planning-thread override for tests and baseline measurements.
+class ScopedPlanningThreads {
+ public:
+  explicit ScopedPlanningThreads(std::size_t threads);
+  ~ScopedPlanningThreads();
+  ScopedPlanningThreads(const ScopedPlanningThreads&) = delete;
+  ScopedPlanningThreads& operator=(const ScopedPlanningThreads&) = delete;
+
+ private:
+  std::size_t saved_;
+};
 
 }  // namespace mdg

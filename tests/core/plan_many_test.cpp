@@ -1,0 +1,103 @@
+// plan_many is the batch front door used by the bench sweeps: it must
+// return exactly what a serial planner.plan() loop returns, in order,
+// at any thread count — plans are compared as serialized bytes, the
+// strictest equality the toolchain offers.
+#include "core/plan_many.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/greedy_cover_planner.h"
+#include "core/instance.h"
+#include "core/spanning_tour_planner.h"
+#include "io/serialize.h"
+#include "net/sensor_network.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace mdg::core {
+namespace {
+
+std::string plan_bytes(const ShdgpSolution& solution) {
+  std::ostringstream out;
+  io::write_solution(out, solution);
+  return out.str();
+}
+
+// A corpus of independent instances; networks live alongside so the
+// instances' internal pointers stay valid.
+struct Corpus {
+  std::vector<net::SensorNetwork> networks;
+  std::vector<ShdgpInstance> instances;
+};
+
+Corpus make_corpus(std::size_t count) {
+  Corpus corpus;
+  corpus.networks.reserve(count);  // instances point into this vector
+  const Rng base(515);
+  for (std::size_t t = 0; t < count; ++t) {
+    Rng rng = base.fork(t);
+    corpus.networks.push_back(
+        net::make_uniform_network(60 + 10 * t, 140.0, 25.0, rng));
+  }
+  for (const net::SensorNetwork& network : corpus.networks) {
+    corpus.instances.emplace_back(network);
+  }
+  return corpus;
+}
+
+TEST(PlanManyTest, MatchesSerialLoopByteForByte) {
+  const Corpus corpus = make_corpus(6);
+  const GreedyCoverPlanner planner;
+
+  std::vector<std::string> serial_bytes;
+  for (const ShdgpInstance& instance : corpus.instances) {
+    serial_bytes.push_back(plan_bytes(planner.plan(instance)));
+  }
+
+  for (const std::size_t threads : {1, 2, 8}) {
+    ScopedPlanningThreads scoped(threads);
+    const std::vector<ShdgpSolution> batch =
+        plan_many(planner, corpus.instances);
+    ASSERT_EQ(batch.size(), corpus.instances.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(plan_bytes(batch[i]), serial_bytes[i])
+          << "instance " << i << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(PlanManyTest, WorksForEveryPlannerKind) {
+  const Corpus corpus = make_corpus(3);
+  const SpanningTourPlanner spanning;
+  ScopedPlanningThreads scoped(4);
+  const std::vector<ShdgpSolution> batch =
+      plan_many(spanning, corpus.instances);
+  ASSERT_EQ(batch.size(), corpus.instances.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(plan_bytes(batch[i]),
+              plan_bytes(spanning.plan(corpus.instances[i])));
+  }
+}
+
+TEST(PlanManyTest, EmptyBatchReturnsEmpty) {
+  const GreedyCoverPlanner planner;
+  EXPECT_TRUE(plan_many(planner, {}).empty());
+}
+
+TEST(PlanManyTest, SingleInstanceStaysSerialAndCorrect) {
+  // Below the batch cutoff (2) plan_many must not even touch the pool.
+  const Corpus corpus = make_corpus(1);
+  const GreedyCoverPlanner planner;
+  ScopedPlanningThreads scoped(8);
+  const std::vector<ShdgpSolution> batch =
+      plan_many(planner, corpus.instances);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(plan_bytes(batch[0]), plan_bytes(planner.plan(corpus.instances[0])));
+}
+
+}  // namespace
+}  // namespace mdg::core

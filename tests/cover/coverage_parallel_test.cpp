@@ -1,0 +1,73 @@
+// The coverage-matrix build shards the per-candidate coverable-set
+// computation across the planning pool, then merges serially in
+// position order. The candidate ids, positions, and both directions of
+// the relation must come out identical to the serial build — they feed
+// the set-cover phase, whose selection is id-sensitive.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "cover/coverage.h"
+#include "net/sensor_network.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace mdg::cover {
+namespace {
+
+void expect_identical(const CoverageMatrix& a, const CoverageMatrix& b) {
+  ASSERT_EQ(a.candidate_count(), b.candidate_count());
+  ASSERT_EQ(a.sensor_count(), b.sensor_count());
+  ASSERT_EQ(a.candidates(), b.candidates());
+  for (std::size_t c = 0; c < a.candidate_count(); ++c) {
+    ASSERT_EQ(a.covered_by(c), b.covered_by(c)) << "candidate " << c;
+  }
+  for (std::size_t s = 0; s < a.sensor_count(); ++s) {
+    ASSERT_EQ(a.covering(s), b.covering(s)) << "sensor " << s;
+  }
+}
+
+void expect_build_thread_invariant(const net::SensorNetwork& network,
+                                   const CandidateOptions& options) {
+  ScopedPlanningThreads serial(1);
+  const CoverageMatrix reference(network, options);
+  for (const std::size_t threads : {2, 8}) {
+    ScopedPlanningThreads scoped(threads);
+    const CoverageMatrix parallel_built(network, options);
+    expect_identical(reference, parallel_built);
+  }
+}
+
+TEST(CoverageParallelTest, DenseIntersectionBuildIsThreadInvariant) {
+  // Intersections on a 300-sensor field push the candidate count well
+  // past the parallel-build cutoff (512).
+  Rng rng(404);
+  const net::SensorNetwork network =
+      net::make_uniform_network(300, 250.0, 30.0, rng);
+  CandidateOptions options;
+  options.policy = CandidatePolicy::kSensorSitesAndIntersections;
+  expect_build_thread_invariant(network, options);
+}
+
+TEST(CoverageParallelTest, GridBuildIsThreadInvariant) {
+  Rng rng(405);
+  const net::SensorNetwork network =
+      net::make_uniform_network(150, 200.0, 25.0, rng);
+  CandidateOptions options;
+  options.policy = CandidatePolicy::kSensorSitesAndGrid;
+  options.grid_spacing = 10.0;
+  expect_build_thread_invariant(network, options);
+}
+
+TEST(CoverageParallelTest, SmallBuildBelowCutoffStillMatches) {
+  // Below the cutoff the build stays serial regardless of the pool —
+  // the dispatch itself must not change the result either.
+  Rng rng(406);
+  const net::SensorNetwork network =
+      net::make_uniform_network(40, 120.0, 25.0, rng);
+  expect_build_thread_invariant(network, CandidateOptions{});
+}
+
+}  // namespace
+}  // namespace mdg::cover

@@ -1,0 +1,139 @@
+// RemovalGrid: O(1) removal + nearest-live queries must agree exactly
+// with a brute-force scan over the live set — including the tie rule
+// (lower index wins), because the grid backs nearest_neighbor tour
+// construction whose output must be byte-identical to the reference.
+#include "geom/removal_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "geom/point.h"
+#include "util/rng.h"
+
+namespace mdg::geom {
+namespace {
+
+// The oracle the grid must match: ascending-index scan, strict '<'.
+std::size_t brute_nearest(const std::vector<Point>& pts,
+                          const std::vector<char>& alive, Point center) {
+  std::size_t best = RemovalGrid::npos;
+  double best_d2 = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (!alive[i]) continue;
+    const double d2 = distance_sq(center, pts[i]);
+    if (best == RemovalGrid::npos || d2 < best_d2) {
+      best = i;
+      best_d2 = d2;
+    }
+  }
+  return best;
+}
+
+TEST(RemovalGridTest, StartsFullyLive) {
+  const std::vector<Point> pts{{0, 0}, {1, 0}, {2, 3}};
+  RemovalGrid grid(pts, 1.0);
+  EXPECT_EQ(grid.size(), 3u);
+  EXPECT_EQ(grid.live_count(), 3u);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_TRUE(grid.alive(i));
+  }
+}
+
+TEST(RemovalGridTest, RemoveUpdatesLiveness) {
+  const std::vector<Point> pts{{0, 0}, {5, 5}, {10, 0}};
+  RemovalGrid grid(pts, 2.0);
+  grid.remove(1);
+  EXPECT_FALSE(grid.alive(1));
+  EXPECT_EQ(grid.live_count(), 2u);
+  EXPECT_TRUE(grid.alive(0));
+  EXPECT_TRUE(grid.alive(2));
+}
+
+TEST(RemovalGridTest, NearestSkipsRemovedPoints) {
+  const std::vector<Point> pts{{0, 0}, {1, 1}, {8, 8}};
+  RemovalGrid grid(pts, 1.5);
+  EXPECT_EQ(grid.nearest({0.9, 0.9}), 1u);
+  grid.remove(1);
+  EXPECT_EQ(grid.nearest({0.9, 0.9}), 0u);
+  grid.remove(0);
+  EXPECT_EQ(grid.nearest({0.9, 0.9}), 2u);
+}
+
+TEST(RemovalGridTest, ExactTieBreaksTowardLowerIndex) {
+  // Points 1 and 2 are mirror images around the query; a full scan with
+  // strict '<' keeps the first one it sees.
+  const std::vector<Point> pts{{100, 100}, {4, 0}, {-4, 0}, {0, 4}, {0, -4}};
+  RemovalGrid grid(pts, 3.0);
+  EXPECT_EQ(grid.nearest({0, 0}), 1u);
+  grid.remove(1);
+  EXPECT_EQ(grid.nearest({0, 0}), 2u);
+  grid.remove(2);
+  EXPECT_EQ(grid.nearest({0, 0}), 3u);
+}
+
+TEST(RemovalGridTest, NposWhenEverythingRemoved) {
+  const std::vector<Point> pts{{0, 0}, {1, 1}};
+  RemovalGrid grid(pts, 1.0);
+  grid.remove(0);
+  grid.remove(1);
+  EXPECT_EQ(grid.live_count(), 0u);
+  EXPECT_EQ(grid.nearest({0.5, 0.5}), RemovalGrid::npos);
+}
+
+TEST(RemovalGridTest, SinglePoint) {
+  const std::vector<Point> pts{{3, 7}};
+  RemovalGrid grid(pts, 1.0);
+  EXPECT_EQ(grid.nearest({-100, 40}), 0u);
+  grid.remove(0);
+  EXPECT_EQ(grid.nearest({3, 7}), RemovalGrid::npos);
+}
+
+TEST(RemovalGridTest, MatchesBruteForceUnderInterleavedRemovals) {
+  // Randomised agreement test: queries from far corners, cluster
+  // centres, and the points themselves while the live set shrinks.
+  Rng rng(99);
+  std::vector<Point> pts;
+  for (int i = 0; i < 400; ++i) {
+    pts.push_back({rng.next_double() * 200.0, rng.next_double() * 120.0});
+  }
+  RemovalGrid grid(pts, 9.0);
+  std::vector<char> alive(pts.size(), 1);
+
+  Rng removal(17);
+  std::size_t live = pts.size();
+  while (live > 0) {
+    const Point probes[] = {
+        {rng.next_double() * 200.0, rng.next_double() * 120.0},
+        {-50.0, -50.0},
+        {400.0, 300.0},
+        pts[static_cast<std::size_t>(removal.next_u64() % pts.size())],
+    };
+    for (const Point& q : probes) {
+      ASSERT_EQ(grid.nearest(q), brute_nearest(pts, alive, q))
+          << "query (" << q.x << ", " << q.y << ") with " << live << " live";
+    }
+    // Remove a random live point.
+    std::size_t victim = static_cast<std::size_t>(removal.next_u64() % pts.size());
+    while (!alive[victim]) {
+      victim = (victim + 1) % pts.size();
+    }
+    grid.remove(victim);
+    alive[victim] = 0;
+    --live;
+    EXPECT_EQ(grid.live_count(), live);
+  }
+  EXPECT_EQ(grid.nearest({0, 0}), RemovalGrid::npos);
+}
+
+TEST(RemovalGridTest, DuplicatePositionsKeepLowestIndex) {
+  const std::vector<Point> pts{{5, 5}, {5, 5}, {5, 5}};
+  RemovalGrid grid(pts, 2.0);
+  EXPECT_EQ(grid.nearest({5, 5}), 0u);
+  grid.remove(0);
+  EXPECT_EQ(grid.nearest({5, 5}), 1u);
+}
+
+}  // namespace
+}  // namespace mdg::geom

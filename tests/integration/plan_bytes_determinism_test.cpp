@@ -1,0 +1,145 @@
+// The acceptance bar for the parallel planning engine: the serialized
+// plan — polling candidates, assignment, tour order, every coordinate
+// byte — must be identical whether the pool runs 1, 2, or 8 workers.
+// This exercises all three parallel layers at once: the sharded
+// coverage build, the multi-start tour portfolio, and plan_many's batch
+// fan-out.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/greedy_cover_planner.h"
+#include "core/instance.h"
+#include "core/plan_many.h"
+#include "core/tree_dominator_planner.h"
+#include "io/serialize.h"
+#include "net/sensor_network.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace mdg {
+namespace {
+
+std::string plan_bytes(const core::ShdgpSolution& solution) {
+  std::ostringstream out;
+  io::write_solution(out, solution);
+  return out.str();
+}
+
+struct Corpus {
+  std::vector<net::SensorNetwork> networks;
+  std::vector<core::ShdgpInstance> instances;
+};
+
+Corpus make_corpus() {
+  Corpus corpus;
+  const Rng base(7702);
+  constexpr std::size_t kTrials = 5;
+  corpus.networks.reserve(kTrials);  // instances bind by pointer
+  for (std::size_t t = 0; t < kTrials; ++t) {
+    Rng rng = base.fork(t);
+    corpus.networks.push_back(
+        net::make_uniform_network(80 + 40 * t, 180.0, 28.0, rng));
+  }
+  cover::CandidateOptions dense;
+  dense.policy = cover::CandidatePolicy::kSensorSitesAndIntersections;
+  for (const net::SensorNetwork& network : corpus.networks) {
+    // Dense candidates so the bigger instances cross the parallel
+    // coverage-build cutoff.
+    corpus.instances.emplace_back(network, dense);
+  }
+  return corpus;
+}
+
+// Serialized plans for the whole corpus at a given worker count, via
+// the batch front door with the multi-start portfolio enabled.
+std::vector<std::string> corpus_bytes(const Corpus& corpus,
+                                      std::size_t threads) {
+  ScopedPlanningThreads scoped(threads);
+  core::GreedyCoverPlannerOptions options;
+  options.tsp_multi_starts = 4;
+  const core::GreedyCoverPlanner planner(options);
+  const std::vector<core::ShdgpSolution> plans =
+      core::plan_many(planner, corpus.instances);
+  std::vector<std::string> bytes;
+  bytes.reserve(plans.size());
+  for (const core::ShdgpSolution& plan : plans) {
+    bytes.push_back(plan_bytes(plan));
+  }
+  return bytes;
+}
+
+TEST(PlanBytesDeterminismTest, FullEngineByteIdenticalAcrossThreadCounts) {
+  const Corpus corpus = make_corpus();
+  const std::vector<std::string> one = corpus_bytes(corpus, 1);
+  const std::vector<std::string> two = corpus_bytes(corpus, 2);
+  const std::vector<std::string> eight = corpus_bytes(corpus, 8);
+  ASSERT_EQ(one.size(), corpus.instances.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i], two[i]) << "instance " << i << " (2 threads)";
+    EXPECT_EQ(one[i], eight[i]) << "instance " << i << " (8 threads)";
+  }
+}
+
+TEST(PlanBytesDeterminismTest, MultiStartPortfolioThreadInvariant) {
+  // Single instance, portfolio only: chains race inside one solve call.
+  Rng rng(8101);
+  const net::SensorNetwork network =
+      net::make_uniform_network(150, 200.0, 25.0, rng);
+  const core::ShdgpInstance instance(network);
+
+  core::GreedyCoverPlannerOptions options;
+  options.tsp_multi_starts = 8;
+  const core::GreedyCoverPlanner planner(options);
+
+  std::string reference;
+  for (const std::size_t threads : {1, 3, 8}) {
+    ScopedPlanningThreads scoped(threads);
+    const std::string bytes = plan_bytes(planner.plan(instance));
+    if (reference.empty()) {
+      reference = bytes;
+    } else {
+      EXPECT_EQ(bytes, reference) << threads << " threads";
+    }
+  }
+}
+
+TEST(PlanBytesDeterminismTest, PortfolioNeverWorseThanSingleStart) {
+  // The portfolio includes the single-start chain as chain 0 and takes
+  // the argmin, so it can only shorten the tour.
+  Rng rng(8102);
+  const net::SensorNetwork network =
+      net::make_uniform_network(120, 180.0, 25.0, rng);
+  const core::ShdgpInstance instance(network);
+
+  const core::GreedyCoverPlanner single;
+  core::GreedyCoverPlannerOptions multi_options;
+  multi_options.tsp_multi_starts = 6;
+  const core::GreedyCoverPlanner multi(multi_options);
+
+  EXPECT_LE(multi.plan(instance).tour_length,
+            single.plan(instance).tour_length + 1e-9);
+}
+
+TEST(PlanBytesDeterminismTest, TreeDominatorUnaffectedByThreadCount) {
+  // A planner with no parallel phase must be trivially invariant too —
+  // guards against accidental shared state in the pool plumbing.
+  Rng rng(8103);
+  const net::SensorNetwork network =
+      net::make_uniform_network(90, 150.0, 25.0, rng);
+  const core::ShdgpInstance instance(network);
+  const core::TreeDominatorPlanner planner;
+
+  ScopedPlanningThreads one(1);
+  const std::string serial = plan_bytes(planner.plan(instance));
+  {
+    ScopedPlanningThreads eight(8);
+    EXPECT_EQ(plan_bytes(planner.plan(instance)), serial);
+  }
+}
+
+}  // namespace
+}  // namespace mdg

@@ -1,0 +1,98 @@
+// Byte-identical parity of the grid-accelerated constructors against
+// their full-scan references. These are not "close enough" checks: the
+// accelerated kernels exist to make the same decisions faster, so every
+// tie rule (lower index for NN, (d2, u, v) lexicographic for greedy
+// edge) must reproduce the reference order() exactly at every size —
+// below, at, and above the dispatch cutoffs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geom/point.h"
+#include "tsp/construct.h"
+#include "tsp/tour.h"
+#include "util/rng.h"
+
+namespace mdg::tsp {
+namespace {
+
+std::vector<geom::Point> random_points(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geom::Point> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.next_double() * 500.0, rng.next_double() * 300.0});
+  }
+  return pts;
+}
+
+// Sizes straddling the dispatch cutoffs (128 for both kernels; see
+// ALGORITHMS.md §cutoffs) plus degenerate tiny inputs.
+const std::size_t kSizes[] = {1, 2, 3, 5, 17, 96, 127, 128, 129, 300, 601};
+
+TEST(ConstructParityTest, NearestNeighborMatchesReferenceAcrossSizes) {
+  for (const std::size_t n : kSizes) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const auto pts = random_points(n, seed);
+      const Tour fast = nearest_neighbor(pts);
+      const Tour slow = nearest_neighbor_reference(pts);
+      ASSERT_EQ(fast.order(), slow.order()) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(ConstructParityTest, NearestNeighborMatchesReferenceFromEveryStart) {
+  const auto pts = random_points(150, 7);
+  for (std::size_t start = 0; start < pts.size(); start += 13) {
+    const Tour fast = nearest_neighbor(pts, start);
+    const Tour slow = nearest_neighbor_reference(pts, start);
+    ASSERT_EQ(fast.order(), slow.order()) << "start=" << start;
+  }
+}
+
+TEST(ConstructParityTest, GreedyEdgeMatchesReferenceAcrossSizes) {
+  for (const std::size_t n : kSizes) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const auto pts = random_points(n, seed);
+      const Tour fast = greedy_edge(pts);
+      const Tour slow = greedy_edge_reference(pts);
+      ASSERT_EQ(fast.order(), slow.order()) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(ConstructParityTest, CollinearPointsFallBackIdentically) {
+  // Zero-area bounding box: the grid cell size degenerates, so both
+  // kernels must route through the reference scan — and still agree.
+  std::vector<geom::Point> line;
+  for (int i = 0; i < 200; ++i) {
+    line.push_back({static_cast<double>(i * 3), 42.0});
+  }
+  EXPECT_EQ(nearest_neighbor(line).order(),
+            nearest_neighbor_reference(line).order());
+  EXPECT_EQ(greedy_edge(line).order(), greedy_edge_reference(line).order());
+}
+
+TEST(ConstructParityTest, DuplicateAndClusteredPointsAgree) {
+  // Heavy ties: duplicates share a cell and equal distances everywhere.
+  auto pts = random_points(140, 11);
+  for (std::size_t i = 0; i < 40; ++i) {
+    pts.push_back(pts[i]);  // exact duplicates
+  }
+  EXPECT_EQ(nearest_neighbor(pts).order(),
+            nearest_neighbor_reference(pts).order());
+  EXPECT_EQ(greedy_edge(pts).order(), greedy_edge_reference(pts).order());
+}
+
+TEST(ConstructParityTest, AcceleratedToursAreValidPermutations) {
+  const auto pts = random_points(500, 21);
+  const Tour nn = nearest_neighbor(pts);
+  const Tour ge = greedy_edge(pts);
+  EXPECT_TRUE(Tour::is_permutation(nn.order()));
+  EXPECT_TRUE(Tour::is_permutation(ge.order()));
+  EXPECT_EQ(nn.at(0), 0u);
+  EXPECT_EQ(ge.at(0), 0u);
+}
+
+}  // namespace
+}  // namespace mdg::tsp

@@ -63,7 +63,7 @@ TEST(ImproveParityTest, Uniform200WithinTwoPercentOfFullTwoOpt) {
 TEST(ImproveParityTest, EngineAndFullScanAgreeOnTinyInstances) {
   // Below the dispatch threshold improve() must reproduce the seed
   // composition exactly; forcing the engine on the same input must not
-  // do worse than 2% either. small30 sits below full_scan_below = 96.
+  // do worse than 2% either. small30 sits below full_scan_below = 128.
   const auto pts = instance_points("small30.txt");
   Tour dispatched = nearest_neighbor(pts);
   improve(dispatched, pts);  // default options -> classic full-scan path

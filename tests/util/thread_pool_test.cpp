@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "util/assert.h"
@@ -36,6 +37,59 @@ TEST(ThreadPoolTest, WaitIdleOnFreshPoolReturns) {
   ThreadPool pool(2);
   pool.wait_idle();  // must not hang
   SUCCEED();
+}
+
+TEST(ThreadPoolTest, ManySmallTasksUnderContention) {
+  // The bench harness's worst case: tens of thousands of near-empty
+  // tasks hammering the queue lock from every worker at once.
+  ThreadPool pool(8);
+  std::atomic<std::size_t> counter{0};
+  constexpr std::size_t kTasks = 20000;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyDrains) {
+  // wait_idle() must leave the pool fully usable: submit/drain cycles
+  // are how every bench sweep uses the process-wide pool.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), (round + 1) * 40);
+  }
+}
+
+TEST(ThreadPoolTest, TaskExceptionRethrownAtWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is consumed: the pool is drained and reusable.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionIsReported) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&completed] {
+      completed.fetch_add(1);
+      throw std::runtime_error("boom");
+    });
+  }
+  // Every task still ran; exactly one rethrow reaches the caller.
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(completed.load(), 32);
+  pool.wait_idle();  // no stale error left behind
 }
 
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
@@ -83,6 +137,62 @@ TEST(ParallelForTest, DefaultPoolConvenienceOverload) {
   std::atomic<std::size_t> sum{0};
   parallel_for(100, [&sum](std::size_t i) { sum.fetch_add(i); });
   EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ParallelForTest, IterationExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 200,
+                            [](std::size_t i) {
+                              if (i == 37) {
+                                throw std::runtime_error("iteration failed");
+                              }
+                            }),
+               std::runtime_error);
+  // Same pool, next loop runs clean.
+  std::atomic<std::size_t> count{0};
+  parallel_for(pool, 64, [&count](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64u);
+}
+
+TEST(ParallelForTest, NestedLoopsComplete) {
+  // A coverage build inside a plan_many fan-out nests parallel_for two
+  // deep on the same pool; the caller-helps design must not deadlock
+  // even when the pool is smaller than the outer fan-out.
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  parallel_for(pool, 8, [&pool, &total](std::size_t) {
+    parallel_for(pool, 64, [&total](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 8u * 64u);
+}
+
+TEST(ParallelForTest, NestedInnerExceptionReachesOuterCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(pool, 4,
+                   [&pool](std::size_t outer) {
+                     parallel_for(pool, 16, [outer](std::size_t inner) {
+                       if (outer == 2 && inner == 7) {
+                         throw std::runtime_error("nested failure");
+                       }
+                     });
+                   }),
+      std::runtime_error);
+  pool.wait_idle();  // drained, no stale error
+}
+
+TEST(PlanningThreadsTest, ScopedOverrideRestoresPrevious) {
+  const std::size_t before = planning_threads();
+  {
+    ScopedPlanningThreads scoped(3);
+    EXPECT_EQ(planning_threads(), 3u);
+    {
+      ScopedPlanningThreads inner(1);
+      EXPECT_EQ(planning_threads(), 1u);
+    }
+    EXPECT_EQ(planning_threads(), 3u);
+  }
+  EXPECT_EQ(planning_threads(), before);
 }
 
 }  // namespace
