@@ -1,0 +1,118 @@
+// R1 — chaos sweep: delivered coverage vs fault intensity (extension).
+//
+// Scales one knob, a fault-intensity multiplier, across a baseline chaos
+// mix (sensor crashes, polling-point blackouts, burst loss, stalls and a
+// probabilistic mid-tour breakdown) and drives the mobile collection sim
+// for a few rounds per trial. Expected shape: delivered fraction decays
+// gracefully — never a crash, never an invalid report — because every
+// fault path ends in recovery or explicit loss accounting
+// (docs/FAULTS.md). The 0x column is the control: it must match the
+// fault-free simulator exactly.
+#include <string>
+
+#include "bench_common.h"
+#include "core/spanning_tour_planner.h"
+#include "fault/fault.h"
+#include "sim/mobile_sim.h"
+
+namespace {
+
+struct ChaosResult {
+  double delivered_fraction = 1.0;
+  double breakdowns = 0.0;
+  double pp_timeouts = 0.0;
+  double lost_fraction = 0.0;
+};
+
+ChaosResult drive(mdg::Rng& rng, double intensity, std::size_t sensors,
+                  double side, double range, std::size_t rounds) {
+  using namespace mdg;
+  const net::SensorNetwork network =
+      net::make_uniform_network(sensors, side, range, rng);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution =
+      core::SpanningTourPlanner().plan(instance);
+
+  fault::FaultConfig fc;
+  fc.seed = rng.next_u64();
+  fc.horizon_s = 4000.0;
+  fc.sensor_crash_prob = std::min(1.0, 0.05 * intensity);
+  fc.pp_blackout_prob = std::min(1.0, 0.10 * intensity);
+  fc.pp_blackout_mean_s = 20.0;
+  fc.burst_episodes_mean = 1.0 * intensity;
+  fc.burst_loss_prob = 0.9;
+  fc.stall_mean = 0.5 * intensity;
+  fc.stall_duration_s = 20.0;
+  fc.breakdown_prob = std::min(1.0, 0.25 * intensity);
+  const fault::FaultPlan plan =
+      fault::FaultPlan::generate(instance, solution, fc);
+
+  sim::MobileSimConfig config;
+  config.initial_battery_j = 100.0;  // chaos-limited, not battery-limited
+  if (intensity > 0.0) {
+    config.fault_plan = &plan;
+  }
+  sim::MobileCollectionSim sim(instance, solution, config);
+  sim::EnergyLedger ledger(network.size(), config.initial_battery_j);
+
+  ChaosResult result;
+  std::size_t offered = 0;
+  std::size_t delivered = 0;
+  std::size_t lost = 0;
+  double clock = 0.0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const sim::MobileRoundReport report = sim.run_round(ledger, clock);
+    clock += report.duration_s;
+    offered += report.offered;
+    delivered += report.delivered;
+    lost += report.lost + report.lost_crash;
+    result.breakdowns += report.breakdown ? 1.0 : 0.0;
+    result.pp_timeouts += static_cast<double>(report.blackout_timeouts);
+  }
+  result.delivered_fraction =
+      offered == 0 ? 1.0
+                   : static_cast<double>(delivered) /
+                         static_cast<double>(offered);
+  result.lost_fraction =
+      offered == 0 ? 0.0
+                   : static_cast<double>(lost) / static_cast<double>(offered);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mdg;
+  Flags flags(argc, argv);
+  bench::BenchConfig config = bench::parse_common(flags);
+  const auto n = static_cast<std::size_t>(flags.get_int("sensors", 100));
+  const double side = flags.get_double("side", 200.0);
+  const double rs = flags.get_double("range", 30.0);
+  const auto rounds = static_cast<std::size_t>(flags.get_int("rounds", 5));
+  flags.finish();
+
+  const std::vector<double> intensities = {0.0, 0.5, 1.0, 2.0, 4.0};
+
+  Table table("R1: delivered coverage vs fault intensity — N=" +
+                  std::to_string(n) + ", " + std::to_string(rounds) +
+                  " rounds, " + std::to_string(config.trials) + " trials",
+              3);
+  table.set_header({"intensity", "delivered frac", "sd", "lost frac",
+                    "breakdowns/run", "pp timeouts/run"});
+
+  for (double intensity : intensities) {
+    const std::vector<RunningStats> stats = bench::monte_carlo_multi(
+        config, 4,
+        [&](Rng& rng, std::size_t, std::vector<double>& row) {
+          const ChaosResult r = drive(rng, intensity, n, side, rs, rounds);
+          row[0] = r.delivered_fraction;
+          row[1] = r.lost_fraction;
+          row[2] = r.breakdowns;
+          row[3] = r.pp_timeouts;
+        });
+    table.add_row({intensity, stats[0].mean(), stats[0].stddev(),
+                   stats[1].mean(), stats[2].mean(), stats[3].mean()});
+  }
+  bench::emit(table, config);
+  return 0;
+}

@@ -5,13 +5,27 @@
 //   example_mdg_cli plan     --net net.txt [--planner spanning|greedy|
 //                            direct|election] [--max-load K] [--refine]
 //                            [--threads N] [--multi-start K]
-//                            [--report report.json] --out sol.txt
+//                            [--report report.json [--canonical]]
+//                            --out sol.txt
 //   example_mdg_cli inspect  --net net.txt [--sol sol.txt]
 //   example_mdg_cli render   --net net.txt [--sol sol.txt] --out plan.svg
 //   example_mdg_cli simulate --net net.txt --sol sol.txt [--rounds 10]
 //                            [--speed 1.0] [--battery 0.5]
-//                            [--report report.json]
+//                            [--faults faults.txt] [--seed S]
+//                            [--report report.json [--canonical]]
 //   example_mdg_cli fleet    --net net.txt --sol sol.txt --k 3
+//
+// Exit codes (scripts rely on these):
+//   0  success
+//   1  unexpected internal failure
+//   2  usage error (unknown command/flag, bad flag value)
+//   3  unreadable or malformed input file (parse/IO)
+//   4  input parsed but is semantically invalid (e.g. the solution does
+//      not match the network)
+//
+// Every command that loads files honours --fail-fast=off: instead of
+// stopping at the first problem, the loaders report every input problem
+// they can find before exiting.
 #include <iostream>
 #include <memory>
 
@@ -20,6 +34,54 @@
 namespace {
 
 using namespace mdg;
+
+constexpr int kExitInternal = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitBadInput = 3;
+constexpr int kExitInvalidInput = 4;
+
+/// User-facing failure carrying its exit code; caught in main.
+struct CliError {
+  int exit_code;
+  std::string message;
+};
+
+[[nodiscard]] int exit_code_for(const core::Status& status) {
+  switch (status.code()) {
+    case core::StatusCode::kNotFound:
+    case core::StatusCode::kDataLoss:
+    case core::StatusCode::kInvalidArgument:
+      return kExitBadInput;
+    case core::StatusCode::kFailedPrecondition:
+      return kExitInvalidInput;
+    default:
+      return kExitInternal;
+  }
+}
+
+/// Unwraps a StatusOr or converts the Status into a CliError.
+template <typename T>
+[[nodiscard]] T must(core::StatusOr<T> result) {
+  if (!result.is_ok()) {
+    throw CliError{exit_code_for(result.status()),
+                   result.status().to_string()};
+  }
+  return std::move(result).value();
+}
+
+/// Validates the solution against its instance at the trust boundary:
+/// a mismatch is the *input's* fault, not a library bug, so it becomes
+/// exit code 4 instead of an InvariantError escaping to the user.
+void check_solution(const core::ShdgpInstance& instance,
+                    const core::ShdgpSolution& solution,
+                    const std::string& sol_path) {
+  try {
+    solution.validate(instance);
+  } catch (const std::exception& error) {
+    throw CliError{kExitInvalidInput,
+                   "invalid: " + sol_path + ": " + error.what()};
+  }
+}
 
 /// Turns metric collection on (and clears stale state) when the user
 /// asked for a report.
@@ -53,9 +115,8 @@ std::unique_ptr<core::Planner> make_planner(const std::string& name,
   if (name == "election") {
     return std::make_unique<dist::ElectionPlanner>();
   }
-  MDG_REQUIRE(false, "unknown planner '" + name +
-                         "' (spanning|greedy|direct|election)");
-  return nullptr;
+  throw CliError{kExitUsage, "unknown planner '" + name +
+                                 "' (spanning|greedy|direct|election)"};
 }
 
 int cmd_generate(Flags& flags) {
@@ -83,11 +144,13 @@ int cmd_plan(Flags& flags) {
   const long long multi_start = flags.get_int("multi-start", 0);
   const std::string out = flags.get_string("out", "sol.txt");
   const std::string report_path = flags.get_string("report", "");
+  const bool canonical = flags.get_bool("canonical", false);
+  const io::LoadOptions load{flags.get_bool("fail-fast", true)};
   flags.finish();
   MDG_REQUIRE(threads >= 0, "--threads must be >= 0 (0 = auto)");
   set_planning_threads(static_cast<std::size_t>(threads));
   arm_report(report_path);
-  const net::SensorNetwork network = io::load_network(net_path);
+  const net::SensorNetwork network = must(io::try_load_network(net_path, load));
   const core::ShdgpInstance instance(network);
   const auto planner = make_planner(planner_name, max_load, multi_start);
   const Stopwatch watch;
@@ -116,6 +179,9 @@ int cmd_plan(Flags& flags) {
                      {"threads", std::to_string(threads)},
                      {"multi-start", std::to_string(multi_start)}};
     report.capture_metrics(obs::MetricsRegistry::instance());
+    if (canonical) {
+      report = report.canonicalized();
+    }
     report.save(report_path);
     std::cout << "Report -> " << report_path << "\n";
   }
@@ -125,8 +191,9 @@ int cmd_plan(Flags& flags) {
 int cmd_inspect(Flags& flags) {
   const std::string net_path = flags.get_string("net", "net.txt");
   const std::string sol_path = flags.get_string("sol", "");
+  const io::LoadOptions load{flags.get_bool("fail-fast", true)};
   flags.finish();
-  const net::SensorNetwork network = io::load_network(net_path);
+  const net::SensorNetwork network = must(io::try_load_network(net_path, load));
   std::cout << "Network: " << network.size() << " sensors over "
             << network.field().width() << " x " << network.field().height()
             << " m, Rs = " << network.range() << " m\n"
@@ -139,9 +206,10 @@ int cmd_inspect(Flags& flags) {
   std::cout << "  multihop: avg " << hops.average_hops << " hops, coverage "
             << hops.coverage * 100.0 << "%\n";
   if (!sol_path.empty()) {
-    const core::ShdgpSolution solution = io::load_solution(sol_path);
+    const core::ShdgpSolution solution =
+        must(io::try_load_solution(sol_path, load));
     const core::ShdgpInstance instance(network);
-    solution.validate(instance);
+    check_solution(instance, solution, sol_path);
     std::cout << "Solution (" << solution.planner << "): "
               << solution.polling_points.size() << " polling points, tour "
               << solution.tour_length << " m, max load "
@@ -157,14 +225,16 @@ int cmd_render(Flags& flags) {
   const std::string net_path = flags.get_string("net", "net.txt");
   const std::string sol_path = flags.get_string("sol", "");
   const std::string out = flags.get_string("out", "plan.svg");
+  const io::LoadOptions load{flags.get_bool("fail-fast", true)};
   flags.finish();
-  const net::SensorNetwork network = io::load_network(net_path);
+  const net::SensorNetwork network = must(io::try_load_network(net_path, load));
   io::SvgCanvas canvas(network.field());
   canvas.draw_network(network);
   if (!sol_path.empty()) {
     const core::ShdgpInstance instance(network);
-    const core::ShdgpSolution solution = io::load_solution(sol_path);
-    solution.validate(instance);
+    const core::ShdgpSolution solution =
+        must(io::try_load_solution(sol_path, load));
+    check_solution(instance, solution, sol_path);
     canvas.draw_solution(instance, solution);
   }
   canvas.save(out);
@@ -178,34 +248,78 @@ int cmd_simulate(Flags& flags) {
   const auto rounds = static_cast<std::size_t>(flags.get_int("rounds", 10));
   const double speed = flags.get_double("speed", 1.0);
   const double battery = flags.get_double("battery", 0.5);
+  const std::string faults_path = flags.get_string("faults", "");
+  const long long seed_flag = flags.get_int("seed", -1);
   const std::string report_path = flags.get_string("report", "");
+  const bool canonical = flags.get_bool("canonical", false);
+  const bool fail_fast = flags.get_bool("fail-fast", true);
+  const io::LoadOptions load{fail_fast};
   flags.finish();
   arm_report(report_path);
-  const net::SensorNetwork network = io::load_network(net_path);
+  const net::SensorNetwork network = must(io::try_load_network(net_path, load));
   const core::ShdgpInstance instance(network);
-  const core::ShdgpSolution solution = io::load_solution(sol_path);
+  const core::ShdgpSolution solution =
+      must(io::try_load_solution(sol_path, load));
+  check_solution(instance, solution, sol_path);
 
   sim::MobileSimConfig config;
   config.speed_m_per_s = speed;
   config.initial_battery_j = battery;
+
+  fault::FaultPlan fault_plan;
+  fault::FaultConfig fault_config;
+  const bool chaos = !faults_path.empty();
+  if (chaos) {
+    fault_config = must(fault::load_fault_config(faults_path, {fail_fast}));
+    if (seed_flag >= 0) {
+      fault_config.seed = static_cast<std::uint64_t>(seed_flag);
+    }
+    fault_plan = fault::FaultPlan::generate(instance, solution, fault_config);
+    config.fault_plan = &fault_plan;
+  }
+
   sim::MobileCollectionSim sim(instance, solution, config);
   sim::EnergyLedger ledger(network.size(), battery);
   const Stopwatch watch;
   double clock = 0.0;
   std::size_t delivered = 0;
+  std::size_t offered = 0;
+  std::size_t breakdowns = 0;
+  std::size_t unrecovered = 0;
+  double recovery_m = 0.0;
   for (std::size_t r = 0; r < rounds; ++r) {
     const sim::MobileRoundReport report = sim.run_round(ledger, clock);
     clock += report.duration_s;
     delivered += report.delivered;
+    offered += report.offered;
+    if (report.breakdown) {
+      ++breakdowns;
+      recovery_m += report.recovery_length_m;
+      unrecovered += report.unrecovered_sensors;
+    }
   }
   std::cout << rounds << " rounds in " << clock / 60.0 << " min, "
             << delivered << " packets delivered, " << ledger.alive_count()
             << "/" << network.size() << " sensors alive\n";
+  if (chaos) {
+    const double fraction =
+        offered == 0 ? 1.0
+                     : static_cast<double>(delivered) /
+                           static_cast<double>(offered);
+    std::cout << "chaos: delivered " << delivered << "/" << offered
+              << " offered (fraction " << fraction << "), " << breakdowns
+              << " breakdown(s)";
+    if (breakdowns > 0) {
+      std::cout << ", recovery tour " << recovery_m << " m, " << unrecovered
+                << " unrecovered sensor(s)";
+    }
+    std::cout << "\n";
+  }
   if (!report_path.empty()) {
     obs::RunReport report;
     report.command = "simulate";
     report.planner = solution.planner;
-    report.seed = config.loss_seed;
+    report.seed = chaos ? fault_config.seed : config.loss_seed;
     report.git_describe = obs::current_git_describe();
     report.wall_ms = watch.elapsed_ms();
     report.set_instance(instance);
@@ -215,7 +329,15 @@ int cmd_simulate(Flags& flags) {
                      {"rounds", std::to_string(rounds)},
                      {"speed", std::to_string(speed)},
                      {"battery", std::to_string(battery)}};
+    if (chaos) {
+      report.params.emplace_back("faults", faults_path);
+      report.params.emplace_back("fault-seed",
+                                 std::to_string(fault_config.seed));
+    }
     report.capture_metrics(obs::MetricsRegistry::instance());
+    if (canonical) {
+      report = report.canonicalized();
+    }
     report.save(report_path);
     std::cout << "Report -> " << report_path << "\n";
   }
@@ -226,11 +348,13 @@ int cmd_fleet(Flags& flags) {
   const std::string net_path = flags.get_string("net", "net.txt");
   const std::string sol_path = flags.get_string("sol", "sol.txt");
   const auto k = static_cast<std::size_t>(flags.get_int("k", 2));
+  const io::LoadOptions load{flags.get_bool("fail-fast", true)};
   flags.finish();
-  const net::SensorNetwork network = io::load_network(net_path);
+  const net::SensorNetwork network = must(io::try_load_network(net_path, load));
   const core::ShdgpInstance instance(network);
-  const core::ShdgpSolution solution = io::load_solution(sol_path);
-  solution.validate(instance);
+  const core::ShdgpSolution solution =
+      must(io::try_load_solution(sol_path, load));
+  check_solution(instance, solution, sol_path);
   const core::MultiTourPlan plan =
       core::MultiCollectorPlanner().split(instance, solution, k);
   Table table("Fleet of " + std::to_string(k), 2);
@@ -255,7 +379,7 @@ int main(int argc, char** argv) {
       std::cerr << "usage: " << flags.program_name()
                 << " <generate|plan|inspect|render|simulate|fleet> "
                    "[--flags]\n";
-      return 2;
+      return kExitUsage;
     }
     const std::string& command = flags.positional()[0];
     if (command == "generate") return cmd_generate(flags);
@@ -265,9 +389,18 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(flags);
     if (command == "fleet") return cmd_fleet(flags);
     std::cerr << "unknown command '" << command << "'\n";
-    return 2;
+    return kExitUsage;
+  } catch (const CliError& error) {
+    std::cerr << "error: " << error.message << "\n";
+    return error.exit_code;
+  } catch (const mdg::PreconditionError& error) {
+    std::cerr << "usage error: " << error.what() << "\n";
+    return kExitUsage;
+  } catch (const mdg::InvariantError& error) {
+    std::cerr << "invalid input: " << error.what() << "\n";
+    return kExitInvalidInput;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
-    return 1;
+    return kExitInternal;
   }
 }

@@ -1,0 +1,47 @@
+// Online recovery after a mid-tour collector breakdown.
+//
+// When the collector dies partway through a round, a replacement (or the
+// repaired vehicle) continues from the breakdown position: re-cover the
+// still-live, still-unserved sensors with a fresh greedy sub-cover,
+// order the recovery stops nearest-neighbour from the breakdown point,
+// and finish at the sink. Deterministic (no RNG) and total: when some
+// sensors cannot be re-covered the plan degrades gracefully — it serves
+// what it can, lists the rest in `uncovered`, and still routes home.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/instance.h"
+#include "geom/point.h"
+
+namespace mdg::core {
+
+struct RecoveryPlan {
+  /// True when every requested sensor is covered by some recovery stop.
+  bool feasible = true;
+
+  /// Recovery stops in visiting order, starting from the breakdown
+  /// position (not included) and ending before the sink (not included).
+  std::vector<geom::Point> stops;
+  /// Candidate ids of the recovery stops (parallel to `stops`).
+  std::vector<std::size_t> stop_candidates;
+  /// Sensors served at each recovery stop (parallel to `stops`; sorted).
+  std::vector<std::vector<std::size_t>> stop_sensors;
+
+  /// Sensors that no candidate position covers (graceful-degradation
+  /// residue; empty in practice because every sensor covers itself).
+  std::vector<std::size_t> uncovered;
+
+  /// Breakdown position -> stops -> sink driving distance (metres).
+  double length_m = 0.0;
+};
+
+/// Plans the recovery tour for `unserved` (sensor ids, any order,
+/// duplicates ignored) from `breakdown_position`. An empty `unserved`
+/// yields the direct drive home.
+[[nodiscard]] RecoveryPlan replan_remaining(
+    const ShdgpInstance& instance, geom::Point breakdown_position,
+    const std::vector<std::size_t>& unserved);
+
+}  // namespace mdg::core

@@ -1,0 +1,30 @@
+#include "core/status.h"
+
+namespace mdg::core {
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kFailedPrecondition:
+      return "failed-precondition";
+    case StatusCode::kDataLoss:
+      return "data-loss";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) {
+    return "ok";
+  }
+  return std::string(core::to_string(code_)) + ": " + message_;
+}
+
+}  // namespace mdg::core

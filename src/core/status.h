@@ -1,0 +1,125 @@
+// Error taxonomy for the untrusted boundary (file loaders, CLI input,
+// fault configs).
+//
+// Library-internal contracts keep using MDG_REQUIRE / MDG_ASSERT — a
+// violated invariant is a programming error and should fail loudly. Data
+// that crosses the process boundary (instance files, solution files,
+// fault configs, flags) is *expected* to be malformed sometimes; those
+// paths return a Status / StatusOr<T> so callers can print a diagnostic
+// and exit nonzero instead of aborting. See docs/FAULTS.md §error
+// handling.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/assert.h"
+
+namespace mdg::core {
+
+enum class StatusCode {
+  kOk = 0,
+  /// The input is syntactically or semantically malformed (NaN
+  /// coordinates, duplicate sensors, negative range, bad token...).
+  kInvalidArgument,
+  /// A named resource (file, flag target) does not exist or cannot be
+  /// opened.
+  kNotFound,
+  /// The input parsed but describes a state the operation cannot work
+  /// from (e.g. a solution that does not match its instance).
+  kFailedPrecondition,
+  /// The input ended early or was corrupted mid-stream.
+  kDataLoss,
+  /// A should-not-happen failure surfaced through the Status channel.
+  kInternal,
+};
+
+[[nodiscard]] const char* to_string(StatusCode code);
+
+/// Value-semantic success/error result. Default-constructed Status is OK.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() { return {}; }
+  [[nodiscard]] static Status invalid_argument(std::string message) {
+    return {StatusCode::kInvalidArgument, std::move(message)};
+  }
+  [[nodiscard]] static Status not_found(std::string message) {
+    return {StatusCode::kNotFound, std::move(message)};
+  }
+  [[nodiscard]] static Status failed_precondition(std::string message) {
+    return {StatusCode::kFailedPrecondition, std::move(message)};
+  }
+  [[nodiscard]] static Status data_loss(std::string message) {
+    return {StatusCode::kDataLoss, std::move(message)};
+  }
+  [[nodiscard]] static Status internal(std::string message) {
+    return {StatusCode::kInternal, std::move(message)};
+  }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// Prepends "context: " to the message (error-path breadcrumbs).
+  [[nodiscard]] Status with_context(const std::string& context) const {
+    if (is_ok()) {
+      return *this;
+    }
+    return {code_, context + ": " + message_};
+  }
+
+  /// "ok" or "<code>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool operator==(const Status&) const = default;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A T or the Status explaining why there is no T. Accessing value() on
+/// an error is a caller-side contract violation (MDG_REQUIRE).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : state_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    MDG_REQUIRE(!std::get<Status>(state_).is_ok(),
+                "StatusOr built from an OK status carries no value");
+  }
+
+  [[nodiscard]] bool is_ok() const { return std::holds_alternative<T>(state_); }
+
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(state_);
+  }
+
+  [[nodiscard]] const T& value() const& {
+    MDG_REQUIRE(is_ok(), "StatusOr::value() on error: " + status().to_string());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T& value() & {
+    MDG_REQUIRE(is_ok(), "StatusOr::value() on error: " + status().to_string());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    MDG_REQUIRE(is_ok(), "StatusOr::value() on error: " + status().to_string());
+    return std::get<T>(std::move(state_));
+  }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace mdg::core

@@ -1,0 +1,209 @@
+#include "fault/config_io.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace mdg::fault {
+namespace {
+
+/// Collects problems; honours fail_fast by telling the caller to stop.
+struct Problems {
+  bool fail_fast = true;
+  std::vector<std::string> messages;
+
+  void add(std::size_t line, const std::string& what) {
+    messages.push_back("line " + std::to_string(line) + ": " + what);
+  }
+  [[nodiscard]] bool should_stop() const {
+    return fail_fast && !messages.empty();
+  }
+  [[nodiscard]] core::Status to_status() const {
+    std::string joined;
+    for (const std::string& m : messages) {
+      if (!joined.empty()) {
+        joined += "\n  ";
+      }
+      joined += m;
+    }
+    return core::Status::invalid_argument(joined);
+  }
+};
+
+bool parse_double(const std::string& text, double& out) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (text.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    return false;
+  }
+  out = parsed;
+  return true;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+      text[0] == '-') {
+    return false;
+  }
+  out = parsed;
+  return true;
+}
+
+}  // namespace
+
+core::StatusOr<FaultConfig> read_fault_config(std::istream& in,
+                                              const ConfigReadOptions& options) {
+  FaultConfig config;
+  Problems problems{.fail_fast = options.fail_fast};
+
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream tokens(line);
+    std::string key;
+    if (!(tokens >> key) || key[0] == '#') {
+      continue;  // blank or comment line
+    }
+    std::string value;
+    tokens >> value;
+    std::string extra;
+    if (tokens >> extra) {
+      problems.add(line_no, "trailing tokens after '" + key + " " + value +
+                                "'");
+      if (problems.should_stop()) {
+        return problems.to_status();
+      }
+      continue;
+    }
+
+    if (!header_seen) {
+      if (key != "mdg-faults") {
+        return core::Status::invalid_argument(
+            "line " + std::to_string(line_no) +
+            ": expected 'mdg-faults <version>' header, got '" + key + "'");
+      }
+      if (value != "1") {
+        return core::Status::invalid_argument(
+            "unsupported mdg-faults version '" + value + "'");
+      }
+      header_seen = true;
+      continue;
+    }
+
+    if (key == "seed") {
+      std::uint64_t seed = 0;
+      if (!parse_u64(value, seed)) {
+        problems.add(line_no, "seed expects an unsigned integer, got '" +
+                                  value + "'");
+      } else {
+        config.seed = seed;
+      }
+    } else if (key == "max-repolls") {
+      std::uint64_t n = 0;
+      if (!parse_u64(value, n)) {
+        problems.add(line_no,
+                     "max-repolls expects an unsigned integer, got '" +
+                         value + "'");
+      } else {
+        config.max_repolls = static_cast<std::size_t>(n);
+      }
+    } else {
+      double number = 0.0;
+      const bool numeric = parse_double(value, number);
+      if (!numeric) {
+        problems.add(line_no,
+                     key + " expects a number, got '" + value + "'");
+      } else if (key == "horizon") {
+        config.horizon_s = number;
+      } else if (key == "sensor-crash-prob") {
+        config.sensor_crash_prob = number;
+      } else if (key == "pp-blackout-prob") {
+        config.pp_blackout_prob = number;
+      } else if (key == "pp-blackout-mean") {
+        config.pp_blackout_mean_s = number;
+      } else if (key == "burst-episodes") {
+        config.burst_episodes_mean = number;
+      } else if (key == "burst-mean") {
+        config.burst_mean_s = number;
+      } else if (key == "burst-loss") {
+        config.burst_loss_prob = number;
+      } else if (key == "stalls") {
+        config.stall_mean = number;
+      } else if (key == "stall-duration") {
+        config.stall_duration_s = number;
+      } else if (key == "breakdown-prob") {
+        config.breakdown_prob = number;
+      } else if (key == "breakdown-frac") {
+        config.breakdown_frac = number;
+      } else if (key == "dwell-budget") {
+        config.dwell_budget_s = number;
+      } else if (key == "repoll-backoff") {
+        config.repoll_backoff_s = number;
+      } else {
+        problems.add(line_no, "unknown key '" + key + "'");
+      }
+    }
+    if (problems.should_stop()) {
+      return problems.to_status();
+    }
+  }
+
+  if (!header_seen) {
+    return core::Status::data_loss(
+        "empty fault config (missing 'mdg-faults 1' header)");
+  }
+  if (problems.messages.empty()) {
+    const core::Status semantic = config.validate();
+    if (!semantic.is_ok()) {
+      return semantic;
+    }
+    return config;
+  }
+  return problems.to_status();
+}
+
+core::StatusOr<FaultConfig> load_fault_config(const std::string& path,
+                                              const ConfigReadOptions& options) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return core::Status::not_found("cannot open '" + path + "' for reading");
+  }
+  auto result = read_fault_config(in, options);
+  if (!result.is_ok()) {
+    return result.status().with_context(path);
+  }
+  return result;
+}
+
+void write_fault_config(std::ostream& out, const FaultConfig& config) {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "mdg-faults 1\n";
+  out << "seed " << config.seed << '\n';
+  out << "horizon " << config.horizon_s << '\n';
+  out << "sensor-crash-prob " << config.sensor_crash_prob << '\n';
+  out << "pp-blackout-prob " << config.pp_blackout_prob << '\n';
+  out << "pp-blackout-mean " << config.pp_blackout_mean_s << '\n';
+  out << "burst-episodes " << config.burst_episodes_mean << '\n';
+  out << "burst-mean " << config.burst_mean_s << '\n';
+  out << "burst-loss " << config.burst_loss_prob << '\n';
+  out << "stalls " << config.stall_mean << '\n';
+  out << "stall-duration " << config.stall_duration_s << '\n';
+  out << "breakdown-prob " << config.breakdown_prob << '\n';
+  out << "breakdown-frac " << config.breakdown_frac << '\n';
+  out << "dwell-budget " << config.dwell_budget_s << '\n';
+  out << "repoll-backoff " << config.repoll_backoff_s << '\n';
+  out << "max-repolls " << config.max_repolls << '\n';
+}
+
+}  // namespace mdg::fault

@@ -1,0 +1,51 @@
+// Plain-text fault configs for chaos runs (mdg_cli simulate --faults).
+//
+// Line-oriented `key value` pairs behind a versioned header, mirroring
+// the mdg-network format:
+//
+//   mdg-faults 1
+//   seed 7
+//   horizon 3600
+//   sensor-crash-prob 0.10
+//   pp-blackout-prob 0.25
+//   pp-blackout-mean 45
+//   burst-episodes 2
+//   burst-mean 15
+//   burst-loss 0.9
+//   stalls 1
+//   stall-duration 30
+//   breakdown-prob 0
+//   breakdown-frac 0.5
+//   dwell-budget 120
+//   repoll-backoff 2
+//   max-repolls 8
+//
+// Every key is optional (defaults are the fault-free FaultConfig);
+// unknown keys and unparsable values are input errors. Lines starting
+// with '#' are comments. This is untrusted-boundary input, so the parser
+// returns core::Status instead of throwing (see docs/FAULTS.md).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/status.h"
+#include "fault/fault.h"
+
+namespace mdg::fault {
+
+struct ConfigReadOptions {
+  /// When false, keep parsing after an error and report every problem in
+  /// one Status message (one line per problem).
+  bool fail_fast = true;
+};
+
+[[nodiscard]] core::StatusOr<FaultConfig> read_fault_config(
+    std::istream& in, const ConfigReadOptions& options = {});
+
+[[nodiscard]] core::StatusOr<FaultConfig> load_fault_config(
+    const std::string& path, const ConfigReadOptions& options = {});
+
+void write_fault_config(std::ostream& out, const FaultConfig& config);
+
+}  // namespace mdg::fault

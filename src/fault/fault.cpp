@@ -1,0 +1,228 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace mdg::fault {
+namespace {
+
+bool valid_prob(double p) { return std::isfinite(p) && p >= 0.0 && p <= 1.0; }
+bool valid_duration(double d) { return std::isfinite(d) && d >= 0.0; }
+
+/// Exponential variate with the given mean (inverse-CDF on one draw).
+double exponential(Rng& rng, double mean_s) {
+  if (mean_s <= 0.0) {
+    return 0.0;
+  }
+  // next_double() is in [0, 1), so the log argument stays positive.
+  return -mean_s * std::log(1.0 - rng.next_double());
+}
+
+}  // namespace
+
+core::Status FaultConfig::validate() const {
+  if (!std::isfinite(horizon_s) || horizon_s <= 0.0) {
+    return core::Status::invalid_argument("horizon must be positive");
+  }
+  if (!valid_prob(sensor_crash_prob)) {
+    return core::Status::invalid_argument(
+        "sensor-crash-prob must be in [0, 1]");
+  }
+  if (!valid_prob(pp_blackout_prob)) {
+    return core::Status::invalid_argument("pp-blackout-prob must be in [0, 1]");
+  }
+  if (!valid_duration(pp_blackout_mean_s)) {
+    return core::Status::invalid_argument(
+        "pp-blackout-mean must be non-negative");
+  }
+  if (!std::isfinite(burst_episodes_mean) || burst_episodes_mean < 0.0) {
+    return core::Status::invalid_argument(
+        "burst-episodes must be non-negative");
+  }
+  if (!valid_duration(burst_mean_s)) {
+    return core::Status::invalid_argument("burst-mean must be non-negative");
+  }
+  if (!valid_prob(burst_loss_prob)) {
+    return core::Status::invalid_argument("burst-loss must be in [0, 1]");
+  }
+  if (!std::isfinite(stall_mean) || stall_mean < 0.0) {
+    return core::Status::invalid_argument("stalls must be non-negative");
+  }
+  if (!valid_duration(stall_duration_s)) {
+    return core::Status::invalid_argument(
+        "stall-duration must be non-negative");
+  }
+  if (!valid_prob(breakdown_prob)) {
+    return core::Status::invalid_argument("breakdown-prob must be in [0, 1]");
+  }
+  if (std::isnan(breakdown_frac) || breakdown_frac > 1.0) {
+    return core::Status::invalid_argument(
+        "breakdown-frac must be <= 1 (negative = disabled)");
+  }
+  if (!valid_duration(dwell_budget_s)) {
+    return core::Status::invalid_argument(
+        "dwell-budget must be non-negative");
+  }
+  if (!valid_duration(repoll_backoff_s)) {
+    return core::Status::invalid_argument(
+        "repoll-backoff must be non-negative");
+  }
+  return core::Status::ok();
+}
+
+FaultPlan FaultPlan::generate(const core::ShdgpInstance& instance,
+                              const core::ShdgpSolution& solution,
+                              const FaultConfig& config) {
+  const core::Status status = config.validate();
+  MDG_REQUIRE(status.is_ok(), "invalid fault config: " + status.to_string());
+
+  FaultPlan plan;
+  plan.config_ = config;
+  const Rng root(config.seed);
+
+  // Every fault class draws from its own fork stream in a fixed order,
+  // so enabling one class never shifts another class's draws.
+  constexpr std::uint64_t kCrashStream = 1;
+  constexpr std::uint64_t kBlackoutStream = 2;
+  constexpr std::uint64_t kBurstStream = 3;
+  constexpr std::uint64_t kStallStream = 4;
+  constexpr std::uint64_t kBreakdownStream = 5;
+
+  const std::size_t sensors = instance.sensor_count();
+  plan.crash_time_by_sensor_.assign(
+      sensors, std::numeric_limits<double>::infinity());
+  {
+    Rng rng = root.fork(kCrashStream);
+    for (std::size_t s = 0; s < sensors; ++s) {
+      // Draw both values unconditionally so the stream position per
+      // sensor is fixed regardless of which sensors crash.
+      const bool crashes = rng.chance(config.sensor_crash_prob);
+      const double t = rng.uniform(0.0, config.horizon_s);
+      if (crashes) {
+        plan.crash_time_by_sensor_[s] = t;
+        plan.crashes_.push_back({s, t});
+      }
+    }
+  }
+
+  {
+    Rng rng = root.fork(kBlackoutStream);
+    for (std::size_t pp = 0; pp < solution.polling_points.size(); ++pp) {
+      const bool hit = rng.chance(config.pp_blackout_prob);
+      const double start = rng.uniform(0.0, config.horizon_s);
+      const double duration = exponential(rng, config.pp_blackout_mean_s);
+      if (hit && duration > 0.0) {
+        plan.blackouts_.push_back({pp, start, start + duration});
+      }
+    }
+  }
+
+  {
+    Rng rng = root.fork(kBurstStream);
+    const std::size_t episodes = rng.poisson(config.burst_episodes_mean);
+    for (std::size_t e = 0; e < episodes; ++e) {
+      const double start = rng.uniform(0.0, config.horizon_s);
+      const double duration = exponential(rng, config.burst_mean_s);
+      if (duration > 0.0) {
+        plan.bursts_.push_back({start, start + duration,
+                                config.burst_loss_prob});
+      }
+    }
+    std::sort(plan.bursts_.begin(), plan.bursts_.end(),
+              [](const BurstLossEpisode& a, const BurstLossEpisode& b) {
+                return a.start_s < b.start_s;
+              });
+  }
+
+  {
+    Rng rng = root.fork(kStallStream);
+    const std::size_t stalls = rng.poisson(config.stall_mean);
+    for (std::size_t i = 0; i < stalls; ++i) {
+      const double at = rng.next_double() * solution.tour_length;
+      const double duration = exponential(rng, config.stall_duration_s);
+      if (duration > 0.0) {
+        plan.stalls_.push_back({at, duration});
+      }
+    }
+    std::sort(plan.stalls_.begin(), plan.stalls_.end(),
+              [](const CollectorStall& a, const CollectorStall& b) {
+                return a.distance_m < b.distance_m;
+              });
+  }
+
+  {
+    Rng rng = root.fork(kBreakdownStream);
+    const bool drawn = rng.chance(config.breakdown_prob);
+    const double frac = rng.next_double();
+    if (config.breakdown_frac >= 0.0) {
+      plan.breakdown_.enabled = true;
+      plan.breakdown_.distance_m = config.breakdown_frac *
+                                   solution.tour_length;
+    } else if (drawn) {
+      plan.breakdown_.enabled = true;
+      plan.breakdown_.distance_m = frac * solution.tour_length;
+    }
+  }
+
+  return plan;
+}
+
+bool FaultPlan::sensor_alive_at(std::size_t sensor, double time_s) const {
+  if (sensor >= crash_time_by_sensor_.size()) {
+    return true;  // plan generated for a smaller instance — inject nothing
+  }
+  return time_s < crash_time_by_sensor_[sensor];
+}
+
+bool FaultPlan::blackout_active(std::size_t pp_slot, double time_s) const {
+  for (const BlackoutWindow& w : blackouts_) {
+    if (w.pp_slot == pp_slot && time_s >= w.start_s && time_s < w.end_s) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultPlan::blackout_end(std::size_t pp_slot, double time_s) const {
+  double end = time_s;
+  for (const BlackoutWindow& w : blackouts_) {
+    if (w.pp_slot == pp_slot && time_s >= w.start_s && time_s < w.end_s) {
+      end = std::max(end, w.end_s);
+    }
+  }
+  return end;
+}
+
+double FaultPlan::loss_prob_at(double time_s, double base) const {
+  double prob = base;
+  for (const BurstLossEpisode& e : bursts_) {
+    if (time_s >= e.start_s && time_s < e.end_s) {
+      prob = std::max(prob, e.loss_prob);
+    }
+  }
+  return prob;
+}
+
+bool FaultPlan::burst_active(double time_s) const {
+  for (const BurstLossEpisode& e : bursts_) {
+    if (time_s >= e.start_s && time_s < e.end_s) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultPlan::stall_delay(double from_m, double to_m) const {
+  double delay = 0.0;
+  for (const CollectorStall& s : stalls_) {
+    if (s.distance_m >= from_m && s.distance_m < to_m) {
+      delay += s.duration_s;
+    }
+  }
+  return delay;
+}
+
+}  // namespace mdg::fault

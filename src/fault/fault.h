@@ -1,0 +1,168 @@
+// Deterministic fault injection for chaos runs.
+//
+// A FaultConfig describes failure *rates*; FaultPlan::generate expands it
+// into a concrete, fully-materialized schedule of failure events (sensor
+// crashes, polling-point radio blackouts, burst-loss link episodes,
+// collector stalls and a mid-tour breakdown) for one instance/solution
+// pair. Generation draws from util::Rng fork streams in a fixed order, so
+// the same (config, seed, instance, solution) always yields a
+// byte-identical schedule regardless of which faults are enabled — the
+// determinism contract of docs/FAULTS.md. Simulators only *query* a plan;
+// they never draw fault randomness themselves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/solution.h"
+#include "core/status.h"
+
+namespace mdg::fault {
+
+/// Failure intensities over a simulated horizon. All probabilities are in
+/// [0, 1]; all durations in seconds. The default config injects nothing.
+struct FaultConfig {
+  std::uint64_t seed = 2008;
+  /// Time window the schedule covers. Events beyond the horizon do not
+  /// exist; simulated time past it is fault-free.
+  double horizon_s = 3600.0;
+
+  /// Per-sensor probability of a crash (battery death, firmware hang) at
+  /// a uniform time within the horizon. A crashed sensor stops
+  /// generating and uploading; its buffered packets are stranded.
+  double sensor_crash_prob = 0.0;
+
+  /// Per-polling-point probability of one radio blackout window
+  /// (interference, jamming) starting uniformly within the horizon.
+  double pp_blackout_prob = 0.0;
+  /// Mean blackout duration (exponentially distributed).
+  double pp_blackout_mean_s = 30.0;
+
+  /// Expected number of burst-loss link episodes over the horizon
+  /// (Poisson); during an episode the upload-loss probability is raised
+  /// to `burst_loss_prob`.
+  double burst_episodes_mean = 0.0;
+  double burst_mean_s = 20.0;    ///< mean episode duration (exponential)
+  double burst_loss_prob = 0.9;  ///< loss probability inside an episode
+
+  /// Expected number of collector stalls (obstacle, recharge top-up)
+  /// over the tour (Poisson); each stall pauses the collector for an
+  /// exponential duration at a uniform position along the tour.
+  double stall_mean = 0.0;
+  double stall_duration_s = 60.0;
+
+  /// Probability that the collector breaks down mid-tour. The breakdown
+  /// position is a uniform fraction of the tour length unless
+  /// `breakdown_frac` pins it.
+  double breakdown_prob = 0.0;
+  /// When in [0, 1], deterministically break down after driving this
+  /// fraction of the tour (overrides breakdown_prob). Negative = draw.
+  double breakdown_frac = -1.0;
+
+  // --- recovery policy (consumed by the simulator) ----------------------
+  /// Max total time the collector waits at a blacked-out polling point
+  /// before abandoning the stop for this round.
+  double dwell_budget_s = 120.0;
+  /// First re-poll wait; doubles on every retry (exponential backoff).
+  double repoll_backoff_s = 2.0;
+  /// Re-poll attempts per blacked-out stop before giving up (on top of
+  /// the initial poll).
+  std::size_t max_repolls = 8;
+
+  /// Rejects NaN/negative rates, probabilities outside [0, 1], and a
+  /// non-positive horizon.
+  [[nodiscard]] core::Status validate() const;
+};
+
+struct SensorCrash {
+  std::size_t sensor = 0;
+  double time_s = 0.0;
+};
+
+struct BlackoutWindow {
+  std::size_t pp_slot = 0;  ///< index into solution.polling_points
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+struct BurstLossEpisode {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double loss_prob = 0.0;
+};
+
+struct CollectorStall {
+  double distance_m = 0.0;  ///< odometer reading at which the stall hits
+  double duration_s = 0.0;
+};
+
+struct CollectorBreakdown {
+  bool enabled = false;
+  double distance_m = 0.0;  ///< odometer reading at which the drive ends
+};
+
+/// A concrete, immutable fault schedule. Cheap to query from the
+/// simulator hot loop: per-sensor crash times are indexed, windows are
+/// scanned (they are few).
+class FaultPlan {
+ public:
+  /// A plan that injects nothing (the default-constructed plan).
+  FaultPlan() = default;
+
+  /// Materializes `config` against one instance/solution pair. The
+  /// config must validate; the solution must belong to the instance.
+  [[nodiscard]] static FaultPlan generate(const core::ShdgpInstance& instance,
+                                          const core::ShdgpSolution& solution,
+                                          const FaultConfig& config);
+
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+  /// False once the sensor's crash time has passed.
+  [[nodiscard]] bool sensor_alive_at(std::size_t sensor, double time_s) const;
+
+  /// True while polling point `pp_slot` is inside a blackout window.
+  [[nodiscard]] bool blackout_active(std::size_t pp_slot,
+                                     double time_s) const;
+  /// End of the blackout window covering `time_s` (time_s itself when no
+  /// window is active) — what a waiting collector is waiting for.
+  [[nodiscard]] double blackout_end(std::size_t pp_slot, double time_s) const;
+
+  /// Upload-loss probability at `time_s`: the strongest active burst
+  /// episode, or `base` outside every episode.
+  [[nodiscard]] double loss_prob_at(double time_s, double base) const;
+  /// True when a burst episode elevates the loss probability at time_s.
+  [[nodiscard]] bool burst_active(double time_s) const;
+
+  /// Total stall delay incurred while driving from odometer reading
+  /// `from_m` to `to_m` (breakdown-independent).
+  [[nodiscard]] double stall_delay(double from_m, double to_m) const;
+
+  [[nodiscard]] const CollectorBreakdown& breakdown() const {
+    return breakdown_;
+  }
+  [[nodiscard]] const std::vector<SensorCrash>& crashes() const {
+    return crashes_;
+  }
+  [[nodiscard]] const std::vector<BlackoutWindow>& blackouts() const {
+    return blackouts_;
+  }
+  [[nodiscard]] const std::vector<BurstLossEpisode>& bursts() const {
+    return bursts_;
+  }
+  [[nodiscard]] const std::vector<CollectorStall>& stalls() const {
+    return stalls_;
+  }
+
+ private:
+  FaultConfig config_;
+  std::vector<SensorCrash> crashes_;          ///< sorted by sensor
+  std::vector<double> crash_time_by_sensor_;  ///< +inf = never crashes
+  std::vector<BlackoutWindow> blackouts_;     ///< sorted by pp_slot
+  std::vector<BurstLossEpisode> bursts_;      ///< sorted by start
+  std::vector<CollectorStall> stalls_;        ///< sorted by distance
+  CollectorBreakdown breakdown_;
+};
+
+}  // namespace mdg::fault

@@ -1,31 +1,100 @@
 #include "io/serialize.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <istream>
 #include <limits>
+#include <map>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "util/assert.h"
 
 namespace mdg::io {
 namespace {
 
-void expect_token(std::istream& in, const std::string& expected) {
-  std::string token;
-  in >> token;
-  MDG_REQUIRE(!in.fail() && token == expected,
-              "malformed input: expected '" + expected + "', got '" + token +
-                  "'");
-}
+/// Sanity cap on entity counts in untrusted files so a corrupted header
+/// cannot drive a multi-gigabyte reserve before the first read fails.
+constexpr std::size_t kMaxEntities = 10'000'000;
 
-template <typename T>
-T read_value(std::istream& in, const char* what) {
-  T value{};
-  in >> value;
-  MDG_REQUIRE(!in.fail(), std::string("malformed input: bad ") + what);
-  return value;
+/// Semantic-problem collector (see LoadOptions::fail_fast).
+struct Problems {
+  bool fail_fast = true;
+  std::vector<std::string> messages;
+
+  void add(std::string what) { messages.push_back(std::move(what)); }
+  [[nodiscard]] bool should_stop() const {
+    return fail_fast && !messages.empty();
+  }
+  [[nodiscard]] core::Status to_status() const {
+    std::string joined;
+    for (const std::string& m : messages) {
+      if (!joined.empty()) {
+        joined += "\n  ";
+      }
+      joined += m;
+    }
+    return core::Status::invalid_argument(joined);
+  }
+};
+
+/// Token-level reader; every syntactic problem is fatal (the stream
+/// position is unrecoverable after a failed extraction).
+struct TokenReader {
+  std::istream& in;
+
+  [[nodiscard]] core::Status expect(const std::string& expected) {
+    std::string token;
+    in >> token;
+    if (in.fail() || token != expected) {
+      if (token.empty()) {
+        return core::Status::data_loss("truncated input: expected '" +
+                                       expected + "'");
+      }
+      return core::Status::invalid_argument("expected '" + expected +
+                                            "', got '" + token + "'");
+    }
+    return core::Status::ok();
+  }
+
+  template <typename T>
+  [[nodiscard]] core::StatusOr<T> value(const char* what) {
+    T parsed{};
+    in >> parsed;
+    if (in.fail()) {
+      if (in.eof()) {
+        return core::Status::data_loss(std::string("truncated input: missing ") +
+                                       what);
+      }
+      return core::Status::invalid_argument(std::string("bad ") + what);
+    }
+    return parsed;
+  }
+};
+
+#define MDG_IO_TRY(status_expr)            \
+  do {                                     \
+    core::Status mdg_io_s = (status_expr); \
+    if (!mdg_io_s.is_ok()) {               \
+      return mdg_io_s;                     \
+    }                                      \
+  } while (false)
+
+#define MDG_IO_ASSIGN(lhs, expr)       \
+  auto lhs##_or = (expr);              \
+  if (!lhs##_or.is_ok()) {             \
+    return lhs##_or.status();          \
+  }                                    \
+  auto lhs = std::move(lhs##_or).value()
+
+bool finite(double v) { return std::isfinite(v); }
+
+std::string fmt(double v) {
+  std::ostringstream out;
+  out << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  return out.str();
 }
 
 std::ostream& full_precision(std::ostream& out) {
@@ -52,47 +121,136 @@ void write_network(std::ostream& out, const net::SensorNetwork& network) {
   }
 }
 
-net::SensorNetwork read_network(std::istream& in) {
-  expect_token(in, "mdg-network");
-  const int version = read_value<int>(in, "version");
-  MDG_REQUIRE(version == 1 || version == 2,
-              "unsupported mdg-network version");
+core::StatusOr<net::SensorNetwork> try_read_network(
+    std::istream& in, const LoadOptions& options) {
+  TokenReader tok{in};
+  Problems problems{.fail_fast = options.fail_fast};
 
-  expect_token(in, "field");
-  geom::Aabb field;
-  field.lo.x = read_value<double>(in, "field");
-  field.lo.y = read_value<double>(in, "field");
-  field.hi.x = read_value<double>(in, "field");
-  field.hi.y = read_value<double>(in, "field");
-
-  expect_token(in, "sink");
-  geom::Point sink;
-  sink.x = read_value<double>(in, "sink");
-  sink.y = read_value<double>(in, "sink");
-
-  expect_token(in, "range");
-  const double range = read_value<double>(in, "range");
-
-  expect_token(in, "radio");
-  net::RadioModel radio;
-  radio.e_elec = read_value<double>(in, "radio");
-  radio.eps_amp = read_value<double>(in, "radio");
-  if (version >= 2) {
-    radio.eps_mp = read_value<double>(in, "radio");
+  MDG_IO_TRY(tok.expect("mdg-network"));
+  MDG_IO_ASSIGN(version, tok.value<int>("version"));
+  if (version != 1 && version != 2) {
+    return core::Status::invalid_argument(
+        "unsupported mdg-network version " + std::to_string(version));
   }
-  radio.packet_bits = read_value<std::size_t>(in, "radio");
 
-  expect_token(in, "sensors");
-  const auto count = read_value<std::size_t>(in, "sensor count");
+  MDG_IO_TRY(tok.expect("field"));
+  geom::Aabb field;
+  MDG_IO_ASSIGN(flx, tok.value<double>("field"));
+  MDG_IO_ASSIGN(fly, tok.value<double>("field"));
+  MDG_IO_ASSIGN(fhx, tok.value<double>("field"));
+  MDG_IO_ASSIGN(fhy, tok.value<double>("field"));
+  field.lo = {flx, fly};
+  field.hi = {fhx, fhy};
+  if (!finite(flx) || !finite(fly) || !finite(fhx) || !finite(fhy)) {
+    problems.add("field bounds must be finite");
+  } else if (fhx < flx || fhy < fly) {
+    problems.add("field upper bound below lower bound");
+  }
+  if (problems.should_stop()) {
+    return problems.to_status();
+  }
+
+  MDG_IO_TRY(tok.expect("sink"));
+  geom::Point sink;
+  MDG_IO_ASSIGN(sx, tok.value<double>("sink"));
+  MDG_IO_ASSIGN(sy, tok.value<double>("sink"));
+  sink = {sx, sy};
+  if (!finite(sx) || !finite(sy)) {
+    problems.add("sink position must be finite");
+  }
+  if (problems.should_stop()) {
+    return problems.to_status();
+  }
+
+  MDG_IO_TRY(tok.expect("range"));
+  MDG_IO_ASSIGN(range, tok.value<double>("range"));
+  if (!finite(range) || range <= 0.0) {
+    problems.add("transmission range must be finite and positive, got " +
+                 fmt(range));
+  }
+  if (problems.should_stop()) {
+    return problems.to_status();
+  }
+
+  MDG_IO_TRY(tok.expect("radio"));
+  net::RadioModel radio;
+  MDG_IO_ASSIGN(e_elec, tok.value<double>("radio"));
+  MDG_IO_ASSIGN(eps_amp, tok.value<double>("radio"));
+  radio.e_elec = e_elec;
+  radio.eps_amp = eps_amp;
+  if (version >= 2) {
+    MDG_IO_ASSIGN(eps_mp, tok.value<double>("radio"));
+    radio.eps_mp = eps_mp;
+  }
+  MDG_IO_ASSIGN(packet_bits, tok.value<std::size_t>("radio"));
+  radio.packet_bits = packet_bits;
+  if (!finite(radio.e_elec) || radio.e_elec < 0.0 ||
+      !finite(radio.eps_amp) || radio.eps_amp < 0.0 ||
+      !finite(radio.eps_mp) || radio.eps_mp < 0.0) {
+    problems.add("radio parameters must be finite and non-negative");
+  }
+  if (problems.should_stop()) {
+    return problems.to_status();
+  }
+
+  MDG_IO_TRY(tok.expect("sensors"));
+  MDG_IO_ASSIGN(count, tok.value<std::size_t>("sensor count"));
+  if (count > kMaxEntities) {
+    return core::Status::invalid_argument("implausible sensor count " +
+                                          std::to_string(count));
+  }
   std::vector<geom::Point> positions;
   positions.reserve(count);
+  std::map<std::pair<double, double>, std::size_t> seen;
   for (std::size_t i = 0; i < count; ++i) {
-    geom::Point p;
-    p.x = read_value<double>(in, "sensor position");
-    p.y = read_value<double>(in, "sensor position");
+    MDG_IO_ASSIGN(px, tok.value<double>("sensor position"));
+    MDG_IO_ASSIGN(py, tok.value<double>("sensor position"));
+    const geom::Point p{px, py};
+    if (!finite(px) || !finite(py)) {
+      problems.add("sensor " + std::to_string(i) +
+                   ": position must be finite");
+    } else {
+      if (!field.contains(p)) {
+        problems.add("sensor " + std::to_string(i) + ": position (" +
+                     fmt(px) + ", " + fmt(py) +
+                     ") outside the deployment field");
+      }
+      const auto [it, inserted] = seen.try_emplace({px, py}, i);
+      if (!inserted) {
+        problems.add("sensor " + std::to_string(i) +
+                     ": duplicate position of sensor " +
+                     std::to_string(it->second));
+      }
+    }
+    if (problems.should_stop()) {
+      return problems.to_status();
+    }
     positions.push_back(p);
   }
+  if (!problems.messages.empty()) {
+    return problems.to_status();
+  }
   return net::SensorNetwork(std::move(positions), sink, field, range, radio);
+}
+
+core::StatusOr<net::SensorNetwork> try_load_network(
+    const std::string& path, const LoadOptions& options) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return core::Status::not_found("cannot open '" + path + "' for reading");
+  }
+  auto result = try_read_network(in, options);
+  if (!result.is_ok()) {
+    return result.status().with_context(path);
+  }
+  return result;
+}
+
+net::SensorNetwork read_network(std::istream& in) {
+  auto result = try_read_network(in);
+  MDG_REQUIRE(result.is_ok(),
+              "malformed input: " + result.status().message());
+  return std::move(result).value();
 }
 
 void write_solution(std::ostream& out, const core::ShdgpSolution& solution) {
@@ -118,51 +276,142 @@ void write_solution(std::ostream& out, const core::ShdgpSolution& solution) {
   }
 }
 
-core::ShdgpSolution read_solution(std::istream& in) {
-  expect_token(in, "mdg-solution");
-  const int version = read_value<int>(in, "version");
-  MDG_REQUIRE(version == 1, "unsupported mdg-solution version");
+core::StatusOr<core::ShdgpSolution> try_read_solution(
+    std::istream& in, const LoadOptions& options) {
+  TokenReader tok{in};
+  Problems problems{.fail_fast = options.fail_fast};
+
+  MDG_IO_TRY(tok.expect("mdg-solution"));
+  MDG_IO_ASSIGN(version, tok.value<int>("version"));
+  if (version != 1) {
+    return core::Status::invalid_argument(
+        "unsupported mdg-solution version " + std::to_string(version));
+  }
 
   core::ShdgpSolution solution;
-  expect_token(in, "planner");
+  MDG_IO_TRY(tok.expect("planner"));
   in >> solution.planner;
+  if (in.fail()) {
+    return core::Status::data_loss("truncated input: missing planner name");
+  }
   if (solution.planner == "-") {
     solution.planner.clear();
   }
-  expect_token(in, "tour-length");
-  solution.tour_length = read_value<double>(in, "tour length");
-  expect_token(in, "optimal");
-  solution.provably_optimal = read_value<int>(in, "optimal flag") != 0;
+  MDG_IO_TRY(tok.expect("tour-length"));
+  MDG_IO_ASSIGN(tour_length, tok.value<double>("tour length"));
+  solution.tour_length = tour_length;
+  if (!finite(tour_length) || tour_length < 0.0) {
+    problems.add("tour-length must be finite and non-negative, got " +
+                 fmt(tour_length));
+  }
+  if (problems.should_stop()) {
+    return problems.to_status();
+  }
+  MDG_IO_TRY(tok.expect("optimal"));
+  MDG_IO_ASSIGN(optimal, tok.value<int>("optimal flag"));
+  solution.provably_optimal = optimal != 0;
 
-  expect_token(in, "polling");
-  const auto pps = read_value<std::size_t>(in, "polling count");
+  MDG_IO_TRY(tok.expect("polling"));
+  MDG_IO_ASSIGN(pps, tok.value<std::size_t>("polling count"));
+  if (pps > kMaxEntities) {
+    return core::Status::invalid_argument("implausible polling count " +
+                                          std::to_string(pps));
+  }
   solution.polling_candidates.reserve(pps);
   solution.polling_points.reserve(pps);
   for (std::size_t i = 0; i < pps; ++i) {
-    solution.polling_candidates.push_back(
-        read_value<std::size_t>(in, "candidate id"));
-    geom::Point p;
-    p.x = read_value<double>(in, "polling point");
-    p.y = read_value<double>(in, "polling point");
-    solution.polling_points.push_back(p);
+    MDG_IO_ASSIGN(candidate, tok.value<std::size_t>("candidate id"));
+    MDG_IO_ASSIGN(px, tok.value<double>("polling point"));
+    MDG_IO_ASSIGN(py, tok.value<double>("polling point"));
+    if (!finite(px) || !finite(py)) {
+      problems.add("polling point " + std::to_string(i) +
+                   ": position must be finite");
+      if (problems.should_stop()) {
+        return problems.to_status();
+      }
+    }
+    solution.polling_candidates.push_back(candidate);
+    solution.polling_points.push_back({px, py});
   }
 
-  expect_token(in, "assignment");
-  const auto sensors = read_value<std::size_t>(in, "assignment count");
+  MDG_IO_TRY(tok.expect("assignment"));
+  MDG_IO_ASSIGN(sensors, tok.value<std::size_t>("assignment count"));
+  if (sensors > kMaxEntities) {
+    return core::Status::invalid_argument("implausible assignment count " +
+                                          std::to_string(sensors));
+  }
   solution.assignment.reserve(sensors);
   for (std::size_t i = 0; i < sensors; ++i) {
-    solution.assignment.push_back(read_value<std::size_t>(in, "assignment"));
+    MDG_IO_ASSIGN(slot, tok.value<std::size_t>("assignment"));
+    if (slot >= pps) {
+      problems.add("assignment " + std::to_string(i) + ": slot " +
+                   std::to_string(slot) + " past polling count " +
+                   std::to_string(pps));
+      if (problems.should_stop()) {
+        return problems.to_status();
+      }
+    }
+    solution.assignment.push_back(slot);
   }
 
-  expect_token(in, "tour");
-  const auto stops = read_value<std::size_t>(in, "tour size");
+  MDG_IO_TRY(tok.expect("tour"));
+  MDG_IO_ASSIGN(stops, tok.value<std::size_t>("tour size"));
+  if (stops > kMaxEntities) {
+    return core::Status::invalid_argument("implausible tour size " +
+                                          std::to_string(stops));
+  }
+  if (stops != 0 && stops != pps + 1) {
+    problems.add("tour size " + std::to_string(stops) +
+                 " does not match sink + " + std::to_string(pps) +
+                 " polling points");
+    if (problems.should_stop()) {
+      return problems.to_status();
+    }
+  }
   std::vector<std::size_t> order;
   order.reserve(stops);
+  std::vector<bool> visited(stops, false);
   for (std::size_t i = 0; i < stops; ++i) {
-    order.push_back(read_value<std::size_t>(in, "tour index"));
+    MDG_IO_ASSIGN(index, tok.value<std::size_t>("tour index"));
+    if (index >= stops) {
+      problems.add("tour position " + std::to_string(i) + ": index " +
+                   std::to_string(index) + " out of range");
+    } else if (visited[index]) {
+      problems.add("tour position " + std::to_string(i) + ": index " +
+                   std::to_string(index) + " visited twice");
+    } else {
+      visited[index] = true;
+    }
+    if (problems.should_stop()) {
+      return problems.to_status();
+    }
+    order.push_back(index);
+  }
+  if (!problems.messages.empty()) {
+    return problems.to_status();
   }
   solution.tour = tsp::Tour(std::move(order));
   return solution;
+}
+
+core::StatusOr<core::ShdgpSolution> try_load_solution(
+    const std::string& path, const LoadOptions& options) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return core::Status::not_found("cannot open '" + path + "' for reading");
+  }
+  auto result = try_read_solution(in, options);
+  if (!result.is_ok()) {
+    return result.status().with_context(path);
+  }
+  return result;
+}
+
+core::ShdgpSolution read_solution(std::istream& in) {
+  auto result = try_read_solution(in);
+  MDG_REQUIRE(result.is_ok(),
+              "malformed input: " + result.status().message());
+  return std::move(result).value();
 }
 
 void save_network(const std::string& path, const net::SensorNetwork& network) {

@@ -9,9 +9,21 @@
 #include <string>
 
 #include "core/solution.h"
+#include "core/status.h"
 #include "net/sensor_network.h"
 
 namespace mdg::io {
+
+/// Options for the Status-returning loaders.
+struct LoadOptions {
+  /// Stop at the first problem (default). When false, semantic
+  /// validation (NaN/Inf values, duplicate sensors, out-of-field
+  /// positions, bad slots/ids) keeps scanning and reports every problem
+  /// found in one diagnostic. Syntactic errors — a token that is not a
+  /// number, a truncated file — always stop immediately because the
+  /// stream position is lost.
+  bool fail_fast = true;
+};
 
 /// Writes a network as:
 ///   mdg-network 2
@@ -28,6 +40,16 @@ void write_network(std::ostream& out, const net::SensorNetwork& network);
 /// malformed input.
 [[nodiscard]] net::SensorNetwork read_network(std::istream& in);
 
+/// Status-returning variant for untrusted input: malformed, truncated,
+/// or semantically invalid files (NaN/Inf coordinates, duplicate sensor
+/// positions, zero/negative range, sensors outside the field) produce a
+/// diagnostic Status instead of an exception. Nothing is constructed
+/// until the payload has been fully validated.
+[[nodiscard]] core::StatusOr<net::SensorNetwork> try_read_network(
+    std::istream& in, const LoadOptions& options = {});
+[[nodiscard]] core::StatusOr<net::SensorNetwork> try_load_network(
+    const std::string& path, const LoadOptions& options = {});
+
 /// Writes a solution (references the instance only for the sink):
 ///   mdg-solution 1
 ///   planner <name>
@@ -42,6 +64,14 @@ void write_solution(std::ostream& out, const core::ShdgpSolution& solution);
 
 /// Parses the write_solution format.
 [[nodiscard]] core::ShdgpSolution read_solution(std::istream& in);
+
+/// Status-returning variant: structural problems (non-finite values,
+/// assignment slots past the polling count, a tour that is not a
+/// permutation over sink + polling points) produce a diagnostic Status.
+[[nodiscard]] core::StatusOr<core::ShdgpSolution> try_read_solution(
+    std::istream& in, const LoadOptions& options = {});
+[[nodiscard]] core::StatusOr<core::ShdgpSolution> try_load_solution(
+    const std::string& path, const LoadOptions& options = {});
 
 /// File helpers (throw on I/O failure).
 void save_network(const std::string& path, const net::SensorNetwork& network);

@@ -26,6 +26,24 @@ std::span<const MetricInfo> known_metrics() {
        "cover::CoverageMatrix::CoverageMatrix"},
       {metric::kCoverSelected, "counter", "count",
        "cover::greedy_set_cover"},
+      {metric::kFaultBreakdowns, "counter", "count",
+       "sim::MobileCollectionSim::run_round"},
+      {metric::kFaultDeliveredFraction, "gauge", "fraction",
+       "sim::MobileCollectionSim::run_round"},
+      {metric::kFaultLostBurst, "counter", "count",
+       "sim::MobileCollectionSim::run_round"},
+      {metric::kFaultLostCrash, "counter", "count",
+       "sim::MobileCollectionSim::run_round"},
+      {metric::kFaultOrphanedSensors, "counter", "count",
+       "sim::MobileCollectionSim::run_round"},
+      {metric::kFaultPpTimeouts, "counter", "count",
+       "sim::MobileCollectionSim::run_round"},
+      {metric::kFaultRecoveryLengthM, "gauge", "m",
+       "sim::MobileCollectionSim::run_round"},
+      {metric::kFaultRepollAttempts, "counter", "count",
+       "sim::MobileCollectionSim::run_round"},
+      {metric::kFaultSensorCrashes, "counter", "count",
+       "sim::MobileCollectionSim::run_round"},
       {metric::kPlanDirectVisit, "timer", "ms",
        "baselines::DirectVisitPlanner::plan"},
       {metric::kPlanElection, "timer", "ms", "dist::ElectionPlanner::plan"},

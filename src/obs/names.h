@@ -58,6 +58,13 @@ inline constexpr const char* kTspSolve = "tsp.solve";
 
 // --- counters ------------------------------------------------------------
 inline constexpr const char* kCoverCapacityAdded = "cover.capacity_added";
+inline constexpr const char* kFaultBreakdowns = "fault.breakdowns";
+inline constexpr const char* kFaultLostBurst = "fault.lost_burst";
+inline constexpr const char* kFaultLostCrash = "fault.lost_crash";
+inline constexpr const char* kFaultOrphanedSensors = "fault.orphaned_sensors";
+inline constexpr const char* kFaultPpTimeouts = "fault.pp_timeouts";
+inline constexpr const char* kFaultRepollAttempts = "fault.repoll_attempts";
+inline constexpr const char* kFaultSensorCrashes = "fault.sensor_crashes";
 inline constexpr const char* kCoverLazyRefreshes = "cover.lazy_refreshes";
 inline constexpr const char* kCoverSelected = "cover.selected";
 inline constexpr const char* kRefineMoves = "refine.moves";
@@ -70,6 +77,9 @@ inline constexpr const char* kTspTwoOptMoves = "tsp.two_opt_moves";
 
 // --- gauges --------------------------------------------------------------
 inline constexpr const char* kCoverMatrixThreads = "cover.matrix_threads";
+inline constexpr const char* kFaultDeliveredFraction =
+    "fault.delivered_fraction";
+inline constexpr const char* kFaultRecoveryLengthM = "fault.recovery_length_m";
 inline constexpr const char* kPlanManyThreads = "plan.many_threads";
 inline constexpr const char* kSimMobileBufferPeak = "sim.mobile_buffer_peak";
 inline constexpr const char* kTspImproveGainM = "tsp.improve_gain_m";

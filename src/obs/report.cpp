@@ -46,6 +46,18 @@ void RunReport::capture_metrics(const MetricsRegistry& registry) {
   }
 }
 
+RunReport RunReport::canonicalized() const {
+  RunReport r = *this;
+  r.git_describe = "";
+  r.wall_ms = 0.0;
+  for (StageTiming& t : r.timings) {
+    t.total_ms = 0.0;
+    t.min_ms = 0.0;
+    t.max_ms = 0.0;
+  }
+  return r;
+}
+
 JsonValue RunReport::to_json() const {
   JsonValue root = JsonValue::object();
   root.set("kind", JsonValue::string("mdg-run-report"));

@@ -84,6 +84,14 @@ struct RunReport {
   /// Snapshots every metric in `registry` into timings/counters/gauges.
   void capture_metrics(const MetricsRegistry& registry);
 
+  /// Copy with the fields that legitimately differ between otherwise
+  /// identical runs zeroed out: build provenance, end-to-end wall time
+  /// and per-stage wall times (observation *counts* are kept — they are
+  /// deterministic). Canonical reports from two same-seed runs are
+  /// byte-identical; the golden-file tests and the CI chaos gate
+  /// compare in this form.
+  [[nodiscard]] RunReport canonicalized() const;
+
   [[nodiscard]] JsonValue to_json() const;
   [[nodiscard]] static RunReport from_json(const JsonValue& json);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "fault/fault.h"
 #include "obs/names.h"
 #include "obs/span.h"
 #include "util/assert.h"
@@ -88,6 +89,14 @@ FleetRoundReport FleetSim::run_round(EnergyLedger& ledger) const {
     for (std::size_t i = 0; i < route.stops.size(); ++i) {
       for (std::size_t s : route.stop_sensors[i]) {
         if (!ledger.alive(s)) {
+          continue;
+        }
+        // Fault wiring is round-granular here: a sensor crashed at any
+        // point of the schedule skips the whole round (the fleet sim
+        // has no per-stop clock; the mobile sim models fine-grained
+        // timing).
+        if (config_.fault_plan != nullptr &&
+            !config_.fault_plan->sensor_alive_at(s, 0.0)) {
           continue;
         }
         const double joules = radio.tx_packet(

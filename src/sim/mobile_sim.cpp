@@ -4,10 +4,11 @@
 #include <cmath>
 #include <limits>
 
+#include "core/replan.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
 #include "obs/span.h"
-#include "sim/event_queue.h"
 #include "util/assert.h"
 
 namespace mdg::sim {
@@ -23,8 +24,8 @@ MobileCollectionSim::MobileCollectionSim(const core::ShdgpInstance& instance,
   MDG_REQUIRE(config.accel_m_per_s2 >= 0.0,
               "acceleration cannot be negative");
   MDG_REQUIRE(config.packet_upload_s >= 0.0, "upload time cannot be negative");
-  MDG_REQUIRE(config.upload_loss_prob >= 0.0 && config.upload_loss_prob < 1.0,
-              "loss probability must be in [0, 1)");
+  MDG_REQUIRE(config.upload_loss_prob >= 0.0 && config.upload_loss_prob <= 1.0,
+              "loss probability must be in [0, 1]");
   MDG_REQUIRE(config.max_upload_attempts >= 1,
               "need at least one upload attempt");
   MDG_REQUIRE(config.data_rate_pkt_per_s >= 0.0, "rate cannot be negative");
@@ -45,6 +46,7 @@ MobileCollectionSim::MobileCollectionSim(const core::ShdgpInstance& instance,
     const std::size_t slot = solution.tour.at(pos) - 1;
     stop_positions_.push_back(all[solution.tour.at(pos)]);
     stop_sensors_.push_back(by_slot[slot]);
+    stop_slots_.push_back(slot);
   }
   tour_length_ = solution.tour_length;
   buffer_.assign(instance.sensor_count(), 0);
@@ -75,96 +77,228 @@ double MobileCollectionSim::leg_travel_time(double distance) const {
   return 2.0 * std::sqrt(distance / a);
 }
 
+bool MobileCollectionSim::sensor_up(const EnergyLedger& ledger,
+                                    std::size_t sensor, double time_s) const {
+  if (!ledger.alive(sensor)) {
+    return false;
+  }
+  return config_.fault_plan == nullptr ||
+         config_.fault_plan->sensor_alive_at(sensor, time_s);
+}
+
+double MobileCollectionSim::serve_stop(geom::Point stop,
+                                       const std::vector<std::size_t>& sensors,
+                                       double now, EnergyLedger& ledger,
+                                       MobileRoundReport& report) {
+  const auto& net = instance_->network();
+  const auto& rad = net.radio();
+  const fault::FaultPlan* plan = config_.fault_plan;
+  const double loss_prob =
+      plan == nullptr ? config_.upload_loss_prob
+                      : plan->loss_prob_at(now, config_.upload_loss_prob);
+  const bool burst = plan != nullptr && plan->burst_active(now);
+  double service = 0.0;
+  for (std::size_t s : sensors) {
+    if (!sensor_up(ledger, s, now)) {
+      continue;
+    }
+    const double hop = geom::distance(net.position(s), stop);
+    const double joules = rad.tx_packet(hop);
+    bool sensor_died = false;
+    while (buffer_[s] > 0 && !sensor_died) {
+      // One packet: attempt until acknowledged, the retry budget is
+      // spent, or the battery dies mid-burst.
+      bool acked = false;
+      std::size_t attempts = 0;
+      while (attempts < config_.max_upload_attempts) {
+        ++attempts;
+        report.round_energy[s] += joules;
+        service += config_.packet_upload_s;
+        const bool alive = ledger.consume(s, joules);
+        const bool lost_attempt =
+            loss_prob > 0.0 && loss_rng_.chance(loss_prob);
+        if (!lost_attempt) {
+          acked = true;
+        }
+        if (!alive) {
+          sensor_died = true;  // stop after this packet
+        }
+        if (acked || sensor_died) {
+          break;
+        }
+      }
+      report.retransmissions += attempts - 1;
+      --buffer_[s];
+      if (acked) {
+        ++report.delivered;
+      } else {
+        ++report.lost;
+        if (burst) {
+          ++report.lost_burst;
+        }
+      }
+    }
+  }
+  return service;
+}
+
+double MobileCollectionSim::run_recovery(geom::Point breakdown_position,
+                                         double now, EnergyLedger& ledger,
+                                         MobileRoundReport& report) {
+  // Still-live, still-unserved sensors: anything with buffered data and
+  // a working radio can still be re-covered.
+  std::vector<std::size_t> unserved;
+  for (std::size_t s = 0; s < buffer_.size(); ++s) {
+    if (buffer_[s] > 0 && sensor_up(ledger, s, now)) {
+      unserved.push_back(s);
+    }
+  }
+  const core::RecoveryPlan recovery =
+      core::replan_remaining(*instance_, breakdown_position, unserved);
+  report.recovery_length_m = recovery.length_m;
+  report.recovery_stops = recovery.stops.size();
+  report.unrecovered_sensors = recovery.uncovered.size();
+
+  geom::Point where = breakdown_position;
+  for (std::size_t j = 0; j < recovery.stops.size(); ++j) {
+    const double travel =
+        leg_travel_time(geom::distance(where, recovery.stops[j]));
+    report.travel_s += travel;
+    now += travel;
+    const double service =
+        serve_stop(recovery.stops[j], recovery.stop_sensors[j], now, ledger,
+                   report);
+    report.service_s += service;
+    now += service;
+    where = recovery.stops[j];
+  }
+  const double home = leg_travel_time(geom::distance(where, instance_->sink()));
+  report.travel_s += home;
+  return now + home;
+}
+
 MobileRoundReport MobileCollectionSim::run_round(EnergyLedger& ledger,
                                                  double start_time) {
   OBS_SPAN(obs::metric::kSimMobileRound);
   const auto& network = instance_->network();
   MDG_REQUIRE(ledger.size() == network.size(),
               "ledger does not match the network");
+  const fault::FaultPlan* plan = config_.fault_plan;
 
   MobileRoundReport report;
   report.round_energy.assign(network.size(), 0.0);
 
-  EventQueue queue;
   // One-packet-per-round mode: generation happens at departure.
   if (config_.auto_generate && config_.data_rate_pkt_per_s == 0.0) {
-    queue.schedule(start_time, [this, &ledger, &report] {
-      for (std::size_t s = 0; s < buffer_.size(); ++s) {
-        if (!ledger.alive(s)) {
-          continue;
-        }
-        if (buffer_[s] < config_.buffer_capacity) {
-          ++buffer_[s];
-        } else {
-          ++report.dropped;
-        }
+    for (std::size_t s = 0; s < buffer_.size(); ++s) {
+      if (!sensor_up(ledger, s, start_time)) {
+        continue;
       }
-    });
+      if (buffer_[s] < config_.buffer_capacity) {
+        ++buffer_[s];
+      } else {
+        ++report.dropped;
+      }
+    }
+  }
+  for (std::size_t b : buffer_) {
+    report.offered += b;
   }
 
   const geom::Point sink = instance_->sink();
-  double clock = start_time;  // event scheduling cursor
+  double clock = start_time;
+  double odometer = 0.0;  // metres driven on the planned tour
   geom::Point where = sink;
-  for (std::size_t i = 0; i < stop_positions_.size(); ++i) {
+  bool broke = false;
+  for (std::size_t i = 0; i < stop_positions_.size() && !broke; ++i) {
     const geom::Point stop = stop_positions_[i];
-    const double travel = leg_travel_time(geom::distance(where, stop));
-    report.travel_s += travel;
-    clock += travel;
-    // Arrival at stop i: catch up generation, then serve uploads.
-    double service = 0.0;
-    queue.schedule(clock, [this, i, stop, &ledger, &report, &service] {
-      const auto& net = instance_->network();
-      const auto& rad = net.radio();
-      for (std::size_t s : stop_sensors_[i]) {
-        if (!ledger.alive(s)) {
-          continue;
-        }
-        const double hop = geom::distance(net.position(s), stop);
-        const double joules = rad.tx_packet(hop);
-        bool sensor_died = false;
-        while (buffer_[s] > 0 && !sensor_died) {
-          // One packet: attempt until acknowledged, the retry budget is
-          // spent, or the battery dies mid-burst.
-          bool acked = false;
-          std::size_t attempts = 0;
-          while (attempts < config_.max_upload_attempts) {
-            ++attempts;
-            report.round_energy[s] += joules;
-            service += config_.packet_upload_s;
-            const bool alive = ledger.consume(s, joules);
-            const bool lost_attempt =
-                config_.upload_loss_prob > 0.0 &&
-                loss_rng_.chance(config_.upload_loss_prob);
-            if (!lost_attempt) {
-              acked = true;
-            }
-            if (!alive) {
-              sensor_died = true;  // stop after this packet
-            }
-            if (acked || sensor_died) {
-              break;
-            }
-          }
-          report.retransmissions += attempts - 1;
-          --buffer_[s];
-          if (acked) {
-            ++report.delivered;
-          } else {
-            ++report.lost;
-          }
-        }
+    const double leg = geom::distance(where, stop);
+    if (plan != nullptr && plan->breakdown().enabled && !breakdown_done_ &&
+        odometer + leg >= plan->breakdown().distance_m) {
+      // The drive ends mid-leg; switch to the online recovery plan.
+      const double driven =
+          std::clamp(plan->breakdown().distance_m - odometer, 0.0, leg);
+      const geom::Point at =
+          leg > 0.0 ? where + (stop - where) * (driven / leg) : where;
+      const double partial = leg_travel_time(driven) +
+                             plan->stall_delay(odometer, odometer + driven);
+      report.travel_s += partial;
+      clock += partial;
+      breakdown_done_ = true;
+      broke = true;
+      report.breakdown = true;
+      clock = run_recovery(at, clock, ledger, report);
+      where = sink;
+      break;
+    }
+    {
+      double travel = leg_travel_time(leg);
+      if (plan != nullptr) {
+        travel += plan->stall_delay(odometer, odometer + leg);
       }
-    });
-    queue.run();
+      report.travel_s += travel;
+      clock += travel;
+      odometer += leg;
+    }
+    // Radio blackout at this polling point: re-poll with exponential
+    // backoff until the blackout lifts or the dwell budget is spent.
+    if (plan != nullptr && plan->blackout_active(stop_slots_[i], clock)) {
+      const fault::FaultConfig& fc = plan->config();
+      double waited = 0.0;
+      double backoff = fc.repoll_backoff_s;
+      std::size_t repolls = 0;
+      while (plan->blackout_active(stop_slots_[i], clock) &&
+             repolls < fc.max_repolls && waited < fc.dwell_budget_s) {
+        const double wait = std::min(backoff, fc.dwell_budget_s - waited);
+        if (wait <= 0.0) {
+          break;
+        }
+        clock += wait;
+        waited += wait;
+        backoff *= 2.0;
+        ++repolls;
+        ++report.repoll_attempts;
+      }
+      report.blackout_wait_s += waited;
+      if (plan->blackout_active(stop_slots_[i], clock)) {
+        ++report.blackout_timeouts;  // abandon: buffers survive the round
+        where = stop;
+        continue;
+      }
+    }
+    const double service =
+        serve_stop(stop, stop_sensors_[i], clock, ledger, report);
     report.service_s += service;
     clock += service;
     where = stop;
   }
-  // Return leg.
-  const double home = leg_travel_time(geom::distance(where, sink));
-  report.travel_s += home;
-  clock += home;
-  queue.run();
+  if (!broke) {
+    // Return leg.
+    const double leg = geom::distance(where, sink);
+    double home = leg_travel_time(leg);
+    if (plan != nullptr && plan->breakdown().enabled && !breakdown_done_ &&
+        odometer + leg >= plan->breakdown().distance_m) {
+      // Breakdown on the way home: whatever is still buffered (e.g.
+      // stops abandoned to blackouts) gets one recovery chance.
+      const double driven =
+          std::clamp(plan->breakdown().distance_m - odometer, 0.0, leg);
+      const geom::Point at =
+          leg > 0.0 ? where + (sink - where) * (driven / leg) : where;
+      const double partial = leg_travel_time(driven) +
+                             plan->stall_delay(odometer, odometer + driven);
+      report.travel_s += partial;
+      clock += partial;
+      breakdown_done_ = true;
+      report.breakdown = true;
+      clock = run_recovery(at, clock, ledger, report);
+    } else {
+      if (plan != nullptr) {
+        home += plan->stall_delay(odometer, odometer + leg);
+      }
+      report.travel_s += home;
+      clock += home;
+    }
+  }
 
   report.duration_s = clock - start_time;
 
@@ -172,7 +306,7 @@ MobileRoundReport MobileCollectionSim::run_round(EnergyLedger& ledger,
   // round (they will be collected next round), tracked per sensor.
   if (config_.auto_generate && config_.data_rate_pkt_per_s > 0.0) {
     for (std::size_t s = 0; s < buffer_.size(); ++s) {
-      if (!ledger.alive(s)) {
+      if (!sensor_up(ledger, s, clock)) {
         continue;
       }
       residual_[s] += config_.data_rate_pkt_per_s * report.duration_s;
@@ -185,14 +319,56 @@ MobileRoundReport MobileCollectionSim::run_round(EnergyLedger& ledger,
       report.dropped += packets - stored;
     }
   }
+
+  // Crash accounting: a crashed sensor's buffered packets are stranded
+  // with the hardware.
+  if (plan != nullptr) {
+    for (const fault::SensorCrash& crash : plan->crashes()) {
+      if (crash.time_s >= start_time && crash.time_s < clock) {
+        ++report.sensor_crashes;
+      }
+    }
+    for (std::size_t s = 0; s < buffer_.size(); ++s) {
+      if (!plan->sensor_alive_at(s, clock) && buffer_[s] > 0) {
+        ++report.orphaned_sensors;
+        report.lost_crash += buffer_[s];
+        buffer_[s] = 0;
+      }
+    }
+  }
+
   for (std::size_t b : buffer_) {
     report.max_buffer = std::max(report.max_buffer, b);
   }
+  report.delivered_fraction =
+      report.offered == 0
+          ? 1.0
+          : static_cast<double>(report.delivered) /
+                static_cast<double>(report.offered);
   last_generation_time_ = clock;
+  ++round_counter_;
   MDG_OBS_COUNT(obs::metric::kSimMobileDelivered, report.delivered);
   MDG_OBS_COUNT(obs::metric::kSimMobileDropped, report.dropped);
   MDG_OBS_GAUGE(obs::metric::kSimMobileBufferPeak,
                 static_cast<double>(report.max_buffer));
+  if (plan != nullptr) {
+    // fault.* rows appear (possibly at zero) on every chaos round, so
+    // chaos reports always carry the full fault section.
+    MDG_OBS_COUNT(obs::metric::kFaultSensorCrashes, report.sensor_crashes);
+    MDG_OBS_COUNT(obs::metric::kFaultOrphanedSensors,
+                  report.orphaned_sensors);
+    MDG_OBS_COUNT(obs::metric::kFaultLostCrash, report.lost_crash);
+    MDG_OBS_COUNT(obs::metric::kFaultLostBurst, report.lost_burst);
+    MDG_OBS_COUNT(obs::metric::kFaultRepollAttempts, report.repoll_attempts);
+    MDG_OBS_COUNT(obs::metric::kFaultPpTimeouts, report.blackout_timeouts);
+    MDG_OBS_COUNT(obs::metric::kFaultBreakdowns, report.breakdown ? 1 : 0);
+    if (report.breakdown) {
+      MDG_OBS_GAUGE(obs::metric::kFaultRecoveryLengthM,
+                    report.recovery_length_m);
+    }
+    MDG_OBS_GAUGE(obs::metric::kFaultDeliveredFraction,
+                  report.delivered_fraction);
+  }
   return report;
 }
 

@@ -6,6 +6,14 @@
 // (single-hop, sensor -> collector), and finally returns to the sink.
 // Sensors generate data at a constant rate between rounds and buffer it
 // until their polling point is served.
+//
+// Chaos mode: when MobileSimConfig::fault_plan points at a
+// fault::FaultPlan, the round replays that plan's failure schedule —
+// crashed sensors stop generating and uploading, blacked-out polling
+// points are re-polled with exponential backoff until a dwell budget
+// runs out, burst episodes elevate the link-loss probability, stalls
+// delay the drive, and a mid-tour breakdown triggers online recovery
+// via core::replan_remaining (see docs/FAULTS.md).
 #pragma once
 
 #include <cstddef>
@@ -15,6 +23,10 @@
 #include "core/solution.h"
 #include "sim/energy.h"
 #include "util/rng.h"
+
+namespace mdg::fault {
+class FaultPlan;
+}  // namespace mdg::fault
 
 namespace mdg::sim {
 
@@ -37,15 +49,20 @@ struct MobileSimConfig {
   /// the sensor retransmits, paying energy and airtime again).
   double upload_loss_prob = 0.0;
   /// Retransmission cap per packet; a packet still unacknowledged after
-  /// this many attempts is dropped (counted in MobileRoundReport).
+  /// this many attempts is dropped (counted in MobileRoundReport). With
+  /// upload_loss_prob = 1.0 every packet exhausts this cap and is lost.
   std::size_t max_upload_attempts = 8;
   /// Seed for the loss process (deterministic per simulator instance).
   std::uint64_t loss_seed = 0x10552008;
+  /// Optional fault schedule to replay (non-owning; must outlive the
+  /// simulator; nullptr = fault-free). The dwell-budget/backoff recovery
+  /// policy comes from the plan's FaultConfig.
+  const fault::FaultPlan* fault_plan = nullptr;
 };
 
 struct MobileRoundReport {
   double duration_s = 0.0;       ///< departure to return
-  double travel_s = 0.0;         ///< time in motion
+  double travel_s = 0.0;         ///< time in motion (incl. stall delays)
   double service_s = 0.0;        ///< time paused for uploads
   std::size_t delivered = 0;     ///< packets handed to the collector
   std::size_t dropped = 0;       ///< packets lost to buffer overflow
@@ -53,6 +70,24 @@ struct MobileRoundReport {
   std::size_t lost = 0;          ///< packets dropped after max attempts
   std::size_t max_buffer = 0;    ///< worst per-sensor buffer occupancy seen
   std::vector<double> round_energy;  ///< per-sensor energy spent this round
+
+  // --- fault accounting (all zero / 1.0 on fault-free rounds) -----------
+  std::size_t offered = 0;       ///< packets buffered when service began
+  /// delivered / offered for this round (1.0 when nothing was offered).
+  double delivered_fraction = 1.0;
+  std::size_t sensor_crashes = 0;   ///< fault crashes effective this round
+  std::size_t orphaned_sensors = 0; ///< crashed with packets still buffered
+  std::size_t lost_crash = 0;       ///< packets stranded in crashed sensors
+  std::size_t lost_burst = 0;       ///< subset of `lost` during bursts
+  std::size_t repoll_attempts = 0;  ///< re-polls at blacked-out stops
+  std::size_t blackout_timeouts = 0;  ///< stops abandoned (budget spent)
+  double blackout_wait_s = 0.0;     ///< time spent waiting out blackouts
+  bool breakdown = false;           ///< the collector broke down mid-tour
+  double recovery_length_m = 0.0;   ///< spliced recovery tour length
+  std::size_t recovery_stops = 0;   ///< stops on the recovery tour
+  /// Sensors the recovery pass could not re-cover (graceful-degradation
+  /// residue; 0 when recovery was feasible or no breakdown happened).
+  std::size_t unrecovered_sensors = 0;
 };
 
 struct MobileLifetimeReport {
@@ -105,13 +140,27 @@ class MobileCollectionSim {
   [[nodiscard]] const MobileSimConfig& config() const { return config_; }
 
  private:
+  /// True when the sensor is up at `time_s` (battery and fault plan).
+  [[nodiscard]] bool sensor_up(const EnergyLedger& ledger, std::size_t sensor,
+                               double time_s) const;
+  /// Serves one pause: every listed sensor uploads its buffer. Returns
+  /// the service seconds spent.
+  double serve_stop(geom::Point stop, const std::vector<std::size_t>& sensors,
+                    double now, EnergyLedger& ledger,
+                    MobileRoundReport& report);
+  /// Mid-tour breakdown: replans over live unserved sensors, drives the
+  /// spliced recovery tour, returns the clock after arriving at the sink.
+  double run_recovery(geom::Point breakdown_position, double now,
+                      EnergyLedger& ledger, MobileRoundReport& report);
+
   const core::ShdgpInstance* instance_;
   const core::ShdgpSolution* solution_;
   MobileSimConfig config_;
   /// Tour stops in visiting order: coordinates + the sensors affiliated
-  /// with each stop.
+  /// with each stop + the polling-point slot (for blackout lookups).
   std::vector<geom::Point> stop_positions_;
   std::vector<std::vector<std::size_t>> stop_sensors_;
+  std::vector<std::size_t> stop_slots_;
   double tour_length_ = 0.0;
   double travel_time_ = 0.0;  ///< full-tour driving time under kinematics
   /// Per-sensor buffered packets (persists across rounds).
@@ -121,6 +170,9 @@ class MobileCollectionSim {
   double last_generation_time_ = 0.0;
   Rng loss_rng_;
   std::uint64_t round_counter_ = 0;
+  /// A breakdown fires once per simulator lifetime (the next round runs
+  /// the repaired/replacement collector).
+  bool breakdown_done_ = false;
 };
 
 }  // namespace mdg::sim

@@ -5,6 +5,7 @@
 #include <deque>
 #include <limits>
 
+#include "fault/fault.h"
 #include "obs/names.h"
 #include "obs/span.h"
 #include "util/assert.h"
@@ -19,8 +20,30 @@ MultihopSim::MultihopSim(const net::SensorNetwork& network,
                          MultihopSimConfig config)
     : network_(&network), config_(config) {
   MDG_REQUIRE(config.per_hop_delay_s >= 0.0, "delay cannot be negative");
+  MDG_REQUIRE(config.round_period_s >= 0.0, "round period cannot be negative");
   hops_.assign(network.size(), kNone);
   parent_.assign(network.size(), kNone);
+}
+
+bool MultihopSim::node_up(std::size_t v, const EnergyLedger& ledger) const {
+  if (!ledger.alive(v)) {
+    return false;
+  }
+  return config_.fault_plan == nullptr ||
+         config_.fault_plan->sensor_alive_at(v, clock_s_);
+}
+
+std::size_t MultihopSim::up_count(const EnergyLedger& ledger) const {
+  if (config_.fault_plan == nullptr) {
+    return ledger.alive_count();
+  }
+  std::size_t count = 0;
+  for (std::size_t v = 0; v < ledger.size(); ++v) {
+    if (node_up(v, ledger)) {
+      ++count;
+    }
+  }
+  return count;
 }
 
 void MultihopSim::rebuild_routes(const EnergyLedger& ledger) {
@@ -31,7 +54,7 @@ void MultihopSim::rebuild_routes(const EnergyLedger& ledger) {
   // Multi-source BFS from live sink neighbours over live nodes only.
   std::deque<std::size_t> frontier;
   for (std::size_t s : network.sink_neighbors()) {
-    if (ledger.alive(s)) {
+    if (node_up(s, ledger)) {
       hops_[s] = 1;  // the gateway's own upload
       frontier.push_back(s);
     }
@@ -40,14 +63,14 @@ void MultihopSim::rebuild_routes(const EnergyLedger& ledger) {
     const std::size_t v = frontier.front();
     frontier.pop_front();
     for (const graph::Arc& arc : network.connectivity().neighbors(v)) {
-      if (hops_[arc.to] == kNone && ledger.alive(arc.to)) {
+      if (hops_[arc.to] == kNone && node_up(arc.to, ledger)) {
         hops_[arc.to] = hops_[v] + 1;
         parent_[arc.to] = v;
         frontier.push_back(arc.to);
       }
     }
   }
-  routes_alive_count_ = ledger.alive_count();
+  routes_up_count_ = up_count(ledger);
 }
 
 MultihopRoundReport MultihopSim::run_round(EnergyLedger& ledger) {
@@ -57,8 +80,7 @@ MultihopRoundReport MultihopSim::run_round(EnergyLedger& ledger) {
   const std::size_t n = network.size();
   MDG_REQUIRE(ledger.size() == n, "ledger does not match the network");
 
-  if (routes_alive_count_ != ledger.alive_count() ||
-      (n > 0 && hops_.size() != n)) {
+  if (routes_up_count_ != up_count(ledger) || (n > 0 && hops_.size() != n)) {
     rebuild_routes(ledger);
   }
 
@@ -67,7 +89,7 @@ MultihopRoundReport MultihopSim::run_round(EnergyLedger& ledger) {
   double latency_sum = 0.0;
 
   for (std::size_t s = 0; s < n; ++s) {
-    if (!ledger.alive(s)) {
+    if (!node_up(s, ledger)) {
       continue;
     }
     if (hops_[s] == kNone) {
@@ -79,7 +101,7 @@ MultihopRoundReport MultihopSim::run_round(EnergyLedger& ledger) {
     bool delivered = false;
     std::size_t steps = 0;
     for (;;) {
-      if (!ledger.alive(v)) {
+      if (!node_up(v, ledger)) {
         break;  // the relay chain broke this round
       }
       const std::size_t nh = parent_[v];
@@ -109,6 +131,7 @@ MultihopRoundReport MultihopSim::run_round(EnergyLedger& ledger) {
                               ? 0.0
                               : latency_sum /
                                     static_cast<double>(report.delivered);
+  clock_s_ += config_.round_period_s;
   return report;
 }
 
@@ -125,7 +148,7 @@ MultihopLifetimeReport MultihopSim::run_lifetime(std::size_t max_rounds) {
   std::size_t originated = 0;
   bool first_death_seen = false;
   for (std::size_t round = 0; round < max_rounds; ++round) {
-    const std::size_t live_before = ledger.alive_count();
+    const std::size_t live_before = up_count(ledger);
     if (live_before == 0) {
       break;
     }

@@ -14,11 +14,22 @@
 #include "net/sensor_network.h"
 #include "sim/energy.h"
 
+namespace mdg::fault {
+class FaultPlan;
+}  // namespace mdg::fault
+
 namespace mdg::sim {
 
 struct MultihopSimConfig {
   double initial_battery_j = 0.5;
   double per_hop_delay_s = 0.02;  ///< queueing+tx latency per relay hop
+  /// Simulated duration of one round; only used to advance the fault
+  /// clock (sensor crashes take effect at round granularity).
+  double round_period_s = 60.0;
+  /// Optional fault schedule (non-owning; nullptr = fault-free). Crashed
+  /// sensors neither originate nor relay, and routes are rebuilt around
+  /// them like battery deaths.
+  const fault::FaultPlan* fault_plan = nullptr;
 };
 
 struct MultihopRoundReport {
@@ -51,12 +62,17 @@ class MultihopSim {
 
  private:
   void rebuild_routes(const EnergyLedger& ledger);
+  /// Battery alive and (under a fault plan) not yet crashed at the
+  /// current simulated clock.
+  [[nodiscard]] bool node_up(std::size_t v, const EnergyLedger& ledger) const;
+  [[nodiscard]] std::size_t up_count(const EnergyLedger& ledger) const;
 
   const net::SensorNetwork* network_;
   MultihopSimConfig config_;
   std::vector<std::size_t> hops_;    // to sink over live nodes
   std::vector<std::size_t> parent_;  // next hop, SIZE_MAX = direct/none
-  std::size_t routes_alive_count_ = 0;  // alive count routes were built for
+  std::size_t routes_up_count_ = 0;  // up count routes were built for
+  double clock_s_ = 0.0;             // advances round_period_s per round
 };
 
 }  // namespace mdg::sim

@@ -82,10 +82,12 @@ bool Flags::get_bool(const std::string& name, bool default_value) {
   if (!value) {
     return default_value;
   }
-  if (*value == "true" || *value == "1" || *value == "yes") {
+  if (*value == "true" || *value == "1" || *value == "yes" ||
+      *value == "on") {
     return true;
   }
-  if (*value == "false" || *value == "0" || *value == "no") {
+  if (*value == "false" || *value == "0" || *value == "no" ||
+      *value == "off") {
     return false;
   }
   MDG_REQUIRE(false, "flag --" + name + " expects a boolean, got '" + *value +

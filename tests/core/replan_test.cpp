@@ -1,0 +1,126 @@
+#include "core/replan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/spanning_tour_planner.h"
+#include "util/rng.h"
+
+namespace mdg::core {
+namespace {
+
+struct Fixture {
+  net::SensorNetwork network;
+  ShdgpInstance instance;
+
+  explicit Fixture(std::uint64_t seed, std::size_t n = 60)
+      : network([&] {
+          Rng rng(seed);
+          return net::make_uniform_network(n, 150.0, 25.0, rng);
+        }()),
+        instance(network) {}
+};
+
+/// Every requested sensor must be within range of some recovery stop.
+void expect_covers(const ShdgpInstance& instance, const RecoveryPlan& plan,
+                   const std::vector<std::size_t>& unserved) {
+  const double range = instance.network().range();
+  for (std::size_t s : unserved) {
+    if (std::find(plan.uncovered.begin(), plan.uncovered.end(), s) !=
+        plan.uncovered.end()) {
+      continue;
+    }
+    bool covered = false;
+    for (const geom::Point& stop : plan.stops) {
+      if (geom::within_range(instance.network().position(s), stop, range)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "sensor " << s << " not within range of any stop";
+  }
+}
+
+TEST(ReplanTest, EmptyUnservedDrivesStraightHome) {
+  Fixture fx(11);
+  const geom::Point breakdown{10.0, 20.0};
+  const RecoveryPlan plan = replan_remaining(fx.instance, breakdown, {});
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_TRUE(plan.stops.empty());
+  EXPECT_DOUBLE_EQ(plan.length_m,
+                   geom::distance(breakdown, fx.instance.sink()));
+}
+
+TEST(ReplanTest, CoversEveryRequestedSensor) {
+  Fixture fx(12);
+  std::vector<std::size_t> unserved;
+  for (std::size_t s = 0; s < fx.instance.sensor_count(); s += 2) {
+    unserved.push_back(s);
+  }
+  const geom::Point breakdown{75.0, 75.0};
+  const RecoveryPlan plan = replan_remaining(fx.instance, breakdown, unserved);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_TRUE(plan.uncovered.empty());
+  expect_covers(fx.instance, plan, unserved);
+  // Affiliation partitions exactly the requested sensors.
+  std::set<std::size_t> served;
+  for (const auto& group : plan.stop_sensors) {
+    for (std::size_t s : group) {
+      EXPECT_TRUE(served.insert(s).second) << "sensor served twice";
+    }
+  }
+  EXPECT_EQ(served.size(), unserved.size());
+}
+
+TEST(ReplanTest, DuplicatesAreIgnored) {
+  Fixture fx(13);
+  const std::vector<std::size_t> unserved = {3, 3, 7, 7, 7, 12};
+  const RecoveryPlan plan =
+      replan_remaining(fx.instance, {0.0, 0.0}, unserved);
+  std::size_t served = 0;
+  for (const auto& group : plan.stop_sensors) {
+    served += group.size();
+  }
+  EXPECT_EQ(served + plan.uncovered.size(), 3u);
+}
+
+TEST(ReplanTest, LengthIsStopsPlusReturnLeg) {
+  Fixture fx(14);
+  const geom::Point breakdown{30.0, 40.0};
+  std::vector<std::size_t> unserved = {0, 1, 2, 3, 4};
+  const RecoveryPlan plan = replan_remaining(fx.instance, breakdown, unserved);
+  double length = 0.0;
+  geom::Point cursor = breakdown;
+  for (const geom::Point& stop : plan.stops) {
+    length += geom::distance(cursor, stop);
+    cursor = stop;
+  }
+  length += geom::distance(cursor, fx.instance.sink());
+  EXPECT_NEAR(plan.length_m, length, 1e-9);
+}
+
+TEST(ReplanTest, DeterministicAcrossCalls) {
+  Fixture fx(15);
+  std::vector<std::size_t> unserved;
+  for (std::size_t s = 0; s < fx.instance.sensor_count(); s += 3) {
+    unserved.push_back(s);
+  }
+  const RecoveryPlan a = replan_remaining(fx.instance, {5.0, 5.0}, unserved);
+  const RecoveryPlan b = replan_remaining(fx.instance, {5.0, 5.0}, unserved);
+  ASSERT_EQ(a.stop_candidates, b.stop_candidates);
+  ASSERT_EQ(a.stop_sensors, b.stop_sensors);
+  EXPECT_DOUBLE_EQ(a.length_m, b.length_m);
+}
+
+TEST(ReplanTest, OutOfRangeSensorIsRejected) {
+  Fixture fx(16);
+  EXPECT_THROW((void)replan_remaining(fx.instance, {0.0, 0.0},
+                                      {fx.instance.sensor_count()}),
+               mdg::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdg::core

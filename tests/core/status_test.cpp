@@ -1,0 +1,77 @@
+#include "core/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/assert.h"
+
+namespace mdg::core {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+  EXPECT_EQ(s, Status::ok());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::invalid_argument("bad range");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad range");
+  EXPECT_EQ(Status::not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::failed_precondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::data_loss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  const std::string text = Status::not_found("net.txt").to_string();
+  EXPECT_NE(text.find("not-found"), std::string::npos);
+  EXPECT_NE(text.find("net.txt"), std::string::npos);
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  const Status s =
+      Status::invalid_argument("bad token").with_context("net.txt");
+  EXPECT_EQ(s.message(), "net.txt: bad token");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // Context on OK is a no-op.
+  EXPECT_TRUE(Status::ok().with_context("x").is_ok());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.status().is_ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  const StatusOr<int> result = Status::data_loss("truncated");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusOrTest, ValueOnErrorIsContractViolation) {
+  StatusOr<int> result = Status::invalid_argument("nope");
+  EXPECT_THROW((void)result.value(), PreconditionError);
+}
+
+TEST(StatusOrTest, OkStatusCannotPoseAsError) {
+  EXPECT_THROW((StatusOr<int>(Status::ok())), PreconditionError);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> result = std::string("payload");
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+}  // namespace
+}  // namespace mdg::core

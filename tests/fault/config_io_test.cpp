@@ -1,0 +1,124 @@
+#include "fault/config_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace mdg::fault {
+namespace {
+
+core::StatusOr<FaultConfig> parse(const std::string& text,
+                                  const ConfigReadOptions& options = {}) {
+  std::istringstream in(text);
+  return read_fault_config(in, options);
+}
+
+TEST(FaultConfigIoTest, RoundTripsThroughText) {
+  FaultConfig config;
+  config.seed = 7;
+  config.horizon_s = 1800.0;
+  config.sensor_crash_prob = 0.125;
+  config.pp_blackout_prob = 0.25;
+  config.pp_blackout_mean_s = 45.0;
+  config.burst_episodes_mean = 2.0;
+  config.burst_mean_s = 15.0;
+  config.burst_loss_prob = 0.875;
+  config.stall_mean = 1.0;
+  config.stall_duration_s = 30.0;
+  config.breakdown_frac = 0.5;
+  config.dwell_budget_s = 90.0;
+  config.repoll_backoff_s = 3.0;
+  config.max_repolls = 5;
+
+  std::ostringstream out;
+  write_fault_config(out, config);
+  const core::StatusOr<FaultConfig> read = parse(out.str());
+  ASSERT_TRUE(read.is_ok()) << read.status().to_string();
+  const FaultConfig& got = *read;
+  EXPECT_EQ(got.seed, config.seed);
+  EXPECT_DOUBLE_EQ(got.horizon_s, config.horizon_s);
+  EXPECT_DOUBLE_EQ(got.sensor_crash_prob, config.sensor_crash_prob);
+  EXPECT_DOUBLE_EQ(got.pp_blackout_prob, config.pp_blackout_prob);
+  EXPECT_DOUBLE_EQ(got.pp_blackout_mean_s, config.pp_blackout_mean_s);
+  EXPECT_DOUBLE_EQ(got.burst_episodes_mean, config.burst_episodes_mean);
+  EXPECT_DOUBLE_EQ(got.burst_mean_s, config.burst_mean_s);
+  EXPECT_DOUBLE_EQ(got.burst_loss_prob, config.burst_loss_prob);
+  EXPECT_DOUBLE_EQ(got.stall_mean, config.stall_mean);
+  EXPECT_DOUBLE_EQ(got.stall_duration_s, config.stall_duration_s);
+  EXPECT_DOUBLE_EQ(got.breakdown_frac, config.breakdown_frac);
+  EXPECT_DOUBLE_EQ(got.dwell_budget_s, config.dwell_budget_s);
+  EXPECT_DOUBLE_EQ(got.repoll_backoff_s, config.repoll_backoff_s);
+  EXPECT_EQ(got.max_repolls, config.max_repolls);
+}
+
+TEST(FaultConfigIoTest, HeaderAloneYieldsDefaults) {
+  const core::StatusOr<FaultConfig> read =
+      parse("mdg-faults 1\n# all defaults\n");
+  ASSERT_TRUE(read.is_ok());
+  EXPECT_DOUBLE_EQ(read->sensor_crash_prob, 0.0);
+  EXPECT_FALSE((*read).breakdown_frac >= 0.0);
+}
+
+TEST(FaultConfigIoTest, EmptyInputIsDataLoss) {
+  const core::StatusOr<FaultConfig> read = parse("");
+  ASSERT_FALSE(read.is_ok());
+  EXPECT_EQ(read.status().code(), core::StatusCode::kDataLoss);
+}
+
+TEST(FaultConfigIoTest, MissingHeaderIsInvalid) {
+  const core::StatusOr<FaultConfig> read = parse("seed 7\n");
+  ASSERT_FALSE(read.is_ok());
+  EXPECT_EQ(read.status().code(), core::StatusCode::kInvalidArgument);
+}
+
+TEST(FaultConfigIoTest, UnsupportedVersionIsInvalid) {
+  EXPECT_FALSE(parse("mdg-faults 2\n").is_ok());
+}
+
+TEST(FaultConfigIoTest, UnknownKeyIsInvalid) {
+  const core::StatusOr<FaultConfig> read =
+      parse("mdg-faults 1\nwarp-speed 9\n");
+  ASSERT_FALSE(read.is_ok());
+  EXPECT_NE(read.status().message().find("unknown key"), std::string::npos);
+}
+
+TEST(FaultConfigIoTest, BadNumberIsInvalid) {
+  EXPECT_FALSE(parse("mdg-faults 1\nhorizon banana\n").is_ok());
+  EXPECT_FALSE(parse("mdg-faults 1\nseed -3\n").is_ok());
+}
+
+TEST(FaultConfigIoTest, TrailingTokensAreInvalid) {
+  const core::StatusOr<FaultConfig> read =
+      parse("mdg-faults 1\nseed 7 extra\n");
+  ASSERT_FALSE(read.is_ok());
+  EXPECT_NE(read.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(FaultConfigIoTest, SemanticValidationApplies) {
+  const core::StatusOr<FaultConfig> read =
+      parse("mdg-faults 1\nsensor-crash-prob 1.5\n");
+  ASSERT_FALSE(read.is_ok());
+  EXPECT_EQ(read.status().code(), core::StatusCode::kInvalidArgument);
+}
+
+TEST(FaultConfigIoTest, FailFastOffCollectsEveryProblem) {
+  const core::StatusOr<FaultConfig> read = parse(
+      "mdg-faults 1\nhorizon banana\nwarp-speed 9\nseed 7 extra\n",
+      ConfigReadOptions{.fail_fast = false});
+  ASSERT_FALSE(read.is_ok());
+  const std::string message = read.status().message();
+  EXPECT_NE(message.find("horizon"), std::string::npos);
+  EXPECT_NE(message.find("warp-speed"), std::string::npos);
+  EXPECT_NE(message.find("trailing"), std::string::npos);
+}
+
+TEST(FaultConfigIoTest, MissingFileIsNotFound) {
+  const core::StatusOr<FaultConfig> read =
+      load_fault_config("/nonexistent/faults.txt");
+  ASSERT_FALSE(read.is_ok());
+  EXPECT_EQ(read.status().code(), core::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mdg::fault

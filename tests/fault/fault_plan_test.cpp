@@ -1,0 +1,193 @@
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/spanning_tour_planner.h"
+#include "util/rng.h"
+
+namespace mdg::fault {
+namespace {
+
+struct Fixture {
+  net::SensorNetwork network;
+  core::ShdgpInstance instance;
+  core::ShdgpSolution solution;
+
+  explicit Fixture(std::uint64_t seed, std::size_t n = 50)
+      : network([&] {
+          Rng rng(seed);
+          return net::make_uniform_network(n, 150.0, 25.0, rng);
+        }()),
+        instance(network),
+        solution(core::SpanningTourPlanner().plan(instance)) {}
+};
+
+FaultConfig chaos_config() {
+  FaultConfig config;
+  config.seed = 7;
+  config.sensor_crash_prob = 0.3;
+  config.pp_blackout_prob = 0.5;
+  config.burst_episodes_mean = 3.0;
+  config.stall_mean = 2.0;
+  config.breakdown_prob = 1.0;
+  return config;
+}
+
+TEST(FaultConfigTest, DefaultValidatesAndInjectsNothing) {
+  const FaultConfig config;
+  EXPECT_TRUE(config.validate().is_ok());
+  Fixture fx(1);
+  const FaultPlan plan = FaultPlan::generate(fx.instance, fx.solution, config);
+  EXPECT_TRUE(plan.crashes().empty());
+  EXPECT_TRUE(plan.blackouts().empty());
+  EXPECT_TRUE(plan.bursts().empty());
+  EXPECT_TRUE(plan.stalls().empty());
+  EXPECT_FALSE(plan.breakdown().enabled);
+  EXPECT_TRUE(plan.sensor_alive_at(0, 1e9));
+  EXPECT_DOUBLE_EQ(plan.loss_prob_at(100.0, 0.25), 0.25);
+}
+
+TEST(FaultConfigTest, RejectsBadValues) {
+  FaultConfig config;
+  config.sensor_crash_prob = 1.5;
+  EXPECT_FALSE(config.validate().is_ok());
+  config = {};
+  config.horizon_s = -1.0;
+  EXPECT_FALSE(config.validate().is_ok());
+  config = {};
+  config.burst_loss_prob = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(config.validate().is_ok());
+  config = {};
+  config.breakdown_frac = 1.5;
+  EXPECT_FALSE(config.validate().is_ok());
+}
+
+TEST(FaultPlanTest, SameSeedSameSchedule) {
+  Fixture fx(2);
+  const FaultConfig config = chaos_config();
+  const FaultPlan a = FaultPlan::generate(fx.instance, fx.solution, config);
+  const FaultPlan b = FaultPlan::generate(fx.instance, fx.solution, config);
+  ASSERT_EQ(a.crashes().size(), b.crashes().size());
+  for (std::size_t i = 0; i < a.crashes().size(); ++i) {
+    EXPECT_EQ(a.crashes()[i].sensor, b.crashes()[i].sensor);
+    EXPECT_DOUBLE_EQ(a.crashes()[i].time_s, b.crashes()[i].time_s);
+  }
+  ASSERT_EQ(a.blackouts().size(), b.blackouts().size());
+  ASSERT_EQ(a.bursts().size(), b.bursts().size());
+  ASSERT_EQ(a.stalls().size(), b.stalls().size());
+  EXPECT_EQ(a.breakdown().enabled, b.breakdown().enabled);
+  EXPECT_DOUBLE_EQ(a.breakdown().distance_m, b.breakdown().distance_m);
+}
+
+TEST(FaultPlanTest, DifferentSeedDifferentSchedule) {
+  Fixture fx(3);
+  FaultConfig config = chaos_config();
+  const FaultPlan a = FaultPlan::generate(fx.instance, fx.solution, config);
+  config.seed = 99;
+  const FaultPlan b = FaultPlan::generate(fx.instance, fx.solution, config);
+  // Overwhelmingly likely to differ somewhere.
+  const bool same = a.crashes().size() == b.crashes().size() &&
+                    a.blackouts().size() == b.blackouts().size() &&
+                    a.bursts().size() == b.bursts().size() &&
+                    a.stalls().size() == b.stalls().size() &&
+                    a.breakdown().distance_m == b.breakdown().distance_m;
+  EXPECT_FALSE(same);
+}
+
+TEST(FaultPlanTest, EnablingOneClassDoesNotShiftAnother) {
+  // The fork-stream contract: turning breakdowns on must not move the
+  // crash schedule.
+  Fixture fx(4);
+  FaultConfig only_crashes;
+  only_crashes.seed = 42;
+  only_crashes.sensor_crash_prob = 0.4;
+  FaultConfig crashes_and_more = only_crashes;
+  crashes_and_more.breakdown_prob = 1.0;
+  crashes_and_more.burst_episodes_mean = 5.0;
+  const FaultPlan a =
+      FaultPlan::generate(fx.instance, fx.solution, only_crashes);
+  const FaultPlan b =
+      FaultPlan::generate(fx.instance, fx.solution, crashes_and_more);
+  ASSERT_EQ(a.crashes().size(), b.crashes().size());
+  for (std::size_t i = 0; i < a.crashes().size(); ++i) {
+    EXPECT_EQ(a.crashes()[i].sensor, b.crashes()[i].sensor);
+    EXPECT_DOUBLE_EQ(a.crashes()[i].time_s, b.crashes()[i].time_s);
+  }
+}
+
+TEST(FaultPlanTest, CrashQueries) {
+  Fixture fx(5);
+  FaultConfig config;
+  config.sensor_crash_prob = 1.0;  // everyone crashes somewhere
+  const FaultPlan plan = FaultPlan::generate(fx.instance, fx.solution, config);
+  ASSERT_EQ(plan.crashes().size(), fx.instance.sensor_count());
+  for (const SensorCrash& crash : plan.crashes()) {
+    EXPECT_TRUE(plan.sensor_alive_at(crash.sensor, crash.time_s - 1e-6));
+    EXPECT_FALSE(plan.sensor_alive_at(crash.sensor, crash.time_s));
+    EXPECT_GE(crash.time_s, 0.0);
+    EXPECT_LE(crash.time_s, config.horizon_s);
+  }
+  // Out-of-range sensor index: plan injects nothing.
+  EXPECT_TRUE(plan.sensor_alive_at(fx.instance.sensor_count() + 5, 0.0));
+}
+
+TEST(FaultPlanTest, BlackoutAndBurstWindows) {
+  Fixture fx(6);
+  FaultConfig config;
+  config.pp_blackout_prob = 1.0;
+  config.burst_episodes_mean = 4.0;
+  config.burst_loss_prob = 0.8;
+  const FaultPlan plan = FaultPlan::generate(fx.instance, fx.solution, config);
+  for (const BlackoutWindow& w : plan.blackouts()) {
+    const double mid = (w.start_s + w.end_s) / 2.0;
+    EXPECT_TRUE(plan.blackout_active(w.pp_slot, mid));
+    EXPECT_FALSE(plan.blackout_active(w.pp_slot, w.end_s));
+    EXPECT_GE(plan.blackout_end(w.pp_slot, mid), w.end_s);
+  }
+  for (const BurstLossEpisode& e : plan.bursts()) {
+    const double mid = (e.start_s + e.end_s) / 2.0;
+    EXPECT_TRUE(plan.burst_active(mid));
+    EXPECT_DOUBLE_EQ(plan.loss_prob_at(mid, 0.1), 0.8);
+    // A base above the episode's elevation wins.
+    EXPECT_DOUBLE_EQ(plan.loss_prob_at(mid, 0.95), 0.95);
+  }
+}
+
+TEST(FaultPlanTest, PinnedBreakdownFraction) {
+  Fixture fx(7);
+  FaultConfig config;
+  config.breakdown_frac = 0.5;
+  config.breakdown_prob = 0.0;  // frac overrides the draw entirely
+  const FaultPlan plan = FaultPlan::generate(fx.instance, fx.solution, config);
+  ASSERT_TRUE(plan.breakdown().enabled);
+  EXPECT_DOUBLE_EQ(plan.breakdown().distance_m,
+                   0.5 * fx.solution.tour_length);
+}
+
+TEST(FaultPlanTest, StallDelayAccumulatesOverInterval) {
+  Fixture fx(8);
+  FaultConfig config;
+  config.stall_mean = 5.0;
+  const FaultPlan plan = FaultPlan::generate(fx.instance, fx.solution, config);
+  double total = 0.0;
+  for (const CollectorStall& s : plan.stalls()) {
+    total += s.duration_s;
+  }
+  EXPECT_NEAR(plan.stall_delay(0.0, fx.solution.tour_length + 1.0), total,
+              1e-9);
+  EXPECT_DOUBLE_EQ(plan.stall_delay(0.0, 0.0), 0.0);
+}
+
+TEST(FaultPlanTest, InvalidConfigIsAPreconditionViolation) {
+  Fixture fx(9);
+  FaultConfig config;
+  config.sensor_crash_prob = 2.0;
+  EXPECT_THROW(
+      (void)FaultPlan::generate(fx.instance, fx.solution, config),
+      mdg::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdg::fault

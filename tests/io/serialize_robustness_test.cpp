@@ -1,0 +1,230 @@
+// Malformed-input robustness: every try_* loader must return a Status —
+// never throw, never abort — on truncated, corrupt, or semantically
+// invalid files (the untrusted-boundary contract of docs/FAULTS.md).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "io/serialize.h"
+#include "net/deployment.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::io {
+namespace {
+
+const char* const kValidNetwork =
+    "mdg-network 2\n"
+    "field 0 0 100 100\n"
+    "sink 50 50\n"
+    "range 20\n"
+    "radio 5e-08 1e-10 1.3e-15 4000\n"
+    "sensors 2\n"
+    "10 10\n"
+    "20 20\n";
+
+const char* const kValidSolution =
+    "mdg-solution 1\n"
+    "planner greedy\n"
+    "tour-length 123.5\n"
+    "optimal 0\n"
+    "polling 2\n"
+    "5 10 10\n"
+    "7 20 20\n"
+    "assignment 2\n"
+    "0\n"
+    "1\n"
+    "tour 3\n"
+    "0\n"
+    "2\n"
+    "1\n";
+
+core::StatusOr<net::SensorNetwork> parse_network(
+    const std::string& text, const LoadOptions& options = {}) {
+  std::istringstream in(text);
+  return try_read_network(in, options);
+}
+
+core::StatusOr<core::ShdgpSolution> parse_solution(
+    const std::string& text, const LoadOptions& options = {}) {
+  std::istringstream in(text);
+  return try_read_solution(in, options);
+}
+
+TEST(SerializeRobustnessTest, ValidNetworkStillLoads) {
+  const auto result = parse_network(kValidNetwork);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_DOUBLE_EQ(result->range(), 20.0);
+}
+
+TEST(SerializeRobustnessTest, GeneratedNetworkRoundTrips) {
+  Rng rng(17);
+  const net::SensorNetwork network =
+      net::make_uniform_network(40, 150.0, 25.0, rng);
+  std::ostringstream out;
+  write_network(out, network);
+  const auto result = parse_network(out.str());
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result->size(), network.size());
+}
+
+TEST(SerializeRobustnessTest, TruncatedNetworkIsDataLoss) {
+  const std::string text(kValidNetwork);
+  // Chop the file at a handful of points; every prefix must yield a
+  // clean Status (data_loss once the header parses).
+  for (std::size_t cut : {std::size_t{0}, std::size_t{5}, std::size_t{20},
+                          text.size() / 2, text.size() - 3}) {
+    const auto result = parse_network(text.substr(0, cut));
+    ASSERT_FALSE(result.is_ok()) << "cut at " << cut;
+    EXPECT_TRUE(result.status().code() == core::StatusCode::kDataLoss ||
+                result.status().code() == core::StatusCode::kInvalidArgument)
+        << "cut at " << cut << ": " << result.status().to_string();
+  }
+}
+
+TEST(SerializeRobustnessTest, WrongMagicIsInvalid) {
+  const auto result = parse_network("mdg-banana 2\n");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), core::StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeRobustnessTest, NonNumericTokenIsInvalid) {
+  const auto result = parse_network(
+      "mdg-network 2\nfield 0 0 100 100\nsink 50 50\nrange banana\n");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), core::StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeRobustnessTest, NanTokensAreRejectedNotAborted) {
+  // however "nan"/"inf" surface (failed extraction or a semantic check),
+  // the contract is a Status, not a crash.
+  EXPECT_FALSE(parse_network("mdg-network 2\nfield 0 0 nan 100\n").is_ok());
+  EXPECT_FALSE(
+      parse_network("mdg-network 2\nfield 0 0 100 100\nsink inf 50\n")
+          .is_ok());
+}
+
+TEST(SerializeRobustnessTest, ZeroOrNegativeRangeIsInvalid) {
+  for (const char* range : {"0", "-5"}) {
+    const auto result = parse_network(
+        std::string("mdg-network 2\nfield 0 0 100 100\nsink 50 50\nrange ") +
+        range + "\nradio 5e-08 1e-10 1.3e-15 4000\nsensors 0\n");
+    ASSERT_FALSE(result.is_ok()) << "range " << range;
+    EXPECT_NE(result.status().message().find("range"), std::string::npos);
+  }
+}
+
+TEST(SerializeRobustnessTest, InvertedFieldIsInvalid) {
+  const auto result = parse_network("mdg-network 2\nfield 0 0 -100 100\n");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("field"), std::string::npos);
+}
+
+TEST(SerializeRobustnessTest, OutOfFieldSensorIsInvalid) {
+  const auto result = parse_network(
+      "mdg-network 2\nfield 0 0 100 100\nsink 50 50\nrange 20\n"
+      "radio 5e-08 1e-10 1.3e-15 4000\nsensors 1\n500 500\n");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("outside"), std::string::npos);
+}
+
+TEST(SerializeRobustnessTest, DuplicateSensorPositionIsInvalid) {
+  const auto result = parse_network(
+      "mdg-network 2\nfield 0 0 100 100\nsink 50 50\nrange 20\n"
+      "radio 5e-08 1e-10 1.3e-15 4000\nsensors 2\n10 10\n10 10\n");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(SerializeRobustnessTest, ImplausibleSensorCountIsInvalid) {
+  const auto result = parse_network(
+      "mdg-network 2\nfield 0 0 100 100\nsink 50 50\nrange 20\n"
+      "radio 5e-08 1e-10 1.3e-15 4000\nsensors 99999999999\n");
+  ASSERT_FALSE(result.is_ok());
+}
+
+TEST(SerializeRobustnessTest, FailFastOffCollectsEveryProblem) {
+  const auto result = parse_network(
+      "mdg-network 2\nfield 0 0 100 100\nsink 50 50\nrange 20\n"
+      "radio 5e-08 1e-10 1.3e-15 4000\nsensors 3\n500 500\n10 10\n10 10\n",
+      LoadOptions{.fail_fast = false});
+  ASSERT_FALSE(result.is_ok());
+  const std::string message = result.status().message();
+  EXPECT_NE(message.find("outside"), std::string::npos);
+  EXPECT_NE(message.find("duplicate"), std::string::npos);
+}
+
+TEST(SerializeRobustnessTest, MissingNetworkFileIsNotFound) {
+  const auto result = try_load_network("/nonexistent/net.txt");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), core::StatusCode::kNotFound);
+}
+
+TEST(SerializeRobustnessTest, ThrowingReaderSignalsPrecondition) {
+  std::istringstream in("mdg-network 2\nfield 0 0 nan 100\n");
+  EXPECT_THROW((void)read_network(in), mdg::PreconditionError);
+}
+
+TEST(SerializeRobustnessTest, ValidSolutionStillLoads) {
+  const auto result = parse_solution(kValidSolution);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result->planner, "greedy");
+  EXPECT_EQ(result->polling_points.size(), 2u);
+  EXPECT_EQ(result->tour.size(), 3u);
+}
+
+TEST(SerializeRobustnessTest, TruncatedSolutionIsCleanStatus) {
+  const std::string text(kValidSolution);
+  for (std::size_t cut :
+       {std::size_t{10}, text.size() / 2, text.size() - 2}) {
+    const auto result = parse_solution(text.substr(0, cut));
+    ASSERT_FALSE(result.is_ok()) << "cut at " << cut;
+  }
+}
+
+TEST(SerializeRobustnessTest, NonPermutationTourIsInvalid) {
+  std::string text(kValidSolution);
+  // Visit stop 0 twice instead of finishing with 1.
+  text.replace(text.rfind("1\n"), 2, "0\n");
+  const auto result = parse_solution(text);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("twice"), std::string::npos);
+}
+
+TEST(SerializeRobustnessTest, TourIndexOutOfRangeIsInvalid) {
+  std::string text(kValidSolution);
+  text.replace(text.rfind("2\n"), 2, "9\n");
+  const auto result = parse_solution(text);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("out of range"),
+            std::string::npos);
+}
+
+TEST(SerializeRobustnessTest, AssignmentSlotPastPollingCountIsInvalid) {
+  std::string text(kValidSolution);
+  text.replace(text.find("assignment 2\n0\n"), 15, "assignment 2\n5\n");
+  const auto result = parse_solution(text);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("slot"), std::string::npos);
+}
+
+TEST(SerializeRobustnessTest, TourSizeMismatchIsInvalid) {
+  const auto result = parse_solution(
+      "mdg-solution 1\nplanner -\ntour-length 0\noptimal 0\n"
+      "polling 2\n5 10 10\n7 20 20\nassignment 0\ntour 2\n0\n1\n");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("tour size"), std::string::npos);
+}
+
+TEST(SerializeRobustnessTest, NegativeTourLengthIsInvalid) {
+  const auto result = parse_solution(
+      "mdg-solution 1\nplanner -\ntour-length -3\noptimal 0\n"
+      "polling 0\nassignment 0\ntour 0\n");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("tour-length"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdg::io

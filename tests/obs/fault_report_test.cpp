@@ -1,0 +1,103 @@
+// Golden chaos report: pins the deterministic fault-injection pipeline
+// end to end — data/small30.txt planned with greedy-cover, the checked-in
+// data/faults30.txt chaos config replayed for three rounds, and every
+// fault.* metric captured into a RunReport. Byte-compared against
+// data/golden_report_fault30.json (regenerate with MDG_UPDATE_GOLDEN=1,
+// see docs/HANDBOOK.md §10).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/greedy_cover_planner.h"
+#include "fault/config_io.h"
+#include "fault/fault.h"
+#include "io/serialize.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "sim/mobile_sim.h"
+
+#ifndef MDG_OBS_DISABLED
+
+namespace mdg::obs {
+namespace {
+
+/// Mirrors `mdg_cli simulate --faults data/faults30.txt --seed 7
+/// --rounds 3 --report ...` over a greedy-cover plan of small30.
+RunReport simulate_fault30_report() {
+  const net::SensorNetwork network =
+      io::load_network(std::string(MDG_DATA_DIR) + "/small30.txt");
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution =
+      core::GreedyCoverPlanner().plan(instance);
+
+  auto fault_config = fault::load_fault_config(std::string(MDG_DATA_DIR) +
+                                               "/faults30.txt");
+  MDG_REQUIRE(fault_config.is_ok(), fault_config.status().to_string());
+  fault_config.value().seed = 7;
+  const fault::FaultPlan plan =
+      fault::FaultPlan::generate(instance, solution, fault_config.value());
+
+  // Metrics on only for the simulation itself, like the CLI's simulate
+  // command (planning happens in a separate process there).
+  MetricsRegistry::set_enabled(true);
+  MetricsRegistry::instance().reset();
+  sim::MobileSimConfig config;
+  config.fault_plan = &plan;
+  sim::MobileCollectionSim sim(instance, solution, config);
+  sim::EnergyLedger ledger(network.size(), config.initial_battery_j);
+  double clock = 0.0;
+  for (std::size_t r = 0; r < 3; ++r) {
+    const sim::MobileRoundReport round = sim.run_round(ledger, clock);
+    clock += round.duration_s;
+  }
+
+  RunReport report;
+  report.command = "simulate";
+  report.planner = solution.planner;
+  report.seed = fault_config.value().seed;
+  report.set_instance(instance);
+  report.set_quality(instance, solution);
+  report.params = {{"faults", "data/faults30.txt"},
+                   {"net", "data/small30.txt"},
+                   {"rounds", "3"}};
+  report.capture_metrics(MetricsRegistry::instance());
+  MetricsRegistry::set_enabled(false);
+  MetricsRegistry::instance().reset();
+  return report;
+}
+
+TEST(FaultReportGoldenTest, Fault30MatchesCheckedInGolden) {
+  const std::string golden_path =
+      std::string(MDG_DATA_DIR) + "/golden_report_fault30.json";
+  const std::string text =
+      simulate_fault30_report().canonicalized().to_text();
+  if (std::getenv("MDG_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    out << text;
+    GTEST_SKIP() << "golden file regenerated at " << golden_path;
+  }
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing " << golden_path
+      << " — regenerate with MDG_UPDATE_GOLDEN=1 (see docs/HANDBOOK.md)";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(text, buffer.str())
+      << "chaos run report drifted from the golden file; if the change "
+         "is intentional, regenerate with MDG_UPDATE_GOLDEN=1 "
+         "(see docs/HANDBOOK.md)";
+}
+
+TEST(FaultReportGoldenTest, ChaosReportIsRunToRunDeterministic) {
+  const std::string a = simulate_fault30_report().canonicalized().to_text();
+  const std::string b = simulate_fault30_report().canonicalized().to_text();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace mdg::obs
+
+#endif  // MDG_OBS_DISABLED

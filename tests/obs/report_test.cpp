@@ -102,21 +102,6 @@ TEST(RunReportTest, CaptureMetricsSplitsByKindSortedByName) {
 }
 
 #ifndef MDG_OBS_DISABLED
-/// Zeroes the wall-clock fields (and build provenance) that legitimately
-/// differ between runs, keeping every structural and deterministic field:
-/// the golden file pins metric *names*, observation *counts*, counter and
-/// gauge values, instance parameters and solution quality.
-RunReport canonical(RunReport r) {
-  r.git_describe = "";
-  r.wall_ms = 0.0;
-  for (RunReport::StageTiming& t : r.timings) {
-    t.total_ms = 0.0;
-    t.min_ms = 0.0;
-    t.max_ms = 0.0;
-  }
-  return r;
-}
-
 /// The exact report the golden file pins: greedy-cover plan of the
 /// checked-in data/small30.txt instance with observability on.
 RunReport plan_small30_report() {
@@ -142,7 +127,7 @@ RunReport plan_small30_report() {
 TEST(RunReportGoldenTest, Small30MatchesCheckedInGolden) {
   const std::string golden_path =
       std::string(MDG_DATA_DIR) + "/golden_report_small30.json";
-  const std::string text = canonical(plan_small30_report()).to_text();
+  const std::string text = plan_small30_report().canonicalized().to_text();
   if (std::getenv("MDG_UPDATE_GOLDEN") != nullptr) {
     std::ofstream out(golden_path, std::ios::binary);
     out << text;

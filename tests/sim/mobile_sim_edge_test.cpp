@@ -1,0 +1,124 @@
+// Boundary conditions of the mobile-collection simulator: buffers at
+// exactly capacity, retry budgets spent on the last packet, total link
+// loss, and degenerate (zero-/single-sensor) instances.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/spanning_tour_planner.h"
+#include "sim/mobile_sim.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::sim {
+namespace {
+
+struct Fixture {
+  net::SensorNetwork network;
+  core::ShdgpInstance instance;
+  core::ShdgpSolution solution;
+
+  explicit Fixture(std::uint64_t seed, std::size_t n = 30)
+      : network([&] {
+          Rng rng(seed);
+          return net::make_uniform_network(n, 150.0, 25.0, rng);
+        }()),
+        instance(network),
+        solution(core::SpanningTourPlanner().plan(instance)) {}
+};
+
+net::SensorNetwork tiny_network(std::vector<geom::Point> positions) {
+  const geom::Aabb field{{0.0, 0.0}, {100.0, 100.0}};
+  return net::SensorNetwork(std::move(positions), {50.0, 50.0}, field, 25.0,
+                            net::RadioModel{});
+}
+
+TEST(MobileSimEdgeTest, BufferAtExactlyCapacity) {
+  Fixture fx(40);
+  MobileSimConfig config;
+  config.buffer_capacity = 4;
+  config.auto_generate = false;
+  MobileCollectionSim sim(fx.instance, fx.solution, config);
+  // Filling to exactly capacity drops nothing; one more drops exactly one.
+  EXPECT_EQ(sim.add_packets(0, 4), 0u);
+  EXPECT_EQ(sim.buffered(0), 4u);
+  EXPECT_EQ(sim.add_packets(0, 1), 1u);
+  EXPECT_EQ(sim.buffered(0), 4u);
+  EnergyLedger ledger(fx.network.size(), 0.5);
+  const MobileRoundReport r = sim.run_round(ledger);
+  EXPECT_EQ(r.delivered, 4u);  // the full buffer, nothing more
+  EXPECT_EQ(sim.buffered(0), 0u);
+}
+
+TEST(MobileSimEdgeTest, GenerationIntoFullBufferCountsAsDropped) {
+  Fixture fx(41);
+  MobileSimConfig config;
+  config.buffer_capacity = 1;
+  MobileCollectionSim sim(fx.instance, fx.solution, config);
+  for (std::size_t s = 0; s < fx.network.size(); ++s) {
+    (void)sim.add_packets(s, 1);
+  }
+  EnergyLedger ledger(fx.network.size(), 0.5);
+  const MobileRoundReport r = sim.run_round(ledger);
+  // Every sensor's start-of-round packet found a full buffer.
+  EXPECT_EQ(r.dropped, fx.network.size());
+  EXPECT_EQ(r.delivered, fx.network.size());
+}
+
+TEST(MobileSimEdgeTest, RetryCapSpentOnFinalPacket) {
+  Fixture fx(42);
+  MobileSimConfig config;
+  config.upload_loss_prob = 1.0;
+  config.max_upload_attempts = 3;
+  MobileCollectionSim sim(fx.instance, fx.solution, config);
+  EnergyLedger ledger(fx.network.size(), 50.0);
+  const MobileRoundReport r = sim.run_round(ledger);
+  // Every packet burns exactly the cap: attempts - 1 retransmissions.
+  EXPECT_EQ(r.delivered, 0u);
+  EXPECT_EQ(r.lost, fx.network.size());
+  EXPECT_EQ(r.retransmissions, fx.network.size() * 2);
+  EXPECT_EQ(sim.buffered(0), 0u);  // lost packets leave the buffer
+}
+
+TEST(MobileSimEdgeTest, CertainLossDeliversNothing) {
+  Fixture fx(43);
+  MobileSimConfig config;
+  config.upload_loss_prob = 1.0;
+  MobileCollectionSim sim(fx.instance, fx.solution, config);
+  EnergyLedger ledger(fx.network.size(), 50.0);
+  const MobileRoundReport r = sim.run_round(ledger);
+  EXPECT_EQ(r.delivered, 0u);
+  EXPECT_EQ(r.lost, r.offered);
+  EXPECT_DOUBLE_EQ(r.delivered_fraction, 0.0);
+}
+
+TEST(MobileSimEdgeTest, ZeroSensorInstance) {
+  const net::SensorNetwork network = tiny_network({});
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution =
+      core::SpanningTourPlanner().plan(instance);
+  solution.validate(instance);
+  MobileCollectionSim sim(instance, solution);
+  EnergyLedger ledger(0, 0.5);
+  const MobileRoundReport r = sim.run_round(ledger);
+  EXPECT_EQ(r.delivered, 0u);
+  EXPECT_EQ(r.offered, 0u);
+  EXPECT_DOUBLE_EQ(r.delivered_fraction, 1.0);  // vacuous success
+}
+
+TEST(MobileSimEdgeTest, SingleSensorInstance) {
+  const net::SensorNetwork network = tiny_network({{60.0, 60.0}});
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution =
+      core::SpanningTourPlanner().plan(instance);
+  solution.validate(instance);
+  MobileCollectionSim sim(instance, solution);
+  EnergyLedger ledger(1, 0.5);
+  const MobileRoundReport r = sim.run_round(ledger);
+  EXPECT_EQ(r.delivered, 1u);
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_DOUBLE_EQ(r.delivered_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace mdg::sim

@@ -1,0 +1,201 @@
+// Chaos-mode simulator behavior: deterministic replay of a FaultPlan,
+// mid-tour breakdown recovery, blackout dwell budgets, and crash
+// accounting (docs/FAULTS.md).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/spanning_tour_planner.h"
+#include "fault/fault.h"
+#include "io/serialize.h"
+#include "sim/mobile_sim.h"
+#include "util/rng.h"
+
+namespace mdg::sim {
+namespace {
+
+struct Fixture {
+  net::SensorNetwork network;
+  core::ShdgpInstance instance;
+  core::ShdgpSolution solution;
+
+  explicit Fixture(std::uint64_t seed, std::size_t n = 60)
+      : network([&] {
+          Rng rng(seed);
+          return net::make_uniform_network(n, 150.0, 25.0, rng);
+        }()),
+        instance(network),
+        solution(core::SpanningTourPlanner().plan(instance)) {}
+};
+
+std::size_t total_buffered(const MobileCollectionSim& sim, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    total += sim.buffered(s);
+  }
+  return total;
+}
+
+TEST(MobileSimFaultTest, NullPlanLeavesFaultFieldsAtDefaults) {
+  Fixture fx(50);
+  MobileCollectionSim sim(fx.instance, fx.solution);
+  EnergyLedger ledger(fx.network.size(), 0.5);
+  const MobileRoundReport r = sim.run_round(ledger);
+  EXPECT_EQ(r.offered, fx.network.size());
+  EXPECT_DOUBLE_EQ(r.delivered_fraction, 1.0);
+  EXPECT_EQ(r.sensor_crashes, 0u);
+  EXPECT_EQ(r.orphaned_sensors, 0u);
+  EXPECT_EQ(r.lost_crash, 0u);
+  EXPECT_EQ(r.lost_burst, 0u);
+  EXPECT_EQ(r.repoll_attempts, 0u);
+  EXPECT_EQ(r.blackout_timeouts, 0u);
+  EXPECT_DOUBLE_EQ(r.blackout_wait_s, 0.0);
+  EXPECT_FALSE(r.breakdown);
+  EXPECT_DOUBLE_EQ(r.recovery_length_m, 0.0);
+  EXPECT_EQ(r.unrecovered_sensors, 0u);
+}
+
+TEST(MobileSimFaultTest, ChaosRoundIsDeterministic) {
+  Fixture fx(51);
+  fault::FaultConfig fc;
+  fc.seed = 7;
+  fc.sensor_crash_prob = 0.2;
+  fc.pp_blackout_prob = 0.3;
+  fc.burst_episodes_mean = 2.0;
+  fc.stall_mean = 1.0;
+  fc.breakdown_frac = 0.6;
+  const fault::FaultPlan plan =
+      fault::FaultPlan::generate(fx.instance, fx.solution, fc);
+  MobileSimConfig config;
+  config.upload_loss_prob = 0.1;
+  config.fault_plan = &plan;
+
+  MobileCollectionSim a(fx.instance, fx.solution, config);
+  MobileCollectionSim b(fx.instance, fx.solution, config);
+  EnergyLedger la(fx.network.size(), 0.5);
+  EnergyLedger lb(fx.network.size(), 0.5);
+  const MobileRoundReport ra = a.run_round(la);
+  const MobileRoundReport rb = b.run_round(lb);
+  EXPECT_EQ(ra.delivered, rb.delivered);
+  EXPECT_EQ(ra.lost, rb.lost);
+  EXPECT_EQ(ra.lost_burst, rb.lost_burst);
+  EXPECT_EQ(ra.lost_crash, rb.lost_crash);
+  EXPECT_EQ(ra.retransmissions, rb.retransmissions);
+  EXPECT_EQ(ra.repoll_attempts, rb.repoll_attempts);
+  EXPECT_EQ(ra.blackout_timeouts, rb.blackout_timeouts);
+  EXPECT_EQ(ra.breakdown, rb.breakdown);
+  EXPECT_DOUBLE_EQ(ra.duration_s, rb.duration_s);
+  EXPECT_DOUBLE_EQ(ra.recovery_length_m, rb.recovery_length_m);
+  EXPECT_DOUBLE_EQ(ra.delivered_fraction, rb.delivered_fraction);
+}
+
+TEST(MobileSimFaultTest, MidTourBreakdownRecoversEveryLiveSensor) {
+  // The acceptance scenario: a breakdown 40% into the tour over the
+  // checked-in 200-sensor instance must end with a valid report whose
+  // spliced recovery tour re-covers every live unserved sensor.
+  const net::SensorNetwork network =
+      io::load_network(std::string(MDG_DATA_DIR) + "/uniform200.txt");
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution =
+      core::SpanningTourPlanner().plan(instance);
+
+  fault::FaultConfig fc;
+  fc.breakdown_frac = 0.4;
+  const fault::FaultPlan plan =
+      fault::FaultPlan::generate(instance, solution, fc);
+  MobileSimConfig config;
+  config.fault_plan = &plan;
+  MobileCollectionSim sim(instance, solution, config);
+  EnergyLedger ledger(network.size(), 0.5);
+  const MobileRoundReport r = sim.run_round(ledger);
+
+  EXPECT_TRUE(r.breakdown);
+  EXPECT_GT(r.recovery_stops, 0u);
+  EXPECT_GT(r.recovery_length_m, 0.0);
+  EXPECT_EQ(r.unrecovered_sensors, 0u);
+  // No link loss and no crashes: recovery must deliver everything the
+  // round offered, leaving every buffer empty.
+  EXPECT_EQ(r.offered, network.size());
+  EXPECT_EQ(r.delivered, r.offered);
+  EXPECT_EQ(r.lost, 0u);
+  EXPECT_DOUBLE_EQ(r.delivered_fraction, 1.0);
+  EXPECT_EQ(total_buffered(sim, network.size()), 0u);
+
+  // The breakdown fires once: the next round runs the replacement
+  // collector fault-free.
+  EnergyLedger ledger2(network.size(), 0.5);
+  const MobileRoundReport r2 = sim.run_round(ledger2, r.duration_s);
+  EXPECT_FALSE(r2.breakdown);
+}
+
+TEST(MobileSimFaultTest, BlackoutTimeoutAbandonsStopButKeepsBuffers) {
+  Fixture fx(52, 40);
+  fault::FaultConfig fc;
+  fc.horizon_s = 1.0;            // every window starts almost immediately
+  fc.pp_blackout_prob = 1.0;     // ...at every polling point
+  fc.pp_blackout_mean_s = 1e7;   // ...and outlasts the whole round
+  fc.dwell_budget_s = 5.0;
+  fc.repoll_backoff_s = 1.0;
+  fc.max_repolls = 3;
+  const fault::FaultPlan plan =
+      fault::FaultPlan::generate(fx.instance, fx.solution, fc);
+  MobileSimConfig config;
+  config.fault_plan = &plan;
+  MobileCollectionSim sim(fx.instance, fx.solution, config);
+  EnergyLedger ledger(fx.network.size(), 0.5);
+  const MobileRoundReport r = sim.run_round(ledger);
+
+  EXPECT_EQ(r.blackout_timeouts, fx.solution.polling_points.size());
+  EXPECT_GT(r.repoll_attempts, 0u);
+  EXPECT_GT(r.blackout_wait_s, 0.0);
+  EXPECT_EQ(r.delivered, 0u);
+  EXPECT_DOUBLE_EQ(r.delivered_fraction, 0.0);
+  // Abandoned stops strand nothing permanently: the data waits for the
+  // next round.
+  EXPECT_EQ(total_buffered(sim, fx.network.size()), r.offered);
+}
+
+TEST(MobileSimFaultTest, CrashedSensorsStrandTheirBuffers) {
+  Fixture fx(53, 40);
+  fault::FaultConfig fc;
+  fc.sensor_crash_prob = 1.0;
+  fc.horizon_s = 0.001;  // everyone is dead before the collector moves
+  const fault::FaultPlan plan =
+      fault::FaultPlan::generate(fx.instance, fx.solution, fc);
+  MobileSimConfig config;
+  config.fault_plan = &plan;
+  MobileCollectionSim sim(fx.instance, fx.solution, config);
+  EnergyLedger ledger(fx.network.size(), 0.5);
+  const MobileRoundReport r = sim.run_round(ledger);
+
+  EXPECT_EQ(r.sensor_crashes, fx.network.size());
+  EXPECT_EQ(r.delivered, 0u);
+  EXPECT_EQ(r.lost_crash, r.offered);  // all offered data went down with
+                                       // the hardware
+  EXPECT_EQ(r.orphaned_sensors, r.offered);  // one packet per victim
+  EXPECT_EQ(total_buffered(sim, fx.network.size()), 0u);
+}
+
+TEST(MobileSimFaultTest, BurstLossIsCountedSeparately) {
+  Fixture fx(54, 60);
+  fault::FaultConfig fc;
+  fc.burst_episodes_mean = 6.0;
+  fc.horizon_s = 50.0;         // every episode starts within the first leg
+  fc.burst_mean_s = 1e6;       // ...and outlasts the whole round
+  fc.burst_loss_prob = 1.0;    // every attempt inside a burst is lost
+  const fault::FaultPlan plan =
+      fault::FaultPlan::generate(fx.instance, fx.solution, fc);
+  MobileSimConfig config;
+  config.fault_plan = &plan;
+  config.max_upload_attempts = 2;
+  MobileCollectionSim sim(fx.instance, fx.solution, config);
+  EnergyLedger ledger(fx.network.size(), 50.0);
+  const MobileRoundReport r = sim.run_round(ledger);
+  EXPECT_GT(r.lost, 0u);
+  EXPECT_EQ(r.lost_burst, r.lost);  // every loss happened inside a burst
+  EXPECT_LE(r.lost_burst, r.offered);
+}
+
+}  // namespace
+}  // namespace mdg::sim

@@ -218,12 +218,19 @@ TEST(MobileSimLossTest, DeterministicGivenSeed) {
             b.run_round(lb).retransmissions);
 }
 
-TEST(MobileSimLossTest, RejectsCertainLoss) {
+TEST(MobileSimLossTest, RejectsOutOfRangeLossConfig) {
   Fixture fx(34, 10);
   MobileSimConfig bad;
-  bad.upload_loss_prob = 1.0;
+  bad.upload_loss_prob = 1.5;
   EXPECT_THROW(MobileCollectionSim(fx.instance, fx.solution, bad),
                mdg::PreconditionError);
+  bad.upload_loss_prob = -0.1;
+  EXPECT_THROW(MobileCollectionSim(fx.instance, fx.solution, bad),
+               mdg::PreconditionError);
+  // loss_prob = 1.0 is legal: every packet exhausts the retry cap.
+  MobileSimConfig certain;
+  certain.upload_loss_prob = 1.0;
+  EXPECT_NO_THROW(MobileCollectionSim(fx.instance, fx.solution, certain));
   MobileSimConfig zero_attempts;
   zero_attempts.max_upload_attempts = 0;
   EXPECT_THROW(MobileCollectionSim(fx.instance, fx.solution, zero_attempts),

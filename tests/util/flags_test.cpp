@@ -68,6 +68,13 @@ TEST(FlagsTest, MalformedNumbersRejected) {
   EXPECT_THROW((void)f.get_double("d", 0.0), PreconditionError);
 }
 
+TEST(FlagsTest, OnOffBoolSpellings) {
+  Flags f = make_flags({"--color=on", "--fail-fast=off"});
+  EXPECT_TRUE(f.get_bool("color", false));
+  EXPECT_FALSE(f.get_bool("fail-fast", true));
+  f.finish();
+}
+
 TEST(FlagsTest, MalformedBoolRejected) {
   Flags f = make_flags({"--b=maybe"});
   EXPECT_THROW((void)f.get_bool("b", false), PreconditionError);
