@@ -1,0 +1,108 @@
+#include "verify/canonical.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace mdg::verify {
+namespace {
+
+bool point_less(geom::Point a, geom::Point b) {
+  return a.x < b.x || (a.x == b.x && a.y < b.y);
+}
+
+bool sequence_less(const std::vector<geom::Point>& a,
+                   const std::vector<geom::Point>& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end(),
+                                      point_less);
+}
+
+void emit_point(std::ostream& out, geom::Point p) {
+  out << std::hexfloat << p.x << " " << p.y << std::defaultfloat;
+}
+
+}  // namespace
+
+std::string canonical_plan_bytes(const core::ShdgpInstance& instance,
+                                 const core::ShdgpSolution& solution) {
+  const net::SensorNetwork& network = instance.network();
+
+  // Polling points with their (coordinate-identified, sorted) sensors.
+  struct Stop {
+    geom::Point position;
+    std::vector<geom::Point> sensors;
+  };
+  std::vector<Stop> stops(solution.polling_points.size());
+  for (std::size_t i = 0; i < stops.size(); ++i) {
+    stops[i].position = solution.polling_points[i];
+  }
+  for (std::size_t s = 0; s < solution.assignment.size(); ++s) {
+    const std::size_t slot = solution.assignment[s];
+    if (slot < stops.size() && s < network.size()) {
+      stops[slot].sensors.push_back(network.position(s));
+    }
+  }
+  for (Stop& stop : stops) {
+    std::sort(stop.sensors.begin(), stop.sensors.end(), point_less);
+  }
+  std::sort(stops.begin(), stops.end(), [](const Stop& a, const Stop& b) {
+    if (!(a.position == b.position)) {
+      return point_less(a.position, b.position);
+    }
+    return sequence_less(a.sensors, b.sensors);
+  });
+
+  // Tour as coordinates from the sink, direction normalized to the
+  // lexicographically smaller traversal.
+  std::vector<geom::Point> all;
+  all.reserve(solution.polling_points.size() + 1);
+  all.push_back(instance.sink());
+  all.insert(all.end(), solution.polling_points.begin(),
+             solution.polling_points.end());
+  std::vector<geom::Point> forward;
+  if (solution.tour.size() == all.size() &&
+      tsp::Tour::is_permutation(solution.tour.order())) {
+    tsp::Tour oriented = solution.tour;
+    oriented.rotate_to_front(0);
+    forward = oriented.to_points(all);
+  } else {
+    forward = solution.tour.to_points(all);  // degenerate; emit as-is
+  }
+  std::vector<geom::Point> backward = forward;
+  if (backward.size() > 2) {
+    std::reverse(backward.begin() + 1, backward.end());
+  }
+  const std::vector<geom::Point>& tour =
+      sequence_less(backward, forward) ? backward : forward;
+
+  std::ostringstream out;
+  out << "canonical-plan 1\n";
+  out << "planner " << solution.planner << "\n";
+  out << "polling " << stops.size() << "\n";
+  for (const Stop& stop : stops) {
+    out << "pp ";
+    emit_point(out, stop.position);
+    out << " serves " << stop.sensors.size() << "\n";
+    for (geom::Point sensor : stop.sensors) {
+      out << "  sensor ";
+      emit_point(out, sensor);
+      out << "\n";
+    }
+  }
+  out << "tour " << tour.size() << "\n";
+  for (geom::Point p : tour) {
+    out << "  at ";
+    emit_point(out, p);
+    out << "\n";
+  }
+  // Length recomputed along the canonical orientation: independent of
+  // the summation order the planner used.
+  out << "length " << std::hexfloat << geom::closed_tour_length(tour)
+      << std::defaultfloat << "\n";
+  return out.str();
+}
+
+}  // namespace mdg::verify

@@ -1,0 +1,29 @@
+// Canonical plan encoding for metamorphic and reproducibility checks.
+//
+// Two solutions that describe the same geometric plan — the same polling
+// positions, the same sensor->position affiliation, the same closed tour
+// — must encode to byte-identical strings, regardless of the order the
+// planner discovered the polling points in, the direction it oriented
+// the tour, or the order the sensors arrived in the input file. That
+// makes "permuting the input yields the same plan" a one-line string
+// comparison, and gives tools/repro a diffable artifact.
+//
+// Normalization: polling points sorted by (x, y); sensors identified by
+// their coordinates (input-order independent) and sorted within each
+// polling point; the tour emitted from the sink in the direction whose
+// first step is lexicographically smaller; every double printed as
+// hexfloat (exact round-trip, no locale).
+#pragma once
+
+#include <string>
+
+#include "core/instance.h"
+#include "core/solution.h"
+
+namespace mdg::verify {
+
+/// The canonical byte encoding of (instance, solution) described above.
+[[nodiscard]] std::string canonical_plan_bytes(
+    const core::ShdgpInstance& instance, const core::ShdgpSolution& solution);
+
+}  // namespace mdg::verify

@@ -1,0 +1,351 @@
+#include "verify/check.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "geom/point.h"
+
+namespace mdg::verify {
+namespace {
+
+/// Accumulates violations; formats them as one kFailedPrecondition.
+class Violations {
+ public:
+  explicit Violations(bool fail_fast) : fail_fast_(fail_fast) {}
+
+  /// True when checking should stop (fail-fast after the first report).
+  bool report(const std::string& problem) {
+    if (!problems_.empty()) {
+      problems_ += "\n";
+    }
+    problems_ += problem;
+    ++count_;
+    return fail_fast_;
+  }
+
+  [[nodiscard]] bool any() const { return count_ > 0; }
+
+  [[nodiscard]] core::Status status(const char* what) const {
+    if (count_ == 0) {
+      return core::Status::ok();
+    }
+    std::ostringstream out;
+    out << what << ": " << count_ << " invariant violation"
+        << (count_ == 1 ? "" : "s") << "\n"
+        << problems_;
+    return core::Status::failed_precondition(out.str());
+  }
+
+ private:
+  bool fail_fast_;
+  std::string problems_;
+  std::size_t count_ = 0;
+};
+
+std::string describe_point(geom::Point p) {
+  std::ostringstream out;
+  out << "(" << p.x << ", " << p.y << ")";
+  return out.str();
+}
+
+}  // namespace
+
+double length_tolerance(double length, std::size_t edges) {
+  // Each summed edge contributes ~eps relative rounding; 8x slack keeps
+  // the check robust to a different (but equivalent) summation order.
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double terms = static_cast<double>(std::max<std::size_t>(edges, 1));
+  return (1.0 + std::abs(length)) * eps * 8.0 * terms;
+}
+
+core::Status check_solution(const core::ShdgpInstance& instance,
+                            const core::ShdgpSolution& solution,
+                            const CheckOptions& options) {
+  const net::SensorNetwork& network = instance.network();
+  const cover::CoverageMatrix& matrix = instance.coverage();
+  Violations v(options.fail_fast);
+
+  // Parallel arrays.
+  if (solution.polling_candidates.size() != solution.polling_points.size()) {
+    std::ostringstream out;
+    out << "polling_candidates (" << solution.polling_candidates.size()
+        << ") and polling_points (" << solution.polling_points.size()
+        << ") are not parallel";
+    if (v.report(out.str())) {
+      return v.status("solution");
+    }
+  }
+
+  // Candidate ids resolve and positions are consistent.
+  const std::size_t pp_count = solution.polling_points.size();
+  for (std::size_t i = 0;
+       i < std::min(solution.polling_candidates.size(), pp_count); ++i) {
+    const std::size_t c = solution.polling_candidates[i];
+    if (c == core::ShdgpSolution::kFreeformCandidate) {
+      continue;  // freeform stop: only the range checks below apply
+    }
+    if (c >= matrix.candidate_count()) {
+      std::ostringstream out;
+      out << "polling point " << i << " references unknown candidate " << c;
+      if (v.report(out.str())) {
+        return v.status("solution");
+      }
+      continue;
+    }
+    if (!(matrix.candidate(c) == solution.polling_points[i])) {
+      std::ostringstream out;
+      out << "polling point " << i << " at "
+          << describe_point(solution.polling_points[i])
+          << " does not match candidate " << c << " at "
+          << describe_point(matrix.candidate(c));
+      if (v.report(out.str())) {
+        return v.status("solution");
+      }
+    }
+  }
+
+  // Single-hop guarantee: every sensor assigned, within range.
+  if (solution.assignment.size() != network.size()) {
+    std::ostringstream out;
+    out << "assignment covers " << solution.assignment.size() << " of "
+        << network.size() << " sensors";
+    if (v.report(out.str())) {
+      return v.status("solution");
+    }
+  }
+  const std::size_t assigned =
+      std::min(solution.assignment.size(), network.size());
+  for (std::size_t s = 0; s < assigned; ++s) {
+    const std::size_t slot = solution.assignment[s];
+    if (slot >= pp_count) {
+      std::ostringstream out;
+      out << "sensor " << s << " assigned to missing polling point " << slot;
+      if (v.report(out.str())) {
+        return v.status("solution");
+      }
+      continue;
+    }
+    if (!geom::within_range(network.position(s), solution.polling_points[slot],
+                            network.range())) {
+      std::ostringstream out;
+      out << "sensor " << s << " at " << describe_point(network.position(s))
+          << " cannot reach polling point " << slot << " at "
+          << describe_point(solution.polling_points[slot]) << " (distance "
+          << geom::distance(network.position(s), solution.polling_points[slot])
+          << " > range " << network.range() << ")";
+      if (v.report(out.str())) {
+        return v.status("solution");
+      }
+    }
+  }
+
+  // Tour: closed permutation over {sink} ∪ polling points, sink first.
+  bool tour_shape_ok = true;
+  if (solution.tour.size() != pp_count + 1) {
+    std::ostringstream out;
+    out << "tour visits " << solution.tour.size() << " stops, expected "
+        << pp_count + 1 << " (sink + every polling point)";
+    tour_shape_ok = false;
+    if (v.report(out.str())) {
+      return v.status("solution");
+    }
+  }
+  if (!tsp::Tour::is_permutation(solution.tour.order())) {
+    tour_shape_ok = false;
+    if (v.report("tour order is not a permutation")) {
+      return v.status("solution");
+    }
+  }
+  if (!solution.tour.empty() && solution.tour.at(0) != 0) {
+    std::ostringstream out;
+    out << "tour starts at index " << solution.tour.at(0)
+        << ", expected the sink (index 0)";
+    if (v.report(out.str())) {
+      return v.status("solution");
+    }
+  }
+
+  // Recorded length vs. independent recomputation.
+  if (tour_shape_ok) {
+    std::vector<geom::Point> stops;
+    stops.reserve(pp_count + 1);
+    stops.push_back(instance.sink());
+    stops.insert(stops.end(), solution.polling_points.begin(),
+                 solution.polling_points.end());
+    const double measured = solution.tour.length(stops);
+    const double tol = length_tolerance(measured, solution.tour.size());
+    if (!(std::abs(measured - solution.tour_length) <= tol)) {
+      std::ostringstream out;
+      out.precision(17);
+      out << "recorded tour length " << solution.tour_length
+          << " does not match recomputed " << measured << " (|diff| "
+          << std::abs(measured - solution.tour_length) << " > tolerance "
+          << tol << ")";
+      if (v.report(out.str())) {
+        return v.status("solution");
+      }
+    }
+  }
+
+  return v.status("solution");
+}
+
+core::Status check_recovery(const core::ShdgpInstance& instance,
+                            geom::Point breakdown_position,
+                            const core::RecoveryPlan& plan,
+                            const std::vector<std::size_t>& requested,
+                            const CheckOptions& options) {
+  const net::SensorNetwork& network = instance.network();
+  const cover::CoverageMatrix& matrix = instance.coverage();
+  Violations v(options.fail_fast);
+
+  if (plan.stop_candidates.size() != plan.stops.size() ||
+      plan.stop_sensors.size() != plan.stops.size()) {
+    std::ostringstream out;
+    out << "stops (" << plan.stops.size() << "), stop_candidates ("
+        << plan.stop_candidates.size() << ") and stop_sensors ("
+        << plan.stop_sensors.size() << ") are not parallel";
+    if (v.report(out.str())) {
+      return v.status("recovery");
+    }
+  }
+
+  std::vector<std::size_t> targets = requested;
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+
+  // Every served sensor: requested, in range of its stop, served once.
+  std::vector<std::size_t> served;
+  const std::size_t stop_count =
+      std::min({plan.stops.size(), plan.stop_candidates.size(),
+                plan.stop_sensors.size()});
+  for (std::size_t i = 0; i < stop_count; ++i) {
+    const std::size_t c = plan.stop_candidates[i];
+    if (c >= matrix.candidate_count()) {
+      std::ostringstream out;
+      out << "recovery stop " << i << " references unknown candidate " << c;
+      if (v.report(out.str())) {
+        return v.status("recovery");
+      }
+    } else if (!(matrix.candidate(c) == plan.stops[i])) {
+      std::ostringstream out;
+      out << "recovery stop " << i << " at " << describe_point(plan.stops[i])
+          << " does not match candidate " << c << " at "
+          << describe_point(matrix.candidate(c));
+      if (v.report(out.str())) {
+        return v.status("recovery");
+      }
+    }
+    if (!std::is_sorted(plan.stop_sensors[i].begin(),
+                        plan.stop_sensors[i].end())) {
+      std::ostringstream out;
+      out << "recovery stop " << i << " sensor list is not sorted";
+      if (v.report(out.str())) {
+        return v.status("recovery");
+      }
+    }
+    if (plan.stop_sensors[i].empty()) {
+      std::ostringstream out;
+      out << "recovery stop " << i << " serves no sensors";
+      if (v.report(out.str())) {
+        return v.status("recovery");
+      }
+    }
+    for (std::size_t s : plan.stop_sensors[i]) {
+      if (s >= network.size()) {
+        std::ostringstream out;
+        out << "recovery stop " << i << " serves unknown sensor " << s;
+        if (v.report(out.str())) {
+          return v.status("recovery");
+        }
+        continue;
+      }
+      if (!std::binary_search(targets.begin(), targets.end(), s)) {
+        std::ostringstream out;
+        out << "recovery stop " << i << " serves sensor " << s
+            << " which was not requested";
+        if (v.report(out.str())) {
+          return v.status("recovery");
+        }
+      }
+      if (!geom::within_range(network.position(s), plan.stops[i],
+                              network.range())) {
+        std::ostringstream out;
+        out << "sensor " << s << " cannot reach recovery stop " << i
+            << " (distance "
+            << geom::distance(network.position(s), plan.stops[i])
+            << " > range " << network.range() << ")";
+        if (v.report(out.str())) {
+          return v.status("recovery");
+        }
+      }
+      served.push_back(s);
+    }
+  }
+  std::sort(served.begin(), served.end());
+  if (std::adjacent_find(served.begin(), served.end()) != served.end()) {
+    if (v.report("a sensor is served at more than one recovery stop")) {
+      return v.status("recovery");
+    }
+  }
+
+  // served ∪ uncovered must partition the requested set.
+  std::vector<std::size_t> accounted = served;
+  accounted.insert(accounted.end(), plan.uncovered.begin(),
+                   plan.uncovered.end());
+  std::sort(accounted.begin(), accounted.end());
+  accounted.erase(std::unique(accounted.begin(), accounted.end()),
+                  accounted.end());
+  if (accounted != targets) {
+    std::ostringstream out;
+    out << "served + uncovered accounts for " << accounted.size() << " of "
+        << targets.size() << " requested sensors";
+    if (v.report(out.str())) {
+      return v.status("recovery");
+    }
+  }
+  for (std::size_t s : plan.uncovered) {
+    if (std::binary_search(served.begin(), served.end(), s)) {
+      std::ostringstream out;
+      out << "sensor " << s << " is both served and listed uncovered";
+      if (v.report(out.str())) {
+        return v.status("recovery");
+      }
+    }
+  }
+  if (plan.feasible != plan.uncovered.empty()) {
+    if (v.report("feasible flag disagrees with the uncovered list")) {
+      return v.status("recovery");
+    }
+  }
+
+  // The recorded length must be the breakdown -> stops -> sink polyline:
+  // in particular, the sub-tour ends at the sink even when the breakdown
+  // happened at (or after) the last planned stop.
+  double measured = 0.0;
+  geom::Point cursor = breakdown_position;
+  for (const geom::Point& stop : plan.stops) {
+    measured += geom::distance(cursor, stop);
+    cursor = stop;
+  }
+  measured += geom::distance(cursor, instance.sink());
+  const double tol = length_tolerance(measured, plan.stops.size() + 1);
+  if (!(std::abs(measured - plan.length_m) <= tol)) {
+    std::ostringstream out;
+    out.precision(17);
+    out << "recorded recovery length " << plan.length_m
+        << " does not match the breakdown->stops->sink polyline " << measured
+        << " (|diff| " << std::abs(measured - plan.length_m)
+        << " > tolerance " << tol << ")";
+    if (v.report(out.str())) {
+      return v.status("recovery");
+    }
+  }
+
+  return v.status("recovery");
+}
+
+}  // namespace mdg::verify

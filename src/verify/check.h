@@ -1,0 +1,63 @@
+// Independent solution invariant checker.
+//
+// ShdgpSolution::validate is the library's *internal* contract check: it
+// asserts (MDG_ASSERT) and shares helper code with the planners it
+// guards. This module is the harness's second opinion: it re-derives
+// every claimed property of a solution from the instance alone — no
+// shared helpers beyond raw geometry — and reports violations through
+// the core::Status taxonomy so the differential suite, tools/repro and
+// the fuzz drivers can print diagnostics instead of aborting.
+//
+// Checked invariants (docs/TESTING.md §invariants):
+//   * parallel arrays are parallel; candidate ids resolve and positions
+//     match the instance's CoverageMatrix (freeform entries excepted);
+//   * every sensor is assigned, and its polling point is within the
+//     transmission range (single-hop guarantee);
+//   * the tour is a closed permutation over {sink} ∪ polling points with
+//     the sink pinned at position 0;
+//   * the recorded tour length equals the recomputed length within an
+//     ulp-scaled tolerance;
+//   * recovery plans serve every requested sensor exactly once (or list
+//     it as uncovered), stay within range at every stop, and their
+//     recorded length ends the sub-tour at the sink.
+#pragma once
+
+#include <vector>
+
+#include "core/instance.h"
+#include "core/replan.h"
+#include "core/solution.h"
+#include "core/status.h"
+
+namespace mdg::verify {
+
+struct CheckOptions {
+  /// When false (default), keep checking after the first violation and
+  /// report every problem in one Status message (one line per problem).
+  bool fail_fast = false;
+};
+
+/// Absolute tolerance for comparing a recorded against a recomputed tour
+/// length: scaled by the magnitude of the length and the number of
+/// summed edges (each edge contributes O(eps) rounding).
+[[nodiscard]] double length_tolerance(double length, std::size_t edges);
+
+/// Re-verifies every SHDGP invariant of `solution` against `instance`.
+/// Returns OK or kFailedPrecondition with a description of each
+/// violation.
+[[nodiscard]] core::Status check_solution(const core::ShdgpInstance& instance,
+                                          const core::ShdgpSolution& solution,
+                                          const CheckOptions& options = {});
+
+/// Re-verifies a breakdown recovery plan for the `requested` unserved
+/// sensors (any order, duplicates ignored): stops resolve to candidates,
+/// every requested sensor is served within range exactly once or listed
+/// as uncovered, and the recorded length is exactly the breakdown ->
+/// stops -> sink polyline — i.e. the recovery sub-tour ends at the sink.
+[[nodiscard]] core::Status check_recovery(
+    const core::ShdgpInstance& instance, geom::Point breakdown_position,
+    const core::RecoveryPlan& plan,
+    const std::vector<std::size_t>& requested,
+    const CheckOptions& options = {});
+
+}  // namespace mdg::verify

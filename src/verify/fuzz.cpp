@@ -1,0 +1,159 @@
+#include "verify/fuzz.h"
+
+#include <functional>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "fault/config_io.h"
+#include "io/serialize.h"
+#include "util/rng.h"
+
+namespace mdg::verify {
+namespace {
+
+core::Status run_target(FuzzTarget target, std::string_view bytes,
+                        bool fail_fast) {
+  std::istringstream in{std::string(bytes)};
+  switch (target) {
+    case FuzzTarget::kNetwork:
+      return io::try_read_network(in, {.fail_fast = fail_fast}).status();
+    case FuzzTarget::kSolution:
+      return io::try_read_solution(in, {.fail_fast = fail_fast}).status();
+    case FuzzTarget::kFaultConfig:
+      return fault::read_fault_config(in, {.fail_fast = fail_fast}).status();
+  }
+  return core::Status::internal("unknown fuzz target");
+}
+
+/// One seeded mutation of `input`. Mutation kinds mirror the classic
+/// libFuzzer dictionary-free set: bit/byte edits, deletions, duplicated
+/// spans, truncations and digit tweaks (numbers are where the parsers'
+/// semantic validation lives).
+std::string mutate(const std::string& input, Rng& rng) {
+  std::string out = input;
+  const std::size_t edits = 1 + rng.index(4);
+  for (std::size_t e = 0; e < edits; ++e) {
+    switch (rng.index(6)) {
+      case 0:  // flip a byte
+        if (!out.empty()) {
+          out[rng.index(out.size())] =
+              static_cast<char>(rng.uniform_int(0, 255));
+        }
+        break;
+      case 1:  // delete a span
+        if (!out.empty()) {
+          const std::size_t at = rng.index(out.size());
+          const std::size_t len = 1 + rng.index(8);
+          out.erase(at, std::min(len, out.size() - at));
+        }
+        break;
+      case 2: {  // insert random bytes
+        const std::size_t at = out.empty() ? 0 : rng.index(out.size() + 1);
+        const std::size_t len = 1 + rng.index(8);
+        std::string noise;
+        for (std::size_t i = 0; i < len; ++i) {
+          noise += static_cast<char>(rng.uniform_int(0, 255));
+        }
+        out.insert(at, noise);
+        break;
+      }
+      case 3:  // duplicate a span (oversized counts, repeated sections)
+        if (!out.empty()) {
+          const std::size_t at = rng.index(out.size());
+          const std::size_t len =
+              std::min<std::size_t>(1 + rng.index(32), out.size() - at);
+          out.insert(at, out.substr(at, len));
+        }
+        break;
+      case 4:  // truncate (mid-stream EOF)
+        if (!out.empty()) {
+          out.resize(rng.index(out.size()));
+        }
+        break;
+      case 5:  // tweak a digit into another digit, sign, dot or 'n'/'e'
+        if (!out.empty()) {
+          static constexpr char kNumeric[] = "0123456789.-+en";
+          const std::size_t at = rng.index(out.size());
+          out[at] = kNumeric[rng.index(sizeof(kNumeric) - 1)];
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(FuzzTarget target) {
+  switch (target) {
+    case FuzzTarget::kNetwork:
+      return "network";
+    case FuzzTarget::kSolution:
+      return "solution";
+    case FuzzTarget::kFaultConfig:
+      return "faults";
+  }
+  return "unknown";
+}
+
+std::optional<FuzzTarget> fuzz_target_from_string(std::string_view name) {
+  for (FuzzTarget target : {FuzzTarget::kNetwork, FuzzTarget::kSolution,
+                            FuzzTarget::kFaultConfig}) {
+    if (name == to_string(target)) {
+      return target;
+    }
+  }
+  return std::nullopt;
+}
+
+core::Status fuzz_one(FuzzTarget target, std::string_view bytes) {
+  // Exercise both validation modes: collect-everything walks the
+  // keep-scanning paths, fail-fast the early exits. The fail-fast
+  // Status is the one callers (and exit-code mapping) see first.
+  (void)run_target(target, bytes, /*fail_fast=*/false);
+  return run_target(target, bytes, /*fail_fast=*/true);
+}
+
+FuzzStats fuzz_corpus(FuzzTarget target, std::span<const std::string> corpus,
+                      std::uint64_t seed, std::size_t iterations) {
+  FuzzStats stats;
+  std::unordered_set<std::size_t> outcomes;
+  const auto record = [&](const core::Status& status) {
+    ++stats.executions;
+    if (status.is_ok()) {
+      ++stats.accepted;
+    } else {
+      ++stats.rejected;
+    }
+    outcomes.insert(std::hash<std::string>{}(status.to_string()));
+  };
+
+  // Phase 1: straight corpus replay.
+  for (const std::string& entry : corpus) {
+    record(fuzz_one(target, entry));
+  }
+
+  // Phase 2: seeded mutations. Each iteration forks its own stream, so
+  // the sequence is schedule-independent and any single iteration can
+  // be replayed in isolation from (seed, iteration index).
+  const Rng base(seed);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    Rng rng = base.fork(i);
+    std::string input;
+    if (!corpus.empty()) {
+      input = corpus[rng.index(corpus.size())];
+      if (rng.chance(0.2) && corpus.size() > 1) {
+        // Splice the head of one entry onto the tail of another.
+        const std::string& other = corpus[rng.index(corpus.size())];
+        input = input.substr(0, rng.index(input.size() + 1)) +
+                other.substr(rng.index(other.size() + 1));
+      }
+    }
+    record(fuzz_one(target, mutate(input, rng)));
+  }
+  stats.unique_outcomes = outcomes.size();
+  return stats;
+}
+
+}  // namespace mdg::verify

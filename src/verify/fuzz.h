@@ -1,0 +1,67 @@
+// Fuzzing support for the untrusted-input boundary.
+//
+// Three fuzz targets cover the three loaders that accept bytes from
+// outside the process: network files (io::try_read_network), solution
+// files (io::try_read_solution) and fault configs
+// (fault::read_fault_config). The contract under fuzzing is the PR 4
+// hardening contract: any byte sequence either parses or produces a
+// diagnostic core::Status — never a crash, leak, exception or UB.
+//
+// Two drivers share fuzz_one:
+//   * libFuzzer entry points (tools/fuzz/, built with -DMDG_FUZZ=ON
+//     under Clang) for coverage-guided exploration in CI;
+//   * a deterministic corpus-replay + seeded-mutation loop (fuzz_corpus)
+//     that runs everywhere — the GCC/no-libFuzzer fallback the test
+//     suite uses, with a cheap outcome-diversity proxy for coverage.
+//
+// The seed corpus is checked in under tests/harness/corpus/<target>/;
+// tools/minimize_crash.py shrinks any crashing input (docs/TESTING.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "core/status.h"
+
+namespace mdg::verify {
+
+enum class FuzzTarget {
+  kNetwork,      ///< io::try_read_network
+  kSolution,     ///< io::try_read_solution
+  kFaultConfig,  ///< fault::read_fault_config
+};
+
+/// Corpus directory name and CLI spelling: "network" / "solution" /
+/// "faults".
+[[nodiscard]] const char* to_string(FuzzTarget target);
+[[nodiscard]] std::optional<FuzzTarget> fuzz_target_from_string(
+    std::string_view name);
+
+/// Feeds `bytes` to the target's loader (both fail-fast and
+/// collect-everything modes) and returns the fail-fast Status. Must
+/// never crash or throw, whatever the bytes — that is the property the
+/// fuzz drivers assert.
+[[nodiscard]] core::Status fuzz_one(FuzzTarget target, std::string_view bytes);
+
+struct FuzzStats {
+  std::size_t executions = 0;       ///< total fuzz_one calls
+  std::size_t accepted = 0;         ///< inputs that parsed OK
+  std::size_t rejected = 0;         ///< inputs rejected with a diagnostic
+  std::size_t unique_outcomes = 0;  ///< distinct (code, message) outcomes —
+                                    ///< the coverage proxy of the fallback
+};
+
+/// Deterministic corpus replay plus `iterations` seeded mutations of the
+/// corpus (byte flips, splices, truncations, number tweaks — all drawn
+/// from Rng::fork streams of `seed`). Same arguments, same execution
+/// sequence, same stats. Crashes surface as crashes; everything else is
+/// counted.
+[[nodiscard]] FuzzStats fuzz_corpus(FuzzTarget target,
+                                    std::span<const std::string> corpus,
+                                    std::uint64_t seed,
+                                    std::size_t iterations);
+
+}  // namespace mdg::verify

@@ -1,0 +1,204 @@
+#include "verify/generate.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "net/deployment.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace mdg::verify {
+namespace {
+
+constexpr std::array<GeneratorFamily, 9> kAllFamilies = {
+    GeneratorFamily::kUniform,   GeneratorFamily::kClusters,
+    GeneratorFamily::kGrid,      GeneratorFamily::kCorridor,
+    GeneratorFamily::kRing,      GeneratorFamily::kCollinear,
+    GeneratorFamily::kCoincident, GeneratorFamily::kBoundary,
+    GeneratorFamily::kTiny,
+};
+
+std::vector<geom::Point> corridor_points(std::size_t count,
+                                         const geom::Aabb& field, double range,
+                                         Rng& rng) {
+  // A thin horizontal strip through the sink: tours degenerate toward a
+  // back-and-forth line, which stresses 2-opt orientation handling.
+  const double cy = field.center().y;
+  const double half = std::max(range * 0.25, field.height() * 0.02);
+  std::vector<geom::Point> pts;
+  pts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pts.push_back(field.clamp(
+        {rng.uniform(field.lo.x, field.hi.x), rng.uniform(cy - half, cy + half)}));
+  }
+  return pts;
+}
+
+std::vector<geom::Point> ring_points(std::size_t count, const geom::Aabb& field,
+                                     Rng& rng) {
+  // Annulus around the sink: the sink sits inside an empty disk, so
+  // every tour must commit to a direction around the hole.
+  const geom::Point c = field.center();
+  const double r_lo = 0.35 * std::min(field.width(), field.height());
+  const double r_hi = 0.45 * std::min(field.width(), field.height());
+  std::vector<geom::Point> pts;
+  pts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double r = rng.uniform(r_lo, r_hi);
+    const double theta = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    pts.push_back(field.clamp({c.x + r * std::cos(theta),
+                               c.y + r * std::sin(theta)}));
+  }
+  return pts;
+}
+
+std::vector<geom::Point> collinear_points(std::size_t count,
+                                          const geom::Aabb& field, Rng& rng) {
+  // All sensors share the sink's exact y coordinate: zero-area triangles
+  // everywhere (cross products vanish, MST/tour ties abound).
+  const double y = field.center().y;
+  std::vector<geom::Point> pts;
+  pts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pts.push_back({rng.uniform(field.lo.x, field.hi.x), y});
+  }
+  return pts;
+}
+
+std::vector<geom::Point> coincident_points(std::size_t count,
+                                           const geom::Aabb& field, Rng& rng) {
+  // Many sensors stacked on few distinct sites: coincident sensors mean
+  // coincident candidate polling positions, zero-length tour edges and
+  // equal-gain set-cover ties.
+  const std::size_t sites = std::max<std::size_t>(1, count / 8);
+  std::vector<geom::Point> anchors = net::deploy_uniform(sites, field, rng);
+  std::vector<geom::Point> pts;
+  pts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pts.push_back(anchors[rng.index(anchors.size())]);
+  }
+  return pts;
+}
+
+std::vector<geom::Point> boundary_points(std::size_t count,
+                                         const geom::Aabb& field, double range,
+                                         Rng& rng) {
+  // Anchor/partner pairs exactly `range` apart along an axis: the
+  // partner sits on its anchor's coverage-disk boundary, exercising the
+  // within_range epsilon and every <=-vs-< comparison in coverage code.
+  std::vector<geom::Point> pts;
+  pts.reserve(count);
+  const geom::Aabb inner{{field.lo.x + range, field.lo.y + range},
+                         {field.hi.x - range, field.hi.y - range}};
+  const bool roomy = inner.lo.x < inner.hi.x && inner.lo.y < inner.hi.y;
+  while (pts.size() < count) {
+    const geom::Point anchor =
+        roomy ? geom::Point{rng.uniform(inner.lo.x, inner.hi.x),
+                            rng.uniform(inner.lo.y, inner.hi.y)}
+              : field.center();
+    pts.push_back(anchor);
+    if (pts.size() == count) {
+      break;
+    }
+    static constexpr std::array<geom::Point, 4> kDirs = {
+        geom::Point{1.0, 0.0}, geom::Point{-1.0, 0.0}, geom::Point{0.0, 1.0},
+        geom::Point{0.0, -1.0}};
+    const geom::Point partner = anchor + kDirs[rng.index(kDirs.size())] * range;
+    pts.push_back(field.clamp(partner));
+  }
+  return pts;
+}
+
+}  // namespace
+
+std::span<const GeneratorFamily> all_families() { return kAllFamilies; }
+
+std::span<const GeneratorFamily> standard_families() {
+  return std::span<const GeneratorFamily>(kAllFamilies).subspan(0, 5);
+}
+
+std::span<const GeneratorFamily> degenerate_families() {
+  return std::span<const GeneratorFamily>(kAllFamilies).subspan(5);
+}
+
+const char* to_string(GeneratorFamily family) {
+  switch (family) {
+    case GeneratorFamily::kUniform:
+      return "uniform";
+    case GeneratorFamily::kClusters:
+      return "clusters";
+    case GeneratorFamily::kGrid:
+      return "grid";
+    case GeneratorFamily::kCorridor:
+      return "corridor";
+    case GeneratorFamily::kRing:
+      return "ring";
+    case GeneratorFamily::kCollinear:
+      return "collinear";
+    case GeneratorFamily::kCoincident:
+      return "coincident";
+    case GeneratorFamily::kBoundary:
+      return "boundary";
+    case GeneratorFamily::kTiny:
+      return "tiny";
+  }
+  return "unknown";
+}
+
+std::optional<GeneratorFamily> family_from_string(std::string_view name) {
+  for (GeneratorFamily family : kAllFamilies) {
+    if (name == to_string(family)) {
+      return family;
+    }
+  }
+  return std::nullopt;
+}
+
+net::SensorNetwork generate_network(GeneratorFamily family, std::uint64_t seed,
+                                    const GeneratorOptions& options) {
+  MDG_REQUIRE(options.side > 0.0, "field side must be positive");
+  MDG_REQUIRE(options.range > 0.0, "transmission range must be positive");
+  const geom::Aabb field = geom::Aabb::square(options.side);
+  // Per-family fork stream: generating one family never perturbs another.
+  Rng rng = Rng(seed).fork(static_cast<std::uint64_t>(family));
+  const std::size_t n = options.sensors;
+
+  std::vector<geom::Point> pts;
+  switch (family) {
+    case GeneratorFamily::kUniform:
+      pts = net::deploy_uniform(n, field, rng);
+      break;
+    case GeneratorFamily::kClusters:
+      pts = net::deploy_gaussian_clusters(n, field, 4, options.side * 0.11,
+                                          rng);
+      break;
+    case GeneratorFamily::kGrid:
+      pts = net::deploy_grid_jitter(n, field, 0.3, rng);
+      break;
+    case GeneratorFamily::kCorridor:
+      pts = corridor_points(n, field, options.range, rng);
+      break;
+    case GeneratorFamily::kRing:
+      pts = ring_points(n, field, rng);
+      break;
+    case GeneratorFamily::kCollinear:
+      pts = collinear_points(n, field, rng);
+      break;
+    case GeneratorFamily::kCoincident:
+      pts = coincident_points(n, field, rng);
+      break;
+    case GeneratorFamily::kBoundary:
+      pts = boundary_points(n, field, options.range, rng);
+      break;
+    case GeneratorFamily::kTiny:
+      if (seed % 2 == 1) {
+        pts = net::deploy_uniform(1, field, rng);
+      }
+      break;
+  }
+  return net::SensorNetwork(std::move(pts), field.center(), field,
+                            options.range);
+}
+
+}  // namespace mdg::verify

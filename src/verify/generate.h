@@ -1,0 +1,65 @@
+// Deterministic SHDGP instance generators for the verification harness.
+//
+// Nine seed-addressed families: five "standard" deployments (the
+// property-sweep grid) and four adversarial degenerates that target the
+// geometric edge cases a planner bug hides in — exactly collinear
+// sensors, coincident sensors (and therefore coincident candidate
+// polling positions), sensor pairs at the exact transmission-range
+// boundary, and the n = 0 / n = 1 corner. Every family draws from its
+// own Rng::fork stream of the caller's seed, so generate_network(family,
+// seed) is a pure function: same arguments, byte-identical network,
+// regardless of which other families have been generated.
+//
+// tools/repro replays any (family, seed) pair through the full
+// plan -> verify pipeline; test failure messages print that pair.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "net/sensor_network.h"
+
+namespace mdg::verify {
+
+enum class GeneratorFamily {
+  // --- standard deployments (the property-sweep families) -------------
+  kUniform,    ///< i.i.d. uniform over the field
+  kClusters,   ///< Gaussian blobs (hot spots)
+  kGrid,       ///< jittered regular grid
+  kCorridor,   ///< thin horizontal strip through the sink (road network)
+  kRing,       ///< annulus around the sink (perimeter deployment)
+  // --- adversarial degenerates ----------------------------------------
+  kCollinear,   ///< every sensor (and the sink) exactly on one line
+  kCoincident,  ///< few distinct sites, many exactly coincident sensors
+  kBoundary,    ///< sensor pairs at the exact range boundary
+  kTiny,        ///< n = seed % 2 sensors (the 0- and 1-sensor corners)
+};
+
+/// Shape knobs shared by every family (kTiny ignores `sensors`).
+struct GeneratorOptions {
+  std::size_t sensors = 96;
+  double side = 200.0;  ///< field is [0, side] x [0, side], sink at centre
+  double range = 25.0;  ///< transmission range Rs
+};
+
+/// All nine families, standard-first (stable iteration order).
+[[nodiscard]] std::span<const GeneratorFamily> all_families();
+/// The five standard deployment families.
+[[nodiscard]] std::span<const GeneratorFamily> standard_families();
+/// The four adversarial degenerate families.
+[[nodiscard]] std::span<const GeneratorFamily> degenerate_families();
+
+[[nodiscard]] const char* to_string(GeneratorFamily family);
+/// Inverse of to_string ("uniform", "clusters", ...); nullopt on unknown.
+[[nodiscard]] std::optional<GeneratorFamily> family_from_string(
+    std::string_view name);
+
+/// Generates the (family, seed) network. Deterministic: every family
+/// forks its own stream of `seed`, so outputs never depend on call order.
+[[nodiscard]] net::SensorNetwork generate_network(
+    GeneratorFamily family, std::uint64_t seed,
+    const GeneratorOptions& options = {});
+
+}  // namespace mdg::verify

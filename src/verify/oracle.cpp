@@ -1,0 +1,124 @@
+#include "verify/oracle.h"
+
+#include <sstream>
+#include <utility>
+
+#include "baselines/direct_visit.h"
+#include "core/exact_planner.h"
+#include "core/greedy_cover_planner.h"
+#include "core/spanning_tour_planner.h"
+#include "core/tree_dominator_planner.h"
+#include "dist/election_planner.h"
+#include "tsp/lower_bound.h"
+#include "verify/check.h"
+
+namespace mdg::verify {
+
+core::Status OracleReport::status() const {
+  for (const PlannerVerdict& verdict : verdicts) {
+    if (!verdict.status.is_ok()) {
+      return verdict.status.with_context(verdict.planner);
+    }
+  }
+  return core::Status::ok();
+}
+
+std::vector<std::unique_ptr<core::Planner>> heuristic_planners() {
+  std::vector<std::unique_ptr<core::Planner>> planners;
+  planners.push_back(std::make_unique<core::GreedyCoverPlanner>());
+  planners.push_back(std::make_unique<core::SpanningTourPlanner>());
+  planners.push_back(std::make_unique<core::TreeDominatorPlanner>());
+  planners.push_back(std::make_unique<baselines::DirectVisitPlanner>());
+  planners.push_back(std::make_unique<dist::ElectionPlanner>());
+  return planners;
+}
+
+core::Status check_tour_lower_bound(const core::ShdgpInstance& instance,
+                                    const core::ShdgpSolution& solution,
+                                    double relative_tolerance) {
+  std::vector<geom::Point> stops;
+  stops.reserve(solution.polling_points.size() + 1);
+  stops.push_back(instance.sink());
+  stops.insert(stops.end(), solution.polling_points.begin(),
+               solution.polling_points.end());
+  const double slack = relative_tolerance * (1.0 + solution.tour_length);
+  const double mst = tsp::mst_lower_bound(stops);
+  if (solution.tour_length < mst - slack) {
+    std::ostringstream out;
+    out.precision(17);
+    out << "tour length " << solution.tour_length
+        << " is below the MST lower bound " << mst << " over its own stops";
+    return core::Status::failed_precondition(out.str());
+  }
+  const double one_tree = tsp::one_tree_lower_bound(stops);
+  if (solution.tour_length < one_tree - slack) {
+    std::ostringstream out;
+    out.precision(17);
+    out << "tour length " << solution.tour_length
+        << " is below the 1-tree lower bound " << one_tree
+        << " over its own stops";
+    return core::Status::failed_precondition(out.str());
+  }
+  return core::Status::ok();
+}
+
+core::Status check_not_better_than_exact(const core::ShdgpSolution& solution,
+                                         double exact_length,
+                                         double relative_tolerance) {
+  const double slack = relative_tolerance * (1.0 + exact_length);
+  if (solution.tour_length < exact_length - slack) {
+    std::ostringstream out;
+    out.precision(17);
+    out << "heuristic tour " << solution.tour_length
+        << " beats the proven exact optimum " << exact_length
+        << " — impossible, one of the two is buggy";
+    return core::Status::failed_precondition(out.str());
+  }
+  return core::Status::ok();
+}
+
+OracleReport run_differential(const core::ShdgpInstance& instance,
+                              const OracleOptions& options) {
+  OracleReport report;
+
+  // Exact oracle, when the instance is small enough and the search
+  // completed (provably_optimal): the reference everything else must
+  // dominate. The exact output is itself a solution, so it goes through
+  // the same invariant and lower-bound checks.
+  if (instance.sensor_count() <= options.exact_sensor_limit) {
+    const core::ShdgpSolution exact = core::ExactPlanner().plan(instance);
+    PlannerVerdict verdict;
+    verdict.planner = exact.planner;
+    verdict.tour_length = exact.tour_length;
+    verdict.status = check_solution(instance, exact);
+    if (verdict.status.is_ok()) {
+      verdict.status =
+          check_tour_lower_bound(instance, exact, options.relative_tolerance);
+    }
+    if (exact.provably_optimal) {
+      report.exact_available = true;
+      report.exact_length = exact.tour_length;
+    }
+    report.verdicts.push_back(std::move(verdict));
+  }
+
+  for (const std::unique_ptr<core::Planner>& planner : heuristic_planners()) {
+    PlannerVerdict verdict;
+    verdict.planner = planner->name();
+    const core::ShdgpSolution solution = planner->plan(instance);
+    verdict.tour_length = solution.tour_length;
+    verdict.status = check_solution(instance, solution);
+    if (verdict.status.is_ok()) {
+      verdict.status = check_tour_lower_bound(instance, solution,
+                                              options.relative_tolerance);
+    }
+    if (verdict.status.is_ok() && report.exact_available) {
+      verdict.status = check_not_better_than_exact(
+          solution, report.exact_length, options.relative_tolerance);
+    }
+    report.verdicts.push_back(std::move(verdict));
+  }
+  return report;
+}
+
+}  // namespace mdg::verify

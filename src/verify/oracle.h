@@ -1,0 +1,80 @@
+// Differential-oracle layer: heuristics vs. the exact planner and TSP
+// lower bounds.
+//
+// The exact branch-and-bound planner and the Held–Karp / 1-tree bounds
+// already exist as *planners*; this module industrializes them as
+// *oracles*, the pattern the data-MULE literature uses to validate
+// heuristics against exact solutions on small instances:
+//
+//   * on instances the exact planner can prove optimal (n <= 12 by
+//     default), every heuristic's tour must be >= the exact optimum —
+//     a heuristic that beats a proven optimum is impossible, so any
+//     such observation is a bug in one of the two;
+//   * on any instance, a solution's tour must be >= the MST and 1-tree
+//     lower bounds over its own stop set (valid at every size, used on
+//     the mid-size instances Held–Karp cannot reach);
+//   * every solution must pass verify::check_solution.
+//
+// run_differential bundles the three into one report per instance; the
+// oracle CI job and tools/repro drive it across the generator families.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/planner.h"
+#include "core/solution.h"
+#include "core/status.h"
+
+namespace mdg::verify {
+
+struct OracleOptions {
+  /// Run the exact planner (and the beats-optimum check) only up to this
+  /// many sensors — matching the regime the paper validates in.
+  std::size_t exact_sensor_limit = 12;
+  /// Relative slack for floating-point comparisons against the exact
+  /// optimum and the lower bounds.
+  double relative_tolerance = 1e-9;
+};
+
+/// One planner's outcome on one instance.
+struct PlannerVerdict {
+  std::string planner;
+  double tour_length = 0.0;
+  core::Status status;  ///< OK, or which oracle check failed and why
+};
+
+struct OracleReport {
+  bool exact_available = false;  ///< exact planner ran and proved optimality
+  double exact_length = 0.0;
+  std::vector<PlannerVerdict> verdicts;
+
+  /// OK when every verdict is OK; otherwise the first failure, with the
+  /// failing planner named in the context.
+  [[nodiscard]] core::Status status() const;
+};
+
+/// The heuristic planner roster the differential suite runs: greedy
+/// cover, spanning tour, tree dominator, the direct-visit baseline and
+/// the distributed election planner.
+[[nodiscard]] std::vector<std::unique_ptr<core::Planner>> heuristic_planners();
+
+/// `solution.tour_length` must dominate the MST and 1-tree lower bounds
+/// over its own stop set (sink + polling points).
+[[nodiscard]] core::Status check_tour_lower_bound(
+    const core::ShdgpInstance& instance, const core::ShdgpSolution& solution,
+    double relative_tolerance = 1e-9);
+
+/// A heuristic tour shorter than a proven optimum is impossible.
+[[nodiscard]] core::Status check_not_better_than_exact(
+    const core::ShdgpSolution& solution, double exact_length,
+    double relative_tolerance = 1e-9);
+
+/// Runs every heuristic planner (and, within the sensor limit, the exact
+/// planner) on `instance` and applies every oracle check to each output.
+[[nodiscard]] OracleReport run_differential(const core::ShdgpInstance& instance,
+                                            const OracleOptions& options = {});
+
+}  // namespace mdg::verify

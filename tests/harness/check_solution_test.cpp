@@ -1,0 +1,152 @@
+// verify::check_solution — accepts every planner's output and catches
+// every seeded corruption (mutation testing for the checker itself).
+#include <gtest/gtest.h>
+
+#include "core/greedy_cover_planner.h"
+#include "core/refine.h"
+#include "core/spanning_tour_planner.h"
+#include "verify/check.h"
+#include "verify/generate.h"
+#include "verify/oracle.h"
+
+namespace mdg {
+namespace {
+
+using verify::GeneratorFamily;
+
+core::ShdgpSolution plan_on(const core::ShdgpInstance& instance) {
+  return core::SpanningTourPlanner().plan(instance);
+}
+
+TEST(CheckSolutionTest, AcceptsEveryPlannerOnEveryFamily) {
+  for (GeneratorFamily family : verify::all_families()) {
+    const net::SensorNetwork network = verify::generate_network(
+        family, 1, {.sensors = 48, .side = 160.0, .range = 24.0});
+    const core::ShdgpInstance instance(network);
+    for (const auto& planner : verify::heuristic_planners()) {
+      SCOPED_TRACE(std::string(verify::to_string(family)) + " / " +
+                   planner->name());
+      const core::ShdgpSolution solution = planner->plan(instance);
+      const core::Status status = verify::check_solution(instance, solution);
+      EXPECT_TRUE(status.is_ok()) << status.to_string();
+    }
+  }
+}
+
+TEST(CheckSolutionTest, AcceptsFreeformRefinedSolutions) {
+  const net::SensorNetwork network =
+      verify::generate_network(GeneratorFamily::kUniform, 2);
+  const core::ShdgpInstance instance(network);
+  core::ShdgpSolution solution = core::GreedyCoverPlanner().plan(instance);
+  core::refine_polling_positions(instance, solution, {});
+  const core::Status status = verify::check_solution(instance, solution);
+  EXPECT_TRUE(status.is_ok()) << status.to_string();
+}
+
+class CheckSolutionMutationTest : public ::testing::Test {
+ protected:
+  CheckSolutionMutationTest()
+      : network_(verify::generate_network(GeneratorFamily::kUniform, 3,
+                                          {.sensors = 40})),
+        instance_(network_),
+        solution_(plan_on(instance_)) {}
+
+  net::SensorNetwork network_;
+  core::ShdgpInstance instance_;
+  core::ShdgpSolution solution_;
+};
+
+TEST_F(CheckSolutionMutationTest, CleanSolutionPasses) {
+  EXPECT_TRUE(verify::check_solution(instance_, solution_).is_ok());
+}
+
+TEST_F(CheckSolutionMutationTest, DetectsStaleTourLength) {
+  solution_.tour_length += 1e-3;
+  const core::Status status = verify::check_solution(instance_, solution_);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), core::StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("tour length"), std::string::npos);
+}
+
+TEST_F(CheckSolutionMutationTest, DetectsOutOfRangeAssignment) {
+  // Reassign a sensor to the polling point farthest from it.
+  ASSERT_GT(solution_.polling_points.size(), 1u);
+  std::size_t victim = 0;
+  std::size_t far_slot = 0;
+  double far_d = -1.0;
+  for (std::size_t i = 0; i < solution_.polling_points.size(); ++i) {
+    const double d = geom::distance(network_.position(victim),
+                                    solution_.polling_points[i]);
+    if (d > far_d) {
+      far_d = d;
+      far_slot = i;
+    }
+  }
+  ASSERT_GT(far_d, network_.range());
+  solution_.assignment[victim] = far_slot;
+  const core::Status status = verify::check_solution(instance_, solution_);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_NE(status.message().find("cannot reach"), std::string::npos);
+}
+
+TEST_F(CheckSolutionMutationTest, DetectsDanglingAssignmentSlot) {
+  solution_.assignment[1] = solution_.polling_points.size();
+  EXPECT_FALSE(verify::check_solution(instance_, solution_).is_ok());
+}
+
+TEST_F(CheckSolutionMutationTest, DetectsTruncatedAssignment) {
+  solution_.assignment.pop_back();
+  EXPECT_FALSE(verify::check_solution(instance_, solution_).is_ok());
+}
+
+TEST_F(CheckSolutionMutationTest, DetectsCandidatePositionMismatch) {
+  ASSERT_FALSE(solution_.polling_points.empty());
+  solution_.polling_points[0].x += 0.5;
+  // Position no longer matches its candidate id; likely also breaks the
+  // tour length. Both are violations; the candidate check must fire.
+  const core::Status status =
+      verify::check_solution(instance_, solution_, {.fail_fast = false});
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_NE(status.message().find("does not match candidate"),
+            std::string::npos);
+}
+
+TEST_F(CheckSolutionMutationTest, DetectsUnknownCandidateId) {
+  ASSERT_FALSE(solution_.polling_candidates.empty());
+  solution_.polling_candidates[0] = instance_.coverage().candidate_count();
+  EXPECT_FALSE(verify::check_solution(instance_, solution_).is_ok());
+}
+
+TEST_F(CheckSolutionMutationTest, DetectsTourNotStartingAtSink) {
+  ASSERT_GT(solution_.tour.size(), 2u);
+  solution_.tour.rotate_to_front(1);
+  // Rotating moves the sink off position 0 but keeps the closed length,
+  // so exactly the start-at-sink invariant fires.
+  const core::Status status = verify::check_solution(instance_, solution_);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_NE(status.message().find("expected the sink"), std::string::npos);
+}
+
+TEST_F(CheckSolutionMutationTest, DetectsTourOverWrongStopCount) {
+  solution_.polling_points.push_back(solution_.polling_points[0]);
+  solution_.polling_candidates.push_back(solution_.polling_candidates[0]);
+  const core::Status status =
+      verify::check_solution(instance_, solution_, {.fail_fast = false});
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_NE(status.message().find("tour visits"), std::string::npos);
+}
+
+TEST_F(CheckSolutionMutationTest, FailFastStopsAtFirstViolation) {
+  solution_.assignment[0] = solution_.polling_points.size();
+  solution_.tour_length += 1.0;
+  const core::Status all =
+      verify::check_solution(instance_, solution_, {.fail_fast = false});
+  const core::Status first =
+      verify::check_solution(instance_, solution_, {.fail_fast = true});
+  ASSERT_FALSE(all.is_ok());
+  ASSERT_FALSE(first.is_ok());
+  EXPECT_GT(all.message().size(), first.message().size());
+}
+
+}  // namespace
+}  // namespace mdg

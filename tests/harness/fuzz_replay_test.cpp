@@ -1,0 +1,147 @@
+// Deterministic fuzz fallback over the checked-in seed corpus: every
+// loader survives the corpus and thousands of seeded mutations of it,
+// valid entries parse, corrupted entries are rejected with the
+// documented Status codes (the PR 4 untrusted-input contract).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "verify/fuzz.h"
+
+namespace mdg {
+namespace {
+
+std::filesystem::path corpus_dir(verify::FuzzTarget target) {
+  return std::filesystem::path(MDG_CORPUS_DIR) / verify::to_string(target);
+}
+
+std::vector<std::string> load_corpus(verify::FuzzTarget target) {
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(corpus_dir(target))) {
+    paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());  // deterministic replay order
+  std::vector<std::string> corpus;
+  for (const auto& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    corpus.push_back(buf.str());
+  }
+  return corpus;
+}
+
+std::string corpus_entry(verify::FuzzTarget target, const std::string& name) {
+  std::ifstream in(corpus_dir(target) / name, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing corpus entry " << name;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+constexpr verify::FuzzTarget kTargets[] = {verify::FuzzTarget::kNetwork,
+                                           verify::FuzzTarget::kSolution,
+                                           verify::FuzzTarget::kFaultConfig};
+
+TEST(FuzzReplayTest, SeedCorpusIsCheckedInForEveryTarget) {
+  for (verify::FuzzTarget target : kTargets) {
+    SCOPED_TRACE(verify::to_string(target));
+    EXPECT_GE(load_corpus(target).size(), 5u);
+  }
+}
+
+TEST(FuzzReplayTest, CorpusAndMutationsNeverCrashAnyLoader) {
+  for (verify::FuzzTarget target : kTargets) {
+    SCOPED_TRACE(verify::to_string(target));
+    const std::vector<std::string> corpus = load_corpus(target);
+    const verify::FuzzStats stats =
+        verify::fuzz_corpus(target, corpus, /*seed=*/42, /*iterations=*/2000);
+    EXPECT_EQ(stats.executions, corpus.size() + 2000);
+    // The corpus mixes valid and invalid entries, so both outcomes must
+    // occur, and mutations must reach more than a couple of distinct
+    // diagnostics (the coverage proxy of the fallback driver).
+    EXPECT_GT(stats.accepted, 0u);
+    EXPECT_GT(stats.rejected, 0u);
+    EXPECT_GE(stats.unique_outcomes, 5u);
+  }
+}
+
+TEST(FuzzReplayTest, ReplayIsDeterministic) {
+  const std::vector<std::string> corpus =
+      load_corpus(verify::FuzzTarget::kNetwork);
+  const verify::FuzzStats a =
+      verify::fuzz_corpus(verify::FuzzTarget::kNetwork, corpus, 7, 500);
+  const verify::FuzzStats b =
+      verify::fuzz_corpus(verify::FuzzTarget::kNetwork, corpus, 7, 500);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.unique_outcomes, b.unique_outcomes);
+}
+
+TEST(FuzzReplayTest, ValidEntriesParse) {
+  EXPECT_TRUE(verify::fuzz_one(verify::FuzzTarget::kNetwork,
+                               corpus_entry(verify::FuzzTarget::kNetwork,
+                                            "valid_small.txt"))
+                  .is_ok());
+  EXPECT_TRUE(verify::fuzz_one(verify::FuzzTarget::kSolution,
+                               corpus_entry(verify::FuzzTarget::kSolution,
+                                            "valid.txt"))
+                  .is_ok());
+  EXPECT_TRUE(verify::fuzz_one(verify::FuzzTarget::kFaultConfig,
+                               corpus_entry(verify::FuzzTarget::kFaultConfig,
+                                            "valid.txt"))
+                  .is_ok());
+}
+
+TEST(FuzzReplayTest, CorruptedEntriesAreRejectedWithTheDocumentedCodes) {
+  // Exit-code mapping (docs/ERRORS.md): kInvalidArgument / kDataLoss
+  // both map to mdg_cli exit 3 — bad input, never an internal error.
+  using enum core::StatusCode;
+  const struct {
+    verify::FuzzTarget target;
+    const char* name;
+    core::StatusCode expected;
+  } kCases[] = {
+      {verify::FuzzTarget::kNetwork, "bad_magic.txt", kInvalidArgument},
+      {verify::FuzzTarget::kNetwork, "nan_coord.txt", kInvalidArgument},
+      {verify::FuzzTarget::kNetwork, "truncated.txt", kDataLoss},
+      {verify::FuzzTarget::kNetwork, "negative_range.txt", kInvalidArgument},
+      {verify::FuzzTarget::kNetwork, "outside_field.txt", kInvalidArgument},
+      {verify::FuzzTarget::kSolution, "nan_length.txt", kInvalidArgument},
+      {verify::FuzzTarget::kSolution, "slot_out_of_range.txt",
+       kInvalidArgument},
+      {verify::FuzzTarget::kSolution, "huge_polling_count.txt",
+       kInvalidArgument},
+      {verify::FuzzTarget::kSolution, "truncated.txt", kDataLoss},
+      {verify::FuzzTarget::kFaultConfig, "bad_value.txt", kInvalidArgument},
+      {verify::FuzzTarget::kFaultConfig, "unknown_key.txt", kInvalidArgument},
+      {verify::FuzzTarget::kFaultConfig, "out_of_range_prob.txt",
+       kInvalidArgument},
+      {verify::FuzzTarget::kFaultConfig, "wrong_version.txt",
+       kInvalidArgument},
+  };
+  for (const auto& c : kCases) {
+    SCOPED_TRACE(std::string(verify::to_string(c.target)) + "/" + c.name);
+    const core::Status status =
+        verify::fuzz_one(c.target, corpus_entry(c.target, c.name));
+    ASSERT_FALSE(status.is_ok());
+    EXPECT_EQ(status.code(), c.expected) << status.to_string();
+  }
+}
+
+TEST(FuzzReplayTest, TargetNamesRoundTrip) {
+  for (verify::FuzzTarget target : kTargets) {
+    const auto parsed = verify::fuzz_target_from_string(to_string(target));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, target);
+  }
+  EXPECT_FALSE(verify::fuzz_target_from_string("kernel").has_value());
+}
+
+}  // namespace
+}  // namespace mdg

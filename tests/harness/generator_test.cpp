@@ -1,0 +1,142 @@
+// Generator library: determinism, family coverage and the degenerate
+// shapes each adversarial family promises.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/serialize.h"
+#include "verify/generate.h"
+
+namespace mdg {
+namespace {
+
+using verify::GeneratorFamily;
+
+std::string network_bytes(const net::SensorNetwork& network) {
+  std::ostringstream out;
+  io::write_network(out, network);
+  return out.str();
+}
+
+TEST(GeneratorTest, FamilyListsPartitionAllFamilies) {
+  EXPECT_EQ(verify::all_families().size(),
+            verify::standard_families().size() +
+                verify::degenerate_families().size());
+  EXPECT_EQ(verify::standard_families().size(), 5u);
+  EXPECT_EQ(verify::degenerate_families().size(), 4u);
+}
+
+TEST(GeneratorTest, NamesRoundTrip) {
+  for (GeneratorFamily family : verify::all_families()) {
+    const auto parsed = verify::family_from_string(verify::to_string(family));
+    ASSERT_TRUE(parsed.has_value()) << verify::to_string(family);
+    EXPECT_EQ(*parsed, family);
+  }
+  EXPECT_FALSE(verify::family_from_string("warp-drive").has_value());
+}
+
+TEST(GeneratorTest, SameSeedIsByteIdentical) {
+  for (GeneratorFamily family : verify::all_families()) {
+    SCOPED_TRACE(verify::to_string(family));
+    const net::SensorNetwork a = verify::generate_network(family, 7);
+    const net::SensorNetwork b = verify::generate_network(family, 7);
+    EXPECT_EQ(network_bytes(a), network_bytes(b));
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  for (GeneratorFamily family : verify::standard_families()) {
+    SCOPED_TRACE(verify::to_string(family));
+    const net::SensorNetwork a = verify::generate_network(family, 1);
+    const net::SensorNetwork b = verify::generate_network(family, 2);
+    EXPECT_NE(network_bytes(a), network_bytes(b));
+  }
+}
+
+TEST(GeneratorTest, RequestedShapeIsHonoured) {
+  const verify::GeneratorOptions options{.sensors = 40, .side = 120.0,
+                                         .range = 18.0};
+  for (GeneratorFamily family : verify::standard_families()) {
+    SCOPED_TRACE(verify::to_string(family));
+    const net::SensorNetwork network =
+        verify::generate_network(family, 3, options);
+    EXPECT_EQ(network.size(), 40u);
+    EXPECT_DOUBLE_EQ(network.range(), 18.0);
+    EXPECT_DOUBLE_EQ(network.field().width(), 120.0);
+    for (geom::Point p : network.positions()) {
+      EXPECT_TRUE(network.field().contains(p));
+    }
+  }
+}
+
+TEST(GeneratorTest, CollinearSensorsShareTheSinkLine) {
+  const net::SensorNetwork network =
+      verify::generate_network(GeneratorFamily::kCollinear, 5);
+  ASSERT_GT(network.size(), 0u);
+  const double y = network.sink().y;
+  for (geom::Point p : network.positions()) {
+    EXPECT_EQ(p.y, y);  // exactly collinear, not approximately
+  }
+}
+
+TEST(GeneratorTest, CoincidentFamilyStacksSensors) {
+  const net::SensorNetwork network =
+      verify::generate_network(GeneratorFamily::kCoincident, 5);
+  // Count exact duplicates: the family promises many fewer distinct
+  // sites than sensors.
+  std::vector<geom::Point> distinct;
+  for (geom::Point p : network.positions()) {
+    bool seen = false;
+    for (geom::Point q : distinct) {
+      if (p == q) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      distinct.push_back(p);
+    }
+  }
+  EXPECT_LT(distinct.size(), network.size() / 2);
+}
+
+TEST(GeneratorTest, BoundaryFamilyPlacesExactRangePairs) {
+  const verify::GeneratorOptions options{};
+  const net::SensorNetwork network =
+      verify::generate_network(GeneratorFamily::kBoundary, 5, options);
+  // Even-indexed anchor, odd-indexed partner exactly `range` apart along
+  // an axis (modulo field clamping, which the generator avoids).
+  std::size_t exact_pairs = 0;
+  for (std::size_t i = 0; i + 1 < network.size(); i += 2) {
+    const geom::Point a = network.position(i);
+    const geom::Point b = network.position(i + 1);
+    const double d = geom::distance(a, b);
+    if (d == options.range) {
+      ++exact_pairs;
+    }
+    EXPECT_TRUE(geom::within_range(a, b, network.range()));
+  }
+  EXPECT_GT(exact_pairs, network.size() / 4);
+}
+
+TEST(GeneratorTest, TinyFamilyCoversZeroAndOneSensors) {
+  const net::SensorNetwork zero =
+      verify::generate_network(GeneratorFamily::kTiny, 2);
+  EXPECT_EQ(zero.size(), 0u);
+  const net::SensorNetwork one =
+      verify::generate_network(GeneratorFamily::kTiny, 3);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(GeneratorTest, FamiliesDrawIndependentForkStreams) {
+  // Two families with the same seed must not produce the same bytes
+  // (each forks its own stream).
+  const net::SensorNetwork uniform =
+      verify::generate_network(GeneratorFamily::kUniform, 11);
+  const net::SensorNetwork corridor =
+      verify::generate_network(GeneratorFamily::kCorridor, 11);
+  EXPECT_NE(network_bytes(uniform), network_bytes(corridor));
+}
+
+}  // namespace
+}  // namespace mdg

@@ -1,0 +1,202 @@
+// Metamorphic properties: known input transformations with provable
+// output relations. Scaling by a power of two and rotating by 90° are
+// *exact* in IEEE-754 (every coordinate and distance maps through exact
+// operations), so those relations hold to the last bit; translation and
+// sensor addition are checked through the exact planner, whose global
+// optimum is insensitive to floating-point trajectory flips.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/exact_planner.h"
+#include "core/greedy_cover_planner.h"
+#include "core/spanning_tour_planner.h"
+#include "verify/canonical.h"
+#include "verify/check.h"
+#include "verify/generate.h"
+
+namespace mdg {
+namespace {
+
+using verify::GeneratorFamily;
+
+net::SensorNetwork transformed(const net::SensorNetwork& network,
+                               auto&& point_map, geom::Aabb field) {
+  std::vector<geom::Point> pts;
+  pts.reserve(network.size());
+  for (geom::Point p : network.positions()) {
+    pts.push_back(point_map(p));
+  }
+  return net::SensorNetwork(std::move(pts), point_map(network.sink()), field,
+                            network.range(), network.radio());
+}
+
+TEST(MetamorphicTest, ScalingByTwoScalesEveryTourExactly) {
+  const net::SensorNetwork base = verify::generate_network(
+      GeneratorFamily::kUniform, 1, {.sensors = 60, .side = 150.0});
+  // Doubling every coordinate (and the range) is exact in IEEE-754:
+  // every distance comparison resolves identically, so the planner's
+  // trajectory is identical and the tour length exactly doubles.
+  net::SensorNetwork scaled = [&] {
+    std::vector<geom::Point> pts;
+    for (geom::Point p : base.positions()) {
+      pts.push_back({p.x * 2.0, p.y * 2.0});
+    }
+    return net::SensorNetwork(std::move(pts), base.sink() * 2.0,
+                              {base.field().lo * 2.0, base.field().hi * 2.0},
+                              base.range() * 2.0, base.radio());
+  }();
+  const core::ShdgpInstance instance(base);
+  const core::ShdgpInstance scaled_instance(scaled);
+  const core::GreedyCoverPlanner greedy;
+  const core::SpanningTourPlanner spanning;
+  for (const core::Planner* planner :
+       std::initializer_list<const core::Planner*>{&greedy, &spanning}) {
+    SCOPED_TRACE(planner->name());
+    const core::ShdgpSolution a = planner->plan(instance);
+    const core::ShdgpSolution b = planner->plan(scaled_instance);
+    EXPECT_EQ(b.tour.order(), a.tour.order());
+    EXPECT_EQ(b.tour_length, a.tour_length * 2.0);  // exact, not approximate
+  }
+}
+
+TEST(MetamorphicTest, QuarterTurnPreservesEveryTourExactly) {
+  const net::SensorNetwork base = verify::generate_network(
+      GeneratorFamily::kClusters, 2, {.sensors = 60, .side = 150.0});
+  // (x, y) -> (-y, x): negation is exact, so all pairwise distances are
+  // bit-identical and so is the planner trajectory.
+  const double side = base.field().width();
+  net::SensorNetwork rotated =
+      transformed(base, [](geom::Point p) { return geom::Point{-p.y, p.x}; },
+                  geom::Aabb{{-side, 0.0}, {0.0, side}});
+  const core::ShdgpInstance instance(base);
+  const core::ShdgpInstance rotated_instance(rotated);
+  const core::GreedyCoverPlanner greedy;
+  const core::SpanningTourPlanner spanning;
+  for (const core::Planner* planner :
+       std::initializer_list<const core::Planner*>{&greedy, &spanning}) {
+    SCOPED_TRACE(planner->name());
+    const core::ShdgpSolution a = planner->plan(instance);
+    const core::ShdgpSolution b = planner->plan(rotated_instance);
+    EXPECT_EQ(b.tour.order(), a.tour.order());
+    EXPECT_EQ(b.tour_length, a.tour_length);
+  }
+}
+
+TEST(MetamorphicTest, TranslationPreservesTheExactOptimum) {
+  const net::SensorNetwork base = verify::generate_network(
+      GeneratorFamily::kUniform, 3, {.sensors = 9, .side = 80.0});
+  const geom::Point shift{1000.0, -500.0};
+  net::SensorNetwork moved = transformed(
+      base, [&](geom::Point p) { return p + shift; },
+      geom::Aabb{base.field().lo + shift, base.field().hi + shift});
+  const core::ShdgpInstance instance(base);
+  const core::ShdgpInstance moved_instance(moved);
+  const core::ShdgpSolution a = core::ExactPlanner().plan(instance);
+  const core::ShdgpSolution b = core::ExactPlanner().plan(moved_instance);
+  ASSERT_TRUE(a.provably_optimal);
+  ASSERT_TRUE(b.provably_optimal);
+  // The global optimum is translation-invariant; only accumulated
+  // floating-point rounding (~ulp per edge) may differ.
+  EXPECT_NEAR(a.tour_length, b.tour_length,
+              verify::length_tolerance(a.tour_length, a.tour.size()) * 100.0);
+}
+
+TEST(MetamorphicTest, AddingAnAlreadyCoveredSensorNeverLengthensTheOptimum) {
+  const net::SensorNetwork base = verify::generate_network(
+      GeneratorFamily::kUniform, 4, {.sensors = 9, .side = 80.0});
+  ASSERT_GT(base.size(), 0u);
+  // A sensor coincident with an existing one has the identical coverage
+  // relation, so every previously feasible plan stays feasible: the
+  // exact optimum cannot increase.
+  std::vector<geom::Point> pts = base.positions();
+  pts.push_back(pts.front());
+  net::SensorNetwork widened(std::move(pts), base.sink(), base.field(),
+                             base.range(), base.radio());
+  const core::ShdgpInstance instance(base);
+  const core::ShdgpInstance widened_instance(widened);
+  const core::ShdgpSolution before = core::ExactPlanner().plan(instance);
+  const core::ShdgpSolution after = core::ExactPlanner().plan(widened_instance);
+  ASSERT_TRUE(before.provably_optimal);
+  ASSERT_TRUE(after.provably_optimal);
+  EXPECT_LE(after.tour_length,
+            before.tour_length + 1e-9 * (1.0 + before.tour_length));
+}
+
+// Input-permutation invariance holds for planners whose every choice is
+// geometric: greedy-cover breaks gain ties by anchor distance (candidate
+// ids never decide on instances in general position), and the exact
+// planner returns the global optimum.  SpanningTourPlanner is excluded
+// by design: its initial TSP over *all* sensors walks an index-order-
+// dependent 2-opt trajectory, so permuting the input can land it in a
+// different (equally valid) local optimum that no canonicalization of
+// the output can undo.
+TEST(MetamorphicTest, PermutingSensorOrderYieldsByteIdenticalCanonicalPlans) {
+  for (GeneratorFamily family :
+       {GeneratorFamily::kUniform, GeneratorFamily::kClusters}) {
+    for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+      SCOPED_TRACE(std::string(verify::to_string(family)) + " seed " +
+                   std::to_string(seed));
+      const net::SensorNetwork base = verify::generate_network(
+          family, seed, {.sensors = 50, .side = 150.0});
+      // Deterministically shuffle the sensor order.
+      std::vector<std::size_t> perm(base.size());
+      std::iota(perm.begin(), perm.end(), 0);
+      Rng rng(seed * 1000003);
+      rng.shuffle(perm);
+      std::vector<geom::Point> pts;
+      pts.reserve(base.size());
+      for (std::size_t i : perm) {
+        pts.push_back(base.position(i));
+      }
+      net::SensorNetwork shuffled(std::move(pts), base.sink(), base.field(),
+                                  base.range(), base.radio());
+      const core::ShdgpInstance instance(base);
+      const core::ShdgpInstance shuffled_instance(shuffled);
+      const core::GreedyCoverPlanner greedy;
+      const core::ShdgpSolution a = greedy.plan(instance);
+      const core::ShdgpSolution b = greedy.plan(shuffled_instance);
+      EXPECT_EQ(verify::canonical_plan_bytes(instance, a),
+                verify::canonical_plan_bytes(shuffled_instance, b));
+    }
+  }
+}
+
+TEST(MetamorphicTest, PermutingSensorOrderPreservesTheExactOptimum) {
+  const net::SensorNetwork base = verify::generate_network(
+      GeneratorFamily::kUniform, 5, {.sensors = 9, .side = 80.0});
+  std::vector<geom::Point> pts(base.positions().rbegin(),
+                               base.positions().rend());
+  net::SensorNetwork reversed(std::move(pts), base.sink(), base.field(),
+                              base.range(), base.radio());
+  const core::ShdgpInstance instance(base);
+  const core::ShdgpInstance reversed_instance(reversed);
+  const core::ShdgpSolution a = core::ExactPlanner().plan(instance);
+  const core::ShdgpSolution b = core::ExactPlanner().plan(reversed_instance);
+  ASSERT_TRUE(a.provably_optimal);
+  ASSERT_TRUE(b.provably_optimal);
+  EXPECT_EQ(verify::canonical_plan_bytes(instance, a),
+            verify::canonical_plan_bytes(reversed_instance, b));
+}
+
+TEST(MetamorphicTest, CanonicalBytesNormalizeTourDirection) {
+  const net::SensorNetwork network = verify::generate_network(
+      GeneratorFamily::kUniform, 6, {.sensors = 20});
+  const core::ShdgpInstance instance(network);
+  core::ShdgpSolution solution = core::GreedyCoverPlanner().plan(instance);
+  const std::string forward = verify::canonical_plan_bytes(instance, solution);
+  // Reversing the tour (same closed cycle, opposite direction) must not
+  // change the canonical bytes.
+  if (solution.tour.size() > 2) {
+    solution.tour.reverse_segment(1, solution.tour.size() - 1);
+    std::vector<geom::Point> all{instance.sink()};
+    all.insert(all.end(), solution.polling_points.begin(),
+               solution.polling_points.end());
+    solution.tour_length = solution.tour.length(all);
+  }
+  EXPECT_EQ(verify::canonical_plan_bytes(instance, solution), forward);
+}
+
+}  // namespace
+}  // namespace mdg

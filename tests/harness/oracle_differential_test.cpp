@@ -1,0 +1,128 @@
+// Differential-oracle suite: every heuristic vs. the exact planner on
+// small instances, and vs. TSP lower bounds on mid-size instances.
+//
+// Reproduce any failure locally with:  build/tools/repro <family> <seed>
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "verify/check.h"
+#include "verify/generate.h"
+#include "verify/oracle.h"
+
+namespace mdg {
+namespace {
+
+using verify::GeneratorFamily;
+
+std::string repro_hint(GeneratorFamily family, std::uint64_t seed) {
+  return "reproduce: build/tools/repro " +
+         std::string(verify::to_string(family)) + " " + std::to_string(seed);
+}
+
+using OracleParam = std::tuple<GeneratorFamily, std::uint64_t>;
+
+class SmallInstanceOracleTest : public ::testing::TestWithParam<OracleParam> {};
+
+TEST_P(SmallInstanceOracleTest, HeuristicsNeverBeatTheExactOptimum) {
+  const auto [family, seed] = GetParam();
+  SCOPED_TRACE(repro_hint(family, seed));
+  // n <= 12: the exact planner proves optimality, so it is an oracle.
+  const net::SensorNetwork network = verify::generate_network(
+      family, seed, {.sensors = 10, .side = 90.0, .range = 22.0});
+  ASSERT_LE(network.size(), 12u);
+  const core::ShdgpInstance instance(network);
+  const verify::OracleReport report = verify::run_differential(instance);
+  EXPECT_TRUE(report.status().is_ok()) << report.status().to_string();
+  if (network.size() > 0) {
+    EXPECT_TRUE(report.exact_available)
+        << "exact planner failed to prove optimality on a 10-sensor instance";
+  }
+  // The roster ran: exact + the five heuristics.
+  EXPECT_EQ(report.verdicts.size(), 6u);
+  for (const verify::PlannerVerdict& verdict : report.verdicts) {
+    SCOPED_TRACE(verdict.planner);
+    EXPECT_TRUE(verdict.status.is_ok()) << verdict.status.to_string();
+    if (report.exact_available) {
+      EXPECT_GE(verdict.tour_length,
+                report.exact_length - 1e-9 * (1.0 + report.exact_length));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, SmallInstanceOracleTest,
+    ::testing::Combine(::testing::ValuesIn(verify::all_families().begin(),
+                                           verify::all_families().end()),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{3})),
+    [](const ::testing::TestParamInfo<OracleParam>& info) {
+      return std::string(verify::to_string(std::get<0>(info.param))) +
+             "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+class MidSizeLowerBoundTest : public ::testing::TestWithParam<OracleParam> {};
+
+TEST_P(MidSizeLowerBoundTest, ToursDominateTheirLowerBounds) {
+  const auto [family, seed] = GetParam();
+  SCOPED_TRACE(repro_hint(family, seed));
+  const net::SensorNetwork network = verify::generate_network(
+      family, seed, {.sensors = 200, .side = 300.0, .range = 30.0});
+  const core::ShdgpInstance instance(network);
+  for (const auto& planner : verify::heuristic_planners()) {
+    SCOPED_TRACE(planner->name());
+    const core::ShdgpSolution solution = planner->plan(instance);
+    const core::Status invariants = verify::check_solution(instance, solution);
+    EXPECT_TRUE(invariants.is_ok()) << invariants.to_string();
+    const core::Status bound =
+        verify::check_tour_lower_bound(instance, solution);
+    EXPECT_TRUE(bound.is_ok()) << bound.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StandardFamilies, MidSizeLowerBoundTest,
+    ::testing::Combine(
+        ::testing::ValuesIn(verify::standard_families().begin(),
+                            verify::standard_families().end()),
+        ::testing::Values(std::uint64_t{1})),
+    [](const ::testing::TestParamInfo<OracleParam>& info) {
+      return std::string(verify::to_string(std::get<0>(info.param))) +
+             "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(OracleSelfTest, FlagsAFabricatedImpossiblyShortTour) {
+  // The oracle itself must be falsifiable: a solution claiming a tour
+  // shorter than the exact optimum has to be flagged.
+  const net::SensorNetwork network = verify::generate_network(
+      GeneratorFamily::kUniform, 4, {.sensors = 8, .side = 80.0});
+  const core::ShdgpInstance instance(network);
+  const verify::OracleReport honest = verify::run_differential(instance);
+  ASSERT_TRUE(honest.exact_available);
+  core::ShdgpSolution liar = verify::heuristic_planners()
+                                 .front()
+                                 ->plan(instance);
+  const core::Status caught = verify::check_not_better_than_exact(
+      [&] {
+        core::ShdgpSolution s = liar;
+        s.tour_length = honest.exact_length * 0.5;
+        return s;
+      }(),
+      honest.exact_length);
+  EXPECT_FALSE(caught.is_ok());
+  EXPECT_NE(caught.message().find("impossible"), std::string::npos);
+}
+
+TEST(OracleSelfTest, LowerBoundCheckIsFalsifiable) {
+  const net::SensorNetwork network = verify::generate_network(
+      GeneratorFamily::kUniform, 5, {.sensors = 30});
+  const core::ShdgpInstance instance(network);
+  core::ShdgpSolution solution =
+      verify::heuristic_planners().front()->plan(instance);
+  solution.tour_length = 1e-6;  // below any MST over >= 2 spread stops
+  EXPECT_FALSE(verify::check_tour_lower_bound(instance, solution).is_ok());
+}
+
+}  // namespace
+}  // namespace mdg

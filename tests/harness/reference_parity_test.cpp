@@ -1,0 +1,140 @@
+// Reference-kernel parity on adversarial degenerates (satellite 3):
+// every optimized kernel must match its *_reference twin byte for byte
+// on boundary-range and coincident instances, at sizes below AND above
+// the dispatch cutoffs (kGridNearestBelow / kLazyGreedyEdgeBelow = 128,
+// kLazyHeapBelow = 256 candidates — ALGORITHMS.md §cutoffs), so both
+// the reference and the accelerated code path face the degenerates.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "cover/set_cover.h"
+#include "tsp/construct.h"
+#include "tsp/improve.h"
+#include "tsp/matrix.h"
+#include "verify/check.h"
+#include "verify/generate.h"
+
+namespace mdg {
+namespace {
+
+using verify::GeneratorFamily;
+
+constexpr GeneratorFamily kAdversarial[] = {
+    GeneratorFamily::kBoundary, GeneratorFamily::kCoincident,
+    GeneratorFamily::kCollinear};
+
+// One size per side of each dispatch cutoff.
+constexpr std::size_t kConstructSizes[] = {60, 300};   // cutoffs at 128
+constexpr std::size_t kCoverSizes[] = {96, 320};       // cutoff at 256
+
+net::SensorNetwork adversarial_network(GeneratorFamily family,
+                                       std::uint64_t seed,
+                                       std::size_t sensors) {
+  return verify::generate_network(
+      family, seed, {.sensors = sensors, .side = 220.0, .range = 25.0});
+}
+
+TEST(ReferenceParityTest, NearestNeighborMatchesReferenceOnDegenerates) {
+  for (GeneratorFamily family : kAdversarial) {
+    for (std::size_t sensors : kConstructSizes) {
+      SCOPED_TRACE(std::string(verify::to_string(family)) + " n=" +
+                   std::to_string(sensors));
+      const net::SensorNetwork network =
+          adversarial_network(family, 21, sensors);
+      std::vector<geom::Point> points{network.sink()};
+      points.insert(points.end(), network.positions().begin(),
+                    network.positions().end());
+      const tsp::Tour fast = tsp::nearest_neighbor(points);
+      const tsp::Tour reference = tsp::nearest_neighbor_reference(points);
+      EXPECT_EQ(fast.order(), reference.order());
+    }
+  }
+}
+
+TEST(ReferenceParityTest, GreedyEdgeMatchesReferenceOnDegenerates) {
+  for (GeneratorFamily family : kAdversarial) {
+    for (std::size_t sensors : kConstructSizes) {
+      SCOPED_TRACE(std::string(verify::to_string(family)) + " n=" +
+                   std::to_string(sensors));
+      const net::SensorNetwork network =
+          adversarial_network(family, 22, sensors);
+      std::vector<geom::Point> points{network.sink()};
+      points.insert(points.end(), network.positions().begin(),
+                    network.positions().end());
+      const tsp::Tour fast = tsp::greedy_edge(points);
+      const tsp::Tour reference = tsp::greedy_edge_reference(points);
+      EXPECT_EQ(fast.order(), reference.order());
+    }
+  }
+}
+
+TEST(ReferenceParityTest, GreedySetCoverMatchesReferenceOnDegenerates) {
+  for (GeneratorFamily family : kAdversarial) {
+    for (std::size_t sensors : kCoverSizes) {
+      SCOPED_TRACE(std::string(verify::to_string(family)) + " n=" +
+                   std::to_string(sensors));
+      const net::SensorNetwork network =
+          adversarial_network(family, 23, sensors);
+      const core::ShdgpInstance instance(network);
+      cover::GreedyOptions options;
+      options.anchor = network.sink();
+      const cover::SetCoverResult fast = cover::greedy_set_cover(
+          instance.coverage(), network, options);
+      const cover::SetCoverResult reference = cover::greedy_set_cover_reference(
+          instance.coverage(), network, options);
+      EXPECT_EQ(fast.selected, reference.selected);
+      EXPECT_EQ(fast.assignment, reference.assignment);
+    }
+  }
+}
+
+TEST(ReferenceParityTest, NeighborListTwoOptStaysValidOnDegenerates) {
+  // The neighbor-list 2-opt explores a restricted move set, so tours may
+  // legitimately differ from the full-scan kernel — the parity contract
+  // here is: both converge to valid tours, and the accelerated kernel
+  // is never worse than a small factor of the full scan.
+  for (GeneratorFamily family : kAdversarial) {
+    for (std::size_t sensors : kConstructSizes) {
+      SCOPED_TRACE(std::string(verify::to_string(family)) + " n=" +
+                   std::to_string(sensors));
+      const net::SensorNetwork network =
+          adversarial_network(family, 24, sensors);
+      std::vector<geom::Point> points{network.sink()};
+      points.insert(points.end(), network.positions().begin(),
+                    network.positions().end());
+      tsp::Tour full = tsp::nearest_neighbor(points);
+      tsp::Tour fast = full;
+      (void)tsp::two_opt(full, points);
+      (void)tsp::two_opt_neighbors(fast, points);
+      ASSERT_TRUE(tsp::Tour::is_permutation(fast.order()));
+      ASSERT_TRUE(tsp::Tour::is_permutation(full.order()));
+      const double full_len = full.length(points);
+      const double fast_len = fast.length(points);
+      // Coincident stacks are the worst case for the restricted move
+      // set (measured ~5% there), so the sanity bound is 10%.
+      EXPECT_LE(fast_len, 1.10 * full_len + 1e-9)
+          << "neighbor-list 2-opt lost more than 10% vs the full scan";
+    }
+  }
+}
+
+TEST(ReferenceParityTest, CoincidentPointsKeepEveryKernelFinite) {
+  // All sensors at a single site plus the sink: the harshest duplicate
+  // case — every pairwise distance is 0 or d(site, sink).
+  std::vector<geom::Point> points{{10.0, 10.0}};
+  for (int i = 0; i < 40; ++i) {
+    points.push_back({30.0, 30.0});
+  }
+  const tsp::Tour nn_fast = tsp::nearest_neighbor(points);
+  const tsp::Tour nn_ref = tsp::nearest_neighbor_reference(points);
+  EXPECT_EQ(nn_fast.order(), nn_ref.order());
+  const tsp::Tour ge_fast = tsp::greedy_edge(points);
+  const tsp::Tour ge_ref = tsp::greedy_edge_reference(points);
+  EXPECT_EQ(ge_fast.order(), ge_ref.order());
+}
+
+}  // namespace
+}  // namespace mdg

@@ -1,5 +1,8 @@
-// Parameterized property sweep: SHDGP invariants across the full
-// (N, Rs, deployment) evaluation grid the benches exercise.
+// Parameterized property sweep over the verify:: generator library
+// (satellite of the verification harness): all five standard generator
+// families x three seeds, every invariant re-checked by
+// verify::check_solution. A failing test names its reproducer up front:
+// run `build/tools/repro <generator> <seed>` to replay it outside gtest.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -7,66 +10,51 @@
 
 #include "core/spanning_tour_planner.h"
 #include "cover/set_cover.h"
-#include "net/deployment.h"
 #include "tsp/lower_bound.h"
-#include "util/rng.h"
+#include "verify/check.h"
+#include "verify/generate.h"
 
 namespace mdg {
 namespace {
 
-enum class Deployment { kUniform, kGridJitter, kClusters, kIslands };
-
-std::string deployment_name(Deployment d) {
-  switch (d) {
-    case Deployment::kUniform:
-      return "uniform";
-    case Deployment::kGridJitter:
-      return "grid";
-    case Deployment::kClusters:
-      return "clusters";
-    case Deployment::kIslands:
-      return "islands";
-  }
-  return "unknown";
-}
-
-using SweepParam = std::tuple<std::size_t, double, Deployment>;
+using verify::GeneratorFamily;
+using SweepParam = std::tuple<GeneratorFamily, std::uint64_t>;
 
 class ShdgpSweepTest : public ::testing::TestWithParam<SweepParam> {
  protected:
-  net::SensorNetwork make_network(std::uint64_t seed) const {
-    const auto [n, rs, deployment] = GetParam();
-    Rng rng(seed);
-    const auto field = geom::Aabb::square(200.0);
-    std::vector<geom::Point> pts;
-    switch (deployment) {
-      case Deployment::kUniform:
-        pts = net::deploy_uniform(n, field, rng);
-        break;
-      case Deployment::kGridJitter:
-        pts = net::deploy_grid_jitter(n, field, 0.3, rng);
-        break;
-      case Deployment::kClusters:
-        pts = net::deploy_gaussian_clusters(n, field, 4, 22.0, rng);
-        break;
-      case Deployment::kIslands:
-        pts = net::deploy_two_islands(n, field, 0.35, rng);
-        break;
-    }
-    return net::SensorNetwork(std::move(pts), field.center(), field, rs);
+  void SetUp() override {
+    const auto [family, seed] = GetParam();
+    // Printed on any failure below: the exact command that replays this
+    // instance through plan -> verify outside the test binary.
+    repro_ = "reproduce: build/tools/repro " +
+             std::string(verify::to_string(family)) + " " +
+             std::to_string(seed);
   }
+
+  net::SensorNetwork make_network() const {
+    const auto [family, seed] = GetParam();
+    return verify::generate_network(
+        family, seed, {.sensors = 150, .side = 200.0, .range = 30.0});
+  }
+
+  std::string repro_;
 };
 
 TEST_P(ShdgpSweepTest, SolutionSatisfiesEveryInvariant) {
-  const net::SensorNetwork network = make_network(1);
+  SCOPED_TRACE(repro_);
+  const net::SensorNetwork network = make_network();
   const core::ShdgpInstance instance(network);
   const core::ShdgpSolution solution =
       core::SpanningTourPlanner().plan(instance);
   EXPECT_NO_THROW(solution.validate(instance));
+  // Independent second opinion through the harness checker.
+  const core::Status status = verify::check_solution(instance, solution);
+  EXPECT_TRUE(status.is_ok()) << status.to_string();
 }
 
 TEST_P(ShdgpSweepTest, PollingPointsRespectScatteringBound) {
-  const net::SensorNetwork network = make_network(2);
+  SCOPED_TRACE(repro_);
+  const net::SensorNetwork network = make_network();
   const core::ShdgpInstance instance(network);
   const core::ShdgpSolution solution =
       core::SpanningTourPlanner().plan(instance);
@@ -76,8 +64,9 @@ TEST_P(ShdgpSweepTest, PollingPointsRespectScatteringBound) {
 }
 
 TEST_P(ShdgpSweepTest, TourRespectsMstLowerBound) {
+  SCOPED_TRACE(repro_);
   // Any closed tour over sink + polling points is at least their MST.
-  const net::SensorNetwork network = make_network(3);
+  const net::SensorNetwork network = make_network();
   const core::ShdgpInstance instance(network);
   const core::ShdgpSolution solution =
       core::SpanningTourPlanner().plan(instance);
@@ -88,7 +77,8 @@ TEST_P(ShdgpSweepTest, TourRespectsMstLowerBound) {
 }
 
 TEST_P(ShdgpSweepTest, UploadsAreWithinRange) {
-  const net::SensorNetwork network = make_network(4);
+  SCOPED_TRACE(repro_);
+  const net::SensorNetwork network = make_network();
   const core::ShdgpInstance instance(network);
   const core::ShdgpSolution solution =
       core::SpanningTourPlanner().plan(instance);
@@ -96,18 +86,15 @@ TEST_P(ShdgpSweepTest, UploadsAreWithinRange) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Grid, ShdgpSweepTest,
-    ::testing::Combine(::testing::Values(std::size_t{60}, std::size_t{150},
-                                         std::size_t{300}),
-                       ::testing::Values(20.0, 35.0, 50.0),
-                       ::testing::Values(Deployment::kUniform,
-                                         Deployment::kGridJitter,
-                                         Deployment::kClusters,
-                                         Deployment::kIslands)),
+    Families, ShdgpSweepTest,
+    ::testing::Combine(
+        ::testing::ValuesIn(verify::standard_families().begin(),
+                            verify::standard_families().end()),
+        ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                          std::uint64_t{3})),
     [](const ::testing::TestParamInfo<SweepParam>& info) {
-      return "N" + std::to_string(std::get<0>(info.param)) + "_Rs" +
-             std::to_string(static_cast<int>(std::get<1>(info.param))) +
-             "_" + deployment_name(std::get<2>(info.param));
+      return std::string(verify::to_string(std::get<0>(info.param))) +
+             "_seed" + std::to_string(std::get<1>(info.param));
     });
 
 }  // namespace

@@ -1,0 +1,120 @@
+// fuzz_replay — run corpus entries through the fuzz targets' loaders.
+//
+//   fuzz_replay <target> <file-or-dir>... [options]
+//     --expect-ok       fail (exit 1) if any input is rejected
+//     --expect-reject   fail (exit 1) if any input parses
+//     --mutate <n>      additionally run n seeded mutations of the corpus
+//     --seed <s>        mutation seed (default 1)
+//
+// <target> is network | solution | faults. Directories are expanded
+// (sorted, non-recursive). Each input prints one line: the file, whether
+// it parsed, and the diagnostic otherwise. The crash property is
+// implicit: if a loader crashes, this process dies and the caller (CI or
+// tools/minimize_crash.py) sees the signal. Exit codes: 0 all
+// expectations met, 1 an expectation failed, 2 usage, 3 unreadable
+// input.
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "verify/fuzz.h"
+
+namespace {
+
+using namespace mdg;
+
+int usage() {
+  std::cerr << "usage: fuzz_replay <network|solution|faults> "
+               "<file-or-dir>... [--expect-ok|--expect-reject] "
+               "[--mutate <n> --seed <s>]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return usage();
+  }
+  const auto target = verify::fuzz_target_from_string(argv[1]);
+  if (!target.has_value()) {
+    std::cerr << "unknown fuzz target '" << argv[1] << "'\n";
+    return usage();
+  }
+
+  std::vector<std::filesystem::path> inputs;
+  bool expect_ok = false;
+  bool expect_reject = false;
+  std::size_t mutations = 0;
+  std::uint64_t seed = 1;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--expect-ok") {
+      expect_ok = true;
+    } else if (arg == "--expect-reject") {
+      expect_reject = true;
+    } else if (arg == "--mutate" && i + 1 < argc) {
+      mutations = std::stoull(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return usage();
+    } else if (std::filesystem::is_directory(arg)) {
+      std::vector<std::filesystem::path> entries;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) {
+          entries.push_back(entry.path());
+        }
+      }
+      std::sort(entries.begin(), entries.end());
+      inputs.insert(inputs.end(), entries.begin(), entries.end());
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (expect_ok && expect_reject) {
+    std::cerr << "--expect-ok and --expect-reject are mutually exclusive\n";
+    return usage();
+  }
+  if (inputs.empty()) {
+    std::cerr << "no inputs\n";
+    return usage();
+  }
+
+  std::vector<std::string> corpus;
+  bool expectations_met = true;
+  for (const auto& path : inputs) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+      std::cerr << "cannot read '" << path.string() << "'\n";
+      return 3;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    corpus.push_back(buf.str());
+    const core::Status status = verify::fuzz_one(*target, corpus.back());
+    std::cout << path.string() << ": "
+              << (status.is_ok() ? "ok" : status.to_string()) << '\n';
+    if (expect_ok && !status.is_ok()) {
+      expectations_met = false;
+    }
+    if (expect_reject && status.is_ok()) {
+      expectations_met = false;
+    }
+  }
+
+  if (mutations > 0) {
+    const verify::FuzzStats stats =
+        verify::fuzz_corpus(*target, corpus, seed, mutations);
+    std::cout << "mutations: " << mutations << " executed, " << stats.accepted
+              << " accepted, " << stats.rejected << " rejected, "
+              << stats.unique_outcomes << " distinct outcomes\n";
+  }
+  return expectations_met ? 0 : 1;
+}

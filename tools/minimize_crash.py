@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Greedy delta-debugging minimizer for fuzz crash inputs.
+
+Usage:
+    tools/minimize_crash.py <network|solution|faults> <crash-file> \
+        [--replay build/tools/fuzz_replay] [--out minimized.txt]
+
+Re-runs the replay binary on candidate reductions of <crash-file> and
+keeps any reduction that still crashes (the replay process dying on a
+signal; a clean rejection with exit 0/1 is NOT a crash). Two passes are
+alternated until a fixed point: drop contiguous line blocks (halving
+block sizes), then drop contiguous character spans. Deterministic — no
+randomness — so a given crash always minimizes to the same bytes.
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+CLEAN_EXITS = {0, 1, 2, 3}  # replay verdicts; anything else is a crash
+
+
+def crashes(replay: str, target: str, data: bytes) -> bool:
+    with tempfile.NamedTemporaryFile(suffix=".txt") as handle:
+        handle.write(data)
+        handle.flush()
+        try:
+            proc = subprocess.run(
+                [replay, target, handle.name],
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+                timeout=30,
+                check=False,
+            )
+        except subprocess.TimeoutExpired:
+            return True  # hangs count as crashes for minimization
+        return proc.returncode not in CLEAN_EXITS
+
+
+def minimize_blocks(data: list[bytes], check) -> list[bytes]:
+    """ddmin over a list of chunks: try dropping ever-smaller blocks."""
+    block = max(len(data) // 2, 1)
+    while block >= 1:
+        changed = True
+        while changed:
+            changed = False
+            i = 0
+            while i < len(data):
+                candidate = data[:i] + data[i + block:]
+                if candidate != data and check(candidate):
+                    data = candidate
+                    changed = True
+                else:
+                    i += block
+        if block == 1:
+            break
+        block //= 2
+    return data
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("target", choices=["network", "solution", "faults"])
+    parser.add_argument("crash_file", type=pathlib.Path)
+    parser.add_argument("--replay", default="build/tools/fuzz_replay")
+    parser.add_argument("--out", type=pathlib.Path, default=None)
+    args = parser.parse_args()
+
+    original = args.crash_file.read_bytes()
+    if not crashes(args.replay, args.target, original):
+        print("input does not crash the replay binary; nothing to minimize",
+              file=sys.stderr)
+        return 1
+
+    # Pass 1: whole lines. Pass 2: characters. Repeat until stable.
+    data = original
+    while True:
+        before = data
+        lines = data.splitlines(keepends=True)
+        lines = minimize_blocks(
+            lines, lambda c: crashes(args.replay, args.target, b"".join(c)))
+        data = b"".join(lines)
+        chars = [bytes([b]) for b in data]
+        chars = minimize_blocks(
+            chars, lambda c: crashes(args.replay, args.target, b"".join(c)))
+        data = b"".join(chars)
+        if data == before:
+            break
+
+    out = args.out or args.crash_file.with_suffix(".min")
+    out.write_bytes(data)
+    print(f"minimized {len(original)} -> {len(data)} bytes: {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
