@@ -39,6 +39,7 @@
 #include "obs/report.h"
 #include "tsp/construct.h"
 #include "tsp/improve.h"
+#include "tsp/neighbor_lists.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -101,6 +102,141 @@ void improve_classic(tsp::Tour& tour, std::span<const geom::Point> pts) {
   tsp::improve(tour, pts, classic);
 }
 
+/// The sequential neighbour-list engine, partitioning disabled — the
+/// single-thread baseline the partitioned path is measured against.
+void improve_sequential(tsp::Tour& tour, std::span<const geom::Point> pts) {
+  tsp::ImproveOptions seq;
+  seq.full_scan_below = 0;
+  seq.partition_above = 0;
+  tsp::improve(tour, pts, seq);
+}
+
+/// Large-n scaling sweep (--scale): coverage build, neighbour-list
+/// build, tour construction and tour improvement at n up to 10^6, each
+/// at 1 planning thread and at the full pool, written as a
+/// schema-valid RunReport (the CI perf-smoke step validates it with
+/// tools/report_diff --schema). The improvement kernel is measured both
+/// through the production dispatch (the partitioned parallel engine at
+/// these sizes) and with partitioning disabled, so the record carries
+/// the partitioned-vs-sequential speedup and tour-quality ratio; the
+/// dispatched tour order must be byte-identical at every thread count
+/// or the bench exits non-zero.
+int run_scale(std::size_t trials, std::uint64_t seed,
+              const std::string& out_path, std::size_t max_n) {
+  const Stopwatch total_watch;
+  const Rng base(seed);
+  std::vector<std::size_t> sizes;
+  for (const std::size_t n :
+       {std::size_t{2000}, std::size_t{8000}, std::size_t{100000},
+        std::size_t{1000000}}) {
+    if (n <= max_n) {
+      sizes.push_back(n);
+    }
+  }
+  std::vector<std::size_t> thread_set{1};
+  if (planning_threads() > 1) {
+    thread_set.push_back(planning_threads());
+  }
+
+  Table table("P1 scale: median ms over " + std::to_string(trials) +
+                  " trials (improve speedup vs sequential engine)",
+              2);
+  table.set_header({"n", "thr", "coverage", "neighbors", "construct",
+                    "improve", "improve-seq", "(x)", "len-ratio"});
+  std::vector<obs::RunReport::Gauge> gauges;
+  const auto med = [](const std::vector<double>& v) {
+    return quantile(v, 0.5);
+  };
+  const auto tag = [](const char* kernel, std::size_t n, std::size_t thr) {
+    return std::string("scale.") + kernel + ".n" + std::to_string(n) + ".t" +
+           std::to_string(thr);
+  };
+
+  for (const std::size_t n : sizes) {
+    // Per-thread-count sample vectors, indexed like thread_set.
+    std::vector<std::vector<double>> t_cov(thread_set.size()),
+        t_nbr(thread_set.size()), t_con(thread_set.size()),
+        t_imp(thread_set.size());
+    std::vector<double> t_seq, ratios;
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng = base.fork(n * 1000 + t);
+      const net::SensorNetwork network = make_topology(n, rng);
+      std::vector<geom::Point> pts{network.sink()};
+      pts.insert(pts.end(), network.positions().begin(),
+                 network.positions().end());
+      Stopwatch watch;
+      std::vector<std::size_t> first_order;
+      double dispatched_length = 0.0;
+      for (std::size_t ti = 0; ti < thread_set.size(); ++ti) {
+        const ScopedPlanningThreads scoped(thread_set[ti]);
+        watch.reset();
+        const cover::CoverageMatrix matrix(network, cover::CandidateOptions{});
+        t_cov[ti].push_back(watch.elapsed_ms());
+        watch.reset();
+        const tsp::NeighborLists nbrs(pts, 12);
+        t_nbr[ti].push_back(watch.elapsed_ms());
+        watch.reset();
+        const tsp::Tour nn = tsp::nearest_neighbor(pts);
+        t_con[ti].push_back(watch.elapsed_ms());
+        tsp::Tour tour = nn;
+        watch.reset();
+        tsp::improve(tour, pts);  // production dispatch
+        t_imp[ti].push_back(watch.elapsed_ms());
+        if (ti == 0) {
+          first_order = tour.order();
+          dispatched_length = tour.length(pts);
+          tsp::Tour seq_tour = nn;
+          watch.reset();
+          improve_sequential(seq_tour, pts);
+          t_seq.push_back(watch.elapsed_ms());
+          ratios.push_back(dispatched_length / seq_tour.length(pts));
+        } else if (tour.order() != first_order) {
+          std::cerr << "FATAL: dispatched improve diverged between "
+                    << thread_set[0] << " and " << thread_set[ti]
+                    << " planning threads at n=" << n << "\n";
+          return 2;
+        }
+      }
+    }
+    for (std::size_t ti = 0; ti < thread_set.size(); ++ti) {
+      const std::size_t thr = thread_set[ti];
+      gauges.push_back({tag("coverage_build_ms", n, thr), med(t_cov[ti])});
+      gauges.push_back({tag("neighbors_build_ms", n, thr), med(t_nbr[ti])});
+      gauges.push_back({tag("construct_ms", n, thr), med(t_con[ti])});
+      gauges.push_back({tag("improve_ms", n, thr), med(t_imp[ti])});
+      if (ti == 0) {
+        gauges.push_back({tag("improve_seq_ms", n, 1), med(t_seq)});
+        gauges.push_back({tag("improve_len_ratio", n, 1), med(ratios)});
+      }
+      table.add_row({static_cast<long long>(n),
+                     static_cast<long long>(thr), med(t_cov[ti]),
+                     med(t_nbr[ti]), med(t_con[ti]), med(t_imp[ti]),
+                     med(t_seq), med(t_seq) / std::max(med(t_imp[ti]), 1e-9),
+                     quantile(ratios, 0.5)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << std::endl;
+
+  obs::RunReport report;
+  report.command = "bench";
+  report.planner = "p1_scale";
+  report.seed = seed;
+  report.git_describe = obs::current_git_describe();
+  report.wall_ms = total_watch.elapsed_ms();
+  report.params = {{"trials", std::to_string(trials)},
+                   {"scale-max-n", std::to_string(max_n)},
+                   {"threads", std::to_string(planning_threads())}};
+  std::sort(gauges.begin(), gauges.end(),
+            [](const obs::RunReport::Gauge& a, const obs::RunReport::Gauge& b) {
+              return a.name < b.name;
+            });
+  report.gauges = std::move(gauges);
+  report.save(out_path);
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -118,9 +254,17 @@ int main(int argc, char** argv) {
   const std::size_t thread_cap =
       static_cast<std::size_t>(flags.get_int("threads", 0));
   const std::string report_path = flags.get_string("report", "");
+  const bool scale = flags.get_bool("scale", false);
+  const std::string scale_out =
+      flags.get_string("scale-out", "BENCH_scale.json");
+  const std::size_t scale_max_n =
+      static_cast<std::size_t>(flags.get_int("scale-max-n", 1000000));
   flags.finish();
   set_planning_threads(thread_cap);
   const std::size_t threads = planning_threads();
+  if (scale) {
+    return run_scale(trials, seed, scale_out, scale_max_n);
+  }
   if (!report_path.empty()) {
     obs::MetricsRegistry::set_enabled(true);
     obs::MetricsRegistry::instance().reset();
@@ -330,13 +474,45 @@ int main(int argc, char** argv) {
     pts.insert(pts.end(), network.positions().begin(),
                network.positions().end());
     const tsp::Tour nn = tsp::nearest_neighbor(pts);
+    // Timed exactly like the synthetic sizes: interleaved
+    // production/reference batches per trial, median ms per call — these
+    // rows used to report 0 for every timing field.
+    const std::size_t reps = std::max<std::size_t>(1, 1600 / pts.size());
+    const double inv_reps = 1.0 / static_cast<double>(reps);
+    std::vector<double> t_fast, t_slow;
     tsp::Tour fast = nn;
-    tsp::improve(fast, pts);
     tsp::Tour slow = nn;
-    improve_classic(slow, pts);
+    {
+      tsp::Tour warmup = nn;  // untimed
+      tsp::improve(warmup, pts);
+    }
+    Stopwatch watch;
+    for (std::size_t t = 0; t < trials; ++t) {
+      double fast_ms = 0.0;
+      double slow_ms = 0.0;
+      for (std::size_t r = 0; r < reps; ++r) {
+        fast = nn;
+        watch.reset();
+        tsp::improve(fast, pts);
+        fast_ms += watch.elapsed_ms();
+        slow = nn;
+        watch.reset();
+        improve_classic(slow, pts);
+        slow_ms += watch.elapsed_ms();
+      }
+      t_fast.push_back(fast_ms * inv_reps);
+      t_slow.push_back(slow_ms * inv_reps);
+    }
     const double ratio = fast.length(pts) / slow.length(pts);
-    KernelResult inst{std::string("improve_") + name, network.size(), 0.0,
-                      0.0, 0.0, 0.0, ratio, threads};
+    KernelResult inst{std::string("improve_") + name,
+                      network.size(),
+                      quantile(t_fast, 0.5),
+                      quantile(t_fast, 0.9),
+                      quantile(t_slow, 0.5),
+                      quantile(t_slow, 0.5) /
+                          std::max(quantile(t_fast, 0.5), 1e-9),
+                      ratio,
+                      threads};
     results.push_back(inst);
     if (ratio > 1.02) {
       std::cerr << "improvement kernel regressed >2% vs the seed "

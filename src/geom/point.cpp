@@ -29,10 +29,7 @@ double closed_tour_length(std::span<const Point> points) {
 }
 
 bool within_range(Point a, Point b, double range) {
-  // Relative epsilon keeps boundary nodes connected despite rounding in
-  // coordinate generation.
-  const double r = range * (1.0 + 1e-12);
-  return distance_sq(a, b) <= r * r;
+  return distance_sq(a, b) <= range_bound_sq(range);
 }
 
 }  // namespace mdg::geom

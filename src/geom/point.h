@@ -75,6 +75,15 @@ struct Point {
 /// Total length of the closed polygonal tour p0→p1→…→pk→p0.
 [[nodiscard]] double closed_tour_length(std::span<const Point> points);
 
+/// The inclusive squared bound within_range tests against: a relative
+/// epsilon keeps sensors exactly at the range boundary connected despite
+/// rounding in coordinate generation. Single source of truth — the SoA
+/// batch kernels (points_soa.h) must agree with within_range bit for bit.
+[[nodiscard]] constexpr double range_bound_sq(double range) {
+  const double r = range * (1.0 + 1e-12);
+  return r * r;
+}
+
 /// True when the two points are within `range` of each other (inclusive,
 /// with a tiny epsilon so sensors exactly at the range boundary count as
 /// connected, matching unit-disk-graph conventions).

@@ -1,0 +1,255 @@
+#include "geom/points_soa.h"
+
+#include <cmath>
+#include <limits>
+
+// Restrict-qualified loop pointers let the auto-vectorizer assume the
+// output never aliases the coordinate streams.
+#if defined(__GNUC__) || defined(__clang__)
+#define MDG_RESTRICT __restrict__
+#else
+#define MDG_RESTRICT
+#endif
+
+namespace mdg::geom {
+
+PointsSoA::PointsSoA(std::span<const Point> points) {
+  xs_.resize(points.size());
+  ys_.resize(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    xs_[i] = points[i].x;
+    ys_[i] = points[i].y;
+  }
+}
+
+std::vector<Point> PointsSoA::to_points() const {
+  std::vector<Point> out(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    out[i] = {xs_[i], ys_[i]};
+  }
+  return out;
+}
+
+void distance_sq_batch(std::span<const double> xs, std::span<const double> ys,
+                       Point origin, std::span<double> out) {
+  const double ox = origin.x;
+  const double oy = origin.y;
+  const double* MDG_RESTRICT px = xs.data();
+  const double* MDG_RESTRICT py = ys.data();
+  double* MDG_RESTRICT po = out.data();
+  const std::size_t n = xs.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = px[i] - ox;
+    const double dy = py[i] - oy;
+    po[i] = dx * dx + dy * dy;
+  }
+}
+
+void distance_batch(std::span<const double> xs, std::span<const double> ys,
+                    Point origin, std::span<double> out) {
+  const double ox = origin.x;
+  const double oy = origin.y;
+  const double* MDG_RESTRICT px = xs.data();
+  const double* MDG_RESTRICT py = ys.data();
+  double* MDG_RESTRICT po = out.data();
+  const std::size_t n = xs.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = px[i] - ox;
+    const double dy = py[i] - oy;
+    po[i] = std::sqrt(dx * dx + dy * dy);
+  }
+}
+
+std::size_t range_count(std::span<const double> xs, std::span<const double> ys,
+                        Point origin, double radius) {
+  const double bound = range_bound_sq(radius);
+  const double ox = origin.x;
+  const double oy = origin.y;
+  const double* MDG_RESTRICT px = xs.data();
+  const double* MDG_RESTRICT py = ys.data();
+  const std::size_t n = xs.size();
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = px[i] - ox;
+    const double dy = py[i] - oy;
+    count += static_cast<std::size_t>(dx * dx + dy * dy <= bound);
+  }
+  return count;
+}
+
+void range_collect(std::span<const double> xs, std::span<const double> ys,
+                   Point origin, double radius, std::size_t base,
+                   std::vector<std::size_t>& out) {
+  const double bound = range_bound_sq(radius);
+  const double ox = origin.x;
+  const double oy = origin.y;
+  const double* MDG_RESTRICT px = xs.data();
+  const double* MDG_RESTRICT py = ys.data();
+  const std::size_t n = xs.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = px[i] - ox;
+    const double dy = py[i] - oy;
+    if (dx * dx + dy * dy <= bound) {
+      out.push_back(base + i);
+    }
+  }
+}
+
+void range_collect(std::span<const double> xs, std::span<const double> ys,
+                   Point origin, double radius,
+                   std::span<const std::size_t> ids,
+                   std::vector<std::size_t>& out) {
+  const double bound = range_bound_sq(radius);
+  const double ox = origin.x;
+  const double oy = origin.y;
+  const double* MDG_RESTRICT px = xs.data();
+  const double* MDG_RESTRICT py = ys.data();
+  const std::size_t n = xs.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = px[i] - ox;
+    const double dy = py[i] - oy;
+    if (dx * dx + dy * dy <= bound) {
+      out.push_back(ids[i]);
+    }
+  }
+}
+
+void range_collect_sq(std::span<const double> xs, std::span<const double> ys,
+                      Point origin, double radius,
+                      std::span<const std::size_t> ids, std::size_t skip,
+                      std::vector<std::pair<double, std::size_t>>& out) {
+  const double bound = range_bound_sq(radius);
+  const double ox = origin.x;
+  const double oy = origin.y;
+  const double* MDG_RESTRICT px = xs.data();
+  const double* MDG_RESTRICT py = ys.data();
+  const std::size_t n = xs.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = px[i] - ox;
+    const double dy = py[i] - oy;
+    const double d2 = dx * dx + dy * dy;
+    if (d2 <= bound && ids[i] != skip) {
+      out.emplace_back(d2, ids[i]);
+    }
+  }
+}
+
+MinScan min_distance_sq(std::span<const double> xs, std::span<const double> ys,
+                        Point origin) {
+  const std::size_t n = xs.size();
+  if (n == 0) {
+    return {};
+  }
+  const double ox = origin.x;
+  const double oy = origin.y;
+  const double* MDG_RESTRICT px = xs.data();
+  const double* MDG_RESTRICT py = ys.data();
+  // Pass 1: a pure min reduction (exact, so vectorization cannot change
+  // the value). Pass 2: the lowest position attaining it, recomputed
+  // scalar with the identical expression.
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = px[i] - ox;
+    const double dy = py[i] - oy;
+    const double d2 = dx * dx + dy * dy;
+    best = d2 < best ? d2 : best;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = px[i] - ox;
+    const double dy = py[i] - oy;
+    if (dx * dx + dy * dy == best) {
+      return {best, i};
+    }
+  }
+  return {};  // unreachable: some element attains the minimum
+}
+
+MinScan min_distance_sq_by_id(std::span<const double> xs,
+                              std::span<const double> ys,
+                              std::span<const std::size_t> ids, Point origin) {
+  const std::size_t n = xs.size();
+  if (n == 0) {
+    return {};
+  }
+  const double ox = origin.x;
+  const double oy = origin.y;
+  const double* MDG_RESTRICT px = xs.data();
+  const double* MDG_RESTRICT py = ys.data();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = px[i] - ox;
+    const double dy = py[i] - oy;
+    const double d2 = dx * dx + dy * dy;
+    best = d2 < best ? d2 : best;
+  }
+  // The ids are in arbitrary order (e.g. swap-with-last removal), so the
+  // tie-break scans every attaining entry for the lowest id.
+  std::size_t best_id = MinScan::npos;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = px[i] - ox;
+    const double dy = py[i] - oy;
+    if (dx * dx + dy * dy == best && ids[i] < best_id) {
+      best_id = ids[i];
+    }
+  }
+  return {best, best_id};
+}
+
+void distance_sq_batch_reference(std::span<const double> xs,
+                                 std::span<const double> ys, Point origin,
+                                 std::span<double> out) {
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out[i] = distance_sq({xs[i], ys[i]}, origin);
+  }
+}
+
+std::size_t range_count_reference(std::span<const double> xs,
+                                  std::span<const double> ys, Point origin,
+                                  double radius) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (within_range({xs[i], ys[i]}, origin, radius)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+MinScan min_distance_sq_reference(std::span<const double> xs,
+                                  std::span<const double> ys, Point origin) {
+  MinScan best;
+  best.distance_sq = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double d2 = distance_sq({xs[i], ys[i]}, origin);
+    if (d2 < best.distance_sq) {
+      best.distance_sq = d2;
+      best.position = i;
+    }
+  }
+  if (best.position == MinScan::npos) {
+    return {};
+  }
+  return best;
+}
+
+MinScan min_distance_sq_by_id_reference(std::span<const double> xs,
+                                        std::span<const double> ys,
+                                        std::span<const std::size_t> ids,
+                                        Point origin) {
+  MinScan best;
+  best.distance_sq = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double d2 = distance_sq({xs[i], ys[i]}, origin);
+    if (d2 < best.distance_sq ||
+        (d2 == best.distance_sq && ids[i] < best.position)) {
+      best.distance_sq = d2;
+      best.position = ids[i];
+    }
+  }
+  if (best.position == MinScan::npos) {
+    return {};
+  }
+  return best;
+}
+
+}  // namespace mdg::geom

@@ -1,0 +1,120 @@
+// Structure-of-arrays point storage and the batch distance kernels the
+// million-node hot paths run on.
+//
+// The AoS geom::Point API stays the interchange format; PointsSoA is the
+// compute layout. Splitting x[] and y[] turns every one-against-many
+// distance evaluation into two contiguous streams the compiler
+// auto-vectorizes (SSE2 by default, AVX2/AVX-512 under -DMDG_NATIVE=ON),
+// and every kernel below is written so the vectorized and scalar
+// executions are bit-identical: each element's result is computed with
+// the same operand order as the scalar geom::distance_sq, reductions
+// only use exact operations (min of doubles), and tie-breaks re-scan
+// scalar — so plans are byte-identical across ISAs and configurations
+// (the CI native-parity job enforces this; see DESIGN.md
+// §determinism-under-parallelism).
+//
+// Every kernel has a *_reference twin — the naive scalar loop — kept as
+// the parity oracle for tests/geom/points_soa_test.cpp.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace mdg::geom {
+
+/// Separate x/y coordinate arrays over a fixed point set.
+class PointsSoA {
+ public:
+  PointsSoA() = default;
+  explicit PointsSoA(std::span<const Point> points);
+
+  [[nodiscard]] std::size_t size() const { return xs_.size(); }
+  [[nodiscard]] bool empty() const { return xs_.empty(); }
+  [[nodiscard]] std::span<const double> xs() const { return xs_; }
+  [[nodiscard]] std::span<const double> ys() const { return ys_; }
+  [[nodiscard]] double x(std::size_t i) const { return xs_[i]; }
+  [[nodiscard]] double y(std::size_t i) const { return ys_[i]; }
+
+  /// Adapter back to the AoS API.
+  [[nodiscard]] Point point(std::size_t i) const { return {xs_[i], ys_[i]}; }
+  [[nodiscard]] std::vector<Point> to_points() const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+/// out[i] = squared distance from (xs[i], ys[i]) to `origin`; identical
+/// to distance_sq({xs[i], ys[i]}, origin) element for element.
+void distance_sq_batch(std::span<const double> xs, std::span<const double> ys,
+                       Point origin, std::span<double> out);
+
+/// out[i] = Euclidean distance from (xs[i], ys[i]) to `origin`.
+void distance_batch(std::span<const double> xs, std::span<const double> ys,
+                    Point origin, std::span<double> out);
+
+/// Number of points within `radius` of `origin` (within_range semantics:
+/// inclusive with the boundary epsilon).
+[[nodiscard]] std::size_t range_count(std::span<const double> xs,
+                                      std::span<const double> ys, Point origin,
+                                      double radius);
+
+/// Appends `base + i` (ascending i) for every point within `radius` of
+/// `origin`. The compacted-index form grid structures use on a
+/// contiguous cell run.
+void range_collect(std::span<const double> xs, std::span<const double> ys,
+                   Point origin, double radius, std::size_t base,
+                   std::vector<std::size_t>& out);
+
+/// As above but appends `ids[i]` — for cell runs whose points carry
+/// non-contiguous external indices.
+void range_collect(std::span<const double> xs, std::span<const double> ys,
+                   Point origin, double radius,
+                   std::span<const std::size_t> ids,
+                   std::vector<std::size_t>& out);
+
+/// Appends `(distance_sq, ids[i])` (ascending i) for every point within
+/// `radius` of `origin`, skipping the entry whose id equals `skip`.
+void range_collect_sq(std::span<const double> xs, std::span<const double> ys,
+                      Point origin, double radius,
+                      std::span<const std::size_t> ids, std::size_t skip,
+                      std::vector<std::pair<double, std::size_t>>& out);
+
+/// Minimum squared distance over the span and the lowest position
+/// attaining it (exact ties toward the lower position). npos when empty.
+struct MinScan {
+  double distance_sq = 0.0;
+  std::size_t position = static_cast<std::size_t>(-1);
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+[[nodiscard]] MinScan min_distance_sq(std::span<const double> xs,
+                                      std::span<const double> ys,
+                                      Point origin);
+
+/// As min_distance_sq, but over entries carrying external ids in
+/// arbitrary order: the returned `position` holds the LOWEST id whose
+/// entry attains the minimum (not the span position). npos when empty.
+[[nodiscard]] MinScan min_distance_sq_by_id(std::span<const double> xs,
+                                            std::span<const double> ys,
+                                            std::span<const std::size_t> ids,
+                                            Point origin);
+
+// --- scalar parity oracles (tests only; never the hot path) -------------
+void distance_sq_batch_reference(std::span<const double> xs,
+                                 std::span<const double> ys, Point origin,
+                                 std::span<double> out);
+[[nodiscard]] std::size_t range_count_reference(std::span<const double> xs,
+                                                std::span<const double> ys,
+                                                Point origin, double radius);
+[[nodiscard]] MinScan min_distance_sq_reference(std::span<const double> xs,
+                                                std::span<const double> ys,
+                                                Point origin);
+[[nodiscard]] MinScan min_distance_sq_by_id_reference(
+    std::span<const double> xs, std::span<const double> ys,
+    std::span<const std::size_t> ids, Point origin);
+
+}  // namespace mdg::geom

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "geom/points_soa.h"
 #include "util/assert.h"
 
 namespace mdg::geom {
@@ -49,6 +50,12 @@ RemovalGrid::RemovalGrid(std::span<const Point> points, double cell_size)
     cell_items_[at] = i;
     position_[i] = at;
   }
+  cell_xs_.resize(n);
+  cell_ys_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cell_xs_[i] = points_[cell_items_[i]].x;
+    cell_ys_[i] = points_[cell_items_[i]].y;
+  }
 }
 
 std::pair<long long, long long> RemovalGrid::cell_of(Point p) const {
@@ -77,6 +84,8 @@ void RemovalGrid::remove(std::size_t idx) {
   position_[moved] = at;
   cell_items_[last] = idx;
   position_[idx] = last;
+  std::swap(cell_xs_[at], cell_xs_[last]);
+  std::swap(cell_ys_[at], cell_ys_[last]);
   --live_end_[slot];
   alive_[idx] = 0;
   --live_;
@@ -106,13 +115,17 @@ std::size_t RemovalGrid::nearest(Point center) const {
         if (slot == kNoCell) {
           continue;
         }
-        for (std::size_t i = cell_start_[slot]; i < live_end_[slot]; ++i) {
-          const std::size_t idx = cell_items_[i];
-          const double d2 = distance_sq(points_[idx], center);
-          if (d2 < best_d2 || (d2 == best_d2 && idx < best)) {
-            best_d2 = d2;
-            best = idx;
-          }
+        const std::size_t s = cell_start_[slot];
+        const std::size_t len = live_end_[slot] - s;
+        const MinScan m = min_distance_sq_by_id(
+            std::span(cell_xs_).subspan(s, len),
+            std::span(cell_ys_).subspan(s, len),
+            std::span(cell_items_).subspan(s, len), center);
+        if (m.position != MinScan::npos &&
+            (m.distance_sq < best_d2 ||
+             (m.distance_sq == best_d2 && m.position < best))) {
+          best_d2 = m.distance_sq;
+          best = m.position;
         }
       }
     }

@@ -50,10 +50,15 @@ class RemovalGrid {
   long long cells_x_ = 0;
   long long cells_y_ = 0;
   // CSR layout; the live members of cell s are
-  // cell_items_[cell_start_[s] .. live_end_[s]).
+  // cell_items_[cell_start_[s] .. live_end_[s]). cell_xs_/cell_ys_
+  // mirror cell_items_ in SoA form (swapped in lockstep on removal) so
+  // the nearest scan streams each live run through the vectorized
+  // min-distance kernel.
   std::vector<std::size_t> cell_start_;
   std::vector<std::size_t> live_end_;
   std::vector<std::size_t> cell_items_;
+  std::vector<double> cell_xs_;
+  std::vector<double> cell_ys_;
   std::vector<std::size_t> position_;  ///< index into cell_items_ per point
   std::vector<std::size_t> slot_;     ///< cell slot per point
   std::vector<char> alive_;

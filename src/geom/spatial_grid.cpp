@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "geom/points_soa.h"
 #include "util/assert.h"
 
 namespace mdg::geom {
@@ -42,6 +43,14 @@ SpatialGrid::SpatialGrid(std::span<const Point> points, double cell_size)
   for (std::size_t i = 0; i < points_.size(); ++i) {
     cell_points_[cursor[slots[i]]++] = i;
   }
+  // SoA mirror of cell_points_: each cell's coordinates as contiguous
+  // runs, so radius scans stream instead of gathering through points_.
+  cell_xs_.resize(points_.size());
+  cell_ys_.resize(points_.size());
+  for (std::size_t i = 0; i < cell_points_.size(); ++i) {
+    cell_xs_[i] = points_[cell_points_[i]].x;
+    cell_ys_[i] = points_[cell_points_[i]].y;
+  }
 }
 
 std::pair<long long, long long> SpatialGrid::cell_of(Point p) const {
@@ -60,9 +69,47 @@ std::size_t SpatialGrid::cell_slot(long long cx, long long cy) const {
 
 std::vector<std::size_t> SpatialGrid::query(Point center, double radius) const {
   std::vector<std::size_t> hits;
-  for_each_in_radius(center, radius,
-                     [&hits](std::size_t idx) { hits.push_back(idx); });
+  collect_in_radius(center, radius, hits);
   return hits;
+}
+
+void SpatialGrid::collect_in_radius(Point center, double radius,
+                                    std::vector<std::size_t>& out) const {
+  const auto [cx_lo, cy_lo] = cell_of({center.x - radius, center.y - radius});
+  const auto [cx_hi, cy_hi] = cell_of({center.x + radius, center.y + radius});
+  for (long long cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (long long cx = cx_lo; cx <= cx_hi; ++cx) {
+      const auto slot = cell_slot(cx, cy);
+      if (slot == kNoCell) {
+        continue;
+      }
+      const std::size_t s = cell_start_[slot];
+      const std::size_t len = cell_start_[slot + 1] - s;
+      range_collect(std::span(cell_xs_).subspan(s, len),
+                    std::span(cell_ys_).subspan(s, len), center, radius,
+                    std::span(cell_points_).subspan(s, len), out);
+    }
+  }
+}
+
+void SpatialGrid::collect_in_radius_sq(
+    Point center, double radius, std::size_t skip,
+    std::vector<std::pair<double, std::size_t>>& out) const {
+  const auto [cx_lo, cy_lo] = cell_of({center.x - radius, center.y - radius});
+  const auto [cx_hi, cy_hi] = cell_of({center.x + radius, center.y + radius});
+  for (long long cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (long long cx = cx_lo; cx <= cx_hi; ++cx) {
+      const auto slot = cell_slot(cx, cy);
+      if (slot == kNoCell) {
+        continue;
+      }
+      const std::size_t s = cell_start_[slot];
+      const std::size_t len = cell_start_[slot + 1] - s;
+      range_collect_sq(std::span(cell_xs_).subspan(s, len),
+                       std::span(cell_ys_).subspan(s, len), center, radius,
+                       std::span(cell_points_).subspan(s, len), skip, out);
+    }
+  }
 }
 
 std::size_t SpatialGrid::nearest(Point center) const {
@@ -80,15 +127,37 @@ std::size_t SpatialGrid::nearest(Point center) const {
                           distance_sq(center, {bounds_.hi.x, bounds_.lo.y})}));
   double radius = cell_size_;
   for (;;) {
+    // Min over every point in the scanned cells (a superset of the
+    // radius ball, so the confirmed-nearest logic below is unchanged);
+    // each cell run is one vectorized min scan, ties to lowest index.
     std::size_t best = npos;
     double best_d2 = std::numeric_limits<double>::infinity();
-    for_each_in_radius(center, radius, [&](std::size_t idx) {
-      const double d2 = distance_sq(points_[idx], center);
-      if (d2 < best_d2 || (d2 == best_d2 && idx < best)) {
-        best_d2 = d2;
-        best = idx;
+    const auto [cx_lo, cy_lo] = cell_of({center.x - radius, center.y - radius});
+    const auto [cx_hi, cy_hi] = cell_of({center.x + radius, center.y + radius});
+    for (long long cy = cy_lo; cy <= cy_hi; ++cy) {
+      for (long long cx = cx_lo; cx <= cx_hi; ++cx) {
+        const auto slot = cell_slot(cx, cy);
+        if (slot == kNoCell) {
+          continue;
+        }
+        const std::size_t s = cell_start_[slot];
+        const std::size_t len = cell_start_[slot + 1] - s;
+        const MinScan m = min_distance_sq(std::span(cell_xs_).subspan(s, len),
+                                          std::span(cell_ys_).subspan(s, len),
+                                          center);
+        if (m.position == MinScan::npos) {
+          continue;
+        }
+        // Within a run, cell_points_ ascends (the counting sort is
+        // stable), so the lowest position is also the lowest index.
+        const std::size_t idx = cell_points_[s + m.position];
+        if (m.distance_sq < best_d2 ||
+            (m.distance_sq == best_d2 && idx < best)) {
+          best_d2 = m.distance_sq;
+          best = idx;
+        }
       }
-    });
+    }
     if (best != npos && std::sqrt(best_d2) <= radius) {
       return best;
     }

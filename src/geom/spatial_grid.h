@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "geom/aabb.h"
@@ -28,6 +29,21 @@ class SpatialGrid {
   /// the same boundary epsilon as within_range). Order unspecified.
   [[nodiscard]] std::vector<std::size_t> query(Point center,
                                                double radius) const;
+
+  /// Appends the indices of all points within `radius` of `center` to
+  /// `out` — same hits and order as for_each_in_radius, but each cell's
+  /// contiguous coordinate run is scanned through the vectorized SoA
+  /// range kernel instead of gathering AoS points. The hot path behind
+  /// query(); exposed so callers can reuse one output buffer.
+  void collect_in_radius(Point center, double radius,
+                         std::vector<std::size_t>& out) const;
+
+  /// Appends `(distance_sq, index)` for every point within `radius` of
+  /// `center`, skipping index `skip` (pass npos to keep everything).
+  /// Feeds the k-nearest-neighbour build without a second distance pass.
+  void collect_in_radius_sq(
+      Point center, double radius, std::size_t skip,
+      std::vector<std::pair<double, std::size_t>>& out) const;
 
   /// Calls visit(index) for each point within `radius` of `center`;
   /// avoids allocating when the caller only needs to scan.
@@ -71,9 +87,12 @@ class SpatialGrid {
   long long cells_x_ = 0;
   long long cells_y_ = 0;
   // CSR layout: cell_start_[slot]..cell_start_[slot+1] indexes into
-  // cell_points_.
+  // cell_points_. cell_xs_/cell_ys_ mirror cell_points_ in SoA form so a
+  // cell scan reads two contiguous streams (points_soa.h kernels).
   std::vector<std::size_t> cell_start_;
   std::vector<std::size_t> cell_points_;
+  std::vector<double> cell_xs_;
+  std::vector<double> cell_ys_;
 };
 
 }  // namespace mdg::geom

@@ -76,6 +76,8 @@ std::span<const MetricInfo> known_metrics() {
       {metric::kTspImprove, "timer", "ms", "tsp::improve"},
       {metric::kTspImproveGainM, "gauge", "m", "tsp::improve"},
       {metric::kTspImprovePasses, "counter", "count", "tsp::improve"},
+      {metric::kTspImproveRounds, "gauge", "count", "tsp::improve"},
+      {metric::kTspImproveShards, "gauge", "count", "tsp::improve"},
       {metric::kTspNeighborsBuild, "timer", "ms",
        "tsp::NeighborLists::NeighborLists"},
       {metric::kTspOrOptMoves, "counter", "count", "tsp::improve"},

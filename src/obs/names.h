@@ -83,6 +83,8 @@ inline constexpr const char* kFaultRecoveryLengthM = "fault.recovery_length_m";
 inline constexpr const char* kPlanManyThreads = "plan.many_threads";
 inline constexpr const char* kSimMobileBufferPeak = "sim.mobile_buffer_peak";
 inline constexpr const char* kTspImproveGainM = "tsp.improve_gain_m";
+inline constexpr const char* kTspImproveRounds = "tsp.improve_rounds";
+inline constexpr const char* kTspImproveShards = "tsp.improve_shards";
 inline constexpr const char* kTspPortfolioThreads = "tsp.portfolio_threads";
 
 }  // namespace metric

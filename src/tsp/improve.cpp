@@ -7,6 +7,7 @@
 #include "obs/names.h"
 #include "obs/span.h"
 #include "tsp/neighbor_lists.h"
+#include "tsp/partition.h"
 #include "util/assert.h"
 
 namespace mdg::tsp {
@@ -140,8 +141,11 @@ class LocalSearchEngine {
       const std::size_t pb = dir == 0 ? succ(pa) : pred(pa);
       const std::size_t b = order_[pb];
       const double d_ab = dist(pts_, a, b);
-      for (std::size_t c : nbrs_.of(a)) {
-        const double d_ac = dist(pts_, a, c);
+      const auto cand = nbrs_.of(a);
+      const auto cand_d = nbrs_.dist_of(a);
+      for (std::size_t t = 0; t < cand.size(); ++t) {
+        const std::size_t c = cand[t];
+        const double d_ac = cand_d[t];  // == dist(pts_, a, c), precomputed
         if (d_ac >= d_ab) {
           break;  // sorted list: no closer candidate remains
         }
@@ -244,10 +248,10 @@ class LocalSearchEngine {
       // endpoints must lie outside the segment so the removal and
       // insertion deltas stay independent.
       const auto try_slots = [&](std::size_t anchor, std::size_t other,
-                                 std::size_t c) -> bool {
+                                 std::size_t c, double d_c_anchor) -> bool {
         // `anchor` is the segment city placed next to c; `other` is the
-        // opposite end of the segment.
-        const double d_c_anchor = dist(pts_, c, anchor);
+        // opposite end of the segment; d_c_anchor their (precomputed)
+        // distance.
         const std::size_t qc = pos_[c];
         if (in_segment(qc)) {
           return false;
@@ -292,20 +296,24 @@ class LocalSearchEngine {
         }
         return false;
       };
-      for (std::size_t c : nbrs_.of(a)) {
-        if (dist(pts_, a, c) >= removal_gain) {
+      const auto cand_a = nbrs_.of(a);
+      const auto cand_a_d = nbrs_.dist_of(a);
+      for (std::size_t t = 0; t < cand_a.size(); ++t) {
+        if (cand_a_d[t] >= removal_gain) {
           break;  // the new edge (c, a) alone cancels the gain
         }
-        if (try_slots(a, e, c)) {
+        if (try_slots(a, e, cand_a[t], cand_a_d[t])) {
           return true;
         }
       }
       if (len > 1) {
-        for (std::size_t c : nbrs_.of(e)) {
-          if (dist(pts_, e, c) >= removal_gain) {
+        const auto cand_e = nbrs_.of(e);
+        const auto cand_e_d = nbrs_.dist_of(e);
+        for (std::size_t t = 0; t < cand_e.size(); ++t) {
+          if (cand_e_d[t] >= removal_gain) {
             break;
           }
-          if (try_slots(e, a, c)) {
+          if (try_slots(e, a, cand_e[t], cand_e_d[t])) {
             return true;
           }
         }
@@ -552,11 +560,41 @@ ImproveStats improve(Tour& tour, std::span<const geom::Point> points,
   }
 
   const NeighborLists nbrs(points.first(n), options.neighbors);
-  const ImproveStats engine_stats = run_engine(tour, points, nbrs, options);
+  // Huge tours run the deterministic partitioned parallel engine; it
+  // needs at least two shards to mean anything (see partition.h).
+  const std::size_t shard_target =
+      std::max<std::size_t>(options.partition_shard_target, 8);
+  const bool partition = options.partition_above > 0 &&
+                         n >= options.partition_above &&
+                         n / shard_target >= 2;
+  ImproveStats engine_stats;
+  if (partition) {
+    // Parallel shard phase does the bulk of the moves, then one
+    // sequential engine pass polishes globally — shard-boundary-frozen
+    // search cannot fix structures spanning shards, and the polish
+    // restores the full-neighbourhood local optimum. Both phases are
+    // deterministic, so the composition is too.
+    engine_stats = partitioned_improve(tour, points, nbrs, options);
+    const ImproveStats polish = run_engine(tour, points, nbrs, options);
+    engine_stats.passes += polish.passes;
+    engine_stats.moves += polish.moves;
+    engine_stats.two_opt_moves += polish.two_opt_moves;
+    engine_stats.or_opt_moves += polish.or_opt_moves;
+  } else {
+    engine_stats = run_engine(tour, points, nbrs, options);
+  }
   total.passes = engine_stats.passes;
   total.moves = engine_stats.moves;
   total.two_opt_moves = engine_stats.two_opt_moves;
   total.or_opt_moves = engine_stats.or_opt_moves;
+  total.shards = engine_stats.shards;
+  total.rounds = engine_stats.rounds;
+  if (partition) {
+    MDG_OBS_GAUGE(obs::metric::kTspImproveShards,
+                  static_cast<double>(engine_stats.shards));
+    MDG_OBS_GAUGE(obs::metric::kTspImproveRounds,
+                  static_cast<double>(engine_stats.rounds));
+  }
   total.final_length = tour.length(points);
   MDG_ASSERT(total.final_length <= total.initial_length + 1e-9,
              "improve must never lengthen the tour");

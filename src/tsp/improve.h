@@ -21,6 +21,8 @@ struct ImproveStats {
   std::size_t moves = 0;          ///< improving moves applied (2-opt + Or-opt)
   std::size_t two_opt_moves = 0;  ///< segment reversals among `moves`
   std::size_t or_opt_moves = 0;   ///< segment relocations among `moves`
+  std::size_t shards = 0;         ///< partitions used (0 = unpartitioned)
+  std::size_t rounds = 0;         ///< partitioned rounds run (0 = unpartitioned)
   double initial_length = 0.0;
   double final_length = 0.0;
 };
@@ -41,6 +43,22 @@ struct ImproveOptions {
   /// pays neighbour-list setup before its first move; see ALGORITHMS.md
   /// §cutoffs). Set to 0 to force the engine.
   std::size_t full_scan_below = 128;
+  /// At or above this many cities the neighbour-list engine runs as the
+  /// deterministic partitioned parallel search (see DESIGN.md
+  /// §determinism-under-parallelism): the tour is cut into contiguous
+  /// shards improved concurrently, byte-identical at any thread count.
+  /// Set to 0 (or anything > n) to always run the sequential engine.
+  std::size_t partition_above = 32768;
+  /// Cities per shard the partitioned search aims for. The shard count
+  /// is derived from n and this target only — never from the thread
+  /// count — so the work decomposition is a pure function of the input.
+  std::size_t partition_shard_target = 4096;
+  /// Upper bound on partitioned rounds (each round re-cuts the tour
+  /// with alternating shard offsets so seams can heal; the search stops
+  /// early after two consecutive rounds without a move). A sequential
+  /// engine pass always polishes after the shard rounds, so a few
+  /// rounds suffice.
+  std::size_t partition_max_rounds = 3;
 };
 
 /// 2-opt: repeatedly reverse a segment when it shortens the tour; position

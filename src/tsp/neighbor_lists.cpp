@@ -8,6 +8,7 @@
 #include "geom/spatial_grid.h"
 #include "obs/names.h"
 #include "obs/span.h"
+#include "util/thread_pool.h"
 
 namespace mdg::tsp {
 namespace {
@@ -15,13 +16,30 @@ namespace {
 /// Below this size the brute-force partial_sort build beats grid setup.
 constexpr std::size_t kBruteForceBelow = 64;
 
+/// Below this many points the per-city grid queries are too cheap for
+/// fan-out to pay; at or above, cities are built in fixed blocks across
+/// the pool (writes are slot-exclusive, so the lists are byte-identical
+/// at any thread count).
+constexpr std::size_t kParallelBuildBelow = 4096;
+
+/// Cities per parallel work unit. Fixed (never derived from the thread
+/// count) so the block boundaries — and thus the work decomposition —
+/// are a pure function of n.
+constexpr std::size_t kBuildBlock = 1024;
+
+/// Sorts the k nearest entries of `scratch` to the front and writes the
+/// ids and distances into the slots [base, base + kk) — each city owns
+/// its slice, which is what makes the parallel build deterministic.
 void emit_sorted_prefix(std::vector<std::pair<double, std::size_t>>& scratch,
-                        std::size_t kk, std::vector<std::size_t>& flat) {
+                        std::size_t kk, std::size_t base,
+                        std::vector<std::size_t>& flat,
+                        std::vector<double>& dists) {
   std::partial_sort(scratch.begin(),
                     scratch.begin() + static_cast<std::ptrdiff_t>(kk),
                     scratch.end());
   for (std::size_t i = 0; i < kk; ++i) {
-    flat.push_back(scratch[i].second);
+    flat[base + i] = scratch[i].second;
+    dists[base + i] = std::sqrt(scratch[i].first);
   }
 }
 
@@ -39,9 +57,8 @@ NeighborLists::NeighborLists(std::span<const geom::Point> points,
   if (k_ == 0) {
     return;
   }
-  flat_.reserve(n * k_);
-
-  std::vector<std::pair<double, std::size_t>> scratch;
+  flat_.resize(n * k_);
+  dists_.resize(n * k_);
 
   bool brute = n < kBruteForceBelow;
   double cell = 0.0;
@@ -58,6 +75,7 @@ NeighborLists::NeighborLists(std::span<const geom::Point> points,
   }
 
   if (brute) {
+    std::vector<std::pair<double, std::size_t>> scratch;
     for (std::size_t a = 0; a < n; ++a) {
       scratch.clear();
       for (std::size_t b = 0; b < n; ++b) {
@@ -65,7 +83,7 @@ NeighborLists::NeighborLists(std::span<const geom::Point> points,
           scratch.push_back({geom::distance_sq(points[a], points[b]), b});
         }
       }
-      emit_sorted_prefix(scratch, k_, flat_);
+      emit_sorted_prefix(scratch, k_, offsets_[a], flat_, dists_);
     }
     return;
   }
@@ -74,33 +92,49 @@ NeighborLists::NeighborLists(std::span<const geom::Point> points,
   // Once the scan radius reaches the bounding-box diagonal every point
   // has been seen, whatever the query centre.
   const double reach = std::hypot(bounds.width(), bounds.height());
-  for (std::size_t a = 0; a < n; ++a) {
-    // Expanding ring: a point can only be missed while the scan radius is
-    // below its distance, so the k-th hit is confirmed once it lies
-    // within the scanned radius.
-    double radius = cell;
-    for (;;) {
-      scratch.clear();
-      grid.for_each_in_radius(points[a], radius, [&](std::size_t idx) {
-        if (idx != a) {
-          scratch.push_back({geom::distance_sq(points[a], points[idx]), idx});
+  const auto build_city =
+      [&](std::size_t a,
+          std::vector<std::pair<double, std::size_t>>& scratch) {
+        // Expanding ring: a point can only be missed while the scan
+        // radius is below its distance, so the k-th hit is confirmed
+        // once it lies within the scanned radius.
+        double radius = cell;
+        for (;;) {
+          scratch.clear();
+          grid.collect_in_radius_sq(points[a], radius, a, scratch);
+          if (scratch.size() >= k_) {
+            std::nth_element(
+                scratch.begin(),
+                scratch.begin() + static_cast<std::ptrdiff_t>(k_ - 1),
+                scratch.end());
+            if (std::sqrt(scratch[k_ - 1].first) <= radius) {
+              break;
+            }
+          }
+          if (radius >= reach) {
+            break;  // the whole indexed set was scanned
+          }
+          radius *= 2.0;
         }
-      });
-      if (scratch.size() >= k_) {
-        std::nth_element(scratch.begin(),
-                         scratch.begin() + static_cast<std::ptrdiff_t>(k_ - 1),
-                         scratch.end());
-        if (std::sqrt(scratch[k_ - 1].first) <= radius) {
-          break;
-        }
-      }
-      if (radius >= reach) {
-        break;  // the whole indexed set was scanned
-      }
-      radius *= 2.0;
+        emit_sorted_prefix(scratch, k_, offsets_[a], flat_, dists_);
+      };
+
+  if (n < kParallelBuildBelow || planning_threads() <= 1) {
+    std::vector<std::pair<double, std::size_t>> scratch;
+    for (std::size_t a = 0; a < n; ++a) {
+      build_city(a, scratch);
     }
-    emit_sorted_prefix(scratch, k_, flat_);
+    return;
   }
+  const std::size_t blocks = (n + kBuildBlock - 1) / kBuildBlock;
+  parallel_for(blocks, [&](std::size_t blk) {
+    std::vector<std::pair<double, std::size_t>> scratch;
+    const std::size_t lo = blk * kBuildBlock;
+    const std::size_t hi = std::min(lo + kBuildBlock, n);
+    for (std::size_t a = lo; a < hi; ++a) {
+      build_city(a, scratch);
+    }
+  });
 }
 
 }  // namespace mdg::tsp

@@ -32,10 +32,19 @@ class NeighborLists {
     return {flat_.data() + offsets_[a], offsets_[a + 1] - offsets_[a]};
   }
 
+  /// Distances paired with of(a): dist_of(a)[i] is the Euclidean
+  /// distance from a to of(a)[i], bit-identical to geom::distance on the
+  /// same pair. Local search reads these instead of recomputing sqrts in
+  /// its innermost loops.
+  [[nodiscard]] std::span<const double> dist_of(std::size_t a) const {
+    return {dists_.data() + offsets_[a], offsets_[a + 1] - offsets_[a]};
+  }
+
  private:
   std::size_t k_ = 0;
   std::vector<std::size_t> offsets_;  // CSR: list of a is [offsets_[a], offsets_[a+1])
   std::vector<std::size_t> flat_;
+  std::vector<double> dists_;  // parallel to flat_
 };
 
 }  // namespace mdg::tsp

@@ -1,0 +1,389 @@
+#include "tsp/partition.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/thread_pool.h"
+
+namespace mdg::tsp {
+namespace {
+
+constexpr double kGainEps = 1e-12;
+
+double dist(std::span<const geom::Point> pts, std::size_t a, std::size_t b) {
+  return geom::distance(pts[a], pts[b]);
+}
+
+/// Open-path local search over one shard's slice of the tour.
+///
+/// The slice's first and last cities are frozen (they carry the seam
+/// edges to the neighbouring shards), every move keeps its writes
+/// inside local positions [1, m-2], and candidate cities outside this
+/// shard are skipped — the three properties that make concurrent shard
+/// runs independent. Bookkeeping (position, queued flag) lives in
+/// global per-city arrays shared across shards: each city belongs to
+/// exactly one shard per round, so the writes are slot-exclusive.
+class ShardEngine {
+ public:
+  ShardEngine(std::span<std::size_t> order, std::span<const geom::Point> pts,
+              const NeighborLists& nbrs, const ImproveOptions& opt,
+              std::span<std::size_t> local_pos,
+              std::span<std::uint8_t> in_queue,
+              std::span<const std::uint32_t> shard_of, std::uint32_t me)
+      : pts_(pts),
+        nbrs_(nbrs),
+        opt_(opt),
+        m_(order.size()),
+        ord_(order),
+        lp_(local_pos),
+        inq_(in_queue),
+        shard_of_(shard_of),
+        me_(me) {
+    queue_.resize(m_);
+    for (std::size_t p = 0; p < m_; ++p) {
+      lp_[ord_[p]] = p;
+      inq_[ord_[p]] = 0;
+    }
+    // Seed the movable interior in slice order (the FIFO doubles as the
+    // don't-look bits, exactly as in the sequential engine).
+    for (std::size_t p = 1; p + 1 < m_; ++p) {
+      inq_[ord_[p]] = 1;
+      queue_[count_++] = ord_[p];
+    }
+    tail_ = count_;  // < m_ always: only the interior is seeded
+    seg_scratch_.reserve(opt_.or_opt_max_segment);
+  }
+
+  /// Returns stats with `passes` holding the raw processed-city count
+  /// (the caller aggregates across shards and rounds).
+  ImproveStats run() {
+    ImproveStats stats;
+    const std::size_t cap = opt_.max_passes * m_;
+    std::size_t processed = 0;
+    while (count_ > 0 && processed < cap) {
+      const std::size_t a = pop();
+      ++processed;
+      bool moved = try_two_opt(a);
+      if (moved) {
+        ++stats.two_opt_moves;
+      } else if (opt_.use_or_opt) {
+        moved = try_or_opt(a);
+        if (moved) {
+          ++stats.or_opt_moves;
+        }
+      }
+      if (moved) {
+        ++stats.moves;
+        push(a);
+      }
+    }
+    stats.passes = processed;
+    return stats;
+  }
+
+ private:
+  void push(std::size_t city) {
+    // Frozen slice endpoints never enter the queue.
+    if (lp_[city] == 0 || lp_[city] + 1 == m_ || inq_[city]) {
+      return;
+    }
+    inq_[city] = 1;
+    queue_[tail_] = city;
+    tail_ = tail_ + 1 == m_ ? 0 : tail_ + 1;
+    ++count_;
+  }
+
+  std::size_t pop() {
+    const std::size_t city = queue_[head_];
+    head_ = head_ + 1 == m_ ? 0 : head_ + 1;
+    --count_;
+    inq_[city] = 0;
+    return city;
+  }
+
+  void reverse_range(std::size_t i, std::size_t j) {
+    while (i < j) {
+      std::swap(ord_[i], ord_[j]);
+      lp_[ord_[i]] = i;
+      lp_[ord_[j]] = j;
+      ++i;
+      --j;
+    }
+  }
+
+  bool try_two_opt(std::size_t a) {
+    const std::size_t pa = lp_[a];
+    const auto cand = nbrs_.of(a);
+    const auto cand_d = nbrs_.dist_of(a);
+    for (int dir = 0; dir < 2; ++dir) {
+      // dir 0 pairs successor edges (pa, pa+1) and (qc, qc+1); dir 1
+      // pairs predecessor edges. The popped city is interior, so both
+      // of its edges exist.
+      const std::size_t pb = dir == 0 ? pa + 1 : pa - 1;
+      const std::size_t b = ord_[pb];
+      const double d_ab = dist(pts_, a, b);
+      for (std::size_t t = 0; t < cand.size(); ++t) {
+        const std::size_t c = cand[t];
+        const double d_ac = cand_d[t];
+        if (d_ac >= d_ab) {
+          break;  // sorted list: no closer candidate remains
+        }
+        if (shard_of_[c] != me_) {
+          continue;  // cross-shard move: out of bounds this round
+        }
+        const std::size_t qc = lp_[c];
+        if (dir == 0 ? qc + 1 >= m_ : qc == 0) {
+          continue;  // the matching edge would leave the slice
+        }
+        const std::size_t qd = dir == 0 ? qc + 1 : qc - 1;
+        const std::size_t d_city = ord_[qd];
+        if (d_city == a) {
+          continue;  // (c, d) is the edge (c, a) itself
+        }
+        const double gain =
+            d_ab + dist(pts_, c, d_city) - d_ac - dist(pts_, b, d_city);
+        if (gain > kGainEps) {
+          // Replace (a,b) + (c,d) with (a,c) + (b,d) by reversing the
+          // stretch between the two cut edges; the frozen endpoints
+          // (positions 0 and m-1) are never inside it.
+          if (dir == 0) {
+            reverse_range(std::min(pa, qc) + 1, std::max(pa, qc));
+          } else {
+            reverse_range(std::min(pa, qc), std::max(pa, qc) - 1);
+          }
+          push(a);
+          push(b);
+          push(c);
+          push(d_city);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Relocates the segment of `len` cities at local positions
+  /// [pa, pa+len-1] to sit between positions q and q+1 (both outside
+  /// the segment), optionally reversed. Everything shifted stays in
+  /// [1, m-2].
+  void apply_or_opt(std::size_t pa, std::size_t len, std::size_t q,
+                    bool flip) {
+    seg_scratch_.assign(ord_.begin() + static_cast<std::ptrdiff_t>(pa),
+                        ord_.begin() + static_cast<std::ptrdiff_t>(pa + len));
+    if (flip) {
+      std::reverse(seg_scratch_.begin(), seg_scratch_.end());
+    }
+    const std::size_t pe = pa + len - 1;
+    if (q > pe) {
+      // Block (pe+1 .. q) slides left by len; segment lands at its end.
+      std::size_t dst = pa;
+      for (std::size_t src = pe + 1; src <= q; ++src, ++dst) {
+        ord_[dst] = ord_[src];
+        lp_[ord_[dst]] = dst;
+      }
+      for (std::size_t city : seg_scratch_) {
+        ord_[dst] = city;
+        lp_[city] = dst;
+        ++dst;
+      }
+    } else {
+      // Block (q+1 .. pa-1) slides right by len; segment lands at its
+      // start.
+      std::size_t dst = pe;
+      for (std::size_t src = pa; src-- > q + 1;) {
+        ord_[dst] = ord_[src];
+        lp_[ord_[dst]] = dst;
+        --dst;
+      }
+      for (std::size_t i = seg_scratch_.size(); i-- > 0;) {
+        ord_[dst] = seg_scratch_[i];
+        lp_[seg_scratch_[i]] = dst;
+        --dst;
+      }
+    }
+  }
+
+  bool try_or_opt(std::size_t a) {
+    const std::size_t pa = lp_[a];
+    for (std::size_t len = 1; len <= opt_.or_opt_max_segment; ++len) {
+      const std::size_t pe = pa + len - 1;
+      if (pe + 1 >= m_) {
+        break;  // segment would swallow the frozen tail
+      }
+      const std::size_t e = ord_[pe];
+      const std::size_t p = ord_[pa - 1];
+      const std::size_t nx = ord_[pe + 1];
+      const double removal_gain =
+          dist(pts_, p, a) + dist(pts_, e, nx) - dist(pts_, p, nx);
+      if (removal_gain <= kGainEps) {
+        continue;
+      }
+      const auto in_segment = [&](std::size_t qpos) {
+        return qpos >= pa && qpos <= pe;
+      };
+      const auto try_slots = [&](std::size_t anchor, std::size_t other,
+                                 std::size_t c, double d_c_anchor) -> bool {
+        if (shard_of_[c] != me_) {
+          return false;
+        }
+        const std::size_t qc = lp_[c];
+        if (in_segment(qc)) {
+          return false;
+        }
+        if (qc + 1 < m_ && !in_segment(qc + 1)) {
+          // Slot (c, succ(c)): segment enters with `anchor` after c.
+          const std::size_t f = ord_[qc + 1];
+          const double delta = d_c_anchor + dist(pts_, other, f) -
+                               dist(pts_, c, f) - removal_gain;
+          if (delta < -kGainEps) {
+            apply_or_opt(pa, len, qc, /*flip=*/anchor != a);
+            push(p);
+            push(nx);
+            push(a);
+            push(e);
+            push(c);
+            push(f);
+            return true;
+          }
+        }
+        if (qc > 0 && !in_segment(qc - 1)) {
+          // Slot (pred(c), c): segment enters with `anchor` before c.
+          const std::size_t bb = ord_[qc - 1];
+          const double delta = dist(pts_, bb, other) + d_c_anchor -
+                               dist(pts_, bb, c) - removal_gain;
+          if (delta < -kGainEps) {
+            apply_or_opt(pa, len, qc - 1, /*flip=*/anchor == a);
+            push(p);
+            push(nx);
+            push(a);
+            push(e);
+            push(c);
+            push(bb);
+            return true;
+          }
+        }
+        return false;
+      };
+      const auto cand_a = nbrs_.of(a);
+      const auto cand_a_d = nbrs_.dist_of(a);
+      for (std::size_t t = 0; t < cand_a.size(); ++t) {
+        if (cand_a_d[t] >= removal_gain) {
+          break;  // the new edge (c, a) alone cancels the gain
+        }
+        if (try_slots(a, e, cand_a[t], cand_a_d[t])) {
+          return true;
+        }
+      }
+      if (len > 1) {
+        const auto cand_e = nbrs_.of(e);
+        const auto cand_e_d = nbrs_.dist_of(e);
+        for (std::size_t t = 0; t < cand_e.size(); ++t) {
+          if (cand_e_d[t] >= removal_gain) {
+            break;
+          }
+          if (try_slots(e, a, cand_e[t], cand_e_d[t])) {
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  std::span<const geom::Point> pts_;
+  const NeighborLists& nbrs_;
+  const ImproveOptions& opt_;
+  std::size_t m_;
+  std::span<std::size_t> ord_;           // this shard's slice (local order)
+  std::span<std::size_t> lp_;            // global: city -> local position
+  std::span<std::uint8_t> inq_;          // global: city -> queued flag
+  std::span<const std::uint32_t> shard_of_;  // global: city -> owning shard
+  std::uint32_t me_;
+  std::vector<std::size_t> queue_;  // FIFO ring over this shard's cities
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t count_ = 0;
+  std::vector<std::size_t> seg_scratch_;
+};
+
+}  // namespace
+
+ImproveStats partitioned_improve(Tour& tour,
+                                 std::span<const geom::Point> points,
+                                 const NeighborLists& nbrs,
+                                 const ImproveOptions& options) {
+  ImproveStats total;
+  total.initial_length = tour.length(points);
+  total.final_length = total.initial_length;
+  const std::size_t n = tour.size();
+  const std::size_t target = std::max<std::size_t>(options.partition_shard_target, 8);
+  const std::size_t shards = n / target;
+  MDG_REQUIRE(shards >= 2, "partitioned improve needs at least two shards");
+  total.shards = shards;
+
+  const std::size_t front = tour.at(0);
+  std::vector<std::size_t> order = tour.order();
+  // Per-city bookkeeping shared by all shards; each city belongs to
+  // exactly one shard per round, so every write is slot-exclusive.
+  std::vector<std::uint32_t> shard_of(n);
+  std::vector<std::size_t> local_pos(n);
+  std::vector<std::uint8_t> in_queue(n, 0);
+  std::vector<std::size_t> starts(shards + 1);
+  for (std::size_t k = 0; k <= shards; ++k) {
+    starts[k] = k * n / shards;
+  }
+
+  std::size_t processed = 0;
+  std::size_t quiet_rounds = 0;
+  for (std::size_t round = 0;
+       round < options.partition_max_rounds && quiet_rounds < 2; ++round) {
+    // Odd rounds shift the cut points by half a shard so the seam edges
+    // frozen in even rounds become interior and improvable.
+    const std::size_t offset = round % 2 == 0 ? 0 : (n / shards) / 2;
+    for (std::size_t k = 0; k < shards; ++k) {
+      for (std::size_t p = starts[k]; p < starts[k + 1]; ++p) {
+        shard_of[order[(p + offset) % n]] = static_cast<std::uint32_t>(k);
+      }
+    }
+    std::vector<ImproveStats> shard_stats(shards);
+    parallel_for(shards, [&](std::size_t k) {
+      const std::size_t len = starts[k + 1] - starts[k];
+      std::vector<std::size_t> local(len);
+      for (std::size_t t = 0; t < len; ++t) {
+        local[t] = order[(starts[k] + offset + t) % n];
+      }
+      ShardEngine engine(local, points, nbrs, options, local_pos, in_queue,
+                         shard_of, static_cast<std::uint32_t>(k));
+      shard_stats[k] = engine.run();
+      for (std::size_t t = 0; t < len; ++t) {
+        order[(starts[k] + offset + t) % n] = local[t];
+      }
+    });
+    // Canonical merge: fold shard results in shard index order, however
+    // the round was scheduled.
+    std::size_t round_moves = 0;
+    for (std::size_t k = 0; k < shards; ++k) {
+      processed += shard_stats[k].passes;
+      total.moves += shard_stats[k].moves;
+      total.two_opt_moves += shard_stats[k].two_opt_moves;
+      total.or_opt_moves += shard_stats[k].or_opt_moves;
+      round_moves += shard_stats[k].moves;
+    }
+    ++total.rounds;
+    quiet_rounds = round_moves == 0 ? quiet_rounds + 1 : 0;
+  }
+
+  Tour out{std::move(order)};
+  out.rotate_to_front(front);
+  tour = std::move(out);
+  total.passes = n == 0 ? 0 : (processed + n - 1) / n;
+  total.final_length = tour.length(points);
+  MDG_ASSERT(total.final_length <= total.initial_length + 1e-9,
+             "partitioned improve must never lengthen the tour");
+  return total;
+}
+
+}  // namespace mdg::tsp

@@ -1,0 +1,38 @@
+// Deterministic partitioned parallel local search for huge tours.
+//
+// The sequential neighbour-list engine (improve.cpp) is a serial
+// dependency chain: every move changes the tour the next move sees.
+// To use multiple cores without giving up the repo's byte-determinism
+// contract, the tour is cut into contiguous shards whose count and
+// boundaries are a pure function of n — never of the thread count —
+// and each shard runs an open-path 2-opt + Or-opt with its two
+// boundary cities frozen. A shard only ever reads and writes its own
+// slice (candidate moves are restricted to same-shard neighbours), so
+// the shard executions are independent and the merged tour is
+// byte-identical whether the shards run on 1 thread or 64. Rounds
+// alternate the partition offset by half a shard so edges frozen at a
+// seam in one round are interior — and improvable — in the next; the
+// search stops after two consecutive rounds without a move or at
+// ImproveOptions::partition_max_rounds. See DESIGN.md
+// §determinism-under-parallelism.
+#pragma once
+
+#include <span>
+
+#include "geom/point.h"
+#include "tsp/improve.h"
+#include "tsp/neighbor_lists.h"
+#include "tsp/tour.h"
+
+namespace mdg::tsp {
+
+/// Runs the partitioned parallel search on `tour` (requires at least
+/// two shards, i.e. n >= 2 * options.partition_shard_target; improve()
+/// dispatches accordingly). The depot convention is preserved. The
+/// returned stats carry the shard count and round count.
+ImproveStats partitioned_improve(Tour& tour,
+                                 std::span<const geom::Point> points,
+                                 const NeighborLists& nbrs,
+                                 const ImproveOptions& options);
+
+}  // namespace mdg::tsp

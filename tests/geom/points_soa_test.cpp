@@ -1,0 +1,265 @@
+#include "geom/points_soa.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "geom/point.h"
+#include "net/deployment.h"
+#include "util/rng.h"
+
+namespace mdg::geom {
+namespace {
+
+// Bitwise double equality: the SoA kernels promise the *same bits* as
+// the scalar path, not just approximate agreement, because plan bytes
+// hash these values downstream.
+void expect_bits_eq(double a, double b, const char* what, std::size_t i) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
+      << what << " element " << i << ": " << a << " vs " << b;
+}
+
+// Point sets that exercise every shape the kernels meet in production:
+// empty, singleton, short tails below a vector width, long runs, exact
+// duplicates, collinear (zero dy), and points coincident with the query
+// origin (distance zero).
+std::vector<std::vector<Point>> kernel_point_sets() {
+  std::vector<std::vector<Point>> sets;
+  sets.push_back({});                  // empty
+  sets.push_back({{3.0, -4.0}});       // singleton
+  for (std::size_t n : {2u, 3u, 7u, 8u, 15u, 33u, 256u}) {
+    Rng rng(n * 31 + 1);
+    sets.push_back(net::deploy_uniform(n, Aabb::square(100.0), rng));
+  }
+  {
+    std::vector<Point> collinear;
+    for (std::size_t i = 0; i < 40; ++i) {
+      collinear.push_back({static_cast<double>(i) * 2.5, 7.0});
+    }
+    sets.push_back(std::move(collinear));
+  }
+  {
+    std::vector<Point> coincident(25, Point{12.5, -3.25});
+    sets.push_back(std::move(coincident));
+  }
+  {
+    Rng rng(99);
+    auto dup = net::deploy_uniform(30, Aabb::square(50.0), rng);
+    for (std::size_t i = 0; i < 15; ++i) {
+      dup.push_back(dup[i]);  // exact duplicates force min-scan ties
+    }
+    sets.push_back(std::move(dup));
+  }
+  return sets;
+}
+
+std::vector<Point> query_origins(const std::vector<Point>& pts) {
+  std::vector<Point> origins{{0.0, 0.0}, {50.0, 50.0}, {-7.0, 101.0}};
+  if (!pts.empty()) {
+    origins.push_back(pts[pts.size() / 2]);  // coincident with a point
+  }
+  return origins;
+}
+
+TEST(PointsSoATest, RoundTripsThroughAosAdapters) {
+  Rng rng(5);
+  const auto pts = net::deploy_uniform(37, Aabb::square(80.0), rng);
+  const PointsSoA soa(pts);
+  ASSERT_EQ(soa.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(soa.x(i), pts[i].x);
+    EXPECT_EQ(soa.y(i), pts[i].y);
+    EXPECT_EQ(soa.point(i).x, pts[i].x);
+    EXPECT_EQ(soa.point(i).y, pts[i].y);
+  }
+  const auto back = soa.to_points();
+  ASSERT_EQ(back.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(back[i].x, pts[i].x);
+    EXPECT_EQ(back[i].y, pts[i].y);
+  }
+  EXPECT_TRUE(PointsSoA().empty());
+}
+
+TEST(PointsSoATest, DistanceBatchesMatchReferenceAndScalarBitwise) {
+  for (const auto& pts : kernel_point_sets()) {
+    const PointsSoA soa(pts);
+    for (const Point origin : query_origins(pts)) {
+      std::vector<double> got_sq(pts.size());
+      std::vector<double> want_sq(pts.size());
+      distance_sq_batch(soa.xs(), soa.ys(), origin, got_sq);
+      distance_sq_batch_reference(soa.xs(), soa.ys(), origin, want_sq);
+      std::vector<double> got_d(pts.size());
+      distance_batch(soa.xs(), soa.ys(), origin, got_d);
+      for (std::size_t i = 0; i < pts.size(); ++i) {
+        expect_bits_eq(got_sq[i], want_sq[i], "distance_sq_batch", i);
+        expect_bits_eq(got_sq[i], distance_sq(pts[i], origin),
+                       "distance_sq scalar", i);
+        expect_bits_eq(got_d[i], distance(pts[i], origin), "distance scalar",
+                       i);
+      }
+    }
+  }
+}
+
+TEST(PointsSoATest, RangeCountMatchesReferenceAndWithinRange) {
+  for (const auto& pts : kernel_point_sets()) {
+    const PointsSoA soa(pts);
+    for (const Point origin : query_origins(pts)) {
+      for (const double radius : {0.0, 10.0, 55.0, 1e6}) {
+        const std::size_t got = range_count(soa.xs(), soa.ys(), origin, radius);
+        EXPECT_EQ(got, range_count_reference(soa.xs(), soa.ys(), origin,
+                                             radius));
+        std::size_t want = 0;
+        for (const Point p : pts) {
+          want += within_range(p, origin, radius) ? 1 : 0;
+        }
+        EXPECT_EQ(got, want);
+      }
+    }
+  }
+}
+
+TEST(PointsSoATest, RangeCountIncludesExactBoundaryPoint) {
+  // A point at exactly `radius` away must count (within_range is
+  // inclusive, via the shared range_bound_sq epsilon).
+  const std::vector<Point> pts{{10.0, 0.0}, {0.0, 25.0}, {30.0, 40.0}};
+  const PointsSoA soa(pts);
+  EXPECT_EQ(range_count(soa.xs(), soa.ys(), {0.0, 0.0}, 25.0), 2u);
+  EXPECT_EQ(range_count(soa.xs(), soa.ys(), {0.0, 0.0}, 50.0), 3u);
+  EXPECT_EQ(range_count(soa.xs(), soa.ys(), {0.0, 0.0}, 9.999), 0u);
+}
+
+TEST(PointsSoATest, RangeCollectMatchesWithinRangeFilter) {
+  for (const auto& pts : kernel_point_sets()) {
+    const PointsSoA soa(pts);
+    for (const Point origin : query_origins(pts)) {
+      const double radius = 40.0;
+      const std::size_t base = 1000;
+      std::vector<std::size_t> got;
+      range_collect(soa.xs(), soa.ys(), origin, radius, base, got);
+      std::vector<std::size_t> want;
+      for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (within_range(pts[i], origin, radius)) {
+          want.push_back(base + i);
+        }
+      }
+      EXPECT_EQ(got, want);
+    }
+  }
+}
+
+TEST(PointsSoATest, RangeCollectWithIdsMatchesFilter) {
+  Rng rng(17);
+  const auto pts = net::deploy_uniform(120, Aabb::square(90.0), rng);
+  const PointsSoA soa(pts);
+  // Shuffled external ids, as a RemovalGrid cell run has after removals.
+  std::vector<std::size_t> ids(pts.size());
+  std::iota(ids.begin(), ids.end(), std::size_t{7});
+  for (std::size_t i = ids.size(); i > 1; --i) {
+    std::swap(ids[i - 1], ids[rng.index(i)]);
+  }
+  const Point origin{45.0, 45.0};
+  const double radius = 30.0;
+  std::vector<std::size_t> got;
+  range_collect(soa.xs(), soa.ys(), origin, radius, ids, got);
+  std::vector<std::size_t> want;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (within_range(pts[i], origin, radius)) {
+      want.push_back(ids[i]);
+    }
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(PointsSoATest, RangeCollectSqMatchesFilterAndSkips) {
+  Rng rng(23);
+  const auto pts = net::deploy_uniform(150, Aabb::square(90.0), rng);
+  const PointsSoA soa(pts);
+  std::vector<std::size_t> ids(pts.size());
+  std::iota(ids.begin(), ids.end(), std::size_t{0});
+  const Point origin = pts[60];
+  const double radius = 35.0;
+  std::vector<std::pair<double, std::size_t>> got;
+  range_collect_sq(soa.xs(), soa.ys(), origin, radius, ids, 60, got);
+  std::vector<std::pair<double, std::size_t>> want;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (i != 60 && within_range(pts[i], origin, radius)) {
+      want.emplace_back(distance_sq(pts[i], origin), i);
+    }
+  }
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    expect_bits_eq(got[i].first, want[i].first, "range_collect_sq", i);
+    EXPECT_EQ(got[i].second, want[i].second);
+  }
+}
+
+TEST(PointsSoATest, MinScanMatchesReferenceAndBreaksTiesLow) {
+  for (const auto& pts : kernel_point_sets()) {
+    const PointsSoA soa(pts);
+    for (const Point origin : query_origins(pts)) {
+      const MinScan got = min_distance_sq(soa.xs(), soa.ys(), origin);
+      const MinScan want = min_distance_sq_reference(soa.xs(), soa.ys(),
+                                                     origin);
+      EXPECT_EQ(got.position, want.position);
+      if (pts.empty()) {
+        EXPECT_EQ(got.position, MinScan::npos);
+        continue;
+      }
+      expect_bits_eq(got.distance_sq, want.distance_sq, "min_distance_sq", 0);
+      // The winner truly attains the minimum and no earlier element does.
+      for (std::size_t i = 0; i < got.position; ++i) {
+        EXPECT_GT(distance_sq(pts[i], origin), got.distance_sq);
+      }
+      expect_bits_eq(distance_sq(pts[got.position], origin), got.distance_sq,
+                     "winner distance", got.position);
+    }
+  }
+}
+
+TEST(PointsSoATest, MinScanByIdReturnsLowestIdAmongTies) {
+  for (const auto& pts : kernel_point_sets()) {
+    const PointsSoA soa(pts);
+    // Ids shuffled so span position and id order disagree.
+    std::vector<std::size_t> ids(pts.size());
+    std::iota(ids.begin(), ids.end(), std::size_t{0});
+    Rng rng(pts.size() + 3);
+    for (std::size_t i = ids.size(); i > 1; --i) {
+      std::swap(ids[i - 1], ids[rng.index(i)]);
+    }
+    for (const Point origin : query_origins(pts)) {
+      const MinScan got = min_distance_sq_by_id(soa.xs(), soa.ys(), ids,
+                                                origin);
+      const MinScan want = min_distance_sq_by_id_reference(soa.xs(), soa.ys(),
+                                                           ids, origin);
+      EXPECT_EQ(got.position, want.position);
+      if (pts.empty()) {
+        EXPECT_EQ(got.position, MinScan::npos);
+        continue;
+      }
+      expect_bits_eq(got.distance_sq, want.distance_sq,
+                     "min_distance_sq_by_id", 0);
+      // Exhaustive oracle: minimum distance, then lowest id among ties.
+      double best = distance_sq(pts[0], origin);
+      std::size_t best_id = ids[0];
+      for (std::size_t i = 1; i < pts.size(); ++i) {
+        const double d2 = distance_sq(pts[i], origin);
+        if (d2 < best || (d2 == best && ids[i] < best_id)) {
+          best = d2;
+          best_id = ids[i];
+        }
+      }
+      expect_bits_eq(got.distance_sq, best, "oracle min", 0);
+      EXPECT_EQ(got.position, best_id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdg::geom

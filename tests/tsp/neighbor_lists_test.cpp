@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <vector>
 
 #include "geom/point.h"
 #include "net/deployment.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace mdg::tsp {
 namespace {
@@ -94,6 +97,66 @@ TEST(NeighborListsTest, ClampsKToNMinusOne) {
   EXPECT_EQ(lists.k(), 5u);
   for (std::size_t a = 0; a < pts.size(); ++a) {
     EXPECT_EQ(lists.of(a).size(), 5u);
+  }
+}
+
+TEST(NeighborListsTest, StoredDistancesAreBitwiseExact) {
+  // dist_of must hold the same bits geom::distance produces — improve()
+  // consumes these without recomputing, so any rounding drift would
+  // change plans.
+  for (std::size_t n : {10u, 63u, 64u, 200u}) {
+    Rng rng(n + 1);
+    const auto pts = net::deploy_uniform(n, geom::Aabb::square(150.0), rng);
+    const NeighborLists lists(pts, 10);
+    for (std::size_t a = 0; a < pts.size(); ++a) {
+      const auto ids = lists.of(a);
+      const auto dists = lists.dist_of(a);
+      ASSERT_EQ(ids.size(), dists.size());
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(dists[i]),
+                  std::bit_cast<std::uint64_t>(
+                      geom::distance(pts[a], pts[ids[i]])))
+            << "city " << a << " slot " << i;
+      }
+    }
+  }
+}
+
+TEST(NeighborListsTest, ParallelBuildMatchesSerialAcrossCutoff) {
+  // Sizes straddling the parallel-build cutoff (4096): the blocked
+  // parallel construction must produce the same ids and the same
+  // distance bits as the serial walk, at any thread count.
+  for (std::size_t n : {4000u, 4200u}) {
+    Rng rng(n);
+    const auto pts = net::deploy_uniform(n, geom::Aabb::square(2000.0), rng);
+    std::vector<std::size_t> serial_ids;
+    std::vector<std::uint64_t> serial_bits;
+    {
+      ScopedPlanningThreads scoped(1);
+      const NeighborLists lists(pts, 8);
+      for (std::size_t a = 0; a < n; ++a) {
+        for (const std::size_t b : lists.of(a)) {
+          serial_ids.push_back(b);
+        }
+        for (const double d : lists.dist_of(a)) {
+          serial_bits.push_back(std::bit_cast<std::uint64_t>(d));
+        }
+      }
+    }
+    ScopedPlanningThreads scoped(4);
+    const NeighborLists lists(pts, 8);
+    std::vector<std::size_t> parallel_ids;
+    std::vector<std::uint64_t> parallel_bits;
+    for (std::size_t a = 0; a < n; ++a) {
+      for (const std::size_t b : lists.of(a)) {
+        parallel_ids.push_back(b);
+      }
+      for (const double d : lists.dist_of(a)) {
+        parallel_bits.push_back(std::bit_cast<std::uint64_t>(d));
+      }
+    }
+    EXPECT_EQ(parallel_ids, serial_ids) << "n=" << n;
+    EXPECT_EQ(parallel_bits, serial_bits) << "n=" << n;
   }
 }
 

@@ -1,0 +1,167 @@
+// Determinism and correctness of the partitioned parallel local search
+// (tsp/partition.h). The core contract: plans are a pure function of the
+// input — byte-identical tour orders at every MDG_THREADS setting —
+// because the shard decomposition depends only on n and the merge order
+// is canonical. These tests force the partitioned engine on at harness
+// sizes (the production cutoff is 32768) across all nine verification
+// generator families, including the degenerate ones.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+#include "net/sensor_network.h"
+#include "tsp/construct.h"
+#include "tsp/improve.h"
+#include "util/thread_pool.h"
+#include "verify/generate.h"
+
+namespace mdg::tsp {
+namespace {
+
+std::vector<geom::Point> tour_points(const net::SensorNetwork& network) {
+  std::vector<geom::Point> pts{network.sink()};
+  pts.insert(pts.end(), network.positions().begin(),
+             network.positions().end());
+  return pts;
+}
+
+// Forces the partitioned engine regardless of size: cutoff 1, shard
+// target small enough that harness instances split into several shards.
+ImproveOptions forced_partition_options(std::size_t n) {
+  ImproveOptions options;
+  options.full_scan_below = 0;
+  options.partition_above = 1;
+  options.partition_shard_target = std::max<std::size_t>(16, n / 4);
+  return options;
+}
+
+void expect_valid_rotation_invariants(const Tour& tour,
+                                      std::span<const geom::Point> pts,
+                                      double initial_length,
+                                      const char* label) {
+  // Valid permutation of 0..n-1 with the depot still at position 0.
+  const auto& order = tour.order();
+  ASSERT_EQ(order.size(), pts.size()) << label;
+  std::vector<bool> seen(order.size(), false);
+  for (const std::size_t city : order) {
+    ASSERT_LT(city, order.size()) << label;
+    ASSERT_FALSE(seen[city]) << label << " duplicate city " << city;
+    seen[city] = true;
+  }
+  ASSERT_EQ(order[0], 0u) << label << " depot moved";
+  EXPECT_LE(tour.length(pts), initial_length) << label << " tour lengthened";
+}
+
+TEST(PartitionImproveTest, ByteIdenticalAcrossThreadCountsOnAllFamilies) {
+  for (const verify::GeneratorFamily family : verify::all_families()) {
+    const net::SensorNetwork network = verify::generate_network(family, 7);
+    const std::vector<geom::Point> pts = tour_points(network);
+    if (pts.size() < 8) {
+      continue;  // kTiny corners; the dispatcher never partitions these
+    }
+    const Tour nn = nearest_neighbor(pts);
+    const double nn_length = nn.length(pts);
+    const ImproveOptions options = forced_partition_options(pts.size());
+
+    std::vector<std::size_t> reference_order;
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      ScopedPlanningThreads scoped(threads);
+      Tour tour = nn;
+      const ImproveStats stats = improve(tour, pts, options);
+      expect_valid_rotation_invariants(tour, pts, nn_length,
+                                       verify::to_string(family));
+      EXPECT_GE(stats.shards, 2u) << verify::to_string(family);
+      EXPECT_GE(stats.rounds, 1u) << verify::to_string(family);
+      if (threads == 1) {
+        reference_order = tour.order();
+      } else {
+        EXPECT_EQ(tour.order(), reference_order)
+            << verify::to_string(family) << " diverged at " << threads
+            << " threads";
+      }
+    }
+  }
+}
+
+TEST(PartitionImproveTest, DispatchesOnBothSidesOfTheCutoff) {
+  verify::GeneratorOptions gen;
+  gen.sensors = 220;
+  const net::SensorNetwork network =
+      verify::generate_network(verify::GeneratorFamily::kUniform, 13, gen);
+  const std::vector<geom::Point> pts = tour_points(network);
+  const Tour nn = nearest_neighbor(pts);
+  const double nn_length = nn.length(pts);
+
+  // Just above the cutoff: the partitioned engine runs (shards > 0).
+  ImproveOptions below;
+  below.full_scan_below = 0;
+  below.partition_above = pts.size();
+  below.partition_shard_target = 32;
+  Tour partitioned = nn;
+  const ImproveStats pstats = improve(partitioned, pts, below);
+  EXPECT_GE(pstats.shards, 2u);
+  EXPECT_GE(pstats.rounds, 1u);
+  expect_valid_rotation_invariants(partitioned, pts, nn_length, "partitioned");
+
+  // Just below the cutoff: the sequential engine runs (shards == 0).
+  ImproveOptions above;
+  above.full_scan_below = 0;
+  above.partition_above = pts.size() + 1;
+  above.partition_shard_target = 32;
+  Tour sequential = nn;
+  const ImproveStats sstats = improve(sequential, pts, above);
+  EXPECT_EQ(sstats.shards, 0u);
+  EXPECT_EQ(sstats.rounds, 0u);
+  expect_valid_rotation_invariants(sequential, pts, nn_length, "sequential");
+}
+
+TEST(PartitionImproveTest, FallsBackWhenTooSmallToShard) {
+  // partition_above below n but shard target so large that fewer than
+  // two shards fit: the dispatcher must fall back to the sequential
+  // engine rather than degenerate to a single frozen shard.
+  verify::GeneratorOptions gen;
+  gen.sensors = 60;
+  const net::SensorNetwork network =
+      verify::generate_network(verify::GeneratorFamily::kClusters, 5, gen);
+  const std::vector<geom::Point> pts = tour_points(network);
+  const Tour nn = nearest_neighbor(pts);
+
+  ImproveOptions options;
+  options.full_scan_below = 0;
+  options.partition_above = 1;
+  options.partition_shard_target = 4096;  // n / target < 2
+  Tour tour = nn;
+  const ImproveStats stats = improve(tour, pts, options);
+  EXPECT_EQ(stats.shards, 0u);
+  expect_valid_rotation_invariants(tour, pts, nn.length(pts), "fallback");
+}
+
+TEST(PartitionImproveTest, PolishRecoversSequentialQuality) {
+  // The shard phase alone cannot fix structures spanning shards; the
+  // composed engine (shards + sequential polish) must land within a few
+  // percent of the pure sequential engine.
+  verify::GeneratorOptions gen;
+  gen.sensors = 600;
+  gen.side = 500.0;
+  const net::SensorNetwork network =
+      verify::generate_network(verify::GeneratorFamily::kUniform, 29, gen);
+  const std::vector<geom::Point> pts = tour_points(network);
+  const Tour nn = nearest_neighbor(pts);
+
+  ImproveOptions seq;
+  seq.full_scan_below = 0;
+  seq.partition_above = 0;
+  Tour seq_tour = nn;
+  improve(seq_tour, pts, seq);
+
+  Tour part_tour = nn;
+  improve(part_tour, pts, forced_partition_options(pts.size()));
+
+  EXPECT_LE(part_tour.length(pts), seq_tour.length(pts) * 1.03);
+}
+
+}  // namespace
+}  // namespace mdg::tsp

@@ -1,0 +1,162 @@
+// kernel_digest — bit-determinism fingerprint of the numeric kernels.
+//
+//   kernel_digest [--big-n N]
+//
+// Prints one "<probe> <fnv64-hex>" line per probe: neighbour lists
+// (ids and hexfloat distances), nearest-neighbour construction, the
+// sequential and partitioned improvement engines (tour order plus
+// hexfloat length), and the full plan -> canonical-bytes pipeline for
+// every heuristic planner — across all nine verification generator
+// families plus one larger uniform instance (--big-n, default 20000)
+// that gives the batch distance kernels long vector runs.
+//
+// The output is a pure function of the code: CI's native-parity job
+// runs this binary from the default build and from an -DMDG_NATIVE=ON
+// build and requires byte-identical output, which is what pins the
+// "SIMD never changes a plan" contract (DESIGN.md). Any future digest
+// change must come from an intentional algorithm change.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/solution.h"
+#include "tsp/construct.h"
+#include "tsp/improve.h"
+#include "tsp/neighbor_lists.h"
+#include "util/flags.h"
+#include "verify/canonical.h"
+#include "verify/generate.h"
+#include "verify/oracle.h"
+
+namespace {
+
+using namespace mdg;
+
+/// FNV-1a 64-bit over a byte string — stable, dependency-free.
+std::uint64_t fnv64(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void emit(const std::string& probe, const std::string& bytes) {
+  std::printf("%s %016llx\n", probe.c_str(),
+              static_cast<unsigned long long>(fnv64(bytes)));
+}
+
+/// Exact text form of a double (hexfloat round-trips every bit).
+void put_double(std::ostringstream& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a,", v);
+  out << buf;
+}
+
+void put_order(std::ostringstream& out, const std::vector<std::size_t>& v) {
+  for (const std::size_t x : v) {
+    out << x << ',';
+  }
+}
+
+std::vector<geom::Point> tour_points(const net::SensorNetwork& network) {
+  std::vector<geom::Point> pts{network.sink()};
+  pts.insert(pts.end(), network.positions().begin(),
+             network.positions().end());
+  return pts;
+}
+
+void digest_tsp_kernels(const std::string& label,
+                        std::span<const geom::Point> pts) {
+  {
+    std::ostringstream out;
+    const tsp::NeighborLists nbrs(pts, 12);
+    for (std::size_t a = 0; a < nbrs.size(); ++a) {
+      for (const std::size_t b : nbrs.of(a)) {
+        out << b << ',';
+      }
+      for (const double d : nbrs.dist_of(a)) {
+        put_double(out, d);
+      }
+    }
+    emit(label + ".neighbors", out.str());
+  }
+  const tsp::Tour nn = tsp::nearest_neighbor(pts);
+  {
+    std::ostringstream out;
+    put_order(out, nn.order());
+    emit(label + ".construct", out.str());
+  }
+  if (pts.size() >= 8) {
+    // Sequential engine and partitioned engine, each forced on with
+    // cutoffs low enough to exercise the machinery at harness sizes.
+    tsp::ImproveOptions seq;
+    seq.full_scan_below = 0;
+    seq.partition_above = 0;
+    tsp::Tour seq_tour = nn;
+    tsp::improve(seq_tour, pts, seq);
+    std::ostringstream out;
+    put_order(out, seq_tour.order());
+    put_double(out, seq_tour.length(pts));
+    emit(label + ".improve_seq", out.str());
+
+    tsp::ImproveOptions part;
+    part.full_scan_below = 0;
+    part.partition_above = 1;
+    part.partition_shard_target =
+        std::max<std::size_t>(std::size_t{16}, pts.size() / 4);
+    tsp::Tour part_tour = nn;
+    tsp::improve(part_tour, pts, part);
+    std::ostringstream pout;
+    put_order(pout, part_tour.order());
+    put_double(pout, part_tour.length(pts));
+    emit(label + ".improve_partitioned", pout.str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::size_t big_n =
+      static_cast<std::size_t>(flags.get_int("big-n", 20000));
+  flags.finish();
+
+  // Every generator family at harness size: kernels plus the full
+  // plan -> canonical-bytes pipeline of each heuristic planner.
+  for (const verify::GeneratorFamily family : verify::all_families()) {
+    const std::string name = verify::to_string(family);
+    const net::SensorNetwork network = verify::generate_network(family, 7);
+    const std::vector<geom::Point> pts = tour_points(network);
+    digest_tsp_kernels(name, pts);
+    const core::ShdgpInstance instance(network);
+    for (const auto& planner : verify::heuristic_planners()) {
+      const core::ShdgpSolution solution = planner->plan(instance);
+      emit(name + ".plan." + planner->name(),
+           verify::canonical_plan_bytes(instance, solution));
+    }
+  }
+
+  // One larger uniform instance: long contiguous runs through the batch
+  // kernels and a real multi-shard partitioned improve.
+  if (big_n > 0) {
+    verify::GeneratorOptions options;
+    options.sensors = big_n;
+    options.side = 20.0 * std::sqrt(static_cast<double>(big_n));
+    options.range = 30.0;
+    const net::SensorNetwork network =
+        verify::generate_network(verify::GeneratorFamily::kUniform, 11,
+                                 options);
+    const std::vector<geom::Point> pts = tour_points(network);
+    digest_tsp_kernels("uniform_big", pts);
+  }
+  return 0;
+}
