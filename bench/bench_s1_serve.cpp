@@ -1,0 +1,276 @@
+// S1 — serving-layer load generator (docs/SERVE.md §Benchmark).
+//
+// Drives serve::Engine the way a client fleet would and measures the
+// cache value proposition end to end:
+//
+//   cold    — fresh engine, never-seen instance: parse + plan + reply
+//   exact   — byte-identical resend: one hash, zero parse, zero plan
+//   warm    — same instance, different multi-start width: cover-probe
+//             + warm-started tsp::improve from the cached tour
+//   mixed   — concurrent clients replaying a hit-heavy request mix,
+//             for requests/sec and tail latency under contention
+//
+// Reports p50/p99 per class, the exact-hit speedup, requests/sec and
+// the mixed-phase cache hit rate, as a table and as a schema-valid
+// RunReport (--out, default BENCH_serve.json; CI validates it with
+// tools/report_diff --schema).
+//
+// With --check the bench exits non-zero unless (a) every cached reply
+// is byte-identical to the cold reply for the same request — the
+// serving layer's core promise — and (b) the exact-hit path is at
+// least --min-speedup (default 100) times faster than a cold plan at
+// the median. CI runs a small-n smoke (--n 300); the committed
+// BENCH_serve.json is the full --n 8000 run.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/deployment.h"
+#include "net/sensor_network.h"
+#include "obs/report.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace mdg;
+
+double quantile(std::vector<double> v, double q) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  std::sort(v.begin(), v.end());
+  const double idx = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+net::SensorNetwork bench_network(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  const double side = 25.0 * std::sqrt(static_cast<double>(n));
+  return net::make_uniform_network(n, side, 30.0, rng);
+}
+
+std::string plan_payload(const net::SensorNetwork& network,
+                         std::size_t multi_start = 0) {
+  serve::PlanRequestOptions options;
+  options.multi_start = multi_start;
+  return serve::build_plan_request(options, network);
+}
+
+/// Sends one plan request, asserts success, returns (latency ms, reply).
+serve::Frame timed_plan(serve::Engine& engine, const std::string& payload,
+                        std::uint32_t id, double* latency_ms) {
+  const Stopwatch watch;
+  serve::Frame reply = engine.handle(
+      serve::Frame{serve::FrameType::kPlanRequest, id, 0, payload});
+  *latency_ms = watch.elapsed_ms();
+  if (reply.type != serve::FrameType::kReplyOk) {
+    std::cerr << "FATAL: plan request failed:\n" << reply.payload << "\n";
+    std::exit(1);
+  }
+  return reply;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 8000));
+  const std::size_t trials =
+      static_cast<std::size_t>(flags.get_int("trials", 5));
+  const std::size_t hit_samples =
+      static_cast<std::size_t>(flags.get_int("hits", 200));
+  const std::size_t clients =
+      static_cast<std::size_t>(flags.get_int("clients", 8));
+  const std::size_t requests_per_client =
+      static_cast<std::size_t>(flags.get_int("requests", 25));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 2008));
+  const double min_speedup = flags.get_double("min-speedup", 100.0);
+  const bool check = flags.get_bool("check", false);
+  const std::string out_path = flags.get_string("out", "BENCH_serve.json");
+  const std::size_t threads =
+      static_cast<std::size_t>(flags.get_int("threads", 0));
+  flags.finish();
+  set_planning_threads(threads);
+
+  const Stopwatch total_watch;
+  bool byte_mismatch = false;
+
+  // --- cold: fresh engine per trial, distinct instance each time -------
+  std::vector<double> cold_ms;
+  for (std::size_t t = 0; t < trials; ++t) {
+    serve::Engine engine;
+    const std::string payload = plan_payload(bench_network(n, seed + t));
+    double ms = 0.0;
+    (void)timed_plan(engine, payload, 1, &ms);
+    cold_ms.push_back(ms);
+  }
+
+  // --- exact: one shared engine, byte-identical resends ----------------
+  serve::Engine engine;
+  const net::SensorNetwork network = bench_network(n, seed);
+  const std::string payload = plan_payload(network);
+  double cold_reference_ms = 0.0;
+  const serve::Frame cold_reply =
+      timed_plan(engine, payload, 2, &cold_reference_ms);
+  std::vector<double> hit_ms;
+  for (std::size_t i = 0; i < hit_samples; ++i) {
+    double ms = 0.0;
+    const serve::Frame reply =
+        timed_plan(engine, payload, static_cast<std::uint32_t>(100 + i), &ms);
+    hit_ms.push_back(ms);
+    if ((reply.flags & serve::kFlagCacheMask) != serve::kFlagCacheExact ||
+        reply.payload != cold_reply.payload) {
+      byte_mismatch = true;
+    }
+  }
+
+  // --- warm: same cover, different multi-start width -------------------
+  // Cold-plan the widened request on a fresh engine for the latency
+  // baseline and the byte-equality oracle, then warm-start it from the
+  // shared engine's cached tour.
+  const std::string widened = plan_payload(network, /*multi_start=*/4);
+  double warm_cold_ms = 0.0;
+  serve::Frame warm_cold_reply{};
+  {
+    serve::Engine fresh;
+    warm_cold_reply = timed_plan(fresh, widened, 3, &warm_cold_ms);
+  }
+  double warm_ms = 0.0;
+  const serve::Frame warm_reply = timed_plan(engine, widened, 4, &warm_ms);
+  const bool warm_hit = (warm_reply.flags & serve::kFlagCacheMask) ==
+                        serve::kFlagCacheWarm;
+
+  // --- mixed: concurrent clients, hit-heavy request mix ----------------
+  std::vector<std::string> mix_payloads;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    mix_payloads.push_back(plan_payload(bench_network(n, seed + 100 + s)));
+  }
+  serve::Engine mixed_engine;
+  std::vector<std::vector<double>> client_ms(clients);
+  std::atomic<std::size_t> failures{0};
+  const Stopwatch mixed_watch;
+  {
+    std::vector<std::thread> fleet;
+    fleet.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      fleet.emplace_back([&, c] {
+        client_ms[c].reserve(requests_per_client);
+        for (std::size_t r = 0; r < requests_per_client; ++r) {
+          const std::string& body =
+              mix_payloads[(c + r) % mix_payloads.size()];
+          const Stopwatch watch;
+          const serve::Frame reply = mixed_engine.handle(
+              serve::Frame{serve::FrameType::kPlanRequest,
+                           static_cast<std::uint32_t>(c * 1000 + r), 0, body});
+          client_ms[c].push_back(watch.elapsed_ms());
+          if (reply.type != serve::FrameType::kReplyOk) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& client : fleet) {
+      client.join();
+    }
+  }
+  const double mixed_wall_s = mixed_watch.elapsed_s();
+  std::vector<double> mixed_ms;
+  for (const auto& per_client : client_ms) {
+    mixed_ms.insert(mixed_ms.end(), per_client.begin(), per_client.end());
+  }
+  const serve::EngineStats mixed_stats = mixed_engine.stats();
+  const double mixed_requests =
+      static_cast<double>(clients * requests_per_client);
+  const double requests_per_sec =
+      mixed_wall_s > 0.0 ? mixed_requests / mixed_wall_s : 0.0;
+  const double hit_rate =
+      mixed_requests > 0.0
+          ? static_cast<double>(mixed_stats.hits_exact +
+                                mixed_stats.hits_warm) /
+                mixed_requests
+          : 0.0;
+
+  const double cold_p50 = quantile(cold_ms, 0.5);
+  const double cold_p99 = quantile(cold_ms, 0.99);
+  const double hit_p50 = quantile(hit_ms, 0.5);
+  const double hit_p99 = quantile(hit_ms, 0.99);
+  const double speedup_exact = hit_p50 > 0.0 ? cold_p50 / hit_p50 : 0.0;
+
+  Table table("S1 serve: n=" + std::to_string(n) + ", " +
+                  std::to_string(trials) + " cold trials, " +
+                  std::to_string(hit_samples) + " hit samples, " +
+                  std::to_string(clients) + " clients x " +
+                  std::to_string(requests_per_client) + " requests",
+              3);
+  table.set_header({"class", "p50 ms", "p99 ms", "speedup"});
+  table.add_row({"cold", cold_p50, cold_p99, 1.0});
+  table.add_row({"exact-hit", hit_p50, hit_p99, speedup_exact});
+  table.add_row({"warm-start", warm_ms, warm_ms,
+                 warm_ms > 0.0 ? warm_cold_ms / warm_ms : 0.0});
+  table.add_row({"mixed", quantile(mixed_ms, 0.5), quantile(mixed_ms, 0.99),
+                 0.0});
+  table.print(std::cout);
+  std::cout << "\nmixed load: " << requests_per_sec << " requests/sec, "
+            << 100.0 * hit_rate << "% cache hits, " << failures.load()
+            << " failures\n"
+            << "warm-start hit: " << (warm_hit ? "yes" : "no")
+            << ", exact-hit speedup: " << speedup_exact << "x\n";
+
+  obs::RunReport report;
+  report.command = "bench";
+  report.planner = "s1_serve";
+  report.seed = seed;
+  report.git_describe = obs::current_git_describe();
+  report.wall_ms = total_watch.elapsed_ms();
+  report.params = {{"n", std::to_string(n)},
+                   {"trials", std::to_string(trials)},
+                   {"hits", std::to_string(hit_samples)},
+                   {"clients", std::to_string(clients)},
+                   {"requests", std::to_string(requests_per_client)},
+                   {"threads", std::to_string(planning_threads())}};
+  report.gauges = {
+      {"serve.cold_p50_ms", cold_p50},
+      {"serve.cold_p99_ms", cold_p99},
+      {"serve.hit_p50_ms", hit_p50},
+      {"serve.hit_p99_ms", hit_p99},
+      {"serve.hit_rate", hit_rate},
+      {"serve.requests_per_sec", requests_per_sec},
+      {"serve.speedup_exact", speedup_exact},
+      {"serve.warm_hit", warm_hit ? 1.0 : 0.0},
+      {"serve.warm_p50_ms", warm_ms},
+  };
+  report.save(out_path);
+  std::cout << "wrote " << out_path << "\n";
+
+  if (byte_mismatch) {
+    std::cerr << "FAIL: a cached reply was not byte-identical to the cold "
+                 "reply (or was not flagged as an exact hit)\n";
+    return 1;
+  }
+  if (failures.load() != 0) {
+    std::cerr << "FAIL: " << failures.load() << " mixed-phase requests "
+                 "failed\n";
+    return 1;
+  }
+  if (check && speedup_exact < min_speedup) {
+    std::cerr << "FAIL: exact-hit speedup " << speedup_exact << "x below "
+              << min_speedup << "x at n=" << n << "\n";
+    return 1;
+  }
+  return 0;
+}

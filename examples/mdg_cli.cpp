@@ -96,27 +96,21 @@ void arm_report(const std::string& report_path) {
 std::unique_ptr<core::Planner> make_planner(const std::string& name,
                                             long long max_load,
                                             long long multi_start) {
-  if (name == "spanning") {
-    return std::make_unique<core::SpanningTourPlanner>();
+  core::PlannerSpec spec;
+  spec.name = name;
+  if (max_load > 0) {
+    spec.max_pp_load = static_cast<std::size_t>(max_load);
   }
-  if (name == "greedy") {
-    core::GreedyCoverPlannerOptions options;
-    if (max_load > 0) {
-      options.max_pp_load = static_cast<std::size_t>(max_load);
-    }
-    if (multi_start > 1) {
-      options.tsp_multi_starts = static_cast<std::size_t>(multi_start);
-    }
-    return std::make_unique<core::GreedyCoverPlanner>(options);
+  if (multi_start > 1) {
+    spec.multi_starts = static_cast<std::size_t>(multi_start);
   }
-  if (name == "direct") {
-    return std::make_unique<baselines::DirectVisitPlanner>();
+  auto planner = core::make_planner(spec);
+  if (!planner.is_ok()) {
+    // An unknown planner name is a usage error here (the factory
+    // reports kInvalidArgument, which `must` would map to exit 3).
+    throw CliError{kExitUsage, planner.status().message()};
   }
-  if (name == "election") {
-    return std::make_unique<dist::ElectionPlanner>();
-  }
-  throw CliError{kExitUsage, "unknown planner '" + name +
-                                 "' (spanning|greedy|direct|election)"};
+  return std::move(planner).value();
 }
 
 int cmd_generate(Flags& flags) {

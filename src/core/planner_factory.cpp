@@ -1,0 +1,45 @@
+#include "core/planner_factory.h"
+
+#include "baselines/direct_visit.h"
+#include "core/greedy_cover_planner.h"
+#include "core/spanning_tour_planner.h"
+#include "dist/election_planner.h"
+
+namespace mdg::core {
+
+const std::vector<std::string>& planner_names() {
+  static const std::vector<std::string> kNames = {"spanning", "greedy",
+                                                  "direct", "election"};
+  return kNames;
+}
+
+StatusOr<std::unique_ptr<Planner>> make_planner(const PlannerSpec& spec) {
+  if (spec.name == "spanning") {
+    return std::unique_ptr<Planner>(std::make_unique<SpanningTourPlanner>());
+  }
+  if (spec.name == "greedy") {
+    GreedyCoverPlannerOptions options;
+    options.max_pp_load = spec.max_pp_load;
+    if (spec.multi_starts > 1) {
+      options.tsp_multi_starts = spec.multi_starts;
+    }
+    return std::unique_ptr<Planner>(
+        std::make_unique<GreedyCoverPlanner>(options));
+  }
+  if (spec.name == "direct") {
+    return std::unique_ptr<Planner>(
+        std::make_unique<baselines::DirectVisitPlanner>());
+  }
+  if (spec.name == "election") {
+    return std::unique_ptr<Planner>(
+        std::make_unique<dist::ElectionPlanner>());
+  }
+  std::string accepted;
+  for (const std::string& name : planner_names()) {
+    accepted += accepted.empty() ? name : "|" + name;
+  }
+  return Status::invalid_argument("unknown planner '" + spec.name + "' (" +
+                                  accepted + ")");
+}
+
+}  // namespace mdg::core

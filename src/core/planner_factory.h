@@ -1,0 +1,38 @@
+// Name -> Planner construction, shared by mdg_cli and mdg_serve.
+//
+// Both front-ends accept a planner by name plus the small set of
+// knobs the paper's experiments vary (polling-point load cap,
+// multi-start width). Centralizing the mapping keeps the two
+// surfaces agreeing on names and defaults, and gives the serve layer
+// a Status-returning path (a daemon must reject an unknown planner
+// with an error reply, not an exception).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "core/status.h"
+
+namespace mdg::core {
+
+/// What to build. `name` is one of planner_names(); the knobs apply
+/// only to planners that understand them (greedy), others ignore them.
+struct PlannerSpec {
+  std::string name = "greedy";
+  /// Cap on sensors per polling point; 0 = uncapped.
+  std::size_t max_pp_load = 0;
+  /// Construction multi-start width; 0/1 = single start.
+  std::size_t multi_starts = 0;
+};
+
+/// The accepted `PlannerSpec::name` values, in documentation order.
+[[nodiscard]] const std::vector<std::string>& planner_names();
+
+/// Builds the named planner, or kInvalidArgument naming the accepted
+/// set when `spec.name` is unknown.
+[[nodiscard]] StatusOr<std::unique_ptr<Planner>> make_planner(
+    const PlannerSpec& spec);
+
+}  // namespace mdg::core

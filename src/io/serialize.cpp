@@ -414,6 +414,18 @@ core::ShdgpSolution read_solution(std::istream& in) {
   return std::move(result).value();
 }
 
+std::string to_text(const net::SensorNetwork& network) {
+  std::ostringstream out;
+  write_network(out, network);
+  return out.str();
+}
+
+std::string to_text(const core::ShdgpSolution& solution) {
+  std::ostringstream out;
+  write_solution(out, solution);
+  return out.str();
+}
+
 void save_network(const std::string& path, const net::SensorNetwork& network) {
   std::ofstream out(path);
   MDG_REQUIRE(out.good(), "cannot open '" + path + "' for writing");

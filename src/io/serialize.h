@@ -73,6 +73,13 @@ void write_solution(std::ostream& out, const core::ShdgpSolution& solution);
 [[nodiscard]] core::StatusOr<core::ShdgpSolution> try_load_solution(
     const std::string& path, const LoadOptions& options = {});
 
+/// In-memory variants of write_network / write_solution — the exact
+/// same bytes a file would get. The serve layer builds reply payloads
+/// from these so a cached reply and a freshly planned one can be
+/// compared (and cached) as strings.
+[[nodiscard]] std::string to_text(const net::SensorNetwork& network);
+[[nodiscard]] std::string to_text(const core::ShdgpSolution& solution);
+
 /// File helpers (throw on I/O failure).
 void save_network(const std::string& path, const net::SensorNetwork& network);
 [[nodiscard]] net::SensorNetwork load_network(const std::string& path);

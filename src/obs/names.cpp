@@ -61,6 +61,17 @@ std::span<const MetricInfo> known_metrics() {
       {metric::kRefineSlide, "timer", "ms",
        "core::refine_polling_positions"},
       {metric::kRouteCollector, "timer", "ms", "core::route_collector"},
+      {metric::kServeCacheEntries, "gauge", "count", "serve::Engine::handle"},
+      {metric::kServeDeadlineExpired, "counter", "count",
+       "serve::Engine::handle"},
+      {metric::kServeErrors, "counter", "count", "serve::Engine::handle"},
+      {metric::kServeHitsExact, "counter", "count", "serve::Engine::handle"},
+      {metric::kServeHitsWarm, "counter", "count", "serve::Engine::handle"},
+      {metric::kServeMisses, "counter", "count", "serve::Engine::handle"},
+      {metric::kServeQueueDepth, "gauge", "count", "serve::Server::serve"},
+      {metric::kServeRejected, "counter", "count", "serve::Server::serve"},
+      {metric::kServeRequest, "timer", "ms", "serve::Engine::handle"},
+      {metric::kServeRequests, "counter", "count", "serve::Engine::handle"},
       {metric::kSimFleetRound, "timer", "ms", "sim::FleetSim::run_round"},
       {metric::kSimMobileBufferPeak, "gauge", "packets",
        "sim::MobileCollectionSim::run_round"},

@@ -48,6 +48,7 @@ inline constexpr const char* kPlanSpanningTour = "plan.spanning_tour";
 inline constexpr const char* kPlanTreeDominator = "plan.tree_dominator";
 inline constexpr const char* kRefineSlide = "refine.slide";
 inline constexpr const char* kRouteCollector = "route.collector";
+inline constexpr const char* kServeRequest = "serve.request";
 inline constexpr const char* kSimFleetRound = "sim.fleet_round";
 inline constexpr const char* kSimMobileRound = "sim.mobile_round";
 inline constexpr const char* kSimMultihopRound = "sim.multihop_round";
@@ -68,6 +69,13 @@ inline constexpr const char* kFaultSensorCrashes = "fault.sensor_crashes";
 inline constexpr const char* kCoverLazyRefreshes = "cover.lazy_refreshes";
 inline constexpr const char* kCoverSelected = "cover.selected";
 inline constexpr const char* kRefineMoves = "refine.moves";
+inline constexpr const char* kServeDeadlineExpired = "serve.deadline_expired";
+inline constexpr const char* kServeErrors = "serve.errors";
+inline constexpr const char* kServeHitsExact = "serve.hits_exact";
+inline constexpr const char* kServeHitsWarm = "serve.hits_warm";
+inline constexpr const char* kServeMisses = "serve.misses";
+inline constexpr const char* kServeRejected = "serve.rejected";
+inline constexpr const char* kServeRequests = "serve.requests";
 inline constexpr const char* kSimMobileDelivered = "sim.mobile_delivered";
 inline constexpr const char* kSimMobileDropped = "sim.mobile_dropped";
 inline constexpr const char* kTspImprovePasses = "tsp.improve_passes";
@@ -81,6 +89,8 @@ inline constexpr const char* kFaultDeliveredFraction =
     "fault.delivered_fraction";
 inline constexpr const char* kFaultRecoveryLengthM = "fault.recovery_length_m";
 inline constexpr const char* kPlanManyThreads = "plan.many_threads";
+inline constexpr const char* kServeCacheEntries = "serve.cache_entries";
+inline constexpr const char* kServeQueueDepth = "serve.queue_depth";
 inline constexpr const char* kSimMobileBufferPeak = "sim.mobile_buffer_peak";
 inline constexpr const char* kTspImproveGainM = "tsp.improve_gain_m";
 inline constexpr const char* kTspImproveRounds = "tsp.improve_rounds";

@@ -1,0 +1,432 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "core/greedy_cover_planner.h"
+#include "core/instance.h"
+#include "core/planner_factory.h"
+#include "core/refine.h"
+#include "io/serialize.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/span.h"
+#include "sim/energy.h"
+#include "sim/mobile_sim.h"
+#include "tsp/improve.h"
+#include "util/thread_pool.h"
+#include "verify/canonical.h"
+#include "verify/check.h"
+
+namespace mdg::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Frame ok_reply(std::uint32_t id, std::uint32_t flags, std::string payload) {
+  return Frame{FrameType::kReplyOk, id, flags, std::move(payload)};
+}
+
+Frame error_reply(std::uint32_t id, const core::Status& status) {
+  return Frame{FrameType::kReplyError, id, 0, build_error_payload(status)};
+}
+
+/// Hexfloat (exact, locale-free) emission for hashing geometry.
+void emit_hex_point(std::ostream& out, geom::Point p) {
+  out << std::hexfloat << p.x << ' ' << p.y << '\n' << std::defaultfloat;
+}
+
+bool point_less(geom::Point a, geom::Point b) {
+  return a.x < b.x || (a.x == b.x && a.y < b.y);
+}
+
+/// The warm index key: load cap + sink + the *sorted* polling-point
+/// set. Requests that differ only in multi-start width or deadline
+/// produce the same cover and therefore the same signature.
+std::uint64_t warm_signature_of(std::size_t max_load, geom::Point sink,
+                                std::vector<geom::Point> points) {
+  std::sort(points.begin(), points.end(), point_less);
+  std::ostringstream out;
+  out << "max-load " << max_load << '\n';
+  emit_hex_point(out, sink);
+  for (const geom::Point p : points) {
+    emit_hex_point(out, p);
+  }
+  return fnv1a64(out.str());
+}
+
+/// The options half of the canonical cache key. Everything that can
+/// change the reply bytes must appear here; in particular the deadline
+/// is part of the key so a deadline-truncated plan can never answer a
+/// request that allowed more time.
+std::string options_fingerprint(const PlanRequestOptions& options) {
+  std::ostringstream out;
+  out << "planner " << options.planner << '\n'
+      << "max-load " << options.max_load << '\n'
+      << "multi-start " << options.multi_start << '\n'
+      << "refine " << (options.refine ? 1 : 0) << '\n'
+      << "deadline-ms " << options.deadline_ms << '\n';
+  return out.str();
+}
+
+std::string plan_reply_payload(const core::ShdgpSolution& solution) {
+  return "mdg-reply 1\nop plan\n" + io::to_text(solution);
+}
+
+/// Re-indexes a tour over [sink] + local points into the cache's
+/// sorted-point index space (or back, when `invert`).
+std::vector<std::size_t> sorted_order_of(const core::ShdgpSolution& solution) {
+  const std::vector<geom::Point>& points = solution.polling_points;
+  std::vector<std::size_t> by_point(points.size());
+  for (std::size_t i = 0; i < by_point.size(); ++i) {
+    by_point[i] = i;
+  }
+  std::sort(by_point.begin(), by_point.end(),
+            [&](std::size_t a, std::size_t b) {
+              return point_less(points[a], points[b]);
+            });
+  // local_to_sorted[local] = rank of that point in sorted order.
+  std::vector<std::size_t> local_to_sorted(points.size());
+  for (std::size_t rank = 0; rank < by_point.size(); ++rank) {
+    local_to_sorted[by_point[rank]] = rank;
+  }
+  std::vector<std::size_t> order;
+  order.reserve(solution.tour.size());
+  for (const std::size_t idx : solution.tour.order()) {
+    order.push_back(idx == 0 ? 0 : 1 + local_to_sorted[idx - 1]);
+  }
+  return order;
+}
+
+CachedPlan make_cached_plan(const core::ShdgpInstance& instance,
+                            const core::ShdgpSolution& solution,
+                            std::string reply_payload) {
+  CachedPlan cached;
+  cached.reply_payload = std::move(reply_payload);
+  cached.sink = instance.sink();
+  cached.sorted_points = solution.polling_points;
+  std::sort(cached.sorted_points.begin(), cached.sorted_points.end(),
+            point_less);
+  cached.canonical_tour = sorted_order_of(solution);
+  return cached;
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options)
+    : options_(options), cache_(options.cache_capacity) {}
+
+Frame Engine::handle(const Frame& request) {
+  OBS_SPAN(obs::metric::kServeRequest);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  MDG_OBS_COUNT(obs::metric::kServeRequests, 1);
+  switch (request.type) {
+    case FrameType::kPlanRequest:
+      return handle_plan(request);
+    case FrameType::kSimulateRequest:
+      return handle_simulate(request);
+    case FrameType::kStatsRequest:
+      return handle_stats(request);
+    case FrameType::kPing:
+      return Frame{FrameType::kPong, request.id, 0, {}};
+    case FrameType::kShutdown:
+      shutdown_.store(true, std::memory_order_release);
+      return ok_reply(request.id, 0, "mdg-reply 1\nop shutdown\n");
+    default: {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      MDG_OBS_COUNT(obs::metric::kServeErrors, 1);
+      return error_reply(request.id,
+                         core::Status::invalid_argument(
+                             "reply frame type sent as a request"));
+    }
+  }
+}
+
+Frame Engine::handle_plan(const Frame& request) {
+  // Fast path: the byte-identical request was answered before. No
+  // parsing, no planning — one hash over the payload.
+  const std::uint64_t raw_key = fnv1a64(request.payload);
+  if (const auto hit = cache_.find_raw(raw_key)) {
+    hits_exact_.fetch_add(1, std::memory_order_relaxed);
+    MDG_OBS_COUNT(obs::metric::kServeHitsExact, 1);
+    return ok_reply(request.id, kFlagCacheExact, hit->reply_payload);
+  }
+
+  auto parsed = parse_plan_request(request.payload);
+  if (!parsed.is_ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    MDG_OBS_COUNT(obs::metric::kServeErrors, 1);
+    return error_reply(request.id, parsed.status());
+  }
+  PlanRequest req = std::move(parsed).value();
+
+  // Canonical path: a differently-spelled payload for the same
+  // instance + options reuses the cached reply and registers this
+  // spelling as a raw alias.
+  const std::uint64_t canonical_key =
+      fnv1a64(verify::canonical_network_bytes(req.network),
+              fnv1a64(options_fingerprint(req.options)));
+  if (const auto hit = cache_.find_canonical(canonical_key)) {
+    cache_.alias_raw(raw_key, canonical_key);
+    hits_exact_.fetch_add(1, std::memory_order_relaxed);
+    MDG_OBS_COUNT(obs::metric::kServeHitsExact, 1);
+    return ok_reply(request.id, kFlagCacheExact, hit->reply_payload);
+  }
+
+  core::PlannerSpec spec;
+  spec.name = req.options.planner;
+  spec.max_pp_load = req.options.max_load;
+  spec.multi_starts = req.options.multi_start;
+  auto planner = core::make_planner(spec);
+  if (!planner.is_ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    MDG_OBS_COUNT(obs::metric::kServeErrors, 1);
+    return error_reply(request.id, planner.status());
+  }
+
+  const core::ShdgpInstance instance(req.network);
+  const bool has_deadline = req.options.deadline_ms > 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(req.options.deadline_ms);
+
+  // Warm-start rule (ALGORITHMS.md §Serving): greedy planner, no
+  // refinement. The cover phase is deterministic and cheap relative to
+  // routing, so run it as a probe; when a cached plan covers the same
+  // polling-point set, re-map its tour and improve from there instead
+  // of constructing from scratch.
+  const bool warm_eligible = req.options.warm &&
+                             req.options.planner == "greedy" &&
+                             !req.options.refine;
+  std::uint64_t signature = PlanCache::kNoKey;
+  core::ShdgpSolution solution;
+  bool planned = false;
+  bool deadline_hit = false;
+  std::uint32_t cache_flags = kFlagCacheMiss;
+  if (warm_eligible) {
+    core::GreedyCoverPlannerOptions probe_options;
+    probe_options.tsp_effort = tsp::TspEffort::kConstructionOnly;
+    probe_options.max_pp_load = req.options.max_load;
+    core::ShdgpSolution probe =
+        core::GreedyCoverPlanner(probe_options).plan(instance);
+    signature = warm_signature_of(req.options.max_load, instance.sink(),
+                                  probe.polling_points);
+    if (const auto donor = cache_.find_warm(signature)) {
+      std::vector<geom::Point> sorted = probe.polling_points;
+      std::sort(sorted.begin(), sorted.end(), point_less);
+      const bool same_cover = donor->sink == instance.sink() &&
+                              donor->sorted_points == sorted &&
+                              donor->canonical_tour.size() ==
+                                  probe.tour.size();
+      if (same_cover) {
+        // Invert the sort: sorted rank -> this request's local index.
+        std::vector<std::size_t> by_point(probe.polling_points.size());
+        for (std::size_t i = 0; i < by_point.size(); ++i) {
+          by_point[i] = i;
+        }
+        std::sort(by_point.begin(), by_point.end(),
+                  [&](std::size_t a, std::size_t b) {
+                    return point_less(probe.polling_points[a],
+                                      probe.polling_points[b]);
+                  });
+        std::vector<std::size_t> order;
+        order.reserve(donor->canonical_tour.size());
+        for (const std::size_t idx : donor->canonical_tour) {
+          order.push_back(idx == 0 ? 0 : 1 + by_point[idx - 1]);
+        }
+        probe.tour = tsp::Tour(std::move(order));
+        std::vector<geom::Point> all;
+        all.reserve(probe.polling_points.size() + 1);
+        all.push_back(instance.sink());
+        all.insert(all.end(), probe.polling_points.begin(),
+                   probe.polling_points.end());
+        {
+          std::optional<tsp::ScopedImproveDeadline> scope;
+          if (has_deadline) {
+            scope.emplace(deadline);
+          }
+          tsp::improve(probe.tour, all);
+          deadline_hit = has_deadline && tsp::improve_deadline_expired();
+        }
+        probe.tour_length = probe.tour.length(all);
+        if (verify::check_solution(instance, probe).is_ok()) {
+          solution = std::move(probe);
+          planned = true;
+          cache_flags = kFlagCacheWarm;
+          hits_warm_.fetch_add(1, std::memory_order_relaxed);
+          MDG_OBS_COUNT(obs::metric::kServeHitsWarm, 1);
+        }
+        // A failed check falls through to the cold path below — the
+        // donor stays cached (it checked out when inserted).
+      }
+    }
+  }
+
+  if (!planned) {
+    std::optional<tsp::ScopedImproveDeadline> scope;
+    if (has_deadline) {
+      scope.emplace(deadline);
+    }
+    solution = planner.value()->plan(instance);
+    if (req.options.refine) {
+      core::refine_polling_positions(instance, solution, {});
+    }
+    deadline_hit = has_deadline && tsp::improve_deadline_expired();
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    MDG_OBS_COUNT(obs::metric::kServeMisses, 1);
+  }
+
+  if (deadline_hit) {
+    deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    MDG_OBS_COUNT(obs::metric::kServeDeadlineExpired, 1);
+  }
+
+  std::string payload = plan_reply_payload(solution);
+  // Deadline-truncated plans are valid but time-dependent; caching
+  // them would let one slow moment answer forever. Skip them.
+  if (!deadline_hit) {
+    const std::uint64_t donate_signature =
+        (req.options.planner == "greedy" && !req.options.refine)
+            ? (signature != PlanCache::kNoKey
+                   ? signature
+                   : warm_signature_of(req.options.max_load, instance.sink(),
+                                       solution.polling_points))
+            : PlanCache::kNoKey;
+    cache_.insert(raw_key, canonical_key, donate_signature,
+                  make_cached_plan(instance, solution, payload));
+    MDG_OBS_GAUGE(obs::metric::kServeCacheEntries,
+                  static_cast<double>(cache_.size()));
+  }
+  return ok_reply(request.id,
+                  cache_flags | (deadline_hit ? kFlagDeadlineHit : 0),
+                  std::move(payload));
+}
+
+Frame Engine::handle_simulate(const Frame& request) {
+  auto parsed = parse_simulate_request(request.payload);
+  if (!parsed.is_ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    MDG_OBS_COUNT(obs::metric::kServeErrors, 1);
+    return error_reply(request.id, parsed.status());
+  }
+  SimulateRequest req = std::move(parsed).value();
+  const core::ShdgpInstance instance(req.network);
+  const core::Status valid = verify::check_solution(instance, req.solution);
+  if (!valid.is_ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    MDG_OBS_COUNT(obs::metric::kServeErrors, 1);
+    return error_reply(
+        request.id,
+        core::Status::failed_precondition(
+            "solution does not fit the network: " + valid.message()));
+  }
+
+  sim::MobileSimConfig config;
+  config.speed_m_per_s = req.speed;
+  config.initial_battery_j = req.battery;
+  config.loss_seed = req.seed;
+  sim::MobileCollectionSim sim(instance, req.solution, config);
+  sim::EnergyLedger ledger(req.network.size(), req.battery);
+  double clock = 0.0;
+  std::size_t delivered = 0;
+  std::size_t offered = 0;
+  for (std::size_t r = 0; r < req.rounds; ++r) {
+    const sim::MobileRoundReport round = sim.run_round(ledger, clock);
+    clock += round.duration_s;
+    delivered += round.delivered;
+    offered += round.offered;
+  }
+  std::ostringstream out;
+  out.precision(17);
+  out << "mdg-reply 1\n"
+      << "op simulate\n"
+      << "rounds " << req.rounds << "\n"
+      << "duration-s " << clock << "\n"
+      << "delivered " << delivered << "\n"
+      << "offered " << offered << "\n"
+      << "alive " << ledger.alive_count() << "\n";
+  return ok_reply(request.id, 0, out.str());
+}
+
+Frame Engine::handle_stats(const Frame& request) {
+  const EngineStats stats = this->stats();
+  std::ostringstream out;
+  out << "mdg-reply 1\n"
+      << "op stats\n"
+      << "requests " << stats.requests << "\n"
+      << "hits-exact " << stats.hits_exact << "\n"
+      << "hits-warm " << stats.hits_warm << "\n"
+      << "misses " << stats.misses << "\n"
+      << "errors " << stats.errors << "\n"
+      << "deadline-expired " << stats.deadline_expired << "\n"
+      << "rejected " << stats.rejected << "\n"
+      << "cache-entries " << stats.cache_entries << "\n";
+  return ok_reply(request.id, 0, out.str());
+}
+
+std::vector<Frame> Engine::handle_many(std::span<const Frame> requests) {
+  std::vector<Frame> replies(requests.size());
+  mdg::parallel_for(requests.size(), [&](std::size_t i) {
+    replies[i] = handle(requests[i]);
+  });
+  return replies;
+}
+
+EngineStats Engine::stats() const {
+  EngineStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.hits_exact = hits_exact_.load(std::memory_order_relaxed);
+  stats.hits_warm = hits_warm_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.errors = errors_.load(std::memory_order_relaxed);
+  stats.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.cache_entries = cache_.size();
+  return stats;
+}
+
+obs::RunReport Engine::run_report() const {
+  const EngineStats stats = this->stats();
+  obs::RunReport report;
+  report.command = "serve";
+  report.planner = "-";
+  report.git_describe = obs::current_git_describe();
+  report.params = {
+      {"cache-capacity", std::to_string(options_.cache_capacity)}};
+  report.capture_metrics(obs::MetricsRegistry::instance());
+  // Lifetime counters as gauges — authoritative even when the
+  // MetricsRegistry is disabled (they override captured same-name
+  // entries).
+  const std::pair<const char*, double> lifetime[] = {
+      {"serve.cache_entries", static_cast<double>(stats.cache_entries)},
+      {"serve.deadline_expired", static_cast<double>(stats.deadline_expired)},
+      {"serve.errors", static_cast<double>(stats.errors)},
+      {"serve.hits_exact", static_cast<double>(stats.hits_exact)},
+      {"serve.hits_warm", static_cast<double>(stats.hits_warm)},
+      {"serve.misses", static_cast<double>(stats.misses)},
+      {"serve.rejected", static_cast<double>(stats.rejected)},
+      {"serve.requests", static_cast<double>(stats.requests)},
+  };
+  for (const auto& [name, value] : lifetime) {
+    bool replaced = false;
+    for (obs::RunReport::Gauge& gauge : report.gauges) {
+      if (gauge.name == name) {
+        gauge.value = value;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) {
+      report.gauges.push_back({name, value});
+    }
+  }
+  std::sort(report.gauges.begin(), report.gauges.end(),
+            [](const obs::RunReport::Gauge& a, const obs::RunReport::Gauge& b) {
+              return a.name < b.name;
+            });
+  return report;
+}
+
+}  // namespace mdg::serve

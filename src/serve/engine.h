@@ -1,0 +1,86 @@
+// The request engine: one Frame in, one Frame out, cache in between.
+//
+// Engine is the synchronous, thread-safe core of mdg_serve — it owns
+// the plan cache and the request counters but no threads, sockets, or
+// queues (serve::Server adds those). That split keeps the interesting
+// logic callable directly from tests and the bench load generator:
+// `engine.handle(frame)` is exactly what a connection handler does.
+//
+// docs/SERVE.md is the operator view; DESIGN.md walks one request
+// through this class ("request lifetime").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "obs/report.h"
+#include "serve/plan_cache.h"
+#include "serve/protocol.h"
+
+namespace mdg::serve {
+
+struct EngineOptions {
+  /// Plan-cache capacity in entries (0 disables caching).
+  std::size_t cache_capacity = 256;
+};
+
+/// Snapshot of the engine's lifetime counters.
+struct EngineStats {
+  std::uint64_t requests = 0;
+  std::uint64_t hits_exact = 0;
+  std::uint64_t hits_warm = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t rejected = 0;  ///< admission rejections (counted by Server)
+  std::uint64_t cache_entries = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  /// Handles one request frame and returns the reply frame. Never
+  /// throws on malformed payloads — every input problem becomes a
+  /// kReplyError frame carrying the Status taxonomy. Safe to call
+  /// concurrently from any number of threads.
+  [[nodiscard]] Frame handle(const Frame& request);
+
+  /// Batch entry point in the core::plan_many idiom: handles the batch
+  /// on the shared thread pool, replies in request order.
+  [[nodiscard]] std::vector<Frame> handle_many(
+      std::span<const Frame> requests);
+
+  /// Counted by Server when the admission queue turns a request away;
+  /// folded into stats replies and the run report.
+  void note_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+
+  [[nodiscard]] EngineStats stats() const;
+  [[nodiscard]] bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// The periodic server report (command "serve"): lifetime counters as
+  /// gauges plus whatever the MetricsRegistry collected when enabled.
+  [[nodiscard]] obs::RunReport run_report() const;
+
+ private:
+  Frame handle_plan(const Frame& request);
+  Frame handle_simulate(const Frame& request);
+  Frame handle_stats(const Frame& request);
+
+  EngineOptions options_;
+  PlanCache cache_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> hits_exact_{0};
+  std::atomic<std::uint64_t> hits_warm_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace mdg::serve

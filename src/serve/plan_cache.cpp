@@ -1,0 +1,157 @@
+#include "serve/plan_cache.h"
+
+namespace mdg::serve {
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  // Reserve 0 as the "no key" sentinel.
+  return hash == PlanCache::kNoKey ? 1 : hash;
+}
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+void PlanCache::touch(EntryList::iterator it) {
+  entries_.splice(entries_.begin(), entries_, it);
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::find_raw(std::uint64_t raw_key) {
+  if (raw_key == kNoKey) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_raw_.find(raw_key);
+  if (it == by_raw_.end()) {
+    return nullptr;
+  }
+  touch(it->second);
+  return it->second->plan;
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::find_canonical(
+    std::uint64_t canonical_key) {
+  if (canonical_key == kNoKey) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_canonical_.find(canonical_key);
+  if (it == by_canonical_.end()) {
+    return nullptr;
+  }
+  touch(it->second);
+  return it->second->plan;
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::find_warm(
+    std::uint64_t signature) {
+  if (signature == kNoKey) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_signature_.find(signature);
+  if (it == by_signature_.end()) {
+    return nullptr;
+  }
+  touch(it->second);
+  return it->second->plan;
+}
+
+void PlanCache::alias_raw(std::uint64_t raw_key, std::uint64_t canonical_key) {
+  if (raw_key == kNoKey || canonical_key == kNoKey) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_canonical_.find(canonical_key);
+  if (it == by_canonical_.end()) {
+    return;
+  }
+  const auto inserted = by_raw_.try_emplace(raw_key, it->second);
+  if (inserted.second) {
+    it->second->raw_keys.push_back(raw_key);
+  }
+}
+
+void PlanCache::evict_one() {
+  if (entries_.empty()) {
+    return;
+  }
+  const auto victim = std::prev(entries_.end());
+  for (const std::uint64_t raw_key : victim->raw_keys) {
+    const auto it = by_raw_.find(raw_key);
+    if (it != by_raw_.end() && it->second == victim) {
+      by_raw_.erase(it);
+    }
+  }
+  if (victim->canonical_key != kNoKey) {
+    const auto it = by_canonical_.find(victim->canonical_key);
+    if (it != by_canonical_.end() && it->second == victim) {
+      by_canonical_.erase(it);
+    }
+  }
+  if (victim->warm_signature != kNoKey) {
+    const auto it = by_signature_.find(victim->warm_signature);
+    if (it != by_signature_.end() && it->second == victim) {
+      by_signature_.erase(it);
+    }
+  }
+  entries_.erase(victim);
+}
+
+void PlanCache::insert(std::uint64_t raw_key, std::uint64_t canonical_key,
+                       std::uint64_t warm_signature, CachedPlan plan) {
+  if (capacity_ == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  // A concurrent miss on the same instance may have raced us here;
+  // refresh recency and keep the established entry (its reply bytes
+  // are identical by the determinism contract).
+  if (canonical_key != kNoKey) {
+    const auto existing = by_canonical_.find(canonical_key);
+    if (existing != by_canonical_.end()) {
+      touch(existing->second);
+      const auto inserted = by_raw_.try_emplace(raw_key, existing->second);
+      if (inserted.second) {
+        existing->second->raw_keys.push_back(raw_key);
+      }
+      return;
+    }
+  }
+  entries_.push_front(Entry{
+      canonical_key,
+      warm_signature,
+      {},
+      std::make_shared<const CachedPlan>(std::move(plan)),
+  });
+  const auto it = entries_.begin();
+  if (raw_key != kNoKey) {
+    const auto inserted = by_raw_.try_emplace(raw_key, it);
+    if (inserted.second) {
+      it->raw_keys.push_back(raw_key);
+    } else {
+      // Raw key already points at another entry (hash reuse after a
+      // canonical mismatch would be a bug upstream); repoint it.
+      inserted.first->second = it;
+      it->raw_keys.push_back(raw_key);
+    }
+  }
+  if (canonical_key != kNoKey) {
+    by_canonical_[canonical_key] = it;
+  }
+  if (warm_signature != kNoKey) {
+    by_signature_[warm_signature] = it;  // newest donor wins
+  }
+  while (entries_.size() > capacity_) {
+    evict_one();
+  }
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace mdg::serve

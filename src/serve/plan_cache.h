@@ -1,0 +1,109 @@
+// The serving layer's LRU plan cache.
+//
+// Three lookup paths over one LRU list of cached plans (docs/SERVE.md
+// §cache, ALGORITHMS.md §Serving):
+//
+//  1. raw key — FNV-1a over the request payload bytes. A client
+//     resending the identical request hits without the server parsing
+//     anything; this is the zero-compute path behind the "exact hits
+//     are >=100x faster than cold plans" bench criterion.
+//  2. canonical key — FNV-1a over verify::canonical_network_bytes plus
+//     an options fingerprint. Two payloads that *parse* to the same
+//     instance and options (different float spellings) share this key;
+//     a canonical hit replays the same cached reply and registers the
+//     new raw spelling as an alias.
+//  3. warm signature — FNV-1a over the polling-point set a request's
+//     cover phase produces (plus the load cap). A request whose cover
+//     matches a cached plan's — same geometry, different multi-start
+//     width, different deadline — warm-starts tsp::improve from the
+//     cached tour instead of constructing from scratch.
+//
+// Thread-safe behind one mutex; every operation is O(1)-ish (hash maps
+// + a splice). Entries are shared_ptr so a reply being written out
+// survives concurrent eviction.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace mdg::serve {
+
+/// FNV-1a 64-bit over `bytes`, chainable via `seed`.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes,
+                                    std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/// One cached plan: the full reply payload plus the geometry a
+/// warm-start needs to re-map the tour onto a new request's
+/// polling-point order.
+struct CachedPlan {
+  std::string reply_payload;  ///< complete kReplyOk payload bytes
+  /// Polling points sorted by (x, y) — the order-independent identity
+  /// the warm signature hashes.
+  std::vector<geom::Point> sorted_points;
+  /// Tour over [sink] + sorted_points (index 0 = sink, i >= 1 =
+  /// sorted_points[i-1]), rotated so the sink leads.
+  std::vector<std::size_t> canonical_tour;
+  geom::Point sink{0.0, 0.0};
+};
+
+class PlanCache {
+ public:
+  /// `capacity` = max entries; 0 disables caching entirely (every
+  /// lookup misses, every insert is dropped).
+  explicit PlanCache(std::size_t capacity);
+
+  /// Exact lookups; a hit refreshes LRU recency. `kNoKey` (0) never
+  /// matches — use it for "this request has no warm signature".
+  [[nodiscard]] std::shared_ptr<const CachedPlan> find_raw(
+      std::uint64_t raw_key);
+  [[nodiscard]] std::shared_ptr<const CachedPlan> find_canonical(
+      std::uint64_t canonical_key);
+  /// Warm lookup: most recently inserted entry with this signature.
+  [[nodiscard]] std::shared_ptr<const CachedPlan> find_warm(
+      std::uint64_t signature);
+
+  /// Registers another raw spelling for an existing canonical entry
+  /// (no-op when the canonical key is not cached).
+  void alias_raw(std::uint64_t raw_key, std::uint64_t canonical_key);
+
+  /// Inserts (or refreshes) a plan. `warm_signature` may be kNoKey for
+  /// plans that must not serve as warm-start donors (refined plans,
+  /// non-greedy planners). Evicts the least recently used entry past
+  /// capacity.
+  void insert(std::uint64_t raw_key, std::uint64_t canonical_key,
+              std::uint64_t warm_signature, CachedPlan plan);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  static constexpr std::uint64_t kNoKey = 0;
+
+ private:
+  struct Entry {
+    std::uint64_t canonical_key = kNoKey;
+    std::uint64_t warm_signature = kNoKey;
+    std::vector<std::uint64_t> raw_keys;
+    std::shared_ptr<const CachedPlan> plan;
+  };
+  using EntryList = std::list<Entry>;
+
+  void touch(EntryList::iterator it);
+  void evict_one();
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  EntryList entries_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, EntryList::iterator> by_raw_;
+  std::unordered_map<std::uint64_t, EntryList::iterator> by_canonical_;
+  std::unordered_map<std::uint64_t, EntryList::iterator> by_signature_;
+};
+
+}  // namespace mdg::serve

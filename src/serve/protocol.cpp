@@ -1,0 +1,343 @@
+#include "serve/protocol.h"
+
+#include <charconv>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "io/serialize.h"
+
+namespace mdg::serve {
+namespace {
+
+void put_u32(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xff));
+  out.push_back(static_cast<char>((value >> 8) & 0xff));
+  out.push_back(static_cast<char>((value >> 16) & 0xff));
+  out.push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+std::uint32_t get_u32(const unsigned char* bytes) {
+  return static_cast<std::uint32_t>(bytes[0]) |
+         (static_cast<std::uint32_t>(bytes[1]) << 8) |
+         (static_cast<std::uint32_t>(bytes[2]) << 16) |
+         (static_cast<std::uint32_t>(bytes[3]) << 24);
+}
+
+/// Reads one "<key> <value...>" line; both pieces mandatory unless
+/// `value` is nullptr (bare-keyword line).
+core::Status read_keyed_line(std::istream& in, const char* key,
+                             std::string* value) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return core::Status::data_loss(std::string("request truncated before '") +
+                                   key + "' line");
+  }
+  const std::size_t space = line.find(' ');
+  const std::string got = line.substr(0, space);
+  if (got != key) {
+    return core::Status::invalid_argument("expected '" + std::string(key) +
+                                          "' line, got '" + got + "'");
+  }
+  if (value == nullptr) {
+    if (space != std::string::npos) {
+      return core::Status::invalid_argument(
+          "unexpected value after '" + std::string(key) + "'");
+    }
+    return core::Status::ok();
+  }
+  if (space == std::string::npos || space + 1 >= line.size()) {
+    return core::Status::invalid_argument("missing value for '" +
+                                          std::string(key) + "'");
+  }
+  *value = line.substr(space + 1);
+  return core::Status::ok();
+}
+
+core::Status parse_u64(const std::string& text, const char* key,
+                       std::uint64_t* out) {
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, *out);
+  if (ec != std::errc{} || ptr != last) {
+    return core::Status::invalid_argument("bad value for '" +
+                                          std::string(key) + "': " + text);
+  }
+  return core::Status::ok();
+}
+
+core::Status parse_double(const std::string& text, const char* key,
+                          double* out) {
+  std::istringstream in(text);
+  in >> *out;
+  if (in.fail() || !(in >> std::ws).eof()) {
+    return core::Status::invalid_argument("bad value for '" +
+                                          std::string(key) + "': " + text);
+  }
+  return core::Status::ok();
+}
+
+core::Status parse_bool(const std::string& text, const char* key, bool* out) {
+  if (text == "0") {
+    *out = false;
+    return core::Status::ok();
+  }
+  if (text == "1") {
+    *out = true;
+    return core::Status::ok();
+  }
+  return core::Status::invalid_argument("bad value for '" + std::string(key) +
+                                        "' (want 0|1): " + text);
+}
+
+core::Status require_at_end(std::istream& in) {
+  in >> std::ws;
+  if (in.peek() != std::char_traits<char>::eof()) {
+    return core::Status::invalid_argument(
+        "trailing bytes after the request body");
+  }
+  return core::Status::ok();
+}
+
+#define MDG_SERVE_TRY(expr)                \
+  do {                                     \
+    const core::Status mdg_status = (expr);\
+    if (!mdg_status.is_ok()) {             \
+      return mdg_status;                   \
+    }                                      \
+  } while (false)
+
+}  // namespace
+
+std::span<const FrameTypeInfo> known_frame_types() {
+  static constexpr FrameTypeInfo kCatalog[] = {
+      {"plan-request", 1},     {"simulate-request", 2},
+      {"stats-request", 3},    {"ping", 4},
+      {"shutdown", 5},         {"reply-ok", 16},
+      {"reply-error", 17},     {"pong", 18},
+  };
+  return kCatalog;
+}
+
+const char* frame_type_name(FrameType type) {
+  for (const FrameTypeInfo& info : known_frame_types()) {
+    if (info.value == static_cast<std::uint32_t>(type)) {
+      return info.name;
+    }
+  }
+  return nullptr;
+}
+
+std::string frame_bytes(const Frame& frame) {
+  std::string out;
+  out.reserve(kHeaderBytes + frame.payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, static_cast<std::uint32_t>(frame.type));
+  put_u32(out, frame.id);
+  put_u32(out, frame.flags);
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out += frame.payload;
+  return out;
+}
+
+void write_frame(std::ostream& out, const Frame& frame) {
+  const std::string bytes = frame_bytes(frame);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+core::StatusOr<std::optional<Frame>> read_frame(
+    std::istream& in, const ReadFrameOptions& options) {
+  unsigned char header[kHeaderBytes];
+  in.read(reinterpret_cast<char*>(header), kHeaderBytes);
+  const auto got = static_cast<std::size_t>(in.gcount());
+  if (got == 0) {
+    return std::optional<Frame>{};  // clean EOF between frames
+  }
+  if (got < kHeaderBytes) {
+    return core::Status::data_loss("frame header truncated: " +
+                                   std::to_string(got) + " of " +
+                                   std::to_string(kHeaderBytes) + " bytes");
+  }
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    return core::Status::invalid_argument("bad frame magic (want \"MDG1\")");
+  }
+  const std::uint32_t type_value = get_u32(header + 4);
+  if (frame_type_name(static_cast<FrameType>(type_value)) == nullptr) {
+    return core::Status::invalid_argument("unknown frame type " +
+                                          std::to_string(type_value));
+  }
+  const std::uint32_t payload_len = get_u32(header + 16);
+  if (payload_len > options.max_payload_bytes) {
+    return core::Status::invalid_argument(
+        "frame payload of " + std::to_string(payload_len) +
+        " bytes exceeds the " + std::to_string(options.max_payload_bytes) +
+        "-byte limit");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type_value);
+  frame.id = get_u32(header + 8);
+  frame.flags = get_u32(header + 12);
+  frame.payload.resize(payload_len);
+  if (payload_len > 0) {
+    in.read(frame.payload.data(), payload_len);
+    if (static_cast<std::uint32_t>(in.gcount()) != payload_len) {
+      return core::Status::data_loss(
+          "frame payload truncated: " +
+          std::to_string(static_cast<std::size_t>(in.gcount())) + " of " +
+          std::to_string(payload_len) + " bytes");
+    }
+  }
+  return std::optional<Frame>(std::move(frame));
+}
+
+std::string build_plan_request(const PlanRequestOptions& options,
+                               const net::SensorNetwork& network) {
+  std::ostringstream out;
+  out << "mdg-request 1\n"
+      << "op plan\n"
+      << "planner " << options.planner << "\n"
+      << "max-load " << options.max_load << "\n"
+      << "multi-start " << options.multi_start << "\n"
+      << "refine " << (options.refine ? 1 : 0) << "\n"
+      << "deadline-ms " << options.deadline_ms << "\n"
+      << "warm " << (options.warm ? 1 : 0) << "\n"
+      << "network\n";
+  io::write_network(out, network);
+  return out.str();
+}
+
+core::StatusOr<PlanRequest> parse_plan_request(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string value;
+  MDG_SERVE_TRY(read_keyed_line(in, "mdg-request", &value));
+  if (value != "1") {
+    return core::Status::invalid_argument("unsupported mdg-request version " +
+                                          value);
+  }
+  MDG_SERVE_TRY(read_keyed_line(in, "op", &value));
+  if (value != "plan") {
+    return core::Status::invalid_argument("expected op plan, got '" + value +
+                                          "'");
+  }
+  PlanRequestOptions options;
+  MDG_SERVE_TRY(read_keyed_line(in, "planner", &options.planner));
+  std::uint64_t u64 = 0;
+  MDG_SERVE_TRY(read_keyed_line(in, "max-load", &value));
+  MDG_SERVE_TRY(parse_u64(value, "max-load", &u64));
+  options.max_load = static_cast<std::size_t>(u64);
+  MDG_SERVE_TRY(read_keyed_line(in, "multi-start", &value));
+  MDG_SERVE_TRY(parse_u64(value, "multi-start", &u64));
+  options.multi_start = static_cast<std::size_t>(u64);
+  MDG_SERVE_TRY(read_keyed_line(in, "refine", &value));
+  MDG_SERVE_TRY(parse_bool(value, "refine", &options.refine));
+  MDG_SERVE_TRY(read_keyed_line(in, "deadline-ms", &value));
+  MDG_SERVE_TRY(parse_u64(value, "deadline-ms", &u64));
+  if (u64 > 0xffffffffull) {
+    return core::Status::invalid_argument("deadline-ms out of range");
+  }
+  options.deadline_ms = static_cast<std::uint32_t>(u64);
+  MDG_SERVE_TRY(read_keyed_line(in, "warm", &value));
+  MDG_SERVE_TRY(parse_bool(value, "warm", &options.warm));
+  MDG_SERVE_TRY(read_keyed_line(in, "network", nullptr));
+  auto network = io::try_read_network(in);
+  if (!network.is_ok()) {
+    return network.status().with_context("plan request network");
+  }
+  MDG_SERVE_TRY(require_at_end(in));
+  return PlanRequest{std::move(options), std::move(network).value()};
+}
+
+std::string build_simulate_request(std::size_t rounds, double speed,
+                                   double battery, std::uint64_t seed,
+                                   const net::SensorNetwork& network,
+                                   const core::ShdgpSolution& solution) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "mdg-request 1\n"
+      << "op simulate\n"
+      << "rounds " << rounds << "\n"
+      << "speed " << speed << "\n"
+      << "battery " << battery << "\n"
+      << "seed " << seed << "\n"
+      << "network\n";
+  io::write_network(out, network);
+  out << "solution\n";
+  io::write_solution(out, solution);
+  return out.str();
+}
+
+core::StatusOr<SimulateRequest> parse_simulate_request(
+    const std::string& payload) {
+  std::istringstream in(payload);
+  std::string value;
+  MDG_SERVE_TRY(read_keyed_line(in, "mdg-request", &value));
+  if (value != "1") {
+    return core::Status::invalid_argument("unsupported mdg-request version " +
+                                          value);
+  }
+  MDG_SERVE_TRY(read_keyed_line(in, "op", &value));
+  if (value != "simulate") {
+    return core::Status::invalid_argument("expected op simulate, got '" +
+                                          value + "'");
+  }
+  std::size_t rounds = 0;
+  double speed = 0.0;
+  double battery = 0.0;
+  std::uint64_t seed = 0;
+  std::uint64_t u64 = 0;
+  MDG_SERVE_TRY(read_keyed_line(in, "rounds", &value));
+  MDG_SERVE_TRY(parse_u64(value, "rounds", &u64));
+  if (u64 == 0 || u64 > 1000000) {
+    return core::Status::invalid_argument("rounds out of range: " + value);
+  }
+  rounds = static_cast<std::size_t>(u64);
+  MDG_SERVE_TRY(read_keyed_line(in, "speed", &value));
+  MDG_SERVE_TRY(parse_double(value, "speed", &speed));
+  if (!(speed > 0.0)) {
+    return core::Status::invalid_argument("speed must be positive: " + value);
+  }
+  MDG_SERVE_TRY(read_keyed_line(in, "battery", &value));
+  MDG_SERVE_TRY(parse_double(value, "battery", &battery));
+  if (!(battery > 0.0)) {
+    return core::Status::invalid_argument("battery must be positive: " +
+                                          value);
+  }
+  MDG_SERVE_TRY(read_keyed_line(in, "seed", &value));
+  MDG_SERVE_TRY(parse_u64(value, "seed", &seed));
+  MDG_SERVE_TRY(read_keyed_line(in, "network", nullptr));
+  auto network = io::try_read_network(in);
+  if (!network.is_ok()) {
+    return network.status().with_context("simulate request network");
+  }
+  // The token-based network reader stops right after the last
+  // coordinate; skip to the next line before the strict section read.
+  in >> std::ws;
+  MDG_SERVE_TRY(read_keyed_line(in, "solution", nullptr));
+  auto solution = io::try_read_solution(in);
+  if (!solution.is_ok()) {
+    return solution.status().with_context("simulate request solution");
+  }
+  MDG_SERVE_TRY(require_at_end(in));
+  return SimulateRequest{rounds,
+                         speed,
+                         battery,
+                         seed,
+                         std::move(network).value(),
+                         std::move(solution).value()};
+}
+
+std::string build_error_payload(const core::Status& status) {
+  std::string message = status.message();
+  const std::size_t newline = message.find('\n');
+  if (newline != std::string::npos) {
+    message.resize(newline);
+  }
+  std::ostringstream out;
+  out << "mdg-error 1\n"
+      << "code " << to_string(status.code()) << "\n"
+      << "message " << message << "\n";
+  return out.str();
+}
+
+}  // namespace mdg::serve

@@ -1,0 +1,173 @@
+// The mdg_serve wire protocol: length-prefixed binary frames carrying
+// line-oriented text payloads.
+//
+// Every message — request or reply — is one frame: a fixed 20-byte
+// header (magic "MDG1", then type, id, flags, payload length, each a
+// little-endian u32) followed by exactly `payload length` payload
+// bytes. The header is binary so a reader can reject garbage before
+// buffering anything and knows exactly how much to read; the payloads
+// are the same human-diffable text formats the rest of the repo uses
+// (io::write_network / io::write_solution), so a request can be
+// assembled with a text editor and a hex tool. docs/SERVE.md walks
+// through a full frame byte by byte.
+//
+// Replies echo the request id. The flags word is 0 on requests; on
+// plan replies its low bits carry the cache outcome (miss / exact hit
+// / warm-start hit) and bit 4 reports that the request's deadline
+// expired mid-improvement. Keeping the cache outcome in the *header*
+// is deliberate: a cached reply's payload stays byte-identical to the
+// cold-planned reply for the same instance.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/solution.h"
+#include "core/status.h"
+#include "net/sensor_network.h"
+
+namespace mdg::serve {
+
+/// First four bytes of every frame.
+inline constexpr char kMagic[4] = {'M', 'D', 'G', '1'};
+/// Fixed header size: magic + type + id + flags + payload length.
+inline constexpr std::size_t kHeaderBytes = 20;
+/// Default cap on a single frame's payload (guards a hostile length
+/// field from allocating unbounded memory).
+inline constexpr std::uint32_t kDefaultMaxPayloadBytes = 16u << 20;
+
+/// Frame types. Requests are < 16, replies >= 16.
+enum class FrameType : std::uint32_t {
+  kPlanRequest = 1,      ///< payload: plan request (op plan)
+  kSimulateRequest = 2,  ///< payload: simulate request (op simulate)
+  kStatsRequest = 3,     ///< empty payload; server counters back
+  kPing = 4,             ///< empty payload; kPong back
+  kShutdown = 5,         ///< empty payload; ok reply, then server stops
+  kReplyOk = 16,         ///< payload: op-specific reply text
+  kReplyError = 17,      ///< payload: mdg-error text (Status code + message)
+  kPong = 18,            ///< empty payload
+};
+
+// Reply flag bits (requests always send flags = 0).
+inline constexpr std::uint32_t kFlagCacheMask = 0x3;
+inline constexpr std::uint32_t kFlagCacheMiss = 0;   ///< planned from scratch
+inline constexpr std::uint32_t kFlagCacheExact = 1;  ///< served from cache
+inline constexpr std::uint32_t kFlagCacheWarm = 2;   ///< warm-started improve
+inline constexpr std::uint32_t kFlagDeadlineHit = 0x10;
+
+/// Catalog row for the doc-sync test: docs/SERVE.md must document every
+/// frame type by name and value.
+struct FrameTypeInfo {
+  const char* name;  ///< e.g. "plan-request"
+  std::uint32_t value;
+};
+
+/// Every frame type, sorted by value.
+[[nodiscard]] std::span<const FrameTypeInfo> known_frame_types();
+
+/// The catalog name for `type`, or nullptr when the value is unknown.
+[[nodiscard]] const char* frame_type_name(FrameType type);
+
+/// One protocol message, header fields plus payload bytes.
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::uint32_t id = 0;
+  std::uint32_t flags = 0;
+  std::string payload;
+};
+
+/// Serializes header + payload.
+void write_frame(std::ostream& out, const Frame& frame);
+[[nodiscard]] std::string frame_bytes(const Frame& frame);
+
+struct ReadFrameOptions {
+  std::uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
+};
+
+/// Reads one frame. A stream that is cleanly at EOF (no bytes before
+/// the next header) yields nullopt — the peer closed between frames.
+/// Anything else that prevents a full frame is an error Status: bad
+/// magic or an unknown type value (kInvalidArgument), a payload length
+/// over the cap (kInvalidArgument), or a stream that ends mid-header
+/// or mid-payload (kDataLoss). The reader never crashes, hangs, or
+/// allocates more than the declared (capped) payload length.
+[[nodiscard]] core::StatusOr<std::optional<Frame>> read_frame(
+    std::istream& in, const ReadFrameOptions& options = {});
+
+// --- payload schemas ------------------------------------------------------
+
+/// Knobs of a plan request; mirrors mdg_cli plan's flags.
+struct PlanRequestOptions {
+  std::string planner = "greedy";
+  std::size_t max_load = 0;     ///< sensors per polling point; 0 = uncapped
+  std::size_t multi_start = 0;  ///< TSP multi-start width; 0/1 = single
+  bool refine = false;          ///< run core::refine_polling_positions
+  std::uint32_t deadline_ms = 0;  ///< anytime budget; 0 = none
+  bool warm = true;             ///< allow warm-start from the cache
+};
+
+struct PlanRequest {
+  PlanRequestOptions options;
+  net::SensorNetwork network;
+};
+
+/// Assembles the canonical plan-request payload text:
+///   mdg-request 1
+///   op plan
+///   planner <name>
+///   max-load <K>
+///   multi-start <K>
+///   refine <0|1>
+///   deadline-ms <D>
+///   warm <0|1>
+///   network
+///   <io::write_network text>
+[[nodiscard]] std::string build_plan_request(const PlanRequestOptions& options,
+                                             const net::SensorNetwork& network);
+
+/// Parses the build_plan_request format. Keys are required and fixed in
+/// order (the payload doubles as the cache's raw lookup key, so there
+/// is exactly one spelling per request). Malformed text, out-of-range
+/// values, a bad network section, or trailing bytes produce a
+/// diagnostic Status via the hardened io::try_read_network loader.
+[[nodiscard]] core::StatusOr<PlanRequest> parse_plan_request(
+    const std::string& payload);
+
+/// A simulate request: run sim::MobileCollectionSim for `rounds`.
+struct SimulateRequest {
+  std::size_t rounds = 10;
+  double speed = 1.0;    ///< collector speed, m/s
+  double battery = 0.5;  ///< initial per-sensor battery, J
+  std::uint64_t seed = 0x10552008;  ///< upload-loss seed
+  net::SensorNetwork network;
+  core::ShdgpSolution solution;
+};
+
+/// Assembles the simulate-request payload:
+///   mdg-request 1
+///   op simulate
+///   rounds <R> / speed <S> / battery <B> / seed <X>   (one per line)
+///   network
+///   <io::write_network text>
+///   solution
+///   <io::write_solution text>
+[[nodiscard]] std::string build_simulate_request(
+    std::size_t rounds, double speed, double battery, std::uint64_t seed,
+    const net::SensorNetwork& network, const core::ShdgpSolution& solution);
+
+/// Parses the build_simulate_request format. The solution is NOT yet
+/// checked against the network — the engine does that and maps a
+/// mismatch to kFailedPrecondition.
+[[nodiscard]] core::StatusOr<SimulateRequest> parse_simulate_request(
+    const std::string& payload);
+
+/// Error-reply payload:
+///   mdg-error 1
+///   code <status-code-name>
+///   message <first line of the diagnostic>
+[[nodiscard]] std::string build_error_payload(const core::Status& status);
+
+}  // namespace mdg::serve

@@ -1,0 +1,309 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "util/thread_pool.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MDG_SERVE_HAVE_SOCKETS 1
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define MDG_SERVE_HAVE_SOCKETS 0
+#endif
+
+namespace mdg::serve {
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      engine_(options_.engine),
+      start_ms_(now_ms()) {}
+
+void Server::maybe_report(bool force) {
+  if (options_.report_path.empty()) {
+    return;
+  }
+  ++handled_since_report_;
+  if (!force && (options_.report_every == 0 ||
+                 handled_since_report_ < options_.report_every)) {
+    return;
+  }
+  handled_since_report_ = 0;
+  obs::RunReport report = engine_.run_report();
+  report.wall_ms = now_ms() - start_ms_;
+  report.save(options_.report_path);
+}
+
+int Server::serve_stdio(std::istream& in, std::ostream& out) {
+  const ReadFrameOptions read_options{options_.max_payload_bytes};
+  while (true) {
+    auto frame = read_frame(in, read_options);
+    if (!frame.is_ok()) {
+      // The byte stream is unsynchronized past this point; report the
+      // problem in-protocol, then stop.
+      write_frame(out, Frame{FrameType::kReplyError, 0, 0,
+                             build_error_payload(frame.status())});
+      out.flush();
+      maybe_report(true);
+      return 3;
+    }
+    if (!frame.value().has_value()) {
+      break;  // clean EOF
+    }
+    const Frame reply = engine_.handle(**frame);
+    write_frame(out, reply);
+    out.flush();
+    maybe_report(false);
+    if (engine_.shutdown_requested()) {
+      break;
+    }
+  }
+  maybe_report(true);
+  return 0;
+}
+
+#if MDG_SERVE_HAVE_SOCKETS
+
+namespace {
+
+/// Minimal streambuf over a file descriptor (one for reading, one for
+/// writing per connection).
+class FdStreambuf final : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) { setg(buf_, buf_, buf_); }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) {
+      return traits_type::to_int_type(*gptr());
+    }
+    const ssize_t n = ::read(fd_, buf_, sizeof(buf_));
+    if (n <= 0) {
+      return traits_type::eof();
+    }
+    setg(buf_, buf_, buf_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    std::streamsize written = 0;
+    while (written < n) {
+      const ssize_t w = ::write(fd_, s + written,
+                                static_cast<std::size_t>(n - written));
+      if (w <= 0) {
+        return written;
+      }
+      written += w;
+    }
+    return written;
+  }
+
+  int_type overflow(int_type ch) override {
+    if (traits_type::eq_int_type(ch, traits_type::eof())) {
+      return 0;
+    }
+    const char c = traits_type::to_char_type(ch);
+    return xsputn(&c, 1) == 1 ? ch : traits_type::eof();
+  }
+
+ private:
+  int fd_;
+  char buf_[1 << 12];
+};
+
+/// One accepted connection; jobs in flight keep it alive via
+/// shared_ptr.
+struct Connection {
+  explicit Connection(int fd) : fd(fd), out_buf(fd), out(&out_buf) {}
+  ~Connection() { ::close(fd); }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  void send(const Frame& frame) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    write_frame(out, frame);
+    out.flush();
+  }
+
+  int fd;
+  FdStreambuf out_buf;
+  std::ostream out;
+  std::mutex write_mutex;
+};
+
+struct Job {
+  Frame frame;
+  std::shared_ptr<Connection> connection;
+};
+
+}  // namespace
+
+core::StatusOr<int> Server::serve_tcp(std::uint16_t port) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    return core::Status::internal("socket() failed");
+  }
+  const int reuse = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 16) != 0) {
+    ::close(listen_fd);
+    return core::Status::internal("cannot listen on 127.0.0.1:" +
+                                  std::to_string(port));
+  }
+
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<Job> queue;
+  bool stopping = false;
+
+  const std::size_t workers =
+      options_.workers > 0 ? options_.workers : planning_threads();
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      while (true) {
+        Job job;
+        {
+          std::unique_lock<std::mutex> lock(queue_mutex);
+          queue_cv.wait(lock, [&] { return stopping || !queue.empty(); });
+          if (queue.empty()) {
+            return;  // stopping and drained
+          }
+          job = std::move(queue.front());
+          queue.pop_front();
+          MDG_OBS_GAUGE(obs::metric::kServeQueueDepth,
+                        static_cast<double>(queue.size()));
+        }
+        job.connection->send(engine_.handle(job.frame));
+        {
+          std::lock_guard<std::mutex> lock(queue_mutex);
+          maybe_report(false);
+        }
+        if (engine_.shutdown_requested()) {
+          // Unblock accept() so the main loop can wind down.
+          ::shutdown(listen_fd, SHUT_RDWR);
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> readers;
+  std::mutex connections_mutex;
+  std::vector<std::weak_ptr<Connection>> connections;
+  const ReadFrameOptions read_options{options_.max_payload_bytes};
+  while (!engine_.shutdown_requested()) {
+    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) {
+      if (engine_.shutdown_requested()) {
+        break;
+      }
+      continue;
+    }
+    auto connection = std::make_shared<Connection>(conn_fd);
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex);
+      connections.push_back(connection);
+    }
+    readers.emplace_back([&, connection] {
+      FdStreambuf in_buf(connection->fd);
+      std::istream in(&in_buf);
+      while (true) {
+        auto frame = read_frame(in, read_options);
+        if (!frame.is_ok()) {
+          connection->send(Frame{FrameType::kReplyError, 0, 0,
+                                 build_error_payload(frame.status())});
+          return;  // unsynchronized stream; drop the connection
+        }
+        if (!frame.value().has_value()) {
+          return;  // peer closed
+        }
+        bool rejected = false;
+        {
+          std::lock_guard<std::mutex> lock(queue_mutex);
+          if (queue.size() >= options_.backlog) {
+            rejected = true;
+          } else {
+            queue.push_back(Job{std::move(**frame), connection});
+            MDG_OBS_GAUGE(obs::metric::kServeQueueDepth,
+                          static_cast<double>(queue.size()));
+          }
+        }
+        if (rejected) {
+          engine_.note_rejected();
+          MDG_OBS_COUNT(obs::metric::kServeRejected, 1);
+          connection->send(
+              Frame{FrameType::kReplyError, (**frame).id, 0,
+                    build_error_payload(core::Status::failed_precondition(
+                        "server overloaded: admission queue full"))});
+        } else {
+          queue_cv.notify_one();
+        }
+        if (engine_.shutdown_requested()) {
+          return;  // the shutdown frame is already queued
+        }
+      }
+    });
+  }
+  ::close(listen_fd);
+  // Unblock readers parked on idle connections so they can observe
+  // the shutdown (their next read returns EOF).
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex);
+    for (const std::weak_ptr<Connection>& weak : connections) {
+      if (const auto connection = weak.lock()) {
+        ::shutdown(connection->fd, SHUT_RD);
+      }
+    }
+  }
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex);
+    stopping = true;
+  }
+  queue_cv.notify_all();
+  for (std::thread& worker : pool) {
+    worker.join();
+  }
+  maybe_report(true);
+  return 0;
+}
+
+#else  // !MDG_SERVE_HAVE_SOCKETS
+
+core::StatusOr<int> Server::serve_tcp(std::uint16_t) {
+  return core::Status::internal(
+      "TCP mode requires POSIX sockets; use --stdio on this platform");
+}
+
+#endif
+
+}  // namespace mdg::serve

@@ -1,0 +1,74 @@
+// The process around the Engine: connections, admission queueing,
+// worker threads, periodic run reports.
+//
+// Two transports share one Engine:
+//
+//  * stdio mode — a single connection on stdin/stdout, handled
+//    strictly sequentially so replies arrive in request order. This is
+//    the mode tests, CI, and scripted transcripts use: deterministic
+//    reply bytes, no sockets, no threads.
+//  * TCP mode — a loopback listener; each connection gets a reader
+//    thread that parses frames into a bounded admission queue drained
+//    by a fixed worker pool. When the queue is full the reader replies
+//    immediately with a failed-precondition error ("server
+//    overloaded") instead of blocking — bounded memory, bounded
+//    latency. Replies to one connection may interleave out of request
+//    order; the echoed frame id correlates them.
+//
+// Exit codes follow mdg_cli's convention where it makes sense:
+// 0 = clean (EOF or shutdown frame), 3 = unrecoverable protocol error
+// on the stdio byte stream (a framing error leaves no resync point,
+// so the server sends one error reply and stops).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "serve/engine.h"
+#include "serve/protocol.h"
+
+namespace mdg::serve {
+
+struct ServerOptions {
+  EngineOptions engine;
+  /// Worker threads draining the TCP admission queue
+  /// (0 = util::planning_threads()).
+  std::size_t workers = 0;
+  /// Max requests waiting in the admission queue before rejection.
+  std::size_t backlog = 64;
+  /// Per-frame payload cap handed to read_frame.
+  std::uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
+  /// When non-empty, the engine's run report is written here at
+  /// shutdown and every `report_every` requests.
+  std::string report_path;
+  std::size_t report_every = 0;  ///< 0 = only at shutdown
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+
+  /// Single-connection sequential loop over `in`/`out`. Returns the
+  /// process exit code: 0 on clean EOF or shutdown, 3 after a framing
+  /// error (one kReplyError frame is emitted first).
+  [[nodiscard]] int serve_stdio(std::istream& in, std::ostream& out);
+
+  /// Listens on 127.0.0.1:`port` until a shutdown frame arrives.
+  /// Returns the exit code, or a Status when the listener cannot be
+  /// set up (bind/listen failure, sockets unavailable).
+  [[nodiscard]] core::StatusOr<int> serve_tcp(std::uint16_t port);
+
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+
+ private:
+  void maybe_report(bool force);
+
+  ServerOptions options_;
+  Engine engine_;
+  std::uint64_t handled_since_report_ = 0;
+  double start_ms_ = 0.0;
+};
+
+}  // namespace mdg::serve

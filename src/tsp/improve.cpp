@@ -15,6 +15,15 @@ namespace {
 
 constexpr double kGainEps = 1e-12;
 
+/// Active anytime deadline of the calling thread; time_point{} = none.
+/// Set only through ScopedImproveDeadline (src/serve request handling),
+/// so the default execution never reads the clock.
+thread_local std::chrono::steady_clock::time_point t_improve_deadline{};
+
+/// Engine activations between deadline polls — coarse enough that the
+/// clock read is invisible next to the move evaluations it paces.
+constexpr std::size_t kDeadlinePollStride = 256;
+
 double dist(std::span<const geom::Point> pts, std::size_t a, std::size_t b) {
   return geom::distance(pts[a], pts[b]);
 }
@@ -62,6 +71,9 @@ class LocalSearchEngine {
     const std::size_t cap = opt_.max_passes * n_;
     std::size_t processed = 0;
     while (count_ > 0 && processed < cap) {
+      if (processed % kDeadlinePollStride == 0 && improve_deadline_expired()) {
+        break;  // anytime exit: the order is valid between activations
+      }
       const std::size_t a = pop();
       ++processed;
       bool moved = try_two_opt(a);
@@ -365,7 +377,8 @@ ImproveStats two_opt(Tour& tour, std::span<const geom::Point> points,
   // Work on a copy of the order for cheap indexing.
   std::vector<std::size_t> order = tour.order();
   bool improved = true;
-  while (improved && stats.passes < max_passes) {
+  while (improved && stats.passes < max_passes &&
+         !improve_deadline_expired()) {
     improved = false;
     ++stats.passes;
     // Consider reversing order[i..j]; the depot at position 0 stays put.
@@ -431,7 +444,8 @@ ImproveStats or_opt(Tour& tour, std::span<const geom::Point> points,
   }
   std::vector<std::size_t> order = tour.order();
   bool improved = true;
-  while (improved && stats.passes < max_passes) {
+  while (improved && stats.passes < max_passes &&
+         !improve_deadline_expired()) {
     improved = false;
     ++stats.passes;
     for (std::size_t seg_len = 1; seg_len <= 3 && seg_len + 1 < n; ++seg_len) {
@@ -550,7 +564,7 @@ ImproveStats improve(Tour& tour, std::span<const geom::Point> points,
       total.moves += a.moves + b.moves;
       total.two_opt_moves += a.two_opt_moves + b.two_opt_moves;
       total.or_opt_moves += a.or_opt_moves + b.or_opt_moves;
-      if (a.moves + b.moves == 0) {
+      if (a.moves + b.moves == 0 || improve_deadline_expired()) {
         break;
       }
     }
@@ -600,6 +614,27 @@ ImproveStats improve(Tour& tour, std::span<const geom::Point> points,
              "improve must never lengthen the tour");
   record_improve_stats(total);
   return total;
+}
+
+ScopedImproveDeadline::ScopedImproveDeadline(
+    std::chrono::steady_clock::time_point deadline)
+    : saved_(t_improve_deadline) {
+  t_improve_deadline = deadline;
+}
+
+ScopedImproveDeadline::~ScopedImproveDeadline() {
+  t_improve_deadline = saved_;
+}
+
+bool improve_deadline_active() {
+  return t_improve_deadline != std::chrono::steady_clock::time_point{};
+}
+
+bool improve_deadline_expired() {
+  if (!improve_deadline_active()) {
+    return false;
+  }
+  return std::chrono::steady_clock::now() >= t_improve_deadline;
 }
 
 }  // namespace mdg::tsp

@@ -9,6 +9,7 @@
 // reversal, and Or-opt relocation composed into a single work queue.
 #pragma once
 
+#include <chrono>
 #include <span>
 
 #include "geom/point.h"
@@ -87,5 +88,41 @@ ImproveStats or_opt(Tour& tour, std::span<const geom::Point> points,
 /// and the neighbour-list engine on tour size (see ImproveOptions).
 ImproveStats improve(Tour& tour, std::span<const geom::Point> points,
                      const ImproveOptions& options = {});
+
+/// Anytime early-exit for serving (docs/SERVE.md §deadlines). While a
+/// ScopedImproveDeadline is active on the calling thread, every
+/// improvement kernel in this module polls the deadline at move-safe
+/// checkpoints — between sweep passes, every few hundred engine
+/// activations — and returns its current (always valid, never lengthened)
+/// tour as soon as the deadline has passed. With no scope active — the
+/// default everywhere outside `src/serve` — behaviour is bit-for-bit
+/// unchanged, so the determinism contract (DESIGN.md) is untouched.
+///
+/// The deadline is thread-local: kernels that fan out to pool workers
+/// (multi-start portfolio chains, partitioned shards) do not observe the
+/// caller's deadline; the sequential engine and the polish pass — the
+/// dominant improvement cost at serving sizes — do. Deadline-truncated
+/// runs trade quality for latency and are therefore *not* byte-
+/// reproducible across machines; serve never caches them as exact
+/// replies of a slower request (the deadline is part of the cache key).
+class ScopedImproveDeadline {
+ public:
+  explicit ScopedImproveDeadline(std::chrono::steady_clock::time_point deadline);
+  ~ScopedImproveDeadline();
+  ScopedImproveDeadline(const ScopedImproveDeadline&) = delete;
+  ScopedImproveDeadline& operator=(const ScopedImproveDeadline&) = delete;
+
+ private:
+  std::chrono::steady_clock::time_point saved_;
+};
+
+/// True when a deadline scope is active on this thread and the clock has
+/// passed it. Cheap enough for per-pass polling (one thread-local read;
+/// the clock is only consulted while a scope is active).
+[[nodiscard]] bool improve_deadline_expired();
+
+/// True while a ScopedImproveDeadline is active on the calling thread
+/// (whether or not it has expired yet).
+[[nodiscard]] bool improve_deadline_active();
 
 }  // namespace mdg::tsp

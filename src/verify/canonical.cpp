@@ -105,4 +105,27 @@ std::string canonical_plan_bytes(const core::ShdgpInstance& instance,
   return out.str();
 }
 
+std::string canonical_network_bytes(const net::SensorNetwork& network) {
+  std::ostringstream out;
+  out << "canonical-network 1\n";
+  out << "field ";
+  emit_point(out, network.field().lo);
+  out << " ";
+  emit_point(out, network.field().hi);
+  out << "\n";
+  out << "sink ";
+  emit_point(out, network.sink());
+  out << "\n";
+  const net::RadioModel& radio = network.radio();
+  out << std::hexfloat << "range " << network.range() << "\n"
+      << "radio " << radio.e_elec << " " << radio.eps_amp << " " << radio.eps_mp
+      << std::defaultfloat << " " << radio.packet_bits << "\n";
+  out << "sensors " << network.size() << "\n";
+  for (geom::Point p : network.positions()) {
+    emit_point(out, p);
+    out << "\n";
+  }
+  return out.str();
+}
+
 }  // namespace mdg::verify

@@ -19,11 +19,23 @@
 
 #include "core/instance.h"
 #include "core/solution.h"
+#include "net/sensor_network.h"
 
 namespace mdg::verify {
 
 /// The canonical byte encoding of (instance, solution) described above.
 [[nodiscard]] std::string canonical_plan_bytes(
     const core::ShdgpInstance& instance, const core::ShdgpSolution& solution);
+
+/// Canonical byte encoding of a network alone — the serving cache's
+/// instance identity (docs/SERVE.md §cache). Hexfloat (exact round-trip)
+/// and whitespace-normalized, so two request payloads that *parse* to
+/// the same network — different decimal spellings, extra blanks — encode
+/// identically. Sensor order is deliberately preserved, NOT sorted:
+/// plan replies index sensors by their input position (the assignment
+/// array), so a sensor permutation is a different instance for caching
+/// purposes even though it describes the same geometry.
+[[nodiscard]] std::string canonical_network_bytes(
+    const net::SensorNetwork& network);
 
 }  // namespace mdg::verify

@@ -1,0 +1,92 @@
+// Concurrent clients hammering one Engine with mixed hits and misses.
+// Runs under the normal suite and therefore under the TSan CI job —
+// the cache, the counters, and the shared thread pool must all be
+// data-race free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "net/deployment.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
+#include "util/rng.h"
+
+namespace mdg::serve {
+namespace {
+
+TEST(ServeEngineConcurrencyTest, EightClientsMixedHitsAndMisses) {
+  Engine engine;
+
+  // Four distinct small instances -> four cold plans, everything else
+  // cache hits, interleaved across threads.
+  std::vector<std::string> payloads;
+  std::vector<std::string> expected;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    const net::SensorNetwork network =
+        net::make_uniform_network(30, 100.0, 25.0, rng);
+    payloads.push_back(build_plan_request({}, network));
+  }
+  // Reference replies from a separate, single-threaded engine.
+  {
+    Engine reference;
+    for (const std::string& payload : payloads) {
+      const Frame reply =
+          reference.handle(Frame{FrameType::kPlanRequest, 0, 0, payload});
+      ASSERT_EQ(reply.type, FrameType::kReplyOk);
+      expected.push_back(reply.payload);
+    }
+  }
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRequestsPerThread = 12;
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (std::size_t r = 0; r < kRequestsPerThread; ++r) {
+        const std::size_t which = (t + r) % payloads.size();
+        const Frame reply = engine.handle(
+            Frame{FrameType::kPlanRequest,
+                  static_cast<std::uint32_t>(t * 100 + r), 0,
+                  payloads[which]});
+        if (reply.type != FrameType::kReplyOk ||
+            reply.payload != expected[which]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Sprinkle in stats and pings to exercise the other paths.
+        if (r % 5 == 0) {
+          (void)engine.handle(
+              Frame{FrameType::kStatsRequest,
+                    static_cast<std::uint32_t>(t * 100 + r), 0, {}});
+        }
+        if (r % 7 == 0) {
+          (void)engine.handle(Frame{
+              FrameType::kPing, static_cast<std::uint32_t>(t * 100 + r),
+              0, {}});
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  const EngineStats stats = engine.stats();
+  const std::uint64_t plans = kThreads * kRequestsPerThread;
+  EXPECT_EQ(stats.hits_exact + stats.hits_warm + stats.misses, plans);
+  // After a thread's own first request for a payload completes, the
+  // cache holds that payload, so at most the first |payloads| requests
+  // of each thread can miss — everything after is an exact hit.
+  EXPECT_GE(stats.hits_exact, plans - kThreads * payloads.size());
+  EXPECT_GE(stats.misses, payloads.size());
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.cache_entries, payloads.size());
+}
+
+}  // namespace
+}  // namespace mdg::serve

@@ -1,0 +1,279 @@
+// Engine behaviour: cold plans byte-identical to direct library calls,
+// exact and warm cache hits, deadlines, simulate/stats/ping/shutdown.
+#include "serve/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/greedy_cover_planner.h"
+#include "core/instance.h"
+#include "core/planner_factory.h"
+#include "io/serialize.h"
+#include "net/deployment.h"
+#include "serve/protocol.h"
+#include "util/rng.h"
+#include "verify/check.h"
+
+namespace mdg::serve {
+namespace {
+
+net::SensorNetwork test_network(std::uint64_t seed, std::size_t n = 50) {
+  Rng rng(seed);
+  return net::make_uniform_network(n, 150.0, 28.0, rng);
+}
+
+Frame plan_frame(std::uint32_t id, const net::SensorNetwork& network,
+                 PlanRequestOptions options = {}) {
+  return Frame{FrameType::kPlanRequest, id, 0,
+               build_plan_request(options, network)};
+}
+
+TEST(ServeEngineTest, ColdPlanMatchesDirectLibraryCallByteForByte) {
+  Engine engine;
+  const net::SensorNetwork network = test_network(1);
+  const Frame reply = engine.handle(plan_frame(1, network));
+  ASSERT_EQ(reply.type, FrameType::kReplyOk);
+  EXPECT_EQ(reply.id, 1u);
+  EXPECT_EQ(reply.flags & kFlagCacheMask, kFlagCacheMiss);
+
+  // The acceptance contract: a served plan is the same bytes mdg_cli
+  // plan would write for this network.
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution direct =
+      core::GreedyCoverPlanner().plan(instance);
+  EXPECT_EQ(reply.payload, "mdg-reply 1\nop plan\n" + io::to_text(direct));
+}
+
+TEST(ServeEngineTest, ExactHitReturnsIdenticalBytesAndSetsTheFlag) {
+  Engine engine;
+  const net::SensorNetwork network = test_network(2);
+  const Frame request = plan_frame(7, network);
+  const Frame cold = engine.handle(request);
+  const Frame hit = engine.handle(request);
+  ASSERT_EQ(hit.type, FrameType::kReplyOk);
+  EXPECT_EQ(hit.flags & kFlagCacheMask, kFlagCacheExact);
+  EXPECT_EQ(hit.payload, cold.payload);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.hits_exact, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ServeEngineTest, WarmStartKicksInAcrossMultiStartWidths) {
+  Engine engine;
+  const net::SensorNetwork network = test_network(3, 80);
+  // Cold plan with the default options seeds the warm index.
+  const Frame cold = engine.handle(plan_frame(1, network));
+  ASSERT_EQ(cold.type, FrameType::kReplyOk);
+  // Same instance, different multi-start width: not an exact key match
+  // but the cover is identical, so the cached tour warm-starts improve.
+  PlanRequestOptions wide;
+  wide.multi_start = 4;
+  const Frame warm = engine.handle(plan_frame(2, network, wide));
+  ASSERT_EQ(warm.type, FrameType::kReplyOk);
+  EXPECT_EQ(warm.flags & kFlagCacheMask, kFlagCacheWarm);
+  EXPECT_EQ(engine.stats().hits_warm, 1u);
+
+  // The warm-started plan must still satisfy every SHDGP invariant.
+  std::istringstream body(
+      warm.payload.substr(std::string("mdg-reply 1\nop plan\n").size()));
+  auto solution = io::try_read_solution(body);
+  ASSERT_TRUE(solution.is_ok()) << solution.status().to_string();
+  const core::ShdgpInstance instance(network);
+  const core::Status check = verify::check_solution(instance, *solution);
+  EXPECT_TRUE(check.is_ok()) << check.to_string();
+}
+
+TEST(ServeEngineTest, WarmStartDisabledByRequestFlag) {
+  Engine engine;
+  const net::SensorNetwork network = test_network(4);
+  (void)engine.handle(plan_frame(1, network));
+  PlanRequestOptions no_warm;
+  no_warm.multi_start = 4;
+  no_warm.warm = false;
+  const Frame reply = engine.handle(plan_frame(2, network, no_warm));
+  ASSERT_EQ(reply.type, FrameType::kReplyOk);
+  EXPECT_EQ(reply.flags & kFlagCacheMask, kFlagCacheMiss);
+  EXPECT_EQ(engine.stats().hits_warm, 0u);
+}
+
+TEST(ServeEngineTest, DifferentSpellingSameInstanceIsACanonicalHit) {
+  Engine engine;
+  const net::SensorNetwork network = test_network(5);
+  const Frame cold = engine.handle(plan_frame(1, network));
+  // Re-spell the payload: append trailing zeros to a coordinate's
+  // decimal form by re-serializing through a parse round trip. The
+  // simplest distinct spelling: same request text with one numeric
+  // token rewritten equivalently ("0" -> "0.0" won't survive the
+  // strict u64 parse, so vary float formatting via the network text).
+  std::string payload = build_plan_request({}, network);
+  const std::size_t range_pos = payload.find("\nrange ");
+  ASSERT_NE(range_pos, std::string::npos);
+  // "range X" -> "range X0" would change the value; instead inject a
+  // harmless extra space which the token-based network parser accepts
+  // but which changes the raw bytes.
+  payload.insert(range_pos + std::string("\nrange ").size(), " ");
+  const Frame respelled =
+      engine.handle(Frame{FrameType::kPlanRequest, 2, 0, payload});
+  ASSERT_EQ(respelled.type, FrameType::kReplyOk);
+  EXPECT_EQ(respelled.flags & kFlagCacheMask, kFlagCacheExact);
+  EXPECT_EQ(respelled.payload, cold.payload);
+  // And the new spelling is now a raw alias: resending it skips
+  // parsing entirely (still an exact hit).
+  const Frame again =
+      engine.handle(Frame{FrameType::kPlanRequest, 3, 0, payload});
+  EXPECT_EQ(again.flags & kFlagCacheMask, kFlagCacheExact);
+  EXPECT_EQ(engine.stats().hits_exact, 2u);
+}
+
+TEST(ServeEngineTest, DeadlineZeroMeansNoDeadlineFlag) {
+  Engine engine;
+  const Frame reply = engine.handle(plan_frame(1, test_network(6)));
+  EXPECT_EQ(reply.flags & kFlagDeadlineHit, 0u);
+}
+
+TEST(ServeEngineTest, TightDeadlineStillProducesAValidSolution) {
+  Engine engine;
+  const net::SensorNetwork network = test_network(7, 300);
+  PlanRequestOptions options;
+  options.deadline_ms = 1;  // expires almost immediately
+  options.warm = false;
+  const Frame reply = engine.handle(plan_frame(1, network, options));
+  ASSERT_EQ(reply.type, FrameType::kReplyOk);
+  std::istringstream body(
+      reply.payload.substr(std::string("mdg-reply 1\nop plan\n").size()));
+  auto solution = io::try_read_solution(body);
+  ASSERT_TRUE(solution.is_ok()) << solution.status().to_string();
+  const core::ShdgpInstance instance(network);
+  EXPECT_TRUE(verify::check_solution(instance, *solution).is_ok());
+  // Whether the deadline tripped is timing-dependent; what matters is
+  // that a deadline-hit plan is never cached as an exact answer.
+  if ((reply.flags & kFlagDeadlineHit) != 0) {
+    EXPECT_EQ(engine.stats().cache_entries, 0u);
+  }
+}
+
+TEST(ServeEngineTest, UnknownPlannerIsAnErrorReply) {
+  Engine engine;
+  PlanRequestOptions options;
+  options.planner = "quantum";
+  const Frame reply = engine.handle(plan_frame(1, test_network(8), options));
+  ASSERT_EQ(reply.type, FrameType::kReplyError);
+  EXPECT_NE(reply.payload.find("code invalid-argument"), std::string::npos);
+  EXPECT_EQ(engine.stats().errors, 1u);
+}
+
+TEST(ServeEngineTest, GarbagePayloadIsAnErrorReplyNotACrash) {
+  Engine engine;
+  const Frame reply = engine.handle(
+      Frame{FrameType::kPlanRequest, 9, 0, "total garbage\n\x01\x02"});
+  ASSERT_EQ(reply.type, FrameType::kReplyError);
+  EXPECT_EQ(reply.id, 9u);
+  EXPECT_NE(reply.payload.find("mdg-error 1\n"), std::string::npos);
+}
+
+TEST(ServeEngineTest, SimulateRunsDeterministically) {
+  Engine engine;
+  const net::SensorNetwork network = test_network(10);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution =
+      core::GreedyCoverPlanner().plan(instance);
+  const std::string payload =
+      build_simulate_request(5, 1.5, 0.5, 42, network, solution);
+  const Frame a =
+      engine.handle(Frame{FrameType::kSimulateRequest, 1, 0, payload});
+  const Frame b =
+      engine.handle(Frame{FrameType::kSimulateRequest, 2, 0, payload});
+  ASSERT_EQ(a.type, FrameType::kReplyOk) << a.payload;
+  EXPECT_NE(a.payload.find("op simulate"), std::string::npos);
+  EXPECT_NE(a.payload.find("delivered "), std::string::npos);
+  EXPECT_EQ(a.payload, b.payload);
+}
+
+TEST(ServeEngineTest, SimulateRejectsMismatchedSolution) {
+  Engine engine;
+  const net::SensorNetwork network = test_network(11);
+  const net::SensorNetwork other = test_network(12, 70);
+  const core::ShdgpSolution solution =
+      core::GreedyCoverPlanner().plan(core::ShdgpInstance(other));
+  const std::string payload =
+      build_simulate_request(3, 1.0, 0.5, 1, network, solution);
+  const Frame reply =
+      engine.handle(Frame{FrameType::kSimulateRequest, 1, 0, payload});
+  ASSERT_EQ(reply.type, FrameType::kReplyError);
+  EXPECT_NE(reply.payload.find("code failed-precondition"),
+            std::string::npos);
+}
+
+TEST(ServeEngineTest, StatsPingShutdown) {
+  Engine engine;
+  const Frame pong = engine.handle(Frame{FrameType::kPing, 5, 0, {}});
+  EXPECT_EQ(pong.type, FrameType::kPong);
+  EXPECT_EQ(pong.id, 5u);
+
+  const Frame stats = engine.handle(Frame{FrameType::kStatsRequest, 6, 0, {}});
+  ASSERT_EQ(stats.type, FrameType::kReplyOk);
+  EXPECT_NE(stats.payload.find("op stats"), std::string::npos);
+  EXPECT_NE(stats.payload.find("requests 2"), std::string::npos);
+
+  EXPECT_FALSE(engine.shutdown_requested());
+  const Frame bye = engine.handle(Frame{FrameType::kShutdown, 7, 0, {}});
+  EXPECT_EQ(bye.type, FrameType::kReplyOk);
+  EXPECT_TRUE(engine.shutdown_requested());
+}
+
+TEST(ServeEngineTest, ReplyTypeSentAsRequestIsAnError) {
+  Engine engine;
+  const Frame reply = engine.handle(Frame{FrameType::kPong, 1, 0, {}});
+  EXPECT_EQ(reply.type, FrameType::kReplyError);
+}
+
+TEST(ServeEngineTest, HandleManyMatchesSequentialHandling) {
+  const net::SensorNetwork a = test_network(20);
+  const net::SensorNetwork b = test_network(21, 40);
+  std::vector<Frame> requests = {
+      plan_frame(1, a), plan_frame(2, b), plan_frame(3, a),
+      Frame{FrameType::kPing, 4, 0, {}}};
+  Engine batch;
+  const std::vector<Frame> replies = batch.handle_many(requests);
+  ASSERT_EQ(replies.size(), requests.size());
+  Engine sequential;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Frame expected = sequential.handle(requests[i]);
+    EXPECT_EQ(replies[i].type, expected.type) << i;
+    EXPECT_EQ(replies[i].id, expected.id) << i;
+    EXPECT_EQ(replies[i].payload, expected.payload) << i;
+  }
+}
+
+TEST(ServeEngineTest, RunReportCarriesLifetimeCounters) {
+  Engine engine;
+  (void)engine.handle(plan_frame(1, test_network(30)));
+  (void)engine.handle(plan_frame(1, test_network(30)));
+  const obs::RunReport report = engine.run_report();
+  EXPECT_EQ(report.command, "serve");
+  bool found = false;
+  for (const auto& gauge : report.gauges) {
+    if (gauge.name == "serve.hits_exact") {
+      EXPECT_DOUBLE_EQ(gauge.value, 1.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ServeEngineTest, CacheCapacityZeroAlwaysPlansCold) {
+  Engine engine(EngineOptions{0});
+  const net::SensorNetwork network = test_network(31);
+  const Frame first = engine.handle(plan_frame(1, network));
+  const Frame second = engine.handle(plan_frame(2, network));
+  EXPECT_EQ(first.flags & kFlagCacheMask, kFlagCacheMiss);
+  EXPECT_EQ(second.flags & kFlagCacheMask, kFlagCacheMiss);
+  EXPECT_EQ(first.payload, second.payload);  // still deterministic
+}
+
+}  // namespace
+}  // namespace mdg::serve

@@ -1,0 +1,156 @@
+// Hostile-input hardening: truncated, oversized, and garbage frames —
+// and well-framed requests wrapping the PR-5 corrupted network corpus
+// — must all map to protocol error replies. Never a crash, never a
+// hang, never a partial reply.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/engine.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace mdg::serve {
+namespace {
+
+std::string corpus_file(const std::string& name) {
+  const std::string path =
+      std::string(MDG_CORPUS_DIR) + "/network/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Runs the stdio server over `input` and returns (exit code, reply
+/// bytes). The loop must terminate — a hang here fails the test by
+/// gtest timeout rather than looping forever, because every read is
+/// from an in-memory stream.
+std::pair<int, std::string> run_stdio(const std::string& input) {
+  std::istringstream in(input);
+  std::ostringstream out;
+  Server server;
+  const int exit_code = server.serve_stdio(in, out);
+  return {exit_code, out.str()};
+}
+
+/// Parses all reply frames from raw bytes.
+std::vector<Frame> parse_replies(const std::string& bytes) {
+  std::istringstream in(bytes);
+  std::vector<Frame> frames;
+  while (true) {
+    auto frame = read_frame(in);
+    if (!frame.is_ok() || !frame.value().has_value()) {
+      break;
+    }
+    frames.push_back(std::move(**frame));
+  }
+  return frames;
+}
+
+TEST(ServeMalformedFrameTest, GarbageBytesGetOneErrorReplyAndExitThree) {
+  const auto [exit_code, reply_bytes] =
+      run_stdio("this is not a frame at all, just text\n");
+  EXPECT_EQ(exit_code, 3);
+  const std::vector<Frame> replies = parse_replies(reply_bytes);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].type, FrameType::kReplyError);
+  EXPECT_NE(replies[0].payload.find("code invalid-argument"),
+            std::string::npos);
+}
+
+TEST(ServeMalformedFrameTest, TruncatedHeaderIsDataLoss) {
+  const auto [exit_code, reply_bytes] = run_stdio(std::string("MDG1\x01", 5));
+  EXPECT_EQ(exit_code, 3);
+  const std::vector<Frame> replies = parse_replies(reply_bytes);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_NE(replies[0].payload.find("code data-loss"), std::string::npos);
+}
+
+TEST(ServeMalformedFrameTest, TruncatedPayloadIsDataLoss) {
+  std::string bytes =
+      frame_bytes(Frame{FrameType::kPlanRequest, 1, 0, "partial payload"});
+  bytes.resize(bytes.size() - 5);
+  const auto [exit_code, reply_bytes] = run_stdio(bytes);
+  EXPECT_EQ(exit_code, 3);
+  const std::vector<Frame> replies = parse_replies(reply_bytes);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_NE(replies[0].payload.find("code data-loss"), std::string::npos);
+}
+
+TEST(ServeMalformedFrameTest, OversizedFrameIsRejectedWithoutAllocating) {
+  std::string bytes;
+  bytes.append(kMagic, 4);
+  const auto put = [&](std::uint32_t v) {
+    for (int b = 0; b < 4; ++b) {
+      bytes.push_back(static_cast<char>((v >> (8 * b)) & 0xff));
+    }
+  };
+  put(1);
+  put(1);
+  put(0);
+  put(0xfffffff0);  // ~4 GiB declared payload
+  const auto [exit_code, reply_bytes] = run_stdio(bytes);
+  EXPECT_EQ(exit_code, 3);
+  const std::vector<Frame> replies = parse_replies(reply_bytes);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_NE(replies[0].payload.find("code invalid-argument"),
+            std::string::npos);
+}
+
+TEST(ServeMalformedFrameTest, CorruptedCorpusNetworksBecomeErrorReplies) {
+  // Every corrupted network from the verification-harness corpus, sent
+  // as a plan-request payload through the full stdio loop. Each gets
+  // exactly one error reply and the server keeps serving (exit 0 at
+  // EOF, not a protocol error — the *frames* are well-formed).
+  const char* kCorrupted[] = {"bad_magic.txt",      "empty.txt",
+                              "nan_coord.txt",      "negative_range.txt",
+                              "outside_field.txt",  "truncated.txt"};
+  std::string input;
+  std::uint32_t id = 1;
+  for (const char* name : kCorrupted) {
+    const std::string request =
+        "mdg-request 1\nop plan\nplanner greedy\nmax-load 0\n"
+        "multi-start 0\nrefine 0\ndeadline-ms 0\nwarm 1\nnetwork\n" +
+        corpus_file(name);
+    input += frame_bytes(Frame{FrameType::kPlanRequest, id++, 0, request});
+  }
+  const auto [exit_code, reply_bytes] = run_stdio(input);
+  EXPECT_EQ(exit_code, 0);
+  const std::vector<Frame> replies = parse_replies(reply_bytes);
+  ASSERT_EQ(replies.size(), std::size(kCorrupted));
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    EXPECT_EQ(replies[i].type, FrameType::kReplyError) << kCorrupted[i];
+    EXPECT_EQ(replies[i].id, i + 1) << kCorrupted[i];
+    EXPECT_NE(replies[i].payload.find("mdg-error 1\n"), std::string::npos)
+        << kCorrupted[i];
+  }
+}
+
+TEST(ServeMalformedFrameTest, ServerKeepsServingAfterAnErrorReply) {
+  // garbage payload, then a valid ping: both answered, clean exit.
+  std::string input;
+  input += frame_bytes(Frame{FrameType::kPlanRequest, 1, 0, "garbage"});
+  input += frame_bytes(Frame{FrameType::kPing, 2, 0, {}});
+  const auto [exit_code, reply_bytes] = run_stdio(input);
+  EXPECT_EQ(exit_code, 0);
+  const std::vector<Frame> replies = parse_replies(reply_bytes);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].type, FrameType::kReplyError);
+  EXPECT_EQ(replies[1].type, FrameType::kPong);
+}
+
+TEST(ServeMalformedFrameTest, EmptyInputIsACleanExit) {
+  const auto [exit_code, reply_bytes] = run_stdio("");
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_TRUE(reply_bytes.empty());
+}
+
+}  // namespace
+}  // namespace mdg::serve

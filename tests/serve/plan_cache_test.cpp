@@ -1,0 +1,110 @@
+#include "serve/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace mdg::serve {
+namespace {
+
+CachedPlan plan_named(const std::string& payload) {
+  CachedPlan plan;
+  plan.reply_payload = payload;
+  return plan;
+}
+
+TEST(PlanCacheTest, FnvIsStableAndNeverReturnsTheSentinel) {
+  // Pinned so cache keys stay comparable across builds.
+  EXPECT_EQ(fnv1a64("mdg"), 0x08195a19177583c9ull);
+  EXPECT_NE(fnv1a64(""), PlanCache::kNoKey);
+}
+
+TEST(PlanCacheTest, RawAndCanonicalLookups) {
+  PlanCache cache(4);
+  cache.insert(10, 20, 30, plan_named("reply-a"));
+  ASSERT_NE(cache.find_raw(10), nullptr);
+  EXPECT_EQ(cache.find_raw(10)->reply_payload, "reply-a");
+  ASSERT_NE(cache.find_canonical(20), nullptr);
+  ASSERT_NE(cache.find_warm(30), nullptr);
+  EXPECT_EQ(cache.find_raw(99), nullptr);
+  EXPECT_EQ(cache.find_canonical(99), nullptr);
+  EXPECT_EQ(cache.find_warm(99), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheTest, AliasRegistersASecondRawSpelling) {
+  PlanCache cache(4);
+  cache.insert(10, 20, PlanCache::kNoKey, plan_named("reply-a"));
+  cache.alias_raw(11, 20);
+  ASSERT_NE(cache.find_raw(11), nullptr);
+  EXPECT_EQ(cache.find_raw(11)->reply_payload, "reply-a");
+  EXPECT_EQ(cache.size(), 1u);
+  // Aliasing a missing canonical key is a no-op.
+  cache.alias_raw(12, 999);
+  EXPECT_EQ(cache.find_raw(12), nullptr);
+}
+
+TEST(PlanCacheTest, LruEvictsTheColdestEntry) {
+  PlanCache cache(2);
+  cache.insert(1, 101, PlanCache::kNoKey, plan_named("a"));
+  cache.insert(2, 102, PlanCache::kNoKey, plan_named("b"));
+  // Touch "a" so "b" is the LRU victim.
+  ASSERT_NE(cache.find_raw(1), nullptr);
+  cache.insert(3, 103, PlanCache::kNoKey, plan_named("c"));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.find_raw(1), nullptr);
+  EXPECT_EQ(cache.find_raw(2), nullptr);
+  EXPECT_EQ(cache.find_canonical(102), nullptr);
+  EXPECT_NE(cache.find_raw(3), nullptr);
+}
+
+TEST(PlanCacheTest, EvictionDropsAliasesAndWarmIndex) {
+  PlanCache cache(1);
+  cache.insert(1, 101, 201, plan_named("a"));
+  cache.alias_raw(11, 101);
+  cache.insert(2, 102, 202, plan_named("b"));
+  EXPECT_EQ(cache.find_raw(1), nullptr);
+  EXPECT_EQ(cache.find_raw(11), nullptr);
+  EXPECT_EQ(cache.find_warm(201), nullptr);
+  EXPECT_NE(cache.find_warm(202), nullptr);
+}
+
+TEST(PlanCacheTest, NewestDonorWinsTheWarmIndex) {
+  PlanCache cache(4);
+  cache.insert(1, 101, 200, plan_named("older"));
+  cache.insert(2, 102, 200, plan_named("newer"));
+  ASSERT_NE(cache.find_warm(200), nullptr);
+  EXPECT_EQ(cache.find_warm(200)->reply_payload, "newer");
+  // Evicting the newer entry must not leave a dangling warm pointer;
+  // the older entry simply no longer serves warm hits.
+  ASSERT_NE(cache.find_raw(1), nullptr);   // older is now MRU
+  cache.insert(3, 103, PlanCache::kNoKey, plan_named("c"));
+  cache.insert(4, 104, PlanCache::kNoKey, plan_named("d"));
+  cache.insert(5, 105, PlanCache::kNoKey, plan_named("e"));
+  EXPECT_EQ(cache.find_warm(200), nullptr);
+}
+
+TEST(PlanCacheTest, DuplicateCanonicalInsertKeepsTheFirstEntry) {
+  PlanCache cache(4);
+  cache.insert(1, 101, PlanCache::kNoKey, plan_named("first"));
+  cache.insert(2, 101, PlanCache::kNoKey, plan_named("racer"));
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_NE(cache.find_raw(2), nullptr);
+  EXPECT_EQ(cache.find_raw(2)->reply_payload, "first");
+}
+
+TEST(PlanCacheTest, ZeroCapacityDisablesCaching) {
+  PlanCache cache(0);
+  cache.insert(1, 101, 201, plan_named("a"));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find_raw(1), nullptr);
+}
+
+TEST(PlanCacheTest, NoKeyNeverMatches) {
+  PlanCache cache(4);
+  cache.insert(1, PlanCache::kNoKey, PlanCache::kNoKey, plan_named("a"));
+  EXPECT_EQ(cache.find_canonical(PlanCache::kNoKey), nullptr);
+  EXPECT_EQ(cache.find_warm(PlanCache::kNoKey), nullptr);
+  EXPECT_EQ(cache.find_raw(PlanCache::kNoKey), nullptr);
+}
+
+}  // namespace
+}  // namespace mdg::serve

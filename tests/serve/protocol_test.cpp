@@ -1,0 +1,156 @@
+// Wire-format tests: header layout pinned byte for byte, round trips,
+// and the reader's rejection taxonomy.
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/deployment.h"
+#include "util/rng.h"
+
+namespace mdg::serve {
+namespace {
+
+net::SensorNetwork tiny_network() {
+  Rng rng(11);
+  return net::make_uniform_network(12, 60.0, 20.0, rng);
+}
+
+TEST(ServeProtocolTest, FrameBytesLayoutIsPinned) {
+  // docs/SERVE.md walks this exact frame; keep them in sync.
+  const Frame frame{FrameType::kPing, 7, 0, {}};
+  const std::string bytes = frame_bytes(frame);
+  ASSERT_EQ(bytes.size(), kHeaderBytes);
+  const unsigned char expected[kHeaderBytes] = {
+      'M', 'D', 'G', '1',      // magic
+      0x04, 0x00, 0x00, 0x00,  // type 4 = ping, little-endian
+      0x07, 0x00, 0x00, 0x00,  // id 7
+      0x00, 0x00, 0x00, 0x00,  // flags
+      0x00, 0x00, 0x00, 0x00,  // payload length
+  };
+  for (std::size_t i = 0; i < kHeaderBytes; ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(bytes[i]), expected[i]) << i;
+  }
+}
+
+TEST(ServeProtocolTest, FrameRoundTrips) {
+  const Frame frame{FrameType::kReplyOk, 0xdeadbeef, kFlagCacheExact,
+                    "payload bytes\nwith newlines\n"};
+  std::stringstream stream;
+  write_frame(stream, frame);
+  auto read = read_frame(stream);
+  ASSERT_TRUE(read.is_ok()) << read.status().to_string();
+  ASSERT_TRUE(read.value().has_value());
+  EXPECT_EQ((*read)->type, frame.type);
+  EXPECT_EQ((*read)->id, frame.id);
+  EXPECT_EQ((*read)->flags, frame.flags);
+  EXPECT_EQ((*read)->payload, frame.payload);
+  // Stream is now cleanly at EOF.
+  auto next = read_frame(stream);
+  ASSERT_TRUE(next.is_ok());
+  EXPECT_FALSE(next.value().has_value());
+}
+
+TEST(ServeProtocolTest, RejectsBadMagic) {
+  std::stringstream stream("XDG1....................");
+  const auto read = read_frame(stream);
+  ASSERT_FALSE(read.is_ok());
+  EXPECT_EQ(read.status().code(), core::StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, RejectsTruncatedHeader) {
+  std::stringstream stream("MDG1\x01\x00");
+  const auto read = read_frame(stream);
+  ASSERT_FALSE(read.is_ok());
+  EXPECT_EQ(read.status().code(), core::StatusCode::kDataLoss);
+}
+
+TEST(ServeProtocolTest, RejectsTruncatedPayload) {
+  Frame frame{FrameType::kPlanRequest, 1, 0, "only half of this arrives"};
+  std::string bytes = frame_bytes(frame);
+  bytes.resize(bytes.size() - 10);
+  std::stringstream stream(bytes);
+  const auto read = read_frame(stream);
+  ASSERT_FALSE(read.is_ok());
+  EXPECT_EQ(read.status().code(), core::StatusCode::kDataLoss);
+}
+
+TEST(ServeProtocolTest, RejectsOversizedPayloadWithoutAllocating) {
+  // Declared length far over the cap: rejected from the header alone.
+  std::string bytes;
+  bytes.append(kMagic, 4);
+  const auto put = [&](std::uint32_t v) {
+    for (int b = 0; b < 4; ++b) {
+      bytes.push_back(static_cast<char>((v >> (8 * b)) & 0xff));
+    }
+  };
+  put(1);           // plan request
+  put(1);           // id
+  put(0);           // flags
+  put(0xffffffff);  // 4 GiB payload
+  std::stringstream stream(bytes);
+  const auto read = read_frame(stream, {1024});
+  ASSERT_FALSE(read.is_ok());
+  EXPECT_EQ(read.status().code(), core::StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, RejectsUnknownFrameType) {
+  std::stringstream stream;
+  write_frame(stream, Frame{static_cast<FrameType>(99), 1, 0, {}});
+  const auto read = read_frame(stream);
+  ASSERT_FALSE(read.is_ok());
+  EXPECT_EQ(read.status().code(), core::StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, PlanRequestRoundTrips) {
+  const net::SensorNetwork network = tiny_network();
+  PlanRequestOptions options;
+  options.planner = "greedy";
+  options.max_load = 4;
+  options.multi_start = 2;
+  options.refine = false;
+  options.deadline_ms = 250;
+  options.warm = false;
+  const std::string payload = build_plan_request(options, network);
+  auto parsed = parse_plan_request(payload);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->options.planner, "greedy");
+  EXPECT_EQ(parsed->options.max_load, 4u);
+  EXPECT_EQ(parsed->options.multi_start, 2u);
+  EXPECT_FALSE(parsed->options.refine);
+  EXPECT_EQ(parsed->options.deadline_ms, 250u);
+  EXPECT_FALSE(parsed->options.warm);
+  EXPECT_EQ(parsed->network.size(), network.size());
+  EXPECT_EQ(parsed->network.sink(), network.sink());
+}
+
+TEST(ServeProtocolTest, PlanRequestRejectsTrailingBytes) {
+  const std::string payload =
+      build_plan_request({}, tiny_network()) + "sneaky trailing line\n";
+  const auto parsed = parse_plan_request(payload);
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_EQ(parsed.status().code(), core::StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolTest, PlanRequestRejectsMissingKeys) {
+  const auto parsed = parse_plan_request("mdg-request 1\nop plan\n");
+  ASSERT_FALSE(parsed.is_ok());
+}
+
+TEST(ServeProtocolTest, KnownFrameTypesCoverEveryEnumerator) {
+  EXPECT_STREQ(frame_type_name(FrameType::kPlanRequest), "plan-request");
+  EXPECT_STREQ(frame_type_name(FrameType::kReplyError), "reply-error");
+  EXPECT_EQ(frame_type_name(static_cast<FrameType>(12345)), nullptr);
+  EXPECT_EQ(known_frame_types().size(), 8u);
+}
+
+TEST(ServeProtocolTest, ErrorPayloadUsesStatusTaxonomy) {
+  const std::string payload = build_error_payload(
+      core::Status::data_loss("stream ended early\nsecond line"));
+  EXPECT_EQ(payload,
+            "mdg-error 1\ncode data-loss\nmessage stream ended early\n");
+}
+
+}  // namespace
+}  // namespace mdg::serve

@@ -1,0 +1,87 @@
+// Keeps the serving docs in lockstep with the code, in the
+// metrics_doc_test tradition: docs/SERVE.md must document every frame
+// type and every exit code, DESIGN.md must carry the layer diagram and
+// the request-lifetime walkthrough, ALGORITHMS.md the §Serving rules.
+// Stale docs fail CI, not reviewers.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace mdg::serve {
+namespace {
+
+std::string read_doc(const std::string& relative) {
+  const std::string path = std::string(MDG_ROOT_DIR) + "/" + relative;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ServeDocsTest, ServeMdDocumentsEveryFrameType) {
+  const std::string doc = read_doc("docs/SERVE.md");
+  for (const FrameTypeInfo& info : known_frame_types()) {
+    EXPECT_NE(doc.find("`" + std::string(info.name) + "`"),
+              std::string::npos)
+        << "docs/SERVE.md is missing frame type `" << info.name << "`";
+    EXPECT_NE(doc.find("| " + std::to_string(info.value) + " |"),
+              std::string::npos)
+        << "docs/SERVE.md is missing the value row for " << info.name;
+  }
+}
+
+TEST(ServeDocsTest, ServeMdDocumentsTheExitCodes) {
+  const std::string doc = read_doc("docs/SERVE.md");
+  // mdg_serve's contract: 0 clean, 1 internal, 2 usage, 3 protocol.
+  for (const char* needle :
+       {"exit code", "`0`", "`1`", "`2`", "`3`"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/SERVE.md is missing \"" << needle << "\"";
+  }
+}
+
+TEST(ServeDocsTest, ServeMdDocumentsCacheAndDeadlines) {
+  const std::string doc = read_doc("docs/SERVE.md");
+  for (const char* needle :
+       {"exact", "warm", "eviction", "deadline", "backlog",
+        "bench_s1_serve", "Worked example"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/SERVE.md is missing \"" << needle << "\"";
+  }
+}
+
+TEST(ServeDocsTest, DesignMdHasTheLayerDiagramAndRequestLifetime) {
+  const std::string doc = read_doc("DESIGN.md");
+  EXPECT_NE(doc.find("geom → cover/tsp → core → serve/sim"),
+            std::string::npos)
+      << "DESIGN.md is missing the layer diagram sentinel";
+  EXPECT_NE(doc.find("request lifetime"), std::string::npos)
+      << "DESIGN.md is missing the request-lifetime walkthrough";
+}
+
+TEST(ServeDocsTest, AlgorithmsMdHasTheServingSection) {
+  const std::string doc = read_doc("ALGORITHMS.md");
+  EXPECT_NE(doc.find("## Serving"), std::string::npos)
+      << "ALGORITHMS.md is missing the §Serving section";
+  for (const char* needle :
+       {"canonical_network_bytes", "warm-start", "FNV-1a"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "ALGORITHMS.md §Serving is missing \"" << needle << "\"";
+  }
+}
+
+TEST(ServeDocsTest, ReadmeAndHandbookLinkTheOperatorGuide) {
+  EXPECT_NE(read_doc("README.md").find("SERVE.md"), std::string::npos)
+      << "README.md does not link docs/SERVE.md";
+  EXPECT_NE(read_doc("docs/HANDBOOK.md").find("SERVE.md"),
+            std::string::npos)
+      << "docs/HANDBOOK.md does not link SERVE.md";
+}
+
+}  // namespace
+}  // namespace mdg::serve

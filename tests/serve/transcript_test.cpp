@@ -1,0 +1,87 @@
+// Replays the checked-in request transcript through the stdio server
+// and compares the reply stream byte-for-byte against the committed
+// golden. Safe across CI jobs because plans are byte-deterministic at
+// any MDG_THREADS, obs on/off, and portable vs -DMDG_NATIVE builds.
+// Regenerate with:
+//   mdg_serve make-transcript --net tests/serve/transcript/net.txt \
+//       --out tests/serve/transcript/requests.bin
+//   mdg_serve run --stdio < requests.bin > replies.golden.bin
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace mdg::serve {
+namespace {
+
+std::string transcript_file(const std::string& name) {
+  const std::string path =
+      std::string(MDG_ROOT_DIR) + "/tests/serve/transcript/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ServeTranscriptTest, RepliesMatchTheCommittedGoldenByteForByte) {
+  const std::string requests = transcript_file("requests.bin");
+  const std::string golden = transcript_file("replies.golden.bin");
+  ASSERT_FALSE(requests.empty());
+  ASSERT_FALSE(golden.empty());
+
+  std::istringstream in(requests);
+  std::ostringstream out;
+  Server server;
+  // The transcript ends with a shutdown frame after one deliberately
+  // malformed payload; the session still exits cleanly.
+  EXPECT_EQ(server.serve_stdio(in, out), 0);
+  EXPECT_EQ(out.str(), golden)
+      << "reply stream drifted from tests/serve/transcript/"
+         "replies.golden.bin — if the change is intentional, regenerate "
+         "the golden (see the header of this file)";
+}
+
+TEST(ServeTranscriptTest, TranscriptExercisesTheInterestingReplies) {
+  // Guard against the golden silently degenerating: it must contain a
+  // pong, a cold plan, an exact cache hit, a stats reply, exactly one
+  // error reply, and a shutdown acknowledgement.
+  std::istringstream in(transcript_file("replies.golden.bin"));
+  std::size_t ok = 0, errors = 0, pongs = 0, exact_hits = 0;
+  while (true) {
+    auto frame = read_frame(in);
+    ASSERT_TRUE(frame.is_ok()) << frame.status().message();
+    if (!frame.value().has_value()) {
+      break;
+    }
+    const Frame& reply = **frame;
+    switch (reply.type) {
+      case FrameType::kReplyOk:
+        ++ok;
+        if ((reply.flags & kFlagCacheMask) == kFlagCacheExact) {
+          ++exact_hits;
+        }
+        break;
+      case FrameType::kReplyError:
+        ++errors;
+        break;
+      case FrameType::kPong:
+        ++pongs;
+        break;
+      default:
+        FAIL() << "unexpected reply type in golden: "
+               << frame_type_name(reply.type);
+    }
+  }
+  EXPECT_EQ(pongs, 1u);
+  EXPECT_EQ(errors, 1u);
+  EXPECT_GE(ok, 4u);  // cold plan, cached plan, stats, shutdown ack
+  EXPECT_EQ(exact_hits, 1u);
+}
+
+}  // namespace
+}  // namespace mdg::serve

@@ -1,0 +1,134 @@
+// mdg_serve — the planning daemon (docs/SERVE.md).
+//
+//   mdg_serve run --stdio [--cache N] [--report path [--report-every N]]
+//                 [--max-frame-bytes N] [--obs]
+//   mdg_serve run --port P [--workers N] [--backlog N] [--cache N] ...
+//   mdg_serve make-transcript --net net.txt --out requests.bin
+//
+// `run --stdio` serves a single connection on stdin/stdout — the mode
+// CI's serve-smoke job and the transcript tests use. `run --port`
+// listens on 127.0.0.1:P with the bounded admission queue and worker
+// pool. `make-transcript` writes the deterministic scripted request
+// sequence the golden-reply test replays (ping, a plan, the identical
+// plan again — an exact cache hit — stats, a malformed payload, and
+// shutdown).
+//
+// Exit codes:
+//   0  clean shutdown (EOF or shutdown frame)
+//   1  unexpected internal failure
+//   2  usage error
+//   3  unrecoverable protocol error on the stdio stream (one error
+//      reply is emitted before exiting)
+#include <fstream>
+#include <iostream>
+
+#include "mdg.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace mdg;
+
+int cmd_run(Flags& flags) {
+  const bool stdio = flags.get_bool("stdio", false);
+  const long long port = flags.get_int("port", 0);
+  serve::ServerOptions options;
+  options.engine.cache_capacity =
+      static_cast<std::size_t>(flags.get_int("cache", 256));
+  options.workers = static_cast<std::size_t>(flags.get_int("workers", 0));
+  options.backlog = static_cast<std::size_t>(flags.get_int("backlog", 64));
+  options.max_payload_bytes = static_cast<std::uint32_t>(flags.get_int(
+      "max-frame-bytes",
+      static_cast<long long>(serve::kDefaultMaxPayloadBytes)));
+  options.report_path = flags.get_string("report", "");
+  options.report_every =
+      static_cast<std::size_t>(flags.get_int("report-every", 0));
+  const bool obs_on = flags.get_bool("obs", false);
+  flags.finish();
+  if (stdio == (port > 0)) {
+    std::cerr << "usage: mdg_serve run (--stdio | --port P)\n";
+    return 2;
+  }
+  if (obs_on || !options.report_path.empty()) {
+    obs::MetricsRegistry::set_enabled(true);
+    obs::MetricsRegistry::instance().reset();
+  }
+  serve::Server server(options);
+  if (stdio) {
+    return server.serve_stdio(std::cin, std::cout);
+  }
+  auto result = server.serve_tcp(static_cast<std::uint16_t>(port));
+  if (!result.is_ok()) {
+    std::cerr << "error: " << result.status().to_string() << "\n";
+    return 1;
+  }
+  return result.value();
+}
+
+int cmd_make_transcript(Flags& flags) {
+  const std::string net_path = flags.get_string("net", "net.txt");
+  const std::string out_path = flags.get_string("out", "requests.bin");
+  flags.finish();
+  auto network = io::try_load_network(net_path);
+  if (!network.is_ok()) {
+    std::cerr << "error: " << network.status().to_string() << "\n";
+    return 3;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out.good()) {
+    std::cerr << "error: cannot open '" << out_path << "' for writing\n";
+    return 3;
+  }
+  serve::PlanRequestOptions plan;
+  const std::string plan_payload =
+      serve::build_plan_request(plan, network.value());
+  std::uint32_t id = 1;
+  serve::write_frame(out, {serve::FrameType::kPing, id++, 0, {}});
+  serve::write_frame(out,
+                     {serve::FrameType::kPlanRequest, id++, 0, plan_payload});
+  // The identical request again: must come back as an exact cache hit
+  // with byte-identical payload.
+  serve::write_frame(out,
+                     {serve::FrameType::kPlanRequest, id++, 0, plan_payload});
+  serve::write_frame(out, {serve::FrameType::kStatsRequest, id++, 0, {}});
+  // A well-framed but malformed payload: the server must answer with a
+  // protocol error reply and keep serving.
+  serve::write_frame(out, {serve::FrameType::kPlanRequest, id++, 0,
+                           "mdg-request 1\nop plan\ngarbage\n"});
+  serve::write_frame(out, {serve::FrameType::kShutdown, id++, 0, {}});
+  if (!out.good()) {
+    std::cerr << "error: failed writing '" << out_path << "'\n";
+    return 1;
+  }
+  std::cout << "Wrote " << out_path << " (" << (id - 1) << " frames)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: mdg_serve <run|make-transcript> [flags]\n";
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    Flags flags(argc - 1, argv + 1);
+    if (command == "run") {
+      return cmd_run(flags);
+    }
+    if (command == "make-transcript") {
+      return cmd_make_transcript(flags);
+    }
+    std::cerr << "unknown command '" << command << "'\n";
+    return 2;
+  } catch (const mdg::PreconditionError& error) {
+    std::cerr << "usage error: " << error.what() << "\n";
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
