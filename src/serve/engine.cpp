@@ -61,7 +61,9 @@ std::uint64_t warm_signature_of(std::size_t max_load, geom::Point sink,
 /// The options half of the canonical cache key. Everything that can
 /// change the reply bytes must appear here; in particular the deadline
 /// is part of the key so a deadline-truncated plan can never answer a
-/// request that allowed more time.
+/// request that allowed more time. `warm` is deliberately absent: only
+/// cold plans are ever inserted, and cold-plan bytes do not depend on
+/// whether the request allowed warm-starting.
 std::string options_fingerprint(const PlanRequestOptions& options) {
   std::ostringstream out;
   out << "planner " << options.planner << '\n'
@@ -284,9 +286,14 @@ Frame Engine::handle_plan(const Frame& request) {
   }
 
   std::string payload = plan_reply_payload(solution);
-  // Deadline-truncated plans are valid but time-dependent; caching
-  // them would let one slow moment answer forever. Skip them.
-  if (!deadline_hit) {
+  // Only cold plans enter the cache. Deadline-truncated plans are
+  // valid but time-dependent; caching them would let one slow moment
+  // answer forever. Warm-started plans converge to a donor-dependent
+  // local optimum whose bytes can differ from the cold plan's, so
+  // inserting them under the raw/canonical keys would break the
+  // byte-identical contract (docs/SERVE.md) and make exact-hit replies
+  // depend on server traffic history. Their donor stays cached.
+  if (!deadline_hit && cache_flags == kFlagCacheMiss) {
     const std::uint64_t donate_signature =
         (req.options.planner == "greedy" && !req.options.refine)
             ? (signature != PlanCache::kNoKey

@@ -1,9 +1,12 @@
 #include "serve/server.h"
 
+#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <istream>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -43,6 +46,7 @@ void Server::maybe_report(bool force) {
   if (options_.report_path.empty()) {
     return;
   }
+  std::lock_guard<std::mutex> lock(report_mutex_);
   ++handled_since_report_;
   if (!force && (options_.report_every == 0 ||
                  handled_since_report_ < options_.report_every)) {
@@ -156,6 +160,14 @@ struct Job {
   std::shared_ptr<Connection> connection;
 };
 
+/// One per-connection reader thread plus the flag it raises when its
+/// loop ends, so the accept loop can join finished readers instead of
+/// letting them pile up for the lifetime of the daemon.
+struct Reader {
+  std::thread thread;
+  std::atomic<bool> done{false};
+};
+
 }  // namespace
 
 core::StatusOr<int> Server::serve_tcp(std::uint16_t port) {
@@ -181,6 +193,10 @@ core::StatusOr<int> Server::serve_tcp(std::uint16_t port) {
   std::condition_variable queue_cv;
   std::deque<Job> queue;
   bool stopping = false;
+  // Exactly one thread may shutdown() the listen socket, and only
+  // while the fd is still open — a second shutdown() after close()
+  // could hit a recycled fd number belonging to unrelated I/O.
+  std::atomic<bool> listen_shutdown{false};
 
   const std::size_t workers =
       options_.workers > 0 ? options_.workers : planning_threads();
@@ -202,21 +218,35 @@ core::StatusOr<int> Server::serve_tcp(std::uint16_t port) {
                         static_cast<double>(queue.size()));
         }
         job.connection->send(engine_.handle(job.frame));
-        {
-          std::lock_guard<std::mutex> lock(queue_mutex);
-          maybe_report(false);
-        }
-        if (engine_.shutdown_requested()) {
-          // Unblock accept() so the main loop can wind down.
+        maybe_report(false);
+        if (engine_.shutdown_requested() &&
+            !listen_shutdown.exchange(true)) {
+          // Unblock accept() so the main loop can wind down. listen_fd
+          // stays open until after the pool joins, so this can never
+          // target a recycled descriptor.
           ::shutdown(listen_fd, SHUT_RDWR);
         }
       }
     });
   }
 
-  std::vector<std::thread> readers;
+  std::list<std::unique_ptr<Reader>> readers;
   std::mutex connections_mutex;
   std::vector<std::weak_ptr<Connection>> connections;
+  // Joins every reader whose loop has ended (all of them when `all`),
+  // so a long-running daemon reclaims reader stacks as connections
+  // close instead of accreting one zombie thread per connection ever
+  // served.
+  const auto reap_readers = [&readers](bool all) {
+    for (auto it = readers.begin(); it != readers.end();) {
+      if (all || (*it)->done.load(std::memory_order_acquire)) {
+        (*it)->thread.join();
+        it = readers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
   const ReadFrameOptions read_options{options_.max_payload_bytes};
   while (!engine_.shutdown_requested()) {
     const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
@@ -224,14 +254,29 @@ core::StatusOr<int> Server::serve_tcp(std::uint16_t port) {
       if (engine_.shutdown_requested()) {
         break;
       }
+      if (errno == EINTR) {
+        continue;
+      }
+      // Persistent failures (EMFILE, ENFILE, ...) would otherwise
+      // busy-spin this loop at 100% CPU; back off and retry.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
+    }
+    reap_readers(false);
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex);
+      std::erase_if(connections, [](const std::weak_ptr<Connection>& weak) {
+        return weak.expired();
+      });
     }
     auto connection = std::make_shared<Connection>(conn_fd);
     {
       std::lock_guard<std::mutex> lock(connections_mutex);
       connections.push_back(connection);
     }
-    readers.emplace_back([&, connection] {
+    auto reader = std::make_unique<Reader>();
+    Reader* const self = reader.get();
+    reader->thread = std::thread([&, connection, self] {
       FdStreambuf in_buf(connection->fd);
       std::istream in(&in_buf);
       while (true) {
@@ -239,10 +284,10 @@ core::StatusOr<int> Server::serve_tcp(std::uint16_t port) {
         if (!frame.is_ok()) {
           connection->send(Frame{FrameType::kReplyError, 0, 0,
                                  build_error_payload(frame.status())});
-          return;  // unsynchronized stream; drop the connection
+          break;  // unsynchronized stream; drop the connection
         }
         if (!frame.value().has_value()) {
-          return;  // peer closed
+          break;  // peer closed
         }
         bool rejected = false;
         {
@@ -266,12 +311,13 @@ core::StatusOr<int> Server::serve_tcp(std::uint16_t port) {
           queue_cv.notify_one();
         }
         if (engine_.shutdown_requested()) {
-          return;  // the shutdown frame is already queued
+          break;  // the shutdown frame is already queued
         }
       }
+      self->done.store(true, std::memory_order_release);
     });
+    readers.push_back(std::move(reader));
   }
-  ::close(listen_fd);
   // Unblock readers parked on idle connections so they can observe
   // the shutdown (their next read returns EOF).
   {
@@ -282,9 +328,7 @@ core::StatusOr<int> Server::serve_tcp(std::uint16_t port) {
       }
     }
   }
-  for (std::thread& reader : readers) {
-    reader.join();
-  }
+  reap_readers(true);
   {
     std::lock_guard<std::mutex> lock(queue_mutex);
     stopping = true;
@@ -293,6 +337,9 @@ core::StatusOr<int> Server::serve_tcp(std::uint16_t port) {
   for (std::thread& worker : pool) {
     worker.join();
   }
+  // Only now is it safe to retire the fd number: no worker can still
+  // reach the shutdown() above.
+  ::close(listen_fd);
   maybe_report(true);
   return 0;
 }

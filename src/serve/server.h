@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 
 #include "serve/engine.h"
@@ -63,11 +64,15 @@ class Server {
   [[nodiscard]] const ServerOptions& options() const { return options_; }
 
  private:
+  /// Thread-safe (its own mutex); callers must NOT hold the TCP
+  /// admission-queue lock — report serialization does registry walks
+  /// and file I/O and must never stall dispatch.
   void maybe_report(bool force);
 
   ServerOptions options_;
   Engine engine_;
-  std::uint64_t handled_since_report_ = 0;
+  std::mutex report_mutex_;
+  std::uint64_t handled_since_report_ = 0;  ///< guarded by report_mutex_
   double start_ms_ = 0.0;
 };
 

@@ -87,6 +87,35 @@ TEST(ServeEngineTest, WarmStartKicksInAcrossMultiStartWidths) {
   EXPECT_TRUE(check.is_ok()) << check.to_string();
 }
 
+TEST(ServeEngineTest, WarmStartedPlansAreNeverServedAsExactHits) {
+  Engine engine;
+  const net::SensorNetwork network = test_network(3, 80);
+  (void)engine.handle(plan_frame(1, network));  // seeds the warm donor
+  PlanRequestOptions wide;
+  wide.multi_start = 4;
+  const Frame warm = engine.handle(plan_frame(2, network, wide));
+  ASSERT_EQ(warm.type, FrameType::kReplyOk);
+  ASSERT_EQ(warm.flags & kFlagCacheMask, kFlagCacheWarm);
+
+  // Warm-derived bytes must never enter the exact indexes: resending
+  // the identical request warm-starts again instead of replaying them.
+  const Frame again = engine.handle(plan_frame(3, network, wide));
+  EXPECT_EQ(again.flags & kFlagCacheMask, kFlagCacheWarm);
+  EXPECT_EQ(engine.stats().hits_exact, 0u);
+
+  // And a warm-opted-out request for the same instance + options plans
+  // cold, byte-identical to a fresh engine — never the warm bytes via
+  // a canonical hit.
+  PlanRequestOptions no_warm = wide;
+  no_warm.warm = false;
+  const Frame cold = engine.handle(plan_frame(4, network, no_warm));
+  ASSERT_EQ(cold.type, FrameType::kReplyOk);
+  EXPECT_EQ(cold.flags & kFlagCacheMask, kFlagCacheMiss);
+  Engine fresh;
+  const Frame reference = fresh.handle(plan_frame(5, network, no_warm));
+  EXPECT_EQ(cold.payload, reference.payload);
+}
+
 TEST(ServeEngineTest, WarmStartDisabledByRequestFlag) {
   Engine engine;
   const net::SensorNetwork network = test_network(4);
