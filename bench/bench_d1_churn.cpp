@@ -1,0 +1,319 @@
+// D1 — incremental replanning under churn (ALGORITHMS.md §Dynamic
+// replanning).
+//
+// Measures what core::apply_delta buys over replanning from scratch:
+// for each ladder size n, plan a base instance, synthesize a small
+// mixed churn batch (adds, removes, moves), then time
+//
+//   repair  — apply_delta on a copy of the base plan against a live
+//             DynamicInstance (built per trial, outside the timer: the
+//             instance persists across deltas in a churn scenario, so
+//             its construction is amortized, not a per-delta cost)
+//   replan  — GreedyCoverPlanner::plan on the post-delta instance
+//
+// and report the p50 speedup, the repair quality ratio (repaired tour
+// length / from-scratch tour length on the same post-delta instance),
+// and a cross-thread determinism probe: the repaired plan's canonical
+// bytes must be identical at MDG_THREADS=1 and MDG_THREADS=4.
+//
+// With --check the bench exits non-zero unless, at the largest ladder
+// size, the repair is at least --min-speedup (default 20) times faster
+// than the replan at the median, the quality ratio is at most
+// --max-ratio (default 1.05), and the determinism probe holds. CI runs
+// a small-n smoke; the committed BENCH_delta.json is the full
+// --ladder 2000,100000 run.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/delta.h"
+#include "core/greedy_cover_planner.h"
+#include "net/deployment.h"
+#include "net/sensor_network.h"
+#include "obs/report.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "verify/canonical.h"
+#include "verify/check.h"
+
+namespace {
+
+using namespace mdg;
+
+double median(std::vector<double> v) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+std::vector<std::size_t> parse_ladder(const std::string& text) {
+  std::vector<std::size_t> ladder;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    ladder.push_back(static_cast<std::size_t>(std::stoull(item)));
+  }
+  return ladder;
+}
+
+net::SensorNetwork bench_network(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  const double side = 25.0 * std::sqrt(static_cast<double>(n));
+  return net::make_uniform_network(n, side, 30.0, rng);
+}
+
+/// A churn batch that exercises every repairable op kind: a third
+/// adds (uniform in the field), a third removes, a third moves. Ids
+/// are drawn against the running count so the batch always validates.
+core::Delta make_churn(const net::SensorNetwork& network, std::size_t ops,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  const geom::Aabb& field = network.field();
+  core::Delta delta;
+  std::size_t count = network.size();
+  for (std::size_t i = 0; i < ops; ++i) {
+    const geom::Point p{rng.uniform(field.lo.x, field.hi.x),
+                        rng.uniform(field.lo.y, field.hi.y)};
+    switch (i % 3) {
+      case 0:
+        delta.ops.push_back(core::DeltaOp::add_sensor(p));
+        ++count;
+        break;
+      case 1:
+        delta.ops.push_back(core::DeltaOp::remove_sensor(rng.index(count)));
+        --count;
+        break;
+      default:
+        delta.ops.push_back(core::DeltaOp::move_sensor(rng.index(count), p));
+        break;
+    }
+  }
+  return delta;
+}
+
+struct RungResult {
+  std::size_t n = 0;
+  double repair_p50_ms = 0.0;
+  double replan_p50_ms = 0.0;
+  double speedup = 0.0;
+  double ratio = 0.0;        ///< repaired length / from-scratch length
+  /// Same measurement for a single-sensor delta (one move op) — the
+  /// headline number: repairing one sensor's worth of churn.
+  double single_repair_p50_ms = 0.0;
+  double single_speedup = 0.0;
+  bool full_replan = false;  ///< repair dispatched to the fallback
+  bool deterministic = false;
+};
+
+RungResult run_rung(std::size_t n, std::size_t ops, std::size_t trials,
+                    std::uint64_t seed, std::size_t threads) {
+  RungResult result;
+  result.n = n;
+  const net::SensorNetwork network = bench_network(n, seed);
+  const core::ShdgpSolution base =
+      core::GreedyCoverPlanner().plan(core::ShdgpInstance(network));
+  const core::Delta delta = make_churn(network, ops, seed ^ 0x5eed);
+
+  // --- repair ---------------------------------------------------------
+  std::vector<double> repair_ms;
+  core::ShdgpSolution repaired;
+  for (std::size_t t = 0; t < trials; ++t) {
+    core::ShdgpSolution sol = base;
+    core::DynamicInstance dyn(network);
+    const Stopwatch watch;
+    const auto applied = core::apply_delta(dyn, delta, sol);
+    repair_ms.push_back(watch.elapsed_ms());
+    if (!applied.is_ok()) {
+      std::cerr << "FATAL: apply_delta failed: "
+                << applied.status().to_string() << "\n";
+      std::exit(1);
+    }
+    result.full_replan = applied->full_replan;
+    if (t == 0) {
+      repaired = std::move(sol);
+    }
+  }
+
+  // --- replan from scratch on the post-delta instance -----------------
+  core::DynamicInstance post(network);
+  {
+    core::ShdgpSolution scratch = base;
+    (void)core::apply_delta(post, delta, scratch);
+  }
+  std::vector<double> replan_ms;
+  core::ShdgpSolution fresh;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const Stopwatch watch;
+    fresh = core::GreedyCoverPlanner().plan(post.instance());
+    replan_ms.push_back(watch.elapsed_ms());
+  }
+
+  const core::Status valid = verify::check_solution(post.instance(), repaired);
+  if (!valid.is_ok()) {
+    std::cerr << "FATAL: repaired plan failed verification at n=" << n << ": "
+              << valid.to_string() << "\n";
+    std::exit(1);
+  }
+
+  result.repair_p50_ms = median(repair_ms);
+  result.replan_p50_ms = median(replan_ms);
+  result.speedup = result.repair_p50_ms > 0.0
+                       ? result.replan_p50_ms / result.repair_p50_ms
+                       : 0.0;
+  result.ratio = fresh.tour_length > 0.0
+                     ? repaired.tour_length / fresh.tour_length
+                     : 1.0;
+
+  // --- single-sensor delta: one move op against the base instance -----
+  {
+    Rng rng(seed ^ 0xbeef);
+    core::Delta one;
+    one.ops.push_back(core::DeltaOp::move_sensor(
+        rng.index(network.size()),
+        {rng.uniform(network.field().lo.x, network.field().hi.x),
+         rng.uniform(network.field().lo.y, network.field().hi.y)}));
+    std::vector<double> single_ms;
+    for (std::size_t t = 0; t < trials; ++t) {
+      core::ShdgpSolution sol = base;
+      core::DynamicInstance dyn(network);
+      const Stopwatch watch;
+      const auto applied = core::apply_delta(dyn, one, sol);
+      single_ms.push_back(watch.elapsed_ms());
+      if (!applied.is_ok()) {
+        std::cerr << "FATAL: single-op apply_delta failed: "
+                  << applied.status().to_string() << "\n";
+        std::exit(1);
+      }
+    }
+    result.single_repair_p50_ms = median(single_ms);
+    result.single_speedup = result.single_repair_p50_ms > 0.0
+                                ? result.replan_p50_ms / result.single_repair_p50_ms
+                                : 0.0;
+  }
+
+  // --- determinism probe: byte-identical repair at 1 and 4 threads ----
+  std::string bytes[2];
+  const std::size_t probe_threads[2] = {1, 4};
+  for (int p = 0; p < 2; ++p) {
+    set_planning_threads(probe_threads[p]);
+    core::ShdgpSolution sol = base;
+    core::DynamicInstance dyn(network);
+    (void)core::apply_delta(dyn, delta, sol);
+    bytes[p] = verify::canonical_plan_bytes(dyn.instance(), sol);
+  }
+  set_planning_threads(threads);
+  result.deterministic = bytes[0] == bytes[1];
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string ladder_text = flags.get_string("ladder", "2000,100000");
+  const std::size_t ops = static_cast<std::size_t>(flags.get_int("ops", 9));
+  const std::size_t trials =
+      static_cast<std::size_t>(flags.get_int("trials", 5));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 2008));
+  const double min_speedup = flags.get_double("min-speedup", 20.0);
+  const double max_ratio = flags.get_double("max-ratio", 1.05);
+  const bool check = flags.get_bool("check", false);
+  const std::string out_path = flags.get_string("out", "BENCH_delta.json");
+  const std::size_t threads =
+      static_cast<std::size_t>(flags.get_int("threads", 0));
+  flags.finish();
+  set_planning_threads(threads);
+
+  const std::vector<std::size_t> ladder = parse_ladder(ladder_text);
+  if (ladder.empty()) {
+    std::cerr << "usage: bench_d1_churn --ladder N1,N2,...\n";
+    return 2;
+  }
+
+  const Stopwatch total_watch;
+  std::vector<RungResult> rungs;
+  for (const std::size_t n : ladder) {
+    rungs.push_back(run_rung(n, ops, trials, seed, threads));
+  }
+
+  Table table("D1 churn: " + std::to_string(ops) + " ops/batch, " +
+                  std::to_string(trials) + " trials",
+              3);
+  table.set_header({"n", "repair p50 ms", "replan p50 ms", "speedup",
+                    "1-op ms", "1-op speedup", "ratio"});
+  for (const RungResult& r : rungs) {
+    table.add_row({static_cast<double>(r.n), r.repair_p50_ms, r.replan_p50_ms,
+                   r.speedup, r.single_repair_p50_ms, r.single_speedup,
+                   r.ratio});
+  }
+  table.print(std::cout);
+  for (const RungResult& r : rungs) {
+    std::cout << "n=" << r.n << ": "
+              << (r.deterministic ? "byte-identical at MDG_THREADS {1,4}"
+                                  : "NOT deterministic across thread counts")
+              << (r.full_replan ? " (dispatched to full replan)" : "") << "\n";
+  }
+
+  obs::RunReport report;
+  report.command = "bench";
+  report.planner = "d1_churn";
+  report.seed = seed;
+  report.git_describe = obs::current_git_describe();
+  report.wall_ms = total_watch.elapsed_ms();
+  report.params = {{"ladder", ladder_text},
+                   {"ops", std::to_string(ops)},
+                   {"trials", std::to_string(trials)},
+                   {"threads", std::to_string(planning_threads())}};
+  for (const RungResult& r : rungs) {
+    const std::string suffix = ".n" + std::to_string(r.n);
+    report.gauges.push_back({"delta.repair_p50_ms" + suffix, r.repair_p50_ms});
+    report.gauges.push_back({"delta.replan_p50_ms" + suffix, r.replan_p50_ms});
+    report.gauges.push_back({"delta.speedup" + suffix, r.speedup});
+    report.gauges.push_back(
+        {"delta.single_repair_p50_ms" + suffix, r.single_repair_p50_ms});
+    report.gauges.push_back({"delta.single_speedup" + suffix, r.single_speedup});
+    report.gauges.push_back({"delta.ratio" + suffix, r.ratio});
+    report.gauges.push_back(
+        {"delta.deterministic" + suffix, r.deterministic ? 1.0 : 0.0});
+  }
+  report.save(out_path);
+  std::cout << "wrote " << out_path << "\n";
+
+  bool failed = false;
+  for (const RungResult& r : rungs) {
+    if (!r.deterministic) {
+      std::cerr << "FAIL: repaired plan bytes differ across MDG_THREADS at n="
+                << r.n << "\n";
+      failed = true;
+    }
+    if (r.ratio > max_ratio) {
+      std::cerr << "FAIL: quality ratio " << r.ratio << " exceeds "
+                << max_ratio << " at n=" << r.n << "\n";
+      failed = true;
+    }
+  }
+  if (check) {
+    const RungResult& top = rungs.back();
+    if (top.speedup < min_speedup) {
+      std::cerr << "FAIL: repair speedup " << top.speedup << "x below "
+                << min_speedup << "x at n=" << top.n << "\n";
+      failed = true;
+    }
+    if (top.single_speedup < min_speedup) {
+      std::cerr << "FAIL: single-op repair speedup " << top.single_speedup
+                << "x below " << min_speedup << "x at n=" << top.n << "\n";
+      failed = true;
+    }
+  }
+  return failed ? 1 : 0;
+}

@@ -7,6 +7,9 @@
 //                            [--threads N] [--multi-start K]
 //                            [--report report.json [--canonical]]
 //                            --out sol.txt
+//   example_mdg_cli delta    --net net.txt --sol sol.txt --delta delta.txt
+//                            [--out sol2.txt] [--out-net net2.txt]
+//                            [--report report.json [--canonical]]
 //   example_mdg_cli inspect  --net net.txt [--sol sol.txt]
 //   example_mdg_cli render   --net net.txt [--sol sol.txt] --out plan.svg
 //   example_mdg_cli simulate --net net.txt --sol sol.txt [--rounds 10]
@@ -172,6 +175,65 @@ int cmd_plan(Flags& flags) {
                      {"refine", refine ? "true" : "false"},
                      {"threads", std::to_string(threads)},
                      {"multi-start", std::to_string(multi_start)}};
+    report.capture_metrics(obs::MetricsRegistry::instance());
+    if (canonical) {
+      report = report.canonicalized();
+    }
+    report.save(report_path);
+    std::cout << "Report -> " << report_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_delta(Flags& flags) {
+  const std::string net_path = flags.get_string("net", "net.txt");
+  const std::string sol_path = flags.get_string("sol", "sol.txt");
+  const std::string delta_path = flags.get_string("delta", "delta.txt");
+  const std::string out = flags.get_string("out", "sol.txt");
+  const std::string out_net = flags.get_string("out-net", "");
+  const std::string report_path = flags.get_string("report", "");
+  const bool canonical = flags.get_bool("canonical", false);
+  const io::LoadOptions load{flags.get_bool("fail-fast", true)};
+  flags.finish();
+  arm_report(report_path);
+  const net::SensorNetwork network = must(io::try_load_network(net_path, load));
+  core::ShdgpSolution solution = must(io::try_load_solution(sol_path, load));
+  {
+    const core::ShdgpInstance instance(network);
+    check_solution(instance, solution, sol_path);
+  }
+  const core::Delta delta = must(io::try_load_delta(delta_path));
+  core::DynamicInstance dyn(network);
+  const Stopwatch watch;
+  const core::DeltaResult result =
+      must(core::apply_delta(dyn, delta, solution));
+  const double wall_ms = watch.elapsed_ms();
+  io::save_solution(out, solution);
+  std::cout << "Applied " << result.ops_applied << " op(s): " << result.damaged
+            << " damaged, +" << result.pps_added << "/-" << result.pps_removed
+            << " polling points, tour " << solution.tour_length << " m -> "
+            << out;
+  if (result.full_replan) {
+    std::cout << " [full replan: " << result.full_replan_reason << "]";
+  }
+  std::cout << "\n";
+  if (!out_net.empty()) {
+    io::save_network(out_net, dyn.network());
+    std::cout << "Post-delta network -> " << out_net << "\n";
+  }
+  if (!report_path.empty()) {
+    obs::RunReport report;
+    report.command = "delta";
+    report.planner = solution.planner;
+    report.git_describe = obs::current_git_describe();
+    report.wall_ms = wall_ms;
+    report.set_instance(dyn.instance());
+    report.set_quality(dyn.instance(), solution);
+    report.params = {{"net", net_path},
+                     {"sol", sol_path},
+                     {"delta", delta_path},
+                     {"ops", std::to_string(result.ops_applied)},
+                     {"full-replan", result.full_replan ? "true" : "false"}};
     report.capture_metrics(obs::MetricsRegistry::instance());
     if (canonical) {
       report = report.canonicalized();
@@ -371,13 +433,14 @@ int main(int argc, char** argv) {
     mdg::Flags flags(argc, argv);
     if (flags.positional().size() != 1) {
       std::cerr << "usage: " << flags.program_name()
-                << " <generate|plan|inspect|render|simulate|fleet> "
+                << " <generate|plan|delta|inspect|render|simulate|fleet> "
                    "[--flags]\n";
       return kExitUsage;
     }
     const std::string& command = flags.positional()[0];
     if (command == "generate") return cmd_generate(flags);
     if (command == "plan") return cmd_plan(flags);
+    if (command == "delta") return cmd_delta(flags);
     if (command == "inspect") return cmd_inspect(flags);
     if (command == "render") return cmd_render(flags);
     if (command == "simulate") return cmd_simulate(flags);

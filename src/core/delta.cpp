@@ -1,0 +1,599 @@
+#include "core/delta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cover/repair.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/span.h"
+#include "tsp/splice.h"
+#include "tsp/tour.h"
+#include "util/assert.h"
+
+namespace mdg::core {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+double checked_range(double range) {
+  MDG_REQUIRE(std::isfinite(range) && range > 0.0,
+              "transmission range must be positive");
+  return range;
+}
+
+/// CoverView (cover/repair.h) answering coverage queries from the live
+/// DynamicInstance grid instead of a CoverageMatrix. Sensor-site policy:
+/// candidate id == sensor id, so covered(c) and covering(s) are the
+/// same within-range query, memoized per id.
+class GridCoverView {
+ public:
+  explicit GridCoverView(const DynamicInstance& dyn)
+      : dyn_(dyn), lists_(dyn.size()), have_(dyn.size(), 0) {}
+
+  [[nodiscard]] std::size_t universe() const { return dyn_.size(); }
+  [[nodiscard]] std::size_t candidate_limit() const { return dyn_.size(); }
+  [[nodiscard]] geom::Point position(std::size_t c) const {
+    return dyn_.position(c);
+  }
+  [[nodiscard]] geom::Point sensor_position(std::size_t s) const {
+    return dyn_.position(s);
+  }
+  [[nodiscard]] const std::vector<std::size_t>& covered(std::size_t c) {
+    return list(c);
+  }
+  [[nodiscard]] const std::vector<std::size_t>& covering(std::size_t s) {
+    return list(s);
+  }
+
+ private:
+  [[nodiscard]] const std::vector<std::size_t>& list(std::size_t s) {
+    if (!have_[s]) {
+      dyn_.sensors_within(dyn_.position(s), dyn_.range(), lists_[s]);
+      have_[s] = 1;
+    }
+    return lists_[s];
+  }
+
+  const DynamicInstance& dyn_;
+  std::vector<std::vector<std::size_t>> lists_;
+  std::vector<char> have_;
+};
+
+void apply_ops_to_instance(DynamicInstance& dyn,
+                           std::span<const DeltaOp> ops) {
+  for (const DeltaOp& op : ops) {
+    switch (op.kind) {
+      case DeltaOpKind::kAddSensor:
+        dyn.add_sensor(op.position);
+        break;
+      case DeltaOpKind::kRemoveSensor:
+        dyn.remove_sensor(op.sensor);
+        break;
+      case DeltaOpKind::kMoveSensor:
+        dyn.move_sensor(op.sensor, op.position);
+        break;
+      case DeltaOpKind::kSetRange:
+        dyn.set_range(op.range);
+        break;
+    }
+  }
+}
+
+/// The plan for a deployment with no sensors: no polling points, the
+/// collector never leaves the sink.
+void make_empty_solution(ShdgpSolution& solution) {
+  solution.polling_candidates.clear();
+  solution.polling_points.clear();
+  solution.assignment.clear();
+  solution.tour = tsp::Tour(std::vector<std::size_t>{0});
+  solution.tour_length = 0.0;
+  solution.provably_optimal = true;
+}
+
+}  // namespace
+
+// --- DynamicInstance ------------------------------------------------------
+
+DynamicInstance::DynamicInstance(std::vector<geom::Point> positions,
+                                 geom::Point sink, geom::Aabb field,
+                                 double range, net::RadioModel radio)
+    : positions_(std::move(positions)),
+      sink_(sink),
+      field_(field),
+      range_(checked_range(range)),
+      radio_(radio),
+      grid_(positions_, range, field) {
+  grid_index_.resize(positions_.size());
+  owner_.resize(positions_.size());
+  for (std::size_t s = 0; s < positions_.size(); ++s) {
+    grid_index_[s] = s;
+    owner_[s] = s;
+  }
+}
+
+DynamicInstance::DynamicInstance(const net::SensorNetwork& network)
+    : DynamicInstance(network.positions(), network.sink(), network.field(),
+                      network.range(), network.radio()) {}
+
+geom::Point DynamicInstance::position(std::size_t s) const {
+  MDG_REQUIRE(s < positions_.size(), "sensor id out of range");
+  return positions_[s];
+}
+
+std::size_t DynamicInstance::add_sensor(geom::Point p) {
+  MDG_REQUIRE(field_.contains(p), "sensor position outside the field");
+  const std::size_t s = positions_.size();
+  positions_.push_back(p);
+  const std::size_t g = grid_.insert(p);
+  grid_index_.push_back(g);
+  owner_.resize(grid_.size(), kNone);
+  owner_[g] = s;
+  invalidate();
+  return s;
+}
+
+void DynamicInstance::remove_sensor(std::size_t s) {
+  MDG_REQUIRE(s < positions_.size(), "sensor id out of range");
+  const std::size_t last = positions_.size() - 1;
+  grid_.remove(grid_index_[s]);
+  owner_[grid_index_[s]] = kNone;
+  if (s != last) {
+    positions_[s] = positions_[last];
+    grid_index_[s] = grid_index_[last];
+    owner_[grid_index_[s]] = s;
+  }
+  positions_.pop_back();
+  grid_index_.pop_back();
+  invalidate();
+}
+
+void DynamicInstance::move_sensor(std::size_t s, geom::Point p) {
+  MDG_REQUIRE(s < positions_.size(), "sensor id out of range");
+  MDG_REQUIRE(field_.contains(p), "sensor position outside the field");
+  grid_.remove(grid_index_[s]);
+  owner_[grid_index_[s]] = kNone;
+  positions_[s] = p;
+  const std::size_t g = grid_.insert(p);
+  grid_index_[s] = g;
+  owner_.resize(grid_.size(), kNone);
+  owner_[g] = s;
+  invalidate();
+}
+
+void DynamicInstance::set_range(double range) {
+  MDG_REQUIRE(std::isfinite(range) && range > 0.0,
+              "transmission range must be positive");
+  range_ = range;
+  invalidate();
+}
+
+void DynamicInstance::sensors_within(geom::Point center, double radius,
+                                     std::vector<std::size_t>& out) const {
+  std::vector<std::size_t> hits;
+  grid_.collect_within(center, radius, hits);
+  out.clear();
+  out.reserve(hits.size());
+  for (std::size_t g : hits) {
+    MDG_ASSERT(owner_[g] != kNone, "live grid entry without an owner");
+    out.push_back(owner_[g]);
+  }
+  std::sort(out.begin(), out.end());
+}
+
+const net::SensorNetwork& DynamicInstance::network() const {
+  if (!network_) {
+    network_ = std::make_unique<net::SensorNetwork>(positions_, sink_, field_,
+                                                    range_, radio_);
+  }
+  return *network_;
+}
+
+const ShdgpInstance& DynamicInstance::instance() const {
+  if (!instance_) {
+    instance_ = std::make_unique<ShdgpInstance>(network(),
+                                                cover::CandidateOptions{});
+  }
+  return *instance_;
+}
+
+void DynamicInstance::invalidate() {
+  instance_.reset();  // holds a pointer into network_ — must go first
+  network_.reset();
+}
+
+// --- delta grammar --------------------------------------------------------
+
+const char* to_string(DeltaOpKind kind) {
+  switch (kind) {
+    case DeltaOpKind::kAddSensor:
+      return "add";
+    case DeltaOpKind::kRemoveSensor:
+      return "remove";
+    case DeltaOpKind::kMoveSensor:
+      return "move";
+    case DeltaOpKind::kSetRange:
+      return "range";
+  }
+  return "?";
+}
+
+// --- apply_delta ----------------------------------------------------------
+
+StatusOr<DeltaResult> apply_delta(DynamicInstance& dyn, const Delta& delta,
+                                  ShdgpSolution& solution,
+                                  const DeltaOptions& options) {
+  OBS_SPAN(obs::metric::kDeltaApply);
+
+  // Validate the whole batch before mutating anything: an invalid delta
+  // must leave both the instance and the solution untouched.
+  {
+    std::size_t n = dyn.size();
+    for (std::size_t i = 0; i < delta.ops.size(); ++i) {
+      const DeltaOp& op = delta.ops[i];
+      const std::string at = "delta op " + std::to_string(i);
+      switch (op.kind) {
+        case DeltaOpKind::kAddSensor:
+        case DeltaOpKind::kMoveSensor:
+          if (!std::isfinite(op.position.x) || !std::isfinite(op.position.y)) {
+            return Status::invalid_argument(at + ": non-finite coordinates");
+          }
+          if (!dyn.field().contains(op.position)) {
+            return Status::invalid_argument(at + ": position outside the field");
+          }
+          if (op.kind == DeltaOpKind::kMoveSensor && op.sensor >= n) {
+            return Status::invalid_argument(at + ": sensor id out of range");
+          }
+          if (op.kind == DeltaOpKind::kAddSensor) {
+            ++n;
+          }
+          break;
+        case DeltaOpKind::kRemoveSensor:
+          if (op.sensor >= n) {
+            return Status::invalid_argument(at + ": sensor id out of range");
+          }
+          --n;
+          break;
+        case DeltaOpKind::kSetRange:
+          if (!std::isfinite(op.range) || op.range <= 0.0) {
+            return Status::invalid_argument(at +
+                                            ": range must be positive and finite");
+          }
+          break;
+      }
+    }
+  }
+
+  // The solution must describe the pre-delta deployment.
+  const std::size_t n0 = dyn.size();
+  const std::size_t pp_count = solution.polling_points.size();
+  if (solution.assignment.size() != n0 ||
+      solution.polling_candidates.size() != pp_count ||
+      solution.tour.size() != pp_count + 1 || solution.tour.at(0) != 0) {
+    return Status::failed_precondition(
+        "solution does not match the instance (sensor or polling-point "
+        "counts disagree)");
+  }
+  for (std::size_t a : solution.assignment) {
+    if (a >= pp_count) {
+      return Status::failed_precondition(
+          "solution assignment references a polling point that does not "
+          "exist");
+    }
+  }
+
+  DeltaResult result;
+  result.ops_applied = delta.ops.size();
+  MDG_OBS_COUNT(obs::metric::kDeltaOps, delta.ops.size());
+
+  if (delta.ops.empty()) {
+    return result;  // empty delta: byte-identical no-op by construction
+  }
+
+  const auto full_replan = [&](const char* why) {
+    result.full_replan = true;
+    result.full_replan_reason = why;
+    result.pps_added = 0;
+    result.pps_removed = 0;
+    MDG_OBS_COUNT(obs::metric::kDeltaFullReplans, 1);
+    if (dyn.size() == 0) {
+      make_empty_solution(solution);
+      solution.planner = "delta-replan";
+      return;
+    }
+    const GreedyCoverPlanner planner(options.fallback);
+    solution = planner.plan(dyn.instance());
+  };
+
+  // Local repair only understands plans whose polling points sit on
+  // sensor sites (candidate id == sensor id, the kSensorSites policy).
+  // Grid/intersection candidates and freeform refined positions fall
+  // back to a full replan — a quality decision, not an error.
+  bool must_full = false;
+  for (std::size_t k = 0; k < pp_count; ++k) {
+    const std::size_t c = solution.polling_candidates[k];
+    if (c == ShdgpSolution::kFreeformCandidate || c >= n0 ||
+        !(solution.polling_points[k] == dyn.position(c))) {
+      must_full = true;
+      break;
+    }
+  }
+  if (must_full) {
+    apply_ops_to_instance(dyn, delta.ops);
+    full_replan("policy");
+    return result;
+  }
+
+  // ---- working state for the incremental path ----------------------------
+  // Slots stay fixed while ops land (dead ones are tombstoned with
+  // kNone and compacted at the end); the tour is kept as a raw city
+  // order (city 0 = sink, city k+1 = slot k) so splice_insert/remove
+  // can edit it while it is not a permutation of a dense range.
+  std::vector<std::size_t> pp_of = solution.assignment;  // sensor -> slot
+  std::vector<char> damaged(n0, 0);
+  std::vector<std::size_t> cand = solution.polling_candidates;  // slot -> host
+  std::vector<geom::Point> ppos = solution.polling_points;
+  std::vector<std::size_t> slot_of_host(n0, kNone);
+  for (std::size_t k = 0; k < cand.size(); ++k) {
+    slot_of_host[cand[k]] = k;
+  }
+  std::vector<geom::Point> pts;  // city coordinates (stale slots unused)
+  pts.reserve(ppos.size() + 1);
+  pts.push_back(dyn.sink());
+  pts.insert(pts.end(), ppos.begin(), ppos.end());
+  std::vector<std::size_t> order = solution.tour.order();
+  std::vector<geom::Point> touched;  // churn sites anchoring the window
+
+  const auto kill_slot = [&](std::size_t k) {
+    for (std::size_t t = 0; t < pp_of.size(); ++t) {
+      if (pp_of[t] == k) {
+        pp_of[t] = kNone;
+        damaged[t] = 1;
+        touched.push_back(dyn.position(t));
+      }
+    }
+    tsp::splice_remove(order, k + 1);
+    touched.push_back(ppos[k]);
+    slot_of_host[cand[k]] = kNone;
+    cand[k] = kNone;
+    ++result.pps_removed;
+  };
+
+  for (const DeltaOp& op : delta.ops) {
+    switch (op.kind) {
+      case DeltaOpKind::kAddSensor: {
+        touched.push_back(op.position);
+        dyn.add_sensor(op.position);
+        pp_of.push_back(kNone);
+        damaged.push_back(1);
+        slot_of_host.push_back(kNone);
+        break;
+      }
+      case DeltaOpKind::kRemoveSensor: {
+        const std::size_t s = op.sensor;
+        const std::size_t last = dyn.size() - 1;
+        touched.push_back(dyn.position(s));
+        if (slot_of_host[s] != kNone) {
+          kill_slot(slot_of_host[s]);
+        }
+        if (s != last) {
+          pp_of[s] = pp_of[last];
+          damaged[s] = damaged[last];
+          if (slot_of_host[last] != kNone) {
+            cand[slot_of_host[last]] = s;
+          }
+          slot_of_host[s] = slot_of_host[last];
+        }
+        pp_of.pop_back();
+        damaged.pop_back();
+        slot_of_host.pop_back();
+        dyn.remove_sensor(s);
+        break;
+      }
+      case DeltaOpKind::kMoveSensor: {
+        const std::size_t s = op.sensor;
+        touched.push_back(dyn.position(s));
+        touched.push_back(op.position);
+        if (slot_of_host[s] != kNone) {
+          kill_slot(slot_of_host[s]);
+        }
+        dyn.move_sensor(s, op.position);
+        if (pp_of[s] == kNone) {
+          damaged[s] = 1;
+        } else if (!geom::within_range(op.position, ppos[pp_of[s]],
+                                       dyn.range())) {
+          pp_of[s] = kNone;
+          damaged[s] = 1;
+        }
+        break;
+      }
+      case DeltaOpKind::kSetRange: {
+        const double old_range = dyn.range();
+        dyn.set_range(op.range);
+        if (op.range < old_range) {
+          // Shrinking can strand any affiliation; growing never does.
+          for (std::size_t t = 0; t < pp_of.size(); ++t) {
+            if (pp_of[t] != kNone &&
+                !geom::within_range(dyn.position(t), ppos[pp_of[t]],
+                                    op.range)) {
+              pp_of[t] = kNone;
+              damaged[t] = 1;
+              touched.push_back(dyn.position(t));
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  const std::size_t live_n = dyn.size();
+  std::vector<std::size_t> damage_list;
+  for (std::size_t t = 0; t < live_n; ++t) {
+    if (damaged[t]) {
+      damage_list.push_back(t);
+    }
+  }
+  result.damaged = damage_list.size();
+  MDG_OBS_COUNT(obs::metric::kDeltaDamaged, damage_list.size());
+
+  if (live_n == 0) {
+    make_empty_solution(solution);
+    return result;
+  }
+  if (static_cast<double>(damage_list.size()) >
+      options.damage_dispatch_fraction * static_cast<double>(live_n)) {
+    full_replan("damage");
+    return result;
+  }
+
+  // ---- layer 1: dynamic set-cover repair ---------------------------------
+  // First the cheap patch: each damaged sensor re-affiliates with the
+  // nearest surviving polling point in range (ascending host id with a
+  // strict '<' keeps ties on the lower candidate id, the library-wide
+  // rule). Leftovers get new polling points from the shared greedy
+  // sub-cover kernel, anchored toward the sink like the planner.
+  std::vector<std::size_t> leftovers;
+  std::vector<std::size_t> near;
+  for (std::size_t t : damage_list) {
+    dyn.sensors_within(dyn.position(t), dyn.range(), near);
+    std::size_t best_slot = kNone;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t h : near) {
+      const std::size_t k = slot_of_host[h];
+      if (k == kNone) {
+        continue;
+      }
+      const double d = geom::distance(dyn.position(t), ppos[k]);
+      if (d < best_d) {
+        best_d = d;
+        best_slot = k;
+      }
+    }
+    if (best_slot != kNone) {
+      pp_of[t] = best_slot;
+    } else {
+      leftovers.push_back(t);
+    }
+  }
+
+  if (!leftovers.empty()) {
+    GridCoverView view(dyn);
+    const cover::PartialCoverResult part =
+        cover::greedy_partial_cover(view, leftovers, dyn.sink());
+    MDG_ASSERT(part.uncovered.empty(),
+               "sensor-site candidates always cover themselves");
+    const std::vector<std::vector<std::size_t>> members =
+        cover::affiliate_nearest(view, leftovers, part.selected);
+    for (std::size_t i = 0; i < part.selected.size(); ++i) {
+      const std::size_t c = part.selected[i];
+      const std::size_t k = cand.size();
+      cand.push_back(c);
+      ppos.push_back(dyn.position(c));
+      slot_of_host[c] = k;
+      pts.push_back(dyn.position(c));
+      tsp::splice_insert(order, pts, k + 1);  // layer 3: cheapest edge
+      touched.push_back(dyn.position(c));
+      ++result.pps_added;
+      for (std::size_t t : members[i]) {
+        pp_of[t] = k;
+      }
+    }
+  }
+
+  // Drop polling points the churn left serving nobody.
+  {
+    std::vector<std::size_t> load(cand.size(), 0);
+    for (std::size_t t = 0; t < live_n; ++t) {
+      MDG_ASSERT(pp_of[t] != kNone, "repair left a sensor unaffiliated");
+      ++load[pp_of[t]];
+    }
+    for (std::size_t k = 0; k < cand.size(); ++k) {
+      if (cand[k] != kNone && load[k] == 0) {
+        kill_slot(k);  // marks nobody (load 0), just splices and tombs
+      }
+    }
+  }
+
+  // ---- compact slots and rebuild the solution ----------------------------
+  std::vector<std::size_t> slot_to_new(cand.size(), kNone);
+  std::vector<std::size_t> new_cand;
+  std::vector<geom::Point> new_ppos;
+  for (std::size_t k = 0; k < cand.size(); ++k) {
+    if (cand[k] != kNone) {
+      slot_to_new[k] = new_cand.size();
+      new_cand.push_back(cand[k]);
+      new_ppos.push_back(ppos[k]);
+    }
+  }
+  std::vector<std::size_t> new_order;
+  new_order.reserve(order.size());
+  for (std::size_t city : order) {
+    if (city == 0) {
+      new_order.push_back(0);
+    } else {
+      MDG_ASSERT(slot_to_new[city - 1] != kNone, "dead slot left on the tour");
+      new_order.push_back(slot_to_new[city - 1] + 1);
+    }
+  }
+  std::vector<std::size_t> new_assign(live_n);
+  for (std::size_t t = 0; t < live_n; ++t) {
+    new_assign[t] = slot_to_new[pp_of[t]];
+  }
+  std::vector<geom::Point> coords;
+  coords.reserve(new_ppos.size() + 1);
+  coords.push_back(dyn.sink());
+  coords.insert(coords.end(), new_ppos.begin(), new_ppos.end());
+  tsp::Tour tour(std::move(new_order));
+
+  // ---- layer 3: windowed polish over the splice neighbourhood ------------
+  const double wr = options.window_radius_factor * dyn.range();
+  std::vector<std::size_t> window;
+  for (std::size_t j = 0; j < new_ppos.size(); ++j) {
+    for (const geom::Point& q : touched) {
+      if (geom::distance_sq(new_ppos[j], q) <= wr * wr) {
+        window.push_back(j + 1);
+        break;
+      }
+    }
+  }
+  if (!window.empty()) {
+    (void)tsp::improve_window(tour, coords, window, options.window_improve);
+  }
+  const double repaired = tour.length(coords);
+
+  // ---- quality guard: compare against a from-scratch plan ----------------
+  const bool check_ratio =
+      options.force_ratio_check ||
+      (options.ratio_check_below > 0 && live_n <= options.ratio_check_below);
+  if (check_ratio) {
+    const GreedyCoverPlanner planner(options.fallback);
+    ShdgpSolution fresh = planner.plan(dyn.instance());
+    result.repair_ratio =
+        fresh.tour_length > 0.0 ? repaired / fresh.tour_length : 1.0;
+    MDG_OBS_GAUGE(obs::metric::kDeltaRepairRatio, result.repair_ratio);
+    if (repaired > options.max_repair_ratio * fresh.tour_length) {
+      solution = std::move(fresh);
+      result.full_replan = true;
+      result.full_replan_reason = "ratio";
+      MDG_OBS_COUNT(obs::metric::kDeltaFullReplans, 1);
+      return result;
+    }
+  }
+
+  solution.polling_candidates = std::move(new_cand);
+  solution.polling_points = std::move(new_ppos);
+  solution.assignment = std::move(new_assign);
+  solution.tour = std::move(tour);
+  solution.tour_length = repaired;
+  solution.provably_optimal = false;
+  return result;
+}
+
+}  // namespace mdg::core

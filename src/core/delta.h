@@ -1,0 +1,216 @@
+// Incremental replanning under churn: apply a typed delta to a live
+// network and repair the existing plan in place instead of replanning
+// from scratch.
+//
+// The pipeline papers assume a static deployment, but real gatherings
+// churn: sensors die, new ones are dropped in, nodes are repositioned,
+// the radio range is retuned. Rebuilding the SHDGP instance and
+// replanning costs O(n log n) grid/graph construction plus the full
+// cover + TSP pipeline; a handful of local edits should cost work
+// proportional to the damage, not the deployment. core::apply_delta
+// delivers that in three layers:
+//
+//   1. dynamic set cover — damaged sensors first re-affiliate with the
+//      nearest surviving polling point in range; the leftovers run the
+//      shared greedy sub-cover kernel (cover/repair.h) over a live
+//      geom::RemovalGrid view of the mutated network, and polling
+//      points serving nobody are dropped;
+//   2. incremental geometry — DynamicInstance keeps a RemovalGrid in
+//      sync with the churn (O(1) removal, amortised-O(1) insertion), so
+//      coverage queries never rebuild a CoverageMatrix;
+//   3. localized tour splicing — departed stops leave the tour and new
+//      stops enter at the cheapest edge (tsp/splice.h), then a windowed
+//      don't-look-bit 2-opt/Or-opt pass (tsp::improve_window) polishes
+//      only the splice neighbourhood.
+//
+// Quality is guarded, not assumed: when the damage exceeds a dispatch
+// threshold, the plan predates an incompatible candidate policy, or the
+// repaired tour is worse than max_repair_ratio times a from-scratch
+// plan (checked on small instances, or always under force_ratio_check),
+// apply_delta falls back to a full replan and says so in the result.
+//
+// Determinism: the repair path is strictly sequential and the fallback
+// planner honours the library-wide byte-determinism contract, so
+// repaired plans are byte-identical at any MDG_THREADS (DESIGN.md
+// §determinism-under-deltas).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/greedy_cover_planner.h"
+#include "core/instance.h"
+#include "core/solution.h"
+#include "core/status.h"
+#include "geom/aabb.h"
+#include "geom/point.h"
+#include "geom/removal_grid.h"
+#include "net/radio.h"
+#include "net/sensor_network.h"
+#include "tsp/improve.h"
+
+namespace mdg::core {
+
+/// A live, mutable view of a sensor deployment. Sensor ids are dense
+/// [0, size()): removal renumbers by swapping the last sensor into the
+/// freed id (the cheap dense-id convention the fault simulator also
+/// uses). A RemovalGrid tracks the churn so spatial queries stay
+/// incremental; the immutable net::SensorNetwork / ShdgpInstance views
+/// (needed by the full-replan fallback and the ratio guard) are
+/// materialised lazily and invalidated by every mutation.
+class DynamicInstance {
+ public:
+  /// Starts from an existing network (positions are copied; the
+  /// candidate policy of instance() is kSensorSites).
+  explicit DynamicInstance(const net::SensorNetwork& network);
+
+  DynamicInstance(std::vector<geom::Point> positions, geom::Point sink,
+                  geom::Aabb field, double range,
+                  net::RadioModel radio = net::RadioModel{});
+
+  [[nodiscard]] std::size_t size() const { return positions_.size(); }
+  [[nodiscard]] geom::Point position(std::size_t s) const;
+  [[nodiscard]] const std::vector<geom::Point>& positions() const {
+    return positions_;
+  }
+  [[nodiscard]] geom::Point sink() const { return sink_; }
+  [[nodiscard]] const geom::Aabb& field() const { return field_; }
+  [[nodiscard]] double range() const { return range_; }
+
+  /// Adds a sensor (must lie inside the field) and returns its id
+  /// (== the old size()). Amortised O(1).
+  std::size_t add_sensor(geom::Point p);
+
+  /// Removes sensor `s`; the last sensor (old id size()-1) takes id `s`.
+  /// O(1) plus the grid removal.
+  void remove_sensor(std::size_t s);
+
+  /// Moves sensor `s` to `p` (inside the field).
+  void move_sensor(std::size_t s, geom::Point p);
+
+  /// Retunes the common transmission range (must be positive).
+  void set_range(double range);
+
+  /// Live sensor ids within `radius` of `center` (within_range
+  /// semantics), sorted ascending. Expected O(live in the query box).
+  void sensors_within(geom::Point center, double radius,
+                      std::vector<std::size_t>& out) const;
+
+  /// Immutable network over the current sensors. Materialised lazily —
+  /// the first call after a mutation pays a full network build; the
+  /// incremental repair path never calls it.
+  [[nodiscard]] const net::SensorNetwork& network() const;
+
+  /// SHDGP instance over network() with sensor-site candidates, so
+  /// candidate id == sensor id exactly as the repair path assumes.
+  [[nodiscard]] const ShdgpInstance& instance() const;
+
+ private:
+  void invalidate();
+
+  std::vector<geom::Point> positions_;
+  geom::Point sink_;
+  geom::Aabb field_;
+  double range_;
+  net::RadioModel radio_;
+  geom::RemovalGrid grid_;
+  std::vector<std::size_t> grid_index_;  ///< sensor id -> grid index
+  std::vector<std::size_t> owner_;       ///< grid index -> sensor id
+  mutable std::unique_ptr<net::SensorNetwork> network_;
+  mutable std::unique_ptr<ShdgpInstance> instance_;
+};
+
+// --- delta grammar --------------------------------------------------------
+
+enum class DeltaOpKind {
+  kAddSensor,     ///< drop a new sensor at `position`
+  kRemoveSensor,  ///< sensor `sensor` dies (dense renumbering)
+  kMoveSensor,    ///< sensor `sensor` relocates to `position`
+  kSetRange,      ///< the common transmission range becomes `range`
+};
+
+[[nodiscard]] const char* to_string(DeltaOpKind kind);
+
+struct DeltaOp {
+  DeltaOpKind kind = DeltaOpKind::kAddSensor;
+  std::size_t sensor = 0;
+  geom::Point position{};
+  double range = 0.0;
+
+  [[nodiscard]] static DeltaOp add_sensor(geom::Point p) {
+    return {DeltaOpKind::kAddSensor, 0, p, 0.0};
+  }
+  [[nodiscard]] static DeltaOp remove_sensor(std::size_t s) {
+    return {DeltaOpKind::kRemoveSensor, s, {}, 0.0};
+  }
+  [[nodiscard]] static DeltaOp move_sensor(std::size_t s, geom::Point p) {
+    return {DeltaOpKind::kMoveSensor, s, p, 0.0};
+  }
+  [[nodiscard]] static DeltaOp set_range(double r) {
+    return {DeltaOpKind::kSetRange, 0, {}, r};
+  }
+
+  [[nodiscard]] bool operator==(const DeltaOp&) const = default;
+};
+
+/// A batch of ops applied in order as one replanning event. Ops are
+/// validated together up front — an invalid batch changes nothing.
+struct Delta {
+  std::vector<DeltaOp> ops;
+};
+
+struct DeltaOptions {
+  /// Adopt the from-scratch plan when the repaired tour exceeds this
+  /// multiple of its length (checked per ratio_check_below /
+  /// force_ratio_check).
+  double max_repair_ratio = 1.05;
+  /// Full replan outright when more than this fraction of the live
+  /// sensors is damaged — beyond local repair's sweet spot.
+  double damage_dispatch_fraction = 0.25;
+  /// Run the ratio guard whenever the live deployment is at most this
+  /// big (a fresh plan is cheap there). 0 disables the size trigger.
+  std::size_t ratio_check_below = 512;
+  /// Always run the ratio guard, whatever the size.
+  bool force_ratio_check = false;
+  /// The improve window covers every tour stop within this multiple of
+  /// the transmission range of a churn site.
+  double window_radius_factor = 2.0;
+  /// Planner used by the full-replan fallback and the ratio guard.
+  GreedyCoverPlannerOptions fallback;
+  /// Knobs for the windowed polish over the splice neighbourhood.
+  tsp::ImproveOptions window_improve;
+};
+
+struct DeltaResult {
+  std::size_t ops_applied = 0;
+  /// Sensors whose affiliation the delta invalidated (including
+  /// newly added sensors, which start unaffiliated).
+  std::size_t damaged = 0;
+  std::size_t pps_added = 0;
+  std::size_t pps_removed = 0;
+  /// True when the result came from the fallback planner instead of
+  /// local repair; `full_replan_reason` says why ("policy", "damage",
+  /// "ratio").
+  bool full_replan = false;
+  std::string full_replan_reason;
+  /// repaired length / from-scratch length when the ratio guard ran,
+  /// else 0.
+  double repair_ratio = 0.0;
+};
+
+/// Applies `delta` to `instance` and repairs `solution` in place.
+/// `solution` must be a valid plan for the pre-delta deployment; on any
+/// validation error (bad sensor id, non-finite or out-of-field
+/// coordinates, non-positive range, mismatched solution) neither the
+/// instance nor the solution is touched and an error Status is
+/// returned. On success both reflect the post-delta state and the
+/// repaired plan passes ShdgpSolution::validate against
+/// instance.instance().
+[[nodiscard]] StatusOr<DeltaResult> apply_delta(DynamicInstance& instance,
+                                                const Delta& delta,
+                                                ShdgpSolution& solution,
+                                                const DeltaOptions& options = {});
+
+}  // namespace mdg::core

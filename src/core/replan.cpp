@@ -1,16 +1,47 @@
 #include "core/replan.h"
 
 #include <algorithm>
-#include <limits>
 
+#include "cover/repair.h"
 #include "util/assert.h"
 
 namespace mdg::core {
 
+namespace {
+
+/// cover::CoverView over the instance's prebuilt coverage matrix.
+class MatrixCoverView {
+ public:
+  explicit MatrixCoverView(const ShdgpInstance& instance)
+      : matrix_(instance.coverage()), network_(instance.network()) {}
+
+  [[nodiscard]] std::size_t universe() const { return matrix_.sensor_count(); }
+  [[nodiscard]] std::size_t candidate_limit() const {
+    return matrix_.candidate_count();
+  }
+  [[nodiscard]] geom::Point position(std::size_t c) const {
+    return matrix_.candidate(c);
+  }
+  [[nodiscard]] geom::Point sensor_position(std::size_t s) const {
+    return network_.position(s);
+  }
+  [[nodiscard]] const std::vector<std::size_t>& covered(std::size_t c) const {
+    return matrix_.covered_by(c);
+  }
+  [[nodiscard]] const std::vector<std::size_t>& covering(std::size_t s) const {
+    return matrix_.covering(s);
+  }
+
+ private:
+  const cover::CoverageMatrix& matrix_;
+  const net::SensorNetwork& network_;
+};
+
+}  // namespace
+
 RecoveryPlan replan_remaining(const ShdgpInstance& instance,
                               geom::Point breakdown_position,
                               const std::vector<std::size_t>& unserved) {
-  const cover::CoverageMatrix& matrix = instance.coverage();
   RecoveryPlan plan;
 
   // Deduplicate and bound-check the request.
@@ -21,127 +52,34 @@ RecoveryPlan replan_remaining(const ShdgpInstance& instance,
     MDG_REQUIRE(s < instance.sensor_count(), "unserved sensor out of range");
   }
 
-  // Greedy sub-cover over the target set only: repeatedly pick the
-  // candidate covering the most still-uncovered targets, tie-broken
-  // toward the breakdown position (shorter recovery legs) and then by
-  // candidate id (determinism).
-  std::vector<bool> wanted(instance.sensor_count(), false);
-  for (std::size_t s : targets) {
-    wanted[s] = true;
-  }
-  std::size_t remaining = targets.size();
-  std::vector<std::size_t> selected;
-  while (remaining > 0) {
-    std::size_t best = matrix.candidate_count();
-    std::size_t best_gain = 0;
-    double best_dist = std::numeric_limits<double>::infinity();
-    // Only candidates covering some target can gain; scan via the
-    // per-sensor covering lists to avoid a full candidate sweep.
-    std::vector<std::size_t> contenders;
-    for (std::size_t s : targets) {
-      if (!wanted[s]) {
-        continue;
-      }
-      const auto& covering = matrix.covering(s);
-      contenders.insert(contenders.end(), covering.begin(), covering.end());
-    }
-    std::sort(contenders.begin(), contenders.end());
-    contenders.erase(std::unique(contenders.begin(), contenders.end()),
-                     contenders.end());
-    for (std::size_t c : contenders) {
-      std::size_t gain = 0;
-      for (std::size_t s : matrix.covered_by(c)) {
-        if (wanted[s]) {
-          ++gain;
-        }
-      }
-      if (gain == 0) {
-        continue;
-      }
-      const double dist =
-          geom::distance(matrix.candidate(c), breakdown_position);
-      if (gain > best_gain ||
-          (gain == best_gain && (dist < best_dist ||
-                                 (dist == best_dist && c < best)))) {
-        best = c;
-        best_gain = gain;
-        best_dist = dist;
-      }
-    }
-    if (best == matrix.candidate_count()) {
-      break;  // nothing covers the rest — degrade, don't crash
-    }
-    selected.push_back(best);
-    for (std::size_t s : matrix.covered_by(best)) {
-      if (wanted[s]) {
-        wanted[s] = false;
-        --remaining;
-      }
-    }
-  }
-  for (std::size_t s : targets) {
-    if (wanted[s]) {
-      plan.uncovered.push_back(s);
-    }
-  }
+  // The three shared repair kernels (cover/repair.h): greedy sub-cover
+  // over the target set tie-broken toward the breakdown position,
+  // nearest-stop affiliation, nearest-neighbour stop ordering. The
+  // delta path (core::apply_delta) runs the same kernels over a live
+  // grid view; here the view is the instance's coverage matrix.
+  MatrixCoverView view(instance);
+  const cover::PartialCoverResult cover =
+      cover::greedy_partial_cover(view, targets, breakdown_position);
+  plan.uncovered = cover.uncovered;
   plan.feasible = plan.uncovered.empty();
 
-  // Affiliation: each covered target uploads at the nearest selected
-  // recovery stop that covers it.
-  const net::SensorNetwork& network = instance.network();
-  std::vector<std::vector<std::size_t>> sensors_of(selected.size());
-  for (std::size_t s : targets) {
-    double nearest = std::numeric_limits<double>::infinity();
-    std::size_t pick = selected.size();
-    for (std::size_t i = 0; i < selected.size(); ++i) {
-      const auto& covered = matrix.covered_by(selected[i]);
-      if (!std::binary_search(covered.begin(), covered.end(), s)) {
-        continue;
-      }
-      const double d =
-          geom::distance(network.position(s), matrix.candidate(selected[i]));
-      if (d < nearest || (d == nearest && pick < selected.size() &&
-                          selected[i] < selected[pick])) {
-        nearest = d;
-        pick = i;
-      }
-    }
-    if (pick < selected.size()) {
-      sensors_of[pick].push_back(s);
-    }
-  }
+  const std::vector<std::vector<std::size_t>> sensors_of =
+      cover::affiliate_nearest(view, targets, cover.selected);
 
   // Order the stops nearest-neighbour from the breakdown position; the
   // recovery tour is open (it ends at the sink, not back at the
   // breakdown point). Stops whose targets all got affiliated elsewhere
   // are still visited only if they serve someone.
-  std::vector<bool> used(selected.size(), false);
-  geom::Point cursor = breakdown_position;
-  for (;;) {
-    std::size_t pick = selected.size();
-    double nearest = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < selected.size(); ++i) {
-      if (used[i] || sensors_of[i].empty()) {
-        continue;
-      }
-      const double d = geom::distance(cursor, matrix.candidate(selected[i]));
-      if (d < nearest || (d == nearest && pick < selected.size() &&
-                          selected[i] < selected[pick])) {
-        nearest = d;
-        pick = i;
-      }
-    }
-    if (pick == selected.size()) {
-      break;
-    }
-    used[pick] = true;
-    plan.stop_candidates.push_back(selected[pick]);
-    plan.stops.push_back(matrix.candidate(selected[pick]));
-    plan.stop_sensors.push_back(sensors_of[pick]);
-    plan.length_m += nearest;
-    cursor = plan.stops.back();
+  const cover::OrderedStops ordered =
+      cover::order_stops_nearest(view, cover.selected, sensors_of,
+                                 breakdown_position);
+  for (std::size_t slot : ordered.order) {
+    plan.stop_candidates.push_back(cover.selected[slot]);
+    plan.stops.push_back(view.position(cover.selected[slot]));
+    plan.stop_sensors.push_back(sensors_of[slot]);
   }
-  plan.length_m += geom::distance(cursor, instance.sink());
+  plan.length_m = ordered.length;
+  plan.length_m += geom::distance(ordered.cursor, instance.sink());
   return plan;
 }
 

@@ -1,0 +1,193 @@
+// Partial set-cover repair: the greedy sub-cover, nearest-affiliation
+// and nearest-neighbour stop-ordering kernels shared by breakdown
+// recovery (core::replan_remaining) and incremental replanning
+// (core::apply_delta).
+//
+// Both callers repair a *subset* of sensors against a candidate
+// universe, so the kernels are templated over a CoverView instead of
+// binding to cover::CoverageMatrix: recovery reads the instance's
+// prebuilt matrix, while the delta path answers the same queries from a
+// live geom::RemovalGrid without materialising any matrix. A CoverView
+// provides:
+//
+//   std::size_t universe() const;            // sensor ids are < universe()
+//   std::size_t candidate_limit() const;     // candidate ids are < limit
+//   geom::Point position(std::size_t c);     // candidate position
+//   geom::Point sensor_position(std::size_t s);
+//   const std::vector<std::size_t>& covered(std::size_t c);   // sorted
+//   const std::vector<std::size_t>& covering(std::size_t s);  // sorted
+//
+// Tie-breaking is part of the byte-determinism contract (DESIGN.md):
+// greedy picks max gain, then smaller true distance to the anchor, then
+// the lower candidate id; affiliation and stop ordering pick smaller
+// distance then lower candidate id. These rules reproduce the original
+// replan_remaining trajectory bit for bit — the chaos-run golden report
+// (data/golden_report_fault30.json) pins that.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace mdg::cover {
+
+struct PartialCoverResult {
+  /// Chosen candidate ids in selection order.
+  std::vector<std::size_t> selected;
+  /// Targets no candidate covers (ascending; empty in the sensor-sites
+  /// policy because every sensor covers itself).
+  std::vector<std::size_t> uncovered;
+};
+
+/// Greedy maximum-coverage over `targets` (sorted, unique sensor ids)
+/// only: repeatedly picks the candidate covering the most
+/// still-uncovered targets, tie-broken toward `anchor` and then by
+/// candidate id. Degrades gracefully — uncoverable targets are reported,
+/// never fatal.
+template <class View>
+[[nodiscard]] PartialCoverResult greedy_partial_cover(
+    View& view, std::span<const std::size_t> targets, geom::Point anchor) {
+  PartialCoverResult result;
+  std::vector<bool> wanted(view.universe(), false);
+  for (std::size_t s : targets) {
+    wanted[s] = true;
+  }
+  std::size_t remaining = targets.size();
+  while (remaining > 0) {
+    std::size_t best = view.candidate_limit();
+    std::size_t best_gain = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    // Only candidates covering some target can gain; scan via the
+    // per-sensor covering lists to avoid a full candidate sweep.
+    std::vector<std::size_t> contenders;
+    for (std::size_t s : targets) {
+      if (!wanted[s]) {
+        continue;
+      }
+      const auto& covering = view.covering(s);
+      contenders.insert(contenders.end(), covering.begin(), covering.end());
+    }
+    std::sort(contenders.begin(), contenders.end());
+    contenders.erase(std::unique(contenders.begin(), contenders.end()),
+                     contenders.end());
+    for (std::size_t c : contenders) {
+      std::size_t gain = 0;
+      for (std::size_t s : view.covered(c)) {
+        if (wanted[s]) {
+          ++gain;
+        }
+      }
+      if (gain == 0) {
+        continue;
+      }
+      const double dist = geom::distance(view.position(c), anchor);
+      if (gain > best_gain ||
+          (gain == best_gain && (dist < best_dist ||
+                                 (dist == best_dist && c < best)))) {
+        best = c;
+        best_gain = gain;
+        best_dist = dist;
+      }
+    }
+    if (best == view.candidate_limit()) {
+      break;  // nothing covers the rest — degrade, don't crash
+    }
+    result.selected.push_back(best);
+    for (std::size_t s : view.covered(best)) {
+      if (wanted[s]) {
+        wanted[s] = false;
+        --remaining;
+      }
+    }
+  }
+  for (std::size_t s : targets) {
+    if (wanted[s]) {
+      result.uncovered.push_back(s);
+    }
+  }
+  return result;
+}
+
+/// Affiliation: each target uploads at the nearest selected candidate
+/// that covers it (smaller distance, then lower candidate id). Returns
+/// the targets served per selected slot (parallel to `selected`;
+/// uncoverable targets appear nowhere).
+template <class View>
+[[nodiscard]] std::vector<std::vector<std::size_t>> affiliate_nearest(
+    View& view, std::span<const std::size_t> targets,
+    const std::vector<std::size_t>& selected) {
+  std::vector<std::vector<std::size_t>> sensors_of(selected.size());
+  for (std::size_t s : targets) {
+    double nearest = std::numeric_limits<double>::infinity();
+    std::size_t pick = selected.size();
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      const auto& covered = view.covered(selected[i]);
+      if (!std::binary_search(covered.begin(), covered.end(), s)) {
+        continue;
+      }
+      const double d =
+          geom::distance(view.sensor_position(s), view.position(selected[i]));
+      if (d < nearest || (d == nearest && pick < selected.size() &&
+                          selected[i] < selected[pick])) {
+        nearest = d;
+        pick = i;
+      }
+    }
+    if (pick < selected.size()) {
+      sensors_of[pick].push_back(s);
+    }
+  }
+  return sensors_of;
+}
+
+struct OrderedStops {
+  /// Indices into `selected` in visiting order (slots serving nobody
+  /// are skipped).
+  std::vector<std::size_t> order;
+  /// start -> stops path length (metres; no return/sink leg).
+  double length = 0.0;
+  /// Position after the last stop (== start when order is empty).
+  geom::Point cursor{};
+};
+
+/// Orders the selected stops nearest-neighbour from `start`, skipping
+/// slots with an empty service set (smaller distance, then lower
+/// candidate id).
+template <class View>
+[[nodiscard]] OrderedStops order_stops_nearest(
+    View& view, const std::vector<std::size_t>& selected,
+    const std::vector<std::vector<std::size_t>>& sensors_of,
+    geom::Point start) {
+  OrderedStops out;
+  out.cursor = start;
+  std::vector<bool> used(selected.size(), false);
+  for (;;) {
+    std::size_t pick = selected.size();
+    double nearest = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      if (used[i] || sensors_of[i].empty()) {
+        continue;
+      }
+      const double d = geom::distance(out.cursor, view.position(selected[i]));
+      if (d < nearest || (d == nearest && pick < selected.size() &&
+                          selected[i] < selected[pick])) {
+        nearest = d;
+        pick = i;
+      }
+    }
+    if (pick == selected.size()) {
+      break;
+    }
+    used[pick] = true;
+    out.order.push_back(pick);
+    out.length += nearest;
+    out.cursor = view.position(selected[pick]);
+  }
+  return out;
+}
+
+}  // namespace mdg::cover

@@ -13,14 +13,41 @@ RemovalGrid::RemovalGrid(std::span<const Point> points, double cell_size)
     : points_(points.begin(), points.end()), cell_size_(cell_size) {
   MDG_REQUIRE(cell_size > 0.0, "cell size must be positive");
   bounds_ = Aabb::bounding(points_);
-  const std::size_t n = points_.size();
-  alive_.assign(n, 1);
-  live_ = n;
-  if (n == 0) {
+  alive_.assign(points_.size(), 1);
+  live_ = points_.size();
+  if (points_.empty()) {
     cell_start_.assign(1, 0);
     live_end_.assign(1, 0);
+    used_end_.assign(1, 0);
     return;
   }
+  build(/*with_slack=*/false);
+}
+
+RemovalGrid::RemovalGrid(std::span<const Point> points, double cell_size,
+                         Aabb bounds)
+    : points_(points.begin(), points.end()),
+      cell_size_(cell_size),
+      bounds_(bounds) {
+  MDG_REQUIRE(cell_size > 0.0, "cell size must be positive");
+  MDG_REQUIRE(bounds.width() >= 0.0 && bounds.height() >= 0.0,
+              "bounds must be a valid box");
+  // Grow the box if a point falls outside the caller's bounds — the
+  // invariant every query relies on is that bounds_ contains every
+  // indexed point.
+  for (const Point& p : points_) {
+    bounds_.lo.x = std::min(bounds_.lo.x, p.x);
+    bounds_.lo.y = std::min(bounds_.lo.y, p.y);
+    bounds_.hi.x = std::max(bounds_.hi.x, p.x);
+    bounds_.hi.y = std::max(bounds_.hi.y, p.y);
+  }
+  alive_.assign(points_.size(), 1);
+  live_ = points_.size();
+  build(/*with_slack=*/true);
+}
+
+void RemovalGrid::build(bool with_slack) {
+  const std::size_t n = points_.size();
   cells_x_ =
       static_cast<long long>(std::floor(bounds_.width() / cell_size_)) + 1;
   cells_y_ =
@@ -39,22 +66,47 @@ RemovalGrid::RemovalGrid(std::span<const Point> points, double cell_size)
   }
   cell_start_.assign(total + 1, 0);
   for (std::size_t s = 0; s < total; ++s) {
-    cell_start_[s + 1] = cell_start_[s] + counts[s];
+    // Occupied cells get proportional free slack so insert() stays O(1)
+    // under churn; empty cells get none (an insert into one rebuilds).
+    const std::size_t slack =
+        (with_slack && counts[s] > 0)
+            ? std::max<std::size_t>(2, counts[s] / 4)
+            : 0;
+    cell_start_[s + 1] = cell_start_[s] + counts[s] + slack;
   }
-  live_end_.assign(cell_start_.begin() + 1, cell_start_.end());
-  cell_items_.resize(n);
+  const std::size_t capacity = cell_start_[total];
+  cell_items_.assign(capacity, 0);
+  cell_xs_.assign(capacity, 0.0);
+  cell_ys_.assign(capacity, 0.0);
   position_.resize(n);
+
+  // Live members first (ascending index), then the removed ones — the
+  // [start, live_end) ∪ [live_end, used_end) split every operation
+  // maintains afterwards.
   std::vector<std::size_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
   for (std::size_t i = 0; i < n; ++i) {
+    if (!alive_[i]) {
+      continue;
+    }
     const std::size_t at = cursor[slot_[i]]++;
     cell_items_[at] = i;
     position_[i] = at;
   }
-  cell_xs_.resize(n);
-  cell_ys_.resize(n);
+  live_end_.assign(cursor.begin(), cursor.end());
   for (std::size_t i = 0; i < n; ++i) {
-    cell_xs_[i] = points_[cell_items_[i]].x;
-    cell_ys_[i] = points_[cell_items_[i]].y;
+    if (alive_[i]) {
+      continue;
+    }
+    const std::size_t at = cursor[slot_[i]]++;
+    cell_items_[at] = i;
+    position_[i] = at;
+  }
+  used_end_.assign(cursor.begin(), cursor.end());
+  for (std::size_t s = 0; s < total; ++s) {
+    for (std::size_t at = cell_start_[s]; at < used_end_[s]; ++at) {
+      cell_xs_[at] = points_[cell_items_[at]].x;
+      cell_ys_[at] = points_[cell_items_[at]].y;
+    }
   }
 }
 
@@ -89,6 +141,77 @@ void RemovalGrid::remove(std::size_t idx) {
   --live_end_[slot];
   alive_[idx] = 0;
   --live_;
+}
+
+void RemovalGrid::reactivate(std::size_t idx) {
+  MDG_REQUIRE(idx < points_.size() && !alive_[idx],
+              "can only reactivate a removed point");
+  const std::size_t slot = slot_[idx];
+  const std::size_t first_dead = live_end_[slot];
+  const std::size_t at = position_[idx];
+  MDG_ASSERT(at >= first_dead && at < used_end_[slot],
+             "removed point outside its cell's dead range");
+  // Mirror of remove(): swap with the first dead member and grow the
+  // live range over it.
+  const std::size_t moved = cell_items_[first_dead];
+  cell_items_[at] = moved;
+  position_[moved] = at;
+  cell_items_[first_dead] = idx;
+  position_[idx] = first_dead;
+  std::swap(cell_xs_[at], cell_xs_[first_dead]);
+  std::swap(cell_ys_[at], cell_ys_[first_dead]);
+  ++live_end_[slot];
+  alive_[idx] = 1;
+  ++live_;
+}
+
+std::size_t RemovalGrid::insert(Point p) {
+  const std::size_t idx = points_.size();
+  points_.push_back(p);
+  alive_.push_back(1);
+  slot_.push_back(0);
+  position_.push_back(0);
+  ++live_;
+
+  const std::size_t slot = [&] {
+    if (cells_x_ == 0) {
+      return kNoCell;  // built empty without bounds — no cells yet
+    }
+    const auto [cx, cy] = cell_of(p);
+    return cell_slot(cx, cy);
+  }();
+  if (slot == kNoCell || used_end_[slot] == cell_start_[slot + 1]) {
+    rebuild_for(p);
+    return idx;
+  }
+
+  // Make room at the live/dead boundary: the first dead entry (if any)
+  // relocates to the free tail, then the new point takes its place.
+  const std::size_t le = live_end_[slot];
+  const std::size_t ue = used_end_[slot];
+  if (ue > le) {
+    const std::size_t dead = cell_items_[le];
+    cell_items_[ue] = dead;
+    cell_xs_[ue] = cell_xs_[le];
+    cell_ys_[ue] = cell_ys_[le];
+    position_[dead] = ue;
+  }
+  cell_items_[le] = idx;
+  cell_xs_[le] = p.x;
+  cell_ys_[le] = p.y;
+  position_[idx] = le;
+  slot_[idx] = slot;
+  ++live_end_[slot];
+  ++used_end_[slot];
+  return idx;
+}
+
+void RemovalGrid::rebuild_for(Point p) {
+  bounds_.lo.x = std::min(bounds_.lo.x, p.x);
+  bounds_.lo.y = std::min(bounds_.lo.y, p.y);
+  bounds_.hi.x = std::max(bounds_.hi.x, p.x);
+  bounds_.hi.y = std::max(bounds_.hi.y, p.y);
+  build(/*with_slack=*/true);
 }
 
 std::size_t RemovalGrid::nearest(Point center) const {
@@ -137,6 +260,30 @@ std::size_t RemovalGrid::nearest(Point center) const {
     }
     radius *= 2.0;
   }
+}
+
+void RemovalGrid::collect_within(Point center, double radius,
+                                 std::vector<std::size_t>& out) const {
+  out.clear();
+  if (live_ == 0 || cells_x_ == 0) {
+    return;
+  }
+  const auto [cx_lo, cy_lo] = cell_of({center.x - radius, center.y - radius});
+  const auto [cx_hi, cy_hi] = cell_of({center.x + radius, center.y + radius});
+  for (long long cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (long long cx = cx_lo; cx <= cx_hi; ++cx) {
+      const std::size_t slot = cell_slot(cx, cy);
+      if (slot == kNoCell) {
+        continue;
+      }
+      const std::size_t s = cell_start_[slot];
+      const std::size_t len = live_end_[slot] - s;
+      range_collect(std::span(cell_xs_).subspan(s, len),
+                    std::span(cell_ys_).subspan(s, len), center, radius,
+                    std::span(cell_items_).subspan(s, len), out);
+    }
+  }
+  std::sort(out.begin(), out.end());
 }
 
 }  // namespace mdg::geom

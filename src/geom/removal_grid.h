@@ -1,5 +1,6 @@
-// Uniform grid over a fixed point set supporting O(1) removal and
-// expected-O(1) nearest-live-point queries.
+// Uniform grid over a point set supporting O(1) removal, O(1)
+// reactivation, amortised-O(1) insertion and expected-O(1)
+// nearest-live-point queries.
 //
 // The nearest-neighbour tour construction repeatedly asks "which
 // unvisited point is closest to here?" while the unvisited set shrinks
@@ -7,6 +8,17 @@
 // this grid keeps each cell's live members compacted (swap-with-last
 // removal), so the expanding-ring nearest query only ever touches
 // points that are still in play.
+//
+// The dynamic extension (PR 8) backs incremental replanning: each cell
+// region is [start, live_end) live ∪ [live_end, used_end) dead ∪
+// [used_end, capacity) free, so a removed point can be reactivated by
+// swapping it back across the live boundary and a new point slots into
+// the free tail. When a cell overflows — or a point lands outside the
+// indexed bounds — the grid rebuilds deterministically from its own
+// state with fresh slack, so the same operation sequence always yields
+// the same structure. The classic two-argument constructor allocates
+// zero slack and is bit-identical (layout and queries) to the
+// removal-only grid it replaces.
 #pragma once
 
 #include <cstddef>
@@ -21,20 +33,43 @@ namespace mdg::geom {
 class RemovalGrid {
  public:
   /// Indexes `points` with cells of size `cell_size` (> 0); all points
-  /// start live. The span is copied.
+  /// start live. The span is copied. No growth slack is allocated: the
+  /// first insert() pays a rebuild (construction-only users never do).
   RemovalGrid(std::span<const Point> points, double cell_size);
+
+  /// Growth-ready variant: cells carry `bounds` (which must contain
+  /// every point, e.g. the deployment field so in-field inserts never
+  /// fall outside) and proportional free slack, making insert() O(1)
+  /// until a cell fills up.
+  RemovalGrid(std::span<const Point> points, double cell_size, Aabb bounds);
 
   [[nodiscard]] std::size_t size() const { return points_.size(); }
   [[nodiscard]] std::size_t live_count() const { return live_; }
   [[nodiscard]] bool alive(std::size_t idx) const { return alive_[idx]; }
+  [[nodiscard]] Point point(std::size_t idx) const { return points_[idx]; }
 
   /// Removes a live point from the index. Requires alive(idx).
   void remove(std::size_t idx);
+
+  /// Returns a removed point to the live set at its stored position.
+  /// Requires idx < size() and !alive(idx). O(1).
+  void reactivate(std::size_t idx);
+
+  /// Indexes a new live point and returns its index (== the old
+  /// size()). Amortised O(1); triggers a deterministic rebuild when the
+  /// target cell is full or `p` lies outside the indexed bounds.
+  std::size_t insert(Point p);
 
   /// Index of the nearest live point to `center`, or npos when none is
   /// left. Exact ties break toward the lower index — the same rule as a
   /// full ascending-index scan with a strict `<` comparison.
   [[nodiscard]] std::size_t nearest(Point center) const;
+
+  /// Fills `out` with the indices of every live point within `radius`
+  /// of `center` (within_range semantics — inclusive with the boundary
+  /// epsilon, matching the coverage predicate), sorted ascending.
+  void collect_within(Point center, double radius,
+                      std::vector<std::size_t>& out) const;
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
@@ -43,19 +78,24 @@ class RemovalGrid {
 
   [[nodiscard]] std::pair<long long, long long> cell_of(Point p) const;
   [[nodiscard]] std::size_t cell_slot(long long cx, long long cy) const;
+  void build(bool with_slack);
+  void rebuild_for(Point p);
 
   std::vector<Point> points_;
   double cell_size_;
   Aabb bounds_;
   long long cells_x_ = 0;
   long long cells_y_ = 0;
-  // CSR layout; the live members of cell s are
-  // cell_items_[cell_start_[s] .. live_end_[s]). cell_xs_/cell_ys_
+  // CSR layout with optional free slack; cell s owns
+  // cell_items_[cell_start_[s] .. cell_start_[s + 1]) of which
+  // [cell_start_[s], live_end_[s]) are live and [live_end_[s],
+  // used_end_[s]) are removed-but-reactivatable. cell_xs_/cell_ys_
   // mirror cell_items_ in SoA form (swapped in lockstep on removal) so
   // the nearest scan streams each live run through the vectorized
   // min-distance kernel.
   std::vector<std::size_t> cell_start_;
   std::vector<std::size_t> live_end_;
+  std::vector<std::size_t> used_end_;
   std::vector<std::size_t> cell_items_;
   std::vector<double> cell_xs_;
   std::vector<double> cell_ys_;

@@ -1,0 +1,175 @@
+#include "io/delta_io.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace mdg::io {
+namespace {
+
+/// Same sanity cap as serialize.cpp: a corrupted op count must not
+/// drive a huge reserve before the first read fails.
+constexpr std::size_t kMaxOps = 10'000'000;
+
+[[nodiscard]] core::Status truncated(const char* what) {
+  return core::Status::data_loss(std::string("truncated input: missing ") +
+                                 what);
+}
+
+template <typename T>
+[[nodiscard]] core::StatusOr<T> read_value(std::istream& in,
+                                           const char* what) {
+  T parsed{};
+  in >> parsed;
+  if (in.fail()) {
+    if (in.eof()) {
+      return truncated(what);
+    }
+    return core::Status::invalid_argument(std::string("bad ") + what);
+  }
+  return parsed;
+}
+
+#define MDG_IO_ASSIGN(lhs, expr)     \
+  auto lhs##_or = (expr);            \
+  if (!lhs##_or.is_ok()) {           \
+    return lhs##_or.status();        \
+  }                                  \
+  auto lhs = std::move(lhs##_or).value()
+
+}  // namespace
+
+void write_delta(std::ostream& out, const core::Delta& delta) {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "mdg-delta 1\n";
+  out << "ops " << delta.ops.size() << '\n';
+  for (const core::DeltaOp& op : delta.ops) {
+    switch (op.kind) {
+      case core::DeltaOpKind::kAddSensor:
+        out << "add " << op.position.x << ' ' << op.position.y << '\n';
+        break;
+      case core::DeltaOpKind::kRemoveSensor:
+        out << "remove " << op.sensor << '\n';
+        break;
+      case core::DeltaOpKind::kMoveSensor:
+        out << "move " << op.sensor << ' ' << op.position.x << ' '
+            << op.position.y << '\n';
+        break;
+      case core::DeltaOpKind::kSetRange:
+        out << "range " << op.range << '\n';
+        break;
+    }
+  }
+}
+
+core::StatusOr<core::Delta> try_read_delta(std::istream& in) {
+  std::string token;
+  in >> token;
+  if (in.fail() || token != "mdg-delta") {
+    if (token.empty()) {
+      return truncated("'mdg-delta' header");
+    }
+    return core::Status::invalid_argument("expected 'mdg-delta', got '" +
+                                          token + "'");
+  }
+  MDG_IO_ASSIGN(version, read_value<int>(in, "version"));
+  if (version != 1) {
+    return core::Status::invalid_argument("unsupported mdg-delta version " +
+                                          std::to_string(version));
+  }
+  in >> token;
+  if (in.fail() || token != "ops") {
+    if (token == "mdg-delta" || in.eof()) {
+      return truncated("'ops' count");
+    }
+    return core::Status::invalid_argument("expected 'ops', got '" + token +
+                                          "'");
+  }
+  MDG_IO_ASSIGN(count, read_value<std::size_t>(in, "op count"));
+  if (count > kMaxOps) {
+    return core::Status::invalid_argument("implausible op count " +
+                                          std::to_string(count));
+  }
+  core::Delta delta;
+  delta.ops.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    in >> token;
+    if (in.fail()) {
+      return truncated("op kind");
+    }
+    const std::string at = "op " + std::to_string(i);
+    if (token == "add") {
+      MDG_IO_ASSIGN(x, read_value<double>(in, "add coordinates"));
+      MDG_IO_ASSIGN(y, read_value<double>(in, "add coordinates"));
+      if (!std::isfinite(x) || !std::isfinite(y)) {
+        return core::Status::invalid_argument(at +
+                                              ": coordinates must be finite");
+      }
+      delta.ops.push_back(core::DeltaOp::add_sensor({x, y}));
+    } else if (token == "remove") {
+      MDG_IO_ASSIGN(id, read_value<std::size_t>(in, "remove sensor id"));
+      delta.ops.push_back(core::DeltaOp::remove_sensor(id));
+    } else if (token == "move") {
+      MDG_IO_ASSIGN(id, read_value<std::size_t>(in, "move sensor id"));
+      MDG_IO_ASSIGN(x, read_value<double>(in, "move coordinates"));
+      MDG_IO_ASSIGN(y, read_value<double>(in, "move coordinates"));
+      if (!std::isfinite(x) || !std::isfinite(y)) {
+        return core::Status::invalid_argument(at +
+                                              ": coordinates must be finite");
+      }
+      delta.ops.push_back(core::DeltaOp::move_sensor(id, {x, y}));
+    } else if (token == "range") {
+      MDG_IO_ASSIGN(r, read_value<double>(in, "range value"));
+      if (!std::isfinite(r) || r <= 0.0) {
+        return core::Status::invalid_argument(
+            at + ": range must be finite and positive");
+      }
+      delta.ops.push_back(core::DeltaOp::set_range(r));
+    } else {
+      return core::Status::invalid_argument(at + ": unknown op kind '" +
+                                            token + "'");
+    }
+  }
+  return delta;
+}
+
+core::StatusOr<core::Delta> try_load_delta(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return core::Status::not_found("cannot open '" + path + "' for reading");
+  }
+  auto result = try_read_delta(in);
+  if (!result.is_ok()) {
+    return result.status().with_context(path);
+  }
+  return result;
+}
+
+core::Delta read_delta(std::istream& in) {
+  auto result = try_read_delta(in);
+  MDG_REQUIRE(result.is_ok(), "malformed input: " + result.status().message());
+  return std::move(result).value();
+}
+
+std::string to_text(const core::Delta& delta) {
+  std::ostringstream out;
+  write_delta(out, delta);
+  return out.str();
+}
+
+void save_delta(const std::string& path, const core::Delta& delta) {
+  std::ofstream out(path);
+  MDG_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  write_delta(out, delta);
+  MDG_REQUIRE(static_cast<bool>(out), "failed writing '" + path + "'");
+}
+
+}  // namespace mdg::io

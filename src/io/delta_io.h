@@ -1,0 +1,42 @@
+// Plain-text persistence for churn deltas (core::Delta).
+//
+// The same line-oriented, versioned, human-diffable philosophy as
+// serialize.h, so churn streams can be replayed from files, attached to
+// bug reports, and fuzzed like every other untrusted input:
+//   mdg-delta 1
+//   ops <K>
+//   add <x> <y>          |  remove <id>  |  move <id> <x> <y>  |  range <Rs>
+// Floating-point values round-trip exactly (max_digits10). Sensor-id
+// bounds depend on the instance the delta is applied to, so the loader
+// checks syntax and value sanity (finite coordinates, positive range)
+// and leaves id validation to core::apply_delta.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/delta.h"
+#include "core/status.h"
+
+namespace mdg::io {
+
+void write_delta(std::ostream& out, const core::Delta& delta);
+
+/// Parses the write_delta format. Throws PreconditionError on malformed
+/// input.
+[[nodiscard]] core::Delta read_delta(std::istream& in);
+
+/// Status-returning variant for untrusted input: malformed or truncated
+/// files and non-finite values produce a diagnostic Status instead of
+/// an exception.
+[[nodiscard]] core::StatusOr<core::Delta> try_read_delta(std::istream& in);
+[[nodiscard]] core::StatusOr<core::Delta> try_load_delta(
+    const std::string& path);
+
+/// The exact bytes write_delta would put in a file.
+[[nodiscard]] std::string to_text(const core::Delta& delta);
+
+/// File helpers (throw on I/O failure).
+void save_delta(const std::string& path, const core::Delta& delta);
+
+}  // namespace mdg::io

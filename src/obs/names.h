@@ -39,6 +39,7 @@ inline constexpr const char* kCoverCapacity = "cover.capacity";
 inline constexpr const char* kCoverGreedy = "cover.greedy";
 inline constexpr const char* kCoverGreedyReference = "cover.greedy_reference";
 inline constexpr const char* kCoverMatrixBuild = "cover.matrix_build";
+inline constexpr const char* kDeltaApply = "delta.apply";
 inline constexpr const char* kPlanDirectVisit = "plan.direct_visit";
 inline constexpr const char* kPlanElection = "plan.election";
 inline constexpr const char* kPlanExact = "plan.exact";
@@ -59,6 +60,9 @@ inline constexpr const char* kTspSolve = "tsp.solve";
 
 // --- counters ------------------------------------------------------------
 inline constexpr const char* kCoverCapacityAdded = "cover.capacity_added";
+inline constexpr const char* kDeltaDamaged = "delta.damaged";
+inline constexpr const char* kDeltaFullReplans = "delta.full_replans";
+inline constexpr const char* kDeltaOps = "delta.ops";
 inline constexpr const char* kFaultBreakdowns = "fault.breakdowns";
 inline constexpr const char* kFaultLostBurst = "fault.lost_burst";
 inline constexpr const char* kFaultLostCrash = "fault.lost_crash";
@@ -70,6 +74,9 @@ inline constexpr const char* kCoverLazyRefreshes = "cover.lazy_refreshes";
 inline constexpr const char* kCoverSelected = "cover.selected";
 inline constexpr const char* kRefineMoves = "refine.moves";
 inline constexpr const char* kServeDeadlineExpired = "serve.deadline_expired";
+inline constexpr const char* kServeDeltaBasePlans = "serve.delta_base_plans";
+inline constexpr const char* kServeDeltaRepaired = "serve.delta_repaired";
+inline constexpr const char* kServeDeltaRequests = "serve.delta_requests";
 inline constexpr const char* kServeErrors = "serve.errors";
 inline constexpr const char* kServeHitsExact = "serve.hits_exact";
 inline constexpr const char* kServeHitsWarm = "serve.hits_warm";
@@ -85,6 +92,7 @@ inline constexpr const char* kTspTwoOptMoves = "tsp.two_opt_moves";
 
 // --- gauges --------------------------------------------------------------
 inline constexpr const char* kCoverMatrixThreads = "cover.matrix_threads";
+inline constexpr const char* kDeltaRepairRatio = "delta.repair_ratio";
 inline constexpr const char* kFaultDeliveredFraction =
     "fault.delivered_fraction";
 inline constexpr const char* kFaultRecoveryLengthM = "fault.recovery_length_m";

@@ -6,8 +6,10 @@
 #include <sstream>
 #include <utility>
 
+#include "core/delta.h"
 #include "core/greedy_cover_planner.h"
 #include "core/instance.h"
+#include "io/delta_io.h"
 #include "core/planner_factory.h"
 #include "core/refine.h"
 #include "io/serialize.h"
@@ -103,6 +105,26 @@ std::vector<std::size_t> sorted_order_of(const core::ShdgpSolution& solution) {
   return order;
 }
 
+/// Recovers the solution a cached plan reply carries (the payload is
+/// "mdg-reply 1\nop plan\n" + io::to_text(solution)). nullopt means the
+/// entry is not a plan reply — callers fall back to cold planning.
+std::optional<core::ShdgpSolution> solution_from_plan_reply(
+    const std::string& payload) {
+  std::istringstream in(payload);
+  std::string line;
+  if (!std::getline(in, line) || line != "mdg-reply 1") {
+    return std::nullopt;
+  }
+  if (!std::getline(in, line) || line != "op plan") {
+    return std::nullopt;
+  }
+  auto solution = io::try_read_solution(in);
+  if (!solution.is_ok()) {
+    return std::nullopt;
+  }
+  return std::move(solution).value();
+}
+
 CachedPlan make_cached_plan(const core::ShdgpInstance& instance,
                             const core::ShdgpSolution& solution,
                             std::string reply_payload) {
@@ -128,6 +150,8 @@ Frame Engine::handle(const Frame& request) {
   switch (request.type) {
     case FrameType::kPlanRequest:
       return handle_plan(request);
+    case FrameType::kDeltaRequest:
+      return handle_delta(request);
     case FrameType::kSimulateRequest:
       return handle_simulate(request);
     case FrameType::kStatsRequest:
@@ -311,6 +335,145 @@ Frame Engine::handle_plan(const Frame& request) {
                   std::move(payload));
 }
 
+Frame Engine::handle_delta(const Frame& request) {
+  delta_requests_.fetch_add(1, std::memory_order_relaxed);
+  MDG_OBS_COUNT(obs::metric::kServeDeltaRequests, 1);
+
+  // Exact hit on the full delta request (base identity + delta bytes):
+  // the repaired reply was computed before and is byte-deterministic.
+  const std::uint64_t raw_key = fnv1a64(request.payload);
+  if (const auto hit = cache_.find_raw(raw_key)) {
+    hits_exact_.fetch_add(1, std::memory_order_relaxed);
+    MDG_OBS_COUNT(obs::metric::kServeHitsExact, 1);
+    return ok_reply(request.id, kFlagCacheExact, hit->reply_payload);
+  }
+
+  auto parsed = parse_delta_request(request.payload);
+  if (!parsed.is_ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    MDG_OBS_COUNT(obs::metric::kServeErrors, 1);
+    return error_reply(request.id, parsed.status());
+  }
+  DeltaRequest req = std::move(parsed).value();
+
+  // Canonical identity: delta replies live in their own "delta\n" key
+  // namespace so they can never be confused with a plan reply for the
+  // post-delta network (their payloads carry repair stats).
+  const std::string fingerprint = options_fingerprint(req.options);
+  const std::uint64_t base_canonical =
+      fnv1a64(verify::canonical_network_bytes(req.network),
+              fnv1a64(fingerprint));
+  const std::uint64_t delta_canonical =
+      fnv1a64(io::to_text(req.delta), fnv1a64("delta\n", base_canonical));
+  if (const auto hit = cache_.find_canonical(delta_canonical)) {
+    cache_.alias_raw(raw_key, delta_canonical);
+    hits_exact_.fetch_add(1, std::memory_order_relaxed);
+    MDG_OBS_COUNT(obs::metric::kServeHitsExact, 1);
+    return ok_reply(request.id, kFlagCacheExact, hit->reply_payload);
+  }
+
+  // The base plan shares the plan path's canonical identity: a prior
+  // `op plan` for the same network and options is reused directly, and
+  // a base planned here is inserted under the key the equivalent plan
+  // request would look up.
+  const core::ShdgpInstance base_instance(req.network);
+  core::ShdgpSolution base;
+  bool base_from_cache = false;
+  if (const auto hit = cache_.find_canonical(base_canonical)) {
+    if (auto solution = solution_from_plan_reply(hit->reply_payload)) {
+      base = std::move(*solution);
+      base_from_cache = true;
+    }
+  }
+  bool deadline_hit = false;
+  if (!base_from_cache) {
+    core::PlannerSpec spec;
+    spec.name = req.options.planner;
+    spec.max_pp_load = req.options.max_load;
+    spec.multi_starts = req.options.multi_start;
+    auto planner = core::make_planner(spec);
+    if (!planner.is_ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      MDG_OBS_COUNT(obs::metric::kServeErrors, 1);
+      return error_reply(request.id, planner.status());
+    }
+    const bool has_deadline = req.options.deadline_ms > 0;
+    {
+      std::optional<tsp::ScopedImproveDeadline> scope;
+      if (has_deadline) {
+        scope.emplace(Clock::now() +
+                      std::chrono::milliseconds(req.options.deadline_ms));
+      }
+      base = planner.value()->plan(base_instance);
+      if (req.options.refine) {
+        core::refine_polling_positions(base_instance, base, {});
+      }
+      deadline_hit = has_deadline && tsp::improve_deadline_expired();
+    }
+    delta_base_plans_.fetch_add(1, std::memory_order_relaxed);
+    MDG_OBS_COUNT(obs::metric::kServeDeltaBasePlans, 1);
+    if (deadline_hit) {
+      deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+      MDG_OBS_COUNT(obs::metric::kServeDeadlineExpired, 1);
+    } else {
+      // Donate the base plan to the plan path (same insertion rule as
+      // handle_plan's cold branch, including the warm signature).
+      std::string base_payload = plan_reply_payload(base);
+      const std::uint64_t base_raw =
+          fnv1a64(build_plan_request(req.options, req.network));
+      const std::uint64_t signature =
+          (req.options.planner == "greedy" && !req.options.refine)
+              ? warm_signature_of(req.options.max_load, base_instance.sink(),
+                                  base.polling_points)
+              : PlanCache::kNoKey;
+      cache_.insert(base_raw, base_canonical, signature,
+                    make_cached_plan(base_instance, base,
+                                     std::move(base_payload)));
+    }
+  }
+
+  // Incremental repair. The full-replan fallback inherits the
+  // request's base-plan knobs so a dispatched replan matches what a
+  // fresh plan request would produce.
+  core::DynamicInstance dyn(req.network);
+  core::DeltaOptions delta_options;
+  delta_options.fallback.max_pp_load = req.options.max_load;
+  delta_options.fallback.tsp_multi_starts = req.options.multi_start;
+  auto result = core::apply_delta(dyn, req.delta, base, delta_options);
+  if (!result.is_ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    MDG_OBS_COUNT(obs::metric::kServeErrors, 1);
+    return error_reply(request.id, result.status());
+  }
+  if (!result->full_replan) {
+    delta_repaired_.fetch_add(1, std::memory_order_relaxed);
+    MDG_OBS_COUNT(obs::metric::kServeDeltaRepaired, 1);
+  }
+
+  std::ostringstream out;
+  out << "mdg-reply 1\n"
+      << "op delta\n"
+      << "ops " << result->ops_applied << "\n"
+      << "damaged " << result->damaged << "\n"
+      << "pps-added " << result->pps_added << "\n"
+      << "pps-removed " << result->pps_removed << "\n"
+      << "full-replan " << (result->full_replan ? 1 : 0) << "\n"
+      << "solution\n"
+      << io::to_text(base);
+  std::string payload = out.str();
+  if (!deadline_hit) {
+    cache_.insert(raw_key, delta_canonical, PlanCache::kNoKey,
+                  make_cached_plan(dyn.instance(), base, payload));
+    MDG_OBS_GAUGE(obs::metric::kServeCacheEntries,
+                  static_cast<double>(cache_.size()));
+  }
+  const std::uint32_t cache_flags =
+      base_from_cache ? kFlagCacheRepaired : kFlagCacheMiss;
+  return ok_reply(request.id,
+                  cache_flags | (deadline_hit ? kFlagDeadlineHit : 0),
+                  std::move(payload));
+}
+
 Frame Engine::handle_simulate(const Frame& request) {
   auto parsed = parse_simulate_request(request.payload);
   if (!parsed.is_ok()) {
@@ -391,6 +554,9 @@ EngineStats Engine::stats() const {
   stats.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
   stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.cache_entries = cache_.size();
+  stats.delta_requests = delta_requests_.load(std::memory_order_relaxed);
+  stats.delta_repaired = delta_repaired_.load(std::memory_order_relaxed);
+  stats.delta_base_plans = delta_base_plans_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -409,6 +575,9 @@ obs::RunReport Engine::run_report() const {
   const std::pair<const char*, double> lifetime[] = {
       {"serve.cache_entries", static_cast<double>(stats.cache_entries)},
       {"serve.deadline_expired", static_cast<double>(stats.deadline_expired)},
+      {"serve.delta_base_plans", static_cast<double>(stats.delta_base_plans)},
+      {"serve.delta_repaired", static_cast<double>(stats.delta_repaired)},
+      {"serve.delta_requests", static_cast<double>(stats.delta_requests)},
       {"serve.errors", static_cast<double>(stats.errors)},
       {"serve.hits_exact", static_cast<double>(stats.hits_exact)},
       {"serve.hits_warm", static_cast<double>(stats.hits_warm)},

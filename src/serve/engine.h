@@ -36,6 +36,9 @@ struct EngineStats {
   std::uint64_t deadline_expired = 0;
   std::uint64_t rejected = 0;  ///< admission rejections (counted by Server)
   std::uint64_t cache_entries = 0;
+  std::uint64_t delta_requests = 0;    ///< kDeltaRequest frames seen
+  std::uint64_t delta_repaired = 0;    ///< answered by incremental repair
+  std::uint64_t delta_base_plans = 0;  ///< base plans cold-planned for deltas
 };
 
 class Engine {
@@ -68,6 +71,7 @@ class Engine {
 
  private:
   Frame handle_plan(const Frame& request);
+  Frame handle_delta(const Frame& request);
   Frame handle_simulate(const Frame& request);
   Frame handle_stats(const Frame& request);
 
@@ -80,6 +84,9 @@ class Engine {
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> deadline_expired_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> delta_requests_{0};
+  std::atomic<std::uint64_t> delta_repaired_{0};
+  std::atomic<std::uint64_t> delta_base_plans_{0};
   std::atomic<bool> shutdown_{false};
 };
 

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "io/delta_io.h"
 #include "io/serialize.h"
 
 namespace mdg::serve {
@@ -108,14 +109,51 @@ core::Status require_at_end(std::istream& in) {
     }                                      \
   } while (false)
 
+/// The shared "planner ... warm" option block of plan and delta
+/// requests (fixed key order — the payload doubles as a cache key).
+void write_request_options(std::ostream& out,
+                           const PlanRequestOptions& options) {
+  out << "planner " << options.planner << "\n"
+      << "max-load " << options.max_load << "\n"
+      << "multi-start " << options.multi_start << "\n"
+      << "refine " << (options.refine ? 1 : 0) << "\n"
+      << "deadline-ms " << options.deadline_ms << "\n"
+      << "warm " << (options.warm ? 1 : 0) << "\n";
+}
+
+core::Status read_request_options(std::istream& in,
+                                  PlanRequestOptions* options) {
+  std::string value;
+  MDG_SERVE_TRY(read_keyed_line(in, "planner", &options->planner));
+  std::uint64_t u64 = 0;
+  MDG_SERVE_TRY(read_keyed_line(in, "max-load", &value));
+  MDG_SERVE_TRY(parse_u64(value, "max-load", &u64));
+  options->max_load = static_cast<std::size_t>(u64);
+  MDG_SERVE_TRY(read_keyed_line(in, "multi-start", &value));
+  MDG_SERVE_TRY(parse_u64(value, "multi-start", &u64));
+  options->multi_start = static_cast<std::size_t>(u64);
+  MDG_SERVE_TRY(read_keyed_line(in, "refine", &value));
+  MDG_SERVE_TRY(parse_bool(value, "refine", &options->refine));
+  MDG_SERVE_TRY(read_keyed_line(in, "deadline-ms", &value));
+  MDG_SERVE_TRY(parse_u64(value, "deadline-ms", &u64));
+  if (u64 > 0xffffffffull) {
+    return core::Status::invalid_argument("deadline-ms out of range");
+  }
+  options->deadline_ms = static_cast<std::uint32_t>(u64);
+  MDG_SERVE_TRY(read_keyed_line(in, "warm", &value));
+  MDG_SERVE_TRY(parse_bool(value, "warm", &options->warm));
+  return core::Status::ok();
+}
+
 }  // namespace
 
 std::span<const FrameTypeInfo> known_frame_types() {
   static constexpr FrameTypeInfo kCatalog[] = {
       {"plan-request", 1},     {"simulate-request", 2},
       {"stats-request", 3},    {"ping", 4},
-      {"shutdown", 5},         {"reply-ok", 16},
-      {"reply-error", 17},     {"pong", 18},
+      {"shutdown", 5},         {"delta-request", 6},
+      {"reply-ok", 16},        {"reply-error", 17},
+      {"pong", 18},
   };
   return kCatalog;
 }
@@ -195,14 +233,9 @@ std::string build_plan_request(const PlanRequestOptions& options,
                                const net::SensorNetwork& network) {
   std::ostringstream out;
   out << "mdg-request 1\n"
-      << "op plan\n"
-      << "planner " << options.planner << "\n"
-      << "max-load " << options.max_load << "\n"
-      << "multi-start " << options.multi_start << "\n"
-      << "refine " << (options.refine ? 1 : 0) << "\n"
-      << "deadline-ms " << options.deadline_ms << "\n"
-      << "warm " << (options.warm ? 1 : 0) << "\n"
-      << "network\n";
+      << "op plan\n";
+  write_request_options(out, options);
+  out << "network\n";
   io::write_network(out, network);
   return out.str();
 }
@@ -221,24 +254,7 @@ core::StatusOr<PlanRequest> parse_plan_request(const std::string& payload) {
                                           "'");
   }
   PlanRequestOptions options;
-  MDG_SERVE_TRY(read_keyed_line(in, "planner", &options.planner));
-  std::uint64_t u64 = 0;
-  MDG_SERVE_TRY(read_keyed_line(in, "max-load", &value));
-  MDG_SERVE_TRY(parse_u64(value, "max-load", &u64));
-  options.max_load = static_cast<std::size_t>(u64);
-  MDG_SERVE_TRY(read_keyed_line(in, "multi-start", &value));
-  MDG_SERVE_TRY(parse_u64(value, "multi-start", &u64));
-  options.multi_start = static_cast<std::size_t>(u64);
-  MDG_SERVE_TRY(read_keyed_line(in, "refine", &value));
-  MDG_SERVE_TRY(parse_bool(value, "refine", &options.refine));
-  MDG_SERVE_TRY(read_keyed_line(in, "deadline-ms", &value));
-  MDG_SERVE_TRY(parse_u64(value, "deadline-ms", &u64));
-  if (u64 > 0xffffffffull) {
-    return core::Status::invalid_argument("deadline-ms out of range");
-  }
-  options.deadline_ms = static_cast<std::uint32_t>(u64);
-  MDG_SERVE_TRY(read_keyed_line(in, "warm", &value));
-  MDG_SERVE_TRY(parse_bool(value, "warm", &options.warm));
+  MDG_SERVE_TRY(read_request_options(in, &options));
   MDG_SERVE_TRY(read_keyed_line(in, "network", nullptr));
   auto network = io::try_read_network(in);
   if (!network.is_ok()) {
@@ -246,6 +262,53 @@ core::StatusOr<PlanRequest> parse_plan_request(const std::string& payload) {
   }
   MDG_SERVE_TRY(require_at_end(in));
   return PlanRequest{std::move(options), std::move(network).value()};
+}
+
+std::string build_delta_request(const PlanRequestOptions& options,
+                                const net::SensorNetwork& network,
+                                const core::Delta& delta) {
+  std::ostringstream out;
+  out << "mdg-request 1\n"
+      << "op delta\n";
+  write_request_options(out, options);
+  out << "network\n";
+  io::write_network(out, network);
+  out << "delta\n";
+  io::write_delta(out, delta);
+  return out.str();
+}
+
+core::StatusOr<DeltaRequest> parse_delta_request(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string value;
+  MDG_SERVE_TRY(read_keyed_line(in, "mdg-request", &value));
+  if (value != "1") {
+    return core::Status::invalid_argument("unsupported mdg-request version " +
+                                          value);
+  }
+  MDG_SERVE_TRY(read_keyed_line(in, "op", &value));
+  if (value != "delta") {
+    return core::Status::invalid_argument("expected op delta, got '" + value +
+                                          "'");
+  }
+  PlanRequestOptions options;
+  MDG_SERVE_TRY(read_request_options(in, &options));
+  MDG_SERVE_TRY(read_keyed_line(in, "network", nullptr));
+  auto network = io::try_read_network(in);
+  if (!network.is_ok()) {
+    return network.status().with_context("delta request network");
+  }
+  // The token-based network reader stops right after the last
+  // coordinate; skip to the next line before the strict section read.
+  in >> std::ws;
+  MDG_SERVE_TRY(read_keyed_line(in, "delta", nullptr));
+  auto delta = io::try_read_delta(in);
+  if (!delta.is_ok()) {
+    return delta.status().with_context("delta request delta");
+  }
+  MDG_SERVE_TRY(require_at_end(in));
+  return DeltaRequest{std::move(options), std::move(network).value(),
+                      std::move(delta).value()};
 }
 
 std::string build_simulate_request(std::size_t rounds, double speed,

@@ -25,6 +25,7 @@
 #include <span>
 #include <string>
 
+#include "core/delta.h"
 #include "core/solution.h"
 #include "core/status.h"
 #include "net/sensor_network.h"
@@ -46,6 +47,7 @@ enum class FrameType : std::uint32_t {
   kStatsRequest = 3,     ///< empty payload; server counters back
   kPing = 4,             ///< empty payload; kPong back
   kShutdown = 5,         ///< empty payload; ok reply, then server stops
+  kDeltaRequest = 6,     ///< payload: delta request (op delta)
   kReplyOk = 16,         ///< payload: op-specific reply text
   kReplyError = 17,      ///< payload: mdg-error text (Status code + message)
   kPong = 18,            ///< empty payload
@@ -56,6 +58,9 @@ inline constexpr std::uint32_t kFlagCacheMask = 0x3;
 inline constexpr std::uint32_t kFlagCacheMiss = 0;   ///< planned from scratch
 inline constexpr std::uint32_t kFlagCacheExact = 1;  ///< served from cache
 inline constexpr std::uint32_t kFlagCacheWarm = 2;   ///< warm-started improve
+/// Delta reply whose base plan came from the cache: only the incremental
+/// repair ran, not a cold plan.
+inline constexpr std::uint32_t kFlagCacheRepaired = 3;
 inline constexpr std::uint32_t kFlagDeadlineHit = 0x10;
 
 /// Catalog row for the doc-sync test: docs/SERVE.md must document every
@@ -134,6 +139,33 @@ struct PlanRequest {
 /// values, a bad network section, or trailing bytes produce a
 /// diagnostic Status via the hardened io::try_read_network loader.
 [[nodiscard]] core::StatusOr<PlanRequest> parse_plan_request(
+    const std::string& payload);
+
+/// A delta request: plan (or fetch) the base plan for `network` under
+/// `options`, then repair it through `delta` with core::apply_delta.
+struct DeltaRequest {
+  PlanRequestOptions options;  ///< base-plan knobs; `warm` is ignored
+  net::SensorNetwork network;  ///< the PRE-delta network
+  core::Delta delta;
+};
+
+/// Assembles the delta-request payload. The head is byte-for-byte the
+/// plan-request head (same keys, same order) so the base plan shares
+/// the plan path's canonical cache identity; the delta section follows:
+///   mdg-request 1
+///   op delta
+///   planner <name> / max-load / multi-start / refine / deadline-ms / warm
+///   network
+///   <io::write_network text>
+///   delta
+///   <io::write_delta text>
+[[nodiscard]] std::string build_delta_request(const PlanRequestOptions& options,
+                                              const net::SensorNetwork& network,
+                                              const core::Delta& delta);
+
+/// Parses the build_delta_request format (fixed key order, like the
+/// plan request — the payload doubles as the raw cache key).
+[[nodiscard]] core::StatusOr<DeltaRequest> parse_delta_request(
     const std::string& payload);
 
 /// A simulate request: run sim::MobileCollectionSim for `rounds`.

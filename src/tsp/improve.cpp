@@ -46,23 +46,37 @@ double dist(std::span<const geom::Point> pts, std::size_t a, std::size_t b) {
 ///    position updates instead of O(n).
 class LocalSearchEngine {
  public:
+  /// With an empty `seeds` span every city starts active (the classic
+  /// full search); otherwise only the listed cities do — the windowed
+  /// mode incremental replanning uses, where the splice neighbourhood
+  /// is active and the rest of the tour stays dormant unless a move
+  /// touches it.
   LocalSearchEngine(std::vector<std::size_t> order,
                     std::span<const geom::Point> pts,
-                    const NeighborLists& nbrs, const ImproveOptions& opt)
+                    const NeighborLists& nbrs, const ImproveOptions& opt,
+                    std::span<const std::size_t> seeds = {})
       : pts_(pts),
         nbrs_(nbrs),
         opt_(opt),
         n_(order.size()),
         order_(std::move(order)),
         pos_(n_),
-        in_queue_(n_, 1),
+        in_queue_(n_, seeds.empty() ? std::uint8_t{1} : std::uint8_t{0}),
         queue_(n_),
         seg_scratch_() {
     for (std::size_t p = 0; p < n_; ++p) {
       pos_[order_[p]] = p;
-      queue_[p] = order_[p];  // seed in tour order
+      if (seeds.empty()) {
+        queue_[p] = order_[p];  // seed in tour order
+      }
     }
-    count_ = n_;
+    if (seeds.empty()) {
+      count_ = n_;
+    } else {
+      for (std::size_t city : seeds) {
+        push(city);
+      }
+    }
     seg_scratch_.reserve(opt_.or_opt_max_segment);
   }
 
@@ -364,6 +378,38 @@ ImproveStats run_engine(Tour& tour, std::span<const geom::Point> points,
 }
 
 }  // namespace
+
+ImproveStats improve_window(Tour& tour, std::span<const geom::Point> points,
+                            std::span<const std::size_t> window,
+                            const ImproveOptions& options) {
+  ImproveStats stats;
+  stats.initial_length = tour.length(points);
+  stats.final_length = stats.initial_length;
+  const std::size_t n = tour.size();
+  if (n < 4 || window.empty()) {
+    return stats;
+  }
+  std::vector<std::size_t> members(window.begin(), window.end());
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  MDG_REQUIRE(members.back() < n, "window city outside the tour");
+
+  const NeighborLists nbrs(points.first(n), options.neighbors, members);
+  const std::size_t front = tour.at(0);
+  LocalSearchEngine engine(tour.order(), points, nbrs, options, members);
+  const ImproveStats engine_stats = engine.run();
+  Tour out(engine.take_order());
+  out.rotate_to_front(front);
+  tour = std::move(out);
+  stats.passes = engine_stats.passes;
+  stats.moves = engine_stats.moves;
+  stats.two_opt_moves = engine_stats.two_opt_moves;
+  stats.or_opt_moves = engine_stats.or_opt_moves;
+  stats.final_length = tour.length(points);
+  MDG_ASSERT(stats.final_length <= stats.initial_length + 1e-9,
+             "windowed improvement must never lengthen the tour");
+  return stats;
+}
 
 ImproveStats two_opt(Tour& tour, std::span<const geom::Point> points,
                      std::size_t max_passes) {

@@ -89,6 +89,19 @@ ImproveStats or_opt(Tour& tour, std::span<const geom::Point> points,
 ImproveStats improve(Tour& tour, std::span<const geom::Point> points,
                      const ImproveOptions& options = {});
 
+/// Windowed local search for incremental replanning (core::apply_delta):
+/// runs the neighbour-list engine with only the `window` cities active
+/// and with candidate reconnections drawn from the window itself, so the
+/// cost scales with the splice neighbourhood instead of the tour. Cities
+/// outside the window move only when a window move drags them along.
+/// `window` holds city indices (any order, duplicates fine, each <
+/// tour.size()); the depot convention (tour position 0) is preserved and
+/// the tour never lengthens. Deterministic — single-threaded and
+/// seed-order independent (seeds are activated in sorted order).
+ImproveStats improve_window(Tour& tour, std::span<const geom::Point> points,
+                            std::span<const std::size_t> window,
+                            const ImproveOptions& options = {});
+
 /// Anytime early-exit for serving (docs/SERVE.md §deadlines). While a
 /// ScopedImproveDeadline is active on the calling thread, every
 /// improvement kernel in this module polls the deadline at move-safe

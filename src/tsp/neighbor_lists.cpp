@@ -8,6 +8,7 @@
 #include "geom/spatial_grid.h"
 #include "obs/names.h"
 #include "obs/span.h"
+#include "util/assert.h"
 #include "util/thread_pool.h"
 
 namespace mdg::tsp {
@@ -135,6 +136,40 @@ NeighborLists::NeighborLists(std::span<const geom::Point> points,
       build_city(a, scratch);
     }
   });
+}
+
+NeighborLists::NeighborLists(std::span<const geom::Point> points,
+                             std::size_t k,
+                             std::span<const std::size_t> members) {
+  OBS_SPAN(obs::metric::kTspNeighborsBuild);
+  const std::size_t n = points.size();
+  const std::size_t m = members.size();
+  k_ = m == 0 ? 0 : std::min(k, m - 1);
+  offsets_.assign(n + 1, 0);
+  if (k_ == 0) {
+    return;
+  }
+  // Ragged CSR: members own k_ slots, everyone else an empty list.
+  for (std::size_t i = 0; i < m; ++i) {
+    MDG_ASSERT(members[i] < n && (i == 0 || members[i - 1] < members[i]),
+               "window members must be sorted unique city ids");
+    offsets_[members[i] + 1] = k_;
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    offsets_[a + 1] += offsets_[a];
+  }
+  flat_.resize(m * k_);
+  dists_.resize(m * k_);
+  std::vector<std::pair<double, std::size_t>> scratch;
+  for (std::size_t a : members) {
+    scratch.clear();
+    for (std::size_t b : members) {
+      if (b != a) {
+        scratch.push_back({geom::distance_sq(points[a], points[b]), b});
+      }
+    }
+    emit_sorted_prefix(scratch, k_, offsets_[a], flat_, dists_);
+  }
 }
 
 }  // namespace mdg::tsp

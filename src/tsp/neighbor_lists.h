@@ -24,6 +24,15 @@ class NeighborLists {
   /// lower index, so construction is deterministic.
   NeighborLists(std::span<const geom::Point> points, std::size_t k);
 
+  /// Localized variant for incremental replanning: builds lists only for
+  /// the cities in `members` (sorted, unique, each < points.size()),
+  /// with neighbours drawn from `members` itself (k clamped to
+  /// members.size() - 1); every other city gets an empty list. O(|members|²)
+  /// — the windows the delta path patches are small, so this beats a
+  /// full rebuild by orders of magnitude.
+  NeighborLists(std::span<const geom::Point> points, std::size_t k,
+                std::span<const std::size_t> members);
+
   [[nodiscard]] std::size_t size() const { return offsets_.size() - 1; }
   [[nodiscard]] std::size_t k() const { return k_; }
 

@@ -33,6 +33,15 @@ std::string to_string(TspEffort effort) {
 
 namespace {
 
+/// kFull runs the expensive constructions — cheapest insertion (O(n³))
+/// and greedy Christofides (O(n²) MST + odd-pair sort) — only below
+/// this stop count; above it their cost dwarfs the whole improvement
+/// phase (cheapest insertion alone is ~76 s at 4096 stops) while the
+/// engine-improved NN / greedy-edge starts land within a fraction of a
+/// percent anyway (ALGORITHMS.md §Dispatch cutoffs). Below the cutoff
+/// the portfolio, and therefore every plan byte, is unchanged.
+constexpr std::size_t kFullPortfolioBelow = 1024;
+
 /// The single-start solve — chain 0 of every portfolio.
 TspResult solve_single(std::span<const geom::Point> points, TspEffort effort) {
   TspResult result;
@@ -81,8 +90,10 @@ TspResult solve_single(std::span<const geom::Point> points, TspEffort effort) {
         OBS_SPAN(obs::metric::kTspConstruct);
         candidates.push_back(nearest_neighbor(points));
         candidates.push_back(greedy_edge(points));
-        candidates.push_back(cheapest_insertion(points));
-        candidates.push_back(christofides_greedy(points));
+        if (n < kFullPortfolioBelow) {
+          candidates.push_back(cheapest_insertion(points));
+          candidates.push_back(christofides_greedy(points));
+        }
       }
       Tour best;
       double best_len = std::numeric_limits<double>::infinity();

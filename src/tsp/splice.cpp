@@ -1,0 +1,54 @@
+#include "tsp/splice.h"
+
+#include <limits>
+
+#include "util/assert.h"
+
+namespace mdg::tsp {
+
+std::size_t splice_cheapest_position(std::span<const std::size_t> order,
+                                     std::span<const geom::Point> points,
+                                     std::size_t city) {
+  MDG_REQUIRE(city < points.size(), "city outside the point set");
+  const std::size_t m = order.size();
+  if (m == 0) {
+    return 0;
+  }
+  const geom::Point p = points[city];
+  if (m == 1) {
+    return 1;
+  }
+  std::size_t best = 1;
+  double best_delta = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < m; ++i) {
+    const geom::Point u = points[order[i]];
+    const geom::Point v = points[order[i + 1 == m ? 0 : i + 1]];
+    const double delta = geom::distance(u, p) + geom::distance(p, v) -
+                         geom::distance(u, v);
+    if (delta < best_delta) {
+      best_delta = delta;
+      best = i + 1;
+    }
+  }
+  return best;
+}
+
+std::size_t splice_insert(std::vector<std::size_t>& order,
+                          std::span<const geom::Point> points,
+                          std::size_t city) {
+  const std::size_t at = splice_cheapest_position(order, points, city);
+  order.insert(order.begin() + static_cast<std::ptrdiff_t>(at), city);
+  return at;
+}
+
+std::size_t splice_remove(std::vector<std::size_t>& order, std::size_t city) {
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == city) {
+      order.erase(order.begin() + static_cast<std::ptrdiff_t>(i));
+      return i;
+    }
+  }
+  return splice_npos;
+}
+
+}  // namespace mdg::tsp

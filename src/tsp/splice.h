@@ -1,0 +1,43 @@
+// Localized tour splicing: cheapest insertion and removal of single
+// cities on a cyclic visiting order.
+//
+// Incremental replanning (core::apply_delta) edits an existing tour a
+// few cities at a time: a polling point that lost its sensors leaves
+// the tour, a freshly selected one enters at the cheapest edge. These
+// primitives operate on a raw order vector — a cyclic sequence of city
+// indices into an external point set, depot at position 0 by convention
+// — rather than tsp::Tour, because mid-repair the sequence is not yet a
+// permutation of [0, n) (cities are being added and dropped). The
+// caller materialises a Tour once the city set is final and then runs
+// tsp::improve_window over the splice neighbourhood.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace mdg::tsp {
+
+/// Position at which inserting `city` into the cyclic `order` lengthens
+/// it least: evaluates every edge (order[i], order[i+1 mod m]) and
+/// returns i + 1 for the best, so the caller inserts before that index.
+/// Exact ties break toward the earliest edge. Returns 0 only for an
+/// empty order. O(m) with three distance evaluations per edge.
+[[nodiscard]] std::size_t splice_cheapest_position(
+    std::span<const std::size_t> order, std::span<const geom::Point> points,
+    std::size_t city);
+
+/// Inserts `city` at its cheapest position and returns that position.
+std::size_t splice_insert(std::vector<std::size_t>& order,
+                          std::span<const geom::Point> points,
+                          std::size_t city);
+
+/// Removes the entry holding `city` (closing the gap) and returns the
+/// position it occupied, or npos when the city is not on the order.
+std::size_t splice_remove(std::vector<std::size_t>& order, std::size_t city);
+
+inline constexpr std::size_t splice_npos = static_cast<std::size_t>(-1);
+
+}  // namespace mdg::tsp

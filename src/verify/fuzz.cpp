@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "fault/config_io.h"
+#include "io/delta_io.h"
 #include "io/serialize.h"
 #include "util/rng.h"
 
@@ -22,6 +23,9 @@ core::Status run_target(FuzzTarget target, std::string_view bytes,
       return io::try_read_solution(in, {.fail_fast = fail_fast}).status();
     case FuzzTarget::kFaultConfig:
       return fault::read_fault_config(in, {.fail_fast = fail_fast}).status();
+    case FuzzTarget::kDelta:
+      // The delta loader has a single validation mode.
+      return io::try_read_delta(in).status();
   }
   return core::Status::internal("unknown fuzz target");
 }
@@ -93,13 +97,15 @@ const char* to_string(FuzzTarget target) {
       return "solution";
     case FuzzTarget::kFaultConfig:
       return "faults";
+    case FuzzTarget::kDelta:
+      return "delta";
   }
   return "unknown";
 }
 
 std::optional<FuzzTarget> fuzz_target_from_string(std::string_view name) {
   for (FuzzTarget target : {FuzzTarget::kNetwork, FuzzTarget::kSolution,
-                            FuzzTarget::kFaultConfig}) {
+                            FuzzTarget::kFaultConfig, FuzzTarget::kDelta}) {
     if (name == to_string(target)) {
       return target;
     }

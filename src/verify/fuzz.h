@@ -32,10 +32,11 @@ enum class FuzzTarget {
   kNetwork,      ///< io::try_read_network
   kSolution,     ///< io::try_read_solution
   kFaultConfig,  ///< fault::read_fault_config
+  kDelta,        ///< io::try_read_delta
 };
 
 /// Corpus directory name and CLI spelling: "network" / "solution" /
-/// "faults".
+/// "faults" / "delta".
 [[nodiscard]] const char* to_string(FuzzTarget target);
 [[nodiscard]] std::optional<FuzzTarget> fuzz_target_from_string(
     std::string_view name);

@@ -1,0 +1,408 @@
+#include "core/delta.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/greedy_cover_planner.h"
+#include "util/rng.h"
+#include "verify/canonical.h"
+#include "verify/check.h"
+
+namespace mdg::core {
+namespace {
+
+struct Fixture {
+  net::SensorNetwork network;
+  DynamicInstance dyn;
+  ShdgpSolution solution;
+
+  explicit Fixture(std::uint64_t seed, std::size_t n = 60, double side = 150.0,
+                   double range = 25.0)
+      : network([&] {
+          Rng rng(seed);
+          return net::make_uniform_network(n, side, range, rng);
+        }()),
+        dyn(network) {
+    const ShdgpInstance instance(network);
+    solution = GreedyCoverPlanner().plan(instance);
+  }
+
+  [[nodiscard]] std::string bytes() const {
+    return verify::canonical_plan_bytes(dyn.instance(), solution);
+  }
+
+  void expect_valid() const {
+    EXPECT_NO_THROW(solution.validate(dyn.instance()));
+    EXPECT_TRUE(verify::check_solution(dyn.instance(), solution).is_ok());
+  }
+};
+
+TEST(DeltaTest, EmptyDeltaIsByteIdenticalNoOp) {
+  Fixture fx(41);
+  const std::string before = fx.bytes();
+  const StatusOr<DeltaResult> result = apply_delta(fx.dyn, Delta{}, fx.solution);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result->ops_applied, 0u);
+  EXPECT_EQ(result->damaged, 0u);
+  EXPECT_FALSE(result->full_replan);
+  EXPECT_EQ(fx.bytes(), before);
+}
+
+TEST(DeltaTest, AddSensorNearPollingPointJoinsWithoutNewStops) {
+  Fixture fx(42);
+  // Drop the new sensor right on top of an existing polling point: the
+  // cheap re-affiliation layer must absorb it without growing the tour.
+  const geom::Point at = fx.solution.polling_points.front();
+  Delta delta;
+  delta.ops.push_back(DeltaOp::add_sensor({at.x + 0.5, at.y + 0.5}));
+  const std::size_t stops_before = fx.solution.polling_points.size();
+  const StatusOr<DeltaResult> result = apply_delta(fx.dyn, delta, fx.solution);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result->damaged, 1u);
+  EXPECT_EQ(result->pps_added, 0u);
+  EXPECT_EQ(fx.solution.polling_points.size(), stops_before);
+  EXPECT_EQ(fx.dyn.size(), 61u);
+  fx.expect_valid();
+}
+
+TEST(DeltaTest, RemoteSensorGetsItsOwnPollingPoint) {
+  // A sparse deployment in a big field: a far-corner addition cannot be
+  // in range of anything and must spawn a polling point.
+  Fixture fx(43, 20, 400.0, 20.0);
+  Delta delta;
+  delta.ops.push_back(DeltaOp::add_sensor({399.0, 399.0}));
+  const StatusOr<DeltaResult> result = apply_delta(fx.dyn, delta, fx.solution);
+  ASSERT_TRUE(result.is_ok());
+  if (!result->full_replan) {
+    EXPECT_GE(result->pps_added, 1u);
+  }
+  fx.expect_valid();
+}
+
+TEST(DeltaTest, RemoveNonHostSensorKeepsPlanValid) {
+  Fixture fx(44);
+  // Find a sensor that does not host a polling point.
+  std::vector<char> is_host(fx.dyn.size(), 0);
+  for (std::size_t c : fx.solution.polling_candidates) {
+    is_host[c] = 1;
+  }
+  std::size_t victim = fx.dyn.size();
+  for (std::size_t s = 0; s < fx.dyn.size(); ++s) {
+    if (!is_host[s]) {
+      victim = s;
+      break;
+    }
+  }
+  ASSERT_LT(victim, fx.dyn.size());
+  Delta delta;
+  delta.ops.push_back(DeltaOp::remove_sensor(victim));
+  const StatusOr<DeltaResult> result = apply_delta(fx.dyn, delta, fx.solution);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(fx.dyn.size(), 59u);
+  fx.expect_valid();
+}
+
+TEST(DeltaTest, RemoveHostRepairsItsAffiliates) {
+  Fixture fx(45);
+  const std::size_t host = fx.solution.polling_candidates.front();
+  Delta delta;
+  delta.ops.push_back(DeltaOp::remove_sensor(host));
+  const StatusOr<DeltaResult> result = apply_delta(fx.dyn, delta, fx.solution);
+  ASSERT_TRUE(result.is_ok());
+  if (!result->full_replan) {
+    EXPECT_GE(result->pps_removed, 1u);
+  }
+  EXPECT_EQ(fx.dyn.size(), 59u);
+  fx.expect_valid();
+}
+
+TEST(DeltaTest, MoveSensorAcrossTheFieldRepairs) {
+  Fixture fx(46);
+  Delta delta;
+  delta.ops.push_back(DeltaOp::move_sensor(3, {1.0, 1.0}));
+  delta.ops.push_back(DeltaOp::move_sensor(7, {149.0, 149.0}));
+  const StatusOr<DeltaResult> result = apply_delta(fx.dyn, delta, fx.solution);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(fx.dyn.position(3), (geom::Point{1.0, 1.0}));
+  EXPECT_EQ(fx.dyn.position(7), (geom::Point{149.0, 149.0}));
+  fx.expect_valid();
+}
+
+TEST(DeltaTest, ShrinkingRangeRepairsStrandedSensors) {
+  Fixture fx(47);
+  Delta delta;
+  delta.ops.push_back(DeltaOp::set_range(15.0));
+  DeltaOptions options;
+  options.damage_dispatch_fraction = 1.0;  // force local repair
+  const StatusOr<DeltaResult> result =
+      apply_delta(fx.dyn, delta, fx.solution, options);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_DOUBLE_EQ(fx.dyn.range(), 15.0);
+  fx.expect_valid();
+}
+
+TEST(DeltaTest, GrowingRangeDamagesNothing) {
+  Fixture fx(48);
+  Delta delta;
+  delta.ops.push_back(DeltaOp::set_range(40.0));
+  const StatusOr<DeltaResult> result = apply_delta(fx.dyn, delta, fx.solution);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result->damaged, 0u);
+  // A longer range strands nobody, but repair keeps the old (now
+  // oversized) polling set while a fresh plan needs far fewer stops —
+  // the ratio guard is expected to notice and adopt the fresh plan.
+  if (result->full_replan) {
+    EXPECT_EQ(result->full_replan_reason, "ratio");
+  }
+  fx.expect_valid();
+}
+
+TEST(DeltaTest, InvalidOpsLeaveEverythingUntouched) {
+  Fixture fx(49);
+  const std::string before = fx.bytes();
+  const std::size_t n_before = fx.dyn.size();
+
+  Delta bad_id;
+  bad_id.ops.push_back(DeltaOp::remove_sensor(0));
+  bad_id.ops.push_back(DeltaOp::remove_sensor(999));  // invalid: checked upfront
+  EXPECT_EQ(apply_delta(fx.dyn, bad_id, fx.solution).status().code(),
+            StatusCode::kInvalidArgument);
+
+  Delta outside;
+  outside.ops.push_back(DeltaOp::add_sensor({-5.0, 10.0}));
+  EXPECT_EQ(apply_delta(fx.dyn, outside, fx.solution).status().code(),
+            StatusCode::kInvalidArgument);
+
+  Delta nan_pos;
+  nan_pos.ops.push_back(
+      DeltaOp::add_sensor({std::numeric_limits<double>::quiet_NaN(), 0.0}));
+  EXPECT_EQ(apply_delta(fx.dyn, nan_pos, fx.solution).status().code(),
+            StatusCode::kInvalidArgument);
+
+  Delta bad_range;
+  bad_range.ops.push_back(DeltaOp::set_range(-1.0));
+  EXPECT_EQ(apply_delta(fx.dyn, bad_range, fx.solution).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(fx.dyn.size(), n_before);
+  EXPECT_EQ(fx.bytes(), before);
+}
+
+TEST(DeltaTest, BatchIdsValidateAgainstTheRunningCount) {
+  Fixture fx(50, 10);
+  // Ten sensors: removing two leaves ids [0, 8); referencing id 8 after
+  // the removals is invalid even though it existed before the batch.
+  Delta delta;
+  delta.ops.push_back(DeltaOp::remove_sensor(0));
+  delta.ops.push_back(DeltaOp::remove_sensor(1));
+  delta.ops.push_back(DeltaOp::move_sensor(8, {5.0, 5.0}));
+  EXPECT_EQ(apply_delta(fx.dyn, delta, fx.solution).status().code(),
+            StatusCode::kInvalidArgument);
+  // An added sensor is addressable later in the same batch.
+  Delta grow;
+  grow.ops.push_back(DeltaOp::add_sensor({5.0, 5.0}));
+  grow.ops.push_back(DeltaOp::move_sensor(10, {6.0, 6.0}));
+  ASSERT_TRUE(apply_delta(fx.dyn, grow, fx.solution).is_ok());
+  EXPECT_EQ(fx.dyn.position(10), (geom::Point{6.0, 6.0}));
+  fx.expect_valid();
+}
+
+TEST(DeltaTest, MismatchedSolutionIsAPreconditionFailure) {
+  Fixture fx(51);
+  fx.solution.assignment.pop_back();
+  Delta delta;
+  delta.ops.push_back(DeltaOp::set_range(30.0));
+  EXPECT_EQ(apply_delta(fx.dyn, delta, fx.solution).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DeltaTest, HeavyDamageDispatchesToFullReplan) {
+  Fixture fx(52);
+  Delta delta;
+  delta.ops.push_back(DeltaOp::move_sensor(0, {1.0, 1.0}));
+  DeltaOptions options;
+  options.damage_dispatch_fraction = 0.0;  // any damage trips the gate
+  const StatusOr<DeltaResult> result =
+      apply_delta(fx.dyn, delta, fx.solution, options);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result->full_replan);
+  EXPECT_EQ(result->full_replan_reason, "damage");
+  fx.expect_valid();
+}
+
+TEST(DeltaTest, FreeformPlanFallsBackToFullReplan) {
+  Fixture fx(53);
+  fx.solution.polling_candidates.front() = ShdgpSolution::kFreeformCandidate;
+  Delta delta;
+  delta.ops.push_back(DeltaOp::add_sensor({10.0, 10.0}));
+  const StatusOr<DeltaResult> result = apply_delta(fx.dyn, delta, fx.solution);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result->full_replan);
+  EXPECT_EQ(result->full_replan_reason, "policy");
+  fx.expect_valid();
+}
+
+TEST(DeltaTest, RatioGuardAdoptsTheFreshPlan) {
+  Fixture fx(54);
+  Delta delta;
+  delta.ops.push_back(DeltaOp::move_sensor(0, {2.0, 2.0}));
+  DeltaOptions options;
+  options.force_ratio_check = true;
+  options.max_repair_ratio = 0.0;  // no repaired tour can beat this
+  const StatusOr<DeltaResult> result =
+      apply_delta(fx.dyn, delta, fx.solution, options);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result->full_replan);
+  EXPECT_EQ(result->full_replan_reason, "ratio");
+  EXPECT_GT(result->repair_ratio, 0.0);
+  fx.expect_valid();
+}
+
+TEST(DeltaTest, RepairStaysWithinTheRatioBound) {
+  Fixture fx(55);
+  Delta delta;
+  delta.ops.push_back(DeltaOp::add_sensor({120.0, 10.0}));
+  delta.ops.push_back(DeltaOp::remove_sensor(5));
+  delta.ops.push_back(DeltaOp::move_sensor(9, {33.0, 140.0}));
+  DeltaOptions options;
+  options.force_ratio_check = true;
+  const StatusOr<DeltaResult> result =
+      apply_delta(fx.dyn, delta, fx.solution, options);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_GT(result->repair_ratio, 0.0);
+  EXPECT_LE(result->repair_ratio, options.max_repair_ratio);
+  fx.expect_valid();
+}
+
+TEST(DeltaTest, RepairIsDeterministicAcrossIdenticalRuns) {
+  Delta delta;
+  delta.ops.push_back(DeltaOp::add_sensor({100.0, 100.0}));
+  delta.ops.push_back(DeltaOp::remove_sensor(2));
+  delta.ops.push_back(DeltaOp::move_sensor(11, {75.0, 20.0}));
+  delta.ops.push_back(DeltaOp::set_range(22.0));
+
+  Fixture a(56);
+  Fixture b(56);
+  ASSERT_TRUE(apply_delta(a.dyn, delta, a.solution).is_ok());
+  ASSERT_TRUE(apply_delta(b.dyn, delta, b.solution).is_ok());
+  EXPECT_EQ(a.bytes(), b.bytes());
+}
+
+TEST(DeltaTest, LongChurnStreamStaysValid) {
+  Fixture fx(57);
+  Rng rng(99);
+  for (int round = 0; round < 25; ++round) {
+    Delta delta;
+    const std::size_t n = fx.dyn.size();
+    switch (rng.next_u64() % 4) {
+      case 0:
+        delta.ops.push_back(DeltaOp::add_sensor(
+            {rng.uniform(0.0, 150.0), rng.uniform(0.0, 150.0)}));
+        break;
+      case 1:
+        if (n > 5) {
+          delta.ops.push_back(DeltaOp::remove_sensor(rng.next_u64() % n));
+        }
+        break;
+      case 2:
+        delta.ops.push_back(DeltaOp::move_sensor(
+            rng.next_u64() % n,
+            {rng.uniform(0.0, 150.0), rng.uniform(0.0, 150.0)}));
+        break;
+      default:
+        delta.ops.push_back(DeltaOp::set_range(rng.uniform(18.0, 32.0)));
+        break;
+    }
+    const StatusOr<DeltaResult> result =
+        apply_delta(fx.dyn, delta, fx.solution);
+    ASSERT_TRUE(result.is_ok()) << "round " << round;
+    fx.expect_valid();
+  }
+}
+
+TEST(DeltaTest, RemovingEverySensorLeavesTheSinkOnlyPlan) {
+  Fixture fx(58, 6);
+  Delta delta;
+  for (std::size_t i = 0; i < 6; ++i) {
+    delta.ops.push_back(DeltaOp::remove_sensor(0));
+  }
+  const StatusOr<DeltaResult> result = apply_delta(fx.dyn, delta, fx.solution);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(fx.dyn.size(), 0u);
+  EXPECT_TRUE(fx.solution.polling_points.empty());
+  EXPECT_TRUE(fx.solution.assignment.empty());
+  EXPECT_EQ(fx.solution.tour.size(), 1u);
+  EXPECT_DOUBLE_EQ(fx.solution.tour_length, 0.0);
+}
+
+// --- DynamicInstance ------------------------------------------------------
+
+TEST(DynamicInstanceTest, TracksChurnAgainstBruteForce) {
+  Rng rng(7);
+  net::SensorNetwork network = net::make_uniform_network(80, 200.0, 30.0, rng);
+  DynamicInstance dyn(network);
+  std::vector<geom::Point> mirror = network.positions();
+
+  for (int round = 0; round < 60; ++round) {
+    switch (rng.next_u64() % 3) {
+      case 0: {
+        const geom::Point p{rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)};
+        dyn.add_sensor(p);
+        mirror.push_back(p);
+        break;
+      }
+      case 1: {
+        if (mirror.size() > 1) {
+          const std::size_t s = rng.next_u64() % mirror.size();
+          dyn.remove_sensor(s);
+          mirror[s] = mirror.back();
+          mirror.pop_back();
+        }
+        break;
+      }
+      default: {
+        const std::size_t s = rng.next_u64() % mirror.size();
+        const geom::Point p{rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)};
+        dyn.move_sensor(s, p);
+        mirror[s] = p;
+        break;
+      }
+    }
+    ASSERT_EQ(dyn.size(), mirror.size());
+    const geom::Point probe{rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)};
+    std::vector<std::size_t> got;
+    dyn.sensors_within(probe, dyn.range(), got);
+    std::vector<std::size_t> want;
+    for (std::size_t s = 0; s < mirror.size(); ++s) {
+      if (geom::within_range(probe, mirror[s], dyn.range())) {
+        want.push_back(s);
+      }
+    }
+    ASSERT_EQ(got, want) << "round " << round;
+  }
+  for (std::size_t s = 0; s < mirror.size(); ++s) {
+    EXPECT_EQ(dyn.position(s), mirror[s]);
+  }
+}
+
+TEST(DynamicInstanceTest, MaterializedNetworkReflectsTheLatestState) {
+  Rng rng(8);
+  net::SensorNetwork network = net::make_uniform_network(30, 100.0, 20.0, rng);
+  DynamicInstance dyn(network);
+  EXPECT_EQ(dyn.network().size(), 30u);
+  dyn.add_sensor({50.0, 50.0});
+  dyn.set_range(25.0);
+  EXPECT_EQ(dyn.network().size(), 31u);
+  EXPECT_DOUBLE_EQ(dyn.network().range(), 25.0);
+  EXPECT_EQ(dyn.instance().sensor_count(), 31u);
+  // The instance's sensor-site candidates mirror sensor ids exactly.
+  EXPECT_EQ(dyn.instance().coverage().candidate_count(), 31u);
+}
+
+}  // namespace
+}  // namespace mdg::core

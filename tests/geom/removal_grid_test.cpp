@@ -6,11 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
 #include "geom/point.h"
+#include "net/sensor_network.h"
 #include "util/rng.h"
+#include "verify/generate.h"
 
 namespace mdg::geom {
 namespace {
@@ -133,6 +136,153 @@ TEST(RemovalGridTest, DuplicatePositionsKeepLowestIndex) {
   EXPECT_EQ(grid.nearest({5, 5}), 0u);
   grid.remove(0);
   EXPECT_EQ(grid.nearest({5, 5}), 1u);
+}
+
+TEST(RemovalGridTest, ReactivateRestoresAPointAtItsStoredPosition) {
+  const std::vector<Point> pts{{0, 0}, {1, 1}, {8, 8}};
+  RemovalGrid grid(pts, 1.5, Aabb::square(10.0));
+  grid.remove(1);
+  EXPECT_EQ(grid.nearest({0.9, 0.9}), 0u);
+  grid.reactivate(1);
+  EXPECT_TRUE(grid.alive(1));
+  EXPECT_EQ(grid.live_count(), 3u);
+  EXPECT_EQ(grid.nearest({0.9, 0.9}), 1u);
+}
+
+TEST(RemovalGridTest, InsertAssignsTheNextIndexAndIsQueryable) {
+  const std::vector<Point> pts{{1, 1}, {9, 9}};
+  RemovalGrid grid(pts, 2.0, Aabb::square(10.0));
+  const std::size_t idx = grid.insert({5, 5});
+  EXPECT_EQ(idx, 2u);
+  EXPECT_EQ(grid.size(), 3u);
+  EXPECT_EQ(grid.live_count(), 3u);
+  EXPECT_EQ(grid.nearest({5.1, 5.1}), 2u);
+  EXPECT_EQ(grid.point(2).x, 5.0);
+}
+
+TEST(RemovalGridTest, InsertOutsideTheBoundsTriggersARebuildNotACrash) {
+  const std::vector<Point> pts{{1, 1}, {2, 2}};
+  RemovalGrid grid(pts, 1.0, Aabb::square(4.0));
+  const std::size_t idx = grid.insert({50.0, -30.0});
+  EXPECT_EQ(idx, 2u);
+  EXPECT_EQ(grid.nearest({49.0, -29.0}), 2u);
+  // Earlier indices survive the rebuild untouched.
+  EXPECT_EQ(grid.nearest({1.1, 1.1}), 0u);
+}
+
+TEST(RemovalGridTest, ClassicConstructorSupportsInsertViaRebuild) {
+  // Zero-slack grid: the first insert must pay a rebuild and still
+  // answer queries exactly.
+  const std::vector<Point> pts{{0, 0}, {3, 3}};
+  RemovalGrid grid(pts, 1.0);
+  const std::size_t idx = grid.insert({1.5, 1.5});
+  EXPECT_EQ(idx, 2u);
+  EXPECT_EQ(grid.nearest({1.4, 1.4}), 2u);
+}
+
+TEST(RemovalGridTest, CollectWithinMatchesThePredicateAndSortsAscending) {
+  const std::vector<Point> pts{{0, 0}, {3, 0}, {0, 4}, {2.9, 0.1}, {10, 10}};
+  RemovalGrid grid(pts, 2.0);
+  std::vector<std::size_t> out;
+  grid.collect_within({0, 0}, 3.0, out);
+  // {0,0} d=0, {3,0} d=3 (inclusive boundary), {2.9,0.1} d<3.
+  EXPECT_EQ(out, (std::vector<std::size_t>{0, 1, 3}));
+  grid.remove(1);
+  grid.collect_within({0, 0}, 3.0, out);
+  EXPECT_EQ(out, (std::vector<std::size_t>{0, 3}));
+}
+
+/// Brute-force collect oracle: ascending ids, same inclusive predicate.
+std::vector<std::size_t> brute_within(const std::vector<Point>& pts,
+                                      const std::vector<char>& alive,
+                                      Point center, double radius) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (alive[i] && within_range(center, pts[i], radius)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+TEST(RemovalGridTest, MixedChurnMatchesBruteForceAcrossEveryGeneratorFamily) {
+  // The delta layer drives the grid with interleaved insert / remove /
+  // reactivate on every deployment shape the verify generators produce
+  // — including collinear, coincident and boundary degenerates. Both
+  // queries must agree with the brute-force oracle at every step.
+  for (const verify::GeneratorFamily family : verify::all_families()) {
+    SCOPED_TRACE(verify::to_string(family));
+    const net::SensorNetwork network =
+        verify::generate_network(family, 42, {.sensors = 60});
+    std::vector<Point> pts(network.positions().begin(),
+                           network.positions().end());
+    if (pts.empty()) {
+      continue;  // kTiny's n = 0 corner
+    }
+    RemovalGrid grid(pts, 12.0, network.field());
+    std::vector<char> alive(pts.size(), 1);
+
+    Rng rng(7u + static_cast<std::uint64_t>(family));
+    const geom::Aabb field = network.field();
+    for (int step = 0; step < 300; ++step) {
+      switch (rng.index(4)) {
+        case 0: {  // insert
+          const Point p{rng.uniform(field.lo.x, field.hi.x),
+                        rng.uniform(field.lo.y, field.hi.y)};
+          const std::size_t idx = grid.insert(p);
+          ASSERT_EQ(idx, pts.size());
+          pts.push_back(p);
+          alive.push_back(1);
+          break;
+        }
+        case 1: {  // remove a random live point, if any
+          std::size_t victim = rng.index(pts.size());
+          std::size_t tries = pts.size();
+          while (tries-- > 0 && !alive[victim]) {
+            victim = (victim + 1) % pts.size();
+          }
+          if (alive[victim]) {
+            grid.remove(victim);
+            alive[victim] = 0;
+          }
+          break;
+        }
+        case 2: {  // reactivate a random dead point, if any
+          std::size_t victim = rng.index(pts.size());
+          std::size_t tries = pts.size();
+          while (tries-- > 0 && alive[victim]) {
+            victim = (victim + 1) % pts.size();
+          }
+          if (!alive[victim]) {
+            grid.reactivate(victim);
+            alive[victim] = 1;
+          }
+          break;
+        }
+        default:
+          break;  // query-only step
+      }
+
+      const Point probes[] = {
+          {rng.uniform(field.lo.x, field.hi.x),
+           rng.uniform(field.lo.y, field.hi.y)},
+          pts[rng.index(pts.size())],
+          {field.lo.x - 40.0, field.hi.y + 25.0},
+      };
+      for (const Point& q : probes) {
+        ASSERT_EQ(grid.nearest(q), brute_nearest(pts, alive, q))
+            << "nearest (" << q.x << ", " << q.y << ") at step " << step;
+        std::vector<std::size_t> got;
+        grid.collect_within(q, 20.0, got);
+        ASSERT_EQ(got, brute_within(pts, alive, q, 20.0))
+            << "collect_within (" << q.x << ", " << q.y << ") at step "
+            << step;
+      }
+      const std::size_t live = static_cast<std::size_t>(
+          std::count(alive.begin(), alive.end(), char(1)));
+      ASSERT_EQ(grid.live_count(), live);
+    }
+  }
 }
 
 }  // namespace

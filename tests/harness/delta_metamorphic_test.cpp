@@ -1,0 +1,156 @@
+// Metamorphic properties of incremental replanning: relations between
+// apply_delta outputs that hold by construction, checked across the
+// verify generator families.
+//
+//   * empty delta      — byte-identical no-op (canonical encoding)
+//   * delta ∘ inverse  — restores the instance exactly; the repaired
+//                        plan must pass check_solution on the restored
+//                        instance and stay within the documented
+//                        quality bound of a from-scratch plan
+//   * determinism      — same delta, same start, same bytes
+//
+// The suite name carries 'Metamorphic' so the CI oracle filter picks
+// it up with the other metamorphic relations.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/delta.h"
+#include "core/greedy_cover_planner.h"
+#include "verify/canonical.h"
+#include "verify/check.h"
+#include "verify/generate.h"
+#include "verify/oracle.h"
+
+namespace mdg {
+namespace {
+
+using verify::GeneratorFamily;
+
+struct Planned {
+  net::SensorNetwork network;
+  core::ShdgpSolution solution;
+};
+
+Planned plan_family(GeneratorFamily family, std::uint64_t seed) {
+  net::SensorNetwork network =
+      verify::generate_network(family, seed, {.sensors = 48, .side = 160.0});
+  core::ShdgpSolution solution =
+      core::GreedyCoverPlanner().plan(core::ShdgpInstance(network));
+  return {std::move(network), std::move(solution)};
+}
+
+TEST(DeltaMetamorphicTest, EmptyDeltaIsAByteIdenticalNoOpOnEveryFamily) {
+  for (const GeneratorFamily family : verify::standard_families()) {
+    SCOPED_TRACE(verify::to_string(family));
+    Planned base = plan_family(family, 11);
+    core::DynamicInstance dyn(base.network);
+    const std::string before =
+        verify::canonical_plan_bytes(dyn.instance(), base.solution);
+    const auto result = core::apply_delta(dyn, core::Delta{}, base.solution);
+    ASSERT_TRUE(result.is_ok());
+    EXPECT_EQ(result->ops_applied, 0u);
+    EXPECT_EQ(verify::canonical_plan_bytes(dyn.instance(), base.solution),
+              before);
+  }
+}
+
+TEST(DeltaMetamorphicTest, DeltaThenInverseRestoresAValidBoundedPlan) {
+  for (const GeneratorFamily family : verify::standard_families()) {
+    SCOPED_TRACE(verify::to_string(family));
+    Planned base = plan_family(family, 23);
+    const std::size_t n = base.network.size();
+    ASSERT_GE(n, 3u);
+    core::DynamicInstance dyn(base.network);
+    core::ShdgpSolution solution = base.solution;
+
+    // Move two sensors across the field, shrink the range a notch —
+    // then apply the exact inverse (the moves restored in reverse
+    // order, the original range). The instance round-trips exactly:
+    // positions are copied doubles, never recomputed.
+    const geom::Point p0 = dyn.position(0);
+    const geom::Point p2 = dyn.position(2);
+    const double range = dyn.range();
+    const geom::Point far{base.network.field().hi.x * 0.9,
+                          base.network.field().hi.y * 0.9};
+    core::Delta forward;
+    forward.ops.push_back(core::DeltaOp::move_sensor(0, far));
+    forward.ops.push_back(core::DeltaOp::move_sensor(2, far));
+    forward.ops.push_back(core::DeltaOp::set_range(range * 0.9));
+    core::Delta inverse;
+    inverse.ops.push_back(core::DeltaOp::set_range(range));
+    inverse.ops.push_back(core::DeltaOp::move_sensor(2, p2));
+    inverse.ops.push_back(core::DeltaOp::move_sensor(0, p0));
+
+    ASSERT_TRUE(core::apply_delta(dyn, forward, solution).is_ok());
+    EXPECT_TRUE(verify::check_solution(dyn.instance(), solution).is_ok());
+    ASSERT_TRUE(core::apply_delta(dyn, inverse, solution).is_ok());
+
+    // The restored instance is the original instance (same positions,
+    // same range), so the original checker must accept the plan...
+    EXPECT_EQ(dyn.size(), n);
+    for (std::size_t s = 0; s < n; ++s) {
+      EXPECT_EQ(dyn.position(s).x, base.network.positions()[s].x);
+      EXPECT_EQ(dyn.position(s).y, base.network.positions()[s].y);
+    }
+    const core::Status valid = verify::check_solution(dyn.instance(), solution);
+    EXPECT_TRUE(valid.is_ok()) << valid.to_string();
+
+    // ...and the round-tripped plan stays within the documented repair
+    // bound of a from-scratch plan on the same (original) instance.
+    const double fresh = base.solution.tour_length;
+    if (fresh > 0.0) {
+      core::DeltaOptions options;
+      EXPECT_LE(solution.tour_length,
+                fresh * options.max_repair_ratio * options.max_repair_ratio)
+          << "round-trip repair drifted beyond the compounded ratio bound";
+    }
+  }
+}
+
+TEST(DeltaMetamorphicTest, IdenticalChurnStreamsProduceIdenticalBytes) {
+  for (const GeneratorFamily family :
+       {GeneratorFamily::kClusters, GeneratorFamily::kBoundary}) {
+    SCOPED_TRACE(verify::to_string(family));
+    core::Delta churn;
+    churn.ops.push_back(core::DeltaOp::add_sensor({10.0, 12.0}));
+    churn.ops.push_back(core::DeltaOp::remove_sensor(1));
+    churn.ops.push_back(core::DeltaOp::move_sensor(5, {80.0, 80.0}));
+    std::string bytes[2];
+    for (int run = 0; run < 2; ++run) {
+      Planned base = plan_family(family, 31);
+      core::DynamicInstance dyn(base.network);
+      ASSERT_TRUE(core::apply_delta(dyn, churn, base.solution).is_ok());
+      bytes[run] = verify::canonical_plan_bytes(dyn.instance(), base.solution);
+    }
+    EXPECT_EQ(bytes[0], bytes[1]);
+  }
+}
+
+TEST(DeltaMetamorphicTest, RestoredTinyInstancesPassTheDifferentialOracle) {
+  // After a churn round-trip the materialized network must be a
+  // first-class citizen: every planner and every oracle check agrees
+  // on it exactly as on a freshly generated network.
+  Planned base = plan_family(GeneratorFamily::kGrid, 7);
+  core::DynamicInstance dyn(base.network);
+  core::ShdgpSolution solution = base.solution;
+  const geom::Point p3 = dyn.position(3);
+  core::Delta forward;
+  forward.ops.push_back(
+      core::DeltaOp::move_sensor(3, {base.network.field().hi.x * 0.5, 1.0}));
+  core::Delta inverse;
+  inverse.ops.push_back(core::DeltaOp::move_sensor(3, p3));
+  ASSERT_TRUE(core::apply_delta(dyn, forward, solution).is_ok());
+  ASSERT_TRUE(core::apply_delta(dyn, inverse, solution).is_ok());
+
+  verify::OracleOptions options;
+  options.exact_sensor_limit = 0;  // heuristics + invariants only
+  const verify::OracleReport report =
+      verify::run_differential(dyn.instance(), options);
+  const core::Status status = report.status();
+  EXPECT_TRUE(status.is_ok()) << status.to_string();
+}
+
+}  // namespace
+}  // namespace mdg

@@ -46,7 +46,8 @@ std::string corpus_entry(verify::FuzzTarget target, const std::string& name) {
 
 constexpr verify::FuzzTarget kTargets[] = {verify::FuzzTarget::kNetwork,
                                            verify::FuzzTarget::kSolution,
-                                           verify::FuzzTarget::kFaultConfig};
+                                           verify::FuzzTarget::kFaultConfig,
+                                           verify::FuzzTarget::kDelta};
 
 TEST(FuzzReplayTest, SeedCorpusIsCheckedInForEveryTarget) {
   for (verify::FuzzTarget target : kTargets) {
@@ -96,6 +97,14 @@ TEST(FuzzReplayTest, ValidEntriesParse) {
                                corpus_entry(verify::FuzzTarget::kFaultConfig,
                                             "valid.txt"))
                   .is_ok());
+  EXPECT_TRUE(verify::fuzz_one(verify::FuzzTarget::kDelta,
+                               corpus_entry(verify::FuzzTarget::kDelta,
+                                            "valid.txt"))
+                  .is_ok());
+  EXPECT_TRUE(verify::fuzz_one(verify::FuzzTarget::kDelta,
+                               corpus_entry(verify::FuzzTarget::kDelta,
+                                            "valid_empty.txt"))
+                  .is_ok());
 }
 
 TEST(FuzzReplayTest, CorruptedEntriesAreRejectedWithTheDocumentedCodes) {
@@ -124,6 +133,13 @@ TEST(FuzzReplayTest, CorruptedEntriesAreRejectedWithTheDocumentedCodes) {
        kInvalidArgument},
       {verify::FuzzTarget::kFaultConfig, "wrong_version.txt",
        kInvalidArgument},
+      {verify::FuzzTarget::kDelta, "bad_magic.txt", kInvalidArgument},
+      {verify::FuzzTarget::kDelta, "bad_range.txt", kInvalidArgument},
+      {verify::FuzzTarget::kDelta, "huge_count.txt", kInvalidArgument},
+      {verify::FuzzTarget::kDelta, "nan_coord.txt", kInvalidArgument},
+      {verify::FuzzTarget::kDelta, "truncated.txt", kDataLoss},
+      {verify::FuzzTarget::kDelta, "unknown_op.txt", kInvalidArgument},
+      {verify::FuzzTarget::kDelta, "wrong_version.txt", kInvalidArgument},
   };
   for (const auto& c : kCases) {
     SCOPED_TRACE(std::string(verify::to_string(c.target)) + "/" + c.name);

@@ -1,0 +1,99 @@
+// mdg-delta text format: exact round-trips (max_digits10 doubles) and
+// the untrusted-input contract shared with the rest of io/ — malformed
+// text returns kInvalidArgument, truncation returns kDataLoss, never a
+// crash (docs/FORMAT.md, docs/ERRORS.md).
+#include "io/delta_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/delta.h"
+
+namespace mdg::io {
+namespace {
+
+core::Delta sample_delta() {
+  core::Delta delta;
+  delta.ops.push_back(core::DeltaOp::add_sensor({12.5, 40.25}));
+  delta.ops.push_back(core::DeltaOp::remove_sensor(3));
+  delta.ops.push_back(core::DeltaOp::move_sensor(7, {99.5, 10.0}));
+  delta.ops.push_back(core::DeltaOp::set_range(27.5));
+  return delta;
+}
+
+TEST(DeltaIoTest, RoundTripsEveryOpKindExactly) {
+  const core::Delta delta = sample_delta();
+  std::istringstream in(to_text(delta));
+  const auto parsed = try_read_delta(in);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->ops, delta.ops);
+}
+
+TEST(DeltaIoTest, RoundTripsIrrationalCoordinatesBitExactly) {
+  // max_digits10 formatting: a delta written and re-read must compare
+  // bit-equal, because canonical plan bytes hash the delta text.
+  core::Delta delta;
+  delta.ops.push_back(core::DeltaOp::add_sensor({1.0 / 3.0, 2.0 / 7.0}));
+  delta.ops.push_back(core::DeltaOp::set_range(0.1 + 0.2));
+  std::istringstream in(to_text(delta));
+  const auto parsed = try_read_delta(in);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->ops, delta.ops);
+  // And the re-serialized text is byte-identical (stable cache keys).
+  EXPECT_EQ(to_text(*parsed), to_text(delta));
+}
+
+TEST(DeltaIoTest, EmptyDeltaRoundTrips) {
+  std::istringstream in(to_text(core::Delta{}));
+  const auto parsed = try_read_delta(in);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_TRUE(parsed->ops.empty());
+}
+
+TEST(DeltaIoTest, RejectsTheDocumentedCorruptions) {
+  const struct {
+    const char* name;
+    const char* text;
+    core::StatusCode expected;
+  } kCases[] = {
+      {"empty", "", core::StatusCode::kDataLoss},
+      {"bad magic", "mdg-network 1\nops 0\n",
+       core::StatusCode::kInvalidArgument},
+      {"bad version", "mdg-delta 2\nops 0\n",
+       core::StatusCode::kInvalidArgument},
+      {"missing count", "mdg-delta 1\nops\n", core::StatusCode::kDataLoss},
+      {"huge count", "mdg-delta 1\nops 10000001\nadd 1 2\n",
+       core::StatusCode::kInvalidArgument},
+      {"unknown op", "mdg-delta 1\nops 1\nsplit 3\n",
+       core::StatusCode::kInvalidArgument},
+      {"truncated op", "mdg-delta 1\nops 2\nadd 1 2\n",
+       core::StatusCode::kDataLoss},
+      {"nan move", "mdg-delta 1\nops 1\nmove 0 nan 4\n",
+       core::StatusCode::kInvalidArgument},
+      {"inf add", "mdg-delta 1\nops 1\nadd inf 0\n",
+       core::StatusCode::kInvalidArgument},
+      {"zero range", "mdg-delta 1\nops 1\nrange 0\n",
+       core::StatusCode::kInvalidArgument},
+      {"negative range", "mdg-delta 1\nops 1\nrange -5\n",
+       core::StatusCode::kInvalidArgument},
+  };
+  for (const auto& c : kCases) {
+    SCOPED_TRACE(c.name);
+    std::istringstream in(c.text);
+    const auto parsed = try_read_delta(in);
+    ASSERT_FALSE(parsed.is_ok());
+    EXPECT_EQ(parsed.status().code(), c.expected)
+        << parsed.status().to_string();
+  }
+}
+
+TEST(DeltaIoTest, LoadFromMissingFileIsNotFound) {
+  const auto parsed = try_load_delta("/nonexistent/delta.txt");
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_EQ(parsed.status().code(), core::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mdg::io

@@ -1,0 +1,206 @@
+// The delta-request path: incremental repair against cached and cold
+// base plans, the delta-namespace cache, reply flags, counters, and
+// error taxonomy (docs/SERVE.md §Delta request payload).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/delta.h"
+#include "core/greedy_cover_planner.h"
+#include "core/instance.h"
+#include "io/serialize.h"
+#include "net/deployment.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
+#include "util/rng.h"
+#include "verify/check.h"
+
+namespace mdg::serve {
+namespace {
+
+net::SensorNetwork test_network(std::uint64_t seed, std::size_t n = 50) {
+  Rng rng(seed);
+  return net::make_uniform_network(n, 150.0, 28.0, rng);
+}
+
+core::Delta test_delta(const net::SensorNetwork& network) {
+  core::Delta delta;
+  delta.ops.push_back(core::DeltaOp::remove_sensor(3));
+  delta.ops.push_back(
+      core::DeltaOp::add_sensor({network.field().hi.x * 0.5,
+                                 network.field().hi.y * 0.5}));
+  return delta;
+}
+
+Frame delta_frame(std::uint32_t id, const net::SensorNetwork& network,
+                  const core::Delta& delta, PlanRequestOptions options = {}) {
+  return Frame{FrameType::kDeltaRequest, id, 0,
+               build_delta_request(options, network, delta)};
+}
+
+/// Parses the repaired solution out of a delta reply payload.
+core::ShdgpSolution solution_of(const std::string& payload) {
+  std::istringstream in(payload);
+  std::string line;
+  while (std::getline(in, line) && line != "solution") {
+  }
+  return io::read_solution(in);
+}
+
+TEST(ServeEngineDeltaTest, RepairsAgainstACachedBasePlan) {
+  Engine engine;
+  const net::SensorNetwork network = test_network(1);
+  const core::Delta delta = test_delta(network);
+
+  // Prime the plan cache, then send the delta: only the repair runs.
+  const Frame plan_reply = engine.handle(
+      Frame{FrameType::kPlanRequest, 1, 0,
+            build_plan_request({}, network)});
+  ASSERT_EQ(plan_reply.type, FrameType::kReplyOk);
+  const Frame reply = engine.handle(delta_frame(2, network, delta));
+  ASSERT_EQ(reply.type, FrameType::kReplyOk);
+  EXPECT_EQ(reply.flags & kFlagCacheMask, kFlagCacheRepaired);
+
+  // The repaired plan is valid against the post-delta instance.
+  core::DynamicInstance dyn(network);
+  core::ShdgpSolution expected =
+      core::GreedyCoverPlanner().plan(dyn.instance());
+  ASSERT_TRUE(core::apply_delta(dyn, delta, expected).is_ok());
+  const core::ShdgpSolution repaired = solution_of(reply.payload);
+  EXPECT_TRUE(verify::check_solution(dyn.instance(), repaired).is_ok());
+  EXPECT_EQ(io::to_text(repaired), io::to_text(expected));
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.delta_requests, 1u);
+  EXPECT_EQ(stats.delta_repaired, 1u);
+  EXPECT_EQ(stats.delta_base_plans, 0u);
+}
+
+TEST(ServeEngineDeltaTest, ColdBasePlanIsPlannedOnceAndDonatedToThePlanPath) {
+  Engine engine;
+  const net::SensorNetwork network = test_network(2);
+  const core::Delta delta = test_delta(network);
+
+  const Frame reply = engine.handle(delta_frame(1, network, delta));
+  ASSERT_EQ(reply.type, FrameType::kReplyOk);
+  EXPECT_EQ(reply.flags & kFlagCacheMask, kFlagCacheMiss);
+  EXPECT_EQ(engine.stats().delta_base_plans, 1u);
+
+  // The base plan it computed now answers a plain plan request as an
+  // exact (canonical) cache hit with the cold plan's bytes.
+  const Frame plan_reply = engine.handle(
+      Frame{FrameType::kPlanRequest, 2, 0,
+            build_plan_request({}, network)});
+  ASSERT_EQ(plan_reply.type, FrameType::kReplyOk);
+  EXPECT_EQ(plan_reply.flags & kFlagCacheMask, kFlagCacheExact);
+  const core::ShdgpSolution direct =
+      core::GreedyCoverPlanner().plan(core::ShdgpInstance(network));
+  EXPECT_EQ(plan_reply.payload, "mdg-reply 1\nop plan\n" + io::to_text(direct));
+}
+
+TEST(ServeEngineDeltaTest, IdenticalDeltaRequestIsAByteIdenticalExactHit) {
+  Engine engine;
+  const net::SensorNetwork network = test_network(3);
+  const Frame request = delta_frame(5, network, test_delta(network));
+  const Frame first = engine.handle(request);
+  const Frame second = engine.handle(request);
+  ASSERT_EQ(second.type, FrameType::kReplyOk);
+  EXPECT_EQ(second.flags & kFlagCacheMask, kFlagCacheExact);
+  EXPECT_EQ(second.payload, first.payload);
+  EXPECT_EQ(engine.stats().hits_exact, 1u);
+}
+
+TEST(ServeEngineDeltaTest, DeltaReplyNeverAnswersAPlanRequest) {
+  Engine engine;
+  const net::SensorNetwork network = test_network(4);
+  const core::Delta delta = test_delta(network);
+  (void)engine.handle(delta_frame(1, network, delta));
+
+  // The post-delta network as a plan request must cold-plan (the delta
+  // reply lives in its own key namespace and carries repair stats).
+  core::DynamicInstance dyn(network);
+  core::ShdgpSolution sol = core::GreedyCoverPlanner().plan(dyn.instance());
+  ASSERT_TRUE(core::apply_delta(dyn, delta, sol).is_ok());
+  const Frame plan_reply = engine.handle(
+      Frame{FrameType::kPlanRequest, 2, 0,
+            build_plan_request({}, dyn.network())});
+  ASSERT_EQ(plan_reply.type, FrameType::kReplyOk);
+  // A warm start off the donated base cover is fine; an *exact* hit
+  // would mean the delta reply leaked into the plan namespace.
+  EXPECT_NE(plan_reply.flags & kFlagCacheMask, kFlagCacheExact);
+  EXPECT_EQ(plan_reply.payload.rfind("mdg-reply 1\nop plan\n", 0), 0u);
+}
+
+TEST(ServeEngineDeltaTest, MalformedDeltaPayloadIsARecoverableError) {
+  Engine engine;
+  const Frame reply = engine.handle(
+      Frame{FrameType::kDeltaRequest, 9, 0,
+            "mdg-request 1\nop delta\ngarbage\n"});
+  ASSERT_EQ(reply.type, FrameType::kReplyError);
+  EXPECT_NE(reply.payload.find("invalid-argument"), std::string::npos);
+  EXPECT_EQ(engine.stats().errors, 1u);
+  EXPECT_EQ(engine.stats().delta_requests, 1u);
+
+  // The engine keeps serving.
+  const Frame pong = engine.handle(Frame{FrameType::kPing, 10, 0, {}});
+  EXPECT_EQ(pong.type, FrameType::kPong);
+}
+
+TEST(ServeEngineDeltaTest, InvalidOpIdsMapToInvalidArgument) {
+  Engine engine;
+  const net::SensorNetwork network = test_network(5);
+  core::Delta delta;
+  delta.ops.push_back(core::DeltaOp::remove_sensor(network.size() + 10));
+  const Frame reply = engine.handle(delta_frame(1, network, delta));
+  ASSERT_EQ(reply.type, FrameType::kReplyError);
+  EXPECT_NE(reply.payload.find("invalid-argument"), std::string::npos);
+}
+
+TEST(ServeEngineDeltaTest, StatsReplyTextIsUnchangedByDeltaTraffic) {
+  Engine engine;
+  const net::SensorNetwork network = test_network(6);
+  (void)engine.handle(delta_frame(1, network, test_delta(network)));
+  const Frame stats = engine.handle(Frame{FrameType::kStatsRequest, 2, 0, {}});
+  ASSERT_EQ(stats.type, FrameType::kReplyOk);
+  // The pre-delta golden transcript pins these bytes: no delta lines.
+  EXPECT_EQ(stats.payload.find("delta"), std::string::npos);
+  // Delta counters surface through the run report instead.
+  const obs::RunReport report = engine.run_report();
+  bool found = false;
+  for (const auto& gauge : report.gauges) {
+    if (gauge.name == "serve.delta_requests") {
+      EXPECT_EQ(gauge.value, 1.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ServeDeltaProtocolTest, DeltaRequestRoundTripsThroughTheParser) {
+  const net::SensorNetwork network = test_network(7, 12);
+  core::Delta delta;
+  delta.ops.push_back(core::DeltaOp::move_sensor(4, {1.25, 2.5}));
+  delta.ops.push_back(core::DeltaOp::set_range(31.5));
+  PlanRequestOptions options;
+  options.max_load = 5;
+  options.deadline_ms = 250;
+  const std::string payload = build_delta_request(options, network, delta);
+  const auto parsed = parse_delta_request(payload);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->options.max_load, 5u);
+  EXPECT_EQ(parsed->options.deadline_ms, 250u);
+  EXPECT_EQ(parsed->network.size(), network.size());
+  EXPECT_EQ(parsed->delta.ops, delta.ops);
+}
+
+TEST(ServeDeltaProtocolTest, TrailingBytesAfterTheDeltaAreRejected) {
+  const net::SensorNetwork network = test_network(8, 10);
+  const std::string payload =
+      build_delta_request({}, network, test_delta(network)) + "extra\n";
+  const auto parsed = parse_delta_request(payload);
+  EXPECT_FALSE(parsed.is_ok());
+}
+
+}  // namespace
+}  // namespace mdg::serve

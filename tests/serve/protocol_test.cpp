@@ -140,9 +140,10 @@ TEST(ServeProtocolTest, PlanRequestRejectsMissingKeys) {
 
 TEST(ServeProtocolTest, KnownFrameTypesCoverEveryEnumerator) {
   EXPECT_STREQ(frame_type_name(FrameType::kPlanRequest), "plan-request");
+  EXPECT_STREQ(frame_type_name(FrameType::kDeltaRequest), "delta-request");
   EXPECT_STREQ(frame_type_name(FrameType::kReplyError), "reply-error");
   EXPECT_EQ(frame_type_name(static_cast<FrameType>(12345)), nullptr);
-  EXPECT_EQ(known_frame_types().size(), 8u);
+  EXPECT_EQ(known_frame_types().size(), 9u);
 }
 
 TEST(ServeProtocolTest, ErrorPayloadUsesStatusTaxonomy) {

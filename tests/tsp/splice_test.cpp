@@ -1,0 +1,145 @@
+// Localized tour splicing primitives behind core::apply_delta: cheapest
+// insertion position, insert, remove, and the windowed local search
+// that polishes the splice neighbourhood.
+#include "tsp/splice.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/deployment.h"
+#include "tsp/construct.h"
+#include "tsp/improve.h"
+#include "tsp/tour.h"
+#include "util/rng.h"
+
+namespace mdg::tsp {
+namespace {
+
+double order_length(const std::vector<std::size_t>& order,
+                    std::span<const geom::Point> points) {
+  if (order.size() < 2) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    total += geom::distance(points[order[i]],
+                            points[order[(i + 1) % order.size()]]);
+  }
+  return total;
+}
+
+/// Brute-force oracle: try every insertion slot, keep the earliest
+/// cheapest one (the documented tie rule).
+std::size_t brute_cheapest(const std::vector<std::size_t>& order,
+                           std::span<const geom::Point> points,
+                           std::size_t city) {
+  std::size_t best = 0;
+  double best_len = 0.0;
+  bool first = true;
+  for (std::size_t pos = 1; pos <= order.size(); ++pos) {
+    std::vector<std::size_t> candidate = order;
+    candidate.insert(candidate.begin() + static_cast<std::ptrdiff_t>(pos),
+                     city);
+    const double len = order_length(candidate, points);
+    if (first || len < best_len) {
+      best = pos;
+      best_len = len;
+      first = false;
+    }
+  }
+  return best;
+}
+
+TEST(SpliceTest, CheapestPositionPicksTheObviousEdge) {
+  // Square perimeter 0-1-2-3; city 4 sits on the midpoint of edge
+  // (1, 2), so the cheapest insertion is before position 2.
+  const std::vector<geom::Point> pts{
+      {0, 0}, {10, 0}, {10, 10}, {0, 10}, {10, 5}};
+  const std::vector<std::size_t> order{0, 1, 2, 3};
+  EXPECT_EQ(splice_cheapest_position(order, pts, 4), 2u);
+}
+
+TEST(SpliceTest, EmptyAndSingletonOrders) {
+  const std::vector<geom::Point> pts{{0, 0}, {5, 5}};
+  std::vector<std::size_t> order;
+  EXPECT_EQ(splice_cheapest_position(order, pts, 1), 0u);
+  EXPECT_EQ(splice_insert(order, pts, 1), 0u);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(splice_insert(order, pts, 0), 1u);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(SpliceTest, CheapestPositionMatchesBruteForce) {
+  Rng rng(404);
+  const auto pts = net::deploy_uniform(40, geom::Aabb::square(100.0), rng);
+  // A tour over the first 30 cities; insert each of the remaining 10.
+  std::vector<std::size_t> order(30);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  for (std::size_t city = 30; city < 40; ++city) {
+    ASSERT_EQ(splice_cheapest_position(order, pts, city),
+              brute_cheapest(order, pts, city))
+        << "city " << city;
+    splice_insert(order, pts, city);
+  }
+}
+
+TEST(SpliceTest, InsertThenRemoveRestoresTheOrder) {
+  Rng rng(7);
+  const auto pts = net::deploy_uniform(20, geom::Aabb::square(50.0), rng);
+  std::vector<std::size_t> order{0, 3, 9, 12, 5};
+  const std::vector<std::size_t> original = order;
+  const std::size_t pos = splice_insert(order, pts, 17);
+  ASSERT_LT(pos, order.size());
+  EXPECT_EQ(order[pos], 17u);
+  EXPECT_EQ(splice_remove(order, 17), pos);
+  EXPECT_EQ(order, original);
+}
+
+TEST(SpliceTest, RemoveMissingCityReturnsNpos) {
+  std::vector<std::size_t> order{0, 2, 4};
+  EXPECT_EQ(splice_remove(order, 99), splice_npos);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 2, 4}));
+}
+
+TEST(ImproveWindowTest, PolishesOnlyAroundTheWindowAndNeverLengthens) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const auto pts = net::deploy_uniform(60, geom::Aabb::square(100.0), rng);
+    Tour tour = random_tour(pts.size(), rng);
+    const double before = tour.length(pts);
+    const std::vector<std::size_t> window{3, 17, 42, 55};
+    improve_window(tour, pts, window);
+    EXPECT_LE(tour.length(pts), before + 1e-9);
+    EXPECT_TRUE(Tour::is_permutation(tour.order()));
+    EXPECT_EQ(tour.at(0), 0u);
+  }
+}
+
+TEST(ImproveWindowTest, WindowSeedOrderDoesNotChangeTheResult) {
+  Rng rng(99);
+  const auto pts = net::deploy_uniform(50, geom::Aabb::square(80.0), rng);
+  const Tour start = random_tour(pts.size(), rng);
+  std::vector<std::size_t> window{30, 4, 18, 18, 7};  // any order, dupes fine
+  Tour a = start;
+  improve_window(a, pts, window);
+  std::sort(window.begin(), window.end());
+  Tour b = start;
+  improve_window(b, pts, window);
+  EXPECT_EQ(a.order(), b.order());
+}
+
+TEST(ImproveWindowTest, EmptyWindowIsANoOp) {
+  Rng rng(5);
+  const auto pts = net::deploy_uniform(30, geom::Aabb::square(60.0), rng);
+  Tour tour = random_tour(pts.size(), rng);
+  const std::vector<std::size_t> before = tour.order();
+  improve_window(tour, pts, {});
+  EXPECT_EQ(tour.order(), before);
+}
+
+}  // namespace
+}  // namespace mdg::tsp

@@ -1,0 +1,14 @@
+// libFuzzer entry point for io::try_read_delta (built with
+// -DMDG_FUZZ=ON under Clang; seed corpus tests/harness/corpus/delta).
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "verify/fuzz.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  (void)mdg::verify::fuzz_one(
+      mdg::verify::FuzzTarget::kDelta,
+      std::string_view(reinterpret_cast<const char*>(data), size));
+  return 0;
+}

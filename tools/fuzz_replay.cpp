@@ -6,7 +6,7 @@
 //     --mutate <n>      additionally run n seeded mutations of the corpus
 //     --seed <s>        mutation seed (default 1)
 //
-// <target> is network | solution | faults. Directories are expanded
+// <target> is network | solution | faults | delta. Directories are expanded
 // (sorted, non-recursive). Each input prints one line: the file, whether
 // it parsed, and the diagnostic otherwise. The crash property is
 // implicit: if a loader crashes, this process dies and the caller (CI or
@@ -29,7 +29,7 @@ namespace {
 using namespace mdg;
 
 int usage() {
-  std::cerr << "usage: fuzz_replay <network|solution|faults> "
+  std::cerr << "usage: fuzz_replay <network|solution|faults|delta> "
                "<file-or-dir>... [--expect-ok|--expect-reject] "
                "[--mutate <n> --seed <s>]\n";
   return 2;

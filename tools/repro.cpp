@@ -1,6 +1,7 @@
 // repro — replay a generated instance through plan -> verify.
 //
 //   repro <generator> <seed> [sensors [side [range]]]
+//   repro --delta <net.txt> <sol.txt> <delta.txt>
 //
 // The failure hints printed by the harness suites ("reproduce:
 // build/tools/repro <generator> <seed>") land here. Without an explicit
@@ -11,12 +12,20 @@
 // and the two canonical plan serializations compared line by line — any
 // nondeterminism prints a canonical-report diff. Exit 0 iff everything
 // holds, 1 on any verification failure, 2 on usage errors.
+//
+// The --delta mode replays a churn stream: the delta file is applied to
+// the plan twice from the same starting point and the repaired plans
+// must agree byte for byte (canonical encoding) and pass the invariant
+// checker. Exit 3 when an input file is unreadable or malformed.
 #include <cstdint>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/delta.h"
+#include "io/delta_io.h"
+#include "io/serialize.h"
 #include "verify/canonical.h"
 #include "verify/check.h"
 #include "verify/generate.h"
@@ -28,6 +37,7 @@ using namespace mdg;
 
 int usage() {
   std::cerr << "usage: repro <generator> <seed> [sensors [side [range]]]\n"
+            << "       repro --delta <net.txt> <sol.txt> <delta.txt>\n"
             << "generators:";
   for (verify::GeneratorFamily family : verify::all_families()) {
     std::cerr << ' ' << verify::to_string(family);
@@ -117,9 +127,78 @@ bool replay(verify::GeneratorFamily family, std::uint64_t seed,
   return ok;
 }
 
+/// --delta mode: determinism and invariants of incremental replanning.
+/// The same delta applied twice from the same state must yield byte-
+/// identical repaired plans, and the result must satisfy every SHDGP
+/// invariant against the post-delta instance.
+int replay_delta(const std::string& net_path, const std::string& sol_path,
+                 const std::string& delta_path) {
+  const auto network = io::try_load_network(net_path);
+  if (!network.is_ok()) {
+    std::cerr << network.status().to_string() << '\n';
+    return 3;
+  }
+  const auto solution = io::try_load_solution(sol_path);
+  if (!solution.is_ok()) {
+    std::cerr << solution.status().to_string() << '\n';
+    return 3;
+  }
+  const auto delta = io::try_load_delta(delta_path);
+  if (!delta.is_ok()) {
+    std::cerr << delta.status().to_string() << '\n';
+    return 3;
+  }
+  std::cout << "delta replay: " << delta->ops.size() << " op(s) on "
+            << network->size() << " sensors\n";
+
+  bool ok = true;
+  std::string first_bytes;
+  for (int run = 0; run < 2; ++run) {
+    core::DynamicInstance dyn(*network);
+    core::ShdgpSolution repaired = *solution;
+    const auto result = core::apply_delta(dyn, *delta, repaired);
+    if (!result.is_ok()) {
+      std::cerr << "apply_delta: " << result.status().to_string() << '\n';
+      return 3;
+    }
+    const core::Status invariants =
+        verify::check_solution(dyn.instance(), repaired);
+    const std::string bytes =
+        verify::canonical_plan_bytes(dyn.instance(), repaired);
+    if (run == 0) {
+      first_bytes = bytes;
+      std::cout << "  " << (invariants.is_ok() ? "PASS" : "FAIL")
+                << " invariants after repair (" << result->damaged
+                << " damaged, +" << result->pps_added << "/-"
+                << result->pps_removed << " stops"
+                << (result->full_replan
+                        ? ", full replan: " + result->full_replan_reason
+                        : std::string())
+                << ")\n";
+      if (!invariants.is_ok()) {
+        std::cout << "    " << invariants.to_string() << '\n';
+      }
+      ok = ok && invariants.is_ok();
+    } else {
+      const bool deterministic = bytes == first_bytes;
+      std::cout << "  " << (deterministic ? "PASS" : "FAIL")
+                << " repair determinism\n";
+      if (!deterministic) {
+        print_canonical_diff(first_bytes, bytes);
+      }
+      ok = ok && deterministic && invariants.is_ok();
+    }
+  }
+  std::cout << (ok ? "OK" : "FAILED") << '\n';
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc == 5 && std::string(argv[1]) == "--delta") {
+    return replay_delta(argv[2], argv[3], argv[4]);
+  }
   if (argc < 3 || argc > 6) {
     return usage();
   }
