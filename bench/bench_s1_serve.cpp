@@ -21,6 +21,12 @@
 // least --min-speedup (default 100) times faster than a cold plan at
 // the median. CI runs a small-n smoke (--n 300); the committed
 // BENCH_serve.json is the full --n 8000 run.
+//
+// With --port the bench additionally drives a live daemon over TCP
+// (serve::TcpClient with --connect-timeout-ms/--read-timeout-ms
+// deadlines) and gates its replies on byte-identity against the local
+// in-process cold plan. A wedged or dead daemon fails the bench with a
+// diagnostic inside the timeout instead of hanging CI.
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -33,6 +39,7 @@
 #include "net/deployment.h"
 #include "net/sensor_network.h"
 #include "obs/report.h"
+#include "serve/client.h"
 #include "serve/engine.h"
 #include "serve/protocol.h"
 #include "util/flags.h"
@@ -104,6 +111,11 @@ int main(int argc, char** argv) {
   const std::string out_path = flags.get_string("out", "BENCH_serve.json");
   const std::size_t threads =
       static_cast<std::size_t>(flags.get_int("threads", 0));
+  const long long port = flags.get_int("port", 0);
+  const std::uint32_t connect_timeout_ms =
+      static_cast<std::uint32_t>(flags.get_int("connect-timeout-ms", 2000));
+  const std::uint32_t read_timeout_ms =
+      static_cast<std::uint32_t>(flags.get_int("read-timeout-ms", 60000));
   flags.finish();
   set_planning_threads(threads);
 
@@ -136,6 +148,38 @@ int main(int argc, char** argv) {
     if ((reply.flags & serve::kFlagCacheMask) != serve::kFlagCacheExact ||
         reply.payload != cold_reply.payload) {
       byte_mismatch = true;
+    }
+  }
+
+  // --- daemon (--port): same requests against a live TCP server -------
+  // The local cold reply is the byte-equality oracle; the client's
+  // connect/read deadlines turn a wedged daemon into a fast FAIL
+  // instead of a hung bench job.
+  std::vector<double> tcp_ms;
+  if (port > 0) {
+    serve::TcpClientOptions client_options;
+    client_options.connect_timeout_ms = connect_timeout_ms;
+    client_options.read_timeout_ms = read_timeout_ms;
+    client_options.write_timeout_ms = read_timeout_ms;
+    serve::TcpClient client(static_cast<std::uint16_t>(port), client_options);
+    for (std::size_t i = 0; i <= hit_samples; ++i) {
+      const Stopwatch watch;
+      auto reply = client.call(
+          serve::Frame{serve::FrameType::kPlanRequest,
+                       static_cast<std::uint32_t>(9000 + i), 0, payload});
+      if (!reply.is_ok()) {
+        std::cerr << "FAIL: daemon on 127.0.0.1:" << port
+                  << " did not answer request " << i << ": "
+                  << reply.status().to_string() << "\n";
+        return 1;
+      }
+      if (i > 0) {
+        tcp_ms.push_back(watch.elapsed_ms());  // i==0 is the daemon's cold
+      }
+      if (reply->type != serve::FrameType::kReplyOk ||
+          reply->payload != cold_reply.payload) {
+        byte_mismatch = true;
+      }
     }
   }
 
@@ -224,6 +268,10 @@ int main(int argc, char** argv) {
                  warm_ms > 0.0 ? warm_cold_ms / warm_ms : 0.0});
   table.add_row({"mixed", quantile(mixed_ms, 0.5), quantile(mixed_ms, 0.99),
                  0.0});
+  if (!tcp_ms.empty()) {
+    table.add_row({"tcp-hit", quantile(tcp_ms, 0.5), quantile(tcp_ms, 0.99),
+                   0.0});
+  }
   table.print(std::cout);
   std::cout << "\nmixed load: " << requests_per_sec << " requests/sec, "
             << 100.0 * hit_rate << "% cache hits, " << failures.load()
@@ -254,6 +302,10 @@ int main(int argc, char** argv) {
       {"serve.warm_hit", warm_hit ? 1.0 : 0.0},
       {"serve.warm_p50_ms", warm_ms},
   };
+  if (!tcp_ms.empty()) {
+    report.gauges.push_back({"serve.tcp_hit_p50_ms", quantile(tcp_ms, 0.5)});
+    report.gauges.push_back({"serve.tcp_hit_p99_ms", quantile(tcp_ms, 0.99)});
+  }
   report.save(out_path);
   std::cout << "wrote " << out_path << "\n";
 

@@ -73,6 +73,8 @@ inline constexpr const char* kFaultSensorCrashes = "fault.sensor_crashes";
 inline constexpr const char* kCoverLazyRefreshes = "cover.lazy_refreshes";
 inline constexpr const char* kCoverSelected = "cover.selected";
 inline constexpr const char* kRefineMoves = "refine.moves";
+inline constexpr const char* kServeBrownoutServed = "serve.brownout_served";
+inline constexpr const char* kServeConnTimeout = "serve.conn_timeout";
 inline constexpr const char* kServeDeadlineExpired = "serve.deadline_expired";
 inline constexpr const char* kServeDeltaBasePlans = "serve.delta_base_plans";
 inline constexpr const char* kServeDeltaRepaired = "serve.delta_repaired";
@@ -83,6 +85,7 @@ inline constexpr const char* kServeHitsWarm = "serve.hits_warm";
 inline constexpr const char* kServeMisses = "serve.misses";
 inline constexpr const char* kServeRejected = "serve.rejected";
 inline constexpr const char* kServeRequests = "serve.requests";
+inline constexpr const char* kServeShed = "serve.shed";
 inline constexpr const char* kSimMobileDelivered = "sim.mobile_delivered";
 inline constexpr const char* kSimMobileDropped = "sim.mobile_dropped";
 inline constexpr const char* kTspImprovePasses = "tsp.improve_passes";
@@ -97,8 +100,13 @@ inline constexpr const char* kFaultDeliveredFraction =
     "fault.delivered_fraction";
 inline constexpr const char* kFaultRecoveryLengthM = "fault.recovery_length_m";
 inline constexpr const char* kPlanManyThreads = "plan.many_threads";
+inline constexpr const char* kServeBrownout = "serve.brownout";
 inline constexpr const char* kServeCacheEntries = "serve.cache_entries";
 inline constexpr const char* kServeQueueDepth = "serve.queue_depth";
+inline constexpr const char* kServeSnapshotDropped = "serve.snapshot_dropped";
+inline constexpr const char* kServeSnapshotRestored =
+    "serve.snapshot_restored";
+inline constexpr const char* kServeSnapshotSaved = "serve.snapshot_saved";
 inline constexpr const char* kSimMobileBufferPeak = "sim.mobile_buffer_peak";
 inline constexpr const char* kTspImproveGainM = "tsp.improve_gain_m";
 inline constexpr const char* kTspImproveRounds = "tsp.improve_rounds";

@@ -1,0 +1,70 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace mdg::serve {
+
+bool is_control_frame(FrameType type) {
+  switch (type) {
+    case FrameType::kPing:
+    case FrameType::kStatsRequest:
+    case FrameType::kShutdown:
+      return true;
+    default:
+      return false;
+  }
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  if (options_.backlog == 0) {
+    options_.backlog = 1;
+  }
+  if (options_.brownout_enter == 0) {
+    options_.brownout_enter = std::max<std::size_t>(1, options_.backlog * 3 / 4);
+  }
+  if (options_.brownout_exit == 0) {
+    options_.brownout_exit = options_.backlog / 4;
+  }
+  // A release threshold at or above the engage threshold would defeat
+  // the hysteresis; clamp it strictly below.
+  options_.brownout_exit =
+      std::min(options_.brownout_exit, options_.brownout_enter - 1);
+}
+
+void AdmissionController::observe_depth(std::size_t depth) {
+  if (!brownout_ && depth >= options_.brownout_enter) {
+    brownout_ = true;
+  } else if (brownout_ && depth <= options_.brownout_exit) {
+    brownout_ = false;
+  }
+}
+
+AdmitDecision AdmissionController::admit(FrameType type, std::size_t depth) {
+  observe_depth(depth);
+  if (is_control_frame(type)) {
+    return AdmitDecision::kAdmit;
+  }
+  if (draining_ || depth >= options_.backlog) {
+    return AdmitDecision::kShed;
+  }
+  return brownout_ ? AdmitDecision::kDegraded : AdmitDecision::kAdmit;
+}
+
+std::uint32_t AdmissionController::retry_after_ms(std::size_t depth) const {
+  if (draining_) {
+    return options_.retry_after_cap_ms;
+  }
+  std::uint64_t hint = options_.retry_after_base_ms;
+  // One doubling per whole backlog of excess queue depth, capped both
+  // by value and by shift count (a hostile depth cannot overflow).
+  const std::size_t excess =
+      depth > options_.backlog ? depth - options_.backlog : 0;
+  std::size_t doublings = excess / options_.backlog;
+  doublings = std::min<std::size_t>(doublings, 6);
+  hint <<= doublings;
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(hint, options_.retry_after_cap_ms));
+}
+
+}  // namespace mdg::serve

@@ -1,0 +1,96 @@
+// Overload control for mdg_serve: deadline-free admission with
+// priority classes, load shedding, and a brownout mode that degrades
+// plan quality under sustained pressure instead of failing.
+//
+// The controller is a deterministic state machine over the observable
+// admission-queue depth — no clocks, no randomness, no thread-count
+// dependence. Feeding it the same sequence of (frame class, depth)
+// observations always produces the same shed/brownout decisions, which
+// is what makes overload behaviour replayable and testable
+// (tests/serve/admission_test.cpp pins this; docs/SERVE.md
+// §Operations is the operator view).
+//
+// Priority classes:
+//   * control frames (ping, stats, shutdown) are always admitted —
+//     they are cheap, and an operator must be able to observe and stop
+//     an overloaded server;
+//   * work frames (plan, simulate, delta) are shed with a typed
+//     `reply-overloaded` frame carrying a retry-after hint once the
+//     queue reaches the backlog cap, and planned at degraded effort
+//     (construction-only tours, see Engine) while brownout is active.
+//
+// Brownout uses hysteresis so the mode cannot flap on a queue
+// oscillating around one threshold: it engages when the depth reaches
+// `brownout_enter` and only releases once the depth has fallen back to
+// `brownout_exit`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "serve/protocol.h"
+
+namespace mdg::serve {
+
+struct AdmissionOptions {
+  /// Hard cap on queued work frames; at or past this depth new work is
+  /// shed with a typed reply-overloaded frame.
+  std::size_t backlog = 64;
+  /// Queue depth at which brownout engages (0 = derive 3/4 of backlog).
+  std::size_t brownout_enter = 0;
+  /// Queue depth at which brownout releases (0 = derive 1/4 of backlog).
+  std::size_t brownout_exit = 0;
+  /// Base of the retry-after hint carried by shed replies.
+  std::uint32_t retry_after_base_ms = 50;
+  /// Cap on the retry-after hint (also the hint while draining).
+  std::uint32_t retry_after_cap_ms = 2000;
+};
+
+enum class AdmitDecision {
+  kAdmit,     ///< enqueue and plan at full effort
+  kDegraded,  ///< enqueue, but plan at brownout (reduced) effort
+  kShed,      ///< refuse with a typed reply-overloaded frame
+};
+
+/// True for frames in the always-admitted control class.
+[[nodiscard]] bool is_control_frame(FrameType type);
+
+/// NOT internally synchronized: callers invoke admit() under the same
+/// lock that guards the queue whose depth they pass in, so the
+/// (depth, decision) sequence is a consistent, replayable trace.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  /// Decides one frame given the current queue depth. Updates the
+  /// brownout hysteresis state as a side effect.
+  [[nodiscard]] AdmitDecision admit(FrameType type, std::size_t depth);
+
+  /// Re-evaluates brownout hysteresis as the queue drains (workers call
+  /// this with the post-dequeue depth so recovery does not wait for the
+  /// next arrival).
+  void observe_depth(std::size_t depth);
+
+  /// Switches every subsequent work frame to kShed (typed refusal with
+  /// the capped retry-after hint). Control frames stay admitted so
+  /// in-flight sessions can still ping/stats/shutdown.
+  void begin_drain() { draining_ = true; }
+  [[nodiscard]] bool draining() const { return draining_; }
+
+  [[nodiscard]] bool brownout() const { return brownout_; }
+
+  /// Deterministic retry-after hint for a shed at `depth`: the base
+  /// doubled once per whole backlog of excess depth, capped. While
+  /// draining the hint is the cap — the server is going away, not
+  /// momentarily busy.
+  [[nodiscard]] std::uint32_t retry_after_ms(std::size_t depth) const;
+
+  [[nodiscard]] const AdmissionOptions& options() const { return options_; }
+
+ private:
+  AdmissionOptions options_;
+  bool brownout_ = false;
+  bool draining_ = false;
+};
+
+}  // namespace mdg::serve

@@ -1,0 +1,226 @@
+#include "serve/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MDG_SERVE_CLIENT_HAVE_SOCKETS 1
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+
+#include "serve/fd_stream.h"
+#else
+#define MDG_SERVE_CLIENT_HAVE_SOCKETS 0
+#endif
+
+namespace mdg::serve {
+
+#if MDG_SERVE_CLIENT_HAVE_SOCKETS
+
+namespace {
+
+timeval to_timeval(std::uint32_t ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  return tv;
+}
+
+}  // namespace
+
+TcpClient::TcpClient(std::uint16_t port, TcpClientOptions options)
+    : port_(port), options_(options) {}
+
+TcpClient::~TcpClient() { disconnect(); }
+
+void TcpClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+core::Status TcpClient::connect() {
+  if (fd_ >= 0) {
+    return core::Status::ok();
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return core::Status::internal("socket() failed: " +
+                                  std::string(std::strerror(errno)));
+  }
+  // Nonblocking connect + poll: a daemon that is wedged (or a port
+  // nobody listens on behind a DROP rule) fails within
+  // connect_timeout_ms instead of hanging for the kernel default.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    return core::Status::internal("connect to 127.0.0.1:" +
+                                  std::to_string(port_) + " failed: " +
+                                  reason);
+  }
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    rc = ::poll(&pfd, 1, static_cast<int>(options_.connect_timeout_ms));
+    if (rc <= 0) {
+      ::close(fd);
+      return core::Status::internal(
+          "connect to 127.0.0.1:" + std::to_string(port_) +
+          (rc == 0 ? " timed out after " +
+                         std::to_string(options_.connect_timeout_ms) + " ms"
+                   : std::string(" failed: ") + std::strerror(errno)));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      return core::Status::internal("connect to 127.0.0.1:" +
+                                    std::to_string(port_) + " failed: " +
+                                    std::strerror(err));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking + socket timeouts
+  const timeval rcv = to_timeval(options_.read_timeout_ms);
+  const timeval snd = to_timeval(options_.write_timeout_ms);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &rcv, sizeof(rcv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &snd, sizeof(snd));
+  fd_ = fd;
+  return core::Status::ok();
+}
+
+core::StatusOr<Frame> TcpClient::call(const Frame& request) {
+  if (core::Status s = connect(); !s.is_ok()) {
+    return s;
+  }
+  FdStreambuf out_buf(fd_);
+  std::ostream out(&out_buf);
+  write_frame(out, request);
+  out.flush();
+  if (!out.good()) {
+    disconnect();
+    return core::Status::internal(
+        out_buf.timed_out() ? "send timed out" : "send failed");
+  }
+  FdStreambuf in_buf(fd_);
+  std::istream in(&in_buf);
+  auto frame = read_frame(in, ReadFrameOptions{options_.max_payload_bytes});
+  if (!frame.is_ok()) {
+    disconnect();
+    return frame.status();
+  }
+  if (!frame.value().has_value()) {
+    disconnect();
+    return core::Status::data_loss(
+        in_buf.timed_out() ? "reply timed out after " +
+                                 std::to_string(options_.read_timeout_ms) +
+                                 " ms"
+                           : "server closed the connection before replying");
+  }
+  return std::move(**frame);
+}
+
+#else  // !MDG_SERVE_CLIENT_HAVE_SOCKETS
+
+TcpClient::TcpClient(std::uint16_t port, TcpClientOptions options)
+    : port_(port), options_(options) {}
+TcpClient::~TcpClient() = default;
+void TcpClient::disconnect() {}
+core::Status TcpClient::connect() {
+  return core::Status::internal("TCP client requires POSIX sockets");
+}
+core::StatusOr<Frame> TcpClient::call(const Frame&) {
+  return core::Status::internal("TCP client requires POSIX sockets");
+}
+
+#endif
+
+std::uint64_t retry_backoff_ms(const RetryPolicy& policy, std::size_t attempt,
+                               std::uint32_t retry_after_ms, Rng& rng) {
+  std::uint64_t wait = policy.base_backoff_ms;
+  // Shift-clamped doubling: attempt 1 waits the base, each later
+  // attempt doubles, and a hostile attempt count cannot overflow.
+  const std::size_t doublings =
+      std::min<std::size_t>(attempt > 0 ? attempt - 1 : 0, 20);
+  wait <<= doublings;
+  wait = std::min<std::uint64_t>(wait, policy.max_backoff_ms);
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  if (jitter > 0.0) {
+    const double scale = rng.uniform(1.0 - jitter, 1.0 + jitter);
+    wait = static_cast<std::uint64_t>(static_cast<double>(wait) * scale);
+  }
+  // The server's hint is a floor, not a replacement: our own backoff
+  // still grows across repeated sheds.
+  return std::max<std::uint64_t>(wait, retry_after_ms);
+}
+
+core::StatusOr<RetryResult> call_with_retry(
+    TcpClient& client, const Frame& request, const RetryPolicy& policy,
+    Rng& rng, const std::function<void(std::uint64_t)>& sleep_ms) {
+  const std::size_t attempts_allowed = std::max<std::size_t>(
+      policy.max_attempts, 1);
+  RetryResult result;
+  core::Status last = core::Status::internal("retry loop never ran");
+  for (std::size_t attempt = 1; attempt <= attempts_allowed; ++attempt) {
+    result.attempts = attempt;
+    auto reply = client.call(request);
+    std::uint32_t retry_after = 0;
+    if (reply.is_ok() && reply->type == FrameType::kReplyError &&
+        reply->id != request.id) {
+      // A stream-level error reply (id 0): the server lost framing —
+      // possibly from corruption upstream of us — and is about to drop
+      // the connection. Our request was never answered; reconnect and
+      // resend it.
+      client.disconnect();
+      last = core::Status::data_loss(
+          "stream-level error reply; connection unsynchronized");
+    } else if (reply.is_ok()) {
+      if (reply->type != FrameType::kReplyOverloaded) {
+        result.reply = std::move(reply).value();
+        return result;
+      }
+      // Typed shed: honor the hint and try again.
+      if (auto info = parse_overloaded_payload(reply->payload);
+          info.is_ok()) {
+        retry_after = info->retry_after_ms;
+      }
+      last = core::Status::failed_precondition(
+          "server overloaded (retry-after " + std::to_string(retry_after) +
+          " ms)");
+    } else {
+      last = reply.status();  // transport trouble; reconnect + retry
+    }
+    if (attempt == attempts_allowed) {
+      break;
+    }
+    const std::uint64_t wait =
+        retry_backoff_ms(policy, attempt, retry_after, rng);
+    result.waited_ms += wait;
+    if (sleep_ms) {
+      sleep_ms(wait);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+    }
+  }
+  return core::Status(last.code(), "request failed after " +
+                                       std::to_string(result.attempts) +
+                                       " attempts: " + last.message());
+}
+
+}  // namespace mdg::serve

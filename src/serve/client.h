@@ -1,0 +1,98 @@
+// The client half of the survivable-serving story: a loopback TCP
+// client with connect/read/write deadlines, plus a retry policy that
+// turns typed reply-overloaded refusals into jittered exponential
+// backoff honoring the server's retry-after hint.
+//
+// Everything time-shaped is injectable: the backoff schedule is
+// computed from an explicit Rng and executed through a caller-supplied
+// sleep function, so tests assert the exact wait sequence without
+// sleeping, and the bench and chaos harness share one battle-tested
+// retry loop instead of three ad-hoc ones (bench_s1_serve --port,
+// mdg_serve client, tests/serve).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "serve/protocol.h"
+#include "util/rng.h"
+
+namespace mdg::serve {
+
+struct TcpClientOptions {
+  /// Deadline for the TCP connect itself (nonblocking connect + poll).
+  std::uint32_t connect_timeout_ms = 2000;
+  /// SO_RCVTIMEO: a reply (or reply fragment) must arrive within this.
+  std::uint32_t read_timeout_ms = 10000;
+  /// SO_SNDTIMEO: the kernel must accept our bytes within this.
+  std::uint32_t write_timeout_ms = 10000;
+  /// Cap handed to read_frame for reply payloads.
+  std::uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
+};
+
+/// One loopback connection to an mdg_serve daemon. Not thread-safe;
+/// one client per thread.
+class TcpClient {
+ public:
+  explicit TcpClient(std::uint16_t port, TcpClientOptions options = {});
+  ~TcpClient();
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  /// Connects (or reconnects). Idempotent when already connected.
+  [[nodiscard]] core::Status connect();
+  void disconnect();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Sends `request` and reads exactly one reply frame. Any transport
+  /// problem (connect failure, send stall, read timeout, mid-reply
+  /// disconnect, framing error) comes back as an error Status and
+  /// leaves the connection closed so the next call reconnects.
+  [[nodiscard]] core::StatusOr<Frame> call(const Frame& request);
+
+ private:
+  const std::uint16_t port_;
+  const TcpClientOptions options_;
+  int fd_ = -1;
+};
+
+struct RetryPolicy {
+  std::size_t max_attempts = 5;  ///< total tries, not just retries
+  std::uint32_t base_backoff_ms = 20;
+  std::uint32_t max_backoff_ms = 2000;
+  /// Jitter fraction in [0, 1]: each wait is scaled by a factor drawn
+  /// uniformly from [1 - jitter, 1 + jitter] (decorrelates a thundering
+  /// herd of clients retrying in lockstep).
+  double jitter = 0.25;
+};
+
+struct RetryResult {
+  Frame reply;                  ///< the final (non-overloaded) reply
+  std::size_t attempts = 0;     ///< tries consumed, including the last
+  std::uint64_t waited_ms = 0;  ///< total backoff actually slept
+};
+
+/// Calls through `client` with retries. Retried outcomes: transport
+/// errors (reconnect + retry) and reply-overloaded frames, where the
+/// wait is max(jittered backoff, server retry-after hint). A reply
+/// addressed to our request id — ok or error — is final: a semantic
+/// error will not succeed on a retry. The wait schedule is drawn from
+/// `rng` (callers fork a stream per logical request) and executed via
+/// `sleep_ms`, which tests replace to observe waits without sleeping;
+/// nullptr sleeps for real.
+[[nodiscard]] core::StatusOr<RetryResult> call_with_retry(
+    TcpClient& client, const Frame& request, const RetryPolicy& policy,
+    Rng& rng, const std::function<void(std::uint64_t)>& sleep_ms = nullptr);
+
+/// The wait before retry number `attempt` (1-based): jittered
+/// exponential doubling clamped to max_backoff_ms, floored by
+/// `retry_after_ms` when the server sent a hint. Exposed for tests.
+[[nodiscard]] std::uint64_t retry_backoff_ms(const RetryPolicy& policy,
+                                             std::size_t attempt,
+                                             std::uint32_t retry_after_ms,
+                                             Rng& rng);
+
+}  // namespace mdg::serve

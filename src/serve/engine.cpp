@@ -19,6 +19,7 @@
 #include "sim/energy.h"
 #include "sim/mobile_sim.h"
 #include "tsp/improve.h"
+#include "util/log.h"
 #include "util/thread_pool.h"
 #include "verify/canonical.h"
 #include "verify/check.h"
@@ -143,13 +144,15 @@ CachedPlan make_cached_plan(const core::ShdgpInstance& instance,
 Engine::Engine(EngineOptions options)
     : options_(options), cache_(options.cache_capacity) {}
 
-Frame Engine::handle(const Frame& request) {
+Frame Engine::handle(const Frame& request) { return handle(request, {}); }
+
+Frame Engine::handle(const Frame& request, const HandleContext& ctx) {
   OBS_SPAN(obs::metric::kServeRequest);
   requests_.fetch_add(1, std::memory_order_relaxed);
   MDG_OBS_COUNT(obs::metric::kServeRequests, 1);
   switch (request.type) {
     case FrameType::kPlanRequest:
-      return handle_plan(request);
+      return handle_plan(request, ctx);
     case FrameType::kDeltaRequest:
       return handle_delta(request);
     case FrameType::kSimulateRequest:
@@ -171,7 +174,7 @@ Frame Engine::handle(const Frame& request) {
   }
 }
 
-Frame Engine::handle_plan(const Frame& request) {
+Frame Engine::handle_plan(const Frame& request, const HandleContext& ctx) {
   // Fast path: the byte-identical request was answered before. No
   // parsing, no planning — one hash over the payload.
   const std::uint64_t raw_key = fnv1a64(request.payload);
@@ -214,6 +217,30 @@ Frame Engine::handle_plan(const Frame& request) {
   }
 
   const core::ShdgpInstance instance(req.network);
+
+  // Brownout degradation (docs/SERVE.md §Operations): under sustained
+  // overload the greedy planner serves a construction-only tour — the
+  // deterministic "cheap answer" — flagged kFlagBrownout and never
+  // cached, so the cache only ever holds full-effort bytes. Cache hits
+  // above were still served at full quality (they cost nothing);
+  // non-degradable planners fall through to the normal path.
+  if (ctx.brownout && req.options.planner == "greedy") {
+    core::GreedyCoverPlannerOptions degraded;
+    degraded.tsp_effort = tsp::TspEffort::kConstructionOnly;
+    degraded.max_pp_load = req.options.max_load;
+    core::ShdgpSolution cheap =
+        core::GreedyCoverPlanner(degraded).plan(instance);
+    if (req.options.refine) {
+      core::refine_polling_positions(instance, cheap, {});
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    MDG_OBS_COUNT(obs::metric::kServeMisses, 1);
+    brownout_served_.fetch_add(1, std::memory_order_relaxed);
+    MDG_OBS_COUNT(obs::metric::kServeBrownoutServed, 1);
+    return ok_reply(request.id, kFlagCacheMiss | kFlagBrownout,
+                    plan_reply_payload(cheap));
+  }
+
   const bool has_deadline = req.options.deadline_ms > 0;
   const Clock::time_point deadline =
       Clock::now() + std::chrono::milliseconds(req.options.deadline_ms);
@@ -325,8 +352,13 @@ Frame Engine::handle_plan(const Frame& request) {
                    : warm_signature_of(req.options.max_load, instance.sink(),
                                        solution.polling_points))
             : PlanCache::kNoKey;
+    CachedPlan cached = make_cached_plan(instance, solution, payload);
+    // Cold plan-path entries are snapshot-eligible: remember the
+    // request payload so the crash-recovery snapshot can persist the
+    // (request, reply) pair (serve/snapshot.h).
+    cached.request_payload = request.payload;
     cache_.insert(raw_key, canonical_key, donate_signature,
-                  make_cached_plan(instance, solution, payload));
+                  std::move(cached));
     MDG_OBS_GAUGE(obs::metric::kServeCacheEntries,
                   static_cast<double>(cache_.size()));
   }
@@ -417,18 +449,20 @@ Frame Engine::handle_delta(const Frame& request) {
       MDG_OBS_COUNT(obs::metric::kServeDeadlineExpired, 1);
     } else {
       // Donate the base plan to the plan path (same insertion rule as
-      // handle_plan's cold branch, including the warm signature).
+      // handle_plan's cold branch, including the warm signature and
+      // snapshot eligibility).
       std::string base_payload = plan_reply_payload(base);
-      const std::uint64_t base_raw =
-          fnv1a64(build_plan_request(req.options, req.network));
+      std::string base_request = build_plan_request(req.options, req.network);
+      const std::uint64_t base_raw = fnv1a64(base_request);
       const std::uint64_t signature =
           (req.options.planner == "greedy" && !req.options.refine)
               ? warm_signature_of(req.options.max_load, base_instance.sink(),
                                   base.polling_points)
               : PlanCache::kNoKey;
-      cache_.insert(base_raw, base_canonical, signature,
-                    make_cached_plan(base_instance, base,
-                                     std::move(base_payload)));
+      CachedPlan cached =
+          make_cached_plan(base_instance, base, std::move(base_payload));
+      cached.request_payload = std::move(base_request);
+      cache_.insert(base_raw, base_canonical, signature, std::move(cached));
     }
   }
 
@@ -544,6 +578,75 @@ std::vector<Frame> Engine::handle_many(std::span<const Frame> requests) {
   return replies;
 }
 
+std::vector<SnapshotEntry> Engine::snapshot_entries() const {
+  std::vector<SnapshotEntry> out;
+  for (const std::shared_ptr<const CachedPlan>& plan :
+       cache_.entries_oldest_first()) {
+    if (plan->request_payload.empty()) {
+      continue;  // in-memory-only entry (e.g. a delta reply)
+    }
+    out.push_back(SnapshotEntry{plan->request_payload, plan->reply_payload});
+  }
+  return out;
+}
+
+std::size_t Engine::restore_cache(const std::vector<SnapshotEntry>& entries) {
+  std::size_t restored = 0;
+  std::size_t dropped = 0;
+  for (const SnapshotEntry& entry : entries) {
+    // A snapshot is data, not authority: every entry re-runs the exact
+    // gates a live cold insert runs. Parse the request from scratch...
+    auto parsed = parse_plan_request(entry.request_payload);
+    if (!parsed.is_ok()) {
+      ++dropped;
+      MDG_LOG(kWarning) << "snapshot entry dropped (bad request): "
+                        << parsed.status().message();
+      continue;
+    }
+    const PlanRequest& req = parsed.value();
+    // ... recover the solution the reply claims to carry ...
+    auto solution = solution_from_plan_reply(entry.reply_payload);
+    if (!solution.has_value()) {
+      ++dropped;
+      MDG_LOG(kWarning) << "snapshot entry dropped: reply is not a "
+                           "well-formed plan reply";
+      continue;
+    }
+    // ... and re-gate it against the instance before trusting it.
+    const core::ShdgpInstance instance(req.network);
+    if (const core::Status valid = verify::check_solution(instance, *solution);
+        !valid.is_ok()) {
+      ++dropped;
+      MDG_LOG(kWarning) << "snapshot entry dropped (failed verification): "
+                        << valid.message();
+      continue;
+    }
+    const std::uint64_t raw_key = fnv1a64(entry.request_payload);
+    const std::uint64_t canonical_key =
+        fnv1a64(verify::canonical_network_bytes(req.network),
+                fnv1a64(options_fingerprint(req.options)));
+    const std::uint64_t signature =
+        (req.options.planner == "greedy" && !req.options.refine)
+            ? warm_signature_of(req.options.max_load, instance.sink(),
+                                solution->polling_points)
+            : PlanCache::kNoKey;
+    CachedPlan cached =
+        make_cached_plan(instance, *solution, entry.reply_payload);
+    cached.request_payload = entry.request_payload;
+    cache_.insert(raw_key, canonical_key, signature, std::move(cached));
+    ++restored;
+  }
+  snapshot_restored_.fetch_add(restored, std::memory_order_relaxed);
+  snapshot_dropped_.fetch_add(dropped, std::memory_order_relaxed);
+  MDG_OBS_GAUGE(obs::metric::kServeSnapshotRestored,
+                static_cast<double>(restored));
+  MDG_OBS_GAUGE(obs::metric::kServeSnapshotDropped,
+                static_cast<double>(dropped));
+  MDG_OBS_GAUGE(obs::metric::kServeCacheEntries,
+                static_cast<double>(cache_.size()));
+  return restored;
+}
+
 EngineStats Engine::stats() const {
   EngineStats stats;
   stats.requests = requests_.load(std::memory_order_relaxed);
@@ -557,6 +660,12 @@ EngineStats Engine::stats() const {
   stats.delta_requests = delta_requests_.load(std::memory_order_relaxed);
   stats.delta_repaired = delta_repaired_.load(std::memory_order_relaxed);
   stats.delta_base_plans = delta_base_plans_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.brownout_served = brownout_served_.load(std::memory_order_relaxed);
+  stats.conn_timeout = conn_timeout_.load(std::memory_order_relaxed);
+  stats.snapshot_restored =
+      snapshot_restored_.load(std::memory_order_relaxed);
+  stats.snapshot_dropped = snapshot_dropped_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -573,7 +682,9 @@ obs::RunReport Engine::run_report() const {
   // MetricsRegistry is disabled (they override captured same-name
   // entries).
   const std::pair<const char*, double> lifetime[] = {
+      {"serve.brownout_served", static_cast<double>(stats.brownout_served)},
       {"serve.cache_entries", static_cast<double>(stats.cache_entries)},
+      {"serve.conn_timeout", static_cast<double>(stats.conn_timeout)},
       {"serve.deadline_expired", static_cast<double>(stats.deadline_expired)},
       {"serve.delta_base_plans", static_cast<double>(stats.delta_base_plans)},
       {"serve.delta_repaired", static_cast<double>(stats.delta_repaired)},
@@ -584,6 +695,11 @@ obs::RunReport Engine::run_report() const {
       {"serve.misses", static_cast<double>(stats.misses)},
       {"serve.rejected", static_cast<double>(stats.rejected)},
       {"serve.requests", static_cast<double>(stats.requests)},
+      {"serve.shed", static_cast<double>(stats.shed)},
+      {"serve.snapshot_dropped",
+       static_cast<double>(stats.snapshot_dropped)},
+      {"serve.snapshot_restored",
+       static_cast<double>(stats.snapshot_restored)},
   };
   for (const auto& [name, value] : lifetime) {
     bool replaced = false;

@@ -18,6 +18,7 @@
 #include "obs/report.h"
 #include "serve/plan_cache.h"
 #include "serve/protocol.h"
+#include "serve/snapshot.h"
 
 namespace mdg::serve {
 
@@ -39,6 +40,20 @@ struct EngineStats {
   std::uint64_t delta_requests = 0;    ///< kDeltaRequest frames seen
   std::uint64_t delta_repaired = 0;    ///< answered by incremental repair
   std::uint64_t delta_base_plans = 0;  ///< base plans cold-planned for deltas
+  std::uint64_t shed = 0;             ///< typed reply-overloaded refusals
+  std::uint64_t brownout_served = 0;  ///< plans served at brownout effort
+  std::uint64_t conn_timeout = 0;     ///< connections dropped for stalling
+  std::uint64_t snapshot_restored = 0;  ///< cache entries revived at boot
+  std::uint64_t snapshot_dropped = 0;   ///< snapshot entries that failed gates
+};
+
+/// Per-request execution context the transport layer threads through
+/// handle(). Default-constructed == the historical behaviour, so every
+/// existing call site (tests, bench, stdio path) is unchanged.
+struct HandleContext {
+  /// Admission decided kDegraded: plan at brownout (construction-only)
+  /// effort and flag the reply kFlagBrownout. Never cached.
+  bool brownout = false;
 };
 
 class Engine {
@@ -51,6 +66,10 @@ class Engine {
   /// concurrently from any number of threads.
   [[nodiscard]] Frame handle(const Frame& request);
 
+  /// handle() with transport context — currently whether admission
+  /// degraded this request to brownout effort.
+  [[nodiscard]] Frame handle(const Frame& request, const HandleContext& ctx);
+
   /// Batch entry point in the core::plan_many idiom: handles the batch
   /// on the shared thread pool, replies in request order.
   [[nodiscard]] std::vector<Frame> handle_many(
@@ -59,6 +78,30 @@ class Engine {
   /// Counted by Server when the admission queue turns a request away;
   /// folded into stats replies and the run report.
   void note_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Counted by Server when admission sheds a work frame with a typed
+  /// reply-overloaded refusal.
+  void note_shed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Counted by Server when a connection is dropped for stalling past
+  /// its read/write deadline (slow-client defense).
+  void note_conn_timeout() {
+    conn_timeout_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Snapshot-eligible cache contents, oldest-first: the (request,
+  /// reply) pairs the crash-recovery snapshot persists. Entries without
+  /// a recorded request payload (warm donations never have one under
+  /// the current insert rules, but the filter is defensive) are
+  /// skipped.
+  [[nodiscard]] std::vector<SnapshotEntry> snapshot_entries() const;
+
+  /// Replays snapshot entries through the cold-insert path: parse the
+  /// request, recompute every cache key, re-gate the carried solution
+  /// with verify::check_solution. Entries that fail any gate are
+  /// dropped (counted, logged), never trusted. Returns the number
+  /// restored.
+  std::size_t restore_cache(const std::vector<SnapshotEntry>& entries);
 
   [[nodiscard]] EngineStats stats() const;
   [[nodiscard]] bool shutdown_requested() const {
@@ -70,7 +113,7 @@ class Engine {
   [[nodiscard]] obs::RunReport run_report() const;
 
  private:
-  Frame handle_plan(const Frame& request);
+  Frame handle_plan(const Frame& request, const HandleContext& ctx);
   Frame handle_delta(const Frame& request);
   Frame handle_simulate(const Frame& request);
   Frame handle_stats(const Frame& request);
@@ -87,6 +130,11 @@ class Engine {
   std::atomic<std::uint64_t> delta_requests_{0};
   std::atomic<std::uint64_t> delta_repaired_{0};
   std::atomic<std::uint64_t> delta_base_plans_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> brownout_served_{0};
+  std::atomic<std::uint64_t> conn_timeout_{0};
+  std::atomic<std::uint64_t> snapshot_restored_{0};
+  std::atomic<std::uint64_t> snapshot_dropped_{0};
   std::atomic<bool> shutdown_{false};
 };
 

@@ -1,0 +1,81 @@
+// A minimal std::streambuf over a POSIX file descriptor, shared by the
+// TCP server, the retry client, and the chaos proxy.
+//
+// The one piece of cleverness: error *classification*. std::istream
+// collapses every read failure into eofbit/failbit, but the
+// slow-client defense needs to distinguish "the peer closed" (serve a
+// clean disconnect) from "the peer stalled past SO_RCVTIMEO" (count a
+// serve.conn_timeout and drop the connection). The buf records the
+// errno of the last failed syscall so callers can tell the two apart
+// after a stream read fails.
+#pragma once
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <cerrno>
+#include <streambuf>
+
+#include <unistd.h>
+
+namespace mdg::serve {
+
+class FdStreambuf final : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) { setg(buf_, buf_, buf_); }
+
+  /// errno of the last read()/write() that returned <= 0 (0 = clean
+  /// EOF or no failure yet).
+  [[nodiscard]] int last_errno() const { return last_errno_; }
+
+  /// True when the last failure was a receive/send timeout
+  /// (SO_RCVTIMEO / SO_SNDTIMEO expiring surfaces as EAGAIN or
+  /// EWOULDBLOCK) rather than EOF or a hard error.
+  [[nodiscard]] bool timed_out() const {
+    return last_errno_ == EAGAIN || last_errno_ == EWOULDBLOCK;
+  }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) {
+      return traits_type::to_int_type(*gptr());
+    }
+    const ssize_t n = ::read(fd_, buf_, sizeof(buf_));
+    if (n <= 0) {
+      last_errno_ = n == 0 ? 0 : errno;
+      return traits_type::eof();
+    }
+    setg(buf_, buf_, buf_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    std::streamsize written = 0;
+    while (written < n) {
+      const ssize_t w = ::write(fd_, s + written,
+                                static_cast<std::size_t>(n - written));
+      if (w <= 0) {
+        last_errno_ = w == 0 ? 0 : errno;
+        return written;
+      }
+      written += w;
+    }
+    return written;
+  }
+
+  int_type overflow(int_type ch) override {
+    if (traits_type::eq_int_type(ch, traits_type::eof())) {
+      return 0;
+    }
+    const char c = traits_type::to_char_type(ch);
+    return xsputn(&c, 1) == 1 ? ch : traits_type::eof();
+  }
+
+ private:
+  int fd_;
+  int last_errno_ = 0;
+  char buf_[1 << 12];
+};
+
+}  // namespace mdg::serve
+
+#endif  // POSIX

@@ -154,4 +154,15 @@ std::size_t PlanCache::size() const {
   return entries_.size();
 }
 
+std::vector<std::shared_ptr<const CachedPlan>> PlanCache::entries_oldest_first()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<const CachedPlan>> out;
+  out.reserve(entries_.size());
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    out.push_back(it->plan);
+  }
+  return out;
+}
+
 }  // namespace mdg::serve

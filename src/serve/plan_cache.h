@@ -45,6 +45,12 @@ namespace mdg::serve {
 /// polling-point order.
 struct CachedPlan {
   std::string reply_payload;  ///< complete kReplyOk payload bytes
+  /// The canonical plan-request payload this entry answers. Non-empty
+  /// only for snapshot-eligible entries (cold plan-path plans): the
+  /// crash-recovery snapshot persists (request, reply) pairs and the
+  /// restore path re-derives every cache key and re-gates the solution
+  /// from them (serve/snapshot.h). Empty = in-memory only.
+  std::string request_payload;
   /// Polling points sorted by (x, y) — the order-independent identity
   /// the warm signature hashes.
   std::vector<geom::Point> sorted_points;
@@ -83,6 +89,13 @@ class PlanCache {
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Snapshot export: every cached plan, least recently used first, so
+  /// a restore that re-inserts in order reproduces today's recency
+  /// order (and, past capacity, evicts the same entries a live server
+  /// would have).
+  [[nodiscard]] std::vector<std::shared_ptr<const CachedPlan>>
+  entries_oldest_first() const;
 
   static constexpr std::uint64_t kNoKey = 0;
 

@@ -153,7 +153,7 @@ std::span<const FrameTypeInfo> known_frame_types() {
       {"stats-request", 3},    {"ping", 4},
       {"shutdown", 5},         {"delta-request", 6},
       {"reply-ok", 16},        {"reply-error", 17},
-      {"pong", 18},
+      {"pong", 18},            {"reply-overloaded", 19},
   };
   return kCatalog;
 }
@@ -401,6 +401,40 @@ std::string build_error_payload(const core::Status& status) {
       << "code " << to_string(status.code()) << "\n"
       << "message " << message << "\n";
   return out.str();
+}
+
+std::string build_overloaded_payload(const OverloadInfo& info) {
+  std::ostringstream out;
+  out << "mdg-overloaded 1\n"
+      << "retry-after-ms " << info.retry_after_ms << "\n"
+      << "queue-depth " << info.queue_depth << "\n"
+      << "draining " << (info.draining ? 1 : 0) << "\n";
+  return out.str();
+}
+
+core::StatusOr<OverloadInfo> parse_overloaded_payload(
+    const std::string& payload) {
+  std::istringstream in(payload);
+  std::string value;
+  MDG_SERVE_TRY(read_keyed_line(in, "mdg-overloaded", &value));
+  if (value != "1") {
+    return core::Status::invalid_argument(
+        "unsupported mdg-overloaded version " + value);
+  }
+  OverloadInfo info;
+  std::uint64_t u64 = 0;
+  MDG_SERVE_TRY(read_keyed_line(in, "retry-after-ms", &value));
+  MDG_SERVE_TRY(parse_u64(value, "retry-after-ms", &u64));
+  if (u64 > 0xffffffffull) {
+    return core::Status::invalid_argument("retry-after-ms out of range");
+  }
+  info.retry_after_ms = static_cast<std::uint32_t>(u64);
+  MDG_SERVE_TRY(read_keyed_line(in, "queue-depth", &value));
+  MDG_SERVE_TRY(parse_u64(value, "queue-depth", &info.queue_depth));
+  MDG_SERVE_TRY(read_keyed_line(in, "draining", &value));
+  MDG_SERVE_TRY(parse_bool(value, "draining", &info.draining));
+  MDG_SERVE_TRY(require_at_end(in));
+  return info;
 }
 
 }  // namespace mdg::serve

@@ -51,6 +51,11 @@ enum class FrameType : std::uint32_t {
   kReplyOk = 16,         ///< payload: op-specific reply text
   kReplyError = 17,      ///< payload: mdg-error text (Status code + message)
   kPong = 18,            ///< empty payload
+  /// Typed load-shedding reply: the request was refused by admission
+  /// control (queue full or server draining). Payload: mdg-overloaded
+  /// text with a retry-after hint — clients back off and retry instead
+  /// of treating it as a semantic failure.
+  kReplyOverloaded = 19,
 };
 
 // Reply flag bits (requests always send flags = 0).
@@ -62,6 +67,11 @@ inline constexpr std::uint32_t kFlagCacheWarm = 2;   ///< warm-started improve
 /// repair ran, not a cold plan.
 inline constexpr std::uint32_t kFlagCacheRepaired = 3;
 inline constexpr std::uint32_t kFlagDeadlineHit = 0x10;
+/// The plan was produced under brownout (overload degradation): the
+/// tour is construction-only, not fully improved. Brownout plans are
+/// never cached, so cached replies stay byte-identical to full-effort
+/// cold plans.
+inline constexpr std::uint32_t kFlagBrownout = 0x20;
 
 /// Catalog row for the doc-sync test: docs/SERVE.md must document every
 /// frame type by name and value.
@@ -201,5 +211,24 @@ struct SimulateRequest {
 ///   code <status-code-name>
 ///   message <first line of the diagnostic>
 [[nodiscard]] std::string build_error_payload(const core::Status& status);
+
+/// What a reply-overloaded frame tells the client.
+struct OverloadInfo {
+  std::uint32_t retry_after_ms = 0;  ///< back off at least this long
+  std::uint64_t queue_depth = 0;     ///< admission-queue depth at the shed
+  bool draining = false;  ///< true: server is draining, retry elsewhere/later
+};
+
+/// Overloaded-reply payload:
+///   mdg-overloaded 1
+///   retry-after-ms <N>
+///   queue-depth <D>
+///   draining <0|1>
+[[nodiscard]] std::string build_overloaded_payload(const OverloadInfo& info);
+
+/// Parses the build_overloaded_payload format (the retry/backoff client
+/// helper honors the hint; see serve/client.h).
+[[nodiscard]] core::StatusOr<OverloadInfo> parse_overloaded_payload(
+    const std::string& payload);
 
 }  // namespace mdg::serve

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <iostream>
 #include <istream>
 #include <list>
 #include <memory>
@@ -15,6 +16,8 @@
 
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "serve/snapshot.h"
+#include "util/log.h"
 #include "util/thread_pool.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -22,6 +25,8 @@
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include "serve/fd_stream.h"
 #else
 #define MDG_SERVE_HAVE_SOCKETS 0
 #endif
@@ -35,7 +40,17 @@ double now_ms() {
       .count();
 }
 
+/// The process-global drain flag. A signal handler owns the store side,
+/// so this must stay a lone lock-free atomic.
+std::atomic<bool> g_drain{false};
+
 }  // namespace
+
+void request_drain() { g_drain.store(true, std::memory_order_release); }
+
+bool drain_requested() { return g_drain.load(std::memory_order_acquire); }
+
+void reset_drain_for_tests() { g_drain.store(false, std::memory_order_release); }
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
@@ -58,16 +73,53 @@ void Server::maybe_report(bool force) {
   report.save(options_.report_path);
 }
 
+core::StatusOr<std::size_t> Server::load_snapshot() {
+  if (options_.snapshot_path.empty()) {
+    return std::size_t{0};
+  }
+  auto entries = serve::load_snapshot(options_.snapshot_path);
+  if (!entries.is_ok()) {
+    return entries.status();
+  }
+  return engine_.restore_cache(entries.value());
+}
+
+core::StatusOr<std::size_t> Server::save_snapshot() {
+  if (options_.snapshot_path.empty()) {
+    return std::size_t{0};
+  }
+  auto saved =
+      serve::save_snapshot(options_.snapshot_path, engine_.snapshot_entries());
+  if (saved.is_ok()) {
+    MDG_OBS_GAUGE(obs::metric::kServeSnapshotSaved,
+                  static_cast<double>(saved.value()));
+  }
+  return saved;
+}
+
+void Server::save_snapshot_logged() {
+  if (auto saved = save_snapshot(); !saved.is_ok()) {
+    MDG_LOG(kWarning) << "cache snapshot not written: "
+                      << saved.status().to_string();
+  }
+}
+
 int Server::serve_stdio(std::istream& in, std::ostream& out) {
   const ReadFrameOptions read_options{options_.max_payload_bytes};
   while (true) {
+    if (drain_requested()) {
+      break;  // graceful: stop between requests, keep the exit clean
+    }
     auto frame = read_frame(in, read_options);
     if (!frame.is_ok()) {
       // The byte stream is unsynchronized past this point; report the
-      // problem in-protocol, then stop.
+      // problem in-protocol and on stderr, then stop. No snapshot —
+      // only graceful exits persist the cache.
       write_frame(out, Frame{FrameType::kReplyError, 0, 0,
                              build_error_payload(frame.status())});
       out.flush();
+      std::cerr << "mdg_serve: protocol error on stdio stream: "
+                << frame.status().to_string() << "\n";
       maybe_report(true);
       return 3;
     }
@@ -82,6 +134,7 @@ int Server::serve_stdio(std::istream& in, std::ostream& out) {
       break;
     }
   }
+  save_snapshot_logged();
   maybe_report(true);
   return 0;
 }
@@ -89,51 +142,6 @@ int Server::serve_stdio(std::istream& in, std::ostream& out) {
 #if MDG_SERVE_HAVE_SOCKETS
 
 namespace {
-
-/// Minimal streambuf over a file descriptor (one for reading, one for
-/// writing per connection).
-class FdStreambuf final : public std::streambuf {
- public:
-  explicit FdStreambuf(int fd) : fd_(fd) { setg(buf_, buf_, buf_); }
-
- protected:
-  int_type underflow() override {
-    if (gptr() < egptr()) {
-      return traits_type::to_int_type(*gptr());
-    }
-    const ssize_t n = ::read(fd_, buf_, sizeof(buf_));
-    if (n <= 0) {
-      return traits_type::eof();
-    }
-    setg(buf_, buf_, buf_ + n);
-    return traits_type::to_int_type(*gptr());
-  }
-
-  std::streamsize xsputn(const char* s, std::streamsize n) override {
-    std::streamsize written = 0;
-    while (written < n) {
-      const ssize_t w = ::write(fd_, s + written,
-                                static_cast<std::size_t>(n - written));
-      if (w <= 0) {
-        return written;
-      }
-      written += w;
-    }
-    return written;
-  }
-
-  int_type overflow(int_type ch) override {
-    if (traits_type::eq_int_type(ch, traits_type::eof())) {
-      return 0;
-    }
-    const char c = traits_type::to_char_type(ch);
-    return xsputn(&c, 1) == 1 ? ch : traits_type::eof();
-  }
-
- private:
-  int fd_;
-  char buf_[1 << 12];
-};
 
 /// One accepted connection; jobs in flight keep it alive via
 /// shared_ptr.
@@ -143,21 +151,35 @@ struct Connection {
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
-  void send(const Frame& frame) {
+  /// Sends one frame. Returns false when the peer is gone or stalled
+  /// past the write deadline; the socket is shut down so the reader
+  /// side unblocks too (a worker must never wedge on a dead client).
+  bool send(const Frame& frame) {
     std::lock_guard<std::mutex> lock(write_mutex);
+    if (send_failed) {
+      return false;
+    }
     write_frame(out, frame);
     out.flush();
+    if (!out.good()) {
+      send_failed = true;
+      ::shutdown(fd, SHUT_RDWR);
+      return false;
+    }
+    return true;
   }
 
   int fd;
   FdStreambuf out_buf;
   std::ostream out;
   std::mutex write_mutex;
+  bool send_failed = false;  ///< guarded by write_mutex
 };
 
 struct Job {
   Frame frame;
   std::shared_ptr<Connection> connection;
+  bool degraded = false;  ///< admission said brownout effort
 };
 
 /// One per-connection reader thread plus the flag it raises when its
@@ -167,6 +189,13 @@ struct Reader {
   std::thread thread;
   std::atomic<bool> done{false};
 };
+
+timeval to_timeval(std::uint32_t ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  return tv;
+}
 
 }  // namespace
 
@@ -193,6 +222,13 @@ core::StatusOr<int> Server::serve_tcp(std::uint16_t port) {
   std::condition_variable queue_cv;
   std::deque<Job> queue;
   bool stopping = false;
+  // Admission state shares the queue lock: every (frame, depth)
+  // observation and decision happens under it, so the decision trace
+  // is a deterministic function of arrival order regardless of
+  // MDG_THREADS or worker count.
+  AdmissionOptions admission_options = options_.admission;
+  admission_options.backlog = options_.backlog;
+  AdmissionController admission(admission_options);
   // Exactly one thread may shutdown() the listen socket, and only
   // while the fd is still open — a second shutdown() after close()
   // could hit a recycled fd number belonging to unrelated I/O.
@@ -214,10 +250,17 @@ core::StatusOr<int> Server::serve_tcp(std::uint16_t port) {
           }
           job = std::move(queue.front());
           queue.pop_front();
+          // Re-evaluate brownout as the queue recedes so recovery does
+          // not wait for the next arrival.
+          admission.observe_depth(queue.size());
           MDG_OBS_GAUGE(obs::metric::kServeQueueDepth,
                         static_cast<double>(queue.size()));
+          MDG_OBS_GAUGE(obs::metric::kServeBrownout,
+                        admission.brownout() ? 1.0 : 0.0);
         }
-        job.connection->send(engine_.handle(job.frame));
+        HandleContext ctx;
+        ctx.brownout = job.degraded;
+        job.connection->send(engine_.handle(job.frame, ctx));
         maybe_report(false);
         if (engine_.shutdown_requested() &&
             !listen_shutdown.exchange(true)) {
@@ -248,11 +291,11 @@ core::StatusOr<int> Server::serve_tcp(std::uint16_t port) {
     }
   };
   const ReadFrameOptions read_options{options_.max_payload_bytes};
-  while (!engine_.shutdown_requested()) {
+  while (!engine_.shutdown_requested() && !drain_requested()) {
     const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
     if (conn_fd < 0) {
-      if (engine_.shutdown_requested()) {
-        break;
+      if (engine_.shutdown_requested() || drain_requested()) {
+        break;  // a signal (SIGTERM drain) interrupts accept with EINTR
       }
       if (errno == EINTR) {
         continue;
@@ -261,6 +304,17 @@ core::StatusOr<int> Server::serve_tcp(std::uint16_t port) {
       // busy-spin this loop at 100% CPU; back off and retry.
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
+    }
+    // Slow-client defense: a peer that stalls a read or write past the
+    // deadline surfaces as a timed-out stream error instead of pinning
+    // this connection's reader (or a worker writing the reply) forever.
+    if (options_.read_timeout_ms > 0) {
+      const timeval tv = to_timeval(options_.read_timeout_ms);
+      ::setsockopt(conn_fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+    if (options_.write_timeout_ms > 0) {
+      const timeval tv = to_timeval(options_.write_timeout_ms);
+      ::setsockopt(conn_fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     }
     reap_readers(false);
     {
@@ -279,34 +333,70 @@ core::StatusOr<int> Server::serve_tcp(std::uint16_t port) {
     reader->thread = std::thread([&, connection, self] {
       FdStreambuf in_buf(connection->fd);
       std::istream in(&in_buf);
+      std::uint64_t payload_bytes = 0;
       while (true) {
         auto frame = read_frame(in, read_options);
         if (!frame.is_ok()) {
+          if (in_buf.timed_out()) {
+            // Slowloris: a partial frame then silence. Count it and
+            // drop the connection; the error reply is best-effort.
+            engine_.note_conn_timeout();
+            MDG_OBS_COUNT(obs::metric::kServeConnTimeout, 1);
+          }
           connection->send(Frame{FrameType::kReplyError, 0, 0,
                                  build_error_payload(frame.status())});
           break;  // unsynchronized stream; drop the connection
         }
         if (!frame.value().has_value()) {
-          break;  // peer closed
-        }
-        bool rejected = false;
-        {
-          std::lock_guard<std::mutex> lock(queue_mutex);
-          if (queue.size() >= options_.backlog) {
-            rejected = true;
-          } else {
-            queue.push_back(Job{std::move(**frame), connection});
-            MDG_OBS_GAUGE(obs::metric::kServeQueueDepth,
-                          static_cast<double>(queue.size()));
+          if (in_buf.timed_out()) {
+            // Idle past the read deadline between frames.
+            engine_.note_conn_timeout();
+            MDG_OBS_COUNT(obs::metric::kServeConnTimeout, 1);
           }
+          break;  // peer closed (or timed out)
         }
-        if (rejected) {
-          engine_.note_rejected();
-          MDG_OBS_COUNT(obs::metric::kServeRejected, 1);
+        payload_bytes += (**frame).payload.size();
+        if (options_.max_conn_bytes > 0 &&
+            payload_bytes > options_.max_conn_bytes) {
           connection->send(
               Frame{FrameType::kReplyError, (**frame).id, 0,
                     build_error_payload(core::Status::failed_precondition(
-                        "server overloaded: admission queue full"))});
+                        "connection payload budget exhausted"))});
+          break;
+        }
+        AdmitDecision decision;
+        std::size_t depth;
+        bool draining;
+        {
+          std::lock_guard<std::mutex> lock(queue_mutex);
+          if (drain_requested() && !admission.draining()) {
+            admission.begin_drain();
+          }
+          depth = queue.size();
+          decision = admission.admit((**frame).type, depth);
+          draining = admission.draining();
+          if (decision != AdmitDecision::kShed) {
+            queue.push_back(Job{std::move(**frame), connection,
+                                decision == AdmitDecision::kDegraded});
+            MDG_OBS_GAUGE(obs::metric::kServeQueueDepth,
+                          static_cast<double>(queue.size()));
+          }
+          MDG_OBS_GAUGE(obs::metric::kServeBrownout,
+                        admission.brownout() ? 1.0 : 0.0);
+        }
+        if (decision == AdmitDecision::kShed) {
+          // Typed refusal, connection intact: the client backs off and
+          // retries (serve/client.h honors the hint).
+          engine_.note_shed();
+          engine_.note_rejected();
+          MDG_OBS_COUNT(obs::metric::kServeShed, 1);
+          MDG_OBS_COUNT(obs::metric::kServeRejected, 1);
+          OverloadInfo info;
+          info.retry_after_ms = admission.retry_after_ms(depth);
+          info.queue_depth = depth;
+          info.draining = draining;
+          connection->send(Frame{FrameType::kReplyOverloaded, (**frame).id, 0,
+                                 build_overloaded_payload(info)});
         } else {
           queue_cv.notify_one();
         }
@@ -319,7 +409,13 @@ core::StatusOr<int> Server::serve_tcp(std::uint16_t port) {
     readers.push_back(std::move(reader));
   }
   // Unblock readers parked on idle connections so they can observe
-  // the shutdown (their next read returns EOF).
+  // the shutdown (their next read returns EOF). Received-but-unread
+  // bytes are still readable after SHUT_RD, so frames already in
+  // flight get their typed draining refusal rather than silence.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex);
+    admission.begin_drain();
+  }
   {
     std::lock_guard<std::mutex> lock(connections_mutex);
     for (const std::weak_ptr<Connection>& weak : connections) {
@@ -340,6 +436,9 @@ core::StatusOr<int> Server::serve_tcp(std::uint16_t port) {
   // Only now is it safe to retire the fd number: no worker can still
   // reach the shutdown() above.
   ::close(listen_fd);
+  // Every queued job has completed and its reply is on the wire: this
+  // is the graceful-drain point the snapshot contract promises.
+  save_snapshot_logged();
   maybe_report(true);
   return 0;
 }

@@ -1,5 +1,6 @@
 // The process around the Engine: connections, admission queueing,
-// worker threads, periodic run reports.
+// worker threads, periodic run reports, and the survivability layer
+// (overload control, slow-client defense, drain + cache snapshots).
 //
 // Two transports share one Engine:
 //
@@ -9,16 +10,30 @@
 //    reply bytes, no sockets, no threads.
 //  * TCP mode — a loopback listener; each connection gets a reader
 //    thread that parses frames into a bounded admission queue drained
-//    by a fixed worker pool. When the queue is full the reader replies
-//    immediately with a failed-precondition error ("server
-//    overloaded") instead of blocking — bounded memory, bounded
-//    latency. Replies to one connection may interleave out of request
-//    order; the echoed frame id correlates them.
+//    by a fixed worker pool. An AdmissionController decides each work
+//    frame under the queue lock: admit at full effort, admit at
+//    brownout (construction-only) effort, or shed with a typed
+//    reply-overloaded frame carrying a retry-after hint — the
+//    connection stays open. Control frames (ping/stats/shutdown) are
+//    always admitted. Replies to one connection may interleave out of
+//    request order; the echoed frame id correlates them.
+//
+// Slow-client defense: per-connection read/write deadlines
+// (SO_RCVTIMEO/SO_SNDTIMEO) and a cumulative payload byte budget mean
+// a peer that sends half a header and stalls, trickles bytes forever,
+// or disappears mid-reply costs one connection teardown (counted as
+// serve.conn_timeout), never a pinned worker.
+//
+// Drain: request_drain() (the SIGTERM handler calls it — it is
+// async-signal-safe) stops the accept loop, sheds new work frames with
+// draining=1, completes everything already queued, then writes the
+// plan-cache snapshot so a restart warm-starts. The shutdown frame
+// drains identically.
 //
 // Exit codes follow mdg_cli's convention where it makes sense:
-// 0 = clean (EOF or shutdown frame), 3 = unrecoverable protocol error
-// on the stdio byte stream (a framing error leaves no resync point,
-// so the server sends one error reply and stops).
+// 0 = clean (EOF, shutdown frame, or drain), 3 = unrecoverable
+// protocol error on the stdio byte stream (a framing error leaves no
+// resync point, so the server sends one error reply and stops).
 #pragma once
 
 #include <cstdint>
@@ -26,6 +41,7 @@
 #include <mutex>
 #include <string>
 
+#include "serve/admission.h"
 #include "serve/engine.h"
 #include "serve/protocol.h"
 
@@ -36,29 +52,67 @@ struct ServerOptions {
   /// Worker threads draining the TCP admission queue
   /// (0 = util::planning_threads()).
   std::size_t workers = 0;
-  /// Max requests waiting in the admission queue before rejection.
+  /// Max requests waiting in the admission queue before shedding.
+  /// (Kept outside `admission` for flag compatibility; it overrides
+  /// admission.backlog.)
   std::size_t backlog = 64;
+  /// Brownout thresholds and retry-after shaping.
+  AdmissionOptions admission;
   /// Per-frame payload cap handed to read_frame.
   std::uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
+  /// TCP slow-client defense: a connection that stalls a read/write
+  /// past this is dropped (0 = no deadline).
+  std::uint32_t read_timeout_ms = 30000;
+  std::uint32_t write_timeout_ms = 10000;
+  /// Cumulative payload-byte budget per TCP connection (0 = unlimited).
+  std::uint64_t max_conn_bytes = 0;
+  /// When non-empty, the plan-cache snapshot is written here on every
+  /// graceful exit (EOF, shutdown frame, drain) and load_snapshot()
+  /// reads it back at startup.
+  std::string snapshot_path;
   /// When non-empty, the engine's run report is written here at
   /// shutdown and every `report_every` requests.
   std::string report_path;
   std::size_t report_every = 0;  ///< 0 = only at shutdown
 };
 
+/// Raises the global drain flag. Async-signal-safe (one atomic store):
+/// mdg_serve's SIGTERM/SIGINT handler calls this, and the signal also
+/// interrupts a blocking accept() (installed without SA_RESTART) so
+/// the TCP loop observes the flag promptly.
+void request_drain();
+[[nodiscard]] bool drain_requested();
+/// Clears the flag (tests; the flag is process-global).
+void reset_drain_for_tests();
+
 class Server {
  public:
   explicit Server(ServerOptions options = {});
 
   /// Single-connection sequential loop over `in`/`out`. Returns the
-  /// process exit code: 0 on clean EOF or shutdown, 3 after a framing
-  /// error (one kReplyError frame is emitted first).
+  /// process exit code: 0 on clean EOF, shutdown, or drain (snapshot
+  /// written if configured), 3 after a framing error (one kReplyError
+  /// frame and a stderr diagnostic are emitted first; no snapshot —
+  /// the exit is not graceful).
   [[nodiscard]] int serve_stdio(std::istream& in, std::ostream& out);
 
-  /// Listens on 127.0.0.1:`port` until a shutdown frame arrives.
-  /// Returns the exit code, or a Status when the listener cannot be
-  /// set up (bind/listen failure, sockets unavailable).
+  /// Listens on 127.0.0.1:`port` until a shutdown frame arrives or
+  /// drain is requested. Returns the exit code, or a Status when the
+  /// listener cannot be set up (bind/listen failure, sockets
+  /// unavailable).
   [[nodiscard]] core::StatusOr<int> serve_tcp(std::uint16_t port);
+
+  /// Loads options().snapshot_path and replays it through the engine's
+  /// verification gates. Returns the number of entries restored;
+  /// kNotFound when no snapshot exists (normal first boot), other
+  /// errors for stale/torn/corrupt files — callers log and cold-start,
+  /// they never fail the boot.
+  [[nodiscard]] core::StatusOr<std::size_t> load_snapshot();
+
+  /// Writes the current snapshot-eligible cache contents to
+  /// options().snapshot_path (no-op returning 0 when unset). Called
+  /// automatically on graceful exits; public for tests and tools.
+  [[nodiscard]] core::StatusOr<std::size_t> save_snapshot();
 
   [[nodiscard]] Engine& engine() { return engine_; }
   [[nodiscard]] const ServerOptions& options() const { return options_; }
@@ -68,6 +122,11 @@ class Server {
   /// admission-queue lock — report serialization does registry walks
   /// and file I/O and must never stall dispatch.
   void maybe_report(bool force);
+
+  /// save_snapshot() with the failure logged instead of returned — the
+  /// graceful-exit paths must not turn a full disk into a bad exit
+  /// code.
+  void save_snapshot_logged();
 
   ServerOptions options_;
   Engine engine_;

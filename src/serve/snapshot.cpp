@@ -1,0 +1,203 @@
+#include "serve/snapshot.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/report.h"
+#include "serve/plan_cache.h"
+
+namespace mdg::serve {
+namespace {
+
+constexpr std::string_view kMagicLine = "mdg-cache-snapshot 1";
+
+std::string to_hex16(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buf, 16);
+}
+
+/// Consumes one '\n'-terminated line starting at `pos`; false when the
+/// bytes end before a newline (torn file).
+bool take_line(const std::string& bytes, std::size_t& pos,
+               std::string& line) {
+  const std::size_t nl = bytes.find('\n', pos);
+  if (nl == std::string::npos) {
+    return false;
+  }
+  line.assign(bytes, pos, nl - pos);
+  pos = nl + 1;
+  return true;
+}
+
+core::Status parse_count(const std::string& text, std::uint64_t& out) {
+  if (text.empty() || text.size() > 19) {
+    return core::Status::data_loss("snapshot: bad count '" + text + "'");
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return core::Status::data_loss("snapshot: bad count '" + text + "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = value;
+  return core::Status::ok();
+}
+
+}  // namespace
+
+std::string build_snapshot(const std::vector<SnapshotEntry>& entries) {
+  std::ostringstream out;
+  out << kMagicLine << "\n";
+  out << "build " << obs::current_git_describe() << "\n";
+  out << "entries " << entries.size() << "\n";
+  for (const SnapshotEntry& entry : entries) {
+    out << "entry " << entry.request_payload.size() << " "
+        << entry.reply_payload.size() << "\n";
+    out << entry.request_payload << "\n";
+    out << entry.reply_payload << "\n";
+  }
+  std::string bytes = out.str();
+  bytes += "checksum " + to_hex16(fnv1a64(bytes)) + "\n";
+  return bytes;
+}
+
+core::StatusOr<std::size_t> save_snapshot(
+    const std::string& path, const std::vector<SnapshotEntry>& entries) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      return core::Status::internal("snapshot: cannot open '" + tmp +
+                                    "' for writing");
+    }
+    const std::string bytes = build_snapshot(entries);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out.good()) {
+      std::remove(tmp.c_str());
+      return core::Status::internal("snapshot: write to '" + tmp +
+                                    "' failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string reason = std::strerror(errno);
+    std::remove(tmp.c_str());
+    return core::Status::internal("snapshot: rename to '" + path +
+                                  "' failed: " + reason);
+  }
+  return entries.size();
+}
+
+core::StatusOr<std::vector<SnapshotEntry>> parse_snapshot(
+    const std::string& bytes) {
+  std::size_t pos = 0;
+  std::string line;
+  if (!take_line(bytes, pos, line)) {
+    return core::Status::data_loss("snapshot: empty or torn header");
+  }
+  if (line != kMagicLine) {
+    return core::Status::invalid_argument(
+        "snapshot: bad magic/version line '" + line + "' (expected '" +
+        std::string(kMagicLine) + "')");
+  }
+  if (!take_line(bytes, pos, line) || line.rfind("build ", 0) != 0) {
+    return core::Status::data_loss("snapshot: missing build line");
+  }
+  const std::string build = line.substr(6);
+  if (build != obs::current_git_describe()) {
+    return core::Status::invalid_argument(
+        "snapshot: stale build '" + build + "' (this build is '" +
+        obs::current_git_describe() +
+        "'; replies may not be byte-identical)");
+  }
+  if (!take_line(bytes, pos, line) || line.rfind("entries ", 0) != 0) {
+    return core::Status::data_loss("snapshot: missing entries line");
+  }
+  std::uint64_t count = 0;
+  if (core::Status s = parse_count(line.substr(8), count); !s.is_ok()) {
+    return s;
+  }
+  std::vector<SnapshotEntry> entries;
+  entries.reserve(static_cast<std::size_t>(
+      count < 4096 ? count : 4096));  // don't trust a hostile count
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!take_line(bytes, pos, line) || line.rfind("entry ", 0) != 0) {
+      return core::Status::data_loss("snapshot: torn at entry " +
+                                     std::to_string(i));
+    }
+    std::istringstream head(line.substr(6));
+    std::uint64_t req_len = 0;
+    std::uint64_t reply_len = 0;
+    std::string req_text;
+    std::string reply_text;
+    if (!(head >> req_text >> reply_text) || !(head >> std::ws).eof()) {
+      return core::Status::data_loss("snapshot: bad entry header '" + line +
+                                     "'");
+    }
+    if (core::Status s = parse_count(req_text, req_len); !s.is_ok()) {
+      return s;
+    }
+    if (core::Status s = parse_count(reply_text, reply_len); !s.is_ok()) {
+      return s;
+    }
+    // Each payload is followed by one '\n' separator.
+    if (req_len + 1 > bytes.size() - pos ||
+        reply_len + 1 > bytes.size() - pos - req_len - 1) {
+      return core::Status::data_loss("snapshot: entry " + std::to_string(i) +
+                                     " runs past end of file");
+    }
+    SnapshotEntry entry;
+    entry.request_payload.assign(bytes, pos, req_len);
+    pos += req_len;
+    if (bytes[pos] != '\n') {
+      return core::Status::data_loss("snapshot: entry " + std::to_string(i) +
+                                     " request not newline-terminated");
+    }
+    ++pos;
+    entry.reply_payload.assign(bytes, pos, reply_len);
+    pos += reply_len;
+    if (bytes[pos] != '\n') {
+      return core::Status::data_loss("snapshot: entry " + std::to_string(i) +
+                                     " reply not newline-terminated");
+    }
+    ++pos;
+    entries.push_back(std::move(entry));
+  }
+  const std::size_t checksum_at = pos;
+  if (!take_line(bytes, pos, line) || line.rfind("checksum ", 0) != 0) {
+    return core::Status::data_loss("snapshot: missing checksum line");
+  }
+  if (pos != bytes.size()) {
+    return core::Status::data_loss("snapshot: trailing bytes after checksum");
+  }
+  const std::string expected =
+      to_hex16(fnv1a64(std::string_view(bytes.data(), checksum_at)));
+  if (line.substr(9) != expected) {
+    return core::Status::data_loss("snapshot: checksum mismatch (stored " +
+                                   line.substr(9) + ", computed " + expected +
+                                   ")");
+  }
+  return entries;
+}
+
+core::StatusOr<std::vector<SnapshotEntry>> load_snapshot(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return core::Status::not_found("snapshot: no file at '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return core::Status::data_loss("snapshot: read of '" + path + "' failed");
+  }
+  return parse_snapshot(buffer.str());
+}
+
+}  // namespace mdg::serve

@@ -1,0 +1,68 @@
+// Crash-recoverable plan-cache snapshots.
+//
+// A snapshot is the durable half of the serving cache: on graceful
+// drain the server writes every snapshot-eligible cache entry — the
+// (canonical request payload, reply payload) pairs — to one versioned,
+// checksummed file; on startup it loads the file and replays each pair
+// through the engine's cold-insert path, re-deriving every cache key
+// and re-gating every solution with verify::check_solution. Persisting
+// requests and replies (rather than the in-memory index) keeps the
+// byte-identity contract honest across restarts: a restored entry can
+// only ever serve bytes the current build would accept as a valid
+// answer to that exact request.
+//
+// The file is defensive by construction (docs/SERVE.md §Operations):
+//
+//   mdg-cache-snapshot 1
+//   build <git-describe of the writer>
+//   entries <N>
+//   entry <request-bytes> <reply-bytes>   } N times, each followed by
+//   <request>\n<reply>\n                  } the raw payload bytes
+//   checksum <16-hex-digit fnv1a64>
+//
+// The checksum covers every byte before its own line, so a torn write
+// (kill -9 mid-flush, full disk) or bit rot fails closed; the version
+// and build lines make a snapshot from another build read as stale.
+// Loading NEVER crashes the server: every failure maps to an error
+// Status the caller logs before cold-starting. Writes go through a
+// temp file + rename so a crash mid-save leaves the previous snapshot
+// intact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace mdg::serve {
+
+/// One persisted cache entry: the canonical plan-request payload and
+/// the reply payload it maps to.
+struct SnapshotEntry {
+  std::string request_payload;
+  std::string reply_payload;
+};
+
+/// Serializes `entries` (already oldest-first) to the snapshot format.
+[[nodiscard]] std::string build_snapshot(
+    const std::vector<SnapshotEntry>& entries);
+
+/// Writes build_snapshot(entries) to `path` atomically (temp file in
+/// the same directory, then rename). Returns the number of entries
+/// written, or an error Status on any I/O failure.
+[[nodiscard]] core::StatusOr<std::size_t> save_snapshot(
+    const std::string& path, const std::vector<SnapshotEntry>& entries);
+
+/// Parses snapshot bytes. kInvalidArgument: wrong magic/version, or a
+/// `build` line from a different build (stale — replies might not be
+/// byte-identical under the current code). kDataLoss: truncated file,
+/// lengths pointing past EOF, or checksum mismatch.
+[[nodiscard]] core::StatusOr<std::vector<SnapshotEntry>> parse_snapshot(
+    const std::string& bytes);
+
+/// Loads and parses `path`. A missing file is kNotFound (a normal
+/// first boot, not corruption); everything else as parse_snapshot.
+[[nodiscard]] core::StatusOr<std::vector<SnapshotEntry>> load_snapshot(
+    const std::string& path);
+
+}  // namespace mdg::serve

@@ -8,10 +8,45 @@
 #include "fault/config_io.h"
 #include "io/delta_io.h"
 #include "io/serialize.h"
+#include "serve/protocol.h"
 #include "util/rng.h"
 
 namespace mdg::verify {
 namespace {
+
+/// Walks the MDG1 frame stream the way serve_stdio does: frame by
+/// frame until EOF or the first framing error, feeding every request
+/// payload through its typed parser. A 1 MiB payload cap keeps a
+/// hostile length field from allocating gigabytes per execution while
+/// still exercising the cap-rejection path.
+core::Status run_frame_target(std::string_view bytes) {
+  std::istringstream in{std::string(bytes)};
+  const serve::ReadFrameOptions frame_options{1u << 20};
+  core::Status last = core::Status::ok();
+  while (true) {
+    auto frame = serve::read_frame(in, frame_options);
+    if (!frame.is_ok()) {
+      return frame.status();  // framing error: no resync point
+    }
+    if (!frame.value().has_value()) {
+      return last;  // clean EOF between frames
+    }
+    const serve::Frame& f = **frame;
+    switch (f.type) {
+      case serve::FrameType::kPlanRequest:
+        last = serve::parse_plan_request(f.payload).status();
+        break;
+      case serve::FrameType::kDeltaRequest:
+        last = serve::parse_delta_request(f.payload).status();
+        break;
+      case serve::FrameType::kSimulateRequest:
+        last = serve::parse_simulate_request(f.payload).status();
+        break;
+      default:
+        break;  // control frames and replies carry no parsed payload
+    }
+  }
+}
 
 core::Status run_target(FuzzTarget target, std::string_view bytes,
                         bool fail_fast) {
@@ -26,6 +61,9 @@ core::Status run_target(FuzzTarget target, std::string_view bytes,
     case FuzzTarget::kDelta:
       // The delta loader has a single validation mode.
       return io::try_read_delta(in).status();
+    case FuzzTarget::kFrame:
+      // Binary framing + payload parsers; single validation mode.
+      return run_frame_target(bytes);
   }
   return core::Status::internal("unknown fuzz target");
 }
@@ -99,13 +137,16 @@ const char* to_string(FuzzTarget target) {
       return "faults";
     case FuzzTarget::kDelta:
       return "delta";
+    case FuzzTarget::kFrame:
+      return "serve";
   }
   return "unknown";
 }
 
 std::optional<FuzzTarget> fuzz_target_from_string(std::string_view name) {
-  for (FuzzTarget target : {FuzzTarget::kNetwork, FuzzTarget::kSolution,
-                            FuzzTarget::kFaultConfig, FuzzTarget::kDelta}) {
+  for (FuzzTarget target :
+       {FuzzTarget::kNetwork, FuzzTarget::kSolution, FuzzTarget::kFaultConfig,
+        FuzzTarget::kDelta, FuzzTarget::kFrame}) {
     if (name == to_string(target)) {
       return target;
     }

@@ -1,11 +1,13 @@
 // Fuzzing support for the untrusted-input boundary.
 //
-// Three fuzz targets cover the three loaders that accept bytes from
-// outside the process: network files (io::try_read_network), solution
-// files (io::try_read_solution) and fault configs
-// (fault::read_fault_config). The contract under fuzzing is the PR 4
-// hardening contract: any byte sequence either parses or produces a
-// diagnostic core::Status — never a crash, leak, exception or UB.
+// The fuzz targets cover the loaders that accept bytes from outside
+// the process: network files (io::try_read_network), solution files
+// (io::try_read_solution), fault configs (fault::read_fault_config),
+// plan deltas (io::try_read_delta) and the MDG1 binary frame stream
+// (serve::read_frame plus the typed request-payload parsers). The
+// contract under fuzzing is the PR 4 hardening contract: any byte
+// sequence either parses or produces a diagnostic core::Status —
+// never a crash, leak, exception or UB.
 //
 // Two drivers share fuzz_one:
 //   * libFuzzer entry points (tools/fuzz/, built with -DMDG_FUZZ=ON
@@ -33,10 +35,11 @@ enum class FuzzTarget {
   kSolution,     ///< io::try_read_solution
   kFaultConfig,  ///< fault::read_fault_config
   kDelta,        ///< io::try_read_delta
+  kFrame,        ///< serve::read_frame + request-payload parsers
 };
 
 /// Corpus directory name and CLI spelling: "network" / "solution" /
-/// "faults" / "delta".
+/// "faults" / "delta" / "serve".
 [[nodiscard]] const char* to_string(FuzzTarget target);
 [[nodiscard]] std::optional<FuzzTarget> fuzz_target_from_string(
     std::string_view name);

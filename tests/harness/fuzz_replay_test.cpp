@@ -44,10 +44,10 @@ std::string corpus_entry(verify::FuzzTarget target, const std::string& name) {
   return buf.str();
 }
 
-constexpr verify::FuzzTarget kTargets[] = {verify::FuzzTarget::kNetwork,
-                                           verify::FuzzTarget::kSolution,
-                                           verify::FuzzTarget::kFaultConfig,
-                                           verify::FuzzTarget::kDelta};
+constexpr verify::FuzzTarget kTargets[] = {
+    verify::FuzzTarget::kNetwork, verify::FuzzTarget::kSolution,
+    verify::FuzzTarget::kFaultConfig, verify::FuzzTarget::kDelta,
+    verify::FuzzTarget::kFrame};
 
 TEST(FuzzReplayTest, SeedCorpusIsCheckedInForEveryTarget) {
   for (verify::FuzzTarget target : kTargets) {
@@ -105,6 +105,14 @@ TEST(FuzzReplayTest, ValidEntriesParse) {
                                corpus_entry(verify::FuzzTarget::kDelta,
                                             "valid_empty.txt"))
                   .is_ok());
+  EXPECT_TRUE(verify::fuzz_one(verify::FuzzTarget::kFrame,
+                               corpus_entry(verify::FuzzTarget::kFrame,
+                                            "valid_ping.bin"))
+                  .is_ok());
+  EXPECT_TRUE(verify::fuzz_one(verify::FuzzTarget::kFrame,
+                               corpus_entry(verify::FuzzTarget::kFrame,
+                                            "valid_stats.bin"))
+                  .is_ok());
 }
 
 TEST(FuzzReplayTest, CorruptedEntriesAreRejectedWithTheDocumentedCodes) {
@@ -140,6 +148,14 @@ TEST(FuzzReplayTest, CorruptedEntriesAreRejectedWithTheDocumentedCodes) {
       {verify::FuzzTarget::kDelta, "truncated.txt", kDataLoss},
       {verify::FuzzTarget::kDelta, "unknown_op.txt", kInvalidArgument},
       {verify::FuzzTarget::kDelta, "wrong_version.txt", kInvalidArgument},
+      {verify::FuzzTarget::kFrame, "corrupt_magic.bin", kInvalidArgument},
+      {verify::FuzzTarget::kFrame, "corrupt_unknown_type.bin",
+       kInvalidArgument},
+      {verify::FuzzTarget::kFrame, "corrupt_len_overflow.bin",
+       kInvalidArgument},
+      {verify::FuzzTarget::kFrame, "corrupt_truncated_header.bin", kDataLoss},
+      {verify::FuzzTarget::kFrame, "corrupt_truncated_payload.bin", kDataLoss},
+      {verify::FuzzTarget::kFrame, "corrupt_plan_payload.bin", kDataLoss},
   };
   for (const auto& c : kCases) {
     SCOPED_TRACE(std::string(verify::to_string(c.target)) + "/" + c.name);

@@ -1,0 +1,160 @@
+// Overload control: the AdmissionController is a deterministic state
+// machine over (frame class, queue depth) observations — priority
+// classes, load shedding at the backlog cap, brownout hysteresis, and
+// retry-after shaping are all pinned here because docs/SERVE.md
+// §Operations promises operators replayable overload behaviour.
+#include "serve/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mdg::serve {
+namespace {
+
+TEST(AdmissionTest, ControlFramesAreAlwaysAdmitted) {
+  AdmissionOptions options;
+  options.backlog = 4;
+  AdmissionController admission(options);
+  // Even far past the backlog cap, and even while draining: an operator
+  // must be able to observe and stop an overloaded server.
+  for (FrameType type :
+       {FrameType::kPing, FrameType::kStatsRequest, FrameType::kShutdown}) {
+    EXPECT_EQ(admission.admit(type, 1000), AdmitDecision::kAdmit);
+  }
+  admission.begin_drain();
+  for (FrameType type :
+       {FrameType::kPing, FrameType::kStatsRequest, FrameType::kShutdown}) {
+    EXPECT_EQ(admission.admit(type, 0), AdmitDecision::kAdmit);
+  }
+  EXPECT_TRUE(is_control_frame(FrameType::kPing));
+  EXPECT_FALSE(is_control_frame(FrameType::kPlanRequest));
+  EXPECT_FALSE(is_control_frame(FrameType::kDeltaRequest));
+  EXPECT_FALSE(is_control_frame(FrameType::kSimulateRequest));
+}
+
+TEST(AdmissionTest, ShedOnlyAtOrPastBacklog) {
+  AdmissionOptions options;
+  options.backlog = 8;
+  options.brownout_enter = 8;  // disable brownout below the cap
+  options.brownout_exit = 1;
+  AdmissionController admission(options);
+  EXPECT_EQ(admission.admit(FrameType::kPlanRequest, 7),
+            AdmitDecision::kAdmit);
+  EXPECT_EQ(admission.admit(FrameType::kPlanRequest, 8), AdmitDecision::kShed);
+  EXPECT_EQ(admission.admit(FrameType::kPlanRequest, 9), AdmitDecision::kShed);
+}
+
+TEST(AdmissionTest, BrownoutUsesHysteresis) {
+  AdmissionOptions options;
+  options.backlog = 16;
+  options.brownout_enter = 12;
+  options.brownout_exit = 4;
+  AdmissionController admission(options);
+  EXPECT_EQ(admission.admit(FrameType::kPlanRequest, 11),
+            AdmitDecision::kAdmit);
+  EXPECT_FALSE(admission.brownout());
+  // Reaching the engage threshold flips the mode...
+  EXPECT_EQ(admission.admit(FrameType::kPlanRequest, 12),
+            AdmitDecision::kDegraded);
+  EXPECT_TRUE(admission.brownout());
+  // ...and it stays engaged in the dead band between the thresholds —
+  // no flapping on a queue oscillating around one value.
+  EXPECT_EQ(admission.admit(FrameType::kPlanRequest, 8),
+            AdmitDecision::kDegraded);
+  EXPECT_EQ(admission.admit(FrameType::kPlanRequest, 5),
+            AdmitDecision::kDegraded);
+  // Only falling to the release threshold ends the brownout.
+  admission.observe_depth(4);
+  EXPECT_FALSE(admission.brownout());
+  EXPECT_EQ(admission.admit(FrameType::kPlanRequest, 5),
+            AdmitDecision::kAdmit);
+}
+
+TEST(AdmissionTest, DerivedThresholdsAndExitClamp) {
+  AdmissionOptions options;
+  options.backlog = 64;
+  AdmissionController derived(options);
+  EXPECT_EQ(derived.options().brownout_enter, 48u);  // 3/4 of backlog
+  EXPECT_EQ(derived.options().brownout_exit, 16u);   // 1/4 of backlog
+
+  // A release threshold at or above the engage threshold would defeat
+  // the hysteresis entirely; the constructor clamps it strictly below.
+  options.brownout_enter = 10;
+  options.brownout_exit = 10;
+  AdmissionController clamped(options);
+  EXPECT_LT(clamped.options().brownout_exit,
+            clamped.options().brownout_enter);
+
+  options.backlog = 1;  // degenerate: enter derives to max(1, 0) = 1
+  options.brownout_enter = 0;
+  options.brownout_exit = 0;
+  AdmissionController tiny(options);
+  EXPECT_GE(tiny.options().brownout_enter, 1u);
+  EXPECT_LT(tiny.options().brownout_exit, tiny.options().brownout_enter);
+}
+
+TEST(AdmissionTest, DrainingShedsWorkAndCapsTheHint) {
+  AdmissionOptions options;
+  options.backlog = 8;
+  options.retry_after_base_ms = 50;
+  options.retry_after_cap_ms = 2000;
+  AdmissionController admission(options);
+  EXPECT_EQ(admission.admit(FrameType::kPlanRequest, 0),
+            AdmitDecision::kAdmit);
+  admission.begin_drain();
+  EXPECT_TRUE(admission.draining());
+  EXPECT_EQ(admission.admit(FrameType::kPlanRequest, 0), AdmitDecision::kShed);
+  // While draining the hint is the cap: the server is going away, not
+  // momentarily busy.
+  EXPECT_EQ(admission.retry_after_ms(0), 2000u);
+}
+
+TEST(AdmissionTest, RetryAfterDoublesPerBacklogOfExcessAndCaps) {
+  AdmissionOptions options;
+  options.backlog = 10;
+  options.retry_after_base_ms = 50;
+  options.retry_after_cap_ms = 2000;
+  AdmissionController admission(options);
+  EXPECT_EQ(admission.retry_after_ms(0), 50u);
+  EXPECT_EQ(admission.retry_after_ms(10), 50u);   // at the cap, no excess
+  EXPECT_EQ(admission.retry_after_ms(19), 50u);   // excess 9 < one backlog
+  EXPECT_EQ(admission.retry_after_ms(20), 100u);  // one whole backlog over
+  EXPECT_EQ(admission.retry_after_ms(30), 200u);
+  EXPECT_EQ(admission.retry_after_ms(60), 1600u);
+  EXPECT_EQ(admission.retry_after_ms(70), 2000u);  // value-capped
+  // A hostile depth cannot overflow the shift.
+  EXPECT_EQ(admission.retry_after_ms(static_cast<std::size_t>(-1) / 2),
+            2000u);
+}
+
+TEST(AdmissionTest, SameObservationTraceSameDecisions) {
+  // The replayability contract: feeding two controllers the same
+  // sequence of (type, depth) observations produces identical decision
+  // traces — no clocks, no randomness, no hidden state.
+  const struct {
+    FrameType type;
+    std::size_t depth;
+  } kTrace[] = {
+      {FrameType::kPlanRequest, 0},  {FrameType::kPlanRequest, 5},
+      {FrameType::kPing, 50},        {FrameType::kPlanRequest, 50},
+      {FrameType::kPlanRequest, 64}, {FrameType::kStatsRequest, 64},
+      {FrameType::kPlanRequest, 40}, {FrameType::kPlanRequest, 15},
+      {FrameType::kPlanRequest, 16}, {FrameType::kPlanRequest, 17},
+      {FrameType::kShutdown, 90},    {FrameType::kPlanRequest, 2},
+  };
+  AdmissionOptions options;
+  options.backlog = 64;
+  AdmissionController a(options);
+  AdmissionController b(options);
+  for (const auto& step : kTrace) {
+    const AdmitDecision da = a.admit(step.type, step.depth);
+    const AdmitDecision db = b.admit(step.type, step.depth);
+    EXPECT_EQ(da, db);
+    EXPECT_EQ(a.brownout(), b.brownout());
+    EXPECT_EQ(a.retry_after_ms(step.depth), b.retry_after_ms(step.depth));
+  }
+}
+
+}  // namespace
+}  // namespace mdg::serve

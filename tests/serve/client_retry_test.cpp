@@ -1,0 +1,108 @@
+// The retry/backoff client helper: deterministic jittered exponential
+// backoff, the server's retry-after hint as a floor, and the failure
+// shaping of call_with_retry against ports nobody answers on.
+#include "serve/client.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/rng.h"
+
+namespace mdg::serve {
+namespace {
+
+TEST(ClientRetryTest, BackoffIsDeterministicFromTheRngStream) {
+  RetryPolicy policy;
+  Rng a(77);
+  Rng b(77);
+  for (std::size_t attempt = 1; attempt <= 6; ++attempt) {
+    EXPECT_EQ(retry_backoff_ms(policy, attempt, 0, a),
+              retry_backoff_ms(policy, attempt, 0, b));
+  }
+}
+
+TEST(ClientRetryTest, BackoffDoublesWithinJitterBoundsAndCaps) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 100;
+  policy.max_backoff_ms = 1000;
+  policy.jitter = 0.25;
+  Rng rng(5);
+  for (std::size_t attempt = 1; attempt <= 10; ++attempt) {
+    const std::uint64_t nominal =
+        std::min<std::uint64_t>(100ull << (attempt - 1), 1000);
+    const std::uint64_t wait = retry_backoff_ms(policy, attempt, 0, rng);
+    EXPECT_GE(wait, static_cast<std::uint64_t>(0.75 * nominal)) << attempt;
+    EXPECT_LE(wait, static_cast<std::uint64_t>(1.25 * nominal) + 1) << attempt;
+  }
+}
+
+TEST(ClientRetryTest, ZeroJitterIsExact) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 20;
+  policy.max_backoff_ms = 2000;
+  policy.jitter = 0.0;
+  Rng rng(1);
+  EXPECT_EQ(retry_backoff_ms(policy, 1, 0, rng), 20u);
+  EXPECT_EQ(retry_backoff_ms(policy, 2, 0, rng), 40u);
+  EXPECT_EQ(retry_backoff_ms(policy, 3, 0, rng), 80u);
+  EXPECT_EQ(retry_backoff_ms(policy, 8, 0, rng), 2000u);  // clamped
+  // A hostile attempt count cannot overflow the shift.
+  EXPECT_EQ(retry_backoff_ms(policy, 10000, 0, rng), 2000u);
+}
+
+TEST(ClientRetryTest, ServerHintIsAFloorNotAReplacement) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 20;
+  policy.jitter = 0.0;
+  Rng rng(1);
+  // Hint above our backoff: the hint wins.
+  EXPECT_EQ(retry_backoff_ms(policy, 1, 500, rng), 500u);
+  // Hint below our grown backoff: our own schedule keeps growing (a
+  // shedding server's low hint must not reset the client's backoff).
+  EXPECT_EQ(retry_backoff_ms(policy, 5, 100, rng), 320u);
+}
+
+TEST(ClientRetryTest, ConnectFailureRetriesThenReportsAttempts) {
+  // Port 1 on loopback: nothing listens there, connect fails fast.
+  TcpClientOptions options;
+  options.connect_timeout_ms = 200;
+  TcpClient client(1, options);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.jitter = 0.0;
+  policy.base_backoff_ms = 10;
+  Rng rng(9);
+  std::vector<std::uint64_t> waits;
+  const auto result = call_with_retry(
+      client, Frame{FrameType::kPing, 1, 0, ""}, policy, rng,
+      [&](std::uint64_t ms) { waits.push_back(ms); });
+  ASSERT_FALSE(result.is_ok());
+  // All attempts consumed, the wait schedule ran between them, and the
+  // final Status names the attempt count for the operator.
+  ASSERT_EQ(waits.size(), 2u);
+  EXPECT_EQ(waits[0], 10u);
+  EXPECT_EQ(waits[1], 20u);
+  EXPECT_NE(result.status().message().find("after 3 attempts"),
+            std::string::npos);
+}
+
+TEST(ClientRetryTest, MaxAttemptsZeroStillTriesOnce) {
+  TcpClientOptions options;
+  options.connect_timeout_ms = 100;
+  TcpClient client(1, options);
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  Rng rng(9);
+  std::size_t sleeps = 0;
+  const auto result =
+      call_with_retry(client, Frame{FrameType::kPing, 1, 0, ""}, policy, rng,
+                      [&](std::uint64_t) { ++sleeps; });
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(sleeps, 0u);
+}
+
+}  // namespace
+}  // namespace mdg::serve

@@ -1,0 +1,144 @@
+// Drain semantics: the shutdown frame and request_drain() (what the
+// SIGTERM handler calls) both complete in-flight work, refuse nothing
+// silently, exit 0, and leave a loadable cache snapshot behind — the
+// graceful half of the crash-recovery contract.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/deployment.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/rng.h"
+
+namespace mdg::serve {
+namespace {
+
+net::SensorNetwork test_network(std::uint64_t seed, std::size_t n = 40) {
+  Rng rng(seed);
+  return net::make_uniform_network(n, 150.0, 28.0, rng);
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("mdg_drain_test_") + name))
+      .string();
+}
+
+/// Reads every reply frame out of `bytes`.
+std::vector<Frame> parse_replies(const std::string& bytes) {
+  std::istringstream in(bytes);
+  std::vector<Frame> replies;
+  while (true) {
+    auto frame = read_frame(in);
+    if (!frame.is_ok() || !frame.value().has_value()) {
+      break;
+    }
+    replies.push_back(std::move(**frame));
+  }
+  return replies;
+}
+
+class DrainTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_drain_for_tests(); }
+  void TearDown() override { reset_drain_for_tests(); }
+};
+
+TEST_F(DrainTest, ShutdownFrameCompletesInFlightWorkAndSnapshots) {
+  const std::string path = temp_path("shutdown");
+  std::remove(path.c_str());
+  ServerOptions options;
+  options.snapshot_path = path;
+  Server server(options);
+
+  const net::SensorNetwork network = test_network(21);
+  const Frame plan =
+      Frame{FrameType::kPlanRequest, 1, 0, build_plan_request({}, network)};
+  std::ostringstream requests;
+  write_frame(requests, plan);
+  write_frame(requests, Frame{FrameType::kShutdown, 2, 0, ""});
+  // A request after shutdown must not be served: the stream stops at
+  // the shutdown frame, not at EOF.
+  write_frame(requests, Frame{FrameType::kPing, 3, 0, ""});
+
+  std::istringstream in(requests.str());
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stdio(in, out), 0);
+
+  const std::vector<Frame> replies = parse_replies(out.str());
+  ASSERT_EQ(replies.size(), 2u);  // plan answered, shutdown acked, ping not
+  EXPECT_EQ(replies[0].type, FrameType::kReplyOk);
+  EXPECT_EQ(replies[0].id, 1u);
+  EXPECT_EQ(replies[1].id, 2u);
+
+  // The graceful exit left a snapshot a fresh server can warm from,
+  // and the restored entry serves the cold bytes.
+  Server revived(options);
+  const auto restored = revived.load_snapshot();
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  EXPECT_EQ(restored.value(), 1u);
+  const Frame hit = revived.engine().handle(plan);
+  EXPECT_EQ(hit.flags & kFlagCacheMask, kFlagCacheExact);
+  EXPECT_EQ(hit.payload, replies[0].payload);
+  std::remove(path.c_str());
+}
+
+TEST_F(DrainTest, RequestDrainStopsBetweenRequestsWithExitZeroAndSnapshot) {
+  const std::string path = temp_path("sigterm");
+  std::remove(path.c_str());
+  ServerOptions options;
+  options.snapshot_path = path;
+  Server server(options);
+
+  // Seed the cache before the drain so the snapshot has content.
+  const net::SensorNetwork network = test_network(22);
+  const Frame plan =
+      Frame{FrameType::kPlanRequest, 1, 0, build_plan_request({}, network)};
+  const Frame cold = server.engine().handle(plan);
+  ASSERT_EQ(cold.type, FrameType::kReplyOk);
+
+  // The flag a SIGTERM handler raises: the loop exits cleanly before
+  // reading the next request, even though input is still pending.
+  request_drain();
+  std::ostringstream requests;
+  write_frame(requests, Frame{FrameType::kPing, 9, 0, ""});
+  std::istringstream in(requests.str());
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stdio(in, out), 0);
+  EXPECT_TRUE(parse_replies(out.str()).empty());
+
+  Server revived(options);
+  const auto restored = revived.load_snapshot();
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  EXPECT_EQ(restored.value(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(DrainTest, ProtocolErrorExitsThreeWithoutASnapshot) {
+  const std::string path = temp_path("no_snapshot_on_error");
+  std::remove(path.c_str());
+  ServerOptions options;
+  options.snapshot_path = path;
+  Server server(options);
+  // Seed the cache: even with content to persist, a non-graceful exit
+  // must not write the snapshot (the file could be mid-corruption).
+  const Frame cold = server.engine().handle(Frame{
+      FrameType::kPlanRequest, 1, 0, build_plan_request({}, test_network(23))});
+  ASSERT_EQ(cold.type, FrameType::kReplyOk);
+
+  std::istringstream in("garbage that is not a frame");
+  std::ostringstream out;
+  ::testing::internal::CaptureStderr();
+  EXPECT_EQ(server.serve_stdio(in, out), 3);
+  const std::string diagnostic = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(diagnostic.find("protocol error"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+}  // namespace
+}  // namespace mdg::serve

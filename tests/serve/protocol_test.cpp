@@ -142,8 +142,10 @@ TEST(ServeProtocolTest, KnownFrameTypesCoverEveryEnumerator) {
   EXPECT_STREQ(frame_type_name(FrameType::kPlanRequest), "plan-request");
   EXPECT_STREQ(frame_type_name(FrameType::kDeltaRequest), "delta-request");
   EXPECT_STREQ(frame_type_name(FrameType::kReplyError), "reply-error");
+  EXPECT_STREQ(frame_type_name(FrameType::kReplyOverloaded),
+               "reply-overloaded");
   EXPECT_EQ(frame_type_name(static_cast<FrameType>(12345)), nullptr);
-  EXPECT_EQ(known_frame_types().size(), 9u);
+  EXPECT_EQ(known_frame_types().size(), 10u);
 }
 
 TEST(ServeProtocolTest, ErrorPayloadUsesStatusTaxonomy) {

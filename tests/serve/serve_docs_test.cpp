@@ -55,6 +55,20 @@ TEST(ServeDocsTest, ServeMdDocumentsCacheAndDeadlines) {
   }
 }
 
+TEST(ServeDocsTest, ServeMdDocumentsTheOperationsContract) {
+  const std::string doc = read_doc("docs/SERVE.md");
+  // The survivability layer must stay documented: overload shedding,
+  // brownout degradation, slow-client defense, drain + crash-recovery
+  // snapshots, and the chaos harness that exercises them.
+  for (const char* needle :
+       {"## Operations", "mdg-overloaded", "retry-after-ms", "brownout",
+        "hysteresis", "construction-only", "chaos_proxy", "snapshot",
+        "SIGTERM", "call_with_retry"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/SERVE.md is missing \"" << needle << "\"";
+  }
+}
+
 TEST(ServeDocsTest, DesignMdHasTheLayerDiagramAndRequestLifetime) {
   const std::string doc = read_doc("DESIGN.md");
   EXPECT_NE(doc.find("geom → cover/tsp → core → serve/sim"),

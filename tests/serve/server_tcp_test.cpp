@@ -1,0 +1,217 @@
+// TCP-transport survivability: request/reply over a live loopback
+// server, slow-client defense (a stalled half-frame never pins a
+// worker), and the drain flow — typed refusals with draining=1 for new
+// work, completion of control frames, exit 0 with a loadable snapshot.
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "net/deployment.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/rng.h"
+
+namespace mdg::serve {
+namespace {
+
+net::SensorNetwork test_network(std::uint64_t seed, std::size_t n = 40) {
+  Rng rng(seed);
+  return net::make_uniform_network(n, 150.0, 28.0, rng);
+}
+
+/// Reserves an ephemeral loopback port: bind port 0, read the assigned
+/// number back, close. Slightly racy by nature; SO_REUSEADDR in
+/// serve_tcp makes the immediate rebind reliable in practice.
+std::uint16_t pick_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+/// Connects with retries while the server thread is still binding.
+void await_server(TcpClient& client) {
+  for (int i = 0; i < 100; ++i) {
+    if (client.connect().is_ok()) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  FAIL() << "server never became reachable";
+}
+
+class ServeTcpTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_drain_for_tests(); }
+  void TearDown() override { reset_drain_for_tests(); }
+};
+
+TEST_F(ServeTcpTest, PingPlanAndShutdownOverALiveSocket) {
+  const std::uint16_t port = pick_port();
+  ServerOptions options;
+  options.workers = 2;
+  Server server(options);
+  core::StatusOr<int> exit_code = 0;
+  std::thread daemon([&] { exit_code = server.serve_tcp(port); });
+
+  TcpClientOptions client_options;
+  client_options.read_timeout_ms = 30000;
+  TcpClient client(port, client_options);
+  await_server(client);
+
+  auto pong = client.call(Frame{FrameType::kPing, 1, 0, ""});
+  ASSERT_TRUE(pong.is_ok()) << pong.status().to_string();
+  EXPECT_EQ(pong->type, FrameType::kPong);
+  EXPECT_EQ(pong->id, 1u);
+
+  const net::SensorNetwork network = test_network(31);
+  const Frame plan =
+      Frame{FrameType::kPlanRequest, 2, 0, build_plan_request({}, network)};
+  auto reply = client.call(plan);
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  EXPECT_EQ(reply->type, FrameType::kReplyOk);
+
+  // The reply must be byte-identical to the in-process engine's answer
+  // — the transport adds nothing to the payload.
+  Server reference;
+  EXPECT_EQ(reply->payload, reference.engine().handle(plan).payload);
+
+  auto bye = client.call(Frame{FrameType::kShutdown, 3, 0, ""});
+  ASSERT_TRUE(bye.is_ok()) << bye.status().to_string();
+  daemon.join();
+  ASSERT_TRUE(exit_code.is_ok());
+  EXPECT_EQ(exit_code.value(), 0);
+}
+
+TEST_F(ServeTcpTest, SlowClientIsDroppedNotWedged) {
+  const std::uint16_t port = pick_port();
+  ServerOptions options;
+  options.workers = 1;
+  options.read_timeout_ms = 200;  // aggressive deadline for the test
+  Server server(options);
+  core::StatusOr<int> exit_code = 0;
+  std::thread daemon([&] { exit_code = server.serve_tcp(port); });
+
+  TcpClient probe(port);
+  await_server(probe);
+  probe.disconnect();
+
+  // A slowloris peer: three header bytes, then silence. The server
+  // must cut the connection at the read deadline instead of parking a
+  // reader on it forever.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  ASSERT_EQ(::send(fd, "MDG", 3, 0), 3);
+  // Drain whatever the server sends (a best-effort error reply) until
+  // it closes our connection; a 5 s guard keeps the test from hanging
+  // if the defense is broken.
+  timeval tv{};
+  tv.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  char buf[256];
+  while (::read(fd, buf, sizeof(buf)) > 0) {
+  }
+  ::close(fd);
+  EXPECT_GE(server.engine().stats().conn_timeout, 1u);
+
+  // The daemon is still perfectly serviceable afterwards.
+  TcpClient client(port);
+  auto pong = client.call(Frame{FrameType::kPing, 5, 0, ""});
+  ASSERT_TRUE(pong.is_ok()) << pong.status().to_string();
+  EXPECT_EQ(pong->type, FrameType::kPong);
+  auto bye = client.call(Frame{FrameType::kShutdown, 6, 0, ""});
+  ASSERT_TRUE(bye.is_ok()) << bye.status().to_string();
+  daemon.join();
+  ASSERT_TRUE(exit_code.is_ok());
+  EXPECT_EQ(exit_code.value(), 0);
+}
+
+TEST_F(ServeTcpTest, DrainShedsNewWorkTypedThenExitsZeroWithSnapshot) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mdg_tcp_drain_snapshot")
+          .string();
+  std::remove(path.c_str());
+  const std::uint16_t port = pick_port();
+  ServerOptions options;
+  options.workers = 2;
+  options.snapshot_path = path;
+  Server server(options);
+  core::StatusOr<int> exit_code = 0;
+  std::thread daemon([&] { exit_code = server.serve_tcp(port); });
+
+  TcpClient client(port);
+  await_server(client);
+
+  // Seed the cache with one completed plan before the drain.
+  const net::SensorNetwork network = test_network(32);
+  const Frame plan =
+      Frame{FrameType::kPlanRequest, 1, 0, build_plan_request({}, network)};
+  auto cold = client.call(plan);
+  ASSERT_TRUE(cold.is_ok()) << cold.status().to_string();
+  ASSERT_EQ(cold->type, FrameType::kReplyOk);
+
+  // What the SIGTERM handler does. New work on the existing connection
+  // now gets a typed refusal with draining=1 — not silence, not a
+  // semantic error.
+  request_drain();
+  auto shed = client.call(Frame{FrameType::kPlanRequest, 2, 0, plan.payload});
+  ASSERT_TRUE(shed.is_ok()) << shed.status().to_string();
+  ASSERT_EQ(shed->type, FrameType::kReplyOverloaded);
+  const auto info = parse_overloaded_payload(shed->payload);
+  ASSERT_TRUE(info.is_ok()) << info.status().to_string();
+  EXPECT_TRUE(info->draining);
+  EXPECT_GT(info->retry_after_ms, 0u);
+
+  // Control frames stay admitted during drain; shutdown completes it.
+  auto bye = client.call(Frame{FrameType::kShutdown, 3, 0, ""});
+  ASSERT_TRUE(bye.is_ok()) << bye.status().to_string();
+  daemon.join();
+  ASSERT_TRUE(exit_code.is_ok());
+  EXPECT_EQ(exit_code.value(), 0);
+  EXPECT_EQ(server.engine().stats().shed, 1u);
+
+  // The drain wrote a snapshot a restarted server warms from with
+  // byte-identical exact hits.
+  ServerOptions revived_options;
+  revived_options.snapshot_path = path;
+  Server revived(revived_options);
+  const auto restored = revived.load_snapshot();
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  EXPECT_EQ(restored.value(), 1u);
+  const Frame hit = revived.engine().handle(plan);
+  EXPECT_EQ(hit.flags & kFlagCacheMask, kFlagCacheExact);
+  EXPECT_EQ(hit.payload, cold->payload);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mdg::serve
+
+#endif  // POSIX

@@ -1,0 +1,238 @@
+// Crash-recoverable cache snapshots: round-trip fidelity, fail-closed
+// parsing of torn/corrupt/stale files, the verify-gated restore path,
+// and the byte-identity contract across a simulated restart.
+#include "serve/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "net/deployment.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/rng.h"
+
+namespace mdg::serve {
+namespace {
+
+net::SensorNetwork test_network(std::uint64_t seed, std::size_t n = 40) {
+  Rng rng(seed);
+  return net::make_uniform_network(n, 150.0, 28.0, rng);
+}
+
+Frame plan_frame(std::uint32_t id, const net::SensorNetwork& network,
+                 PlanRequestOptions options = {}) {
+  return Frame{FrameType::kPlanRequest, id, 0,
+               build_plan_request(options, network)};
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("mdg_snapshot_test_") + name))
+      .string();
+}
+
+std::vector<SnapshotEntry> sample_entries() {
+  return {{"request one", "reply one"},
+          {"", ""},
+          {"request\nwith\nnewlines", "reply\nwith\nnewlines"}};
+}
+
+TEST(SnapshotTest, BuildParseRoundTripPreservesEveryByte) {
+  const std::vector<SnapshotEntry> entries = sample_entries();
+  const auto parsed = parse_snapshot(build_snapshot(entries));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed->size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].request_payload, entries[i].request_payload);
+    EXPECT_EQ((*parsed)[i].reply_payload, entries[i].reply_payload);
+  }
+}
+
+TEST(SnapshotTest, EmptySnapshotRoundTrips) {
+  const auto parsed = parse_snapshot(build_snapshot({}));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(SnapshotTest, TornFilesFailClosedAsDataLoss) {
+  const std::string good = build_snapshot(sample_entries());
+  // Every truncation point must read as data loss (torn write), never
+  // parse, never crash — including cutting the checksum line itself.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{5}, good.size() / 2,
+                          good.size() - 2, good.size() - 1}) {
+    SCOPED_TRACE(cut);
+    const auto parsed = parse_snapshot(good.substr(0, cut));
+    ASSERT_FALSE(parsed.is_ok());
+    EXPECT_EQ(parsed.status().code(), core::StatusCode::kDataLoss)
+        << parsed.status().to_string();
+  }
+}
+
+TEST(SnapshotTest, BitRotFailsTheChecksum) {
+  std::string bytes = build_snapshot(sample_entries());
+  // Flip one payload byte; lengths and structure stay plausible, so
+  // only the checksum can catch it.
+  const std::size_t at = bytes.find("request one");
+  ASSERT_NE(at, std::string::npos);
+  bytes[at] ^= 0x20;
+  const auto parsed = parse_snapshot(bytes);
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_EQ(parsed.status().code(), core::StatusCode::kDataLoss);
+}
+
+TEST(SnapshotTest, WrongMagicAndStaleBuildAreInvalidArgument) {
+  const auto bad_magic = parse_snapshot("mdg-cache-snapshot 2\n");
+  ASSERT_FALSE(bad_magic.is_ok());
+  EXPECT_EQ(bad_magic.status().code(), core::StatusCode::kInvalidArgument);
+
+  // A snapshot written by a different build must read as stale (its
+  // replies might not be byte-identical under this code). The build
+  // line is checked before the checksum, so tampering with it alone is
+  // a faithful simulation.
+  std::string stale = build_snapshot(sample_entries());
+  const std::size_t build_at = stale.find("build ");
+  ASSERT_NE(build_at, std::string::npos);
+  const std::size_t line_end = stale.find('\n', build_at);
+  stale.replace(build_at, line_end - build_at, "build some-other-build");
+  const auto parsed = parse_snapshot(stale);
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_EQ(parsed.status().code(), core::StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("stale"), std::string::npos);
+}
+
+TEST(SnapshotTest, TrailingBytesAfterChecksumAreRejected) {
+  const auto parsed = parse_snapshot(build_snapshot({}) + "extra\n");
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_EQ(parsed.status().code(), core::StatusCode::kDataLoss);
+}
+
+TEST(SnapshotTest, MissingFileIsNotFound) {
+  const auto loaded = load_snapshot(temp_path("definitely_missing"));
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.status().code(), core::StatusCode::kNotFound);
+}
+
+TEST(SnapshotTest, SaveThenLoadRoundTripsThroughDisk) {
+  const std::string path = temp_path("roundtrip");
+  const std::vector<SnapshotEntry> entries = sample_entries();
+  const auto saved = save_snapshot(path, entries);
+  ASSERT_TRUE(saved.is_ok()) << saved.status().to_string();
+  EXPECT_EQ(saved.value(), entries.size());
+  const auto loaded = load_snapshot(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->size(), entries.size());
+  // The atomic-write protocol must not leave its temp file behind.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RestoredEntriesServeByteIdenticalExactHits) {
+  // Plan cold on one engine, snapshot it, restore into a fresh engine
+  // (the kill-9 + restart shape), and require the restored cache to
+  // serve the exact request with the cold reply's bytes.
+  Engine donor;
+  const net::SensorNetwork network = test_network(11);
+  const Frame request = plan_frame(1, network);
+  const Frame cold = donor.handle(request);
+  ASSERT_EQ(cold.type, FrameType::kReplyOk);
+  const std::vector<SnapshotEntry> entries = donor.snapshot_entries();
+  ASSERT_EQ(entries.size(), 1u);
+
+  Engine revived;
+  EXPECT_EQ(revived.restore_cache(entries), 1u);
+  const EngineStats stats = revived.stats();
+  EXPECT_EQ(stats.snapshot_restored, 1u);
+  EXPECT_EQ(stats.snapshot_dropped, 0u);
+  EXPECT_EQ(stats.cache_entries, 1u);
+  const Frame hit = revived.handle(request);
+  ASSERT_EQ(hit.type, FrameType::kReplyOk);
+  EXPECT_EQ(hit.flags & kFlagCacheMask, kFlagCacheExact);
+  EXPECT_EQ(hit.payload, cold.payload);
+}
+
+TEST(SnapshotTest, RestoreDropsEntriesThatFailTheGates) {
+  Engine donor;
+  const net::SensorNetwork network = test_network(12);
+  (void)donor.handle(plan_frame(1, network));
+  std::vector<SnapshotEntry> entries = donor.snapshot_entries();
+  ASSERT_EQ(entries.size(), 1u);
+
+  // A hostile or rotted snapshot can carry entries whose request does
+  // not parse, whose reply is not a solution, or whose solution fails
+  // verification — every one must be dropped, counted, and survived.
+  std::vector<SnapshotEntry> poisoned = entries;
+  poisoned.push_back({"not a plan request", entries[0].reply_payload});
+  poisoned.push_back({entries[0].request_payload, "not a plan reply"});
+  // A verifiable-looking reply for the wrong network: swap in another
+  // instance's reply so check_solution fails.
+  Engine other_donor;
+  (void)other_donor.handle(plan_frame(2, test_network(13, 60)));
+  const std::vector<SnapshotEntry> other = other_donor.snapshot_entries();
+  ASSERT_EQ(other.size(), 1u);
+  poisoned.push_back({entries[0].request_payload, other[0].reply_payload});
+
+  Engine revived;
+  EXPECT_EQ(revived.restore_cache(poisoned), 1u);
+  const EngineStats stats = revived.stats();
+  EXPECT_EQ(stats.snapshot_restored, 1u);
+  EXPECT_EQ(stats.snapshot_dropped, 3u);
+  EXPECT_EQ(stats.cache_entries, 1u);
+}
+
+TEST(SnapshotTest, ServerSaveAndLoadUseTheConfiguredPath) {
+  const std::string path = temp_path("server");
+  ServerOptions options;
+  options.snapshot_path = path;
+  Server writer(options);
+  const net::SensorNetwork network = test_network(14);
+  const Frame request = plan_frame(1, network);
+  const Frame cold = writer.engine().handle(request);
+  ASSERT_EQ(cold.type, FrameType::kReplyOk);
+  const auto saved = writer.save_snapshot();
+  ASSERT_TRUE(saved.is_ok()) << saved.status().to_string();
+  EXPECT_EQ(saved.value(), 1u);
+
+  Server reader(options);
+  const auto restored = reader.load_snapshot();
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  EXPECT_EQ(restored.value(), 1u);
+  const Frame hit = reader.engine().handle(request);
+  EXPECT_EQ(hit.flags & kFlagCacheMask, kFlagCacheExact);
+  EXPECT_EQ(hit.payload, cold.payload);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, ServerWithoutAPathIsANoOp) {
+  Server server;
+  const auto saved = server.save_snapshot();
+  ASSERT_TRUE(saved.is_ok());
+  EXPECT_EQ(saved.value(), 0u);
+  const auto loaded = server.load_snapshot();
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value(), 0u);
+}
+
+TEST(SnapshotTest, CorruptedFileOnDiskLoadsAsAnErrorNotACrash) {
+  const std::string path = temp_path("corrupt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "mdg-cache-snapshot 1\nbuild unknown\nentries 9999999\n";
+  }
+  ServerOptions options;
+  options.snapshot_path = path;
+  Server server(options);
+  const auto loaded = server.load_snapshot();
+  ASSERT_FALSE(loaded.is_ok());
+  // Callers log and cold-start; the engine must be untouched.
+  EXPECT_EQ(server.engine().stats().cache_entries, 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mdg::serve

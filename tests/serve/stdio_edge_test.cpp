@@ -1,0 +1,149 @@
+// stdio-stream edge cases: EOF mid-frame and zero-length payloads must
+// produce a clean exit-3 diagnostic (or a normal reply), never a hang
+// — plus a replay of the serve fuzz corpus through the full stdio
+// loop, pinning the exit-code contract the CI oracle job asserts.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace mdg::serve {
+namespace {
+
+std::string corpus_file(const std::string& name) {
+  const std::string path = std::string(MDG_CORPUS_DIR) + "/serve/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Runs the stdio server over `input`; returns (exit code, reply bytes,
+/// stderr text). Every read is from an in-memory stream, so a hang
+/// fails by test timeout instead of wedging forever.
+struct StdioRun {
+  int exit_code;
+  std::string replies;
+  std::string diagnostic;
+};
+
+StdioRun run_stdio(const std::string& input) {
+  std::istringstream in(input);
+  std::ostringstream out;
+  Server server;
+  ::testing::internal::CaptureStderr();
+  const int exit_code = server.serve_stdio(in, out);
+  return {exit_code, out.str(), ::testing::internal::GetCapturedStderr()};
+}
+
+std::vector<Frame> parse_replies(const std::string& bytes) {
+  std::istringstream in(bytes);
+  std::vector<Frame> frames;
+  while (true) {
+    auto frame = read_frame(in);
+    if (!frame.is_ok() || !frame.value().has_value()) {
+      break;
+    }
+    frames.push_back(std::move(**frame));
+  }
+  return frames;
+}
+
+TEST(ServeStdioEdgeTest, ZeroLengthPayloadFramesAreServedNormally) {
+  std::string input;
+  input += frame_bytes(Frame{FrameType::kPing, 1, 0, ""});
+  input += frame_bytes(Frame{FrameType::kStatsRequest, 2, 0, ""});
+  // A zero-length payload on a type that requires a body is a semantic
+  // error reply, not a framing error: the stream stays synchronized.
+  input += frame_bytes(Frame{FrameType::kPlanRequest, 3, 0, ""});
+  input += frame_bytes(Frame{FrameType::kPing, 4, 0, ""});
+  const StdioRun run = run_stdio(input);
+  EXPECT_EQ(run.exit_code, 0);
+  const std::vector<Frame> replies = parse_replies(run.replies);
+  ASSERT_EQ(replies.size(), 4u);
+  EXPECT_EQ(replies[0].type, FrameType::kPong);
+  EXPECT_EQ(replies[1].type, FrameType::kReplyOk);
+  EXPECT_EQ(replies[2].type, FrameType::kReplyError);
+  EXPECT_EQ(replies[3].type, FrameType::kPong);
+}
+
+TEST(ServeStdioEdgeTest, EofMidHeaderExitsThreeWithADiagnostic) {
+  // 11 of the 20 header bytes, then EOF: the regression this pins is
+  // "clean exit 3 with a stderr diagnostic, never a hang".
+  const std::string partial =
+      frame_bytes(Frame{FrameType::kPing, 1, 0, ""}).substr(0, 11);
+  const StdioRun run = run_stdio(partial);
+  EXPECT_EQ(run.exit_code, 3);
+  EXPECT_NE(run.diagnostic.find("protocol error"), std::string::npos);
+  EXPECT_NE(run.diagnostic.find("truncated"), std::string::npos);
+  const std::vector<Frame> replies = parse_replies(run.replies);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].type, FrameType::kReplyError);
+  EXPECT_NE(replies[0].payload.find("code data-loss"), std::string::npos);
+}
+
+TEST(ServeStdioEdgeTest, EofMidPayloadExitsThreeWithADiagnostic) {
+  std::string bytes =
+      frame_bytes(Frame{FrameType::kPlanRequest, 7, 0, "some payload text"});
+  bytes.resize(bytes.size() - 4);  // header intact, payload cut short
+  const StdioRun run = run_stdio(bytes);
+  EXPECT_EQ(run.exit_code, 3);
+  EXPECT_NE(run.diagnostic.find("protocol error"), std::string::npos);
+}
+
+TEST(ServeStdioEdgeTest, ValidAfterValidThenEofMidFrameStillAnswersTheFirst) {
+  // The good frame is answered before the stream dies: no reply is
+  // dropped just because a later frame is torn.
+  std::string input = frame_bytes(Frame{FrameType::kPing, 1, 0, ""});
+  input += frame_bytes(Frame{FrameType::kPing, 2, 0, ""}).substr(0, 7);
+  const StdioRun run = run_stdio(input);
+  EXPECT_EQ(run.exit_code, 3);
+  const std::vector<Frame> replies = parse_replies(run.replies);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0].type, FrameType::kPong);
+  EXPECT_EQ(replies[0].id, 1u);
+  EXPECT_EQ(replies[1].type, FrameType::kReplyError);
+}
+
+TEST(ServeStdioEdgeTest, ServeCorpusExitCodesMatchTheOracleContract) {
+  // Every corrupt_* entry in the serve fuzz corpus must exit 3 through
+  // the stdio loop (framing or mid-frame EOF), every valid_* entry
+  // exit 0 — the same assertion CI's oracle job makes against the
+  // installed binary.
+  const std::filesystem::path dir =
+      std::filesystem::path(MDG_CORPUS_DIR) / "serve";
+  std::size_t corrupt_seen = 0;
+  std::size_t valid_seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    SCOPED_TRACE(name);
+    const StdioRun run = run_stdio(corpus_file(name));
+    if (name.rfind("corrupt_", 0) == 0) {
+      // corrupt_plan_payload is a well-framed frame whose payload is
+      // rejected semantically: error reply, stream stays alive, exit 0.
+      if (name == "corrupt_plan_payload.bin") {
+        EXPECT_EQ(run.exit_code, 0);
+      } else {
+        EXPECT_EQ(run.exit_code, 3);
+        EXPECT_NE(run.diagnostic.find("protocol error"), std::string::npos);
+      }
+      ++corrupt_seen;
+    } else if (name.rfind("valid_", 0) == 0) {
+      EXPECT_EQ(run.exit_code, 0);
+      ++valid_seen;
+    }
+  }
+  EXPECT_GE(corrupt_seen, 5u);
+  EXPECT_GE(valid_seen, 2u);
+}
+
+}  // namespace
+}  // namespace mdg::serve

@@ -1,0 +1,326 @@
+// chaos_proxy — a seeded protocol-level fault injector for mdg_serve
+// (docs/SERVE.md §Operations).
+//
+//   chaos_proxy --listen P --upstream Q [--fault F] [--rate R]
+//               [--seed X] [--stall-ms N]
+//
+// Sits between a client and a daemon on loopback and injects faults
+// into the client->server frame stream, chosen deterministically from
+// Rng streams (`Rng(seed).fork(connection_index)`), so a failing chaos
+// run reproduces from its seed. Fault classes (--fault):
+//
+//   none        pass-through (baseline sanity)
+//   truncate    forward only a prefix of the frame, then sever the
+//               connection (mid-frame disconnect)
+//   stall       hold the frame for --stall-ms before forwarding
+//               (slowloris; exercises the server's read deadline)
+//   corrupt     flip one byte of the serialized frame (header or
+//               payload) and forward it
+//   disconnect  drop the frame and sever the connection
+//   reorder     hold a frame and forward it after the next one (or
+//               after --stall-ms when no second frame shows up, which
+//               keeps sequential request/reply clients live)
+//
+// Faults are applied only client->server: the server must survive
+// malformed input, while replies relay verbatim so the harness can
+// gate surviving requests on byte-identical digests. The
+// server->client direction is a raw byte pump.
+//
+// Each injected fault also severs or perturbs exactly one connection —
+// the retry client reconnects through the proxy, so a sweep ends with
+// every surviving request answered and the daemon still serving.
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mdg.h"
+#include "serve/protocol.h"
+#include "util/rng.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <istream>
+
+#include "serve/fd_stream.h"
+
+namespace {
+
+using namespace mdg;
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void chaos_on_signal(int) { g_stop.store(true); }
+
+enum class Fault { kNone, kTruncate, kStall, kCorrupt, kDisconnect, kReorder };
+
+std::optional<Fault> parse_fault(const std::string& name) {
+  if (name == "none") return Fault::kNone;
+  if (name == "truncate") return Fault::kTruncate;
+  if (name == "stall") return Fault::kStall;
+  if (name == "corrupt") return Fault::kCorrupt;
+  if (name == "disconnect") return Fault::kDisconnect;
+  if (name == "reorder") return Fault::kReorder;
+  return std::nullopt;
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t w = ::write(fd, data + written, size - written);
+    if (w <= 0) {
+      return false;
+    }
+    written += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// server->client: raw byte pump, no interpretation.
+void pump_raw(int from_fd, int to_fd) {
+  char buf[1 << 12];
+  while (true) {
+    const ssize_t n = ::read(from_fd, buf, sizeof(buf));
+    if (n <= 0 || !write_all(to_fd, buf, static_cast<std::size_t>(n))) {
+      break;
+    }
+  }
+  ::shutdown(to_fd, SHUT_WR);
+  ::shutdown(from_fd, SHUT_RD);
+}
+
+struct ProxyConfig {
+  Fault fault = Fault::kNone;
+  double rate = 0.0;
+  std::uint32_t stall_ms = 500;
+};
+
+/// client->server: frame-aware pump with fault injection. Returns when
+/// either side goes away or an injected fault severs the connection.
+void pump_frames(int client_fd, int server_fd, const ProxyConfig& config,
+                 Rng rng) {
+  serve::FdStreambuf in_buf(client_fd);
+  std::istream in(&in_buf);
+  std::optional<std::string> held;  // reorder buffer
+  const auto flush_held = [&] {
+    if (held.has_value()) {
+      write_all(server_fd, held->data(), held->size());
+      held.reset();
+    }
+  };
+  while (true) {
+    auto frame = serve::read_frame(in);
+    if (!frame.is_ok()) {
+      break;  // client sent garbage; sever
+    }
+    if (!frame.value().has_value()) {
+      if (in_buf.timed_out() && held.has_value()) {
+        // No second frame arrived inside the reorder window; deliver
+        // the held one so a sequential client stays live.
+        flush_held();
+        in.clear();
+        continue;
+      }
+      break;  // client closed
+    }
+    std::string bytes = serve::frame_bytes(**frame);
+    const bool inject = config.fault != Fault::kNone && rng.chance(config.rate);
+    if (!inject) {
+      flush_held();
+      if (!write_all(server_fd, bytes.data(), bytes.size())) {
+        break;
+      }
+      continue;
+    }
+    switch (config.fault) {
+      case Fault::kNone:
+        break;
+      case Fault::kTruncate: {
+        // At least one byte, strictly less than the whole frame.
+        const std::size_t cut = 1 + rng.index(bytes.size() - 1);
+        write_all(server_fd, bytes.data(), cut);
+        ::shutdown(server_fd, SHUT_WR);
+        return;
+      }
+      case Fault::kStall: {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(config.stall_ms));
+        flush_held();
+        if (!write_all(server_fd, bytes.data(), bytes.size())) {
+          return;
+        }
+        break;
+      }
+      case Fault::kCorrupt: {
+        bytes[rng.index(bytes.size())] ^=
+            static_cast<char>(1 + rng.index(255));
+        flush_held();
+        write_all(server_fd, bytes.data(), bytes.size());
+        // The server will answer a stream-level error and drop; sever
+        // our side too so the client's retry reconnects cleanly.
+        return;
+      }
+      case Fault::kDisconnect:
+        return;  // drop the frame on the floor and sever
+      case Fault::kReorder: {
+        if (held.has_value()) {
+          // Second frame arrived: deliver it before the held one.
+          if (!write_all(server_fd, bytes.data(), bytes.size())) {
+            return;
+          }
+          flush_held();
+        } else {
+          held = std::move(bytes);
+        }
+        break;
+      }
+    }
+  }
+  flush_held();
+  ::shutdown(server_fd, SHUT_WR);
+  ::shutdown(client_fd, SHUT_RD);
+}
+
+int connect_upstream(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int run_proxy(Flags& flags) {
+  const long long listen_port = flags.get_int("listen", 0);
+  const long long upstream_port = flags.get_int("upstream", 0);
+  const std::string fault_name = flags.get_string("fault", "none");
+  ProxyConfig config;
+  config.rate = flags.get_double("rate", 0.3);
+  config.stall_ms =
+      static_cast<std::uint32_t>(flags.get_int("stall-ms", 500));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 0xc4a05));
+  flags.finish();
+  const auto fault = parse_fault(fault_name);
+  if (listen_port <= 0 || upstream_port <= 0 || !fault.has_value()) {
+    std::cerr << "usage: chaos_proxy --listen P --upstream Q "
+                 "[--fault none|truncate|stall|corrupt|disconnect|reorder] "
+                 "[--rate R] [--seed X] [--stall-ms N]\n";
+    return 2;
+  }
+  config.fault = *fault;
+
+  struct sigaction action {};
+  action.sa_handler = chaos_on_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt accept()
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::cerr << "error: socket() failed\n";
+    return 1;
+  }
+  const int reuse = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(listen_port));
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 16) != 0) {
+    std::cerr << "error: cannot listen on 127.0.0.1:" << listen_port << "\n";
+    ::close(listen_fd);
+    return 1;
+  }
+  std::cerr << "chaos_proxy: 127.0.0.1:" << listen_port << " -> 127.0.0.1:"
+            << upstream_port << " fault=" << fault_name
+            << " rate=" << config.rate << " seed=" << seed << "\n";
+
+  const Rng base_rng(seed);
+  std::vector<std::thread> pumps;
+  std::uint64_t connection_index = 0;
+  while (!g_stop.load()) {
+    const int client_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (client_fd < 0) {
+      if (g_stop.load() || errno != EINTR) {
+        break;
+      }
+      continue;
+    }
+    const int server_fd =
+        connect_upstream(static_cast<std::uint16_t>(upstream_port));
+    if (server_fd < 0) {
+      std::cerr << "chaos_proxy: upstream connect failed\n";
+      ::close(client_fd);
+      continue;
+    }
+    if (config.fault == Fault::kReorder) {
+      // Bound the reorder hold so a held frame with no successor is
+      // delivered after stall-ms instead of deadlocking the client.
+      timeval tv{};
+      tv.tv_sec = config.stall_ms / 1000;
+      tv.tv_usec = static_cast<suseconds_t>((config.stall_ms % 1000) * 1000);
+      ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+    Rng rng = base_rng.fork(connection_index++);
+    pumps.emplace_back([client_fd, server_fd, config, rng] {
+      std::thread downstream([client_fd, server_fd] {
+        pump_raw(server_fd, client_fd);
+      });
+      pump_frames(client_fd, server_fd, config, rng);
+      downstream.join();
+      ::close(client_fd);
+      ::close(server_fd);
+    });
+  }
+  ::close(listen_fd);
+  for (std::thread& pump : pumps) {
+    pump.join();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    mdg::Flags flags(argc, argv);
+    return run_proxy(flags);
+  } catch (const mdg::PreconditionError& error) {
+    std::cerr << "usage error: " << error.what() << "\n";
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
+
+#else  // !POSIX
+
+int main() {
+  std::cerr << "chaos_proxy requires POSIX sockets\n";
+  return 2;
+}
+
+#endif

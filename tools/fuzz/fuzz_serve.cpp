@@ -1,0 +1,15 @@
+// libFuzzer entry point for the MDG1 frame parser (serve::read_frame
+// plus the typed request-payload parsers; built with -DMDG_FUZZ=ON
+// under Clang; seed corpus tests/harness/corpus/serve).
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "verify/fuzz.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  (void)mdg::verify::fuzz_one(
+      mdg::verify::FuzzTarget::kFrame,
+      std::string_view(reinterpret_cast<const char*>(data), size));
+  return 0;
+}

@@ -1,35 +1,73 @@
 // mdg_serve — the planning daemon (docs/SERVE.md).
 //
 //   mdg_serve run --stdio [--cache N] [--report path [--report-every N]]
-//                 [--max-frame-bytes N] [--obs]
-//   mdg_serve run --port P [--workers N] [--backlog N] [--cache N] ...
-//   mdg_serve make-transcript --net net.txt --out requests.bin
+//                 [--max-frame-bytes N] [--snapshot path] [--obs]
+//   mdg_serve run --port P [--workers N] [--backlog N] [--cache N]
+//                 [--snapshot path] [--read-timeout-ms N]
+//                 [--write-timeout-ms N] [--max-conn-bytes N]
+//                 [--brownout-enter N] [--brownout-exit N]
+//                 [--retry-after-ms N] ...
+//   mdg_serve client --port P --in requests.bin [--digest path]
+//                 [--retries N] [--connect-timeout-ms N]
+//                 [--read-timeout-ms N] [--seed X] [--require-all]
+//   mdg_serve make-transcript --net net.txt --out requests.bin [--chaos]
 //
 // `run --stdio` serves a single connection on stdin/stdout — the mode
 // CI's serve-smoke job and the transcript tests use. `run --port`
-// listens on 127.0.0.1:P with the bounded admission queue and worker
-// pool. `make-transcript` writes the deterministic scripted request
-// sequence the golden-reply test replays (ping, a plan, the identical
-// plan again — an exact cache hit — stats, a malformed payload, and
-// shutdown).
+// listens on 127.0.0.1:P with the admission-controlled queue and
+// worker pool; SIGTERM/SIGINT request a graceful drain (finish
+// in-flight work, shed new work with typed replies, write the cache
+// snapshot, exit 0). `client` replays a request file against a running
+// daemon through the retry/backoff helper and emits one digest line
+// per request — the chaos harness compares these digests across clean,
+// faulty, and restarted runs. `make-transcript` writes the
+// deterministic scripted request sequence the golden-reply test
+// replays; `--chaos` writes the time-independent variant the chaos
+// harness replays (no stats frame — counters vary across runs — and no
+// shutdown, so the same file can be replayed repeatedly).
 //
 // Exit codes:
-//   0  clean shutdown (EOF or shutdown frame)
-//   1  unexpected internal failure
+//   0  clean shutdown (EOF, shutdown frame, or drain)
+//   1  unexpected internal failure (or, for `client --require-all`,
+//      any request left unanswered)
 //   2  usage error
 //   3  unrecoverable protocol error on the stdio stream (one error
 //      reply is emitted before exiting)
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#endif
 
 #include "mdg.h"
+#include "serve/client.h"
 #include "serve/engine.h"
+#include "serve/plan_cache.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 
 namespace {
 
 using namespace mdg;
+
+extern "C" void mdg_serve_on_signal(int) { serve::request_drain(); }
+
+void install_drain_handler() {
+#if defined(__unix__) || defined(__APPLE__)
+  // No SA_RESTART: the signal must interrupt a blocking accept() with
+  // EINTR so the serve loop observes the drain flag promptly.
+  struct sigaction action {};
+  action.sa_handler = mdg_serve_on_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+#endif
+}
 
 int cmd_run(Flags& flags) {
   const bool stdio = flags.get_bool("stdio", false);
@@ -39,9 +77,22 @@ int cmd_run(Flags& flags) {
       static_cast<std::size_t>(flags.get_int("cache", 256));
   options.workers = static_cast<std::size_t>(flags.get_int("workers", 0));
   options.backlog = static_cast<std::size_t>(flags.get_int("backlog", 64));
+  options.admission.brownout_enter =
+      static_cast<std::size_t>(flags.get_int("brownout-enter", 0));
+  options.admission.brownout_exit =
+      static_cast<std::size_t>(flags.get_int("brownout-exit", 0));
+  options.admission.retry_after_base_ms =
+      static_cast<std::uint32_t>(flags.get_int("retry-after-ms", 50));
   options.max_payload_bytes = static_cast<std::uint32_t>(flags.get_int(
       "max-frame-bytes",
       static_cast<long long>(serve::kDefaultMaxPayloadBytes)));
+  options.read_timeout_ms =
+      static_cast<std::uint32_t>(flags.get_int("read-timeout-ms", 30000));
+  options.write_timeout_ms =
+      static_cast<std::uint32_t>(flags.get_int("write-timeout-ms", 10000));
+  options.max_conn_bytes =
+      static_cast<std::uint64_t>(flags.get_int("max-conn-bytes", 0));
+  options.snapshot_path = flags.get_string("snapshot", "");
   options.report_path = flags.get_string("report", "");
   options.report_every =
       static_cast<std::size_t>(flags.get_int("report-every", 0));
@@ -55,7 +106,24 @@ int cmd_run(Flags& flags) {
     obs::MetricsRegistry::set_enabled(true);
     obs::MetricsRegistry::instance().reset();
   }
+  install_drain_handler();
   serve::Server server(options);
+  // Crash recovery: a loadable snapshot warms the cache; a missing,
+  // stale, torn, or corrupted one cold-starts with a diagnostic. A bad
+  // snapshot must NEVER fail the boot.
+  if (!options.snapshot_path.empty()) {
+    auto restored = server.load_snapshot();
+    if (restored.is_ok()) {
+      if (restored.value() > 0) {
+        std::cerr << "mdg_serve: restored " << restored.value()
+                  << " cache entries from '" << options.snapshot_path
+                  << "'\n";
+      }
+    } else if (restored.status().code() != core::StatusCode::kNotFound) {
+      std::cerr << "mdg_serve: snapshot ignored (cold start): "
+                << restored.status().to_string() << "\n";
+    }
+  }
   if (stdio) {
     return server.serve_stdio(std::cin, std::cout);
   }
@@ -67,9 +135,102 @@ int cmd_run(Flags& flags) {
   return result.value();
 }
 
+/// Replays a request file against a daemon, one digest line per
+/// request:
+///   id <N> ok fnv <16-hex of reply payload>   plan/delta/... replies
+///   id <N> pong                               ping replies
+///   id <N> error                              semantic errors (final)
+///   id <N> skipped                            no answer after retries
+/// Digest lines hash only the payload — the header's cache-outcome
+/// flags legitimately differ between a cold run and a warm restart,
+/// the payload bytes must not.
+int cmd_client(Flags& flags) {
+  const long long port = flags.get_int("port", 0);
+  const std::string in_path = flags.get_string("in", "");
+  const std::string digest_path = flags.get_string("digest", "");
+  serve::TcpClientOptions client_options;
+  client_options.connect_timeout_ms =
+      static_cast<std::uint32_t>(flags.get_int("connect-timeout-ms", 2000));
+  client_options.read_timeout_ms =
+      static_cast<std::uint32_t>(flags.get_int("read-timeout-ms", 20000));
+  client_options.write_timeout_ms = client_options.read_timeout_ms;
+  serve::RetryPolicy policy;
+  policy.max_attempts =
+      static_cast<std::size_t>(flags.get_int("retries", 5));
+  policy.base_backoff_ms =
+      static_cast<std::uint32_t>(flags.get_int("base-backoff-ms", 20));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 0x5eed));
+  const bool require_all = flags.get_bool("require-all", false);
+  flags.finish();
+  if (port <= 0 || in_path.empty()) {
+    std::cerr << "usage: mdg_serve client --port P --in requests.bin\n";
+    return 2;
+  }
+  std::ifstream in(in_path, std::ios::binary);
+  if (!in.good()) {
+    std::cerr << "error: cannot open '" << in_path << "'\n";
+    return 2;
+  }
+  std::ostringstream digest;
+  serve::TcpClient client(static_cast<std::uint16_t>(port), client_options);
+  const Rng base_rng(seed);
+  std::size_t unanswered = 0;
+  std::size_t frame_index = 0;
+  while (true) {
+    auto frame = serve::read_frame(in);
+    if (!frame.is_ok()) {
+      std::cerr << "error: bad request file: "
+                << frame.status().to_string() << "\n";
+      return 2;
+    }
+    if (!frame.value().has_value()) {
+      break;  // end of request file
+    }
+    const serve::Frame request = std::move(**frame);
+    Rng rng = base_rng.fork(frame_index++);
+    auto result = serve::call_with_retry(client, request, policy, rng);
+    if (!result.is_ok()) {
+      digest << "id " << request.id << " skipped\n";
+      std::cerr << "mdg_serve client: request " << request.id << ": "
+                << result.status().to_string() << "\n";
+      ++unanswered;
+      continue;
+    }
+    const serve::Frame& reply = result->reply;
+    if (reply.type == serve::FrameType::kPong) {
+      digest << "id " << request.id << " pong\n";
+    } else if (reply.type == serve::FrameType::kReplyError) {
+      digest << "id " << request.id << " error\n";
+    } else {
+      digest << "id " << request.id << " ok fnv " << std::hex
+             << std::setw(16) << std::setfill('0')
+             << serve::fnv1a64(reply.payload) << std::dec
+             << std::setfill(' ') << "\n";
+    }
+  }
+  if (digest_path.empty()) {
+    std::cout << digest.str();
+  } else {
+    std::ofstream out(digest_path, std::ios::trunc);
+    out << digest.str();
+    if (!out.good()) {
+      std::cerr << "error: failed writing '" << digest_path << "'\n";
+      return 1;
+    }
+  }
+  if (require_all && unanswered > 0) {
+    std::cerr << "error: " << unanswered
+              << " request(s) unanswered after retries\n";
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_make_transcript(Flags& flags) {
   const std::string net_path = flags.get_string("net", "net.txt");
   const std::string out_path = flags.get_string("out", "requests.bin");
+  const bool chaos = flags.get_bool("chaos", false);
   flags.finish();
   auto network = io::try_load_network(net_path);
   if (!network.is_ok()) {
@@ -81,23 +242,47 @@ int cmd_make_transcript(Flags& flags) {
     std::cerr << "error: cannot open '" << out_path << "' for writing\n";
     return 3;
   }
-  serve::PlanRequestOptions plan;
-  const std::string plan_payload =
-      serve::build_plan_request(plan, network.value());
   std::uint32_t id = 1;
-  serve::write_frame(out, {serve::FrameType::kPing, id++, 0, {}});
-  serve::write_frame(out,
-                     {serve::FrameType::kPlanRequest, id++, 0, plan_payload});
-  // The identical request again: must come back as an exact cache hit
-  // with byte-identical payload.
-  serve::write_frame(out,
-                     {serve::FrameType::kPlanRequest, id++, 0, plan_payload});
-  serve::write_frame(out, {serve::FrameType::kStatsRequest, id++, 0, {}});
-  // A well-framed but malformed payload: the server must answer with a
-  // protocol error reply and keep serving.
-  serve::write_frame(out, {serve::FrameType::kPlanRequest, id++, 0,
-                           "mdg-request 1\nop plan\ngarbage\n"});
-  serve::write_frame(out, {serve::FrameType::kShutdown, id++, 0, {}});
+  if (chaos) {
+    // The chaos replay set: byte-deterministic requests only (no
+    // stats — its counters depend on history; no deadline — anytime
+    // truncation is time-dependent; no shutdown — the file is replayed
+    // against one daemon repeatedly). Repeats exercise the cache.
+    serve::PlanRequestOptions plain;
+    serve::PlanRequestOptions capped;
+    capped.max_load = 6;
+    const std::string plan_plain =
+        serve::build_plan_request(plain, network.value());
+    const std::string plan_capped =
+        serve::build_plan_request(capped, network.value());
+    serve::write_frame(out, {serve::FrameType::kPing, id++, 0, {}});
+    serve::write_frame(out,
+                       {serve::FrameType::kPlanRequest, id++, 0, plan_plain});
+    serve::write_frame(out,
+                       {serve::FrameType::kPlanRequest, id++, 0, plan_capped});
+    serve::write_frame(out,
+                       {serve::FrameType::kPlanRequest, id++, 0, plan_plain});
+    serve::write_frame(out,
+                       {serve::FrameType::kPlanRequest, id++, 0, plan_capped});
+    serve::write_frame(out, {serve::FrameType::kPing, id++, 0, {}});
+  } else {
+    serve::PlanRequestOptions plan;
+    const std::string plan_payload =
+        serve::build_plan_request(plan, network.value());
+    serve::write_frame(out, {serve::FrameType::kPing, id++, 0, {}});
+    serve::write_frame(
+        out, {serve::FrameType::kPlanRequest, id++, 0, plan_payload});
+    // The identical request again: must come back as an exact cache hit
+    // with byte-identical payload.
+    serve::write_frame(
+        out, {serve::FrameType::kPlanRequest, id++, 0, plan_payload});
+    serve::write_frame(out, {serve::FrameType::kStatsRequest, id++, 0, {}});
+    // A well-framed but malformed payload: the server must answer with
+    // a protocol error reply and keep serving.
+    serve::write_frame(out, {serve::FrameType::kPlanRequest, id++, 0,
+                             "mdg-request 1\nop plan\ngarbage\n"});
+    serve::write_frame(out, {serve::FrameType::kShutdown, id++, 0, {}});
+  }
   if (!out.good()) {
     std::cerr << "error: failed writing '" << out_path << "'\n";
     return 1;
@@ -110,7 +295,7 @@ int cmd_make_transcript(Flags& flags) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: mdg_serve <run|make-transcript> [flags]\n";
+    std::cerr << "usage: mdg_serve <run|client|make-transcript> [flags]\n";
     return 2;
   }
   const std::string command = argv[1];
@@ -118,6 +303,9 @@ int main(int argc, char** argv) {
     Flags flags(argc - 1, argv + 1);
     if (command == "run") {
       return cmd_run(flags);
+    }
+    if (command == "client") {
+      return cmd_client(flags);
     }
     if (command == "make-transcript") {
       return cmd_make_transcript(flags);
