@@ -1,0 +1,160 @@
+// B1 — bounded-relay-hop frontier: tour length vs. sensor energy.
+//
+// Sweeps the relay budget d in {0..3} over density (N) and range (Rs)
+// on uniform topologies and reports, per (N, Rs, d): mean tour length,
+// mean polling-point count, the max per-sensor energy of one lossless
+// gathering round (sim::relay_round_energy) and the relayed-sensor
+// fraction. The expected frontier: tour length strictly decreases in d
+// (a d-hop dominating set only gets smaller) while the hotspot energy
+// is non-decreasing (relays pay rx+tx per forwarded packet). d = 0 is
+// the visit-every-sensor extreme, d = 1 the paper's single-hop SHDGP.
+//
+// --check asserts the strict length decrease on the densest config —
+// the CI perf-smoke gate. Emits BENCH_relay.json (run-report schema).
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/instance.h"
+#include "core/relay_hop_planner.h"
+#include "obs/report.h"
+#include "sim/energy.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace mdg;
+
+constexpr std::size_t kMaxDepth = 3;
+
+struct SweepCell {
+  std::size_t sensors = 0;
+  double range = 0.0;
+  std::size_t depth = 0;
+  double tour_len = 0.0;      ///< mean over trials
+  double stops = 0.0;         ///< mean polling-point count
+  double max_energy_mj = 0.0; ///< mean of per-trial max round energy
+  double relayed_frac = 0.0;  ///< mean fraction of relayed sensors
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  bench::BenchConfig config = bench::parse_common(flags);
+  const double side = flags.get_double("side", 200.0);
+  const bool check = flags.get_bool("check", false);
+  const std::string out_path = flags.get_string("out", "BENCH_relay.json");
+  flags.finish();
+
+  const std::size_t densities[] = {100, 200};
+  const double ranges[] = {20.0, 30.0};
+
+  const Stopwatch total_watch;
+  std::vector<SweepCell> cells;
+  for (std::size_t n : densities) {
+    for (double rs : ranges) {
+      for (std::size_t d = 0; d <= kMaxDepth; ++d) {
+        enum Metric { kLen, kStops, kMaxEnergy, kRelayed, kCount };
+        const auto stats = bench::monte_carlo_multi(
+            config, kCount,
+            [&](Rng& rng, std::size_t, std::vector<double>& row) {
+              const net::SensorNetwork network =
+                  net::make_uniform_network(n, side, rs, rng);
+              const core::ShdgpInstance instance(network);
+              core::RelayHopPlannerOptions options;
+              options.relay_hops = d;
+              const core::ShdgpSolution solution =
+                  core::RelayHopPlanner(options).plan(instance);
+              row[kLen] = solution.tour_length;
+              row[kStops] =
+                  static_cast<double>(solution.polling_points.size());
+              const std::vector<double> energy =
+                  sim::relay_round_energy(instance, solution);
+              row[kMaxEnergy] =
+                  energy.empty()
+                      ? 0.0
+                      : *std::max_element(energy.begin(), energy.end()) * 1e3;
+              row[kRelayed] =
+                  n == 0 ? 0.0
+                         : static_cast<double>(
+                               solution.relayed_sensor_count()) /
+                               static_cast<double>(n);
+            });
+        SweepCell cell;
+        cell.sensors = n;
+        cell.range = rs;
+        cell.depth = d;
+        cell.tour_len = stats[kLen].mean();
+        cell.stops = stats[kStops].mean();
+        cell.max_energy_mj = stats[kMaxEnergy].mean();
+        cell.relayed_frac = stats[kRelayed].mean();
+        cells.push_back(cell);
+      }
+    }
+  }
+
+  Table table("B1 relay-hop frontier: L=" +
+                  std::to_string(static_cast<int>(side)) + " m, " +
+                  std::to_string(config.trials) + " trials",
+              3);
+  table.set_header({"N", "Rs", "d", "tour (m)", "stops", "max E (mJ)",
+                    "relayed"});
+  for (const SweepCell& c : cells) {
+    table.add_row({static_cast<double>(c.sensors), c.range,
+                   static_cast<double>(c.depth), c.tour_len, c.stops,
+                   c.max_energy_mj, c.relayed_frac});
+  }
+  bench::emit(table, config);
+
+  obs::RunReport report;
+  report.command = "bench";
+  report.planner = "b1_relay";
+  report.seed = config.seed;
+  report.git_describe = obs::current_git_describe();
+  report.wall_ms = total_watch.elapsed_ms();
+  report.params = {{"side", std::to_string(side)},
+                   {"trials", std::to_string(config.trials)},
+                   {"threads", std::to_string(planning_threads())}};
+  for (const SweepCell& c : cells) {
+    const std::string suffix = ".d" + std::to_string(c.depth) + ".n" +
+                               std::to_string(c.sensors) + ".r" +
+                               std::to_string(static_cast<int>(c.range));
+    report.gauges.push_back({"relay.tour_len" + suffix, c.tour_len});
+    report.gauges.push_back({"relay.stops" + suffix, c.stops});
+    report.gauges.push_back({"relay.max_energy_mj" + suffix, c.max_energy_mj});
+    report.gauges.push_back({"relay.relayed_frac" + suffix, c.relayed_frac});
+  }
+  report.save(out_path);
+  std::cout << "wrote " << out_path << "\n";
+
+  if (check) {
+    // The densest config (max N, max Rs) must show a strictly
+    // decreasing tour length in d: more relay budget, shorter tour.
+    const std::size_t n = densities[std::size(densities) - 1];
+    const double rs = ranges[std::size(ranges) - 1];
+    double prev = -1.0;
+    bool ok = true;
+    for (const SweepCell& c : cells) {
+      if (c.sensors != n || c.range != rs) {
+        continue;
+      }
+      if (prev >= 0.0 && !(c.tour_len < prev)) {
+        std::cerr << "CHECK FAILED: tour length not strictly decreasing at "
+                  << "d=" << c.depth << " (N=" << n << ", Rs=" << rs
+                  << "): " << c.tour_len << " vs " << prev << "\n";
+        ok = false;
+      }
+      prev = c.tour_len;
+    }
+    if (!ok) {
+      return 1;
+    }
+    std::cout << "check passed: tour length strictly decreasing in d at N="
+              << n << ", Rs=" << rs << "\n";
+  }
+  return 0;
+}

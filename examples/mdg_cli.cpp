@@ -3,8 +3,9 @@
 //   example_mdg_cli generate --sensors 200 --side 200 --range 30
 //                            --seed 1 --out net.txt
 //   example_mdg_cli plan     --net net.txt [--planner spanning|greedy|
-//                            direct|election] [--max-load K] [--refine]
-//                            [--threads N] [--multi-start K]
+//                            relay|direct|election] [--max-load K]
+//                            [--refine] [--threads N] [--multi-start K]
+//                            [--relay-hops d]   (planner relay only)
 //                            [--report report.json [--canonical]]
 //                            --out sol.txt
 //   example_mdg_cli delta    --net net.txt --sol sol.txt --delta delta.txt
@@ -98,7 +99,8 @@ void arm_report(const std::string& report_path) {
 
 std::unique_ptr<core::Planner> make_planner(const std::string& name,
                                             long long max_load,
-                                            long long multi_start) {
+                                            long long multi_start,
+                                            long long relay_hops) {
   core::PlannerSpec spec;
   spec.name = name;
   if (max_load > 0) {
@@ -107,6 +109,7 @@ std::unique_ptr<core::Planner> make_planner(const std::string& name,
   if (multi_start > 1) {
     spec.multi_starts = static_cast<std::size_t>(multi_start);
   }
+  spec.relay_hops = static_cast<std::size_t>(relay_hops);
   auto planner = core::make_planner(spec);
   if (!planner.is_ok()) {
     // An unknown planner name is a usage error here (the factory
@@ -139,17 +142,25 @@ int cmd_plan(Flags& flags) {
   const bool refine = flags.get_bool("refine", false);
   const long long threads = flags.get_int("threads", 0);
   const long long multi_start = flags.get_int("multi-start", 0);
+  const long long relay_hops = flags.get_int("relay-hops", 1);
   const std::string out = flags.get_string("out", "sol.txt");
   const std::string report_path = flags.get_string("report", "");
   const bool canonical = flags.get_bool("canonical", false);
   const io::LoadOptions load{flags.get_bool("fail-fast", true)};
   flags.finish();
   MDG_REQUIRE(threads >= 0, "--threads must be >= 0 (0 = auto)");
+  MDG_REQUIRE(relay_hops >= 0, "--relay-hops must be >= 0");
+  if (relay_hops != 1 && planner_name != "relay") {
+    throw CliError{kExitUsage,
+                   "--relay-hops requires --planner relay (got '" +
+                       planner_name + "')"};
+  }
   set_planning_threads(static_cast<std::size_t>(threads));
   arm_report(report_path);
   const net::SensorNetwork network = must(io::try_load_network(net_path, load));
   const core::ShdgpInstance instance(network);
-  const auto planner = make_planner(planner_name, max_load, multi_start);
+  const auto planner =
+      make_planner(planner_name, max_load, multi_start, relay_hops);
   const Stopwatch watch;
   core::ShdgpSolution solution = planner->plan(instance);
   if (refine) {
@@ -174,7 +185,8 @@ int cmd_plan(Flags& flags) {
                      {"max-load", std::to_string(max_load)},
                      {"refine", refine ? "true" : "false"},
                      {"threads", std::to_string(threads)},
-                     {"multi-start", std::to_string(multi_start)}};
+                     {"multi-start", std::to_string(multi_start)},
+                     {"relay-hops", std::to_string(relay_hops)}};
     report.capture_metrics(obs::MetricsRegistry::instance());
     if (canonical) {
       report = report.canonicalized();
@@ -273,6 +285,12 @@ int cmd_inspect(Flags& flags) {
               << solution.mean_upload_distance(instance) << " m"
               << (solution.provably_optimal ? " [provably optimal]" : "")
               << "\n";
+    if (solution.relay_hops != 1 || solution.uses_relays()) {
+      std::cout << "  relay: budget d=" << solution.relay_hops << ", "
+                << solution.relayed_sensor_count() << "/"
+                << solution.assignment.size() << " sensors relayed, max "
+                << solution.max_upload_hops() << " hop(s)\n";
+    }
   }
   return 0;
 }

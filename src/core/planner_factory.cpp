@@ -2,14 +2,15 @@
 
 #include "baselines/direct_visit.h"
 #include "core/greedy_cover_planner.h"
+#include "core/relay_hop_planner.h"
 #include "core/spanning_tour_planner.h"
 #include "dist/election_planner.h"
 
 namespace mdg::core {
 
 const std::vector<std::string>& planner_names() {
-  static const std::vector<std::string> kNames = {"spanning", "greedy",
-                                                  "direct", "election"};
+  static const std::vector<std::string> kNames = {
+      "spanning", "greedy", "relay", "direct", "election"};
   return kNames;
 }
 
@@ -25,6 +26,16 @@ StatusOr<std::unique_ptr<Planner>> make_planner(const PlannerSpec& spec) {
     }
     return std::unique_ptr<Planner>(
         std::make_unique<GreedyCoverPlanner>(options));
+  }
+  if (spec.name == "relay") {
+    RelayHopPlannerOptions options;
+    options.relay_hops = spec.relay_hops;
+    options.max_pp_load = spec.max_pp_load;
+    if (spec.multi_starts > 1) {
+      options.tsp_multi_starts = spec.multi_starts;
+    }
+    return std::unique_ptr<Planner>(
+        std::make_unique<RelayHopPlanner>(options));
   }
   if (spec.name == "direct") {
     return std::unique_ptr<Planner>(

@@ -25,6 +25,9 @@ struct PlannerSpec {
   std::size_t max_pp_load = 0;
   /// Construction multi-start width; 0/1 = single start.
   std::size_t multi_starts = 0;
+  /// Relay budget d for the "relay" planner (total hops sensor ->
+  /// collector). 1 = single-hop SHDGP; other planners ignore it.
+  std::size_t relay_hops = 1;
 };
 
 /// The accepted `PlannerSpec::name` values, in documentation order.

@@ -1,0 +1,122 @@
+#include "core/relay_hop_planner.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "cover/set_cover.h"
+#include "graph/bfs.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/span.h"
+#include "util/assert.h"
+
+namespace mdg::core {
+namespace {
+
+/// Shortest relay paths for every sensor of one polling point: a
+/// multi-source BFS from the candidate's single-hop cover set (the
+/// sensors that can upload to the paused collector directly) assigns
+/// each relayed sensor the parent chain toward the nearest such sensor.
+/// Sources are sorted ascending, the CSR adjacency is deterministic,
+/// and the rows are slot-exclusive — byte-identical at any thread count.
+void assign_relay_paths(const ShdgpInstance& instance,
+                        ShdgpSolution& solution, std::size_t relay_hops) {
+  const net::SensorNetwork& network = instance.network();
+  const cover::CoverageMatrix& base = instance.coverage();
+  solution.relay_paths.assign(network.size(), {});
+
+  // Sensors grouped by assigned polling-point slot.
+  std::vector<std::vector<std::size_t>> by_slot(
+      solution.polling_candidates.size());
+  for (std::size_t s = 0; s < solution.assignment.size(); ++s) {
+    by_slot[solution.assignment[s]].push_back(s);
+  }
+
+  const graph::Graph& g = network.connectivity();
+  for (std::size_t slot = 0; slot < by_slot.size(); ++slot) {
+    const std::size_t c = solution.polling_candidates[slot];
+    MDG_ASSERT(c != ShdgpSolution::kFreeformCandidate,
+               "relay planning selects concrete candidates");
+    const std::vector<std::size_t>& direct = base.covered_by(c);
+    // Does anyone at this stop need a relay at all?
+    const bool all_direct = std::all_of(
+        by_slot[slot].begin(), by_slot[slot].end(), [&](std::size_t s) {
+          return std::binary_search(direct.begin(), direct.end(), s);
+        });
+    if (all_direct) {
+      continue;
+    }
+    const graph::BfsResult bfs = graph::bfs_multi(g, direct);
+    for (std::size_t s : by_slot[slot]) {
+      if (std::binary_search(direct.begin(), direct.end(), s)) {
+        continue;  // single-hop upload
+      }
+      MDG_ASSERT(bfs.reachable(s) && bfs.hops[s] + 1 <= relay_hops,
+                 "assigned sensor is outside the d-hop coverage of its "
+                 "polling point");
+      std::vector<std::size_t>& path = solution.relay_paths[s];
+      std::size_t v = s;
+      while (bfs.hops[v] > 0) {
+        v = bfs.parent[v];
+        path.push_back(v);
+      }
+    }
+  }
+  if (!solution.uses_relays()) {
+    solution.relay_paths.clear();  // legacy representation
+  }
+}
+
+}  // namespace
+
+ShdgpSolution RelayHopPlanner::plan(const ShdgpInstance& instance) const {
+  OBS_SPAN(obs::metric::kPlanRelayHop);
+  const std::size_t d = options_.relay_hops;
+
+  // d = 1 uses the instance's own matrix — the byte-identity anchor
+  // shares every structure with GreedyCoverPlanner, not a copy of it.
+  const cover::CoverageMatrix* matrix = &instance.coverage();
+  std::optional<cover::CoverageMatrix> expanded;
+  if (d != 1) {
+    expanded = cover::CoverageMatrix::expand_relay_hops(
+        instance.coverage(), instance.network(), d);
+    matrix = &*expanded;
+  }
+
+  cover::GreedyOptions greedy;
+  greedy.tie_break_toward_anchor = options_.tie_break_toward_sink;
+  greedy.anchor = instance.sink();
+  const cover::SetCoverResult cover_result =
+      cover::greedy_set_cover(*matrix, instance.network(), greedy);
+
+  ShdgpSolution solution;
+  solution.planner = name();
+  solution.relay_hops = d;
+  solution.polling_candidates = cover_result.selected;
+  solution.assignment = cover_result.assignment;
+  if (options_.max_pp_load > 0) {
+    cover::CapacitatedCoverResult capped = cover::enforce_capacity(
+        *matrix, instance.network(), cover_result.selected,
+        options_.max_pp_load);
+    solution.polling_candidates = std::move(capped.selected);
+    solution.assignment = std::move(capped.assignment);
+  }
+  solution.polling_points.reserve(solution.polling_candidates.size());
+  for (std::size_t c : solution.polling_candidates) {
+    solution.polling_points.push_back(instance.coverage().candidate(c));
+  }
+  if (d >= 2) {
+    assign_relay_paths(instance, solution, d);
+  }
+  route_collector(instance, solution,
+                  tsp::TspSolveOptions{.effort = options_.tsp_effort,
+                                       .multi_starts =
+                                           options_.tsp_multi_starts});
+  MDG_OBS_COUNT(obs::metric::kRelayRelayedSensors,
+                solution.relayed_sensor_count());
+  MDG_OBS_GAUGE(obs::metric::kRelayMaxHopsUsed,
+                static_cast<double>(solution.max_upload_hops()));
+  return solution;
+}
+
+}  // namespace mdg::core

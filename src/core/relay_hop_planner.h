@@ -1,0 +1,57 @@
+// Bounded-relay-hop SHDGP planner (d-hop SHDGP / BRH-DGP).
+//
+// The follow-up literature generalizes single-hop data gathering: a
+// sensor may forward its packet through up to d - 1 intermediate
+// sensors to the paused collector, so the polling points only need to
+// form a *d-hop dominating set* of the communication graph. Fewer
+// stops, shorter tour — paid for in per-sensor relay energy (the trade
+// bench_b1_relay sweeps).
+//
+// The planner reuses the existing machinery end to end: the d-hop
+// coverage relation is cover::CoverageMatrix::expand_relay_hops over
+// the CSR connectivity graph (src/graph/khop), polling points come from
+// the same lazy-greedy set cover as GreedyCoverPlanner, and the tour is
+// routed by the unchanged construction/improve stack. The regression
+// anchor (CI-gated): with relay_hops = 1 the d-hop relation *is* the
+// single-hop relation, so the planner's canonical plan bytes are
+// byte-identical to GreedyCoverPlanner's on every instance.
+#pragma once
+
+#include "core/planner.h"
+#include "tsp/solve.h"
+
+namespace mdg::core {
+
+struct RelayHopPlannerOptions {
+  /// Relay budget d (total hops sensor -> collector). 1 = single-hop
+  /// SHDGP, byte-identical to GreedyCoverPlanner; 0 = pause at every
+  /// sensor site; >= 2 enables relaying.
+  std::size_t relay_hops = 1;
+  tsp::TspEffort tsp_effort = tsp::TspEffort::kFull;
+  /// Multi-start portfolio width for the routing phase (0/1 = single).
+  std::size_t tsp_multi_starts = 0;
+  /// Prefer candidates closer to the sink among equal-coverage ones.
+  bool tie_break_toward_sink = true;
+  /// Upper bound on sensors affiliated with one polling point (0 = no
+  /// bound), counting relayed sensors against their polling point.
+  std::size_t max_pp_load = 0;
+};
+
+class RelayHopPlanner final : public Planner {
+ public:
+  explicit RelayHopPlanner(RelayHopPlannerOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "relay-hop"; }
+  [[nodiscard]] ShdgpSolution plan(
+      const ShdgpInstance& instance) const override;
+
+  [[nodiscard]] const RelayHopPlannerOptions& options() const {
+    return options_;
+  }
+
+ private:
+  RelayHopPlannerOptions options_;
+};
+
+}  // namespace mdg::core

@@ -18,6 +18,39 @@ std::vector<geom::Point> ShdgpSolution::tour_coordinates(
   return tour.to_points(all);
 }
 
+bool ShdgpSolution::uses_relays() const {
+  return std::any_of(relay_paths.begin(), relay_paths.end(),
+                     [](const std::vector<std::size_t>& path) {
+                       return !path.empty();
+                     });
+}
+
+std::size_t ShdgpSolution::upload_hops(std::size_t s) const {
+  if (relay_hops == 0) {
+    return 0;
+  }
+  if (s < relay_paths.size()) {
+    return relay_paths[s].size() + 1;
+  }
+  return 1;
+}
+
+std::size_t ShdgpSolution::max_upload_hops() const {
+  std::size_t worst = 0;
+  for (std::size_t s = 0; s < assignment.size(); ++s) {
+    worst = std::max(worst, upload_hops(s));
+  }
+  return worst;
+}
+
+std::size_t ShdgpSolution::relayed_sensor_count() const {
+  std::size_t count = 0;
+  for (const std::vector<std::size_t>& path : relay_paths) {
+    count += path.empty() ? 0 : 1;
+  }
+  return count;
+}
+
 std::vector<std::size_t> ShdgpSolution::pp_loads() const {
   std::vector<std::size_t> loads(polling_points.size(), 0);
   for (std::size_t slot : assignment) {
@@ -71,13 +104,37 @@ void ShdgpSolution::validate(const ShdgpInstance& instance) const {
 
   MDG_ASSERT(assignment.size() == network.size(),
              "every sensor needs an assignment");
+  MDG_ASSERT(relay_paths.empty() || relay_paths.size() == network.size(),
+             "relay_paths must be empty or cover every sensor");
+  const std::size_t budget = std::max<std::size_t>(relay_hops, 1);
   for (std::size_t s = 0; s < assignment.size(); ++s) {
     MDG_ASSERT(assignment[s] < polling_points.size(),
                "assignment out of range");
-    MDG_ASSERT(geom::within_range(network.position(s),
-                                  polling_points[assignment[s]],
-                                  network.range()),
-               "sensor cannot reach its polling point in one hop");
+    const geom::Point pp = polling_points[assignment[s]];
+    const std::vector<std::size_t> no_path;
+    const std::vector<std::size_t>& path =
+        s < relay_paths.size() ? relay_paths[s] : no_path;
+    MDG_ASSERT(path.size() + 1 <= budget,
+               "relay path exceeds the relay-hop budget");
+    if (relay_hops == 0) {
+      MDG_ASSERT(path.empty() && network.position(s) == pp,
+                 "relay-hops 0 requires the collector to pause at the "
+                 "sensor");
+      continue;
+    }
+    // Walk the chain sensor -> relays -> polling point; every leg must
+    // be a valid radio hop.
+    geom::Point from = network.position(s);
+    for (std::size_t r : path) {
+      MDG_ASSERT(r < network.size(), "relay id out of range");
+      MDG_ASSERT(r != s, "a sensor cannot relay its own packet");
+      MDG_ASSERT(geom::within_range(from, network.position(r),
+                                    network.range()),
+                 "relay leg exceeds the transmission range");
+      from = network.position(r);
+    }
+    MDG_ASSERT(geom::within_range(from, pp, network.range()),
+               "upload chain cannot reach the polling point");
   }
 
   // Tour over sink + PPs with the sink at position 0.

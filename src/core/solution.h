@@ -31,6 +31,29 @@ struct ShdgpSolution {
   /// assignment[s] = index into polling_points of sensor s's PP.
   std::vector<std::size_t> assignment;
 
+  /// Relay budget d: the maximum total hops a sensor's packet may take
+  /// to the paused collector. 1 is the classic single-hop SHDGP (the
+  /// default for every legacy planner); 0 forces the collector to pause
+  /// exactly at each sensor's position; d >= 2 lets a sensor forward
+  /// through up to d - 1 intermediate sensors.
+  std::size_t relay_hops = 1;
+
+  /// relay_paths[s] = the intermediate sensors sensor s's packet
+  /// traverses, in forwarding order; the last entry uploads to the
+  /// polling point. An empty inner vector means s uploads directly.
+  /// An empty outer vector means no sensor relays at all — the legacy
+  /// representation every d <= 1 plan uses.
+  std::vector<std::vector<std::size_t>> relay_paths;
+
+  /// True when any sensor actually forwards through a relay.
+  [[nodiscard]] bool uses_relays() const;
+  /// Hops sensor s's upload takes (1 = direct; 0 only when d = 0).
+  [[nodiscard]] std::size_t upload_hops(std::size_t s) const;
+  /// Largest upload_hops over all sensors (0 for the empty network).
+  [[nodiscard]] std::size_t max_upload_hops() const;
+  /// Number of sensors whose upload traverses at least one relay.
+  [[nodiscard]] std::size_t relayed_sensor_count() const;
+
   /// Visiting order over {sink} ∪ polling_points: index 0 is the sink,
   /// index i >= 1 is polling_points[i-1]. Depot pinned at position 0.
   tsp::Tour tour;
@@ -52,9 +75,11 @@ struct ShdgpSolution {
       const ShdgpInstance& instance) const;
 
   /// Checks every SHDGP invariant: ids valid, positions consistent,
-  /// every sensor assigned to a PP within range, tour a permutation over
-  /// sink+PPs with the sink at position 0, recorded length correct.
-  /// Throws InvariantError with a description when violated.
+  /// every sensor's upload chain reaches its PP within the relay budget
+  /// (each leg within range, paths no longer than relay_hops - 1), tour
+  /// a permutation over sink+PPs with the sink at position 0, recorded
+  /// length correct. Throws InvariantError with a description when
+  /// violated.
   void validate(const ShdgpInstance& instance) const;
 };
 

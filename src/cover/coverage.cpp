@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "geom/disk.h"
+#include "graph/khop.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
 #include "obs/span.h"
@@ -142,6 +143,80 @@ CoverageMatrix::CoverageMatrix(const net::SensorNetwork& network,
     MDG_ASSERT(!covering_[s].empty(),
                "a sensor's own position must cover it");
   }
+}
+
+CoverageMatrix CoverageMatrix::expand_relay_hops(
+    const CoverageMatrix& base, const net::SensorNetwork& network,
+    std::size_t relay_hops) {
+  MDG_REQUIRE(base.sensor_count() == network.size(),
+              "coverage matrix does not match the network");
+  if (relay_hops == 1) {
+    return base;  // single-hop SHDGP: the relation is the base relation
+  }
+  OBS_SPAN(obs::metric::kRelayClosureBuild);
+
+  CoverageMatrix expanded;
+  expanded.candidates_ = base.candidates_;
+  expanded.cover_sets_.assign(base.candidate_count(), {});
+  expanded.covering_.assign(network.size(), {});
+
+  if (relay_hops == 0) {
+    // Degenerate d = 0: the collector pauses exactly at the sensor, so
+    // coverage is position identity (coincident sensors share stops).
+    for (std::size_t c = 0; c < base.candidate_count(); ++c) {
+      for (std::size_t s : base.covered_by(c)) {
+        if (network.position(s) == base.candidate(c)) {
+          expanded.cover_sets_[c].push_back(s);
+          expanded.covering_[s].push_back(c);
+        }
+      }
+    }
+    for (std::size_t s = 0; s < network.size(); ++s) {
+      MDG_REQUIRE(!expanded.covering_[s].empty(),
+                  "relay-hops 0 needs a candidate at every sensor site "
+                  "(use a sensor-site candidate policy)");
+    }
+    return expanded;
+  }
+
+  // d >= 2: candidate c gains every sensor within <= relay_hops - 1
+  // hops of its single-hop cover set. Closure rows and per-candidate
+  // unions are slot-exclusive, so the build is byte-identical at any
+  // thread count.
+  const graph::KHopClosure closure(network.connectivity(), relay_hops - 1);
+  const std::size_t candidates = base.candidate_count();
+  const auto expand_one = [&](std::size_t c) {
+    std::vector<char> stamped(network.size(), 0);
+    for (std::size_t t : base.covered_by(c)) {
+      for (std::size_t s : closure.reach(t)) {
+        stamped[s] = 1;
+      }
+    }
+    std::vector<std::size_t>& covered = expanded.cover_sets_[c];
+    for (std::size_t s = 0; s < stamped.size(); ++s) {
+      if (stamped[s] != 0) {
+        covered.push_back(s);
+      }
+    }
+  };
+  if (candidates < kParallelBuildBelow) {
+    for (std::size_t c = 0; c < candidates; ++c) {
+      expand_one(c);
+    }
+  } else {
+    parallel_for(candidates, expand_one);
+  }
+  for (std::size_t c = 0; c < candidates; ++c) {
+    for (std::size_t s : expanded.cover_sets_[c]) {
+      expanded.covering_[s].push_back(c);
+    }
+  }
+  for (std::size_t s = 0; s < network.size(); ++s) {
+    // Coverage only grows with d, and the base guarantees feasibility.
+    MDG_ASSERT(!expanded.covering_[s].empty(),
+               "d-hop expansion lost a sensor's coverage");
+  }
+  return expanded;
 }
 
 geom::Point CoverageMatrix::candidate(std::size_t c) const {

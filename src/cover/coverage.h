@@ -50,6 +50,20 @@ class CoverageMatrix {
   CoverageMatrix(const net::SensorNetwork& network,
                  const CandidateOptions& options);
 
+  /// Bounded-relay (d-hop) expansion of `base`: the candidate set — ids
+  /// and positions — is carried over verbatim, but candidate c covers
+  /// sensor s when s can hand its data to a collector paused at c in at
+  /// most `relay_hops` total hops over the sensor connectivity graph:
+  /// s forwards through <= relay_hops - 1 intermediate sensors whose
+  /// last element lies within Rs of c. relay_hops = 1 reproduces `base`
+  /// exactly (the single-hop SHDGP relation); relay_hops = 0 degenerates
+  /// to exact-position coverage (the collector must pause *at* the
+  /// sensor), which requires a sensor-site candidate policy to stay
+  /// feasible. Deterministic at any MDG_THREADS.
+  [[nodiscard]] static CoverageMatrix expand_relay_hops(
+      const CoverageMatrix& base, const net::SensorNetwork& network,
+      std::size_t relay_hops);
+
   [[nodiscard]] std::size_t candidate_count() const {
     return candidates_.size();
   }
@@ -70,6 +84,8 @@ class CoverageMatrix {
   [[nodiscard]] bool is_cover(const std::vector<std::size_t>& selected) const;
 
  private:
+  CoverageMatrix() = default;  // used by expand_relay_hops
+
   void index_candidate(const net::SensorNetwork& network, geom::Point p);
 
   std::vector<geom::Point> candidates_;

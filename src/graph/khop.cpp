@@ -1,0 +1,54 @@
+#include "graph/khop.h"
+
+#include <algorithm>
+
+#include "graph/bfs.h"
+#include "util/assert.h"
+#include "util/thread_pool.h"
+
+namespace mdg::graph {
+namespace {
+
+/// Below this many vertices the per-chunk dispatch overhead of the
+/// parallel build exceeds the BFS work itself.
+constexpr std::size_t kParallelBuildBelow = 512;
+
+}  // namespace
+
+KHopClosure::KHopClosure(const Graph& g, std::size_t max_hops)
+    : max_hops_(max_hops) {
+  const std::size_t n = g.vertex_count();
+
+  // Stage 1 (parallel): each vertex's bounded neighbourhood into its own
+  // slot. Writes are slot-exclusive, so the rows are independent of how
+  // the loop is split across threads.
+  std::vector<std::vector<std::size_t>> rows(n);
+  const auto compute = [&](std::size_t v) {
+    rows[v] = k_hop_neighborhood(g, v, max_hops_);
+    std::sort(rows[v].begin(), rows[v].end());
+  };
+  if (n < kParallelBuildBelow) {
+    for (std::size_t v = 0; v < n; ++v) {
+      compute(v);
+    }
+  } else {
+    parallel_for(n, compute);
+  }
+
+  // Stage 2 (serial ordered flatten): CSR rows in vertex order.
+  offsets_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    offsets_[v + 1] = offsets_[v] + rows[v].size();
+  }
+  targets_.reserve(offsets_[n]);
+  for (std::size_t v = 0; v < n; ++v) {
+    targets_.insert(targets_.end(), rows[v].begin(), rows[v].end());
+  }
+}
+
+std::span<const std::size_t> KHopClosure::reach(std::size_t v) const {
+  MDG_REQUIRE(v + 1 < offsets_.size(), "vertex index out of range");
+  return {targets_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+}
+
+}  // namespace mdg::graph

@@ -1,0 +1,49 @@
+// Bounded-hop reachability closure over a CSR graph.
+//
+// KHopClosure materializes, for every vertex v, the sorted set of
+// vertices within <= max_hops of v (hop 0 is v itself) — the d-hop
+// neighbourhood relation bounded-relay planning is built on. The
+// closure is itself stored in CSR form (one offsets array, one flat
+// targets array), so a planner can stream reach(v) spans with no
+// per-query allocation.
+//
+// The build parallelizes over source vertices with util::parallel_for;
+// every vertex's row is computed independently into its own slot and
+// the rows are flattened in vertex order afterwards, so the result is
+// byte-identical at any MDG_THREADS setting (the determinism contract
+// of DESIGN.md; the TSan CI job runs this build at MDG_THREADS=4).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mdg::graph {
+
+class KHopClosure {
+ public:
+  /// Builds the <= max_hops reachability sets of every vertex of `g`.
+  /// max_hops = 0 degenerates to reach(v) = {v}.
+  KHopClosure(const Graph& g, std::size_t max_hops);
+
+  [[nodiscard]] std::size_t vertex_count() const {
+    return offsets_.size() - 1;
+  }
+  [[nodiscard]] std::size_t max_hops() const { return max_hops_; }
+
+  /// Vertices within <= max_hops of v (always includes v), sorted
+  /// ascending by vertex id.
+  [[nodiscard]] std::span<const std::size_t> reach(std::size_t v) const;
+
+  /// Total closure size (sum of all reach-set sizes).
+  [[nodiscard]] std::size_t total_reach() const { return targets_.size(); }
+
+ private:
+  std::size_t max_hops_;
+  std::vector<std::size_t> offsets_;  ///< CSR row starts, length n + 1
+  std::vector<std::size_t> targets_;  ///< concatenated sorted reach sets
+};
+
+}  // namespace mdg::graph

@@ -1,5 +1,6 @@
 #include "io/serialize.h"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <iomanip>
@@ -255,11 +256,17 @@ net::SensorNetwork read_network(std::istream& in) {
 
 void write_solution(std::ostream& out, const core::ShdgpSolution& solution) {
   full_precision(out);
-  out << "mdg-solution 1\n";
+  // Version 2 only when the solution actually carries relay state, so
+  // every legacy single-hop solution keeps its exact version-1 bytes.
+  const bool v2 = solution.relay_hops != 1 || solution.uses_relays();
+  out << "mdg-solution " << (v2 ? 2 : 1) << '\n';
   out << "planner " << (solution.planner.empty() ? "-" : solution.planner)
       << '\n';
   out << "tour-length " << solution.tour_length << '\n';
   out << "optimal " << (solution.provably_optimal ? 1 : 0) << '\n';
+  if (v2) {
+    out << "relay-hops " << solution.relay_hops << '\n';
+  }
   out << "polling " << solution.polling_points.size() << '\n';
   for (std::size_t i = 0; i < solution.polling_points.size(); ++i) {
     out << solution.polling_candidates[i] << ' '
@@ -274,6 +281,16 @@ void write_solution(std::ostream& out, const core::ShdgpSolution& solution) {
   for (std::size_t pos = 0; pos < solution.tour.size(); ++pos) {
     out << solution.tour.at(pos) << '\n';
   }
+  if (v2) {
+    out << "relays " << solution.relay_paths.size() << '\n';
+    for (const std::vector<std::size_t>& path : solution.relay_paths) {
+      out << path.size();
+      for (std::size_t r : path) {
+        out << ' ' << r;
+      }
+      out << '\n';
+    }
+  }
 }
 
 core::StatusOr<core::ShdgpSolution> try_read_solution(
@@ -283,7 +300,7 @@ core::StatusOr<core::ShdgpSolution> try_read_solution(
 
   MDG_IO_TRY(tok.expect("mdg-solution"));
   MDG_IO_ASSIGN(version, tok.value<int>("version"));
-  if (version != 1) {
+  if (version != 1 && version != 2) {
     return core::Status::invalid_argument(
         "unsupported mdg-solution version " + std::to_string(version));
   }
@@ -310,6 +327,19 @@ core::StatusOr<core::ShdgpSolution> try_read_solution(
   MDG_IO_TRY(tok.expect("optimal"));
   MDG_IO_ASSIGN(optimal, tok.value<int>("optimal flag"));
   solution.provably_optimal = optimal != 0;
+
+  // Bounded-relay sections exist only in version 2; version-1 files are
+  // implicitly single-hop (relay_hops = 1, no paths).
+  constexpr std::size_t kMaxRelayHops = 1024;
+  if (version == 2) {
+    MDG_IO_TRY(tok.expect("relay-hops"));
+    MDG_IO_ASSIGN(hops, tok.value<std::size_t>("relay-hops"));
+    if (hops > kMaxRelayHops) {
+      return core::Status::invalid_argument("implausible relay-hops " +
+                                            std::to_string(hops));
+    }
+    solution.relay_hops = hops;
+  }
 
   MDG_IO_TRY(tok.expect("polling"));
   MDG_IO_ASSIGN(pps, tok.value<std::size_t>("polling count"));
@@ -386,6 +416,52 @@ core::StatusOr<core::ShdgpSolution> try_read_solution(
       return problems.to_status();
     }
     order.push_back(index);
+  }
+  if (version == 2) {
+    MDG_IO_TRY(tok.expect("relays"));
+    MDG_IO_ASSIGN(relayed, tok.value<std::size_t>("relays count"));
+    if (relayed > kMaxEntities) {
+      return core::Status::invalid_argument("implausible relays count " +
+                                            std::to_string(relayed));
+    }
+    if (relayed != 0 && relayed != sensors) {
+      problems.add("relays count " + std::to_string(relayed) +
+                   " does not match " + std::to_string(sensors) + " sensors");
+      if (problems.should_stop()) {
+        return problems.to_status();
+      }
+    }
+    // A path may use at most relay_hops - 1 intermediates (and none at
+    // all when the budget disables relaying).
+    const std::size_t path_cap =
+        std::max<std::size_t>(solution.relay_hops, 1) - 1;
+    solution.relay_paths.reserve(relayed);
+    for (std::size_t s = 0; s < relayed; ++s) {
+      MDG_IO_ASSIGN(hops, tok.value<std::size_t>("relay path length"));
+      if (hops > path_cap) {
+        problems.add("relay path " + std::to_string(s) + ": " +
+                     std::to_string(hops) +
+                     " relays exceed the relay-hop budget " +
+                     std::to_string(solution.relay_hops));
+        if (problems.should_stop()) {
+          return problems.to_status();
+        }
+      }
+      std::vector<std::size_t> path;
+      path.reserve(hops);
+      for (std::size_t i = 0; i < hops; ++i) {
+        MDG_IO_ASSIGN(relay, tok.value<std::size_t>("relay id"));
+        if (relay >= sensors || relay == s) {
+          problems.add("relay path " + std::to_string(s) + ": relay id " +
+                       std::to_string(relay) + " invalid");
+          if (problems.should_stop()) {
+            return problems.to_status();
+          }
+        }
+        path.push_back(relay);
+      }
+      solution.relay_paths.push_back(std::move(path));
+    }
   }
   if (!problems.messages.empty()) {
     return problems.to_status();

@@ -60,6 +60,12 @@ void write_network(std::ostream& out, const net::SensorNetwork& network);
 ///   <slot>                    (N lines)
 ///   tour <P+1>
 ///   <index>                   (P+1 lines)
+/// Bounded-relay solutions (relay_hops != 1 or any non-empty relay
+/// path) are written as version 2, which inserts `relay-hops <d>`
+/// after the `optimal` line and appends a `relays <N>` section after
+/// the tour — one line per sensor: `<k> <relay-id> ...` in forwarding
+/// order. Legacy single-hop solutions keep the byte-exact version-1
+/// encoding (serve transcript goldens depend on this).
 void write_solution(std::ostream& out, const core::ShdgpSolution& solution);
 
 /// Parses the write_solution format.

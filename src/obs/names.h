@@ -45,9 +45,11 @@ inline constexpr const char* kPlanElection = "plan.election";
 inline constexpr const char* kPlanExact = "plan.exact";
 inline constexpr const char* kPlanGreedyCover = "plan.greedy_cover";
 inline constexpr const char* kPlanMany = "plan.many";
+inline constexpr const char* kPlanRelayHop = "plan.relay_hop";
 inline constexpr const char* kPlanSpanningTour = "plan.spanning_tour";
 inline constexpr const char* kPlanTreeDominator = "plan.tree_dominator";
 inline constexpr const char* kRefineSlide = "refine.slide";
+inline constexpr const char* kRelayClosureBuild = "relay.closure_build";
 inline constexpr const char* kRouteCollector = "route.collector";
 inline constexpr const char* kServeRequest = "serve.request";
 inline constexpr const char* kSimFleetRound = "sim.fleet_round";
@@ -73,6 +75,7 @@ inline constexpr const char* kFaultSensorCrashes = "fault.sensor_crashes";
 inline constexpr const char* kCoverLazyRefreshes = "cover.lazy_refreshes";
 inline constexpr const char* kCoverSelected = "cover.selected";
 inline constexpr const char* kRefineMoves = "refine.moves";
+inline constexpr const char* kRelayRelayedSensors = "relay.relayed_sensors";
 inline constexpr const char* kServeBrownoutServed = "serve.brownout_served";
 inline constexpr const char* kServeConnTimeout = "serve.conn_timeout";
 inline constexpr const char* kServeDeadlineExpired = "serve.deadline_expired";
@@ -100,6 +103,7 @@ inline constexpr const char* kFaultDeliveredFraction =
     "fault.delivered_fraction";
 inline constexpr const char* kFaultRecoveryLengthM = "fault.recovery_length_m";
 inline constexpr const char* kPlanManyThreads = "plan.many_threads";
+inline constexpr const char* kRelayMaxHopsUsed = "relay.max_hops_used";
 inline constexpr const char* kServeBrownout = "serve.brownout";
 inline constexpr const char* kServeCacheEntries = "serve.cache_entries";
 inline constexpr const char* kServeQueueDepth = "serve.queue_depth";

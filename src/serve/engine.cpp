@@ -73,7 +73,8 @@ std::string options_fingerprint(const PlanRequestOptions& options) {
       << "max-load " << options.max_load << '\n'
       << "multi-start " << options.multi_start << '\n'
       << "refine " << (options.refine ? 1 : 0) << '\n'
-      << "deadline-ms " << options.deadline_ms << '\n';
+      << "deadline-ms " << options.deadline_ms << '\n'
+      << "relay-hops " << options.relay_hops << '\n';
   return out.str();
 }
 
@@ -209,6 +210,7 @@ Frame Engine::handle_plan(const Frame& request, const HandleContext& ctx) {
   spec.name = req.options.planner;
   spec.max_pp_load = req.options.max_load;
   spec.multi_starts = req.options.multi_start;
+  spec.relay_hops = req.options.relay_hops;
   auto planner = core::make_planner(spec);
   if (!planner.is_ok()) {
     errors_.fetch_add(1, std::memory_order_relaxed);
@@ -252,7 +254,8 @@ Frame Engine::handle_plan(const Frame& request, const HandleContext& ctx) {
   // of constructing from scratch.
   const bool warm_eligible = req.options.warm &&
                              req.options.planner == "greedy" &&
-                             !req.options.refine;
+                             !req.options.refine &&
+                             req.options.relay_hops == 1;
   std::uint64_t signature = PlanCache::kNoKey;
   core::ShdgpSolution solution;
   bool planned = false;
@@ -388,6 +391,17 @@ Frame Engine::handle_delta(const Frame& request) {
   }
   DeltaRequest req = std::move(parsed).value();
 
+  // The incremental repair path has no relay semantics: apply_delta's
+  // set-cover repair is single-hop. Reject rather than silently produce
+  // a plan under the wrong budget.
+  if (req.options.relay_hops != 1) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    MDG_OBS_COUNT(obs::metric::kServeErrors, 1);
+    return error_reply(request.id,
+                       core::Status::invalid_argument(
+                           "op delta does not support relay-hops != 1"));
+  }
+
   // Canonical identity: delta replies live in their own "delta\n" key
   // namespace so they can never be confused with a plan reply for the
   // post-delta network (their payloads carry repair stats).
@@ -423,6 +437,7 @@ Frame Engine::handle_delta(const Frame& request) {
     spec.name = req.options.planner;
     spec.max_pp_load = req.options.max_load;
     spec.multi_starts = req.options.multi_start;
+    spec.relay_hops = req.options.relay_hops;
     auto planner = core::make_planner(spec);
     if (!planner.is_ok()) {
       errors_.fetch_add(1, std::memory_order_relaxed);
@@ -626,7 +641,8 @@ std::size_t Engine::restore_cache(const std::vector<SnapshotEntry>& entries) {
         fnv1a64(verify::canonical_network_bytes(req.network),
                 fnv1a64(options_fingerprint(req.options)));
     const std::uint64_t signature =
-        (req.options.planner == "greedy" && !req.options.refine)
+        (req.options.planner == "greedy" && !req.options.refine &&
+         req.options.relay_hops == 1)
             ? warm_signature_of(req.options.max_load, instance.sink(),
                                 solution->polling_points)
             : PlanCache::kNoKey;

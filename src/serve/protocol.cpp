@@ -119,6 +119,9 @@ void write_request_options(std::ostream& out,
       << "refine " << (options.refine ? 1 : 0) << "\n"
       << "deadline-ms " << options.deadline_ms << "\n"
       << "warm " << (options.warm ? 1 : 0) << "\n";
+  if (options.relay_hops != 1) {
+    out << "relay-hops " << options.relay_hops << "\n";
+  }
 }
 
 core::Status read_request_options(std::istream& in,
@@ -142,6 +145,22 @@ core::Status read_request_options(std::istream& in,
   options->deadline_ms = static_cast<std::uint32_t>(u64);
   MDG_SERVE_TRY(read_keyed_line(in, "warm", &value));
   MDG_SERVE_TRY(parse_bool(value, "warm", &options->warm));
+  // Optional trailing "relay-hops" line (absent on every legacy payload
+  // and whenever d = 1): peek, consume on match, rewind otherwise.
+  options->relay_hops = 1;
+  const std::istream::pos_type mark = in.tellg();
+  std::string line;
+  if (std::getline(in, line) && line.rfind("relay-hops ", 0) == 0) {
+    MDG_SERVE_TRY(parse_u64(line.substr(11), "relay-hops", &u64));
+    if (u64 > 1024) {
+      return core::Status::invalid_argument("relay-hops out of range: " +
+                                            line.substr(11));
+    }
+    options->relay_hops = static_cast<std::size_t>(u64);
+  } else {
+    in.clear();
+    in.seekg(mark);
+  }
   return core::Status::ok();
 }
 

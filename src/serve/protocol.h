@@ -122,6 +122,10 @@ struct PlanRequestOptions {
   bool refine = false;          ///< run core::refine_polling_positions
   std::uint32_t deadline_ms = 0;  ///< anytime budget; 0 = none
   bool warm = true;             ///< allow warm-start from the cache
+  /// Bounded-relay budget d (core::RelayHopPlanner). 1 = legacy
+  /// single-hop; the "relay-hops" line is written only when d != 1, so
+  /// every legacy payload (and its cache key) keeps its exact bytes.
+  std::size_t relay_hops = 1;
 };
 
 struct PlanRequest {
@@ -138,6 +142,7 @@ struct PlanRequest {
 ///   refine <0|1>
 ///   deadline-ms <D>
 ///   warm <0|1>
+///   relay-hops <d>        (only when d != 1)
 ///   network
 ///   <io::write_network text>
 [[nodiscard]] std::string build_plan_request(const PlanRequestOptions& options,

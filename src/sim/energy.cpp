@@ -1,5 +1,7 @@
 #include "sim/energy.h"
 
+#include "core/instance.h"
+#include "core/solution.h"
 #include "util/assert.h"
 
 namespace mdg::sim {
@@ -46,6 +48,29 @@ std::vector<double> EnergyLedger::consumed_all() const {
     out[v] = consumed(v);
   }
   return out;
+}
+
+std::vector<double> relay_round_energy(const core::ShdgpInstance& instance,
+                                       const core::ShdgpSolution& solution) {
+  const net::SensorNetwork& network = instance.network();
+  const net::RadioModel& radio = network.radio();
+  std::vector<double> joules(network.size(), 0.0);
+  const std::vector<std::size_t> no_path;
+  for (std::size_t s = 0; s < solution.assignment.size(); ++s) {
+    const geom::Point pp = solution.polling_points[solution.assignment[s]];
+    const std::vector<std::size_t>& path =
+        s < solution.relay_paths.size() ? solution.relay_paths[s] : no_path;
+    const geom::Point first =
+        path.empty() ? pp : network.position(path.front());
+    joules[s] += radio.tx_packet(geom::distance(network.position(s), first));
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      const geom::Point next =
+          i + 1 < path.size() ? network.position(path[i + 1]) : pp;
+      joules[path[i]] +=
+          radio.relay_packet(geom::distance(network.position(path[i]), next));
+    }
+  }
+  return joules;
 }
 
 }  // namespace mdg::sim

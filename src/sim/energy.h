@@ -5,6 +5,11 @@
 #include <span>
 #include <vector>
 
+namespace mdg::core {
+struct ShdgpSolution;
+class ShdgpInstance;
+}  // namespace mdg::core
+
 namespace mdg::sim {
 
 class EnergyLedger {
@@ -32,5 +37,15 @@ class EnergyLedger {
   std::vector<double> remaining_;
   std::size_t alive_ = 0;
 };
+
+/// Analytic per-sensor joules for one lossless gathering round in which
+/// every sensor delivers exactly one packet through its planned relay
+/// chain: the origin pays tx for the first leg, every relay pays rx+tx
+/// for its forwarding leg. Index = spender, so a busy relay's entry
+/// aggregates every chain crossing it. Exactly matches what the mobile
+/// simulator's ledger draws under those conditions (the conservation
+/// test pins this), and feeds the bench_b1_relay energy frontier.
+[[nodiscard]] std::vector<double> relay_round_energy(
+    const core::ShdgpInstance& instance, const core::ShdgpSolution& solution);
 
 }  // namespace mdg::sim

@@ -89,7 +89,8 @@ bool MobileCollectionSim::sensor_up(const EnergyLedger& ledger,
 double MobileCollectionSim::serve_stop(geom::Point stop,
                                        const std::vector<std::size_t>& sensors,
                                        double now, EnergyLedger& ledger,
-                                       MobileRoundReport& report) {
+                                       MobileRoundReport& report,
+                                       bool planned) {
   const auto& net = instance_->network();
   const auto& rad = net.radio();
   const fault::FaultPlan* plan = config_.fault_plan;
@@ -97,24 +98,61 @@ double MobileCollectionSim::serve_stop(geom::Point stop,
       plan == nullptr ? config_.upload_loss_prob
                       : plan->loss_prob_at(now, config_.upload_loss_prob);
   const bool burst = plan != nullptr && plan->burst_active(now);
+  const std::vector<std::size_t> no_path;
   double service = 0.0;
   for (std::size_t s : sensors) {
     if (!sensor_up(ledger, s, now)) {
       continue;
     }
-    const double hop = geom::distance(net.position(s), stop);
-    const double joules = rad.tx_packet(hop);
+    const std::vector<std::size_t>& path =
+        planned && s < solution_->relay_paths.size()
+            ? solution_->relay_paths[s]
+            : no_path;
+    // A dead relay in the chain means the stop cannot hear this sensor
+    // at all: skip it, buffers survive to a later round.
+    const bool chain_up =
+        std::all_of(path.begin(), path.end(), [&](std::size_t r) {
+          return sensor_up(ledger, r, now);
+        });
+    if (!chain_up) {
+      continue;
+    }
+    // Per-attempt energy along the chain: the origin transmits to the
+    // first relay (or straight to the collector); every relay receives
+    // and retransmits toward the next leg.
+    const geom::Point first =
+        path.empty() ? stop : net.position(path.front());
+    const double origin_joules =
+        rad.tx_packet(geom::distance(net.position(s), first));
+    std::vector<double> relay_joules(path.size());
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      const geom::Point next =
+          i + 1 < path.size() ? net.position(path[i + 1]) : stop;
+      relay_joules[i] =
+          rad.relay_packet(geom::distance(net.position(path[i]), next));
+    }
+    // Each attempt occupies the channel once per hop (the ack is
+    // end-to-end, so one loss draw covers the whole chain).
+    const double attempt_airtime =
+        config_.packet_upload_s * static_cast<double>(path.size() + 1);
     bool sensor_died = false;
-    while (buffer_[s] > 0 && !sensor_died) {
+    bool relay_died = false;
+    while (buffer_[s] > 0 && !sensor_died && !relay_died) {
       // One packet: attempt until acknowledged, the retry budget is
-      // spent, or the battery dies mid-burst.
+      // spent, or a battery along the chain dies mid-burst.
       bool acked = false;
       std::size_t attempts = 0;
       while (attempts < config_.max_upload_attempts) {
         ++attempts;
-        report.round_energy[s] += joules;
-        service += config_.packet_upload_s;
-        const bool alive = ledger.consume(s, joules);
+        report.round_energy[s] += origin_joules;
+        service += attempt_airtime;
+        const bool alive = ledger.consume(s, origin_joules);
+        for (std::size_t i = 0; i < path.size(); ++i) {
+          report.round_energy[path[i]] += relay_joules[i];
+          if (!ledger.consume(path[i], relay_joules[i])) {
+            relay_died = true;  // the chain breaks after this packet
+          }
+        }
         const bool lost_attempt =
             loss_prob > 0.0 && loss_rng_.chance(loss_prob);
         if (!lost_attempt) {
@@ -123,7 +161,7 @@ double MobileCollectionSim::serve_stop(geom::Point stop,
         if (!alive) {
           sensor_died = true;  // stop after this packet
         }
-        if (acked || sensor_died) {
+        if (acked || sensor_died || relay_died) {
           break;
         }
       }
@@ -167,7 +205,7 @@ double MobileCollectionSim::run_recovery(geom::Point breakdown_position,
     now += travel;
     const double service =
         serve_stop(recovery.stops[j], recovery.stop_sensors[j], now, ledger,
-                   report);
+                   report, /*planned=*/false);
     report.service_s += service;
     now += service;
     where = recovery.stops[j];
@@ -266,8 +304,8 @@ MobileRoundReport MobileCollectionSim::run_round(EnergyLedger& ledger,
         continue;
       }
     }
-    const double service =
-        serve_stop(stop, stop_sensors_[i], clock, ledger, report);
+    const double service = serve_stop(stop, stop_sensors_[i], clock, ledger,
+                                      report, /*planned=*/true);
     report.service_s += service;
     clock += service;
     where = stop;

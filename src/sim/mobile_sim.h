@@ -143,11 +143,14 @@ class MobileCollectionSim {
   /// True when the sensor is up at `time_s` (battery and fault plan).
   [[nodiscard]] bool sensor_up(const EnergyLedger& ledger, std::size_t sensor,
                                double time_s) const;
-  /// Serves one pause: every listed sensor uploads its buffer. Returns
-  /// the service seconds spent.
+  /// Serves one pause: every listed sensor uploads its buffer, through
+  /// its planned relay chain when the solution carries one. `planned`
+  /// distinguishes tour stops (relay chains apply) from recovery stops
+  /// (replan_remaining re-covers sensors single-hop, so chains do not).
+  /// Returns the service seconds spent.
   double serve_stop(geom::Point stop, const std::vector<std::size_t>& sensors,
                     double now, EnergyLedger& ledger,
-                    MobileRoundReport& report);
+                    MobileRoundReport& report, bool planned);
   /// Mid-tour breakdown: replans over live unserved sensors, drives the
   /// spliced recovery tour, returns the clock after arriving at the sink.
   double run_recovery(geom::Point breakdown_position, double now,

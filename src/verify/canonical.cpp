@@ -30,10 +30,21 @@ std::string canonical_plan_bytes(const core::ShdgpInstance& instance,
                                  const core::ShdgpSolution& solution) {
   const net::SensorNetwork& network = instance.network();
 
-  // Polling points with their (coordinate-identified, sorted) sensors.
+  // Polling points with their (coordinate-identified, sorted) sensors;
+  // each sensor carries its relay chain as coordinates (empty = direct).
+  struct Upload {
+    geom::Point position;
+    std::vector<geom::Point> via;
+  };
   struct Stop {
     geom::Point position;
-    std::vector<geom::Point> sensors;
+    std::vector<Upload> sensors;
+  };
+  const auto upload_less = [](const Upload& a, const Upload& b) {
+    if (!(a.position == b.position)) {
+      return point_less(a.position, b.position);
+    }
+    return sequence_less(a.via, b.via);
   };
   std::vector<Stop> stops(solution.polling_points.size());
   for (std::size_t i = 0; i < stops.size(); ++i) {
@@ -42,18 +53,29 @@ std::string canonical_plan_bytes(const core::ShdgpInstance& instance,
   for (std::size_t s = 0; s < solution.assignment.size(); ++s) {
     const std::size_t slot = solution.assignment[s];
     if (slot < stops.size() && s < network.size()) {
-      stops[slot].sensors.push_back(network.position(s));
+      Upload upload{network.position(s), {}};
+      if (s < solution.relay_paths.size()) {
+        for (std::size_t r : solution.relay_paths[s]) {
+          if (r < network.size()) {
+            upload.via.push_back(network.position(r));
+          }
+        }
+      }
+      stops[slot].sensors.push_back(std::move(upload));
     }
   }
   for (Stop& stop : stops) {
-    std::sort(stop.sensors.begin(), stop.sensors.end(), point_less);
+    std::sort(stop.sensors.begin(), stop.sensors.end(), upload_less);
   }
-  std::sort(stops.begin(), stops.end(), [](const Stop& a, const Stop& b) {
-    if (!(a.position == b.position)) {
-      return point_less(a.position, b.position);
-    }
-    return sequence_less(a.sensors, b.sensors);
-  });
+  std::sort(stops.begin(), stops.end(),
+            [&](const Stop& a, const Stop& b) {
+              if (!(a.position == b.position)) {
+                return point_less(a.position, b.position);
+              }
+              return std::lexicographical_compare(
+                  a.sensors.begin(), a.sensors.end(), b.sensors.begin(),
+                  b.sensors.end(), upload_less);
+            });
 
   // Tour as coordinates from the sink, direction normalized to the
   // lexicographically smaller traversal.
@@ -79,16 +101,22 @@ std::string canonical_plan_bytes(const core::ShdgpInstance& instance,
       sequence_less(backward, forward) ? backward : forward;
 
   std::ostringstream out;
-  out << "canonical-plan 1\n";
-  out << "planner " << solution.planner << "\n";
+  out << "canonical-plan 2\n";
+  if (solution.relay_hops != 1) {
+    out << "relay-hops " << solution.relay_hops << "\n";
+  }
   out << "polling " << stops.size() << "\n";
   for (const Stop& stop : stops) {
     out << "pp ";
     emit_point(out, stop.position);
     out << " serves " << stop.sensors.size() << "\n";
-    for (geom::Point sensor : stop.sensors) {
+    for (const Upload& sensor : stop.sensors) {
       out << "  sensor ";
-      emit_point(out, sensor);
+      emit_point(out, sensor.position);
+      for (geom::Point via : sensor.via) {
+        out << " via ";
+        emit_point(out, via);
+      }
       out << "\n";
     }
   }

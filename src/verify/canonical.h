@@ -13,6 +13,13 @@
 // polling point; the tour emitted from the sink in the direction whose
 // first step is lexicographically smaller; every double printed as
 // hexfloat (exact round-trip, no locale).
+//
+// The encoding is deliberately planner-agnostic (no planner-name line):
+// two planners that produce the same geometric plan encode identically,
+// which is what the d=1 byte-identity gate between RelayHopPlanner and
+// GreedyCoverPlanner compares. Bounded-relay state is part of the plan:
+// a `relay-hops <d>` line appears when d != 1, and a sensor line gains
+// ` via <coords> ...` when the sensor uploads through relays.
 #pragma once
 
 #include <string>

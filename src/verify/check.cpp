@@ -107,7 +107,9 @@ core::Status check_solution(const core::ShdgpInstance& instance,
     }
   }
 
-  // Single-hop guarantee: every sensor assigned, within range.
+  // Upload guarantee: every sensor assigned, and its upload chain
+  // (direct, or through its relay path) reaches the polling point
+  // within the relay-hop budget with every leg a valid radio hop.
   if (solution.assignment.size() != network.size()) {
     std::ostringstream out;
     out << "assignment covers " << solution.assignment.size() << " of "
@@ -116,6 +118,17 @@ core::Status check_solution(const core::ShdgpInstance& instance,
       return v.status("solution");
     }
   }
+  if (!solution.relay_paths.empty() &&
+      solution.relay_paths.size() != network.size()) {
+    std::ostringstream out;
+    out << "relay_paths covers " << solution.relay_paths.size() << " of "
+        << network.size() << " sensors (must be empty or complete)";
+    if (v.report(out.str())) {
+      return v.status("solution");
+    }
+  }
+  const std::size_t budget = std::max<std::size_t>(solution.relay_hops, 1);
+  const std::vector<std::size_t> no_path;
   const std::size_t assigned =
       std::min(solution.assignment.size(), network.size());
   for (std::size_t s = 0; s < assigned; ++s) {
@@ -128,14 +141,67 @@ core::Status check_solution(const core::ShdgpInstance& instance,
       }
       continue;
     }
-    if (!geom::within_range(network.position(s), solution.polling_points[slot],
-                            network.range())) {
+    const geom::Point pp = solution.polling_points[slot];
+    const std::vector<std::size_t>& path =
+        s < solution.relay_paths.size() ? solution.relay_paths[s] : no_path;
+    if (path.size() + 1 > budget) {
       std::ostringstream out;
-      out << "sensor " << s << " at " << describe_point(network.position(s))
-          << " cannot reach polling point " << slot << " at "
-          << describe_point(solution.polling_points[slot]) << " (distance "
-          << geom::distance(network.position(s), solution.polling_points[slot])
-          << " > range " << network.range() << ")";
+      out << "sensor " << s << " uploads through " << path.size()
+          << " relays, exceeding the relay-hop budget "
+          << solution.relay_hops;
+      if (v.report(out.str())) {
+        return v.status("solution");
+      }
+      continue;
+    }
+    if (solution.relay_hops == 0) {
+      if (!(network.position(s) == pp)) {
+        std::ostringstream out;
+        out << "sensor " << s << " at " << describe_point(network.position(s))
+            << " requires the collector to pause at its position "
+            << "(relay-hops 0), but its polling point is at "
+            << describe_point(pp);
+        if (v.report(out.str())) {
+          return v.status("solution");
+        }
+      }
+      continue;
+    }
+    geom::Point from = network.position(s);
+    bool chain_ok = true;
+    for (std::size_t r : path) {
+      if (r >= network.size() || r == s) {
+        std::ostringstream out;
+        out << "sensor " << s << " relay path references invalid relay "
+            << r;
+        chain_ok = false;
+        if (v.report(out.str())) {
+          return v.status("solution");
+        }
+        break;
+      }
+      if (!geom::within_range(from, network.position(r), network.range())) {
+        std::ostringstream out;
+        out << "sensor " << s << " relay leg " << describe_point(from)
+            << " -> relay " << r << " at "
+            << describe_point(network.position(r)) << " (distance "
+            << geom::distance(from, network.position(r)) << " > range "
+            << network.range() << ")";
+        chain_ok = false;
+        if (v.report(out.str())) {
+          return v.status("solution");
+        }
+        break;
+      }
+      from = network.position(r);
+    }
+    if (chain_ok && !geom::within_range(from, pp, network.range())) {
+      std::ostringstream out;
+      out << "sensor " << s << " upload chain ends at "
+          << describe_point(from) << " which cannot reach polling point "
+          << slot << " at " << describe_point(pp) << " (distance "
+          << geom::distance(from, pp) << " > range " << network.range()
+          << ")";
       if (v.report(out.str())) {
         return v.status("solution");
       }

@@ -9,6 +9,7 @@
 #include "io/delta_io.h"
 #include "io/serialize.h"
 #include "serve/protocol.h"
+#include "util/assert.h"
 #include "util/rng.h"
 
 namespace mdg::verify {
@@ -48,6 +49,29 @@ core::Status run_frame_target(std::string_view bytes) {
   }
 }
 
+/// The bounded-relay solution target: any bytes must parse or produce
+/// a diagnostic (the shared contract), and on top of that an *accepted*
+/// solution must survive the relay accessors and round-trip through
+/// write_solution -> try_read_solution — a genuine violation crashes,
+/// which is exactly what the fuzz drivers are watching for.
+core::Status run_relay_target(std::string_view bytes, bool fail_fast) {
+  std::istringstream in{std::string(bytes)};
+  auto parsed = io::try_read_solution(in, {.fail_fast = fail_fast});
+  if (!parsed.is_ok()) {
+    return parsed.status();
+  }
+  const core::ShdgpSolution& solution = parsed.value();
+  (void)solution.uses_relays();
+  (void)solution.max_upload_hops();
+  (void)solution.relayed_sensor_count();
+  std::istringstream again{io::to_text(solution)};
+  auto reparsed = io::try_read_solution(again, {.fail_fast = fail_fast});
+  MDG_REQUIRE(reparsed.is_ok(),
+              "write->read round-trip rejected an accepted solution: " +
+                  reparsed.status().message());
+  return parsed.status();
+}
+
 core::Status run_target(FuzzTarget target, std::string_view bytes,
                         bool fail_fast) {
   std::istringstream in{std::string(bytes)};
@@ -64,6 +88,8 @@ core::Status run_target(FuzzTarget target, std::string_view bytes,
     case FuzzTarget::kFrame:
       // Binary framing + payload parsers; single validation mode.
       return run_frame_target(bytes);
+    case FuzzTarget::kRelayPlan:
+      return run_relay_target(bytes, fail_fast);
   }
   return core::Status::internal("unknown fuzz target");
 }
@@ -139,6 +165,8 @@ const char* to_string(FuzzTarget target) {
       return "delta";
     case FuzzTarget::kFrame:
       return "serve";
+    case FuzzTarget::kRelayPlan:
+      return "relay";
   }
   return "unknown";
 }
@@ -146,7 +174,7 @@ const char* to_string(FuzzTarget target) {
 std::optional<FuzzTarget> fuzz_target_from_string(std::string_view name) {
   for (FuzzTarget target :
        {FuzzTarget::kNetwork, FuzzTarget::kSolution, FuzzTarget::kFaultConfig,
-        FuzzTarget::kDelta, FuzzTarget::kFrame}) {
+        FuzzTarget::kDelta, FuzzTarget::kFrame, FuzzTarget::kRelayPlan}) {
     if (name == to_string(target)) {
       return target;
     }

@@ -36,10 +36,12 @@ enum class FuzzTarget {
   kFaultConfig,  ///< fault::read_fault_config
   kDelta,        ///< io::try_read_delta
   kFrame,        ///< serve::read_frame + request-payload parsers
+  kRelayPlan,    ///< version-2 (bounded-relay) solution files: parse,
+                 ///< relay helpers, write->read round-trip must hold
 };
 
 /// Corpus directory name and CLI spelling: "network" / "solution" /
-/// "faults" / "delta" / "serve".
+/// "faults" / "delta" / "serve" / "relay".
 [[nodiscard]] const char* to_string(FuzzTarget target);
 [[nodiscard]] std::optional<FuzzTarget> fuzz_target_from_string(
     std::string_view name);

@@ -11,12 +11,13 @@
 namespace mdg::verify {
 namespace {
 
-constexpr std::array<GeneratorFamily, 9> kAllFamilies = {
+constexpr std::array<GeneratorFamily, 12> kAllFamilies = {
     GeneratorFamily::kUniform,   GeneratorFamily::kClusters,
     GeneratorFamily::kGrid,      GeneratorFamily::kCorridor,
     GeneratorFamily::kRing,      GeneratorFamily::kCollinear,
     GeneratorFamily::kCoincident, GeneratorFamily::kBoundary,
-    GeneratorFamily::kTiny,
+    GeneratorFamily::kTiny,      GeneratorFamily::kChain,
+    GeneratorFamily::kStar,      GeneratorFamily::kIslands,
 };
 
 std::vector<geom::Point> corridor_points(std::size_t count,
@@ -110,6 +111,108 @@ std::vector<geom::Point> boundary_points(std::size_t count,
   return pts;
 }
 
+std::vector<geom::Point> chain_points(std::size_t count,
+                                      const geom::Aabb& field, double range,
+                                      Rng& rng) {
+  // A serpentine chain with consecutive sensors exactly `range` apart
+  // along x: every link sits on the transmission-range boundary, so a
+  // d-hop closure that is off by one hop (or an epsilon in the boundary
+  // comparison) changes the reachability sets. Row pitch range/2 keeps
+  // row turns within range, preserving one connected chain.
+  std::vector<geom::Point> pts;
+  pts.reserve(count);
+  const double x0 = field.lo.x + rng.uniform(0.0, range * 0.25);
+  const double y0 = field.lo.y + rng.uniform(0.0, range * 0.25);
+  double x = x0;
+  double y = y0;
+  bool rightward = true;
+  while (pts.size() < count && y <= field.hi.y) {
+    pts.push_back({x, y});
+    const double next = rightward ? x + range : x - range;
+    if (next > field.hi.x || next < field.lo.x) {
+      y += range * 0.5;  // turn: climb half a range, reverse direction
+      rightward = !rightward;
+    } else {
+      x = next;
+    }
+  }
+  // A field too small for the requested chain: stack the remainder on
+  // the start (coincident sensors are fair game — see kCoincident).
+  while (pts.size() < count) {
+    pts.push_back({x0, y0});
+  }
+  return pts;
+}
+
+std::vector<geom::Point> star_points(std::size_t count,
+                                     const geom::Aabb& field, double range,
+                                     Rng& rng) {
+  // Hub-and-spoke stars: six spokes per hub, each a radial chain with
+  // links exactly `range` long, so a ring-j spoke sensor is exactly j
+  // hops from its hub — a d-hop dominating set collapses whole rings
+  // onto hubs as d grows.
+  const std::size_t hubs = std::max<std::size_t>(1, count / 24);
+  std::vector<geom::Point> centers;
+  std::vector<double> bases;
+  centers.reserve(hubs);
+  for (std::size_t h = 0; h < hubs; ++h) {
+    centers.push_back({rng.uniform(field.lo.x, field.hi.x),
+                       rng.uniform(field.lo.y, field.hi.y)});
+    bases.push_back(rng.uniform(0.0, 2.0 * 3.14159265358979323846));
+  }
+  std::vector<geom::Point> pts = centers;
+  pts.reserve(count);
+  if (pts.size() > count) {
+    pts.resize(count);
+  }
+  for (std::size_t ring = 1; pts.size() < count; ++ring) {
+    for (std::size_t h = 0; h < hubs && pts.size() < count; ++h) {
+      for (std::size_t k = 0; k < 6 && pts.size() < count; ++k) {
+        const double theta =
+            bases[h] + static_cast<double>(k) * 3.14159265358979323846 / 3.0;
+        const geom::Point spoke{
+            centers[h].x +
+                std::cos(theta) * range * static_cast<double>(ring),
+            centers[h].y +
+                std::sin(theta) * range * static_cast<double>(ring)};
+        pts.push_back(field.clamp(spoke));
+      }
+    }
+  }
+  return pts;
+}
+
+std::vector<geom::Point> island_points(std::size_t count,
+                                       const geom::Aabb& field, double range,
+                                       Rng& rng) {
+  // Tight single-hop cliques (diameter < range) on a coarse lattice,
+  // far apart relative to the range: the communication graph is
+  // disconnected, the d-hop closure must never bridge islands, and set
+  // cover still needs one stop per island no matter how large d gets.
+  const std::size_t islands =
+      std::min<std::size_t>(9, std::max<std::size_t>(2, count / 24));
+  std::vector<geom::Point> centers;
+  centers.reserve(islands);
+  for (std::size_t i = 0; i < islands; ++i) {
+    // Lattice fractions 1/6, 3/6, 5/6 of the field per axis, jittered.
+    const double fx = (1.0 + 2.0 * static_cast<double>(i % 3)) / 6.0;
+    const double fy = (1.0 + 2.0 * static_cast<double>(i / 3)) / 6.0;
+    centers.push_back(
+        {field.lo.x + fx * field.width() + rng.uniform(-0.2, 0.2) * range,
+         field.lo.y + fy * field.height() + rng.uniform(-0.2, 0.2) * range});
+  }
+  std::vector<geom::Point> pts;
+  pts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const geom::Point& c = centers[i % islands];
+    const double r = rng.uniform(0.0, range * 0.45);
+    const double theta = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    pts.push_back(
+        field.clamp({c.x + r * std::cos(theta), c.y + r * std::sin(theta)}));
+  }
+  return pts;
+}
+
 }  // namespace
 
 std::span<const GeneratorFamily> all_families() { return kAllFamilies; }
@@ -119,7 +222,15 @@ std::span<const GeneratorFamily> standard_families() {
 }
 
 std::span<const GeneratorFamily> degenerate_families() {
-  return std::span<const GeneratorFamily>(kAllFamilies).subspan(5);
+  return std::span<const GeneratorFamily>(kAllFamilies).subspan(5, 4);
+}
+
+std::span<const GeneratorFamily> relay_families() {
+  return std::span<const GeneratorFamily>(kAllFamilies).subspan(9);
+}
+
+std::span<const GeneratorFamily> legacy_families() {
+  return std::span<const GeneratorFamily>(kAllFamilies).subspan(0, 9);
 }
 
 const char* to_string(GeneratorFamily family) {
@@ -142,6 +253,12 @@ const char* to_string(GeneratorFamily family) {
       return "boundary";
     case GeneratorFamily::kTiny:
       return "tiny";
+    case GeneratorFamily::kChain:
+      return "chain";
+    case GeneratorFamily::kStar:
+      return "star";
+    case GeneratorFamily::kIslands:
+      return "islands";
   }
   return "unknown";
 }
@@ -195,6 +312,15 @@ net::SensorNetwork generate_network(GeneratorFamily family, std::uint64_t seed,
       if (seed % 2 == 1) {
         pts = net::deploy_uniform(1, field, rng);
       }
+      break;
+    case GeneratorFamily::kChain:
+      pts = chain_points(n, field, options.range, rng);
+      break;
+    case GeneratorFamily::kStar:
+      pts = star_points(n, field, options.range, rng);
+      break;
+    case GeneratorFamily::kIslands:
+      pts = island_points(n, field, options.range, rng);
       break;
   }
   return net::SensorNetwork(std::move(pts), field.center(), field,

@@ -1,14 +1,19 @@
 // Deterministic SHDGP instance generators for the verification harness.
 //
-// Nine seed-addressed families: five "standard" deployments (the
-// property-sweep grid) and four adversarial degenerates that target the
+// Twelve seed-addressed families: five "standard" deployments (the
+// property-sweep grid), four adversarial degenerates that target the
 // geometric edge cases a planner bug hides in — exactly collinear
 // sensors, coincident sensors (and therefore coincident candidate
 // polling positions), sensor pairs at the exact transmission-range
-// boundary, and the n = 0 / n = 1 corner. Every family draws from its
-// own Rng::fork stream of the caller's seed, so generate_network(family,
-// seed) is a pure function: same arguments, byte-identical network,
-// regardless of which other families have been generated.
+// boundary, and the n = 0 / n = 1 corner — plus three relay-hop
+// stressors whose hop structure makes d-hop coverage interesting: a
+// serpentine chain with links exactly at the range boundary, hub-spoke
+// stars whose ring-j sensors are exactly j hops from the hub, and
+// disconnected islands the d-hop closure must never bridge. Every
+// family draws from its own Rng::fork stream of the caller's seed, so
+// generate_network(family, seed) is a pure function: same arguments,
+// byte-identical network, regardless of which other families have been
+// generated.
 //
 // tools/repro replays any (family, seed) pair through the full
 // plan -> verify pipeline; test failure messages print that pair.
@@ -35,6 +40,10 @@ enum class GeneratorFamily {
   kCoincident,  ///< few distinct sites, many exactly coincident sensors
   kBoundary,    ///< sensor pairs at the exact range boundary
   kTiny,        ///< n = seed % 2 sensors (the 0- and 1-sensor corners)
+  // --- relay-hop stressors (bounded-relay planning) --------------------
+  kChain,    ///< serpentine chain, links exactly one range apart
+  kStar,     ///< hub-spoke stars, ring j exactly j hops from the hub
+  kIslands,  ///< tight single-hop cliques far apart (disconnected graph)
 };
 
 /// Shape knobs shared by every family (kTiny ignores `sensors`).
@@ -44,12 +53,18 @@ struct GeneratorOptions {
   double range = 25.0;  ///< transmission range Rs
 };
 
-/// All nine families, standard-first (stable iteration order).
+/// All twelve families, standard-first (stable iteration order).
 [[nodiscard]] std::span<const GeneratorFamily> all_families();
 /// The five standard deployment families.
 [[nodiscard]] std::span<const GeneratorFamily> standard_families();
 /// The four adversarial degenerate families.
 [[nodiscard]] std::span<const GeneratorFamily> degenerate_families();
+/// The three relay-hop stressor families.
+[[nodiscard]] std::span<const GeneratorFamily> relay_families();
+/// The original nine families (standard + degenerate) — the d=1
+/// byte-identity gate and the kernel digest iterate exactly these, so
+/// their outputs stay pinned as new families are appended.
+[[nodiscard]] std::span<const GeneratorFamily> legacy_families();
 
 [[nodiscard]] const char* to_string(GeneratorFamily family);
 /// Inverse of to_string ("uniform", "clusters", ...); nullopt on unknown.

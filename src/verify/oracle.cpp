@@ -1,18 +1,114 @@
 #include "verify/oracle.h"
 
+#include <bit>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 #include <utility>
 
 #include "baselines/direct_visit.h"
 #include "core/exact_planner.h"
 #include "core/greedy_cover_planner.h"
+#include "core/relay_hop_planner.h"
 #include "core/spanning_tour_planner.h"
 #include "core/tree_dominator_planner.h"
+#include "cover/coverage.h"
 #include "dist/election_planner.h"
+#include "tsp/exact.h"
 #include "tsp/lower_bound.h"
+#include "verify/canonical.h"
 #include "verify/check.h"
 
 namespace mdg::verify {
+namespace {
+
+/// Brute-force d-hop optimum: enumerate candidate subsets, keep the
+/// covers that are *minimal* (dropping any element breaks coverage) and
+/// take the shortest Held–Karp tour over sink + subset. Euclidean tour
+/// length is monotone under stop removal, so the optimum is attained at
+/// a minimal cover — enumerating only those keeps the Held–Karp calls
+/// rare and small (a minimal cover has at most one stop per sensor).
+struct RelayExact {
+  bool available = false;
+  double length = 0.0;
+};
+
+RelayExact exact_relay_optimum(const core::ShdgpInstance& instance,
+                               std::size_t relay_hops) {
+  constexpr std::size_t kMaxBruteCandidates = 16;
+  RelayExact result;
+  const std::size_t n = instance.sensor_count();
+  if (n == 0) {
+    result.available = true;  // the empty tour (sink only) has length 0
+    return result;
+  }
+  if (n > 31) {
+    return result;
+  }
+  const cover::CoverageMatrix expanded = cover::CoverageMatrix::
+      expand_relay_hops(instance.coverage(), instance.network(), relay_hops);
+  const std::size_t m = expanded.candidate_count();
+  if (m == 0 || m > kMaxBruteCandidates) {
+    return result;
+  }
+  std::vector<std::uint32_t> masks(m, 0);
+  for (std::size_t c = 0; c < m; ++c) {
+    for (std::size_t s : expanded.covered_by(c)) {
+      masks[c] |= std::uint32_t{1} << s;
+    }
+  }
+  const std::uint32_t full = (std::uint32_t{1} << n) - 1;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::uint32_t sub = 1; sub < (std::uint32_t{1} << m); ++sub) {
+    std::uint32_t covered = 0;
+    for (std::size_t c = 0; c < m; ++c) {
+      if ((sub >> c) & 1u) {
+        covered |= masks[c];
+      }
+    }
+    if (covered != full) {
+      continue;
+    }
+    bool minimal = true;
+    for (std::size_t c = 0; c < m && minimal; ++c) {
+      if (((sub >> c) & 1u) == 0) {
+        continue;
+      }
+      std::uint32_t rest = 0;
+      for (std::size_t o = 0; o < m; ++o) {
+        if (o != c && ((sub >> o) & 1u)) {
+          rest |= masks[o];
+        }
+      }
+      minimal = rest != full;
+    }
+    if (!minimal) {
+      continue;
+    }
+    std::vector<geom::Point> pts;
+    pts.reserve(static_cast<std::size_t>(std::popcount(sub)) + 1);
+    pts.push_back(instance.sink());
+    for (std::size_t c = 0; c < m; ++c) {
+      if ((sub >> c) & 1u) {
+        pts.push_back(expanded.candidate(c));
+      }
+    }
+    if (pts.size() > tsp::kMaxExactTsp) {
+      continue;  // a minimal cover this large is out of exact reach
+    }
+    const double length = tsp::held_karp_length(pts);
+    if (length < best) {
+      best = length;
+    }
+  }
+  if (best < std::numeric_limits<double>::infinity()) {
+    result.available = true;
+    result.length = best;
+  }
+  return result;
+}
+
+}  // namespace
 
 core::Status OracleReport::status() const {
   for (const PlannerVerdict& verdict : verdicts) {
@@ -115,6 +211,46 @@ OracleReport run_differential(const core::ShdgpInstance& instance,
     if (verdict.status.is_ok() && report.exact_available) {
       verdict.status = check_not_better_than_exact(
           solution, report.exact_length, options.relative_tolerance);
+    }
+    report.verdicts.push_back(std::move(verdict));
+  }
+
+  // Bounded-relay section: one verdict per requested depth.
+  for (std::size_t d : options.relay_hops_depths) {
+    core::RelayHopPlannerOptions relay_options;
+    relay_options.relay_hops = d;
+    const core::RelayHopPlanner planner(relay_options);
+    PlannerVerdict verdict;
+    std::ostringstream name;
+    name << planner.name() << "[d=" << d << "]";
+    verdict.planner = name.str();
+    const core::ShdgpSolution solution = planner.plan(instance);
+    verdict.tour_length = solution.tour_length;
+    verdict.status = check_solution(instance, solution);
+    if (verdict.status.is_ok()) {
+      verdict.status = check_tour_lower_bound(instance, solution,
+                                              options.relative_tolerance);
+    }
+    if (verdict.status.is_ok() &&
+        instance.sensor_count() <= options.exact_sensor_limit) {
+      const RelayExact exact = exact_relay_optimum(instance, d);
+      if (exact.available) {
+        verdict.status = check_not_better_than_exact(
+            solution, exact.length, options.relative_tolerance);
+      }
+    }
+    if (verdict.status.is_ok() && d == 1) {
+      // The byte-identity anchor: at d = 1 the d-hop relation *is* the
+      // single-hop relation, so the relay planner's canonical plan must
+      // match GreedyCoverPlanner's byte for byte.
+      const core::ShdgpSolution greedy =
+          core::GreedyCoverPlanner().plan(instance);
+      if (canonical_plan_bytes(instance, solution) !=
+          canonical_plan_bytes(instance, greedy)) {
+        verdict.status = core::Status::failed_precondition(
+            "relay-hop d=1 canonical plan bytes differ from greedy-cover's "
+            "— the byte-identity anchor is broken");
+      }
     }
     report.verdicts.push_back(std::move(verdict));
   }

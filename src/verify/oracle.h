@@ -37,6 +37,13 @@ struct OracleOptions {
   /// Relative slack for floating-point comparisons against the exact
   /// optimum and the lower bounds.
   double relative_tolerance = 1e-9;
+  /// Relay budgets d to run the bounded-relay section for (empty = skip
+  /// it entirely, the legacy oracle cost). Per depth: RelayHopPlanner's
+  /// plan passes the relay-aware invariant and lower-bound checks, never
+  /// beats the brute-force d-hop optimum (minimal-cover enumeration +
+  /// Held–Karp, small instances only), and at d = 1 its canonical plan
+  /// bytes equal GreedyCoverPlanner's exactly — the byte-identity anchor.
+  std::vector<std::size_t> relay_hops_depths;
 };
 
 /// One planner's outcome on one instance.

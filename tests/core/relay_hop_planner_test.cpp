@@ -1,0 +1,119 @@
+// RelayHopPlanner: d-hop dominating-set planning over the k-hop
+// closure, anchored at d = 1 to the legacy greedy-cover planner.
+#include <gtest/gtest.h>
+
+#include "core/greedy_cover_planner.h"
+#include "core/planner_factory.h"
+#include "core/relay_hop_planner.h"
+#include "verify/canonical.h"
+#include "verify/check.h"
+#include "verify/generate.h"
+
+namespace mdg {
+namespace {
+
+using verify::GeneratorFamily;
+
+core::ShdgpSolution plan_depth(const core::ShdgpInstance& instance,
+                               std::size_t d) {
+  core::RelayHopPlannerOptions options;
+  options.relay_hops = d;
+  return core::RelayHopPlanner(options).plan(instance);
+}
+
+TEST(RelayHopPlannerTest, DefaultBudgetIsByteIdenticalToGreedy) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const net::SensorNetwork network =
+        verify::generate_network(GeneratorFamily::kUniform, seed,
+                                 {.sensors = 60, .side = 150.0, .range = 25.0});
+    const core::ShdgpInstance instance(network);
+    const core::ShdgpSolution relay = core::RelayHopPlanner().plan(instance);
+    const core::ShdgpSolution greedy =
+        core::GreedyCoverPlanner().plan(instance);
+    EXPECT_EQ(verify::canonical_plan_bytes(instance, relay),
+              verify::canonical_plan_bytes(instance, greedy));
+    EXPECT_EQ(relay.relay_hops, 1u);
+    EXPECT_FALSE(relay.uses_relays());
+    EXPECT_EQ(relay.planner, "relay-hop");
+  }
+}
+
+TEST(RelayHopPlannerTest, EveryDepthPassesTheInvariantChecker) {
+  const net::SensorNetwork network =
+      verify::generate_network(GeneratorFamily::kChain, 4);
+  const core::ShdgpInstance instance(network);
+  for (std::size_t d = 0; d <= 3; ++d) {
+    SCOPED_TRACE(d);
+    const core::ShdgpSolution solution = plan_depth(instance, d);
+    EXPECT_EQ(solution.relay_hops, d);
+    EXPECT_TRUE(verify::check_solution(instance, solution).is_ok())
+        << verify::check_solution(instance, solution).to_string();
+    EXPECT_LE(solution.max_upload_hops(), std::max<std::size_t>(d, 1));
+  }
+}
+
+TEST(RelayHopPlannerTest, DeeperBudgetNeverLengthensTheTour) {
+  const net::SensorNetwork network =
+      verify::generate_network(GeneratorFamily::kUniform, 7,
+                               {.sensors = 120, .side = 200.0, .range = 30.0});
+  const core::ShdgpInstance instance(network);
+  double prev = plan_depth(instance, 0).tour_length;
+  for (std::size_t d = 1; d <= 3; ++d) {
+    const double len = plan_depth(instance, d).tour_length;
+    EXPECT_LE(len, prev) << "d=" << d;
+    prev = len;
+  }
+}
+
+TEST(RelayHopPlannerTest, DepthZeroNeverRelays) {
+  const net::SensorNetwork network =
+      verify::generate_network(GeneratorFamily::kUniform, 5,
+                               {.sensors = 30, .side = 100.0, .range = 25.0});
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution = plan_depth(instance, 0);
+  EXPECT_FALSE(solution.uses_relays());
+  EXPECT_EQ(solution.relayed_sensor_count(), 0u);
+  EXPECT_TRUE(verify::check_solution(instance, solution).is_ok());
+}
+
+TEST(RelayHopPlannerTest, ChainTopologyActuallyRelaysAtDepthTwo) {
+  // A serpentine chain forces long tours at d = 1; a 2-hop budget lets
+  // every other sensor forward through a neighbour, halving the stops.
+  const net::SensorNetwork network =
+      verify::generate_network(GeneratorFamily::kChain, 2);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution d1 = plan_depth(instance, 1);
+  const core::ShdgpSolution d2 = plan_depth(instance, 2);
+  EXPECT_TRUE(d2.uses_relays());
+  EXPECT_GT(d2.relayed_sensor_count(), 0u);
+  EXPECT_LT(d2.polling_points.size(), d1.polling_points.size());
+  EXPECT_LT(d2.tour_length, d1.tour_length);
+}
+
+TEST(RelayHopPlannerTest, FactoryBuildsTheRelayPlanner) {
+  core::PlannerSpec spec;
+  spec.name = "relay";
+  spec.relay_hops = 2;
+  auto planner = core::make_planner(spec);
+  ASSERT_TRUE(planner.is_ok()) << planner.status().to_string();
+  const net::SensorNetwork network =
+      verify::generate_network(GeneratorFamily::kUniform, 9,
+                               {.sensors = 40, .side = 120.0, .range = 25.0});
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution = planner.value()->plan(instance);
+  EXPECT_EQ(solution.relay_hops, 2u);
+  EXPECT_TRUE(verify::check_solution(instance, solution).is_ok());
+}
+
+TEST(RelayHopPlannerTest, PlanIsDeterministic) {
+  const net::SensorNetwork network =
+      verify::generate_network(GeneratorFamily::kChain, 11);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution a = plan_depth(instance, 3);
+  const core::ShdgpSolution b = plan_depth(instance, 3);
+  EXPECT_EQ(verify::canonical_plan_bytes(instance, a),
+            verify::canonical_plan_bytes(instance, b));
+}
+
+}  // namespace
+}  // namespace mdg

@@ -1,0 +1,106 @@
+// KHopClosure: bounded-hop reachability sets in CSR form.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/khop.h"
+#include "util/thread_pool.h"
+
+namespace mdg {
+namespace {
+
+graph::Graph path_graph(std::size_t n) {
+  std::vector<graph::Edge> edges;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    edges.push_back({i, i + 1, 1.0});
+  }
+  return graph::Graph(n, edges);
+}
+
+std::vector<std::size_t> to_vec(std::span<const std::size_t> span) {
+  return {span.begin(), span.end()};
+}
+
+TEST(KHopClosureTest, ZeroHopsIsIdentity) {
+  const graph::Graph g = path_graph(5);
+  const graph::KHopClosure closure(g, 0);
+  EXPECT_EQ(closure.vertex_count(), 5u);
+  EXPECT_EQ(closure.total_reach(), 5u);
+  for (std::size_t v = 0; v < 5; ++v) {
+    EXPECT_EQ(to_vec(closure.reach(v)), std::vector<std::size_t>{v});
+  }
+}
+
+TEST(KHopClosureTest, PathGraphTwoHops) {
+  const graph::Graph g = path_graph(5);
+  const graph::KHopClosure closure(g, 2);
+  EXPECT_EQ(to_vec(closure.reach(0)), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(to_vec(closure.reach(2)),
+            (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(to_vec(closure.reach(4)), (std::vector<std::size_t>{2, 3, 4}));
+}
+
+TEST(KHopClosureTest, ReachNeverCrossesComponents) {
+  // Two disjoint triangles.
+  std::vector<graph::Edge> edges = {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0},
+                                    {3, 4, 1.0}, {4, 5, 1.0}, {3, 5, 1.0}};
+  const graph::Graph g(6, edges);
+  const graph::KHopClosure closure(g, 10);
+  EXPECT_EQ(to_vec(closure.reach(0)), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(to_vec(closure.reach(5)), (std::vector<std::size_t>{3, 4, 5}));
+}
+
+TEST(KHopClosureTest, SaturatesAtDiameter) {
+  const graph::Graph g = path_graph(8);
+  const graph::KHopClosure at_diameter(g, 7);
+  const graph::KHopClosure beyond(g, 100);
+  for (std::size_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(to_vec(at_diameter.reach(v)), to_vec(beyond.reach(v)));
+    EXPECT_EQ(at_diameter.reach(v).size(), 8u);
+  }
+}
+
+TEST(KHopClosureTest, RowsAreSortedAndIncludeSelf) {
+  // Ring with chords, big enough to take the parallel build path.
+  constexpr std::size_t kN = 600;
+  std::vector<graph::Edge> edges;
+  for (std::size_t i = 0; i < kN; ++i) {
+    edges.push_back({i, (i + 1) % kN, 1.0});
+    if (i % 7 == 0) {
+      edges.push_back({i, (i + kN / 3) % kN, 1.0});
+    }
+  }
+  const graph::Graph g(kN, edges);
+  const graph::KHopClosure closure(g, 3);
+  for (std::size_t v = 0; v < kN; ++v) {
+    const auto row = to_vec(closure.reach(v));
+    EXPECT_TRUE(std::is_sorted(row.begin(), row.end()));
+    EXPECT_TRUE(std::binary_search(row.begin(), row.end(), v));
+  }
+}
+
+TEST(KHopClosureTest, ParallelBuildIsByteIdentical) {
+  constexpr std::size_t kN = 700;
+  std::vector<graph::Edge> edges;
+  for (std::size_t i = 0; i + 1 < kN; ++i) {
+    edges.push_back({i, i + 1, 1.0});
+    if (i % 5 == 0) {
+      edges.push_back({i, (i + 13) % kN, 1.0});
+    }
+  }
+  const graph::Graph g(kN, edges);
+  set_planning_threads(1);
+  const graph::KHopClosure serial(g, 2);
+  set_planning_threads(4);
+  const graph::KHopClosure parallel(g, 2);
+  set_planning_threads(0);
+  ASSERT_EQ(serial.total_reach(), parallel.total_reach());
+  for (std::size_t v = 0; v < kN; ++v) {
+    EXPECT_EQ(to_vec(serial.reach(v)), to_vec(parallel.reach(v)));
+  }
+}
+
+}  // namespace
+}  // namespace mdg

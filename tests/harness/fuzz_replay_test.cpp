@@ -47,7 +47,7 @@ std::string corpus_entry(verify::FuzzTarget target, const std::string& name) {
 constexpr verify::FuzzTarget kTargets[] = {
     verify::FuzzTarget::kNetwork, verify::FuzzTarget::kSolution,
     verify::FuzzTarget::kFaultConfig, verify::FuzzTarget::kDelta,
-    verify::FuzzTarget::kFrame};
+    verify::FuzzTarget::kFrame, verify::FuzzTarget::kRelayPlan};
 
 TEST(FuzzReplayTest, SeedCorpusIsCheckedInForEveryTarget) {
   for (verify::FuzzTarget target : kTargets) {
@@ -113,6 +113,18 @@ TEST(FuzzReplayTest, ValidEntriesParse) {
                                corpus_entry(verify::FuzzTarget::kFrame,
                                             "valid_stats.bin"))
                   .is_ok());
+  EXPECT_TRUE(verify::fuzz_one(verify::FuzzTarget::kRelayPlan,
+                               corpus_entry(verify::FuzzTarget::kRelayPlan,
+                                            "valid_v2.txt"))
+                  .is_ok());
+  EXPECT_TRUE(verify::fuzz_one(verify::FuzzTarget::kRelayPlan,
+                               corpus_entry(verify::FuzzTarget::kRelayPlan,
+                                            "valid_v1.txt"))
+                  .is_ok());
+  EXPECT_TRUE(verify::fuzz_one(verify::FuzzTarget::kRelayPlan,
+                               corpus_entry(verify::FuzzTarget::kRelayPlan,
+                                            "valid_v2_no_relaying.txt"))
+                  .is_ok());
 }
 
 TEST(FuzzReplayTest, CorruptedEntriesAreRejectedWithTheDocumentedCodes) {
@@ -156,6 +168,17 @@ TEST(FuzzReplayTest, CorruptedEntriesAreRejectedWithTheDocumentedCodes) {
       {verify::FuzzTarget::kFrame, "corrupt_truncated_header.bin", kDataLoss},
       {verify::FuzzTarget::kFrame, "corrupt_truncated_payload.bin", kDataLoss},
       {verify::FuzzTarget::kFrame, "corrupt_plan_payload.bin", kDataLoss},
+      {verify::FuzzTarget::kRelayPlan, "corrupt_relay_id.txt",
+       kInvalidArgument},
+      {verify::FuzzTarget::kRelayPlan, "corrupt_relay_self.txt",
+       kInvalidArgument},
+      {verify::FuzzTarget::kRelayPlan, "corrupt_path_over_budget.txt",
+       kInvalidArgument},
+      {verify::FuzzTarget::kRelayPlan, "corrupt_relays_count.txt",
+       kInvalidArgument},
+      {verify::FuzzTarget::kRelayPlan, "corrupt_huge_hops.txt",
+       kInvalidArgument},
+      {verify::FuzzTarget::kRelayPlan, "truncated_relays.txt", kDataLoss},
   };
   for (const auto& c : kCases) {
     SCOPED_TRACE(std::string(verify::to_string(c.target)) + "/" + c.name);

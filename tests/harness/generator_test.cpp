@@ -2,8 +2,10 @@
 // shapes each adversarial family promises.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
+#include "graph/bfs.h"
 #include "io/serialize.h"
 #include "verify/generate.h"
 
@@ -21,9 +23,18 @@ std::string network_bytes(const net::SensorNetwork& network) {
 TEST(GeneratorTest, FamilyListsPartitionAllFamilies) {
   EXPECT_EQ(verify::all_families().size(),
             verify::standard_families().size() +
-                verify::degenerate_families().size());
+                verify::degenerate_families().size() +
+                verify::relay_families().size());
   EXPECT_EQ(verify::standard_families().size(), 5u);
   EXPECT_EQ(verify::degenerate_families().size(), 4u);
+  EXPECT_EQ(verify::relay_families().size(), 3u);
+  EXPECT_EQ(verify::legacy_families().size(), 9u);
+  // The legacy span is exactly standard + degenerate, in order — the
+  // d=1 byte-identity gate iterates it and its outputs must stay pinned.
+  EXPECT_EQ(verify::legacy_families().front(),
+            verify::standard_families().front());
+  EXPECT_EQ(verify::legacy_families().back(),
+            verify::degenerate_families().back());
 }
 
 TEST(GeneratorTest, NamesRoundTrip) {
@@ -126,6 +137,61 @@ TEST(GeneratorTest, TinyFamilyCoversZeroAndOneSensors) {
   const net::SensorNetwork one =
       verify::generate_network(GeneratorFamily::kTiny, 3);
   EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(GeneratorTest, ChainFamilyLinksSitOnTheRangeBoundary) {
+  const verify::GeneratorOptions options{};
+  const net::SensorNetwork network =
+      verify::generate_network(GeneratorFamily::kChain, 5, options);
+  ASSERT_GT(network.size(), 2u);
+  // Consecutive chain sensors are exactly one range apart (straight
+  // links) or half a range (row turns); either way, always connected.
+  std::size_t exact_links = 0;
+  for (std::size_t i = 0; i + 1 < network.size(); ++i) {
+    const double d =
+        geom::distance(network.position(i), network.position(i + 1));
+    if (d == options.range) {
+      ++exact_links;
+    }
+    EXPECT_TRUE(geom::within_range(network.position(i),
+                                   network.position(i + 1), network.range()));
+  }
+  EXPECT_GT(exact_links, network.size() / 2);
+}
+
+TEST(GeneratorTest, StarFamilyRingsAreExactHopMultiples) {
+  const verify::GeneratorOptions options{};
+  const net::SensorNetwork network =
+      verify::generate_network(GeneratorFamily::kStar, 5, options);
+  ASSERT_GT(network.size(), 24u);
+  // Hubs come first; some unclamped ring-1 spoke must be exactly one
+  // range from its hub.
+  std::size_t exact_spokes = 0;
+  for (std::size_t s = 0; s < network.size(); ++s) {
+    for (std::size_t h = 0; h < network.size() / 24; ++h) {
+      const double d = geom::distance(network.position(s),
+                                      network.position(h));
+      if (s != h && std::abs(d - options.range) < 1e-9) {
+        ++exact_spokes;
+      }
+    }
+  }
+  EXPECT_GT(exact_spokes, 0u);
+}
+
+TEST(GeneratorTest, IslandsFamilyIsDisconnected) {
+  const net::SensorNetwork network =
+      verify::generate_network(GeneratorFamily::kIslands, 5);
+  ASSERT_GT(network.size(), 0u);
+  const graph::BfsResult bfs =
+      graph::bfs_multi(network.connectivity(), std::vector<std::size_t>{0});
+  std::size_t reached = 0;
+  for (std::size_t s = 0; s < network.size(); ++s) {
+    if (bfs.reachable(s)) {
+      ++reached;
+    }
+  }
+  EXPECT_LT(reached, network.size());  // at least two components
 }
 
 TEST(GeneratorTest, FamiliesDrawIndependentForkStreams) {

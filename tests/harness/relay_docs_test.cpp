@@ -1,0 +1,67 @@
+// Keeps the bounded-relay docs in lockstep with the code, in the
+// metrics_doc_test tradition: ALGORITHMS.md must carry the
+// §Bounded-relay planning rules, docs/FORMAT.md the version-2 solution
+// fields, EXPERIMENTS.md the B1 frontier recipe. Stale docs fail CI,
+// not reviewers.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace mdg {
+namespace {
+
+std::string read_doc(const std::string& relative) {
+  const std::string path = std::string(MDG_ROOT_DIR) + "/" + relative;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(RelayDocsTest, AlgorithmsMdDocumentsBoundedRelayPlanning) {
+  const std::string doc = read_doc("ALGORITHMS.md");
+  for (const char* needle :
+       {"Bounded-relay planning", "d-hop dominating set", "KHopClosure",
+        "expand_relay_hops", "RelayHopPlanner", "relay_paths",
+        "byte-identical to GreedyCoverPlanner", "relay_round_energy",
+        "bench_b1_relay", "--relay-parity"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "ALGORITHMS.md is missing \"" << needle << "\"";
+  }
+}
+
+TEST(RelayDocsTest, FormatMdDocumentsTheVersionTwoSolution) {
+  const std::string doc = read_doc("docs/FORMAT.md");
+  for (const char* needle :
+       {"mdg-solution 2", "relay-hops <d>", "relays <N|0>",
+        "d = 1 byte-identity anchor", "kInvalidArgument", "kDataLoss"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/FORMAT.md is missing \"" << needle << "\"";
+  }
+}
+
+TEST(RelayDocsTest, ExperimentsMdCarriesTheFrontierRecipe) {
+  const std::string doc = read_doc("EXPERIMENTS.md");
+  for (const char* needle :
+       {"bench_b1_relay", "BENCH_relay.json", "--check",
+        "report_schema.json", "relay budget"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "EXPERIMENTS.md is missing \"" << needle << "\"";
+  }
+}
+
+TEST(RelayDocsTest, MetricsMdDocumentsTheRelayMetrics) {
+  const std::string doc = read_doc("docs/METRICS.md");
+  for (const char* needle :
+       {"`plan.relay_hop`", "`relay.closure_build`", "`relay.max_hops_used`",
+        "`relay.relayed_sensors`"}) {
+    EXPECT_NE(doc.find(needle), std::string::npos)
+        << "docs/METRICS.md is missing \"" << needle << "\"";
+  }
+}
+
+}  // namespace
+}  // namespace mdg

@@ -1,0 +1,132 @@
+// Metamorphic properties of bounded-relay planning: exact geometric
+// equivariance (power-of-two scaling, quarter turns) and the d-sweep
+// frontier trend (tour length shrinks with a larger budget, modulo
+// heuristic wobble; the hotspot round energy never shrinks — relays
+// pay rx+tx).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/relay_hop_planner.h"
+#include "sim/energy.h"
+#include "verify/canonical.h"
+#include "verify/check.h"
+#include "verify/generate.h"
+
+namespace mdg {
+namespace {
+
+using verify::GeneratorFamily;
+
+core::ShdgpSolution plan_depth(const core::ShdgpInstance& instance,
+                               std::size_t d) {
+  core::RelayHopPlannerOptions options;
+  options.relay_hops = d;
+  return core::RelayHopPlanner(options).plan(instance);
+}
+
+double max_round_energy(const core::ShdgpInstance& instance,
+                        const core::ShdgpSolution& solution) {
+  const std::vector<double> energy =
+      sim::relay_round_energy(instance, solution);
+  return energy.empty() ? 0.0
+                        : *std::max_element(energy.begin(), energy.end());
+}
+
+TEST(RelayMetamorphicTest, ScalingByTwoScalesTheRelayTourExactly) {
+  const net::SensorNetwork base = verify::generate_network(
+      GeneratorFamily::kChain, 3);
+  // Doubling every coordinate and the range is exact in IEEE-754, so
+  // the d-hop relation, the cover trajectory and the relay paths are
+  // identical and the tour length exactly doubles.
+  net::SensorNetwork scaled = [&] {
+    std::vector<geom::Point> pts;
+    for (geom::Point p : base.positions()) {
+      pts.push_back({p.x * 2.0, p.y * 2.0});
+    }
+    return net::SensorNetwork(std::move(pts), base.sink() * 2.0,
+                              {base.field().lo * 2.0, base.field().hi * 2.0},
+                              base.range() * 2.0, base.radio());
+  }();
+  const core::ShdgpInstance instance(base);
+  const core::ShdgpInstance scaled_instance(scaled);
+  for (std::size_t d : {2u, 3u}) {
+    SCOPED_TRACE(d);
+    const core::ShdgpSolution a = plan_depth(instance, d);
+    const core::ShdgpSolution b = plan_depth(scaled_instance, d);
+    EXPECT_EQ(b.tour.order(), a.tour.order());
+    EXPECT_EQ(b.relay_paths, a.relay_paths);
+    EXPECT_EQ(b.tour_length, a.tour_length * 2.0);  // exact, not approximate
+  }
+}
+
+TEST(RelayMetamorphicTest, QuarterTurnPreservesTheRelayPlanExactly) {
+  const net::SensorNetwork base = verify::generate_network(
+      GeneratorFamily::kStar, 2);
+  // (x, y) -> (-y, x) keeps all pairwise distances bit-identical.
+  const double side = base.field().width();
+  net::SensorNetwork rotated = [&] {
+    std::vector<geom::Point> pts;
+    for (geom::Point p : base.positions()) {
+      pts.push_back({-p.y, p.x});
+    }
+    return net::SensorNetwork(
+        std::move(pts), geom::Point{-base.sink().y, base.sink().x},
+        geom::Aabb{{-side, 0.0}, {0.0, side}}, base.range(), base.radio());
+  }();
+  const core::ShdgpInstance instance(base);
+  const core::ShdgpInstance rotated_instance(rotated);
+  for (std::size_t d : {1u, 2u}) {
+    SCOPED_TRACE(d);
+    const core::ShdgpSolution a = plan_depth(instance, d);
+    const core::ShdgpSolution b = plan_depth(rotated_instance, d);
+    EXPECT_EQ(b.tour.order(), a.tour.order());
+    EXPECT_EQ(b.assignment, a.assignment);
+    EXPECT_EQ(b.relay_paths, a.relay_paths);
+    EXPECT_EQ(b.tour_length, a.tour_length);
+  }
+}
+
+TEST(RelayMetamorphicTest, TourLengthIsNonIncreasingInTheBudget) {
+  // A deeper budget only enlarges every candidate's coverage set, so
+  // the OPTIMAL frontier is monotone; the greedy cover is a heuristic
+  // and may wobble a step by a sliver, hence the 5% per-step slack.
+  // End to end the drop must be real: d = 3 strictly undercuts the
+  // visit-every-sensor extreme d = 0.
+  for (GeneratorFamily family :
+       {GeneratorFamily::kChain, GeneratorFamily::kStar,
+        GeneratorFamily::kUniform}) {
+    SCOPED_TRACE(verify::to_string(family));
+    const net::SensorNetwork network = verify::generate_network(family, 5);
+    const core::ShdgpInstance instance(network);
+    const double at_zero = plan_depth(instance, 0).tour_length;
+    double prev = at_zero;
+    double last = at_zero;
+    for (std::size_t d = 1; d <= 3; ++d) {
+      const double len = plan_depth(instance, d).tour_length;
+      EXPECT_LE(len, prev * 1.05) << "d=" << d;
+      prev = len;
+      last = len;
+    }
+    EXPECT_LT(last, at_zero);
+  }
+}
+
+TEST(RelayMetamorphicTest, HotspotEnergyIsNonDecreasingInTheBudget) {
+  // Deeper budgets trade collector travel for sensor radio: every
+  // relayed packet charges its forwarders rx+tx, so the worst-loaded
+  // sensor never gets cheaper as d grows.
+  const net::SensorNetwork network =
+      verify::generate_network(GeneratorFamily::kChain, 5);
+  const core::ShdgpInstance instance(network);
+  double prev = max_round_energy(instance, plan_depth(instance, 0));
+  for (std::size_t d = 1; d <= 3; ++d) {
+    const double e = max_round_energy(instance, plan_depth(instance, d));
+    EXPECT_GE(e, prev) << "d=" << d;
+    prev = e;
+  }
+}
+
+}  // namespace
+}  // namespace mdg

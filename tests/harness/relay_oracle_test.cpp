@@ -1,0 +1,57 @@
+// Bounded-relay differential oracle: RelayHopPlanner vs. the
+// brute-force d-hop dominating-set optimum on small instances, plus
+// the d = 1 canonical byte-identity anchor, across every family.
+//
+// Reproduce any failure locally with:  build/tools/repro <family> <seed>
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "verify/generate.h"
+#include "verify/oracle.h"
+
+namespace mdg {
+namespace {
+
+using verify::GeneratorFamily;
+
+using RelayOracleParam = std::tuple<GeneratorFamily, std::uint64_t>;
+
+class RelayOracleTest : public ::testing::TestWithParam<RelayOracleParam> {};
+
+TEST_P(RelayOracleTest, NoDepthBeatsTheBruteForceOptimum) {
+  const auto [family, seed] = GetParam();
+  const net::SensorNetwork network = verify::generate_network(
+      family, seed, {.sensors = 10, .side = 90.0, .range = 22.0});
+  const core::ShdgpInstance instance(network);
+  verify::OracleOptions options;
+  options.relay_hops_depths = {0, 1, 2, 3};
+  const verify::OracleReport report =
+      verify::run_differential(instance, options);
+  EXPECT_TRUE(report.status().is_ok()) << report.status().to_string();
+  // exact + five heuristics + one relay verdict per depth.
+  EXPECT_EQ(report.verdicts.size(), 10u);
+  std::size_t relay_verdicts = 0;
+  for (const verify::PlannerVerdict& verdict : report.verdicts) {
+    SCOPED_TRACE(verdict.planner);
+    EXPECT_TRUE(verdict.status.is_ok()) << verdict.status.to_string();
+    if (verdict.planner.rfind("relay-hop", 0) == 0) {
+      ++relay_verdicts;
+    }
+  }
+  EXPECT_EQ(relay_verdicts, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, RelayOracleTest,
+    ::testing::Combine(::testing::ValuesIn(verify::all_families().begin(),
+                                           verify::all_families().end()),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2})),
+    [](const ::testing::TestParamInfo<RelayOracleParam>& info) {
+      return std::string(verify::to_string(std::get<0>(info.param))) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace mdg

@@ -1,0 +1,58 @@
+// The d = 1 byte-identity anchor: RelayHopPlanner at the default
+// budget must produce canonical plans byte-identical to the legacy
+// GreedyCoverPlanner on every legacy generator family. This is the
+// regression gate that lets the relay planner share the greedy
+// machinery without ever disturbing existing plans.
+//
+// Reproduce any failure locally with:
+//   build/tools/repro --relay-parity /tmp/greedy.txt /tmp/relay.txt
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/greedy_cover_planner.h"
+#include "core/relay_hop_planner.h"
+#include "verify/canonical.h"
+#include "verify/generate.h"
+
+namespace mdg {
+namespace {
+
+using verify::GeneratorFamily;
+
+using ParityParam = std::tuple<GeneratorFamily, std::uint64_t>;
+
+class RelayParityTest : public ::testing::TestWithParam<ParityParam> {};
+
+TEST_P(RelayParityTest, DepthOneCanonicalBytesMatchGreedy) {
+  const auto [family, seed] = GetParam();
+  for (const verify::GeneratorOptions& options :
+       {verify::GeneratorOptions{.sensors = 10, .side = 90.0, .range = 22.0},
+        verify::GeneratorOptions{.sensors = 150, .side = 200.0,
+                                 .range = 30.0}}) {
+    SCOPED_TRACE(options.sensors);
+    const net::SensorNetwork network =
+        verify::generate_network(family, seed, options);
+    const core::ShdgpInstance instance(network);
+    const core::ShdgpSolution greedy =
+        core::GreedyCoverPlanner().plan(instance);
+    const core::ShdgpSolution relay = core::RelayHopPlanner().plan(instance);
+    EXPECT_EQ(verify::canonical_plan_bytes(instance, greedy),
+              verify::canonical_plan_bytes(instance, relay));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LegacyFamilies, RelayParityTest,
+    ::testing::Combine(::testing::ValuesIn(verify::legacy_families().begin(),
+                                           verify::legacy_families().end()),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{3})),
+    [](const ::testing::TestParamInfo<ParityParam>& info) {
+      return std::string(verify::to_string(std::get<0>(info.param))) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace mdg

@@ -1,0 +1,85 @@
+// mdg-solution version 2: relay fields round-trip, and the version
+// gate keeps every legacy single-hop solution at its exact v1 bytes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/solution.h"
+#include "io/serialize.h"
+
+namespace mdg {
+namespace {
+
+core::ShdgpSolution relay_solution() {
+  core::ShdgpSolution solution;
+  solution.planner = "relay-hop";
+  solution.tour_length = 42.5;
+  solution.relay_hops = 2;
+  solution.polling_candidates = {0};
+  solution.polling_points = {{10.0, 10.0}};
+  solution.assignment = {0, 0};
+  solution.tour = tsp::Tour({0, 1});
+  solution.relay_paths = {{}, {0}};
+  return solution;
+}
+
+TEST(SerializeRelayTest, RelayFieldsRoundTrip) {
+  const core::ShdgpSolution original = relay_solution();
+  const std::string bytes = io::to_text(original);
+  EXPECT_EQ(bytes.rfind("mdg-solution 2", 0), 0u);
+  EXPECT_NE(bytes.find("relay-hops 2"), std::string::npos);
+  EXPECT_NE(bytes.find("relays 2"), std::string::npos);
+  std::istringstream in(bytes);
+  const auto parsed = io::try_read_solution(in);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().relay_hops, 2u);
+  EXPECT_EQ(parsed.value().relay_paths, original.relay_paths);
+  EXPECT_TRUE(parsed.value().uses_relays());
+  EXPECT_EQ(parsed.value().relayed_sensor_count(), 1u);
+  // Second round trip is byte-stable.
+  EXPECT_EQ(io::to_text(parsed.value()), bytes);
+}
+
+TEST(SerializeRelayTest, LegacySolutionsKeepTheirVersionOneBytes) {
+  core::ShdgpSolution legacy = relay_solution();
+  legacy.relay_hops = 1;
+  legacy.relay_paths.clear();
+  const std::string bytes = io::to_text(legacy);
+  EXPECT_EQ(bytes.rfind("mdg-solution 1", 0), 0u);
+  EXPECT_EQ(bytes.find("relay-hops"), std::string::npos);
+  EXPECT_EQ(bytes.find("relays"), std::string::npos);
+}
+
+TEST(SerializeRelayTest, NonDefaultBudgetForcesVersionTwoEvenWithoutPaths) {
+  core::ShdgpSolution solution = relay_solution();
+  solution.relay_paths.clear();  // budget 2, nothing actually relayed
+  const std::string bytes = io::to_text(solution);
+  EXPECT_EQ(bytes.rfind("mdg-solution 2", 0), 0u);
+  EXPECT_NE(bytes.find("relays 0"), std::string::npos);
+  std::istringstream in(bytes);
+  const auto parsed = io::try_read_solution(in);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().relay_hops, 2u);
+  EXPECT_FALSE(parsed.value().uses_relays());
+}
+
+TEST(SerializeRelayTest, CollectEverythingModeReportsEveryRelayProblem) {
+  // relay id out of range AND a path over budget: fail-fast stops at
+  // the first, collect-everything reports both.
+  const std::string bytes =
+      "mdg-solution 2\nplanner -\ntour-length 1\noptimal 0\nrelay-hops 2\n"
+      "polling 1\n0 1 1\nassignment 2\n0\n0\ntour 2\n0\n1\n"
+      "relays 2\n2 5 5\n1 9\n";
+  std::istringstream fail_fast(bytes);
+  const auto strict = io::try_read_solution(fail_fast, {.fail_fast = true});
+  ASSERT_FALSE(strict.is_ok());
+  std::istringstream collect(bytes);
+  const auto lenient = io::try_read_solution(collect, {.fail_fast = false});
+  ASSERT_FALSE(lenient.is_ok());
+  EXPECT_GT(lenient.status().message().size(),
+            strict.status().message().size());
+}
+
+}  // namespace
+}  // namespace mdg

@@ -1,0 +1,103 @@
+// Relay budgets through the serving engine: a d != 1 plan is served by
+// the relay planner, never aliases the legacy cache entry for the same
+// network, and the delta path refuses relayed bases outright.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/delta.h"
+#include "core/instance.h"
+#include "core/relay_hop_planner.h"
+#include "io/serialize.h"
+#include "net/deployment.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
+#include "util/rng.h"
+#include "verify/check.h"
+
+namespace mdg::serve {
+namespace {
+
+net::SensorNetwork test_network(std::uint64_t seed, std::size_t n = 50) {
+  Rng rng(seed);
+  return net::make_uniform_network(n, 150.0, 28.0, rng);
+}
+
+Frame plan_frame(std::uint32_t id, const net::SensorNetwork& network,
+                 PlanRequestOptions options = {}) {
+  return Frame{FrameType::kPlanRequest, id, 0,
+               build_plan_request(options, network)};
+}
+
+core::ShdgpSolution solution_of(const std::string& payload) {
+  std::istringstream in(payload.substr(
+      payload.find("op plan\n") + std::string("op plan\n").size()));
+  return io::read_solution(in);
+}
+
+TEST(ServeEngineRelayTest, RelayedPlanMatchesDirectLibraryCall) {
+  Engine engine;
+  const net::SensorNetwork network = test_network(1);
+  PlanRequestOptions options;
+  options.planner = "relay";
+  options.relay_hops = 2;
+  const Frame reply = engine.handle(plan_frame(1, network, options));
+  ASSERT_EQ(reply.type, FrameType::kReplyOk);
+  const core::ShdgpInstance instance(network);
+  core::RelayHopPlannerOptions direct_options;
+  direct_options.relay_hops = 2;
+  const core::ShdgpSolution direct =
+      core::RelayHopPlanner(direct_options).plan(instance);
+  EXPECT_EQ(reply.payload, "mdg-reply 1\nop plan\n" + io::to_text(direct));
+  const core::ShdgpSolution served = solution_of(reply.payload);
+  EXPECT_EQ(served.relay_hops, 2u);
+  EXPECT_TRUE(verify::check_solution(instance, served).is_ok());
+}
+
+TEST(ServeEngineRelayTest, BudgetsNeverAliasInTheCache) {
+  Engine engine;
+  const net::SensorNetwork network = test_network(2);
+  // Same planner, same network — the budget is the ONLY difference, so
+  // this pins the relay-hops line in the engine's options fingerprint.
+  PlanRequestOptions legacy_options;
+  legacy_options.planner = "relay";
+  PlanRequestOptions relayed = legacy_options;
+  relayed.relay_hops = 2;
+  const Frame legacy = engine.handle(plan_frame(1, network, legacy_options));
+  const Frame deep = engine.handle(plan_frame(2, network, relayed));
+  ASSERT_EQ(legacy.type, FrameType::kReplyOk);
+  ASSERT_EQ(deep.type, FrameType::kReplyOk);
+  // The d = 2 request after a d = 1 plan of the same network is a
+  // cache miss with its own bytes — never an exact or warm hit.
+  EXPECT_EQ(deep.flags & kFlagCacheMask, kFlagCacheMiss);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits_exact, 0u);
+  EXPECT_EQ(stats.hits_warm, 0u);
+  // Replaying each request now hits its own entry, bytes intact.
+  EXPECT_EQ(engine.handle(plan_frame(3, network, legacy_options)).payload,
+            legacy.payload);
+  const Frame deep_hit = engine.handle(plan_frame(4, network, relayed));
+  EXPECT_EQ(deep_hit.flags & kFlagCacheMask, kFlagCacheExact);
+  EXPECT_EQ(deep_hit.payload, deep.payload);
+}
+
+TEST(ServeEngineRelayTest, DeltaPathRefusesRelayedBases) {
+  Engine engine;
+  const net::SensorNetwork network = test_network(3);
+  core::Delta delta;
+  delta.ops.push_back(core::DeltaOp::remove_sensor(0));
+  PlanRequestOptions options;
+  options.planner = "relay";
+  options.relay_hops = 2;
+  const Frame reply = engine.handle(
+      Frame{FrameType::kDeltaRequest, 9, 0,
+            build_delta_request(options, network, delta)});
+  ASSERT_EQ(reply.type, FrameType::kReplyError);
+  EXPECT_NE(reply.payload.find("relay-hops"), std::string::npos);
+  EXPECT_EQ(engine.stats().errors, 1u);
+}
+
+}  // namespace
+}  // namespace mdg::serve

@@ -1,0 +1,78 @@
+// Relay budget on the serve wire: the "relay-hops" line round-trips,
+// is absent at the default budget (so every legacy payload — and its
+// cache key — keeps its exact bytes), and out-of-range values are
+// rejected before they reach a planner.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/delta.h"
+#include "net/deployment.h"
+#include "serve/protocol.h"
+#include "util/rng.h"
+
+namespace mdg::serve {
+namespace {
+
+net::SensorNetwork tiny_network() {
+  Rng rng(11);
+  return net::make_uniform_network(12, 60.0, 20.0, rng);
+}
+
+TEST(ServeProtocolRelayTest, RelayHopsRoundTripsThroughThePlanRequest) {
+  PlanRequestOptions options;
+  options.relay_hops = 2;
+  const std::string payload = build_plan_request(options, tiny_network());
+  EXPECT_NE(payload.find("relay-hops 2\n"), std::string::npos);
+  const auto parsed = parse_plan_request(payload);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->options.relay_hops, 2u);
+}
+
+TEST(ServeProtocolRelayTest, DefaultBudgetKeepsLegacyPayloadBytes) {
+  const net::SensorNetwork network = tiny_network();
+  PlanRequestOptions options;
+  const std::string payload = build_plan_request(options, network);
+  // No relay-hops line at d = 1: the payload (and therefore the raw
+  // cache key) is byte-identical to what pre-relay clients sent.
+  EXPECT_EQ(payload.find("relay-hops"), std::string::npos);
+  const auto parsed = parse_plan_request(payload);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->options.relay_hops, 1u);
+}
+
+TEST(ServeProtocolRelayTest, RejectsAnOutOfRangeBudget) {
+  PlanRequestOptions options;
+  options.relay_hops = 2;
+  std::string payload = build_plan_request(options, tiny_network());
+  const std::string needle = "relay-hops 2\n";
+  payload.replace(payload.find(needle), needle.size(), "relay-hops 99999\n");
+  const auto parsed = parse_plan_request(payload);
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_EQ(parsed.status().code(), core::StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolRelayTest, DeltaRequestHeadCarriesTheBudgetToo) {
+  PlanRequestOptions options;
+  options.relay_hops = 3;
+  const std::string payload =
+      build_delta_request(options, tiny_network(), core::Delta{});
+  EXPECT_NE(payload.find("relay-hops 3\n"), std::string::npos);
+  const auto parsed = parse_delta_request(payload);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->options.relay_hops, 3u);
+}
+
+TEST(ServeProtocolRelayTest, DistinctBudgetsProduceDistinctPayloads) {
+  // The payload doubles as the raw cache key, so a d = 2 plan must
+  // never alias the d = 1 plan for the same network.
+  const net::SensorNetwork network = tiny_network();
+  PlanRequestOptions legacy;
+  PlanRequestOptions relayed;
+  relayed.relay_hops = 2;
+  EXPECT_NE(build_plan_request(legacy, network),
+            build_plan_request(relayed, network));
+}
+
+}  // namespace
+}  // namespace mdg::serve

@@ -1,0 +1,129 @@
+// Energy-charged multihop collection: relayed uploads must charge the
+// origin sensor AND every intermediate relay, and the simulated ledger
+// must agree exactly with the analytic per-round relay energy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/relay_hop_planner.h"
+#include "sim/energy.h"
+#include "sim/mobile_sim.h"
+#include "verify/generate.h"
+
+namespace mdg {
+namespace {
+
+using verify::GeneratorFamily;
+
+core::ShdgpSolution plan_depth(const core::ShdgpInstance& instance,
+                               std::size_t d) {
+  core::RelayHopPlannerOptions options;
+  options.relay_hops = d;
+  return core::RelayHopPlanner(options).plan(instance);
+}
+
+TEST(RelaySimTest, LedgerMatchesAnalyticRoundEnergyExactly) {
+  const net::SensorNetwork network =
+      verify::generate_network(GeneratorFamily::kChain, 5);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution = plan_depth(instance, 3);
+  ASSERT_TRUE(solution.uses_relays());
+
+  // One lossless round, exactly one packet per sensor (the analytic
+  // model's assumptions), battery large enough that nobody dies.
+  sim::MobileSimConfig config;
+  config.upload_loss_prob = 0.0;
+  config.initial_battery_j = 100.0;
+  sim::MobileCollectionSim sim(instance, solution, config);
+  sim::EnergyLedger ledger(network.size(), config.initial_battery_j);
+  const sim::MobileRoundReport round = sim.run_round(ledger);
+  EXPECT_EQ(round.delivered, network.size());
+
+  const std::vector<double> analytic =
+      sim::relay_round_energy(instance, solution);
+  ASSERT_EQ(round.round_energy.size(), analytic.size());
+  for (std::size_t s = 0; s < analytic.size(); ++s) {
+    EXPECT_DOUBLE_EQ(round.round_energy[s], analytic[s]) << "sensor " << s;
+  }
+}
+
+TEST(RelaySimTest, RelaysPayMoreThanLeafSensors) {
+  const net::SensorNetwork network =
+      verify::generate_network(GeneratorFamily::kChain, 7);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution = plan_depth(instance, 2);
+  ASSERT_TRUE(solution.uses_relays());
+  const std::vector<double> energy =
+      sim::relay_round_energy(instance, solution);
+
+  // Every sensor that appears on someone's relay path spends strictly
+  // more than its own upload alone would cost.
+  std::vector<bool> is_relay(network.size(), false);
+  for (const auto& path : solution.relay_paths) {
+    for (std::size_t r : path) {
+      is_relay[r] = true;
+    }
+  }
+  core::ShdgpSolution direct = solution;
+  direct.relay_paths.clear();  // same stops, nobody relays
+  const std::vector<double> base_energy =
+      sim::relay_round_energy(instance, direct);
+  bool any_relay = false;
+  for (std::size_t s = 0; s < network.size(); ++s) {
+    if (is_relay[s]) {
+      any_relay = true;
+      EXPECT_GT(energy[s], base_energy[s]) << "relay " << s;
+    }
+  }
+  EXPECT_TRUE(any_relay);
+}
+
+TEST(RelaySimTest, LossyRelayRoundStaysDeterministic) {
+  const net::SensorNetwork network =
+      verify::generate_network(GeneratorFamily::kChain, 9);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution = plan_depth(instance, 2);
+  sim::MobileSimConfig config;
+  config.upload_loss_prob = 0.3;
+  config.initial_battery_j = 100.0;
+  sim::MobileRoundReport reports[2];
+  for (int i = 0; i < 2; ++i) {
+    sim::MobileCollectionSim sim(instance, solution, config);
+    sim::EnergyLedger ledger(network.size(), config.initial_battery_j);
+    reports[i] = sim.run_round(ledger);
+  }
+  EXPECT_EQ(reports[0].delivered, reports[1].delivered);
+  EXPECT_EQ(reports[0].retransmissions, reports[1].retransmissions);
+  EXPECT_EQ(reports[0].round_energy, reports[1].round_energy);
+}
+
+TEST(RelaySimTest, DeadRelayStopsTheChainWithoutCrashing) {
+  const net::SensorNetwork network =
+      verify::generate_network(GeneratorFamily::kChain, 5);
+  const core::ShdgpInstance instance(network);
+  const core::ShdgpSolution solution = plan_depth(instance, 3);
+  ASSERT_TRUE(solution.uses_relays());
+  // Kill every relay before the round: relayed sensors cannot upload,
+  // direct sensors still can; the round completes without incident.
+  sim::MobileSimConfig config;
+  config.initial_battery_j = 100.0;
+  sim::MobileCollectionSim sim(instance, solution, config);
+  sim::EnergyLedger ledger(network.size(), config.initial_battery_j);
+  std::size_t relays = 0;
+  for (const auto& path : solution.relay_paths) {
+    for (std::size_t r : path) {
+      if (ledger.alive(r)) {
+        ledger.consume(r, config.initial_battery_j * 2.0);
+        ++relays;
+      }
+    }
+  }
+  ASSERT_GT(relays, 0u);
+  const sim::MobileRoundReport round = sim.run_round(ledger);
+  EXPECT_LT(round.delivered, network.size());
+  EXPECT_GT(round.delivered, 0u);
+}
+
+}  // namespace
+}  // namespace mdg

@@ -1,0 +1,15 @@
+// libFuzzer entry point for bounded-relay (version-2) solution files:
+// parse, relay accessors, write->read round-trip (built with
+// -DMDG_FUZZ=ON under Clang; seed corpus tests/harness/corpus/relay).
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "verify/fuzz.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  (void)mdg::verify::fuzz_one(
+      mdg::verify::FuzzTarget::kRelayPlan,
+      std::string_view(reinterpret_cast<const char*>(data), size));
+  return 0;
+}

@@ -2,6 +2,7 @@
 //
 //   repro <generator> <seed> [sensors [side [range]]]
 //   repro --delta <net.txt> <sol.txt> <delta.txt>
+//   repro --relay-parity <greedy-out.txt> <relay-out.txt>
 //
 // The failure hints printed by the harness suites ("reproduce:
 // build/tools/repro <generator> <seed>") land here. Without an explicit
@@ -17,13 +18,23 @@
 // the plan twice from the same starting point and the repaired plans
 // must agree byte for byte (canonical encoding) and pass the invariant
 // checker. Exit 3 when an input file is unreadable or malformed.
+//
+// The --relay-parity mode is the d=1 byte-identity gate: it plans every
+// legacy generator family x seeds 1..3 with both GreedyCoverPlanner and
+// RelayHopPlanner (default budget d = 1) and dumps the two canonical
+// serializations to the given files, one section per instance. CI runs
+// `cmp` over the two dumps; the tool also compares in-process and exits
+// 1 naming the first diverging instance.
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/delta.h"
+#include "core/greedy_cover_planner.h"
+#include "core/relay_hop_planner.h"
 #include "io/delta_io.h"
 #include "io/serialize.h"
 #include "verify/canonical.h"
@@ -38,6 +49,7 @@ using namespace mdg;
 int usage() {
   std::cerr << "usage: repro <generator> <seed> [sensors [side [range]]]\n"
             << "       repro --delta <net.txt> <sol.txt> <delta.txt>\n"
+            << "       repro --relay-parity <greedy-out.txt> <relay-out.txt>\n"
             << "generators:";
   for (verify::GeneratorFamily family : verify::all_families()) {
     std::cerr << ' ' << verify::to_string(family);
@@ -193,11 +205,73 @@ int replay_delta(const std::string& net_path, const std::string& sol_path,
   return ok ? 0 : 1;
 }
 
+/// --relay-parity mode: the d=1 byte-identity anchor across every
+/// legacy generator family and seeds 1..3, on both harness shapes.
+int relay_parity(const std::string& greedy_path, const std::string& relay_path) {
+  std::ofstream greedy_out(greedy_path);
+  std::ofstream relay_out(relay_path);
+  if (!greedy_out.good() || !relay_out.good()) {
+    std::cerr << "cannot open output files\n";
+    return 3;
+  }
+  const verify::GeneratorOptions shapes[] = {
+      {.sensors = 10, .side = 90.0, .range = 22.0},
+      {.sensors = 150, .side = 200.0, .range = 30.0},
+  };
+  bool ok = true;
+  std::size_t instances = 0;
+  for (verify::GeneratorFamily family : verify::legacy_families()) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      for (const verify::GeneratorOptions& options : shapes) {
+        const net::SensorNetwork network =
+            verify::generate_network(family, seed, options);
+        const core::ShdgpInstance instance(network);
+        const core::ShdgpSolution greedy =
+            core::GreedyCoverPlanner().plan(instance);
+        const core::ShdgpSolution relay =
+            core::RelayHopPlanner().plan(instance);
+        const std::string greedy_bytes =
+            verify::canonical_plan_bytes(instance, greedy);
+        const std::string relay_bytes =
+            verify::canonical_plan_bytes(instance, relay);
+        std::ostringstream header;
+        header << "# " << verify::to_string(family) << " seed " << seed
+               << " sensors " << options.sensors << '\n';
+        greedy_out << header.str() << greedy_bytes;
+        relay_out << header.str() << relay_bytes;
+        ++instances;
+        if (greedy_bytes != relay_bytes) {
+          if (ok) {
+            std::cout << "FAIL d=1 parity: " << verify::to_string(family)
+                      << " seed " << seed << " sensors " << options.sensors
+                      << '\n';
+            print_canonical_diff(greedy_bytes, relay_bytes);
+          }
+          ok = false;
+        }
+      }
+    }
+  }
+  greedy_out.flush();
+  relay_out.flush();
+  if (!greedy_out.good() || !relay_out.good()) {
+    std::cerr << "failed writing output files\n";
+    return 3;
+  }
+  std::cout << instances << " instance(s) -> " << greedy_path << " / "
+            << relay_path << '\n'
+            << (ok ? "OK" : "FAILED") << '\n';
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc == 5 && std::string(argv[1]) == "--delta") {
     return replay_delta(argv[2], argv[3], argv[4]);
+  }
+  if (argc == 4 && std::string(argv[1]) == "--relay-parity") {
+    return relay_parity(argv[2], argv[3]);
   }
   if (argc < 3 || argc > 6) {
     return usage();
